@@ -1,0 +1,205 @@
+// ablation_micro.cpp — google-benchmark microbenchmarks of the mechanisms
+// (real wall time, not virtual time): IPC transports, kernel-signature
+// parsing, interpreter throughput, handle conversion, DB serialization,
+// snapshot I/O.  These quantify the design choices DESIGN.md calls out.
+#include <benchmark/benchmark.h>
+
+#include "checl/checl.h"
+#include "clc/interp.h"
+#include "clc/program.h"
+#include "core/ksig.h"
+#include "ipc/serial.h"
+#include "proxy/spawn.h"
+#include "slimcr/snapshot.h"
+#include "workloads/harness.h"
+
+namespace {
+
+const char* kKernelSrc = R"CL(
+__kernel void saxpy(__global float* y, __global const float* x,
+                    __local float* scratch, float a, int n) {
+  int i = get_global_id(0);
+  if (i < n) y[i] = a * x[i] + y[i];
+}
+__kernel void other(image2d_t img, sampler_t smp, __global uint* out) {
+  out[get_global_id(0)] = 0u;
+}
+)CL";
+
+// ---- IPC transport round-trip ------------------------------------------------
+
+void BM_IpcRoundtrip(benchmark::State& state, proxy::Transport transport) {
+  proxy::Spawned sp = proxy::spawn_proxy(transport);
+  if (!sp.ok()) {
+    state.SkipWithError("proxy spawn failed");
+    return;
+  }
+  sp.client()->configure(simcl::default_platforms(), proxy::IpcCosts{}, true);
+  for (auto _ : state) {
+    std::uint32_t pid = 0;
+    sp.client()->ping(&pid);
+    benchmark::DoNotOptimize(pid);
+  }
+  sp.stop();
+}
+BENCHMARK_CAPTURE(BM_IpcRoundtrip, thread, proxy::Transport::Thread);
+BENCHMARK_CAPTURE(BM_IpcRoundtrip, process, proxy::Transport::Process);
+
+// ---- bulk payload through the proxy -------------------------------------------
+
+void BM_IpcBulkWrite(benchmark::State& state) {
+  proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Process);
+  if (!sp.ok()) {
+    state.SkipWithError("proxy spawn failed");
+    return;
+  }
+  proxy::Client& c = *sp.client();
+  c.configure(simcl::default_platforms(), proxy::IpcCosts{}, true);
+  std::vector<proxy::RemoteHandle> plats;
+  cl_uint n = 0;
+  c.get_platform_ids(4, plats, n);
+  std::vector<proxy::RemoteHandle> devs;
+  c.get_device_ids(plats[0], CL_DEVICE_TYPE_GPU, 4, devs, n);
+  proxy::RemoteHandle ctx = 0;
+  proxy::RemoteHandle q = 0;
+  proxy::RemoteHandle buf = 0;
+  c.create_context({}, {devs.data(), 1}, ctx);
+  c.create_queue(ctx, devs[0], 0, q);
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> host(bytes, 0x11);
+  c.create_buffer(ctx, CL_MEM_READ_WRITE, bytes, {}, buf);
+  for (auto _ : state) {
+    proxy::RemoteHandle ev = 0;
+    c.enqueue_write(q, buf, 0, host, false, ev);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  sp.stop();
+}
+BENCHMARK(BM_IpcBulkWrite)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+// ---- kernel-signature parsing (the clCreateProgramWithSource hook) --------------
+
+void BM_KsigParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto sigs = checl::ksig::parse_signatures(kKernelSrc);
+    benchmark::DoNotOptimize(sigs.kernels.size());
+  }
+}
+BENCHMARK(BM_KsigParse);
+
+// ---- full clc compile ----------------------------------------------------------
+
+void BM_ClcCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    auto res = clc::compile(kKernelSrc);
+    benchmark::DoNotOptimize(res.ok());
+  }
+}
+BENCHMARK(BM_ClcCompile);
+
+// ---- interpreter throughput ------------------------------------------------------
+
+void BM_InterpSaxpy(benchmark::State& state) {
+  auto res = clc::compile(kKernelSrc);
+  const clc::FuncDecl* k = res.module->find_func("saxpy");
+  const int n = static_cast<int>(state.range(0));
+  std::vector<float> x(static_cast<std::size_t>(n), 1.0f);
+  std::vector<float> y(static_cast<std::size_t>(n), 2.0f);
+  std::vector<clc::KernelArg> args(5);
+  args[0].k = clc::KernelArg::K::GlobalPtr;
+  args[0].ptr = y.data();
+  args[1].k = clc::KernelArg::K::GlobalPtr;
+  args[1].ptr = x.data();
+  args[2].k = clc::KernelArg::K::LocalAlloc;
+  args[2].local_bytes = 256;
+  args[3].k = clc::KernelArg::K::Bytes;
+  args[3].bytes.resize(4);
+  const float a = 1.5f;
+  std::memcpy(args[3].bytes.data(), &a, 4);
+  args[4].k = clc::KernelArg::K::Bytes;
+  args[4].bytes.resize(4);
+  std::memcpy(args[4].bytes.data(), &n, 4);
+  clc::NDRange nd;
+  nd.dim = 1;
+  nd.global[0] = static_cast<std::size_t>(n);
+  nd.local[0] = 64;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    auto lr = clc::execute_ndrange(*res.module, *k, args, nd);
+    ops = lr.ops;
+    benchmark::DoNotOptimize(lr.ok);
+  }
+  state.counters["ops/item"] =
+      static_cast<double>(ops) / static_cast<double>(n);
+}
+BENCHMARK(BM_InterpSaxpy)->Arg(1 << 12)->Arg(1 << 16);
+
+// ---- CheCL handle conversion: signature-based vs address heuristic ---------------
+
+void setup_checl_kernel(workloads::Env& env, cl_kernel* k, cl_mem* m,
+                        bool via_binary) {
+  checl::NodeConfig node = checl::dual_node();
+  node.transport = proxy::Transport::Thread;  // keep the bench in-process
+  workloads::fresh_process(workloads::Binding::CheCL, node);
+  workloads::open_env(env, CL_DEVICE_TYPE_GPU, "NVIDIA");
+  cl_int err = CL_SUCCESS;
+  cl_program p =
+      clCreateProgramWithSource(env.ctx, 1, &kKernelSrc, nullptr, &err);
+  clBuildProgram(p, 1, &env.device, "", nullptr, nullptr);
+  if (via_binary) {
+    // rebuild the program through the binary path: no source, no signatures
+    std::size_t bin_size = 0;
+    clGetProgramInfo(p, CL_PROGRAM_BINARY_SIZES, sizeof bin_size, &bin_size,
+                     nullptr);
+    std::vector<unsigned char> bin(bin_size);
+    unsigned char* ptrs[1] = {bin.data()};
+    clGetProgramInfo(p, CL_PROGRAM_BINARIES, sizeof ptrs, ptrs, nullptr);
+    const unsigned char* cptr = bin.data();
+    cl_program pb = clCreateProgramWithBinary(env.ctx, 1, &env.device, &bin_size,
+                                              &cptr, nullptr, &err);
+    clBuildProgram(pb, 1, &env.device, "", nullptr, nullptr);
+    clReleaseProgram(p);
+    p = pb;
+  }
+  *k = clCreateKernel(p, "saxpy", &err);
+  clReleaseProgram(p);
+  *m = clCreateBuffer(env.ctx, CL_MEM_READ_WRITE, 4096, nullptr, &err);
+}
+
+void BM_SetKernelArg(benchmark::State& state, bool via_binary) {
+  workloads::Env env;
+  cl_kernel k = nullptr;
+  cl_mem m = nullptr;
+  setup_checl_kernel(env, &k, &m, via_binary);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clSetKernelArg(k, 0, sizeof m, &m));
+  }
+  clReleaseKernel(k);
+  clReleaseMemObject(m);
+  workloads::close_env(env);
+  checl::CheclRuntime::instance().reset_all();
+  checl::bind_native();
+}
+BENCHMARK_CAPTURE(BM_SetKernelArg, signature, false);
+BENCHMARK_CAPTURE(BM_SetKernelArg, addr_heuristic, true);
+
+// ---- object DB serialization + snapshot I/O ---------------------------------------
+
+void BM_SnapshotSave(benchmark::State& state) {
+  slimcr::Snapshot snap;
+  snap.set("data", std::vector<std::uint8_t>(
+                       static_cast<std::size_t>(state.range(0)), 0xAB));
+  const slimcr::StorageModel sm = slimcr::ram_disk();
+  for (auto _ : state) {
+    auto io = snap.save("/tmp/checl_ablation.snap", sm);
+    benchmark::DoNotOptimize(io.ok);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SnapshotSave)->Arg(64 << 10)->Arg(4 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// bench_common.h — shared plumbing for the per-figure bench binaries.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "checl/checl.h"
+#include "workloads/harness.h"
+
+namespace bench {
+
+// The three device configurations of the evaluation section.
+struct Config {
+  const char* label;
+  const char* platform_substr;
+  cl_device_type device_type;
+};
+
+inline const std::vector<Config>& paper_configs() {
+  static const std::vector<Config> kConfigs = {
+      {"NVIDIA OpenCL / Tesla C1060", "NVIDIA", CL_DEVICE_TYPE_GPU},
+      {"AMD OpenCL / Radeon HD5870", "AMD", CL_DEVICE_TYPE_GPU},
+      {"AMD OpenCL / Core i7 920", "AMD", CL_DEVICE_TYPE_CPU},
+  };
+  return kConfigs;
+}
+
+// Each paper configuration runs on a machine with only its vendor's OpenCL
+// installed (the testbed PCs had one platform each).
+inline checl::NodeConfig node_for(const Config& cfg) {
+  return std::string(cfg.platform_substr) == "NVIDIA" ? checl::nvidia_node()
+                                                      : checl::amd_node();
+}
+
+struct Options {
+  unsigned shrink = 1;   // problem-size divisor (1 = paper scale)
+  int iterations = 5;    // measured run() calls per program (SDK samples loop)
+  bool ramdisk = false;  // use RAM-disk storage (processor-selection mode)
+  std::string only;      // run a single workload
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shrink") == 0 && i + 1 < argc)
+      o.shrink = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc)
+      o.iterations = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--ramdisk") == 0)
+      o.ramdisk = true;
+    else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc)
+      o.only = argv[++i];
+  }
+  if (o.shrink == 0) o.shrink = 1;
+  return o;
+}
+
+inline std::string ckpt_path(const char* tag) {
+  return std::string("/tmp/checl_bench_") + tag + ".ckpt";
+}
+
+}  // namespace bench

@@ -1,0 +1,97 @@
+// fig8_migration_prediction.cpp — reproduces Figure 8: migration cost
+// prediction.  The model Tm = alpha*M + Tr + beta (eq. 1) is calibrated by
+// least squares on the measured migrations, then predicted vs actual and the
+// checkpoint file size are reported per benchmark.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "benchkit/table.h"
+#include "core/migration.h"
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  std::printf(
+      "=== Figure 8: Migration cost prediction (Tm = alpha*M + Tr + beta) ===\n%s\n\n",
+      opt.ramdisk ? "storage: RAM disk (runtime processor selection mode)"
+                  : "storage: local disk");
+
+  auto& rt = checl::CheclRuntime::instance();
+  for (const auto& cfg : bench::paper_configs()) {
+    checl::NodeConfig node = bench::node_for(cfg);
+    if (opt.ramdisk) node.storage = slimcr::ram_disk();
+    std::printf("--- %s ---\n", cfg.label);
+
+    struct Row {
+      std::string name;
+      checl::migration::Sample sample;
+    };
+    std::vector<Row> rows;
+    for (const auto& entry : workloads::suite()) {
+      if (!opt.only.empty() && entry.name != opt.only) continue;
+      auto w = entry.make();
+      if (!w->executes_kernel()) continue;
+      workloads::fresh_process(workloads::Binding::CheCL, node);
+      rt.checkpoint_path = bench::ckpt_path("fig8");
+      workloads::Env env;
+      env.shrink = opt.shrink;
+      if (workloads::open_env(env, cfg.device_type, cfg.platform_substr) !=
+          CL_SUCCESS)
+        continue;
+      if (w->setup(env) != CL_SUCCESS || w->run(env) != CL_SUCCESS) {
+        w->teardown(env);
+        workloads::close_env(env);
+        continue;
+      }
+      // migration = checkpoint + restart (paper: total migration cost)
+      checl::cpr::PhaseTimes pt;
+      checl::cpr::RestartBreakdown bd;
+      if (rt.engine().checkpoint(bench::ckpt_path("fig8"), &pt) != CL_SUCCESS ||
+          rt.engine().restart_in_place(bench::ckpt_path("fig8"), std::nullopt,
+                                       &bd) != CL_SUCCESS) {
+        w->teardown(env);
+        workloads::close_env(env);
+        continue;
+      }
+      Row row;
+      row.name = entry.name;
+      row.sample.file_bytes = pt.file_bytes;
+      row.sample.total_ns = pt.total_ns() + bd.total_ns();
+      // Tr: program recompilation portion of the restart
+      row.sample.recompile_ns =
+          bd.class_ns[static_cast<std::size_t>(checl::ObjType::Program)];
+      rows.push_back(std::move(row));
+      w->teardown(env);
+      workloads::close_env(env);
+    }
+
+    std::vector<checl::migration::Sample> samples;
+    samples.reserve(rows.size());
+    for (const Row& r : rows) samples.push_back(r.sample);
+    const checl::migration::Model model = checl::migration::fit(samples);
+
+    benchkit::Table table({"Benchmark", "file (MB)", "Tr (s)", "actual (s)",
+                           "predicted (s)", "error (%)"});
+    double max_err = 0;
+    for (const Row& r : rows) {
+      const std::uint64_t pred =
+          model.predict_ns(r.sample.file_bytes, r.sample.recompile_ns);
+      const double err =
+          100.0 * (static_cast<double>(pred) - static_cast<double>(r.sample.total_ns)) /
+          static_cast<double>(r.sample.total_ns);
+      max_err = std::max(max_err, std::abs(err));
+      table.add_row({r.name,
+                     benchkit::fmt("%.2f", static_cast<double>(r.sample.file_bytes) / 1e6),
+                     benchkit::sec(r.sample.recompile_ns, 3),
+                     benchkit::sec(r.sample.total_ns, 3), benchkit::sec(pred, 3),
+                     benchkit::fmt("%+.1f", err)});
+    }
+    table.print();
+    std::printf(
+        "model: alpha = %.3f ns/byte (~%.1f MB/s effective), beta = %.1f ms; "
+        "max |error| = %.1f%%\n\n",
+        model.alpha_ns_per_byte,
+        model.alpha_ns_per_byte > 0 ? 1e3 / model.alpha_ns_per_byte : 0.0,
+        model.beta_ns / 1e6, max_err);
+  }
+  return 0;
+}

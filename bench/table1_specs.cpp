@@ -1,0 +1,108 @@
+// table1_specs.cpp — reproduces Table I: system specifications, including
+// *measured* PCIe bandwidths (32 MB probe transfers, as in the paper) and
+// file-system bandwidths per storage model.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "benchkit/table.h"
+#include "slimcr/snapshot.h"
+
+namespace {
+
+// Measured bandwidth of one 32 MB probe transfer through the public API
+// (clamped to the device's allocation limit).
+double probe_bw(workloads::Env& env, bool h2d) {
+  cl_ulong max_alloc = 32u << 20;
+  clGetDeviceInfo(env.device, CL_DEVICE_MAX_MEM_ALLOC_SIZE, sizeof max_alloc,
+                  &max_alloc, nullptr);
+  const std::size_t bytes =
+      std::min<std::size_t>(32u << 20, static_cast<std::size_t>(max_alloc));
+  std::vector<std::uint8_t> host(bytes, 0x7);
+  cl_int err = CL_SUCCESS;
+  cl_mem buf = clCreateBuffer(env.ctx, CL_MEM_READ_WRITE, bytes, nullptr, &err);
+  if (err != CL_SUCCESS) return 0;
+  const std::uint64_t t0 = workloads::now_ns();
+  if (h2d)
+    clEnqueueWriteBuffer(env.queue, buf, CL_TRUE, 0, bytes, host.data(), 0,
+                         nullptr, nullptr);
+  else
+    clEnqueueReadBuffer(env.queue, buf, CL_TRUE, 0, bytes, host.data(), 0,
+                        nullptr, nullptr);
+  const std::uint64_t dt = workloads::now_ns() - t0;
+  clReleaseMemObject(buf);
+  // report at hardware scale (the simulation runs all rates / kRateScale)
+  return dt > 0 ? static_cast<double>(bytes) / (static_cast<double>(dt) / 1e9) /
+                      1e9 * simcl::kBandwidthScale
+                : 0;
+}
+
+double probe_storage(const slimcr::StorageModel& sm, bool write_side) {
+  // 16 MB probe file through the model (sequential block I/O, Bonnie++-style)
+  slimcr::Snapshot snap;
+  snap.set("probe", std::vector<std::uint8_t>(16u << 20, 0x42));
+  const std::string path = "/tmp/checl_table1_probe.bin";
+  const slimcr::IoResult wr = snap.save(path, sm);
+  if (!wr.ok) return 0;
+  if (write_side)
+    return static_cast<double>(wr.bytes) /
+           (static_cast<double>(wr.duration_ns) / 1e9) / 1e6 * slimcr::kRateScale;
+  slimcr::Snapshot in;
+  const slimcr::IoResult rd = in.load(path, sm);
+  return rd.ok ? static_cast<double>(rd.bytes) /
+                     (static_cast<double>(rd.duration_ns) / 1e9) / 1e6 *
+                     slimcr::kRateScale
+               : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  std::printf("=== Table I: System specifications (simulated testbed) ===\n\n");
+
+  checl::NodeConfig node = checl::dual_node();
+  workloads::fresh_process(workloads::Binding::Native, node);
+
+  benchkit::Table devices({"Device", "Type", "CUs", "Clock(MHz)", "GlobalMem(MB)",
+                           "MaxWG", "PCIe HtoD(GB/s)", "PCIe DtoH(GB/s)"});
+  for (const auto& cfg : bench::paper_configs()) {
+    workloads::fresh_process(workloads::Binding::Native, node);
+    workloads::Env env;
+    if (workloads::open_env(env, cfg.device_type, cfg.platform_substr) != CL_SUCCESS)
+      continue;
+    char name[128] = {};
+    clGetDeviceInfo(env.device, CL_DEVICE_NAME, sizeof name, name, nullptr);
+    cl_uint cus = 0;
+    clGetDeviceInfo(env.device, CL_DEVICE_MAX_COMPUTE_UNITS, sizeof cus, &cus, nullptr);
+    cl_uint clock = 0;
+    clGetDeviceInfo(env.device, CL_DEVICE_MAX_CLOCK_FREQUENCY, sizeof clock, &clock,
+                    nullptr);
+    const double h2d = probe_bw(env, true);
+    const double d2h = probe_bw(env, false);
+    devices.add_row({name,
+                     cfg.device_type == CL_DEVICE_TYPE_GPU ? "GPU" : "CPU",
+                     benchkit::fmt("%u", cus), benchkit::fmt("%u", clock),
+                     benchkit::fmt("%llu",
+                                   static_cast<unsigned long long>(
+                                       env.device_mem_bytes >> 20)),
+                     benchkit::fmt("%zu", env.max_work_group_size),
+                     benchkit::fmt("%.2f", h2d), benchkit::fmt("%.2f", d2h)});
+    workloads::close_env(env);
+  }
+  devices.print();
+  std::printf(
+      "\npaper Table I: HtoD 5.35 GB/s, DtoH 4.87 GB/s on the PCIe bus\n"
+      "(memory sizes scaled 1/16, see DESIGN.md)\n\n");
+
+  benchkit::Table storage({"File system", "Write (MB/s)", "Read (MB/s)"});
+  for (const auto& sm :
+       {slimcr::ram_disk(), slimcr::local_disk(), slimcr::nfs()}) {
+    storage.add_row({sm.name, benchkit::fmt("%.1f", probe_storage(sm, true)),
+                     benchkit::fmt("%.1f", probe_storage(sm, false))});
+  }
+  storage.print();
+  std::printf(
+      "\npaper Table I: RAM disk 2881/4800, local 110/106, NFS 72.5/21.2 MB/s\n");
+  return 0;
+}

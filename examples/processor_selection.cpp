@@ -1,0 +1,98 @@
+// processor_selection.cpp — runtime processor selection (Section IV-C): a
+// long-running job measures its per-iteration time on the current device,
+// estimates the cost of switching devices with the Tm = alpha*M + Tr + beta
+// model (checkpoints held on a RAM disk, so alpha is tiny), and migrates
+// CPU -> GPU when the predicted payoff beats the migration cost.
+#include <cstdio>
+
+#include "checl/checl.h"
+#include "workloads/factories.h"
+#include "workloads/harness.h"
+
+namespace {
+
+std::uint64_t timed_iteration(workloads::Workload& w, workloads::Env& env) {
+  const std::uint64_t t0 = workloads::now_ns();
+  w.run(env);
+  return workloads::now_ns() - t0;
+}
+
+}  // namespace
+
+int main() {
+  auto& rt = checl::CheclRuntime::instance();
+  checl::NodeConfig node = checl::amd_node();  // AMD: CPU and GPU devices
+  node.storage = slimcr::ram_disk();           // volatile storage for device switches
+  workloads::fresh_process(workloads::Binding::CheCL, node);
+  const char* ckpt = "/tmp/checl_procsel.ckpt";
+
+  // deliberately start the compute-heavy job on the CPU device
+  workloads::Env env;
+  env.shrink = 2;
+  if (workloads::open_env(env, CL_DEVICE_TYPE_CPU) != CL_SUCCESS) {
+    std::fprintf(stderr, "no CPU device\n");
+    return 1;
+  }
+  auto job = workloads::make_sgemm();
+  if (job->setup(env) != CL_SUCCESS) return 1;
+
+  const std::uint64_t cpu_iter_ns = timed_iteration(*job, env);
+  std::printf("iteration on CPU device: %.1f ms\n",
+              static_cast<double>(cpu_iter_ns) / 1e6);
+
+  // probe migration cost: checkpoint once to learn the file size, then apply
+  // the prediction model with RAM-disk alpha
+  checl::cpr::PhaseTimes pt;
+  if (rt.engine().checkpoint(ckpt, &pt) != CL_SUCCESS) return 1;
+  const slimcr::StorageModel ram = slimcr::ram_disk();
+  checl::migration::Model model;
+  model.alpha_ns_per_byte = 1e9 / ram.write_bytes_per_sec + 1e9 / ram.read_bytes_per_sec;
+  model.beta_ns = static_cast<double>(node.ipc.spawn_ns) + 2e6;
+  // Tr estimate: one AMD recompile of this program
+  const std::uint64_t tr_est = 95'000'000;
+  const std::uint64_t migrate_cost = model.predict_ns(pt.file_bytes, tr_est);
+  std::printf("predicted migration cost: %.1f ms (file %.2f MB on RAM disk)\n",
+              static_cast<double>(migrate_cost) / 1e6,
+              static_cast<double>(pt.file_bytes) / 1e6);
+
+  // a remaining-work model: say 50 more iterations; GPU ~20x faster
+  const int remaining = 50;
+  const std::uint64_t stay_cost = cpu_iter_ns * remaining;
+  const std::uint64_t gpu_iter_est = cpu_iter_ns / 20;
+  const std::uint64_t move_cost = migrate_cost + gpu_iter_est * remaining;
+  std::printf("stay on CPU: %.1f ms | migrate to GPU: %.1f ms\n",
+              static_cast<double>(stay_cost) / 1e6,
+              static_cast<double>(move_cost) / 1e6);
+
+  if (move_cost < stay_cost) {
+    std::printf("decision: MIGRATE\n");
+    rt.retarget_device_type = CL_DEVICE_TYPE_GPU;
+    checl::cpr::RestartBreakdown bd;
+    if (rt.engine().restart_in_place(ckpt, std::nullopt, &bd) != CL_SUCCESS) {
+      std::fprintf(stderr, "device switch failed\n");
+      return 1;
+    }
+    rt.retarget_device_type.reset();
+    char name[256] = {};
+    clGetDeviceInfo(env.device, CL_DEVICE_NAME, sizeof name, name, nullptr);
+    std::printf("actual switch took %.1f ms; now on %s\n",
+                static_cast<double>(bd.total_ns()) / 1e6, name);
+    const std::uint64_t gpu_iter_ns = timed_iteration(*job, env);
+    std::printf("iteration on GPU device: %.1f ms (was %.1f ms) — speedup %.1fx\n",
+                static_cast<double>(gpu_iter_ns) / 1e6,
+                static_cast<double>(cpu_iter_ns) / 1e6,
+                static_cast<double>(cpu_iter_ns) /
+                    static_cast<double>(gpu_iter_ns));
+    if (!job->verify(env)) {
+      std::fprintf(stderr, "verification failed after switch\n");
+      return 1;
+    }
+    std::printf("verified after device switch — processor selection OK\n");
+  } else {
+    std::printf("decision: STAY (migration would not pay off)\n");
+  }
+
+  job->teardown(env);
+  workloads::close_env(env);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// remote_migration.cpp — migration between two *real* proxy processes over
+// TCP (the paper's Section V extension: CheCL wrapper functions talking to a
+// remote API proxy via TCP/IP sockets).
+//
+// Two checl_proxyd daemons play two cluster nodes: "node A" (NVIDIA-like)
+// and "node B" (AMD-like). A Stencil2D job runs against node A, checkpoints,
+// and restarts against node B — the application process never moves, but its
+// entire OpenCL state crosses machines.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "checl/checl.h"
+#include "proxy/spawn.h"
+#include "workloads/factories.h"
+#include "workloads/harness.h"
+
+int main() {
+  // Launch the two "nodes".  Each daemon serves exactly one connection, so
+  // node B is started when we migrate (a fresh daemon = a fresh node).
+  const std::uint16_t port_a = 38531;
+
+  // connect the CheCL runtime to node A over TCP
+  auto& rt = checl::CheclRuntime::instance();
+  checl::NodeConfig node_a = checl::nvidia_node();
+  node_a.name = "node-A (remote, NVIDIA-like)";
+  node_a.transport = proxy::Transport::Tcp;
+  node_a.tcp_host = "127.0.0.1";
+  node_a.tcp_port = port_a;
+
+  // start daemon A in the background (it exits with its single session)
+  const pid_t pid_a = ::fork();
+  if (pid_a == 0) {
+    ::execl(proxy::find_proxyd().c_str(), "checl_proxyd", "--tcp-port", "38531",
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+
+  rt.reset_all();
+  rt.set_node(node_a);
+  checl::bind_checl();
+
+  workloads::Env env;
+  env.shrink = 4;
+  if (workloads::open_env(env, CL_DEVICE_TYPE_GPU) != CL_SUCCESS) {
+    std::fprintf(stderr, "cannot reach node A\n");
+    return 1;
+  }
+  char dev_name[256] = {};
+  clGetDeviceInfo(env.device, CL_DEVICE_NAME, sizeof dev_name, dev_name, nullptr);
+  std::printf("running on %-28s via TCP proxy (pid %d)\n", dev_name,
+              static_cast<int>(pid_a));
+
+  auto job = workloads::make_stencil2d();
+  if (job->setup(env) != CL_SUCCESS || job->run(env) != CL_SUCCESS) {
+    std::fprintf(stderr, "job failed on node A\n");
+    return 1;
+  }
+  checl::cpr::PhaseTimes pt;
+  if (rt.engine().checkpoint("/tmp/checl_remote_migration.ckpt", &pt) !=
+      CL_SUCCESS) {
+    std::fprintf(stderr, "checkpoint failed\n");
+    return 1;
+  }
+  std::printf("checkpointed %.2f MB\n", static_cast<double>(pt.file_bytes) / 1e6);
+
+  // start daemon B and migrate there
+  const pid_t pid_b = ::fork();
+  if (pid_b == 0) {
+    ::execl(proxy::find_proxyd().c_str(), "checl_proxyd", "--tcp-port", "38532",
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  checl::NodeConfig node_b = checl::amd_node();
+  node_b.name = "node-B (remote, AMD-like)";
+  node_b.transport = proxy::Transport::Tcp;
+  node_b.tcp_host = "127.0.0.1";
+  node_b.tcp_port = 38532;
+
+  checl::cpr::RestartBreakdown bd;
+  if (rt.engine().restart_in_place("/tmp/checl_remote_migration.ckpt", node_b,
+                                   &bd) != CL_SUCCESS) {
+    std::fprintf(stderr, "migration to node B failed\n");
+    return 1;
+  }
+  clGetDeviceInfo(env.device, CL_DEVICE_NAME, sizeof dev_name, dev_name, nullptr);
+  std::printf("migrated to  %-28s (%.1f ms total, programs %.1f ms)\n", dev_name,
+              static_cast<double>(bd.total_ns()) / 1e6,
+              static_cast<double>(bd.class_ns[static_cast<std::size_t>(
+                  checl::ObjType::Program)]) / 1e6);
+
+  if (job->run(env) != CL_SUCCESS || !job->verify(env)) {
+    std::fprintf(stderr, "verification failed on node B\n");
+    return 1;
+  }
+  std::printf("verified on node B — remote migration OK\n");
+
+  job->teardown(env);
+  workloads::close_env(env);
+  rt.reset_all();  // closes the TCP session; daemon B exits
+  checl::bind_native();
+  int status = 0;
+  ::waitpid(pid_a, &status, 0);  // daemon A exited when we migrated away
+  ::waitpid(pid_b, &status, 0);
+  return 0;
+}

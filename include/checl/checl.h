@@ -1,0 +1,13 @@
+/* checl.h — the CheCL control surface for applications and tools.
+ *
+ * OpenCL applications need none of this: linking and running with the CheCL
+ * binding active is enough (transparent checkpointing).  Schedulers, tests,
+ * and the benchmark harness use this header to pick nodes, trigger
+ * checkpoints, restart, and read cost breakdowns.
+ */
+#pragma once
+
+#include "core/cpr.h"        // PhaseTimes, RestartBreakdown, Engine
+#include "core/migration.h"  // Tm = alpha*M + Tr + beta
+#include "core/node.h"       // NodeConfig, nvidia_node()/amd_node()/dual_node()
+#include "core/runtime.h"    // CheclRuntime, bind_checl()/bind_native()

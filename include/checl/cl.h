@@ -1,0 +1,399 @@
+/* cl.h — vendor-neutral OpenCL 1.0-style C API used throughout this repo.
+ *
+ * This is this project's own header (not the Khronos one): an API-compatible
+ * subset of OpenCL 1.0 large enough to run the NVIDIA-SDK/SHOC/Parboil-style
+ * workload suite.  Handles are opaque struct pointers, exactly as in CL/cl.h,
+ * which is what makes CheCL's handle-wrapping transparent to applications.
+ */
+#ifndef CHECL_CL_H
+#define CHECL_CL_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* ---- scalar types ----------------------------------------------------- */
+typedef int8_t   cl_char;
+typedef uint8_t  cl_uchar;
+typedef int16_t  cl_short;
+typedef uint16_t cl_ushort;
+typedef int32_t  cl_int;
+typedef uint32_t cl_uint;
+typedef int64_t  cl_long;
+typedef uint64_t cl_ulong;
+typedef float    cl_float;
+typedef double   cl_double;
+
+typedef cl_uint   cl_bool;
+typedef cl_ulong  cl_bitfield;
+typedef cl_bitfield cl_device_type;
+typedef cl_bitfield cl_mem_flags;
+typedef cl_bitfield cl_command_queue_properties;
+typedef cl_uint   cl_platform_info;
+typedef cl_uint   cl_device_info;
+typedef cl_uint   cl_context_info;
+typedef cl_uint   cl_command_queue_info;
+typedef cl_uint   cl_mem_info;
+typedef cl_uint   cl_image_info;
+typedef cl_uint   cl_sampler_info;
+typedef cl_uint   cl_program_info;
+typedef cl_uint   cl_program_build_info;
+typedef cl_uint   cl_build_status;
+typedef cl_uint   cl_kernel_info;
+typedef cl_uint   cl_kernel_work_group_info;
+typedef cl_uint   cl_event_info;
+typedef cl_uint   cl_profiling_info;
+typedef cl_uint   cl_addressing_mode;
+typedef cl_uint   cl_filter_mode;
+typedef cl_uint   cl_channel_order;
+typedef cl_uint   cl_channel_type;
+typedef intptr_t  cl_context_properties;
+
+/* ---- opaque handles ---------------------------------------------------- */
+typedef struct _cl_platform_id*   cl_platform_id;
+typedef struct _cl_device_id*     cl_device_id;
+typedef struct _cl_context*       cl_context;
+typedef struct _cl_command_queue* cl_command_queue;
+typedef struct _cl_mem*           cl_mem;
+typedef struct _cl_sampler*       cl_sampler;
+typedef struct _cl_program*       cl_program;
+typedef struct _cl_kernel*        cl_kernel;
+typedef struct _cl_event*         cl_event;
+
+typedef struct cl_image_format {
+  cl_channel_order image_channel_order;
+  cl_channel_type  image_channel_data_type;
+} cl_image_format;
+
+/* ---- error codes ------------------------------------------------------- */
+#define CL_SUCCESS                              0
+#define CL_DEVICE_NOT_FOUND                    -1
+#define CL_DEVICE_NOT_AVAILABLE                -2
+#define CL_COMPILER_NOT_AVAILABLE              -3
+#define CL_MEM_OBJECT_ALLOCATION_FAILURE       -4
+#define CL_OUT_OF_RESOURCES                    -5
+#define CL_OUT_OF_HOST_MEMORY                  -6
+#define CL_PROFILING_INFO_NOT_AVAILABLE        -7
+#define CL_MEM_COPY_OVERLAP                    -8
+#define CL_IMAGE_FORMAT_MISMATCH               -9
+#define CL_IMAGE_FORMAT_NOT_SUPPORTED          -10
+#define CL_BUILD_PROGRAM_FAILURE               -11
+#define CL_MAP_FAILURE                         -12
+#define CL_INVALID_VALUE                       -30
+#define CL_INVALID_DEVICE_TYPE                 -31
+#define CL_INVALID_PLATFORM                    -32
+#define CL_INVALID_DEVICE                      -33
+#define CL_INVALID_CONTEXT                     -34
+#define CL_INVALID_QUEUE_PROPERTIES            -35
+#define CL_INVALID_COMMAND_QUEUE               -36
+#define CL_INVALID_HOST_PTR                    -37
+#define CL_INVALID_MEM_OBJECT                  -38
+#define CL_INVALID_IMAGE_FORMAT_DESCRIPTOR     -39
+#define CL_INVALID_IMAGE_SIZE                  -40
+#define CL_INVALID_SAMPLER                     -41
+#define CL_INVALID_BINARY                      -42
+#define CL_INVALID_BUILD_OPTIONS               -43
+#define CL_INVALID_PROGRAM                     -44
+#define CL_INVALID_PROGRAM_EXECUTABLE          -45
+#define CL_INVALID_KERNEL_NAME                 -46
+#define CL_INVALID_KERNEL_DEFINITION           -47
+#define CL_INVALID_KERNEL                      -48
+#define CL_INVALID_ARG_INDEX                   -49
+#define CL_INVALID_ARG_VALUE                   -50
+#define CL_INVALID_ARG_SIZE                    -51
+#define CL_INVALID_KERNEL_ARGS                 -52
+#define CL_INVALID_WORK_DIMENSION              -53
+#define CL_INVALID_WORK_GROUP_SIZE             -54
+#define CL_INVALID_WORK_ITEM_SIZE              -55
+#define CL_INVALID_GLOBAL_OFFSET               -56
+#define CL_INVALID_EVENT_WAIT_LIST             -57
+#define CL_INVALID_EVENT                       -58
+#define CL_INVALID_OPERATION                   -59
+#define CL_INVALID_BUFFER_SIZE                 -61
+#define CL_INVALID_GLOBAL_WORK_SIZE            -63
+
+#define CL_FALSE 0
+#define CL_TRUE  1
+
+/* ---- device types ------------------------------------------------------ */
+#define CL_DEVICE_TYPE_DEFAULT     (1 << 0)
+#define CL_DEVICE_TYPE_CPU         (1 << 1)
+#define CL_DEVICE_TYPE_GPU         (1 << 2)
+#define CL_DEVICE_TYPE_ACCELERATOR (1 << 3)
+#define CL_DEVICE_TYPE_ALL         0xFFFFFFFF
+
+/* ---- platform / device info -------------------------------------------- */
+#define CL_PLATFORM_PROFILE    0x0900
+#define CL_PLATFORM_VERSION    0x0901
+#define CL_PLATFORM_NAME       0x0902
+#define CL_PLATFORM_VENDOR     0x0903
+#define CL_PLATFORM_EXTENSIONS 0x0904
+
+#define CL_DEVICE_TYPE                     0x1000
+#define CL_DEVICE_VENDOR_ID                0x1001
+#define CL_DEVICE_MAX_COMPUTE_UNITS        0x1002
+#define CL_DEVICE_MAX_WORK_ITEM_DIMENSIONS 0x1003
+#define CL_DEVICE_MAX_WORK_GROUP_SIZE      0x1004
+#define CL_DEVICE_MAX_WORK_ITEM_SIZES      0x1005
+#define CL_DEVICE_MAX_CLOCK_FREQUENCY      0x100C
+#define CL_DEVICE_GLOBAL_MEM_SIZE          0x101F
+#define CL_DEVICE_LOCAL_MEM_SIZE           0x1023
+#define CL_DEVICE_MAX_MEM_ALLOC_SIZE       0x1010
+#define CL_DEVICE_NAME                     0x102B
+#define CL_DEVICE_VENDOR                   0x102C
+#define CL_DEVICE_VERSION                  0x102F
+#define CL_DEVICE_PLATFORM                 0x1031
+#define CL_DEVICE_AVAILABLE                0x1027
+#define CL_DEVICE_COMPILER_AVAILABLE       0x1028
+
+/* ---- context info ------------------------------------------------------ */
+#define CL_CONTEXT_REFERENCE_COUNT 0x1080
+#define CL_CONTEXT_DEVICES         0x1081
+#define CL_CONTEXT_PROPERTIES      0x1082
+#define CL_CONTEXT_PLATFORM        0x1084
+
+/* ---- command queue ------------------------------------------------------ */
+#define CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE (1 << 0)
+#define CL_QUEUE_PROFILING_ENABLE              (1 << 1)
+#define CL_QUEUE_CONTEXT          0x1090
+#define CL_QUEUE_DEVICE           0x1091
+#define CL_QUEUE_REFERENCE_COUNT  0x1092
+#define CL_QUEUE_PROPERTIES       0x1093
+
+/* ---- memory flags -------------------------------------------------------- */
+#define CL_MEM_READ_WRITE     (1 << 0)
+#define CL_MEM_WRITE_ONLY     (1 << 1)
+#define CL_MEM_READ_ONLY      (1 << 2)
+#define CL_MEM_USE_HOST_PTR   (1 << 3)
+#define CL_MEM_ALLOC_HOST_PTR (1 << 4)
+#define CL_MEM_COPY_HOST_PTR  (1 << 5)
+
+#define CL_MEM_TYPE            0x1100
+#define CL_MEM_FLAGS           0x1101
+#define CL_MEM_SIZE            0x1102
+#define CL_MEM_HOST_PTR        0x1103
+#define CL_MEM_REFERENCE_COUNT 0x1105
+#define CL_MEM_CONTEXT         0x1106
+
+#define CL_MEM_OBJECT_BUFFER  0x10F0
+#define CL_MEM_OBJECT_IMAGE2D 0x10F1
+
+#define CL_IMAGE_FORMAT       0x1110
+#define CL_IMAGE_ELEMENT_SIZE 0x1111
+#define CL_IMAGE_ROW_PITCH    0x1112
+#define CL_IMAGE_WIDTH        0x1114
+#define CL_IMAGE_HEIGHT       0x1115
+
+/* channel orders / types (subset) */
+#define CL_R    0x10B0
+#define CL_RG   0x10B1
+#define CL_RGBA 0x10B5
+#define CL_FLOAT         0x10DE
+#define CL_UNSIGNED_INT8 0x10DA
+#define CL_UNSIGNED_INT32 0x10DC
+
+/* ---- sampler ------------------------------------------------------------ */
+#define CL_ADDRESS_NONE          0x1130
+#define CL_ADDRESS_CLAMP_TO_EDGE 0x1131
+#define CL_ADDRESS_CLAMP         0x1132
+#define CL_ADDRESS_REPEAT        0x1133
+#define CL_FILTER_NEAREST        0x1140
+#define CL_FILTER_LINEAR         0x1141
+#define CL_SAMPLER_REFERENCE_COUNT 0x1150
+#define CL_SAMPLER_CONTEXT         0x1151
+#define CL_SAMPLER_NORMALIZED_COORDS 0x1152
+#define CL_SAMPLER_ADDRESSING_MODE 0x1153
+#define CL_SAMPLER_FILTER_MODE     0x1154
+
+/* ---- program ------------------------------------------------------------- */
+#define CL_PROGRAM_REFERENCE_COUNT 0x1160
+#define CL_PROGRAM_CONTEXT         0x1161
+#define CL_PROGRAM_NUM_DEVICES     0x1162
+#define CL_PROGRAM_DEVICES         0x1163
+#define CL_PROGRAM_SOURCE          0x1164
+#define CL_PROGRAM_BINARY_SIZES    0x1165
+#define CL_PROGRAM_BINARIES        0x1166
+#define CL_PROGRAM_BUILD_STATUS    0x1181
+#define CL_PROGRAM_BUILD_OPTIONS   0x1182
+#define CL_PROGRAM_BUILD_LOG       0x1183
+#define CL_BUILD_SUCCESS           0
+#define CL_BUILD_NONE              -1
+#define CL_BUILD_ERROR             -2
+#define CL_BUILD_IN_PROGRESS       -3
+
+/* ---- kernel -------------------------------------------------------------- */
+#define CL_KERNEL_FUNCTION_NAME   0x1190
+#define CL_KERNEL_NUM_ARGS        0x1191
+#define CL_KERNEL_REFERENCE_COUNT 0x1192
+#define CL_KERNEL_CONTEXT         0x1193
+#define CL_KERNEL_PROGRAM         0x1194
+#define CL_KERNEL_WORK_GROUP_SIZE 0x11B0
+
+/* ---- event ---------------------------------------------------------------- */
+#define CL_EVENT_COMMAND_QUEUE            0x11D0
+#define CL_EVENT_COMMAND_TYPE             0x11D1
+#define CL_EVENT_REFERENCE_COUNT          0x11D2
+#define CL_EVENT_COMMAND_EXECUTION_STATUS 0x11D3
+
+#define CL_COMPLETE  0x0
+#define CL_RUNNING   0x1
+#define CL_SUBMITTED 0x2
+#define CL_QUEUED    0x3
+
+#define CL_COMMAND_NDRANGE_KERNEL 0x11F0
+#define CL_COMMAND_TASK           0x11F1
+#define CL_COMMAND_READ_BUFFER    0x11F3
+#define CL_COMMAND_WRITE_BUFFER   0x11F4
+#define CL_COMMAND_COPY_BUFFER    0x11F5
+#define CL_COMMAND_MARKER         0x11FE
+
+#define CL_PROFILING_COMMAND_QUEUED 0x1280
+#define CL_PROFILING_COMMAND_SUBMIT 0x1281
+#define CL_PROFILING_COMMAND_START  0x1282
+#define CL_PROFILING_COMMAND_END    0x1283
+
+/* ==== API functions ======================================================== */
+
+cl_int clGetPlatformIDs(cl_uint num_entries, cl_platform_id* platforms,
+                        cl_uint* num_platforms);
+cl_int clGetPlatformInfo(cl_platform_id platform, cl_platform_info param_name,
+                         size_t param_value_size, void* param_value,
+                         size_t* param_value_size_ret);
+
+cl_int clGetDeviceIDs(cl_platform_id platform, cl_device_type device_type,
+                      cl_uint num_entries, cl_device_id* devices,
+                      cl_uint* num_devices);
+cl_int clGetDeviceInfo(cl_device_id device, cl_device_info param_name,
+                       size_t param_value_size, void* param_value,
+                       size_t* param_value_size_ret);
+
+cl_context clCreateContext(const cl_context_properties* properties,
+                           cl_uint num_devices, const cl_device_id* devices,
+                           void (*pfn_notify)(const char*, const void*, size_t, void*),
+                           void* user_data, cl_int* errcode_ret);
+cl_int clRetainContext(cl_context context);
+cl_int clReleaseContext(cl_context context);
+cl_int clGetContextInfo(cl_context context, cl_context_info param_name,
+                        size_t param_value_size, void* param_value,
+                        size_t* param_value_size_ret);
+
+cl_command_queue clCreateCommandQueue(cl_context context, cl_device_id device,
+                                      cl_command_queue_properties properties,
+                                      cl_int* errcode_ret);
+cl_int clRetainCommandQueue(cl_command_queue command_queue);
+cl_int clReleaseCommandQueue(cl_command_queue command_queue);
+cl_int clGetCommandQueueInfo(cl_command_queue command_queue,
+                             cl_command_queue_info param_name,
+                             size_t param_value_size, void* param_value,
+                             size_t* param_value_size_ret);
+cl_int clFlush(cl_command_queue command_queue);
+cl_int clFinish(cl_command_queue command_queue);
+
+cl_mem clCreateBuffer(cl_context context, cl_mem_flags flags, size_t size,
+                      void* host_ptr, cl_int* errcode_ret);
+cl_mem clCreateImage2D(cl_context context, cl_mem_flags flags,
+                       const cl_image_format* image_format, size_t image_width,
+                       size_t image_height, size_t image_row_pitch,
+                       void* host_ptr, cl_int* errcode_ret);
+cl_int clRetainMemObject(cl_mem memobj);
+cl_int clReleaseMemObject(cl_mem memobj);
+cl_int clGetMemObjectInfo(cl_mem memobj, cl_mem_info param_name,
+                          size_t param_value_size, void* param_value,
+                          size_t* param_value_size_ret);
+cl_int clGetImageInfo(cl_mem image, cl_image_info param_name,
+                      size_t param_value_size, void* param_value,
+                      size_t* param_value_size_ret);
+
+cl_sampler clCreateSampler(cl_context context, cl_bool normalized_coords,
+                           cl_addressing_mode addressing_mode,
+                           cl_filter_mode filter_mode, cl_int* errcode_ret);
+cl_int clRetainSampler(cl_sampler sampler);
+cl_int clReleaseSampler(cl_sampler sampler);
+cl_int clGetSamplerInfo(cl_sampler sampler, cl_sampler_info param_name,
+                        size_t param_value_size, void* param_value,
+                        size_t* param_value_size_ret);
+
+cl_program clCreateProgramWithSource(cl_context context, cl_uint count,
+                                     const char** strings,
+                                     const size_t* lengths,
+                                     cl_int* errcode_ret);
+cl_program clCreateProgramWithBinary(cl_context context, cl_uint num_devices,
+                                     const cl_device_id* device_list,
+                                     const size_t* lengths,
+                                     const unsigned char** binaries,
+                                     cl_int* binary_status,
+                                     cl_int* errcode_ret);
+cl_int clRetainProgram(cl_program program);
+cl_int clReleaseProgram(cl_program program);
+cl_int clBuildProgram(cl_program program, cl_uint num_devices,
+                      const cl_device_id* device_list, const char* options,
+                      void (*pfn_notify)(cl_program, void*), void* user_data);
+cl_int clGetProgramInfo(cl_program program, cl_program_info param_name,
+                        size_t param_value_size, void* param_value,
+                        size_t* param_value_size_ret);
+cl_int clGetProgramBuildInfo(cl_program program, cl_device_id device,
+                             cl_program_build_info param_name,
+                             size_t param_value_size, void* param_value,
+                             size_t* param_value_size_ret);
+
+cl_kernel clCreateKernel(cl_program program, const char* kernel_name,
+                         cl_int* errcode_ret);
+cl_int clCreateKernelsInProgram(cl_program program, cl_uint num_kernels,
+                                cl_kernel* kernels, cl_uint* num_kernels_ret);
+cl_int clRetainKernel(cl_kernel kernel);
+cl_int clReleaseKernel(cl_kernel kernel);
+cl_int clSetKernelArg(cl_kernel kernel, cl_uint arg_index, size_t arg_size,
+                      const void* arg_value);
+cl_int clGetKernelInfo(cl_kernel kernel, cl_kernel_info param_name,
+                       size_t param_value_size, void* param_value,
+                       size_t* param_value_size_ret);
+cl_int clGetKernelWorkGroupInfo(cl_kernel kernel, cl_device_id device,
+                                cl_kernel_work_group_info param_name,
+                                size_t param_value_size, void* param_value,
+                                size_t* param_value_size_ret);
+
+cl_int clWaitForEvents(cl_uint num_events, const cl_event* event_list);
+cl_int clGetEventInfo(cl_event event, cl_event_info param_name,
+                      size_t param_value_size, void* param_value,
+                      size_t* param_value_size_ret);
+cl_int clRetainEvent(cl_event event);
+cl_int clReleaseEvent(cl_event event);
+cl_int clGetEventProfilingInfo(cl_event event, cl_profiling_info param_name,
+                               size_t param_value_size, void* param_value,
+                               size_t* param_value_size_ret);
+
+cl_int clEnqueueReadBuffer(cl_command_queue command_queue, cl_mem buffer,
+                           cl_bool blocking_read, size_t offset, size_t cb,
+                           void* ptr, cl_uint num_events_in_wait_list,
+                           const cl_event* event_wait_list, cl_event* event);
+cl_int clEnqueueWriteBuffer(cl_command_queue command_queue, cl_mem buffer,
+                            cl_bool blocking_write, size_t offset, size_t cb,
+                            const void* ptr, cl_uint num_events_in_wait_list,
+                            const cl_event* event_wait_list, cl_event* event);
+cl_int clEnqueueCopyBuffer(cl_command_queue command_queue, cl_mem src_buffer,
+                           cl_mem dst_buffer, size_t src_offset,
+                           size_t dst_offset, size_t cb,
+                           cl_uint num_events_in_wait_list,
+                           const cl_event* event_wait_list, cl_event* event);
+cl_int clEnqueueNDRangeKernel(cl_command_queue command_queue, cl_kernel kernel,
+                              cl_uint work_dim, const size_t* global_work_offset,
+                              const size_t* global_work_size,
+                              const size_t* local_work_size,
+                              cl_uint num_events_in_wait_list,
+                              const cl_event* event_wait_list, cl_event* event);
+cl_int clEnqueueTask(cl_command_queue command_queue, cl_kernel kernel,
+                     cl_uint num_events_in_wait_list,
+                     const cl_event* event_wait_list, cl_event* event);
+cl_int clEnqueueMarker(cl_command_queue command_queue, cl_event* event);
+cl_int clEnqueueBarrier(cl_command_queue command_queue);
+cl_int clEnqueueWaitForEvents(cl_command_queue command_queue,
+                              cl_uint num_events, const cl_event* event_list);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* CHECL_CL_H */

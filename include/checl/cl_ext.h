@@ -1,0 +1,28 @@
+/* cl_ext.h — this project's simulation extensions to the cl API.
+ *
+ * The substrate (`simcl`) keeps a discrete-event virtual clock; all times the
+ * benchmarks report are read from it.  The extension must be part of the
+ * dispatchable API because in CheCL mode the clock lives in the API proxy
+ * process and the query has to cross the same RPC boundary as any other call.
+ */
+#ifndef CHECL_CL_EXT_H
+#define CHECL_CL_EXT_H
+
+#include "checl/cl.h"
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Virtual host-timeline time in nanoseconds. */
+cl_int clSimGetHostTimeNS(cl_ulong* time_ns);
+
+/* Advance the virtual host timeline (models host-side compute between API
+ * calls; transfers/kernels/file-IO are charged internally). */
+cl_int clSimAdvanceHostNS(cl_ulong delta_ns);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* CHECL_CL_EXT_H */

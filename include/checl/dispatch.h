@@ -1,0 +1,97 @@
+// dispatch.h — the switchable routing layer standing in for the paper's
+// libOpenCL.so swap.
+//
+// Every `cl*` symbol in include/checl/cl.h is implemented once (src/binding)
+// as a trampoline through a process-global DispatchTable.  Two tables exist:
+//   * simcl::dispatch_table()  — the "native OpenCL" path (vendor substrate)
+//   * checl::dispatch_table()  — the CheCL wrapper path (API proxy + CPR)
+// Selecting a table is the moral equivalent of installing/renaming the CheCL
+// shared object in the paper; it can be flipped per-run so one binary can
+// measure both sides (Figure 4).
+#pragma once
+
+#include "checl/cl.h"
+
+namespace checl_api {
+
+struct DispatchTable {
+  cl_int (*GetPlatformIDs)(cl_uint, cl_platform_id*, cl_uint*);
+  cl_int (*GetPlatformInfo)(cl_platform_id, cl_platform_info, size_t, void*, size_t*);
+  cl_int (*GetDeviceIDs)(cl_platform_id, cl_device_type, cl_uint, cl_device_id*, cl_uint*);
+  cl_int (*GetDeviceInfo)(cl_device_id, cl_device_info, size_t, void*, size_t*);
+
+  cl_context (*CreateContext)(const cl_context_properties*, cl_uint, const cl_device_id*,
+                              void (*)(const char*, const void*, size_t, void*), void*, cl_int*);
+  cl_int (*RetainContext)(cl_context);
+  cl_int (*ReleaseContext)(cl_context);
+  cl_int (*GetContextInfo)(cl_context, cl_context_info, size_t, void*, size_t*);
+
+  cl_command_queue (*CreateCommandQueue)(cl_context, cl_device_id, cl_command_queue_properties, cl_int*);
+  cl_int (*RetainCommandQueue)(cl_command_queue);
+  cl_int (*ReleaseCommandQueue)(cl_command_queue);
+  cl_int (*GetCommandQueueInfo)(cl_command_queue, cl_command_queue_info, size_t, void*, size_t*);
+  cl_int (*Flush)(cl_command_queue);
+  cl_int (*Finish)(cl_command_queue);
+
+  cl_mem (*CreateBuffer)(cl_context, cl_mem_flags, size_t, void*, cl_int*);
+  cl_mem (*CreateImage2D)(cl_context, cl_mem_flags, const cl_image_format*, size_t, size_t,
+                          size_t, void*, cl_int*);
+  cl_int (*RetainMemObject)(cl_mem);
+  cl_int (*ReleaseMemObject)(cl_mem);
+  cl_int (*GetMemObjectInfo)(cl_mem, cl_mem_info, size_t, void*, size_t*);
+  cl_int (*GetImageInfo)(cl_mem, cl_image_info, size_t, void*, size_t*);
+
+  cl_sampler (*CreateSampler)(cl_context, cl_bool, cl_addressing_mode, cl_filter_mode, cl_int*);
+  cl_int (*RetainSampler)(cl_sampler);
+  cl_int (*ReleaseSampler)(cl_sampler);
+  cl_int (*GetSamplerInfo)(cl_sampler, cl_sampler_info, size_t, void*, size_t*);
+
+  cl_program (*CreateProgramWithSource)(cl_context, cl_uint, const char**, const size_t*, cl_int*);
+  cl_program (*CreateProgramWithBinary)(cl_context, cl_uint, const cl_device_id*, const size_t*,
+                                        const unsigned char**, cl_int*, cl_int*);
+  cl_int (*RetainProgram)(cl_program);
+  cl_int (*ReleaseProgram)(cl_program);
+  cl_int (*BuildProgram)(cl_program, cl_uint, const cl_device_id*, const char*,
+                         void (*)(cl_program, void*), void*);
+  cl_int (*GetProgramInfo)(cl_program, cl_program_info, size_t, void*, size_t*);
+  cl_int (*GetProgramBuildInfo)(cl_program, cl_device_id, cl_program_build_info, size_t, void*, size_t*);
+
+  cl_kernel (*CreateKernel)(cl_program, const char*, cl_int*);
+  cl_int (*CreateKernelsInProgram)(cl_program, cl_uint, cl_kernel*, cl_uint*);
+  cl_int (*RetainKernel)(cl_kernel);
+  cl_int (*ReleaseKernel)(cl_kernel);
+  cl_int (*SetKernelArg)(cl_kernel, cl_uint, size_t, const void*);
+  cl_int (*GetKernelInfo)(cl_kernel, cl_kernel_info, size_t, void*, size_t*);
+  cl_int (*GetKernelWorkGroupInfo)(cl_kernel, cl_device_id, cl_kernel_work_group_info, size_t, void*, size_t*);
+
+  cl_int (*WaitForEvents)(cl_uint, const cl_event*);
+  cl_int (*GetEventInfo)(cl_event, cl_event_info, size_t, void*, size_t*);
+  cl_int (*RetainEvent)(cl_event);
+  cl_int (*ReleaseEvent)(cl_event);
+  cl_int (*GetEventProfilingInfo)(cl_event, cl_profiling_info, size_t, void*, size_t*);
+
+  cl_int (*EnqueueReadBuffer)(cl_command_queue, cl_mem, cl_bool, size_t, size_t, void*,
+                              cl_uint, const cl_event*, cl_event*);
+  cl_int (*EnqueueWriteBuffer)(cl_command_queue, cl_mem, cl_bool, size_t, size_t, const void*,
+                               cl_uint, const cl_event*, cl_event*);
+  cl_int (*EnqueueCopyBuffer)(cl_command_queue, cl_mem, cl_mem, size_t, size_t, size_t,
+                              cl_uint, const cl_event*, cl_event*);
+  cl_int (*EnqueueNDRangeKernel)(cl_command_queue, cl_kernel, cl_uint, const size_t*,
+                                 const size_t*, const size_t*, cl_uint, const cl_event*, cl_event*);
+  cl_int (*EnqueueTask)(cl_command_queue, cl_kernel, cl_uint, const cl_event*, cl_event*);
+  cl_int (*EnqueueMarker)(cl_command_queue, cl_event*);
+  cl_int (*EnqueueBarrier)(cl_command_queue);
+  cl_int (*EnqueueWaitForEvents)(cl_command_queue, cl_uint, const cl_event*);
+
+  // Simulation extensions (see include/checl/cl_ext.h).
+  cl_int (*SimGetHostTimeNS)(cl_ulong*);
+  cl_int (*SimAdvanceHostNS)(cl_ulong);
+};
+
+// Install a table; passing nullptr restores the default (native simcl).
+void set_dispatch(const DispatchTable* table) noexcept;
+
+// Currently installed table; never nullptr after first use.
+const DispatchTable& dispatch() noexcept;
+
+}  // namespace checl_api

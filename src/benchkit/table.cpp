@@ -1,0 +1,24 @@
+#include "benchkit/table.h"
+
+#include <cstdarg>
+
+namespace benchkit {
+
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+std::string sec(std::uint64_t ns, int decimals) {
+  return fmt("%.*f", decimals, static_cast<double>(ns) / 1e9);
+}
+
+std::string msec(std::uint64_t ns, int decimals) {
+  return fmt("%.*f", decimals, static_cast<double>(ns) / 1e6);
+}
+
+}  // namespace benchkit

@@ -1,0 +1,53 @@
+// table.h — fixed-width text tables for the bench harness output (the
+// "rows/series the paper reports").
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchkit {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : kEmpty;
+        std::fprintf(out, "%c %-*s", c == 0 ? '|' : '|',
+                     static_cast<int>(width[c]), v.c_str());
+      }
+      std::fprintf(out, " |\n");
+    };
+    line(headers_);
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      std::fprintf(out, "|%s", std::string(width[c] + 2, '-').c_str());
+    }
+    std::fprintf(out, "|\n");
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  inline static const std::string kEmpty;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style cell formatting helpers
+std::string fmt(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+// "12.34" style seconds/milliseconds from nanoseconds
+std::string sec(std::uint64_t ns, int decimals = 2);
+std::string msec(std::uint64_t ns, int decimals = 2);
+
+}  // namespace benchkit

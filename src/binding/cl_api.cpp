@@ -1,0 +1,187 @@
+// cl_api.cpp — the single definition of every `cl*` C symbol.
+//
+// Each entry point trampolines through the installed DispatchTable.  This file
+// plays the role of libOpenCL.so in the paper: applications link against these
+// symbols and never know whether the native substrate or the CheCL wrapper
+// layer serves them.
+
+#include <atomic>
+
+#include "checl/cl.h"
+#include "checl/cl_ext.h"
+#include "checl/dispatch.h"
+
+namespace simcl {
+// Provided by src/simcl/dispatch.cpp; the default ("native OpenCL") table.
+const checl_api::DispatchTable& dispatch_table() noexcept;
+}  // namespace simcl
+
+namespace checl_api {
+namespace {
+std::atomic<const DispatchTable*> g_table{nullptr};
+}  // namespace
+
+void set_dispatch(const DispatchTable* table) noexcept {
+  g_table.store(table, std::memory_order_release);
+}
+
+const DispatchTable& dispatch() noexcept {
+  const DispatchTable* t = g_table.load(std::memory_order_acquire);
+  return t != nullptr ? *t : simcl::dispatch_table();
+}
+
+}  // namespace checl_api
+
+namespace {
+const checl_api::DispatchTable& D() noexcept { return checl_api::dispatch(); }
+}  // namespace
+
+extern "C" {
+
+cl_int clGetPlatformIDs(cl_uint n, cl_platform_id* p, cl_uint* np) {
+  return D().GetPlatformIDs(n, p, np);
+}
+cl_int clGetPlatformInfo(cl_platform_id p, cl_platform_info pn, size_t sz, void* v, size_t* szr) {
+  return D().GetPlatformInfo(p, pn, sz, v, szr);
+}
+cl_int clGetDeviceIDs(cl_platform_id p, cl_device_type t, cl_uint n, cl_device_id* d, cl_uint* nd) {
+  return D().GetDeviceIDs(p, t, n, d, nd);
+}
+cl_int clGetDeviceInfo(cl_device_id d, cl_device_info pn, size_t sz, void* v, size_t* szr) {
+  return D().GetDeviceInfo(d, pn, sz, v, szr);
+}
+
+cl_context clCreateContext(const cl_context_properties* props, cl_uint nd,
+                           const cl_device_id* devs,
+                           void (*notify)(const char*, const void*, size_t, void*),
+                           void* user, cl_int* err) {
+  return D().CreateContext(props, nd, devs, notify, user, err);
+}
+cl_int clRetainContext(cl_context c) { return D().RetainContext(c); }
+cl_int clReleaseContext(cl_context c) { return D().ReleaseContext(c); }
+cl_int clGetContextInfo(cl_context c, cl_context_info pn, size_t sz, void* v, size_t* szr) {
+  return D().GetContextInfo(c, pn, sz, v, szr);
+}
+
+cl_command_queue clCreateCommandQueue(cl_context c, cl_device_id d,
+                                      cl_command_queue_properties props, cl_int* err) {
+  return D().CreateCommandQueue(c, d, props, err);
+}
+cl_int clRetainCommandQueue(cl_command_queue q) { return D().RetainCommandQueue(q); }
+cl_int clReleaseCommandQueue(cl_command_queue q) { return D().ReleaseCommandQueue(q); }
+cl_int clGetCommandQueueInfo(cl_command_queue q, cl_command_queue_info pn, size_t sz, void* v,
+                             size_t* szr) {
+  return D().GetCommandQueueInfo(q, pn, sz, v, szr);
+}
+cl_int clFlush(cl_command_queue q) { return D().Flush(q); }
+cl_int clFinish(cl_command_queue q) { return D().Finish(q); }
+
+cl_mem clCreateBuffer(cl_context c, cl_mem_flags f, size_t sz, void* host, cl_int* err) {
+  return D().CreateBuffer(c, f, sz, host, err);
+}
+cl_mem clCreateImage2D(cl_context c, cl_mem_flags f, const cl_image_format* fmt, size_t w,
+                       size_t h, size_t pitch, void* host, cl_int* err) {
+  return D().CreateImage2D(c, f, fmt, w, h, pitch, host, err);
+}
+cl_int clRetainMemObject(cl_mem m) { return D().RetainMemObject(m); }
+cl_int clReleaseMemObject(cl_mem m) { return D().ReleaseMemObject(m); }
+cl_int clGetMemObjectInfo(cl_mem m, cl_mem_info pn, size_t sz, void* v, size_t* szr) {
+  return D().GetMemObjectInfo(m, pn, sz, v, szr);
+}
+cl_int clGetImageInfo(cl_mem m, cl_image_info pn, size_t sz, void* v, size_t* szr) {
+  return D().GetImageInfo(m, pn, sz, v, szr);
+}
+
+cl_sampler clCreateSampler(cl_context c, cl_bool norm, cl_addressing_mode am, cl_filter_mode fm,
+                           cl_int* err) {
+  return D().CreateSampler(c, norm, am, fm, err);
+}
+cl_int clRetainSampler(cl_sampler s) { return D().RetainSampler(s); }
+cl_int clReleaseSampler(cl_sampler s) { return D().ReleaseSampler(s); }
+cl_int clGetSamplerInfo(cl_sampler s, cl_sampler_info pn, size_t sz, void* v, size_t* szr) {
+  return D().GetSamplerInfo(s, pn, sz, v, szr);
+}
+
+cl_program clCreateProgramWithSource(cl_context c, cl_uint n, const char** strs,
+                                     const size_t* lens, cl_int* err) {
+  return D().CreateProgramWithSource(c, n, strs, lens, err);
+}
+cl_program clCreateProgramWithBinary(cl_context c, cl_uint nd, const cl_device_id* devs,
+                                     const size_t* lens, const unsigned char** bins,
+                                     cl_int* status, cl_int* err) {
+  return D().CreateProgramWithBinary(c, nd, devs, lens, bins, status, err);
+}
+cl_int clRetainProgram(cl_program p) { return D().RetainProgram(p); }
+cl_int clReleaseProgram(cl_program p) { return D().ReleaseProgram(p); }
+cl_int clBuildProgram(cl_program p, cl_uint nd, const cl_device_id* devs, const char* opts,
+                      void (*notify)(cl_program, void*), void* user) {
+  return D().BuildProgram(p, nd, devs, opts, notify, user);
+}
+cl_int clGetProgramInfo(cl_program p, cl_program_info pn, size_t sz, void* v, size_t* szr) {
+  return D().GetProgramInfo(p, pn, sz, v, szr);
+}
+cl_int clGetProgramBuildInfo(cl_program p, cl_device_id d, cl_program_build_info pn, size_t sz,
+                             void* v, size_t* szr) {
+  return D().GetProgramBuildInfo(p, d, pn, sz, v, szr);
+}
+
+cl_kernel clCreateKernel(cl_program p, const char* name, cl_int* err) {
+  return D().CreateKernel(p, name, err);
+}
+cl_int clCreateKernelsInProgram(cl_program p, cl_uint n, cl_kernel* ks, cl_uint* nk) {
+  return D().CreateKernelsInProgram(p, n, ks, nk);
+}
+cl_int clRetainKernel(cl_kernel k) { return D().RetainKernel(k); }
+cl_int clReleaseKernel(cl_kernel k) { return D().ReleaseKernel(k); }
+cl_int clSetKernelArg(cl_kernel k, cl_uint idx, size_t sz, const void* v) {
+  return D().SetKernelArg(k, idx, sz, v);
+}
+cl_int clGetKernelInfo(cl_kernel k, cl_kernel_info pn, size_t sz, void* v, size_t* szr) {
+  return D().GetKernelInfo(k, pn, sz, v, szr);
+}
+cl_int clGetKernelWorkGroupInfo(cl_kernel k, cl_device_id d, cl_kernel_work_group_info pn,
+                                size_t sz, void* v, size_t* szr) {
+  return D().GetKernelWorkGroupInfo(k, d, pn, sz, v, szr);
+}
+
+cl_int clWaitForEvents(cl_uint n, const cl_event* evs) { return D().WaitForEvents(n, evs); }
+cl_int clGetEventInfo(cl_event e, cl_event_info pn, size_t sz, void* v, size_t* szr) {
+  return D().GetEventInfo(e, pn, sz, v, szr);
+}
+cl_int clRetainEvent(cl_event e) { return D().RetainEvent(e); }
+cl_int clReleaseEvent(cl_event e) { return D().ReleaseEvent(e); }
+cl_int clGetEventProfilingInfo(cl_event e, cl_profiling_info pn, size_t sz, void* v, size_t* szr) {
+  return D().GetEventProfilingInfo(e, pn, sz, v, szr);
+}
+
+cl_int clEnqueueReadBuffer(cl_command_queue q, cl_mem b, cl_bool blocking, size_t off, size_t cb,
+                           void* ptr, cl_uint nw, const cl_event* wl, cl_event* ev) {
+  return D().EnqueueReadBuffer(q, b, blocking, off, cb, ptr, nw, wl, ev);
+}
+cl_int clEnqueueWriteBuffer(cl_command_queue q, cl_mem b, cl_bool blocking, size_t off, size_t cb,
+                            const void* ptr, cl_uint nw, const cl_event* wl, cl_event* ev) {
+  return D().EnqueueWriteBuffer(q, b, blocking, off, cb, ptr, nw, wl, ev);
+}
+cl_int clEnqueueCopyBuffer(cl_command_queue q, cl_mem src, cl_mem dst, size_t soff, size_t doff,
+                           size_t cb, cl_uint nw, const cl_event* wl, cl_event* ev) {
+  return D().EnqueueCopyBuffer(q, src, dst, soff, doff, cb, nw, wl, ev);
+}
+cl_int clEnqueueNDRangeKernel(cl_command_queue q, cl_kernel k, cl_uint dim, const size_t* off,
+                              const size_t* gsz, const size_t* lsz, cl_uint nw,
+                              const cl_event* wl, cl_event* ev) {
+  return D().EnqueueNDRangeKernel(q, k, dim, off, gsz, lsz, nw, wl, ev);
+}
+cl_int clEnqueueTask(cl_command_queue q, cl_kernel k, cl_uint nw, const cl_event* wl,
+                     cl_event* ev) {
+  return D().EnqueueTask(q, k, nw, wl, ev);
+}
+cl_int clEnqueueMarker(cl_command_queue q, cl_event* ev) { return D().EnqueueMarker(q, ev); }
+cl_int clEnqueueBarrier(cl_command_queue q) { return D().EnqueueBarrier(q); }
+cl_int clEnqueueWaitForEvents(cl_command_queue q, cl_uint n, const cl_event* evs) {
+  return D().EnqueueWaitForEvents(q, n, evs);
+}
+
+cl_int clSimGetHostTimeNS(cl_ulong* t) { return D().SimGetHostTimeNS(t); }
+cl_int clSimAdvanceHostNS(cl_ulong dt) { return D().SimAdvanceHostNS(dt); }
+
+}  // extern "C"

@@ -1,0 +1,130 @@
+// ast.h — typed AST for the OpenCL C subset.
+//
+// Nodes are deliberately "fat" (one struct per category with a kind tag)
+// rather than a class hierarchy: the interpreter is a tight switch and the
+// parser fills in only the fields its kind uses.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clc/token.h"
+#include "clc/type.h"
+
+namespace clc {
+
+struct FuncDecl;
+
+struct Expr {
+  enum class K : std::uint8_t {
+    IntLit, FloatLit,
+    VarRef,        // slot
+    Binary,        // op, a, b
+    Unary,         // op, a  (Minus, Bang, Tilde, Star=deref, Amp=addr-of)
+    Assign,        // op (Assign or compound), a = lvalue, b = rhs
+    Cond,          // a ? b : c
+    Call,          // builtin_id or callee, args
+    Index,         // a[b]
+    Member,        // a.field (struct: member_index) or swizzle (vector)
+    Cast,          // (type)a
+    VecLit,        // (float4)(a, b, c, d) — args
+    PreIncDec,     // op Plus/Minus, a
+    PostIncDec,    // op Plus/Minus, a
+  };
+
+  K k = K::IntLit;
+  Type type;  // result type
+  int line = 0;
+
+  std::uint64_t int_val = 0;
+  double float_val = 0.0;
+  int slot = -1;
+  Tok op = Tok::End;
+  std::unique_ptr<Expr> a, b, c;
+  std::vector<std::unique_ptr<Expr>> args;
+  int builtin_id = -1;
+  const FuncDecl* callee = nullptr;
+  int member_index = -1;               // struct field
+  std::uint8_t swizzle[4] = {0, 0, 0, 0};
+  std::uint8_t swizzle_len = 0;        // >0 => vector swizzle
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Stmt {
+  enum class K : std::uint8_t {
+    ExprStmt, Decl, Block, If, For, While, DoWhile, Return, Break, Continue,
+  };
+
+  K k = K::ExprStmt;
+  int line = 0;
+
+  ExprPtr e;      // ExprStmt expr; Decl initializer; Return value; loop cond
+  ExprPtr inc;    // For increment
+  std::unique_ptr<Stmt> init;    // For init
+  std::unique_ptr<Stmt> then_s;  // If then / loop body
+  std::unique_ptr<Stmt> else_s;  // If else
+  std::vector<std::unique_ptr<Stmt>> body;  // Block
+
+  // Decl:
+  int slot = -1;
+  Type decl_type;
+  std::int64_t array_len = 0;     // >0: local array of decl_type elements
+  AddrSpace decl_space = AddrSpace::Private;
+  int local_id = -1;              // __local declaration id within the kernel
+  std::size_t local_offset = 0;   // offset into the group-local arena
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// One parameter of a (kernel or helper) function.
+struct ParamInfo {
+  std::string name;
+  Type type;
+  int slot = -1;
+  // True when the formal receives an OpenCL handle through clSetKernelArg —
+  // __global/__local/__constant pointers, image2d_t/image3d_t, sampler_t.
+  // This is exactly the classification CheCL's source parser needs.
+  bool is_handle = false;
+  bool is_local_ptr = false;  // __local pointer (size-only clSetKernelArg)
+};
+
+// A __local declaration inside a kernel body; storage is one region per
+// work-group, shared by all work-items.
+struct LocalDecl {
+  Type type;
+  std::int64_t array_len = 1;
+  std::size_t offset = 0;  // into the group-local arena
+};
+
+struct FuncDecl {
+  std::string name;
+  Type ret;
+  std::vector<ParamInfo> params;
+  StmtPtr body;
+  bool is_kernel = false;
+  bool uses_barrier = false;  // barrier() reachable: selects the lockstep engine
+  int num_slots = 0;          // frame size (params + locals)
+  std::vector<LocalDecl> locals;     // __local body declarations
+  std::size_t local_mem_bytes = 0;   // total static __local usage
+};
+
+struct Module {
+  std::vector<StructDef> structs;
+  std::vector<std::unique_ptr<FuncDecl>> funcs;
+
+  [[nodiscard]] const FuncDecl* find_func(std::string_view name) const noexcept {
+    for (const auto& f : funcs)
+      if (f->name == name) return f.get();
+    return nullptr;
+  }
+  [[nodiscard]] std::vector<const FuncDecl*> kernels() const {
+    std::vector<const FuncDecl*> ks;
+    for (const auto& f : funcs)
+      if (f->is_kernel) ks.push_back(f.get());
+    return ks;
+  }
+};
+
+}  // namespace clc

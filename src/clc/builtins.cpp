@@ -1,0 +1,619 @@
+#include "clc/builtins.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "clc/interp.h"
+
+namespace clc {
+
+namespace {
+
+const std::unordered_map<std::string_view, Builtin>& builtin_map() {
+  static const std::unordered_map<std::string_view, Builtin> kMap = {
+      {"get_global_id", Builtin::GetGlobalId},
+      {"get_local_id", Builtin::GetLocalId},
+      {"get_group_id", Builtin::GetGroupId},
+      {"get_global_size", Builtin::GetGlobalSize},
+      {"get_local_size", Builtin::GetLocalSize},
+      {"get_num_groups", Builtin::GetNumGroups},
+      {"get_work_dim", Builtin::GetWorkDim},
+      {"barrier", Builtin::Barrier},
+      {"mem_fence", Builtin::MemFence},
+      {"read_mem_fence", Builtin::MemFence},
+      {"write_mem_fence", Builtin::MemFence},
+      {"sqrt", Builtin::Sqrt},
+      {"rsqrt", Builtin::Rsqrt},
+      {"fabs", Builtin::Fabs},
+      {"exp", Builtin::Exp},
+      {"exp2", Builtin::Exp2},
+      {"log", Builtin::Log},
+      {"log2", Builtin::Log2},
+      {"log10", Builtin::Log10},
+      {"sin", Builtin::Sin},
+      {"cos", Builtin::Cos},
+      {"tan", Builtin::Tan},
+      {"asin", Builtin::Asin},
+      {"acos", Builtin::Acos},
+      {"atan", Builtin::Atan},
+      {"sinh", Builtin::Sinh},
+      {"cosh", Builtin::Cosh},
+      {"tanh", Builtin::Tanh},
+      {"floor", Builtin::Floor},
+      {"ceil", Builtin::Ceil},
+      {"round", Builtin::Round},
+      {"trunc", Builtin::Trunc},
+      {"native_sin", Builtin::NativeSin},
+      {"native_cos", Builtin::NativeCos},
+      {"native_exp", Builtin::NativeExp},
+      {"native_log", Builtin::NativeLog},
+      {"native_sqrt", Builtin::NativeSqrt},
+      {"native_recip", Builtin::NativeRecip},
+      {"half_sqrt", Builtin::NativeSqrt},
+      {"pow", Builtin::Pow},
+      {"powr", Builtin::NativePowr},
+      {"fmod", Builtin::Fmod},
+      {"fmin", Builtin::Fmin},
+      {"fmax", Builtin::Fmax},
+      {"atan2", Builtin::Atan2},
+      {"hypot", Builtin::Hypot},
+      {"native_divide", Builtin::NativeDivide},
+      {"native_powr", Builtin::NativePowr},
+      {"mad", Builtin::Mad},
+      {"fma", Builtin::Fma},
+      {"clamp", Builtin::Clamp},
+      {"mix", Builtin::Mix},
+      {"min", Builtin::MinI},
+      {"max", Builtin::MaxI},
+      {"abs", Builtin::AbsI},
+      {"mul24", Builtin::Mul24},
+      {"mad24", Builtin::Mad24},
+      {"rotate", Builtin::Rotate},
+      {"dot", Builtin::Dot},
+      {"length", Builtin::Length},
+      {"distance", Builtin::Distance},
+      {"normalize", Builtin::Normalize},
+      {"cross", Builtin::Cross},
+      {"fast_length", Builtin::FastLength},
+      {"atomic_add", Builtin::AtomicAdd},
+      {"atom_add", Builtin::AtomicAdd},
+      {"atomic_sub", Builtin::AtomicSub},
+      {"atom_sub", Builtin::AtomicSub},
+      {"atomic_inc", Builtin::AtomicInc},
+      {"atom_inc", Builtin::AtomicInc},
+      {"atomic_dec", Builtin::AtomicDec},
+      {"atom_dec", Builtin::AtomicDec},
+      {"atomic_min", Builtin::AtomicMin},
+      {"atomic_max", Builtin::AtomicMax},
+      {"atomic_xchg", Builtin::AtomicXchg},
+      {"atomic_cmpxchg", Builtin::AtomicCmpxchg},
+      {"atomic_and", Builtin::AtomicAnd},
+      {"atomic_or", Builtin::AtomicOr},
+      {"atomic_xor", Builtin::AtomicXor},
+      {"as_float", Builtin::AsFloat},
+      {"as_int", Builtin::AsInt},
+      {"as_uint", Builtin::AsUint},
+      {"read_imagef", Builtin::ReadImageF},
+      {"read_imageui", Builtin::ReadImageUI},
+      {"write_imagef", Builtin::WriteImageF},
+      {"write_imageui", Builtin::WriteImageUI},
+      {"get_image_width", Builtin::GetImageWidth},
+      {"get_image_height", Builtin::GetImageHeight},
+  };
+  return kMap;
+}
+
+bool is_math1(Builtin b) noexcept {
+  return b >= Builtin::Sqrt && b <= Builtin::NativeRecip;
+}
+bool is_math2(Builtin b) noexcept {
+  return b >= Builtin::Pow && b <= Builtin::NativePowr;
+}
+bool is_math3(Builtin b) noexcept { return b >= Builtin::Mad && b <= Builtin::Mix; }
+bool is_atomic(Builtin b) noexcept {
+  return b >= Builtin::AtomicAdd && b <= Builtin::AtomicXor;
+}
+
+double apply_math1(Builtin b, double x) noexcept {
+  switch (b) {
+    case Builtin::Sqrt:
+    case Builtin::NativeSqrt: return std::sqrt(x);
+    case Builtin::Rsqrt: return 1.0 / std::sqrt(x);
+    case Builtin::Fabs: return std::fabs(x);
+    case Builtin::Exp:
+    case Builtin::NativeExp: return std::exp(x);
+    case Builtin::Exp2: return std::exp2(x);
+    case Builtin::Log:
+    case Builtin::NativeLog: return std::log(x);
+    case Builtin::Log2: return std::log2(x);
+    case Builtin::Log10: return std::log10(x);
+    case Builtin::Sin:
+    case Builtin::NativeSin: return std::sin(x);
+    case Builtin::Cos:
+    case Builtin::NativeCos: return std::cos(x);
+    case Builtin::Tan: return std::tan(x);
+    case Builtin::Asin: return std::asin(x);
+    case Builtin::Acos: return std::acos(x);
+    case Builtin::Atan: return std::atan(x);
+    case Builtin::Sinh: return std::sinh(x);
+    case Builtin::Cosh: return std::cosh(x);
+    case Builtin::Tanh: return std::tanh(x);
+    case Builtin::Floor: return std::floor(x);
+    case Builtin::Ceil: return std::ceil(x);
+    case Builtin::Round: return std::round(x);
+    case Builtin::Trunc: return std::trunc(x);
+    case Builtin::NativeRecip: return 1.0 / x;
+    default: return x;
+  }
+}
+
+double apply_math2(Builtin b, double x, double y) noexcept {
+  switch (b) {
+    case Builtin::Pow:
+    case Builtin::NativePowr: return std::pow(x, y);
+    case Builtin::Fmod: return std::fmod(x, y);
+    case Builtin::Fmin: return std::fmin(x, y);
+    case Builtin::Fmax: return std::fmax(x, y);
+    case Builtin::Atan2: return std::atan2(x, y);
+    case Builtin::Hypot: return std::hypot(x, y);
+    case Builtin::NativeDivide: return x / y;
+    default: return x;
+  }
+}
+
+double apply_math3(Builtin b, double x, double y, double z) noexcept {
+  switch (b) {
+    case Builtin::Mad: return x * y + z;
+    case Builtin::Fma: return std::fma(x, y, z);
+    case Builtin::Clamp: return std::fmin(std::fmax(x, y), z);
+    case Builtin::Mix: return x + (y - x) * z;
+    default: return x;
+  }
+}
+
+// 32-bit atomic op on p (global or local memory).
+std::int64_t apply_atomic(Builtin b, std::uint8_t* p, std::int64_t operand,
+                          std::int64_t operand2, Kind k) {
+  const bool sgn = is_signed_int(k);
+  auto* a32 = reinterpret_cast<std::atomic<std::uint32_t>*>(p);
+  const auto op32 = static_cast<std::uint32_t>(operand);
+  std::uint32_t old = 0;
+  switch (b) {
+    case Builtin::AtomicAdd: old = a32->fetch_add(op32); break;
+    case Builtin::AtomicSub: old = a32->fetch_sub(op32); break;
+    case Builtin::AtomicInc: old = a32->fetch_add(1); break;
+    case Builtin::AtomicDec: old = a32->fetch_sub(1); break;
+    case Builtin::AtomicAnd: old = a32->fetch_and(op32); break;
+    case Builtin::AtomicOr: old = a32->fetch_or(op32); break;
+    case Builtin::AtomicXor: old = a32->fetch_xor(op32); break;
+    case Builtin::AtomicXchg: old = a32->exchange(op32); break;
+    case Builtin::AtomicMin: {
+      old = a32->load();
+      for (;;) {
+        const bool le = sgn ? static_cast<std::int32_t>(old) <=
+                                  static_cast<std::int32_t>(op32)
+                            : old <= op32;
+        if (le || a32->compare_exchange_weak(old, op32)) break;
+      }
+      break;
+    }
+    case Builtin::AtomicMax: {
+      old = a32->load();
+      for (;;) {
+        const bool ge = sgn ? static_cast<std::int32_t>(old) >=
+                                  static_cast<std::int32_t>(op32)
+                            : old >= op32;
+        if (ge || a32->compare_exchange_weak(old, op32)) break;
+      }
+      break;
+    }
+    case Builtin::AtomicCmpxchg: {
+      auto expected = static_cast<std::uint32_t>(operand);
+      const auto desired = static_cast<std::uint32_t>(operand2);
+      a32->compare_exchange_strong(expected, desired);
+      old = expected;
+      break;
+    }
+    default: break;
+  }
+  return sgn ? static_cast<std::int64_t>(static_cast<std::int32_t>(old))
+             : static_cast<std::int64_t>(old);
+}
+
+int clamp_coord(std::int64_t v, std::size_t n) noexcept {
+  if (v < 0) return 0;
+  if (v >= static_cast<std::int64_t>(n)) return static_cast<int>(n - 1);
+  return static_cast<int>(v);
+}
+
+const ImageDesc* image_of(const Value& v) noexcept {
+  const ImageDesc* d = nullptr;
+  std::memcpy(&d, v.raw, sizeof d);
+  return d;
+}
+const SamplerDesc* sampler_of(const Value& v) noexcept {
+  const SamplerDesc* d = nullptr;
+  std::memcpy(&d, v.raw, sizeof d);
+  return d;
+}
+
+Value read_image(const ImageDesc& img, int x, int y, bool as_float) {
+  Value r(make_scalar(as_float ? Kind::F32 : Kind::U32, 4));
+  const std::size_t elem = (img.float_channels ? 4 : 4) * img.channels;
+  const std::uint8_t* px = img.data + static_cast<std::size_t>(y) * img.row_pitch +
+                           static_cast<std::size_t>(x) * elem;
+  for (unsigned c = 0; c < 4; ++c) {
+    double v = c == 3 ? 1.0 : 0.0;  // default alpha 1
+    if (c < img.channels) {
+      if (img.float_channels) {
+        float fv;
+        std::memcpy(&fv, px + c * 4, 4);
+        v = fv;
+      } else {
+        std::uint32_t uv;
+        std::memcpy(&uv, px + c * 4, 4);
+        v = uv;
+      }
+    }
+    if (as_float) r.set_elem_f(c, v);
+    else r.set_elem_i(c, static_cast<std::int64_t>(v));
+  }
+  return r;
+}
+
+void write_image(const ImageDesc& img, int x, int y, const Value& color) {
+  if (x < 0 || y < 0 || static_cast<std::size_t>(x) >= img.width ||
+      static_cast<std::size_t>(y) >= img.height)
+    return;
+  const std::size_t elem = 4 * img.channels;
+  std::uint8_t* px = img.data + static_cast<std::size_t>(y) * img.row_pitch +
+                     static_cast<std::size_t>(x) * elem;
+  for (unsigned c = 0; c < img.channels; ++c) {
+    if (img.float_channels) {
+      const auto fv = static_cast<float>(color.elem_f(c));
+      std::memcpy(px + c * 4, &fv, 4);
+    } else {
+      const auto uv = static_cast<std::uint32_t>(color.elem_u(c));
+      std::memcpy(px + c * 4, &uv, 4);
+    }
+  }
+}
+
+}  // namespace
+
+Builtin lookup_builtin(std::string_view name) noexcept {
+  const auto& m = builtin_map();
+  const auto it = m.find(name);
+  return it != m.end() ? it->second : Builtin::None;
+}
+
+Type builtin_result_type(Builtin id, std::span<const Type> args) noexcept {
+  switch (id) {
+    case Builtin::GetGlobalId:
+    case Builtin::GetLocalId:
+    case Builtin::GetGroupId:
+    case Builtin::GetGlobalSize:
+    case Builtin::GetLocalSize:
+    case Builtin::GetNumGroups: return make_scalar(Kind::U64);  // size_t
+    case Builtin::GetWorkDim: return make_scalar(Kind::U32);
+    case Builtin::Barrier:
+    case Builtin::MemFence:
+    case Builtin::WriteImageF:
+    case Builtin::WriteImageUI: return make_scalar(Kind::Void);
+    case Builtin::Dot:
+    case Builtin::Length:
+    case Builtin::Distance:
+    case Builtin::FastLength:
+      return make_scalar(args.empty() ? Kind::F32 : args[0].kind);
+    case Builtin::Normalize:
+    case Builtin::Cross: return args.empty() ? make_scalar(Kind::F32, 4) : args[0];
+    case Builtin::AsFloat: return make_scalar(Kind::F32);
+    case Builtin::AsInt: return make_scalar(Kind::I32);
+    case Builtin::AsUint: return make_scalar(Kind::U32);
+    case Builtin::ReadImageF: return make_scalar(Kind::F32, 4);
+    case Builtin::ReadImageUI: return make_scalar(Kind::U32, 4);
+    case Builtin::GetImageWidth:
+    case Builtin::GetImageHeight: return make_scalar(Kind::I32);
+    case Builtin::AbsI:
+      if (!args.empty() && is_integer(args[0].kind)) {
+        Kind k = args[0].kind;
+        // abs() returns the unsigned counterpart in OpenCL; keep width
+        switch (k) {
+          case Kind::I8: k = Kind::U8; break;
+          case Kind::I16: k = Kind::U16; break;
+          case Kind::I32: k = Kind::U32; break;
+          case Kind::I64: k = Kind::U64; break;
+          default: break;
+        }
+        return make_scalar(k, args[0].vec);
+      }
+      return make_scalar(Kind::U32);
+    case Builtin::Mul24:
+    case Builtin::Mad24:
+    case Builtin::Rotate:
+      return args.empty() ? make_scalar(Kind::I32) : args[0];
+    default: break;
+  }
+  if (is_atomic(id)) {
+    // returns the old value: the pointee type
+    if (!args.empty() && args[0].kind == Kind::Pointer)
+      return make_scalar(args[0].elem_kind);
+    return make_scalar(Kind::I32);
+  }
+  if (is_math1(id) || is_math2(id) || is_math3(id)) {
+    // element-wise; the widest float-ness among args wins, ints promote to
+    // the arg's float type (min/max/clamp on ints keep int)
+    Type r = args.empty() ? make_scalar(Kind::F32) : args[0];
+    for (const Type& a : args) {
+      if (a.vec > r.vec) r.vec = a.vec;
+      if (is_float(a.kind) && !is_float(r.kind)) r.kind = a.kind;
+      if (a.kind == Kind::F64) r.kind = Kind::F64;
+    }
+    if (!is_float(r.kind) &&
+        (id == Builtin::Fmin || id == Builtin::Fmax || is_math1(id) ||
+         is_math2(id) || id == Builtin::Mad || id == Builtin::Fma ||
+         id == Builtin::Mix))
+      r.kind = Kind::F32;
+    r.as = AddrSpace::Private;
+    r.struct_id = -1;
+    return r;
+  }
+  if (id == Builtin::MinI || id == Builtin::MaxI || id == Builtin::Clamp) {
+    Type r = args.empty() ? make_scalar(Kind::I32) : args[0];
+    for (const Type& a : args) {
+      if (a.vec > r.vec) r.vec = a.vec;
+      if (is_float(a.kind) && !is_float(r.kind)) r.kind = a.kind;
+    }
+    return r;
+  }
+  return make_scalar(Kind::Void);
+}
+
+Value call_builtin(Builtin id, std::span<Value> args, WorkItemCtx& ctx) {
+  auto dim_arg = [&]() -> unsigned {
+    return args.empty() ? 0u
+                        : static_cast<unsigned>(args[0].elem_u() & 3u);
+  };
+  switch (id) {
+    case Builtin::GetGlobalId:
+      return Value::of_u64(ctx.gid[dim_arg()]);
+    case Builtin::GetLocalId:
+      return Value::of_u64(ctx.lid[dim_arg()]);
+    case Builtin::GetGroupId:
+      return Value::of_u64(ctx.grp[dim_arg()]);
+    case Builtin::GetGlobalSize:
+      return Value::of_u64(ctx.nd->global[dim_arg()]);
+    case Builtin::GetLocalSize:
+      return Value::of_u64(ctx.nd->local[dim_arg()]);
+    case Builtin::GetNumGroups:
+      return Value::of_u64(ctx.nd->groups(dim_arg()));
+    case Builtin::GetWorkDim: return Value::of_u32(ctx.nd->dim);
+    case Builtin::Barrier:
+      if (ctx.bar != nullptr) ctx.bar->arrive_and_wait();
+      return Value(make_scalar(Kind::Void));
+    case Builtin::MemFence:
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      return Value(make_scalar(Kind::Void));
+    case Builtin::AsFloat: {
+      Value r(make_scalar(Kind::F32));
+      std::memcpy(r.raw, args[0].raw, 4);
+      return r;
+    }
+    case Builtin::AsInt: {
+      Value r(make_scalar(Kind::I32));
+      std::memcpy(r.raw, args[0].raw, 4);
+      return r;
+    }
+    case Builtin::AsUint: {
+      Value r(make_scalar(Kind::U32));
+      std::memcpy(r.raw, args[0].raw, 4);
+      return r;
+    }
+    default: break;
+  }
+
+  if (is_atomic(id)) {
+    std::uint8_t* p = args[0].bytes_ptr();
+    if (p == nullptr) throw InterpError{"atomic on null pointer", 0};
+    const Kind k = args[0].type.elem_kind;
+    const std::int64_t op1 = args.size() > 1 ? args[1].elem_i() : 0;
+    const std::int64_t op2 = args.size() > 2 ? args[2].elem_i() : 0;
+    Value r(make_scalar(k));
+    r.set_elem_i(0, apply_atomic(id, p, op1, op2, k));
+    return r;
+  }
+
+  const Type rt = [&] {
+    std::vector<Type> at;
+    at.reserve(args.size());
+    for (const auto& a : args) at.push_back(a.type);
+    return builtin_result_type(id, at);
+  }();
+
+  if (is_math1(id)) {
+    Value r(rt);
+    const Value a = convert(args[0], rt);
+    for (unsigned i = 0; i < rt.vec; ++i) r.set_elem_f(i, apply_math1(id, a.elem_f(i)));
+    return r;
+  }
+  if (is_math2(id)) {
+    Value r(rt);
+    const Value a = convert(args[0], rt);
+    const Value b = convert(args[1], rt);
+    for (unsigned i = 0; i < rt.vec; ++i)
+      r.set_elem_f(i, apply_math2(id, a.elem_f(i), b.elem_f(i)));
+    return r;
+  }
+  if (is_math3(id) && is_float(rt.kind)) {
+    Value r(rt);
+    const Value a = convert(args[0], rt);
+    const Value b = convert(args[1], rt);
+    const Value c = convert(args[2], rt);
+    for (unsigned i = 0; i < rt.vec; ++i) {
+      // clamp(x, lo, hi): note apply_math3 argument order
+      r.set_elem_f(i, id == Builtin::Mix
+                          ? apply_math3(id, a.elem_f(i), b.elem_f(i), c.elem_f(i))
+                          : apply_math3(id, a.elem_f(i), b.elem_f(i), c.elem_f(i)));
+    }
+    return r;
+  }
+
+  switch (id) {
+    case Builtin::MinI:
+    case Builtin::MaxI: {
+      Value r(rt);
+      const Value a = convert(args[0], rt);
+      const Value b = convert(args[1], rt);
+      for (unsigned i = 0; i < rt.vec; ++i) {
+        if (is_float(rt.kind)) {
+          const double x = a.elem_f(i);
+          const double y = b.elem_f(i);
+          r.set_elem_f(i, id == Builtin::MinI ? std::fmin(x, y) : std::fmax(x, y));
+        } else if (is_signed_int(rt.kind)) {
+          const std::int64_t x = a.elem_i(i);
+          const std::int64_t y = b.elem_i(i);
+          r.set_elem_i(i, id == Builtin::MinI ? std::min(x, y) : std::max(x, y));
+        } else {
+          const std::uint64_t x = a.elem_u(i);
+          const std::uint64_t y = b.elem_u(i);
+          r.set_elem_i(i, static_cast<std::int64_t>(
+                              id == Builtin::MinI ? std::min(x, y) : std::max(x, y)));
+        }
+      }
+      return r;
+    }
+    case Builtin::Clamp: {  // integer clamp
+      Value r(rt);
+      const Value x = convert(args[0], rt);
+      const Value lo = convert(args[1], rt);
+      const Value hi = convert(args[2], rt);
+      for (unsigned i = 0; i < rt.vec; ++i) {
+        const std::int64_t v =
+            std::min(std::max(x.elem_i(i), lo.elem_i(i)), hi.elem_i(i));
+        r.set_elem_i(i, v);
+      }
+      return r;
+    }
+    case Builtin::AbsI: {
+      Value r(rt);
+      for (unsigned i = 0; i < rt.vec; ++i) {
+        const std::int64_t v = args[0].elem_i(i);
+        r.set_elem_i(i, v < 0 ? -v : v);
+      }
+      return r;
+    }
+    case Builtin::Mul24: {
+      const std::int64_t a = args[0].elem_i() & 0xFFFFFF;
+      const std::int64_t b = args[1].elem_i() & 0xFFFFFF;
+      Value r(rt);
+      r.set_elem_i(0, a * b);
+      return r;
+    }
+    case Builtin::Mad24: {
+      const std::int64_t a = args[0].elem_i() & 0xFFFFFF;
+      const std::int64_t b = args[1].elem_i() & 0xFFFFFF;
+      Value r(rt);
+      r.set_elem_i(0, a * b + args[2].elem_i());
+      return r;
+    }
+    case Builtin::Rotate: {
+      const auto v = static_cast<std::uint32_t>(args[0].elem_u());
+      const unsigned s = static_cast<unsigned>(args[1].elem_u()) & 31u;
+      Value r(rt);
+      r.set_elem_i(0, static_cast<std::int64_t>((v << s) | (v >> ((32 - s) & 31))));
+      return r;
+    }
+    case Builtin::Dot: {
+      double acc = 0;
+      for (unsigned i = 0; i < args[0].type.vec; ++i)
+        acc += args[0].elem_f(i) * args[1].elem_f(i);
+      Value r(rt);
+      r.set_elem_f(0, acc);
+      return r;
+    }
+    case Builtin::Length:
+    case Builtin::FastLength: {
+      double acc = 0;
+      for (unsigned i = 0; i < args[0].type.vec; ++i)
+        acc += args[0].elem_f(i) * args[0].elem_f(i);
+      Value r(rt);
+      r.set_elem_f(0, std::sqrt(acc));
+      return r;
+    }
+    case Builtin::Distance: {
+      double acc = 0;
+      for (unsigned i = 0; i < args[0].type.vec; ++i) {
+        const double d = args[0].elem_f(i) - args[1].elem_f(i);
+        acc += d * d;
+      }
+      Value r(rt);
+      r.set_elem_f(0, std::sqrt(acc));
+      return r;
+    }
+    case Builtin::Normalize: {
+      double acc = 0;
+      for (unsigned i = 0; i < args[0].type.vec; ++i)
+        acc += args[0].elem_f(i) * args[0].elem_f(i);
+      const double inv = acc > 0 ? 1.0 / std::sqrt(acc) : 0.0;
+      Value r(args[0].type);
+      for (unsigned i = 0; i < args[0].type.vec; ++i)
+        r.set_elem_f(i, args[0].elem_f(i) * inv);
+      return r;
+    }
+    case Builtin::Cross: {
+      Value r(args[0].type);
+      const auto& a = args[0];
+      const auto& b = args[1];
+      r.set_elem_f(0, a.elem_f(1) * b.elem_f(2) - a.elem_f(2) * b.elem_f(1));
+      r.set_elem_f(1, a.elem_f(2) * b.elem_f(0) - a.elem_f(0) * b.elem_f(2));
+      r.set_elem_f(2, a.elem_f(0) * b.elem_f(1) - a.elem_f(1) * b.elem_f(0));
+      if (args[0].type.vec == 4) r.set_elem_f(3, 0.0);
+      return r;
+    }
+    case Builtin::ReadImageF:
+    case Builtin::ReadImageUI: {
+      const ImageDesc* img = image_of(args[0]);
+      if (img == nullptr || img->data == nullptr)
+        throw InterpError{"read_image on null image", 0};
+      // args: (image, sampler, coord) or (image, coord)
+      const Value& coord = args.size() > 2 ? args[2] : args[1];
+      double cx = coord.elem_f(0);
+      double cy = coord.type.vec > 1 ? coord.elem_f(1) : 0.0;
+      if (args.size() > 2) {
+        const SamplerDesc* s = sampler_of(args[1]);
+        if (s != nullptr && s->normalized) {
+          cx *= static_cast<double>(img->width);
+          cy *= static_cast<double>(img->height);
+        }
+      }
+      const int x = clamp_coord(static_cast<std::int64_t>(cx), img->width);
+      const int y = clamp_coord(static_cast<std::int64_t>(cy), img->height);
+      return read_image(*img, x, y, id == Builtin::ReadImageF);
+    }
+    case Builtin::WriteImageF:
+    case Builtin::WriteImageUI: {
+      const ImageDesc* img = image_of(args[0]);
+      if (img == nullptr || img->data == nullptr)
+        throw InterpError{"write_image on null image", 0};
+      const Value& coord = args[1];
+      write_image(*img, static_cast<int>(coord.elem_i(0)),
+                  coord.type.vec > 1 ? static_cast<int>(coord.elem_i(1)) : 0,
+                  args[2]);
+      return Value(make_scalar(Kind::Void));
+    }
+    case Builtin::GetImageWidth: {
+      const ImageDesc* img = image_of(args[0]);
+      return Value::of_i32(img != nullptr ? static_cast<std::int32_t>(img->width) : 0);
+    }
+    case Builtin::GetImageHeight: {
+      const ImageDesc* img = image_of(args[0]);
+      return Value::of_i32(img != nullptr ? static_cast<std::int32_t>(img->height) : 0);
+    }
+    default: break;
+  }
+  throw InterpError{"unimplemented builtin", 0};
+}
+
+}  // namespace clc

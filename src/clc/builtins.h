@@ -1,0 +1,56 @@
+// builtins.h — OpenCL C built-in functions recognized by the front-end and
+// evaluated by the interpreter.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "clc/value.h"
+
+namespace clc {
+
+enum class Builtin : std::int16_t {
+  None = -1,
+  // work-item functions
+  GetGlobalId, GetLocalId, GetGroupId, GetGlobalSize, GetLocalSize,
+  GetNumGroups, GetWorkDim,
+  // synchronization
+  Barrier, MemFence,
+  // 1-arg math (element-wise over vectors)
+  Sqrt, Rsqrt, Fabs, Exp, Exp2, Log, Log2, Log10, Sin, Cos, Tan,
+  Asin, Acos, Atan, Sinh, Cosh, Tanh, Floor, Ceil, Round, Trunc,
+  NativeSin, NativeCos, NativeExp, NativeLog, NativeSqrt, NativeRecip,
+  // 2-arg math
+  Pow, Fmod, Fmin, Fmax, Atan2, Hypot, NativeDivide, NativePowr,
+  // 3-arg math
+  Mad, Fma, Clamp, Mix,
+  // integer
+  MinI, MaxI, AbsI, Mul24, Mad24, Rotate,
+  // geometric (float vectors)
+  Dot, Length, Distance, Normalize, Cross, FastLength,
+  // atomics (global/local integer pointers)
+  AtomicAdd, AtomicSub, AtomicInc, AtomicDec, AtomicMin, AtomicMax,
+  AtomicXchg, AtomicCmpxchg, AtomicAnd, AtomicOr, AtomicXor,
+  // reinterpret
+  AsFloat, AsInt, AsUint,
+  // images
+  ReadImageF, ReadImageUI, WriteImageF, WriteImageUI,
+  GetImageWidth, GetImageHeight,
+};
+
+// Name lookup; Builtin::None when not a builtin.  `convert_<type>` names are
+// handled separately by the parser (they become casts).
+Builtin lookup_builtin(std::string_view name) noexcept;
+
+struct WorkItemCtx;  // defined in interp.h
+
+// Evaluate builtin `id` on already-evaluated arguments.  `ctx` supplies
+// work-item ids and the barrier hook.  Returns the result value (void-typed
+// Value for barrier/mem_fence/write_image*).
+Value call_builtin(Builtin id, std::span<Value> args, WorkItemCtx& ctx);
+
+// Result type of a builtin given argument types (used at parse time).
+Type builtin_result_type(Builtin id, std::span<const Type> arg_types) noexcept;
+
+}  // namespace clc

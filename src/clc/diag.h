@@ -1,0 +1,23 @@
+// diag.h — diagnostics for the clc front-end.
+#pragma once
+
+#include <string>
+
+namespace clc {
+
+// A single compile diagnostic.  clc reports the first hard error it hits;
+// the substrate surfaces it through clGetProgramBuildInfo(CL_PROGRAM_BUILD_LOG).
+struct Diag {
+  std::string message;
+  int line = 0;
+  int col = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return message.empty(); }
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return {};
+    return "clc error at " + std::to_string(line) + ":" + std::to_string(col) +
+           ": " + message;
+  }
+};
+
+}  // namespace clc

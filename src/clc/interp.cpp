@@ -1,0 +1,758 @@
+#include "clc/interp.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "clc/builtins.h"
+
+namespace clc {
+
+namespace {
+
+std::size_t ptr_stride(const Type& ptr_t, const std::vector<StructDef>& structs) noexcept {
+  if (ptr_t.struct_id >= 0)
+    return structs[static_cast<std::size_t>(ptr_t.struct_id)].size;
+  return size_of(make_scalar(ptr_t.elem_kind, ptr_t.elem_vec), structs);
+}
+
+[[noreturn]] void interp_fail(std::string msg, int line) {
+  throw InterpError{std::move(msg), line};
+}
+
+Type local_ptr_type(const Type& decl) noexcept {
+  if (decl.kind == Kind::Struct)
+    return make_ptr(Kind::Struct, 1, AddrSpace::Local, decl.struct_id);
+  return make_ptr(decl.kind, decl.vec, AddrSpace::Local);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// function execution
+// ---------------------------------------------------------------------------
+
+Value Interp::run_function(const FuncDecl& fn, std::span<const Value> args) {
+  if (++depth_ > 64) interp_fail("call depth limit exceeded (recursion?)", 0);
+  Frame f;
+  f.slots.resize(static_cast<std::size_t>(fn.num_slots));
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    const ParamInfo& p = fn.params[i];
+    Value v = args[i];
+    if (p.type.kind == Kind::Struct) {
+      // by-value struct: copy the caller's bytes into our own storage
+      const std::size_t sz = size_of(p.type, mod_.structs);
+      f.allocas.emplace_back(sz);
+      std::memcpy(f.allocas.back().data(), v.ptr(), sz);
+      v = Value::of_ptr(p.type, f.allocas.back().data());
+    } else if (p.type.kind != Kind::Image2D && p.type.kind != Kind::Image3D &&
+               p.type.kind != Kind::Sampler && p.type.kind != Kind::Pointer) {
+      v = convert(v, p.type);
+    }
+    f.slots[static_cast<std::size_t>(p.slot)] = v;
+  }
+  if (fn.body) exec(*fn.body, f);
+  --depth_;
+  if (fn.ret.kind != Kind::Void && !f.returned)
+    interp_fail("function '" + fn.name + "' did not return a value", 0);
+  return f.ret;
+}
+
+Interp::Flow Interp::exec(const Stmt& s, Frame& f) {
+  ++ctx_.ops;
+  switch (s.k) {
+    case Stmt::K::ExprStmt:
+      if (s.e) eval(*s.e, f);
+      return Flow::Normal;
+
+    case Stmt::K::Decl: {
+      Value& slot = f.slots[static_cast<std::size_t>(s.slot)];
+      if (s.local_id >= 0) {
+        slot = Value::of_ptr(local_ptr_type(s.decl_type),
+                             ctx_.local_base + s.local_offset);
+      } else if (s.array_len > 0) {
+        const std::size_t sz = size_of(s.decl_type, mod_.structs) *
+                               static_cast<std::size_t>(s.array_len);
+        f.allocas.emplace_back(sz);
+        Type pt = s.decl_type.kind == Kind::Struct
+                      ? make_ptr(Kind::Struct, 1, AddrSpace::Private,
+                                 s.decl_type.struct_id)
+                      : make_ptr(s.decl_type.kind, s.decl_type.vec,
+                                 AddrSpace::Private);
+        slot = Value::of_ptr(pt, f.allocas.back().data());
+      } else if (s.decl_type.kind == Kind::Struct) {
+        f.allocas.emplace_back(size_of(s.decl_type, mod_.structs));
+        slot = Value::of_ptr(s.decl_type, f.allocas.back().data());
+        if (s.e) {
+          const Value init = eval(*s.e, f);
+          std::memcpy(slot.ptr(), init.ptr(), size_of(s.decl_type, mod_.structs));
+        }
+      } else {
+        slot = Value(s.decl_type);
+        if (s.e) slot = convert(eval(*s.e, f), s.decl_type);
+      }
+      return Flow::Normal;
+    }
+
+    case Stmt::K::Block:
+      for (const auto& st : s.body) {
+        const Flow fl = exec(*st, f);
+        if (fl != Flow::Normal) return fl;
+      }
+      return Flow::Normal;
+
+    case Stmt::K::If:
+      if (eval(*s.e, f).truthy()) return exec(*s.then_s, f);
+      if (s.else_s) return exec(*s.else_s, f);
+      return Flow::Normal;
+
+    case Stmt::K::While:
+      while (eval(*s.e, f).truthy()) {
+        const Flow fl = exec(*s.then_s, f);
+        if (fl == Flow::Break) break;
+        if (fl == Flow::Return) return fl;
+      }
+      return Flow::Normal;
+
+    case Stmt::K::DoWhile:
+      do {
+        const Flow fl = exec(*s.then_s, f);
+        if (fl == Flow::Break) break;
+        if (fl == Flow::Return) return fl;
+      } while (eval(*s.e, f).truthy());
+      return Flow::Normal;
+
+    case Stmt::K::For: {
+      if (s.init) exec(*s.init, f);
+      while (s.e == nullptr || eval(*s.e, f).truthy()) {
+        const Flow fl = exec(*s.then_s, f);
+        if (fl == Flow::Break) break;
+        if (fl == Flow::Return) return fl;
+        if (s.inc) eval(*s.inc, f);
+      }
+      return Flow::Normal;
+    }
+
+    case Stmt::K::Return:
+      if (s.e) f.ret = eval(*s.e, f);
+      f.returned = true;
+      return Flow::Return;
+    case Stmt::K::Break: return Flow::Break;
+    case Stmt::K::Continue: return Flow::Continue;
+  }
+  return Flow::Normal;
+}
+
+// ---------------------------------------------------------------------------
+// lvalues
+// ---------------------------------------------------------------------------
+
+std::uint8_t* Interp::lvalue(const Expr& e, Frame& f, Type& t) {
+  switch (e.k) {
+    case Expr::K::VarRef: {
+      Value& slot = f.slots[static_cast<std::size_t>(e.slot)];
+      t = e.type;
+      if (e.type.kind == Kind::Struct)
+        return static_cast<std::uint8_t*>(slot.ptr());
+      return slot.raw;
+    }
+    case Expr::K::Index: {
+      const Value base = eval(*e.a, f);
+      const Value idx = eval(*e.b, f);
+      auto* p = base.bytes_ptr();
+      if (p == nullptr) interp_fail("null pointer subscript", e.line);
+      t = e.type;
+      return p + idx.elem_i() *
+                     static_cast<std::int64_t>(ptr_stride(base.type, mod_.structs));
+    }
+    case Expr::K::Member: {
+      Type bt;
+      std::uint8_t* base = lvalue(*e.a, f, bt);
+      if (e.member_index >= 0) {
+        const auto& sd = mod_.structs[static_cast<std::size_t>(bt.struct_id)];
+        const auto& fld = sd.fields[static_cast<std::size_t>(e.member_index)];
+        t = fld.type;
+        return base + fld.offset;
+      }
+      // swizzle lvalue: single component only
+      if (e.swizzle_len != 1)
+        interp_fail("cannot assign to a multi-component swizzle", e.line);
+      t = e.type;
+      return base + e.swizzle[0] * scalar_size(bt.kind);
+    }
+    case Expr::K::Unary:
+      if (e.op == Tok::Star) {
+        const Value p = eval(*e.a, f);
+        if (p.ptr() == nullptr) interp_fail("null pointer dereference", e.line);
+        t = e.type;
+        return p.bytes_ptr();
+      }
+      break;
+    default: break;
+  }
+  interp_fail("expression is not an lvalue", e.line);
+}
+
+// ---------------------------------------------------------------------------
+// expressions
+// ---------------------------------------------------------------------------
+
+Value Interp::eval_binary(Tok op, const Value& a, const Value& b, const Type& rt,
+                          int line) {
+  // pointer arithmetic
+  if (a.type.kind == Kind::Pointer || b.type.kind == Kind::Pointer) {
+    if (op == Tok::Minus && a.type.kind == Kind::Pointer &&
+        b.type.kind == Kind::Pointer) {
+      const auto stride =
+          static_cast<std::int64_t>(ptr_stride(a.type, mod_.structs));
+      return Value::of_i64((a.bytes_ptr() - b.bytes_ptr()) / stride);
+    }
+    // comparisons on pointers
+    switch (op) {
+      case Tok::EqEq: return Value::of_i32(a.ptr() == b.ptr() ? 1 : 0);
+      case Tok::NotEq: return Value::of_i32(a.ptr() != b.ptr() ? 1 : 0);
+      case Tok::Lt: return Value::of_i32(a.bytes_ptr() < b.bytes_ptr() ? 1 : 0);
+      case Tok::Gt: return Value::of_i32(a.bytes_ptr() > b.bytes_ptr() ? 1 : 0);
+      case Tok::Le: return Value::of_i32(a.bytes_ptr() <= b.bytes_ptr() ? 1 : 0);
+      case Tok::Ge: return Value::of_i32(a.bytes_ptr() >= b.bytes_ptr() ? 1 : 0);
+      default: break;
+    }
+    const Value& pv = a.type.kind == Kind::Pointer ? a : b;
+    const Value& iv = a.type.kind == Kind::Pointer ? b : a;
+    std::int64_t off = iv.elem_i();
+    if (op == Tok::Minus) off = -off;
+    const auto stride =
+        static_cast<std::int64_t>(ptr_stride(pv.type, mod_.structs));
+    return Value::of_ptr(pv.type, pv.bytes_ptr() + off * stride);
+  }
+
+  // comparisons: promote to a common arithmetic type, compare element 0
+  switch (op) {
+    case Tok::EqEq:
+    case Tok::NotEq:
+    case Tok::Lt:
+    case Tok::Gt:
+    case Tok::Le:
+    case Tok::Ge: {
+      const bool fp = is_float(a.type.kind) || is_float(b.type.kind);
+      bool r = false;
+      if (fp) {
+        const double x = a.elem_f();
+        const double y = b.elem_f();
+        switch (op) {
+          case Tok::EqEq: r = x == y; break;
+          case Tok::NotEq: r = x != y; break;
+          case Tok::Lt: r = x < y; break;
+          case Tok::Gt: r = x > y; break;
+          case Tok::Le: r = x <= y; break;
+          default: r = x >= y; break;
+        }
+      } else {
+        const bool both_signed =
+            is_signed_int(a.type.kind) && is_signed_int(b.type.kind);
+        if (both_signed) {
+          const std::int64_t x = a.elem_i();
+          const std::int64_t y = b.elem_i();
+          switch (op) {
+            case Tok::EqEq: r = x == y; break;
+            case Tok::NotEq: r = x != y; break;
+            case Tok::Lt: r = x < y; break;
+            case Tok::Gt: r = x > y; break;
+            case Tok::Le: r = x <= y; break;
+            default: r = x >= y; break;
+          }
+        } else {
+          const std::uint64_t x = a.elem_u();
+          const std::uint64_t y = b.elem_u();
+          switch (op) {
+            case Tok::EqEq: r = x == y; break;
+            case Tok::NotEq: r = x != y; break;
+            case Tok::Lt: r = x < y; break;
+            case Tok::Gt: r = x > y; break;
+            case Tok::Le: r = x <= y; break;
+            default: r = x >= y; break;
+          }
+        }
+      }
+      return Value::of_i32(r ? 1 : 0);
+    }
+    case Tok::AmpAmp:
+      return Value::of_i32(a.truthy() && b.truthy() ? 1 : 0);
+    case Tok::PipePipe:
+      return Value::of_i32(a.truthy() || b.truthy() ? 1 : 0);
+    default: break;
+  }
+
+  // arithmetic / bitwise: convert both operands to the result type, apply
+  // element-wise with exact-width wrap-around on store
+  const Value ca = convert(a, rt);
+  const Value cb = convert(b, rt);
+  Value r(rt);
+  const unsigned bits = static_cast<unsigned>(scalar_size(rt.kind)) * 8;
+  for (unsigned i = 0; i < rt.vec; ++i) {
+    if (is_float(rt.kind)) {
+      const double x = ca.elem_f(i);
+      const double y = cb.elem_f(i);
+      double v = 0;
+      switch (op) {
+        case Tok::Plus: v = x + y; break;
+        case Tok::Minus: v = x - y; break;
+        case Tok::Star: v = x * y; break;
+        case Tok::Slash: v = x / y; break;
+        default: interp_fail("invalid float operator", line);
+      }
+      r.set_elem_f(i, v);
+    } else {
+      const std::uint64_t x = ca.elem_u(i);
+      const std::uint64_t y = cb.elem_u(i);
+      std::uint64_t v = 0;
+      switch (op) {
+        case Tok::Plus: v = x + y; break;
+        case Tok::Minus: v = x - y; break;
+        case Tok::Star: v = x * y; break;
+        case Tok::Slash:
+          if (y == 0) interp_fail("integer division by zero", line);
+          if (is_signed_int(rt.kind))
+            v = static_cast<std::uint64_t>(ca.elem_i(i) / cb.elem_i(i));
+          else
+            v = x / y;
+          break;
+        case Tok::Percent:
+          if (y == 0) interp_fail("integer modulo by zero", line);
+          if (is_signed_int(rt.kind))
+            v = static_cast<std::uint64_t>(ca.elem_i(i) % cb.elem_i(i));
+          else
+            v = x % y;
+          break;
+        case Tok::Amp: v = x & y; break;
+        case Tok::Pipe: v = x | y; break;
+        case Tok::Caret: v = x ^ y; break;
+        case Tok::Shl: v = x << (y & (bits - 1)); break;
+        case Tok::Shr:
+          if (is_signed_int(rt.kind))
+            v = static_cast<std::uint64_t>(ca.elem_i(i) >> (y & (bits - 1)));
+          else
+            v = x >> (y & (bits - 1));
+          break;
+        default: interp_fail("invalid integer operator", line);
+      }
+      r.set_elem_i(i, static_cast<std::int64_t>(v));
+    }
+  }
+  return r;
+}
+
+Value Interp::call_user(const FuncDecl& fn, const Expr& e, Frame& f) {
+  std::vector<Value> args;
+  args.reserve(e.args.size());
+  for (std::size_t i = 0; i < e.args.size(); ++i) {
+    Value v = eval(*e.args[i], f);
+    const Type& pt = fn.params[i].type;
+    if (pt.kind != Kind::Pointer && pt.kind != Kind::Struct &&
+        pt.kind != Kind::Image2D && pt.kind != Kind::Image3D &&
+        pt.kind != Kind::Sampler)
+      v = convert(v, pt);
+    args.push_back(v);
+  }
+  return run_function(fn, args);
+}
+
+Value Interp::eval(const Expr& e, Frame& f) {
+  ++ctx_.ops;
+  switch (e.k) {
+    case Expr::K::IntLit: {
+      Value v(e.type);
+      v.set_elem_i(0, static_cast<std::int64_t>(e.int_val));
+      return v;
+    }
+    case Expr::K::FloatLit: {
+      Value v(e.type);
+      v.set_elem_f(0, e.float_val);
+      return v;
+    }
+    case Expr::K::VarRef: return f.slots[static_cast<std::size_t>(e.slot)];
+    case Expr::K::Binary: {
+      if (e.op == Tok::AmpAmp) {
+        const Value a = eval(*e.a, f);
+        if (!a.truthy()) return Value::of_i32(0);
+        return Value::of_i32(eval(*e.b, f).truthy() ? 1 : 0);
+      }
+      if (e.op == Tok::PipePipe) {
+        const Value a = eval(*e.a, f);
+        if (a.truthy()) return Value::of_i32(1);
+        return Value::of_i32(eval(*e.b, f).truthy() ? 1 : 0);
+      }
+      const Value a = eval(*e.a, f);
+      const Value b = eval(*e.b, f);
+      return eval_binary(e.op, a, b, e.type, e.line);
+    }
+    case Expr::K::Unary: {
+      switch (e.op) {
+        case Tok::Minus: {
+          const Value a = eval(*e.a, f);
+          Value zero(e.type);
+          return eval_binary(Tok::Minus, zero, a, e.type, e.line);
+        }
+        case Tok::Bang: return Value::of_i32(eval(*e.a, f).truthy() ? 0 : 1);
+        case Tok::Tilde: {
+          const Value a = convert(eval(*e.a, f), e.type);
+          Value r(e.type);
+          for (unsigned i = 0; i < e.type.vec; ++i)
+            r.set_elem_i(i, static_cast<std::int64_t>(~a.elem_u(i)));
+          return r;
+        }
+        case Tok::Star: {
+          const Value p = eval(*e.a, f);
+          if (p.ptr() == nullptr)
+            interp_fail("null pointer dereference", e.line);
+          if (e.type.kind == Kind::Struct)
+            return Value::of_ptr(e.type, p.ptr());
+          return load_value(p.bytes_ptr(), e.type);
+        }
+        case Tok::Amp: {
+          Type t;
+          std::uint8_t* addr = lvalue(*e.a, f, t);
+          return Value::of_ptr(e.type, addr);
+        }
+        default: interp_fail("bad unary operator", e.line);
+      }
+    }
+    case Expr::K::Assign: {
+      Type lt;
+      std::uint8_t* addr = lvalue(*e.a, f, lt);
+      Value rhs = eval(*e.b, f);
+      if (e.op != Tok::Assign) {
+        Tok base_op = Tok::End;
+        switch (e.op) {
+          case Tok::PlusAssign: base_op = Tok::Plus; break;
+          case Tok::MinusAssign: base_op = Tok::Minus; break;
+          case Tok::StarAssign: base_op = Tok::Star; break;
+          case Tok::SlashAssign: base_op = Tok::Slash; break;
+          case Tok::PercentAssign: base_op = Tok::Percent; break;
+          case Tok::AmpAssign: base_op = Tok::Amp; break;
+          case Tok::PipeAssign: base_op = Tok::Pipe; break;
+          case Tok::CaretAssign: base_op = Tok::Caret; break;
+          case Tok::ShlAssign: base_op = Tok::Shl; break;
+          case Tok::ShrAssign: base_op = Tok::Shr; break;
+          default: interp_fail("bad compound assignment", e.line);
+        }
+        const Value cur = load_value(addr, lt);
+        if (lt.kind == Kind::Pointer) {
+          rhs = eval_binary(base_op, cur, rhs, lt, e.line);
+        } else {
+          rhs = eval_binary(base_op, cur, rhs, lt, e.line);
+        }
+      }
+      if (lt.kind == Kind::Struct) {
+        std::memcpy(addr, rhs.ptr(), size_of(lt, mod_.structs));
+        return rhs;
+      }
+      const Value conv = lt.kind == Kind::Pointer ? rhs : convert(rhs, lt);
+      store_value(addr, conv);
+      return conv;
+    }
+    case Expr::K::Cond:
+      return eval(*e.a, f).truthy() ? convert(eval(*e.b, f), e.type)
+                                    : convert(eval(*e.c, f), e.type);
+    case Expr::K::Call: {
+      if (e.callee != nullptr) return call_user(*e.callee, e, f);
+      std::vector<Value> args;
+      args.reserve(e.args.size());
+      for (const auto& a : e.args) args.push_back(eval(*a, f));
+      return call_builtin(static_cast<Builtin>(e.builtin_id), args, ctx_);
+    }
+    case Expr::K::Index: {
+      Type t;
+      std::uint8_t* addr = lvalue(e, f, t);
+      if (t.kind == Kind::Struct) return Value::of_ptr(t, addr);
+      return load_value(addr, t);
+    }
+    case Expr::K::Member: {
+      if (e.member_index >= 0) {
+        Type t;
+        std::uint8_t* addr = lvalue(e, f, t);
+        if (t.kind == Kind::Struct) return Value::of_ptr(t, addr);
+        return load_value(addr, t);
+      }
+      // swizzle read: evaluate the base as a value (works for rvalues too)
+      const Value base = eval(*e.a, f);
+      Value r(e.type);
+      for (unsigned i = 0; i < e.swizzle_len; ++i) {
+        if (is_float(base.type.kind))
+          r.set_elem_f(i, base.elem_f(e.swizzle[i]));
+        else
+          r.set_elem_i(i, base.elem_i(e.swizzle[i]));
+      }
+      return r;
+    }
+    case Expr::K::Cast: {
+      const Value v = eval(*e.a, f);
+      return convert(v, e.type);
+    }
+    case Expr::K::VecLit: {
+      Value r(e.type);
+      if (e.args.size() == 1 && e.args[0]->type.vec == 1) {
+        const Value v = convert(eval(*e.args[0], f), make_scalar(e.type.kind));
+        for (unsigned i = 0; i < e.type.vec; ++i) {
+          if (is_float(e.type.kind))
+            r.set_elem_f(i, v.elem_f());
+          else
+            r.set_elem_i(i, v.elem_i());
+        }
+        return r;
+      }
+      unsigned out = 0;
+      for (const auto& a : e.args) {
+        const Value v = eval(*a, f);
+        for (unsigned i = 0; i < v.type.vec; ++i, ++out) {
+          if (is_float(e.type.kind))
+            r.set_elem_f(out, v.elem_f(i));
+          else
+            r.set_elem_i(out, is_float(v.type.kind)
+                                  ? static_cast<std::int64_t>(v.elem_f(i))
+                                  : v.elem_i(i));
+        }
+      }
+      return r;
+    }
+    case Expr::K::PreIncDec:
+    case Expr::K::PostIncDec: {
+      Type t;
+      std::uint8_t* addr = lvalue(*e.a, f, t);
+      const Value cur = load_value(addr, t);
+      Value one = t.kind == Kind::Pointer ? Value::of_i32(1) : Value(t);
+      if (t.kind != Kind::Pointer) {
+        if (is_float(t.kind)) one.set_elem_f(0, 1.0);
+        else one.set_elem_i(0, 1);
+      }
+      const Value next = eval_binary(e.op, cur, one, t, e.line);
+      store_value(addr, t.kind == Kind::Pointer ? next : convert(next, t));
+      return e.k == Expr::K::PreIncDec ? next : cur;
+    }
+  }
+  interp_fail("unhandled expression", e.line);
+}
+
+// ---------------------------------------------------------------------------
+// NDRange execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Builds per-work-item argument Values.  The local arena layout is: first the
+// kernel's static __local declarations (offsets assigned at parse time), then
+// one 16-byte-aligned block per LocalAlloc argument.
+struct ArgPlan {
+  std::vector<std::size_t> local_offsets;  // per arg index (LocalAlloc only)
+  std::size_t arena_bytes = 0;
+  std::vector<ImageDesc> images;
+  std::vector<SamplerDesc> samplers;
+  std::vector<int> image_index;    // arg -> index into images
+  std::vector<int> sampler_index;  // arg -> index into samplers
+};
+
+ArgPlan plan_args(const FuncDecl& kernel, std::span<const KernelArg> args) {
+  ArgPlan plan;
+  plan.local_offsets.assign(args.size(), 0);
+  plan.image_index.assign(args.size(), -1);
+  plan.sampler_index.assign(args.size(), -1);
+  std::size_t off = (kernel.local_mem_bytes + 15) / 16 * 16;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    switch (args[i].k) {
+      case KernelArg::K::LocalAlloc:
+        plan.local_offsets[i] = off;
+        off += (args[i].local_bytes + 15) / 16 * 16;
+        break;
+      case KernelArg::K::Image:
+        plan.image_index[i] = static_cast<int>(plan.images.size());
+        plan.images.push_back(args[i].image);
+        break;
+      case KernelArg::K::Sampler:
+        plan.sampler_index[i] = static_cast<int>(plan.samplers.size());
+        plan.samplers.push_back(args[i].sampler);
+        break;
+      default: break;
+    }
+  }
+  plan.arena_bytes = off;
+  return plan;
+}
+
+void build_arg_values(const FuncDecl& kernel, std::span<const KernelArg> args,
+                      const ArgPlan& plan, std::uint8_t* arena,
+                      std::vector<Value>& out) {
+  out.clear();
+  out.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const ParamInfo& p = kernel.params[i];
+    const KernelArg& a = args[i];
+    switch (a.k) {
+      case KernelArg::K::Bytes:
+        if (p.type.kind == Kind::Struct) {
+          // run_function copies the bytes into frame storage
+          Value v = Value::of_ptr(p.type, const_cast<std::uint8_t*>(a.bytes.data()));
+          out.push_back(v);
+        } else {
+          out.push_back(load_value(a.bytes.data(), p.type));
+        }
+        break;
+      case KernelArg::K::GlobalPtr:
+        out.push_back(Value::of_ptr(p.type, a.ptr));
+        break;
+      case KernelArg::K::LocalAlloc:
+        out.push_back(Value::of_ptr(p.type, arena + plan.local_offsets[i]));
+        break;
+      case KernelArg::K::Image: {
+        Value v(p.type);
+        const ImageDesc* d = &plan.images[static_cast<std::size_t>(plan.image_index[i])];
+        std::memcpy(v.raw, &d, sizeof d);
+        out.push_back(v);
+        break;
+      }
+      case KernelArg::K::Sampler: {
+        Value v(p.type);
+        const SamplerDesc* d =
+            &plan.samplers[static_cast<std::size_t>(plan.sampler_index[i])];
+        std::memcpy(v.raw, &d, sizeof d);
+        out.push_back(v);
+        break;
+      }
+    }
+  }
+}
+
+void set_item_ids(WorkItemCtx& ctx, const NDRange& nd, std::size_t group_lin,
+                  std::size_t item_lin) {
+  const std::size_t ng0 = nd.groups(0);
+  const std::size_t ng1 = nd.groups(1);
+  ctx.grp[0] = group_lin % ng0;
+  ctx.grp[1] = (group_lin / ng0) % ng1;
+  ctx.grp[2] = group_lin / (ng0 * ng1);
+  ctx.lid[0] = item_lin % nd.local[0];
+  ctx.lid[1] = (item_lin / nd.local[0]) % nd.local[1];
+  ctx.lid[2] = item_lin / (nd.local[0] * nd.local[1]);
+  for (int d = 0; d < 3; ++d)
+    ctx.gid[d] = nd.offset[d] + ctx.grp[d] * nd.local[d] + ctx.lid[d];
+}
+
+// True if this work item lies inside the global range (ragged edge groups).
+bool item_in_range(const WorkItemCtx& ctx, const NDRange& nd) {
+  for (int d = 0; d < 3; ++d)
+    if (ctx.gid[d] >= nd.offset[d] + nd.global[d]) return false;
+  return true;
+}
+
+}  // namespace
+
+LaunchResult execute_ndrange(const Module& mod, const FuncDecl& kernel,
+                             std::span<const KernelArg> args, const NDRange& nd,
+                             const LaunchOptions& opts) {
+  LaunchResult result;
+  if (args.size() != kernel.params.size()) {
+    result.ok = false;
+    result.error = "kernel '" + kernel.name + "' expects " +
+                   std::to_string(kernel.params.size()) + " args, got " +
+                   std::to_string(args.size());
+    return result;
+  }
+  const ArgPlan plan = plan_args(kernel, args);
+  const std::size_t total_groups = nd.total_groups();
+  const std::size_t local_total = nd.local_total();
+
+  std::atomic<std::uint64_t> total_ops{0};
+  std::mutex err_mu;
+  std::string first_error;
+  std::atomic<bool> failed{false};
+
+  auto record_error = [&](const InterpError& err) {
+    std::lock_guard<std::mutex> lk(err_mu);
+    if (first_error.empty()) {
+      first_error = err.message;
+      if (err.line > 0) first_error += " (kernel line " + std::to_string(err.line) + ")";
+    }
+    failed.store(true, std::memory_order_release);
+  };
+
+  if (!kernel.uses_barrier) {
+    // Serial work-items per group; groups striped across host threads.
+    unsigned nthreads = opts.max_threads != 0
+                            ? opts.max_threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+    nthreads = static_cast<unsigned>(
+        std::min<std::size_t>(nthreads, std::max<std::size_t>(total_groups, 1)));
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t) {
+      threads.emplace_back([&, t] {
+        std::vector<std::uint8_t> arena(plan.arena_bytes);
+        WorkItemCtx ctx;
+        ctx.nd = &nd;
+        ctx.mod = &mod;
+        ctx.local_base = arena.data();
+        Interp interp(mod, ctx);
+        std::vector<Value> argv;
+        for (std::size_t g = t; g < total_groups && !failed.load(std::memory_order_acquire);
+             g += nthreads) {
+          for (std::size_t li = 0; li < local_total; ++li) {
+            set_item_ids(ctx, nd, g, li);
+            if (!item_in_range(ctx, nd)) continue;
+            build_arg_values(kernel, args, plan, arena.data(), argv);
+            try {
+              interp.run_function(kernel, argv);
+            } catch (const InterpError& err) {
+              record_error(err);
+              break;
+            }
+          }
+        }
+        total_ops.fetch_add(ctx.ops, std::memory_order_relaxed);
+      });
+    }
+    for (auto& th : threads) th.join();
+  } else {
+    // Lockstep: one thread per work-item slot, shared arena, barrier sync.
+    std::vector<std::uint8_t> arena(plan.arena_bytes);
+    std::barrier bar(static_cast<std::ptrdiff_t>(local_total));
+    std::vector<std::thread> threads;
+    threads.reserve(local_total);
+    for (std::size_t li = 0; li < local_total; ++li) {
+      threads.emplace_back([&, li] {
+        WorkItemCtx ctx;
+        ctx.nd = &nd;
+        ctx.mod = &mod;
+        ctx.local_base = arena.data();
+        ctx.bar = &bar;
+        Interp interp(mod, ctx);
+        std::vector<Value> argv;
+        for (std::size_t g = 0; g < total_groups; ++g) {
+          set_item_ids(ctx, nd, g, li);
+          if (item_in_range(ctx, nd) && !failed.load(std::memory_order_acquire)) {
+            build_arg_values(kernel, args, plan, arena.data(), argv);
+            try {
+              interp.run_function(kernel, argv);
+            } catch (const InterpError& err) {
+              record_error(err);
+              total_ops.fetch_add(ctx.ops, std::memory_order_relaxed);
+              bar.arrive_and_drop();
+              return;
+            }
+          }
+          // group boundary: everyone syncs before the arena is reused
+          bar.arrive_and_wait();
+        }
+        total_ops.fetch_add(ctx.ops, std::memory_order_relaxed);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  result.ops = total_ops.load(std::memory_order_relaxed);
+  if (failed.load(std::memory_order_acquire)) {
+    result.ok = false;
+    result.error = first_error;
+  }
+  return result;
+}
+
+}  // namespace clc

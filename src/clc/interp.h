@@ -1,0 +1,125 @@
+// interp.h — tree-walking interpreter and NDRange execution engine for the
+// OpenCL C subset.
+//
+// Two execution paths:
+//  * kernels that never reach barrier(): work-items run sequentially within a
+//    group, groups parallelized across a host thread pool;
+//  * kernels using barrier(): one host thread per work-item slot, lockstep via
+//    std::barrier, groups processed one after another.
+// Every evaluated AST node bumps an op counter; the total feeds the device
+// cost model in simcl (kernel time = ops / device op-throughput).
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clc/ast.h"
+#include "clc/value.h"
+
+namespace clc {
+
+// One kernel argument, as prepared by the runtime from clSetKernelArg data.
+struct KernelArg {
+  enum class K : std::uint8_t {
+    Bytes,       // scalar / vector / struct passed by value
+    GlobalPtr,   // __global or __constant pointer (buffer storage)
+    LocalAlloc,  // __local pointer: size only, storage allocated per group
+    Image,       // image2d_t
+    Sampler,     // sampler_t
+  };
+  K k = K::Bytes;
+  std::vector<std::uint8_t> bytes;
+  void* ptr = nullptr;
+  std::size_t local_bytes = 0;
+  ImageDesc image;
+  SamplerDesc sampler;
+};
+
+struct NDRange {
+  std::uint32_t dim = 1;
+  std::size_t global[3] = {1, 1, 1};
+  std::size_t local[3] = {1, 1, 1};
+  std::size_t offset[3] = {0, 0, 0};
+
+  [[nodiscard]] std::size_t groups(unsigned d) const noexcept {
+    return (global[d] + local[d] - 1) / local[d];
+  }
+  [[nodiscard]] std::size_t total_groups() const noexcept {
+    return groups(0) * groups(1) * groups(2);
+  }
+  [[nodiscard]] std::size_t local_total() const noexcept {
+    return local[0] * local[1] * local[2];
+  }
+};
+
+// Per-work-item execution context, visible to builtins.
+struct WorkItemCtx {
+  std::size_t gid[3] = {0, 0, 0};
+  std::size_t lid[3] = {0, 0, 0};
+  std::size_t grp[3] = {0, 0, 0};
+  const NDRange* nd = nullptr;
+  std::uint8_t* local_base = nullptr;      // this group's __local arena
+  std::barrier<>* bar = nullptr;           // lockstep barrier; null = serial path
+  std::uint64_t ops = 0;                   // executed-node counter
+  const Module* mod = nullptr;
+};
+
+// Thrown on runtime faults (null deref, missing return, ...); the launch
+// wrapper converts it into a LaunchResult error.
+struct InterpError {
+  std::string message;
+  int line = 0;
+};
+
+// Interpreter for one work-item.
+class Interp {
+ public:
+  Interp(const Module& mod, WorkItemCtx& ctx) : mod_(mod), ctx_(ctx) {}
+
+  // Runs `fn` with `args` already converted to the parameter types.
+  Value run_function(const FuncDecl& fn, std::span<const Value> args);
+
+ private:
+  enum class Flow : std::uint8_t { Normal, Break, Continue, Return };
+
+  struct Frame {
+    std::vector<Value> slots;
+    // Stable backing store for private arrays and by-value structs.
+    std::deque<std::vector<std::uint8_t>> allocas;
+    Value ret;
+    bool returned = false;
+  };
+
+  Flow exec(const Stmt& s, Frame& f);
+  Value eval(const Expr& e, Frame& f);
+  // Address of an lvalue (slot storage or memory) + its value type.
+  std::uint8_t* lvalue(const Expr& e, Frame& f, Type& t);
+  Value eval_binary(Tok op, const Value& a, const Value& b, const Type& rt, int line);
+  Value call_user(const FuncDecl& fn, const Expr& e, Frame& f);
+
+  const Module& mod_;
+  WorkItemCtx& ctx_;
+  int depth_ = 0;
+};
+
+struct LaunchResult {
+  bool ok = true;
+  std::string error;
+  std::uint64_t ops = 0;  // total AST ops executed over all work-items
+};
+
+struct LaunchOptions {
+  unsigned max_threads = 0;  // 0 = hardware concurrency
+};
+
+// Executes `kernel` over `nd`.  `args` must match the kernel's parameter list.
+LaunchResult execute_ndrange(const Module& mod, const FuncDecl& kernel,
+                             std::span<const KernelArg> args, const NDRange& nd,
+                             const LaunchOptions& opts = {});
+
+}  // namespace clc

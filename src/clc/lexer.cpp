@@ -1,0 +1,313 @@
+#include "clc/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace clc {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keyword_map() {
+  static const std::unordered_map<std::string_view, Tok> kMap = {
+      {"__kernel", Tok::KwKernel},     {"kernel", Tok::KwKernel},
+      {"__global", Tok::KwGlobal},     {"global", Tok::KwGlobal},
+      {"__local", Tok::KwLocal},       {"local", Tok::KwLocal},
+      {"__constant", Tok::KwConstant}, {"constant", Tok::KwConstant},
+      {"__private", Tok::KwPrivate},   {"private", Tok::KwPrivate},
+      {"const", Tok::KwConst},         {"restrict", Tok::KwRestrict},
+      {"__restrict", Tok::KwRestrict}, {"volatile", Tok::KwVolatile},
+      {"unsigned", Tok::KwUnsigned},   {"signed", Tok::KwSigned},
+      {"void", Tok::KwVoid},           {"bool", Tok::KwBool},
+      {"char", Tok::KwChar},           {"short", Tok::KwShort},
+      {"int", Tok::KwInt},             {"long", Tok::KwLong},
+      {"float", Tok::KwFloat},         {"double", Tok::KwDouble},
+      {"size_t", Tok::KwSizeT},
+      {"struct", Tok::KwStruct},       {"typedef", Tok::KwTypedef},
+      {"if", Tok::KwIf},               {"else", Tok::KwElse},
+      {"for", Tok::KwFor},             {"while", Tok::KwWhile},
+      {"do", Tok::KwDo},               {"return", Tok::KwReturn},
+      {"break", Tok::KwBreak},         {"continue", Tok::KwContinue},
+      {"image2d_t", Tok::KwImage2d},   {"image3d_t", Tok::KwImage3d},
+      {"sampler_t", Tok::KwSampler},
+  };
+  return kMap;
+}
+
+bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_cont(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+const char* tok_name(Tok t) noexcept {
+  switch (t) {
+    case Tok::End: return "<eof>";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::FloatLit: return "float literal";
+    case Tok::StrLit: return "string literal";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Question: return "'?'";
+    case Tok::Dot: return "'.'";
+    case Tok::Arrow: return "'->'";
+    case Tok::Assign: return "'='";
+    case Tok::KwKernel: return "'__kernel'";
+    case Tok::KwStruct: return "'struct'";
+    default: return "token";
+  }
+}
+
+Lexer::Lexer(std::string_view source) : src_(source) {}
+
+char Lexer::peek(int ahead) const noexcept {
+  const std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+  return p < src_.size() ? src_[p] : '\0';
+}
+
+char Lexer::advance() noexcept {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+void Lexer::skip_ws_and_comments() {
+  for (;;) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (!at_end()) {
+        advance();
+        advance();
+      }
+    } else {
+      return;
+    }
+  }
+}
+
+bool Lexer::lex_ident_or_keyword(Token& t) {
+  std::string s;
+  while (!at_end() && is_ident_cont(peek())) s.push_back(advance());
+  const auto& kw = keyword_map();
+  if (const auto it = kw.find(s); it != kw.end()) {
+    t.kind = it->second;
+  } else {
+    t.kind = Tok::Ident;
+    t.text = std::move(s);
+  }
+  return true;
+}
+
+bool Lexer::lex_number(Token& t, Diag& diag) {
+  std::string s;
+  bool is_float = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    s.push_back(advance());
+    s.push_back(advance());
+    while (std::isxdigit(static_cast<unsigned char>(peek())) != 0)
+      s.push_back(advance());
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0)
+      s.push_back(advance());
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0) {
+      is_float = true;
+      s.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0)
+        s.push_back(advance());
+    } else if (peek() == '.' && !is_ident_start(peek(1))) {
+      // "1." style literal (but not "1.x" vector swizzle on a literal,
+      // which OpenCL C does not allow anyway).
+      is_float = true;
+      s.push_back(advance());
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      is_float = true;
+      s.push_back(advance());
+      if (peek() == '+' || peek() == '-') s.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0)
+        s.push_back(advance());
+    }
+  }
+
+  if (is_float) {
+    t.kind = Tok::FloatLit;
+    t.float_value = std::strtod(s.c_str(), nullptr);
+    if (peek() == 'f' || peek() == 'F') {
+      advance();
+      t.is_float32 = true;
+    }
+    return true;
+  }
+
+  t.kind = Tok::IntLit;
+  errno = 0;
+  t.int_value = std::strtoull(s.c_str(), nullptr, 0);
+  if (errno != 0) {
+    diag = {"integer literal out of range: " + s, t.line, t.col};
+    return false;
+  }
+  for (;;) {
+    if (peek() == 'u' || peek() == 'U') {
+      advance();
+      t.is_unsigned = true;
+    } else if (peek() == 'l' || peek() == 'L') {
+      advance();
+      t.is_long = true;
+    } else if (peek() == 'f' || peek() == 'F') {
+      // "1f" is not valid C, but accept it as a float literal for robustness.
+      advance();
+      t.kind = Tok::FloatLit;
+      t.float_value = static_cast<double>(t.int_value);
+      t.is_float32 = true;
+      break;
+    } else {
+      break;
+    }
+  }
+  return true;
+}
+
+bool Lexer::lex_one(Token& t, Diag& diag) {
+  skip_ws_and_comments();
+  t = Token{};
+  t.line = line_;
+  t.col = col_;
+  if (at_end()) {
+    t.kind = Tok::End;
+    return true;
+  }
+  const char c = peek();
+  if (is_ident_start(c)) return lex_ident_or_keyword(t);
+  if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+    return lex_number(t, diag);
+  }
+  if (c == '"') {
+    advance();
+    std::string s;
+    while (!at_end() && peek() != '"') {
+      char ch = advance();
+      if (ch == '\\' && !at_end()) {
+        const char esc = advance();
+        switch (esc) {
+          case 'n': ch = '\n'; break;
+          case 't': ch = '\t'; break;
+          case '\\': ch = '\\'; break;
+          case '"': ch = '"'; break;
+          default: ch = esc; break;
+        }
+      }
+      s.push_back(ch);
+    }
+    if (at_end()) {
+      diag = {"unterminated string literal", t.line, t.col};
+      return false;
+    }
+    advance();
+    t.kind = Tok::StrLit;
+    t.text = std::move(s);
+    return true;
+  }
+
+  advance();
+  auto two = [&](char next, Tok if2, Tok if1) {
+    if (peek() == next) {
+      advance();
+      t.kind = if2;
+    } else {
+      t.kind = if1;
+    }
+  };
+  switch (c) {
+    case '(': t.kind = Tok::LParen; break;
+    case ')': t.kind = Tok::RParen; break;
+    case '{': t.kind = Tok::LBrace; break;
+    case '}': t.kind = Tok::RBrace; break;
+    case '[': t.kind = Tok::LBracket; break;
+    case ']': t.kind = Tok::RBracket; break;
+    case ',': t.kind = Tok::Comma; break;
+    case ';': t.kind = Tok::Semi; break;
+    case ':': t.kind = Tok::Colon; break;
+    case '?': t.kind = Tok::Question; break;
+    case '.': t.kind = Tok::Dot; break;
+    case '~': t.kind = Tok::Tilde; break;
+    case '+':
+      if (peek() == '+') { advance(); t.kind = Tok::PlusPlus; }
+      else two('=', Tok::PlusAssign, Tok::Plus);
+      break;
+    case '-':
+      if (peek() == '-') { advance(); t.kind = Tok::MinusMinus; }
+      else if (peek() == '>') { advance(); t.kind = Tok::Arrow; }
+      else two('=', Tok::MinusAssign, Tok::Minus);
+      break;
+    case '*': two('=', Tok::StarAssign, Tok::Star); break;
+    case '/': two('=', Tok::SlashAssign, Tok::Slash); break;
+    case '%': two('=', Tok::PercentAssign, Tok::Percent); break;
+    case '^': two('=', Tok::CaretAssign, Tok::Caret); break;
+    case '!': two('=', Tok::NotEq, Tok::Bang); break;
+    case '=': two('=', Tok::EqEq, Tok::Assign); break;
+    case '&':
+      if (peek() == '&') { advance(); t.kind = Tok::AmpAmp; }
+      else two('=', Tok::AmpAssign, Tok::Amp);
+      break;
+    case '|':
+      if (peek() == '|') { advance(); t.kind = Tok::PipePipe; }
+      else two('=', Tok::PipeAssign, Tok::Pipe);
+      break;
+    case '<':
+      if (peek() == '<') {
+        advance();
+        two('=', Tok::ShlAssign, Tok::Shl);
+      } else {
+        two('=', Tok::Le, Tok::Lt);
+      }
+      break;
+    case '>':
+      if (peek() == '>') {
+        advance();
+        two('=', Tok::ShrAssign, Tok::Shr);
+      } else {
+        two('=', Tok::Ge, Tok::Gt);
+      }
+      break;
+    default:
+      diag = {std::string("unexpected character '") + c + "'", t.line, t.col};
+      return false;
+  }
+  return true;
+}
+
+bool Lexer::run(std::vector<Token>& out, Diag& diag) {
+  out.clear();
+  for (;;) {
+    Token t;
+    if (!lex_one(t, diag)) return false;
+    out.push_back(t);
+    if (t.kind == Tok::End) return true;
+  }
+}
+
+}  // namespace clc

@@ -1,0 +1,35 @@
+// lexer.h — hand-written lexer for the OpenCL C subset.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clc/diag.h"
+#include "clc/token.h"
+
+namespace clc {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source);
+
+  // Tokenize the whole input.  Returns false and fills `diag` on error.
+  bool run(std::vector<Token>& out, Diag& diag);
+
+ private:
+  bool lex_one(Token& t, Diag& diag);
+  bool lex_number(Token& t, Diag& diag);
+  bool lex_ident_or_keyword(Token& t);
+  void skip_ws_and_comments();
+  [[nodiscard]] char peek(int ahead = 0) const noexcept;
+  char advance() noexcept;
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= src_.size(); }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace clc

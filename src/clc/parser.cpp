@@ -1,0 +1,1150 @@
+#include "clc/parser.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "clc/builtins.h"
+
+namespace clc {
+
+namespace {
+
+// Thrown internally to unwind to parse_module on the first hard error.
+struct ParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+  int line = 0;
+  int col = 0;
+};
+
+int binop_prec(Tok t) noexcept {
+  switch (t) {
+    case Tok::PipePipe: return 1;
+    case Tok::AmpAmp: return 2;
+    case Tok::Pipe: return 3;
+    case Tok::Caret: return 4;
+    case Tok::Amp: return 5;
+    case Tok::EqEq:
+    case Tok::NotEq: return 6;
+    case Tok::Lt:
+    case Tok::Gt:
+    case Tok::Le:
+    case Tok::Ge: return 7;
+    case Tok::Shl:
+    case Tok::Shr: return 8;
+    case Tok::Plus:
+    case Tok::Minus: return 9;
+    case Tok::Star:
+    case Tok::Slash:
+    case Tok::Percent: return 10;
+    default: return -1;
+  }
+}
+
+bool is_compound_assign(Tok t) noexcept {
+  switch (t) {
+    case Tok::PlusAssign:
+    case Tok::MinusAssign:
+    case Tok::StarAssign:
+    case Tok::SlashAssign:
+    case Tok::PercentAssign:
+    case Tok::AmpAssign:
+    case Tok::PipeAssign:
+    case Tok::CaretAssign:
+    case Tok::ShlAssign:
+    case Tok::ShrAssign: return true;
+    default: return false;
+  }
+}
+
+// Integer rank for usual arithmetic conversions.
+int int_rank(Kind k) noexcept {
+  switch (k) {
+    case Kind::Bool: return 0;
+    case Kind::I8:
+    case Kind::U8: return 1;
+    case Kind::I16:
+    case Kind::U16: return 2;
+    case Kind::I32:
+    case Kind::U32: return 3;
+    case Kind::I64:
+    case Kind::U64: return 4;
+    default: return -1;
+  }
+}
+
+Kind promote_int(Kind a, Kind b) noexcept {
+  // Promote both to at least int, then higher rank wins; unsigned wins ties.
+  auto prom = [](Kind k) { return int_rank(k) < 3 ? (is_signed_int(k) || k == Kind::Bool ? Kind::I32 : Kind::I32) : k; };
+  const Kind pa = prom(a);
+  const Kind pb = prom(b);
+  const int ra = int_rank(pa);
+  const int rb = int_rank(pb);
+  if (ra != rb) return ra > rb ? pa : pb;
+  if (!is_signed_int(pa)) return pa;
+  if (!is_signed_int(pb)) return pb;
+  return pa;
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {
+  if (toks_.empty()) toks_.push_back(Token{});
+}
+
+const Token& Parser::peek(int ahead) const noexcept {
+  const std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+  return p < toks_.size() ? toks_[p] : toks_.back();
+}
+
+const Token& Parser::advance() noexcept {
+  const Token& t = toks_[pos_];
+  if (pos_ + 1 < toks_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::accept(Tok k) noexcept {
+  if (peek().kind == k) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::expect(Tok k, const char* what) {
+  if (!accept(k)) fail(std::string("expected ") + what);
+  return true;
+}
+
+void Parser::fail(std::string msg) {
+  ParseError e(std::move(msg));
+  e.line = peek().line;
+  e.col = peek().col;
+  throw e;
+}
+
+// ---------------------------------------------------------------------------
+// types
+// ---------------------------------------------------------------------------
+
+bool Parser::parse_named_scalar(std::string_view name, Type& out) const noexcept {
+  static const struct {
+    std::string_view name;
+    Kind kind;
+  } kBases[] = {
+      {"bool", Kind::Bool},   {"char", Kind::I8},    {"uchar", Kind::U8},
+      {"short", Kind::I16},   {"ushort", Kind::U16}, {"int", Kind::I32},
+      {"uint", Kind::U32},    {"long", Kind::I64},   {"ulong", Kind::U64},
+      {"float", Kind::F32},   {"double", Kind::F64}, {"size_t", Kind::U64},
+      {"ptrdiff_t", Kind::I64},
+  };
+  for (const auto& b : kBases) {
+    if (name.rfind(b.name, 0) != 0) continue;
+    const std::string_view suffix = name.substr(b.name.size());
+    if (suffix.empty()) {
+      out = make_scalar(b.kind);
+      return true;
+    }
+    if (suffix == "2" || suffix == "3" || suffix == "4") {
+      out = make_scalar(b.kind, static_cast<std::uint8_t>(suffix[0] - '0'));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Parser::starts_type(int ahead) const noexcept {
+  const Token& t = peek(ahead);
+  switch (t.kind) {
+    case Tok::KwGlobal:
+    case Tok::KwLocal:
+    case Tok::KwConstant:
+    case Tok::KwPrivate:
+    case Tok::KwConst:
+    case Tok::KwVolatile:
+    case Tok::KwRestrict:
+    case Tok::KwUnsigned:
+    case Tok::KwSigned:
+    case Tok::KwVoid:
+    case Tok::KwBool:
+    case Tok::KwChar:
+    case Tok::KwShort:
+    case Tok::KwInt:
+    case Tok::KwLong:
+    case Tok::KwFloat:
+    case Tok::KwDouble:
+    case Tok::KwSizeT:
+    case Tok::KwStruct:
+    case Tok::KwImage2d:
+    case Tok::KwImage3d:
+    case Tok::KwSampler: return true;
+    case Tok::Ident: {
+      Type tmp;
+      return parse_named_scalar(t.text, tmp) ||
+             struct_names_.count(t.text) != 0;
+    }
+    default: return false;
+  }
+}
+
+Type Parser::parse_type() {
+  AddrSpace space = AddrSpace::Private;
+  bool space_set = false;
+  // qualifiers
+  for (;;) {
+    switch (peek().kind) {
+      case Tok::KwGlobal: space = AddrSpace::Global; space_set = true; advance(); continue;
+      case Tok::KwLocal: space = AddrSpace::Local; space_set = true; advance(); continue;
+      case Tok::KwConstant: space = AddrSpace::Constant; space_set = true; advance(); continue;
+      case Tok::KwPrivate: space = AddrSpace::Private; space_set = true; advance(); continue;
+      case Tok::KwConst:
+      case Tok::KwVolatile:
+      case Tok::KwRestrict: advance(); continue;
+      default: break;
+    }
+    break;
+  }
+
+  Type base;
+  const Token& t = peek();
+  switch (t.kind) {
+    case Tok::KwVoid: advance(); base = make_scalar(Kind::Void); break;
+    case Tok::KwBool: advance(); base = make_scalar(Kind::Bool); break;
+    case Tok::KwChar: advance(); base = make_scalar(Kind::I8); break;
+    case Tok::KwShort: advance(); base = make_scalar(Kind::I16); break;
+    case Tok::KwInt: advance(); base = make_scalar(Kind::I32); break;
+    case Tok::KwLong: advance(); base = make_scalar(Kind::I64); break;
+    case Tok::KwFloat: advance(); base = make_scalar(Kind::F32); break;
+    case Tok::KwDouble: advance(); base = make_scalar(Kind::F64); break;
+    case Tok::KwSizeT: advance(); base = make_scalar(Kind::U64); break;
+    case Tok::KwImage2d: advance(); base = Type{Kind::Image2D, 1, space, -1, Kind::Void, 1}; break;
+    case Tok::KwImage3d: advance(); base = Type{Kind::Image3D, 1, space, -1, Kind::Void, 1}; break;
+    case Tok::KwSampler: advance(); base = Type{Kind::Sampler, 1, space, -1, Kind::Void, 1}; break;
+    case Tok::KwUnsigned: {
+      advance();
+      Kind k = Kind::U32;
+      switch (peek().kind) {
+        case Tok::KwChar: advance(); k = Kind::U8; break;
+        case Tok::KwShort: advance(); k = Kind::U16; break;
+        case Tok::KwInt: advance(); k = Kind::U32; break;
+        case Tok::KwLong: advance(); k = Kind::U64; break;
+        default: break;
+      }
+      base = make_scalar(k);
+      break;
+    }
+    case Tok::KwSigned: {
+      advance();
+      Kind k = Kind::I32;
+      switch (peek().kind) {
+        case Tok::KwChar: advance(); k = Kind::I8; break;
+        case Tok::KwShort: advance(); k = Kind::I16; break;
+        case Tok::KwInt: advance(); k = Kind::I32; break;
+        case Tok::KwLong: advance(); k = Kind::I64; break;
+        default: break;
+      }
+      base = make_scalar(k);
+      break;
+    }
+    case Tok::KwStruct: {
+      advance();
+      if (peek().kind != Tok::Ident) fail("expected struct tag");
+      const std::string tag = advance().text;
+      const auto it = struct_names_.find(tag);
+      if (it == struct_names_.end()) fail("unknown struct '" + tag + "'");
+      base = make_struct(it->second);
+      break;
+    }
+    case Tok::Ident: {
+      Type named;
+      if (parse_named_scalar(t.text, named)) {
+        advance();
+        base = named;
+      } else if (const auto it = struct_names_.find(t.text); it != struct_names_.end()) {
+        advance();
+        base = make_struct(it->second);
+      } else {
+        fail("expected type, got '" + t.text + "'");
+      }
+      break;
+    }
+    default: fail("expected type");
+  }
+
+  // trailing qualifiers like "const" in "float const *"
+  while (peek().kind == Tok::KwConst || peek().kind == Tok::KwVolatile ||
+         peek().kind == Tok::KwRestrict)
+    advance();
+
+  if (accept(Tok::Star)) {
+    while (peek().kind == Tok::KwConst || peek().kind == Tok::KwRestrict ||
+           peek().kind == Tok::KwVolatile)
+      advance();
+    if (peek().kind == Tok::Star) fail("pointer-to-pointer types are not supported");
+    if (base.kind == Kind::Struct)
+      return make_ptr(Kind::Struct, 1, space, base.struct_id);
+    return make_ptr(base.kind, base.vec, space);
+  }
+  if (space_set && space != AddrSpace::Private && base.kind != Kind::Pointer &&
+      base.kind != Kind::Image2D && base.kind != Kind::Image3D &&
+      base.kind != Kind::Sampler) {
+    // "__local float x[...]" — keep the space; the decl statement uses it.
+    base.as = space;
+  }
+  return base;
+}
+
+void Parser::parse_struct_body(StructDef& def) {
+  expect(Tok::LBrace, "'{'");
+  while (!accept(Tok::RBrace)) {
+    Type ft = parse_type();
+    for (;;) {
+      if (peek().kind != Tok::Ident) fail("expected field name");
+      StructField f;
+      f.name = advance().text;
+      f.type = ft;
+      if (accept(Tok::LBracket)) fail("array struct fields are not supported");
+      def.fields.push_back(std::move(f));
+      if (!accept(Tok::Comma)) break;
+    }
+    expect(Tok::Semi, "';' after struct field");
+  }
+  // layout: natural alignment
+  std::size_t off = 0;
+  std::size_t maxal = 1;
+  for (auto& f : def.fields) {
+    const std::size_t al = align_of(f.type, mod_->structs);
+    const std::size_t sz = size_of(f.type, mod_->structs);
+    off = (off + al - 1) / al * al;
+    f.offset = off;
+    off += sz;
+    if (al > maxal) maxal = al;
+  }
+  def.align = maxal;
+  def.size = (off + maxal - 1) / maxal * maxal;
+  if (def.size == 0) def.size = 1;
+}
+
+// ---------------------------------------------------------------------------
+// declarations
+// ---------------------------------------------------------------------------
+
+bool Parser::parse_module(Module& m, Diag& diag) {
+  mod_ = &m;
+  try {
+    while (peek().kind != Tok::End) parse_top_level();
+    return true;
+  } catch (const ParseError& e) {
+    diag = {e.what(), e.line, e.col};
+    return false;
+  }
+}
+
+void Parser::parse_top_level() {
+  // typedef struct {...} Name; | struct Name {...}; | [__kernel] func
+  if (accept(Tok::KwTypedef)) {
+    expect(Tok::KwStruct, "'struct' after typedef");
+    std::string tag;
+    if (peek().kind == Tok::Ident) tag = advance().text;
+    StructDef def;
+    def.name = tag.empty() ? "<anon>" : tag;
+    const auto id = static_cast<std::int16_t>(mod_->structs.size());
+    mod_->structs.push_back({});  // reserve id for self-reference via pointer
+    parse_struct_body(def);
+    if (def.name == "<anon>") def.name = "anon" + std::to_string(id);
+    mod_->structs[static_cast<std::size_t>(id)] = std::move(def);
+    if (!tag.empty()) struct_names_[tag] = id;
+    if (peek().kind != Tok::Ident) fail("expected typedef name");
+    struct_names_[advance().text] = id;
+    expect(Tok::Semi, "';'");
+    return;
+  }
+  if (peek().kind == Tok::KwStruct && peek(1).kind == Tok::Ident &&
+      peek(2).kind == Tok::LBrace) {
+    advance();
+    const std::string tag = advance().text;
+    const auto id = static_cast<std::int16_t>(mod_->structs.size());
+    struct_names_[tag] = id;  // allow self-referencing pointers
+    mod_->structs.push_back({});
+    StructDef def;
+    def.name = tag;
+    parse_struct_body(def);
+    mod_->structs[static_cast<std::size_t>(id)] = std::move(def);
+    expect(Tok::Semi, "';'");
+    return;
+  }
+
+  bool is_kernel = false;
+  while (accept(Tok::KwKernel)) is_kernel = true;
+  Type ret = parse_type();
+  if (peek().kind != Tok::Ident) fail("expected function name");
+  std::string name = advance().text;
+  parse_function(ret, std::move(name), is_kernel);
+}
+
+void Parser::parse_function(Type ret, std::string name, bool is_kernel) {
+  auto fn = std::make_unique<FuncDecl>();
+  fn->name = std::move(name);
+  fn->ret = ret;
+  fn->is_kernel = is_kernel;
+  cur_ = fn.get();
+  push_scope();
+
+  expect(Tok::LParen, "'('");
+  if (!accept(Tok::RParen)) {
+    for (;;) {
+      if (accept(Tok::KwVoid) && peek().kind == Tok::RParen) {
+        advance();
+        break;
+      }
+      ParamInfo p;
+      p.type = parse_type();
+      if (peek().kind == Tok::Ident) p.name = advance().text;
+      // Handle classification — the property CheCL's ksig parser extracts.
+      if (p.type.kind == Kind::Pointer &&
+          (p.type.as == AddrSpace::Global || p.type.as == AddrSpace::Local ||
+           p.type.as == AddrSpace::Constant)) {
+        p.is_handle = true;
+        p.is_local_ptr = p.type.as == AddrSpace::Local;
+      } else if (p.type.kind == Kind::Image2D || p.type.kind == Kind::Image3D ||
+                 p.type.kind == Kind::Sampler) {
+        p.is_handle = true;
+      }
+      p.slot = declare_var(p.name.empty() ? "<unnamed>" : p.name, p.type,
+                           peek().line);
+      fn->params.push_back(std::move(p));
+      if (accept(Tok::RParen)) break;
+      expect(Tok::Comma, "',' or ')'");
+    }
+  }
+
+  // Register the declaration before parsing the body so the name resolves
+  // for self-recursive calls (the interpreter's depth limit handles runaway
+  // recursion at execution time).
+  FuncDecl* fnp = fn.get();
+  mod_->funcs.push_back(std::move(fn));
+  if (accept(Tok::Semi)) {
+    // forward declaration: signature only
+    pop_scope();
+    cur_ = nullptr;
+    return;
+  }
+  fnp->body = parse_block();
+  pop_scope();
+  cur_ = nullptr;
+}
+
+int Parser::declare_var(const std::string& name, const Type& t, int line) {
+  (void)line;
+  auto& scope = scopes_.back();
+  const int slot = cur_->num_slots++;
+  scope[name] = VarInfo{slot, t};
+  return slot;
+}
+
+const Parser::VarInfo* Parser::lookup_var(std::string_view name) const noexcept {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    const auto f = it->find(std::string(name));
+    if (f != it->end()) return &f->second;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// statements
+// ---------------------------------------------------------------------------
+
+StmtPtr Parser::parse_block() {
+  expect(Tok::LBrace, "'{'");
+  auto s = std::make_unique<Stmt>();
+  s->k = Stmt::K::Block;
+  s->line = peek().line;
+  push_scope();
+  while (!accept(Tok::RBrace)) {
+    if (peek().kind == Tok::End) fail("unexpected end of input in block");
+    s->body.push_back(parse_stmt());
+  }
+  pop_scope();
+  return s;
+}
+
+StmtPtr Parser::parse_decl_stmt() {
+  auto s = std::make_unique<Stmt>();
+  s->k = Stmt::K::Decl;
+  s->line = peek().line;
+  const Type t = parse_type();
+
+  // Possibly multiple declarators: chain extra ones as a block.
+  std::vector<StmtPtr> extra;
+  bool first = true;
+  for (;;) {
+    StmtPtr d;
+    if (first) {
+      d = std::move(s);
+    } else {
+      d = std::make_unique<Stmt>();
+      d->k = Stmt::K::Decl;
+      d->line = peek().line;
+    }
+    if (peek().kind != Tok::Ident) fail("expected variable name");
+    const std::string name = advance().text;
+    Type vt = t;
+    d->decl_space = t.as;
+    if (accept(Tok::LBracket)) {
+      ExprPtr len = parse_cond();
+      std::int64_t n = 0;
+      if (!const_int(*len, n))
+        fail("array size must be a constant expression");
+      if (n <= 0) fail("array size must be positive");
+      expect(Tok::RBracket, "']'");
+      d->array_len = n;
+    }
+    d->decl_type = vt;
+    if (d->decl_space == AddrSpace::Local) {
+      if (!cur_->is_kernel)
+        fail("__local declarations are only supported in kernels");
+      LocalDecl ld;
+      ld.type = vt;
+      ld.array_len = d->array_len > 0 ? d->array_len : 1;
+      // align the arena offset
+      const std::size_t al = align_of(vt, mod_->structs);
+      std::size_t off = cur_->local_mem_bytes;
+      off = (off + al - 1) / al * al;
+      ld.offset = off;
+      cur_->local_mem_bytes =
+          off + size_of(vt, mod_->structs) * static_cast<std::size_t>(ld.array_len);
+      d->local_id = static_cast<int>(cur_->locals.size());
+      d->local_offset = ld.offset;
+      cur_->locals.push_back(ld);
+      // the slot holds a pointer into the group arena
+      // Both arrays and scalar __local variables are accessed through a
+      // pointer into the group-shared arena.
+      Type pt = vt.kind == Kind::Struct
+                    ? make_ptr(Kind::Struct, 1, AddrSpace::Local, vt.struct_id)
+                    : make_ptr(vt.kind, vt.vec, AddrSpace::Local);
+      d->slot = declare_var(name, pt, d->line);
+    } else if (d->array_len > 0) {
+      Type pt = vt.kind == Kind::Struct
+                    ? make_ptr(Kind::Struct, 1, AddrSpace::Private, vt.struct_id)
+                    : make_ptr(vt.kind, vt.vec, AddrSpace::Private);
+      d->slot = declare_var(name, pt, d->line);
+    } else {
+      d->slot = declare_var(name, vt, d->line);
+    }
+    if (accept(Tok::Assign)) {
+      if (d->array_len > 0 || d->decl_space == AddrSpace::Local)
+        fail("initializers on arrays/__local variables are not supported");
+      d->e = parse_assign();
+    }
+    if (first) {
+      s = std::move(d);
+      first = false;
+    } else {
+      extra.push_back(std::move(d));
+    }
+    if (accept(Tok::Comma)) continue;
+    expect(Tok::Semi, "';'");
+    break;
+  }
+  if (extra.empty()) return s;
+  auto blk = std::make_unique<Stmt>();
+  blk->k = Stmt::K::Block;
+  blk->line = s->line;
+  blk->body.push_back(std::move(s));
+  for (auto& d : extra) blk->body.push_back(std::move(d));
+  return blk;
+}
+
+StmtPtr Parser::parse_stmt() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case Tok::LBrace: return parse_block();
+    case Tok::Semi: {
+      advance();
+      auto s = std::make_unique<Stmt>();
+      s->k = Stmt::K::Block;
+      return s;
+    }
+    case Tok::KwIf: {
+      advance();
+      auto s = std::make_unique<Stmt>();
+      s->k = Stmt::K::If;
+      s->line = t.line;
+      expect(Tok::LParen, "'('");
+      s->e = parse_expr();
+      expect(Tok::RParen, "')'");
+      s->then_s = parse_stmt();
+      if (accept(Tok::KwElse)) s->else_s = parse_stmt();
+      return s;
+    }
+    case Tok::KwWhile: {
+      advance();
+      auto s = std::make_unique<Stmt>();
+      s->k = Stmt::K::While;
+      s->line = t.line;
+      expect(Tok::LParen, "'('");
+      s->e = parse_expr();
+      expect(Tok::RParen, "')'");
+      s->then_s = parse_stmt();
+      return s;
+    }
+    case Tok::KwDo: {
+      advance();
+      auto s = std::make_unique<Stmt>();
+      s->k = Stmt::K::DoWhile;
+      s->line = t.line;
+      s->then_s = parse_stmt();
+      expect(Tok::KwWhile, "'while'");
+      expect(Tok::LParen, "'('");
+      s->e = parse_expr();
+      expect(Tok::RParen, "')'");
+      expect(Tok::Semi, "';'");
+      return s;
+    }
+    case Tok::KwFor: {
+      advance();
+      auto s = std::make_unique<Stmt>();
+      s->k = Stmt::K::For;
+      s->line = t.line;
+      expect(Tok::LParen, "'('");
+      push_scope();
+      if (!accept(Tok::Semi)) {
+        if (starts_type()) {
+          s->init = parse_decl_stmt();
+        } else {
+          auto is = std::make_unique<Stmt>();
+          is->k = Stmt::K::ExprStmt;
+          is->e = parse_expr();
+          s->init = std::move(is);
+          expect(Tok::Semi, "';'");
+        }
+      }
+      if (!accept(Tok::Semi)) {
+        s->e = parse_expr();
+        expect(Tok::Semi, "';'");
+      }
+      if (!accept(Tok::RParen)) {
+        s->inc = parse_expr();
+        expect(Tok::RParen, "')'");
+      }
+      s->then_s = parse_stmt();
+      pop_scope();
+      return s;
+    }
+    case Tok::KwReturn: {
+      advance();
+      auto s = std::make_unique<Stmt>();
+      s->k = Stmt::K::Return;
+      s->line = t.line;
+      if (!accept(Tok::Semi)) {
+        s->e = parse_expr();
+        expect(Tok::Semi, "';'");
+      }
+      return s;
+    }
+    case Tok::KwBreak: {
+      advance();
+      expect(Tok::Semi, "';'");
+      auto s = std::make_unique<Stmt>();
+      s->k = Stmt::K::Break;
+      s->line = t.line;
+      return s;
+    }
+    case Tok::KwContinue: {
+      advance();
+      expect(Tok::Semi, "';'");
+      auto s = std::make_unique<Stmt>();
+      s->k = Stmt::K::Continue;
+      s->line = t.line;
+      return s;
+    }
+    default:
+      if (starts_type()) {
+        // Disambiguate "a * b;" style false positives: types here start with
+        // keywords or known type names, so this is safe.
+        return parse_decl_stmt();
+      }
+      auto s = std::make_unique<Stmt>();
+      s->k = Stmt::K::ExprStmt;
+      s->line = t.line;
+      s->e = parse_expr();
+      expect(Tok::Semi, "';'");
+      return s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// expressions
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parse_expr() { return parse_assign(); }
+
+void Parser::check_lvalue(const Expr& e, int line) {
+  switch (e.k) {
+    case Expr::K::VarRef:
+    case Expr::K::Index:
+    case Expr::K::Member: return;
+    case Expr::K::Unary:
+      if (e.op == Tok::Star) return;
+      break;
+    default: break;
+  }
+  ParseError err("expression is not assignable");
+  err.line = line;
+  throw err;
+}
+
+ExprPtr Parser::parse_assign() {
+  ExprPtr lhs = parse_cond();
+  const Tok k = peek().kind;
+  if (k == Tok::Assign || is_compound_assign(k)) {
+    const int line = peek().line;
+    advance();
+    check_lvalue(*lhs, line);
+    auto e = std::make_unique<Expr>();
+    e->k = Expr::K::Assign;
+    e->op = k;
+    e->line = line;
+    e->type = lhs->type;
+    e->a = std::move(lhs);
+    e->b = parse_assign();
+    return e;
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_cond() {
+  ExprPtr c = parse_binary(0);
+  if (accept(Tok::Question)) {
+    auto e = std::make_unique<Expr>();
+    e->k = Expr::K::Cond;
+    e->line = peek().line;
+    e->a = std::move(c);
+    e->b = parse_assign();
+    expect(Tok::Colon, "':'");
+    e->c = parse_cond();
+    e->type = e->b->type;
+    return e;
+  }
+  return c;
+}
+
+Type Parser::binary_result(Tok op, const Type& a, const Type& b, int line) {
+  auto err = [&](const char* m) {
+    ParseError e(m);
+    e.line = line;
+    throw e;
+  };
+  switch (op) {
+    case Tok::AmpAmp:
+    case Tok::PipePipe:
+    case Tok::EqEq:
+    case Tok::NotEq:
+    case Tok::Lt:
+    case Tok::Gt:
+    case Tok::Le:
+    case Tok::Ge: return make_scalar(Kind::I32);
+    default: break;
+  }
+  // pointer arithmetic
+  if (a.kind == Kind::Pointer && is_integer(b.kind) &&
+      (op == Tok::Plus || op == Tok::Minus))
+    return a;
+  if (b.kind == Kind::Pointer && is_integer(a.kind) && op == Tok::Plus) return b;
+  if (a.kind == Kind::Pointer && b.kind == Kind::Pointer && op == Tok::Minus)
+    return make_scalar(Kind::I64);
+  if (!is_arith(a.kind) || !is_arith(b.kind))
+    err("invalid operand types for binary operator");
+
+  const std::uint8_t vec = a.vec > 1 ? a.vec : b.vec;
+  if (a.vec > 1 && b.vec > 1 && a.vec != b.vec)
+    err("vector width mismatch in binary operator");
+  switch (op) {
+    case Tok::Shl:
+    case Tok::Shr:
+    case Tok::Percent:
+    case Tok::Amp:
+    case Tok::Pipe:
+    case Tok::Caret: {
+      if (!is_integer(a.kind) || !is_integer(b.kind))
+        err("bitwise operator requires integer operands");
+      Type r = make_scalar(op == Tok::Shl || op == Tok::Shr
+                               ? (int_rank(a.kind) < 3 ? promote_int(a.kind, a.kind) : a.kind)
+                               : promote_int(a.kind, b.kind),
+                           vec);
+      return r;
+    }
+    default: break;
+  }
+  if (is_float(a.kind) || is_float(b.kind)) {
+    const Kind k = a.kind == Kind::F64 || b.kind == Kind::F64 ? Kind::F64 : Kind::F32;
+    return make_scalar(k, vec);
+  }
+  return make_scalar(promote_int(a.kind, b.kind), vec);
+}
+
+ExprPtr Parser::parse_binary(int min_prec) {
+  ExprPtr lhs = parse_unary();
+  for (;;) {
+    const Tok op = peek().kind;
+    const int prec = binop_prec(op);
+    if (prec < 0 || prec < min_prec) return lhs;
+    const int line = peek().line;
+    advance();
+    ExprPtr rhs = parse_binary(prec + 1);
+    auto e = std::make_unique<Expr>();
+    e->k = Expr::K::Binary;
+    e->op = op;
+    e->line = line;
+    e->type = binary_result(op, lhs->type, rhs->type, line);
+    e->a = std::move(lhs);
+    e->b = std::move(rhs);
+    lhs = std::move(e);
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case Tok::Minus:
+    case Tok::Bang:
+    case Tok::Tilde: {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->k = Expr::K::Unary;
+      e->op = t.kind;
+      e->line = t.line;
+      e->a = parse_unary();
+      if (t.kind == Tok::Bang) {
+        e->type = make_scalar(Kind::I32);
+      } else if (t.kind == Tok::Tilde) {
+        if (!is_integer(e->a->type.kind)) fail("'~' requires an integer operand");
+        e->type = make_scalar(promote_int(e->a->type.kind, e->a->type.kind),
+                              e->a->type.vec);
+      } else {
+        e->type = e->a->type;
+        if (is_integer(e->type.kind) && int_rank(e->type.kind) < 3)
+          e->type = make_scalar(Kind::I32, e->type.vec);
+      }
+      return e;
+    }
+    case Tok::Plus: advance(); return parse_unary();
+    case Tok::Star: {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->k = Expr::K::Unary;
+      e->op = Tok::Star;
+      e->line = t.line;
+      e->a = parse_unary();
+      if (e->a->type.kind != Kind::Pointer) fail("cannot dereference non-pointer");
+      if (e->a->type.struct_id >= 0)
+        e->type = make_struct(e->a->type.struct_id);
+      else
+        e->type = make_scalar(e->a->type.elem_kind, e->a->type.elem_vec);
+      e->type.as = e->a->type.as;
+      return e;
+    }
+    case Tok::Amp: {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->k = Expr::K::Unary;
+      e->op = Tok::Amp;
+      e->line = t.line;
+      e->a = parse_unary();
+      check_lvalue(*e->a, t.line);
+      const Type& it = e->a->type;
+      if (it.kind == Kind::Struct)
+        e->type = make_ptr(Kind::Struct, 1, it.as, it.struct_id);
+      else
+        e->type = make_ptr(it.kind, it.vec, it.as);
+      return e;
+    }
+    case Tok::PlusPlus:
+    case Tok::MinusMinus: {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->k = Expr::K::PreIncDec;
+      e->op = t.kind == Tok::PlusPlus ? Tok::Plus : Tok::Minus;
+      e->line = t.line;
+      e->a = parse_unary();
+      check_lvalue(*e->a, t.line);
+      e->type = e->a->type;
+      return e;
+    }
+    case Tok::LParen: {
+      // cast or parenthesized expression
+      if (starts_type(1)) {
+        advance();
+        const Type ct = parse_type();
+        expect(Tok::RParen, "')'");
+        if (ct.vec > 1 && peek().kind == Tok::LParen) {
+          // vector literal: (float4)(a, b, c, d)
+          advance();
+          auto e = std::make_unique<Expr>();
+          e->k = Expr::K::VecLit;
+          e->type = ct;
+          e->line = t.line;
+          if (!accept(Tok::RParen)) {
+            for (;;) {
+              e->args.push_back(parse_assign());
+              if (accept(Tok::RParen)) break;
+              expect(Tok::Comma, "',' or ')'");
+            }
+          }
+          // widths: either one broadcast scalar or components summing to vec
+          std::size_t total = 0;
+          for (const auto& a : e->args) total += a->type.vec;
+          if (!(e->args.size() == 1 && e->args[0]->type.vec == 1) && total != ct.vec)
+            fail("vector literal component count mismatch");
+          return e;
+        }
+        auto e = std::make_unique<Expr>();
+        e->k = Expr::K::Cast;
+        e->type = ct;
+        e->line = t.line;
+        e->a = parse_unary();
+        return e;
+      }
+      break;
+    }
+    default: break;
+  }
+  return parse_postfix();
+}
+
+ExprPtr Parser::parse_call(std::string name, int line) {
+  auto e = std::make_unique<Expr>();
+  e->k = Expr::K::Call;
+  e->line = line;
+  if (!accept(Tok::RParen)) {
+    for (;;) {
+      e->args.push_back(parse_assign());
+      if (accept(Tok::RParen)) break;
+      expect(Tok::Comma, "',' or ')'");
+    }
+  }
+  // convert_<type>(x) becomes a cast
+  if (name.rfind("convert_", 0) == 0) {
+    Type ct;
+    std::string tn = name.substr(8);
+    // strip saturation/rounding suffixes like _sat, _rte
+    if (const auto p = tn.find("_sat"); p != std::string::npos) tn = tn.substr(0, p);
+    if (const auto p = tn.find("_rt"); p != std::string::npos) tn = tn.substr(0, p);
+    if (parse_named_scalar(tn, ct) && e->args.size() == 1) {
+      e->k = Expr::K::Cast;
+      e->type = ct;
+      e->a = std::move(e->args[0]);
+      e->args.clear();
+      return e;
+    }
+    fail("malformed convert_* call: " + name);
+  }
+  const Builtin b = lookup_builtin(name);
+  if (b != Builtin::None) {
+    e->builtin_id = static_cast<int>(b);
+    std::vector<Type> at;
+    at.reserve(e->args.size());
+    for (const auto& a : e->args) at.push_back(a->type);
+    e->type = builtin_result_type(b, at);
+    if (b == Builtin::Barrier) cur_->uses_barrier = true;
+    return e;
+  }
+  const FuncDecl* fd = mod_->find_func(name);
+  if (fd == nullptr) fail("call to undefined function '" + name + "'");
+  if (fd->params.size() != e->args.size())
+    fail("wrong number of arguments to '" + name + "'");
+  if (fd->uses_barrier) cur_->uses_barrier = true;
+  e->callee = fd;
+  e->type = fd->ret;
+  return e;
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr e = parse_primary();
+  for (;;) {
+    const Token& t = peek();
+    if (t.kind == Tok::LBracket) {
+      advance();
+      auto idx = std::make_unique<Expr>();
+      idx->k = Expr::K::Index;
+      idx->line = t.line;
+      idx->a = std::move(e);
+      idx->b = parse_expr();
+      expect(Tok::RBracket, "']'");
+      if (idx->a->type.kind != Kind::Pointer)
+        fail("subscripted value is not a pointer");
+      if (idx->a->type.struct_id >= 0)
+        idx->type = make_struct(idx->a->type.struct_id);
+      else
+        idx->type = make_scalar(idx->a->type.elem_kind, idx->a->type.elem_vec);
+      idx->type.as = idx->a->type.as;
+      e = std::move(idx);
+    } else if (t.kind == Tok::Dot || t.kind == Tok::Arrow) {
+      advance();
+      if (peek().kind != Tok::Ident) fail("expected member name");
+      const std::string member = advance().text;
+      auto m = std::make_unique<Expr>();
+      m->k = Expr::K::Member;
+      m->line = t.line;
+      if (t.kind == Tok::Arrow) {
+        // a->f  ==  (*a).f
+        auto d = std::make_unique<Expr>();
+        d->k = Expr::K::Unary;
+        d->op = Tok::Star;
+        d->line = t.line;
+        if (e->type.kind != Kind::Pointer || e->type.struct_id < 0)
+          fail("'->' requires a struct pointer");
+        d->type = make_struct(e->type.struct_id);
+        d->type.as = e->type.as;
+        d->a = std::move(e);
+        m->a = std::move(d);
+      } else {
+        m->a = std::move(e);
+      }
+      const Type& bt = m->a->type;
+      if (bt.kind == Kind::Struct) {
+        const auto& sd = mod_->structs[static_cast<std::size_t>(bt.struct_id)];
+        const int fi = sd.field_index(member);
+        if (fi < 0) fail("no field '" + member + "' in struct " + sd.name);
+        m->member_index = fi;
+        m->type = sd.fields[static_cast<std::size_t>(fi)].type;
+      } else if (bt.vec > 1) {
+        // swizzle
+        std::uint8_t comps[4];
+        std::size_t n = 0;
+        if (member.size() >= 1 && (member[0] == 's' || member[0] == 'S') &&
+            member.size() <= 5 && member.size() >= 2 &&
+            std::isdigit(static_cast<unsigned char>(member[1])) != 0) {
+          for (std::size_t i = 1; i < member.size(); ++i) {
+            if (n >= 4 || member[i] < '0' || member[i] > '7')
+              fail("bad swizzle '" + member + "'");
+            comps[n++] = static_cast<std::uint8_t>(member[i] - '0');
+          }
+        } else {
+          for (const char c : member) {
+            std::uint8_t ci = 0;
+            switch (c) {
+              case 'x': ci = 0; break;
+              case 'y': ci = 1; break;
+              case 'z': ci = 2; break;
+              case 'w': ci = 3; break;
+              case 'l': {  // .lo / .hi / .even / .odd unsupported
+                fail("unsupported vector accessor '" + member + "'");
+              }
+              default: fail("bad swizzle '" + member + "'");
+            }
+            if (n >= 4) fail("swizzle too long");
+            comps[n++] = ci;
+          }
+        }
+        for (std::size_t i = 0; i < n; ++i)
+          if (comps[i] >= bt.vec) fail("swizzle component out of range");
+        m->swizzle_len = static_cast<std::uint8_t>(n);
+        for (std::size_t i = 0; i < n; ++i) m->swizzle[i] = comps[i];
+        m->type = make_scalar(bt.kind, n == 1 ? 1 : static_cast<std::uint8_t>(n));
+      } else {
+        fail("member access on non-struct, non-vector value");
+      }
+      e = std::move(m);
+    } else if (t.kind == Tok::PlusPlus || t.kind == Tok::MinusMinus) {
+      advance();
+      check_lvalue(*e, t.line);
+      auto p = std::make_unique<Expr>();
+      p->k = Expr::K::PostIncDec;
+      p->op = t.kind == Tok::PlusPlus ? Tok::Plus : Tok::Minus;
+      p->line = t.line;
+      p->type = e->type;
+      p->a = std::move(e);
+      e = std::move(p);
+    } else {
+      return e;
+    }
+  }
+}
+
+ExprPtr Parser::parse_primary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case Tok::IntLit: {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->k = Expr::K::IntLit;
+      e->line = t.line;
+      e->int_val = t.int_value;
+      Kind k = Kind::I32;
+      if (t.is_long) k = t.is_unsigned ? Kind::U64 : Kind::I64;
+      else if (t.is_unsigned) k = Kind::U32;
+      else if (t.int_value > 0x7FFFFFFFull)
+        k = t.int_value > 0xFFFFFFFFull ? Kind::I64 : Kind::U32;
+      e->type = make_scalar(k);
+      return e;
+    }
+    case Tok::FloatLit: {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->k = Expr::K::FloatLit;
+      e->line = t.line;
+      e->float_val = t.float_value;
+      e->type = make_scalar(t.is_float32 ? Kind::F32 : Kind::F64);
+      return e;
+    }
+    case Tok::Ident: {
+      const std::string name = t.text;
+      const int line = t.line;
+      advance();
+      if (accept(Tok::LParen)) return parse_call(name, line);
+      const VarInfo* v = lookup_var(name);
+      if (v == nullptr) fail("use of undeclared identifier '" + name + "'");
+      auto e = std::make_unique<Expr>();
+      e->k = Expr::K::VarRef;
+      e->line = line;
+      e->slot = v->slot;
+      e->type = v->type;
+      return e;
+    }
+    case Tok::LParen: {
+      advance();
+      ExprPtr e = parse_expr();
+      expect(Tok::RParen, "')'");
+      return e;
+    }
+    default:
+      fail(std::string("unexpected token ") + tok_name(t.kind));
+  }
+}
+
+bool Parser::const_int(const Expr& e, std::int64_t& out) const noexcept {
+  switch (e.k) {
+    case Expr::K::IntLit:
+      out = static_cast<std::int64_t>(e.int_val);
+      return true;
+    case Expr::K::Unary: {
+      std::int64_t v = 0;
+      if (e.op == Tok::Minus && const_int(*e.a, v)) {
+        out = -v;
+        return true;
+      }
+      return false;
+    }
+    case Expr::K::Binary: {
+      std::int64_t a = 0;
+      std::int64_t b = 0;
+      if (!const_int(*e.a, a) || !const_int(*e.b, b)) return false;
+      switch (e.op) {
+        case Tok::Plus: out = a + b; return true;
+        case Tok::Minus: out = a - b; return true;
+        case Tok::Star: out = a * b; return true;
+        case Tok::Slash:
+          if (b == 0) return false;
+          out = a / b;
+          return true;
+        case Tok::Shl: out = a << b; return true;
+        case Tok::Shr: out = a >> b; return true;
+        default: return false;
+      }
+    }
+    case Expr::K::Cast: return const_int(*e.a, out);
+    default: return false;
+  }
+}
+
+}  // namespace clc

@@ -1,0 +1,86 @@
+// parser.h — recursive-descent parser for the OpenCL C subset.
+//
+// Single pass: declarations must precede uses (helper functions before the
+// kernels that call them), which every workload in this repo satisfies and
+// OpenCL C itself requires.  The parser resolves names to frame slots and
+// computes result types inline, so the interpreter never looks anything up.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clc/ast.h"
+#include "clc/diag.h"
+#include "clc/token.h"
+
+namespace clc {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens);
+
+  // Parses a whole translation unit into `m`; false + diag on error.
+  bool parse_module(Module& m, Diag& diag);
+
+ private:
+  struct VarInfo {
+    int slot = -1;
+    Type type;
+  };
+
+  // -- token helpers ------------------------------------------------------
+  [[nodiscard]] const Token& peek(int ahead = 0) const noexcept;
+  const Token& advance() noexcept;
+  bool accept(Tok k) noexcept;
+  bool expect(Tok k, const char* what);
+  [[noreturn]] void fail(std::string msg);
+
+  // -- types ----------------------------------------------------------------
+  // True if the upcoming tokens begin a type (used for cast disambiguation).
+  [[nodiscard]] bool starts_type(int ahead = 0) const noexcept;
+  // Parses qualifiers + base + optional '*'; addr space applies to pointers.
+  Type parse_type();
+  bool parse_named_scalar(std::string_view name, Type& out) const noexcept;
+  void parse_struct_body(StructDef& def);
+
+  // -- declarations -----------------------------------------------------------
+  void parse_top_level();
+  void parse_function(Type ret, std::string name, bool is_kernel);
+
+  // -- statements ----------------------------------------------------------
+  StmtPtr parse_stmt();
+  StmtPtr parse_block();
+  StmtPtr parse_decl_stmt();
+
+  // -- expressions ------------------------------------------------------------
+  ExprPtr parse_expr();          // comma-free full expression
+  ExprPtr parse_assign();
+  ExprPtr parse_cond();
+  ExprPtr parse_binary(int min_prec);
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+  ExprPtr parse_call(std::string name, int line);
+
+  // -- typing helpers ----------------------------------------------------------
+  Type binary_result(Tok op, const Type& a, const Type& b, int line);
+  void check_lvalue(const Expr& e, int line);
+  bool const_int(const Expr& e, std::int64_t& out) const noexcept;
+
+  // -- scopes ------------------------------------------------------------------
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+  int declare_var(const std::string& name, const Type& t, int line);
+  [[nodiscard]] const VarInfo* lookup_var(std::string_view name) const noexcept;
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  Module* mod_ = nullptr;
+  FuncDecl* cur_ = nullptr;
+  std::vector<std::unordered_map<std::string, VarInfo>> scopes_;
+  std::unordered_map<std::string, std::int16_t> struct_names_;  // tag/typedef -> id
+  Diag diag_;
+};
+
+}  // namespace clc

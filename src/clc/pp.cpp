@@ -1,0 +1,293 @@
+#include "clc/pp.h"
+
+#include <cctype>
+
+namespace clc {
+
+namespace {
+
+bool ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_cont(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+// Splits "NAME(a,b) body" or "NAME body" after "#define ".
+bool parse_define(std::string_view rest, std::string& name, MacroDef& def) {
+  rest = trim(rest);
+  std::size_t i = 0;
+  if (i >= rest.size() || !ident_start(rest[i])) return false;
+  while (i < rest.size() && ident_cont(rest[i])) ++i;
+  name.assign(rest.substr(0, i));
+  if (i < rest.size() && rest[i] == '(') {
+    def.function_like = true;
+    ++i;
+    std::string cur;
+    for (; i < rest.size(); ++i) {
+      const char c = rest[i];
+      if (c == ',' || c == ')') {
+        const auto p = trim(cur);
+        if (!p.empty()) def.params.emplace_back(p);
+        cur.clear();
+        if (c == ')') {
+          ++i;
+          break;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    }
+  }
+  def.body.assign(trim(rest.substr(std::min(i, rest.size()))));
+  return true;
+}
+
+}  // namespace
+
+Preprocessor::Preprocessor(std::string_view build_options) {
+  // Scan "-D NAME", "-DNAME", "-D NAME=V", "-DNAME=V".
+  std::size_t i = 0;
+  while (i < build_options.size()) {
+    while (i < build_options.size() && build_options[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < build_options.size() && build_options[j] != ' ') ++j;
+    std::string_view word = build_options.substr(i, j - i);
+    if (word.rfind("-D", 0) == 0) {
+      std::string_view spec = word.substr(2);
+      if (spec.empty() && j < build_options.size()) {
+        // "-D NAME=V": the definition is the next word.
+        std::size_t k = j + 1;
+        std::size_t m = k;
+        while (m < build_options.size() && build_options[m] != ' ') ++m;
+        spec = build_options.substr(k, m - k);
+        j = m;
+      }
+      if (!spec.empty()) {
+        const auto eq = spec.find('=');
+        MacroDef def;
+        std::string name;
+        if (eq == std::string_view::npos) {
+          name.assign(spec);
+          def.body = "1";
+        } else {
+          name.assign(spec.substr(0, eq));
+          def.body.assign(spec.substr(eq + 1));
+        }
+        macros_[name] = std::move(def);
+      }
+    }
+    i = j;
+  }
+}
+
+bool Preprocessor::active() const noexcept {
+  for (const bool b : cond_stack_)
+    if (!b) return false;
+  return true;
+}
+
+bool Preprocessor::process_directive(std::string_view line, int line_no, Diag& diag) {
+  std::string_view body = trim(line);
+  body.remove_prefix(1);  // '#'
+  body = trim(body);
+  auto starts = [&](std::string_view kw) {
+    return body.rfind(kw, 0) == 0 &&
+           (body.size() == kw.size() || !ident_cont(body[kw.size()]));
+  };
+  if (starts("define")) {
+    if (!active()) return true;
+    std::string name;
+    MacroDef def;
+    if (!parse_define(body.substr(6), name, def)) {
+      diag = {"malformed #define", line_no, 1};
+      return false;
+    }
+    macros_[name] = std::move(def);
+    return true;
+  }
+  if (starts("undef")) {
+    if (active()) macros_.erase(std::string(trim(body.substr(5))));
+    return true;
+  }
+  if (starts("ifdef")) {
+    cond_stack_.push_back(macros_.count(std::string(trim(body.substr(5)))) != 0);
+    return true;
+  }
+  if (starts("ifndef")) {
+    cond_stack_.push_back(macros_.count(std::string(trim(body.substr(6)))) == 0);
+    return true;
+  }
+  if (starts("else")) {
+    if (cond_stack_.empty()) {
+      diag = {"#else without #if", line_no, 1};
+      return false;
+    }
+    cond_stack_.back() = !cond_stack_.back();
+    return true;
+  }
+  if (starts("endif")) {
+    if (cond_stack_.empty()) {
+      diag = {"#endif without #if", line_no, 1};
+      return false;
+    }
+    cond_stack_.pop_back();
+    return true;
+  }
+  if (starts("pragma")) return true;  // OPENCL EXTENSION pragmas: accepted, ignored
+  diag = {"unsupported preprocessor directive: " + std::string(body), line_no, 1};
+  return false;
+}
+
+std::string Preprocessor::expand_line(std::string_view line, int depth) {
+  if (depth > 16) return std::string(line);  // recursion guard
+  std::string out;
+  out.reserve(line.size());
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == '"') {  // don't expand inside string literals
+      out.push_back(c);
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < line.size()) out.push_back(line[i++]);
+        out.push_back(line[i++]);
+      }
+      if (i < line.size()) out.push_back(line[i++]);
+      continue;
+    }
+    if (!ident_start(c)) {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < line.size() && ident_cont(line[j])) ++j;
+    std::string word(line.substr(i, j - i));
+    const auto it = macros_.find(word);
+    if (it == macros_.end()) {
+      out += word;
+      i = j;
+      continue;
+    }
+    const MacroDef& def = it->second;
+    if (!def.function_like) {
+      out += expand_line(def.body, depth + 1);
+      i = j;
+      continue;
+    }
+    // function-like: need '('
+    std::size_t k = j;
+    while (k < line.size() && (line[k] == ' ' || line[k] == '\t')) ++k;
+    if (k >= line.size() || line[k] != '(') {
+      out += word;
+      i = j;
+      continue;
+    }
+    ++k;
+    std::vector<std::string> args;
+    std::string cur;
+    int paren = 1;
+    for (; k < line.size() && paren > 0; ++k) {
+      const char a = line[k];
+      if (a == '(') {
+        ++paren;
+        cur.push_back(a);
+      } else if (a == ')') {
+        --paren;
+        if (paren == 0) {
+          if (!cur.empty() || !args.empty() || !def.params.empty())
+            args.push_back(cur);
+        } else {
+          cur.push_back(a);
+        }
+      } else if (a == ',' && paren == 1) {
+        args.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(a);
+      }
+    }
+    // substitute params
+    std::string expanded;
+    std::size_t b = 0;
+    const std::string& body = def.body;
+    while (b < body.size()) {
+      if (!ident_start(body[b])) {
+        expanded.push_back(body[b++]);
+        continue;
+      }
+      std::size_t e = b;
+      while (e < body.size() && ident_cont(body[e])) ++e;
+      std::string_view w(body.data() + b, e - b);
+      bool replaced = false;
+      for (std::size_t pi = 0; pi < def.params.size(); ++pi) {
+        if (w == def.params[pi]) {
+          expanded += pi < args.size() ? args[pi] : std::string();
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) expanded.append(w);
+      b = e;
+    }
+    out += expand_line(expanded, depth + 1);
+    i = k;
+  }
+  return out;
+}
+
+bool Preprocessor::run(std::string_view source, std::string& out, Diag& diag) {
+  out.clear();
+  out.reserve(source.size());
+  // Join line continuations first.
+  std::string joined;
+  joined.reserve(source.size());
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    if (source[i] == '\\' && i + 1 < source.size() &&
+        (source[i + 1] == '\n' ||
+         (source[i + 1] == '\r' && i + 2 < source.size() && source[i + 2] == '\n'))) {
+      i += source[i + 1] == '\r' ? 2 : 1;
+      joined.push_back(' ');
+      continue;
+    }
+    joined.push_back(source[i]);
+  }
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= joined.size()) {
+    const std::size_t nl = joined.find('\n', pos);
+    const std::string_view line =
+        nl == std::string::npos
+            ? std::string_view(joined).substr(pos)
+            : std::string_view(joined).substr(pos, nl - pos);
+    ++line_no;
+    const std::string_view t = trim(line);
+    if (!t.empty() && t.front() == '#') {
+      if (!process_directive(t, line_no, diag)) return false;
+      out.push_back('\n');  // keep line numbers aligned
+    } else if (active()) {
+      out += expand_line(line, 0);
+      out.push_back('\n');
+    } else {
+      out.push_back('\n');
+    }
+    if (nl == std::string::npos) break;
+    pos = nl + 1;
+  }
+  if (!cond_stack_.empty()) {
+    diag = {"unterminated #if block", line_no, 1};
+    return false;
+  }
+  return true;
+}
+
+}  // namespace clc

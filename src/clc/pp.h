@@ -1,0 +1,43 @@
+// pp.h — minimal preprocessor for the OpenCL C subset.
+//
+// Supports: // and /* */ comments (left to the lexer), line continuations,
+// object-like and function-like #define, #undef, #ifdef/#ifndef/#else/#endif,
+// and -D definitions from clBuildProgram options.  No #include (OpenCL
+// programs here are self-contained strings), no token pasting/stringizing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "clc/diag.h"
+
+namespace clc {
+
+struct MacroDef {
+  bool function_like = false;
+  std::vector<std::string> params;
+  std::string body;
+};
+
+class Preprocessor {
+ public:
+  // `build_options` is the clBuildProgram option string; "-D NAME" and
+  // "-DNAME=VALUE" forms are honoured, everything else is ignored.
+  explicit Preprocessor(std::string_view build_options = {});
+
+  // Expands `source`; returns false and fills diag on error.
+  bool run(std::string_view source, std::string& out, Diag& diag);
+
+ private:
+  bool process_directive(std::string_view line, int line_no, Diag& diag);
+  std::string expand_line(std::string_view line, int depth);
+  [[nodiscard]] bool active() const noexcept;
+
+  std::unordered_map<std::string, MacroDef> macros_;
+  // #if-stack: each entry is "this branch is taken".
+  std::vector<bool> cond_stack_;
+};
+
+}  // namespace clc

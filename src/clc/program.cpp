@@ -1,0 +1,38 @@
+#include "clc/program.h"
+
+#include "clc/lexer.h"
+#include "clc/parser.h"
+#include "clc/pp.h"
+
+namespace clc {
+
+CompileResult compile(std::string_view source, std::string_view options) {
+  CompileResult result;
+
+  std::string opts(options);
+  opts += " -D CLK_LOCAL_MEM_FENCE=1 -D CLK_GLOBAL_MEM_FENCE=2";
+  Preprocessor pp(opts);
+  std::string expanded;
+  if (!pp.run(source, expanded, result.diag)) {
+    result.build_log = result.diag.to_string();
+    return result;
+  }
+
+  Lexer lexer(expanded);
+  std::vector<Token> tokens;
+  if (!lexer.run(tokens, result.diag)) {
+    result.build_log = result.diag.to_string();
+    return result;
+  }
+
+  auto mod = std::make_unique<Module>();
+  Parser parser(std::move(tokens));
+  if (!parser.parse_module(*mod, result.diag)) {
+    result.build_log = result.diag.to_string();
+    return result;
+  }
+  result.module = std::move(mod);
+  return result;
+}
+
+}  // namespace clc

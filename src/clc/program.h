@@ -1,0 +1,26 @@
+// program.h — top-level compile entry for the clc OpenCL C subset compiler.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "clc/ast.h"
+#include "clc/diag.h"
+
+namespace clc {
+
+struct CompileResult {
+  std::unique_ptr<Module> module;  // null on failure
+  Diag diag;
+  std::string build_log;  // empty on success, diagnostic text on failure
+
+  [[nodiscard]] bool ok() const noexcept { return module != nullptr; }
+};
+
+// Preprocess + lex + parse `source` with clBuildProgram-style `options`
+// ("-D NAME=V" definitions are honoured).  The OpenCL barrier-flag macros
+// CLK_LOCAL_MEM_FENCE / CLK_GLOBAL_MEM_FENCE are predefined.
+CompileResult compile(std::string_view source, std::string_view options = {});
+
+}  // namespace clc

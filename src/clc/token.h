@@ -1,0 +1,55 @@
+// token.h — token kinds for the OpenCL C subset front-end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace clc {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,
+  IntLit,    // value in Token::int_value, unsignedness/width in suffix flags
+  FloatLit,  // value in Token::float_value
+  StrLit,
+
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi, Colon, Question, Dot, Arrow,
+
+  // operators
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  Shl, Shr,
+  Lt, Gt, Le, Ge, EqEq, NotEq,
+  AmpAmp, PipePipe,
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+  PlusPlus, MinusMinus,
+
+  // keywords
+  KwKernel, KwGlobal, KwLocal, KwConstant, KwPrivate,
+  KwConst, KwRestrict, KwVolatile, KwUnsigned, KwSigned,
+  KwVoid, KwBool, KwChar, KwShort, KwInt, KwLong, KwFloat, KwDouble,
+  KwSizeT,
+  KwStruct, KwTypedef,
+  KwIf, KwElse, KwFor, KwWhile, KwDo, KwReturn, KwBreak, KwContinue,
+  KwImage2d, KwImage3d, KwSampler,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;        // identifier / string spelling
+  std::uint64_t int_value = 0;
+  double float_value = 0.0;
+  bool is_unsigned = false;  // integer literal had a 'u' suffix
+  bool is_long = false;      // integer literal had an 'l' suffix
+  bool is_float32 = false;   // float literal had an 'f' suffix
+  int line = 0;
+  int col = 0;
+};
+
+// Human-readable spelling for diagnostics.
+const char* tok_name(Tok t) noexcept;
+
+}  // namespace clc

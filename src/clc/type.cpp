@@ -1,0 +1,77 @@
+#include "clc/type.h"
+
+namespace clc {
+
+std::size_t size_of(const Type& t, const std::vector<StructDef>& structs) noexcept {
+  switch (t.kind) {
+    case Kind::Void: return 0;
+    case Kind::Struct:
+      return t.struct_id >= 0 &&
+                     static_cast<std::size_t>(t.struct_id) < structs.size()
+                 ? structs[static_cast<std::size_t>(t.struct_id)].size
+                 : 0;
+    case Kind::Image2D:
+    case Kind::Image3D:
+    case Kind::Sampler:
+    case Kind::Pointer: return 8;
+    default: {
+      const std::size_t w = t.vec == 3 ? 4 : t.vec;  // vec3 padded to vec4
+      return scalar_size(t.kind) * w;
+    }
+  }
+}
+
+std::size_t align_of(const Type& t, const std::vector<StructDef>& structs) noexcept {
+  if (t.kind == Kind::Struct) {
+    return t.struct_id >= 0 &&
+                   static_cast<std::size_t>(t.struct_id) < structs.size()
+               ? structs[static_cast<std::size_t>(t.struct_id)].align
+               : 1;
+  }
+  const std::size_t s = size_of(t, structs);
+  return s == 0 ? 1 : s;
+}
+
+std::string type_name(const Type& t, const std::vector<StructDef>& structs) {
+  auto base = [&](Kind k, std::uint8_t vec, std::int16_t sid) -> std::string {
+    std::string n;
+    switch (k) {
+      case Kind::Void: n = "void"; break;
+      case Kind::Bool: n = "bool"; break;
+      case Kind::I8: n = "char"; break;
+      case Kind::U8: n = "uchar"; break;
+      case Kind::I16: n = "short"; break;
+      case Kind::U16: n = "ushort"; break;
+      case Kind::I32: n = "int"; break;
+      case Kind::U32: n = "uint"; break;
+      case Kind::I64: n = "long"; break;
+      case Kind::U64: n = "ulong"; break;
+      case Kind::F32: n = "float"; break;
+      case Kind::F64: n = "double"; break;
+      case Kind::Image2D: return "image2d_t";
+      case Kind::Image3D: return "image3d_t";
+      case Kind::Sampler: return "sampler_t";
+      case Kind::Struct:
+        return sid >= 0 && static_cast<std::size_t>(sid) < structs.size()
+                   ? "struct " + structs[static_cast<std::size_t>(sid)].name
+                   : "struct <anon>";
+      default: n = "?"; break;
+    }
+    if (vec > 1) n += std::to_string(static_cast<int>(vec));
+    return n;
+  };
+  if (t.kind == Kind::Pointer) {
+    std::string prefix;
+    switch (t.as) {
+      case AddrSpace::Global: prefix = "__global "; break;
+      case AddrSpace::Local: prefix = "__local "; break;
+      case AddrSpace::Constant: prefix = "__constant "; break;
+      case AddrSpace::Private: break;
+    }
+    const Kind ek = t.struct_id >= 0 ? Kind::Struct : t.elem_kind;
+    return prefix + base(ek, t.elem_vec, t.struct_id) + "*";
+  }
+  return base(t.kind, t.vec, t.struct_id);
+}
+
+}  // namespace clc

@@ -1,0 +1,104 @@
+// type.h — the clc type system: OpenCL C scalars, short vectors (2/3/4),
+// pointers with address spaces, user structs, and the opaque image/sampler
+// types that matter to CheCL's handle classification.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clc {
+
+enum class Kind : std::uint8_t {
+  Void, Bool,
+  I8, U8, I16, U16, I32, U32, I64, U64,
+  F32, F64,
+  Pointer, Struct, Image2D, Image3D, Sampler,
+};
+
+enum class AddrSpace : std::uint8_t { Private, Global, Local, Constant };
+
+// Value type.  For Kind::Pointer, `elem_*` describe the pointee (pointers to
+// pointers are not supported — OpenCL C kernels don't need them) and `as` is
+// the pointee's address space.  `vec` is the vector width (1 for scalars).
+struct Type {
+  Kind kind = Kind::Void;
+  std::uint8_t vec = 1;
+  AddrSpace as = AddrSpace::Private;
+  std::int16_t struct_id = -1;  // Kind::Struct, or pointee struct id
+  Kind elem_kind = Kind::Void;  // pointee for Kind::Pointer
+  std::uint8_t elem_vec = 1;
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+constexpr Type make_scalar(Kind k, std::uint8_t vec = 1) noexcept {
+  return Type{k, vec, AddrSpace::Private, -1, Kind::Void, 1};
+}
+constexpr Type make_ptr(Kind elem, std::uint8_t elem_vec, AddrSpace space,
+                        std::int16_t struct_id = -1) noexcept {
+  return Type{Kind::Pointer, 1, space, struct_id, elem, elem_vec};
+}
+constexpr Type make_struct(std::int16_t id) noexcept {
+  return Type{Kind::Struct, 1, AddrSpace::Private, id, Kind::Void, 1};
+}
+
+constexpr bool is_integer(Kind k) noexcept {
+  return k >= Kind::Bool && k <= Kind::U64;
+}
+constexpr bool is_signed_int(Kind k) noexcept {
+  return k == Kind::I8 || k == Kind::I16 || k == Kind::I32 || k == Kind::I64;
+}
+constexpr bool is_float(Kind k) noexcept { return k == Kind::F32 || k == Kind::F64; }
+constexpr bool is_arith(Kind k) noexcept { return is_integer(k) || is_float(k); }
+
+// Size in bytes of one scalar element of kind k.
+constexpr std::size_t scalar_size(Kind k) noexcept {
+  switch (k) {
+    case Kind::Bool:
+    case Kind::I8:
+    case Kind::U8: return 1;
+    case Kind::I16:
+    case Kind::U16: return 2;
+    case Kind::I32:
+    case Kind::U32:
+    case Kind::F32: return 4;
+    case Kind::I64:
+    case Kind::U64:
+    case Kind::F64:
+    case Kind::Pointer: return 8;
+    default: return 0;
+  }
+}
+
+struct StructField {
+  std::string name;
+  Type type;
+  std::size_t offset = 0;
+};
+
+struct StructDef {
+  std::string name;
+  std::vector<StructField> fields;
+  std::size_t size = 0;
+  std::size_t align = 1;
+
+  [[nodiscard]] int field_index(std::string_view n) const noexcept {
+    for (std::size_t i = 0; i < fields.size(); ++i)
+      if (fields[i].name == n) return static_cast<int>(i);
+    return -1;
+  }
+};
+
+// Memory size of a value of type t.  Vector-3 occupies 4 elements (OpenCL
+// alignment rule).  Struct sizes come from the module's struct table.
+std::size_t size_of(const Type& t, const std::vector<StructDef>& structs) noexcept;
+
+// Alignment of t (natural alignment; vec3 aligns as vec4).
+std::size_t align_of(const Type& t, const std::vector<StructDef>& structs) noexcept;
+
+// Spelling for diagnostics ("float4", "__global int*", ...).
+std::string type_name(const Type& t, const std::vector<StructDef>& structs);
+
+}  // namespace clc

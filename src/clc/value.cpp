@@ -1,0 +1,189 @@
+#include "clc/value.h"
+
+namespace clc {
+
+std::int64_t load_int(const std::uint8_t* p, Kind k) noexcept {
+  switch (k) {
+    case Kind::Bool:
+    case Kind::U8: {
+      std::uint8_t v;
+      std::memcpy(&v, p, 1);
+      return v;
+    }
+    case Kind::I8: {
+      std::int8_t v;
+      std::memcpy(&v, p, 1);
+      return v;
+    }
+    case Kind::I16: {
+      std::int16_t v;
+      std::memcpy(&v, p, 2);
+      return v;
+    }
+    case Kind::U16: {
+      std::uint16_t v;
+      std::memcpy(&v, p, 2);
+      return v;
+    }
+    case Kind::I32: {
+      std::int32_t v;
+      std::memcpy(&v, p, 4);
+      return v;
+    }
+    case Kind::U32: {
+      std::uint32_t v;
+      std::memcpy(&v, p, 4);
+      return v;
+    }
+    case Kind::I64:
+    case Kind::U64: {
+      std::int64_t v;
+      std::memcpy(&v, p, 8);
+      return v;
+    }
+    default: return 0;
+  }
+}
+
+double load_float(const std::uint8_t* p, Kind k) noexcept {
+  if (k == Kind::F32) {
+    float v;
+    std::memcpy(&v, p, 4);
+    return v;
+  }
+  if (k == Kind::F64) {
+    double v;
+    std::memcpy(&v, p, 8);
+    return v;
+  }
+  return static_cast<double>(load_int(p, k));
+}
+
+void store_int(std::uint8_t* p, Kind k, std::int64_t v) noexcept {
+  switch (k) {
+    case Kind::Bool: {
+      const std::uint8_t b = v != 0 ? 1 : 0;
+      std::memcpy(p, &b, 1);
+      break;
+    }
+    case Kind::I8:
+    case Kind::U8: {
+      const auto b = static_cast<std::uint8_t>(v);
+      std::memcpy(p, &b, 1);
+      break;
+    }
+    case Kind::I16:
+    case Kind::U16: {
+      const auto b = static_cast<std::uint16_t>(v);
+      std::memcpy(p, &b, 2);
+      break;
+    }
+    case Kind::I32:
+    case Kind::U32: {
+      const auto b = static_cast<std::uint32_t>(v);
+      std::memcpy(p, &b, 4);
+      break;
+    }
+    case Kind::I64:
+    case Kind::U64: std::memcpy(p, &v, 8); break;
+    case Kind::F32: {
+      const auto f = static_cast<float>(v);
+      std::memcpy(p, &f, 4);
+      break;
+    }
+    case Kind::F64: {
+      const auto f = static_cast<double>(v);
+      std::memcpy(p, &f, 8);
+      break;
+    }
+    default: break;
+  }
+}
+
+void store_float(std::uint8_t* p, Kind k, double v) noexcept {
+  if (k == Kind::F32) {
+    const auto f = static_cast<float>(v);
+    std::memcpy(p, &f, 4);
+  } else if (k == Kind::F64) {
+    std::memcpy(p, &v, 8);
+  } else {
+    store_int(p, k, static_cast<std::int64_t>(v));
+  }
+}
+
+std::int64_t Value::elem_i(unsigned i) const noexcept {
+  return load_int(raw + i * scalar_size(type.kind), type.kind);
+}
+std::uint64_t Value::elem_u(unsigned i) const noexcept {
+  const std::int64_t v = load_int(raw + i * scalar_size(type.kind), type.kind);
+  // Narrow unsigned kinds are already zero-extended by load_int; for U64 the
+  // bit pattern is what we want.
+  return static_cast<std::uint64_t>(v);
+}
+double Value::elem_f(unsigned i) const noexcept {
+  if (is_float(type.kind))
+    return load_float(raw + i * scalar_size(type.kind), type.kind);
+  if (is_signed_int(type.kind)) return static_cast<double>(elem_i(i));
+  return static_cast<double>(elem_u(i));
+}
+void Value::set_elem_i(unsigned i, std::int64_t v) noexcept {
+  store_int(raw + i * scalar_size(type.kind), type.kind, v);
+}
+void Value::set_elem_f(unsigned i, double v) noexcept {
+  store_float(raw + i * scalar_size(type.kind), type.kind, v);
+}
+
+Value load_value(const std::uint8_t* p, const Type& t) noexcept {
+  Value v(t);
+  if (t.kind == Kind::Pointer || t.kind == Kind::Struct ||
+      t.kind == Kind::Image2D || t.kind == Kind::Image3D ||
+      t.kind == Kind::Sampler) {
+    std::memcpy(v.raw, p, 8);
+    return v;
+  }
+  const std::size_t es = scalar_size(t.kind);
+  std::memcpy(v.raw, p, es * t.vec);
+  return v;
+}
+
+void store_value(std::uint8_t* p, const Value& v) noexcept {
+  const Type& t = v.type;
+  if (t.kind == Kind::Pointer || t.kind == Kind::Struct ||
+      t.kind == Kind::Image2D || t.kind == Kind::Image3D ||
+      t.kind == Kind::Sampler) {
+    std::memcpy(p, v.raw, 8);
+    return;
+  }
+  std::memcpy(p, v.raw, scalar_size(t.kind) * t.vec);
+}
+
+Value convert(const Value& v, const Type& to) noexcept {
+  if (v.type == to) return v;
+  Value r(to);
+  if (to.kind == Kind::Pointer) {
+    // pointer <- pointer (reinterpretation) or integer.
+    std::memcpy(r.raw, v.raw, 8);
+    return r;
+  }
+  const unsigned n = to.vec;
+  for (unsigned i = 0; i < n; ++i) {
+    // Scalars broadcast into vectors; vectors convert element-wise.
+    const unsigned si = v.type.vec == 1 ? 0 : i;
+    if (is_float(to.kind)) {
+      r.set_elem_f(i, v.type.kind == Kind::Pointer
+                          ? static_cast<double>(
+                                reinterpret_cast<std::uintptr_t>(v.ptr()))
+                          : v.elem_f(si));
+    } else if (is_float(v.type.kind)) {
+      r.set_elem_i(i, static_cast<std::int64_t>(v.elem_f(si)));
+    } else if (v.type.kind == Kind::Pointer) {
+      r.set_elem_i(i, static_cast<std::int64_t>(
+                          reinterpret_cast<std::uintptr_t>(v.ptr())));
+    } else {
+      r.set_elem_i(i, v.elem_i(si));
+    }
+  }
+  return r;
+}
+
+}  // namespace clc

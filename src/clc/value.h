@@ -1,0 +1,109 @@
+// value.h — runtime values for the clc interpreter.
+//
+// A Value is a typed 32-byte cell: scalars and vectors are stored inline
+// element-wise (element i of a vector at raw + i * scalar_size), pointers and
+// struct references store a raw host address (simcl device buffers live in
+// host memory), images store a pointer to an ImageDesc.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "clc/type.h"
+
+namespace clc {
+
+// Descriptor the interpreter uses for image2d_t access; owned by the caller
+// (simcl's memory object).
+struct ImageDesc {
+  std::uint8_t* data = nullptr;
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::size_t row_pitch = 0;   // bytes
+  std::uint32_t channels = 4;  // 1 (CL_R), 2 (CL_RG) or 4 (CL_RGBA)
+  bool float_channels = true;  // CL_FLOAT vs CL_UNSIGNED_INT*
+};
+
+// Sampler state as seen by read_image*.
+struct SamplerDesc {
+  bool normalized = false;
+  std::uint32_t addressing = 0;  // CL_ADDRESS_* value
+  std::uint32_t filter = 0;      // CL_FILTER_* value
+};
+
+struct Value {
+  Type type;
+  alignas(8) std::uint8_t raw[32] = {};
+
+  Value() = default;
+  explicit Value(const Type& t) : type(t) {}
+
+  // -- scalar constructors ------------------------------------------------
+  static Value of_i32(std::int32_t v) { return scalar(Kind::I32, v); }
+  static Value of_u32(std::uint32_t v) { return scalar(Kind::U32, v); }
+  static Value of_i64(std::int64_t v) { return scalar(Kind::I64, v); }
+  static Value of_u64(std::uint64_t v) { return scalar(Kind::U64, v); }
+  static Value of_f32(float v) {
+    Value r(make_scalar(Kind::F32));
+    std::memcpy(r.raw, &v, sizeof v);
+    return r;
+  }
+  static Value of_f64(double v) {
+    Value r(make_scalar(Kind::F64));
+    std::memcpy(r.raw, &v, sizeof v);
+    return r;
+  }
+  static Value of_bool(bool v) { return scalar(Kind::Bool, v ? 1 : 0); }
+  static Value of_ptr(const Type& ptr_type, void* p) {
+    Value r(ptr_type);
+    std::memcpy(r.raw, &p, sizeof p);
+    return r;
+  }
+
+  template <typename T>
+  static Value scalar(Kind k, T v) {
+    Value r(make_scalar(k));
+    const auto widened = static_cast<std::int64_t>(v);
+    std::memcpy(r.raw, &widened, scalar_size(k) <= 8 ? 8 : 8);
+    return r;
+  }
+
+  // -- element accessors ----------------------------------------------------
+  // Load element `i` of this (vector) value as a widened i64/u64/f64.
+  [[nodiscard]] std::int64_t elem_i(unsigned i = 0) const noexcept;
+  [[nodiscard]] std::uint64_t elem_u(unsigned i = 0) const noexcept;
+  [[nodiscard]] double elem_f(unsigned i = 0) const noexcept;
+  void set_elem_i(unsigned i, std::int64_t v) noexcept;
+  void set_elem_f(unsigned i, double v) noexcept;
+
+  [[nodiscard]] void* ptr() const noexcept {
+    void* p = nullptr;
+    std::memcpy(&p, raw, sizeof p);
+    return p;
+  }
+  [[nodiscard]] std::uint8_t* bytes_ptr() const noexcept {
+    return static_cast<std::uint8_t*>(ptr());
+  }
+
+  // Truthiness for conditions (scalar only).
+  [[nodiscard]] bool truthy() const noexcept {
+    if (is_float(type.kind)) return elem_f() != 0.0;
+    if (type.kind == Kind::Pointer) return ptr() != nullptr;
+    return elem_u() != 0;
+  }
+};
+
+// Load/store a scalar element of kind k at memory address p (exact width).
+std::int64_t load_int(const std::uint8_t* p, Kind k) noexcept;
+double load_float(const std::uint8_t* p, Kind k) noexcept;
+void store_int(std::uint8_t* p, Kind k, std::int64_t v) noexcept;
+void store_float(std::uint8_t* p, Kind k, double v) noexcept;
+
+// Load/store a whole (possibly vector) value of type t at p.
+Value load_value(const std::uint8_t* p, const Type& t) noexcept;
+void store_value(std::uint8_t* p, const Value& v) noexcept;
+
+// Convert v to type `to` (C conversion semantics incl. float->int trunc).
+Value convert(const Value& v, const Type& to) noexcept;
+
+}  // namespace clc

@@ -1,0 +1,116 @@
+// cpr.h — the checkpoint/restart engine (Section III-C).
+//
+// Checkpoint = synchronize → preprocess (device→host copies) → write (slimcr
+// snapshot through the node's storage model) → postprocess (free copies).
+// Restart = read snapshot → fork a fresh API proxy → recreate OpenCL objects
+// in dependency order (platform, device, context, cmd_queue, mem, sampler,
+// program, kernel, event) → upload user data → dummy events via
+// clEnqueueMarker.  Phase and per-class timings are the raw material of
+// Figures 5, 7 and 8.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/node.h"
+#include "core/objects.h"
+#include "slimcr/snapshot.h"
+
+namespace checl {
+class CheclRuntime;
+}
+
+namespace checl::cpr {
+
+struct PhaseTimes {
+  std::uint64_t sync_ns = 0;
+  std::uint64_t pre_ns = 0;
+  std::uint64_t write_ns = 0;
+  std::uint64_t post_ns = 0;
+  std::uint64_t file_bytes = 0;
+
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return sync_ns + pre_ns + write_ns + post_ns;
+  }
+};
+
+struct RestartBreakdown {
+  // Indexed by ObjType (restore order); read_ns/spawn_ns are outside the
+  // per-class recreation but part of the migration cost.
+  std::array<std::uint64_t, kNumObjTypes> class_ns{};
+  std::uint64_t read_ns = 0;
+  std::uint64_t spawn_ns = 0;
+
+  [[nodiscard]] std::uint64_t recreation_ns() const noexcept {
+    std::uint64_t t = 0;
+    for (const std::uint64_t v : class_ns) t += v;
+    return t;
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return recreation_ns() + read_ns + spawn_ns;
+  }
+};
+
+class Engine {
+ public:
+  explicit Engine(CheclRuntime& rt) : rt_(rt) {}
+
+  // Writes a checkpoint of the current process to `path`.  The process keeps
+  // running afterwards (BLCR semantics).  `times`, when non-null, receives
+  // the phase breakdown.
+  cl_int checkpoint(const std::string& path, PhaseTimes* times);
+
+  // Restart for a *surviving* process image (what BLCR restore reproduces:
+  // host memory — and with it every CheCL object — is intact; only the proxy
+  // and its OpenCL objects are gone).  Kills any existing proxy, spawns a
+  // fresh one under `new_node` (or the current node), refills buffer contents
+  // from `path`, and recreates all OpenCL objects.  CheCL handles held by the
+  // application remain valid throughout.
+  cl_int restart_in_place(const std::string& path,
+                          const std::optional<NodeConfig>& new_node,
+                          RestartBreakdown* breakdown);
+
+  // Restart into an *empty* process (our stand-in for "BLCR restores the host
+  // image on another machine"): rebuilds the CheCL objects themselves from
+  // the snapshot, then recreates OpenCL state.  Returns a map old-id → new
+  // CheCL handle so callers can rebind.
+  cl_int restore_fresh(const std::string& path,
+                       const std::optional<NodeConfig>& new_node,
+                       RestartBreakdown* breakdown,
+                       std::unordered_map<std::uint64_t, Object*>* handle_map);
+
+  // The serialized object database (exposed for tests and for minimpi's
+  // global-snapshot aggregation).
+  std::vector<std::uint8_t> serialize_db();
+
+ private:
+  // Loads `path` and pulls any mem sections missing there from its base
+  // chain (incremental checkpoints).  Returns total simulated read time, or
+  // 0 on failure with *ok=false.
+  std::uint64_t load_with_base_chain(const std::string& path,
+                                     const slimcr::StorageModel& storage,
+                                     slimcr::Snapshot& out, bool* ok);
+
+  cl_int recreate_all(RestartBreakdown* breakdown);
+  cl_int recreate_platforms();
+  cl_int recreate_devices();
+  cl_int recreate_contexts();
+  cl_int recreate_queues();
+  cl_int recreate_mems();
+  cl_int recreate_samplers();
+  cl_int recreate_programs();
+  cl_int recreate_kernels();
+  cl_int recreate_events();
+
+  std::uint64_t now_ns();
+
+  CheclRuntime& rt_;
+  // Path of the most recent checkpoint/restore; incremental checkpoints use
+  // it as their base.
+  std::string last_checkpoint_path_;
+};
+
+}  // namespace checl::cpr

@@ -1,0 +1,110 @@
+#include "core/ksig.h"
+
+#include "clc/lexer.h"
+#include "clc/pp.h"
+
+namespace checl::ksig {
+
+namespace {
+
+using clc::Tok;
+using clc::Token;
+
+ParamSig classify(const std::vector<Token>& toks, std::size_t begin, std::size_t end) {
+  ParamSig sig;
+  bool has_star = false;
+  bool has_const = false;
+  for (std::size_t i = begin; i < end; ++i) {
+    switch (toks[i].kind) {
+      case Tok::KwGlobal: sig.cls = ParamClass::MemGlobal; break;
+      case Tok::KwConstant: sig.cls = ParamClass::MemConstant; break;
+      case Tok::KwLocal: sig.cls = ParamClass::Local; break;
+      case Tok::KwImage2d:
+      case Tok::KwImage3d: sig.cls = ParamClass::Image; break;
+      case Tok::KwSampler: sig.cls = ParamClass::Sampler; break;
+      case Tok::KwConst: has_const = true; break;
+      case Tok::Star: has_star = true; break;
+      case Tok::Ident: sig.name = toks[i].text; break;  // last ident = name
+      default: break;
+    }
+  }
+  // the kernel cannot write through const pointers, __constant space, or
+  // (1.0-model) images it only reads; images are conservatively writable
+  sig.read_only = has_const || sig.cls == ParamClass::MemConstant;
+  // A private-address-space pointer parameter is not a handle; only the
+  // qualified spaces are.  (OpenCL C forbids private pointer kernel params
+  // anyway, but be conservative.)
+  if (sig.cls != ParamClass::Value && sig.cls != ParamClass::Image &&
+      sig.cls != ParamClass::Sampler && !has_star) {
+    // "__local float x" without '*' can't be a kernel parameter; treat as value
+    sig.cls = ParamClass::Value;
+  }
+  return sig;
+}
+
+}  // namespace
+
+Signatures parse_signatures(std::string_view source, std::string_view build_options) {
+  Signatures out;
+
+  clc::Diag diag;
+  std::string expanded;
+  clc::Preprocessor pp(std::string(build_options) +
+                       " -D CLK_LOCAL_MEM_FENCE=1 -D CLK_GLOBAL_MEM_FENCE=2");
+  if (!pp.run(source, expanded, diag)) expanded.assign(source);
+
+  std::vector<Token> toks;
+  clc::Lexer lexer(expanded);
+  if (!lexer.run(toks, diag)) return out;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::KwKernel) continue;
+    // find "<ident> (" — the kernel name and its parameter list
+    std::size_t j = i + 1;
+    std::size_t name_idx = 0;
+    bool found = false;
+    for (; j + 1 < toks.size() && toks[j].kind != Tok::LBrace &&
+           toks[j].kind != Tok::Semi && toks[j].kind != Tok::End;
+         ++j) {
+      if (toks[j].kind == Tok::Ident && toks[j + 1].kind == Tok::LParen) {
+        name_idx = j;
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;
+    KernelSig ks;
+    ks.name = toks[name_idx].text;
+    // scan params up to the matching ')'
+    std::size_t p = name_idx + 2;  // past '('
+    int depth = 1;
+    std::size_t param_start = p;
+    const bool empty_list = toks[p].kind == Tok::RParen;
+    auto push_param = [&](std::size_t begin, std::size_t end) {
+      // skip a bare "(void)" pseudo-parameter
+      if (end == begin + 1 && toks[begin].kind == Tok::KwVoid) return;
+      ks.params.push_back(classify(toks, begin, end));
+    };
+    while (p < toks.size() && depth > 0) {
+      const Tok k = toks[p].kind;
+      if (k == Tok::LParen) {
+        ++depth;
+      } else if (k == Tok::RParen) {
+        --depth;
+        if (depth == 0 && !empty_list && p > param_start)
+          push_param(param_start, p);
+      } else if (k == Tok::Comma && depth == 1) {
+        push_param(param_start, p);
+        param_start = p + 1;
+      } else if (k == Tok::End) {
+        break;
+      }
+      ++p;
+    }
+    out.kernels.push_back(std::move(ks));
+    i = p;
+  }
+  return out;
+}
+
+}  // namespace checl::ksig

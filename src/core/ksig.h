@@ -1,0 +1,64 @@
+// ksig.h — kernel-signature extraction from OpenCL C source.
+//
+// This is the paper's clSetKernelArg disambiguation mechanism (Section III-B):
+// when creating a cl_program with clCreateProgramWithSource, CheCL parses the
+// parameter list of every __kernel function and records which formals receive
+// OpenCL handles — __global/__local/__constant pointers, image2d_t/image3d_t,
+// and sampler_t.  At clSetKernelArg time that record tells the wrapper whether
+// the (const void*, size_t) pair carries a CheCL handle to convert.
+//
+// Unlike clc::compile, this scanner only needs declarations, so it tolerates
+// bodies the full parser can't digest (the paper used Clang the same way).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace checl::ksig {
+
+enum class ParamClass : std::uint8_t {
+  Value,    // plain by-value bytes
+  MemGlobal,   // __global pointer -> cl_mem
+  MemConstant, // __constant pointer -> cl_mem
+  Local,    // __local pointer -> size-only clSetKernelArg
+  Image,    // image2d_t / image3d_t -> cl_mem
+  Sampler,  // sampler_t -> cl_sampler
+};
+
+struct ParamSig {
+  std::string name;
+  ParamClass cls = ParamClass::Value;
+  // True when the kernel cannot write through this parameter (`const`
+  // pointer, __constant space, or a read-only image).  Incremental
+  // checkpointing (Section IV-D future work) uses this to keep buffers
+  // "clean" across kernel launches that only read them.
+  bool read_only = false;
+
+  [[nodiscard]] bool is_mem_handle() const noexcept {
+    return cls == ParamClass::MemGlobal || cls == ParamClass::MemConstant ||
+           cls == ParamClass::Image;
+  }
+};
+
+struct KernelSig {
+  std::string name;
+  std::vector<ParamSig> params;
+};
+
+struct Signatures {
+  std::vector<KernelSig> kernels;
+
+  [[nodiscard]] const KernelSig* find(std::string_view kernel) const noexcept {
+    for (const auto& k : kernels)
+      if (k.name == kernel) return &k;
+    return nullptr;
+  }
+  [[nodiscard]] bool empty() const noexcept { return kernels.empty(); }
+};
+
+// Scans `source` (pre-#define expansion is applied with `build_options`).
+// Never fails hard: kernels whose declarations can't be scanned are skipped.
+Signatures parse_signatures(std::string_view source, std::string_view build_options = {});
+
+}  // namespace checl::ksig

@@ -1,0 +1,62 @@
+#include "core/migration.h"
+
+#include <cmath>
+
+namespace checl::migration {
+
+Model fit(std::span<const Sample> samples) noexcept {
+  Model m;
+  const std::size_t n = samples.size();
+  if (n == 0) return m;
+  double sx = 0;
+  double sy = 0;
+  for (const Sample& s : samples) {
+    sx += static_cast<double>(s.file_bytes);
+    sy += static_cast<double>(s.total_ns) - static_cast<double>(s.recompile_ns);
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0;
+  double sxy = 0;
+  for (const Sample& s : samples) {
+    const double dx = static_cast<double>(s.file_bytes) - mx;
+    const double dy = static_cast<double>(s.total_ns) -
+                      static_cast<double>(s.recompile_ns) - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+  }
+  if (sxx <= 0) {
+    m.beta_ns = my;
+    return m;
+  }
+  m.alpha_ns_per_byte = sxy / sxx;
+  m.beta_ns = my - m.alpha_ns_per_byte * mx;
+  return m;
+}
+
+double correlation(std::span<const Sample> samples) noexcept {
+  const std::size_t n = samples.size();
+  if (n < 2) return 0.0;
+  double sx = 0;
+  double sy = 0;
+  for (const Sample& s : samples) {
+    sx += static_cast<double>(s.file_bytes);
+    sy += static_cast<double>(s.total_ns);
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0;
+  double syy = 0;
+  double sxy = 0;
+  for (const Sample& s : samples) {
+    const double dx = static_cast<double>(s.file_bytes) - mx;
+    const double dy = static_cast<double>(s.total_ns) - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace checl::migration

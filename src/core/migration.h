@@ -1,0 +1,44 @@
+// migration.h — the process migration cost model of Section IV-C:
+//
+//     Tm = alpha * M + Tr + beta                                  (eq. 1)
+//
+// where M is the checkpoint file size, Tr the program recompilation time,
+// alpha a system parameter dominated by checkpoint-file write bandwidth, and
+// beta a system-specific constant (proxy spawn, platform bring-up, ...).
+// `fit` calibrates (alpha, beta) by least squares on measured migrations with
+// the recompile time subtracted out — exactly how Figure 8's "Predicted"
+// series is produced.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace checl::migration {
+
+struct Sample {
+  std::uint64_t file_bytes = 0;
+  std::uint64_t total_ns = 0;      // measured checkpoint + restart time
+  std::uint64_t recompile_ns = 0;  // Tr: program recreation portion
+};
+
+struct Model {
+  double alpha_ns_per_byte = 0.0;
+  double beta_ns = 0.0;
+
+  [[nodiscard]] std::uint64_t predict_ns(std::uint64_t file_bytes,
+                                         std::uint64_t recompile_ns) const noexcept {
+    const double t = alpha_ns_per_byte * static_cast<double>(file_bytes) +
+                     static_cast<double>(recompile_ns) + beta_ns;
+    return t > 0 ? static_cast<std::uint64_t>(t) : 0;
+  }
+};
+
+// Ordinary least squares of (total - recompile) against file size.
+// Degenerate inputs (0 or 1 sample, or zero variance) produce a flat model.
+Model fit(std::span<const Sample> samples) noexcept;
+
+// Pearson correlation between file size and total time (the paper reports
+// 0.99 for Figure 5).
+double correlation(std::span<const Sample> samples) noexcept;
+
+}  // namespace checl::migration

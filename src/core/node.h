@@ -1,0 +1,49 @@
+// node.h — a "computing node" as CheCL sees it: which simulated OpenCL
+// platforms exist there, how its checkpoint storage performs, and how the
+// app<->proxy hop is priced.  Migration between nodes = checkpoint under one
+// NodeConfig, restart under another.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "proxy/opcodes.h"
+#include "proxy/spawn.h"
+#include "simcl/specs.h"
+#include "slimcr/storage.h"
+
+namespace checl {
+
+struct NodeConfig {
+  std::string name = "node0";
+  std::vector<simcl::PlatformSpec> platforms = simcl::default_platforms();
+  slimcr::StorageModel storage = slimcr::local_disk();
+  proxy::IpcCosts ipc;
+  proxy::Transport transport = proxy::Transport::Process;
+  // Transport::Tcp: where the remote checl_proxyd listens (paper §V: a
+  // remote API proxy reached over TCP/IP sockets).
+  std::string tcp_host = "127.0.0.1";
+  std::uint16_t tcp_port = 0;
+};
+
+// The paper's testbed shapes, ready-made.
+inline NodeConfig nvidia_node() {
+  NodeConfig n;
+  n.name = "nvidia-node";
+  n.platforms = {simcl::nvidia_like_platform()};
+  return n;
+}
+inline NodeConfig amd_node() {
+  NodeConfig n;
+  n.name = "amd-node";
+  n.platforms = {simcl::amd_like_platform()};
+  return n;
+}
+inline NodeConfig dual_node() {
+  NodeConfig n;
+  n.name = "dual-node";
+  n.platforms = simcl::default_platforms();
+  return n;
+}
+
+}  // namespace checl

@@ -1,0 +1,75 @@
+#include "core/object_db.h"
+
+#include <algorithm>
+
+namespace checl {
+
+namespace {
+// The address-set lives process-wide so that `is_checl_object` (used by the
+// clSetKernelArg heuristic) can be a free function over all databases — in
+// practice there is one DB per process.
+std::mutex g_addr_mu;
+std::unordered_set<const void*> g_addrs;
+}  // namespace
+
+bool is_checl_object(const void* p) noexcept {
+  std::lock_guard<std::mutex> lk(g_addr_mu);
+  return g_addrs.count(p) != 0;
+}
+
+void ObjectDB::add(Object* o) {
+  std::lock_guard<std::mutex> lk(mu_);
+  o->id = next_id_++;
+  by_id_[o->id] = o;
+  addrs_.insert(o);
+  ordered_.push_back(o);
+  {
+    std::lock_guard<std::mutex> glk(g_addr_mu);
+    g_addrs.insert(o);
+  }
+}
+
+void ObjectDB::remove(Object* o) {
+  std::lock_guard<std::mutex> lk(mu_);
+  by_id_.erase(o->id);
+  addrs_.erase(o);
+  ordered_.erase(std::remove(ordered_.begin(), ordered_.end(), o), ordered_.end());
+  {
+    std::lock_guard<std::mutex> glk(g_addr_mu);
+    g_addrs.erase(o);
+  }
+}
+
+bool ObjectDB::contains_addr(const void* p) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return addrs_.count(p) != 0;
+}
+
+Object* ObjectDB::by_id(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = by_id_.find(id);
+  return it != by_id_.end() ? it->second : nullptr;
+}
+
+std::size_t ObjectDB::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ordered_.size();
+}
+
+std::vector<Object*> ObjectDB::all() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ordered_;
+}
+
+void ObjectDB::clear() noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  {
+    std::lock_guard<std::mutex> glk(g_addr_mu);
+    for (const void* p : addrs_) g_addrs.erase(p);
+  }
+  by_id_.clear();
+  addrs_.clear();
+  ordered_.clear();
+}
+
+}  // namespace checl

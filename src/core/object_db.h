@@ -1,0 +1,51 @@
+// object_db.h — the database of live CheCL objects (Section III-C: "a
+// database is managed to hold the pointers to all CheCL objects").
+//
+// Every wrapper-created object is registered here; checkpointing walks it to
+// copy device data out, and restarting walks it in dependency order to
+// recreate OpenCL objects.  The address set also backs the clSetKernelArg
+// heuristic used when no kernel signature is available.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/objects.h"
+
+namespace checl {
+
+class ObjectDB {
+ public:
+  // Assigns an id and registers the object.
+  void add(Object* o);
+  void remove(Object* o);
+  [[nodiscard]] bool contains_addr(const void* p) const;
+  [[nodiscard]] Object* by_id(std::uint64_t id) const;
+  [[nodiscard]] std::size_t size() const;
+
+  // All live objects of type T in id (creation) order.
+  template <typename T>
+  [[nodiscard]] std::vector<T*> all_of() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<T*> out;
+    for (Object* o : ordered_)
+      if (o->otype == T::kType) out.push_back(static_cast<T*>(o));
+    return out;
+  }
+
+  // All live objects in id order (mixed types).
+  [[nodiscard]] std::vector<Object*> all() const;
+
+  void clear() noexcept;  // drops registrations only; does not delete objects
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, Object*> by_id_;
+  std::unordered_set<const void*> addrs_;
+  std::vector<Object*> ordered_;  // id order; compacted on remove
+};
+
+}  // namespace checl

@@ -1,0 +1,201 @@
+// objects.h — CheCL objects: the wrapper classes of Section III-B.
+//
+// The application never sees an OpenCL handle.  Every wrapper API call returns
+// a *CheCL handle* — a pointer to one of these objects — and each object
+// records everything needed to recreate its OpenCL counterpart after restart:
+// creation arguments, state-mutating calls (kernel args), and, at checkpoint
+// time, device buffer contents.  The `remote` field holds the current actual
+// OpenCL handle (a token in the API proxy's address space) and is silently
+// rebound on restart — which is exactly why the application must not cache it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checl/cl.h"
+#include "core/ksig.h"
+#include "proxy/client.h"
+
+namespace checl {
+
+inline constexpr std::uint32_t kMagic = 0x4C434843;  // "CHCL"
+
+enum class ObjType : std::uint32_t {
+  Platform, Device, Context, Queue, Mem, Sampler, Program, Kernel, Event,
+};
+
+inline constexpr std::size_t kNumObjTypes = 9;
+
+// Restoration (and Figure 7 breakdown) order — the paper's dependency order.
+constexpr const char* obj_type_name(ObjType t) noexcept {
+  switch (t) {
+    case ObjType::Platform: return "platform";
+    case ObjType::Device: return "device";
+    case ObjType::Context: return "context";
+    case ObjType::Queue: return "cmd_que";
+    case ObjType::Mem: return "mem";
+    case ObjType::Sampler: return "sampler";
+    case ObjType::Program: return "prog";
+    case ObjType::Kernel: return "kernel";
+    case ObjType::Event: return "event";
+  }
+  return "?";
+}
+
+struct Object {
+  std::uint32_t magic = kMagic;
+  ObjType otype;
+  std::atomic<std::int32_t> refs{1};
+  std::uint64_t id = 0;                // stable id, assigned by the ObjectDB
+  proxy::RemoteHandle remote = 0;      // current actual OpenCL handle
+
+  explicit Object(ObjType t) noexcept : otype(t) {}
+  virtual ~Object() { magic = 0; }
+  Object(const Object&) = delete;
+  Object& operator=(const Object&) = delete;
+
+  void retain() noexcept { refs.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] bool release() noexcept {
+    return refs.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+};
+
+// True when `p` points at *some* live CheCL object (any type) — the
+// address-based heuristic used when no kernel signature is available.
+bool is_checl_object(const void* p) noexcept;
+
+// Validating cast from an application-supplied handle.  Consults the live
+// address set first: a released (freed) handle must fail cleanly, not be
+// dereferenced.
+template <typename T>
+T* as_checl(void* h) noexcept {
+  if (h == nullptr || !is_checl_object(h)) return nullptr;
+  auto* o = static_cast<Object*>(h);
+  if (o->magic != kMagic || o->otype != T::kType) return nullptr;
+  return static_cast<T*>(o);
+}
+
+struct PlatformObj final : Object {
+  static constexpr ObjType kType = ObjType::Platform;
+  std::string name;       // matched on restore
+  std::uint32_t index = 0;  // fallback match
+
+  PlatformObj() : Object(kType) {}
+};
+
+struct DeviceObj final : Object {
+  static constexpr ObjType kType = ObjType::Device;
+  PlatformObj* platform = nullptr;  // retained
+  cl_device_type type = CL_DEVICE_TYPE_GPU;
+  std::uint32_t index_in_type = 0;
+  std::string name;
+
+  DeviceObj() : Object(kType) {}
+  ~DeviceObj() override;
+};
+
+struct ContextObj final : Object {
+  static constexpr ObjType kType = ObjType::Context;
+  std::vector<DeviceObj*> devices;  // retained
+  std::vector<std::int64_t> properties;  // key/value pairs + trailing 0
+
+  ContextObj() : Object(kType) {}
+  ~ContextObj() override;
+};
+
+struct QueueObj final : Object {
+  static constexpr ObjType kType = ObjType::Queue;
+  ContextObj* ctx = nullptr;   // retained
+  DeviceObj* dev = nullptr;    // retained
+  cl_command_queue_properties properties = 0;
+
+  QueueObj() : Object(kType) {}
+  ~QueueObj() override;
+};
+
+struct MemObj final : Object {
+  static constexpr ObjType kType = ObjType::Mem;
+  ContextObj* ctx = nullptr;  // retained
+  cl_mem_flags flags = 0;
+  std::size_t size = 0;
+
+  bool is_image = false;
+  cl_image_format format{};
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::size_t row_pitch = 0;
+
+  // CL_MEM_USE_HOST_PTR emulation: the application's cached host region.
+  void* use_host_ptr = nullptr;
+
+  // Device data copied to the host during checkpoint preprocessing; lives in
+  // the snapshot file; freed in postprocessing.
+  std::vector<std::uint8_t> snapshot;
+
+  // Incremental checkpointing (paper future work): true when the device data
+  // may have changed since the last checkpoint.  Cleared by the engine after
+  // each checkpoint; set by writes, copies, and kernel launches that bind
+  // this object through a non-read-only parameter.
+  bool dirty = true;
+
+  MemObj() : Object(kType) {}
+  ~MemObj() override;
+};
+
+struct SamplerObj final : Object {
+  static constexpr ObjType kType = ObjType::Sampler;
+  ContextObj* ctx = nullptr;  // retained
+  cl_bool normalized = CL_FALSE;
+  cl_addressing_mode addressing = CL_ADDRESS_CLAMP;
+  cl_filter_mode filter = CL_FILTER_NEAREST;
+
+  SamplerObj() : Object(kType) {}
+  ~SamplerObj() override;
+};
+
+struct ProgramObj final : Object {
+  static constexpr ObjType kType = ObjType::Program;
+  ContextObj* ctx = nullptr;  // retained
+  std::string source;         // empty for binary-created programs
+  std::vector<std::uint8_t> binary;  // only for clCreateProgramWithBinary
+  std::string build_options;
+  bool built = false;
+  bool from_binary = false;
+  ksig::Signatures signatures;  // parsed at creation (source path only)
+
+  ProgramObj() : Object(kType) {}
+  ~ProgramObj() override;
+};
+
+struct KernelObj final : Object {
+  static constexpr ObjType kType = ObjType::Kernel;
+  ProgramObj* prog = nullptr;  // retained
+  std::string name;
+
+  struct ArgRec {
+    enum class Kind : std::uint8_t { Unset, Bytes, Mem, Sampler, Local };
+    Kind kind = Kind::Unset;
+    std::vector<std::uint8_t> bytes;
+    MemObj* mem = nullptr;          // retained while bound
+    SamplerObj* sampler = nullptr;  // retained while bound
+    std::size_t local_size = 0;
+  };
+  std::vector<ArgRec> args;
+  const ksig::KernelSig* sig = nullptr;  // owned by prog->signatures; may be null
+
+  KernelObj() : Object(kType) {}
+  ~KernelObj() override;
+};
+
+struct EventObj final : Object {
+  static constexpr ObjType kType = ObjType::Event;
+  QueueObj* queue = nullptr;  // retained
+  cl_uint command_type = CL_COMMAND_MARKER;
+
+  EventObj() : Object(kType) {}
+  ~EventObj() override;
+};
+
+}  // namespace checl

@@ -1,0 +1,212 @@
+#include "core/runtime.h"
+
+#include <signal.h>
+
+#include "core/cpr.h"
+
+namespace checl {
+
+CheclRuntime& CheclRuntime::instance() {
+  static CheclRuntime rt;
+  return rt;
+}
+
+CheclRuntime::CheclRuntime() = default;
+
+CheclRuntime::~CheclRuntime() {
+  // Deliberately leak remaining objects at process exit; the proxy dies with
+  // its Spawned member.
+}
+
+void CheclRuntime::set_node(NodeConfig node) { node_ = std::move(node); }
+
+cl_int CheclRuntime::ensure_proxy() {
+  std::lock_guard<std::mutex> lk(proxy_mu_);
+  if (spawned_.ok() && spawned_.client()->alive() && proxy_configured_)
+    return CL_SUCCESS;
+  spawned_ = node_.transport == proxy::Transport::Tcp
+                 ? proxy::connect_remote_proxy(node_.tcp_host.c_str(),
+                                               node_.tcp_port)
+                 : proxy::spawn_proxy(node_.transport);
+  if (!spawned_.ok()) return CL_DEVICE_NOT_AVAILABLE;
+  const cl_int err =
+      spawned_.client()->configure(node_.platforms, node_.ipc, true);
+  if (err != CL_SUCCESS) return CL_DEVICE_NOT_AVAILABLE;
+  proxy_configured_ = true;
+  return CL_SUCCESS;
+}
+
+void CheclRuntime::kill_proxy() {
+  std::lock_guard<std::mutex> lk(proxy_mu_);
+  spawned_.kill_hard();
+  spawned_.stop();
+  proxy_configured_ = false;
+}
+
+cl_int CheclRuntime::respawn_proxy(const NodeConfig& cfg, std::uint64_t resume_time_ns) {
+  {
+    std::lock_guard<std::mutex> lk(proxy_mu_);
+    spawned_.kill_hard();
+    spawned_.stop();
+    proxy_configured_ = false;
+    node_ = cfg;
+    spawned_ = node_.transport == proxy::Transport::Tcp
+                   ? proxy::connect_remote_proxy(node_.tcp_host.c_str(),
+                                                 node_.tcp_port)
+                   : proxy::spawn_proxy(node_.transport);
+    if (!spawned_.ok()) return CL_DEVICE_NOT_AVAILABLE;
+    const cl_int err =
+        spawned_.client()->configure(node_.platforms, node_.ipc, true);
+    if (err != CL_SUCCESS) return CL_DEVICE_NOT_AVAILABLE;
+    proxy_configured_ = true;
+  }
+  if (resume_time_ns != 0) {
+    // The restarted process continues on the destination's timeline.
+    cl_ulong now = 0;
+    client()->sim_get_host_time_ns(now);
+    if (resume_time_ns > now)
+      client()->sim_advance_host_ns(resume_time_ns - now);
+  }
+  return CL_SUCCESS;
+}
+
+bool CheclRuntime::proxy_alive() noexcept {
+  return spawned_.ok() && spawned_.client()->alive();
+}
+
+void CheclRuntime::on_api_call() {
+  if (mode == CheckpointMode::Immediate && checkpoint_pending() &&
+      !checkpoint_in_progress_) {
+    checkpoint_in_progress_ = true;
+    checkpoint_requested_.store(false, std::memory_order_release);
+    auto times = std::make_unique<cpr::PhaseTimes>();
+    engine().checkpoint(checkpoint_path, times.get());
+    last_times_ = std::move(times);
+    checkpoint_in_progress_ = false;
+  }
+}
+
+void CheclRuntime::on_sync_point() {
+  if (checkpoint_pending() && !checkpoint_in_progress_) {
+    checkpoint_in_progress_ = true;
+    checkpoint_requested_.store(false, std::memory_order_release);
+    auto times = std::make_unique<cpr::PhaseTimes>();
+    engine().checkpoint(checkpoint_path, times.get());
+    last_times_ = std::move(times);
+    checkpoint_in_progress_ = false;
+  }
+}
+
+void CheclRuntime::on_kernel_enqueued() {
+  int n = ckpt_after_kernel_.load(std::memory_order_acquire);
+  if (n < 0 || checkpoint_in_progress_) return;
+  n = ckpt_after_kernel_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  if (n != 0) return;
+  ckpt_after_kernel_.store(-1, std::memory_order_release);
+  checkpoint_in_progress_ = true;
+  auto times = std::make_unique<cpr::PhaseTimes>();
+  engine().checkpoint(checkpoint_path, times.get());
+  last_times_ = std::move(times);
+  checkpoint_in_progress_ = false;
+}
+
+cpr::PhaseTimes CheclRuntime::last_checkpoint_times() const {
+  return last_times_ != nullptr ? *last_times_ : cpr::PhaseTimes{};
+}
+
+namespace {
+void sigusr_handler(int) { CheclRuntime::instance().request_checkpoint(); }
+}  // namespace
+
+void CheclRuntime::install_signal_handler(int signum) {
+  struct sigaction sa {};
+  sa.sa_handler = sigusr_handler;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(signum, &sa, nullptr);
+}
+
+void CheclRuntime::register_app_region(std::string name, void* ptr, std::size_t len) {
+  app_regions_.push_back({std::move(name), ptr, len});
+}
+
+cpr::Engine& CheclRuntime::engine() {
+  if (engine_ == nullptr) engine_ = std::make_unique<cpr::Engine>(*this);
+  return *engine_;
+}
+
+void CheclRuntime::reset_all() {
+  // Best-effort teardown in reverse dependency order; applications normally
+  // release handles themselves.
+  auto objs = db_.all();
+  for (auto it = objs.rbegin(); it != objs.rend(); ++it) unref_object(*it);
+  db_.clear();
+  app_regions_.clear();
+  {
+    std::lock_guard<std::mutex> lk(proxy_mu_);
+    spawned_.stop();
+    proxy_configured_ = false;
+  }
+  checkpoint_requested_.store(false, std::memory_order_release);
+  ckpt_after_kernel_.store(-1, std::memory_order_release);
+  retarget_device_type.reset();
+  mode = CheckpointMode::Delayed;
+  incremental_checkpoints = false;
+  last_times_.reset();
+  engine_.reset();  // drops the incremental base-chain state too
+}
+
+// ---------------------------------------------------------------------------
+// object lifetime
+// ---------------------------------------------------------------------------
+
+namespace {
+
+proxy::Op release_op(ObjType t) noexcept {
+  switch (t) {
+    case ObjType::Context: return proxy::Op::ReleaseContext;
+    case ObjType::Queue: return proxy::Op::ReleaseCommandQueue;
+    case ObjType::Mem: return proxy::Op::ReleaseMemObject;
+    case ObjType::Sampler: return proxy::Op::ReleaseSampler;
+    case ObjType::Program: return proxy::Op::ReleaseProgram;
+    case ObjType::Kernel: return proxy::Op::ReleaseKernel;
+    case ObjType::Event: return proxy::Op::ReleaseEvent;
+    default: return proxy::Op::Ping;  // platforms/devices are not released
+  }
+}
+
+}  // namespace
+
+void unref_object(Object* o) noexcept {
+  if (o == nullptr || !o->release()) return;
+  auto& rt = CheclRuntime::instance();
+  rt.db().remove(o);
+  if (o->remote != 0 && o->otype != ObjType::Platform &&
+      o->otype != ObjType::Device) {
+    if (proxy::Client* c = rt.client(); c != nullptr && c->alive())
+      c->retain_release(release_op(o->otype), o->remote);
+  }
+  delete o;
+}
+
+// Object destructors (they unref what they reference).
+DeviceObj::~DeviceObj() { unref_object(platform); }
+ContextObj::~ContextObj() {
+  for (DeviceObj* d : devices) unref_object(d);
+}
+QueueObj::~QueueObj() {
+  unref_object(ctx);
+  unref_object(dev);
+}
+MemObj::~MemObj() { unref_object(ctx); }
+SamplerObj::~SamplerObj() { unref_object(ctx); }
+ProgramObj::~ProgramObj() { unref_object(ctx); }
+KernelObj::~KernelObj() {
+  for (ArgRec& a : args) {
+    unref_object(a.mem);
+    unref_object(a.sampler);
+  }
+  unref_object(prog);
+}
+EventObj::~EventObj() { unref_object(queue); }
+
+}  // namespace checl

@@ -1,0 +1,134 @@
+// runtime.h — process-wide CheCL state: the API proxy connection, the object
+// database, checkpoint configuration, and the dispatch-table switch that
+// stands in for swapping libOpenCL.so.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "checl/dispatch.h"
+#include "core/node.h"
+#include "core/object_db.h"
+#include "proxy/spawn.h"
+
+namespace checl {
+
+// When to act on a checkpoint request (Section III-C).
+enum class CheckpointMode : std::uint8_t {
+  Immediate,  // synchronize + checkpoint at the next API call
+  Delayed,    // postpone to the next natural synchronization point
+};
+
+namespace cpr {
+class Engine;
+struct PhaseTimes;
+struct RestartBreakdown;
+}  // namespace cpr
+
+class CheclRuntime {
+ public:
+  static CheclRuntime& instance();
+
+  // ---- configuration (call before the first forwarded API call) ------------
+  void set_node(NodeConfig node);
+  [[nodiscard]] const NodeConfig& node() const noexcept { return node_; }
+
+  CheckpointMode mode = CheckpointMode::Delayed;
+  std::string checkpoint_path = "/tmp/checl.ckpt";
+  // Incremental checkpointing (Section IV-D future work): after a full
+  // checkpoint, subsequent checkpoints write only buffers dirtied since the
+  // previous one, plus a reference to it; restore follows the chain.
+  bool incremental_checkpoints = false;
+  // Retarget every device to the first device of this type on restore —
+  // the paper's runtime processor selection (Section IV-C).
+  std::optional<cl_device_type> retarget_device_type;
+
+  // ---- proxy ------------------------------------------------------------
+  // Spawns + configures the API proxy on first use.  Returns CL_SUCCESS or
+  // CL_DEVICE_NOT_AVAILABLE when the proxy cannot be brought up.
+  cl_int ensure_proxy();
+  [[nodiscard]] proxy::Client* client() noexcept {
+    return spawned_.ok() ? spawned_.client() : nullptr;
+  }
+  // Kills the proxy dead (failure injection / DMTCP mode).
+  void kill_proxy();
+  // Respawns a fresh proxy under `cfg` (used by restart); charges spawn cost
+  // and fast-forwards the fresh clock to `resume_time_ns`.
+  cl_int respawn_proxy(const NodeConfig& cfg, std::uint64_t resume_time_ns);
+  [[nodiscard]] bool proxy_alive() noexcept;
+
+  // ---- object database -----------------------------------------------------
+  ObjectDB& db() noexcept { return db_; }
+
+  // ---- checkpoint requests ------------------------------------------------
+  void request_checkpoint() noexcept {
+    checkpoint_requested_.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool checkpoint_pending() const noexcept {
+    return checkpoint_requested_.load(std::memory_order_acquire);
+  }
+  // Hook for every wrapper call (acts only in Immediate mode).
+  void on_api_call();
+  // Hook for synchronization points: clFinish, clWaitForEvents, blocking
+  // transfers (acts in both modes).
+  void on_sync_point();
+  // Figure 5 instrumentation: checkpoint immediately after the n-th kernel
+  // enqueue from now, while that kernel is still uncompleted in the queue
+  // ("at least one uncompleted kernel execution command always exists in the
+  // queue when the process is checkpointed").  -1 disables.
+  void arm_checkpoint_after_kernel(int enqueues) noexcept {
+    ckpt_after_kernel_.store(enqueues, std::memory_order_release);
+  }
+  void on_kernel_enqueued();
+  // Phase times of the most recent engine checkpoint (however triggered).
+  cpr::PhaseTimes last_checkpoint_times() const;
+  // Installs a SIGUSR1 handler that calls request_checkpoint().
+  void install_signal_handler(int signum);
+
+  // ---- application state (what BLCR would have dumped wholesale) ----------
+  void register_app_region(std::string name, void* ptr, std::size_t len);
+  struct AppRegion {
+    std::string name;
+    void* ptr;
+    std::size_t len;
+  };
+  [[nodiscard]] const std::vector<AppRegion>& app_regions() const noexcept {
+    return app_regions_;
+  }
+
+  cpr::Engine& engine();
+
+  // Drops every CheCL object and the proxy; for tests and examples that set
+  // up multiple independent scenarios in one process.
+  void reset_all();
+
+ private:
+  CheclRuntime();
+  ~CheclRuntime();
+
+  NodeConfig node_;
+  proxy::Spawned spawned_;
+  bool proxy_configured_ = false;
+  std::mutex proxy_mu_;
+  ObjectDB db_;
+  std::atomic<bool> checkpoint_requested_{false};
+  std::atomic<int> ckpt_after_kernel_{-1};
+  std::vector<AppRegion> app_regions_;
+  std::unique_ptr<cpr::Engine> engine_;
+  bool checkpoint_in_progress_ = false;
+  std::unique_ptr<cpr::PhaseTimes> last_times_;
+};
+
+// Decrement an object's refcount; at zero: remove from the DB, release the
+// remote handle, delete.  Object destructors use this for their references.
+void unref_object(Object* o) noexcept;
+
+// Dispatch-table plumbing (the libOpenCL.so switch).
+const checl_api::DispatchTable& dispatch_table() noexcept;
+void bind_checl() noexcept;   // route cl* through the CheCL wrapper layer
+void bind_native() noexcept;  // route cl* straight to the substrate
+
+}  // namespace checl

@@ -1,0 +1,1316 @@
+// wrapper_api.cpp — the CheCL flavor of every cl* entry point.
+//
+// Each wrapper (Section III-B): converts incoming CheCL handles to actual
+// OpenCL handles, forwards the call to the API proxy, records whatever is
+// needed for restoration in a CheCL object, and hands the application a CheCL
+// handle.  Info queries that would leak actual handles are answered locally
+// from the recorded state, so the application can never observe one.
+
+#include <cstdio>
+#include <cstring>
+
+#include "checl/dispatch.h"
+#include "core/cpr.h"
+#include "core/runtime.h"
+
+namespace checl {
+
+namespace {
+
+CheclRuntime& rt() { return CheclRuntime::instance(); }
+
+// Per-call prologue: immediate-mode checkpoint hook + proxy liveness.
+proxy::Client* pre_call() {
+  rt().on_api_call();
+  if (rt().ensure_proxy() != CL_SUCCESS) return nullptr;
+  return rt().client();
+}
+
+void set_err(cl_int* out, cl_int e) {
+  if (out != nullptr) *out = e;
+}
+
+// ---- info-query helpers (local answers) -------------------------------------
+
+cl_int set_param_bytes(const void* data, std::size_t n, std::size_t size,
+                       void* value, std::size_t* size_ret) {
+  if (size_ret != nullptr) *size_ret = n;
+  if (value != nullptr) {
+    if (size < n) return CL_INVALID_VALUE;
+    std::memcpy(value, data, n);
+  }
+  return CL_SUCCESS;
+}
+
+template <typename T>
+cl_int set_param(const T& v, std::size_t size, void* value, std::size_t* size_ret) {
+  return set_param_bytes(&v, sizeof(T), size, value, size_ret);
+}
+
+cl_int set_param_str(const std::string& s, std::size_t size, void* value,
+                     std::size_t* size_ret) {
+  return set_param_bytes(s.c_str(), s.size() + 1, size, value, size_ret);
+}
+
+// ---- platform / device wrapping --------------------------------------------
+
+PlatformObj* wrap_platform(proxy::Client& c, proxy::RemoteHandle remote,
+                           std::uint32_t index) {
+  for (PlatformObj* p : rt().db().all_of<PlatformObj>())
+    if (p->remote == remote) return p;
+  auto* p = new PlatformObj();
+  p->remote = remote;
+  p->index = index;
+  char name[256] = {};
+  c.get_info(proxy::Op::GetPlatformInfo, remote, CL_PLATFORM_NAME, sizeof name,
+             name, nullptr);
+  p->name = name;
+  rt().db().add(p);
+  return p;
+}
+
+DeviceObj* wrap_device(proxy::Client& c, PlatformObj* platform,
+                       proxy::RemoteHandle remote) {
+  for (DeviceObj* d : rt().db().all_of<DeviceObj>())
+    if (d->remote == remote) return d;
+  auto* d = new DeviceObj();
+  d->remote = remote;
+  d->platform = platform;
+  if (platform != nullptr) platform->retain();
+  cl_device_type type = CL_DEVICE_TYPE_DEFAULT;
+  c.get_info(proxy::Op::GetDeviceInfo, remote, CL_DEVICE_TYPE, sizeof type,
+             &type, nullptr);
+  d->type = type;
+  char name[256] = {};
+  c.get_info(proxy::Op::GetDeviceInfo, remote, CL_DEVICE_NAME, sizeof name, name,
+             nullptr);
+  d->name = name;
+  // position among same-type devices on this platform (stable restore key)
+  if (platform != nullptr) {
+    std::vector<proxy::RemoteHandle> same;
+    cl_uint total = 0;
+    if (c.get_device_ids(platform->remote, type, 16, same, total) == CL_SUCCESS) {
+      for (std::size_t i = 0; i < same.size(); ++i)
+        if (same[i] == remote) d->index_in_type = static_cast<std::uint32_t>(i);
+    }
+  }
+  rt().db().add(d);
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// platform / device
+// ---------------------------------------------------------------------------
+
+cl_int w_GetPlatformIDs(cl_uint num_entries, cl_platform_id* platforms,
+                        cl_uint* num_platforms) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  if (platforms == nullptr && num_platforms == nullptr) return CL_INVALID_VALUE;
+  if (platforms != nullptr && num_entries == 0) return CL_INVALID_VALUE;
+  std::vector<proxy::RemoteHandle> remotes;
+  cl_uint total = 0;
+  const cl_int err = c->get_platform_ids(
+      platforms != nullptr ? num_entries : 0, remotes, total);
+  if (err != CL_SUCCESS) return err;
+  if (num_platforms != nullptr) *num_platforms = total;
+  if (platforms != nullptr) {
+    for (std::size_t i = 0; i < remotes.size(); ++i)
+      platforms[i] = reinterpret_cast<cl_platform_id>(
+          wrap_platform(*c, remotes[i], static_cast<std::uint32_t>(i)));
+  }
+  return CL_SUCCESS;
+}
+
+cl_int w_GetPlatformInfo(cl_platform_id platform, cl_platform_info pn,
+                         std::size_t size, void* value, std::size_t* size_ret) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* p = as_checl<PlatformObj>(platform);
+  if (p == nullptr) return CL_INVALID_PLATFORM;
+  return c->get_info(proxy::Op::GetPlatformInfo, p->remote, pn, size, value,
+                     size_ret);
+}
+
+cl_int w_GetDeviceIDs(cl_platform_id platform, cl_device_type type,
+                      cl_uint num_entries, cl_device_id* devices,
+                      cl_uint* num_devices) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* p = as_checl<PlatformObj>(platform);
+  if (p == nullptr) return CL_INVALID_PLATFORM;
+  if (devices == nullptr && num_devices == nullptr) return CL_INVALID_VALUE;
+  std::vector<proxy::RemoteHandle> remotes;
+  cl_uint total = 0;
+  const cl_int err =
+      c->get_device_ids(p->remote, type, devices != nullptr ? num_entries : 0,
+                        remotes, total);
+  if (err != CL_SUCCESS) return err;
+  if (num_devices != nullptr) *num_devices = total;
+  if (devices != nullptr) {
+    for (std::size_t i = 0; i < remotes.size(); ++i)
+      devices[i] = reinterpret_cast<cl_device_id>(wrap_device(*c, p, remotes[i]));
+  }
+  return CL_SUCCESS;
+}
+
+cl_int w_GetDeviceInfo(cl_device_id device, cl_device_info pn, std::size_t size,
+                       void* value, std::size_t* size_ret) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* d = as_checl<DeviceObj>(device);
+  if (d == nullptr) return CL_INVALID_DEVICE;
+  if (pn == CL_DEVICE_PLATFORM) {
+    auto h = reinterpret_cast<cl_platform_id>(d->platform);
+    return set_param(h, size, value, size_ret);
+  }
+  return c->get_info(proxy::Op::GetDeviceInfo, d->remote, pn, size, value,
+                     size_ret);
+}
+
+// ---------------------------------------------------------------------------
+// context
+// ---------------------------------------------------------------------------
+
+cl_context w_CreateContext(const cl_context_properties* properties,
+                           cl_uint num_devices, const cl_device_id* devices,
+                           void (*notify)(const char*, const void*, std::size_t, void*),
+                           void* user_data, cl_int* err) {
+  (void)user_data;
+  proxy::Client* c = pre_call();
+  if (c == nullptr) {
+    set_err(err, CL_DEVICE_NOT_AVAILABLE);
+    return nullptr;
+  }
+  if (notify != nullptr) {
+    static bool warned = false;
+    if (!warned) {
+      std::fprintf(stderr,
+                   "CheCL: context callback functions are ignored (Section IV-D)\n");
+      warned = true;
+    }
+  }
+  if (num_devices == 0 || devices == nullptr) {
+    set_err(err, CL_INVALID_VALUE);
+    return nullptr;
+  }
+  std::vector<DeviceObj*> devs;
+  std::vector<proxy::RemoteHandle> remotes;
+  for (cl_uint i = 0; i < num_devices; ++i) {
+    auto* d = as_checl<DeviceObj>(devices[i]);
+    if (d == nullptr) {
+      set_err(err, CL_INVALID_DEVICE);
+      return nullptr;
+    }
+    devs.push_back(d);
+    remotes.push_back(d->remote);
+  }
+  // convert CL_CONTEXT_PLATFORM property values (CheCL handle -> actual)
+  std::vector<std::int64_t> props;
+  if (properties != nullptr) {
+    for (const cl_context_properties* p = properties; *p != 0; p += 2) {
+      props.push_back(static_cast<std::int64_t>(p[0]));
+      if (p[0] == CL_CONTEXT_PLATFORM) {
+        auto* plat = as_checl<PlatformObj>(reinterpret_cast<void*>(p[1]));
+        props.push_back(plat != nullptr
+                            ? static_cast<std::int64_t>(plat->remote)
+                            : static_cast<std::int64_t>(p[1]));
+      } else {
+        props.push_back(static_cast<std::int64_t>(p[1]));
+      }
+    }
+    props.push_back(0);
+  }
+  proxy::RemoteHandle h = 0;
+  const cl_int e = c->create_context(props, remotes, h);
+  set_err(err, e);
+  if (e != CL_SUCCESS) return nullptr;
+  auto* ctx = new ContextObj();
+  ctx->remote = h;
+  ctx->properties = std::move(props);
+  for (DeviceObj* d : devs) {
+    d->retain();
+    ctx->devices.push_back(d);
+  }
+  rt().db().add(ctx);
+  return reinterpret_cast<cl_context>(ctx);
+}
+
+cl_int w_RetainContext(cl_context context) {
+  auto* ctx = as_checl<ContextObj>(context);
+  if (ctx == nullptr) return CL_INVALID_CONTEXT;
+  ctx->retain();
+  return CL_SUCCESS;
+}
+cl_int w_ReleaseContext(cl_context context) {
+  auto* ctx = as_checl<ContextObj>(context);
+  if (ctx == nullptr) return CL_INVALID_CONTEXT;
+  unref_object(ctx);
+  return CL_SUCCESS;
+}
+
+cl_int w_GetContextInfo(cl_context context, cl_context_info pn, std::size_t size,
+                        void* value, std::size_t* size_ret) {
+  auto* ctx = as_checl<ContextObj>(context);
+  if (ctx == nullptr) return CL_INVALID_CONTEXT;
+  switch (pn) {
+    case CL_CONTEXT_REFERENCE_COUNT:
+      return set_param<cl_uint>(
+          static_cast<cl_uint>(ctx->refs.load(std::memory_order_relaxed)), size,
+          value, size_ret);
+    case CL_CONTEXT_DEVICES: {
+      std::vector<cl_device_id> hs;
+      for (DeviceObj* d : ctx->devices)
+        hs.push_back(reinterpret_cast<cl_device_id>(d));
+      return set_param_bytes(hs.data(), hs.size() * sizeof(cl_device_id), size,
+                             value, size_ret);
+    }
+    case CL_CONTEXT_PROPERTIES:
+      return set_param_bytes(ctx->properties.data(),
+                             ctx->properties.size() * sizeof(std::int64_t), size,
+                             value, size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// command queue
+// ---------------------------------------------------------------------------
+
+cl_command_queue w_CreateCommandQueue(cl_context context, cl_device_id device,
+                                      cl_command_queue_properties props,
+                                      cl_int* err) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) {
+    set_err(err, CL_DEVICE_NOT_AVAILABLE);
+    return nullptr;
+  }
+  auto* ctx = as_checl<ContextObj>(context);
+  auto* dev = as_checl<DeviceObj>(device);
+  if (ctx == nullptr) {
+    set_err(err, CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (dev == nullptr) {
+    set_err(err, CL_INVALID_DEVICE);
+    return nullptr;
+  }
+  proxy::RemoteHandle h = 0;
+  const cl_int e = c->create_queue(ctx->remote, dev->remote, props, h);
+  set_err(err, e);
+  if (e != CL_SUCCESS) return nullptr;
+  auto* q = new QueueObj();
+  q->remote = h;
+  q->ctx = ctx;
+  q->dev = dev;
+  q->properties = props;
+  ctx->retain();
+  dev->retain();
+  rt().db().add(q);
+  return reinterpret_cast<cl_command_queue>(q);
+}
+
+cl_int w_RetainCommandQueue(cl_command_queue queue) {
+  auto* q = as_checl<QueueObj>(queue);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  q->retain();
+  return CL_SUCCESS;
+}
+cl_int w_ReleaseCommandQueue(cl_command_queue queue) {
+  auto* q = as_checl<QueueObj>(queue);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  unref_object(q);
+  return CL_SUCCESS;
+}
+
+cl_int w_GetCommandQueueInfo(cl_command_queue queue, cl_command_queue_info pn,
+                             std::size_t size, void* value, std::size_t* size_ret) {
+  auto* q = as_checl<QueueObj>(queue);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  switch (pn) {
+    case CL_QUEUE_CONTEXT: {
+      auto h = reinterpret_cast<cl_context>(q->ctx);
+      return set_param(h, size, value, size_ret);
+    }
+    case CL_QUEUE_DEVICE: {
+      auto h = reinterpret_cast<cl_device_id>(q->dev);
+      return set_param(h, size, value, size_ret);
+    }
+    case CL_QUEUE_REFERENCE_COUNT:
+      return set_param<cl_uint>(
+          static_cast<cl_uint>(q->refs.load(std::memory_order_relaxed)), size,
+          value, size_ret);
+    case CL_QUEUE_PROPERTIES: return set_param(q->properties, size, value, size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+cl_int w_Flush(cl_command_queue queue) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* q = as_checl<QueueObj>(queue);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  return c->flush(q->remote);
+}
+
+cl_int w_Finish(cl_command_queue queue) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* q = as_checl<QueueObj>(queue);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  const cl_int e = c->finish(q->remote);
+  rt().on_sync_point();  // natural synchronization point (delayed mode)
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// memory objects
+// ---------------------------------------------------------------------------
+
+cl_mem w_CreateBuffer(cl_context context, cl_mem_flags flags, std::size_t size,
+                      void* host_ptr, cl_int* err) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) {
+    set_err(err, CL_DEVICE_NOT_AVAILABLE);
+    return nullptr;
+  }
+  auto* ctx = as_checl<ContextObj>(context);
+  if (ctx == nullptr) {
+    set_err(err, CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  const bool wants_host =
+      (flags & (CL_MEM_USE_HOST_PTR | CL_MEM_COPY_HOST_PTR)) != 0;
+  if (wants_host && host_ptr == nullptr) {
+    set_err(err, CL_INVALID_HOST_PTR);
+    return nullptr;
+  }
+  std::span<const std::uint8_t> data;
+  if (wants_host)
+    data = {static_cast<const std::uint8_t*>(host_ptr), size};
+  proxy::RemoteHandle h = 0;
+  const cl_int e = c->create_buffer(ctx->remote, flags, size, data, h);
+  set_err(err, e);
+  if (e != CL_SUCCESS) return nullptr;
+  auto* m = new MemObj();
+  m->remote = h;
+  m->ctx = ctx;
+  m->flags = flags;
+  m->size = size;
+  if ((flags & CL_MEM_USE_HOST_PTR) != 0) m->use_host_ptr = host_ptr;
+  ctx->retain();
+  rt().db().add(m);
+  return reinterpret_cast<cl_mem>(m);
+}
+
+cl_mem w_CreateImage2D(cl_context context, cl_mem_flags flags,
+                       const cl_image_format* format, std::size_t width,
+                       std::size_t height, std::size_t row_pitch, void* host_ptr,
+                       cl_int* err) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) {
+    set_err(err, CL_DEVICE_NOT_AVAILABLE);
+    return nullptr;
+  }
+  auto* ctx = as_checl<ContextObj>(context);
+  if (ctx == nullptr) {
+    set_err(err, CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (format == nullptr) {
+    set_err(err, CL_INVALID_IMAGE_FORMAT_DESCRIPTOR);
+    return nullptr;
+  }
+  std::size_t channels = 0;
+  switch (format->image_channel_order) {
+    case CL_R: channels = 1; break;
+    case CL_RG: channels = 2; break;
+    case CL_RGBA: channels = 4; break;
+    default: channels = 4; break;
+  }
+  const std::size_t pitch = row_pitch != 0 ? row_pitch : width * channels * 4;
+  std::span<const std::uint8_t> data;
+  if ((flags & (CL_MEM_USE_HOST_PTR | CL_MEM_COPY_HOST_PTR)) != 0 &&
+      host_ptr != nullptr)
+    data = {static_cast<const std::uint8_t*>(host_ptr), pitch * height};
+  proxy::RemoteHandle h = 0;
+  const cl_int e = c->create_image2d(ctx->remote, flags, *format, width, height,
+                                     pitch, data, h);
+  set_err(err, e);
+  if (e != CL_SUCCESS) return nullptr;
+  auto* m = new MemObj();
+  m->remote = h;
+  m->ctx = ctx;
+  m->flags = flags;
+  m->size = pitch * height;
+  m->is_image = true;
+  m->format = *format;
+  m->width = width;
+  m->height = height;
+  m->row_pitch = pitch;
+  if ((flags & CL_MEM_USE_HOST_PTR) != 0) m->use_host_ptr = host_ptr;
+  ctx->retain();
+  rt().db().add(m);
+  return reinterpret_cast<cl_mem>(m);
+}
+
+cl_int w_RetainMemObject(cl_mem mem) {
+  auto* m = as_checl<MemObj>(mem);
+  if (m == nullptr) return CL_INVALID_MEM_OBJECT;
+  m->retain();
+  return CL_SUCCESS;
+}
+cl_int w_ReleaseMemObject(cl_mem mem) {
+  auto* m = as_checl<MemObj>(mem);
+  if (m == nullptr) return CL_INVALID_MEM_OBJECT;
+  unref_object(m);
+  return CL_SUCCESS;
+}
+
+cl_int w_GetMemObjectInfo(cl_mem mem, cl_mem_info pn, std::size_t size,
+                          void* value, std::size_t* size_ret) {
+  auto* m = as_checl<MemObj>(mem);
+  if (m == nullptr) return CL_INVALID_MEM_OBJECT;
+  switch (pn) {
+    case CL_MEM_TYPE:
+      return set_param<cl_uint>(m->is_image ? CL_MEM_OBJECT_IMAGE2D
+                                            : CL_MEM_OBJECT_BUFFER,
+                                size, value, size_ret);
+    case CL_MEM_FLAGS: return set_param(m->flags, size, value, size_ret);
+    case CL_MEM_SIZE: return set_param<std::size_t>(m->size, size, value, size_ret);
+    case CL_MEM_HOST_PTR: return set_param(m->use_host_ptr, size, value, size_ret);
+    case CL_MEM_REFERENCE_COUNT:
+      return set_param<cl_uint>(
+          static_cast<cl_uint>(m->refs.load(std::memory_order_relaxed)), size,
+          value, size_ret);
+    case CL_MEM_CONTEXT: {
+      auto h = reinterpret_cast<cl_context>(m->ctx);
+      return set_param(h, size, value, size_ret);
+    }
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+cl_int w_GetImageInfo(cl_mem mem, cl_image_info pn, std::size_t size, void* value,
+                      std::size_t* size_ret) {
+  auto* m = as_checl<MemObj>(mem);
+  if (m == nullptr || !m->is_image) return CL_INVALID_MEM_OBJECT;
+  switch (pn) {
+    case CL_IMAGE_FORMAT: return set_param(m->format, size, value, size_ret);
+    case CL_IMAGE_ROW_PITCH:
+      return set_param<std::size_t>(m->row_pitch, size, value, size_ret);
+    case CL_IMAGE_WIDTH: return set_param<std::size_t>(m->width, size, value, size_ret);
+    case CL_IMAGE_HEIGHT:
+      return set_param<std::size_t>(m->height, size, value, size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// sampler
+// ---------------------------------------------------------------------------
+
+cl_sampler w_CreateSampler(cl_context context, cl_bool normalized,
+                           cl_addressing_mode am, cl_filter_mode fm, cl_int* err) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) {
+    set_err(err, CL_DEVICE_NOT_AVAILABLE);
+    return nullptr;
+  }
+  auto* ctx = as_checl<ContextObj>(context);
+  if (ctx == nullptr) {
+    set_err(err, CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  proxy::RemoteHandle h = 0;
+  const cl_int e = c->create_sampler(ctx->remote, normalized, am, fm, h);
+  set_err(err, e);
+  if (e != CL_SUCCESS) return nullptr;
+  auto* s = new SamplerObj();
+  s->remote = h;
+  s->ctx = ctx;
+  s->normalized = normalized;
+  s->addressing = am;
+  s->filter = fm;
+  ctx->retain();
+  rt().db().add(s);
+  return reinterpret_cast<cl_sampler>(s);
+}
+
+cl_int w_RetainSampler(cl_sampler sampler) {
+  auto* s = as_checl<SamplerObj>(sampler);
+  if (s == nullptr) return CL_INVALID_SAMPLER;
+  s->retain();
+  return CL_SUCCESS;
+}
+cl_int w_ReleaseSampler(cl_sampler sampler) {
+  auto* s = as_checl<SamplerObj>(sampler);
+  if (s == nullptr) return CL_INVALID_SAMPLER;
+  unref_object(s);
+  return CL_SUCCESS;
+}
+
+cl_int w_GetSamplerInfo(cl_sampler sampler, cl_sampler_info pn, std::size_t size,
+                        void* value, std::size_t* size_ret) {
+  auto* s = as_checl<SamplerObj>(sampler);
+  if (s == nullptr) return CL_INVALID_SAMPLER;
+  switch (pn) {
+    case CL_SAMPLER_REFERENCE_COUNT:
+      return set_param<cl_uint>(
+          static_cast<cl_uint>(s->refs.load(std::memory_order_relaxed)), size,
+          value, size_ret);
+    case CL_SAMPLER_CONTEXT: {
+      auto h = reinterpret_cast<cl_context>(s->ctx);
+      return set_param(h, size, value, size_ret);
+    }
+    case CL_SAMPLER_NORMALIZED_COORDS:
+      return set_param(s->normalized, size, value, size_ret);
+    case CL_SAMPLER_ADDRESSING_MODE:
+      return set_param(s->addressing, size, value, size_ret);
+    case CL_SAMPLER_FILTER_MODE: return set_param(s->filter, size, value, size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// program
+// ---------------------------------------------------------------------------
+
+cl_program w_CreateProgramWithSource(cl_context context, cl_uint count,
+                                     const char** strings, const std::size_t* lengths,
+                                     cl_int* err) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) {
+    set_err(err, CL_DEVICE_NOT_AVAILABLE);
+    return nullptr;
+  }
+  auto* ctx = as_checl<ContextObj>(context);
+  if (ctx == nullptr) {
+    set_err(err, CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (count == 0 || strings == nullptr) {
+    set_err(err, CL_INVALID_VALUE);
+    return nullptr;
+  }
+  std::string src;
+  for (cl_uint i = 0; i < count; ++i) {
+    if (strings[i] == nullptr) {
+      set_err(err, CL_INVALID_VALUE);
+      return nullptr;
+    }
+    if (lengths != nullptr && lengths[i] != 0)
+      src.append(strings[i], lengths[i]);
+    else
+      src.append(strings[i]);
+  }
+  proxy::RemoteHandle h = 0;
+  const cl_int e = c->create_program_with_source(ctx->remote, src, h);
+  set_err(err, e);
+  if (e != CL_SUCCESS) return nullptr;
+  auto* p = new ProgramObj();
+  p->remote = h;
+  p->ctx = ctx;
+  p->source = std::move(src);
+  // Section III-B: parse kernel declarations now so clSetKernelArg can tell
+  // handles from plain values.
+  p->signatures = ksig::parse_signatures(p->source);
+  ctx->retain();
+  rt().db().add(p);
+  return reinterpret_cast<cl_program>(p);
+}
+
+cl_program w_CreateProgramWithBinary(cl_context context, cl_uint num_devices,
+                                     const cl_device_id* device_list,
+                                     const std::size_t* lengths,
+                                     const unsigned char** binaries,
+                                     cl_int* binary_status, cl_int* err) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) {
+    set_err(err, CL_DEVICE_NOT_AVAILABLE);
+    return nullptr;
+  }
+  static bool warned = false;
+  if (!warned) {
+    std::fprintf(stderr,
+                 "CheCL: clCreateProgramWithBinary is deprecated under CheCL — "
+                 "the binary may be invalid on the restart node and kernel "
+                 "signatures are unavailable (falling back to the address "
+                 "heuristic for clSetKernelArg)\n");
+    warned = true;
+  }
+  auto* ctx = as_checl<ContextObj>(context);
+  if (ctx == nullptr) {
+    set_err(err, CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (num_devices == 0 || device_list == nullptr || lengths == nullptr ||
+      binaries == nullptr) {
+    set_err(err, CL_INVALID_VALUE);
+    return nullptr;
+  }
+  std::vector<proxy::RemoteHandle> remotes;
+  for (cl_uint i = 0; i < num_devices; ++i) {
+    auto* d = as_checl<DeviceObj>(device_list[i]);
+    if (d == nullptr) {
+      set_err(err, CL_INVALID_DEVICE);
+      return nullptr;
+    }
+    remotes.push_back(d->remote);
+  }
+  cl_int status = CL_SUCCESS;
+  proxy::RemoteHandle h = 0;
+  const cl_int e = c->create_program_with_binary(
+      ctx->remote, remotes, {binaries[0], lengths[0]}, status, h);
+  if (binary_status != nullptr)
+    for (cl_uint i = 0; i < num_devices; ++i) binary_status[i] = status;
+  set_err(err, e);
+  if (e != CL_SUCCESS) return nullptr;
+  auto* p = new ProgramObj();
+  p->remote = h;
+  p->ctx = ctx;
+  p->from_binary = true;
+  p->binary.assign(binaries[0], binaries[0] + lengths[0]);
+  ctx->retain();
+  rt().db().add(p);
+  return reinterpret_cast<cl_program>(p);
+}
+
+cl_int w_RetainProgram(cl_program program) {
+  auto* p = as_checl<ProgramObj>(program);
+  if (p == nullptr) return CL_INVALID_PROGRAM;
+  p->retain();
+  return CL_SUCCESS;
+}
+cl_int w_ReleaseProgram(cl_program program) {
+  auto* p = as_checl<ProgramObj>(program);
+  if (p == nullptr) return CL_INVALID_PROGRAM;
+  unref_object(p);
+  return CL_SUCCESS;
+}
+
+cl_int w_BuildProgram(cl_program program, cl_uint num_devices,
+                      const cl_device_id* device_list, const char* options,
+                      void (*notify)(cl_program, void*), void* user_data) {
+  (void)user_data;
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* p = as_checl<ProgramObj>(program);
+  if (p == nullptr) return CL_INVALID_PROGRAM;
+  if (notify != nullptr) {
+    static bool warned = false;
+    if (!warned) {
+      std::fprintf(stderr,
+                   "CheCL: clBuildProgram callback functions are ignored "
+                   "(Section IV-D)\n");
+      warned = true;
+    }
+  }
+  std::vector<proxy::RemoteHandle> remotes;
+  for (cl_uint i = 0; i < num_devices; ++i) {
+    auto* d = as_checl<DeviceObj>(device_list[i]);
+    if (d == nullptr) return CL_INVALID_DEVICE;
+    remotes.push_back(d->remote);
+  }
+  p->build_options = options != nullptr ? options : "";
+  if (!p->source.empty())
+    p->signatures = ksig::parse_signatures(p->source, p->build_options);
+  const cl_int e = c->build_program(p->remote, remotes, p->build_options);
+  if (e == CL_SUCCESS) p->built = true;
+  return e;
+}
+
+cl_int w_GetProgramInfo(cl_program program, cl_program_info pn, std::size_t size,
+                        void* value, std::size_t* size_ret) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* p = as_checl<ProgramObj>(program);
+  if (p == nullptr) return CL_INVALID_PROGRAM;
+  switch (pn) {
+    case CL_PROGRAM_REFERENCE_COUNT:
+      return set_param<cl_uint>(
+          static_cast<cl_uint>(p->refs.load(std::memory_order_relaxed)), size,
+          value, size_ret);
+    case CL_PROGRAM_CONTEXT: {
+      auto h = reinterpret_cast<cl_context>(p->ctx);
+      return set_param(h, size, value, size_ret);
+    }
+    case CL_PROGRAM_NUM_DEVICES:
+      return set_param<cl_uint>(static_cast<cl_uint>(p->ctx->devices.size()),
+                                size, value, size_ret);
+    case CL_PROGRAM_DEVICES: {
+      std::vector<cl_device_id> hs;
+      for (DeviceObj* d : p->ctx->devices)
+        hs.push_back(reinterpret_cast<cl_device_id>(d));
+      return set_param_bytes(hs.data(), hs.size() * sizeof(cl_device_id), size,
+                             value, size_ret);
+    }
+    case CL_PROGRAM_SOURCE: return set_param_str(p->source, size, value, size_ret);
+    case CL_PROGRAM_BINARIES: {
+      // out-parameter shape: `value` is an array of caller-allocated buffer
+      // pointers, one per device — fetch the binary content from the proxy
+      // and copy it into the caller's buffer
+      if (size_ret != nullptr) *size_ret = sizeof(unsigned char*);
+      if (value == nullptr) return CL_SUCCESS;
+      std::size_t bin_size = 0;
+      cl_int e = c->get_info(proxy::Op::GetProgramInfo, p->remote,
+                             CL_PROGRAM_BINARY_SIZES, sizeof bin_size, &bin_size,
+                             nullptr);
+      if (e != CL_SUCCESS) return e;
+      std::vector<std::uint8_t> content(bin_size);
+      e = c->get_info(proxy::Op::GetProgramInfo, p->remote, CL_PROGRAM_BINARIES,
+                      bin_size, content.data(), nullptr);
+      if (e != CL_SUCCESS) return e;
+      auto** out = static_cast<unsigned char**>(value);
+      if (out[0] != nullptr) std::memcpy(out[0], content.data(), content.size());
+      return CL_SUCCESS;
+    }
+    default:
+      return c->get_info(proxy::Op::GetProgramInfo, p->remote, pn, size, value,
+                         size_ret);
+  }
+}
+
+cl_int w_GetProgramBuildInfo(cl_program program, cl_device_id device,
+                             cl_program_build_info pn, std::size_t size,
+                             void* value, std::size_t* size_ret) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* p = as_checl<ProgramObj>(program);
+  auto* d = as_checl<DeviceObj>(device);
+  if (p == nullptr) return CL_INVALID_PROGRAM;
+  if (d == nullptr) return CL_INVALID_DEVICE;
+  return c->get_info2(proxy::Op::GetProgramBuildInfo, p->remote, d->remote, pn,
+                      size, value, size_ret);
+}
+
+// ---------------------------------------------------------------------------
+// kernel
+// ---------------------------------------------------------------------------
+
+KernelObj* make_kernel_obj(ProgramObj* p, proxy::RemoteHandle remote,
+                           std::string name) {
+  auto* k = new KernelObj();
+  k->remote = remote;
+  k->prog = p;
+  k->name = std::move(name);
+  p->retain();
+  k->sig = p->signatures.find(k->name);
+  if (k->sig != nullptr) k->args.resize(k->sig->params.size());
+  rt().db().add(k);
+  return k;
+}
+
+cl_kernel w_CreateKernel(cl_program program, const char* name, cl_int* err) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) {
+    set_err(err, CL_DEVICE_NOT_AVAILABLE);
+    return nullptr;
+  }
+  auto* p = as_checl<ProgramObj>(program);
+  if (p == nullptr) {
+    set_err(err, CL_INVALID_PROGRAM);
+    return nullptr;
+  }
+  if (name == nullptr) {
+    set_err(err, CL_INVALID_VALUE);
+    return nullptr;
+  }
+  proxy::RemoteHandle h = 0;
+  const cl_int e = c->create_kernel(p->remote, name, h);
+  set_err(err, e);
+  if (e != CL_SUCCESS) return nullptr;
+  return reinterpret_cast<cl_kernel>(make_kernel_obj(p, h, name));
+}
+
+cl_int w_CreateKernelsInProgram(cl_program program, cl_uint num_kernels,
+                                cl_kernel* kernels, cl_uint* num_ret) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* p = as_checl<ProgramObj>(program);
+  if (p == nullptr) return CL_INVALID_PROGRAM;
+  std::vector<proxy::RemoteHandle> remotes;
+  cl_uint total = 0;
+  const cl_int e = c->create_kernels_in_program(
+      p->remote, kernels != nullptr ? num_kernels : 0, remotes, total);
+  if (e != CL_SUCCESS) return e;
+  if (num_ret != nullptr) *num_ret = total;
+  if (kernels != nullptr) {
+    for (std::size_t i = 0; i < remotes.size(); ++i) {
+      char name[256] = {};
+      c->get_info(proxy::Op::GetKernelInfo, remotes[i], CL_KERNEL_FUNCTION_NAME,
+                  sizeof name, name, nullptr);
+      kernels[i] =
+          reinterpret_cast<cl_kernel>(make_kernel_obj(p, remotes[i], name));
+    }
+  }
+  return CL_SUCCESS;
+}
+
+cl_int w_RetainKernel(cl_kernel kernel) {
+  auto* k = as_checl<KernelObj>(kernel);
+  if (k == nullptr) return CL_INVALID_KERNEL;
+  k->retain();
+  return CL_SUCCESS;
+}
+cl_int w_ReleaseKernel(cl_kernel kernel) {
+  auto* k = as_checl<KernelObj>(kernel);
+  if (k == nullptr) return CL_INVALID_KERNEL;
+  unref_object(k);
+  return CL_SUCCESS;
+}
+
+// The heart of Section III-B: decide whether (arg_value, arg_size) carries a
+// CheCL handle and convert it before forwarding.
+cl_int w_SetKernelArg(cl_kernel kernel, cl_uint idx, std::size_t arg_size,
+                      const void* arg_value) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* k = as_checl<KernelObj>(kernel);
+  if (k == nullptr) return CL_INVALID_KERNEL;
+  if (k->args.size() <= idx) k->args.resize(idx + 1);
+
+  // classify: prefer the parsed kernel signature; fall back to the address
+  // heuristic for binary-created programs (Section IV-D)
+  enum class Cls { Value, Mem, Sampler, Local };
+  Cls cls = Cls::Value;
+  if (k->sig != nullptr && idx < k->sig->params.size()) {
+    switch (k->sig->params[idx].cls) {
+      case ksig::ParamClass::MemGlobal:
+      case ksig::ParamClass::MemConstant:
+      case ksig::ParamClass::Image: cls = Cls::Mem; break;
+      case ksig::ParamClass::Sampler: cls = Cls::Sampler; break;
+      case ksig::ParamClass::Local: cls = Cls::Local; break;
+      case ksig::ParamClass::Value: cls = Cls::Value; break;
+    }
+  } else if (arg_value == nullptr && arg_size != 0) {
+    cls = Cls::Local;
+  } else if (arg_size == sizeof(void*) && arg_value != nullptr) {
+    // NOTE: may mis-classify if a value argument happens to equal the
+    // address of a live CheCL object — the paper's documented risk.
+    void* maybe = nullptr;
+    std::memcpy(&maybe, arg_value, sizeof maybe);
+    if (is_checl_object(maybe)) {
+      auto* o = static_cast<Object*>(maybe);
+      cls = o->otype == ObjType::Sampler ? Cls::Sampler
+            : o->otype == ObjType::Mem   ? Cls::Mem
+                                         : Cls::Value;
+    }
+  }
+
+  KernelObj::ArgRec rec;
+  cl_int e = CL_SUCCESS;
+  switch (cls) {
+    case Cls::Mem: {
+      if (arg_size != sizeof(cl_mem) || arg_value == nullptr)
+        return CL_INVALID_ARG_SIZE;
+      cl_mem mh = nullptr;
+      std::memcpy(&mh, arg_value, sizeof mh);
+      auto* m = as_checl<MemObj>(mh);
+      if (m == nullptr) return CL_INVALID_MEM_OBJECT;
+      e = c->set_kernel_arg_mem(k->remote, idx, m->remote);
+      if (e != CL_SUCCESS) return e;
+      m->retain();
+      rec.kind = KernelObj::ArgRec::Kind::Mem;
+      rec.mem = m;
+      break;
+    }
+    case Cls::Sampler: {
+      if (arg_size != sizeof(cl_sampler) || arg_value == nullptr)
+        return CL_INVALID_ARG_SIZE;
+      cl_sampler sh = nullptr;
+      std::memcpy(&sh, arg_value, sizeof sh);
+      auto* s = as_checl<SamplerObj>(sh);
+      if (s == nullptr) return CL_INVALID_SAMPLER;
+      e = c->set_kernel_arg_sampler(k->remote, idx, s->remote);
+      if (e != CL_SUCCESS) return e;
+      s->retain();
+      rec.kind = KernelObj::ArgRec::Kind::Sampler;
+      rec.sampler = s;
+      break;
+    }
+    case Cls::Local:
+      if (arg_value != nullptr || arg_size == 0) return CL_INVALID_ARG_VALUE;
+      e = c->set_kernel_arg_local(k->remote, idx, arg_size);
+      if (e != CL_SUCCESS) return e;
+      rec.kind = KernelObj::ArgRec::Kind::Local;
+      rec.local_size = arg_size;
+      break;
+    case Cls::Value: {
+      if (arg_value == nullptr || arg_size == 0) return CL_INVALID_ARG_VALUE;
+      // Limitation (Section IV-D): a user-defined struct containing CheCL
+      // handles is forwarded as-is — handles inside it are NOT converted.
+      const auto* bytes = static_cast<const std::uint8_t*>(arg_value);
+      e = c->set_kernel_arg_bytes(k->remote, idx, {bytes, arg_size});
+      if (e != CL_SUCCESS) return e;
+      rec.kind = KernelObj::ArgRec::Kind::Bytes;
+      rec.bytes.assign(bytes, bytes + arg_size);
+      break;
+    }
+  }
+  // record the state change for restoration; drop the old binding
+  KernelObj::ArgRec& slot = k->args[idx];
+  unref_object(slot.mem);
+  unref_object(slot.sampler);
+  slot = std::move(rec);
+  return CL_SUCCESS;
+}
+
+cl_int w_GetKernelInfo(cl_kernel kernel, cl_kernel_info pn, std::size_t size,
+                       void* value, std::size_t* size_ret) {
+  auto* k = as_checl<KernelObj>(kernel);
+  if (k == nullptr) return CL_INVALID_KERNEL;
+  switch (pn) {
+    case CL_KERNEL_FUNCTION_NAME: return set_param_str(k->name, size, value, size_ret);
+    case CL_KERNEL_NUM_ARGS:
+      return set_param<cl_uint>(static_cast<cl_uint>(k->args.size()), size, value,
+                                size_ret);
+    case CL_KERNEL_REFERENCE_COUNT:
+      return set_param<cl_uint>(
+          static_cast<cl_uint>(k->refs.load(std::memory_order_relaxed)), size,
+          value, size_ret);
+    case CL_KERNEL_CONTEXT: {
+      auto h = reinterpret_cast<cl_context>(k->prog->ctx);
+      return set_param(h, size, value, size_ret);
+    }
+    case CL_KERNEL_PROGRAM: {
+      auto h = reinterpret_cast<cl_program>(k->prog);
+      return set_param(h, size, value, size_ret);
+    }
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+cl_int w_GetKernelWorkGroupInfo(cl_kernel kernel, cl_device_id device,
+                                cl_kernel_work_group_info pn, std::size_t size,
+                                void* value, std::size_t* size_ret) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* k = as_checl<KernelObj>(kernel);
+  auto* d = as_checl<DeviceObj>(device);
+  if (k == nullptr) return CL_INVALID_KERNEL;
+  if (d == nullptr) return CL_INVALID_DEVICE;
+  return c->get_info2(proxy::Op::GetKernelWorkGroupInfo, k->remote, d->remote, pn,
+                      size, value, size_ret);
+}
+
+// ---------------------------------------------------------------------------
+// events
+// ---------------------------------------------------------------------------
+
+cl_int w_WaitForEvents(cl_uint num, const cl_event* events) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  if (num == 0 || events == nullptr) return CL_INVALID_VALUE;
+  std::vector<proxy::RemoteHandle> remotes;
+  for (cl_uint i = 0; i < num; ++i) {
+    auto* e = as_checl<EventObj>(events[i]);
+    if (e == nullptr) return CL_INVALID_EVENT;
+    remotes.push_back(e->remote);
+  }
+  const cl_int err = c->wait_for_events(remotes);
+  rt().on_sync_point();
+  return err;
+}
+
+cl_int w_GetEventInfo(cl_event event, cl_event_info pn, std::size_t size,
+                      void* value, std::size_t* size_ret) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* e = as_checl<EventObj>(event);
+  if (e == nullptr) return CL_INVALID_EVENT;
+  switch (pn) {
+    case CL_EVENT_COMMAND_QUEUE: {
+      auto h = reinterpret_cast<cl_command_queue>(e->queue);
+      return set_param(h, size, value, size_ret);
+    }
+    case CL_EVENT_COMMAND_TYPE:
+      return set_param(e->command_type, size, value, size_ret);
+    case CL_EVENT_REFERENCE_COUNT:
+      return set_param<cl_uint>(
+          static_cast<cl_uint>(e->refs.load(std::memory_order_relaxed)), size,
+          value, size_ret);
+    default:
+      return c->get_info(proxy::Op::GetEventInfo, e->remote, pn, size, value,
+                         size_ret);
+  }
+}
+
+cl_int w_RetainEvent(cl_event event) {
+  auto* e = as_checl<EventObj>(event);
+  if (e == nullptr) return CL_INVALID_EVENT;
+  e->retain();
+  return CL_SUCCESS;
+}
+cl_int w_ReleaseEvent(cl_event event) {
+  auto* e = as_checl<EventObj>(event);
+  if (e == nullptr) return CL_INVALID_EVENT;
+  unref_object(e);
+  return CL_SUCCESS;
+}
+
+cl_int w_GetEventProfilingInfo(cl_event event, cl_profiling_info pn,
+                               std::size_t size, void* value, std::size_t* size_ret) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* e = as_checl<EventObj>(event);
+  if (e == nullptr) return CL_INVALID_EVENT;
+  return c->get_info(proxy::Op::GetEventProfilingInfo, e->remote, pn, size, value,
+                     size_ret);
+}
+
+// ---------------------------------------------------------------------------
+// enqueue
+// ---------------------------------------------------------------------------
+
+EventObj* wrap_event(QueueObj* q, cl_uint type, proxy::RemoteHandle remote) {
+  auto* e = new EventObj();
+  e->remote = remote;
+  e->queue = q;
+  e->command_type = type;
+  q->retain();
+  rt().db().add(e);
+  return e;
+}
+
+cl_int w_EnqueueReadBuffer(cl_command_queue queue, cl_mem mem, cl_bool blocking,
+                           std::size_t offset, std::size_t cb, void* ptr,
+                           cl_uint num_waits, const cl_event* waits, cl_event* event) {
+  (void)num_waits;
+  (void)waits;  // the in-order proxy queue already serializes
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* q = as_checl<QueueObj>(queue);
+  auto* m = as_checl<MemObj>(mem);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (m == nullptr) return CL_INVALID_MEM_OBJECT;
+  proxy::RemoteHandle ev = 0;
+  const cl_int e =
+      c->enqueue_read(q->remote, m->remote, offset, cb, ptr, event != nullptr, ev);
+  if (e == CL_SUCCESS && event != nullptr)
+    *event = reinterpret_cast<cl_event>(wrap_event(q, CL_COMMAND_READ_BUFFER, ev));
+  if (blocking != CL_FALSE) rt().on_sync_point();
+  return e;
+}
+
+cl_int w_EnqueueWriteBuffer(cl_command_queue queue, cl_mem mem, cl_bool blocking,
+                            std::size_t offset, std::size_t cb, const void* ptr,
+                            cl_uint num_waits, const cl_event* waits,
+                            cl_event* event) {
+  (void)num_waits;
+  (void)waits;
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* q = as_checl<QueueObj>(queue);
+  auto* m = as_checl<MemObj>(mem);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (m == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (ptr == nullptr) return CL_INVALID_VALUE;
+  proxy::RemoteHandle ev = 0;
+  m->dirty = true;
+  const cl_int e = c->enqueue_write(
+      q->remote, m->remote, offset,
+      {static_cast<const std::uint8_t*>(ptr), cb}, event != nullptr, ev);
+  if (e == CL_SUCCESS && event != nullptr)
+    *event = reinterpret_cast<cl_event>(wrap_event(q, CL_COMMAND_WRITE_BUFFER, ev));
+  if (blocking != CL_FALSE) rt().on_sync_point();
+  return e;
+}
+
+cl_int w_EnqueueCopyBuffer(cl_command_queue queue, cl_mem src, cl_mem dst,
+                           std::size_t soff, std::size_t doff, std::size_t cb,
+                           cl_uint num_waits, const cl_event* waits, cl_event* event) {
+  (void)num_waits;
+  (void)waits;
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* q = as_checl<QueueObj>(queue);
+  auto* ms = as_checl<MemObj>(src);
+  auto* md = as_checl<MemObj>(dst);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (ms == nullptr || md == nullptr) return CL_INVALID_MEM_OBJECT;
+  proxy::RemoteHandle ev = 0;
+  md->dirty = true;
+  const cl_int e = c->enqueue_copy(q->remote, ms->remote, md->remote, soff, doff,
+                                   cb, event != nullptr, ev);
+  if (e == CL_SUCCESS && event != nullptr)
+    *event = reinterpret_cast<cl_event>(wrap_event(q, CL_COMMAND_COPY_BUFFER, ev));
+  return e;
+}
+
+cl_int w_EnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel, cl_uint dim,
+                              const std::size_t* goff, const std::size_t* gsz,
+                              const std::size_t* lsz, cl_uint num_waits,
+                              const cl_event* waits, cl_event* event) {
+  (void)num_waits;
+  (void)waits;
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* q = as_checl<QueueObj>(queue);
+  auto* k = as_checl<KernelObj>(kernel);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (k == nullptr) return CL_INVALID_KERNEL;
+
+  // CL_MEM_USE_HOST_PTR emulation: push the application's cached host copy
+  // before the kernel, pull it back afterwards (Section IV-D's redundant
+  // transfers — this is why the feature "usually causes severe performance
+  // degradation" under CheCL).
+  std::vector<MemObj*> synced;
+  for (std::size_t i = 0; i < k->args.size(); ++i) {
+    const KernelObj::ArgRec& a = k->args[i];
+    if (a.kind != KernelObj::ArgRec::Kind::Mem || a.mem == nullptr) continue;
+    if (a.mem->use_host_ptr != nullptr) synced.push_back(a.mem);
+    // dirty tracking: the kernel may write through any bound memory object
+    // unless the parsed signature proves the parameter read-only
+    const bool read_only = k->sig != nullptr && i < k->sig->params.size() &&
+                           k->sig->params[i].read_only;
+    if (!read_only) a.mem->dirty = true;
+  }
+  for (MemObj* m : synced) {
+    proxy::RemoteHandle ev = 0;
+    c->enqueue_write(q->remote, m->remote, 0,
+                     {static_cast<const std::uint8_t*>(m->use_host_ptr), m->size},
+                     false, ev);
+  }
+
+  proxy::RemoteHandle ev = 0;
+  const cl_int e = c->enqueue_ndrange(q->remote, k->remote, dim, goff, gsz, lsz,
+                                      event != nullptr, ev);
+  if (e == CL_SUCCESS && event != nullptr)
+    *event =
+        reinterpret_cast<cl_event>(wrap_event(q, CL_COMMAND_NDRANGE_KERNEL, ev));
+
+  for (MemObj* m : synced) {
+    proxy::RemoteHandle rev = 0;
+    c->enqueue_read(q->remote, m->remote, 0, m->size, m->use_host_ptr, false, rev);
+  }
+  if (e == CL_SUCCESS) rt().on_kernel_enqueued();
+  return e;
+}
+
+cl_int w_EnqueueTask(cl_command_queue queue, cl_kernel kernel, cl_uint num_waits,
+                     const cl_event* waits, cl_event* event) {
+  const std::size_t one = 1;
+  return w_EnqueueNDRangeKernel(queue, kernel, 1, nullptr, &one, &one, num_waits,
+                                waits, event);
+}
+
+cl_int w_EnqueueMarker(cl_command_queue queue, cl_event* event) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* q = as_checl<QueueObj>(queue);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (event == nullptr) return CL_INVALID_VALUE;
+  proxy::RemoteHandle ev = 0;
+  const cl_int e = c->enqueue_marker(q->remote, ev);
+  if (e == CL_SUCCESS)
+    *event = reinterpret_cast<cl_event>(wrap_event(q, CL_COMMAND_MARKER, ev));
+  return e;
+}
+
+cl_int w_EnqueueBarrier(cl_command_queue queue) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* q = as_checl<QueueObj>(queue);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  return c->enqueue_barrier(q->remote);
+}
+
+cl_int w_EnqueueWaitForEvents(cl_command_queue queue, cl_uint num,
+                              const cl_event* events) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  auto* q = as_checl<QueueObj>(queue);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (num == 0 || events == nullptr) return CL_INVALID_VALUE;
+  std::vector<proxy::RemoteHandle> remotes;
+  for (cl_uint i = 0; i < num; ++i) {
+    auto* e = as_checl<EventObj>(events[i]);
+    if (e == nullptr) return CL_INVALID_EVENT;
+    remotes.push_back(e->remote);
+  }
+  return c->enqueue_wait_for_events(q->remote, remotes);
+}
+
+// ---------------------------------------------------------------------------
+// sim extensions
+// ---------------------------------------------------------------------------
+
+cl_int w_SimGetHostTimeNS(cl_ulong* t) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  if (t == nullptr) return CL_INVALID_VALUE;
+  return c->sim_get_host_time_ns(*t);
+}
+
+cl_int w_SimAdvanceHostNS(cl_ulong dt) {
+  proxy::Client* c = pre_call();
+  if (c == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  return c->sim_advance_host_ns(dt);
+}
+
+}  // namespace
+
+const checl_api::DispatchTable& dispatch_table() noexcept {
+  static const checl_api::DispatchTable kTable = {
+      w_GetPlatformIDs,
+      w_GetPlatformInfo,
+      w_GetDeviceIDs,
+      w_GetDeviceInfo,
+      w_CreateContext,
+      w_RetainContext,
+      w_ReleaseContext,
+      w_GetContextInfo,
+      w_CreateCommandQueue,
+      w_RetainCommandQueue,
+      w_ReleaseCommandQueue,
+      w_GetCommandQueueInfo,
+      w_Flush,
+      w_Finish,
+      w_CreateBuffer,
+      w_CreateImage2D,
+      w_RetainMemObject,
+      w_ReleaseMemObject,
+      w_GetMemObjectInfo,
+      w_GetImageInfo,
+      w_CreateSampler,
+      w_RetainSampler,
+      w_ReleaseSampler,
+      w_GetSamplerInfo,
+      w_CreateProgramWithSource,
+      w_CreateProgramWithBinary,
+      w_RetainProgram,
+      w_ReleaseProgram,
+      w_BuildProgram,
+      w_GetProgramInfo,
+      w_GetProgramBuildInfo,
+      w_CreateKernel,
+      w_CreateKernelsInProgram,
+      w_RetainKernel,
+      w_ReleaseKernel,
+      w_SetKernelArg,
+      w_GetKernelInfo,
+      w_GetKernelWorkGroupInfo,
+      w_WaitForEvents,
+      w_GetEventInfo,
+      w_RetainEvent,
+      w_ReleaseEvent,
+      w_GetEventProfilingInfo,
+      w_EnqueueReadBuffer,
+      w_EnqueueWriteBuffer,
+      w_EnqueueCopyBuffer,
+      w_EnqueueNDRangeKernel,
+      w_EnqueueTask,
+      w_EnqueueMarker,
+      w_EnqueueBarrier,
+      w_EnqueueWaitForEvents,
+      w_SimGetHostTimeNS,
+      w_SimAdvanceHostNS,
+  };
+  return kTable;
+}
+
+void bind_checl() noexcept { checl_api::set_dispatch(&dispatch_table()); }
+void bind_native() noexcept { checl_api::set_dispatch(nullptr); }
+
+}  // namespace checl

@@ -1,0 +1,140 @@
+#include "ipc/channel.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace ipc {
+
+namespace {
+
+bool write_all(int fd, const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a dead peer surfaces as EPIPE, not a fatal SIGPIPE.
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t n) noexcept {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketChannel::~SocketChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool SocketChannel::send(const Message& m) {
+  std::uint32_t header[2] = {m.op, static_cast<std::uint32_t>(m.payload.size())};
+  if (!write_all(fd_, header, sizeof header)) return false;
+  return m.payload.empty() || write_all(fd_, m.payload.data(), m.payload.size());
+}
+
+bool SocketChannel::recv(Message& m) {
+  std::uint32_t header[2];
+  if (!read_all(fd_, header, sizeof header)) return false;
+  m.op = header[0];
+  m.payload.resize(header[1]);
+  return header[1] == 0 || read_all(fd_, m.payload.data(), m.payload.size());
+}
+
+std::pair<int, int> make_socketpair() noexcept {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return {-1, -1};
+  return {fds[0], fds[1]};
+}
+
+int tcp_listen(std::uint16_t port) noexcept {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 1) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int tcp_accept(int listen_fd) noexcept {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd >= 0) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  return fd;
+}
+
+int tcp_connect(const char* host, std::uint16_t port) noexcept {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host, &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+void MessageQueue::push(Message m) {
+  std::lock_guard<std::mutex> lk(mu_);
+  q_.push_back(std::move(m));
+  cv_.notify_one();
+}
+
+bool MessageQueue::pop(Message& m) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
+  if (q_.empty()) return false;
+  m = std::move(q_.front());
+  q_.pop_front();
+  return true;
+}
+
+void MessageQueue::close() {
+  std::lock_guard<std::mutex> lk(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> make_local_pair() {
+  auto a2b = std::make_shared<MessageQueue>();
+  auto b2a = std::make_shared<MessageQueue>();
+  return {std::make_unique<LocalChannel>(a2b, b2a),
+          std::make_unique<LocalChannel>(b2a, a2b)};
+}
+
+}  // namespace ipc

@@ -1,0 +1,94 @@
+// channel.h — framed, bidirectional message transports for the API proxy.
+//
+// Three implementations:
+//   * SocketChannel — AF_UNIX socketpair / TCP fd; the production transport
+//     between application process and its forked API proxy.
+//   * LocalChannel  — in-process queue pair; lets unit tests exercise the full
+//     marshalling path without fork/exec.
+//   * TcpChannel helpers — remote API proxy (the paper's §V future-work note).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace ipc {
+
+struct Message {
+  std::uint32_t op = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  // Both return false on a broken peer (EOF / EPIPE).
+  virtual bool send(const Message& m) = 0;
+  virtual bool recv(Message& m) = 0;
+};
+
+// ---- SocketChannel -----------------------------------------------------------
+
+class SocketChannel final : public Channel {
+ public:
+  // Takes ownership of the fd.
+  explicit SocketChannel(int fd) noexcept : fd_(fd) {}
+  ~SocketChannel() override;
+
+  bool send(const Message& m) override;
+  bool recv(Message& m) override;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+// Creates a connected socketpair; returns {app_end, proxy_end} or {-1,-1}.
+std::pair<int, int> make_socketpair() noexcept;
+
+// TCP endpoints for the remote-proxy extension.
+int tcp_listen(std::uint16_t port) noexcept;            // listening fd or -1
+int tcp_accept(int listen_fd) noexcept;                 // connected fd or -1
+int tcp_connect(const char* host, std::uint16_t port) noexcept;
+
+// ---- LocalChannel ---------------------------------------------------------------
+
+// One direction of an in-process pipe.
+class MessageQueue {
+ public:
+  void push(Message m);
+  bool pop(Message& m);  // blocks; false after close with empty queue
+  void close();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> q_;
+  bool closed_ = false;
+};
+
+class LocalChannel final : public Channel {
+ public:
+  LocalChannel(std::shared_ptr<MessageQueue> tx, std::shared_ptr<MessageQueue> rx)
+      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+  ~LocalChannel() override { tx_->close(); }
+
+  bool send(const Message& m) override {
+    tx_->push(m);
+    return true;
+  }
+  bool recv(Message& m) override { return rx_->pop(m); }
+
+ private:
+  std::shared_ptr<MessageQueue> tx_;
+  std::shared_ptr<MessageQueue> rx_;
+};
+
+// Creates a connected pair of in-process channels.
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> make_local_pair();
+
+}  // namespace ipc

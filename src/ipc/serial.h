@@ -1,0 +1,116 @@
+// serial.h — little-endian message (de)serialization for the API proxy RPC.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipc {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  // Pointer-as-token: a handle value valid in the *proxy's* address space.
+  void handle(const void* p) { u64(reinterpret_cast<std::uintptr_t>(p)); }
+
+  void str(std::string_view s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    u64(b.size());
+    raw(b.data(), b.size());
+  }
+  void raw(const void* p, std::size_t n) {
+    const auto* c = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), c, c + n);
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return take<std::uint8_t>(); }
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  std::int32_t i32() { return take<std::int32_t>(); }
+  std::int64_t i64() { return take<std::int64_t>(); }
+  double f64() { return take<double>(); }
+  bool boolean() { return u8() != 0; }
+
+  template <typename T = void>
+  T* handle() {
+    return reinterpret_cast<T*>(static_cast<std::uintptr_t>(u64()));
+  }
+
+  std::string str() {
+    const std::size_t n = checked_len(u64());
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<std::uint8_t> bytes() {
+    const std::size_t n = checked_len(u64());
+    std::vector<std::uint8_t> b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+  // Zero-copy view of a length-prefixed byte run (valid while message lives).
+  std::span<const std::uint8_t> bytes_view() {
+    const std::size_t n = checked_len(u64());
+    auto v = data_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+  }
+  void raw(void* p, std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T take() {
+    T v{};
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::size_t checked_len(std::uint64_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace ipc

@@ -1,0 +1,90 @@
+// comm.h — minimpi: a thread-rank message-passing substrate.
+//
+// Stands in for Open MPI in the Figure 6 experiment: SPMD ranks with
+// barrier / send / recv / allreduce, plus a coordinated-checkpoint protocol
+// in the style of Hursey et al. (local snapshots aggregated into one global
+// snapshot on NFS).  Ranks are threads in one process sharing the CheCL
+// runtime — each rank owns its own context/queue/buffers in the shared
+// object database, which is what makes a single coordinated checkpoint cover
+// all of them.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/cpr.h"
+
+namespace minimpi {
+
+class World;
+
+// Per-rank view of the communicator.
+class Comm {
+ public:
+  Comm(World& world, int rank) : world_(world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  void barrier();
+  void send(int dst, int tag, std::vector<std::uint8_t> data);
+  std::vector<std::uint8_t> recv(int src, int tag);  // blocks
+  double allreduce_sum(double value);
+
+  // Coordinated checkpoint (Figure 6): every rank synchronizes its queues
+  // and reaches a barrier; rank 0 then drives the CheCL engine to write the
+  // global snapshot through the NFS storage model, charging the per-node
+  // aggregation cost.  Returns the same PhaseTimes on every rank.
+  checl::cpr::PhaseTimes coordinated_checkpoint(const std::string& path);
+
+ private:
+  World& world_;
+  int rank_;
+};
+
+class World {
+ public:
+  friend class Comm;
+
+  // Runs `fn(comm)` on `nranks` threads; returns when all finish.
+  static void run(int nranks, const std::function<void(Comm&)>& fn);
+
+  // Extra virtual time charged per node during global-snapshot aggregation
+  // (coordination + local-snapshot metadata on NFS).
+  static constexpr std::uint64_t kPerNodeAggregationNs = 5'000'000;
+
+ private:
+  explicit World(int nranks) : nranks_(nranks) {}
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<std::uint8_t>> q;
+  };
+
+  Mailbox& box(int src, int dst, int tag);
+
+  int nranks_;
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_gen_ = 0;
+
+  std::mutex box_mu_;
+  std::map<std::tuple<int, int, int>, Mailbox> boxes_;
+
+  std::mutex reduce_mu_;
+  double reduce_acc_ = 0.0;
+  double reduce_result_ = 0.0;
+  int reduce_count_ = 0;
+
+  checl::cpr::PhaseTimes ckpt_times_{};
+  cl_int ckpt_err_ = CL_SUCCESS;
+};
+
+}  // namespace minimpi

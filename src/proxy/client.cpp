@@ -1,0 +1,489 @@
+#include "proxy/client.h"
+
+#include <cstring>
+
+#include "proxy/config_io.h"
+
+namespace proxy {
+
+namespace {
+constexpr cl_int kProxyGone = CL_OUT_OF_RESOURCES;
+}
+
+std::optional<ipc::Reader> Client::call(Op op, ipc::Writer& w) {
+  if (dead_) return std::nullopt;
+  ipc::Message req;
+  req.op = static_cast<std::uint32_t>(op);
+  req.payload = w.take();
+  if (!ch_->send(req) || !ch_->recv(resp_)) {
+    dead_ = true;
+    return std::nullopt;
+  }
+  return ipc::Reader(resp_.payload);
+}
+
+cl_int Client::configure(const std::vector<simcl::PlatformSpec>& platforms,
+                         const IpcCosts& costs, bool reset_clock) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  write_config(w, platforms, costs, reset_clock);
+  auto r = call(Op::Configure, w);
+  return r ? r->i32() : kProxyGone;
+}
+
+cl_int Client::ping(std::uint32_t* pid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  auto r = call(Op::Ping, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  const std::uint32_t p = r->u32();
+  if (pid != nullptr) *pid = p;
+  return err;
+}
+
+cl_int Client::shutdown() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  auto r = call(Op::Shutdown, w);
+  dead_ = true;  // no further traffic either way
+  return r ? r->i32() : kProxyGone;
+}
+
+cl_int Client::get_platform_ids(cl_uint num_entries, std::vector<RemoteHandle>& out,
+                                cl_uint& total) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u32(num_entries);
+  auto r = call(Op::GetPlatformIDs, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  total = r->u32();
+  const cl_uint n = r->u32();
+  out.clear();
+  for (cl_uint i = 0; i < n; ++i) out.push_back(r->u64());
+  return err;
+}
+
+cl_int Client::get_device_ids(RemoteHandle platform, cl_device_type type,
+                              cl_uint num_entries, std::vector<RemoteHandle>& out,
+                              cl_uint& total) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(platform);
+  w.u64(type);
+  w.u32(num_entries);
+  auto r = call(Op::GetDeviceIDs, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  total = r->u32();
+  const cl_uint n = r->u32();
+  out.clear();
+  for (cl_uint i = 0; i < n; ++i) out.push_back(r->u64());
+  return err;
+}
+
+namespace {
+
+cl_int read_info_reply(ipc::Reader& r, std::size_t size, void* value,
+                       std::size_t* size_ret) {
+  const cl_int err = r.i32();
+  const std::uint64_t sr = r.u64();
+  auto data = r.bytes_view();
+  if (size_ret != nullptr) *size_ret = sr;
+  if (value != nullptr && err == CL_SUCCESS)
+    std::memcpy(value, data.data(), std::min<std::size_t>(size, data.size()));
+  return err;
+}
+
+}  // namespace
+
+cl_int Client::get_info(Op op, RemoteHandle h, cl_uint param, std::size_t size,
+                        void* value, std::size_t* size_ret) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(h);
+  w.u32(param);
+  w.u64(size);
+  w.boolean(value != nullptr);
+  auto r = call(op, w);
+  if (!r) return kProxyGone;
+  return read_info_reply(*r, size, value, size_ret);
+}
+
+cl_int Client::get_info2(Op op, RemoteHandle a, RemoteHandle b, cl_uint param,
+                         std::size_t size, void* value, std::size_t* size_ret) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(a);
+  w.u64(b);
+  w.u32(param);
+  w.u64(size);
+  w.boolean(value != nullptr);
+  auto r = call(op, w);
+  if (!r) return kProxyGone;
+  return read_info_reply(*r, size, value, size_ret);
+}
+
+cl_int Client::create_context(std::span<const std::int64_t> props,
+                              std::span<const RemoteHandle> devices,
+                              RemoteHandle& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u32(static_cast<std::uint32_t>(props.size()));
+  for (const std::int64_t p : props) w.i64(p);
+  w.u32(static_cast<std::uint32_t>(devices.size()));
+  for (const RemoteHandle d : devices) w.u64(d);
+  auto r = call(Op::CreateContext, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  out = r->u64();
+  return err;
+}
+
+cl_int Client::retain_release(Op op, RemoteHandle h) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(h);
+  auto r = call(op, w);
+  return r ? r->i32() : kProxyGone;
+}
+
+cl_int Client::create_queue(RemoteHandle ctx, RemoteHandle dev,
+                            cl_command_queue_properties props, RemoteHandle& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(ctx);
+  w.u64(dev);
+  w.u64(props);
+  auto r = call(Op::CreateCommandQueue, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  out = r->u64();
+  return err;
+}
+
+cl_int Client::flush(RemoteHandle q) { return retain_release(Op::Flush, q); }
+cl_int Client::finish(RemoteHandle q) { return retain_release(Op::Finish, q); }
+
+cl_int Client::create_buffer(RemoteHandle ctx, cl_mem_flags flags, std::size_t size,
+                             std::span<const std::uint8_t> data, RemoteHandle& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(ctx);
+  w.u64(flags);
+  w.u64(size);
+  w.boolean(!data.empty());
+  if (!data.empty()) w.bytes(data);
+  auto r = call(Op::CreateBuffer, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  out = r->u64();
+  return err;
+}
+
+cl_int Client::create_image2d(RemoteHandle ctx, cl_mem_flags flags,
+                              const cl_image_format& fmt, std::size_t width,
+                              std::size_t height, std::size_t pitch,
+                              std::span<const std::uint8_t> data, RemoteHandle& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(ctx);
+  w.u64(flags);
+  w.u32(fmt.image_channel_order);
+  w.u32(fmt.image_channel_data_type);
+  w.u64(width);
+  w.u64(height);
+  w.u64(pitch);
+  w.boolean(!data.empty());
+  if (!data.empty()) w.bytes(data);
+  auto r = call(Op::CreateImage2D, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  out = r->u64();
+  return err;
+}
+
+cl_int Client::create_sampler(RemoteHandle ctx, cl_bool norm, cl_addressing_mode am,
+                              cl_filter_mode fm, RemoteHandle& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(ctx);
+  w.u32(norm);
+  w.u32(am);
+  w.u32(fm);
+  auto r = call(Op::CreateSampler, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  out = r->u64();
+  return err;
+}
+
+cl_int Client::create_program_with_source(RemoteHandle ctx, std::string_view source,
+                                          RemoteHandle& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(ctx);
+  w.str(source);
+  auto r = call(Op::CreateProgramWithSource, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  out = r->u64();
+  return err;
+}
+
+cl_int Client::create_program_with_binary(RemoteHandle ctx,
+                                          std::span<const RemoteHandle> devices,
+                                          std::span<const std::uint8_t> binary,
+                                          cl_int& binary_status, RemoteHandle& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(ctx);
+  w.u32(static_cast<std::uint32_t>(devices.size()));
+  for (const RemoteHandle d : devices) w.u64(d);
+  w.bytes(binary);
+  auto r = call(Op::CreateProgramWithBinary, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  binary_status = r->i32();
+  out = r->u64();
+  return err;
+}
+
+cl_int Client::build_program(RemoteHandle prog, std::span<const RemoteHandle> devices,
+                             std::string_view options) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(prog);
+  w.u32(static_cast<std::uint32_t>(devices.size()));
+  for (const RemoteHandle d : devices) w.u64(d);
+  w.str(options);
+  auto r = call(Op::BuildProgram, w);
+  return r ? r->i32() : kProxyGone;
+}
+
+cl_int Client::create_kernel(RemoteHandle prog, std::string_view name,
+                             RemoteHandle& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(prog);
+  w.str(name);
+  auto r = call(Op::CreateKernel, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  out = r->u64();
+  return err;
+}
+
+cl_int Client::create_kernels_in_program(RemoteHandle prog, cl_uint num,
+                                         std::vector<RemoteHandle>& out,
+                                         cl_uint& total) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(prog);
+  w.u32(num);
+  auto r = call(Op::CreateKernelsInProgram, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  total = r->u32();
+  const cl_uint n = r->u32();
+  out.clear();
+  for (cl_uint i = 0; i < n; ++i) out.push_back(r->u64());
+  return err;
+}
+
+cl_int Client::set_kernel_arg_bytes(RemoteHandle k, cl_uint idx,
+                                    std::span<const std::uint8_t> data) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(k);
+  w.u32(idx);
+  w.u8(static_cast<std::uint8_t>(ArgKind::Bytes));
+  w.bytes(data);
+  auto r = call(Op::SetKernelArg, w);
+  return r ? r->i32() : kProxyGone;
+}
+
+cl_int Client::set_kernel_arg_mem(RemoteHandle k, cl_uint idx, RemoteHandle mem) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(k);
+  w.u32(idx);
+  w.u8(static_cast<std::uint8_t>(ArgKind::MemHandle));
+  w.u64(mem);
+  auto r = call(Op::SetKernelArg, w);
+  return r ? r->i32() : kProxyGone;
+}
+
+cl_int Client::set_kernel_arg_sampler(RemoteHandle k, cl_uint idx,
+                                      RemoteHandle sampler) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(k);
+  w.u32(idx);
+  w.u8(static_cast<std::uint8_t>(ArgKind::SamplerHandle));
+  w.u64(sampler);
+  auto r = call(Op::SetKernelArg, w);
+  return r ? r->i32() : kProxyGone;
+}
+
+cl_int Client::set_kernel_arg_local(RemoteHandle k, cl_uint idx, std::size_t size) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(k);
+  w.u32(idx);
+  w.u8(static_cast<std::uint8_t>(ArgKind::Local));
+  w.u64(size);
+  auto r = call(Op::SetKernelArg, w);
+  return r ? r->i32() : kProxyGone;
+}
+
+cl_int Client::wait_for_events(std::span<const RemoteHandle> events) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u32(static_cast<std::uint32_t>(events.size()));
+  for (const RemoteHandle e : events) w.u64(e);
+  auto r = call(Op::WaitForEvents, w);
+  return r ? r->i32() : kProxyGone;
+}
+
+cl_int Client::enqueue_read(RemoteHandle q, RemoteHandle mem, std::size_t off,
+                            std::size_t cb, void* dst, bool want_event,
+                            RemoteHandle& ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(q);
+  w.u64(mem);
+  w.u64(off);
+  w.u64(cb);
+  w.boolean(want_event);
+  auto r = call(Op::EnqueueReadBuffer, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  ev = r->u64();
+  auto data = r->bytes_view();
+  if (err == CL_SUCCESS && dst != nullptr)
+    std::memcpy(dst, data.data(), std::min(cb, data.size()));
+  return err;
+}
+
+cl_int Client::enqueue_write(RemoteHandle q, RemoteHandle mem, std::size_t off,
+                             std::span<const std::uint8_t> data, bool want_event,
+                             RemoteHandle& ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(q);
+  w.u64(mem);
+  w.u64(off);
+  w.boolean(want_event);
+  w.bytes(data);
+  auto r = call(Op::EnqueueWriteBuffer, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  ev = r->u64();
+  return err;
+}
+
+cl_int Client::enqueue_copy(RemoteHandle q, RemoteHandle src, RemoteHandle dst,
+                            std::size_t soff, std::size_t doff, std::size_t cb,
+                            bool want_event, RemoteHandle& ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(q);
+  w.u64(src);
+  w.u64(dst);
+  w.u64(soff);
+  w.u64(doff);
+  w.u64(cb);
+  w.boolean(want_event);
+  auto r = call(Op::EnqueueCopyBuffer, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  ev = r->u64();
+  return err;
+}
+
+cl_int Client::enqueue_ndrange(RemoteHandle q, RemoteHandle k, cl_uint dim,
+                               const std::size_t* goff, const std::size_t* gsz,
+                               const std::size_t* lsz, bool want_event,
+                               RemoteHandle& ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(q);
+  w.u64(k);
+  w.u32(dim);
+  w.boolean(goff != nullptr);
+  for (int d = 0; d < 3; ++d)
+    w.u64(goff != nullptr && d < static_cast<int>(dim) ? goff[d] : 0);
+  for (int d = 0; d < 3; ++d)
+    w.u64(d < static_cast<int>(dim) ? gsz[d] : 1);
+  w.boolean(lsz != nullptr);
+  for (int d = 0; d < 3; ++d)
+    w.u64(lsz != nullptr && d < static_cast<int>(dim) ? lsz[d] : 1);
+  w.boolean(want_event);
+  auto r = call(Op::EnqueueNDRangeKernel, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  ev = r->u64();
+  return err;
+}
+
+cl_int Client::enqueue_task(RemoteHandle q, RemoteHandle k, bool want_event,
+                            RemoteHandle& ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(q);
+  w.u64(k);
+  w.boolean(want_event);
+  auto r = call(Op::EnqueueTask, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  ev = r->u64();
+  return err;
+}
+
+cl_int Client::enqueue_marker(RemoteHandle q, RemoteHandle& ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(q);
+  auto r = call(Op::EnqueueMarker, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  ev = r->u64();
+  return err;
+}
+
+cl_int Client::enqueue_barrier(RemoteHandle q) {
+  return retain_release(Op::EnqueueBarrier, q);
+}
+
+cl_int Client::enqueue_wait_for_events(RemoteHandle q,
+                                       std::span<const RemoteHandle> events) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(q);
+  w.u32(static_cast<std::uint32_t>(events.size()));
+  for (const RemoteHandle e : events) w.u64(e);
+  auto r = call(Op::EnqueueWaitForEvents, w);
+  return r ? r->i32() : kProxyGone;
+}
+
+cl_int Client::sim_get_host_time_ns(cl_ulong& t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  auto r = call(Op::SimGetHostTimeNS, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  t = r->u64();
+  return err;
+}
+
+cl_int Client::sim_advance_host_ns(cl_ulong dt) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w;
+  w.u64(dt);
+  auto r = call(Op::SimAdvanceHostNS, w);
+  return r ? r->i32() : kProxyGone;
+}
+
+}  // namespace proxy

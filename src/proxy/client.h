@@ -1,0 +1,124 @@
+// client.h — application-side stub for the API proxy.
+//
+// Every method marshals one API call, sends it over the channel, and blocks
+// for the response (the RPC is synchronous, like a library call).  Remote
+// handles are opaque u64 tokens: pointer values in the proxy's address space
+// that this process never dereferences — the decoupling at the heart of CheCL.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "checl/cl.h"
+#include "ipc/channel.h"
+#include "ipc/serial.h"
+#include "proxy/opcodes.h"
+#include "simcl/specs.h"
+
+namespace proxy {
+
+using RemoteHandle = std::uint64_t;
+
+class Client {
+ public:
+  explicit Client(std::unique_ptr<ipc::Channel> channel)
+      : ch_(std::move(channel)) {}
+
+  [[nodiscard]] bool alive() const noexcept { return !dead_; }
+
+  // ---- control ---------------------------------------------------------
+  cl_int configure(const std::vector<simcl::PlatformSpec>& platforms,
+                   const IpcCosts& costs, bool reset_clock);
+  cl_int ping(std::uint32_t* pid = nullptr);
+  cl_int shutdown();
+
+  // ---- platform / device ------------------------------------------------
+  cl_int get_platform_ids(cl_uint num_entries, std::vector<RemoteHandle>& out,
+                          cl_uint& total);
+  cl_int get_device_ids(RemoteHandle platform, cl_device_type type,
+                        cl_uint num_entries, std::vector<RemoteHandle>& out,
+                        cl_uint& total);
+
+  // Generic single-handle Get*Info (op selects the object class).
+  cl_int get_info(Op op, RemoteHandle h, cl_uint param, std::size_t size,
+                  void* value, std::size_t* size_ret);
+  // Two-handle variants (program+device, kernel+device).
+  cl_int get_info2(Op op, RemoteHandle a, RemoteHandle b, cl_uint param,
+                   std::size_t size, void* value, std::size_t* size_ret);
+
+  // ---- object creation / lifetime ----------------------------------------
+  cl_int create_context(std::span<const std::int64_t> props,
+                        std::span<const RemoteHandle> devices, RemoteHandle& out);
+  cl_int retain_release(Op op, RemoteHandle h);
+  cl_int create_queue(RemoteHandle ctx, RemoteHandle dev,
+                      cl_command_queue_properties props, RemoteHandle& out);
+  cl_int flush(RemoteHandle q);
+  cl_int finish(RemoteHandle q);
+  cl_int create_buffer(RemoteHandle ctx, cl_mem_flags flags, std::size_t size,
+                       std::span<const std::uint8_t> data, RemoteHandle& out);
+  cl_int create_image2d(RemoteHandle ctx, cl_mem_flags flags,
+                        const cl_image_format& fmt, std::size_t w, std::size_t h,
+                        std::size_t pitch, std::span<const std::uint8_t> data,
+                        RemoteHandle& out);
+  cl_int create_sampler(RemoteHandle ctx, cl_bool norm, cl_addressing_mode am,
+                        cl_filter_mode fm, RemoteHandle& out);
+  cl_int create_program_with_source(RemoteHandle ctx, std::string_view source,
+                                    RemoteHandle& out);
+  cl_int create_program_with_binary(RemoteHandle ctx,
+                                    std::span<const RemoteHandle> devices,
+                                    std::span<const std::uint8_t> binary,
+                                    cl_int& binary_status, RemoteHandle& out);
+  cl_int build_program(RemoteHandle prog, std::span<const RemoteHandle> devices,
+                       std::string_view options);
+  cl_int create_kernel(RemoteHandle prog, std::string_view name, RemoteHandle& out);
+  cl_int create_kernels_in_program(RemoteHandle prog, cl_uint num,
+                                   std::vector<RemoteHandle>& out, cl_uint& total);
+
+  // ---- kernel args ------------------------------------------------------
+  cl_int set_kernel_arg_bytes(RemoteHandle k, cl_uint idx,
+                              std::span<const std::uint8_t> data);
+  cl_int set_kernel_arg_mem(RemoteHandle k, cl_uint idx, RemoteHandle mem);
+  cl_int set_kernel_arg_sampler(RemoteHandle k, cl_uint idx, RemoteHandle sampler);
+  cl_int set_kernel_arg_local(RemoteHandle k, cl_uint idx, std::size_t size);
+
+  // ---- events -----------------------------------------------------------
+  cl_int wait_for_events(std::span<const RemoteHandle> events);
+
+  // ---- enqueue ------------------------------------------------------------
+  cl_int enqueue_read(RemoteHandle q, RemoteHandle mem, std::size_t off,
+                      std::size_t cb, void* dst, bool want_event, RemoteHandle& ev);
+  cl_int enqueue_write(RemoteHandle q, RemoteHandle mem, std::size_t off,
+                       std::span<const std::uint8_t> data, bool want_event,
+                       RemoteHandle& ev);
+  cl_int enqueue_copy(RemoteHandle q, RemoteHandle src, RemoteHandle dst,
+                      std::size_t soff, std::size_t doff, std::size_t cb,
+                      bool want_event, RemoteHandle& ev);
+  cl_int enqueue_ndrange(RemoteHandle q, RemoteHandle k, cl_uint dim,
+                         const std::size_t* goff, const std::size_t* gsz,
+                         const std::size_t* lsz, bool want_event, RemoteHandle& ev);
+  cl_int enqueue_task(RemoteHandle q, RemoteHandle k, bool want_event,
+                      RemoteHandle& ev);
+  cl_int enqueue_marker(RemoteHandle q, RemoteHandle& ev);
+  cl_int enqueue_barrier(RemoteHandle q);
+  cl_int enqueue_wait_for_events(RemoteHandle q, std::span<const RemoteHandle> events);
+
+  // ---- sim extensions ---------------------------------------------------
+  cl_int sim_get_host_time_ns(cl_ulong& t);
+  cl_int sim_advance_host_ns(cl_ulong dt);
+
+ private:
+  // Round-trip: returns a Reader over the response payload, or nullopt when
+  // the proxy is gone (channel broken).
+  std::optional<ipc::Reader> call(Op op, ipc::Writer& w);
+
+  std::unique_ptr<ipc::Channel> ch_;
+  std::mutex mu_;
+  ipc::Message resp_;  // guarded by mu_; Readers view into this
+  bool dead_ = false;
+};
+
+}  // namespace proxy

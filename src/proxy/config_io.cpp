@@ -1,0 +1,94 @@
+#include "proxy/config_io.h"
+
+namespace proxy {
+
+void write_device_spec(ipc::Writer& w, const simcl::DeviceSpec& d) {
+  w.str(d.name);
+  w.str(d.vendor);
+  w.u64(d.type);
+  w.u32(d.compute_units);
+  w.u32(d.clock_mhz);
+  w.u64(d.global_mem_bytes);
+  w.u64(d.local_mem_bytes);
+  w.u64(d.max_alloc_bytes);
+  w.u64(d.max_work_group_size);
+  for (const std::size_t s : d.max_work_item_sizes) w.u64(s);
+  w.f64(d.ops_per_sec);
+  w.f64(d.h2d_bytes_per_sec);
+  w.f64(d.d2h_bytes_per_sec);
+  w.u64(d.transfer_latency_ns);
+  w.u64(d.launch_overhead_ns);
+  w.u64(d.compile_base_ns);
+  w.f64(d.compile_ns_per_byte);
+}
+
+simcl::DeviceSpec read_device_spec(ipc::Reader& r) {
+  simcl::DeviceSpec d;
+  d.name = r.str();
+  d.vendor = r.str();
+  d.type = r.u64();
+  d.compute_units = r.u32();
+  d.clock_mhz = r.u32();
+  d.global_mem_bytes = r.u64();
+  d.local_mem_bytes = r.u64();
+  d.max_alloc_bytes = r.u64();
+  d.max_work_group_size = r.u64();
+  for (std::size_t& s : d.max_work_item_sizes) s = r.u64();
+  d.ops_per_sec = r.f64();
+  d.h2d_bytes_per_sec = r.f64();
+  d.d2h_bytes_per_sec = r.f64();
+  d.transfer_latency_ns = r.u64();
+  d.launch_overhead_ns = r.u64();
+  d.compile_base_ns = r.u64();
+  d.compile_ns_per_byte = r.f64();
+  return d;
+}
+
+void write_platform_spec(ipc::Writer& w, const simcl::PlatformSpec& p) {
+  w.str(p.name);
+  w.str(p.vendor);
+  w.str(p.version);
+  w.u64(p.init_ns);
+  w.u64(p.context_create_ns);
+  w.u64(p.queue_create_ns);
+  w.u32(static_cast<std::uint32_t>(p.devices.size()));
+  for (const auto& d : p.devices) write_device_spec(w, d);
+}
+
+simcl::PlatformSpec read_platform_spec(ipc::Reader& r) {
+  simcl::PlatformSpec p;
+  p.name = r.str();
+  p.vendor = r.str();
+  p.version = r.str();
+  p.init_ns = r.u64();
+  p.context_create_ns = r.u64();
+  p.queue_create_ns = r.u64();
+  const std::uint32_t n = r.u32();
+  p.devices.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) p.devices.push_back(read_device_spec(r));
+  return p;
+}
+
+void write_config(ipc::Writer& w, const std::vector<simcl::PlatformSpec>& platforms,
+                  const IpcCosts& costs, bool reset_clock) {
+  w.u32(static_cast<std::uint32_t>(platforms.size()));
+  for (const auto& p : platforms) write_platform_spec(w, p);
+  w.u64(costs.per_call_ns);
+  w.f64(costs.bytes_per_sec);
+  w.u64(costs.spawn_ns);
+  w.boolean(reset_clock);
+}
+
+void read_config(ipc::Reader& r, std::vector<simcl::PlatformSpec>& platforms,
+                 IpcCosts& costs, bool& reset_clock) {
+  const std::uint32_t n = r.u32();
+  platforms.clear();
+  platforms.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) platforms.push_back(read_platform_spec(r));
+  costs.per_call_ns = r.u64();
+  costs.bytes_per_sec = r.f64();
+  costs.spawn_ns = r.u64();
+  reset_clock = r.boolean();
+}
+
+}  // namespace proxy

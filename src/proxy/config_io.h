@@ -1,0 +1,24 @@
+// config_io.h — (de)serialization of node configuration for the Configure op:
+// the platform/device specs the proxy should simulate plus the IPC cost model.
+#pragma once
+
+#include <vector>
+
+#include "ipc/serial.h"
+#include "proxy/opcodes.h"
+#include "simcl/specs.h"
+
+namespace proxy {
+
+void write_device_spec(ipc::Writer& w, const simcl::DeviceSpec& d);
+simcl::DeviceSpec read_device_spec(ipc::Reader& r);
+
+void write_platform_spec(ipc::Writer& w, const simcl::PlatformSpec& p);
+simcl::PlatformSpec read_platform_spec(ipc::Reader& r);
+
+void write_config(ipc::Writer& w, const std::vector<simcl::PlatformSpec>& platforms,
+                  const IpcCosts& costs, bool reset_clock);
+void read_config(ipc::Reader& r, std::vector<simcl::PlatformSpec>& platforms,
+                 IpcCosts& costs, bool& reset_clock);
+
+}  // namespace proxy

@@ -1,0 +1,109 @@
+// opcodes.h — RPC protocol between the application-side CheCL layer and the
+// API proxy process.  One opcode per forwarded API entry plus control ops.
+//
+// Wire conventions (see serial.h): handles are u64 tokens (pointer values in
+// the proxy's address space), strings/byte-runs are length-prefixed, every
+// response starts with an i32 error code.
+#pragma once
+
+#include <cstdint>
+
+namespace proxy {
+
+enum class Op : std::uint32_t {
+  // control
+  Configure = 1,  // platform specs + IPC cost model + clock reset
+  Ping,           // -> err, pid
+  Shutdown,       // server replies then exits
+
+  // platform / device
+  GetPlatformIDs,
+  GetPlatformInfo,
+  GetDeviceIDs,
+  GetDeviceInfo,
+
+  // context
+  CreateContext,
+  RetainContext,
+  ReleaseContext,
+  GetContextInfo,
+
+  // queue
+  CreateCommandQueue,
+  RetainCommandQueue,
+  ReleaseCommandQueue,
+  GetCommandQueueInfo,
+  Flush,
+  Finish,
+
+  // memory
+  CreateBuffer,
+  CreateImage2D,
+  RetainMemObject,
+  ReleaseMemObject,
+  GetMemObjectInfo,
+  GetImageInfo,
+
+  // sampler
+  CreateSampler,
+  RetainSampler,
+  ReleaseSampler,
+  GetSamplerInfo,
+
+  // program
+  CreateProgramWithSource,
+  CreateProgramWithBinary,
+  RetainProgram,
+  ReleaseProgram,
+  BuildProgram,
+  GetProgramInfo,
+  GetProgramBuildInfo,
+
+  // kernel
+  CreateKernel,
+  CreateKernelsInProgram,
+  RetainKernel,
+  ReleaseKernel,
+  SetKernelArg,
+  GetKernelInfo,
+  GetKernelWorkGroupInfo,
+
+  // events
+  WaitForEvents,
+  GetEventInfo,
+  RetainEvent,
+  ReleaseEvent,
+  GetEventProfilingInfo,
+
+  // enqueue
+  EnqueueReadBuffer,
+  EnqueueWriteBuffer,
+  EnqueueCopyBuffer,
+  EnqueueNDRangeKernel,
+  EnqueueTask,
+  EnqueueMarker,
+  EnqueueBarrier,
+  EnqueueWaitForEvents,
+
+  // sim extensions (exempt from IPC cost charging — measurement instruments)
+  SimGetHostTimeNS,
+  SimAdvanceHostNS,
+};
+
+// clSetKernelArg argument kinds on the wire: the *client* (CheCL wrapper) has
+// already done the CheCL-handle -> OpenCL-handle conversion, so the kind is
+// explicit here.
+enum class ArgKind : std::uint8_t { Bytes = 0, MemHandle = 1, SamplerHandle = 2, Local = 3 };
+
+// Cost model for the app<->proxy hop, charged by the server per request.
+// per_call ~ two context switches + socket round trip (2010-era hardware);
+// bytes_per_sec ~ one extra memcpy between the two address spaces, which is
+// what makes proxied transfers visibly slower than native PCIe (Figure 4).
+struct IpcCosts {
+  std::uint64_t per_call_ns = 10'000;    // fixed round-trip overhead
+  double bytes_per_sec = 6.0e9 / 32.0;   // bulk copy bw (bandwidth-scaled,
+                                         // see simcl::kBandwidthScale)
+  std::uint64_t spawn_ns = 80'000'000;   // fork/exec/init — the paper's ~0.08 s
+};
+
+}  // namespace proxy

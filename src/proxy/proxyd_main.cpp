@@ -1,0 +1,54 @@
+// proxyd_main.cpp — the API proxy daemon.
+//
+// Spawned by the CheCL layer (fork + exec) with one end of a socketpair, or
+// run standalone with --tcp-port for the remote-proxy extension.  This process
+// is the only one that touches the OpenCL substrate; the application process
+// stays a plain checkpointable process.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "ipc/channel.h"
+#include "proxy/server.h"
+
+int main(int argc, char** argv) {
+  int fd = -1;
+  int tcp_port = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fd") == 0 && i + 1 < argc) {
+      fd = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tcp-port") == 0 && i + 1 < argc) {
+      tcp_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: checl_proxyd --fd N | --tcp-port P\n");
+      return 0;
+    }
+  }
+
+  if (tcp_port >= 0) {
+    const int lfd = ipc::tcp_listen(static_cast<std::uint16_t>(tcp_port));
+    if (lfd < 0) {
+      std::fprintf(stderr, "checl_proxyd: cannot listen on port %d\n", tcp_port);
+      return 1;
+    }
+    const int cfd = ipc::tcp_accept(lfd);
+    ::close(lfd);
+    if (cfd < 0) {
+      std::fprintf(stderr, "checl_proxyd: accept failed\n");
+      return 1;
+    }
+    ipc::SocketChannel ch(cfd);
+    proxy::serve(ch);
+    return 0;
+  }
+
+  if (fd < 0) {
+    std::fprintf(stderr, "checl_proxyd: missing --fd\n");
+    return 2;
+  }
+  ipc::SocketChannel ch(fd);
+  proxy::serve(ch);
+  return 0;
+}

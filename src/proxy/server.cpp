@@ -1,0 +1,580 @@
+#include "proxy/server.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "checl/dispatch.h"
+#include "ipc/serial.h"
+#include "proxy/config_io.h"
+#include "proxy/opcodes.h"
+#include "simcl/runtime.h"
+
+#include <unistd.h>
+
+namespace simcl {
+const checl_api::DispatchTable& dispatch_table() noexcept;
+}
+
+namespace proxy {
+
+namespace {
+
+using ipc::Reader;
+using ipc::Writer;
+
+const checl_api::DispatchTable& D() { return simcl::dispatch_table(); }
+
+// Generic Get*Info body: reads (param, size, want_value) and forwards to
+// `fn(param, size, value, size_ret)`; writes (err, size_ret, bytes).
+template <typename Fn>
+void info_body(Reader& r, Writer& w, Fn fn) {
+  const cl_uint pn = r.u32();
+  const std::uint64_t size = r.u64();
+  const bool want_value = r.boolean();
+  std::size_t size_ret = 0;
+  if (want_value) {
+    std::vector<std::uint8_t> buf(size);
+    const cl_int err = fn(pn, size, buf.data(), &size_ret);
+    w.i32(err);
+    w.u64(size_ret);
+    const std::size_t n =
+        err == CL_SUCCESS ? std::min<std::size_t>(size, size_ret) : 0;
+    w.bytes({buf.data(), n});
+  } else {
+    const cl_int err = fn(pn, 0, nullptr, &size_ret);
+    w.i32(err);
+    w.u64(size_ret);
+    w.bytes({});
+  }
+}
+
+// One-handle Get*Info forwarding.
+template <typename H, typename Fn>
+void handle_info(Reader& r, Writer& w, Fn fn) {
+  auto* h = r.handle<std::remove_pointer_t<H>>();
+  info_body(r, w, [&](cl_uint pn, std::size_t sz, void* v, std::size_t* szr) {
+    return fn(reinterpret_cast<H>(h), pn, sz, v, szr);
+  });
+}
+
+struct ServerState {
+  IpcCosts costs;
+  bool configured = false;
+};
+
+void charge(const ServerState& st, std::size_t bytes) {
+  simcl::Runtime::instance().clock().advance_host(
+      static_cast<simcl::SimNs>(static_cast<double>(bytes) / st.costs.bytes_per_sec * 1e9));
+}
+
+// Dispatch one request; returns false when the server should exit.
+bool dispatch(ServerState& st, Op op, Reader& r, Writer& w) {
+  switch (op) {
+    case Op::Configure: {
+      std::vector<simcl::PlatformSpec> platforms;
+      bool reset = false;
+      read_config(r, platforms, st.costs, reset);
+      simcl::Runtime::instance().configure(std::move(platforms));
+      if (reset) simcl::Runtime::instance().clock().reset();
+      // the fork/exec/init cost of bringing up an API proxy (paper: ~0.08 s)
+      simcl::Runtime::instance().clock().advance_host(st.costs.spawn_ns);
+      st.configured = true;
+      w.i32(CL_SUCCESS);
+      return true;
+    }
+    case Op::Ping:
+      w.i32(CL_SUCCESS);
+      w.u32(static_cast<std::uint32_t>(::getpid()));
+      return true;
+    case Op::Shutdown:
+      w.i32(CL_SUCCESS);
+      return false;
+
+    case Op::GetPlatformIDs: {
+      const cl_uint num_entries = r.u32();
+      std::vector<cl_platform_id> ids(num_entries);
+      cl_uint num = 0;
+      const cl_int err = D().GetPlatformIDs(
+          num_entries, num_entries != 0 ? ids.data() : nullptr, &num);
+      w.i32(err);
+      w.u32(num);
+      const cl_uint n = err == CL_SUCCESS ? std::min(num_entries, num) : 0;
+      w.u32(n);
+      for (cl_uint i = 0; i < n; ++i) w.handle(ids[i]);
+      return true;
+    }
+    case Op::GetPlatformInfo:
+      handle_info<cl_platform_id>(r, w, D().GetPlatformInfo);
+      return true;
+    case Op::GetDeviceIDs: {
+      auto* p = r.handle<_cl_platform_id>();
+      const auto type = static_cast<cl_device_type>(r.u64());
+      const cl_uint num_entries = r.u32();
+      std::vector<cl_device_id> ids(num_entries);
+      cl_uint num = 0;
+      const cl_int err =
+          D().GetDeviceIDs(reinterpret_cast<cl_platform_id>(p), type, num_entries,
+                           num_entries != 0 ? ids.data() : nullptr, &num);
+      w.i32(err);
+      w.u32(num);
+      const cl_uint n = err == CL_SUCCESS ? std::min(num_entries, num) : 0;
+      w.u32(n);
+      for (cl_uint i = 0; i < n; ++i) w.handle(ids[i]);
+      return true;
+    }
+    case Op::GetDeviceInfo:
+      handle_info<cl_device_id>(r, w, D().GetDeviceInfo);
+      return true;
+
+    case Op::CreateContext: {
+      const std::uint32_t nprops = r.u32();
+      std::vector<cl_context_properties> props(nprops);
+      for (auto& p : props) p = static_cast<cl_context_properties>(r.i64());
+      const std::uint32_t ndev = r.u32();
+      std::vector<cl_device_id> devs(ndev);
+      for (auto& d : devs) d = r.handle<_cl_device_id>();
+      cl_int err = CL_SUCCESS;
+      cl_context ctx = D().CreateContext(props.empty() ? nullptr : props.data(),
+                                         ndev, devs.data(), nullptr, nullptr, &err);
+      w.i32(err);
+      w.handle(ctx);
+      return true;
+    }
+    case Op::RetainContext:
+      w.i32(D().RetainContext(r.handle<_cl_context>()));
+      return true;
+    case Op::ReleaseContext:
+      w.i32(D().ReleaseContext(r.handle<_cl_context>()));
+      return true;
+    case Op::GetContextInfo:
+      handle_info<cl_context>(r, w, D().GetContextInfo);
+      return true;
+
+    case Op::CreateCommandQueue: {
+      auto* ctx = r.handle<_cl_context>();
+      auto* dev = r.handle<_cl_device_id>();
+      const auto props = static_cast<cl_command_queue_properties>(r.u64());
+      cl_int err = CL_SUCCESS;
+      cl_command_queue q = D().CreateCommandQueue(ctx, dev, props, &err);
+      w.i32(err);
+      w.handle(q);
+      return true;
+    }
+    case Op::RetainCommandQueue:
+      w.i32(D().RetainCommandQueue(r.handle<_cl_command_queue>()));
+      return true;
+    case Op::ReleaseCommandQueue:
+      w.i32(D().ReleaseCommandQueue(r.handle<_cl_command_queue>()));
+      return true;
+    case Op::GetCommandQueueInfo:
+      handle_info<cl_command_queue>(r, w, D().GetCommandQueueInfo);
+      return true;
+    case Op::Flush:
+      w.i32(D().Flush(r.handle<_cl_command_queue>()));
+      return true;
+    case Op::Finish:
+      w.i32(D().Finish(r.handle<_cl_command_queue>()));
+      return true;
+
+    case Op::CreateBuffer: {
+      auto* ctx = r.handle<_cl_context>();
+      const auto flags = static_cast<cl_mem_flags>(r.u64());
+      const std::uint64_t size = r.u64();
+      const bool has_data = r.boolean();
+      auto data = has_data ? r.bytes_view() : std::span<const std::uint8_t>{};
+      cl_int err = CL_SUCCESS;
+      // The proxy cannot reference application memory: CL_MEM_USE_HOST_PTR is
+      // emulated by the CheCL layer; here any inline data becomes a copy.
+      cl_mem_flags eff = flags & ~static_cast<cl_mem_flags>(CL_MEM_USE_HOST_PTR);
+      if (has_data) eff |= CL_MEM_COPY_HOST_PTR;
+      cl_mem m = D().CreateBuffer(ctx, eff, size,
+                                  has_data ? const_cast<std::uint8_t*>(data.data())
+                                           : nullptr,
+                                  &err);
+      w.i32(err);
+      w.handle(m);
+      return true;
+    }
+    case Op::CreateImage2D: {
+      auto* ctx = r.handle<_cl_context>();
+      const auto flags = static_cast<cl_mem_flags>(r.u64());
+      cl_image_format fmt;
+      fmt.image_channel_order = r.u32();
+      fmt.image_channel_data_type = r.u32();
+      const std::uint64_t width = r.u64();
+      const std::uint64_t height = r.u64();
+      const std::uint64_t pitch = r.u64();
+      const bool has_data = r.boolean();
+      auto data = has_data ? r.bytes_view() : std::span<const std::uint8_t>{};
+      cl_int err = CL_SUCCESS;
+      cl_mem_flags eff = flags & ~static_cast<cl_mem_flags>(CL_MEM_USE_HOST_PTR);
+      if (has_data) eff |= CL_MEM_COPY_HOST_PTR;
+      cl_mem m = D().CreateImage2D(ctx, eff, &fmt, width, height, pitch,
+                                   has_data ? const_cast<std::uint8_t*>(data.data())
+                                            : nullptr,
+                                   &err);
+      w.i32(err);
+      w.handle(m);
+      return true;
+    }
+    case Op::RetainMemObject:
+      w.i32(D().RetainMemObject(r.handle<_cl_mem>()));
+      return true;
+    case Op::ReleaseMemObject:
+      w.i32(D().ReleaseMemObject(r.handle<_cl_mem>()));
+      return true;
+    case Op::GetMemObjectInfo:
+      handle_info<cl_mem>(r, w, D().GetMemObjectInfo);
+      return true;
+    case Op::GetImageInfo:
+      handle_info<cl_mem>(r, w, D().GetImageInfo);
+      return true;
+
+    case Op::CreateSampler: {
+      auto* ctx = r.handle<_cl_context>();
+      const cl_bool norm = r.u32();
+      const cl_addressing_mode am = r.u32();
+      const cl_filter_mode fm = r.u32();
+      cl_int err = CL_SUCCESS;
+      cl_sampler s = D().CreateSampler(ctx, norm, am, fm, &err);
+      w.i32(err);
+      w.handle(s);
+      return true;
+    }
+    case Op::RetainSampler:
+      w.i32(D().RetainSampler(r.handle<_cl_sampler>()));
+      return true;
+    case Op::ReleaseSampler:
+      w.i32(D().ReleaseSampler(r.handle<_cl_sampler>()));
+      return true;
+    case Op::GetSamplerInfo:
+      handle_info<cl_sampler>(r, w, D().GetSamplerInfo);
+      return true;
+
+    case Op::CreateProgramWithSource: {
+      auto* ctx = r.handle<_cl_context>();
+      const std::string src = r.str();
+      const char* s = src.c_str();
+      const std::size_t len = src.size();
+      cl_int err = CL_SUCCESS;
+      cl_program p = D().CreateProgramWithSource(ctx, 1, &s, &len, &err);
+      w.i32(err);
+      w.handle(p);
+      return true;
+    }
+    case Op::CreateProgramWithBinary: {
+      auto* ctx = r.handle<_cl_context>();
+      const std::uint32_t ndev = r.u32();
+      std::vector<cl_device_id> devs(ndev);
+      for (auto& d : devs) d = r.handle<_cl_device_id>();
+      auto bin = r.bytes_view();
+      const unsigned char* bptr = bin.data();
+      const std::size_t blen = bin.size();
+      cl_int status = CL_SUCCESS;
+      cl_int err = CL_SUCCESS;
+      cl_program p = D().CreateProgramWithBinary(ctx, ndev, devs.data(), &blen,
+                                                 &bptr, &status, &err);
+      w.i32(err);
+      w.i32(status);
+      w.handle(p);
+      return true;
+    }
+    case Op::RetainProgram:
+      w.i32(D().RetainProgram(r.handle<_cl_program>()));
+      return true;
+    case Op::ReleaseProgram:
+      w.i32(D().ReleaseProgram(r.handle<_cl_program>()));
+      return true;
+    case Op::BuildProgram: {
+      auto* p = r.handle<_cl_program>();
+      const std::uint32_t ndev = r.u32();
+      std::vector<cl_device_id> devs(ndev);
+      for (auto& d : devs) d = r.handle<_cl_device_id>();
+      const std::string opts = r.str();
+      w.i32(D().BuildProgram(p, ndev, ndev != 0 ? devs.data() : nullptr,
+                             opts.c_str(), nullptr, nullptr));
+      return true;
+    }
+    case Op::GetProgramInfo: {
+      // CL_PROGRAM_BINARIES needs special out-pointer handling.
+      auto* p = r.handle<_cl_program>();
+      const cl_uint pn = r.u32();
+      const std::uint64_t size = r.u64();
+      const bool want_value = r.boolean();
+      if (pn == CL_PROGRAM_BINARIES && want_value) {
+        std::size_t bin_size = 0;
+        cl_int err = D().GetProgramInfo(p, CL_PROGRAM_BINARY_SIZES,
+                                        sizeof bin_size, &bin_size, nullptr);
+        if (err != CL_SUCCESS) {
+          w.i32(err);
+          w.u64(0);
+          w.bytes({});
+          return true;
+        }
+        std::vector<std::uint8_t> bin(bin_size);
+        unsigned char* ptrs[1] = {bin.data()};
+        err = D().GetProgramInfo(p, CL_PROGRAM_BINARIES, sizeof ptrs, ptrs, nullptr);
+        w.i32(err);
+        w.u64(sizeof(unsigned char*));
+        w.bytes(err == CL_SUCCESS ? std::span<const std::uint8_t>(bin)
+                                  : std::span<const std::uint8_t>{});
+        return true;
+      }
+      std::size_t size_ret = 0;
+      if (want_value) {
+        std::vector<std::uint8_t> buf(size);
+        const cl_int err = D().GetProgramInfo(p, pn, size, buf.data(), &size_ret);
+        w.i32(err);
+        w.u64(size_ret);
+        const std::size_t n =
+            err == CL_SUCCESS ? std::min<std::size_t>(size, size_ret) : 0;
+        w.bytes({buf.data(), n});
+      } else {
+        const cl_int err = D().GetProgramInfo(p, pn, 0, nullptr, &size_ret);
+        w.i32(err);
+        w.u64(size_ret);
+        w.bytes({});
+      }
+      return true;
+    }
+    case Op::GetProgramBuildInfo: {
+      auto* p = r.handle<_cl_program>();
+      auto* dev = r.handle<_cl_device_id>();
+      info_body(r, w, [&](cl_uint pn, std::size_t sz, void* v, std::size_t* szr) {
+        return D().GetProgramBuildInfo(p, dev, pn, sz, v, szr);
+      });
+      return true;
+    }
+
+    case Op::CreateKernel: {
+      auto* p = r.handle<_cl_program>();
+      const std::string name = r.str();
+      cl_int err = CL_SUCCESS;
+      cl_kernel k = D().CreateKernel(p, name.c_str(), &err);
+      w.i32(err);
+      w.handle(k);
+      return true;
+    }
+    case Op::CreateKernelsInProgram: {
+      auto* p = r.handle<_cl_program>();
+      const cl_uint num = r.u32();
+      std::vector<cl_kernel> ks(num);
+      cl_uint num_ret = 0;
+      const cl_int err = D().CreateKernelsInProgram(
+          p, num, num != 0 ? ks.data() : nullptr, &num_ret);
+      w.i32(err);
+      w.u32(num_ret);
+      const cl_uint n = err == CL_SUCCESS ? std::min(num, num_ret) : 0;
+      w.u32(n);
+      for (cl_uint i = 0; i < n; ++i) w.handle(ks[i]);
+      return true;
+    }
+    case Op::RetainKernel:
+      w.i32(D().RetainKernel(r.handle<_cl_kernel>()));
+      return true;
+    case Op::ReleaseKernel:
+      w.i32(D().ReleaseKernel(r.handle<_cl_kernel>()));
+      return true;
+    case Op::SetKernelArg: {
+      auto* k = r.handle<_cl_kernel>();
+      const cl_uint idx = r.u32();
+      const auto kind = static_cast<ArgKind>(r.u8());
+      cl_int err = CL_SUCCESS;
+      switch (kind) {
+        case ArgKind::Bytes: {
+          auto data = r.bytes_view();
+          err = D().SetKernelArg(k, idx, data.size(), data.data());
+          break;
+        }
+        case ArgKind::MemHandle: {
+          cl_mem m = r.handle<_cl_mem>();
+          err = D().SetKernelArg(k, idx, sizeof(cl_mem), &m);
+          break;
+        }
+        case ArgKind::SamplerHandle: {
+          cl_sampler s = r.handle<_cl_sampler>();
+          err = D().SetKernelArg(k, idx, sizeof(cl_sampler), &s);
+          break;
+        }
+        case ArgKind::Local: {
+          const std::uint64_t size = r.u64();
+          err = D().SetKernelArg(k, idx, size, nullptr);
+          break;
+        }
+      }
+      w.i32(err);
+      return true;
+    }
+    case Op::GetKernelInfo:
+      handle_info<cl_kernel>(r, w, D().GetKernelInfo);
+      return true;
+    case Op::GetKernelWorkGroupInfo: {
+      auto* k = r.handle<_cl_kernel>();
+      auto* dev = r.handle<_cl_device_id>();
+      info_body(r, w, [&](cl_uint pn, std::size_t sz, void* v, std::size_t* szr) {
+        return D().GetKernelWorkGroupInfo(k, dev, pn, sz, v, szr);
+      });
+      return true;
+    }
+
+    case Op::WaitForEvents: {
+      const std::uint32_t n = r.u32();
+      std::vector<cl_event> evs(n);
+      for (auto& e : evs) e = r.handle<_cl_event>();
+      w.i32(D().WaitForEvents(n, evs.data()));
+      return true;
+    }
+    case Op::GetEventInfo:
+      handle_info<cl_event>(r, w, D().GetEventInfo);
+      return true;
+    case Op::RetainEvent:
+      w.i32(D().RetainEvent(r.handle<_cl_event>()));
+      return true;
+    case Op::ReleaseEvent:
+      w.i32(D().ReleaseEvent(r.handle<_cl_event>()));
+      return true;
+    case Op::GetEventProfilingInfo:
+      handle_info<cl_event>(r, w, D().GetEventProfilingInfo);
+      return true;
+
+    case Op::EnqueueReadBuffer: {
+      auto* q = r.handle<_cl_command_queue>();
+      auto* m = r.handle<_cl_mem>();
+      const std::uint64_t off = r.u64();
+      const std::uint64_t cb = r.u64();
+      const bool want_event = r.boolean();
+      std::vector<std::uint8_t> data(cb);
+      cl_event ev = nullptr;
+      // Reads are synchronous at the proxy: the bytes travel in the response.
+      const cl_int err = D().EnqueueReadBuffer(q, m, CL_TRUE, off, cb, data.data(),
+                                               0, nullptr,
+                                               want_event ? &ev : nullptr);
+      w.i32(err);
+      w.handle(ev);
+      w.bytes(err == CL_SUCCESS ? std::span<const std::uint8_t>(data)
+                                : std::span<const std::uint8_t>{});
+      return true;
+    }
+    case Op::EnqueueWriteBuffer: {
+      auto* q = r.handle<_cl_command_queue>();
+      auto* m = r.handle<_cl_mem>();
+      const std::uint64_t off = r.u64();
+      const bool want_event = r.boolean();
+      auto data = r.bytes_view();
+      cl_event ev = nullptr;
+      // Writes are synchronous too: the payload buffer dies with this frame.
+      const cl_int err = D().EnqueueWriteBuffer(q, m, CL_TRUE, off, data.size(),
+                                                data.data(), 0, nullptr,
+                                                want_event ? &ev : nullptr);
+      w.i32(err);
+      w.handle(ev);
+      return true;
+    }
+    case Op::EnqueueCopyBuffer: {
+      auto* q = r.handle<_cl_command_queue>();
+      auto* src = r.handle<_cl_mem>();
+      auto* dst = r.handle<_cl_mem>();
+      const std::uint64_t soff = r.u64();
+      const std::uint64_t doff = r.u64();
+      const std::uint64_t cb = r.u64();
+      const bool want_event = r.boolean();
+      cl_event ev = nullptr;
+      const cl_int err = D().EnqueueCopyBuffer(q, src, dst, soff, doff, cb, 0,
+                                               nullptr, want_event ? &ev : nullptr);
+      w.i32(err);
+      w.handle(ev);
+      return true;
+    }
+    case Op::EnqueueNDRangeKernel: {
+      auto* q = r.handle<_cl_command_queue>();
+      auto* k = r.handle<_cl_kernel>();
+      const cl_uint dim = r.u32();
+      std::size_t goff[3];
+      std::size_t gsz[3];
+      std::size_t lsz[3];
+      const bool has_offset = r.boolean();
+      for (auto& v : goff) v = r.u64();
+      for (auto& v : gsz) v = r.u64();
+      const bool has_local = r.boolean();
+      for (auto& v : lsz) v = r.u64();
+      const bool want_event = r.boolean();
+      cl_event ev = nullptr;
+      const cl_int err = D().EnqueueNDRangeKernel(
+          q, k, dim, has_offset ? goff : nullptr, gsz, has_local ? lsz : nullptr,
+          0, nullptr, want_event ? &ev : nullptr);
+      w.i32(err);
+      w.handle(ev);
+      return true;
+    }
+    case Op::EnqueueTask: {
+      auto* q = r.handle<_cl_command_queue>();
+      auto* k = r.handle<_cl_kernel>();
+      const bool want_event = r.boolean();
+      cl_event ev = nullptr;
+      const cl_int err = D().EnqueueTask(q, k, 0, nullptr, want_event ? &ev : nullptr);
+      w.i32(err);
+      w.handle(ev);
+      return true;
+    }
+    case Op::EnqueueMarker: {
+      auto* q = r.handle<_cl_command_queue>();
+      cl_event ev = nullptr;
+      const cl_int err = D().EnqueueMarker(q, &ev);
+      w.i32(err);
+      w.handle(ev);
+      return true;
+    }
+    case Op::EnqueueBarrier:
+      w.i32(D().EnqueueBarrier(r.handle<_cl_command_queue>()));
+      return true;
+    case Op::EnqueueWaitForEvents: {
+      auto* q = r.handle<_cl_command_queue>();
+      const std::uint32_t n = r.u32();
+      std::vector<cl_event> evs(n);
+      for (auto& e : evs) e = r.handle<_cl_event>();
+      w.i32(D().EnqueueWaitForEvents(q, n, evs.data()));
+      return true;
+    }
+
+    case Op::SimGetHostTimeNS: {
+      cl_ulong t = 0;
+      const cl_int err = D().SimGetHostTimeNS(&t);
+      w.i32(err);
+      w.u64(t);
+      return true;
+    }
+    case Op::SimAdvanceHostNS: {
+      w.i32(D().SimAdvanceHostNS(r.u64()));
+      return true;
+    }
+  }
+  w.i32(CL_INVALID_OPERATION);
+  return true;
+}
+
+}  // namespace
+
+void serve(ipc::Channel& ch) {
+  ServerState st;
+  ipc::Message req;
+  while (ch.recv(req)) {
+    const Op op = static_cast<Op>(req.op);
+    const bool measured = op != Op::SimGetHostTimeNS && op != Op::SimAdvanceHostNS &&
+                          op != Op::Configure && op != Op::Ping && op != Op::Shutdown;
+    if (measured) {
+      simcl::Runtime::instance().clock().advance_host(st.costs.per_call_ns);
+      charge(st, req.payload.size());
+    }
+    ipc::Reader r(req.payload);
+    ipc::Writer w;
+    const bool keep_going = dispatch(st, op, r, w);
+    ipc::Message resp;
+    resp.op = req.op;
+    resp.payload = w.take();
+    if (measured) charge(st, resp.payload.size());
+    if (!ch.send(resp)) return;
+    if (!keep_going) return;
+  }
+}
+
+}  // namespace proxy

@@ -1,0 +1,13 @@
+// server.h — the API proxy server: the only code that actually touches the
+// OpenCL substrate in CheCL mode.
+#pragma once
+
+#include "ipc/channel.h"
+
+namespace proxy {
+
+// Serves RPC requests on `ch` until Shutdown or a broken channel.
+// The first message is expected to be Configure.
+void serve(ipc::Channel& ch);
+
+}  // namespace proxy

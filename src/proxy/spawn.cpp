@@ -1,0 +1,158 @@
+#include "proxy/spawn.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "proxy/server.h"
+
+namespace proxy {
+
+namespace fs = std::filesystem;
+
+std::string find_proxyd() {
+  if (const char* env = std::getenv("CHECL_PROXYD");
+      env != nullptr && *env != '\0' && fs::exists(env))
+    return env;
+  std::error_code ec;
+  const fs::path self = fs::read_symlink("/proc/self/exe", ec);
+  if (!ec) {
+    const fs::path dir = self.parent_path();
+    for (const char* rel :
+         {"checl_proxyd", "../src/proxy/checl_proxyd", "../proxy/checl_proxyd",
+          "../../src/proxy/checl_proxyd"}) {
+      const fs::path cand = dir / rel;
+      if (fs::exists(cand)) return fs::canonical(cand).string();
+    }
+  }
+  return "checl_proxyd";  // hope PATH has it
+}
+
+void Spawned::stop() {
+  if (client_ != nullptr && client_->alive()) client_->shutdown();
+  client_.reset();
+  if (pid_ > 0) {
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+  if (server_thread_ != nullptr) {
+    server_thread_->join();
+    server_thread_.reset();
+  }
+}
+
+void Spawned::kill_hard() {
+  if (pid_ > 0) {
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+  // Thread transport: dropping the client closes the channel and the server
+  // thread exits; join happens in stop().
+}
+
+Spawned connect_remote_proxy(const char* host, std::uint16_t port) {
+  Spawned s;
+  // the daemon may still be binding; retry briefly
+  int fd = -1;
+  for (int attempt = 0; attempt < 50 && fd < 0; ++attempt) {
+    fd = ipc::tcp_connect(host, port);
+    if (fd < 0) ::usleep(20'000);
+  }
+  if (fd < 0) {
+    s.error_ = std::string("cannot connect to remote proxy at ") + host + ":" +
+               std::to_string(port);
+    return s;
+  }
+  s.client_ = std::make_unique<Client>(std::make_unique<ipc::SocketChannel>(fd));
+  if (s.client_->ping() != CL_SUCCESS) {
+    s.error_ = "remote proxy did not answer";
+    s.client_.reset();
+  }
+  return s;
+}
+
+Spawned spawn_tcp_proxy(std::uint16_t port) {
+  const std::string proxyd = find_proxyd();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    Spawned s;
+    s.error_ = "fork failed";
+    return s;
+  }
+  if (pid == 0) {
+    std::array<char, 16> port_str{};
+    std::snprintf(port_str.data(), port_str.size(), "%u", port);
+    ::execl(proxyd.c_str(), "checl_proxyd", "--tcp-port", port_str.data(),
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  Spawned s = connect_remote_proxy("127.0.0.1", port);
+  s.pid_ = pid;
+  if (!s.ok()) {
+    int status = 0;
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, &status, 0);
+    s.pid_ = -1;
+  }
+  return s;
+}
+
+Spawned spawn_proxy(Transport t) {
+  Spawned s;
+  if (t == Transport::Thread) {
+    auto [app_end, proxy_end] = ipc::make_local_pair();
+    auto* proxy_raw = proxy_end.release();
+    s.server_thread_ = std::make_unique<std::thread>(
+        [proxy_raw] {
+          std::unique_ptr<ipc::Channel> ch(proxy_raw);
+          serve(*ch);
+        });
+    s.client_ = std::make_unique<Client>(std::move(app_end));
+    return s;
+  }
+
+  const auto [app_fd, proxy_fd] = ipc::make_socketpair();
+  if (app_fd < 0) {
+    s.error_ = "socketpair failed";
+    return s;
+  }
+  const std::string proxyd = find_proxyd();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(app_fd);
+    ::close(proxy_fd);
+    s.error_ = "fork failed";
+    return s;
+  }
+  if (pid == 0) {
+    // child: exec the proxy daemon with its end of the socketpair
+    ::close(app_fd);
+    std::array<char, 16> fd_str{};
+    std::snprintf(fd_str.data(), fd_str.size(), "%d", proxy_fd);
+    ::execl(proxyd.c_str(), "checl_proxyd", "--fd", fd_str.data(),
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::close(proxy_fd);
+  s.pid_ = pid;
+  s.client_ = std::make_unique<Client>(std::make_unique<ipc::SocketChannel>(app_fd));
+  // verify the exec didn't fail
+  if (s.client_->ping() != CL_SUCCESS) {
+    s.error_ = "proxy daemon did not start (looked for: " + proxyd + ")";
+    s.client_.reset();
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    s.pid_ = -1;
+  }
+  return s;
+}
+
+}  // namespace proxy

@@ -1,0 +1,84 @@
+// spawn.h — bringing an API proxy to life.
+//
+// Production transport: fork + exec of the `checl_proxyd` helper connected by
+// an AF_UNIX socketpair — a genuinely separate process, so the application
+// process holds no OpenCL state at all (the paper's checkpointability
+// argument).  Test transport: an in-process server thread over a LocalChannel,
+// which exercises identical marshalling without process machinery.
+#pragma once
+
+#include <sys/types.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "proxy/client.h"
+
+namespace proxy {
+
+enum class Transport {
+  Process,  // fork/exec checl_proxyd over a socketpair
+  Thread,   // in-process server thread over a LocalChannel
+  Tcp,      // connect to a checl_proxyd --tcp-port on another machine
+};
+
+class Spawned {
+ public:
+  Spawned() = default;
+  ~Spawned() { stop(); }
+  Spawned(Spawned&& o) noexcept
+      : client_(std::move(o.client_)),
+        pid_(std::exchange(o.pid_, -1)),
+        server_thread_(std::move(o.server_thread_)),
+        error_(std::move(o.error_)) {}
+  Spawned& operator=(Spawned&& o) noexcept {
+    if (this != &o) {
+      stop();
+      client_ = std::move(o.client_);
+      pid_ = std::exchange(o.pid_, -1);
+      server_thread_ = std::move(o.server_thread_);
+      error_ = std::move(o.error_);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] Client* client() const noexcept { return client_.get(); }
+  [[nodiscard]] bool ok() const noexcept { return client_ != nullptr; }
+  [[nodiscard]] pid_t pid() const noexcept { return pid_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  // Polite shutdown: Shutdown RPC, then reap/join.
+  void stop();
+  // Violent death of the proxy (SIGKILL) — used by the failure-injection and
+  // DMTCP-mode paths.  The client becomes dead on its next call.
+  void kill_hard();
+
+ private:
+  friend Spawned spawn_proxy(Transport t);
+  friend Spawned connect_remote_proxy(const char* host, std::uint16_t port);
+  friend Spawned spawn_tcp_proxy(std::uint16_t port);
+
+  std::unique_ptr<Client> client_;
+  pid_t pid_ = -1;
+  std::unique_ptr<std::thread> server_thread_;
+  std::string error_;
+};
+
+// Returns a Spawned whose ok() is false (with error()) on failure.
+Spawned spawn_proxy(Transport t);
+
+// Remote API proxy (the paper's Section V note: "allowing CheCL wrapper
+// functions to communicate with a remote API proxy via TCP/IP sockets").
+// Connects to a checl_proxyd already listening with --tcp-port on `host`.
+Spawned connect_remote_proxy(const char* host, std::uint16_t port);
+
+// Test/demo helper: fork+exec a checl_proxyd listening on `port` locally and
+// connect to it — a "remote" proxy on loopback.
+Spawned spawn_tcp_proxy(std::uint16_t port);
+
+// Path of the checl_proxyd helper ($CHECL_PROXYD, else next to this binary).
+std::string find_proxyd();
+
+}  // namespace proxy

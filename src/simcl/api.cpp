@@ -1,0 +1,1276 @@
+// api.cpp — the "vendor OpenCL implementation": every API entry point of the
+// substrate, plus the native dispatch table.
+//
+// These functions are what the API proxy ultimately invokes; in native mode
+// the binding layer routes straight here.
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "checl/dispatch.h"
+#include "simcl/queue.h"
+#include "simcl/runtime.h"
+
+namespace simcl {
+const checl_api::DispatchTable& dispatch_table() noexcept;
+}
+
+namespace {
+
+using namespace simcl;
+
+// ---- info-query helper -----------------------------------------------------
+
+cl_int set_param_bytes(const void* data, std::size_t n, std::size_t size,
+                       void* value, std::size_t* size_ret) {
+  if (size_ret != nullptr) *size_ret = n;
+  if (value != nullptr) {
+    if (size < n) return CL_INVALID_VALUE;
+    std::memcpy(value, data, n);
+  }
+  return CL_SUCCESS;
+}
+
+template <typename T>
+cl_int set_param(const T& v, std::size_t size, void* value, std::size_t* size_ret) {
+  return set_param_bytes(&v, sizeof(T), size, value, size_ret);
+}
+
+cl_int set_param_str(const std::string& s, std::size_t size, void* value,
+                     std::size_t* size_ret) {
+  return set_param_bytes(s.c_str(), s.size() + 1, size, value, size_ret);
+}
+
+Runtime& rt() { return Runtime::instance(); }
+
+// ---- platform / device ------------------------------------------------------
+
+cl_int scl_GetPlatformIDs(cl_uint num_entries, cl_platform_id* platforms,
+                          cl_uint* num_platforms) {
+  rt().charge_api_call();
+  if (platforms == nullptr && num_platforms == nullptr) return CL_INVALID_VALUE;
+  if (platforms != nullptr && num_entries == 0) return CL_INVALID_VALUE;
+  const auto& ps = rt().platforms();
+  if (num_platforms != nullptr) *num_platforms = static_cast<cl_uint>(ps.size());
+  if (platforms != nullptr) {
+    const cl_uint n = std::min<cl_uint>(num_entries, static_cast<cl_uint>(ps.size()));
+    for (cl_uint i = 0; i < n; ++i)
+      platforms[i] = reinterpret_cast<cl_platform_id>(ps[i]);
+  }
+  return CL_SUCCESS;
+}
+
+cl_int scl_GetPlatformInfo(cl_platform_id platform, cl_platform_info pn,
+                           std::size_t size, void* value, std::size_t* size_ret) {
+  rt().charge_api_call();
+  auto* p = as_object<Platform>(platform);
+  if (p == nullptr) return CL_INVALID_PLATFORM;
+  switch (pn) {
+    case CL_PLATFORM_PROFILE:
+      return set_param_str("FULL_PROFILE", size, value, size_ret);
+    case CL_PLATFORM_VERSION: return set_param_str(p->spec.version, size, value, size_ret);
+    case CL_PLATFORM_NAME: return set_param_str(p->spec.name, size, value, size_ret);
+    case CL_PLATFORM_VENDOR: return set_param_str(p->spec.vendor, size, value, size_ret);
+    case CL_PLATFORM_EXTENSIONS: return set_param_str("", size, value, size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+cl_int scl_GetDeviceIDs(cl_platform_id platform, cl_device_type type,
+                        cl_uint num_entries, cl_device_id* devices,
+                        cl_uint* num_devices) {
+  rt().charge_api_call();
+  auto* p = as_object<Platform>(platform);
+  if (p == nullptr) return CL_INVALID_PLATFORM;
+  if (devices == nullptr && num_devices == nullptr) return CL_INVALID_VALUE;
+  std::vector<Device*> match;
+  for (Device* d : p->devices) {
+    const bool ok =
+        type == CL_DEVICE_TYPE_ALL || (type & d->spec.type) != 0 ||
+        (type == CL_DEVICE_TYPE_DEFAULT && d == p->devices.front());
+    if (ok) match.push_back(d);
+  }
+  if (match.empty()) return CL_DEVICE_NOT_FOUND;
+  if (num_devices != nullptr) *num_devices = static_cast<cl_uint>(match.size());
+  if (devices != nullptr) {
+    const cl_uint n = std::min<cl_uint>(num_entries, static_cast<cl_uint>(match.size()));
+    for (cl_uint i = 0; i < n; ++i)
+      devices[i] = reinterpret_cast<cl_device_id>(match[i]);
+  }
+  return CL_SUCCESS;
+}
+
+cl_int scl_GetDeviceInfo(cl_device_id device, cl_device_info pn, std::size_t size,
+                         void* value, std::size_t* size_ret) {
+  rt().charge_api_call();
+  auto* d = as_object<Device>(device);
+  if (d == nullptr) return CL_INVALID_DEVICE;
+  const DeviceSpec& s = d->spec;
+  switch (pn) {
+    case CL_DEVICE_TYPE: return set_param(s.type, size, value, size_ret);
+    case CL_DEVICE_VENDOR_ID: return set_param<cl_uint>(0x51C0, size, value, size_ret);
+    case CL_DEVICE_MAX_COMPUTE_UNITS:
+      return set_param<cl_uint>(s.compute_units, size, value, size_ret);
+    case CL_DEVICE_MAX_WORK_ITEM_DIMENSIONS:
+      return set_param<cl_uint>(3, size, value, size_ret);
+    case CL_DEVICE_MAX_WORK_GROUP_SIZE:
+      return set_param<std::size_t>(s.max_work_group_size, size, value, size_ret);
+    case CL_DEVICE_MAX_WORK_ITEM_SIZES:
+      return set_param_bytes(s.max_work_item_sizes, sizeof(s.max_work_item_sizes),
+                             size, value, size_ret);
+    case CL_DEVICE_MAX_CLOCK_FREQUENCY:
+      return set_param<cl_uint>(s.clock_mhz, size, value, size_ret);
+    case CL_DEVICE_GLOBAL_MEM_SIZE:
+      return set_param<cl_ulong>(s.global_mem_bytes, size, value, size_ret);
+    case CL_DEVICE_LOCAL_MEM_SIZE:
+      return set_param<cl_ulong>(s.local_mem_bytes, size, value, size_ret);
+    case CL_DEVICE_MAX_MEM_ALLOC_SIZE:
+      return set_param<cl_ulong>(s.max_alloc_bytes, size, value, size_ret);
+    case CL_DEVICE_NAME: return set_param_str(s.name, size, value, size_ret);
+    case CL_DEVICE_VENDOR: return set_param_str(s.vendor, size, value, size_ret);
+    case CL_DEVICE_VERSION:
+      return set_param_str("OpenCL 1.0 simcl", size, value, size_ret);
+    case CL_DEVICE_PLATFORM: {
+      auto h = reinterpret_cast<cl_platform_id>(d->platform);
+      return set_param(h, size, value, size_ret);
+    }
+    case CL_DEVICE_AVAILABLE:
+    case CL_DEVICE_COMPILER_AVAILABLE:
+      return set_param<cl_bool>(CL_TRUE, size, value, size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+// ---- context ---------------------------------------------------------------
+
+cl_context scl_CreateContext(const cl_context_properties* properties,
+                             cl_uint num_devices, const cl_device_id* devices,
+                             void (*notify)(const char*, const void*, std::size_t, void*),
+                             void* user_data, cl_int* err) {
+  rt().charge_api_call();
+  (void)notify;
+  (void)user_data;
+  auto set_err = [&](cl_int e) {
+    if (err != nullptr) *err = e;
+  };
+  if (num_devices == 0 || devices == nullptr) {
+    set_err(CL_INVALID_VALUE);
+    return nullptr;
+  }
+  std::vector<Device*> devs;
+  devs.reserve(num_devices);
+  for (cl_uint i = 0; i < num_devices; ++i) {
+    auto* d = as_object<Device>(devices[i]);
+    if (d == nullptr) {
+      set_err(CL_INVALID_DEVICE);
+      return nullptr;
+    }
+    devs.push_back(d);
+  }
+  rt().clock().advance_host(devs.front()->platform->spec.context_create_ns);
+  auto* ctx = new Context(std::move(devs));
+  if (properties != nullptr) {
+    for (const cl_context_properties* p = properties; *p != 0; p += 2) {
+      ctx->properties.push_back(p[0]);
+      ctx->properties.push_back(p[1]);
+    }
+    ctx->properties.push_back(0);
+  }
+  set_err(CL_SUCCESS);
+  return reinterpret_cast<cl_context>(ctx);
+}
+
+cl_int scl_RetainContext(cl_context c) {
+  auto* ctx = as_object<Context>(c);
+  if (ctx == nullptr) return CL_INVALID_CONTEXT;
+  ctx->retain();
+  return CL_SUCCESS;
+}
+cl_int scl_ReleaseContext(cl_context c) {
+  auto* ctx = as_object<Context>(c);
+  if (ctx == nullptr) return CL_INVALID_CONTEXT;
+  unref(ctx);
+  return CL_SUCCESS;
+}
+
+cl_int scl_GetContextInfo(cl_context c, cl_context_info pn, std::size_t size,
+                          void* value, std::size_t* size_ret) {
+  rt().charge_api_call();
+  auto* ctx = as_object<Context>(c);
+  if (ctx == nullptr) return CL_INVALID_CONTEXT;
+  switch (pn) {
+    case CL_CONTEXT_REFERENCE_COUNT:
+      return set_param<cl_uint>(
+          static_cast<cl_uint>(ctx->refs.load(std::memory_order_relaxed)), size,
+          value, size_ret);
+    case CL_CONTEXT_DEVICES: {
+      std::vector<cl_device_id> hs;
+      hs.reserve(ctx->devices.size());
+      for (Device* d : ctx->devices) hs.push_back(reinterpret_cast<cl_device_id>(d));
+      return set_param_bytes(hs.data(), hs.size() * sizeof(cl_device_id), size,
+                             value, size_ret);
+    }
+    case CL_CONTEXT_PROPERTIES:
+      return set_param_bytes(ctx->properties.data(),
+                             ctx->properties.size() * sizeof(cl_context_properties),
+                             size, value, size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+// ---- command queue -----------------------------------------------------------
+
+cl_command_queue scl_CreateCommandQueue(cl_context c, cl_device_id device,
+                                        cl_command_queue_properties props,
+                                        cl_int* err) {
+  rt().charge_api_call();
+  auto set_err = [&](cl_int e) {
+    if (err != nullptr) *err = e;
+  };
+  auto* ctx = as_object<Context>(c);
+  if (ctx == nullptr) {
+    set_err(CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  auto* dev = as_object<Device>(device);
+  if (dev == nullptr ||
+      std::find(ctx->devices.begin(), ctx->devices.end(), dev) == ctx->devices.end()) {
+    set_err(CL_INVALID_DEVICE);
+    return nullptr;
+  }
+  rt().clock().advance_host(dev->platform->spec.queue_create_ns);
+  set_err(CL_SUCCESS);
+  return reinterpret_cast<cl_command_queue>(new Queue(ctx, dev, props));
+}
+
+cl_int scl_RetainCommandQueue(cl_command_queue q) {
+  auto* queue = as_object<Queue>(q);
+  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  queue->retain();
+  return CL_SUCCESS;
+}
+cl_int scl_ReleaseCommandQueue(cl_command_queue q) {
+  auto* queue = as_object<Queue>(q);
+  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  unref(queue);
+  return CL_SUCCESS;
+}
+
+cl_int scl_GetCommandQueueInfo(cl_command_queue q, cl_command_queue_info pn,
+                               std::size_t size, void* value, std::size_t* size_ret) {
+  rt().charge_api_call();
+  auto* queue = as_object<Queue>(q);
+  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  switch (pn) {
+    case CL_QUEUE_CONTEXT: {
+      auto h = reinterpret_cast<cl_context>(queue->ctx);
+      return set_param(h, size, value, size_ret);
+    }
+    case CL_QUEUE_DEVICE: {
+      auto h = reinterpret_cast<cl_device_id>(queue->dev);
+      return set_param(h, size, value, size_ret);
+    }
+    case CL_QUEUE_REFERENCE_COUNT:
+      return set_param<cl_uint>(
+          static_cast<cl_uint>(queue->refs.load(std::memory_order_relaxed)), size,
+          value, size_ret);
+    case CL_QUEUE_PROPERTIES: return set_param(queue->properties, size, value, size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+cl_int scl_Flush(cl_command_queue q) {
+  rt().charge_api_call();
+  return as_object<Queue>(q) != nullptr ? CL_SUCCESS : CL_INVALID_COMMAND_QUEUE;
+}
+
+cl_int scl_Finish(cl_command_queue q) {
+  rt().charge_api_call();
+  auto* queue = as_object<Queue>(q);
+  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  queue->finish();
+  return CL_SUCCESS;
+}
+
+// ---- memory objects ------------------------------------------------------------
+
+cl_mem scl_CreateBuffer(cl_context c, cl_mem_flags flags, std::size_t size,
+                        void* host_ptr, cl_int* err) {
+  rt().charge_api_call();
+  auto set_err = [&](cl_int e) {
+    if (err != nullptr) *err = e;
+  };
+  auto* ctx = as_object<Context>(c);
+  if (ctx == nullptr) {
+    set_err(CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (size == 0) {
+    set_err(CL_INVALID_BUFFER_SIZE);
+    return nullptr;
+  }
+  const bool wants_host = (flags & (CL_MEM_USE_HOST_PTR | CL_MEM_COPY_HOST_PTR)) != 0;
+  if (wants_host && host_ptr == nullptr) {
+    set_err(CL_INVALID_HOST_PTR);
+    return nullptr;
+  }
+  for (Device* d : ctx->devices) {
+    if (size > d->spec.max_alloc_bytes) {
+      set_err(CL_INVALID_BUFFER_SIZE);
+      return nullptr;
+    }
+  }
+  ctx->retain();
+  auto* m = new MemObj(ctx, flags, size);
+  if (wants_host) {
+    std::memcpy(m->storage.data(), host_ptr, size);
+    rt().clock().advance_host(
+        transfer_ns(size, ctx->devices.front()->spec.h2d_bytes_per_sec));
+  }
+  if ((flags & CL_MEM_USE_HOST_PTR) != 0) m->host_ptr = host_ptr;
+  set_err(CL_SUCCESS);
+  return reinterpret_cast<cl_mem>(m);
+}
+
+cl_mem scl_CreateImage2D(cl_context c, cl_mem_flags flags,
+                         const cl_image_format* format, std::size_t w,
+                         std::size_t h, std::size_t row_pitch, void* host_ptr,
+                         cl_int* err) {
+  rt().charge_api_call();
+  auto set_err = [&](cl_int e) {
+    if (err != nullptr) *err = e;
+  };
+  auto* ctx = as_object<Context>(c);
+  if (ctx == nullptr) {
+    set_err(CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (format == nullptr) {
+    set_err(CL_INVALID_IMAGE_FORMAT_DESCRIPTOR);
+    return nullptr;
+  }
+  if (w == 0 || h == 0) {
+    set_err(CL_INVALID_IMAGE_SIZE);
+    return nullptr;
+  }
+  std::uint32_t channels = 0;
+  switch (format->image_channel_order) {
+    case CL_R: channels = 1; break;
+    case CL_RG: channels = 2; break;
+    case CL_RGBA: channels = 4; break;
+    default:
+      set_err(CL_IMAGE_FORMAT_NOT_SUPPORTED);
+      return nullptr;
+  }
+  bool float_ch = false;
+  switch (format->image_channel_data_type) {
+    case CL_FLOAT: float_ch = true; break;
+    case CL_UNSIGNED_INT32: float_ch = false; break;
+    default:
+      set_err(CL_IMAGE_FORMAT_NOT_SUPPORTED);
+      return nullptr;
+  }
+  const std::size_t elem = 4 * channels;
+  const std::size_t pitch = row_pitch != 0 ? row_pitch : w * elem;
+  if (pitch < w * elem) {
+    set_err(CL_INVALID_IMAGE_SIZE);
+    return nullptr;
+  }
+  ctx->retain();
+  auto* m = new MemObj(ctx, flags, pitch * h);
+  m->is_image = true;
+  m->format = *format;
+  m->width = w;
+  m->height = h;
+  m->row_pitch = pitch;
+  m->channels = channels;
+  m->float_channels = float_ch;
+  if ((flags & (CL_MEM_COPY_HOST_PTR | CL_MEM_USE_HOST_PTR)) != 0) {
+    if (host_ptr == nullptr) {
+      unref(m);
+      set_err(CL_INVALID_HOST_PTR);
+      return nullptr;
+    }
+    std::memcpy(m->storage.data(), host_ptr, m->size);
+    if ((flags & CL_MEM_USE_HOST_PTR) != 0) m->host_ptr = host_ptr;
+  }
+  set_err(CL_SUCCESS);
+  return reinterpret_cast<cl_mem>(m);
+}
+
+cl_int scl_RetainMemObject(cl_mem mem) {
+  auto* m = as_object<MemObj>(mem);
+  if (m == nullptr) return CL_INVALID_MEM_OBJECT;
+  m->retain();
+  return CL_SUCCESS;
+}
+cl_int scl_ReleaseMemObject(cl_mem mem) {
+  auto* m = as_object<MemObj>(mem);
+  if (m == nullptr) return CL_INVALID_MEM_OBJECT;
+  unref(m);
+  return CL_SUCCESS;
+}
+
+cl_int scl_GetMemObjectInfo(cl_mem mem, cl_mem_info pn, std::size_t size,
+                            void* value, std::size_t* size_ret) {
+  rt().charge_api_call();
+  auto* m = as_object<MemObj>(mem);
+  if (m == nullptr) return CL_INVALID_MEM_OBJECT;
+  switch (pn) {
+    case CL_MEM_TYPE:
+      return set_param<cl_uint>(m->is_image ? CL_MEM_OBJECT_IMAGE2D
+                                            : CL_MEM_OBJECT_BUFFER,
+                                size, value, size_ret);
+    case CL_MEM_FLAGS: return set_param(m->flags, size, value, size_ret);
+    case CL_MEM_SIZE: return set_param<std::size_t>(m->size, size, value, size_ret);
+    case CL_MEM_HOST_PTR: return set_param(m->host_ptr, size, value, size_ret);
+    case CL_MEM_REFERENCE_COUNT:
+      return set_param<cl_uint>(
+          static_cast<cl_uint>(m->refs.load(std::memory_order_relaxed)), size,
+          value, size_ret);
+    case CL_MEM_CONTEXT: {
+      auto h = reinterpret_cast<cl_context>(m->ctx);
+      return set_param(h, size, value, size_ret);
+    }
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+cl_int scl_GetImageInfo(cl_mem mem, cl_image_info pn, std::size_t size,
+                        void* value, std::size_t* size_ret) {
+  rt().charge_api_call();
+  auto* m = as_object<MemObj>(mem);
+  if (m == nullptr || !m->is_image) return CL_INVALID_MEM_OBJECT;
+  switch (pn) {
+    case CL_IMAGE_FORMAT: return set_param(m->format, size, value, size_ret);
+    case CL_IMAGE_ELEMENT_SIZE:
+      return set_param<std::size_t>(4 * m->channels, size, value, size_ret);
+    case CL_IMAGE_ROW_PITCH:
+      return set_param<std::size_t>(m->row_pitch, size, value, size_ret);
+    case CL_IMAGE_WIDTH: return set_param<std::size_t>(m->width, size, value, size_ret);
+    case CL_IMAGE_HEIGHT:
+      return set_param<std::size_t>(m->height, size, value, size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+// ---- sampler ----------------------------------------------------------------
+
+cl_sampler scl_CreateSampler(cl_context c, cl_bool normalized,
+                             cl_addressing_mode am, cl_filter_mode fm, cl_int* err) {
+  rt().charge_api_call();
+  auto set_err = [&](cl_int e) {
+    if (err != nullptr) *err = e;
+  };
+  auto* ctx = as_object<Context>(c);
+  if (ctx == nullptr) {
+    set_err(CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  ctx->retain();
+  set_err(CL_SUCCESS);
+  return reinterpret_cast<cl_sampler>(new Sampler(ctx, normalized, am, fm));
+}
+
+cl_int scl_RetainSampler(cl_sampler s) {
+  auto* smp = as_object<Sampler>(s);
+  if (smp == nullptr) return CL_INVALID_SAMPLER;
+  smp->retain();
+  return CL_SUCCESS;
+}
+cl_int scl_ReleaseSampler(cl_sampler s) {
+  auto* smp = as_object<Sampler>(s);
+  if (smp == nullptr) return CL_INVALID_SAMPLER;
+  unref(smp);
+  return CL_SUCCESS;
+}
+
+cl_int scl_GetSamplerInfo(cl_sampler s, cl_sampler_info pn, std::size_t size,
+                          void* value, std::size_t* size_ret) {
+  rt().charge_api_call();
+  auto* smp = as_object<Sampler>(s);
+  if (smp == nullptr) return CL_INVALID_SAMPLER;
+  switch (pn) {
+    case CL_SAMPLER_REFERENCE_COUNT:
+      return set_param<cl_uint>(
+          static_cast<cl_uint>(smp->refs.load(std::memory_order_relaxed)), size,
+          value, size_ret);
+    case CL_SAMPLER_CONTEXT: {
+      auto h = reinterpret_cast<cl_context>(smp->ctx);
+      return set_param(h, size, value, size_ret);
+    }
+    case CL_SAMPLER_NORMALIZED_COORDS:
+      return set_param(smp->normalized, size, value, size_ret);
+    case CL_SAMPLER_ADDRESSING_MODE:
+      return set_param(smp->addressing, size, value, size_ret);
+    case CL_SAMPLER_FILTER_MODE: return set_param(smp->filter, size, value, size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+// ---- program -------------------------------------------------------------------
+
+constexpr char kBinMagic[] = "SIMCLBIN1";
+
+std::string make_binary(const Program& p) {
+  std::string b(kBinMagic);
+  b.push_back('\0');
+  b += p.source;
+  return b;
+}
+
+bool parse_binary(const unsigned char* data, std::size_t len, std::string& source) {
+  const std::size_t mlen = sizeof(kBinMagic);  // includes the NUL
+  if (len < mlen || std::memcmp(data, kBinMagic, mlen) != 0) return false;
+  source.assign(reinterpret_cast<const char*>(data) + mlen, len - mlen);
+  return true;
+}
+
+cl_program scl_CreateProgramWithSource(cl_context c, cl_uint count,
+                                       const char** strings, const std::size_t* lengths,
+                                       cl_int* err) {
+  rt().charge_api_call();
+  auto set_err = [&](cl_int e) {
+    if (err != nullptr) *err = e;
+  };
+  auto* ctx = as_object<Context>(c);
+  if (ctx == nullptr) {
+    set_err(CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (count == 0 || strings == nullptr) {
+    set_err(CL_INVALID_VALUE);
+    return nullptr;
+  }
+  std::string src;
+  for (cl_uint i = 0; i < count; ++i) {
+    if (strings[i] == nullptr) {
+      set_err(CL_INVALID_VALUE);
+      return nullptr;
+    }
+    if (lengths != nullptr && lengths[i] != 0)
+      src.append(strings[i], lengths[i]);
+    else
+      src.append(strings[i]);
+  }
+  ctx->retain();
+  set_err(CL_SUCCESS);
+  return reinterpret_cast<cl_program>(new Program(ctx, std::move(src), false));
+}
+
+cl_program scl_CreateProgramWithBinary(cl_context c, cl_uint num_devices,
+                                       const cl_device_id* devices,
+                                       const std::size_t* lengths,
+                                       const unsigned char** binaries,
+                                       cl_int* binary_status, cl_int* err) {
+  rt().charge_api_call();
+  auto set_err = [&](cl_int e) {
+    if (err != nullptr) *err = e;
+  };
+  auto* ctx = as_object<Context>(c);
+  if (ctx == nullptr) {
+    set_err(CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (num_devices == 0 || devices == nullptr || lengths == nullptr ||
+      binaries == nullptr) {
+    set_err(CL_INVALID_VALUE);
+    return nullptr;
+  }
+  std::string src;
+  if (!parse_binary(binaries[0], lengths[0], src)) {
+    if (binary_status != nullptr) binary_status[0] = CL_INVALID_BINARY;
+    set_err(CL_INVALID_BINARY);
+    return nullptr;
+  }
+  if (binary_status != nullptr)
+    for (cl_uint i = 0; i < num_devices; ++i) binary_status[i] = CL_SUCCESS;
+  ctx->retain();
+  set_err(CL_SUCCESS);
+  return reinterpret_cast<cl_program>(new Program(ctx, std::move(src), true));
+}
+
+cl_int scl_RetainProgram(cl_program p) {
+  auto* prog = as_object<Program>(p);
+  if (prog == nullptr) return CL_INVALID_PROGRAM;
+  prog->retain();
+  return CL_SUCCESS;
+}
+cl_int scl_ReleaseProgram(cl_program p) {
+  auto* prog = as_object<Program>(p);
+  if (prog == nullptr) return CL_INVALID_PROGRAM;
+  unref(prog);
+  return CL_SUCCESS;
+}
+
+cl_int scl_BuildProgram(cl_program p, cl_uint num_devices,
+                        const cl_device_id* devices, const char* options,
+                        void (*notify)(cl_program, void*), void* user_data) {
+  rt().charge_api_call();
+  auto* prog = as_object<Program>(p);
+  if (prog == nullptr) return CL_INVALID_PROGRAM;
+  prog->options = options != nullptr ? options : "";
+
+  // Compile-time cost model: per-vendor base + per-byte (Figure 7).
+  const DeviceSpec& spec = num_devices > 0 && devices != nullptr &&
+                                   as_object<Device>(devices[0]) != nullptr
+                               ? as_object<Device>(devices[0])->spec
+                               : prog->ctx->devices.front()->spec;
+  rt().clock().advance_host(
+      spec.compile_base_ns +
+      static_cast<SimNs>(spec.compile_ns_per_byte *
+                         static_cast<double>(prog->source.size())));
+
+  clc::CompileResult res = clc::compile(prog->source, prog->options);
+  if (!res.ok()) {
+    prog->status = static_cast<cl_build_status>(CL_BUILD_ERROR);
+    prog->build_log = res.build_log;
+    return CL_BUILD_PROGRAM_FAILURE;
+  }
+  prog->module = std::shared_ptr<const clc::Module>(std::move(res.module));
+  prog->status = CL_BUILD_SUCCESS;
+  prog->build_log.clear();
+  if (notify != nullptr) notify(p, user_data);
+  return CL_SUCCESS;
+}
+
+cl_int scl_GetProgramInfo(cl_program p, cl_program_info pn, std::size_t size,
+                          void* value, std::size_t* size_ret) {
+  rt().charge_api_call();
+  auto* prog = as_object<Program>(p);
+  if (prog == nullptr) return CL_INVALID_PROGRAM;
+  switch (pn) {
+    case CL_PROGRAM_REFERENCE_COUNT:
+      return set_param<cl_uint>(
+          static_cast<cl_uint>(prog->refs.load(std::memory_order_relaxed)), size,
+          value, size_ret);
+    case CL_PROGRAM_CONTEXT: {
+      auto h = reinterpret_cast<cl_context>(prog->ctx);
+      return set_param(h, size, value, size_ret);
+    }
+    case CL_PROGRAM_NUM_DEVICES:
+      return set_param<cl_uint>(static_cast<cl_uint>(prog->ctx->devices.size()),
+                                size, value, size_ret);
+    case CL_PROGRAM_DEVICES: {
+      std::vector<cl_device_id> hs;
+      for (Device* d : prog->ctx->devices)
+        hs.push_back(reinterpret_cast<cl_device_id>(d));
+      return set_param_bytes(hs.data(), hs.size() * sizeof(cl_device_id), size,
+                             value, size_ret);
+    }
+    case CL_PROGRAM_SOURCE: return set_param_str(prog->source, size, value, size_ret);
+    case CL_PROGRAM_BINARY_SIZES: {
+      const std::size_t bs = make_binary(*prog).size();
+      return set_param<std::size_t>(bs, size, value, size_ret);
+    }
+    case CL_PROGRAM_BINARIES: {
+      if (value == nullptr) {
+        if (size_ret != nullptr) *size_ret = sizeof(unsigned char*);
+        return CL_SUCCESS;
+      }
+      auto** out = static_cast<unsigned char**>(value);
+      const std::string b = make_binary(*prog);
+      if (out[0] != nullptr) std::memcpy(out[0], b.data(), b.size());
+      return CL_SUCCESS;
+    }
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+cl_int scl_GetProgramBuildInfo(cl_program p, cl_device_id device,
+                               cl_program_build_info pn, std::size_t size,
+                               void* value, std::size_t* size_ret) {
+  rt().charge_api_call();
+  (void)device;
+  auto* prog = as_object<Program>(p);
+  if (prog == nullptr) return CL_INVALID_PROGRAM;
+  switch (pn) {
+    case CL_PROGRAM_BUILD_STATUS: return set_param(prog->status, size, value, size_ret);
+    case CL_PROGRAM_BUILD_OPTIONS:
+      return set_param_str(prog->options, size, value, size_ret);
+    case CL_PROGRAM_BUILD_LOG: return set_param_str(prog->build_log, size, value, size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+// ---- kernel ---------------------------------------------------------------------
+
+cl_kernel scl_CreateKernel(cl_program p, const char* name, cl_int* err) {
+  rt().charge_api_call();
+  auto set_err = [&](cl_int e) {
+    if (err != nullptr) *err = e;
+  };
+  auto* prog = as_object<Program>(p);
+  if (prog == nullptr) {
+    set_err(CL_INVALID_PROGRAM);
+    return nullptr;
+  }
+  if (prog->module == nullptr) {
+    set_err(CL_INVALID_PROGRAM_EXECUTABLE);
+    return nullptr;
+  }
+  if (name == nullptr) {
+    set_err(CL_INVALID_VALUE);
+    return nullptr;
+  }
+  const clc::FuncDecl* fn = prog->module->find_func(name);
+  if (fn == nullptr || !fn->is_kernel) {
+    set_err(CL_INVALID_KERNEL_NAME);
+    return nullptr;
+  }
+  set_err(CL_SUCCESS);
+  return reinterpret_cast<cl_kernel>(new Kernel(prog, fn));
+}
+
+cl_int scl_CreateKernelsInProgram(cl_program p, cl_uint num_kernels,
+                                  cl_kernel* kernels, cl_uint* num_ret) {
+  rt().charge_api_call();
+  auto* prog = as_object<Program>(p);
+  if (prog == nullptr) return CL_INVALID_PROGRAM;
+  if (prog->module == nullptr) return CL_INVALID_PROGRAM_EXECUTABLE;
+  const auto ks = prog->module->kernels();
+  if (num_ret != nullptr) *num_ret = static_cast<cl_uint>(ks.size());
+  if (kernels != nullptr) {
+    if (num_kernels < ks.size()) return CL_INVALID_VALUE;
+    for (std::size_t i = 0; i < ks.size(); ++i)
+      kernels[i] = reinterpret_cast<cl_kernel>(new Kernel(prog, ks[i]));
+  }
+  return CL_SUCCESS;
+}
+
+cl_int scl_RetainKernel(cl_kernel k) {
+  auto* ker = as_object<Kernel>(k);
+  if (ker == nullptr) return CL_INVALID_KERNEL;
+  ker->retain();
+  return CL_SUCCESS;
+}
+cl_int scl_ReleaseKernel(cl_kernel k) {
+  auto* ker = as_object<Kernel>(k);
+  if (ker == nullptr) return CL_INVALID_KERNEL;
+  unref(ker);
+  return CL_SUCCESS;
+}
+
+cl_int scl_SetKernelArg(cl_kernel k, cl_uint idx, std::size_t arg_size,
+                        const void* arg_value) {
+  rt().charge_api_call();
+  auto* ker = as_object<Kernel>(k);
+  if (ker == nullptr) return CL_INVALID_KERNEL;
+  if (idx >= ker->args.size()) return CL_INVALID_ARG_INDEX;
+  const clc::ParamInfo& p = ker->fn->params[idx];
+
+  std::lock_guard<std::mutex> lk(ker->mu);
+  Kernel::Arg& slot = ker->args[idx];
+  // drop previous binding
+  unref(slot.mem);
+  unref(slot.sampler);
+  slot = Kernel::Arg{};
+
+  if (p.is_local_ptr) {
+    if (arg_value != nullptr || arg_size == 0) return CL_INVALID_ARG_VALUE;
+    slot.ka.k = clc::KernelArg::K::LocalAlloc;
+    slot.ka.local_bytes = arg_size;
+    slot.set = true;
+    return CL_SUCCESS;
+  }
+  if (p.type.kind == clc::Kind::Sampler) {
+    if (arg_size != sizeof(cl_sampler) || arg_value == nullptr)
+      return CL_INVALID_ARG_SIZE;
+    cl_sampler sh = nullptr;
+    std::memcpy(&sh, arg_value, sizeof sh);
+    auto* smp = as_object<Sampler>(sh);
+    if (smp == nullptr) return CL_INVALID_SAMPLER;
+    smp->retain();
+    slot.sampler = smp;
+    slot.ka.k = clc::KernelArg::K::Sampler;
+    slot.ka.sampler.normalized = smp->normalized != CL_FALSE;
+    slot.ka.sampler.addressing = smp->addressing;
+    slot.ka.sampler.filter = smp->filter;
+    slot.set = true;
+    return CL_SUCCESS;
+  }
+  if (p.is_handle) {  // __global/__constant pointer or image
+    if (arg_size != sizeof(cl_mem) || arg_value == nullptr)
+      return CL_INVALID_ARG_SIZE;
+    cl_mem mh = nullptr;
+    std::memcpy(&mh, arg_value, sizeof mh);
+    auto* m = as_object<MemObj>(mh);
+    if (m == nullptr) return CL_INVALID_MEM_OBJECT;
+    m->retain();
+    slot.mem = m;
+    if (p.type.kind == clc::Kind::Image2D || p.type.kind == clc::Kind::Image3D) {
+      if (!m->is_image) {
+        unref(m);
+        slot.mem = nullptr;
+        return CL_INVALID_ARG_VALUE;
+      }
+      slot.ka.k = clc::KernelArg::K::Image;
+    } else {
+      slot.ka.k = clc::KernelArg::K::GlobalPtr;
+    }
+    slot.set = true;
+    return CL_SUCCESS;
+  }
+  // plain by-value argument
+  if (arg_value == nullptr || arg_size == 0) return CL_INVALID_ARG_VALUE;
+  slot.ka.k = clc::KernelArg::K::Bytes;
+  slot.ka.bytes.assign(static_cast<const std::uint8_t*>(arg_value),
+                       static_cast<const std::uint8_t*>(arg_value) + arg_size);
+  slot.set = true;
+  return CL_SUCCESS;
+}
+
+cl_int scl_GetKernelInfo(cl_kernel k, cl_kernel_info pn, std::size_t size,
+                         void* value, std::size_t* size_ret) {
+  rt().charge_api_call();
+  auto* ker = as_object<Kernel>(k);
+  if (ker == nullptr) return CL_INVALID_KERNEL;
+  switch (pn) {
+    case CL_KERNEL_FUNCTION_NAME: return set_param_str(ker->name, size, value, size_ret);
+    case CL_KERNEL_NUM_ARGS:
+      return set_param<cl_uint>(static_cast<cl_uint>(ker->args.size()), size,
+                                value, size_ret);
+    case CL_KERNEL_REFERENCE_COUNT:
+      return set_param<cl_uint>(
+          static_cast<cl_uint>(ker->refs.load(std::memory_order_relaxed)), size,
+          value, size_ret);
+    case CL_KERNEL_CONTEXT: {
+      auto h = reinterpret_cast<cl_context>(ker->prog->ctx);
+      return set_param(h, size, value, size_ret);
+    }
+    case CL_KERNEL_PROGRAM: {
+      auto h = reinterpret_cast<cl_program>(ker->prog);
+      return set_param(h, size, value, size_ret);
+    }
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+cl_int scl_GetKernelWorkGroupInfo(cl_kernel k, cl_device_id device,
+                                  cl_kernel_work_group_info pn, std::size_t size,
+                                  void* value, std::size_t* size_ret) {
+  rt().charge_api_call();
+  auto* ker = as_object<Kernel>(k);
+  if (ker == nullptr) return CL_INVALID_KERNEL;
+  auto* dev = as_object<Device>(device);
+  if (dev == nullptr) return CL_INVALID_DEVICE;
+  switch (pn) {
+    case CL_KERNEL_WORK_GROUP_SIZE:
+      return set_param<std::size_t>(dev->spec.max_work_group_size, size, value,
+                                    size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+// ---- events -----------------------------------------------------------------------
+
+cl_int scl_WaitForEvents(cl_uint num, const cl_event* events) {
+  rt().charge_api_call();
+  if (num == 0 || events == nullptr) return CL_INVALID_VALUE;
+  SimNs latest = 0;
+  for (cl_uint i = 0; i < num; ++i) {
+    auto* ev = as_object<Event>(events[i]);
+    if (ev == nullptr) return CL_INVALID_EVENT;
+    latest = std::max(latest, ev->wait());
+  }
+  rt().clock().sync_host_to(latest);
+  return CL_SUCCESS;
+}
+
+cl_int scl_GetEventInfo(cl_event e, cl_event_info pn, std::size_t size,
+                        void* value, std::size_t* size_ret) {
+  rt().charge_api_call();
+  auto* ev = as_object<Event>(e);
+  if (ev == nullptr) return CL_INVALID_EVENT;
+  switch (pn) {
+    case CL_EVENT_COMMAND_QUEUE: {
+      auto h = reinterpret_cast<cl_command_queue>(ev->queue);
+      return set_param(h, size, value, size_ret);
+    }
+    case CL_EVENT_COMMAND_TYPE: return set_param(ev->command_type, size, value, size_ret);
+    case CL_EVENT_REFERENCE_COUNT:
+      return set_param<cl_uint>(
+          static_cast<cl_uint>(ev->refs.load(std::memory_order_relaxed)), size,
+          value, size_ret);
+    case CL_EVENT_COMMAND_EXECUTION_STATUS: {
+      std::lock_guard<std::mutex> lk(ev->mu);
+      return set_param(ev->status, size, value, size_ret);
+    }
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+cl_int scl_RetainEvent(cl_event e) {
+  auto* ev = as_object<Event>(e);
+  if (ev == nullptr) return CL_INVALID_EVENT;
+  ev->retain();
+  return CL_SUCCESS;
+}
+cl_int scl_ReleaseEvent(cl_event e) {
+  auto* ev = as_object<Event>(e);
+  if (ev == nullptr) return CL_INVALID_EVENT;
+  unref(ev);
+  return CL_SUCCESS;
+}
+
+cl_int scl_GetEventProfilingInfo(cl_event e, cl_profiling_info pn, std::size_t size,
+                                 void* value, std::size_t* size_ret) {
+  rt().charge_api_call();
+  auto* ev = as_object<Event>(e);
+  if (ev == nullptr) return CL_INVALID_EVENT;
+  std::lock_guard<std::mutex> lk(ev->mu);
+  if (ev->status != CL_COMPLETE) return CL_PROFILING_INFO_NOT_AVAILABLE;
+  switch (pn) {
+    case CL_PROFILING_COMMAND_QUEUED:
+      return set_param<cl_ulong>(ev->t_queued, size, value, size_ret);
+    case CL_PROFILING_COMMAND_SUBMIT:
+      return set_param<cl_ulong>(ev->t_submit, size, value, size_ret);
+    case CL_PROFILING_COMMAND_START:
+      return set_param<cl_ulong>(ev->t_start, size, value, size_ret);
+    case CL_PROFILING_COMMAND_END:
+      return set_param<cl_ulong>(ev->t_end, size, value, size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+// ---- enqueue ------------------------------------------------------------------------
+
+cl_int collect_waits(cl_uint num, const cl_event* list, Command& cmd) {
+  if ((num != 0 && list == nullptr) || (num == 0 && list != nullptr))
+    return CL_INVALID_EVENT_WAIT_LIST;
+  for (cl_uint i = 0; i < num; ++i) {
+    auto* ev = as_object<Event>(list[i]);
+    if (ev == nullptr) return CL_INVALID_EVENT_WAIT_LIST;
+    ev->retain();
+    cmd.waits.push_back(ev);
+  }
+  return CL_SUCCESS;
+}
+
+void rollback_waits(Command& cmd) {
+  for (Event* w : cmd.waits) unref(w);
+  cmd.waits.clear();
+}
+
+// Attach a completion event: always create one internally if the caller wants
+// to block; export it when `out` is non-null.
+Event* attach_event(Queue* q, cl_uint type, cl_event* out, bool need_internal,
+                    Command& cmd) {
+  if (out == nullptr && !need_internal) return nullptr;
+  auto* ev = new Event(q, type);
+  ev->retain();  // one ref for the worker (released after complete)
+  cmd.event = ev;
+  if (out != nullptr)
+    *out = reinterpret_cast<cl_event>(ev);  // caller owns the first ref
+  return ev;
+}
+
+// After a blocking wait, drop the internal reference if it wasn't exported.
+void finish_blocking(Event* ev, cl_event* out, cl_int* status) {
+  const SimNs end = ev->wait();
+  rt().clock().sync_host_to(end);
+  {
+    std::lock_guard<std::mutex> lk(ev->mu);
+    if (status != nullptr) *status = ev->error;
+  }
+  if (out == nullptr) unref(ev);
+}
+
+cl_int scl_EnqueueReadBuffer(cl_command_queue q, cl_mem buffer, cl_bool blocking,
+                             std::size_t offset, std::size_t cb, void* ptr,
+                             cl_uint num_waits, const cl_event* waits, cl_event* event) {
+  rt().charge_api_call();
+  auto* queue = as_object<Queue>(q);
+  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  auto* m = as_object<MemObj>(buffer);
+  if (m == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (ptr == nullptr || offset + cb > m->size) return CL_INVALID_VALUE;
+  Command cmd;
+  cmd.kind = Command::Kind::ReadBuffer;
+  const cl_int werr = collect_waits(num_waits, waits, cmd);
+  if (werr != CL_SUCCESS) return werr;
+  m->retain();
+  cmd.src = m;
+  cmd.src_off = offset;
+  cmd.bytes = cb;
+  cmd.host_dst = ptr;
+  cmd.enqueue_host_ns = rt().clock().host_now();
+  Event* ev = attach_event(queue, CL_COMMAND_READ_BUFFER, event, blocking != CL_FALSE, cmd);
+  queue->enqueue(std::move(cmd));
+  if (blocking != CL_FALSE) {
+    cl_int status = CL_SUCCESS;
+    finish_blocking(ev, event, &status);
+    return status;
+  }
+  return CL_SUCCESS;
+}
+
+cl_int scl_EnqueueWriteBuffer(cl_command_queue q, cl_mem buffer, cl_bool blocking,
+                              std::size_t offset, std::size_t cb, const void* ptr,
+                              cl_uint num_waits, const cl_event* waits, cl_event* event) {
+  rt().charge_api_call();
+  auto* queue = as_object<Queue>(q);
+  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  auto* m = as_object<MemObj>(buffer);
+  if (m == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (ptr == nullptr || offset + cb > m->size) return CL_INVALID_VALUE;
+  Command cmd;
+  cmd.kind = Command::Kind::WriteBuffer;
+  const cl_int werr = collect_waits(num_waits, waits, cmd);
+  if (werr != CL_SUCCESS) return werr;
+  m->retain();
+  cmd.dst = m;
+  cmd.dst_off = offset;
+  cmd.bytes = cb;
+  cmd.host_src = ptr;
+  cmd.enqueue_host_ns = rt().clock().host_now();
+  Event* ev = attach_event(queue, CL_COMMAND_WRITE_BUFFER, event, blocking != CL_FALSE, cmd);
+  queue->enqueue(std::move(cmd));
+  if (blocking != CL_FALSE) {
+    cl_int status = CL_SUCCESS;
+    finish_blocking(ev, event, &status);
+    return status;
+  }
+  return CL_SUCCESS;
+}
+
+cl_int scl_EnqueueCopyBuffer(cl_command_queue q, cl_mem src, cl_mem dst,
+                             std::size_t src_off, std::size_t dst_off, std::size_t cb,
+                             cl_uint num_waits, const cl_event* waits, cl_event* event) {
+  rt().charge_api_call();
+  auto* queue = as_object<Queue>(q);
+  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  auto* ms = as_object<MemObj>(src);
+  auto* md = as_object<MemObj>(dst);
+  if (ms == nullptr || md == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (src_off + cb > ms->size || dst_off + cb > md->size) return CL_INVALID_VALUE;
+  if (ms == md && src_off < dst_off + cb && dst_off < src_off + cb)
+    return CL_MEM_COPY_OVERLAP;
+  Command cmd;
+  cmd.kind = Command::Kind::CopyBuffer;
+  const cl_int werr = collect_waits(num_waits, waits, cmd);
+  if (werr != CL_SUCCESS) return werr;
+  ms->retain();
+  md->retain();
+  cmd.src = ms;
+  cmd.dst = md;
+  cmd.src_off = src_off;
+  cmd.dst_off = dst_off;
+  cmd.bytes = cb;
+  cmd.enqueue_host_ns = rt().clock().host_now();
+  attach_event(queue, CL_COMMAND_COPY_BUFFER, event, false, cmd);
+  queue->enqueue(std::move(cmd));
+  return CL_SUCCESS;
+}
+
+// Picks a legal default local size when the caller passes null.
+void pick_local_size(const DeviceSpec& spec, clc::NDRange& nd) {
+  std::size_t budget = spec.max_work_group_size;
+  for (std::uint32_t d = 0; d < nd.dim; ++d) {
+    std::size_t pick = 1;
+    for (std::size_t c = std::min<std::size_t>(budget, 64); c >= 1; c /= 2) {
+      if (nd.global[d] % c == 0) {
+        pick = c;
+        break;
+      }
+    }
+    nd.local[d] = pick;
+    budget = std::max<std::size_t>(1, budget / pick);
+  }
+}
+
+cl_int scl_EnqueueNDRangeKernel(cl_command_queue q, cl_kernel k, cl_uint dim,
+                                const std::size_t* goff, const std::size_t* gsz,
+                                const std::size_t* lsz, cl_uint num_waits,
+                                const cl_event* waits, cl_event* event) {
+  rt().charge_api_call();
+  auto* queue = as_object<Queue>(q);
+  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  auto* ker = as_object<Kernel>(k);
+  if (ker == nullptr) return CL_INVALID_KERNEL;
+  if (dim < 1 || dim > 3) return CL_INVALID_WORK_DIMENSION;
+  if (gsz == nullptr) return CL_INVALID_GLOBAL_WORK_SIZE;
+
+  clc::NDRange nd;
+  nd.dim = dim;
+  std::size_t local_total = 1;
+  for (cl_uint d = 0; d < dim; ++d) {
+    if (gsz[d] == 0) return CL_INVALID_GLOBAL_WORK_SIZE;
+    nd.global[d] = gsz[d];
+    nd.offset[d] = goff != nullptr ? goff[d] : 0;
+  }
+  if (lsz != nullptr) {
+    for (cl_uint d = 0; d < dim; ++d) {
+      if (lsz[d] == 0 || lsz[d] > queue->dev->spec.max_work_item_sizes[d])
+        return CL_INVALID_WORK_ITEM_SIZE;
+      if (nd.global[d] % lsz[d] != 0) return CL_INVALID_WORK_GROUP_SIZE;
+      nd.local[d] = lsz[d];
+      local_total *= lsz[d];
+    }
+    if (local_total > queue->dev->spec.max_work_group_size)
+      return CL_INVALID_WORK_GROUP_SIZE;
+  } else {
+    pick_local_size(queue->dev->spec, nd);
+  }
+
+  Command cmd;
+  cmd.kind = Command::Kind::NDRangeKernel;
+  cmd.nd = nd;
+  const cl_int werr = collect_waits(num_waits, waits, cmd);
+  if (werr != CL_SUCCESS) return werr;
+
+  // Snapshot arguments under the kernel lock (OpenCL binds at enqueue).
+  {
+    std::lock_guard<std::mutex> lk(ker->mu);
+    cmd.args.reserve(ker->args.size());
+    for (std::size_t i = 0; i < ker->args.size(); ++i) {
+      const Kernel::Arg& a = ker->args[i];
+      if (!a.set) {
+        rollback_waits(cmd);
+        return CL_INVALID_KERNEL_ARGS;
+      }
+      clc::KernelArg ka = a.ka;
+      if (a.mem != nullptr) {
+        a.mem->retain();
+        cmd.arg_mems.push_back(a.mem);
+        if (ka.k == clc::KernelArg::K::GlobalPtr) {
+          ka.ptr = a.mem->storage.data();
+        } else if (ka.k == clc::KernelArg::K::Image) {
+          ka.image.data = a.mem->storage.data();
+          ka.image.width = a.mem->width;
+          ka.image.height = a.mem->height;
+          ka.image.row_pitch = a.mem->row_pitch;
+          ka.image.channels = a.mem->channels;
+          ka.image.float_channels = a.mem->float_channels;
+        }
+        if (a.mem->use_host_ptr()) cmd.host_synced_mems.push_back(a.mem);
+      }
+      cmd.args.push_back(std::move(ka));
+    }
+  }
+  ker->retain();
+  cmd.kernel = ker;
+  cmd.enqueue_host_ns = rt().clock().host_now();
+  attach_event(queue, CL_COMMAND_NDRANGE_KERNEL, event, false, cmd);
+  queue->enqueue(std::move(cmd));
+  return CL_SUCCESS;
+}
+
+cl_int scl_EnqueueTask(cl_command_queue q, cl_kernel k, cl_uint num_waits,
+                       const cl_event* waits, cl_event* event) {
+  const std::size_t one = 1;
+  return scl_EnqueueNDRangeKernel(q, k, 1, nullptr, &one, &one, num_waits, waits,
+                                  event);
+}
+
+cl_int scl_EnqueueMarker(cl_command_queue q, cl_event* event) {
+  rt().charge_api_call();
+  auto* queue = as_object<Queue>(q);
+  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (event == nullptr) return CL_INVALID_VALUE;
+  Command cmd;
+  cmd.kind = Command::Kind::Marker;
+  cmd.enqueue_host_ns = rt().clock().host_now();
+  attach_event(queue, CL_COMMAND_MARKER, event, false, cmd);
+  queue->enqueue(std::move(cmd));
+  return CL_SUCCESS;
+}
+
+cl_int scl_EnqueueBarrier(cl_command_queue q) {
+  rt().charge_api_call();
+  // in-order queues: a barrier is implicit
+  return as_object<Queue>(q) != nullptr ? CL_SUCCESS : CL_INVALID_COMMAND_QUEUE;
+}
+
+cl_int scl_EnqueueWaitForEvents(cl_command_queue q, cl_uint num, const cl_event* evs) {
+  rt().charge_api_call();
+  auto* queue = as_object<Queue>(q);
+  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (num == 0 || evs == nullptr) return CL_INVALID_VALUE;
+  Command cmd;
+  cmd.kind = Command::Kind::WaitEvents;
+  const cl_int werr = collect_waits(num, evs, cmd);
+  if (werr != CL_SUCCESS) return werr;
+  cmd.enqueue_host_ns = rt().clock().host_now();
+  queue->enqueue(std::move(cmd));
+  return CL_SUCCESS;
+}
+
+// ---- sim extensions ---------------------------------------------------------------
+
+cl_int scl_SimGetHostTimeNS(cl_ulong* t) {
+  if (t == nullptr) return CL_INVALID_VALUE;
+  *t = rt().clock().host_now();
+  return CL_SUCCESS;
+}
+
+cl_int scl_SimAdvanceHostNS(cl_ulong dt) {
+  rt().clock().advance_host(dt);
+  return CL_SUCCESS;
+}
+
+}  // namespace
+
+namespace simcl {
+
+const checl_api::DispatchTable& dispatch_table() noexcept {
+  static const checl_api::DispatchTable kTable = {
+      scl_GetPlatformIDs,
+      scl_GetPlatformInfo,
+      scl_GetDeviceIDs,
+      scl_GetDeviceInfo,
+      scl_CreateContext,
+      scl_RetainContext,
+      scl_ReleaseContext,
+      scl_GetContextInfo,
+      scl_CreateCommandQueue,
+      scl_RetainCommandQueue,
+      scl_ReleaseCommandQueue,
+      scl_GetCommandQueueInfo,
+      scl_Flush,
+      scl_Finish,
+      scl_CreateBuffer,
+      scl_CreateImage2D,
+      scl_RetainMemObject,
+      scl_ReleaseMemObject,
+      scl_GetMemObjectInfo,
+      scl_GetImageInfo,
+      scl_CreateSampler,
+      scl_RetainSampler,
+      scl_ReleaseSampler,
+      scl_GetSamplerInfo,
+      scl_CreateProgramWithSource,
+      scl_CreateProgramWithBinary,
+      scl_RetainProgram,
+      scl_ReleaseProgram,
+      scl_BuildProgram,
+      scl_GetProgramInfo,
+      scl_GetProgramBuildInfo,
+      scl_CreateKernel,
+      scl_CreateKernelsInProgram,
+      scl_RetainKernel,
+      scl_ReleaseKernel,
+      scl_SetKernelArg,
+      scl_GetKernelInfo,
+      scl_GetKernelWorkGroupInfo,
+      scl_WaitForEvents,
+      scl_GetEventInfo,
+      scl_RetainEvent,
+      scl_ReleaseEvent,
+      scl_GetEventProfilingInfo,
+      scl_EnqueueReadBuffer,
+      scl_EnqueueWriteBuffer,
+      scl_EnqueueCopyBuffer,
+      scl_EnqueueNDRangeKernel,
+      scl_EnqueueTask,
+      scl_EnqueueMarker,
+      scl_EnqueueBarrier,
+      scl_EnqueueWaitForEvents,
+      scl_SimGetHostTimeNS,
+      scl_SimAdvanceHostNS,
+  };
+  return kTable;
+}
+
+}  // namespace simcl

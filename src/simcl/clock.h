@@ -1,0 +1,49 @@
+// clock.h — the discrete-event virtual clock of the simcl substrate.
+//
+// All times this repository reports are read from here.  There are two kinds
+// of timelines: the single host timeline (advanced by API-call overheads,
+// compiles, file I/O and IPC charges) and one timeline per command queue
+// (advanced by transfers and kernel executions).  clFinish / event waits
+// reconcile: host_now = max(host_now, completion of what was waited on).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+namespace simcl {
+
+using SimNs = std::uint64_t;
+
+class Clock {
+ public:
+  [[nodiscard]] SimNs host_now() const noexcept {
+    return host_ns_.load(std::memory_order_acquire);
+  }
+
+  // Advance the host timeline by `delta` and return the new now.
+  SimNs advance_host(SimNs delta) noexcept {
+    return host_ns_.fetch_add(delta, std::memory_order_acq_rel) + delta;
+  }
+
+  // Host waited for something that finished at sim time `t`.
+  void sync_host_to(SimNs t) noexcept {
+    SimNs cur = host_ns_.load(std::memory_order_acquire);
+    while (t > cur &&
+           !host_ns_.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+    }
+  }
+
+  void reset() noexcept { host_ns_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<SimNs> host_ns_{0};
+};
+
+// bytes / (bytes per second) in integer nanoseconds.
+constexpr SimNs transfer_ns(std::uint64_t bytes, double bytes_per_sec) noexcept {
+  if (bytes_per_sec <= 0.0) return 0;
+  return static_cast<SimNs>(static_cast<double>(bytes) / bytes_per_sec * 1e9);
+}
+
+}  // namespace simcl

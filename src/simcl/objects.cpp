@@ -1,0 +1,57 @@
+#include "simcl/objects.h"
+
+#include <mutex>
+#include <unordered_set>
+
+#include "simcl/queue.h"
+#include "simcl/runtime.h"
+
+namespace simcl {
+
+namespace {
+std::mutex g_live_mu;
+std::unordered_set<const void*> g_live;
+}  // namespace
+
+ObjectBase::ObjectBase(ObjType t) noexcept : otype(t) {
+  std::lock_guard<std::mutex> lk(g_live_mu);
+  g_live.insert(this);
+}
+
+ObjectBase::~ObjectBase() {
+  magic = 0;
+  std::lock_guard<std::mutex> lk(g_live_mu);
+  g_live.erase(this);
+}
+
+bool is_live_object(const void* p) noexcept {
+  std::lock_guard<std::mutex> lk(g_live_mu);
+  return g_live.count(p) != 0;
+}
+
+MemObj::~MemObj() { unref(ctx); }
+
+Sampler::~Sampler() { unref(ctx); }
+
+Program::~Program() { unref(ctx); }
+
+Kernel::Kernel(Program* p, const clc::FuncDecl* f)
+    : ObjectBase(kType), prog(p), fn(f), name(f->name) {
+  prog->retain();
+  args.resize(fn->params.size());
+}
+
+Kernel::~Kernel() {
+  for (Arg& a : args) {
+    unref(a.mem);
+    unref(a.sampler);
+  }
+  unref(prog);
+}
+
+Event::Event(Queue* q, cl_uint cmd)
+    : ObjectBase(kType), queue(q), command_type(cmd) {}
+
+Event::~Event() = default;
+
+}  // namespace simcl

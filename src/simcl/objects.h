@@ -1,0 +1,209 @@
+// objects.h — the backing objects of the simcl substrate.
+//
+// Every OpenCL handle in the native path is a pointer to one of these.  Each
+// object starts with a magic + type tag so that handle validation works and
+// so that CheCL's address-based "is this one of mine?" heuristic has a real
+// foreign-object population to discriminate against.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "checl/cl.h"
+#include "clc/ast.h"
+#include "clc/interp.h"
+#include "clc/program.h"
+#include "simcl/clock.h"
+#include "simcl/specs.h"
+
+namespace simcl {
+
+inline constexpr std::uint32_t kMagic = 0x534C4353;  // "SCLS"
+
+enum class ObjType : std::uint32_t {
+  Platform, Device, Context, Queue, Mem, Sampler, Program, Kernel, Event,
+};
+
+struct ObjectBase {
+  std::uint32_t magic = kMagic;
+  ObjType otype;
+  std::atomic<std::int32_t> refs{1};
+
+  explicit ObjectBase(ObjType t) noexcept;
+  virtual ~ObjectBase();
+
+  ObjectBase(const ObjectBase&) = delete;
+  ObjectBase& operator=(const ObjectBase&) = delete;
+
+  void retain() noexcept { refs.fetch_add(1, std::memory_order_relaxed); }
+  // Returns true when the reference count reached zero (caller deletes).
+  [[nodiscard]] bool release() noexcept {
+    return refs.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+};
+
+// True when `p` is a live simcl object.  The proxy server must validate
+// handle tokens before touching them — a stale or forged token from a client
+// must become CL_INVALID_*, not a wild dereference.
+bool is_live_object(const void* p) noexcept;
+
+// Validating handle cast: null for dead/foreign pointers or tag mismatch.
+template <typename T>
+T* as_object(void* h) noexcept {
+  if (h == nullptr || !is_live_object(h)) return nullptr;
+  auto* o = static_cast<ObjectBase*>(h);
+  if (o->magic != kMagic || o->otype != T::kType) return nullptr;
+  return static_cast<T*>(o);
+}
+
+struct Device;
+
+struct Platform final : ObjectBase {
+  static constexpr ObjType kType = ObjType::Platform;
+  PlatformSpec spec;
+  std::vector<Device*> devices;  // owned by the runtime, not refcounted
+
+  explicit Platform(PlatformSpec s) : ObjectBase(kType), spec(std::move(s)) {}
+};
+
+struct Device final : ObjectBase {
+  static constexpr ObjType kType = ObjType::Device;
+  DeviceSpec spec;
+  Platform* platform = nullptr;
+
+  Device(DeviceSpec s, Platform* p)
+      : ObjectBase(kType), spec(std::move(s)), platform(p) {}
+};
+
+struct Context final : ObjectBase {
+  static constexpr ObjType kType = ObjType::Context;
+  std::vector<Device*> devices;
+  std::vector<cl_context_properties> properties;
+
+  explicit Context(std::vector<Device*> devs)
+      : ObjectBase(kType), devices(std::move(devs)) {}
+};
+
+struct MemObj final : ObjectBase {
+  static constexpr ObjType kType = ObjType::Mem;
+  Context* ctx = nullptr;
+  cl_mem_flags flags = 0;
+  std::size_t size = 0;
+  std::vector<std::uint8_t> storage;  // "device memory"
+  void* host_ptr = nullptr;           // CL_MEM_USE_HOST_PTR region
+
+  // image fields
+  bool is_image = false;
+  cl_image_format format{};
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::size_t row_pitch = 0;
+  std::uint32_t channels = 0;
+  bool float_channels = true;
+
+  MemObj(Context* c, cl_mem_flags f, std::size_t sz)
+      : ObjectBase(kType), ctx(c), flags(f), size(sz), storage(sz) {}
+  ~MemObj() override;
+
+  [[nodiscard]] bool use_host_ptr() const noexcept {
+    return (flags & CL_MEM_USE_HOST_PTR) != 0 && host_ptr != nullptr;
+  }
+};
+
+struct Sampler final : ObjectBase {
+  static constexpr ObjType kType = ObjType::Sampler;
+  Context* ctx = nullptr;
+  cl_bool normalized = CL_FALSE;
+  cl_addressing_mode addressing = CL_ADDRESS_CLAMP;
+  cl_filter_mode filter = CL_FILTER_NEAREST;
+
+  Sampler(Context* c, cl_bool n, cl_addressing_mode a, cl_filter_mode f)
+      : ObjectBase(kType), ctx(c), normalized(n), addressing(a), filter(f) {}
+  ~Sampler() override;
+};
+
+struct Program final : ObjectBase {
+  static constexpr ObjType kType = ObjType::Program;
+  Context* ctx = nullptr;
+  std::string source;
+  std::string options;
+  bool from_binary = false;
+  std::shared_ptr<const clc::Module> module;
+  cl_build_status status = CL_BUILD_NONE;
+  std::string build_log;
+
+  Program(Context* c, std::string src, bool binary)
+      : ObjectBase(kType), ctx(c), source(std::move(src)), from_binary(binary) {}
+  ~Program() override;
+};
+
+struct Kernel final : ObjectBase {
+  static constexpr ObjType kType = ObjType::Kernel;
+  Program* prog = nullptr;
+  const clc::FuncDecl* fn = nullptr;  // owned by prog->module
+  std::string name;
+
+  struct Arg {
+    bool set = false;
+    clc::KernelArg ka;
+    MemObj* mem = nullptr;      // retained while bound
+    Sampler* sampler = nullptr; // retained while bound
+  };
+  std::mutex mu;
+  std::vector<Arg> args;
+
+  Kernel(Program* p, const clc::FuncDecl* f);
+  ~Kernel() override;
+};
+
+struct Queue;
+
+struct Event final : ObjectBase {
+  static constexpr ObjType kType = ObjType::Event;
+  // NOT retained: the queue worker thread drops the last reference to many
+  // events, and an owning reference here would let that worker run the
+  // queue's destructor — joining itself.  Deviation from the OpenCL spec
+  // (events nominally retain their queue); the handle is only reported back
+  // through CL_EVENT_COMMAND_QUEUE as an opaque value.
+  Queue* queue = nullptr;
+  cl_uint command_type = CL_COMMAND_MARKER;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  cl_int status = CL_QUEUED;
+  cl_int error = CL_SUCCESS;
+  SimNs t_queued = 0;
+  SimNs t_submit = 0;
+  SimNs t_start = 0;
+  SimNs t_end = 0;
+
+  Event(Queue* q, cl_uint cmd);
+  ~Event() override;
+
+  void set_status(cl_int st) {
+    std::lock_guard<std::mutex> lk(mu);
+    status = st;
+    cv.notify_all();
+  }
+  void complete(SimNs start, SimNs end, cl_int err) {
+    std::lock_guard<std::mutex> lk(mu);
+    t_start = start;
+    t_end = end;
+    error = err;
+    status = CL_COMPLETE;
+    cv.notify_all();
+  }
+  // Blocks until complete; returns the completion sim time.
+  SimNs wait() {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return status == CL_COMPLETE; });
+    return t_end;
+  }
+};
+
+}  // namespace simcl

@@ -1,0 +1,159 @@
+#include "simcl/queue.h"
+
+#include <cstring>
+
+#include "simcl/runtime.h"
+
+namespace simcl {
+
+Queue::Queue(Context* c, Device* d, cl_command_queue_properties props)
+    : ObjectBase(kType), ctx(c), dev(d), properties(props) {
+  ctx->retain();
+  worker_ = std::thread([this] { worker_main(); });
+}
+
+Queue::~Queue() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    cv_.notify_all();
+  }
+  worker_.join();
+  // Drop anything never executed (process teardown path).
+  for (Command& cmd : pending_) {
+    if (cmd.event != nullptr) {
+      cmd.event->complete(timeline(), timeline(), CL_INVALID_OPERATION);
+      unref(cmd.event);
+    }
+    for (Event* w : cmd.waits) unref(w);
+    for (MemObj* m : cmd.arg_mems) unref(m);
+    unref(cmd.src);
+    unref(cmd.dst);
+    unref(cmd.kernel);
+  }
+  unref(ctx);
+}
+
+void Queue::enqueue(Command cmd) {
+  std::lock_guard<std::mutex> lk(mu_);
+  pending_.push_back(std::move(cmd));
+  cv_.notify_all();
+}
+
+SimNs Queue::finish() {
+  std::unique_lock<std::mutex> lk(mu_);
+  drained_.wait(lk, [&] { return pending_.empty() && !busy_; });
+  const SimNs t = timeline();
+  Runtime::instance().clock().sync_host_to(t);
+  return t;
+}
+
+void Queue::worker_main() {
+  for (;;) {
+    Command cmd;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !pending_.empty(); });
+      if (pending_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      cmd = std::move(pending_.front());
+      pending_.pop_front();
+      busy_ = true;
+    }
+    execute(cmd);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      busy_ = false;
+      if (pending_.empty()) drained_.notify_all();
+    }
+  }
+}
+
+void Queue::execute(Command& cmd) {
+  const DeviceSpec& spec = dev->spec;
+
+  // Dependencies: really block, and take the latest completion sim time.
+  SimNs start = std::max(timeline(), cmd.enqueue_host_ns);
+  for (Event* w : cmd.waits) start = std::max(start, w->wait());
+
+  if (cmd.event != nullptr) {
+    cmd.event->t_queued = cmd.enqueue_host_ns;
+    cmd.event->t_submit = start;
+    cmd.event->set_status(CL_RUNNING);
+  }
+
+  SimNs duration = 0;
+  cl_int err = CL_SUCCESS;
+
+  switch (cmd.kind) {
+    case Command::Kind::ReadBuffer:
+      std::memcpy(cmd.host_dst, cmd.src->storage.data() + cmd.src_off, cmd.bytes);
+      duration = spec.transfer_latency_ns +
+                 transfer_ns(cmd.bytes, spec.d2h_bytes_per_sec);
+      break;
+    case Command::Kind::WriteBuffer:
+      std::memcpy(cmd.dst->storage.data() + cmd.dst_off, cmd.host_src, cmd.bytes);
+      duration = spec.transfer_latency_ns +
+                 transfer_ns(cmd.bytes, spec.h2d_bytes_per_sec);
+      break;
+    case Command::Kind::CopyBuffer:
+      std::memcpy(cmd.dst->storage.data() + cmd.dst_off,
+                  cmd.src->storage.data() + cmd.src_off, cmd.bytes);
+      duration = spec.transfer_latency_ns +
+                 transfer_ns(cmd.bytes, spec.h2d_bytes_per_sec);
+      break;
+    case Command::Kind::NDRangeKernel: {
+      std::string error;
+      duration = run_kernel(cmd, error);
+      if (!error.empty()) err = CL_OUT_OF_RESOURCES;
+      break;
+    }
+    case Command::Kind::Marker:
+    case Command::Kind::WaitEvents: duration = 0; break;
+  }
+
+  const SimNs end = start + duration;
+  timeline_ns_.store(end, std::memory_order_release);
+
+  if (cmd.event != nullptr) {
+    cmd.event->complete(start, end, err);
+    unref(cmd.event);
+  }
+  for (Event* w : cmd.waits) unref(w);
+  for (MemObj* m : cmd.arg_mems) unref(m);
+  unref(cmd.src);
+  unref(cmd.dst);
+  unref(cmd.kernel);
+}
+
+SimNs Queue::run_kernel(Command& cmd, std::string& error) {
+  const DeviceSpec& spec = dev->spec;
+  SimNs duration = spec.launch_overhead_ns;
+
+  // CL_MEM_USE_HOST_PTR semantics: the cached host copy is pushed to the
+  // device before the kernel and pulled back after — the redundant-transfer
+  // penalty Section IV-D describes.
+  for (MemObj* m : cmd.host_synced_mems) {
+    std::memcpy(m->storage.data(), m->host_ptr, m->size);
+    duration += spec.transfer_latency_ns + transfer_ns(m->size, spec.h2d_bytes_per_sec);
+  }
+
+  const clc::Module& mod = *cmd.kernel->prog->module;
+  const clc::LaunchResult lr =
+      clc::execute_ndrange(mod, *cmd.kernel->fn, cmd.args, cmd.nd);
+  if (!lr.ok) {
+    error = lr.error;
+    return duration;
+  }
+  duration += static_cast<SimNs>(static_cast<double>(lr.ops) / spec.ops_per_sec * 1e9);
+
+  for (MemObj* m : cmd.host_synced_mems) {
+    std::memcpy(m->host_ptr, m->storage.data(), m->size);
+    duration += spec.transfer_latency_ns + transfer_ns(m->size, spec.d2h_bytes_per_sec);
+  }
+  return duration;
+}
+
+}  // namespace simcl

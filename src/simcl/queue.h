@@ -1,0 +1,75 @@
+// queue.h — in-order asynchronous command queue with a real worker thread.
+//
+// Commands execute for real (memcpys, clc kernel launches) while a virtual
+// duration is charged to the queue's timeline.  An event's profiling times
+// (queued/submit/start/end) are all virtual-clock values.
+#pragma once
+
+#include <deque>
+#include <thread>
+
+#include "clc/interp.h"
+#include "simcl/objects.h"
+
+namespace simcl {
+
+struct Command {
+  enum class Kind : std::uint8_t {
+    ReadBuffer, WriteBuffer, CopyBuffer, NDRangeKernel, Marker, WaitEvents,
+  };
+  Kind kind = Kind::Marker;
+
+  // buffer ops (mem objects retained until execution)
+  MemObj* src = nullptr;
+  MemObj* dst = nullptr;
+  std::size_t src_off = 0;
+  std::size_t dst_off = 0;
+  std::size_t bytes = 0;
+  void* host_dst = nullptr;
+  const void* host_src = nullptr;
+
+  // kernel launch (kernel + memories retained; args snapshotted at enqueue)
+  Kernel* kernel = nullptr;
+  std::vector<clc::KernelArg> args;
+  std::vector<MemObj*> arg_mems;          // retained buffer/image args
+  std::vector<MemObj*> host_synced_mems;  // CL_MEM_USE_HOST_PTR args
+  clc::NDRange nd;
+
+  std::vector<Event*> waits;  // retained
+  Event* event = nullptr;     // retained; completed by the worker
+  SimNs enqueue_host_ns = 0;
+};
+
+struct Queue final : ObjectBase {
+  static constexpr ObjType kType = ObjType::Queue;
+  Context* ctx = nullptr;
+  Device* dev = nullptr;
+  cl_command_queue_properties properties = 0;
+
+  Queue(Context* c, Device* d, cl_command_queue_properties props);
+  ~Queue() override;
+
+  // Takes ownership of everything retained inside cmd.
+  void enqueue(Command cmd);
+  // Blocks until all enqueued commands completed; returns the queue timeline.
+  SimNs finish();
+  [[nodiscard]] SimNs timeline() const noexcept {
+    return timeline_ns_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void worker_main();
+  void execute(Command& cmd);
+  SimNs run_kernel(Command& cmd, std::string& error);
+
+  std::mutex mu_;
+  std::condition_variable cv_;       // queue state changed
+  std::condition_variable drained_;  // all work done
+  std::deque<Command> pending_;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::atomic<SimNs> timeline_ns_{0};
+  std::thread worker_;
+};
+
+}  // namespace simcl

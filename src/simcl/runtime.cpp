@@ -1,0 +1,42 @@
+#include "simcl/runtime.h"
+
+namespace simcl {
+
+Runtime& Runtime::instance() {
+  static Runtime rt;
+  return rt;
+}
+
+Runtime::~Runtime() { teardown(); }
+
+void Runtime::teardown() {
+  for (Platform* p : platforms_) {
+    for (Device* d : p->devices) delete d;
+    delete p;
+  }
+  platforms_.clear();
+  materialized_ = false;
+}
+
+void Runtime::configure(std::vector<PlatformSpec> specs) {
+  std::lock_guard<std::mutex> lk(mu_);
+  teardown();
+  specs_ = std::move(specs);
+}
+
+const std::vector<Platform*>& Runtime::platforms() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!materialized_) {
+    for (const PlatformSpec& ps : specs_) {
+      auto* p = new Platform(ps);
+      for (const DeviceSpec& ds : ps.devices)
+        p->devices.push_back(new Device(ds, p));
+      clock_.advance_host(ps.init_ns);
+      platforms_.push_back(p);
+    }
+    materialized_ = true;
+  }
+  return platforms_;
+}
+
+}  // namespace simcl

@@ -1,0 +1,56 @@
+// runtime.h — process-wide state of the simcl substrate: the platform set,
+// the virtual clock, and the API-call overhead knob.
+//
+// The runtime is reconfigurable so one process can model different "nodes"
+// (the migration experiments restart a proxy with a different platform set).
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "simcl/clock.h"
+#include "simcl/objects.h"
+
+namespace simcl {
+
+class Runtime {
+ public:
+  static Runtime& instance();
+
+  // Replace the platform configuration.  Existing platform/device handles
+  // become invalid; callers must only do this with no live contexts (the
+  // proxy does it at spawn time, before serving any call).
+  void configure(std::vector<PlatformSpec> specs);
+
+  // Lazily materializes platforms on first call, charging each platform's
+  // init cost to the host timeline exactly once.
+  const std::vector<Platform*>& platforms();
+
+  Clock& clock() noexcept { return clock_; }
+
+  [[nodiscard]] SimNs api_call_ns() const noexcept { return api_call_ns_; }
+  void set_api_call_ns(SimNs ns) noexcept { api_call_ns_ = ns; }
+
+  // Charges the fixed per-API-call host cost.
+  void charge_api_call() noexcept { clock_.advance_host(api_call_ns_); }
+
+ private:
+  Runtime() : specs_(default_platforms()) {}
+  ~Runtime();
+  void teardown();
+
+  std::mutex mu_;
+  std::vector<PlatformSpec> specs_;
+  std::vector<Platform*> platforms_;
+  bool materialized_ = false;
+  Clock clock_;
+  SimNs api_call_ns_ = 100;
+};
+
+// Convenience: release an object and delete it when the count hits zero.
+template <typename T>
+void unref(T* o) noexcept {
+  if (o != nullptr && o->release()) delete o;
+}
+
+}  // namespace simcl

@@ -1,0 +1,91 @@
+#include "simcl/specs.h"
+
+namespace simcl {
+
+PlatformSpec nvidia_like_platform() {
+  PlatformSpec p;
+  p.name = "SimCL NVIDIA-like";
+  p.vendor = "simcl (NVIDIA model)";
+  p.init_ns = 45'000'000;            // platform bring-up visible in Figure 7
+  p.context_create_ns = 35'000'000;  // context creation visible in Figure 7
+  p.queue_create_ns = 500'000;
+
+  DeviceSpec gpu;
+  gpu.name = "Tesla C1060 (sim)";
+  gpu.vendor = p.vendor;
+  gpu.type = CL_DEVICE_TYPE_GPU;
+  gpu.compute_units = 30;
+  gpu.clock_mhz = 1300;
+  gpu.global_mem_bytes = 256ull << 20;  // 4 GB scaled 1/16
+  gpu.local_mem_bytes = 16ull << 10;
+  gpu.max_alloc_bytes = 64ull << 20;
+  gpu.max_work_group_size = 512;
+  gpu.max_work_item_sizes[0] = 512;
+  gpu.max_work_item_sizes[1] = 512;
+  gpu.max_work_item_sizes[2] = 64;
+  gpu.ops_per_sec = 100e9 / kComputeScale;  // compute-scaled (see specs.h)
+  gpu.h2d_bytes_per_sec = 5.35e9 / kBandwidthScale;  // Table I, rate-scaled
+  gpu.d2h_bytes_per_sec = 4.87e9 / kBandwidthScale;  // Table I, rate-scaled
+  gpu.compile_base_ns = 30'000'000;
+  gpu.compile_ns_per_byte = 150.0;
+  p.devices.push_back(gpu);
+  return p;
+}
+
+PlatformSpec amd_like_platform() {
+  PlatformSpec p;
+  p.name = "SimCL AMD-like";
+  p.vendor = "simcl (AMD model)";
+  p.init_ns = 2'000'000;  // negligible in Figure 7
+  p.context_create_ns = 1'500'000;
+  p.queue_create_ns = 300'000;
+
+  DeviceSpec gpu;
+  gpu.name = "Radeon HD5870 (sim)";
+  gpu.vendor = p.vendor;
+  gpu.type = CL_DEVICE_TYPE_GPU;
+  gpu.compute_units = 20;
+  gpu.clock_mhz = 850;
+  gpu.global_mem_bytes = 64ull << 20;  // 1 GB scaled 1/16 (smallest — Figure 5)
+  gpu.local_mem_bytes = 32ull << 10;
+  gpu.max_alloc_bytes = 16ull << 20;
+  gpu.max_work_group_size = 256;  // the paper's oclSortingNetworks portability note
+  gpu.max_work_item_sizes[0] = 256;
+  gpu.max_work_item_sizes[1] = 256;
+  gpu.max_work_item_sizes[2] = 64;
+  gpu.ops_per_sec = 272e9 / kComputeScale;  // HD5870 ~2.7x the C1060 peak
+  gpu.h2d_bytes_per_sec = 5.35e9 / kBandwidthScale;
+  gpu.d2h_bytes_per_sec = 4.87e9 / kBandwidthScale;
+  gpu.compile_base_ns = 90'000'000;  // AMD recompiles are slower (Figure 7)
+  gpu.compile_ns_per_byte = 450.0;
+  p.devices.push_back(gpu);
+
+  DeviceSpec cpu;
+  cpu.name = "Core i7 920 (sim)";
+  cpu.vendor = p.vendor;
+  cpu.type = CL_DEVICE_TYPE_CPU;
+  cpu.compute_units = 8;
+  cpu.clock_mhz = 2666;
+  cpu.global_mem_bytes = 768ull << 20;  // 12 GB scaled 1/16
+  cpu.local_mem_bytes = 32ull << 10;
+  cpu.max_alloc_bytes = 192ull << 20;
+  cpu.max_work_group_size = 1024;  // the paper's CPU work-group limit note
+  cpu.max_work_item_sizes[0] = 1024;
+  cpu.max_work_item_sizes[1] = 1024;
+  cpu.max_work_item_sizes[2] = 1024;
+  cpu.ops_per_sec = 12e9 / kComputeScale;  // ~order of magnitude below the GPUs
+  cpu.h2d_bytes_per_sec = 9.0e9 / kBandwidthScale;  // host-memory copies, no PCIe hop
+  cpu.d2h_bytes_per_sec = 9.0e9 / kBandwidthScale;
+  cpu.transfer_latency_ns = 1500;
+  cpu.launch_overhead_ns = 3000;
+  cpu.compile_base_ns = 60'000'000;  // same AMD compiler targeting x86
+  cpu.compile_ns_per_byte = 300.0;
+  p.devices.push_back(cpu);
+  return p;
+}
+
+std::vector<PlatformSpec> default_platforms() {
+  return {nvidia_like_platform(), amd_like_platform()};
+}
+
+}  // namespace simcl

@@ -1,0 +1,160 @@
+#include "slimcr/snapshot.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace slimcr {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'L', 'I', 'M', 'C', 'R', '0', '1'};
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return kTable;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool write_u64(std::FILE* f, std::uint64_t v) {
+  return std::fwrite(&v, sizeof v, 1, f) == 1;
+}
+bool read_u64(std::FILE* f, std::uint64_t& v) {
+  return std::fread(&v, sizeof v, 1, f) == 1;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n, std::uint32_t seed) noexcept {
+  const auto& t = crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = t[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void Snapshot::set(std::string name, std::vector<std::uint8_t> data) {
+  sections_[std::move(name)] = std::move(data);
+}
+
+const std::vector<std::uint8_t>* Snapshot::get(const std::string& name) const {
+  const auto it = sections_.find(name);
+  return it != sections_.end() ? &it->second : nullptr;
+}
+
+std::uint64_t Snapshot::payload_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [name, data] : sections_) total += name.size() + data.size();
+  return total;
+}
+
+IoResult Snapshot::save(const std::string& path, const StorageModel& storage) const {
+  IoResult res;
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    res.error = "cannot open " + path + " for writing";
+    return res;
+  }
+  std::uint64_t total = sizeof kMagic;
+  if (std::fwrite(kMagic, sizeof kMagic, 1, f.get()) != 1 ||
+      !write_u64(f.get(), sections_.size())) {
+    res.error = "short write to " + path;
+    return res;
+  }
+  total += 8;
+  for (const auto& [name, data] : sections_) {
+    const std::uint32_t crc = crc32(data.data(), data.size());
+    if (!write_u64(f.get(), name.size()) ||
+        (name.size() != 0 &&
+         std::fwrite(name.data(), name.size(), 1, f.get()) != 1) ||
+        !write_u64(f.get(), data.size()) ||
+        (!data.empty() &&
+         std::fwrite(data.data(), data.size(), 1, f.get()) != 1) ||
+        std::fwrite(&crc, sizeof crc, 1, f.get()) != 1) {
+      res.error = "short write to " + path;
+      return res;
+    }
+    total += 8 + name.size() + 8 + data.size() + 4;
+  }
+  res.ok = true;
+  res.bytes = total;
+  res.duration_ns = storage.write_ns(total);
+  return res;
+}
+
+IoResult Snapshot::load(const std::string& path, const StorageModel& storage) {
+  IoResult res;
+  sections_.clear();
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    res.error = "cannot open " + path + " for reading";
+    return res;
+  }
+  char magic[sizeof kMagic];
+  if (std::fread(magic, sizeof magic, 1, f.get()) != 1 ||
+      std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    res.error = path + " is not a slimcr snapshot (bad magic)";
+    return res;
+  }
+  std::uint64_t count = 0;
+  if (!read_u64(f.get(), count)) {
+    res.error = "truncated snapshot header";
+    return res;
+  }
+  std::uint64_t total = sizeof kMagic + 8;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t name_len = 0;
+    if (!read_u64(f.get(), name_len) || name_len > (1u << 20)) {
+      res.error = "corrupt section name length";
+      sections_.clear();
+      return res;
+    }
+    std::string name(name_len, '\0');
+    if (name_len != 0 && std::fread(name.data(), name_len, 1, f.get()) != 1) {
+      res.error = "truncated section name";
+      sections_.clear();
+      return res;
+    }
+    std::uint64_t data_len = 0;
+    if (!read_u64(f.get(), data_len)) {
+      res.error = "truncated section length";
+      sections_.clear();
+      return res;
+    }
+    std::vector<std::uint8_t> data(data_len);
+    if (data_len != 0 && std::fread(data.data(), data_len, 1, f.get()) != 1) {
+      res.error = "truncated section data";
+      sections_.clear();
+      return res;
+    }
+    std::uint32_t crc = 0;
+    if (std::fread(&crc, sizeof crc, 1, f.get()) != 1 ||
+        crc != crc32(data.data(), data.size())) {
+      res.error = "CRC mismatch in section '" + name + "'";
+      sections_.clear();
+      return res;
+    }
+    total += 8 + name_len + 8 + data_len + 4;
+    sections_[std::move(name)] = std::move(data);
+  }
+  res.ok = true;
+  res.bytes = total;
+  res.duration_ns = storage.read_ns(total);
+  return res;
+}
+
+}  // namespace slimcr

@@ -1,0 +1,54 @@
+// snapshot.h — the slimcr host checkpointer (BLCR substitute).
+//
+// BLCR dumps a process's host memory image to a file and restores it.  Our
+// substitute serializes *registered regions* — named byte sections — with a
+// versioned, CRC-checked container format.  CheCL registers its object
+// database and buffer snapshots; applications can register their own state.
+// Every write/read returns the simulated I/O duration from a StorageModel so
+// the caller can charge the virtual clock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "slimcr/storage.h"
+
+namespace slimcr {
+
+// CRC-32 (IEEE 802.3, reflected) over a byte run.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n,
+                    std::uint32_t seed = 0) noexcept;
+
+struct Section {
+  std::string name;
+  std::vector<std::uint8_t> data;
+};
+
+struct IoResult {
+  bool ok = false;
+  std::string error;
+  std::uint64_t bytes = 0;        // container size on disk
+  std::uint64_t duration_ns = 0;  // simulated I/O time per the storage model
+};
+
+class Snapshot {
+ public:
+  // Adds/overwrites a named section.
+  void set(std::string name, std::vector<std::uint8_t> data);
+  [[nodiscard]] const std::vector<std::uint8_t>* get(const std::string& name) const;
+  [[nodiscard]] std::size_t section_count() const noexcept { return sections_.size(); }
+  [[nodiscard]] std::uint64_t payload_bytes() const noexcept;
+  void clear() { sections_.clear(); }
+
+  // Serializes all sections to `path` through `storage`'s cost model.
+  IoResult save(const std::string& path, const StorageModel& storage) const;
+  // Loads a snapshot; on failure the snapshot is left empty.
+  IoResult load(const std::string& path, const StorageModel& storage);
+
+ private:
+  std::map<std::string, std::vector<std::uint8_t>> sections_;
+};
+
+}  // namespace slimcr

@@ -1,0 +1,52 @@
+// storage.h — storage performance models for checkpoint files.
+//
+// Table I of the paper measured (Bonnie++, sequential block I/O):
+//   local disk : 110 MB/s write / 106 MB/s read
+//   NFS        : 72.5 MB/s write / 21.2 MB/s read
+//   RAM disk   : 2881 MB/s write / 4800 MB/s read
+// The write phase dominating checkpoint time (Figure 5, corr 0.99 with file
+// size) falls directly out of these numbers.
+//
+// Like every rate in the simulation, the modeled bandwidths are divided by
+// the global bandwidth scale (see simcl::kBandwidthScale): data sizes are scaled down
+// by about the same factor, so durations and all time ratios match the
+// paper's regime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace slimcr {
+
+// Mirror of simcl::kBandwidthScale (kept dependency-free).
+inline constexpr double kRateScale = 32.0;
+
+struct StorageModel {
+  std::string name = "local-disk";
+  double write_bytes_per_sec = 110.0e6 / kRateScale;
+  double read_bytes_per_sec = 106.0e6 / kRateScale;
+  std::uint64_t open_latency_ns = 2'000'000;  // open/close + metadata
+
+  [[nodiscard]] std::uint64_t write_ns(std::uint64_t bytes) const noexcept {
+    return open_latency_ns +
+           static_cast<std::uint64_t>(static_cast<double>(bytes) /
+                                      write_bytes_per_sec * 1e9);
+  }
+  [[nodiscard]] std::uint64_t read_ns(std::uint64_t bytes) const noexcept {
+    return open_latency_ns +
+           static_cast<std::uint64_t>(static_cast<double>(bytes) /
+                                      read_bytes_per_sec * 1e9);
+  }
+};
+
+inline StorageModel local_disk() {
+  return {"local-disk", 110.0e6 / kRateScale, 106.0e6 / kRateScale, 2'000'000};
+}
+inline StorageModel nfs() {
+  return {"nfs", 72.5e6 / kRateScale, 21.2e6 / kRateScale, 8'000'000};
+}
+inline StorageModel ram_disk() {
+  return {"ram-disk", 2881.0e6 / kRateScale, 4800.0e6 / kRateScale, 50'000};
+}
+
+}  // namespace slimcr

@@ -1,0 +1,168 @@
+// base.h — shared plumbing for workload implementations: tracked resource
+// creation (released in teardown), sticky error status, terse argument
+// setting, and approximate-compare helpers for verification.
+#pragma once
+
+#include <cmath>
+#include <cstring>
+
+#include "workloads/workload.h"
+
+namespace workloads {
+
+// clSetKernelArg sugar: scalars by value, cl_mem/cl_sampler as handles,
+// Local{n} as a __local allocation of n bytes.
+struct Local {
+  std::size_t bytes;
+};
+
+class Base : public Workload {
+ public:
+  void teardown(Env&) override { release_all(); }
+
+ protected:
+  [[nodiscard]] cl_int status() const noexcept { return status_; }
+  void note(cl_int err) noexcept {
+    if (status_ == CL_SUCCESS && err != CL_SUCCESS) status_ = err;
+  }
+
+  cl_program make_program(Env& env, const char* src, const char* opts = "") {
+    cl_int err = CL_SUCCESS;
+    cl_program p = clCreateProgramWithSource(env.ctx, 1, &src, nullptr, &err);
+    note(err);
+    if (p == nullptr) return nullptr;
+    programs_.push_back(p);
+    note(clBuildProgram(p, 1, &env.device, opts, nullptr, nullptr));
+    return p;
+  }
+
+  cl_kernel make_kernel(cl_program p, const char* name) {
+    if (p == nullptr) return nullptr;
+    cl_int err = CL_SUCCESS;
+    cl_kernel k = clCreateKernel(p, name, &err);
+    note(err);
+    if (k != nullptr) kernels_.push_back(k);
+    return k;
+  }
+
+  cl_mem make_buffer(Env& env, cl_mem_flags flags, std::size_t size,
+                     void* host = nullptr) {
+    cl_int err = CL_SUCCESS;
+    cl_mem m = clCreateBuffer(env.ctx, flags, size, host, &err);
+    note(err);
+    if (m != nullptr) mems_.push_back(m);
+    return m;
+  }
+
+  cl_mem make_image2d(Env& env, cl_mem_flags flags, const cl_image_format& fmt,
+                      std::size_t w, std::size_t h, void* host = nullptr) {
+    cl_int err = CL_SUCCESS;
+    cl_mem m = clCreateImage2D(env.ctx, flags, &fmt, w, h, 0, host, &err);
+    note(err);
+    if (m != nullptr) mems_.push_back(m);
+    return m;
+  }
+
+  cl_sampler make_sampler(Env& env, cl_bool norm, cl_addressing_mode am,
+                          cl_filter_mode fm) {
+    cl_int err = CL_SUCCESS;
+    cl_sampler s = clCreateSampler(env.ctx, norm, am, fm, &err);
+    note(err);
+    if (s != nullptr) samplers_.push_back(s);
+    return s;
+  }
+
+  // --- argument helpers -----------------------------------------------------
+  static cl_int set_one(cl_kernel k, cl_uint i, cl_mem m) {
+    return clSetKernelArg(k, i, sizeof m, &m);
+  }
+  static cl_int set_one(cl_kernel k, cl_uint i, cl_sampler s) {
+    return clSetKernelArg(k, i, sizeof s, &s);
+  }
+  static cl_int set_one(cl_kernel k, cl_uint i, Local l) {
+    return clSetKernelArg(k, i, l.bytes, nullptr);
+  }
+  template <typename T>
+  static cl_int set_one(cl_kernel k, cl_uint i, T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return clSetKernelArg(k, i, sizeof v, &v);
+  }
+
+  template <typename... Args>
+  cl_int set_args(cl_kernel k, Args... args) {
+    cl_uint i = 0;
+    cl_int err = CL_SUCCESS;
+    ((err = err == CL_SUCCESS ? set_one(k, i++, args) : err), ...);
+    note(err);
+    return err;
+  }
+
+  cl_int launch1d(Env& env, cl_kernel k, std::size_t global, std::size_t local) {
+    const cl_int err = clEnqueueNDRangeKernel(env.queue, k, 1, nullptr, &global,
+                                              local != 0 ? &local : nullptr, 0,
+                                              nullptr, nullptr);
+    note(err);
+    return err;
+  }
+  cl_int launch2d(Env& env, cl_kernel k, std::size_t gx, std::size_t gy,
+                  std::size_t lx, std::size_t ly) {
+    const std::size_t g[2] = {gx, gy};
+    const std::size_t l[2] = {lx, ly};
+    const cl_int err = clEnqueueNDRangeKernel(env.queue, k, 2, nullptr, g,
+                                              lx != 0 ? l : nullptr, 0, nullptr,
+                                              nullptr);
+    note(err);
+    return err;
+  }
+
+  cl_int write(Env& env, cl_mem m, const void* src, std::size_t n,
+               bool blocking = true) {
+    const cl_int err = clEnqueueWriteBuffer(
+        env.queue, m, blocking ? CL_TRUE : CL_FALSE, 0, n, src, 0, nullptr, nullptr);
+    note(err);
+    return err;
+  }
+  cl_int read(Env& env, cl_mem m, void* dst, std::size_t n) {
+    const cl_int err = clEnqueueReadBuffer(env.queue, m, CL_TRUE, 0, n, dst, 0,
+                                           nullptr, nullptr);
+    note(err);
+    return err;
+  }
+  cl_int finish(Env& env) {
+    note(clFinish(env.queue));
+    return status();  // propagate any error noted during this run
+  }
+
+  // --- verification helpers ----------------------------------------------------
+  static bool close(float a, float b, float tol = 1e-3f) noexcept {
+    const float diff = std::fabs(a - b);
+    return diff <= tol * (1.0f + std::fabs(a) + std::fabs(b));
+  }
+  static bool close_span(const float* a, const float* b, std::size_t n,
+                         float tol = 1e-3f) noexcept {
+    for (std::size_t i = 0; i < n; ++i)
+      if (!close(a[i], b[i], tol)) return false;
+    return true;
+  }
+
+  void release_all() {
+    for (cl_kernel k : kernels_) clReleaseKernel(k);
+    for (cl_program p : programs_) clReleaseProgram(p);
+    for (cl_sampler s : samplers_) clReleaseSampler(s);
+    for (cl_mem m : mems_) clReleaseMemObject(m);
+    kernels_.clear();
+    programs_.clear();
+    samplers_.clear();
+    mems_.clear();
+    status_ = CL_SUCCESS;
+  }
+
+ private:
+  cl_int status_ = CL_SUCCESS;
+  std::vector<cl_mem> mems_;
+  std::vector<cl_kernel> kernels_;
+  std::vector<cl_program> programs_;
+  std::vector<cl_sampler> samplers_;
+};
+
+}  // namespace workloads

@@ -1,0 +1,56 @@
+// factories.h — one factory per workload; registry.cpp assembles the suite.
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace workloads {
+
+// NVIDIA GPU Computing SDK 3.0 style samples
+std::unique_ptr<Workload> make_blackscholes();
+std::unique_ptr<Workload> make_convolution_separable();
+std::unique_ptr<Workload> make_dxt_compression();
+std::unique_ptr<Workload> make_dct8x8();
+std::unique_ptr<Workload> make_dot_product();
+std::unique_ptr<Workload> make_fdtd3d();
+std::unique_ptr<Workload> make_histogram();
+std::unique_ptr<Workload> make_matvecmul();
+std::unique_ptr<Workload> make_matrixmul();
+std::unique_ptr<Workload> make_mersenne_twister();
+std::unique_ptr<Workload> make_quasirandom();
+std::unique_ptr<Workload> make_radix_sort();
+std::unique_ptr<Workload> make_reduction_sdk();
+std::unique_ptr<Workload> make_simple_multigpu();
+std::unique_ptr<Workload> make_sorting_networks();
+std::unique_ptr<Workload> make_scan_sdk();
+std::unique_ptr<Workload> make_transpose();
+std::unique_ptr<Workload> make_vector_add();
+std::unique_ptr<Workload> make_bandwidth_test();
+std::unique_ptr<Workload> make_kernel_compile();
+
+// SHOC 0.9.1
+std::unique_ptr<Workload> make_bus_speed_download();
+std::unique_ptr<Workload> make_bus_speed_readback();
+std::unique_ptr<Workload> make_device_memory();
+std::unique_ptr<Workload> make_fft();
+std::unique_ptr<Workload> make_maxflops();
+std::unique_ptr<Workload> make_md();
+std::unique_ptr<Workload> make_queue_delay();
+std::unique_ptr<Workload> make_reduction_shoc();
+std::unique_ptr<Workload> make_s3d();
+std::unique_ptr<Workload> make_sgemm();
+std::unique_ptr<Workload> make_scan_shoc();
+std::unique_ptr<Workload> make_sort_shoc();
+std::unique_ptr<Workload> make_stencil2d();
+std::unique_ptr<Workload> make_triad();
+
+// Parboil ports (cp, mri-q, mri-fhd) with the paper's size variants
+std::unique_ptr<Workload> make_cp_default();
+std::unique_ptr<Workload> make_mriq(bool large);
+std::unique_ptr<Workload> make_mrifhd(bool large);
+
+// extras exercising image2d_t + sampler_t (the cl_sampler restore path)
+std::unique_ptr<Workload> make_image_rotate();
+
+}  // namespace workloads

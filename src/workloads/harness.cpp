@@ -1,0 +1,110 @@
+#include "workloads/harness.h"
+
+#include "checl/cl_ext.h"
+#include "core/runtime.h"
+#include "simcl/runtime.h"
+
+namespace workloads {
+
+void fresh_process(Binding binding, const checl::NodeConfig& node) {
+  auto& crt = checl::CheclRuntime::instance();
+  crt.reset_all();  // drop CheCL objects + proxy from any previous "process"
+  if (binding == Binding::CheCL) {
+    crt.set_node(node);
+    checl::bind_checl();
+  } else {
+    // native: reconfigure the in-process substrate so the next
+    // clGetPlatformIDs pays platform bring-up again, like a fresh process
+    simcl::Runtime::instance().configure(node.platforms);
+    simcl::Runtime::instance().clock().reset();
+    checl::bind_native();
+  }
+  // Both paths start the new "process" at virtual time zero, so a plain
+  // now_ns() at the end of a run is the whole-program execution time
+  // (including platform bring-up and, under CheCL, the proxy fork).
+}
+
+cl_int open_env(Env& env, cl_device_type type, const char* platform_substr) {
+  cl_uint np = 0;
+  cl_int err = clGetPlatformIDs(0, nullptr, &np);
+  if (err != CL_SUCCESS) return err;
+  std::vector<cl_platform_id> plats(np);
+  err = clGetPlatformIDs(np, plats.data(), nullptr);
+  if (err != CL_SUCCESS) return err;
+
+  cl_platform_id chosen = nullptr;
+  cl_device_id dev = nullptr;
+  for (cl_platform_id p : plats) {
+    if (platform_substr != nullptr) {
+      char name[256] = {};
+      clGetPlatformInfo(p, CL_PLATFORM_NAME, sizeof name, name, nullptr);
+      if (std::string(name).find(platform_substr) == std::string::npos) continue;
+    }
+    cl_device_id d = nullptr;
+    if (clGetDeviceIDs(p, type, 1, &d, nullptr) == CL_SUCCESS) {
+      chosen = p;
+      dev = d;
+      break;
+    }
+  }
+  if (chosen == nullptr) return CL_DEVICE_NOT_FOUND;
+
+  env.platform = chosen;
+  env.device = dev;
+  cl_ulong mem = 0;
+  clGetDeviceInfo(dev, CL_DEVICE_GLOBAL_MEM_SIZE, sizeof mem, &mem, nullptr);
+  env.device_mem_bytes = mem;
+  std::size_t wg = 0;
+  clGetDeviceInfo(dev, CL_DEVICE_MAX_WORK_GROUP_SIZE, sizeof wg, &wg, nullptr);
+  env.max_work_group_size = wg;
+
+  env.ctx = clCreateContext(nullptr, 1, &dev, nullptr, nullptr, &err);
+  if (err != CL_SUCCESS) return err;
+  env.queue = clCreateCommandQueue(env.ctx, dev, 0, &err);
+  if (err != CL_SUCCESS) {
+    clReleaseContext(env.ctx);
+    env.ctx = nullptr;
+    return err;
+  }
+  return CL_SUCCESS;
+}
+
+void close_env(Env& env) {
+  if (env.queue != nullptr) clReleaseCommandQueue(env.queue);
+  if (env.ctx != nullptr) clReleaseContext(env.ctx);
+  env.queue = nullptr;
+  env.ctx = nullptr;
+}
+
+std::uint64_t now_ns() {
+  cl_ulong t = 0;
+  clSimGetHostTimeNS(&t);
+  return t;
+}
+
+RunResult run_workload(Workload& w, Env& env, int iterations) {
+  RunResult res;
+  const std::uint64_t t0 = now_ns();
+  cl_int err = w.setup(env);
+  if (err != CL_SUCCESS) {
+    res.error = "setup failed: " + std::to_string(err);
+    w.teardown(env);
+    return res;
+  }
+  for (int i = 0; i < iterations; ++i) {
+    err = w.run(env);
+    if (err != CL_SUCCESS) {
+      res.error = "run failed: " + std::to_string(err);
+      w.teardown(env);
+      return res;
+    }
+  }
+  res.sim_ns = now_ns() - t0;
+  res.verified = w.verify(env);
+  res.ok = true;
+  if (!res.verified) res.error = "verification failed";
+  w.teardown(env);
+  return res;
+}
+
+}  // namespace workloads

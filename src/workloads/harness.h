@@ -1,0 +1,41 @@
+// harness.h — runs workloads under either binding and measures virtual time.
+//
+// "One program run" in the paper = process start (pays platform init, and
+// under CheCL the ~0.08 s proxy fork) + setup + N measured iterations +
+// verification.  fresh_process() re-creates that boundary inside one test
+// process for both bindings.
+#pragma once
+
+#include <string>
+
+#include "core/node.h"
+#include "workloads/workload.h"
+
+namespace workloads {
+
+enum class Binding : std::uint8_t { Native, CheCL };
+
+// Resets runtime state as if a new process started on `node`, and installs
+// the dispatch table for `binding`.
+void fresh_process(Binding binding, const checl::NodeConfig& node);
+
+// Opens an execution environment on the first device of `type` (platform
+// selected by substring match on its name when given).
+cl_int open_env(Env& env, cl_device_type type,
+                const char* platform_substr = nullptr);
+void close_env(Env& env);
+
+struct RunResult {
+  bool ok = false;         // all API calls succeeded
+  bool verified = false;   // results matched the host reference
+  std::uint64_t sim_ns = 0;  // virtual time of setup + iterations
+  std::string error;
+};
+
+// setup + `iterations` runs + verify + teardown, timed on the virtual clock.
+RunResult run_workload(Workload& w, Env& env, int iterations);
+
+// Current virtual host time (0 if unavailable).
+std::uint64_t now_ns();
+
+}  // namespace workloads

@@ -1,0 +1,289 @@
+// parboil.cpp — the three CUDA Parboil programs the paper ported to OpenCL:
+// cp (Coulomb potential), mri-q and mri-fhd (MRI reconstruction), with the
+// _small/_large size variants the figures use.
+#include <vector>
+
+#include "workloads/base.h"
+#include "workloads/factories.h"
+
+namespace workloads {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// cp — direct Coulomb potential on a 2D grid over point charges
+// ---------------------------------------------------------------------------
+
+class Cp final : public Base {
+ public:
+  std::string name() const override { return "cp_default"; }
+
+  cl_int setup(Env& env) override {
+    grid_ = 64 / (env.shrink > 4 ? 4 : env.shrink);
+    atoms_ = 128;
+    ax_.resize(atoms_ * 4);  // x, y, z, q interleaved
+    Rng rng(61);
+    for (std::size_t a = 0; a < atoms_; ++a) {
+      ax_[4 * a] = rng.next_float(0, static_cast<float>(grid_));
+      ax_[4 * a + 1] = rng.next_float(0, static_cast<float>(grid_));
+      ax_[4 * a + 2] = rng.next_float(0.5f, 4.0f);
+      ax_[4 * a + 3] = rng.next_float(-1, 1);
+    }
+    static const char* kSrc = R"CL(
+__kernel void cenergy(__global const float* atoms, __global float* grid,
+                      int dim, int natoms) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= dim || y >= dim) return;
+  float fx = (float)x;
+  float fy = (float)y;
+  float energy = 0.0f;
+  for (int a = 0; a < natoms; a = a + 1) {
+    float dx = atoms[4 * a] - fx;
+    float dy = atoms[4 * a + 1] - fy;
+    float dz = atoms[4 * a + 2];
+    float q = atoms[4 * a + 3];
+    energy += q * rsqrt(dx * dx + dy * dy + dz * dz);
+  }
+  grid[y * dim + x] = energy;
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "cenergy");
+    datoms_ = make_buffer(env, CL_MEM_READ_ONLY, ax_.size() * 4);
+    dgrid_ = make_buffer(env, CL_MEM_WRITE_ONLY, grid_ * grid_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, datoms_, ax_.data(), ax_.size() * 4);
+    set_args(k_, datoms_, dgrid_, static_cast<cl_int>(grid_),
+             static_cast<cl_int>(atoms_));
+    launch2d(env, k_, grid_, grid_, 8, 8);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> grid(grid_ * grid_);
+    read(env, dgrid_, grid.data(), grid.size() * 4);
+    Rng rng(62);
+    for (int probe = 0; probe < 24; ++probe) {
+      const std::size_t x = rng.next_u32() % grid_;
+      const std::size_t y = rng.next_u32() % grid_;
+      double want = 0;
+      for (std::size_t a = 0; a < atoms_; ++a) {
+        const double dx = ax_[4 * a] - static_cast<double>(x);
+        const double dy = ax_[4 * a + 1] - static_cast<double>(y);
+        const double dz = ax_[4 * a + 2];
+        want += ax_[4 * a + 3] / std::sqrt(dx * dx + dy * dy + dz * dz);
+      }
+      if (!close(grid[y * grid_ + x], static_cast<float>(want), 1e-2f))
+        return false;
+    }
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t grid_ = 0, atoms_ = 0;
+  std::vector<float> ax_;
+  cl_mem datoms_ = nullptr, dgrid_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// mri-q — Q matrix computation: Q(x) = sum_k |phi_k| * exp(i 2pi k.x)
+// ---------------------------------------------------------------------------
+
+class MriQ final : public Base {
+ public:
+  explicit MriQ(bool large) : large_(large) {}
+  std::string name() const override { return large_ ? "mri-q_large" : "mri-q_small"; }
+
+  cl_int setup(Env& env) override {
+    nx_ = (large_ ? 8192 : 4096) / env.shrink;
+    nk_ = large_ ? 128 : 64;
+    kx_.resize(3 * nk_);
+    phi_.resize(nk_);
+    x_.resize(3 * nx_);
+    Rng rng(63);
+    for (auto& v : kx_) v = rng.next_float(-0.5f, 0.5f);
+    for (auto& v : phi_) v = rng.next_float(0, 1);
+    for (auto& v : x_) v = rng.next_float(-1, 1);
+    static const char* kSrc = R"CL(
+__kernel void computeQ(__global const float* kspace, __global const float* phi,
+                       __global const float* x, __global float* Qr,
+                       __global float* Qi, int nk, int nx) {
+  int i = get_global_id(0);
+  if (i >= nx) return;
+  float xr = x[3 * i];
+  float xi2 = x[3 * i + 1];
+  float xz = x[3 * i + 2];
+  float qr = 0.0f;
+  float qi = 0.0f;
+  for (int k = 0; k < nk; k = k + 1) {
+    float expArg = 6.2831853f * (kspace[3 * k] * xr +
+                                 kspace[3 * k + 1] * xi2 +
+                                 kspace[3 * k + 2] * xz);
+    float mag = phi[k] * phi[k];
+    qr = mad(mag, native_cos(expArg), qr);
+    qi = mad(mag, native_sin(expArg), qi);
+  }
+  Qr[i] = qr;
+  Qi[i] = qi;
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "computeQ");
+    dk_ = make_buffer(env, CL_MEM_READ_ONLY, kx_.size() * 4);
+    dphi_ = make_buffer(env, CL_MEM_READ_ONLY, phi_.size() * 4);
+    dx_ = make_buffer(env, CL_MEM_READ_ONLY, x_.size() * 4);
+    dqr_ = make_buffer(env, CL_MEM_WRITE_ONLY, nx_ * 4);
+    dqi_ = make_buffer(env, CL_MEM_WRITE_ONLY, nx_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, dk_, kx_.data(), kx_.size() * 4);
+    write(env, dphi_, phi_.data(), phi_.size() * 4);
+    write(env, dx_, x_.data(), x_.size() * 4);
+    set_args(k_, dk_, dphi_, dx_, dqr_, dqi_, static_cast<cl_int>(nk_),
+             static_cast<cl_int>(nx_));
+    launch1d(env, k_, (nx_ + 63) / 64 * 64, 64);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> qr(nx_);
+    read(env, dqr_, qr.data(), nx_ * 4);
+    Rng rng(64);
+    for (int probe = 0; probe < 16; ++probe) {
+      const std::size_t i = rng.next_u32() % nx_;
+      double want = 0;
+      for (std::size_t k = 0; k < nk_; ++k) {
+        const double arg = 6.2831853 * (kx_[3 * k] * x_[3 * i] +
+                                        kx_[3 * k + 1] * x_[3 * i + 1] +
+                                        kx_[3 * k + 2] * x_[3 * i + 2]);
+        want += static_cast<double>(phi_[k]) * phi_[k] * std::cos(arg);
+      }
+      if (!close(qr[i], static_cast<float>(want), 2e-2f)) return false;
+    }
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  bool large_;
+  std::size_t nx_ = 0, nk_ = 0;
+  std::vector<float> kx_, phi_, x_;
+  cl_mem dk_ = nullptr, dphi_ = nullptr, dx_ = nullptr, dqr_ = nullptr,
+         dqi_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// mri-fhd — F^H d computation (same access pattern, complex input samples)
+// ---------------------------------------------------------------------------
+
+class MriFhd final : public Base {
+ public:
+  explicit MriFhd(bool large) : large_(large) {}
+  std::string name() const override {
+    return large_ ? "mri-fhd_large" : "mri-fhd_small";
+  }
+
+  cl_int setup(Env& env) override {
+    nx_ = (large_ ? 8192 : 4096) / env.shrink;
+    nk_ = large_ ? 128 : 64;
+    kx_.resize(3 * nk_);
+    rd_.resize(nk_);
+    id_.resize(nk_);
+    x_.resize(3 * nx_);
+    Rng rng(65);
+    for (auto& v : kx_) v = rng.next_float(-0.5f, 0.5f);
+    for (auto& v : rd_) v = rng.next_float(-1, 1);
+    for (auto& v : id_) v = rng.next_float(-1, 1);
+    for (auto& v : x_) v = rng.next_float(-1, 1);
+    static const char* kSrc = R"CL(
+__kernel void computeFHd(__global const float* kspace, __global const float* rd,
+                         __global const float* id, __global const float* x,
+                         __global float* rfhd, __global float* ifhd,
+                         int nk, int nx) {
+  int i = get_global_id(0);
+  if (i >= nx) return;
+  float xr = x[3 * i];
+  float xy = x[3 * i + 1];
+  float xz = x[3 * i + 2];
+  float racc = 0.0f;
+  float iacc = 0.0f;
+  for (int k = 0; k < nk; k = k + 1) {
+    float expArg = 6.2831853f * (kspace[3 * k] * xr +
+                                 kspace[3 * k + 1] * xy +
+                                 kspace[3 * k + 2] * xz);
+    float c = native_cos(expArg);
+    float s = native_sin(expArg);
+    racc += rd[k] * c - id[k] * s;
+    iacc += id[k] * c + rd[k] * s;
+  }
+  rfhd[i] = racc;
+  ifhd[i] = iacc;
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "computeFHd");
+    dk_ = make_buffer(env, CL_MEM_READ_ONLY, kx_.size() * 4);
+    drd_ = make_buffer(env, CL_MEM_READ_ONLY, rd_.size() * 4);
+    did_ = make_buffer(env, CL_MEM_READ_ONLY, id_.size() * 4);
+    dx_ = make_buffer(env, CL_MEM_READ_ONLY, x_.size() * 4);
+    drf_ = make_buffer(env, CL_MEM_WRITE_ONLY, nx_ * 4);
+    dif_ = make_buffer(env, CL_MEM_WRITE_ONLY, nx_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, dk_, kx_.data(), kx_.size() * 4);
+    write(env, drd_, rd_.data(), rd_.size() * 4);
+    write(env, did_, id_.data(), id_.size() * 4);
+    write(env, dx_, x_.data(), x_.size() * 4);
+    set_args(k_, dk_, drd_, did_, dx_, drf_, dif_, static_cast<cl_int>(nk_),
+             static_cast<cl_int>(nx_));
+    launch1d(env, k_, (nx_ + 63) / 64 * 64, 64);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> rf(nx_);
+    read(env, drf_, rf.data(), nx_ * 4);
+    Rng rng(66);
+    for (int probe = 0; probe < 16; ++probe) {
+      const std::size_t i = rng.next_u32() % nx_;
+      double want = 0;
+      for (std::size_t k = 0; k < nk_; ++k) {
+        const double arg = 6.2831853 * (kx_[3 * k] * x_[3 * i] +
+                                        kx_[3 * k + 1] * x_[3 * i + 1] +
+                                        kx_[3 * k + 2] * x_[3 * i + 2]);
+        want += rd_[k] * std::cos(arg) - id_[k] * std::sin(arg);
+      }
+      if (!close(rf[i], static_cast<float>(want), 2e-2f)) return false;
+    }
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  bool large_;
+  std::size_t nx_ = 0, nk_ = 0;
+  std::vector<float> kx_, rd_, id_, x_;
+  cl_mem dk_ = nullptr, drd_ = nullptr, did_ = nullptr, dx_ = nullptr,
+         drf_ = nullptr, dif_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_cp_default() { return std::make_unique<Cp>(); }
+std::unique_ptr<Workload> make_mriq(bool large) {
+  return std::make_unique<MriQ>(large);
+}
+std::unique_ptr<Workload> make_mrifhd(bool large) {
+  return std::make_unique<MriFhd>(large);
+}
+
+}  // namespace workloads

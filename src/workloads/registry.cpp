@@ -1,0 +1,64 @@
+// registry.cpp — the suite, in the order of the paper's figures: NVIDIA SDK
+// samples, then the Parboil ports, then SHOC (serial versions).
+#include "workloads/factories.h"
+#include "workloads/workload.h"
+
+namespace workloads {
+
+const std::vector<Entry>& suite() {
+  static const std::vector<Entry> kSuite = {
+      // NVIDIA GPU Computing SDK 3.0
+      {"oclBlackScholes", make_blackscholes},
+      {"oclConvolutionSeparable", make_convolution_separable},
+      {"oclDXTCompression", make_dxt_compression},
+      {"oclDCT8x8", make_dct8x8},
+      {"oclDotProduct", make_dot_product},
+      {"oclFDTD3d", make_fdtd3d},
+      {"oclHistogram", make_histogram},
+      {"oclMatVecMul", make_matvecmul},
+      {"oclMatrixMul", make_matrixmul},
+      {"oclMersenneTwister", make_mersenne_twister},
+      {"oclQuasirandomGenerator", make_quasirandom},
+      {"oclRadixSort", make_radix_sort},
+      {"oclReduction", make_reduction_sdk},
+      {"oclSimpleMultiGPU", make_simple_multigpu},
+      {"oclSortingNetworks", make_sorting_networks},
+      {"oclScanLargeGPU", make_scan_sdk},
+      {"oclTranspose", make_transpose},
+      {"oclVectorAdd", make_vector_add},
+      {"oclBandwidthTest", make_bandwidth_test},
+      {"KernelCompile", make_kernel_compile},
+      // Parboil ports
+      {"cp_default", make_cp_default},
+      {"mri-fhd_large", [] { return make_mrifhd(true); }},
+      {"mri-fhd_small", [] { return make_mrifhd(false); }},
+      {"mri-q_large", [] { return make_mriq(true); }},
+      {"mri-q_small", [] { return make_mriq(false); }},
+      // SHOC 0.9.1 (serial versions; Spmv omitted, as in the paper)
+      {"BusSpeedDownload", make_bus_speed_download},
+      {"BusSpeedReadback", make_bus_speed_readback},
+      {"DeviceMemory", make_device_memory},
+      {"FFT", make_fft},
+      {"MaxFlops", make_maxflops},
+      {"MD", make_md},
+      {"QueueDelay", make_queue_delay},
+      {"Reduction", make_reduction_shoc},
+      {"S3D", make_s3d},
+      {"SGEMM", make_sgemm},
+      {"Scan", make_scan_shoc},
+      {"Sort", make_sort_shoc},
+      {"Stencil2D", make_stencil2d},
+      {"Triad", make_triad},
+      // repo extra: image2d_t + sampler_t coverage
+      {"imageRotate", make_image_rotate},
+  };
+  return kSuite;
+}
+
+std::unique_ptr<Workload> create(const std::string& name) {
+  for (const Entry& e : suite())
+    if (e.name == name) return e.make();
+  return nullptr;
+}
+
+}  // namespace workloads

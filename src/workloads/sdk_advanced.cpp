@@ -1,0 +1,785 @@
+// sdk_advanced.cpp — NVIDIA SDK-style workloads, part 2: stencils, image
+// processing, sorting, histograms and the compile-only sample.
+#include <algorithm>
+#include <vector>
+
+#include "workloads/base.h"
+#include "workloads/factories.h"
+
+namespace workloads {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// oclConvolutionSeparable — row + column passes with __local halos
+// ---------------------------------------------------------------------------
+
+class ConvolutionSeparable final : public Base {
+ public:
+  std::string name() const override { return "oclConvolutionSeparable"; }
+
+  cl_int setup(Env& env) override {
+    w_ = 192 / (env.shrink > 4 ? 4 : env.shrink) * 2;
+    h_ = w_;
+    in_.resize(w_ * h_);
+    Rng rng(21);
+    for (auto& v : in_) v = rng.next_float(0, 1);
+    for (int i = -kRadius; i <= kRadius; ++i)
+      filter_[static_cast<std::size_t>(i + kRadius)] =
+          1.0f / static_cast<float>(2 * kRadius + 1);
+    static const char* kSrc = R"CL(
+#define RADIUS 4
+__kernel void convRows(__global float* dst, __global const float* src,
+                       __global const float* filt, int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= w || y >= h) return;
+  float acc = 0.0f;
+  for (int k = -RADIUS; k <= RADIUS; k = k + 1) {
+    int xx = clamp(x + k, 0, w - 1);
+    acc = mad(src[y * w + xx], filt[k + RADIUS], acc);
+  }
+  dst[y * w + x] = acc;
+}
+__kernel void convCols(__global float* dst, __global const float* src,
+                       __global const float* filt, int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= w || y >= h) return;
+  float acc = 0.0f;
+  for (int k = -RADIUS; k <= RADIUS; k = k + 1) {
+    int yy = clamp(y + k, 0, h - 1);
+    acc = mad(src[yy * w + x], filt[k + RADIUS], acc);
+  }
+  dst[y * w + x] = acc;
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    krows_ = make_kernel(p, "convRows");
+    kcols_ = make_kernel(p, "convCols");
+    din_ = make_buffer(env, CL_MEM_READ_ONLY, in_.size() * 4);
+    dtmp_ = make_buffer(env, CL_MEM_READ_WRITE, in_.size() * 4);
+    dout_ = make_buffer(env, CL_MEM_WRITE_ONLY, in_.size() * 4);
+    dfilt_ = make_buffer(env, CL_MEM_READ_ONLY, sizeof filter_);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, din_, in_.data(), in_.size() * 4);
+    write(env, dfilt_, filter_, sizeof filter_);
+    set_args(krows_, dtmp_, din_, dfilt_, static_cast<cl_int>(w_),
+             static_cast<cl_int>(h_));
+    launch2d(env, krows_, w_, h_, 16, 4);
+    set_args(kcols_, dout_, dtmp_, dfilt_, static_cast<cl_int>(w_),
+             static_cast<cl_int>(h_));
+    launch2d(env, kcols_, w_, h_, 16, 4);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> out(in_.size());
+    read(env, dout_, out.data(), out.size() * 4);
+    Rng rng(22);
+    for (int probe = 0; probe < 32; ++probe) {
+      const int x = static_cast<int>(rng.next_u32() % w_);
+      const int y = static_cast<int>(rng.next_u32() % h_);
+      float want = 0;
+      for (int ky = -kRadius; ky <= kRadius; ++ky) {
+        float row = 0;
+        const int yy = std::clamp(y + ky, 0, static_cast<int>(h_) - 1);
+        for (int kx = -kRadius; kx <= kRadius; ++kx) {
+          const int xx = std::clamp(x + kx, 0, static_cast<int>(w_) - 1);
+          row += in_[static_cast<std::size_t>(yy) * w_ +
+                     static_cast<std::size_t>(xx)] *
+                 filter_[static_cast<std::size_t>(kx + kRadius)];
+        }
+        want += row * filter_[static_cast<std::size_t>(ky + kRadius)];
+      }
+      if (!close(out[static_cast<std::size_t>(y) * w_ + static_cast<std::size_t>(x)],
+                 want, 1e-2f))
+        return false;
+    }
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  static constexpr int kRadius = 4;
+  std::size_t w_ = 0, h_ = 0;
+  std::vector<float> in_;
+  float filter_[2 * kRadius + 1] = {};
+  cl_mem din_ = nullptr, dtmp_ = nullptr, dout_ = nullptr, dfilt_ = nullptr;
+  cl_kernel krows_ = nullptr, kcols_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclDCT8x8 — 8x8 block DCT with private arrays
+// ---------------------------------------------------------------------------
+
+class Dct8x8 final : public Base {
+ public:
+  std::string name() const override { return "oclDCT8x8"; }
+
+  cl_int setup(Env& env) override {
+    blocks_ = 256 / env.shrink;
+    in_.resize(blocks_ * 64);
+    Rng rng(23);
+    for (auto& v : in_) v = rng.next_float(-128, 128);
+    static const char* kSrc = R"CL(
+__kernel void DCT8x8(__global const float* in, __global float* out, int blocks) {
+  int b = get_global_id(0);
+  if (b >= blocks) return;
+  float tmp[64];
+  float pi = 3.14159265358979f;
+  for (int u = 0; u < 8; u = u + 1) {
+    for (int x = 0; x < 8; x = x + 1) {
+      float acc = 0.0f;
+      for (int k = 0; k < 8; k = k + 1)
+        acc += in[b * 64 + x * 8 + k] *
+               native_cos((2.0f * (float)k + 1.0f) * (float)u * pi / 16.0f);
+      float cu = u == 0 ? 0.353553390593f : 0.5f;
+      tmp[x * 8 + u] = cu * acc;
+    }
+  }
+  for (int v = 0; v < 8; v = v + 1) {
+    for (int u = 0; u < 8; u = u + 1) {
+      float acc = 0.0f;
+      for (int k = 0; k < 8; k = k + 1)
+        acc += tmp[k * 8 + u] *
+               native_cos((2.0f * (float)k + 1.0f) * (float)v * pi / 16.0f);
+      float cv = v == 0 ? 0.353553390593f : 0.5f;
+      out[b * 64 + v * 8 + u] = cv * acc;
+    }
+  }
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "DCT8x8");
+    din_ = make_buffer(env, CL_MEM_READ_ONLY, in_.size() * 4);
+    dout_ = make_buffer(env, CL_MEM_WRITE_ONLY, in_.size() * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, din_, in_.data(), in_.size() * 4);
+    set_args(k_, din_, dout_, static_cast<cl_int>(blocks_));
+    launch1d(env, k_, (blocks_ + 31) / 32 * 32, 32);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> out(in_.size());
+    read(env, dout_, out.data(), out.size() * 4);
+    // host DCT on block 0 and a middle block
+    for (const std::size_t b : {std::size_t{0}, blocks_ / 2}) {
+      for (int v = 0; v < 8; ++v) {
+        for (int u = 0; u < 8; ++u) {
+          double acc = 0;
+          for (int y = 0; y < 8; ++y) {
+            for (int x = 0; x < 8; ++x) {
+              acc += in_[b * 64 + static_cast<std::size_t>(y) * 8 +
+                         static_cast<std::size_t>(x)] *
+                     std::cos((2 * x + 1) * u * 3.14159265358979 / 16.0) *
+                     std::cos((2 * y + 1) * v * 3.14159265358979 / 16.0);
+            }
+          }
+          acc *= (u == 0 ? 0.353553390593 : 0.5) * (v == 0 ? 0.353553390593 : 0.5);
+          const float got = out[b * 64 + static_cast<std::size_t>(v) * 8 +
+                                static_cast<std::size_t>(u)];
+          if (!close(got, static_cast<float>(acc), 2e-2f)) return false;
+        }
+      }
+    }
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t blocks_ = 0;
+  std::vector<float> in_;
+  cl_mem din_ = nullptr, dout_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclDXTCompression — simplified DXT1-style 4x4 block encoder (uint packing)
+// ---------------------------------------------------------------------------
+
+class DxtCompression final : public Base {
+ public:
+  std::string name() const override { return "oclDXTCompression"; }
+
+  cl_int setup(Env& env) override {
+    blocks_ = 16384 / env.shrink;
+    in_.resize(blocks_ * 16);  // 16 grayscale texels per block
+    Rng rng(24);
+    for (auto& v : in_) v = rng.next_u32() & 0xFF;
+    static const char* kSrc = R"CL(
+__kernel void DXTCompress(__global const uint* texels, __global uint* out,
+                          int blocks) {
+  int b = get_global_id(0);
+  if (b >= blocks) return;
+  uint mn = 255u;
+  uint mx = 0u;
+  for (int i = 0; i < 16; i = i + 1) {
+    uint t = texels[b * 16 + i];
+    mn = min(mn, t);
+    mx = max(mx, t);
+  }
+  uint mask = 0u;
+  uint range = mx - mn;
+  for (int i = 0; i < 16; i = i + 1) {
+    uint t = texels[b * 16 + i];
+    uint code = range == 0u ? 0u : ((t - mn) * 3u + range / 2u) / range;
+    mask |= code << (2 * i);
+  }
+  out[b * 2] = (mx << 8) | mn;
+  out[b * 2 + 1] = mask;
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "DXTCompress");
+    din_ = make_buffer(env, CL_MEM_READ_ONLY, in_.size() * 4);
+    dout_ = make_buffer(env, CL_MEM_WRITE_ONLY, blocks_ * 2 * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, din_, in_.data(), in_.size() * 4);
+    set_args(k_, din_, dout_, static_cast<cl_int>(blocks_));
+    launch1d(env, k_, (blocks_ + 63) / 64 * 64, 64);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<std::uint32_t> out(blocks_ * 2);
+    read(env, dout_, out.data(), out.size() * 4);
+    for (std::size_t b = 0; b < blocks_; b += 13) {
+      std::uint32_t mn = 255;
+      std::uint32_t mx = 0;
+      for (int i = 0; i < 16; ++i) {
+        mn = std::min(mn, in_[b * 16 + static_cast<std::size_t>(i)]);
+        mx = std::max(mx, in_[b * 16 + static_cast<std::size_t>(i)]);
+      }
+      std::uint32_t mask = 0;
+      const std::uint32_t range = mx - mn;
+      for (int i = 0; i < 16; ++i) {
+        const std::uint32_t t = in_[b * 16 + static_cast<std::size_t>(i)];
+        const std::uint32_t code =
+            range == 0 ? 0 : ((t - mn) * 3 + range / 2) / range;
+        mask |= code << (2 * i);
+      }
+      if (out[b * 2] != ((mx << 8) | mn) || out[b * 2 + 1] != mask) return false;
+    }
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t blocks_ = 0;
+  std::vector<std::uint32_t> in_;
+  cl_mem din_ = nullptr, dout_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclFDTD3d — 3D finite-difference stencil; volume sized by device memory
+// ---------------------------------------------------------------------------
+
+class Fdtd3d final : public Base {
+ public:
+  std::string name() const override { return "oclFDTD3d"; }
+
+  cl_int setup(Env& env) override {
+    // like the paper: the problem size depends on the device memory
+    const std::uint64_t budget = env.device_mem_bytes / 24;
+    std::size_t dim = 16;
+    while ((dim + 8) * (dim + 8) * (dim + 8) * 4 * 2 < budget && dim < 64) dim += 8;
+    dim_ = std::max<std::size_t>(8, dim / (env.shrink > 2 ? 2 : 1));
+    in_.resize(dim_ * dim_ * dim_);
+    Rng rng(25);
+    for (auto& v : in_) v = rng.next_float(0, 1);
+    static const char* kSrc = R"CL(
+__kernel void FDTD3d(__global const float* in, __global float* out, int dim) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  int z = get_global_id(2);
+  if (x >= dim || y >= dim || z >= dim) return;
+  int idx = (z * dim + y) * dim + x;
+  if (x == 0 || y == 0 || z == 0 || x == dim - 1 || y == dim - 1 || z == dim - 1) {
+    out[idx] = in[idx];
+    return;
+  }
+  float acc = in[idx] * 0.4f;
+  acc += in[idx - 1] * 0.1f;
+  acc += in[idx + 1] * 0.1f;
+  acc += in[idx - dim] * 0.1f;
+  acc += in[idx + dim] * 0.1f;
+  acc += in[idx - dim * dim] * 0.1f;
+  acc += in[idx + dim * dim] * 0.1f;
+  out[idx] = acc;
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "FDTD3d");
+    din_ = make_buffer(env, CL_MEM_READ_WRITE, in_.size() * 4);
+    dout_ = make_buffer(env, CL_MEM_READ_WRITE, in_.size() * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, din_, in_.data(), in_.size() * 4);
+    // two time steps, ping-pong
+    for (int step = 0; step < 2; ++step) {
+      set_args(k_, step == 0 ? din_ : dout_, step == 0 ? dout_ : din_,
+               static_cast<cl_int>(dim_));
+      const std::size_t g[3] = {dim_, dim_, dim_};
+      const std::size_t l[3] = {8, 4, 2};
+      note(clEnqueueNDRangeKernel(env.queue, k_, 3, nullptr, g,
+                                  dim_ % 8 == 0 ? l : nullptr, 0, nullptr,
+                                  nullptr));
+    }
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> got(in_.size());
+    read(env, din_, got.data(), got.size() * 4);  // after 2 steps: back in din_
+    // host reference, 2 steps
+    std::vector<float> a = in_;
+    std::vector<float> b(a.size());
+    const auto dim = static_cast<int>(dim_);
+    for (int step = 0; step < 2; ++step) {
+      for (int z = 0; z < dim; ++z)
+        for (int y = 0; y < dim; ++y)
+          for (int x = 0; x < dim; ++x) {
+            const std::size_t idx =
+                (static_cast<std::size_t>(z) * dim_ + static_cast<std::size_t>(y)) *
+                    dim_ +
+                static_cast<std::size_t>(x);
+            if (x == 0 || y == 0 || z == 0 || x == dim - 1 || y == dim - 1 ||
+                z == dim - 1) {
+              b[idx] = a[idx];
+              continue;
+            }
+            float acc = a[idx] * 0.4f;
+            acc += a[idx - 1] * 0.1f;
+            acc += a[idx + 1] * 0.1f;
+            acc += a[idx - dim_] * 0.1f;
+            acc += a[idx + dim_] * 0.1f;
+            acc += a[idx - dim_ * dim_] * 0.1f;
+            acc += a[idx + dim_ * dim_] * 0.1f;
+            b[idx] = acc;
+          }
+      std::swap(a, b);
+    }
+    return close_span(got.data(), a.data(), got.size(), 1e-3f) &&
+           status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<float> in_;
+  cl_mem din_ = nullptr, dout_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclHistogram — 256-bin histogram with global atomics
+// ---------------------------------------------------------------------------
+
+class Histogram final : public Base {
+ public:
+  std::string name() const override { return "oclHistogram"; }
+
+  cl_int setup(Env& env) override {
+    n_ = (1 << 20) / env.shrink;
+    in_.resize(n_);
+    Rng rng(26);
+    for (auto& v : in_) v = rng.next_u32() & 0xFF;
+    static const char* kSrc = R"CL(
+__kernel void histogram256(__global const uint* data, __global uint* hist, int n) {
+  int i = get_global_id(0);
+  if (i < n) atomic_add(&hist[data[i] & 0xFFu], 1u);
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "histogram256");
+    din_ = make_buffer(env, CL_MEM_READ_ONLY, n_ * 4);
+    dhist_ = make_buffer(env, CL_MEM_READ_WRITE, 256 * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, din_, in_.data(), n_ * 4);
+    const std::vector<std::uint32_t> zeros(256, 0);
+    write(env, dhist_, zeros.data(), 256 * 4);
+    set_args(k_, din_, dhist_, static_cast<cl_int>(n_));
+    launch1d(env, k_, n_, 128);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<std::uint32_t> hist(256);
+    read(env, dhist_, hist.data(), 256 * 4);
+    std::vector<std::uint32_t> want(256, 0);
+    for (const std::uint32_t v : in_) ++want[v & 0xFF];
+    return hist == want && status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> in_;
+  cl_mem din_ = nullptr, dhist_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclScan (ScanLargeArrays) — work-group Blelloch scan + block-offset fixup
+// ---------------------------------------------------------------------------
+
+class ScanSdk final : public Base {
+ public:
+  explicit ScanSdk(std::string label) : label_(std::move(label)) {}
+  std::string name() const override { return label_; }
+
+  cl_int setup(Env& env) override {
+    n_ = (1 << 14) / env.shrink;
+    in_.resize(n_);
+    Rng rng(27);
+    for (auto& v : in_) v = rng.next_u32() & 0xF;
+    static const char* kSrc = R"CL(
+#define BLOCK 128
+__kernel void scanBlock(__global const uint* in, __global uint* out,
+                        __global uint* sums, __local uint* temp, int n) {
+  int lid = get_local_id(0);
+  int gid = get_global_id(0);
+  temp[lid] = gid < n ? in[gid] : 0u;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int off = 1; off < BLOCK; off <<= 1) {
+    uint add = 0u;
+    if (lid >= off) add = temp[lid - off];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    temp[lid] += add;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (gid < n) out[gid] = temp[lid];
+  if (lid == BLOCK - 1) sums[get_group_id(0)] = temp[lid];
+}
+__kernel void addOffsets(__global uint* data, __global const uint* sums, int n) {
+  int gid = get_global_id(0);
+  int grp = get_group_id(0);
+  if (gid >= n || grp == 0) return;
+  uint acc = 0u;
+  for (int g = 0; g < grp; g = g + 1) acc += sums[g];
+  data[gid] += acc;
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    kscan_ = make_kernel(p, "scanBlock");
+    kadd_ = make_kernel(p, "addOffsets");
+    din_ = make_buffer(env, CL_MEM_READ_ONLY, n_ * 4);
+    dout_ = make_buffer(env, CL_MEM_READ_WRITE, n_ * 4);
+    groups_ = (n_ + 127) / 128;
+    dsums_ = make_buffer(env, CL_MEM_READ_WRITE, groups_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, din_, in_.data(), n_ * 4);
+    set_args(kscan_, din_, dout_, dsums_, Local{128 * 4}, static_cast<cl_int>(n_));
+    launch1d(env, kscan_, groups_ * 128, 128);
+    set_args(kadd_, dout_, dsums_, static_cast<cl_int>(n_));
+    launch1d(env, kadd_, groups_ * 128, 128);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<std::uint32_t> out(n_);
+    read(env, dout_, out.data(), n_ * 4);
+    std::uint32_t acc = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      acc += in_[i];  // inclusive scan
+      if (out[i] != acc) return false;
+    }
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::string label_;
+  std::size_t n_ = 0, groups_ = 0;
+  std::vector<std::uint32_t> in_;
+  cl_mem din_ = nullptr, dout_ = nullptr, dsums_ = nullptr;
+  cl_kernel kscan_ = nullptr, kadd_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclSortingNetworks — bitonic sort with work-group size 512.  Reproduces the
+// paper's portability note: the AMD-like GPU (max 256) rejects the launch.
+// ---------------------------------------------------------------------------
+
+class SortingNetworks final : public Base {
+ public:
+  std::string name() const override { return "oclSortingNetworks"; }
+
+  cl_int setup(Env& env) override {
+    n_ = 8192 / (env.shrink > 4 ? 4 : env.shrink);
+    local_ = std::min<std::size_t>(512, n_ / 2);
+    in_.resize(n_);
+    Rng rng(28);
+    for (auto& v : in_) v = rng.next_u32() % 100000;
+    static const char* kSrc = R"CL(
+__kernel void bitonicStep(__global uint* data, int j, int k, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  int ixj = i ^ j;
+  if (ixj > i) {
+    uint a = data[i];
+    uint b = data[ixj];
+    int up = (i & k) == 0;
+    if ((up && a > b) || (!up && a < b)) {
+      data[i] = b;
+      data[ixj] = a;
+    }
+  }
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "bitonicStep");
+    dd_ = make_buffer(env, CL_MEM_READ_WRITE, n_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, dd_, in_.data(), n_ * 4);
+    for (std::size_t k = 2; k <= n_; k <<= 1) {
+      for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+        set_args(k_, dd_, static_cast<cl_int>(j), static_cast<cl_int>(k),
+                 static_cast<cl_int>(n_));
+        // deliberately large work-group: 512 like the SDK sample
+        launch1d(env, k_, n_, local_);
+      }
+    }
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    if (status() != CL_SUCCESS) return false;  // e.g. AMD-like GPU: WG too big
+    std::vector<std::uint32_t> out(n_);
+    read(env, dd_, out.data(), n_ * 4);
+    std::vector<std::uint32_t> want = in_;
+    std::sort(want.begin(), want.end());
+    return out == want;
+  }
+
+ private:
+  std::size_t n_ = 0, local_ = 0;
+  std::vector<std::uint32_t> in_;
+  cl_mem dd_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclRadixSort — 4-bit LSD radix sort: per-pass count (atomics), exclusive
+// scan of 16 buckets, stable scatter by a single ordering pass per bucket
+// ---------------------------------------------------------------------------
+
+class RadixSort final : public Base {
+ public:
+  std::string name() const override { return "oclRadixSort"; }
+
+  cl_int setup(Env& env) override {
+    n_ = 32768 / env.shrink;
+    in_.resize(n_);
+    Rng rng(29);
+    for (auto& v : in_) v = rng.next_u32() & 0xFFFF;
+    static const char* kSrc = R"CL(
+__kernel void radixCount(__global const uint* keys, __global uint* counts,
+                         int shift, int n) {
+  int i = get_global_id(0);
+  if (i < n) atomic_add(&counts[(keys[i] >> shift) & 15u], 1u);
+}
+__kernel void radixScatter(__global const uint* keys, __global uint* out,
+                           __global uint* offsets, int shift, int n) {
+  // single work-item stable scatter (keeps the pass stable without a full
+  // per-element rank computation; the API-call pattern is what matters here)
+  int lid = get_global_id(0);
+  if (lid != 0) return;
+  for (int i = 0; i < n; i = i + 1) {
+    uint d = (keys[i] >> shift) & 15u;
+    uint pos = atomic_add(&offsets[d], 1u);
+    out[pos] = keys[i];
+  }
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    kcount_ = make_kernel(p, "radixCount");
+    kscatter_ = make_kernel(p, "radixScatter");
+    da_ = make_buffer(env, CL_MEM_READ_WRITE, n_ * 4);
+    db_ = make_buffer(env, CL_MEM_READ_WRITE, n_ * 4);
+    dcounts_ = make_buffer(env, CL_MEM_READ_WRITE, 16 * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, da_, in_.data(), n_ * 4);
+    cl_mem src = da_;
+    cl_mem dst = db_;
+    for (int shift = 0; shift < 16; shift += 4) {
+      const std::vector<std::uint32_t> zeros(16, 0);
+      write(env, dcounts_, zeros.data(), 16 * 4);
+      set_args(kcount_, src, dcounts_, shift, static_cast<cl_int>(n_));
+      launch1d(env, kcount_, (n_ + 63) / 64 * 64, 64);
+      // host-side exclusive scan of 16 counters (many small API calls —
+      // exactly the per-pass round trips the SDK sample performs)
+      std::vector<std::uint32_t> counts(16);
+      read(env, dcounts_, counts.data(), 16 * 4);
+      std::vector<std::uint32_t> offsets(16, 0);
+      std::uint32_t acc = 0;
+      for (int d = 0; d < 16; ++d) {
+        offsets[static_cast<std::size_t>(d)] = acc;
+        acc += counts[static_cast<std::size_t>(d)];
+      }
+      write(env, dcounts_, offsets.data(), 16 * 4);
+      set_args(kscatter_, src, dst, dcounts_, shift, static_cast<cl_int>(n_));
+      launch1d(env, kscatter_, 64, 64);
+      std::swap(src, dst);
+    }
+    result_ = src;
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<std::uint32_t> out(n_);
+    read(env, result_, out.data(), n_ * 4);
+    std::vector<std::uint32_t> want = in_;
+    std::sort(want.begin(), want.end());
+    return out == want && status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> in_;
+  cl_mem da_ = nullptr, db_ = nullptr, dcounts_ = nullptr, result_ = nullptr;
+  cl_kernel kcount_ = nullptr, kscatter_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// KernelCompile — builds several programs; never runs one (excluded from
+// Figure 5 like oclBandwidthTest)
+// ---------------------------------------------------------------------------
+
+class KernelCompile final : public Base {
+ public:
+  std::string name() const override { return "KernelCompile"; }
+  bool executes_kernel() const override { return false; }
+
+  cl_int setup(Env&) override { return CL_SUCCESS; }
+
+  cl_int run(Env& env) override {
+    static const char* kTemplates[] = {
+        "__kernel void fa(__global float* d) { int i = get_global_id(0); d[i] = d[i] * 2.0f; }",
+        "__kernel void fb(__global float* d) { int i = get_global_id(0); d[i] = sqrt(fabs(d[i])); }",
+        "__kernel void fc(__global int* d) { int i = get_global_id(0); d[i] = d[i] ^ 0x5A5A; }",
+        "__kernel void fd(__global float* a, __global const float* b) {"
+        "  int i = get_global_id(0); a[i] = mad(a[i], b[i], 1.0f); }",
+    };
+    for (const char* src : kTemplates) {
+      cl_program p = make_program(env, src);
+      (void)p;
+    }
+    return status();
+  }
+
+  bool verify(Env&) override { return status() == CL_SUCCESS; }
+
+ private:
+};
+
+// ---------------------------------------------------------------------------
+// image_rotate — image2d_t + sampler_t workload (exercises cl_sampler CPR)
+// ---------------------------------------------------------------------------
+
+class ImageRotate final : public Base {
+ public:
+  std::string name() const override { return "imageRotate"; }
+
+  cl_int setup(Env& env) override {
+    w_ = 256 / (env.shrink > 4 ? 4 : env.shrink);
+    h_ = w_;
+    in_.resize(w_ * h_ * 4);
+    Rng rng(31);
+    for (auto& v : in_) v = rng.next_float(0, 1);
+    static const char* kSrc = R"CL(
+__kernel void rotate90(__global float* out, image2d_t img, sampler_t smp,
+                       int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= w || y >= h) return;
+  float4 px = read_imagef(img, smp, (int2)(y, x));
+  out[(y * w + x) * 4] = px.x;
+  out[(y * w + x) * 4 + 1] = px.y;
+  out[(y * w + x) * 4 + 2] = px.z;
+  out[(y * w + x) * 4 + 3] = px.w;
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "rotate90");
+    const cl_image_format fmt{CL_RGBA, CL_FLOAT};
+    img_ = make_image2d(env, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR, fmt, w_, h_,
+                        in_.data());
+    smp_ = make_sampler(env, CL_FALSE, CL_ADDRESS_CLAMP_TO_EDGE, CL_FILTER_NEAREST);
+    dout_ = make_buffer(env, CL_MEM_WRITE_ONLY, in_.size() * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    set_args(k_, dout_, img_, smp_, static_cast<cl_int>(w_),
+             static_cast<cl_int>(h_));
+    launch2d(env, k_, w_, h_, 8, 8);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> out(in_.size());
+    read(env, dout_, out.data(), out.size() * 4);
+    for (std::size_t y = 0; y < h_; y += 7)
+      for (std::size_t x = 0; x < w_; x += 5)
+        for (std::size_t ch = 0; ch < 4; ++ch)
+          if (out[(y * w_ + x) * 4 + ch] != in_[(x * w_ + y) * 4 + ch])
+            return false;
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t w_ = 0, h_ = 0;
+  std::vector<float> in_;
+  cl_mem img_ = nullptr, dout_ = nullptr;
+  cl_sampler smp_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_convolution_separable() {
+  return std::make_unique<ConvolutionSeparable>();
+}
+std::unique_ptr<Workload> make_dct8x8() { return std::make_unique<Dct8x8>(); }
+std::unique_ptr<Workload> make_dxt_compression() {
+  return std::make_unique<DxtCompression>();
+}
+std::unique_ptr<Workload> make_fdtd3d() { return std::make_unique<Fdtd3d>(); }
+std::unique_ptr<Workload> make_histogram() { return std::make_unique<Histogram>(); }
+std::unique_ptr<Workload> make_scan_sdk() {
+  return std::make_unique<ScanSdk>("oclScanLargeGPU");
+}
+std::unique_ptr<Workload> make_scan_shoc() {
+  return std::make_unique<ScanSdk>("Scan");
+}
+std::unique_ptr<Workload> make_sorting_networks() {
+  return std::make_unique<SortingNetworks>();
+}
+std::unique_ptr<Workload> make_radix_sort() { return std::make_unique<RadixSort>(); }
+std::unique_ptr<Workload> make_kernel_compile() {
+  return std::make_unique<KernelCompile>();
+}
+std::unique_ptr<Workload> make_image_rotate() { return std::make_unique<ImageRotate>(); }
+
+}  // namespace workloads

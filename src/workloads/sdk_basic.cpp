@@ -1,0 +1,798 @@
+// sdk_basic.cpp — NVIDIA SDK-style workloads, part 1: the arithmetic and
+// linear-algebra samples plus the transfer-bound ones.
+#include <vector>
+
+#include "workloads/base.h"
+#include "workloads/factories.h"
+
+namespace workloads {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// oclVectorAdd
+// ---------------------------------------------------------------------------
+
+class VectorAdd final : public Base {
+ public:
+  std::string name() const override { return "oclVectorAdd"; }
+
+  cl_int setup(Env& env) override {
+    n_ = (1 << 19) / env.shrink;
+    a_.resize(n_);
+    b_.resize(n_);
+    Rng rng(11);
+    for (std::size_t i = 0; i < n_; ++i) {
+      a_[i] = rng.next_float(-1, 1);
+      b_[i] = rng.next_float(-1, 1);
+    }
+    static const char* kSrc = R"CL(
+__kernel void VectorAdd(__global const float* a, __global const float* b,
+                        __global float* c, int n) {
+  int i = get_global_id(0);
+  if (i < n) c[i] = a[i] + b[i];
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "VectorAdd");
+    da_ = make_buffer(env, CL_MEM_READ_ONLY, n_ * 4);
+    db_ = make_buffer(env, CL_MEM_READ_ONLY, n_ * 4);
+    dc_ = make_buffer(env, CL_MEM_WRITE_ONLY, n_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, da_, a_.data(), n_ * 4);
+    write(env, db_, b_.data(), n_ * 4);
+    set_args(k_, da_, db_, dc_, static_cast<cl_int>(n_));
+    launch1d(env, k_, n_, 64);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> c(n_);
+    read(env, dc_, c.data(), n_ * 4);
+    for (std::size_t i = 0; i < n_; ++i)
+      if (!close(c[i], a_[i] + b_[i])) return false;
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<float> a_, b_;
+  cl_mem da_ = nullptr, db_ = nullptr, dc_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclDotProduct — float4 inputs with a local-memory tree reduction
+// ---------------------------------------------------------------------------
+
+class DotProduct final : public Base {
+ public:
+  std::string name() const override { return "oclDotProduct"; }
+
+  cl_int setup(Env& env) override {
+    n_ = (1 << 16) / env.shrink;
+    a_.resize(4 * n_);
+    b_.resize(4 * n_);
+    Rng rng(12);
+    for (auto& v : a_) v = rng.next_float(-1, 1);
+    for (auto& v : b_) v = rng.next_float(-1, 1);
+    static const char* kSrc = R"CL(
+__kernel void DotProduct(__global const float4* a, __global const float4* b,
+                         __global float* partial, __local float* scratch, int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  float acc = 0.0f;
+  if (gid < n) {
+    float4 x = a[gid];
+    float4 y = b[gid];
+    acc = dot(x, y);
+  }
+  scratch[lid] = acc;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (lid < s) scratch[lid] += scratch[lid + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) partial[get_group_id(0)] = scratch[0];
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "DotProduct");
+    da_ = make_buffer(env, CL_MEM_READ_ONLY, a_.size() * 4);
+    db_ = make_buffer(env, CL_MEM_READ_ONLY, b_.size() * 4);
+    groups_ = n_ / 64;
+    dp_ = make_buffer(env, CL_MEM_WRITE_ONLY, groups_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, da_, a_.data(), a_.size() * 4);
+    write(env, db_, b_.data(), b_.size() * 4);
+    set_args(k_, da_, db_, dp_, Local{64 * 4}, static_cast<cl_int>(n_));
+    launch1d(env, k_, n_, 64);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> partial(groups_);
+    read(env, dp_, partial.data(), groups_ * 4);
+    double got = 0;
+    for (const float v : partial) got += v;
+    double want = 0;
+    for (std::size_t i = 0; i < 4 * n_; ++i)
+      want += static_cast<double>(a_[i]) * b_[i];
+    return std::fabs(got - want) <= 1e-2 * (1.0 + std::fabs(want)) &&
+           status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0, groups_ = 0;
+  std::vector<float> a_, b_;
+  cl_mem da_ = nullptr, db_ = nullptr, dp_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclMatrixMul — tiled with __local memory
+// ---------------------------------------------------------------------------
+
+class MatrixMul final : public Base {
+ public:
+  std::string name() const override { return "oclMatrixMul"; }
+
+  cl_int setup(Env& env) override {
+    n_ = 128 / (env.shrink > 4 ? 4 : env.shrink);
+    a_.resize(n_ * n_);
+    b_.resize(n_ * n_);
+    Rng rng(13);
+    for (auto& v : a_) v = rng.next_float(-1, 1);
+    for (auto& v : b_) v = rng.next_float(-1, 1);
+    static const char* kSrc = R"CL(
+#define TILE 8
+__kernel void MatrixMul(__global const float* A, __global const float* B,
+                        __global float* C, int n) {
+  __local float As[TILE * TILE];
+  __local float Bs[TILE * TILE];
+  int tx = get_local_id(0);
+  int ty = get_local_id(1);
+  int col = get_global_id(0);
+  int row = get_global_id(1);
+  float acc = 0.0f;
+  for (int t = 0; t < n / TILE; t = t + 1) {
+    As[ty * TILE + tx] = A[row * n + t * TILE + tx];
+    Bs[ty * TILE + tx] = B[(t * TILE + ty) * n + col];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < TILE; k = k + 1)
+      acc = mad(As[ty * TILE + k], Bs[k * TILE + tx], acc);
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  C[row * n + col] = acc;
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "MatrixMul");
+    da_ = make_buffer(env, CL_MEM_READ_ONLY, n_ * n_ * 4);
+    db_ = make_buffer(env, CL_MEM_READ_ONLY, n_ * n_ * 4);
+    dc_ = make_buffer(env, CL_MEM_WRITE_ONLY, n_ * n_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, da_, a_.data(), a_.size() * 4);
+    write(env, db_, b_.data(), b_.size() * 4);
+    set_args(k_, da_, db_, dc_, static_cast<cl_int>(n_));
+    launch2d(env, k_, n_, n_, 8, 8);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> c(n_ * n_);
+    read(env, dc_, c.data(), c.size() * 4);
+    // spot-check a deterministic subset (full n^3 host check is wasteful)
+    Rng rng(99);
+    for (int probe = 0; probe < 64; ++probe) {
+      const std::size_t row = rng.next_u32() % n_;
+      const std::size_t col = rng.next_u32() % n_;
+      double want = 0;
+      for (std::size_t k = 0; k < n_; ++k)
+        want += static_cast<double>(a_[row * n_ + k]) * b_[k * n_ + col];
+      if (!close(c[row * n_ + col], static_cast<float>(want), 1e-2f)) return false;
+    }
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<float> a_, b_;
+  cl_mem da_ = nullptr, db_ = nullptr, dc_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclMatVecMul — problem size determined by device memory (the paper's
+// oclFDTD3d/oclMatVecMul note: smaller on the 1 GB-class AMD GPU)
+// ---------------------------------------------------------------------------
+
+class MatVecMul final : public Base {
+ public:
+  std::string name() const override { return "oclMatVecMul"; }
+
+  cl_int setup(Env& env) override {
+    // matrix sized to ~1/16 of device memory
+    const std::uint64_t budget = env.device_mem_bytes / 16;
+    rows_ = 256 / env.shrink;
+    cols_ = static_cast<std::size_t>(
+        std::min<std::uint64_t>(budget / (rows_ * 4), 4096));
+    cols_ = cols_ / 64 * 64;
+    if (cols_ == 0) cols_ = 64;
+    m_.resize(rows_ * cols_);
+    v_.resize(cols_);
+    Rng rng(14);
+    for (auto& x : m_) x = rng.next_float(-1, 1);
+    for (auto& x : v_) x = rng.next_float(-1, 1);
+    static const char* kSrc = R"CL(
+__kernel void MatVecMul(__global const float* M, __global const float* V,
+                        __global float* W, int rows, int cols) {
+  int r = get_global_id(0);
+  if (r >= rows) return;
+  float acc = 0.0f;
+  for (int c = 0; c < cols; c = c + 1) acc = mad(M[r * cols + c], V[c], acc);
+  W[r] = acc;
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "MatVecMul");
+    dm_ = make_buffer(env, CL_MEM_READ_ONLY, m_.size() * 4);
+    dv_ = make_buffer(env, CL_MEM_READ_ONLY, v_.size() * 4);
+    dw_ = make_buffer(env, CL_MEM_WRITE_ONLY, rows_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, dm_, m_.data(), m_.size() * 4);
+    write(env, dv_, v_.data(), v_.size() * 4);
+    set_args(k_, dm_, dv_, dw_, static_cast<cl_int>(rows_),
+             static_cast<cl_int>(cols_));
+    launch1d(env, k_, (rows_ + 63) / 64 * 64, 64);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> w(rows_);
+    read(env, dw_, w.data(), rows_ * 4);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      double want = 0;
+      for (std::size_t c = 0; c < cols_; ++c)
+        want += static_cast<double>(m_[r * cols_ + c]) * v_[c];
+      if (!close(w[r], static_cast<float>(want), 1e-2f)) return false;
+    }
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<float> m_, v_;
+  cl_mem dm_ = nullptr, dv_ = nullptr, dw_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclTranspose — tiled transpose through __local memory
+// ---------------------------------------------------------------------------
+
+class Transpose final : public Base {
+ public:
+  std::string name() const override { return "oclTranspose"; }
+
+  cl_int setup(Env& env) override {
+    n_ = 256 / (env.shrink > 4 ? 4 : env.shrink);
+    in_.resize(n_ * n_);
+    for (std::size_t i = 0; i < in_.size(); ++i) in_[i] = static_cast<float>(i % 1000);
+    static const char* kSrc = R"CL(
+#define TILE 8
+__kernel void Transpose(__global const float* in, __global float* out, int n) {
+  __local float tile[TILE * (TILE + 1)];
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  tile[ly * (TILE + 1) + lx] = in[y * n + x];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int ox = get_group_id(1) * TILE + lx;
+  int oy = get_group_id(0) * TILE + ly;
+  out[oy * n + ox] = tile[lx * (TILE + 1) + ly];
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "Transpose");
+    din_ = make_buffer(env, CL_MEM_READ_ONLY, in_.size() * 4);
+    dout_ = make_buffer(env, CL_MEM_WRITE_ONLY, in_.size() * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, din_, in_.data(), in_.size() * 4);
+    set_args(k_, din_, dout_, static_cast<cl_int>(n_));
+    launch2d(env, k_, n_, n_, 8, 8);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> out(in_.size());
+    read(env, dout_, out.data(), out.size() * 4);
+    for (std::size_t y = 0; y < n_; ++y)
+      for (std::size_t x = 0; x < n_; ++x)
+        if (out[x * n_ + y] != in_[y * n_ + x]) return false;
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<float> in_;
+  cl_mem din_ = nullptr, dout_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclReduction — two-level tree reduction
+// ---------------------------------------------------------------------------
+
+class ReductionSdk final : public Base {
+ public:
+  std::string name() const override { return "oclReduction"; }
+
+  cl_int setup(Env& env) override {
+    n_ = (1 << 18) / env.shrink;
+    in_.resize(n_);
+    Rng rng(15);
+    for (auto& v : in_) v = rng.next_float(0, 1);
+    static const char* kSrc = R"CL(
+__kernel void reduce(__global const float* in, __global float* out,
+                     __local float* scratch, int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  scratch[lid] = gid < n ? in[gid] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (lid < s) scratch[lid] += scratch[lid + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) out[get_group_id(0)] = scratch[0];
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "reduce");
+    din_ = make_buffer(env, CL_MEM_READ_ONLY, n_ * 4);
+    groups_ = n_ / 128;
+    dpart_ = make_buffer(env, CL_MEM_READ_WRITE, groups_ * 4);
+    dout_ = make_buffer(env, CL_MEM_READ_WRITE, 4 * ((groups_ + 127) / 128));
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, din_, in_.data(), n_ * 4);
+    set_args(k_, din_, dpart_, Local{128 * 4}, static_cast<cl_int>(n_));
+    launch1d(env, k_, n_, 128);
+    // second level
+    set_args(k_, dpart_, dout_, Local{128 * 4}, static_cast<cl_int>(groups_));
+    launch1d(env, k_, (groups_ + 127) / 128 * 128, 128);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    const std::size_t out_n = (groups_ + 127) / 128;
+    std::vector<float> out(out_n);
+    read(env, dout_, out.data(), out_n * 4);
+    double got = 0;
+    for (const float v : out) got += v;
+    double want = 0;
+    for (const float v : in_) want += v;
+    return std::fabs(got - want) <= 1e-2 * (1.0 + want) && status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0, groups_ = 0;
+  std::vector<float> in_;
+  cl_mem din_ = nullptr, dpart_ = nullptr, dout_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclBlackScholes — option pricing (exp/log/sqrt-heavy, two result buffers)
+// ---------------------------------------------------------------------------
+
+class BlackScholes final : public Base {
+ public:
+  std::string name() const override { return "oclBlackScholes"; }
+
+  cl_int setup(Env& env) override {
+    n_ = (1 << 16) / env.shrink;
+    price_.resize(n_);
+    strike_.resize(n_);
+    years_.resize(n_);
+    Rng rng(16);
+    for (std::size_t i = 0; i < n_; ++i) {
+      price_[i] = rng.next_float(5, 30);
+      strike_[i] = rng.next_float(1, 100);
+      years_[i] = rng.next_float(0.25f, 10);
+    }
+    static const char* kSrc = R"CL(
+float cnd(float d) {
+  float A1 = 0.31938153f;
+  float A2 = -0.356563782f;
+  float A3 = 1.781477937f;
+  float A4 = -1.821255978f;
+  float A5 = 1.330274429f;
+  float RSQRT2PI = 0.39894228040143267794f;
+  float K = 1.0f / (1.0f + 0.2316419f * fabs(d));
+  float v = RSQRT2PI * exp(-0.5f * d * d) *
+            (K * (A1 + K * (A2 + K * (A3 + K * (A4 + K * A5)))));
+  if (d > 0.0f) v = 1.0f - v;
+  return v;
+}
+
+__kernel void BlackScholes(__global float* call, __global float* put,
+                           __global const float* S, __global const float* X,
+                           __global const float* T, float R, float V, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  float sqrtT = sqrt(T[i]);
+  float d1 = (log(S[i] / X[i]) + (R + 0.5f * V * V) * T[i]) / (V * sqrtT);
+  float d2 = d1 - V * sqrtT;
+  float c1 = cnd(d1);
+  float c2 = cnd(d2);
+  float expRT = exp(-R * T[i]);
+  call[i] = S[i] * c1 - X[i] * expRT * c2;
+  put[i] = X[i] * expRT * (1.0f - c2) - S[i] * (1.0f - c1);
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "BlackScholes");
+    ds_ = make_buffer(env, CL_MEM_READ_ONLY, n_ * 4);
+    dx_ = make_buffer(env, CL_MEM_READ_ONLY, n_ * 4);
+    dt_ = make_buffer(env, CL_MEM_READ_ONLY, n_ * 4);
+    dcall_ = make_buffer(env, CL_MEM_WRITE_ONLY, n_ * 4);
+    dput_ = make_buffer(env, CL_MEM_WRITE_ONLY, n_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, ds_, price_.data(), n_ * 4);
+    write(env, dx_, strike_.data(), n_ * 4);
+    write(env, dt_, years_.data(), n_ * 4);
+    set_args(k_, dcall_, dput_, ds_, dx_, dt_, 0.02f, 0.30f,
+             static_cast<cl_int>(n_));
+    launch1d(env, k_, n_, 64);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> call(n_);
+    read(env, dcall_, call.data(), n_ * 4);
+    for (std::size_t i = 0; i < n_; i += 97) {
+      const float want = host_call(price_[i], strike_[i], years_[i]);
+      if (!close(call[i], want, 1e-2f)) return false;
+    }
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  static float host_cnd(float d) {
+    const float k = 1.0f / (1.0f + 0.2316419f * std::fabs(d));
+    float v = 0.39894228040143267794f * std::exp(-0.5f * d * d) *
+              (k * (0.31938153f +
+                    k * (-0.356563782f +
+                         k * (1.781477937f +
+                              k * (-1.821255978f + k * 1.330274429f)))));
+    if (d > 0.0f) v = 1.0f - v;
+    return v;
+  }
+  static float host_call(float s, float x, float t) {
+    const float r = 0.02f;
+    const float vol = 0.30f;
+    const float sqrt_t = std::sqrt(t);
+    const float d1 =
+        (std::log(s / x) + (r + 0.5f * vol * vol) * t) / (vol * sqrt_t);
+    const float d2 = d1 - vol * sqrt_t;
+    return s * host_cnd(d1) - x * std::exp(-r * t) * host_cnd(d2);
+  }
+
+  std::size_t n_ = 0;
+  std::vector<float> price_, strike_, years_;
+  cl_mem ds_ = nullptr, dx_ = nullptr, dt_ = nullptr, dcall_ = nullptr,
+         dput_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclBandwidthTest — pure transfers; no kernel (excluded from Figure 5)
+// ---------------------------------------------------------------------------
+
+class BandwidthTest final : public Base {
+ public:
+  std::string name() const override { return "oclBandwidthTest"; }
+  bool executes_kernel() const override { return false; }
+
+  cl_int setup(Env& env) override {
+    bytes_ = (8u << 20) / env.shrink;
+    host_.assign(bytes_, 0x5A);
+    dev_ = make_buffer(env, CL_MEM_READ_WRITE, bytes_);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    for (int i = 0; i < 4; ++i) {
+      write(env, dev_, host_.data(), bytes_);
+      read(env, dev_, host_.data(), bytes_);
+    }
+    return finish(env);
+  }
+
+  bool verify(Env&) override { return status() == CL_SUCCESS; }
+
+ private:
+  std::size_t bytes_ = 0;
+  std::vector<std::uint8_t> host_;
+  cl_mem dev_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclSimpleMultiGPU — one queue per device of the platform (falls back to a
+// single device when only one exists)
+// ---------------------------------------------------------------------------
+
+class SimpleMultiGPU final : public Base {
+ public:
+  std::string name() const override { return "oclSimpleMultiGPU"; }
+
+  cl_int setup(Env& env) override {
+    n_ = (1 << 19) / env.shrink;
+    in_.resize(n_);
+    Rng rng(17);
+    for (auto& v : in_) v = rng.next_float(0, 1);
+
+    cl_uint ndev = 0;
+    clGetDeviceIDs(env.platform, CL_DEVICE_TYPE_ALL, 0, nullptr, &ndev);
+    devices_.resize(ndev);
+    clGetDeviceIDs(env.platform, CL_DEVICE_TYPE_ALL, ndev, devices_.data(), nullptr);
+    if (devices_.size() > 2) devices_.resize(2);
+
+    // like the SDK sample: one context spanning every device, one queue each
+    cl_int err = CL_SUCCESS;
+    multi_ctx_ = clCreateContext(nullptr, static_cast<cl_uint>(devices_.size()),
+                                 devices_.data(), nullptr, nullptr, &err);
+    note(err);
+    if (multi_ctx_ == nullptr) return status();
+
+    static const char* kSrc = R"CL(
+__kernel void scaleShift(__global float* d, float s, float t, int n) {
+  int i = get_global_id(0);
+  if (i < n) d[i] = d[i] * s + t;
+}
+)CL";
+    cl_program p = clCreateProgramWithSource(multi_ctx_, 1, &kSrc, nullptr, &err);
+    note(err);
+    prog_ = p;
+    note(clBuildProgram(p, static_cast<cl_uint>(devices_.size()), devices_.data(),
+                        "", nullptr, nullptr));
+    k_ = clCreateKernel(p, "scaleShift", &err);
+    note(err);
+    const std::size_t chunk = n_ / devices_.size();
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      cl_command_queue q = clCreateCommandQueue(multi_ctx_, devices_[d], 0, &err);
+      note(err);
+      queues_.push_back(q);
+      cl_mem m = clCreateBuffer(multi_ctx_, CL_MEM_READ_WRITE, chunk * 4,
+                                nullptr, &err);
+      note(err);
+      bufs_.push_back(m);
+    }
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    const std::size_t chunk = n_ / devices_.size();
+    for (std::size_t d = 0; d < queues_.size(); ++d) {
+      note(clEnqueueWriteBuffer(queues_[d], bufs_[d], CL_FALSE, 0, chunk * 4,
+                                in_.data() + d * chunk, 0, nullptr, nullptr));
+      set_args(k_, bufs_[d], 2.0f, 1.0f, static_cast<cl_int>(chunk));
+      const std::size_t g = chunk;
+      const std::size_t l = 64;
+      note(clEnqueueNDRangeKernel(queues_[d], k_, 1, nullptr, &g, &l, 0, nullptr,
+                                  nullptr));
+    }
+    for (cl_command_queue q : queues_) note(clFinish(q));
+    (void)env;
+    return status();
+  }
+
+  bool verify(Env&) override {
+    const std::size_t chunk = n_ / devices_.size();
+    std::vector<float> out(chunk);
+    for (std::size_t d = 0; d < queues_.size(); ++d) {
+      note(clEnqueueReadBuffer(queues_[d], bufs_[d], CL_TRUE, 0, chunk * 4,
+                               out.data(), 0, nullptr, nullptr));
+      for (std::size_t i = 0; i < chunk; ++i)
+        if (!close(out[i], in_[d * chunk + i] * 2.0f + 1.0f)) return false;
+    }
+    return status() == CL_SUCCESS;
+  }
+
+  void teardown(Env& env) override {
+    if (k_ != nullptr) clReleaseKernel(k_);
+    if (prog_ != nullptr) clReleaseProgram(prog_);
+    for (cl_mem m : bufs_) clReleaseMemObject(m);
+    for (cl_command_queue q : queues_) clReleaseCommandQueue(q);
+    if (multi_ctx_ != nullptr) clReleaseContext(multi_ctx_);
+    k_ = nullptr;
+    prog_ = nullptr;
+    multi_ctx_ = nullptr;
+    bufs_.clear();
+    queues_.clear();
+    Base::teardown(env);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<float> in_;
+  std::vector<cl_device_id> devices_;
+  std::vector<cl_command_queue> queues_;
+  std::vector<cl_mem> bufs_;
+  cl_context multi_ctx_ = nullptr;
+  cl_program prog_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclMersenneTwister — per-thread xorshift generator + BoxMuller pass
+// (exact 32-bit unsigned wrap-around semantics)
+// ---------------------------------------------------------------------------
+
+class MersenneTwister final : public Base {
+ public:
+  std::string name() const override { return "oclMersenneTwister"; }
+
+  cl_int setup(Env& env) override {
+    threads_ = 4096 / env.shrink;
+    per_thread_ = 64;
+    static const char* kSrc = R"CL(
+__kernel void RandomGPU(__global uint* out, int perThread) {
+  uint tid = (uint)get_global_id(0);
+  uint state = tid * 2654435761u + 1u;
+  for (int i = 0; i < perThread; i = i + 1) {
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    out[(uint)get_global_size(0) * (uint)i + tid] = state;
+  }
+}
+
+__kernel void BoxMullerGPU(__global float* fout, __global const uint* in, int n) {
+  int i = get_global_id(0);
+  if (2 * i + 1 >= n) return;
+  float u1 = ((float)(in[2 * i] & 0xFFFFFFu) + 1.0f) / 16777217.0f;
+  float u2 = ((float)(in[2 * i + 1] & 0xFFFFFFu) + 1.0f) / 16777217.0f;
+  float r = sqrt(-2.0f * log(u1));
+  float phi = 6.28318530717958f * u2;
+  fout[2 * i] = r * native_cos(phi);
+  fout[2 * i + 1] = r * native_sin(phi);
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    krand_ = make_kernel(p, "RandomGPU");
+    kbox_ = make_kernel(p, "BoxMullerGPU");
+    total_ = threads_ * per_thread_;
+    drand_ = make_buffer(env, CL_MEM_READ_WRITE, total_ * 4);
+    dnorm_ = make_buffer(env, CL_MEM_WRITE_ONLY, total_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    set_args(krand_, drand_, static_cast<cl_int>(per_thread_));
+    launch1d(env, krand_, threads_, 64);
+    set_args(kbox_, dnorm_, drand_, static_cast<cl_int>(total_));
+    launch1d(env, kbox_, total_ / 2, 64);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<std::uint32_t> got(total_);
+    read(env, drand_, got.data(), total_ * 4);
+    // host replication of the per-thread xorshift
+    for (std::size_t tid = 0; tid < threads_; tid += 37) {
+      std::uint32_t state =
+          static_cast<std::uint32_t>(tid) * 2654435761u + 1u;
+      for (std::size_t i = 0; i < per_thread_; ++i) {
+        state ^= state << 13;
+        state ^= state >> 17;
+        state ^= state << 5;
+        if (got[threads_ * i + tid] != state) return false;
+      }
+    }
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t threads_ = 0, per_thread_ = 0, total_ = 0;
+  cl_mem drand_ = nullptr, dnorm_ = nullptr;
+  cl_kernel krand_ = nullptr, kbox_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// oclQuasirandomGenerator — Niederreiter-style table-driven sequence
+// ---------------------------------------------------------------------------
+
+class Quasirandom final : public Base {
+ public:
+  std::string name() const override { return "oclQuasirandomGenerator"; }
+
+  cl_int setup(Env& env) override {
+    n_ = (1 << 17) / env.shrink;
+    // direction table: 31 entries of a scrambled radical-inverse basis
+    table_.resize(31);
+    for (std::size_t bit = 0; bit < 31; ++bit)
+      table_[bit] = (0x80000000u >> bit) ^ (0x9E3779B9u >> (31 - bit));
+    static const char* kSrc = R"CL(
+__kernel void Quasirandom(__global float* out, __global const uint* table, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  uint acc = 0u;
+  uint idx = (uint)i;
+  for (int bit = 0; bit < 31; bit = bit + 1) {
+    if ((idx >> bit) & 1u) acc ^= table[bit];
+  }
+  out[i] = (float)acc * (1.0f / 4294967296.0f);
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "Quasirandom");
+    dtable_ = make_buffer(env, CL_MEM_READ_ONLY, table_.size() * 4);
+    dout_ = make_buffer(env, CL_MEM_WRITE_ONLY, n_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, dtable_, table_.data(), table_.size() * 4);
+    set_args(k_, dout_, dtable_, static_cast<cl_int>(n_));
+    launch1d(env, k_, (n_ + 63) / 64 * 64, 64);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> out(n_);
+    read(env, dout_, out.data(), n_ * 4);
+    for (std::size_t i = 0; i < n_; i += 101) {
+      std::uint32_t acc = 0;
+      for (int bit = 0; bit < 31; ++bit)
+        if ((i >> bit) & 1u) acc ^= table_[static_cast<std::size_t>(bit)];
+      const float want = static_cast<float>(acc) * (1.0f / 4294967296.0f);
+      if (!close(out[i], want, 1e-5f)) return false;
+    }
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> table_;
+  cl_mem dtable_ = nullptr, dout_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_vector_add() { return std::make_unique<VectorAdd>(); }
+std::unique_ptr<Workload> make_dot_product() { return std::make_unique<DotProduct>(); }
+std::unique_ptr<Workload> make_matrixmul() { return std::make_unique<MatrixMul>(); }
+std::unique_ptr<Workload> make_matvecmul() { return std::make_unique<MatVecMul>(); }
+std::unique_ptr<Workload> make_transpose() { return std::make_unique<Transpose>(); }
+std::unique_ptr<Workload> make_reduction_sdk() { return std::make_unique<ReductionSdk>(); }
+std::unique_ptr<Workload> make_blackscholes() { return std::make_unique<BlackScholes>(); }
+std::unique_ptr<Workload> make_bandwidth_test() { return std::make_unique<BandwidthTest>(); }
+std::unique_ptr<Workload> make_simple_multigpu() { return std::make_unique<SimpleMultiGPU>(); }
+std::unique_ptr<Workload> make_mersenne_twister() { return std::make_unique<MersenneTwister>(); }
+std::unique_ptr<Workload> make_quasirandom() { return std::make_unique<Quasirandom>(); }
+
+}  // namespace workloads

@@ -1,0 +1,871 @@
+// shoc.cpp — SHOC 0.9.1-style workloads (serial versions, as in Figure 4).
+#include <algorithm>
+#include <vector>
+
+#include "workloads/base.h"
+#include "workloads/factories.h"
+
+namespace workloads {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// BusSpeedDownload / BusSpeedReadback — one-directional transfers, no kernel
+// ---------------------------------------------------------------------------
+
+class BusSpeed final : public Base {
+ public:
+  explicit BusSpeed(bool download) : download_(download) {}
+  std::string name() const override {
+    return download_ ? "BusSpeedDownload" : "BusSpeedReadback";
+  }
+  bool executes_kernel() const override { return false; }
+
+  cl_int setup(Env& env) override {
+    bytes_ = (8u << 20) / env.shrink;
+    host_.assign(bytes_, 0x3C);
+    dev_ = make_buffer(env, CL_MEM_READ_WRITE, bytes_);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    for (int i = 0; i < 8; ++i) {
+      if (download_)
+        write(env, dev_, host_.data(), bytes_);
+      else
+        read(env, dev_, host_.data(), bytes_);
+    }
+    return finish(env);
+  }
+
+  bool verify(Env&) override { return status() == CL_SUCCESS; }
+
+ private:
+  bool download_;
+  std::size_t bytes_ = 0;
+  std::vector<std::uint8_t> host_;
+  cl_mem dev_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// MaxFlops — mad chains; the long-running kernel that dominates the Figure 5
+// synchronization phase
+// ---------------------------------------------------------------------------
+
+class MaxFlops final : public Base {
+ public:
+  std::string name() const override { return "MaxFlops"; }
+
+  cl_int setup(Env& env) override {
+    n_ = 8192 / env.shrink;
+    static const char* kSrc = R"CL(
+__kernel void maxflops(__global float* d, int iters) {
+  int i = get_global_id(0);
+  float a = d[i];
+  float b = 0.9999f;
+  for (int it = 0; it < iters; it = it + 1) {
+    a = mad(a, b, 0.01f);
+    a = mad(a, b, 0.01f);
+    a = mad(a, b, 0.01f);
+    a = mad(a, b, 0.01f);
+  }
+  d[i] = a;
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "maxflops");
+    in_.assign(n_, 1.0f);
+    dd_ = make_buffer(env, CL_MEM_READ_WRITE, n_ * 4);
+    iters_ = 256;
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, dd_, in_.data(), n_ * 4);
+    set_args(k_, dd_, static_cast<cl_int>(iters_));
+    launch1d(env, k_, n_, 64);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> out(n_);
+    read(env, dd_, out.data(), n_ * 4);
+    float a = 1.0f;
+    for (std::size_t it = 0; it < iters_; ++it)
+      for (int u = 0; u < 4; ++u) a = a * 0.9999f + 0.01f;
+    for (const float v : out)
+      if (!close(v, a, 1e-3f)) return false;
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0, iters_ = 0;
+  std::vector<float> in_;
+  cl_mem dd_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// QueueDelay — many tiny kernel launches; API-call-rate bound (big CheCL
+// overhead ratio in Figure 4)
+// ---------------------------------------------------------------------------
+
+class QueueDelay final : public Base {
+ public:
+  std::string name() const override { return "QueueDelay"; }
+
+  cl_int setup(Env& env) override {
+    static const char* kSrc = R"CL(
+__kernel void noopish(__global int* d) {
+  int i = get_global_id(0);
+  d[i] = d[i] + 1;
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "noopish");
+    launches_ = 200 / env.shrink + 8;
+    dd_ = make_buffer(env, CL_MEM_READ_WRITE, 64 * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    const std::vector<std::int32_t> zeros(64, 0);
+    write(env, dd_, zeros.data(), 64 * 4);
+    set_args(k_, dd_);
+    for (std::size_t i = 0; i < launches_; ++i) launch1d(env, k_, 64, 64);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<std::int32_t> out(64);
+    read(env, dd_, out.data(), 64 * 4);
+    for (const std::int32_t v : out)
+      if (v != static_cast<std::int32_t>(launches_)) return false;
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t launches_ = 0;
+  cl_mem dd_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// SHOC Reduction / Scan / Sort — suite variants of the classic primitives
+// ---------------------------------------------------------------------------
+
+class ReductionShoc final : public Base {
+ public:
+  std::string name() const override { return "Reduction"; }
+
+  cl_int setup(Env& env) override {
+    n_ = (1 << 17) / env.shrink;
+    in_.resize(n_);
+    Rng rng(41);
+    for (auto& v : in_) v = rng.next_float(0, 1);
+    static const char* kSrc = R"CL(
+__kernel void reduceAdd(__global const float* in, __global float* out,
+                        __local float* sdata, int n) {
+  int lid = get_local_id(0);
+  int i = get_group_id(0) * get_local_size(0) * 2 + lid;
+  float sum = 0.0f;
+  if (i < n) sum = in[i];
+  if (i + get_local_size(0) < n) sum += in[i + get_local_size(0)];
+  sdata[lid] = sum;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (lid < s) sdata[lid] += sdata[lid + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) out[get_group_id(0)] = sdata[0];
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "reduceAdd");
+    din_ = make_buffer(env, CL_MEM_READ_ONLY, n_ * 4);
+    groups_ = n_ / 256;
+    dout_ = make_buffer(env, CL_MEM_WRITE_ONLY, groups_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, din_, in_.data(), n_ * 4);
+    set_args(k_, din_, dout_, Local{128 * 4}, static_cast<cl_int>(n_));
+    launch1d(env, k_, n_ / 2, 128);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> out(groups_);
+    read(env, dout_, out.data(), groups_ * 4);
+    double got = 0;
+    for (const float v : out) got += v;
+    double want = 0;
+    for (const float v : in_) want += v;
+    return std::fabs(got - want) < 1e-2 * (1 + want) && status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0, groups_ = 0;
+  std::vector<float> in_;
+  cl_mem din_ = nullptr, dout_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+class SortShoc final : public Base {
+ public:
+  std::string name() const override { return "Sort"; }
+
+  cl_int setup(Env& env) override {
+    n_ = 8192 / (env.shrink > 4 ? 4 : env.shrink);
+    in_.resize(n_);
+    Rng rng(42);
+    for (auto& v : in_) v = rng.next_u32();
+    static const char* kSrc = R"CL(
+__kernel void bitonic(__global uint* data, int j, int k, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  int ixj = i ^ j;
+  if (ixj > i) {
+    uint a = data[i];
+    uint b = data[ixj];
+    int up = (i & k) == 0;
+    if ((up && a > b) || (!up && a < b)) {
+      data[i] = b;
+      data[ixj] = a;
+    }
+  }
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "bitonic");
+    dd_ = make_buffer(env, CL_MEM_READ_WRITE, n_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, dd_, in_.data(), n_ * 4);
+    for (std::size_t k = 2; k <= n_; k <<= 1) {
+      for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+        set_args(k_, dd_, static_cast<cl_int>(j), static_cast<cl_int>(k),
+                 static_cast<cl_int>(n_));
+        launch1d(env, k_, n_, 128);  // portable work-group size
+      }
+    }
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<std::uint32_t> out(n_);
+    read(env, dd_, out.data(), n_ * 4);
+    std::vector<std::uint32_t> want = in_;
+    std::sort(want.begin(), want.end());
+    return out == want && status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> in_;
+  cl_mem dd_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// SGEMM — C = alpha*A*B + beta*C, row-per-work-item
+// ---------------------------------------------------------------------------
+
+class Sgemm final : public Base {
+ public:
+  std::string name() const override { return "SGEMM"; }
+
+  cl_int setup(Env& env) override {
+    n_ = 96 / (env.shrink > 4 ? 4 : env.shrink);
+    n_ = n_ / 16 * 16;
+    if (n_ == 0) n_ = 16;
+    a_.resize(n_ * n_);
+    b_.resize(n_ * n_);
+    c_.resize(n_ * n_);
+    Rng rng(43);
+    for (auto& v : a_) v = rng.next_float(-1, 1);
+    for (auto& v : b_) v = rng.next_float(-1, 1);
+    for (auto& v : c_) v = rng.next_float(-1, 1);
+    static const char* kSrc = R"CL(
+__kernel void sgemmNN(__global const float* A, __global const float* B,
+                      __global float* C, int n, float alpha, float beta) {
+  int row = get_global_id(0);
+  if (row >= n) return;
+  for (int col = 0; col < n; col = col + 1) {
+    float acc = 0.0f;
+    for (int k = 0; k < n; k = k + 1)
+      acc = mad(A[row * n + k], B[k * n + col], acc);
+    C[row * n + col] = alpha * acc + beta * C[row * n + col];
+  }
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "sgemmNN");
+    da_ = make_buffer(env, CL_MEM_READ_ONLY, a_.size() * 4);
+    db_ = make_buffer(env, CL_MEM_READ_ONLY, b_.size() * 4);
+    dc_ = make_buffer(env, CL_MEM_READ_WRITE, c_.size() * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, da_, a_.data(), a_.size() * 4);
+    write(env, db_, b_.data(), b_.size() * 4);
+    write(env, dc_, c_.data(), c_.size() * 4);
+    set_args(k_, da_, db_, dc_, static_cast<cl_int>(n_), 1.5f, 0.5f);
+    launch1d(env, k_, n_, 16);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> got(c_.size());
+    read(env, dc_, got.data(), got.size() * 4);
+    Rng rng(44);
+    for (int probe = 0; probe < 48; ++probe) {
+      const std::size_t row = rng.next_u32() % n_;
+      const std::size_t col = rng.next_u32() % n_;
+      double acc = 0;
+      for (std::size_t k = 0; k < n_; ++k)
+        acc += static_cast<double>(a_[row * n_ + k]) * b_[k * n_ + col];
+      const float want =
+          1.5f * static_cast<float>(acc) + 0.5f * c_[row * n_ + col];
+      if (!close(got[row * n_ + col], want, 1e-2f)) return false;
+    }
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<float> a_, b_, c_;
+  cl_mem da_ = nullptr, db_ = nullptr, dc_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Stencil2D — iterated 9-point stencil; call-rate + transfer mix
+// ---------------------------------------------------------------------------
+
+class Stencil2D final : public Base {
+ public:
+  std::string name() const override { return "Stencil2D"; }
+
+  cl_int setup(Env& env) override {
+    dim_ = 128 / (env.shrink > 4 ? 4 : env.shrink);
+    iters_ = 10;
+    in_.resize(dim_ * dim_);
+    Rng rng(45);
+    for (auto& v : in_) v = rng.next_float(0, 1);
+    static const char* kSrc = R"CL(
+__kernel void stencil9(__global const float* in, __global float* out, int dim) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= dim || y >= dim) return;
+  if (x == 0 || y == 0 || x == dim - 1 || y == dim - 1) {
+    out[y * dim + x] = in[y * dim + x];
+    return;
+  }
+  float c = in[y * dim + x];
+  float n = in[(y - 1) * dim + x];
+  float s = in[(y + 1) * dim + x];
+  float e = in[y * dim + x + 1];
+  float w = in[y * dim + x - 1];
+  float ne = in[(y - 1) * dim + x + 1];
+  float nw = in[(y - 1) * dim + x - 1];
+  float se = in[(y + 1) * dim + x + 1];
+  float sw = in[(y + 1) * dim + x - 1];
+  out[y * dim + x] =
+      0.25f * c + 0.125f * (n + s + e + w) + 0.0625f * (ne + nw + se + sw);
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "stencil9");
+    da_ = make_buffer(env, CL_MEM_READ_WRITE, in_.size() * 4);
+    db_ = make_buffer(env, CL_MEM_READ_WRITE, in_.size() * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, da_, in_.data(), in_.size() * 4);
+    cl_mem src = da_;
+    cl_mem dst = db_;
+    for (std::size_t it = 0; it < iters_; ++it) {
+      set_args(k_, src, dst, static_cast<cl_int>(dim_));
+      launch2d(env, k_, dim_, dim_, 16, 4);
+      std::swap(src, dst);
+    }
+    result_ = src;
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> got(in_.size());
+    read(env, result_, got.data(), got.size() * 4);
+    std::vector<float> a = in_;
+    std::vector<float> b(a.size());
+    const auto dim = static_cast<int>(dim_);
+    for (std::size_t it = 0; it < iters_; ++it) {
+      for (int y = 0; y < dim; ++y)
+        for (int x = 0; x < dim; ++x) {
+          const std::size_t i =
+              static_cast<std::size_t>(y) * dim_ + static_cast<std::size_t>(x);
+          if (x == 0 || y == 0 || x == dim - 1 || y == dim - 1) {
+            b[i] = a[i];
+            continue;
+          }
+          b[i] = 0.25f * a[i] +
+                 0.125f * (a[i - dim_] + a[i + dim_] + a[i + 1] + a[i - 1]) +
+                 0.0625f * (a[i - dim_ + 1] + a[i - dim_ - 1] + a[i + dim_ + 1] +
+                            a[i + dim_ - 1]);
+        }
+      std::swap(a, b);
+    }
+    return close_span(got.data(), a.data(), got.size(), 1e-3f) &&
+           status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t dim_ = 0, iters_ = 0;
+  std::vector<float> in_;
+  cl_mem da_ = nullptr, db_ = nullptr, result_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Triad — a = b + s*c streaming; transfer-dominant (Figure 4 worst case)
+// ---------------------------------------------------------------------------
+
+class Triad final : public Base {
+ public:
+  std::string name() const override { return "Triad"; }
+
+  cl_int setup(Env& env) override {
+    n_ = (1 << 19) / env.shrink;
+    b_.resize(n_);
+    c_.resize(n_);
+    Rng rng(46);
+    for (auto& v : b_) v = rng.next_float(0, 1);
+    for (auto& v : c_) v = rng.next_float(0, 1);
+    static const char* kSrc = R"CL(
+__kernel void triad(__global float* a, __global const float* b,
+                    __global const float* c, float s, int n) {
+  int i = get_global_id(0);
+  if (i < n) a[i] = b[i] + s * c[i];
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "triad");
+    da_ = make_buffer(env, CL_MEM_WRITE_ONLY, n_ * 4);
+    db_ = make_buffer(env, CL_MEM_READ_ONLY, n_ * 4);
+    dc_ = make_buffer(env, CL_MEM_READ_ONLY, n_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    // transfer in, one cheap kernel, transfer out — every iteration
+    out_.resize(n_);
+    for (int rep = 0; rep < 3; ++rep) {
+      write(env, db_, b_.data(), n_ * 4);
+      write(env, dc_, c_.data(), n_ * 4);
+      set_args(k_, da_, db_, dc_, 1.75f, static_cast<cl_int>(n_));
+      launch1d(env, k_, n_, 128);
+      read(env, da_, out_.data(), n_ * 4);
+    }
+    return finish(env);
+  }
+
+  bool verify(Env&) override {
+    for (std::size_t i = 0; i < n_; ++i)
+      if (!close(out_[i], b_[i] + 1.75f * c_[i])) return false;
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<float> b_, c_, out_;
+  cl_mem da_ = nullptr, db_ = nullptr, dc_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// DeviceMemory — device-to-device copies + a strided-access kernel
+// ---------------------------------------------------------------------------
+
+class DeviceMemory final : public Base {
+ public:
+  std::string name() const override { return "DeviceMemory"; }
+
+  cl_int setup(Env& env) override {
+    n_ = (1 << 19) / env.shrink;
+    in_.resize(n_);
+    Rng rng(47);
+    for (auto& v : in_) v = rng.next_float(0, 1);
+    static const char* kSrc = R"CL(
+__kernel void strided(__global const float* in, __global float* out,
+                      int stride, int n) {
+  int i = get_global_id(0);
+  if (i < n) out[i] = in[(i * stride) % n];
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "strided");
+    da_ = make_buffer(env, CL_MEM_READ_WRITE, n_ * 4);
+    db_ = make_buffer(env, CL_MEM_READ_WRITE, n_ * 4);
+    dc_ = make_buffer(env, CL_MEM_READ_WRITE, n_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, da_, in_.data(), n_ * 4);
+    note(clEnqueueCopyBuffer(env.queue, da_, db_, 0, 0, n_ * 4, 0, nullptr, nullptr));
+    set_args(k_, db_, dc_, 17, static_cast<cl_int>(n_));
+    launch1d(env, k_, n_, 128);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> out(n_);
+    read(env, dc_, out.data(), n_ * 4);
+    for (std::size_t i = 0; i < n_; i += 173)
+      if (out[i] != in_[i * 17 % n_]) return false;
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<float> in_;
+  cl_mem da_ = nullptr, db_ = nullptr, dc_ = nullptr;
+  cl_kernel k_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// FFT — iterative radix-2 Cooley-Tukey on interleaved complex floats
+// ---------------------------------------------------------------------------
+
+class Fft final : public Base {
+ public:
+  std::string name() const override { return "FFT"; }
+
+  cl_int setup(Env& env) override {
+    logn_ = env.shrink > 2 ? 8 : 15;
+    n_ = std::size_t{1} << logn_;
+    in_.resize(2 * n_);
+    Rng rng(48);
+    for (auto& v : in_) v = rng.next_float(-1, 1);
+    static const char* kSrc = R"CL(
+__kernel void fftStep(__global const float* in, __global float* out,
+                      int halfSize, int n) {
+  int i = get_global_id(0);
+  if (i >= n / 2) return;
+  int blockIdx = i / halfSize;
+  int inBlock = i - blockIdx * halfSize;
+  int base = blockIdx * halfSize * 2;
+  int a = base + inBlock;
+  int b = a + halfSize;
+  float angle = -3.14159265358979f * (float)inBlock / (float)halfSize;
+  float wr = native_cos(angle);
+  float wi = native_sin(angle);
+  float ar = in[2 * a];
+  float ai = in[2 * a + 1];
+  float br = in[2 * b];
+  float bi = in[2 * b + 1];
+  float tr = wr * br - wi * bi;
+  float ti = wr * bi + wi * br;
+  out[2 * a] = ar + tr;
+  out[2 * a + 1] = ai + ti;
+  out[2 * b] = ar - tr;
+  out[2 * b + 1] = ai - ti;
+}
+__kernel void bitrev(__global const float* in, __global float* out,
+                     int logn, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  uint r = 0u;
+  uint v = (uint)i;
+  for (int b = 0; b < logn; b = b + 1) {
+    r = (r << 1) | (v & 1u);
+    v >>= 1;
+  }
+  out[2 * r] = in[2 * i];
+  out[2 * r + 1] = in[2 * i + 1];
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    kstep_ = make_kernel(p, "fftStep");
+    krev_ = make_kernel(p, "bitrev");
+    da_ = make_buffer(env, CL_MEM_READ_WRITE, 2 * n_ * 4);
+    db_ = make_buffer(env, CL_MEM_READ_WRITE, 2 * n_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, da_, in_.data(), 2 * n_ * 4);
+    set_args(krev_, da_, db_, static_cast<cl_int>(logn_), static_cast<cl_int>(n_));
+    launch1d(env, krev_, n_, 64);
+    cl_mem src = db_;
+    cl_mem dst = da_;
+    for (std::size_t half = 1; half < n_; half <<= 1) {
+      set_args(kstep_, src, dst, static_cast<cl_int>(half), static_cast<cl_int>(n_));
+      launch1d(env, kstep_, n_ / 2, 64);
+      std::swap(src, dst);
+    }
+    result_ = src;
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> got(2 * n_);
+    read(env, result_, got.data(), got.size() * 4);
+    // host DFT spot-check on a few frequencies
+    for (const std::size_t k : {std::size_t{0}, std::size_t{1}, n_ / 2, n_ - 1}) {
+      double re = 0;
+      double im = 0;
+      for (std::size_t t = 0; t < n_; ++t) {
+        const double ang = -2.0 * 3.14159265358979 *
+                           static_cast<double>(k) * static_cast<double>(t) /
+                           static_cast<double>(n_);
+        const double xr = in_[2 * t];
+        const double xi = in_[2 * t + 1];
+        re += xr * std::cos(ang) - xi * std::sin(ang);
+        im += xr * std::sin(ang) + xi * std::cos(ang);
+      }
+      if (!close(got[2 * k], static_cast<float>(re), 5e-2f) ||
+          !close(got[2 * k + 1], static_cast<float>(im), 5e-2f))
+        return false;
+    }
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0, logn_ = 0;
+  std::vector<float> in_;
+  cl_mem da_ = nullptr, db_ = nullptr, result_ = nullptr;
+  cl_kernel kstep_ = nullptr, krev_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// S3D — chemical-kinetics-style workload with 27 separate program objects
+// (the Figure 7 recompile-time outlier)
+// ---------------------------------------------------------------------------
+
+class S3d final : public Base {
+ public:
+  std::string name() const override { return "S3D"; }
+
+  cl_int setup(Env& env) override {
+    n_ = (1 << 13) / env.shrink;
+    in_.resize(n_);
+    Rng rng(49);
+    for (auto& v : in_) v = rng.next_float(0.5f, 2.0f);
+    // 27 small "reaction rate" programs, each its own cl_program (paper:
+    // "the recompilation of S3D takes a long time because it uses 27
+    // program objects")
+    for (int r = 0; r < 27; ++r) {
+      std::string src =
+          "__kernel void rate" + std::to_string(r) +
+          "(__global float* y, float c, int n) {\n"
+          "  int i = get_global_id(0);\n"
+          "  if (i >= n) return;\n"
+          "  float v = y[i];\n"
+          "  float k = exp(-c / (v + 0.3f));\n"
+          "  y[i] = v + 0.001f * k * (1.0f - v * 0.1f);\n"
+          "}\n"
+          "// reaction-network stage " + std::to_string(r) + ": padding that\n"
+          "// mimics the real S3D kernels' source sizes so compile-time\n"
+          "// modeling sees realistic inputs.\n";
+      for (int pad = 0; pad < 6; ++pad)
+        src += "float helper" + std::to_string(r) + "_" + std::to_string(pad) +
+               "(float x) { return mad(x, 1.0001f, 0.0001f); }\n";
+      cl_program p = make_program(env, src.c_str());
+      kernels27_.push_back(make_kernel(p, ("rate" + std::to_string(r)).c_str()));
+    }
+    dy_ = make_buffer(env, CL_MEM_READ_WRITE, n_ * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, dy_, in_.data(), n_ * 4);
+    float c = 0.1f;
+    for (cl_kernel k : kernels27_) {
+      set_args(k, dy_, c, static_cast<cl_int>(n_));
+      launch1d(env, k, n_, 64);
+      c += 0.05f;
+    }
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> got(n_);
+    read(env, dy_, got.data(), n_ * 4);
+    std::vector<float> y = in_;
+    float c = 0.1f;
+    for (int r = 0; r < 27; ++r) {
+      for (auto& v : y) {
+        const float k = std::exp(-c / (v + 0.3f));
+        v = v + 0.001f * k * (1.0f - v * 0.1f);
+      }
+      c += 0.05f;
+    }
+    return close_span(got.data(), y.data(), n_, 1e-2f) && status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<float> in_;
+  std::vector<cl_kernel> kernels27_;
+  cl_mem dy_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// MD — Lennard-Jones neighbours force kernel (also drives Figure 6 via MPI)
+// ---------------------------------------------------------------------------
+
+class Md final : public Base {
+ public:
+  std::string name() const override { return "MD"; }
+
+  cl_int setup(Env& env) override {
+    n_ = std::max<std::size_t>(32, 1024 / env.shrink);
+    pos_.resize(3 * n_);
+    Rng rng(50);
+    for (auto& v : pos_) v = rng.next_float(0, 10);
+    static const char* kSrc = R"CL(
+__kernel void ljForce(__global const float* pos, __global float* force,
+                      float cutoff2, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  float xi = pos[3 * i];
+  float yi = pos[3 * i + 1];
+  float zi = pos[3 * i + 2];
+  float fx = 0.0f;
+  float fy = 0.0f;
+  float fz = 0.0f;
+  for (int j = 0; j < n; j = j + 1) {
+    if (j == i) continue;
+    float dx = pos[3 * j] - xi;
+    float dy = pos[3 * j + 1] - yi;
+    float dz = pos[3 * j + 2] - zi;
+    float r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 < cutoff2 && r2 > 1e-6f) {
+      float inv2 = 1.0f / r2;
+      float inv6 = inv2 * inv2 * inv2;
+      float f = inv2 * inv6 * (inv6 - 0.5f);
+      fx = mad(f, dx, fx);
+      fy = mad(f, dy, fy);
+      fz = mad(f, dz, fz);
+    }
+  }
+  force[3 * i] = fx;
+  force[3 * i + 1] = fy;
+  force[3 * i + 2] = fz;
+}
+)CL";
+    // a second kernel integrates velocities/positions — together with the
+    // neighbor-list buffer this gives MD the realistic per-particle state
+    // footprint that drives the Figure 6 checkpoint sizes
+    static const char* kIntegrate = R"CL(
+__kernel void integrate(__global float* pos, __global float* vel,
+                        __global const float* force, float dt, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  vel[3 * i] = mad(force[3 * i], dt, vel[3 * i]);
+  vel[3 * i + 1] = mad(force[3 * i + 1], dt, vel[3 * i + 1]);
+  vel[3 * i + 2] = mad(force[3 * i + 2], dt, vel[3 * i + 2]);
+  pos[3 * i] = mad(vel[3 * i], dt, pos[3 * i]);
+  pos[3 * i + 1] = mad(vel[3 * i + 1], dt, pos[3 * i + 1]);
+  pos[3 * i + 2] = mad(vel[3 * i + 2], dt, pos[3 * i + 2]);
+}
+)CL";
+    cl_program p = make_program(env, kSrc);
+    k_ = make_kernel(p, "ljForce");
+    cl_program pi = make_program(env, kIntegrate);
+    kint_ = make_kernel(pi, "integrate");
+    neighbors_.resize(n_ * 32);
+    Rng nrng(52);
+    for (auto& v : neighbors_) v = nrng.next_u32() % static_cast<std::uint32_t>(n_);
+    dpos_ = make_buffer(env, CL_MEM_READ_WRITE, pos_.size() * 4);
+    dforce_ = make_buffer(env, CL_MEM_READ_WRITE, pos_.size() * 4);
+    dvel_ = make_buffer(env, CL_MEM_READ_WRITE, pos_.size() * 4);
+    dneigh_ = make_buffer(env, CL_MEM_READ_ONLY, neighbors_.size() * 4);
+    return status();
+  }
+
+  cl_int run(Env& env) override {
+    write(env, dpos_, pos_.data(), pos_.size() * 4);
+    const std::vector<float> zeros(pos_.size(), 0.0f);
+    write(env, dvel_, zeros.data(), zeros.size() * 4);
+    write(env, dneigh_, neighbors_.data(), neighbors_.size() * 4);
+    set_args(k_, dpos_, dforce_, 9.0f, static_cast<cl_int>(n_));
+    launch1d(env, k_, (n_ + 63) / 64 * 64, 64);
+    // integrate after the force pass (forces stay consistent with pos_)
+    set_args(kint_, dpos_, dvel_, dforce_, 0.001f, static_cast<cl_int>(n_));
+    launch1d(env, kint_, (n_ + 63) / 64 * 64, 64);
+    return finish(env);
+  }
+
+  bool verify(Env& env) override {
+    std::vector<float> got(pos_.size());
+    read(env, dforce_, got.data(), got.size() * 4);
+    Rng rng(51);
+    for (int probe = 0; probe < 16; ++probe) {
+      const std::size_t i = rng.next_u32() % n_;
+      double fx = 0;
+      double fy = 0;
+      double fz = 0;
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (j == i) continue;
+        const double dx = pos_[3 * j] - pos_[3 * i];
+        const double dy = pos_[3 * j + 1] - pos_[3 * i + 1];
+        const double dz = pos_[3 * j + 2] - pos_[3 * i + 2];
+        const double r2 = dx * dx + dy * dy + dz * dz;
+        if (r2 < 9.0 && r2 > 1e-6) {
+          const double inv2 = 1.0 / r2;
+          const double inv6 = inv2 * inv2 * inv2;
+          const double f = inv2 * inv6 * (inv6 - 0.5);
+          fx += f * dx;
+          fy += f * dy;
+          fz += f * dz;
+        }
+      }
+      if (!close(got[3 * i], static_cast<float>(fx), 5e-2f) ||
+          !close(got[3 * i + 1], static_cast<float>(fy), 5e-2f) ||
+          !close(got[3 * i + 2], static_cast<float>(fz), 5e-2f))
+        return false;
+    }
+    return status() == CL_SUCCESS;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<float> pos_;
+  std::vector<std::uint32_t> neighbors_;
+  cl_mem dpos_ = nullptr, dforce_ = nullptr, dvel_ = nullptr, dneigh_ = nullptr;
+  cl_kernel k_ = nullptr, kint_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_bus_speed_download() {
+  return std::make_unique<BusSpeed>(true);
+}
+std::unique_ptr<Workload> make_bus_speed_readback() {
+  return std::make_unique<BusSpeed>(false);
+}
+std::unique_ptr<Workload> make_maxflops() { return std::make_unique<MaxFlops>(); }
+std::unique_ptr<Workload> make_queue_delay() { return std::make_unique<QueueDelay>(); }
+std::unique_ptr<Workload> make_reduction_shoc() {
+  return std::make_unique<ReductionShoc>();
+}
+std::unique_ptr<Workload> make_sort_shoc() { return std::make_unique<SortShoc>(); }
+std::unique_ptr<Workload> make_sgemm() { return std::make_unique<Sgemm>(); }
+std::unique_ptr<Workload> make_stencil2d() { return std::make_unique<Stencil2D>(); }
+std::unique_ptr<Workload> make_triad() { return std::make_unique<Triad>(); }
+std::unique_ptr<Workload> make_device_memory() {
+  return std::make_unique<DeviceMemory>();
+}
+std::unique_ptr<Workload> make_fft() { return std::make_unique<Fft>(); }
+std::unique_ptr<Workload> make_s3d() { return std::make_unique<S3d>(); }
+std::unique_ptr<Workload> make_md() { return std::make_unique<Md>(); }
+
+}  // namespace workloads

@@ -1,0 +1,83 @@
+// workload.h — the benchmark-suite framework.
+//
+// Each workload is a faithful re-creation of one program from the paper's
+// suite (NVIDIA GPU Computing SDK 3.0 samples, SHOC 0.9.1, Parboil ports):
+// real OpenCL C kernels submitted through the public cl API, host-side
+// verification, deterministic inputs.  The same workload binary runs under
+// the native binding and under CheCL — which is the whole point of Figure 4.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checl/cl.h"
+
+namespace workloads {
+
+// Execution environment prepared by the harness.
+struct Env {
+  cl_platform_id platform = nullptr;
+  cl_device_id device = nullptr;
+  cl_context ctx = nullptr;
+  cl_command_queue queue = nullptr;
+  std::uint64_t device_mem_bytes = 0;  // CL_DEVICE_GLOBAL_MEM_SIZE
+  std::size_t max_work_group_size = 0;
+  // Problem-size divisor: 1 = bench scale, larger = quicker (tests use 8+).
+  unsigned shrink = 1;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  // Workloads that never execute a kernel (pure transfer / compile tests)
+  // are excluded from the Figure 5/7/8 experiments, as in the paper.
+  [[nodiscard]] virtual bool executes_kernel() const { return true; }
+
+  // Creates all OpenCL state (buffers, programs, kernels).
+  virtual cl_int setup(Env& env) = 0;
+  // One measured iteration: transfers + kernel launches + clFinish.
+  virtual cl_int run(Env& env) = 0;
+  // Reads results back and checks them against a host reference.
+  virtual bool verify(Env& env) = 0;
+  // Releases everything created in setup.
+  virtual void teardown(Env& env) = 0;
+};
+
+using Factory = std::function<std::unique_ptr<Workload>()>;
+
+struct Entry {
+  std::string name;
+  Factory make;
+};
+
+// The full suite in the paper's figure order.
+const std::vector<Entry>& suite();
+
+// nullptr when `name` is unknown.
+std::unique_ptr<Workload> create(const std::string& name);
+
+// ---- deterministic host-side RNG (xorshift32) -------------------------------
+class Rng {
+ public:
+  explicit Rng(std::uint32_t seed = 0x1234567u) : s_(seed != 0 ? seed : 1) {}
+  std::uint32_t next_u32() noexcept {
+    s_ ^= s_ << 13;
+    s_ ^= s_ >> 17;
+    s_ ^= s_ << 5;
+    return s_;
+  }
+  float next_float(float lo = 0.0f, float hi = 1.0f) noexcept {
+    return lo + (hi - lo) *
+                    (static_cast<float>(next_u32() & 0xFFFFFF) / 16777216.0f);
+  }
+
+ private:
+  std::uint32_t s_;
+};
+
+}  // namespace workloads

@@ -1,0 +1,341 @@
+// checl_core_test.cpp — the CheCL wrapper layer: handle opacity (the app
+// never sees an actual OpenCL handle), object recording, clSetKernelArg
+// conversion (signature path and address heuristic), info-query translation,
+// and the object database.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <cstring>
+
+#include "checl/checl.h"
+#include "checl/cl.h"
+
+namespace {
+
+const char* kSrc = R"CL(
+__kernel void axpy(__global float* y, __global const float* x, float a, int n) {
+  int i = get_global_id(0);
+  if (i < n) y[i] = a * x[i] + y[i];
+}
+)CL";
+
+class CheclCoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& rt = checl::CheclRuntime::instance();
+    rt.reset_all();
+    checl::NodeConfig node = checl::dual_node();
+    node.transport = proxy::Transport::Thread;  // fast in-process for units
+    rt.set_node(node);
+    checl::bind_checl();
+    ASSERT_EQ(clGetPlatformIDs(1, &platform_, nullptr), CL_SUCCESS);
+    ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_GPU, 1, &device_, nullptr),
+              CL_SUCCESS);
+    cl_int err = CL_SUCCESS;
+    ctx_ = clCreateContext(nullptr, 1, &device_, nullptr, nullptr, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    queue_ = clCreateCommandQueue(ctx_, device_, 0, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+  }
+  void TearDown() override {
+    if (queue_ != nullptr) clReleaseCommandQueue(queue_);
+    if (ctx_ != nullptr) clReleaseContext(ctx_);
+    checl::CheclRuntime::instance().reset_all();
+    checl::bind_native();
+  }
+
+  cl_platform_id platform_ = nullptr;
+  cl_device_id device_ = nullptr;
+  cl_context ctx_ = nullptr;
+  cl_command_queue queue_ = nullptr;
+};
+
+TEST_F(CheclCoreTest, HandlesAreCheclObjectsNotOpenClHandles) {
+  // every handle the app holds must be a tagged CheCL object
+  EXPECT_TRUE(checl::is_checl_object(platform_));
+  EXPECT_TRUE(checl::is_checl_object(device_));
+  EXPECT_TRUE(checl::is_checl_object(ctx_));
+  EXPECT_TRUE(checl::is_checl_object(queue_));
+  auto* obj = checl::as_checl<checl::ContextObj>(ctx_);
+  ASSERT_NE(obj, nullptr);
+  // the actual OpenCL handle is a different value, hidden in the object
+  EXPECT_NE(obj->remote, reinterpret_cast<std::uintptr_t>(ctx_));
+  EXPECT_NE(obj->remote, 0u);
+}
+
+TEST_F(CheclCoreTest, InfoQueriesReturnCheclHandles) {
+  // CL_CONTEXT_DEVICES must come back as the CheCL device handle
+  cl_device_id devs[4] = {};
+  ASSERT_EQ(clGetContextInfo(ctx_, CL_CONTEXT_DEVICES, sizeof devs, devs, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(devs[0], device_);
+  cl_context qctx = nullptr;
+  ASSERT_EQ(clGetCommandQueueInfo(queue_, CL_QUEUE_CONTEXT, sizeof qctx, &qctx,
+                                  nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(qctx, ctx_);
+  cl_platform_id p = nullptr;
+  ASSERT_EQ(clGetDeviceInfo(device_, CL_DEVICE_PLATFORM, sizeof p, &p, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(p, platform_);
+}
+
+TEST_F(CheclCoreTest, DeviceInfoForwardedThroughProxy) {
+  char name[256] = {};
+  ASSERT_EQ(clGetDeviceInfo(device_, CL_DEVICE_NAME, sizeof name, name, nullptr),
+            CL_SUCCESS);
+  EXPECT_NE(std::string(name).find("C1060"), std::string::npos);
+}
+
+TEST_F(CheclCoreTest, ObjectDatabaseTracksCreations) {
+  auto& db = checl::CheclRuntime::instance().db();
+  const std::size_t before = db.size();
+  cl_int err = CL_SUCCESS;
+  cl_mem m = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 1024, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  EXPECT_EQ(db.size(), before + 1);
+  EXPECT_EQ(clReleaseMemObject(m), CL_SUCCESS);
+  EXPECT_EQ(db.size(), before);  // released objects leave the database
+}
+
+TEST_F(CheclCoreTest, ProgramRecordsSourceAndSignatures) {
+  cl_int err = CL_SUCCESS;
+  cl_program p = clCreateProgramWithSource(ctx_, 1, &kSrc, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  auto* obj = checl::as_checl<checl::ProgramObj>(p);
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->source, kSrc);
+  EXPECT_FALSE(obj->built);
+  ASSERT_NE(obj->signatures.find("axpy"), nullptr);
+  EXPECT_EQ(obj->signatures.find("axpy")->params.size(), 4u);
+  ASSERT_EQ(clBuildProgram(p, 1, &device_, "-D X=1", nullptr, nullptr), CL_SUCCESS);
+  EXPECT_TRUE(obj->built);
+  EXPECT_EQ(obj->build_options, "-D X=1");
+  // CL_PROGRAM_SOURCE is answered locally from the record
+  std::size_t n = 0;
+  ASSERT_EQ(clGetProgramInfo(p, CL_PROGRAM_SOURCE, 0, nullptr, &n), CL_SUCCESS);
+  EXPECT_EQ(n, std::string(kSrc).size() + 1);
+  clReleaseProgram(p);
+}
+
+TEST_F(CheclCoreTest, SetKernelArgRecordsAndConverts) {
+  cl_int err = CL_SUCCESS;
+  cl_program p = clCreateProgramWithSource(ctx_, 1, &kSrc, nullptr, &err);
+  ASSERT_EQ(clBuildProgram(p, 1, &device_, "", nullptr, nullptr), CL_SUCCESS);
+  cl_kernel k = clCreateKernel(p, "axpy", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_mem y = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 256, nullptr, &err);
+  cl_mem x = clCreateBuffer(ctx_, CL_MEM_READ_ONLY, 256, nullptr, &err);
+  const float a = 2.0f;
+  const int n = 64;
+  ASSERT_EQ(clSetKernelArg(k, 0, sizeof y, &y), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(k, 1, sizeof x, &x), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(k, 2, sizeof a, &a), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(k, 3, sizeof n, &n), CL_SUCCESS);
+
+  auto* ko = checl::as_checl<checl::KernelObj>(k);
+  ASSERT_NE(ko, nullptr);
+  ASSERT_EQ(ko->args.size(), 4u);
+  EXPECT_EQ(ko->args[0].kind, checl::KernelObj::ArgRec::Kind::Mem);
+  EXPECT_EQ(ko->args[0].mem, checl::as_checl<checl::MemObj>(y));
+  EXPECT_EQ(ko->args[2].kind, checl::KernelObj::ArgRec::Kind::Bytes);
+  ASSERT_EQ(ko->args[2].bytes.size(), sizeof a);
+  float recorded = 0;
+  std::memcpy(&recorded, ko->args[2].bytes.data(), sizeof recorded);
+  EXPECT_FLOAT_EQ(recorded, 2.0f);
+
+  // wrong size for a mem-handle parameter is rejected
+  EXPECT_EQ(clSetKernelArg(k, 0, 4, &y), CL_INVALID_ARG_SIZE);
+  // and a bogus handle value is rejected
+  int junk = 0;
+  void* junk_ptr = &junk;
+  EXPECT_EQ(clSetKernelArg(k, 0, sizeof junk_ptr, &junk_ptr),
+            CL_INVALID_MEM_OBJECT);
+
+  clReleaseKernel(k);
+  clReleaseProgram(p);
+  clReleaseMemObject(x);
+  clReleaseMemObject(y);
+}
+
+TEST_F(CheclCoreTest, RebindingArgReleasesPreviousMem) {
+  cl_int err = CL_SUCCESS;
+  cl_program p = clCreateProgramWithSource(ctx_, 1, &kSrc, nullptr, &err);
+  clBuildProgram(p, 1, &device_, "", nullptr, nullptr);
+  cl_kernel k = clCreateKernel(p, "axpy", &err);
+  cl_mem m1 = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 256, nullptr, &err);
+  cl_mem m2 = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 256, nullptr, &err);
+  clSetKernelArg(k, 0, sizeof m1, &m1);
+  auto* m1_obj = checl::as_checl<checl::MemObj>(m1);
+  const auto refs_bound = m1_obj->refs.load();
+  clSetKernelArg(k, 0, sizeof m2, &m2);
+  EXPECT_EQ(m1_obj->refs.load(), refs_bound - 1);  // kernel dropped its ref
+  clReleaseKernel(k);
+  clReleaseProgram(p);
+  clReleaseMemObject(m1);
+  clReleaseMemObject(m2);
+}
+
+TEST_F(CheclCoreTest, EndToEndExecutionUnderWrappers) {
+  cl_int err = CL_SUCCESS;
+  cl_program p = clCreateProgramWithSource(ctx_, 1, &kSrc, nullptr, &err);
+  ASSERT_EQ(clBuildProgram(p, 1, &device_, "", nullptr, nullptr), CL_SUCCESS);
+  cl_kernel k = clCreateKernel(p, "axpy", &err);
+  const int n = 512;
+  std::vector<float> xs(n, 3.0f);
+  std::vector<float> ys(n, 1.0f);
+  cl_mem x = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                            n * 4, xs.data(), &err);
+  cl_mem y = clCreateBuffer(ctx_, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR,
+                            n * 4, ys.data(), &err);
+  const float a = 10.0f;
+  clSetKernelArg(k, 0, sizeof y, &y);
+  clSetKernelArg(k, 1, sizeof x, &x);
+  clSetKernelArg(k, 2, sizeof a, &a);
+  clSetKernelArg(k, 3, sizeof n, &n);
+  const std::size_t g = n;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, k, 1, nullptr, &g, nullptr, 0, nullptr,
+                                   nullptr),
+            CL_SUCCESS);
+  std::vector<float> out(n);
+  ASSERT_EQ(clEnqueueReadBuffer(queue_, y, CL_TRUE, 0, n * 4, out.data(), 0,
+                                nullptr, nullptr),
+            CL_SUCCESS);
+  for (const float v : out) EXPECT_FLOAT_EQ(v, 31.0f);
+  clReleaseKernel(k);
+  clReleaseProgram(p);
+  clReleaseMemObject(x);
+  clReleaseMemObject(y);
+}
+
+TEST_F(CheclCoreTest, EventsAreWrappedAndQueryable) {
+  cl_event ev = nullptr;
+  ASSERT_EQ(clEnqueueMarker(queue_, &ev), CL_SUCCESS);
+  ASSERT_NE(ev, nullptr);
+  EXPECT_TRUE(checl::is_checl_object(ev));
+  ASSERT_EQ(clWaitForEvents(1, &ev), CL_SUCCESS);
+  cl_int st = -1;
+  ASSERT_EQ(clGetEventInfo(ev, CL_EVENT_COMMAND_EXECUTION_STATUS, sizeof st, &st,
+                           nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(st, CL_COMPLETE);
+  cl_command_queue q = nullptr;
+  ASSERT_EQ(clGetEventInfo(ev, CL_EVENT_COMMAND_QUEUE, sizeof q, &q, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(q, queue_);  // the CheCL queue handle, not the remote one
+  clReleaseEvent(ev);
+}
+
+TEST_F(CheclCoreTest, AddressHeuristicConvertsForBinaryPrograms) {
+  // build via source, extract binary, recreate via binary: no signatures
+  cl_int err = CL_SUCCESS;
+  cl_program p = clCreateProgramWithSource(ctx_, 1, &kSrc, nullptr, &err);
+  ASSERT_EQ(clBuildProgram(p, 1, &device_, "", nullptr, nullptr), CL_SUCCESS);
+  std::size_t bin_size = 0;
+  ASSERT_EQ(clGetProgramInfo(p, CL_PROGRAM_BINARY_SIZES, sizeof bin_size,
+                             &bin_size, nullptr),
+            CL_SUCCESS);
+  std::vector<unsigned char> bin(bin_size);
+  unsigned char* ptrs[1] = {bin.data()};
+  ASSERT_EQ(clGetProgramInfo(p, CL_PROGRAM_BINARIES, sizeof ptrs, ptrs, nullptr),
+            CL_SUCCESS);
+  const unsigned char* cptr = bin.data();
+  cl_int status = CL_SUCCESS;
+  cl_program pb = clCreateProgramWithBinary(ctx_, 1, &device_, &bin_size, &cptr,
+                                            &status, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clBuildProgram(pb, 1, &device_, "", nullptr, nullptr), CL_SUCCESS);
+  auto* pobj = checl::as_checl<checl::ProgramObj>(pb);
+  EXPECT_TRUE(pobj->from_binary);
+  EXPECT_TRUE(pobj->signatures.empty());  // the deprecated path has no source
+
+  cl_kernel k = clCreateKernel(pb, "axpy", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  // the heuristic must still detect the cl_mem argument by address
+  cl_mem y = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 256, nullptr, &err);
+  ASSERT_EQ(clSetKernelArg(k, 0, sizeof y, &y), CL_SUCCESS);
+  auto* ko = checl::as_checl<checl::KernelObj>(k);
+  ASSERT_GE(ko->args.size(), 1u);
+  EXPECT_EQ(ko->args[0].kind, checl::KernelObj::ArgRec::Kind::Mem);
+  // and a same-width plain value is NOT misread as a handle
+  const std::uint64_t plain = 0x1234;
+  ASSERT_EQ(clSetKernelArg(k, 2, sizeof plain, &plain), CL_SUCCESS);
+  EXPECT_EQ(ko->args[2].kind, checl::KernelObj::ArgRec::Kind::Bytes);
+
+  clReleaseKernel(k);
+  clReleaseProgram(pb);
+  clReleaseProgram(p);
+  clReleaseMemObject(y);
+}
+
+TEST_F(CheclCoreTest, SamplerWrapping) {
+  cl_int err = CL_SUCCESS;
+  cl_sampler s = clCreateSampler(ctx_, CL_FALSE, CL_ADDRESS_CLAMP_TO_EDGE,
+                                 CL_FILTER_NEAREST, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  EXPECT_TRUE(checl::is_checl_object(s));
+  cl_uint am = 0;
+  ASSERT_EQ(clGetSamplerInfo(s, CL_SAMPLER_ADDRESSING_MODE, sizeof am, &am,
+                             nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(am, static_cast<cl_uint>(CL_ADDRESS_CLAMP_TO_EDGE));
+  clReleaseSampler(s);
+}
+
+TEST_F(CheclCoreTest, CrossTypeCheclHandlesRejected) {
+  // a context handle passed where a queue/kernel/mem is expected
+  EXPECT_EQ(clFinish(reinterpret_cast<cl_command_queue>(ctx_)),
+            CL_INVALID_COMMAND_QUEUE);
+  EXPECT_EQ(clReleaseKernel(reinterpret_cast<cl_kernel>(ctx_)),
+            CL_INVALID_KERNEL);
+  EXPECT_EQ(clReleaseMemObject(reinterpret_cast<cl_mem>(queue_)),
+            CL_INVALID_MEM_OBJECT);
+  cl_int err = CL_SUCCESS;
+  cl_command_queue q = clCreateCommandQueue(
+      reinterpret_cast<cl_context>(device_), device_, 0, &err);
+  EXPECT_EQ(q, nullptr);
+  EXPECT_EQ(err, CL_INVALID_CONTEXT);
+}
+
+TEST_F(CheclCoreTest, ReleasedHandleIsInvalidAfterwards) {
+  cl_int err = CL_SUCCESS;
+  cl_mem m = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 256, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clReleaseMemObject(m), CL_SUCCESS);
+  EXPECT_EQ(clReleaseMemObject(m), CL_INVALID_MEM_OBJECT);  // double release
+  EXPECT_EQ(clRetainMemObject(m), CL_INVALID_MEM_OBJECT);
+}
+
+TEST_F(CheclCoreTest, KernelKeepsBoundMemAliveAfterAppRelease) {
+  cl_int err = CL_SUCCESS;
+  cl_program p = clCreateProgramWithSource(ctx_, 1, &kSrc, nullptr, &err);
+  clBuildProgram(p, 1, &device_, "", nullptr, nullptr);
+  cl_kernel k = clCreateKernel(p, "axpy", &err);
+  cl_mem m = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 256, nullptr, &err);
+  ASSERT_EQ(clSetKernelArg(k, 0, sizeof m, &m), CL_SUCCESS);
+  auto* mobj = checl::as_checl<checl::MemObj>(m);
+  ASSERT_EQ(clReleaseMemObject(m), CL_SUCCESS);  // app drops its reference
+  // the kernel's recorded binding still holds the object alive and the DB
+  // can still restore it
+  EXPECT_TRUE(checl::is_checl_object(mobj));
+  EXPECT_GE(mobj->refs.load(), 1);
+  clReleaseKernel(k);  // now the last reference goes
+  EXPECT_FALSE(checl::is_checl_object(mobj));
+  clReleaseProgram(p);
+}
+
+TEST_F(CheclCoreTest, SignalHandlerRequestsDelayedCheckpoint) {
+  auto& rt = checl::CheclRuntime::instance();
+  rt.mode = checl::CheckpointMode::Delayed;
+  rt.checkpoint_path = "/tmp/checl_core_signal.ckpt";
+  rt.install_signal_handler(SIGUSR1);
+  ::raise(SIGUSR1);
+  EXPECT_TRUE(rt.checkpoint_pending());
+  // the next sync point performs the checkpoint
+  ASSERT_EQ(clFinish(queue_), CL_SUCCESS);
+  EXPECT_FALSE(rt.checkpoint_pending());
+  EXPECT_GT(rt.last_checkpoint_times().file_bytes, 0u);
+}
+
+}  // namespace

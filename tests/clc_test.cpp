@@ -1,0 +1,884 @@
+// clc_test.cpp — unit tests for the OpenCL C subset compiler/interpreter:
+// lexer, preprocessor, parser diagnostics, expression semantics (exact-width
+// integer wrap-around, conversions, vectors, swizzles), control flow,
+// barriers/__local, builtins, structs, and NDRange execution properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "clc/interp.h"
+#include "clc/lexer.h"
+#include "clc/pp.h"
+#include "clc/program.h"
+
+namespace {
+
+using clc::compile;
+using clc::KernelArg;
+using clc::NDRange;
+
+// Compiles a one-kernel program, runs it over `global` items, returns ok.
+struct KernelRunner {
+  clc::CompileResult res;
+  const clc::FuncDecl* kernel = nullptr;
+  std::vector<KernelArg> args;
+
+  explicit KernelRunner(const char* src, const char* kernel_name = "k",
+                        const char* opts = "") {
+    res = compile(src, opts);
+    if (res.ok()) kernel = res.module->find_func(kernel_name);
+  }
+
+  KernelArg& buffer(void* p) {
+    KernelArg a;
+    a.k = KernelArg::K::GlobalPtr;
+    a.ptr = p;
+    args.push_back(std::move(a));
+    return args.back();
+  }
+  template <typename T>
+  KernelArg& scalar(T v) {
+    KernelArg a;
+    a.k = KernelArg::K::Bytes;
+    a.bytes.resize(sizeof v);
+    std::memcpy(a.bytes.data(), &v, sizeof v);
+    args.push_back(std::move(a));
+    return args.back();
+  }
+  KernelArg& local(std::size_t bytes) {
+    KernelArg a;
+    a.k = KernelArg::K::LocalAlloc;
+    a.local_bytes = bytes;
+    args.push_back(std::move(a));
+    return args.back();
+  }
+
+  clc::LaunchResult run(std::size_t global, std::size_t local_sz = 0) {
+    NDRange nd;
+    nd.dim = 1;
+    nd.global[0] = global;
+    nd.local[0] = local_sz != 0 ? local_sz : 1;
+    return clc::execute_ndrange(*res.module, *kernel, args, nd);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// lexer
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, TokenizesOperatorsAndLiterals) {
+  clc::Lexer lex("a += 0x1F + 2.5f - .5 << 3u;");
+  std::vector<clc::Token> toks;
+  clc::Diag diag;
+  ASSERT_TRUE(lex.run(toks, diag)) << diag.to_string();
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, clc::Tok::Ident);
+  EXPECT_EQ(toks[1].kind, clc::Tok::PlusAssign);
+  EXPECT_EQ(toks[2].kind, clc::Tok::IntLit);
+  EXPECT_EQ(toks[2].int_value, 0x1Fu);
+  EXPECT_EQ(toks[4].kind, clc::Tok::FloatLit);
+  EXPECT_TRUE(toks[4].is_float32);
+  EXPECT_FLOAT_EQ(static_cast<float>(toks[4].float_value), 2.5f);
+}
+
+TEST(Lexer, KeywordsAndAlternateSpellings) {
+  clc::Lexer lex("__kernel kernel __global global __local sampler_t image2d_t");
+  std::vector<clc::Token> toks;
+  clc::Diag diag;
+  ASSERT_TRUE(lex.run(toks, diag));
+  EXPECT_EQ(toks[0].kind, clc::Tok::KwKernel);
+  EXPECT_EQ(toks[1].kind, clc::Tok::KwKernel);
+  EXPECT_EQ(toks[2].kind, clc::Tok::KwGlobal);
+  EXPECT_EQ(toks[3].kind, clc::Tok::KwGlobal);
+  EXPECT_EQ(toks[4].kind, clc::Tok::KwLocal);
+  EXPECT_EQ(toks[5].kind, clc::Tok::KwSampler);
+  EXPECT_EQ(toks[6].kind, clc::Tok::KwImage2d);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  clc::Lexer lex("a /* blk \n comment */ b // line\n c");
+  std::vector<clc::Token> toks;
+  clc::Diag diag;
+  ASSERT_TRUE(lex.run(toks, diag));
+  ASSERT_EQ(toks.size(), 4u);  // a b c <eof>
+}
+
+TEST(Lexer, RejectsUnterminatedString) {
+  clc::Lexer lex("\"abc");
+  std::vector<clc::Token> toks;
+  clc::Diag diag;
+  EXPECT_FALSE(lex.run(toks, diag));
+  EXPECT_FALSE(diag.ok());
+}
+
+// ---------------------------------------------------------------------------
+// preprocessor
+// ---------------------------------------------------------------------------
+
+TEST(Preprocessor, ObjectMacro) {
+  clc::Preprocessor pp;
+  std::string out;
+  clc::Diag diag;
+  ASSERT_TRUE(pp.run("#define N 42\nint x = N;", out, diag));
+  EXPECT_NE(out.find("int x = 42;"), std::string::npos);
+}
+
+TEST(Preprocessor, FunctionMacro) {
+  clc::Preprocessor pp;
+  std::string out;
+  clc::Diag diag;
+  ASSERT_TRUE(pp.run("#define SQ(x) ((x) * (x))\nfloat y = SQ(a + 1);", out, diag));
+  EXPECT_NE(out.find("((a + 1) * (a + 1))"), std::string::npos);
+}
+
+TEST(Preprocessor, ConditionalBlocks) {
+  clc::Preprocessor pp("-D FAST");
+  std::string out;
+  clc::Diag diag;
+  ASSERT_TRUE(pp.run("#ifdef FAST\nfast\n#else\nslow\n#endif", out, diag));
+  EXPECT_NE(out.find("fast"), std::string::npos);
+  EXPECT_EQ(out.find("slow"), std::string::npos);
+}
+
+TEST(Preprocessor, DashDDefinitionsFromBuildOptions) {
+  clc::Preprocessor pp("-D WIDTH=128 -DDEPTH=4");
+  std::string out;
+  clc::Diag diag;
+  ASSERT_TRUE(pp.run("WIDTH DEPTH", out, diag));
+  EXPECT_NE(out.find("128"), std::string::npos);
+  EXPECT_NE(out.find('4'), std::string::npos);
+}
+
+TEST(Preprocessor, UnterminatedIfIsError) {
+  clc::Preprocessor pp;
+  std::string out;
+  clc::Diag diag;
+  EXPECT_FALSE(pp.run("#ifdef X\nbody", out, diag));
+}
+
+// ---------------------------------------------------------------------------
+// parser diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(Parser, ReportsUndeclaredIdentifier) {
+  auto res = compile("__kernel void k(__global int* d) { d[0] = missing; }");
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.build_log.find("missing"), std::string::npos);
+}
+
+TEST(Parser, ReportsUnknownFunction) {
+  auto res = compile("__kernel void k(__global int* d) { d[0] = nosuch(1); }");
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(Parser, RejectsAssignmentToRValue) {
+  auto res = compile("__kernel void k(__global int* d) { 1 = 2; }");
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(Parser, RejectsNonConstantArraySize) {
+  auto res = compile("__kernel void k(__global int* d, int n) { float a[n]; }");
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(Parser, KernelSignatureHandleFlags) {
+  auto res = compile(
+      "__kernel void k(__global float* a, __local int* b, __constant float* c,"
+      " image2d_t img, sampler_t s, float v, int n) {}");
+  ASSERT_TRUE(res.ok()) << res.build_log;
+  const auto* k = res.module->find_func("k");
+  ASSERT_NE(k, nullptr);
+  ASSERT_EQ(k->params.size(), 7u);
+  EXPECT_TRUE(k->params[0].is_handle);
+  EXPECT_TRUE(k->params[1].is_handle);
+  EXPECT_TRUE(k->params[1].is_local_ptr);
+  EXPECT_TRUE(k->params[2].is_handle);
+  EXPECT_TRUE(k->params[3].is_handle);
+  EXPECT_TRUE(k->params[4].is_handle);
+  EXPECT_FALSE(k->params[5].is_handle);
+  EXPECT_FALSE(k->params[6].is_handle);
+}
+
+TEST(Parser, DetectsBarrierUsageTransitively) {
+  auto res = compile(
+      "void helper() { barrier(1); }\n"
+      "__kernel void direct(__global int* d) { barrier(1); }\n"
+      "__kernel void indirect(__global int* d) { helper(); }\n"
+      "__kernel void none(__global int* d) { d[0] = 1; }");
+  ASSERT_TRUE(res.ok()) << res.build_log;
+  EXPECT_TRUE(res.module->find_func("direct")->uses_barrier);
+  EXPECT_TRUE(res.module->find_func("indirect")->uses_barrier);
+  EXPECT_FALSE(res.module->find_func("none")->uses_barrier);
+}
+
+// ---------------------------------------------------------------------------
+// interpreter semantics
+// ---------------------------------------------------------------------------
+
+TEST(Interp, UnsignedWrapAround) {
+  KernelRunner r(
+      "__kernel void k(__global uint* d) {\n"
+      "  uint x = 0xFFFFFFFFu;\n"
+      "  d[0] = x + 1u;\n"
+      "  d[1] = x * 2u;\n"
+      "  d[2] = 0u - 1u;\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  std::uint32_t out[3] = {9, 9, 9};
+  r.buffer(out);
+  ASSERT_TRUE(r.run(1).ok);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 0xFFFFFFFEu);
+  EXPECT_EQ(out[2], 0xFFFFFFFFu);
+}
+
+TEST(Interp, SignedNarrowingAndPromotion) {
+  KernelRunner r(
+      "__kernel void k(__global int* d) {\n"
+      "  char c = 200;\n"   // wraps to -56
+      "  short s = 40000;\n"  // wraps to -25536
+      "  d[0] = c;\n"
+      "  d[1] = s;\n"
+      "  uchar u = 200;\n"
+      "  d[2] = u + 100;\n"  // promoted to int: 300
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  std::int32_t out[3] = {};
+  r.buffer(out);
+  ASSERT_TRUE(r.run(1).ok);
+  EXPECT_EQ(out[0], -56);
+  EXPECT_EQ(out[1], -25536);
+  EXPECT_EQ(out[2], 300);
+}
+
+TEST(Interp, IntegerDivisionAndModulo) {
+  KernelRunner r(
+      "__kernel void k(__global int* d) {\n"
+      "  d[0] = -7 / 2;\n"
+      "  d[1] = -7 % 2;\n"
+      "  d[2] = 7u % 3u;\n"
+      "}");
+  ASSERT_TRUE(r.res.ok());
+  std::int32_t out[3] = {};
+  r.buffer(out);
+  ASSERT_TRUE(r.run(1).ok);
+  EXPECT_EQ(out[0], -3);
+  EXPECT_EQ(out[1], -1);
+  EXPECT_EQ(out[2], 1);
+}
+
+TEST(Interp, DivisionByZeroIsRuntimeError) {
+  KernelRunner r("__kernel void k(__global int* d, int z) { d[0] = 1 / z; }");
+  ASSERT_TRUE(r.res.ok());
+  std::int32_t out[1] = {};
+  r.buffer(out);
+  r.scalar<std::int32_t>(0);
+  const auto lr = r.run(1);
+  EXPECT_FALSE(lr.ok);
+  EXPECT_NE(lr.error.find("zero"), std::string::npos);
+}
+
+TEST(Interp, ShiftCountMasksToWidth) {
+  KernelRunner r(
+      "__kernel void k(__global uint* d) {\n"
+      "  uint one = 1u;\n"
+      "  d[0] = one << 33;\n"  // 33 & 31 == 1
+      "}");
+  ASSERT_TRUE(r.res.ok());
+  std::uint32_t out[1] = {};
+  r.buffer(out);
+  ASSERT_TRUE(r.run(1).ok);
+  EXPECT_EQ(out[0], 2u);
+}
+
+TEST(Interp, TernaryShortCircuitAndLogicalOps) {
+  KernelRunner r(
+      "__kernel void k(__global int* d, int z) {\n"
+      "  d[0] = z != 0 && (10 / z) > 1 ? 1 : 0;\n"  // no div by zero
+      "  d[1] = z == 0 || (10 / (z + 1)) > 100 ? 7 : 8;\n"
+      "}");
+  ASSERT_TRUE(r.res.ok());
+  std::int32_t out[2] = {};
+  r.buffer(out);
+  r.scalar<std::int32_t>(0);
+  ASSERT_TRUE(r.run(1).ok);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 7);
+}
+
+TEST(Interp, VectorConstructSwizzleAndArith) {
+  KernelRunner r(
+      "__kernel void k(__global float* d) {\n"
+      "  float4 v = (float4)(1.0f, 2.0f, 3.0f, 4.0f);\n"
+      "  float4 w = v * 2.0f + (float4)(0.5f);\n"
+      "  d[0] = w.x; d[1] = w.y; d[2] = w.z; d[3] = w.w;\n"
+      "  float2 p = w.xy;\n"
+      "  d[4] = p.y;\n"
+      "  v.x = 100.0f;\n"
+      "  d[5] = v.x + v.w;\n"
+      "  d[6] = dot(v, v);\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  float out[7] = {};
+  r.buffer(out);
+  ASSERT_TRUE(r.run(1).ok);
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+  EXPECT_FLOAT_EQ(out[1], 4.5f);
+  EXPECT_FLOAT_EQ(out[2], 6.5f);
+  EXPECT_FLOAT_EQ(out[3], 8.5f);
+  EXPECT_FLOAT_EQ(out[4], 4.5f);
+  EXPECT_FLOAT_EQ(out[5], 104.0f);
+  EXPECT_FLOAT_EQ(out[6], 100.0f * 100.0f + 4.0f + 9.0f + 16.0f);
+}
+
+TEST(Interp, StructFieldsAndPointers) {
+  KernelRunner r(
+      "typedef struct { float x; int count; float y; } Item;\n"
+      "__kernel void k(__global Item* items, int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i >= n) return;\n"
+      "  items[i].y = items[i].x * 2.0f;\n"
+      "  items[i].count = items[i].count + i;\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  struct Item {
+    float x;
+    std::int32_t count;
+    float y;
+  };
+  std::vector<Item> items(8);
+  for (int i = 0; i < 8; ++i) items[static_cast<std::size_t>(i)] = {1.0f * i, 10, 0.0f};
+  r.buffer(items.data());
+  r.scalar<std::int32_t>(8);
+  ASSERT_TRUE(r.run(8).ok);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(items[static_cast<std::size_t>(i)].y, 2.0f * i);
+    EXPECT_EQ(items[static_cast<std::size_t>(i)].count, 10 + i);
+  }
+}
+
+TEST(Interp, StructByValueParamIsACopy) {
+  KernelRunner r(
+      "typedef struct { int a; int b; } Pair;\n"
+      "int use(Pair p) { p.a = 999; return p.a + p.b; }\n"
+      "__kernel void k(__global int* d) {\n"
+      "  Pair p; p.a = 1; p.b = 2;\n"
+      "  d[0] = use(p);\n"
+      "  d[1] = p.a;\n"  // unchanged: callee got a copy
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  std::int32_t out[2] = {};
+  r.buffer(out);
+  ASSERT_TRUE(r.run(1).ok);
+  EXPECT_EQ(out[0], 1001);
+  EXPECT_EQ(out[1], 1);
+}
+
+TEST(Interp, PrivateArraysAndLoops) {
+  KernelRunner r(
+      "__kernel void k(__global int* d) {\n"
+      "  int acc[8];\n"
+      "  for (int i = 0; i < 8; i = i + 1) acc[i] = i * i;\n"
+      "  int sum = 0;\n"
+      "  for (int i = 0; i < 8; ++i) sum += acc[i];\n"
+      "  d[0] = sum;\n"
+      "}");
+  ASSERT_TRUE(r.res.ok());
+  std::int32_t out[1] = {};
+  r.buffer(out);
+  ASSERT_TRUE(r.run(1).ok);
+  EXPECT_EQ(out[0], 140);
+}
+
+TEST(Interp, WhileDoWhileBreakContinue) {
+  KernelRunner r(
+      "__kernel void k(__global int* d) {\n"
+      "  int i = 0; int sum = 0;\n"
+      "  while (1) { i = i + 1; if (i > 10) break; if (i % 2 == 0) continue; sum += i; }\n"
+      "  d[0] = sum;\n"  // 1+3+5+7+9
+      "  int j = 100; int c = 0;\n"
+      "  do { c = c + 1; j = j / 2; } while (j > 0);\n"
+      "  d[1] = c;\n"  // 100->50->25->12->6->3->1->0: 7 halvings
+      "}");
+  ASSERT_TRUE(r.res.ok());
+  std::int32_t out[2] = {};
+  r.buffer(out);
+  ASSERT_TRUE(r.run(1).ok);
+  EXPECT_EQ(out[0], 25);
+  EXPECT_EQ(out[1], 7);
+}
+
+TEST(Interp, AddressOfAndDeref) {
+  KernelRunner r(
+      "void bump(__global int* p) { *p = *p + 5; }\n"
+      "__kernel void k(__global int* d) {\n"
+      "  bump(&d[3]);\n"
+      "  d[0] = *(d + 3);\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  std::int32_t out[4] = {0, 0, 0, 10};
+  r.buffer(out);
+  ASSERT_TRUE(r.run(1).ok);
+  EXPECT_EQ(out[3], 15);
+  EXPECT_EQ(out[0], 15);
+}
+
+TEST(Interp, NullDerefIsRuntimeErrorNotCrash) {
+  KernelRunner r("__kernel void k(__global int* d) { d[0] = 1; }");
+  ASSERT_TRUE(r.res.ok());
+  r.buffer(nullptr);
+  const auto lr = r.run(1);
+  EXPECT_FALSE(lr.ok);
+}
+
+TEST(Interp, MissingReturnIsRuntimeError) {
+  KernelRunner r(
+      "int f(int x) { if (x > 0) return x; }\n"
+      "__kernel void k(__global int* d) { d[0] = f(-1); }");
+  ASSERT_TRUE(r.res.ok());
+  std::int32_t out[1] = {};
+  r.buffer(out);
+  EXPECT_FALSE(r.run(1).ok);
+}
+
+TEST(Interp, BarrierReductionAcrossGroups) {
+  KernelRunner r(
+      "__kernel void k(__global const int* in, __global int* out,\n"
+      "                __local int* tmp, int n) {\n"
+      "  int gid = get_global_id(0);\n"
+      "  int lid = get_local_id(0);\n"
+      "  tmp[lid] = gid < n ? in[gid] : 0;\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {\n"
+      "    if (lid < s) tmp[lid] += tmp[lid + s];\n"
+      "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  }\n"
+      "  if (lid == 0) out[get_group_id(0)] = tmp[0];\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  const int n = 256;
+  std::vector<std::int32_t> in(n);
+  std::iota(in.begin(), in.end(), 0);
+  std::vector<std::int32_t> out(n / 32, 0);
+  r.buffer(in.data());
+  r.buffer(out.data());
+  r.local(32 * 4);
+  r.scalar<std::int32_t>(n);
+  ASSERT_TRUE(r.run(n, 32).ok);
+  const std::int64_t total = std::accumulate(out.begin(), out.end(), std::int64_t{0});
+  EXPECT_EQ(total, static_cast<std::int64_t>(n) * (n - 1) / 2);
+}
+
+TEST(Interp, StaticLocalDeclarationInKernelBody) {
+  KernelRunner r(
+      "__kernel void k(__global int* out) {\n"
+      "  __local int tmp[16];\n"
+      "  int lid = get_local_id(0);\n"
+      "  tmp[lid] = lid * 10;\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  out[get_global_id(0)] = tmp[15 - lid];\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  std::vector<std::int32_t> out(16, -1);
+  r.buffer(out.data());
+  ASSERT_TRUE(r.run(16, 16).ok);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], (15 - i) * 10);
+}
+
+TEST(Interp, AtomicsAreAtomicAcrossWorkItems) {
+  KernelRunner r(
+      "__kernel void k(__global uint* counter) {\n"
+      "  atomic_add(&counter[0], 1u);\n"
+      "  atomic_max(&counter[1], (uint)get_global_id(0));\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  std::uint32_t counters[2] = {0, 0};
+  r.buffer(counters);
+  ASSERT_TRUE(r.run(1024, 64).ok);
+  EXPECT_EQ(counters[0], 1024u);
+  EXPECT_EQ(counters[1], 1023u);
+}
+
+TEST(Interp, MathBuiltinsMatchHost) {
+  KernelRunner r(
+      "__kernel void k(__global float* d, float x) {\n"
+      "  d[0] = sqrt(x); d[1] = exp(x); d[2] = log(x); d[3] = pow(x, 3.0f);\n"
+      "  d[4] = fmin(x, 1.0f); d[5] = fmax(x, 10.0f); d[6] = floor(x);\n"
+      "  d[7] = mad(x, 2.0f, 1.0f); d[8] = clamp(x, 0.0f, 3.0f);\n"
+      "  d[9] = fabs(-x); d[10] = rsqrt(x); d[11] = atan2(x, 2.0f);\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  float out[12] = {};
+  const float x = 4.2f;
+  r.buffer(out);
+  r.scalar(x);
+  ASSERT_TRUE(r.run(1).ok);
+  EXPECT_NEAR(out[0], std::sqrt(x), 1e-5);
+  EXPECT_NEAR(out[1], std::exp(x), 1e-2);
+  EXPECT_NEAR(out[2], std::log(x), 1e-5);
+  EXPECT_NEAR(out[3], std::pow(x, 3.0f), 1e-2);
+  EXPECT_FLOAT_EQ(out[4], 1.0f);
+  EXPECT_FLOAT_EQ(out[5], 10.0f);
+  EXPECT_FLOAT_EQ(out[6], 4.0f);
+  EXPECT_NEAR(out[7], x * 2.0f + 1.0f, 1e-5);
+  EXPECT_FLOAT_EQ(out[8], 3.0f);
+  EXPECT_FLOAT_EQ(out[9], x);
+  EXPECT_NEAR(out[10], 1.0f / std::sqrt(x), 1e-5);
+  EXPECT_NEAR(out[11], std::atan2(x, 2.0f), 1e-5);
+}
+
+TEST(Interp, IntMinMaxAbsVariants) {
+  KernelRunner r(
+      "__kernel void k(__global int* d) {\n"
+      "  d[0] = min(-3, 5);\n"
+      "  d[1] = max(-3, 5);\n"
+      "  d[2] = (int)abs(-17);\n"
+      "  d[3] = (int)min(3u, 5u);\n"
+      "  d[4] = clamp(42, 0, 10);\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  std::int32_t out[5] = {};
+  r.buffer(out);
+  ASSERT_TRUE(r.run(1).ok);
+  EXPECT_EQ(out[0], -3);
+  EXPECT_EQ(out[1], 5);
+  EXPECT_EQ(out[2], 17);
+  EXPECT_EQ(out[3], 3);
+  EXPECT_EQ(out[4], 10);
+}
+
+TEST(Interp, AsTypeBitcasts) {
+  KernelRunner r(
+      "__kernel void k(__global uint* d, float f) {\n"
+      "  d[0] = as_uint(f);\n"
+      "  d[1] = as_uint(as_float(d[0]));\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  std::uint32_t out[2] = {};
+  const float f = -123.456f;
+  r.buffer(out);
+  r.scalar(f);
+  ASSERT_TRUE(r.run(1).ok);
+  std::uint32_t want = 0;
+  std::memcpy(&want, &f, 4);
+  EXPECT_EQ(out[0], want);
+  EXPECT_EQ(out[1], want);
+}
+
+TEST(Interp, ConvertFunctions) {
+  KernelRunner r(
+      "__kernel void k(__global int* d) {\n"
+      "  d[0] = convert_int(3.9f);\n"
+      "  d[1] = (int)convert_uint(7.2f);\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  std::int32_t out[2] = {};
+  r.buffer(out);
+  ASSERT_TRUE(r.run(1).ok);
+  EXPECT_EQ(out[0], 3);
+  EXPECT_EQ(out[1], 7);
+}
+
+// ---------------------------------------------------------------------------
+// NDRange properties
+// ---------------------------------------------------------------------------
+
+TEST(NDRange, IdsConsistent2D) {
+  KernelRunner r(
+      "__kernel void k(__global int* d, int w) {\n"
+      "  int x = get_global_id(0);\n"
+      "  int y = get_global_id(1);\n"
+      "  int check = (int)(get_group_id(0) * get_local_size(0) + get_local_id(0));\n"
+      "  d[y * w + x] = x == check ? (y * w + x) : -1;\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  const int w = 16;
+  const int h = 8;
+  std::vector<std::int32_t> out(static_cast<std::size_t>(w * h), -2);
+  r.buffer(out.data());
+  r.scalar<std::int32_t>(w);
+  NDRange nd;
+  nd.dim = 2;
+  nd.global[0] = w;
+  nd.global[1] = h;
+  nd.local[0] = 4;
+  nd.local[1] = 2;
+  ASSERT_TRUE(clc::execute_ndrange(*r.res.module, *r.kernel, r.args, nd).ok);
+  for (int i = 0; i < w * h; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(NDRange, GlobalOffsetRespected) {
+  KernelRunner r(
+      "__kernel void k(__global int* d) { d[get_global_id(0)] = 1; }");
+  ASSERT_TRUE(r.res.ok());
+  std::vector<std::int32_t> out(32, 0);
+  r.buffer(out.data());
+  NDRange nd;
+  nd.dim = 1;
+  nd.global[0] = 8;
+  nd.local[0] = 4;
+  nd.offset[0] = 16;
+  ASSERT_TRUE(clc::execute_ndrange(*r.res.module, *r.kernel, r.args, nd).ok);
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i >= 16 && i < 24 ? 1 : 0);
+}
+
+TEST(NDRange, OpCountGrowsWithWork) {
+  KernelRunner r(
+      "__kernel void k(__global float* d) {\n"
+      "  int i = get_global_id(0);\n"
+      "  d[i] = d[i] * 2.0f + 1.0f;\n"
+      "}");
+  ASSERT_TRUE(r.res.ok());
+  std::vector<float> buf(4096, 1.0f);
+  r.buffer(buf.data());
+  const auto small = r.run(64, 64);
+  const auto large = r.run(4096, 64);
+  ASSERT_TRUE(small.ok);
+  ASSERT_TRUE(large.ok);
+  EXPECT_GT(large.ops, small.ops * 50);  // ~64x the work
+}
+
+TEST(NDRange, WrongArgCountFailsCleanly) {
+  KernelRunner r("__kernel void k(__global int* d, int n) { d[0] = n; }");
+  ASSERT_TRUE(r.res.ok());
+  std::int32_t out[1] = {};
+  r.buffer(out);  // missing the int arg
+  const auto lr = r.run(1);
+  EXPECT_FALSE(lr.ok);
+}
+
+// Parameterized sweep: barrier reduction must be correct for every
+// local size that divides the global size.
+class BarrierSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BarrierSweep, ReductionCorrectAtAnyLocalSize) {
+  const std::size_t local = GetParam();
+  KernelRunner r(
+      "__kernel void k(__global const int* in, __global int* out,\n"
+      "                __local int* tmp) {\n"
+      "  int lid = get_local_id(0);\n"
+      "  tmp[lid] = in[get_global_id(0)];\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {\n"
+      "    if (lid < s) tmp[lid] += tmp[lid + s];\n"
+      "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  }\n"
+      "  if (lid == 0) out[get_group_id(0)] = tmp[0];\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  const std::size_t n = 256;
+  std::vector<std::int32_t> in(n, 1);
+  std::vector<std::int32_t> out(n / local, 0);
+  r.buffer(in.data());
+  r.buffer(out.data());
+  r.local(local * 4);
+  ASSERT_TRUE(r.run(n, local).ok);
+  for (const std::int32_t g : out) EXPECT_EQ(g, static_cast<std::int32_t>(local));
+}
+
+INSTANTIATE_TEST_SUITE_P(LocalSizes, BarrierSweep,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128));
+
+// Parameterized sweep: every scalar type round-trips through a global buffer
+// with arithmetic applied (checks exact-width loads/stores + conversions).
+struct TypeCase {
+  const char* cl_type;
+  std::size_t size;
+};
+
+class ScalarTypeSweep : public ::testing::TestWithParam<TypeCase> {};
+
+TEST_P(ScalarTypeSweep, BufferRoundTripWithArithmetic) {
+  const TypeCase& tc = GetParam();
+  const std::string src = std::string("__kernel void k(__global ") +
+                          tc.cl_type + "* d, int n) {\n" +
+                          "  int i = get_global_id(0);\n" +
+                          "  if (i < n) d[i] = d[i] + (" + tc.cl_type + ")1;\n" +
+                          "}";
+  KernelRunner r(src.c_str());
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  const int n = 64;
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(n) * tc.size, 0);
+  r.buffer(buf.data());
+  r.scalar<std::int32_t>(n);
+  ASSERT_TRUE(r.run(64, 8).ok);
+  // every element started at 0 and must now encode exactly 1
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, buf.data() + static_cast<std::size_t>(i) * tc.size,
+                std::min<std::size_t>(tc.size, 8));
+    if (std::string(tc.cl_type) == "float") {
+      float f = 0;
+      std::memcpy(&f, &raw, 4);
+      EXPECT_FLOAT_EQ(f, 1.0f);
+    } else if (std::string(tc.cl_type) == "double") {
+      double f = 0;
+      std::memcpy(&f, &raw, 8);
+      EXPECT_DOUBLE_EQ(f, 1.0);
+    } else {
+      EXPECT_EQ(raw, 1u) << tc.cl_type << " at " << i;
+    }
+  }
+}
+
+std::string type_case_name(const ::testing::TestParamInfo<TypeCase>& info) {
+  return info.param.cl_type;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Types, ScalarTypeSweep,
+    ::testing::Values(TypeCase{"char", 1}, TypeCase{"uchar", 1},
+                      TypeCase{"short", 2}, TypeCase{"ushort", 2},
+                      TypeCase{"int", 4}, TypeCase{"uint", 4},
+                      TypeCase{"long", 8}, TypeCase{"ulong", 8},
+                      TypeCase{"float", 4}, TypeCase{"double", 8}),
+    type_case_name);
+
+// Compound assignment operators against host semantics.
+class CompoundOpSweep
+    : public ::testing::TestWithParam<std::pair<const char*, std::int32_t>> {};
+
+TEST_P(CompoundOpSweep, MatchesHost) {
+  const auto& [op, want] = GetParam();
+  const std::string src = std::string(
+                              "__kernel void k(__global int* d) {\n"
+                              "  int x = 100;\n"
+                              "  x ") + op + " 7;\n  d[0] = x;\n}";
+  KernelRunner r(src.c_str());
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  std::int32_t out[1] = {};
+  r.buffer(out);
+  ASSERT_TRUE(r.run(1).ok);
+  EXPECT_EQ(out[0], want) << "operator " << op;
+}
+
+std::string op_case_name(
+    const ::testing::TestParamInfo<std::pair<const char*, std::int32_t>>& info) {
+  static const char* kNames[] = {"add", "sub", "mul", "div", "mod",
+                                 "and", "or",  "xor", "shl", "shr"};
+  return kNames[info.index];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, CompoundOpSweep,
+    ::testing::Values(std::pair{"+=", 107}, std::pair{"-=", 93},
+                      std::pair{"*=", 700}, std::pair{"/=", 14},
+                      std::pair{"%=", 2}, std::pair{"&=", 100 & 7},
+                      std::pair{"|=", 100 | 7}, std::pair{"^=", 100 ^ 7},
+                      std::pair{"<<=", 100 << 7}, std::pair{">>=", 100 >> 7}),
+    op_case_name);
+
+TEST(Interp, ThreeDimensionalNDRange) {
+  KernelRunner r(
+      "__kernel void k(__global int* d, int w, int h) {\n"
+      "  int x = get_global_id(0);\n"
+      "  int y = get_global_id(1);\n"
+      "  int z = get_global_id(2);\n"
+      "  d[(z * h + y) * w + x] = x + 10 * y + 100 * z;\n"
+      "}");
+  ASSERT_TRUE(r.res.ok());
+  const int w = 4;
+  const int h = 3;
+  const int dlen = 2;
+  std::vector<std::int32_t> out(static_cast<std::size_t>(w * h * dlen), -1);
+  r.buffer(out.data());
+  r.scalar<std::int32_t>(w);
+  r.scalar<std::int32_t>(h);
+  clc::NDRange nd;
+  nd.dim = 3;
+  nd.global[0] = static_cast<std::size_t>(w);
+  nd.global[1] = static_cast<std::size_t>(h);
+  nd.global[2] = static_cast<std::size_t>(dlen);
+  nd.local[0] = 2;
+  nd.local[1] = 1;
+  nd.local[2] = 1;
+  ASSERT_TRUE(clc::execute_ndrange(*r.res.module, *r.kernel, r.args, nd).ok);
+  for (int z = 0; z < dlen; ++z)
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x)
+        EXPECT_EQ(out[static_cast<std::size_t>((z * h + y) * w + x)],
+                  x + 10 * y + 100 * z);
+}
+
+TEST(Interp, SNotationSwizzle) {
+  KernelRunner r(
+      "__kernel void k(__global float* d) {\n"
+      "  float4 v = (float4)(10.0f, 20.0f, 30.0f, 40.0f);\n"
+      "  d[0] = v.s0;\n"
+      "  d[1] = v.s3;\n"
+      "  float2 p = v.s31;\n"
+      "  d[2] = p.x;\n"
+      "  d[3] = p.y;\n"
+      "  v.s2 = -1.0f;\n"
+      "  d[4] = v.z;\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  float out[5] = {};
+  r.buffer(out);
+  ASSERT_TRUE(r.run(1).ok);
+  EXPECT_FLOAT_EQ(out[0], 10.0f);
+  EXPECT_FLOAT_EQ(out[1], 40.0f);
+  EXPECT_FLOAT_EQ(out[2], 40.0f);
+  EXPECT_FLOAT_EQ(out[3], 20.0f);
+  EXPECT_FLOAT_EQ(out[4], -1.0f);
+}
+
+TEST(Interp, StructPointerArrowAccess) {
+  KernelRunner r(
+      "typedef struct { float a; float b; } P;\n"
+      "void bump(__global P* p) { p->b = p->a * 3.0f; }\n"
+      "__kernel void k(__global P* ps, int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i < n) bump(&ps[i]);\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  struct P {
+    float a, b;
+  };
+  std::vector<P> ps(16);
+  for (int i = 0; i < 16; ++i) ps[static_cast<std::size_t>(i)] = {1.0f * i, 0};
+  r.buffer(ps.data());
+  r.scalar<std::int32_t>(16);
+  ASSERT_TRUE(r.run(16).ok);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_FLOAT_EQ(ps[static_cast<std::size_t>(i)].b, 3.0f * i);
+}
+
+TEST(Interp, NestedLoopsAndHelperChain) {
+  KernelRunner r(
+      "int square(int x) { return x * x; }\n"
+      "int sum_squares(int n) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 1; i <= n; ++i) s += square(i);\n"
+      "  return s;\n"
+      "}\n"
+      "__kernel void k(__global int* d) {\n"
+      "  int acc = 0;\n"
+      "  for (int outer = 1; outer <= 4; ++outer)\n"
+      "    acc += sum_squares(outer);\n"
+      "  d[0] = acc;\n"
+      "}");
+  ASSERT_TRUE(r.res.ok()) << r.res.build_log;
+  std::int32_t out[1] = {};
+  r.buffer(out);
+  ASSERT_TRUE(r.run(1).ok);
+  // sum over n=1..4 of sum_{i<=n} i^2 = 1 + 5 + 14 + 30
+  EXPECT_EQ(out[0], 50);
+}
+
+TEST(Interp, RecursionIsCaughtNotStackOverflow) {
+  KernelRunner r(
+      "int f(int x) { return f(x + 1); }\n"
+      "__kernel void k(__global int* d) { d[0] = f(0); }");
+  ASSERT_TRUE(r.res.ok());
+  std::int32_t out[1] = {};
+  r.buffer(out);
+  const auto lr = r.run(1);
+  EXPECT_FALSE(lr.ok);
+  EXPECT_NE(lr.error.find("depth"), std::string::npos);
+}
+
+}  // namespace

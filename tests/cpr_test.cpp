@@ -1,0 +1,504 @@
+// cpr_test.cpp — the checkpoint/restart engine: phase semantics, data
+// integrity across restart (rollback), dependency-ordered recreation, dummy
+// events, cross-node migration, device retargeting, fresh-process restore,
+// DMTCP mode (proxy killed before checkpoint), and failure injection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "checl/checl.h"
+#include "checl/cl.h"
+
+namespace {
+
+const char* kSrc = R"CL(
+__kernel void add1(__global float* d, int n) {
+  int i = get_global_id(0);
+  if (i < n) d[i] = d[i] + 1.0f;
+}
+)CL";
+
+struct Scenario {
+  cl_platform_id platform = nullptr;
+  cl_device_id device = nullptr;
+  cl_context ctx = nullptr;
+  cl_command_queue queue = nullptr;
+  cl_program prog = nullptr;
+  cl_kernel kernel = nullptr;
+  cl_mem buf = nullptr;
+  int n = 2048;
+
+  void create(cl_device_type type = CL_DEVICE_TYPE_GPU) {
+    cl_uint np = 0;
+    ASSERT_EQ(clGetPlatformIDs(0, nullptr, &np), CL_SUCCESS);
+    std::vector<cl_platform_id> plats(np);
+    clGetPlatformIDs(np, plats.data(), nullptr);
+    for (cl_platform_id p : plats) {
+      if (clGetDeviceIDs(p, type, 1, &device, nullptr) == CL_SUCCESS) {
+        platform = p;
+        break;
+      }
+    }
+    ASSERT_NE(platform, nullptr);
+    cl_int err = CL_SUCCESS;
+    ctx = clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    queue = clCreateCommandQueue(ctx, device, 0, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    std::vector<float> zeros(static_cast<std::size_t>(n), 0.0f);
+    buf = clCreateBuffer(ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR,
+                         static_cast<std::size_t>(n) * 4, zeros.data(), &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    prog = clCreateProgramWithSource(ctx, 1, &kSrc, nullptr, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    ASSERT_EQ(clBuildProgram(prog, 1, &device, "", nullptr, nullptr), CL_SUCCESS);
+    kernel = clCreateKernel(prog, "add1", &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    ASSERT_EQ(clSetKernelArg(kernel, 0, sizeof buf, &buf), CL_SUCCESS);
+    ASSERT_EQ(clSetKernelArg(kernel, 1, sizeof n, &n), CL_SUCCESS);
+  }
+
+  void run_add1(int times) {
+    const std::size_t g = static_cast<std::size_t>(n);
+    for (int i = 0; i < times; ++i)
+      ASSERT_EQ(clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &g, nullptr, 0,
+                                       nullptr, nullptr),
+                CL_SUCCESS);
+    ASSERT_EQ(clFinish(queue), CL_SUCCESS);
+  }
+
+  float first_value() {
+    float v = -1;
+    EXPECT_EQ(clEnqueueReadBuffer(queue, buf, CL_TRUE, 0, 4, &v, 0, nullptr,
+                                  nullptr),
+              CL_SUCCESS);
+    return v;
+  }
+
+  void release() {
+    if (kernel != nullptr) clReleaseKernel(kernel);
+    if (prog != nullptr) clReleaseProgram(prog);
+    if (buf != nullptr) clReleaseMemObject(buf);
+    if (queue != nullptr) clReleaseCommandQueue(queue);
+    if (ctx != nullptr) clReleaseContext(ctx);
+    *this = Scenario{};
+  }
+};
+
+class CprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& rt = checl::CheclRuntime::instance();
+    rt.reset_all();
+    checl::NodeConfig node = checl::dual_node();
+    node.transport = proxy::Transport::Process;  // the real thing
+    rt.set_node(node);
+    checl::bind_checl();
+  }
+  void TearDown() override {
+    checl::CheclRuntime::instance().reset_all();
+    checl::bind_native();
+    std::remove(path());
+  }
+  static const char* path() { return "/tmp/checl_cpr_test.ckpt"; }
+  checl::cpr::Engine& engine() {
+    return checl::CheclRuntime::instance().engine();
+  }
+};
+
+TEST_F(CprTest, CheckpointPhasesAndFile) {
+  Scenario s;
+  s.create();
+  s.run_add1(3);
+  checl::cpr::PhaseTimes pt;
+  ASSERT_EQ(engine().checkpoint(path(), &pt), CL_SUCCESS);
+  EXPECT_GT(pt.file_bytes, static_cast<std::uint64_t>(s.n) * 4);  // buffer dominates
+  EXPECT_GT(pt.write_ns, 0u);
+  EXPECT_GT(pt.pre_ns, 0u);
+  // write >> post (the CheCUDA contrast: no object destruction needed)
+  EXPECT_GT(pt.write_ns, pt.post_ns);
+  // snapshots were freed in postprocessing
+  auto* mobj = checl::as_checl<checl::MemObj>(s.buf);
+  EXPECT_TRUE(mobj->snapshot.empty());
+  s.release();
+}
+
+TEST_F(CprTest, RestartRollsBackDeviceState) {
+  Scenario s;
+  s.create();
+  s.run_add1(3);
+  ASSERT_EQ(engine().checkpoint(path(), nullptr), CL_SUCCESS);
+  s.run_add1(2);
+  ASSERT_FLOAT_EQ(s.first_value(), 5.0f);
+  checl::cpr::RestartBreakdown bd;
+  ASSERT_EQ(engine().restart_in_place(path(), std::nullopt, &bd), CL_SUCCESS);
+  EXPECT_FLOAT_EQ(s.first_value(), 3.0f);  // rolled back to the checkpoint
+  // and the process keeps computing correctly afterwards
+  s.run_add1(1);
+  EXPECT_FLOAT_EQ(s.first_value(), 4.0f);
+  s.release();
+}
+
+TEST_F(CprTest, RestartBreakdownCoversClasses) {
+  Scenario s;
+  s.create();
+  s.run_add1(1);
+  ASSERT_EQ(engine().checkpoint(path(), nullptr), CL_SUCCESS);
+  checl::cpr::RestartBreakdown bd;
+  ASSERT_EQ(engine().restart_in_place(path(), std::nullopt, &bd), CL_SUCCESS);
+  EXPECT_EQ(bd.spawn_ns, checl::CheclRuntime::instance().node().ipc.spawn_ns);
+  EXPECT_GT(bd.read_ns, 0u);
+  // mem upload and program recompilation must both be visible
+  EXPECT_GT(bd.class_ns[static_cast<std::size_t>(checl::ObjType::Mem)], 0u);
+  EXPECT_GT(bd.class_ns[static_cast<std::size_t>(checl::ObjType::Program)], 0u);
+  // recompilation dominates buffer upload for this small buffer (Figure 7)
+  EXPECT_GT(bd.class_ns[static_cast<std::size_t>(checl::ObjType::Program)],
+            bd.class_ns[static_cast<std::size_t>(checl::ObjType::Mem)]);
+  s.release();
+}
+
+TEST_F(CprTest, EventObjectsBecomeDummyMarkers) {
+  Scenario s;
+  s.create();
+  const std::size_t g = static_cast<std::size_t>(s.n);
+  cl_event ev = nullptr;
+  ASSERT_EQ(clEnqueueNDRangeKernel(s.queue, s.kernel, 1, nullptr, &g, nullptr, 0,
+                                   nullptr, &ev),
+            CL_SUCCESS);
+  ASSERT_EQ(clWaitForEvents(1, &ev), CL_SUCCESS);
+  ASSERT_EQ(engine().checkpoint(path(), nullptr), CL_SUCCESS);
+  ASSERT_EQ(engine().restart_in_place(path(), std::nullopt, nullptr), CL_SUCCESS);
+  // the old event handle still works and reports complete: it never blocks
+  cl_int st = -1;
+  ASSERT_EQ(clGetEventInfo(ev, CL_EVENT_COMMAND_EXECUTION_STATUS, sizeof st, &st,
+                           nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(st, CL_COMPLETE);
+  ASSERT_EQ(clWaitForEvents(1, &ev), CL_SUCCESS);
+  clReleaseEvent(ev);
+  s.release();
+}
+
+TEST_F(CprTest, MigrationNvidiaToAmdGpu) {
+  auto& rt = checl::CheclRuntime::instance();
+  checl::NodeConfig nv = checl::nvidia_node();
+  nv.transport = proxy::Transport::Process;
+  rt.set_node(nv);
+  Scenario s;
+  s.create();
+  s.run_add1(2);
+  ASSERT_EQ(engine().checkpoint(path(), nullptr), CL_SUCCESS);
+  checl::NodeConfig amd = checl::amd_node();
+  amd.transport = proxy::Transport::Process;
+  checl::cpr::RestartBreakdown bd;
+  ASSERT_EQ(engine().restart_in_place(path(), amd, &bd), CL_SUCCESS);
+  // the same handle now denotes the AMD GPU
+  char name[256] = {};
+  ASSERT_EQ(clGetDeviceInfo(s.device, CL_DEVICE_NAME, sizeof name, name, nullptr),
+            CL_SUCCESS);
+  EXPECT_NE(std::string(name).find("HD5870"), std::string::npos);
+  EXPECT_FLOAT_EQ(s.first_value(), 2.0f);
+  s.run_add1(1);
+  EXPECT_FLOAT_EQ(s.first_value(), 3.0f);
+  s.release();
+}
+
+TEST_F(CprTest, RetargetGpuToCpu) {
+  auto& rt = checl::CheclRuntime::instance();
+  Scenario s;
+  s.create(CL_DEVICE_TYPE_GPU);
+  s.run_add1(1);
+  ASSERT_EQ(engine().checkpoint(path(), nullptr), CL_SUCCESS);
+  rt.retarget_device_type = CL_DEVICE_TYPE_CPU;
+  ASSERT_EQ(engine().restart_in_place(path(), std::nullopt, nullptr), CL_SUCCESS);
+  rt.retarget_device_type.reset();
+  cl_device_type t = 0;
+  ASSERT_EQ(clGetDeviceInfo(s.device, CL_DEVICE_TYPE, sizeof t, &t, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(t, static_cast<cl_device_type>(CL_DEVICE_TYPE_CPU));
+  s.run_add1(1);
+  EXPECT_FLOAT_EQ(s.first_value(), 2.0f);
+  s.release();
+}
+
+TEST_F(CprTest, DmtcpModeProxyKilledBeforeCheckpointRestart) {
+  // Section V: with DMTCP the API proxy is killed before checkpointing and
+  // restarted right after; CheCL must recover through a fresh proxy.
+  Scenario s;
+  s.create();
+  s.run_add1(2);
+  ASSERT_EQ(engine().checkpoint(path(), nullptr), CL_SUCCESS);
+  checl::CheclRuntime::instance().kill_proxy();
+  ASSERT_EQ(engine().restart_in_place(path(), std::nullopt, nullptr), CL_SUCCESS);
+  EXPECT_FLOAT_EQ(s.first_value(), 2.0f);
+  s.release();
+}
+
+TEST_F(CprTest, RestoreFreshRebuildsEverything) {
+  Scenario s;
+  s.create();
+  s.run_add1(3);
+  ASSERT_EQ(engine().checkpoint(path(), nullptr), CL_SUCCESS);
+
+  // simulate a brand-new process: drop every CheCL object
+  auto& rt = checl::CheclRuntime::instance();
+  s.release();
+  rt.reset_all();
+  checl::NodeConfig node = checl::dual_node();
+  node.transport = proxy::Transport::Process;
+  rt.set_node(node);
+
+  std::unordered_map<std::uint64_t, checl::Object*> map;
+  checl::cpr::RestartBreakdown bd;
+  ASSERT_EQ(engine().restore_fresh(path(), std::nullopt, &bd, &map), CL_SUCCESS);
+  EXPECT_GE(map.size(), 7u);  // platform, device, ctx, queue, mem, prog, kernel
+
+  // find the restored queue + buffer and check the data survived
+  cl_command_queue q = nullptr;
+  cl_mem m = nullptr;
+  for (const auto& [old_id, obj] : map) {
+    if (obj->otype == checl::ObjType::Queue)
+      q = reinterpret_cast<cl_command_queue>(obj);
+    if (obj->otype == checl::ObjType::Mem) m = reinterpret_cast<cl_mem>(obj);
+  }
+  ASSERT_NE(q, nullptr);
+  ASSERT_NE(m, nullptr);
+  float v = -1;
+  ASSERT_EQ(clEnqueueReadBuffer(q, m, CL_TRUE, 0, 4, &v, 0, nullptr, nullptr),
+            CL_SUCCESS);
+  EXPECT_FLOAT_EQ(v, 3.0f);
+  // release the restored objects
+  for (const auto& [old_id, obj] : map) {
+    switch (obj->otype) {
+      case checl::ObjType::Kernel:
+        clReleaseKernel(reinterpret_cast<cl_kernel>(obj));
+        break;
+      case checl::ObjType::Program:
+        clReleaseProgram(reinterpret_cast<cl_program>(obj));
+        break;
+      case checl::ObjType::Mem:
+        clReleaseMemObject(reinterpret_cast<cl_mem>(obj));
+        break;
+      case checl::ObjType::Queue:
+        clReleaseCommandQueue(reinterpret_cast<cl_command_queue>(obj));
+        break;
+      case checl::ObjType::Context:
+        clReleaseContext(reinterpret_cast<cl_context>(obj));
+        break;
+      default: break;
+    }
+  }
+}
+
+TEST_F(CprTest, CorruptCheckpointFileRejected) {
+  Scenario s;
+  s.create();
+  ASSERT_EQ(engine().checkpoint(path(), nullptr), CL_SUCCESS);
+  {
+    std::FILE* f = std::fopen(path(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 64, SEEK_SET);
+    std::fputc(0xFF, f);
+    std::fclose(f);
+  }
+  EXPECT_NE(engine().restart_in_place(path(), std::nullopt, nullptr), CL_SUCCESS);
+  s.release();
+}
+
+TEST_F(CprTest, MissingCheckpointFileRejected) {
+  Scenario s;
+  s.create();
+  EXPECT_NE(engine().restart_in_place("/tmp/does_not_exist.ckpt", std::nullopt,
+                                      nullptr),
+            CL_SUCCESS);
+  s.release();
+}
+
+TEST_F(CprTest, CheckpointToUnwritablePathFails) {
+  Scenario s;
+  s.create();
+  EXPECT_NE(engine().checkpoint("/nonexistent_dir/x.ckpt", nullptr), CL_SUCCESS);
+  // and the runtime remains usable
+  s.run_add1(1);
+  EXPECT_FLOAT_EQ(s.first_value(), 1.0f);
+  s.release();
+}
+
+TEST_F(CprTest, ImmediateModeTriggersOnNextApiCall) {
+  auto& rt = checl::CheclRuntime::instance();
+  rt.mode = checl::CheckpointMode::Immediate;
+  rt.checkpoint_path = path();
+  Scenario s;
+  s.create();
+  rt.request_checkpoint();
+  // any API call performs the checkpoint first
+  cl_uint np = 0;
+  ASSERT_EQ(clGetPlatformIDs(0, nullptr, &np), CL_SUCCESS);
+  EXPECT_FALSE(rt.checkpoint_pending());
+  EXPECT_GT(rt.last_checkpoint_times().file_bytes, 0u);
+  rt.mode = checl::CheckpointMode::Delayed;
+  s.release();
+}
+
+TEST_F(CprTest, DelayedModeWaitsForSyncPoint) {
+  auto& rt = checl::CheclRuntime::instance();
+  rt.mode = checl::CheckpointMode::Delayed;
+  rt.checkpoint_path = path();
+  Scenario s;
+  s.create();
+  rt.request_checkpoint();
+  // non-sync calls do not trigger it
+  cl_uint np = 0;
+  ASSERT_EQ(clGetPlatformIDs(0, nullptr, &np), CL_SUCCESS);
+  EXPECT_TRUE(rt.checkpoint_pending());
+  // the next clFinish does
+  ASSERT_EQ(clFinish(s.queue), CL_SUCCESS);
+  EXPECT_FALSE(rt.checkpoint_pending());
+  s.release();
+}
+
+TEST_F(CprTest, CheckpointWithUncompletedKernelSynchronizesFirst) {
+  auto& rt = checl::CheclRuntime::instance();
+  rt.checkpoint_path = path();
+  Scenario s;
+  s.create();
+  // enqueue without finishing, then checkpoint fires right after the enqueue
+  rt.arm_checkpoint_after_kernel(1);
+  const std::size_t g = static_cast<std::size_t>(s.n);
+  ASSERT_EQ(clEnqueueNDRangeKernel(s.queue, s.kernel, 1, nullptr, &g, nullptr, 0,
+                                   nullptr, nullptr),
+            CL_SUCCESS);
+  const checl::cpr::PhaseTimes pt = rt.last_checkpoint_times();
+  ASSERT_GT(pt.file_bytes, 0u);
+  EXPECT_GT(pt.sync_ns, 0u);  // it had to wait for the in-flight kernel
+  // the enqueued kernel completed before the snapshot: state includes it
+  EXPECT_FLOAT_EQ(s.first_value(), 1.0f);
+  s.release();
+}
+
+// ---- incremental checkpointing (paper Section IV-D future work) -----------
+
+TEST_F(CprTest, IncrementalCheckpointSkipsCleanBuffers) {
+  auto& rt = checl::CheclRuntime::instance();
+  rt.incremental_checkpoints = true;
+  Scenario s;
+  s.create();
+  // a second, read-only buffer that the kernel never touches
+  const std::size_t big = 1 << 20;
+  std::vector<std::uint8_t> blob(big, 0x5A);
+  cl_int err = CL_SUCCESS;
+  cl_mem cold = clCreateBuffer(s.ctx, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                               big, blob.data(), &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  s.run_add1(1);
+  checl::cpr::PhaseTimes full;
+  ASSERT_EQ(engine().checkpoint("/tmp/checl_incr_full.ckpt", &full), CL_SUCCESS);
+  ASSERT_GT(full.file_bytes, big);  // the cold buffer is in the full snapshot
+
+  // dirty only the small working buffer, then take an incremental checkpoint
+  s.run_add1(1);
+  checl::cpr::PhaseTimes incr;
+  ASSERT_EQ(engine().checkpoint("/tmp/checl_incr_delta.ckpt", &incr), CL_SUCCESS);
+  EXPECT_LT(incr.file_bytes, full.file_bytes / 4);  // cold data not rewritten
+  EXPECT_LT(incr.write_ns, full.write_ns / 2);
+
+  // restore from the delta: data comes from the chain, both buffers intact
+  ASSERT_EQ(engine().restart_in_place("/tmp/checl_incr_delta.ckpt", std::nullopt,
+                                      nullptr),
+            CL_SUCCESS);
+  EXPECT_FLOAT_EQ(s.first_value(), 2.0f);
+  std::vector<std::uint8_t> out(big, 0);
+  ASSERT_EQ(clEnqueueReadBuffer(s.queue, cold, CL_TRUE, 0, big, out.data(), 0,
+                                nullptr, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(out, blob);
+
+  clReleaseMemObject(cold);
+  rt.incremental_checkpoints = false;
+  s.release();
+  std::remove("/tmp/checl_incr_full.ckpt");
+  std::remove("/tmp/checl_incr_delta.ckpt");
+}
+
+TEST_F(CprTest, ReadOnlyKernelParamsKeepBuffersClean) {
+  auto& rt = checl::CheclRuntime::instance();
+  rt.incremental_checkpoints = true;
+  const char* src = R"CL(
+__kernel void copy(__global const float* src, __global float* dst, int n) {
+  int i = get_global_id(0);
+  if (i < n) dst[i] = src[i];
+}
+)CL";
+  Scenario s;
+  s.create();
+  cl_int err = CL_SUCCESS;
+  cl_program p = clCreateProgramWithSource(s.ctx, 1, &src, nullptr, &err);
+  ASSERT_EQ(clBuildProgram(p, 1, &s.device, "", nullptr, nullptr), CL_SUCCESS);
+  cl_kernel k = clCreateKernel(p, "copy", &err);
+  const int n = 1024;
+  std::vector<float> ones(static_cast<std::size_t>(n), 1.0f);
+  cl_mem in = clCreateBuffer(s.ctx, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                             static_cast<std::size_t>(n) * 4, ones.data(), &err);
+  cl_mem out = clCreateBuffer(s.ctx, CL_MEM_WRITE_ONLY,
+                              static_cast<std::size_t>(n) * 4, nullptr, &err);
+  clSetKernelArg(k, 0, sizeof in, &in);
+  clSetKernelArg(k, 1, sizeof out, &out);
+  clSetKernelArg(k, 2, sizeof n, &n);
+  ASSERT_EQ(engine().checkpoint(path(), nullptr), CL_SUCCESS);  // all clean now
+
+  const std::size_t g = static_cast<std::size_t>(n);
+  ASSERT_EQ(clEnqueueNDRangeKernel(s.queue, k, 1, nullptr, &g, nullptr, 0,
+                                   nullptr, nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clFinish(s.queue), CL_SUCCESS);
+  // the const parameter kept `in` clean; the written `out` is dirty
+  EXPECT_FALSE(checl::as_checl<checl::MemObj>(in)->dirty);
+  EXPECT_TRUE(checl::as_checl<checl::MemObj>(out)->dirty);
+
+  clReleaseKernel(k);
+  clReleaseProgram(p);
+  clReleaseMemObject(in);
+  clReleaseMemObject(out);
+  rt.incremental_checkpoints = false;
+  s.release();
+}
+
+TEST_F(CprTest, IncrementalChainAcrossMultipleDeltas) {
+  auto& rt = checl::CheclRuntime::instance();
+  rt.incremental_checkpoints = true;
+  Scenario s;
+  s.create();
+  s.run_add1(1);
+  ASSERT_EQ(engine().checkpoint("/tmp/checl_chain_0.ckpt", nullptr), CL_SUCCESS);
+  s.run_add1(1);
+  ASSERT_EQ(engine().checkpoint("/tmp/checl_chain_1.ckpt", nullptr), CL_SUCCESS);
+  s.run_add1(1);
+  ASSERT_EQ(engine().checkpoint("/tmp/checl_chain_2.ckpt", nullptr), CL_SUCCESS);
+  s.run_add1(5);
+  // restore the middle delta: value must roll back to 2 increments
+  ASSERT_EQ(engine().restart_in_place("/tmp/checl_chain_1.ckpt", std::nullopt,
+                                      nullptr),
+            CL_SUCCESS);
+  EXPECT_FLOAT_EQ(s.first_value(), 2.0f);
+  rt.incremental_checkpoints = false;
+  s.release();
+  for (const char* f : {"/tmp/checl_chain_0.ckpt", "/tmp/checl_chain_1.ckpt",
+                        "/tmp/checl_chain_2.ckpt"})
+    std::remove(f);
+}
+
+TEST_F(CprTest, AppRegionsRestoredInPlace) {
+  auto& rt = checl::CheclRuntime::instance();
+  std::vector<std::int32_t> state{1, 2, 3, 4};
+  rt.register_app_region("teststate", state.data(), state.size() * 4);
+  Scenario s;
+  s.create();
+  ASSERT_EQ(engine().checkpoint(path(), nullptr), CL_SUCCESS);
+  state.assign({9, 9, 9, 9});
+  ASSERT_EQ(engine().restart_in_place(path(), std::nullopt, nullptr), CL_SUCCESS);
+  EXPECT_EQ(state, (std::vector<std::int32_t>{1, 2, 3, 4}));
+  s.release();
+}
+
+}  // namespace

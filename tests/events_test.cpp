@@ -1,0 +1,217 @@
+// events_test.cpp — event semantics across queues on the virtual timeline:
+// wait lists order commands between queues, timelines overlap, markers chain,
+// and the whole simulation is deterministic run-to-run.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "checl/cl.h"
+#include "checl/cl_ext.h"
+#include "core/object_db.h"
+#include "core/runtime.h"
+#include "simcl/runtime.h"
+
+namespace {
+
+const char* kBurnSrc = R"CL(
+__kernel void burn(__global float* d, int iters) {
+  int i = get_global_id(0);
+  float a = d[i];
+  for (int it = 0; it < iters; it = it + 1) a = mad(a, 1.0001f, 0.5f);
+  d[i] = a;
+}
+)CL";
+
+class EventsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    checl::bind_native();
+    simcl::Runtime::instance().configure(simcl::default_platforms());
+    simcl::Runtime::instance().clock().reset();
+    ASSERT_EQ(clGetPlatformIDs(1, &platform_, nullptr), CL_SUCCESS);
+    ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_GPU, 1, &device_, nullptr),
+              CL_SUCCESS);
+    cl_int err = CL_SUCCESS;
+    ctx_ = clCreateContext(nullptr, 1, &device_, nullptr, nullptr, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    q1_ = clCreateCommandQueue(ctx_, device_, CL_QUEUE_PROFILING_ENABLE, &err);
+    q2_ = clCreateCommandQueue(ctx_, device_, CL_QUEUE_PROFILING_ENABLE, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    cl_program p = clCreateProgramWithSource(ctx_, 1, &kBurnSrc, nullptr, &err);
+    ASSERT_EQ(clBuildProgram(p, 1, &device_, "", nullptr, nullptr), CL_SUCCESS);
+    kernel_ = clCreateKernel(p, "burn", &err);
+    clReleaseProgram(p);
+    buf_ = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 256 * 4, nullptr, &err);
+    int iters = 200;
+    clSetKernelArg(kernel_, 0, sizeof buf_, &buf_);
+    clSetKernelArg(kernel_, 1, sizeof iters, &iters);
+  }
+  void TearDown() override {
+    clReleaseKernel(kernel_);
+    clReleaseMemObject(buf_);
+    clReleaseCommandQueue(q1_);
+    clReleaseCommandQueue(q2_);
+    clReleaseContext(ctx_);
+  }
+
+  cl_event launch(cl_command_queue q, cl_uint nwait = 0,
+                  const cl_event* wait = nullptr) {
+    const std::size_t g = 256;
+    cl_event ev = nullptr;
+    EXPECT_EQ(clEnqueueNDRangeKernel(q, kernel_, 1, nullptr, &g, nullptr, nwait,
+                                     wait, &ev),
+              CL_SUCCESS);
+    return ev;
+  }
+
+  static cl_ulong prof(cl_event ev, cl_profiling_info what) {
+    cl_ulong v = 0;
+    EXPECT_EQ(clGetEventProfilingInfo(ev, what, sizeof v, &v, nullptr), CL_SUCCESS);
+    return v;
+  }
+
+  cl_platform_id platform_ = nullptr;
+  cl_device_id device_ = nullptr;
+  cl_context ctx_ = nullptr;
+  cl_command_queue q1_ = nullptr;
+  cl_command_queue q2_ = nullptr;
+  cl_kernel kernel_ = nullptr;
+  cl_mem buf_ = nullptr;
+};
+
+TEST_F(EventsTest, CrossQueueWaitListOrdersExecution) {
+  cl_event e1 = launch(q1_);
+  cl_event e2 = launch(q2_, 1, &e1);  // q2's kernel must start after q1's ends
+  ASSERT_EQ(clWaitForEvents(1, &e2), CL_SUCCESS);
+  EXPECT_GE(prof(e2, CL_PROFILING_COMMAND_START), prof(e1, CL_PROFILING_COMMAND_END));
+  clReleaseEvent(e1);
+  clReleaseEvent(e2);
+}
+
+TEST_F(EventsTest, IndependentQueuesOverlapInVirtualTime) {
+  cl_event e1 = launch(q1_);
+  cl_event e2 = launch(q2_);  // no dependency: may start before e1 finishes
+  cl_event both[2] = {e1, e2};
+  ASSERT_EQ(clWaitForEvents(2, both), CL_SUCCESS);
+  EXPECT_LT(prof(e2, CL_PROFILING_COMMAND_START), prof(e1, CL_PROFILING_COMMAND_END));
+  clReleaseEvent(e1);
+  clReleaseEvent(e2);
+}
+
+TEST_F(EventsTest, InOrderQueueSerializesItsOwnCommands) {
+  cl_event e1 = launch(q1_);
+  cl_event e2 = launch(q1_);
+  ASSERT_EQ(clFinish(q1_), CL_SUCCESS);
+  EXPECT_GE(prof(e2, CL_PROFILING_COMMAND_START), prof(e1, CL_PROFILING_COMMAND_END));
+  clReleaseEvent(e1);
+  clReleaseEvent(e2);
+}
+
+TEST_F(EventsTest, MarkerAfterKernelCompletesAfterIt) {
+  cl_event ek = launch(q1_);
+  cl_event em = nullptr;
+  ASSERT_EQ(clEnqueueMarker(q1_, &em), CL_SUCCESS);
+  ASSERT_EQ(clWaitForEvents(1, &em), CL_SUCCESS);
+  EXPECT_GE(prof(em, CL_PROFILING_COMMAND_END), prof(ek, CL_PROFILING_COMMAND_END));
+  clReleaseEvent(ek);
+  clReleaseEvent(em);
+}
+
+TEST_F(EventsTest, EnqueueWaitForEventsBlocksQueue) {
+  cl_event e1 = launch(q1_);
+  ASSERT_EQ(clEnqueueWaitForEvents(q2_, 1, &e1), CL_SUCCESS);
+  cl_event e2 = launch(q2_);
+  ASSERT_EQ(clWaitForEvents(1, &e2), CL_SUCCESS);
+  EXPECT_GE(prof(e2, CL_PROFILING_COMMAND_START), prof(e1, CL_PROFILING_COMMAND_END));
+  clReleaseEvent(e1);
+  clReleaseEvent(e2);
+}
+
+TEST_F(EventsTest, InvalidWaitListRejected) {
+  cl_event junk = nullptr;
+  const std::size_t g = 256;
+  EXPECT_EQ(clEnqueueNDRangeKernel(q1_, kernel_, 1, nullptr, &g, nullptr, 1,
+                                   &junk, nullptr),
+            CL_INVALID_EVENT_WAIT_LIST);
+  EXPECT_EQ(clEnqueueNDRangeKernel(q1_, kernel_, 1, nullptr, &g, nullptr, 1,
+                                   nullptr, nullptr),
+            CL_INVALID_EVENT_WAIT_LIST);
+}
+
+// The whole simulation is deterministic: re-running an identical program
+// (fresh clock, fresh queues — queue timelines live with the queue) yields
+// bit-identical virtual timestamps.
+TEST_F(EventsTest, VirtualTimeIsDeterministic) {
+  auto run_once = [&]() -> cl_ulong {
+    simcl::Runtime::instance().clock().reset();
+    cl_int err = CL_SUCCESS;
+    cl_command_queue a = clCreateCommandQueue(ctx_, device_,
+                                              CL_QUEUE_PROFILING_ENABLE, &err);
+    cl_command_queue b = clCreateCommandQueue(ctx_, device_,
+                                              CL_QUEUE_PROFILING_ENABLE, &err);
+    cl_event e1 = launch(a);
+    cl_event e2 = launch(b, 1, &e1);
+    clWaitForEvents(1, &e2);
+    const cl_ulong end = prof(e2, CL_PROFILING_COMMAND_END);
+    clReleaseEvent(e1);
+    clReleaseEvent(e2);
+    clReleaseCommandQueue(a);
+    clReleaseCommandQueue(b);
+    return end;
+  };
+  const cl_ulong first = run_once();
+  const cl_ulong second = run_once();
+  EXPECT_EQ(first, second);
+}
+
+// ---------------------------------------------------------------------------
+// ObjectDB invariants
+// ---------------------------------------------------------------------------
+
+TEST(ObjectDb, IdOrderAndAddressSet) {
+  checl::ObjectDB db;
+  auto* a = new checl::PlatformObj();
+  auto* b = new checl::MemObj();
+  auto* c = new checl::PlatformObj();
+  db.add(a);
+  db.add(b);
+  db.add(c);
+  EXPECT_LT(a->id, b->id);
+  EXPECT_LT(b->id, c->id);
+  EXPECT_TRUE(db.contains_addr(a));
+  EXPECT_TRUE(checl::is_checl_object(b));
+
+  const auto platforms = db.all_of<checl::PlatformObj>();
+  ASSERT_EQ(platforms.size(), 2u);
+  EXPECT_EQ(platforms[0], a);  // creation order preserved
+  EXPECT_EQ(platforms[1], c);
+
+  db.remove(b);
+  EXPECT_FALSE(db.contains_addr(b));
+  EXPECT_FALSE(checl::is_checl_object(b));
+  EXPECT_EQ(db.by_id(b->id), nullptr);
+  EXPECT_EQ(db.size(), 2u);
+
+  db.clear();
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_FALSE(checl::is_checl_object(a));
+  delete a;
+  delete b;
+  delete c;
+}
+
+TEST(ObjectDb, IdsNeverReused) {
+  checl::ObjectDB db;
+  auto* a = new checl::MemObj();
+  db.add(a);
+  const std::uint64_t first = a->id;
+  db.remove(a);
+  auto* b = new checl::MemObj();
+  db.add(b);
+  EXPECT_GT(b->id, first);
+  db.remove(b);
+  delete a;
+  delete b;
+}
+
+}  // namespace

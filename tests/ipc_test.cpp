@@ -1,0 +1,193 @@
+// ipc_test.cpp — serialization round-trips, channel framing, and TCP
+// transport for the proxy RPC layer.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <thread>
+
+#include "ipc/channel.h"
+#include "ipc/serial.h"
+#include "proxy/config_io.h"
+
+namespace {
+
+TEST(Serial, ScalarRoundTrip) {
+  ipc::Writer w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x1122334455667788ull);
+  w.i32(-42);
+  w.i64(-1234567890123ll);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.handle(reinterpret_cast<void*>(0xCAFE));
+  const auto bytes = w.take();
+
+  ipc::Reader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123ll);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.u64(), 0xCAFEull);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serial, StringsAndBytes) {
+  ipc::Writer w;
+  w.str("hello proxy");
+  w.str("");
+  const std::vector<std::uint8_t> blob{1, 2, 3, 4, 5};
+  w.bytes(blob);
+  const auto bytes = w.take();
+
+  ipc::Reader r(bytes);
+  EXPECT_EQ(r.str(), "hello proxy");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.bytes(), blob);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Serial, OverrunSetsNotOkAndZeroFills) {
+  ipc::Writer w;
+  w.u32(7);
+  const auto bytes = w.take();
+  ipc::Reader r(bytes);
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.u64(), 0u);  // overruns: zero result
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serial, CorruptLengthPrefixDetected) {
+  ipc::Writer w;
+  w.u64(1u << 30);  // huge claimed length, no data
+  const auto bytes = w.take();
+  ipc::Reader r(bytes);
+  const auto s = r.str();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(LocalChannel, BidirectionalMessages) {
+  auto [a, b] = ipc::make_local_pair();
+  ipc::Message m;
+  m.op = 5;
+  m.payload = {9, 8, 7};
+  ASSERT_TRUE(a->send(m));
+  ipc::Message got;
+  ASSERT_TRUE(b->recv(got));
+  EXPECT_EQ(got.op, 5u);
+  EXPECT_EQ(got.payload, m.payload);
+  // reply direction
+  got.op = 6;
+  ASSERT_TRUE(b->send(got));
+  ASSERT_TRUE(a->recv(m));
+  EXPECT_EQ(m.op, 6u);
+}
+
+TEST(LocalChannel, CloseUnblocksReceiver) {
+  auto [a, b] = ipc::make_local_pair();
+  std::thread t([&] {
+    ipc::Message m;
+    EXPECT_FALSE(b->recv(m));  // closed with empty queue
+  });
+  a.reset();  // closing one end closes the tx queue
+  t.join();
+}
+
+TEST(SocketChannel, FramedRoundTrip) {
+  auto [fd_a, fd_b] = ipc::make_socketpair();
+  ASSERT_GE(fd_a, 0);
+  ipc::SocketChannel a(fd_a);
+  ipc::SocketChannel b(fd_b);
+  ipc::Message m;
+  m.op = 77;
+  m.payload.assign(100000, 0x5C);  // larger than one read()
+  ASSERT_TRUE(a.send(m));
+  ipc::Message got;
+  ASSERT_TRUE(b.recv(got));
+  EXPECT_EQ(got.op, 77u);
+  EXPECT_EQ(got.payload.size(), 100000u);
+  EXPECT_EQ(got.payload[99999], 0x5C);
+}
+
+TEST(SocketChannel, BrokenPeerReturnsFalseNoSignal) {
+  auto [fd_a, fd_b] = ipc::make_socketpair();
+  auto a = std::make_unique<ipc::SocketChannel>(fd_a);
+  {
+    ipc::SocketChannel b(fd_b);  // destroyed: peer closes
+  }
+  ipc::Message m;
+  m.op = 1;
+  m.payload.assign(1 << 20, 0);  // large enough to overflow socket buffers
+  EXPECT_FALSE(a->send(m) && a->recv(m));
+}
+
+TEST(TcpChannel, LoopbackRoundTrip) {
+  const int lfd = ipc::tcp_listen(0);  // kernel picks... port 0 unsupported;
+  if (lfd < 0) GTEST_SKIP() << "cannot listen on loopback";
+  ::close(lfd);
+  const std::uint16_t port = 39321;
+  const int listen_fd = ipc::tcp_listen(port);
+  if (listen_fd < 0) GTEST_SKIP() << "port busy";
+  std::thread server([&] {
+    const int cfd = ipc::tcp_accept(listen_fd);
+    ASSERT_GE(cfd, 0);
+    ipc::SocketChannel ch(cfd);
+    ipc::Message m;
+    ASSERT_TRUE(ch.recv(m));
+    m.op += 1;
+    ASSERT_TRUE(ch.send(m));
+  });
+  const int cfd = ipc::tcp_connect("127.0.0.1", port);
+  ASSERT_GE(cfd, 0);
+  ipc::SocketChannel ch(cfd);
+  ipc::Message m;
+  m.op = 41;
+  m.payload = {1, 2};
+  ASSERT_TRUE(ch.send(m));
+  ASSERT_TRUE(ch.recv(m));
+  EXPECT_EQ(m.op, 42u);
+  server.join();
+  ::close(listen_fd);
+}
+
+TEST(ConfigIo, PlatformSpecRoundTrip) {
+  const auto platforms = simcl::default_platforms();
+  proxy::IpcCosts costs;
+  costs.per_call_ns = 123;
+  costs.bytes_per_sec = 4.5e9;
+  costs.spawn_ns = 777;
+  ipc::Writer w;
+  proxy::write_config(w, platforms, costs, true);
+  const auto bytes = w.take();
+
+  ipc::Reader r(bytes);
+  std::vector<simcl::PlatformSpec> got;
+  proxy::IpcCosts got_costs;
+  bool reset = false;
+  proxy::read_config(r, got, got_costs, reset);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(reset);
+  EXPECT_EQ(got_costs.per_call_ns, 123u);
+  EXPECT_EQ(got_costs.spawn_ns, 777u);
+  ASSERT_EQ(got.size(), platforms.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].name, platforms[i].name);
+    EXPECT_EQ(got[i].init_ns, platforms[i].init_ns);
+    ASSERT_EQ(got[i].devices.size(), platforms[i].devices.size());
+    for (std::size_t d = 0; d < got[i].devices.size(); ++d) {
+      EXPECT_EQ(got[i].devices[d].name, platforms[i].devices[d].name);
+      EXPECT_DOUBLE_EQ(got[i].devices[d].ops_per_sec,
+                       platforms[i].devices[d].ops_per_sec);
+      EXPECT_EQ(got[i].devices[d].max_work_group_size,
+                platforms[i].devices[d].max_work_group_size);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// ksig_test.cpp — the kernel-signature parser behind CheCL's clSetKernelArg
+// handle conversion (Section III-B).
+#include <gtest/gtest.h>
+
+#include "core/ksig.h"
+
+namespace {
+
+using checl::ksig::ParamClass;
+using checl::ksig::parse_signatures;
+
+TEST(Ksig, ClassifiesAllParameterKinds) {
+  const auto sigs = parse_signatures(
+      "__kernel void k(__global float* a, __local int* tmp,\n"
+      "                __constant float* coeffs, image2d_t img, image3d_t vol,\n"
+      "                sampler_t smp, float scalar, int4 vec,\n"
+      "                __global const float4* restrict b) {}");
+  ASSERT_EQ(sigs.kernels.size(), 1u);
+  const auto& k = sigs.kernels[0];
+  EXPECT_EQ(k.name, "k");
+  ASSERT_EQ(k.params.size(), 9u);
+  EXPECT_EQ(k.params[0].cls, ParamClass::MemGlobal);
+  EXPECT_EQ(k.params[1].cls, ParamClass::Local);
+  EXPECT_EQ(k.params[2].cls, ParamClass::MemConstant);
+  EXPECT_EQ(k.params[3].cls, ParamClass::Image);
+  EXPECT_EQ(k.params[4].cls, ParamClass::Image);
+  EXPECT_EQ(k.params[5].cls, ParamClass::Sampler);
+  EXPECT_EQ(k.params[6].cls, ParamClass::Value);
+  EXPECT_EQ(k.params[7].cls, ParamClass::Value);
+  EXPECT_EQ(k.params[8].cls, ParamClass::MemGlobal);
+  EXPECT_EQ(k.params[0].name, "a");
+  EXPECT_EQ(k.params[8].name, "b");
+}
+
+TEST(Ksig, MultipleKernelsAndHelpers) {
+  const auto sigs = parse_signatures(
+      "float helper(float x) { return x * 2.0f; }\n"
+      "__kernel void first(__global int* d) { d[0] = 1; }\n"
+      "void another_helper(__global int* p) {}\n"
+      "__kernel void second(float v, __global float* out) { out[0] = helper(v); }\n");
+  ASSERT_EQ(sigs.kernels.size(), 2u);
+  EXPECT_EQ(sigs.kernels[0].name, "first");
+  EXPECT_EQ(sigs.kernels[1].name, "second");
+  EXPECT_EQ(sigs.kernels[1].params[0].cls, ParamClass::Value);
+  EXPECT_EQ(sigs.kernels[1].params[1].cls, ParamClass::MemGlobal);
+  EXPECT_NE(sigs.find("second"), nullptr);
+  EXPECT_EQ(sigs.find("helper"), nullptr);  // not a kernel
+}
+
+TEST(Ksig, AlternateQualifierSpellings) {
+  const auto sigs = parse_signatures(
+      "kernel void k(global float* a, local int* b, constant float* c) {}");
+  ASSERT_EQ(sigs.kernels.size(), 1u);
+  EXPECT_EQ(sigs.kernels[0].params[0].cls, ParamClass::MemGlobal);
+  EXPECT_EQ(sigs.kernels[0].params[1].cls, ParamClass::Local);
+  EXPECT_EQ(sigs.kernels[0].params[2].cls, ParamClass::MemConstant);
+}
+
+TEST(Ksig, EmptyAndVoidParameterLists) {
+  const auto sigs = parse_signatures(
+      "__kernel void none() {}\n__kernel void v(void) {}");
+  ASSERT_EQ(sigs.kernels.size(), 2u);
+  EXPECT_TRUE(sigs.kernels[0].params.empty());
+  EXPECT_TRUE(sigs.kernels[1].params.empty());
+}
+
+TEST(Ksig, MacroExpandedDeclarations) {
+  const auto sigs = parse_signatures(
+      "#define GPTR __global float*\n"
+      "__kernel void k(GPTR data, int n) {}");
+  ASSERT_EQ(sigs.kernels.size(), 1u);
+  ASSERT_EQ(sigs.kernels[0].params.size(), 2u);
+  EXPECT_EQ(sigs.kernels[0].params[0].cls, ParamClass::MemGlobal);
+}
+
+TEST(Ksig, BuildOptionDefinesRespected) {
+  const auto sigs = parse_signatures(
+      "#ifdef USE_IMG\n"
+      "__kernel void k(image2d_t img) {}\n"
+      "#else\n"
+      "__kernel void k(__global float* buf) {}\n"
+      "#endif\n",
+      "-D USE_IMG");
+  ASSERT_EQ(sigs.kernels.size(), 1u);
+  EXPECT_EQ(sigs.kernels[0].params[0].cls, ParamClass::Image);
+}
+
+TEST(Ksig, SurvivesBodiesTheFullParserRejects) {
+  // the body uses a construct clc does not support; declaration scanning
+  // must still classify parameters (the paper used Clang for decls only)
+  const auto sigs = parse_signatures(
+      "__kernel void k(__global float* d) {\n"
+      "  goto out;  /* not in the clc subset */\n"
+      "out:\n"
+      "  d[0] = 1.0f;\n"
+      "}");
+  ASSERT_EQ(sigs.kernels.size(), 1u);
+  EXPECT_EQ(sigs.kernels[0].params[0].cls, ParamClass::MemGlobal);
+}
+
+TEST(Ksig, StructByValueParamIsValueClass) {
+  // the Section IV-D limitation: struct parameters are Value — any handle
+  // hidden inside will NOT be converted
+  const auto sigs = parse_signatures(
+      "typedef struct { int n; float s; } Config;\n"
+      "__kernel void k(Config cfg, __global float* d) {}");
+  ASSERT_EQ(sigs.kernels.size(), 1u);
+  EXPECT_EQ(sigs.kernels[0].params[0].cls, ParamClass::Value);
+  EXPECT_EQ(sigs.kernels[0].params[1].cls, ParamClass::MemGlobal);
+}
+
+TEST(Ksig, IsMemHandleHelper) {
+  checl::ksig::ParamSig p;
+  p.cls = ParamClass::MemGlobal;
+  EXPECT_TRUE(p.is_mem_handle());
+  p.cls = ParamClass::Image;
+  EXPECT_TRUE(p.is_mem_handle());
+  p.cls = ParamClass::Sampler;
+  EXPECT_FALSE(p.is_mem_handle());
+  p.cls = ParamClass::Local;
+  EXPECT_FALSE(p.is_mem_handle());
+}
+
+TEST(Ksig, EmptySourceYieldsNoKernels) {
+  EXPECT_TRUE(parse_signatures("").kernels.empty());
+  EXPECT_TRUE(parse_signatures("int x;").kernels.empty());
+}
+
+}  // namespace

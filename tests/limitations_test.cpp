@@ -1,0 +1,233 @@
+// limitations_test.cpp — the Section IV-D limitations, reproduced as
+// documented behaviors: handles inside user structs are not converted,
+// callbacks are ignored, clCreateProgramWithBinary relies on the address
+// heuristic, and CL_MEM_USE_HOST_PTR works but pays redundant transfers.
+#include <gtest/gtest.h>
+
+#include "checl/checl.h"
+#include "checl/cl.h"
+#include "checl/cl_ext.h"
+
+namespace {
+
+class LimitationsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& rt = checl::CheclRuntime::instance();
+    rt.reset_all();
+    checl::NodeConfig node = checl::dual_node();
+    node.transport = proxy::Transport::Thread;
+    rt.set_node(node);
+    checl::bind_checl();
+    clGetPlatformIDs(1, &platform_, nullptr);
+    clGetDeviceIDs(platform_, CL_DEVICE_TYPE_GPU, 1, &device_, nullptr);
+    cl_int err = CL_SUCCESS;
+    ctx_ = clCreateContext(nullptr, 1, &device_, nullptr, nullptr, &err);
+    queue_ = clCreateCommandQueue(ctx_, device_, 0, &err);
+  }
+  void TearDown() override {
+    if (queue_ != nullptr) clReleaseCommandQueue(queue_);
+    if (ctx_ != nullptr) clReleaseContext(ctx_);
+    checl::CheclRuntime::instance().reset_all();
+    checl::bind_native();
+  }
+
+  cl_platform_id platform_ = nullptr;
+  cl_device_id device_ = nullptr;
+  cl_context ctx_ = nullptr;
+  cl_command_queue queue_ = nullptr;
+};
+
+// "if a user-defined structure including CheCL handles is given to
+// clSetKernelArg as an argument, CheCL overlooks the handles in the
+// structure" — the struct goes through as raw bytes, so the embedded handle
+// is a CheCL pointer the device-side cannot use.
+TEST_F(LimitationsTest, HandleInsideStructIsNotConverted) {
+  const char* src = R"CL(
+typedef struct { int n; __global float* data; } Box;
+__kernel void k(Box box, __global float* out) {
+  out[0] = (float)box.n;
+}
+)CL";
+  cl_int err = CL_SUCCESS;
+  cl_program p = clCreateProgramWithSource(ctx_, 1, &src, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clBuildProgram(p, 1, &device_, "", nullptr, nullptr), CL_SUCCESS);
+  cl_kernel k = clCreateKernel(p, "k", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  cl_mem data = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 64, nullptr, &err);
+  cl_mem out = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 64, nullptr, &err);
+  struct Box {
+    std::int32_t n;
+    cl_mem data;  // a CheCL handle hiding inside a by-value struct
+  };
+  Box box{7, data};
+  // accepted: CheCL cannot see inside
+  ASSERT_EQ(clSetKernelArg(k, 0, sizeof box, &box), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(k, 1, sizeof out, &out), CL_SUCCESS);
+  // the recorded arg is Bytes — the handle inside was NOT converted
+  auto* ko = checl::as_checl<checl::KernelObj>(k);
+  ASSERT_NE(ko, nullptr);
+  EXPECT_EQ(ko->args[0].kind, checl::KernelObj::ArgRec::Kind::Bytes);
+  EXPECT_EQ(ko->args[0].mem, nullptr);
+
+  clReleaseKernel(k);
+  clReleaseProgram(p);
+  clReleaseMemObject(data);
+  clReleaseMemObject(out);
+}
+
+// "CheCL does not currently support callback functions ... CheCL just
+// ignores those callback functions."
+TEST_F(LimitationsTest, BuildCallbackIgnoredNotInvoked) {
+  static bool called = false;
+  called = false;
+  const char* src = "__kernel void k(__global int* d) { d[0] = 1; }";
+  cl_int err = CL_SUCCESS;
+  cl_program p = clCreateProgramWithSource(ctx_, 1, &src, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  auto notify = [](cl_program, void*) { called = true; };
+  ASSERT_EQ(clBuildProgram(p, 1, &device_, "", notify, nullptr), CL_SUCCESS);
+  EXPECT_FALSE(called);  // ignored, as documented
+  clReleaseProgram(p);
+}
+
+// The address heuristic can misfire: a by-value argument whose bits happen to
+// equal a live CheCL handle address is converted as if it were a handle.
+// This documents the risk the paper describes.
+TEST_F(LimitationsTest, AddressHeuristicFalsePositiveIsPossible) {
+  const char* src =
+      "__kernel void k(__global float* buf, ulong id) { buf[0] = (float)id; }";
+  cl_int err = CL_SUCCESS;
+  cl_program p = clCreateProgramWithSource(ctx_, 1, &src, nullptr, &err);
+  ASSERT_EQ(clBuildProgram(p, 1, &device_, "", nullptr, nullptr), CL_SUCCESS);
+  // extract + reimport as binary: signatures lost, heuristic active
+  std::size_t bin_size = 0;
+  clGetProgramInfo(p, CL_PROGRAM_BINARY_SIZES, sizeof bin_size, &bin_size, nullptr);
+  std::vector<unsigned char> bin(bin_size);
+  unsigned char* ptrs[1] = {bin.data()};
+  clGetProgramInfo(p, CL_PROGRAM_BINARIES, sizeof ptrs, ptrs, nullptr);
+  const unsigned char* cptr = bin.data();
+  cl_program pb = clCreateProgramWithBinary(ctx_, 1, &device_, &bin_size, &cptr,
+                                            nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clBuildProgram(pb, 1, &device_, "", nullptr, nullptr), CL_SUCCESS);
+  cl_kernel k = clCreateKernel(pb, "k", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_mem buf = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 64, nullptr, &err);
+
+  // a ulong argument that accidentally equals the buffer's handle value
+  const std::uint64_t accidental = reinterpret_cast<std::uintptr_t>(buf);
+  ASSERT_EQ(clSetKernelArg(k, 1, sizeof accidental, &accidental), CL_SUCCESS);
+  auto* ko = checl::as_checl<checl::KernelObj>(k);
+  // misclassified as a Mem binding — the documented false positive
+  EXPECT_EQ(ko->args[1].kind, checl::KernelObj::ArgRec::Kind::Mem);
+
+  clReleaseKernel(k);
+  clReleaseProgram(pb);
+  clReleaseProgram(p);
+  clReleaseMemObject(buf);
+}
+
+// "CL_MEM_USE_HOST_PTR ... is available even in the current implementation of
+// CheCL, but usually causes severe performance degradation" — correctness
+// holds, and the redundant per-launch transfers are visible in virtual time.
+TEST_F(LimitationsTest, UseHostPtrWorksButPaysRedundantTransfers) {
+  const char* src =
+      "__kernel void inc(__global int* d) { d[get_global_id(0)] += 1; }";
+  cl_int err = CL_SUCCESS;
+  cl_program p = clCreateProgramWithSource(ctx_, 1, &src, nullptr, &err);
+  ASSERT_EQ(clBuildProgram(p, 1, &device_, "", nullptr, nullptr), CL_SUCCESS);
+  cl_kernel k = clCreateKernel(p, "inc", &err);
+
+  const std::size_t n = 1 << 14;
+  std::vector<std::int32_t> cached(n, 100);
+  cl_mem m = clCreateBuffer(ctx_, CL_MEM_READ_WRITE | CL_MEM_USE_HOST_PTR,
+                            n * 4, cached.data(), &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(k, 0, sizeof m, &m), CL_SUCCESS);
+
+  cl_ulong t0 = 0;
+  clSimGetHostTimeNS(&t0);
+  const std::size_t g = n;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, k, 1, nullptr, &g, nullptr, 0, nullptr,
+                                   nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clFinish(queue_), CL_SUCCESS);
+  cl_ulong t_hostptr = 0;
+  clSimGetHostTimeNS(&t_hostptr);
+
+  // correctness: the host cache reflects the kernel's writes with no read
+  for (const std::int32_t v : cached) ASSERT_EQ(v, 101);
+
+  // cost: the same kernel on a normal buffer is cheaper per launch
+  cl_mem plain = clCreateBuffer(ctx_, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR,
+                                n * 4, cached.data(), &err);
+  ASSERT_EQ(clSetKernelArg(k, 0, sizeof plain, &plain), CL_SUCCESS);
+  cl_ulong t1 = 0;
+  clSimGetHostTimeNS(&t1);
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, k, 1, nullptr, &g, nullptr, 0, nullptr,
+                                   nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clFinish(queue_), CL_SUCCESS);
+  cl_ulong t_plain = 0;
+  clSimGetHostTimeNS(&t_plain);
+
+  // the USE_HOST_PTR launch pays for the extra host<->device round trip on
+  // top of the identical kernel cost: two more RPCs plus 2*n*4 bytes of
+  // redundant transfer (~86 us at this size); require a solid margin
+  EXPECT_GT(t_hostptr - t0, (t_plain - t1) + 50'000)
+      << "USE_HOST_PTR should pay for the redundant copies";
+
+  clReleaseKernel(k);
+  clReleaseProgram(p);
+  clReleaseMemObject(m);
+  clReleaseMemObject(plain);
+}
+
+// Restoring a binary-created program works on the same node (our "binary"
+// format is portable in-sim), but stays flagged deprecated.
+TEST_F(LimitationsTest, BinaryProgramSurvivesRestartOnSameNode) {
+  const char* src = "__kernel void five(__global int* d) { d[0] = 5; }";
+  cl_int err = CL_SUCCESS;
+  cl_program p = clCreateProgramWithSource(ctx_, 1, &src, nullptr, &err);
+  ASSERT_EQ(clBuildProgram(p, 1, &device_, "", nullptr, nullptr), CL_SUCCESS);
+  std::size_t bin_size = 0;
+  clGetProgramInfo(p, CL_PROGRAM_BINARY_SIZES, sizeof bin_size, &bin_size, nullptr);
+  std::vector<unsigned char> bin(bin_size);
+  unsigned char* ptrs[1] = {bin.data()};
+  clGetProgramInfo(p, CL_PROGRAM_BINARIES, sizeof ptrs, ptrs, nullptr);
+  clReleaseProgram(p);
+  const unsigned char* cptr = bin.data();
+  cl_program pb = clCreateProgramWithBinary(ctx_, 1, &device_, &bin_size, &cptr,
+                                            nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clBuildProgram(pb, 1, &device_, "", nullptr, nullptr), CL_SUCCESS);
+  cl_kernel k = clCreateKernel(pb, "five", &err);
+  cl_mem m = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 64, nullptr, &err);
+  clSetKernelArg(k, 0, sizeof m, &m);
+
+  auto& rt = checl::CheclRuntime::instance();
+  ASSERT_EQ(rt.engine().checkpoint("/tmp/checl_limit_bin.ckpt", nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(rt.engine().restart_in_place("/tmp/checl_limit_bin.ckpt",
+                                         std::nullopt, nullptr),
+            CL_SUCCESS);
+  // the binary-created kernel still launches after restart
+  const std::size_t g = 1;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, k, 1, nullptr, &g, nullptr, 0, nullptr,
+                                   nullptr),
+            CL_SUCCESS);
+  std::int32_t out = 0;
+  ASSERT_EQ(clEnqueueReadBuffer(queue_, m, CL_TRUE, 0, 4, &out, 0, nullptr,
+                                nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(out, 5);
+
+  clReleaseKernel(k);
+  clReleaseProgram(pb);
+  clReleaseMemObject(m);
+}
+
+}  // namespace

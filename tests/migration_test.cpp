@@ -1,0 +1,145 @@
+// migration_test.cpp — the migration cost model Tm = alpha*M + Tr + beta:
+// least-squares fit, prediction accuracy on synthetic and real migrations,
+// and the correlation statistic behind Figure 5's 0.99.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "checl/checl.h"
+#include "workloads/harness.h"
+
+namespace {
+
+using checl::migration::correlation;
+using checl::migration::fit;
+using checl::migration::Model;
+using checl::migration::Sample;
+
+TEST(MigrationModel, ExactFitOnLinearData) {
+  // y = 2*x + 1e6 (+ Tr)
+  std::vector<Sample> samples;
+  for (std::uint64_t mb = 1; mb <= 10; ++mb) {
+    Sample s;
+    s.file_bytes = mb * 1'000'000;
+    s.recompile_ns = mb * 777;
+    s.total_ns = 2 * s.file_bytes + 1'000'000 + s.recompile_ns;
+    samples.push_back(s);
+  }
+  const Model m = fit(samples);
+  EXPECT_NEAR(m.alpha_ns_per_byte, 2.0, 1e-6);
+  EXPECT_NEAR(m.beta_ns, 1'000'000.0, 1.0);
+  for (const Sample& s : samples)
+    EXPECT_NEAR(static_cast<double>(m.predict_ns(s.file_bytes, s.recompile_ns)),
+                static_cast<double>(s.total_ns), 2.0);
+}
+
+TEST(MigrationModel, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(fit({}).alpha_ns_per_byte, 0.0);
+  // one sample: flat model through the point
+  const Sample s{1000, 5000, 0};
+  const Model m = fit({&s, 1});
+  EXPECT_DOUBLE_EQ(m.alpha_ns_per_byte, 0.0);
+  EXPECT_DOUBLE_EQ(m.beta_ns, 5000.0);
+  // zero variance in x
+  std::vector<Sample> same{{100, 10, 0}, {100, 20, 0}};
+  const Model m2 = fit(same);
+  EXPECT_DOUBLE_EQ(m2.alpha_ns_per_byte, 0.0);
+  EXPECT_DOUBLE_EQ(m2.beta_ns, 15.0);
+}
+
+TEST(MigrationModel, CorrelationStatistic) {
+  std::vector<Sample> perfect;
+  for (std::uint64_t i = 1; i <= 8; ++i) perfect.push_back({i * 100, i * 900, 0});
+  EXPECT_NEAR(correlation(perfect), 1.0, 1e-9);
+  std::vector<Sample> anti;
+  for (std::uint64_t i = 1; i <= 8; ++i) anti.push_back({i * 100, (9 - i) * 900, 0});
+  EXPECT_NEAR(correlation(anti), -1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(correlation({}), 0.0);
+}
+
+TEST(MigrationModel, PredictClampsAtZero) {
+  Model m;
+  m.alpha_ns_per_byte = -5.0;
+  m.beta_ns = 0;
+  EXPECT_EQ(m.predict_ns(1'000'000, 0), 0u);
+}
+
+// End-to-end: calibrate on measured migrations of one workload at several
+// sizes, then predict a held-out size within a reasonable band.
+TEST(MigrationEndToEnd, PredictsHeldOutMigration) {
+  checl::NodeConfig node = checl::dual_node();
+  node.transport = proxy::Transport::Thread;
+  auto& rt = checl::CheclRuntime::instance();
+  const char* path = "/tmp/checl_migration_e2e.ckpt";
+
+  auto measure = [&](unsigned shrink) -> Sample {
+    workloads::fresh_process(workloads::Binding::CheCL, node);
+    workloads::Env env;
+    env.shrink = shrink;
+    EXPECT_EQ(workloads::open_env(env, CL_DEVICE_TYPE_GPU, "NVIDIA"), CL_SUCCESS);
+    auto w = workloads::create("oclVectorAdd");
+    EXPECT_EQ(w->setup(env), CL_SUCCESS);
+    EXPECT_EQ(w->run(env), CL_SUCCESS);
+    checl::cpr::PhaseTimes pt;
+    checl::cpr::RestartBreakdown bd;
+    EXPECT_EQ(rt.engine().checkpoint(path, &pt), CL_SUCCESS);
+    EXPECT_EQ(rt.engine().restart_in_place(path, std::nullopt, &bd), CL_SUCCESS);
+    Sample s;
+    s.file_bytes = pt.file_bytes;
+    s.total_ns = pt.total_ns() + bd.total_ns();
+    s.recompile_ns =
+        bd.class_ns[static_cast<std::size_t>(checl::ObjType::Program)];
+    w->teardown(env);
+    workloads::close_env(env);
+    return s;
+  };
+
+  std::vector<Sample> calib;
+  for (const unsigned shrink : {16u, 8u, 2u}) calib.push_back(measure(shrink));
+  const Sample held_out = measure(4);
+  const Model m = fit(calib);
+  EXPECT_GT(m.alpha_ns_per_byte, 0.0);  // bigger files take longer
+
+  const std::uint64_t pred = m.predict_ns(held_out.file_bytes, held_out.recompile_ns);
+  const double rel_err =
+      std::abs(static_cast<double>(pred) - static_cast<double>(held_out.total_ns)) /
+      static_cast<double>(held_out.total_ns);
+  EXPECT_LT(rel_err, 0.15) << "pred=" << pred << " actual=" << held_out.total_ns;
+
+  checl::CheclRuntime::instance().reset_all();
+  checl::bind_native();
+  std::remove(path);
+}
+
+// Figure 5's statistic at test scale: across workloads, checkpoint time is
+// strongly correlated with file size.
+TEST(MigrationEndToEnd, CheckpointTimeCorrelatesWithFileSize) {
+  checl::NodeConfig node = checl::dual_node();
+  node.transport = proxy::Transport::Thread;
+  auto& rt = checl::CheclRuntime::instance();
+  const char* path = "/tmp/checl_migration_corr.ckpt";
+
+  std::vector<Sample> samples;
+  for (const char* name :
+       {"oclVectorAdd", "oclMatrixMul", "Triad", "Stencil2D", "oclReduction",
+        "MD", "FFT", "oclHistogram"}) {
+    workloads::fresh_process(workloads::Binding::CheCL, node);
+    workloads::Env env;
+    env.shrink = 8;
+    ASSERT_EQ(workloads::open_env(env, CL_DEVICE_TYPE_GPU, "NVIDIA"), CL_SUCCESS);
+    auto w = workloads::create(name);
+    ASSERT_EQ(w->setup(env), CL_SUCCESS);
+    ASSERT_EQ(w->run(env), CL_SUCCESS);
+    checl::cpr::PhaseTimes pt;
+    ASSERT_EQ(rt.engine().checkpoint(path, &pt), CL_SUCCESS);
+    samples.push_back({pt.file_bytes, pt.total_ns(), 0});
+    w->teardown(env);
+    workloads::close_env(env);
+  }
+  EXPECT_GT(correlation(samples), 0.95);  // paper: 0.99
+  checl::CheclRuntime::instance().reset_all();
+  checl::bind_native();
+  std::remove(path);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// minimpi_test.cpp — the mini-MPI substrate: barrier, send/recv, allreduce,
+// and the coordinated-checkpoint protocol behind Figure 6.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "checl/checl.h"
+#include "minimpi/comm.h"
+#include "workloads/factories.h"
+#include "workloads/harness.h"
+
+namespace {
+
+TEST(MiniMpi, BarrierSynchronizesRanks) {
+  std::atomic<int> arrived{0};
+  std::atomic<bool> violated{false};
+  minimpi::World::run(4, [&](minimpi::Comm& comm) {
+    arrived.fetch_add(1);
+    comm.barrier();
+    if (arrived.load() != 4) violated.store(true);
+    comm.barrier();  // reusable
+    comm.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(MiniMpi, SendRecvByTag) {
+  std::vector<int> received(4, -1);
+  minimpi::World::run(4, [&](minimpi::Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    std::vector<std::uint8_t> payload{static_cast<std::uint8_t>(comm.rank())};
+    comm.send(next, 7, payload);
+    const auto got = comm.recv(prev, 7);
+    received[static_cast<std::size_t>(comm.rank())] = got.at(0);
+  });
+  for (int r = 0; r < 4; ++r)
+    EXPECT_EQ(received[static_cast<std::size_t>(r)], (r + 3) % 4);
+}
+
+TEST(MiniMpi, TagsDoNotCross) {
+  bool ok = true;
+  minimpi::World::run(2, [&](minimpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, {std::uint8_t{10}});
+      comm.send(1, 2, {std::uint8_t{20}});
+    } else {
+      // receive in the opposite order of sending: tags must separate them
+      const auto b = comm.recv(0, 2);
+      const auto a = comm.recv(0, 1);
+      if (a.at(0) != 10 || b.at(0) != 20) ok = false;
+    }
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(MiniMpi, AllreduceSum) {
+  std::vector<double> results(3, 0);
+  minimpi::World::run(3, [&](minimpi::Comm& comm) {
+    const double v = static_cast<double>(comm.rank() + 1);
+    const double total = comm.allreduce_sum(v);
+    results[static_cast<std::size_t>(comm.rank())] = total;
+    // repeated reductions keep working
+    const double total2 = comm.allreduce_sum(1.0);
+    if (total2 != 3.0) results[static_cast<std::size_t>(comm.rank())] = -1;
+  });
+  for (const double r : results) EXPECT_DOUBLE_EQ(r, 6.0);
+}
+
+class MiniMpiCheckpoint : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override {
+    checl::CheclRuntime::instance().reset_all();
+    checl::bind_native();
+    std::remove("/tmp/checl_minimpi_test.ckpt");
+  }
+};
+
+TEST_P(MiniMpiCheckpoint, CoordinatedCheckpointAllRanks) {
+  const int nranks = GetParam();
+  checl::NodeConfig node = checl::dual_node();
+  node.transport = proxy::Transport::Thread;
+  node.storage = slimcr::nfs();
+  workloads::fresh_process(workloads::Binding::CheCL, node);
+
+  std::atomic<int> verified{0};
+  std::vector<checl::cpr::PhaseTimes> times(static_cast<std::size_t>(nranks));
+  minimpi::World::run(nranks, [&](minimpi::Comm& comm) {
+    workloads::Env env;
+    env.shrink = 8;
+    if (workloads::open_env(env, CL_DEVICE_TYPE_GPU, "NVIDIA") != CL_SUCCESS)
+      return;
+    auto md = workloads::make_md();
+    if (md->setup(env) != CL_SUCCESS || md->run(env) != CL_SUCCESS) return;
+    times[static_cast<std::size_t>(comm.rank())] =
+        comm.coordinated_checkpoint("/tmp/checl_minimpi_test.ckpt");
+    if (md->verify(env)) verified.fetch_add(1);
+    md->teardown(env);
+    workloads::close_env(env);
+  });
+  EXPECT_EQ(verified.load(), nranks);
+  // all ranks observed the same checkpoint
+  for (int r = 1; r < nranks; ++r) {
+    EXPECT_EQ(times[static_cast<std::size_t>(r)].file_bytes, times[0].file_bytes);
+    EXPECT_EQ(times[static_cast<std::size_t>(r)].write_ns, times[0].write_ns);
+  }
+  EXPECT_GT(times[0].file_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, MiniMpiCheckpoint, ::testing::Values(1, 2, 4));
+
+TEST(MiniMpiCheckpointShape, TimeGrowsWithRanksAndSize) {
+  // the Figure 6 shape at test scale: more ranks => bigger global snapshot
+  // (each rank owns buffers) and more aggregation overhead
+  auto run_case = [](int nranks, unsigned shrink) -> std::uint64_t {
+    checl::NodeConfig node = checl::dual_node();
+    node.transport = proxy::Transport::Thread;
+    node.storage = slimcr::nfs();
+    workloads::fresh_process(workloads::Binding::CheCL, node);
+    std::uint64_t total = 0;
+    minimpi::World::run(nranks, [&](minimpi::Comm& comm) {
+      workloads::Env env;
+      env.shrink = shrink;
+      if (workloads::open_env(env, CL_DEVICE_TYPE_GPU, "NVIDIA") != CL_SUCCESS)
+        return;
+      auto md = workloads::make_md();
+      if (md->setup(env) == CL_SUCCESS) md->run(env);
+      const auto pt = comm.coordinated_checkpoint("/tmp/checl_minimpi_test.ckpt");
+      if (comm.rank() == 0) total = pt.total_ns();
+      md->teardown(env);
+      workloads::close_env(env);
+    });
+    checl::CheclRuntime::instance().reset_all();
+    return total;
+  };
+  const std::uint64_t one_rank = run_case(1, 8);
+  const std::uint64_t four_ranks = run_case(4, 8);
+  const std::uint64_t four_ranks_bigger = run_case(4, 2);
+  EXPECT_GT(four_ranks, one_rank);
+  EXPECT_GT(four_ranks_bigger, four_ranks);
+  checl::bind_native();
+  std::remove("/tmp/checl_minimpi_test.ckpt");
+}
+
+}  // namespace

@@ -1,0 +1,257 @@
+// proxy_test.cpp — the API proxy: spawn (thread + process transports), full
+// RPC surface, determinism of the virtual clock across transports, IPC cost
+// charging, and failure injection (killed proxy).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "proxy/spawn.h"
+#include "simcl/specs.h"
+
+namespace {
+
+const char* kSrc =
+    "__kernel void scale(__global float* d, float s, int n) {"
+    "  int i = get_global_id(0); if (i < n) d[i] = d[i] * s; }";
+
+// Runs a small workload through a client; returns the final virtual time.
+cl_ulong run_scenario(proxy::Client& c) {
+  EXPECT_EQ(c.configure(simcl::default_platforms(), proxy::IpcCosts{}, true),
+            CL_SUCCESS);
+  std::vector<proxy::RemoteHandle> plats;
+  cl_uint n = 0;
+  EXPECT_EQ(c.get_platform_ids(4, plats, n), CL_SUCCESS);
+  EXPECT_EQ(n, 2u);
+  std::vector<proxy::RemoteHandle> devs;
+  EXPECT_EQ(c.get_device_ids(plats[0], CL_DEVICE_TYPE_GPU, 4, devs, n), CL_SUCCESS);
+
+  proxy::RemoteHandle ctx = 0;
+  proxy::RemoteHandle q = 0;
+  proxy::RemoteHandle buf = 0;
+  proxy::RemoteHandle prog = 0;
+  proxy::RemoteHandle kern = 0;
+  EXPECT_EQ(c.create_context({}, {devs.data(), 1}, ctx), CL_SUCCESS);
+  EXPECT_EQ(c.create_queue(ctx, devs[0], 0, q), CL_SUCCESS);
+  const int count = 1024;
+  std::vector<float> host(count, 2.0f);
+  EXPECT_EQ(c.create_buffer(ctx, CL_MEM_READ_WRITE, count * 4,
+                            {reinterpret_cast<const std::uint8_t*>(host.data()),
+                             static_cast<std::size_t>(count) * 4},
+                            buf),
+            CL_SUCCESS);
+  EXPECT_EQ(c.create_program_with_source(ctx, kSrc, prog), CL_SUCCESS);
+  EXPECT_EQ(c.build_program(prog, {devs.data(), 1}, ""), CL_SUCCESS);
+  EXPECT_EQ(c.create_kernel(prog, "scale", kern), CL_SUCCESS);
+  EXPECT_EQ(c.set_kernel_arg_mem(kern, 0, buf), CL_SUCCESS);
+  const float s = 3.0f;
+  EXPECT_EQ(c.set_kernel_arg_bytes(
+                kern, 1, {reinterpret_cast<const std::uint8_t*>(&s), 4}),
+            CL_SUCCESS);
+  EXPECT_EQ(c.set_kernel_arg_bytes(
+                kern, 2, {reinterpret_cast<const std::uint8_t*>(&count), 4}),
+            CL_SUCCESS);
+  std::size_t gsz[1] = {static_cast<std::size_t>(count)};
+  proxy::RemoteHandle ev = 0;
+  EXPECT_EQ(c.enqueue_ndrange(q, kern, 1, nullptr, gsz, nullptr, true, ev),
+            CL_SUCCESS);
+  EXPECT_EQ(c.wait_for_events({&ev, 1}), CL_SUCCESS);
+  EXPECT_EQ(c.retain_release(proxy::Op::ReleaseEvent, ev), CL_SUCCESS);
+  std::vector<float> out(count, 0.0f);
+  proxy::RemoteHandle rev = 0;
+  EXPECT_EQ(c.enqueue_read(q, buf, 0, count * 4, out.data(), false, rev),
+            CL_SUCCESS);
+  for (const float v : out) EXPECT_FLOAT_EQ(v, 6.0f);
+
+  cl_ulong t = 0;
+  EXPECT_EQ(c.sim_get_host_time_ns(t), CL_SUCCESS);
+  c.retain_release(proxy::Op::ReleaseKernel, kern);
+  c.retain_release(proxy::Op::ReleaseProgram, prog);
+  c.retain_release(proxy::Op::ReleaseMemObject, buf);
+  c.retain_release(proxy::Op::ReleaseCommandQueue, q);
+  c.retain_release(proxy::Op::ReleaseContext, ctx);
+  return t;
+}
+
+TEST(Proxy, ThreadTransportScenario) {
+  proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Thread);
+  ASSERT_TRUE(sp.ok()) << sp.error();
+  const cl_ulong t = run_scenario(*sp.client());
+  EXPECT_GT(t, 0u);
+  sp.stop();
+}
+
+TEST(Proxy, ProcessTransportScenario) {
+  proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Process);
+  ASSERT_TRUE(sp.ok()) << sp.error();
+  EXPECT_GT(sp.pid(), 0);
+  const cl_ulong t = run_scenario(*sp.client());
+  EXPECT_GT(t, 0u);
+  sp.stop();
+}
+
+TEST(Proxy, VirtualTimeIdenticalAcrossTransports) {
+  proxy::Spawned a = proxy::spawn_proxy(proxy::Transport::Thread);
+  proxy::Spawned b = proxy::spawn_proxy(proxy::Transport::Process);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok()) << b.error();
+  const cl_ulong ta = run_scenario(*a.client());
+  const cl_ulong tb = run_scenario(*b.client());
+  EXPECT_EQ(ta, tb);  // the discrete-event model is transport-independent
+  a.stop();
+  b.stop();
+}
+
+TEST(Proxy, PingReportsDifferentPidForProcess) {
+  proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Process);
+  ASSERT_TRUE(sp.ok()) << sp.error();
+  sp.client()->configure(simcl::default_platforms(), proxy::IpcCosts{}, true);
+  std::uint32_t pid = 0;
+  ASSERT_EQ(sp.client()->ping(&pid), CL_SUCCESS);
+  EXPECT_NE(pid, static_cast<std::uint32_t>(::getpid()));
+  EXPECT_EQ(pid, static_cast<std::uint32_t>(sp.pid()));
+  sp.stop();
+}
+
+TEST(Proxy, IpcCostsChargedPerCall) {
+  proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Thread);
+  ASSERT_TRUE(sp.ok());
+  proxy::IpcCosts costs;
+  costs.per_call_ns = 1'000'000;  // exaggerated: 1 ms per call
+  costs.spawn_ns = 0;
+  ASSERT_EQ(sp.client()->configure(simcl::default_platforms(), costs, true),
+            CL_SUCCESS);
+  cl_ulong t0 = 0;
+  sp.client()->sim_get_host_time_ns(t0);
+  std::vector<proxy::RemoteHandle> plats;
+  cl_uint n = 0;
+  for (int i = 0; i < 10; ++i) sp.client()->get_platform_ids(4, plats, n);
+  cl_ulong t1 = 0;
+  sp.client()->sim_get_host_time_ns(t1);
+  EXPECT_GE(t1 - t0, 10u * costs.per_call_ns);
+  sp.stop();
+}
+
+TEST(Proxy, SpawnCostChargedAtConfigure) {
+  proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Thread);
+  ASSERT_TRUE(sp.ok());
+  proxy::IpcCosts costs;  // default spawn: 80 ms
+  ASSERT_EQ(sp.client()->configure(simcl::default_platforms(), costs, true),
+            CL_SUCCESS);
+  cl_ulong t = 0;
+  sp.client()->sim_get_host_time_ns(t);
+  EXPECT_GE(t, costs.spawn_ns);
+  sp.stop();
+}
+
+TEST(Proxy, KilledProxyFailsGracefully) {
+  proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Process);
+  ASSERT_TRUE(sp.ok()) << sp.error();
+  ASSERT_EQ(sp.client()->configure(simcl::default_platforms(), proxy::IpcCosts{},
+                                   true),
+            CL_SUCCESS);
+  sp.kill_hard();
+  std::vector<proxy::RemoteHandle> plats;
+  cl_uint n = 0;
+  EXPECT_NE(sp.client()->get_platform_ids(4, plats, n), CL_SUCCESS);
+  EXPECT_FALSE(sp.client()->alive());
+  // subsequent calls stay failed instead of hanging
+  cl_ulong t = 0;
+  EXPECT_NE(sp.client()->sim_get_host_time_ns(t), CL_SUCCESS);
+  sp.stop();
+}
+
+TEST(Proxy, BadRemoteHandleIsRejectedByServer) {
+  proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Thread);
+  ASSERT_TRUE(sp.ok());
+  sp.client()->configure(simcl::default_platforms(), proxy::IpcCosts{}, true);
+  // a bogus token must come back as an OpenCL error, not a crash
+  EXPECT_EQ(sp.client()->retain_release(proxy::Op::ReleaseContext, 0xDEAD),
+            CL_INVALID_CONTEXT);
+  EXPECT_EQ(sp.client()->finish(0xDEAD), CL_INVALID_COMMAND_QUEUE);
+  sp.stop();
+}
+
+TEST(Proxy, MalformedPayloadDoesNotCrashServer) {
+  // drive the raw channel: truncated and garbage payloads must come back as
+  // error replies (or at worst a clean close), never a crash
+  proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Process);
+  ASSERT_TRUE(sp.ok()) << sp.error();
+  sp.client()->configure(simcl::default_platforms(), proxy::IpcCosts{}, true);
+
+  // a CreateContext request with a truncated body: the Reader under-runs and
+  // the server must answer with an error
+  proxy::RemoteHandle out = 0;
+  // (craft via the public client API with empty device list — also invalid)
+  EXPECT_NE(sp.client()->create_context({}, {}, out), CL_SUCCESS);
+
+  // unknown opcodes are rejected, not fatal: use a raw second channel is not
+  // possible here, so verify the server survives a burst of invalid calls
+  for (int i = 0; i < 50; ++i)
+    EXPECT_NE(sp.client()->retain_release(proxy::Op::ReleaseKernel,
+                                          0xBAD0 + static_cast<unsigned>(i)),
+              CL_SUCCESS);
+  std::uint32_t pid = 0;
+  EXPECT_EQ(sp.client()->ping(&pid), CL_SUCCESS);  // still alive
+  sp.stop();
+}
+
+TEST(Proxy, CrossTypeRemoteHandleRejected) {
+  proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Thread);
+  ASSERT_TRUE(sp.ok());
+  proxy::Client& c = *sp.client();
+  c.configure(simcl::default_platforms(), proxy::IpcCosts{}, true);
+  std::vector<proxy::RemoteHandle> plats;
+  cl_uint n = 0;
+  c.get_platform_ids(4, plats, n);
+  // a platform handle used as a context / queue / program must be rejected
+  EXPECT_EQ(c.retain_release(proxy::Op::ReleaseContext, plats[0]),
+            CL_INVALID_CONTEXT);
+  EXPECT_EQ(c.finish(plats[0]), CL_INVALID_COMMAND_QUEUE);
+  proxy::RemoteHandle out = 0;
+  EXPECT_EQ(c.create_kernel(plats[0], "k", out), CL_INVALID_PROGRAM);
+  sp.stop();
+}
+
+TEST(Proxy, RemoteTcpProxyScenario) {
+  // Section V extension: the API proxy lives behind TCP instead of a
+  // socketpair — here on loopback, standing in for another machine.
+  proxy::Spawned sp = proxy::spawn_tcp_proxy(38417);
+  if (!sp.ok()) GTEST_SKIP() << sp.error();  // port may be busy on CI
+  const cl_ulong t = run_scenario(*sp.client());
+  EXPECT_GT(t, 0u);
+  sp.stop();
+}
+
+TEST(Proxy, RemoteTcpVirtualTimeMatchesLocal) {
+  proxy::Spawned local = proxy::spawn_proxy(proxy::Transport::Process);
+  ASSERT_TRUE(local.ok()) << local.error();
+  proxy::Spawned remote = proxy::spawn_tcp_proxy(38423);
+  if (!remote.ok()) GTEST_SKIP() << remote.error();
+  EXPECT_EQ(run_scenario(*local.client()), run_scenario(*remote.client()));
+  local.stop();
+  remote.stop();
+}
+
+TEST(Proxy, InfoQueriesThroughRpc) {
+  proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Process);
+  ASSERT_TRUE(sp.ok()) << sp.error();
+  proxy::Client& c = *sp.client();
+  c.configure(simcl::default_platforms(), proxy::IpcCosts{}, true);
+  std::vector<proxy::RemoteHandle> plats;
+  cl_uint n = 0;
+  c.get_platform_ids(4, plats, n);
+  // size-query protocol across the wire
+  std::size_t need = 0;
+  ASSERT_EQ(c.get_info(proxy::Op::GetPlatformInfo, plats[0], CL_PLATFORM_NAME, 0,
+                       nullptr, &need),
+            CL_SUCCESS);
+  ASSERT_GT(need, 0u);
+  std::vector<char> name(need);
+  ASSERT_EQ(c.get_info(proxy::Op::GetPlatformInfo, plats[0], CL_PLATFORM_NAME,
+                       need, name.data(), nullptr),
+            CL_SUCCESS);
+  EXPECT_NE(std::string(name.data()).find("NVIDIA"), std::string::npos);
+  sp.stop();
+}
+
+}  // namespace

@@ -1,0 +1,469 @@
+// simcl_test.cpp — OpenCL-semantics tests of the substrate through the public
+// C API in native mode: object lifecycle, info queries, queue asynchrony,
+// events + profiling, error codes, the virtual clock, and device limits.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "checl/cl.h"
+#include "checl/cl_ext.h"
+#include "core/runtime.h"
+#include "simcl/runtime.h"
+
+namespace {
+
+class SimclTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    checl::bind_native();
+    simcl::Runtime::instance().configure(simcl::default_platforms());
+    simcl::Runtime::instance().clock().reset();
+    ASSERT_EQ(clGetPlatformIDs(1, &platform_, nullptr), CL_SUCCESS);
+    ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_GPU, 1, &device_, nullptr),
+              CL_SUCCESS);
+    cl_int err = CL_SUCCESS;
+    ctx_ = clCreateContext(nullptr, 1, &device_, nullptr, nullptr, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    queue_ = clCreateCommandQueue(ctx_, device_, CL_QUEUE_PROFILING_ENABLE, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+  }
+  void TearDown() override {
+    if (queue_ != nullptr) clReleaseCommandQueue(queue_);
+    if (ctx_ != nullptr) clReleaseContext(ctx_);
+  }
+
+  cl_kernel build_kernel(const char* src, const char* name) {
+    cl_int err = CL_SUCCESS;
+    cl_program p = clCreateProgramWithSource(ctx_, 1, &src, nullptr, &err);
+    EXPECT_EQ(err, CL_SUCCESS);
+    EXPECT_EQ(clBuildProgram(p, 1, &device_, "", nullptr, nullptr), CL_SUCCESS);
+    cl_kernel k = clCreateKernel(p, name, &err);
+    EXPECT_EQ(err, CL_SUCCESS);
+    clReleaseProgram(p);  // kernel keeps the program alive
+    return k;
+  }
+
+  cl_platform_id platform_ = nullptr;
+  cl_device_id device_ = nullptr;
+  cl_context ctx_ = nullptr;
+  cl_command_queue queue_ = nullptr;
+};
+
+TEST_F(SimclTest, PlatformAndDeviceEnumeration) {
+  cl_uint np = 0;
+  ASSERT_EQ(clGetPlatformIDs(0, nullptr, &np), CL_SUCCESS);
+  EXPECT_EQ(np, 2u);  // NVIDIA-like + AMD-like
+  std::vector<cl_platform_id> plats(np);
+  ASSERT_EQ(clGetPlatformIDs(np, plats.data(), nullptr), CL_SUCCESS);
+
+  cl_uint total_devices = 0;
+  for (cl_platform_id p : plats) {
+    cl_uint nd = 0;
+    EXPECT_EQ(clGetDeviceIDs(p, CL_DEVICE_TYPE_ALL, 0, nullptr, &nd), CL_SUCCESS);
+    total_devices += nd;
+  }
+  EXPECT_EQ(total_devices, 3u);  // C1060, HD5870, Core i7
+
+  // CPU exists only on the AMD-like platform
+  cl_uint ncpu = 0;
+  const cl_int err0 = clGetDeviceIDs(plats[0], CL_DEVICE_TYPE_CPU, 0, nullptr, &ncpu);
+  const cl_int err1 = clGetDeviceIDs(plats[1], CL_DEVICE_TYPE_CPU, 0, nullptr, &ncpu);
+  EXPECT_EQ(err0, CL_DEVICE_NOT_FOUND);
+  EXPECT_EQ(err1, CL_SUCCESS);
+  EXPECT_EQ(ncpu, 1u);
+}
+
+TEST_F(SimclTest, InfoQuerySizeProtocol) {
+  std::size_t need = 0;
+  ASSERT_EQ(clGetDeviceInfo(device_, CL_DEVICE_NAME, 0, nullptr, &need), CL_SUCCESS);
+  ASSERT_GT(need, 1u);
+  std::vector<char> name(need);
+  ASSERT_EQ(clGetDeviceInfo(device_, CL_DEVICE_NAME, need, name.data(), nullptr),
+            CL_SUCCESS);
+  EXPECT_NE(std::string(name.data()).find("C1060"), std::string::npos);
+  // too-small buffer must fail
+  char tiny[2];
+  EXPECT_EQ(clGetDeviceInfo(device_, CL_DEVICE_NAME, sizeof tiny, tiny, nullptr),
+            CL_INVALID_VALUE);
+}
+
+TEST_F(SimclTest, HandleValidationRejectsGarbage) {
+  int junk = 0;
+  EXPECT_EQ(clRetainContext(reinterpret_cast<cl_context>(&junk)),
+            CL_INVALID_CONTEXT);
+  EXPECT_EQ(clReleaseMemObject(reinterpret_cast<cl_mem>(&junk)),
+            CL_INVALID_MEM_OBJECT);
+  EXPECT_EQ(clFinish(nullptr), CL_INVALID_COMMAND_QUEUE);
+  // cross-type handles are rejected too
+  EXPECT_EQ(clRetainKernel(reinterpret_cast<cl_kernel>(ctx_)), CL_INVALID_KERNEL);
+}
+
+TEST_F(SimclTest, BufferReadWriteCopyRoundTrip) {
+  cl_int err = CL_SUCCESS;
+  const std::size_t n = 1024;
+  std::vector<std::uint32_t> host(n);
+  for (std::size_t i = 0; i < n; ++i) host[i] = static_cast<std::uint32_t>(i * 3);
+  cl_mem a = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, n * 4, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_mem b = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, n * 4, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clEnqueueWriteBuffer(queue_, a, CL_TRUE, 0, n * 4, host.data(), 0,
+                                 nullptr, nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clEnqueueCopyBuffer(queue_, a, b, 0, 0, n * 4, 0, nullptr, nullptr),
+            CL_SUCCESS);
+  std::vector<std::uint32_t> out(n, 0);
+  ASSERT_EQ(clEnqueueReadBuffer(queue_, b, CL_TRUE, 0, n * 4, out.data(), 0,
+                                nullptr, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(out, host);
+  // overlapping same-buffer copy is rejected
+  EXPECT_EQ(clEnqueueCopyBuffer(queue_, a, a, 0, 4, 64, 0, nullptr, nullptr),
+            CL_MEM_COPY_OVERLAP);
+  clReleaseMemObject(a);
+  clReleaseMemObject(b);
+}
+
+TEST_F(SimclTest, OutOfRangeTransfersRejected) {
+  cl_int err = CL_SUCCESS;
+  cl_mem a = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 128, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  char buf[64];
+  EXPECT_EQ(clEnqueueReadBuffer(queue_, a, CL_TRUE, 100, 64, buf, 0, nullptr,
+                                nullptr),
+            CL_INVALID_VALUE);
+  clReleaseMemObject(a);
+}
+
+TEST_F(SimclTest, AllocationLimitEnforced) {
+  cl_int err = CL_SUCCESS;
+  cl_ulong max_alloc = 0;
+  clGetDeviceInfo(device_, CL_DEVICE_MAX_MEM_ALLOC_SIZE, sizeof max_alloc,
+                  &max_alloc, nullptr);
+  cl_mem m = clCreateBuffer(ctx_, CL_MEM_READ_WRITE,
+                            static_cast<std::size_t>(max_alloc) + 4096, nullptr,
+                            &err);
+  EXPECT_EQ(m, nullptr);
+  EXPECT_EQ(err, CL_INVALID_BUFFER_SIZE);
+}
+
+TEST_F(SimclTest, BuildFailureProducesLog) {
+  const char* bad = "__kernel void k(__global int* d) { d[0] = undeclared; }";
+  cl_int err = CL_SUCCESS;
+  cl_program p = clCreateProgramWithSource(ctx_, 1, &bad, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  EXPECT_EQ(clBuildProgram(p, 1, &device_, "", nullptr, nullptr),
+            CL_BUILD_PROGRAM_FAILURE);
+  char log[512] = {};
+  ASSERT_EQ(clGetProgramBuildInfo(p, device_, CL_PROGRAM_BUILD_LOG, sizeof log,
+                                  log, nullptr),
+            CL_SUCCESS);
+  EXPECT_NE(std::string(log).find("undeclared"), std::string::npos);
+  // kernels cannot be created from a failed build
+  cl_kernel k = clCreateKernel(p, "k", &err);
+  EXPECT_EQ(k, nullptr);
+  EXPECT_EQ(err, CL_INVALID_PROGRAM_EXECUTABLE);
+  clReleaseProgram(p);
+}
+
+TEST_F(SimclTest, ProgramBinaryRoundTrip) {
+  const char* src = "__kernel void twice(__global int* d) { d[0] = d[0] * 2; }";
+  cl_int err = CL_SUCCESS;
+  cl_program p = clCreateProgramWithSource(ctx_, 1, &src, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clBuildProgram(p, 1, &device_, "", nullptr, nullptr), CL_SUCCESS);
+  std::size_t bin_size = 0;
+  ASSERT_EQ(clGetProgramInfo(p, CL_PROGRAM_BINARY_SIZES, sizeof bin_size,
+                             &bin_size, nullptr),
+            CL_SUCCESS);
+  ASSERT_GT(bin_size, 0u);
+  std::vector<unsigned char> bin(bin_size);
+  unsigned char* ptrs[1] = {bin.data()};
+  ASSERT_EQ(clGetProgramInfo(p, CL_PROGRAM_BINARIES, sizeof ptrs, ptrs, nullptr),
+            CL_SUCCESS);
+  const unsigned char* cptr = bin.data();
+  cl_int status = CL_SUCCESS;
+  cl_program p2 = clCreateProgramWithBinary(ctx_, 1, &device_, &bin_size, &cptr,
+                                            &status, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  EXPECT_EQ(status, CL_SUCCESS);
+  EXPECT_EQ(clBuildProgram(p2, 1, &device_, "", nullptr, nullptr), CL_SUCCESS);
+  cl_kernel k = clCreateKernel(p2, "twice", &err);
+  EXPECT_EQ(err, CL_SUCCESS);
+  clReleaseKernel(k);
+  clReleaseProgram(p2);
+  clReleaseProgram(p);
+  // garbage binaries are rejected
+  const unsigned char junk[4] = {1, 2, 3, 4};
+  const unsigned char* jptr = junk;
+  const std::size_t jlen = 4;
+  cl_program p3 =
+      clCreateProgramWithBinary(ctx_, 1, &device_, &jlen, &jptr, &status, &err);
+  EXPECT_EQ(p3, nullptr);
+  EXPECT_EQ(err, CL_INVALID_BINARY);
+}
+
+TEST_F(SimclTest, KernelExecutionAndUnsetArgs) {
+  cl_kernel k = build_kernel(
+      "__kernel void fill(__global int* d, int v) { d[get_global_id(0)] = v; }",
+      "fill");
+  const std::size_t n = 64;
+  cl_int err = CL_SUCCESS;
+  cl_mem m = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, n * 4, nullptr, &err);
+  // unset args -> launch fails
+  const std::size_t g = n;
+  EXPECT_EQ(clEnqueueNDRangeKernel(queue_, k, 1, nullptr, &g, nullptr, 0, nullptr,
+                                   nullptr),
+            CL_INVALID_KERNEL_ARGS);
+  int v = 42;
+  ASSERT_EQ(clSetKernelArg(k, 0, sizeof m, &m), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(k, 1, sizeof v, &v), CL_SUCCESS);
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, k, 1, nullptr, &g, nullptr, 0, nullptr,
+                                   nullptr),
+            CL_SUCCESS);
+  std::vector<std::int32_t> out(n);
+  ASSERT_EQ(clEnqueueReadBuffer(queue_, m, CL_TRUE, 0, n * 4, out.data(), 0,
+                                nullptr, nullptr),
+            CL_SUCCESS);
+  for (const std::int32_t x : out) EXPECT_EQ(x, 42);
+  clReleaseKernel(k);
+  clReleaseMemObject(m);
+}
+
+TEST_F(SimclTest, ArgsBoundAtEnqueueNotAtExecution) {
+  cl_kernel k = build_kernel(
+      "__kernel void fill(__global int* d, int v) { d[get_global_id(0)] = v; }",
+      "fill");
+  cl_int err = CL_SUCCESS;
+  cl_mem m = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 64 * 4, nullptr, &err);
+  int v = 1;
+  clSetKernelArg(k, 0, sizeof m, &m);
+  clSetKernelArg(k, 1, sizeof v, &v);
+  const std::size_t g = 64;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, k, 1, nullptr, &g, nullptr, 0, nullptr,
+                                   nullptr),
+            CL_SUCCESS);
+  v = 2;  // re-bind AFTER the first enqueue
+  clSetKernelArg(k, 1, sizeof v, &v);
+  ASSERT_EQ(clFinish(queue_), CL_SUCCESS);
+  std::int32_t out0 = 0;
+  clEnqueueReadBuffer(queue_, m, CL_TRUE, 0, 4, &out0, 0, nullptr, nullptr);
+  EXPECT_EQ(out0, 1);  // first launch used the snapshot taken at enqueue
+  clReleaseKernel(k);
+  clReleaseMemObject(m);
+}
+
+TEST_F(SimclTest, WorkGroupLimitsPerDevice) {
+  cl_kernel k = build_kernel(
+      "__kernel void nop(__global int* d) { d[0] = 1; }", "nop");
+  cl_int err = CL_SUCCESS;
+  cl_mem m = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 4096, nullptr, &err);
+  clSetKernelArg(k, 0, sizeof m, &m);
+  const std::size_t g = 1024;
+  std::size_t l = 1024;  // > C1060's 512
+  EXPECT_EQ(clEnqueueNDRangeKernel(queue_, k, 1, nullptr, &g, &l, 0, nullptr,
+                                   nullptr),
+            CL_INVALID_WORK_ITEM_SIZE);
+  l = 100;  // does not divide 1024
+  EXPECT_EQ(clEnqueueNDRangeKernel(queue_, k, 1, nullptr, &g, &l, 0, nullptr,
+                                   nullptr),
+            CL_INVALID_WORK_GROUP_SIZE);
+  clReleaseKernel(k);
+  clReleaseMemObject(m);
+}
+
+TEST_F(SimclTest, EventsAndProfilingOnVirtualClock) {
+  cl_kernel k = build_kernel(
+      "__kernel void burn(__global float* d, int iters) {\n"
+      "  float a = d[get_global_id(0)];\n"
+      "  for (int i = 0; i < iters; i = i + 1) a = mad(a, 1.0001f, 0.5f);\n"
+      "  d[get_global_id(0)] = a;\n"
+      "}",
+      "burn");
+  cl_int err = CL_SUCCESS;
+  cl_mem m = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 256 * 4, nullptr, &err);
+  int iters = 100;
+  clSetKernelArg(k, 0, sizeof m, &m);
+  clSetKernelArg(k, 1, sizeof iters, &iters);
+  const std::size_t g = 256;
+  cl_event ev = nullptr;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, k, 1, nullptr, &g, nullptr, 0, nullptr,
+                                   &ev),
+            CL_SUCCESS);
+  ASSERT_EQ(clWaitForEvents(1, &ev), CL_SUCCESS);
+  cl_int st = -1;
+  ASSERT_EQ(clGetEventInfo(ev, CL_EVENT_COMMAND_EXECUTION_STATUS, sizeof st, &st,
+                           nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(st, CL_COMPLETE);
+  cl_ulong q = 0;
+  cl_ulong sub = 0;
+  cl_ulong start = 0;
+  cl_ulong end = 0;
+  clGetEventProfilingInfo(ev, CL_PROFILING_COMMAND_QUEUED, 8, &q, nullptr);
+  clGetEventProfilingInfo(ev, CL_PROFILING_COMMAND_SUBMIT, 8, &sub, nullptr);
+  clGetEventProfilingInfo(ev, CL_PROFILING_COMMAND_START, 8, &start, nullptr);
+  clGetEventProfilingInfo(ev, CL_PROFILING_COMMAND_END, 8, &end, nullptr);
+  EXPECT_LE(q, sub);
+  EXPECT_LE(sub, start);
+  EXPECT_LT(start, end);  // the kernel takes virtual time
+  // the host clock was synced to the event completion
+  cl_ulong now = 0;
+  clSimGetHostTimeNS(&now);
+  EXPECT_GE(now, end);
+  clReleaseEvent(ev);
+  clReleaseKernel(k);
+  clReleaseMemObject(m);
+}
+
+TEST_F(SimclTest, MarkerEventCompletes) {
+  cl_event ev = nullptr;
+  ASSERT_EQ(clEnqueueMarker(queue_, &ev), CL_SUCCESS);
+  ASSERT_EQ(clWaitForEvents(1, &ev), CL_SUCCESS);
+  cl_uint type = 0;
+  clGetEventInfo(ev, CL_EVENT_COMMAND_TYPE, sizeof type, &type, nullptr);
+  EXPECT_EQ(type, static_cast<cl_uint>(CL_COMMAND_MARKER));
+  clReleaseEvent(ev);
+}
+
+TEST_F(SimclTest, TransfersChargePcieBandwidth) {
+  // 32 MB at the bandwidth-scaled 5.35 GB/s HtoD should take ~0.2 virtual s
+  const std::size_t bytes = 32u << 20;
+  std::vector<std::uint8_t> host(bytes, 1);
+  cl_int err = CL_SUCCESS;
+  cl_mem m = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, bytes, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_ulong t0 = 0;
+  clSimGetHostTimeNS(&t0);
+  ASSERT_EQ(clEnqueueWriteBuffer(queue_, m, CL_TRUE, 0, bytes, host.data(), 0,
+                                 nullptr, nullptr),
+            CL_SUCCESS);
+  cl_ulong t1 = 0;
+  clSimGetHostTimeNS(&t1);
+  const double sec = static_cast<double>(t1 - t0) / 1e9;
+  EXPECT_NEAR(sec, 33.55e6 / (5.35e9 / simcl::kBandwidthScale), 0.05);
+  clReleaseMemObject(m);
+}
+
+TEST_F(SimclTest, UseHostPtrSyncsAroundKernels) {
+  cl_kernel k = build_kernel(
+      "__kernel void inc(__global int* d) { d[get_global_id(0)] += 1; }", "inc");
+  std::vector<std::int32_t> host(64, 5);
+  cl_int err = CL_SUCCESS;
+  cl_mem m = clCreateBuffer(ctx_, CL_MEM_READ_WRITE | CL_MEM_USE_HOST_PTR,
+                            64 * 4, host.data(), &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  // mutate the host cache after creation; the kernel must see the new data
+  for (auto& v : host) v = 10;
+  clSetKernelArg(k, 0, sizeof m, &m);
+  const std::size_t g = 64;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, k, 1, nullptr, &g, nullptr, 0, nullptr,
+                                   nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clFinish(queue_), CL_SUCCESS);
+  // and the result must be visible in the host cache without an explicit read
+  for (const std::int32_t v : host) EXPECT_EQ(v, 11);
+  clReleaseKernel(k);
+  clReleaseMemObject(m);
+}
+
+TEST_F(SimclTest, ImageCreateQueryReadWrite) {
+  const cl_image_format fmt{CL_RGBA, CL_FLOAT};
+  std::vector<float> pixels(8 * 8 * 4, 0.25f);
+  cl_int err = CL_SUCCESS;
+  cl_mem img = clCreateImage2D(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                               &fmt, 8, 8, 0, pixels.data(), &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  std::size_t w = 0;
+  ASSERT_EQ(clGetImageInfo(img, CL_IMAGE_WIDTH, sizeof w, &w, nullptr), CL_SUCCESS);
+  EXPECT_EQ(w, 8u);
+  cl_uint mem_type = 0;
+  clGetMemObjectInfo(img, CL_MEM_TYPE, sizeof mem_type, &mem_type, nullptr);
+  EXPECT_EQ(mem_type, static_cast<cl_uint>(CL_MEM_OBJECT_IMAGE2D));
+  // unsupported format
+  const cl_image_format bad{0x9999, CL_FLOAT};
+  cl_mem img2 = clCreateImage2D(ctx_, CL_MEM_READ_ONLY, &bad, 8, 8, 0, nullptr, &err);
+  EXPECT_EQ(img2, nullptr);
+  EXPECT_EQ(err, CL_IMAGE_FORMAT_NOT_SUPPORTED);
+  clReleaseMemObject(img);
+}
+
+TEST_F(SimclTest, RefCountsKeepObjectsAlive) {
+  cl_int err = CL_SUCCESS;
+  cl_mem m = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 64, nullptr, &err);
+  ASSERT_EQ(clRetainMemObject(m), CL_SUCCESS);
+  ASSERT_EQ(clReleaseMemObject(m), CL_SUCCESS);
+  // still alive after one release (refcount was 2)
+  cl_uint refs = 0;
+  ASSERT_EQ(clGetMemObjectInfo(m, CL_MEM_REFERENCE_COUNT, sizeof refs, &refs,
+                               nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(refs, 1u);
+  ASSERT_EQ(clReleaseMemObject(m), CL_SUCCESS);
+}
+
+TEST_F(SimclTest, CreateKernelsInProgramEnumeratesAll) {
+  const char* src =
+      "__kernel void a(__global int* d) { d[0] = 1; }\n"
+      "__kernel void b(__global int* d) { d[0] = 2; }\n"
+      "int helper(int x) { return x; }\n";
+  cl_int err = CL_SUCCESS;
+  cl_program p = clCreateProgramWithSource(ctx_, 1, &src, nullptr, &err);
+  ASSERT_EQ(clBuildProgram(p, 1, &device_, "", nullptr, nullptr), CL_SUCCESS);
+  cl_uint n = 0;
+  ASSERT_EQ(clCreateKernelsInProgram(p, 0, nullptr, &n), CL_SUCCESS);
+  EXPECT_EQ(n, 2u);  // helper is not a kernel
+  std::vector<cl_kernel> ks(n);
+  ASSERT_EQ(clCreateKernelsInProgram(p, n, ks.data(), nullptr), CL_SUCCESS);
+  for (cl_kernel k : ks) clReleaseKernel(k);
+  clReleaseProgram(p);
+}
+
+TEST_F(SimclTest, SamplerObjectLifecycle) {
+  cl_int err = CL_SUCCESS;
+  cl_sampler s = clCreateSampler(ctx_, CL_TRUE, CL_ADDRESS_REPEAT,
+                                 CL_FILTER_LINEAR, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_bool norm = CL_FALSE;
+  ASSERT_EQ(clGetSamplerInfo(s, CL_SAMPLER_NORMALIZED_COORDS, sizeof norm, &norm,
+                             nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(norm, static_cast<cl_bool>(CL_TRUE));
+  EXPECT_EQ(clReleaseSampler(s), CL_SUCCESS);
+}
+
+TEST_F(SimclTest, QueueTimelineOverlapsHost) {
+  // enqueue a long kernel without waiting: host time should NOT advance by
+  // the kernel duration until clFinish
+  cl_kernel k = build_kernel(
+      "__kernel void burn(__global float* d, int iters) {\n"
+      "  float a = d[get_global_id(0)];\n"
+      "  for (int i = 0; i < iters; i = i + 1) a = mad(a, 1.0001f, 0.5f);\n"
+      "  d[get_global_id(0)] = a;\n"
+      "}",
+      "burn");
+  cl_int err = CL_SUCCESS;
+  cl_mem m = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, 1024 * 4, nullptr, &err);
+  int iters = 500;
+  clSetKernelArg(k, 0, sizeof m, &m);
+  clSetKernelArg(k, 1, sizeof iters, &iters);
+  const std::size_t g = 1024;
+  cl_ulong t0 = 0;
+  clSimGetHostTimeNS(&t0);
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, k, 1, nullptr, &g, nullptr, 0, nullptr,
+                                   nullptr),
+            CL_SUCCESS);
+  cl_ulong t_enq = 0;
+  clSimGetHostTimeNS(&t_enq);
+  ASSERT_EQ(clFinish(queue_), CL_SUCCESS);
+  cl_ulong t_fin = 0;
+  clSimGetHostTimeNS(&t_fin);
+  const cl_ulong enqueue_cost = t_enq - t0;
+  const cl_ulong finish_cost = t_fin - t_enq;
+  EXPECT_LT(enqueue_cost, 1'000'000u);  // enqueue returns immediately
+  EXPECT_GT(finish_cost, enqueue_cost * 5);  // the wait carries the kernel time
+  clReleaseKernel(k);
+  clReleaseMemObject(m);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// slimcr_test.cpp — the host checkpointer substrate: snapshot format,
+// CRC verification, corruption detection, and the storage cost models.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "slimcr/snapshot.h"
+
+namespace {
+
+std::string tmp_path(const char* name) {
+  return std::string("/tmp/slimcr_test_") + name + ".snap";
+}
+
+TEST(Crc32, KnownVectors) {
+  // "123456789" -> 0xCBF43926 (standard CRC-32 check value)
+  const char* s = "123456789";
+  EXPECT_EQ(slimcr::crc32(reinterpret_cast<const std::uint8_t*>(s), 9),
+            0xCBF43926u);
+  EXPECT_EQ(slimcr::crc32(nullptr, 0), 0u);
+}
+
+TEST(Snapshot, SaveLoadRoundTrip) {
+  slimcr::Snapshot snap;
+  snap.set("alpha", {1, 2, 3});
+  snap.set("beta", std::vector<std::uint8_t>(10000, 0x42));
+  snap.set("empty", {});
+  const auto path = tmp_path("roundtrip");
+  const slimcr::IoResult wr = snap.save(path, slimcr::local_disk());
+  ASSERT_TRUE(wr.ok) << wr.error;
+  EXPECT_GT(wr.bytes, 10000u);
+  EXPECT_GT(wr.duration_ns, 0u);
+
+  slimcr::Snapshot in;
+  const slimcr::IoResult rd = in.load(path, slimcr::local_disk());
+  ASSERT_TRUE(rd.ok) << rd.error;
+  ASSERT_NE(in.get("alpha"), nullptr);
+  EXPECT_EQ(*in.get("alpha"), (std::vector<std::uint8_t>{1, 2, 3}));
+  ASSERT_NE(in.get("beta"), nullptr);
+  EXPECT_EQ(in.get("beta")->size(), 10000u);
+  ASSERT_NE(in.get("empty"), nullptr);
+  EXPECT_TRUE(in.get("empty")->empty());
+  EXPECT_EQ(in.get("nonexistent"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, OverwriteSectionKeepsLatest) {
+  slimcr::Snapshot snap;
+  snap.set("x", {1});
+  snap.set("x", {2, 3});
+  ASSERT_EQ(snap.section_count(), 1u);
+  EXPECT_EQ(*snap.get("x"), (std::vector<std::uint8_t>{2, 3}));
+}
+
+TEST(Snapshot, DetectsBitFlip) {
+  slimcr::Snapshot snap;
+  snap.set("payload", std::vector<std::uint8_t>(4096, 0x7E));
+  const auto path = tmp_path("bitflip");
+  ASSERT_TRUE(snap.save(path, slimcr::ram_disk()).ok);
+  {
+    // flip one byte in the middle of the payload
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(1000);
+    const char c = 0x00;
+    f.write(&c, 1);
+  }
+  slimcr::Snapshot in;
+  const slimcr::IoResult rd = in.load(path, slimcr::ram_disk());
+  EXPECT_FALSE(rd.ok);
+  EXPECT_NE(rd.error.find("CRC"), std::string::npos);
+  EXPECT_EQ(in.section_count(), 0u);  // nothing half-loaded
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RejectsTruncatedFile) {
+  slimcr::Snapshot snap;
+  snap.set("payload", std::vector<std::uint8_t>(4096, 0x11));
+  const auto path = tmp_path("truncated");
+  ASSERT_TRUE(snap.save(path, slimcr::ram_disk()).ok);
+  // truncate to half
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write("SLIMCR01", 8);
+  f.close();
+  slimcr::Snapshot in;
+  EXPECT_FALSE(in.load(path, slimcr::ram_disk()).ok);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RejectsWrongMagic) {
+  const auto path = tmp_path("magic");
+  std::ofstream f(path, std::ios::binary);
+  f.write("NOTASNAP", 8);
+  f.close();
+  slimcr::Snapshot in;
+  const slimcr::IoResult rd = in.load(path, slimcr::ram_disk());
+  EXPECT_FALSE(rd.ok);
+  EXPECT_NE(rd.error.find("magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, MissingFileFailsCleanly) {
+  slimcr::Snapshot in;
+  EXPECT_FALSE(in.load("/tmp/definitely_not_here.snap", slimcr::ram_disk()).ok);
+}
+
+TEST(StorageModel, TableIBandwidths) {
+  const auto local = slimcr::local_disk();
+  const auto nfs = slimcr::nfs();
+  const auto ram = slimcr::ram_disk();
+  const std::uint64_t mb100 = 100ull << 20;
+  // Table I (rate-scaled): local 110 MB/s write, NFS 72.5, RAM disk 2881
+  EXPECT_NEAR(static_cast<double>(local.write_ns(mb100)) / 1e9,
+              static_cast<double>(mb100) / (110.0e6 / slimcr::kRateScale), 0.1);
+  EXPECT_NEAR(static_cast<double>(nfs.write_ns(mb100)) / 1e9,
+              static_cast<double>(mb100) / (72.5e6 / slimcr::kRateScale), 0.1);
+  EXPECT_NEAR(static_cast<double>(ram.write_ns(mb100)) / 1e9,
+              static_cast<double>(mb100) / (2881.0e6 / slimcr::kRateScale), 0.1);
+  // NFS reads are the slowest (21.2 MB/s), RAM disk the fastest
+  EXPECT_GT(nfs.read_ns(mb100), local.read_ns(mb100));
+  EXPECT_GT(local.read_ns(mb100), ram.read_ns(mb100));
+}
+
+TEST(StorageModel, WriteTimeProportionalToSize) {
+  const auto sm = slimcr::local_disk();
+  const std::uint64_t t1 = sm.write_ns(10ull << 20) - sm.open_latency_ns;
+  const std::uint64_t t2 = sm.write_ns(20ull << 20) - sm.open_latency_ns;
+  EXPECT_NEAR(static_cast<double>(t2) / static_cast<double>(t1), 2.0, 0.01);
+}
+
+}  // namespace
