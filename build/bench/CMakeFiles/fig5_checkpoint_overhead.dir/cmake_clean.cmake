@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_checkpoint_overhead.dir/fig5_checkpoint_overhead.cpp.o"
+  "CMakeFiles/fig5_checkpoint_overhead.dir/fig5_checkpoint_overhead.cpp.o.d"
+  "fig5_checkpoint_overhead"
+  "fig5_checkpoint_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_checkpoint_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mpi_checkpoint.dir/fig6_mpi_checkpoint.cpp.o"
+  "CMakeFiles/fig6_mpi_checkpoint.dir/fig6_mpi_checkpoint.cpp.o.d"
+  "fig6_mpi_checkpoint"
+  "fig6_mpi_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mpi_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

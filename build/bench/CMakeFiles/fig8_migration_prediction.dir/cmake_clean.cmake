@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_migration_prediction.dir/fig8_migration_prediction.cpp.o"
+  "CMakeFiles/fig8_migration_prediction.dir/fig8_migration_prediction.cpp.o.d"
+  "fig8_migration_prediction"
+  "fig8_migration_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_migration_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

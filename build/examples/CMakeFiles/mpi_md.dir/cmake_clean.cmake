@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_md.dir/mpi_md.cpp.o"
+  "CMakeFiles/mpi_md.dir/mpi_md.cpp.o.d"
+  "mpi_md"
+  "mpi_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/processor_selection.dir/processor_selection.cpp.o"
+  "CMakeFiles/processor_selection.dir/processor_selection.cpp.o.d"
+  "processor_selection"
+  "processor_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/processor_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

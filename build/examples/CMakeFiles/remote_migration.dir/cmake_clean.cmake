@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_migration.dir/remote_migration.cpp.o"
+  "CMakeFiles/remote_migration.dir/remote_migration.cpp.o.d"
+  "remote_migration"
+  "remote_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

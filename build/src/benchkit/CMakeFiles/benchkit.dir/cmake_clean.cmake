@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchkit.dir/table.cpp.o"
+  "CMakeFiles/benchkit.dir/table.cpp.o.d"
+  "libbenchkit.a"
+  "libbenchkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

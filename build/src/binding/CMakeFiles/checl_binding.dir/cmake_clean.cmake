@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checl_binding.dir/cl_api.cpp.o"
+  "CMakeFiles/checl_binding.dir/cl_api.cpp.o.d"
+  "libchecl_binding.a"
+  "libchecl_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checl_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchecl_binding.a"
+)

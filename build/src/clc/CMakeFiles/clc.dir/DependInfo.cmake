@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clc/builtins.cpp" "src/clc/CMakeFiles/clc.dir/builtins.cpp.o" "gcc" "src/clc/CMakeFiles/clc.dir/builtins.cpp.o.d"
+  "/root/repo/src/clc/interp.cpp" "src/clc/CMakeFiles/clc.dir/interp.cpp.o" "gcc" "src/clc/CMakeFiles/clc.dir/interp.cpp.o.d"
+  "/root/repo/src/clc/lexer.cpp" "src/clc/CMakeFiles/clc.dir/lexer.cpp.o" "gcc" "src/clc/CMakeFiles/clc.dir/lexer.cpp.o.d"
+  "/root/repo/src/clc/parser.cpp" "src/clc/CMakeFiles/clc.dir/parser.cpp.o" "gcc" "src/clc/CMakeFiles/clc.dir/parser.cpp.o.d"
+  "/root/repo/src/clc/pp.cpp" "src/clc/CMakeFiles/clc.dir/pp.cpp.o" "gcc" "src/clc/CMakeFiles/clc.dir/pp.cpp.o.d"
+  "/root/repo/src/clc/program.cpp" "src/clc/CMakeFiles/clc.dir/program.cpp.o" "gcc" "src/clc/CMakeFiles/clc.dir/program.cpp.o.d"
+  "/root/repo/src/clc/type.cpp" "src/clc/CMakeFiles/clc.dir/type.cpp.o" "gcc" "src/clc/CMakeFiles/clc.dir/type.cpp.o.d"
+  "/root/repo/src/clc/value.cpp" "src/clc/CMakeFiles/clc.dir/value.cpp.o" "gcc" "src/clc/CMakeFiles/clc.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc.dir/builtins.cpp.o"
+  "CMakeFiles/clc.dir/builtins.cpp.o.d"
+  "CMakeFiles/clc.dir/interp.cpp.o"
+  "CMakeFiles/clc.dir/interp.cpp.o.d"
+  "CMakeFiles/clc.dir/lexer.cpp.o"
+  "CMakeFiles/clc.dir/lexer.cpp.o.d"
+  "CMakeFiles/clc.dir/parser.cpp.o"
+  "CMakeFiles/clc.dir/parser.cpp.o.d"
+  "CMakeFiles/clc.dir/pp.cpp.o"
+  "CMakeFiles/clc.dir/pp.cpp.o.d"
+  "CMakeFiles/clc.dir/program.cpp.o"
+  "CMakeFiles/clc.dir/program.cpp.o.d"
+  "CMakeFiles/clc.dir/type.cpp.o"
+  "CMakeFiles/clc.dir/type.cpp.o.d"
+  "CMakeFiles/clc.dir/value.cpp.o"
+  "CMakeFiles/clc.dir/value.cpp.o.d"
+  "libclc.a"
+  "libclc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cpr.cpp" "src/core/CMakeFiles/checl_core.dir/cpr.cpp.o" "gcc" "src/core/CMakeFiles/checl_core.dir/cpr.cpp.o.d"
+  "/root/repo/src/core/ksig.cpp" "src/core/CMakeFiles/checl_core.dir/ksig.cpp.o" "gcc" "src/core/CMakeFiles/checl_core.dir/ksig.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "src/core/CMakeFiles/checl_core.dir/migration.cpp.o" "gcc" "src/core/CMakeFiles/checl_core.dir/migration.cpp.o.d"
+  "/root/repo/src/core/object_db.cpp" "src/core/CMakeFiles/checl_core.dir/object_db.cpp.o" "gcc" "src/core/CMakeFiles/checl_core.dir/object_db.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/checl_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/checl_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/wrapper_api.cpp" "src/core/CMakeFiles/checl_core.dir/wrapper_api.cpp.o" "gcc" "src/core/CMakeFiles/checl_core.dir/wrapper_api.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proxy/CMakeFiles/proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/slimcr/CMakeFiles/slimcr.dir/DependInfo.cmake"
+  "/root/repo/build/src/clc/CMakeFiles/clc.dir/DependInfo.cmake"
+  "/root/repo/build/src/binding/CMakeFiles/checl_binding.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcl/CMakeFiles/simcl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checl_core.dir/cpr.cpp.o"
+  "CMakeFiles/checl_core.dir/cpr.cpp.o.d"
+  "CMakeFiles/checl_core.dir/ksig.cpp.o"
+  "CMakeFiles/checl_core.dir/ksig.cpp.o.d"
+  "CMakeFiles/checl_core.dir/migration.cpp.o"
+  "CMakeFiles/checl_core.dir/migration.cpp.o.d"
+  "CMakeFiles/checl_core.dir/object_db.cpp.o"
+  "CMakeFiles/checl_core.dir/object_db.cpp.o.d"
+  "CMakeFiles/checl_core.dir/runtime.cpp.o"
+  "CMakeFiles/checl_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/checl_core.dir/wrapper_api.cpp.o"
+  "CMakeFiles/checl_core.dir/wrapper_api.cpp.o.d"
+  "libchecl_core.a"
+  "libchecl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc.dir/channel.cpp.o"
+  "CMakeFiles/ipc.dir/channel.cpp.o.d"
+  "libipc.a"
+  "libipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi.dir/comm.cpp.o"
+  "CMakeFiles/minimpi.dir/comm.cpp.o.d"
+  "libminimpi.a"
+  "libminimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

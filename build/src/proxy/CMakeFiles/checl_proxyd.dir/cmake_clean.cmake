@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checl_proxyd.dir/proxyd_main.cpp.o"
+  "CMakeFiles/checl_proxyd.dir/proxyd_main.cpp.o.d"
+  "checl_proxyd"
+  "checl_proxyd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checl_proxyd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for checl_proxyd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proxy/client.cpp" "src/proxy/CMakeFiles/proxy.dir/client.cpp.o" "gcc" "src/proxy/CMakeFiles/proxy.dir/client.cpp.o.d"
+  "/root/repo/src/proxy/config_io.cpp" "src/proxy/CMakeFiles/proxy.dir/config_io.cpp.o" "gcc" "src/proxy/CMakeFiles/proxy.dir/config_io.cpp.o.d"
+  "/root/repo/src/proxy/server.cpp" "src/proxy/CMakeFiles/proxy.dir/server.cpp.o" "gcc" "src/proxy/CMakeFiles/proxy.dir/server.cpp.o.d"
+  "/root/repo/src/proxy/spawn.cpp" "src/proxy/CMakeFiles/proxy.dir/spawn.cpp.o" "gcc" "src/proxy/CMakeFiles/proxy.dir/spawn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipc/CMakeFiles/ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcl/CMakeFiles/simcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/clc/CMakeFiles/clc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

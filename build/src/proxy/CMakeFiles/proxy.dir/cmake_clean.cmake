@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy.dir/client.cpp.o"
+  "CMakeFiles/proxy.dir/client.cpp.o.d"
+  "CMakeFiles/proxy.dir/config_io.cpp.o"
+  "CMakeFiles/proxy.dir/config_io.cpp.o.d"
+  "CMakeFiles/proxy.dir/server.cpp.o"
+  "CMakeFiles/proxy.dir/server.cpp.o.d"
+  "CMakeFiles/proxy.dir/spawn.cpp.o"
+  "CMakeFiles/proxy.dir/spawn.cpp.o.d"
+  "libproxy.a"
+  "libproxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

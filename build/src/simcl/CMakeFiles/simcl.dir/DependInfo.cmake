@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcl/api.cpp" "src/simcl/CMakeFiles/simcl.dir/api.cpp.o" "gcc" "src/simcl/CMakeFiles/simcl.dir/api.cpp.o.d"
+  "/root/repo/src/simcl/objects.cpp" "src/simcl/CMakeFiles/simcl.dir/objects.cpp.o" "gcc" "src/simcl/CMakeFiles/simcl.dir/objects.cpp.o.d"
+  "/root/repo/src/simcl/queue.cpp" "src/simcl/CMakeFiles/simcl.dir/queue.cpp.o" "gcc" "src/simcl/CMakeFiles/simcl.dir/queue.cpp.o.d"
+  "/root/repo/src/simcl/runtime.cpp" "src/simcl/CMakeFiles/simcl.dir/runtime.cpp.o" "gcc" "src/simcl/CMakeFiles/simcl.dir/runtime.cpp.o.d"
+  "/root/repo/src/simcl/specs.cpp" "src/simcl/CMakeFiles/simcl.dir/specs.cpp.o" "gcc" "src/simcl/CMakeFiles/simcl.dir/specs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clc/CMakeFiles/clc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcl.dir/api.cpp.o"
+  "CMakeFiles/simcl.dir/api.cpp.o.d"
+  "CMakeFiles/simcl.dir/objects.cpp.o"
+  "CMakeFiles/simcl.dir/objects.cpp.o.d"
+  "CMakeFiles/simcl.dir/queue.cpp.o"
+  "CMakeFiles/simcl.dir/queue.cpp.o.d"
+  "CMakeFiles/simcl.dir/runtime.cpp.o"
+  "CMakeFiles/simcl.dir/runtime.cpp.o.d"
+  "CMakeFiles/simcl.dir/specs.cpp.o"
+  "CMakeFiles/simcl.dir/specs.cpp.o.d"
+  "libsimcl.a"
+  "libsimcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

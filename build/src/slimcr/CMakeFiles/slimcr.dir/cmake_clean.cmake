@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slimcr.dir/snapshot.cpp.o"
+  "CMakeFiles/slimcr.dir/snapshot.cpp.o.d"
+  "libslimcr.a"
+  "libslimcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slimcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

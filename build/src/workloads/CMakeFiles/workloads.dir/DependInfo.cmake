@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/harness.cpp" "src/workloads/CMakeFiles/workloads.dir/harness.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/harness.cpp.o.d"
+  "/root/repo/src/workloads/parboil.cpp" "src/workloads/CMakeFiles/workloads.dir/parboil.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/parboil.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/sdk_advanced.cpp" "src/workloads/CMakeFiles/workloads.dir/sdk_advanced.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/sdk_advanced.cpp.o.d"
+  "/root/repo/src/workloads/sdk_basic.cpp" "src/workloads/CMakeFiles/workloads.dir/sdk_basic.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/sdk_basic.cpp.o.d"
+  "/root/repo/src/workloads/shoc.cpp" "src/workloads/CMakeFiles/workloads.dir/shoc.cpp.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/shoc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/binding/CMakeFiles/checl_binding.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/checl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcl/CMakeFiles/simcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/slimcr/CMakeFiles/slimcr.dir/DependInfo.cmake"
+  "/root/repo/build/src/clc/CMakeFiles/clc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

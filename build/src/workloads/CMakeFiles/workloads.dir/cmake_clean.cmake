@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads.dir/harness.cpp.o"
+  "CMakeFiles/workloads.dir/harness.cpp.o.d"
+  "CMakeFiles/workloads.dir/parboil.cpp.o"
+  "CMakeFiles/workloads.dir/parboil.cpp.o.d"
+  "CMakeFiles/workloads.dir/registry.cpp.o"
+  "CMakeFiles/workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/workloads.dir/sdk_advanced.cpp.o"
+  "CMakeFiles/workloads.dir/sdk_advanced.cpp.o.d"
+  "CMakeFiles/workloads.dir/sdk_basic.cpp.o"
+  "CMakeFiles/workloads.dir/sdk_basic.cpp.o.d"
+  "CMakeFiles/workloads.dir/shoc.cpp.o"
+  "CMakeFiles/workloads.dir/shoc.cpp.o.d"
+  "libworkloads.a"
+  "libworkloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checl_core.dir/checl_core_test.cpp.o"
+  "CMakeFiles/test_checl_core.dir/checl_core_test.cpp.o.d"
+  "test_checl_core"
+  "test_checl_core.pdb"
+  "test_checl_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

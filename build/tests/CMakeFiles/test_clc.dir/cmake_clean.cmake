@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clc.dir/clc_test.cpp.o"
+  "CMakeFiles/test_clc.dir/clc_test.cpp.o.d"
+  "test_clc"
+  "test_clc.pdb"
+  "test_clc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpr.dir/cpr_test.cpp.o"
+  "CMakeFiles/test_cpr.dir/cpr_test.cpp.o.d"
+  "test_cpr"
+  "test_cpr.pdb"
+  "test_cpr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

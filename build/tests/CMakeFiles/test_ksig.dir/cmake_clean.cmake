@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ksig.dir/ksig_test.cpp.o"
+  "CMakeFiles/test_ksig.dir/ksig_test.cpp.o.d"
+  "test_ksig"
+  "test_ksig.pdb"
+  "test_ksig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ksig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

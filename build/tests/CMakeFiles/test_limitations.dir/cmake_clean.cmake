@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_limitations.dir/limitations_test.cpp.o"
+  "CMakeFiles/test_limitations.dir/limitations_test.cpp.o.d"
+  "test_limitations"
+  "test_limitations.pdb"
+  "test_limitations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_limitations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

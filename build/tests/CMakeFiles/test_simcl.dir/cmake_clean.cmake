@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simcl.dir/simcl_test.cpp.o"
+  "CMakeFiles/test_simcl.dir/simcl_test.cpp.o.d"
+  "test_simcl"
+  "test_simcl.pdb"
+  "test_simcl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

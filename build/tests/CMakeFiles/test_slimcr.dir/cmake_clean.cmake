@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slimcr.dir/slimcr_test.cpp.o"
+  "CMakeFiles/test_slimcr.dir/slimcr_test.cpp.o.d"
+  "test_slimcr"
+  "test_slimcr.pdb"
+  "test_slimcr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slimcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

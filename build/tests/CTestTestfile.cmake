@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_clc[1]_include.cmake")
+include("/root/repo/build/tests/test_events[1]_include.cmake")
+include("/root/repo/build/tests/test_simcl[1]_include.cmake")
+include("/root/repo/build/tests/test_ipc[1]_include.cmake")
+include("/root/repo/build/tests/test_proxy[1]_include.cmake")
+include("/root/repo/build/tests/test_slimcr[1]_include.cmake")
+include("/root/repo/build/tests/test_ksig[1]_include.cmake")
+include("/root/repo/build/tests/test_checl_core[1]_include.cmake")
+include("/root/repo/build/tests/test_cpr[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_minimpi[1]_include.cmake")
+include("/root/repo/build/tests/test_migration[1]_include.cmake")
+include("/root/repo/build/tests/test_limitations[1]_include.cmake")
