@@ -1,0 +1,288 @@
+// ipc_micro.cpp — ablation microbenchmark for the API-proxy IPC fast path.
+//
+// Measures real wall-clock cost of the app<->proxy transport (Process
+// transport, a genuinely forked daemon) with each fast-path feature
+// independently toggled:
+//   * writev  — scatter-gather framing + buffered receive (vs. seed framing)
+//   * batch   — client-side queueing of fire-and-forget calls
+//   * shm     — shared-memory bulk-data plane for payloads >= threshold
+//
+// Two axes:
+//   small_call     — back-to-back clSetKernelArg-sized RPCs (batch + writev
+//                    dominate here)
+//   large_transfer — enqueue_write / enqueue_read bulk payloads (shm
+//                    dominates here)
+//
+// Emits one JSON object on stdout so the perf trajectory is tracked across
+// PRs.  --smoke shrinks the workload, verifies data integrity on every
+// configuration, and exits non-zero on any mismatch (registered as a tier-1
+// ctest).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "proxy/spawn.h"
+#include "simcl/specs.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+struct Toggles {
+  const char* name;
+  bool writev;
+  bool batch;
+  bool shm;
+};
+
+struct Fixture {
+  proxy::Spawned sp;
+  proxy::RemoteHandle ctx = 0;
+  proxy::RemoteHandle queue = 0;
+  proxy::RemoteHandle buf = 0;
+  proxy::RemoteHandle kernel = 0;
+
+  bool ok() const { return sp.ok(); }
+};
+
+const char* kSrc =
+    "__kernel void scale(__global float* d, float s, int n) {"
+    "  int i = get_global_id(0); if (i < n) d[i] = d[i] * s; }";
+
+// Brings up a proxy and a context/queue/buffer/kernel to beat on.
+Fixture make_fixture(const Toggles& t, std::size_t buf_bytes) {
+  Fixture f;
+  proxy::SpawnOptions opts;
+  opts.use_writev = t.writev;
+  opts.use_shm = t.shm;
+  // ring holds two transfers in flight plus header slack
+  opts.shm_ring_bytes = 2 * buf_bytes + (1u << 20);
+  f.sp = proxy::spawn_proxy(proxy::Transport::Process, opts);
+  if (!f.sp.ok()) return f;
+  proxy::Client& c = *f.sp.client();
+  c.set_batching(t.batch);
+  proxy::IpcCosts costs;
+  costs.spawn_ns = 0;
+  if (c.configure(simcl::default_platforms(), costs, true) != CL_SUCCESS) {
+    f.sp.stop();
+    return f;
+  }
+  std::vector<proxy::RemoteHandle> plats, devs;
+  cl_uint n = 0;
+  c.get_platform_ids(4, plats, n);
+  c.get_device_ids(plats[0], CL_DEVICE_TYPE_GPU, 4, devs, n);
+  c.create_context({}, {devs.data(), 1}, f.ctx);
+  c.create_queue(f.ctx, devs[0], 0, f.queue);
+  c.create_buffer(f.ctx, CL_MEM_READ_WRITE, buf_bytes, {}, f.buf);
+  proxy::RemoteHandle prog = 0;
+  c.create_program_with_source(f.ctx, kSrc, prog);
+  c.build_program(prog, {devs.data(), 1}, "");
+  c.create_kernel(prog, "scale", f.kernel);
+  c.retain_release(proxy::Op::ReleaseProgram, prog);
+  return f;
+}
+
+struct SmallCallResult {
+  std::uint64_t calls = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t roundtrips = 0;
+  std::uint64_t syscalls = 0;
+  [[nodiscard]] double calls_per_sec() const {
+    return wall_ns == 0 ? 0.0 : 1e9 * static_cast<double>(calls) /
+                                    static_cast<double>(wall_ns);
+  }
+};
+
+SmallCallResult run_small_calls(Fixture& f, std::uint64_t calls) {
+  proxy::Client& c = *f.sp.client();
+  const float s = 1.0f;
+  SmallCallResult res;
+  res.calls = calls;
+  const auto before = c.stats();
+  const auto before_ch = c.channel_stats();
+  const std::uint64_t t0 = now_ns();
+  for (std::uint64_t i = 0; i < calls; ++i) {
+    c.set_kernel_arg_bytes(f.kernel, 1,
+                           {reinterpret_cast<const std::uint8_t*>(&s), 4});
+  }
+  c.sync();  // drain any batch so the tail is counted
+  res.wall_ns = now_ns() - t0;
+  res.roundtrips = c.stats().rpc_roundtrips - before.rpc_roundtrips;
+  const auto after_ch = c.channel_stats();
+  res.syscalls = (after_ch.sys_sends + after_ch.sys_reads) -
+                 (before_ch.sys_sends + before_ch.sys_reads);
+  return res;
+}
+
+struct TransferResult {
+  std::uint64_t bytes = 0;
+  std::uint64_t reps = 0;
+  std::uint64_t write_ns = 0;
+  std::uint64_t read_ns = 0;
+  std::uint64_t shm_msgs = 0;
+  std::uint64_t shm_fallbacks = 0;
+  bool verified = false;
+  [[nodiscard]] double mbps(std::uint64_t ns) const {
+    return ns == 0 ? 0.0 : static_cast<double>(bytes * reps) / 1048576.0 /
+                               (static_cast<double>(ns) / 1e9);
+  }
+};
+
+// Best-of-`trials` per phase (min wall time): the box the bench runs on can
+// be a noisy single core, and the minimum is the least-perturbed estimate of
+// transport capability.
+TransferResult run_transfers(Fixture& f, std::size_t bytes, std::uint64_t reps,
+                             int trials) {
+  proxy::Client& c = *f.sp.client();
+  TransferResult res;
+  res.bytes = bytes;
+  res.reps = reps;
+  std::vector<std::uint8_t> out(bytes);
+  std::vector<std::uint8_t> data(bytes);
+  for (std::size_t i = 0; i < bytes; ++i)
+    data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  proxy::RemoteHandle ev = 0;
+  const auto ch0 = c.channel_stats();
+  res.write_ns = ~0ull;
+  res.read_ns = ~0ull;
+  res.verified = true;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::uint64_t t0 = now_ns();
+    for (std::uint64_t i = 0; i < reps; ++i)
+      c.enqueue_write(f.queue, f.buf, 0, data, true, ev);
+    const std::uint64_t w = now_ns() - t0;
+    if (w < res.write_ns) res.write_ns = w;
+
+    t0 = now_ns();
+    for (std::uint64_t i = 0; i < reps; ++i)
+      c.enqueue_read(f.queue, f.buf, 0, bytes, out.data(), false, ev);
+    const std::uint64_t r = now_ns() - t0;
+    if (r < res.read_ns) res.read_ns = r;
+    res.verified = res.verified && std::memcmp(out.data(), data.data(), bytes) == 0;
+  }
+  const auto ch1 = c.channel_stats();
+  res.shm_msgs = (ch1.shm_msgs_sent + ch1.shm_msgs_recvd) -
+                 (ch0.shm_msgs_sent + ch0.shm_msgs_recvd);
+  res.shm_fallbacks = ch1.shm_fallbacks - ch0.shm_fallbacks;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::uint64_t small_calls = 20000;
+  std::size_t transfer_bytes = 16u << 20;  // 16 MiB
+  std::uint64_t transfer_reps = 16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--calls") == 0 && i + 1 < argc)
+      small_calls = std::strtoull(argv[++i], nullptr, 10);
+    if (std::strcmp(argv[i], "--bytes") == 0 && i + 1 < argc)
+      transfer_bytes = std::strtoull(argv[++i], nullptr, 10);
+  }
+  if (smoke) {
+    small_calls = 2000;
+    transfer_bytes = 1u << 20;
+    transfer_reps = 4;
+  }
+
+  const Toggles small_configs[] = {
+      {"seed", false, false, false},
+      {"writev", true, false, false},
+      {"batch", false, true, false},
+      {"writev_batch", true, true, false},
+  };
+  const Toggles large_configs[] = {
+      {"socket", true, false, false},
+      {"shm", true, false, true},
+  };
+
+  int failures = 0;
+  std::printf("{\n  \"bench\": \"ipc_micro\",\n  \"smoke\": %s,\n",
+              smoke ? "true" : "false");
+
+  double seed_rate = 0.0, best_rate = 0.0;
+  std::printf("  \"small_call\": [\n");
+  for (std::size_t i = 0; i < std::size(small_configs); ++i) {
+    const Toggles& t = small_configs[i];
+    Fixture f = make_fixture(t, 4096);
+    if (!f.ok()) {
+      std::fprintf(stderr, "ipc_micro: spawn failed for %s: %s\n", t.name,
+                   f.sp.error().c_str());
+      ++failures;
+      continue;
+    }
+    const SmallCallResult r = run_small_calls(f, small_calls);
+    if (f.sp.client()->deferred_error() != CL_SUCCESS) ++failures;
+    if (std::strcmp(t.name, "seed") == 0) seed_rate = r.calls_per_sec();
+    if (r.calls_per_sec() > best_rate) best_rate = r.calls_per_sec();
+    std::printf("    {\"config\": \"%s\", \"writev\": %s, \"batch\": %s, "
+                "\"calls\": %llu, \"wall_ns\": %llu, \"calls_per_sec\": %.0f, "
+                "\"rpc_roundtrips\": %llu, \"syscalls\": %llu}%s\n",
+                t.name, t.writev ? "true" : "false", t.batch ? "true" : "false",
+                static_cast<unsigned long long>(r.calls),
+                static_cast<unsigned long long>(r.wall_ns), r.calls_per_sec(),
+                static_cast<unsigned long long>(r.roundtrips),
+                static_cast<unsigned long long>(r.syscalls),
+                i + 1 < std::size(small_configs) ? "," : "");
+    f.sp.stop();
+  }
+  std::printf("  ],\n");
+
+  double socket_bw = 0.0, shm_bw = 0.0;
+  std::printf("  \"large_transfer\": [\n");
+  for (std::size_t i = 0; i < std::size(large_configs); ++i) {
+    const Toggles& t = large_configs[i];
+    Fixture f = make_fixture(t, transfer_bytes);
+    if (!f.ok()) {
+      std::fprintf(stderr, "ipc_micro: spawn failed for %s: %s\n", t.name,
+                   f.sp.error().c_str());
+      ++failures;
+      continue;
+    }
+    const TransferResult r =
+        run_transfers(f, transfer_bytes, transfer_reps, smoke ? 2 : 3);
+    if (!r.verified) {
+      std::fprintf(stderr, "ipc_micro: data mismatch on %s\n", t.name);
+      ++failures;
+    }
+    if (t.shm && r.shm_msgs == 0) {
+      std::fprintf(stderr, "ipc_micro: shm config took no shm path\n");
+      ++failures;
+    }
+    const double bw = (r.mbps(r.write_ns) + r.mbps(r.read_ns)) / 2.0;
+    if (t.shm)
+      shm_bw = bw;
+    else
+      socket_bw = bw;
+    std::printf("    {\"config\": \"%s\", \"shm\": %s, \"bytes\": %llu, "
+                "\"write_MBps\": %.1f, \"read_MBps\": %.1f, \"shm_msgs\": %llu, "
+                "\"shm_fallbacks\": %llu, \"verified\": %s}%s\n",
+                t.name, t.shm ? "true" : "false",
+                static_cast<unsigned long long>(r.bytes), r.mbps(r.write_ns),
+                r.mbps(r.read_ns), static_cast<unsigned long long>(r.shm_msgs),
+                static_cast<unsigned long long>(r.shm_fallbacks),
+                r.verified ? "true" : "false",
+                i + 1 < std::size(large_configs) ? "," : "");
+    f.sp.stop();
+  }
+  std::printf("  ],\n");
+
+  std::printf("  \"speedup\": {\"small_call_best_vs_seed\": %.2f, "
+              "\"large_shm_vs_socket\": %.2f},\n",
+              seed_rate > 0 ? best_rate / seed_rate : 0.0,
+              socket_bw > 0 ? shm_bw / socket_bw : 0.0);
+  std::printf("  \"failures\": %d\n}\n", failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -152,8 +152,11 @@ cl_int Engine::checkpoint(const std::string& path, PhaseTimes* times) {
   ObjectDB& db = rt_.db();
   PhaseTimes pt;
 
-  // 1. synchronize: complete every enqueued command in every queue
+  // 1. synchronize: drain any client-side batched calls (they may carry
+  // kernel-arg and enqueue state the snapshot must reflect), then complete
+  // every enqueued command in every queue
   const std::uint64_t t0 = now_ns();
+  c.sync();
   for (QueueObj* q : db.all_of<QueueObj>()) {
     if (q->remote != 0) c.finish(q->remote);
   }

@@ -87,6 +87,9 @@ void CheclRuntime::on_api_call() {
 }
 
 void CheclRuntime::on_sync_point() {
+  // Natural synchronization points drain the IPC batch queue so deferred
+  // fire-and-forget calls can never be observed out of order by what follows.
+  if (proxy::Client* c = client(); c != nullptr && c->alive()) c->sync();
   if (checkpoint_pending() && !checkpoint_in_progress_) {
     checkpoint_in_progress_ = true;
     checkpoint_requested_.store(false, std::memory_order_release);

@@ -1,9 +1,11 @@
 #include "ipc/channel.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -12,11 +14,15 @@ namespace ipc {
 
 namespace {
 
-bool write_all(int fd, const void* data, std::size_t n) noexcept {
+constexpr std::size_t kRecvBufBytes = 64 * 1024;
+
+bool write_all(int fd, const void* data, std::size_t n,
+               std::uint64_t* sys_calls) noexcept {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (n > 0) {
     // MSG_NOSIGNAL: a dead peer surfaces as EPIPE, not a fatal SIGPIPE.
     const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (sys_calls != nullptr) ++*sys_calls;
     if (w <= 0) {
       if (w < 0 && errno == EINTR) continue;
       return false;
@@ -27,10 +33,12 @@ bool write_all(int fd, const void* data, std::size_t n) noexcept {
   return true;
 }
 
-bool read_all(int fd, void* data, std::size_t n) noexcept {
+bool read_all(int fd, void* data, std::size_t n,
+              std::uint64_t* sys_calls) noexcept {
   auto* p = static_cast<std::uint8_t*>(data);
   while (n > 0) {
     const ssize_t r = ::read(fd, p, n);
+    if (sys_calls != nullptr) ++*sys_calls;
     if (r <= 0) {
       if (r < 0 && errno == EINTR) continue;
       return false;
@@ -41,34 +49,170 @@ bool read_all(int fd, void* data, std::size_t n) noexcept {
   return true;
 }
 
+// Scatter-gather send of header + payload; loops on partial sends.
+bool writev_all(int fd, iovec* iov, int iovcnt, std::uint64_t* sys_calls) noexcept {
+  while (iovcnt > 0) {
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t w = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+    if (sys_calls != nullptr) ++*sys_calls;
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return false;
+    }
+    std::size_t left = static_cast<std::size_t>(w);
+    while (iovcnt > 0 && left >= iov[0].iov_len) {
+      left -= iov[0].iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (iovcnt > 0) {
+      iov[0].iov_base = static_cast<std::uint8_t*>(iov[0].iov_base) + left;
+      iov[0].iov_len -= left;
+    }
+  }
+  return true;
+}
+
+void set_cloexec(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFD);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
 }  // namespace
+
+// Fallback scatter send for channels without a native one: concatenate and
+// send a single frame.
+bool Channel::send2(const Message& m, std::span<const std::uint8_t> bulk) {
+  if (bulk.empty()) return send(m);
+  Message joined;
+  joined.op = m.op;
+  joined.payload.reserve(m.payload.size() + bulk.size());
+  joined.payload.assign(m.payload.begin(), m.payload.end());
+  joined.payload.insert(joined.payload.end(), bulk.begin(), bulk.end());
+  return send(joined);
+}
 
 SocketChannel::~SocketChannel() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-bool SocketChannel::send(const Message& m) {
-  std::uint32_t header[2] = {m.op, static_cast<std::uint32_t>(m.payload.size())};
-  if (!write_all(fd_, header, sizeof header)) return false;
-  return m.payload.empty() || write_all(fd_, m.payload.data(), m.payload.size());
+void SocketChannel::fail() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  rpos_ = rend_ = 0;
+}
+
+bool SocketChannel::send(const Message& m) { return send2(m, {}); }
+
+bool SocketChannel::send2(const Message& m, std::span<const std::uint8_t> bulk) {
+  if (fd_ < 0) return false;
+  const std::size_t total = m.payload.size() + bulk.size();
+  std::uint32_t header[2] = {m.op, static_cast<std::uint32_t>(total)};
+  bool ok;
+  if (use_writev_) {
+    iovec iov[3];
+    int cnt = 0;
+    iov[cnt++] = {header, sizeof header};
+    if (!m.payload.empty())
+      iov[cnt++] = {const_cast<std::uint8_t*>(m.payload.data()),
+                    m.payload.size()};
+    if (!bulk.empty())
+      iov[cnt++] = {const_cast<std::uint8_t*>(bulk.data()), bulk.size()};
+    ok = writev_all(fd_, iov, cnt, &stats_.sys_sends);
+  } else {
+    // seed framing: one syscall for the header, one per payload piece
+    ok = write_all(fd_, header, sizeof header, &stats_.sys_sends) &&
+         (m.payload.empty() ||
+          write_all(fd_, m.payload.data(), m.payload.size(),
+                    &stats_.sys_sends)) &&
+         (bulk.empty() ||
+          write_all(fd_, bulk.data(), bulk.size(), &stats_.sys_sends));
+  }
+  if (!ok) {
+    fail();
+    return false;
+  }
+  stats_.msgs_sent++;
+  stats_.bytes_sent += sizeof header + total;
+  return true;
+}
+
+bool SocketChannel::fill_at_least(std::size_t n) {
+  if (rbuf_.empty()) rbuf_.resize(kRecvBufBytes);
+  if (rend_ - rpos_ >= n) return true;
+  if (rpos_ > 0) {
+    std::memmove(rbuf_.data(), rbuf_.data() + rpos_, rend_ - rpos_);
+    rend_ -= rpos_;
+    rpos_ = 0;
+  }
+  while (rend_ - rpos_ < n) {
+    const ssize_t r = ::read(fd_, rbuf_.data() + rend_, rbuf_.size() - rend_);
+    ++stats_.sys_reads;
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    rend_ += static_cast<std::size_t>(r);
+  }
+  return true;
 }
 
 bool SocketChannel::recv(Message& m) {
+  if (fd_ < 0) return false;
   std::uint32_t header[2];
-  if (!read_all(fd_, header, sizeof header)) return false;
+  if (use_writev_) {
+    // Buffered path: a small frame's header and payload usually arrive in the
+    // same read syscall.
+    if (!fill_at_least(sizeof header)) {
+      fail();
+      return false;
+    }
+    std::memcpy(header, rbuf_.data() + rpos_, sizeof header);
+    rpos_ += sizeof header;
+  } else if (!read_all(fd_, header, sizeof header, &stats_.sys_reads)) {
+    fail();
+    return false;
+  }
+  if (header[1] > kMaxPayload) {
+    // Corrupt or hostile length: never attempt the allocation; the stream is
+    // unframed garbage from here on, so the channel is dead.
+    fail();
+    return false;
+  }
   m.op = header[0];
+  m.borrowed = false;  // reused Messages must not keep a stale view
   m.payload.resize(header[1]);
-  return header[1] == 0 || read_all(fd_, m.payload.data(), m.payload.size());
+  std::size_t need = header[1];
+  std::uint8_t* dst = m.payload.data();
+  const std::size_t buffered = std::min(need, rend_ - rpos_);
+  if (buffered > 0) {
+    std::memcpy(dst, rbuf_.data() + rpos_, buffered);
+    rpos_ += buffered;
+    dst += buffered;
+    need -= buffered;
+  }
+  if (need > 0 && !read_all(fd_, dst, need, &stats_.sys_reads)) {
+    fail();
+    return false;
+  }
+  stats_.msgs_recvd++;
+  stats_.bytes_recvd += sizeof header + m.payload.size();
+  return true;
 }
 
 std::pair<int, int> make_socketpair() noexcept {
   int fds[2];
-  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return {-1, -1};
+  // CLOEXEC: proxy/app fds must not leak into other exec'd children; spawn
+  // clears the flag explicitly on the one fd the proxy daemon inherits.
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0)
+    return {-1, -1};
   return {fds[0], fds[1]};
 }
 
 int tcp_listen(std::uint16_t port) noexcept {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return -1;
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -77,7 +221,7 @@ int tcp_listen(std::uint16_t port) noexcept {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(fd, 1) != 0) {
+      ::listen(fd, 16) != 0) {
     ::close(fd);
     return -1;
   }
@@ -85,7 +229,7 @@ int tcp_listen(std::uint16_t port) noexcept {
 }
 
 int tcp_accept(int listen_fd) noexcept {
-  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
   if (fd >= 0) {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -94,8 +238,9 @@ int tcp_accept(int listen_fd) noexcept {
 }
 
 int tcp_connect(const char* host, std::uint16_t port) noexcept {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return -1;
+  set_cloexec(fd);  // belt and braces on platforms ignoring the type flag
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);

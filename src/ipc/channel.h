@@ -2,10 +2,15 @@
 //
 // Three implementations:
 //   * SocketChannel — AF_UNIX socketpair / TCP fd; the production transport
-//     between application process and its forked API proxy.
+//     between application process and its forked API proxy.  Sends frames with
+//     one scatter-gather syscall (header + payload) and reads through a
+//     persistent buffer so small RPCs cost one syscall per side.
 //   * LocalChannel  — in-process queue pair; lets unit tests exercise the full
 //     marshalling path without fork/exec.
 //   * TcpChannel helpers — remote API proxy (the paper's §V future-work note).
+//
+// A fourth, ShmChannel (shm.h), decorates a SocketChannel with a POSIX
+// shared-memory bulk-data plane for payloads above a threshold.
 #pragma once
 
 #include <condition_variable>
@@ -13,6 +18,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 namespace ipc {
@@ -20,37 +26,107 @@ namespace ipc {
 struct Message {
   std::uint32_t op = 0;
   std::vector<std::uint8_t> payload;
+  // Zero-copy receive: a channel may return the payload as a view of borrowed
+  // memory (a shm ring block) instead of filling `payload`.  The view stays
+  // valid until the channel's next recv().  Senders never set this.
+  std::span<const std::uint8_t> view{};
+  bool borrowed = false;
+
+  // The logical payload, wherever it lives.  Post-recv readers go through
+  // this instead of touching `payload` directly.
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return borrowed ? view : std::span<const std::uint8_t>(payload);
+  }
+};
+
+// Transport-level counters, exposed for tests and the ipc_micro ablation.
+struct ChannelStats {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_recvd = 0;
+  std::uint64_t bytes_sent = 0;   // logical (header + payload) bytes
+  std::uint64_t bytes_recvd = 0;
+  std::uint64_t sys_sends = 0;    // send/sendmsg syscalls issued
+  std::uint64_t sys_reads = 0;    // read syscalls issued
+  // Filled in by ShmChannel:
+  std::uint64_t shm_msgs_sent = 0;
+  std::uint64_t shm_msgs_recvd = 0;
+  std::uint64_t shm_bytes_sent = 0;
+  std::uint64_t shm_bytes_recvd = 0;
+  std::uint64_t shm_fallbacks = 0;  // payload over threshold but ring full
 };
 
 class Channel {
  public:
   virtual ~Channel() = default;
-  // Both return false on a broken peer (EOF / EPIPE).
+  // Both return false on a broken peer (EOF / EPIPE) or a failed channel.
   virtual bool send(const Message& m) = 0;
   virtual bool recv(Message& m) = 0;
+  // Scatter send: the logical payload is m.payload followed by `bulk`,
+  // wire-identical to sending one concatenated payload.  Lets bulk data
+  // (enqueue_write contents, buffer images) skip the marshalling copy; the
+  // default implementation just concatenates.
+  virtual bool send2(const Message& m, std::span<const std::uint8_t> bulk);
+  // Releases any borrowed payload handed out by the last recv() early (it is
+  // otherwise released at the next recv).  Call once the view is dead; frees
+  // ring space for the peer's next bulk send.
+  virtual void release_rx() {}
+  // Zero-copy outbound path: reserve an n-byte block directly in the
+  // transport's data plane and write the frame payload into it in place, then
+  // send it with send_reserved.  nullptr when unsupported (socket/local
+  // channels) or no space — fall back to a normal send.
+  virtual std::uint8_t* reserve_tx(std::size_t /*n*/) { return nullptr; }
+  virtual bool send_reserved(std::uint32_t /*op*/, std::size_t /*n*/) {
+    return false;
+  }
+  [[nodiscard]] virtual ChannelStats stats() const { return stats_; }
+
+ protected:
+  ChannelStats stats_;
 };
 
 // ---- SocketChannel -----------------------------------------------------------
 
 class SocketChannel final : public Channel {
  public:
+  // A declared payload length above this fails the channel instead of
+  // attempting an unbounded allocation (corrupt or hostile header).
+  static constexpr std::uint32_t kMaxPayload = 1u << 30;  // 1 GiB
+
   // Takes ownership of the fd.
   explicit SocketChannel(int fd) noexcept : fd_(fd) {}
   ~SocketChannel() override;
 
   bool send(const Message& m) override;
+  bool send2(const Message& m, std::span<const std::uint8_t> bulk) override;
   bool recv(Message& m) override;
 
+  // Ablation toggle: false reverts to the seed framing (two write syscalls
+  // per frame, unbuffered header reads).
+  void set_use_writev(bool on) noexcept { use_writev_ = on; }
+  [[nodiscard]] bool use_writev() const noexcept { return use_writev_; }
+
   [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool failed() const noexcept { return fd_ < 0; }
 
  private:
+  bool fill_at_least(std::size_t n);  // buffered read path
+  void fail() noexcept;
+
   int fd_ = -1;
+  bool use_writev_ = true;
+  // Persistent receive buffer: small frames (header + payload) arrive in one
+  // read; large payloads bypass it and land directly in the message.
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t rpos_ = 0;
+  std::size_t rend_ = 0;
 };
 
-// Creates a connected socketpair; returns {app_end, proxy_end} or {-1,-1}.
+// Creates a connected socketpair (SOCK_CLOEXEC on both ends);
+// returns {app_end, proxy_end} or {-1,-1}.
 std::pair<int, int> make_socketpair() noexcept;
 
-// TCP endpoints for the remote-proxy extension.
+// TCP endpoints for the remote-proxy extension.  All fds are opened
+// close-on-exec so they never leak into exec'd children.
 int tcp_listen(std::uint16_t port) noexcept;            // listening fd or -1
 int tcp_accept(int listen_fd) noexcept;                 // connected fd or -1
 int tcp_connect(const char* host, std::uint16_t port) noexcept;
@@ -78,10 +154,17 @@ class LocalChannel final : public Channel {
   ~LocalChannel() override { tx_->close(); }
 
   bool send(const Message& m) override {
+    stats_.msgs_sent++;
+    stats_.bytes_sent += 8 + m.payload.size();
     tx_->push(m);
     return true;
   }
-  bool recv(Message& m) override { return rx_->pop(m); }
+  bool recv(Message& m) override {
+    if (!rx_->pop(m)) return false;
+    stats_.msgs_recvd++;
+    stats_.bytes_recvd += 8 + m.payload.size();
+    return true;
+  }
 
  private:
   std::shared_ptr<MessageQueue> tx_;

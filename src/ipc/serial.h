@@ -12,6 +12,12 @@ namespace ipc {
 
 class Writer {
  public:
+  Writer() = default;
+  // Recycle a previously `take()`n buffer: keeps its capacity, drops content.
+  explicit Writer(std::vector<std::uint8_t> buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u32(std::uint32_t v) { raw(&v, sizeof v); }
   void u64(std::uint64_t v) { raw(&v, sizeof v); }
@@ -78,6 +84,13 @@ class Reader {
     const std::size_t n = checked_len(u64());
     auto v = data_.subspan(pos_, n);
     pos_ += n;
+    return v;
+  }
+  // Zero-copy view of the next n bytes with no length prefix (batch framing).
+  std::span<const std::uint8_t> view(std::size_t n) {
+    const std::size_t m = checked_len(n);
+    auto v = data_.subspan(pos_, m);
+    pos_ += m;
     return v;
   }
   void raw(void* p, std::size_t n) {

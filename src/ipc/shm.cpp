@@ -1,0 +1,289 @@
+#include "ipc/shm.h"
+
+#include <fcntl.h>
+#include <sched.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace ipc {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43534D53;  // "CSMS" — CheCL shm segment
+constexpr std::uint32_t kVersion = 1;
+
+// Publish granularity: small enough that the consumer overlaps most of the
+// producer's copy, large enough that tail stores don't ping-pong cache lines.
+constexpr std::size_t kStreamChunk = 128 * 1024;
+
+std::string unique_name() {
+  static std::atomic<std::uint32_t> counter{0};
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "/checl-%d-%u", static_cast<int>(::getpid()),
+                counter.fetch_add(1));
+  return buf;
+}
+
+}  // namespace
+
+std::shared_ptr<ShmSegment> ShmSegment::create(std::size_t ring_bytes) {
+  if (ring_bytes == 0) return nullptr;
+  auto seg = std::shared_ptr<ShmSegment>(new ShmSegment());
+  seg->name_ = unique_name();
+  seg->creator_ = true;
+  const int fd =
+      ::shm_open(seg->name_.c_str(), O_CREAT | O_EXCL | O_RDWR | O_CLOEXEC, 0600);
+  if (fd < 0) return nullptr;
+  seg->ring_bytes_ = ring_bytes;
+  seg->map_bytes_ = sizeof(SegHdr) + 2 * ring_bytes;
+  if (::ftruncate(fd, static_cast<off_t>(seg->map_bytes_)) != 0) {
+    ::close(fd);
+    ::shm_unlink(seg->name_.c_str());
+    return nullptr;
+  }
+  seg->base_ = ::mmap(nullptr, seg->map_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd, 0);
+  ::close(fd);
+  if (seg->base_ == MAP_FAILED) {
+    seg->base_ = nullptr;
+    ::shm_unlink(seg->name_.c_str());
+    return nullptr;
+  }
+  // huge pages cut TLB pressure on the multi-MiB streaming copies; advisory
+  ::madvise(seg->base_, seg->map_bytes_, MADV_HUGEPAGE);
+  SegHdr* h = seg->hdr();
+  h->ring_bytes = ring_bytes;
+  h->version = kVersion;
+  for (RingHdr& r : h->rings) {
+    r.head.store(0, std::memory_order_relaxed);
+    r.tail.store(0, std::memory_order_relaxed);
+  }
+  // magic last: an attacher seeing it knows the header is complete
+  std::atomic_thread_fence(std::memory_order_release);
+  h->magic = kMagic;
+  return seg;
+}
+
+std::shared_ptr<ShmSegment> ShmSegment::attach(const std::string& name) {
+  const int fd = ::shm_open(name.c_str(), O_RDWR | O_CLOEXEC, 0600);
+  if (fd < 0) return nullptr;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 ||
+      static_cast<std::size_t>(st.st_size) < sizeof(SegHdr)) {
+    ::close(fd);
+    return nullptr;
+  }
+  auto seg = std::shared_ptr<ShmSegment>(new ShmSegment());
+  seg->name_ = name;
+  seg->map_bytes_ = static_cast<std::size_t>(st.st_size);
+  seg->base_ = ::mmap(nullptr, seg->map_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd, 0);
+  ::close(fd);
+  if (seg->base_ == MAP_FAILED) {
+    seg->base_ = nullptr;
+    return nullptr;
+  }
+  ::madvise(seg->base_, seg->map_bytes_, MADV_HUGEPAGE);
+  const SegHdr* h = seg->hdr();
+  if (h->magic != kMagic || h->version != kVersion ||
+      sizeof(SegHdr) + 2 * h->ring_bytes > seg->map_bytes_) {
+    ::munmap(seg->base_, seg->map_bytes_);
+    seg->base_ = nullptr;
+    return nullptr;
+  }
+  seg->ring_bytes_ = static_cast<std::size_t>(h->ring_bytes);
+  // Both sides hold the mapping now; the name can go away (also guards
+  // against leaking /dev/shm entries if either process dies).
+  ::shm_unlink(name.c_str());
+  return seg;
+}
+
+ShmSegment::~ShmSegment() {
+  if (base_ != nullptr) ::munmap(base_, map_bytes_);
+  if (creator_) ::shm_unlink(name_.c_str());  // ENOENT after attach: fine
+}
+
+bool ShmSegment::reserve(int ring, std::size_t n, std::uint64_t& pos) {
+  if (n == 0 || n > ring_bytes_) return false;
+  RingHdr& r = hdr()->rings[ring];
+  const std::uint64_t head = r.head.load(std::memory_order_acquire);
+  std::uint64_t tail = r.tail.load(std::memory_order_relaxed);
+  const std::uint64_t off = tail % ring_bytes_;
+  // blocks are contiguous: skip the wrap remainder when the tail is too close
+  // to the end of the ring
+  const std::uint64_t pad = ring_bytes_ - off < n ? ring_bytes_ - off : 0;
+  if (tail + pad + n - head > ring_bytes_) return false;  // ring full
+  pos = tail + pad;
+  // account the pad now; no data between old tail and pos is ever consumed
+  // (descriptors reference pos directly)
+  r.tail.store(pos, std::memory_order_relaxed);
+  return true;
+}
+
+void ShmSegment::publish(int ring, std::uint64_t pos, const void* data,
+                         std::size_t n) {
+  RingHdr& r = hdr()->rings[ring];
+  const auto* src = static_cast<const std::uint8_t*>(data);
+  std::uint8_t* dst = ring_base(ring) + (pos % ring_bytes_);
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t m = n - done < kStreamChunk ? n - done : kStreamChunk;
+    std::memcpy(dst + done, src + done, m);
+    done += m;
+    // publish incrementally so the consumer's copy overlaps ours
+    r.tail.store(pos + done, std::memory_order_release);
+  }
+}
+
+bool ShmSegment::produce(int ring, const void* data, std::size_t n,
+                         std::uint64_t& pos) {
+  if (!reserve(ring, n, pos)) return false;
+  publish(ring, pos, data, n);
+  return true;
+}
+
+void ShmSegment::commit(int ring, std::uint64_t pos, std::size_t n) {
+  hdr()->rings[ring].tail.store(pos + n, std::memory_order_release);
+}
+
+const std::uint8_t* ShmSegment::consume_view(int ring, std::uint64_t pos,
+                                             std::size_t n) {
+  RingHdr& r = hdr()->rings[ring];
+  const std::uint64_t head = r.head.load(std::memory_order_relaxed);
+  // the descriptor must name a block that can exist: at or after everything
+  // already released, within one ring of it, and contiguous
+  if (n == 0 || n > ring_bytes_ || pos < head || pos + n - head > ring_bytes_ ||
+      pos % ring_bytes_ + n > ring_bytes_)
+    return nullptr;
+  // wait for the producer to finish publishing (descriptors are sent right
+  // after reserve, so the data is at most a memcpy away; yield early — on a
+  // single core a spinning consumer only delays the producer)
+  int idle_spins = 0;
+  while (r.tail.load(std::memory_order_acquire) < pos + n) {
+    if (++idle_spins > 256) {
+      ::sched_yield();
+      if (idle_spins > 50'000'000) return nullptr;  // peer died mid-publish
+    }
+  }
+  return ring_base(ring) + (pos % ring_bytes_);
+}
+
+void ShmSegment::release(int ring, std::uint64_t pos, std::size_t n) {
+  // release in FIFO order (descriptors arrive in socket order); this also
+  // frees any wrap pad before pos
+  hdr()->rings[ring].head.store(pos + n, std::memory_order_release);
+}
+
+bool ShmSegment::consume(int ring, std::uint64_t pos, void* dst, std::size_t n) {
+  const std::uint8_t* src = consume_view(ring, pos, n);
+  if (src == nullptr) return false;
+  std::memcpy(dst, src, n);
+  release(ring, pos, n);
+  return true;
+}
+
+// ---- ShmChannel -----------------------------------------------------------
+
+bool ShmChannel::send(const Message& m) { return send2(m, {}); }
+
+bool ShmChannel::send2(const Message& m, std::span<const std::uint8_t> bulk) {
+  const std::size_t total = m.payload.size() + bulk.size();
+  if (total >= threshold_) {
+    std::uint64_t pos = 0;
+    if (seg_->reserve(tx_ring_, total, pos)) {
+      // descriptor first, payload after: the receiver starts draining the
+      // ring while we are still copying in
+      Message desc;
+      desc.op = m.op | kShmOpFlag;
+      desc.payload.resize(16);
+      const std::uint64_t len = total;
+      std::memcpy(desc.payload.data(), &pos, 8);
+      std::memcpy(desc.payload.data() + 8, &len, 8);
+      if (!sock_->send(desc)) return false;
+      seg_->publish(tx_ring_, pos, m.payload.data(), m.payload.size());
+      if (!bulk.empty())
+        seg_->publish(tx_ring_, pos + m.payload.size(), bulk.data(),
+                      bulk.size());
+      stats_.shm_msgs_sent++;
+      stats_.shm_bytes_sent += total;
+      return true;
+    }
+    stats_.shm_fallbacks++;  // ring full or payload larger than the ring
+  }
+  return sock_->send2(m, bulk);
+}
+
+void ShmChannel::release_rx() {
+  if (held_) {
+    seg_->release(1 - tx_ring_, held_pos_, held_len_);
+    held_ = false;
+  }
+}
+
+std::uint8_t* ShmChannel::reserve_tx(std::size_t n) {
+  if (n < threshold_ || pend_tx_) return nullptr;
+  // a failed reserve is not counted here: the caller falls back to send2,
+  // which counts the fallback if the ring is still full
+  if (!seg_->reserve(tx_ring_, n, pend_tx_pos_)) return nullptr;
+  pend_tx_ = true;
+  return seg_->block_ptr(tx_ring_, pend_tx_pos_);
+}
+
+bool ShmChannel::send_reserved(std::uint32_t op, std::size_t n) {
+  if (!pend_tx_) return false;
+  pend_tx_ = false;
+  // the caller already wrote the block in place; make it visible, then frame
+  seg_->commit(tx_ring_, pend_tx_pos_, n);
+  Message desc;
+  desc.op = op | kShmOpFlag;
+  desc.payload.resize(16);
+  const std::uint64_t len = n;
+  std::memcpy(desc.payload.data(), &pend_tx_pos_, 8);
+  std::memcpy(desc.payload.data() + 8, &len, 8);
+  if (!sock_->send(desc)) return false;
+  stats_.shm_msgs_sent++;
+  stats_.shm_bytes_sent += n;
+  return true;
+}
+
+bool ShmChannel::recv(Message& m) {
+  release_rx();  // the view handed out by the previous recv dies now
+  if (!sock_->recv(m)) return false;
+  if ((m.op & kShmOpFlag) == 0) return true;
+  if (m.payload.size() != 16) return false;  // malformed descriptor
+  std::uint64_t pos = 0;
+  std::uint64_t len = 0;
+  std::memcpy(&pos, m.payload.data(), 8);
+  std::memcpy(&len, m.payload.data() + 8, 8);
+  if (len > SocketChannel::kMaxPayload) return false;
+  m.op &= ~kShmOpFlag;
+  const std::uint8_t* p =
+      seg_->consume_view(1 - tx_ring_, pos, static_cast<std::size_t>(len));
+  if (p == nullptr) return false;
+  // zero-copy: the payload IS the ring block, released on the next recv
+  m.view = {p, static_cast<std::size_t>(len)};
+  m.borrowed = true;
+  held_pos_ = pos;
+  held_len_ = static_cast<std::size_t>(len);
+  held_ = true;
+  stats_.shm_msgs_recvd++;
+  stats_.shm_bytes_recvd += len;
+  return true;
+}
+
+ChannelStats ShmChannel::stats() const {
+  ChannelStats s = sock_->stats();
+  s.shm_msgs_sent = stats_.shm_msgs_sent;
+  s.shm_msgs_recvd = stats_.shm_msgs_recvd;
+  s.shm_bytes_sent = stats_.shm_bytes_sent;
+  s.shm_bytes_recvd = stats_.shm_bytes_recvd;
+  s.shm_fallbacks = stats_.shm_fallbacks;
+  return s;
+}
+
+}  // namespace ipc

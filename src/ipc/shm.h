@@ -1,0 +1,151 @@
+// shm.h — POSIX shared-memory bulk-data plane for the API proxy.
+//
+// The socket transport pays two full payload copies through kernel socket
+// buffers (send + recv) plus one syscall per ~64 KiB of data.  For bulk
+// payloads (enqueue_read / enqueue_write / create_buffer data and
+// checkpoint-time buffer fetches) that dominates forwarding cost, so payloads
+// at or above a threshold travel through a shared-memory ring instead: the
+// producer reserves ring space, sends a 16-byte descriptor frame on the
+// socket, then copies the payload in chunks while publishing the ring tail as
+// it goes; the consumer starts copying out as soon as the descriptor arrives,
+// chasing the tail.  The two memcpys overlap across the processes (the same
+// pipelining kernel socket buffers give), with one tiny syscall per message —
+// the CRAC-style control/data plane split.
+//
+// Layout: one segment holds a header plus two single-producer single-consumer
+// rings (creator→peer and peer→creator).  The socket's FIFO ordering orders
+// the descriptors, so the ring itself needs only head/tail release counters.
+// A payload that doesn't fit (ring full, or larger than the ring) falls back
+// to inline socket framing — exhaustion degrades throughput, never
+// correctness.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ipc/channel.h"
+
+namespace ipc {
+
+// Defaults, overridable via spawn options / CHECL_SHM_* environment knobs.
+constexpr std::size_t kShmDefaultThreshold = 4 * 1024;          // 4 KiB
+constexpr std::size_t kShmDefaultRingBytes = 64 * 1024 * 1024;  // per direction
+
+// Descriptor frames carry this bit in Message::op on the socket; it never
+// reaches the RPC layer (ShmChannel strips it on recv).
+constexpr std::uint32_t kShmOpFlag = 0x8000'0000u;
+
+class ShmSegment {
+ public:
+  // Creates a fresh /dev/shm segment with a unique name; the creator is
+  // responsible for unlinking (done in the destructor, and attach() also
+  // unlinks eagerly once both sides have it mapped).
+  static std::shared_ptr<ShmSegment> create(std::size_t ring_bytes);
+  // Maps an existing segment by name (the proxy daemon side).
+  static std::shared_ptr<ShmSegment> attach(const std::string& name);
+
+  ~ShmSegment();
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t ring_bytes() const noexcept { return ring_bytes_; }
+
+  // Producer side, step 1: reserve a contiguous `n`-byte block in ring `ring`
+  // (0 or 1) and return its absolute position for the descriptor.  False when
+  // the ring cannot hold the block right now.
+  bool reserve(int ring, std::size_t n, std::uint64_t& pos);
+  // Producer side, step 2: copy the payload into the reserved block, chunked,
+  // publishing the ring tail after each chunk so the consumer can chase it.
+  void publish(int ring, std::uint64_t pos, const void* data, std::size_t n);
+  // One-shot reserve + publish (tests, non-streaming callers).
+  bool produce(int ring, const void* data, std::size_t n, std::uint64_t& pos);
+  // In-place producer path: after reserve(), callers may write the block
+  // directly through block_ptr() and commit() it in one step (zero staging
+  // copy — the proxy's read responses are materialized straight in the ring).
+  [[nodiscard]] std::uint8_t* block_ptr(int ring, std::uint64_t pos) const noexcept {
+    return ring_base(ring) + (pos % ring_bytes_);
+  }
+  void commit(int ring, std::uint64_t pos, std::size_t n);
+  // Consumer side, zero-copy: wait until the block at `pos` is fully
+  // published and return a pointer to it in the mapping.  The block stays
+  // live until release(); nullptr on a bogus descriptor or if the producer
+  // stalls past a generous deadline (dead peer).
+  const std::uint8_t* consume_view(int ring, std::uint64_t pos, std::size_t n);
+  // Frees a consumed block (FIFO: descriptors arrive in socket order).
+  void release(int ring, std::uint64_t pos, std::size_t n);
+  // Copying consume: view + memcpy + release (tests, non-view callers).
+  bool consume(int ring, std::uint64_t pos, void* dst, std::size_t n);
+
+ private:
+  ShmSegment() = default;
+
+  struct RingHdr {
+    alignas(64) std::atomic<std::uint64_t> head;  // consumer: bytes released
+    alignas(64) std::atomic<std::uint64_t> tail;  // producer: bytes reserved
+  };
+  struct SegHdr {
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t ring_bytes;
+    RingHdr rings[2];
+  };
+
+  [[nodiscard]] SegHdr* hdr() const noexcept {
+    return static_cast<SegHdr*>(base_);
+  }
+  [[nodiscard]] std::uint8_t* ring_base(int ring) const noexcept {
+    return static_cast<std::uint8_t*>(base_) + sizeof(SegHdr) +
+           static_cast<std::size_t>(ring) * ring_bytes_;
+  }
+
+  std::string name_;
+  void* base_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::size_t ring_bytes_ = 0;
+  bool creator_ = false;
+};
+
+// Channel decorator: control frames ride the wrapped SocketChannel; payloads
+// >= threshold ride the shm rings with a descriptor frame on the socket.
+class ShmChannel final : public Channel {
+ public:
+  // `creator` selects ring direction: the creator sends on ring 0 and
+  // receives on ring 1; the attacher the reverse.
+  ShmChannel(std::unique_ptr<SocketChannel> sock, std::shared_ptr<ShmSegment> seg,
+             bool creator, std::size_t threshold = kShmDefaultThreshold)
+      : sock_(std::move(sock)),
+        seg_(std::move(seg)),
+        tx_ring_(creator ? 0 : 1),
+        threshold_(threshold) {}
+
+  bool send(const Message& m) override;
+  bool send2(const Message& m, std::span<const std::uint8_t> bulk) override;
+  std::uint8_t* reserve_tx(std::size_t n) override;
+  bool send_reserved(std::uint32_t op, std::size_t n) override;
+  // recv returns bulk payloads as a borrowed view into the ring (zero-copy);
+  // the block is released on the next recv() call or an explicit release_rx().
+  bool recv(Message& m) override;
+  void release_rx() override;
+  [[nodiscard]] ChannelStats stats() const override;
+
+  [[nodiscard]] SocketChannel& socket() noexcept { return *sock_; }
+  [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
+
+ private:
+  std::unique_ptr<SocketChannel> sock_;
+  std::shared_ptr<ShmSegment> seg_;
+  int tx_ring_;
+  std::size_t threshold_;
+  // rx block handed out by the last recv, released on the next one
+  std::uint64_t held_pos_ = 0;
+  std::size_t held_len_ = 0;
+  bool held_ = false;
+  // tx block reserved by reserve_tx, awaiting send_reserved
+  std::uint64_t pend_tx_pos_ = 0;
+  bool pend_tx_ = false;
+};
+
+}  // namespace ipc

@@ -1,5 +1,6 @@
 #include "proxy/client.h"
 
+#include <cstdlib>
 #include <cstring>
 
 #include "proxy/config_io.h"
@@ -10,22 +11,98 @@ namespace {
 constexpr cl_int kProxyGone = CL_OUT_OF_RESOURCES;
 }
 
-std::optional<ipc::Reader> Client::call(Op op, ipc::Writer& w) {
+Client::Client(std::unique_ptr<ipc::Channel> channel) : ch_(std::move(channel)) {
+  if (const char* env = std::getenv("CHECL_IPC_BATCH");
+      env != nullptr && *env != '\0' && *env != '0')
+    batching_ = true;
+}
+
+ipc::Writer Client::acquire_writer() { return ipc::Writer(std::move(wpool_)); }
+
+cl_int Client::surface(cl_int actual) noexcept {
+  if (deferred_err_ != CL_SUCCESS) {
+    const cl_int e = deferred_err_;
+    deferred_err_ = CL_SUCCESS;
+    return e;
+  }
+  return actual;
+}
+
+cl_int Client::flush_batch_locked() {
+  if (batch_count_ == 0) return CL_SUCCESS;
+  batch_count_ = 0;
+  ipc::Message req;
+  req.op = static_cast<std::uint32_t>(Op::Batch);
+  req.payload = batch_.take();
+  if (dead_) return kProxyGone;
+  const bool ok = ch_->send(req) && ch_->recv(resp_);
+  batch_ = ipc::Writer(std::move(req.payload));  // keep the big buffer warm
+  if (!ok) {
+    dead_ = true;
+    if (deferred_err_ == CL_SUCCESS) deferred_err_ = kProxyGone;
+    return kProxyGone;
+  }
+  stats_.rpc_roundtrips++;
+  stats_.batch_flushes++;
+  ipc::Reader r(resp_.bytes());
+  const cl_int err = r.i32();
+  if (err != CL_SUCCESS && deferred_err_ == CL_SUCCESS) deferred_err_ = err;
+  return CL_SUCCESS;
+}
+
+std::optional<ipc::Reader> Client::call(Op op, ipc::Writer& w,
+                                        std::span<const std::uint8_t> bulk) {
+  if (dead_) return std::nullopt;
+  flush_batch_locked();  // batched calls stay ordered before this one
   if (dead_) return std::nullopt;
   ipc::Message req;
   req.op = static_cast<std::uint32_t>(op);
   req.payload = w.take();
-  if (!ch_->send(req) || !ch_->recv(resp_)) {
+  const bool ok = ch_->send2(req, bulk) && ch_->recv(resp_);
+  wpool_ = std::move(req.payload);  // recycle the marshalling buffer
+  if (!ok) {
     dead_ = true;
     return std::nullopt;
   }
-  return ipc::Reader(resp_.payload);
+  stats_.rpc_roundtrips++;
+  return ipc::Reader(resp_.bytes());
+}
+
+cl_int Client::post(Op op, ipc::Writer& w, std::span<const std::uint8_t> bulk) {
+  if (dead_) return kProxyGone;
+  if (!batching_) {
+    auto r = call(op, w, bulk);
+    return r ? r->i32() : kProxyGone;
+  }
+  std::vector<std::uint8_t> payload = w.take();
+  batch_.u32(static_cast<std::uint32_t>(op));
+  batch_.u32(static_cast<std::uint32_t>(payload.size() + bulk.size()));
+  batch_.raw(payload.data(), payload.size());
+  if (!bulk.empty()) batch_.raw(bulk.data(), bulk.size());
+  wpool_ = std::move(payload);
+  ++batch_count_;
+  stats_.batched_calls++;
+  if (batch_count_ >= kMaxBatchCalls || batch_.size() >= kMaxBatchBytes)
+    flush_batch_locked();
+  return CL_SUCCESS;
+}
+
+void Client::set_batching(bool on) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!on && batching_) flush_batch_locked();
+  batching_ = on;
+}
+
+cl_int Client::sync() {
+  std::lock_guard<std::mutex> lk(mu_);
+  flush_batch_locked();
+  return surface(CL_SUCCESS);
 }
 
 cl_int Client::configure(const std::vector<simcl::PlatformSpec>& platforms,
                          const IpcCosts& costs, bool reset_clock) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   write_config(w, platforms, costs, reset_clock);
   auto r = call(Op::Configure, w);
   return r ? r->i32() : kProxyGone;
@@ -33,7 +110,7 @@ cl_int Client::configure(const std::vector<simcl::PlatformSpec>& platforms,
 
 cl_int Client::ping(std::uint32_t* pid) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   auto r = call(Op::Ping, w);
   if (!r) return kProxyGone;
   const cl_int err = r->i32();
@@ -44,7 +121,7 @@ cl_int Client::ping(std::uint32_t* pid) {
 
 cl_int Client::shutdown() {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   auto r = call(Op::Shutdown, w);
   dead_ = true;  // no further traffic either way
   return r ? r->i32() : kProxyGone;
@@ -53,7 +130,7 @@ cl_int Client::shutdown() {
 cl_int Client::get_platform_ids(cl_uint num_entries, std::vector<RemoteHandle>& out,
                                 cl_uint& total) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u32(num_entries);
   auto r = call(Op::GetPlatformIDs, w);
   if (!r) return kProxyGone;
@@ -69,7 +146,7 @@ cl_int Client::get_device_ids(RemoteHandle platform, cl_device_type type,
                               cl_uint num_entries, std::vector<RemoteHandle>& out,
                               cl_uint& total) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(platform);
   w.u64(type);
   w.u32(num_entries);
@@ -101,7 +178,7 @@ cl_int read_info_reply(ipc::Reader& r, std::size_t size, void* value,
 cl_int Client::get_info(Op op, RemoteHandle h, cl_uint param, std::size_t size,
                         void* value, std::size_t* size_ret) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(h);
   w.u32(param);
   w.u64(size);
@@ -114,7 +191,7 @@ cl_int Client::get_info(Op op, RemoteHandle h, cl_uint param, std::size_t size,
 cl_int Client::get_info2(Op op, RemoteHandle a, RemoteHandle b, cl_uint param,
                          std::size_t size, void* value, std::size_t* size_ret) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(a);
   w.u64(b);
   w.u32(param);
@@ -129,7 +206,7 @@ cl_int Client::create_context(std::span<const std::int64_t> props,
                               std::span<const RemoteHandle> devices,
                               RemoteHandle& out) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u32(static_cast<std::uint32_t>(props.size()));
   for (const std::int64_t p : props) w.i64(p);
   w.u32(static_cast<std::uint32_t>(devices.size()));
@@ -143,7 +220,7 @@ cl_int Client::create_context(std::span<const std::int64_t> props,
 
 cl_int Client::retain_release(Op op, RemoteHandle h) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(h);
   auto r = call(op, w);
   return r ? r->i32() : kProxyGone;
@@ -152,7 +229,7 @@ cl_int Client::retain_release(Op op, RemoteHandle h) {
 cl_int Client::create_queue(RemoteHandle ctx, RemoteHandle dev,
                             cl_command_queue_properties props, RemoteHandle& out) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(ctx);
   w.u64(dev);
   w.u64(props);
@@ -163,19 +240,32 @@ cl_int Client::create_queue(RemoteHandle ctx, RemoteHandle dev,
   return err;
 }
 
-cl_int Client::flush(RemoteHandle q) { return retain_release(Op::Flush, q); }
-cl_int Client::finish(RemoteHandle q) { return retain_release(Op::Finish, q); }
+cl_int Client::flush(RemoteHandle q) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w = acquire_writer();
+  w.u64(q);
+  return post(Op::Flush, w);  // fire-and-forget: batched when batching is on
+}
+
+cl_int Client::finish(RemoteHandle q) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w = acquire_writer();
+  w.u64(q);
+  auto r = call(Op::Finish, w);
+  return surface(r ? r->i32() : kProxyGone);  // sync point: deferred errors land
+}
 
 cl_int Client::create_buffer(RemoteHandle ctx, cl_mem_flags flags, std::size_t size,
                              std::span<const std::uint8_t> data, RemoteHandle& out) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(ctx);
   w.u64(flags);
   w.u64(size);
   w.boolean(!data.empty());
-  if (!data.empty()) w.bytes(data);
-  auto r = call(Op::CreateBuffer, w);
+  // wire format of w.bytes(data), with the data scatter-sent copy-free
+  if (!data.empty()) w.u64(data.size());
+  auto r = call(Op::CreateBuffer, w, data);
   if (!r) return kProxyGone;
   const cl_int err = r->i32();
   out = r->u64();
@@ -187,7 +277,7 @@ cl_int Client::create_image2d(RemoteHandle ctx, cl_mem_flags flags,
                               std::size_t height, std::size_t pitch,
                               std::span<const std::uint8_t> data, RemoteHandle& out) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(ctx);
   w.u64(flags);
   w.u32(fmt.image_channel_order);
@@ -196,8 +286,8 @@ cl_int Client::create_image2d(RemoteHandle ctx, cl_mem_flags flags,
   w.u64(height);
   w.u64(pitch);
   w.boolean(!data.empty());
-  if (!data.empty()) w.bytes(data);
-  auto r = call(Op::CreateImage2D, w);
+  if (!data.empty()) w.u64(data.size());
+  auto r = call(Op::CreateImage2D, w, data);
   if (!r) return kProxyGone;
   const cl_int err = r->i32();
   out = r->u64();
@@ -207,7 +297,7 @@ cl_int Client::create_image2d(RemoteHandle ctx, cl_mem_flags flags,
 cl_int Client::create_sampler(RemoteHandle ctx, cl_bool norm, cl_addressing_mode am,
                               cl_filter_mode fm, RemoteHandle& out) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(ctx);
   w.u32(norm);
   w.u32(am);
@@ -222,7 +312,7 @@ cl_int Client::create_sampler(RemoteHandle ctx, cl_bool norm, cl_addressing_mode
 cl_int Client::create_program_with_source(RemoteHandle ctx, std::string_view source,
                                           RemoteHandle& out) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(ctx);
   w.str(source);
   auto r = call(Op::CreateProgramWithSource, w);
@@ -237,7 +327,7 @@ cl_int Client::create_program_with_binary(RemoteHandle ctx,
                                           std::span<const std::uint8_t> binary,
                                           cl_int& binary_status, RemoteHandle& out) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(ctx);
   w.u32(static_cast<std::uint32_t>(devices.size()));
   for (const RemoteHandle d : devices) w.u64(d);
@@ -253,7 +343,7 @@ cl_int Client::create_program_with_binary(RemoteHandle ctx,
 cl_int Client::build_program(RemoteHandle prog, std::span<const RemoteHandle> devices,
                              std::string_view options) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(prog);
   w.u32(static_cast<std::uint32_t>(devices.size()));
   for (const RemoteHandle d : devices) w.u64(d);
@@ -265,7 +355,7 @@ cl_int Client::build_program(RemoteHandle prog, std::span<const RemoteHandle> de
 cl_int Client::create_kernel(RemoteHandle prog, std::string_view name,
                              RemoteHandle& out) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(prog);
   w.str(name);
   auto r = call(Op::CreateKernel, w);
@@ -279,7 +369,7 @@ cl_int Client::create_kernels_in_program(RemoteHandle prog, cl_uint num,
                                          std::vector<RemoteHandle>& out,
                                          cl_uint& total) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(prog);
   w.u32(num);
   auto r = call(Op::CreateKernelsInProgram, w);
@@ -295,63 +385,59 @@ cl_int Client::create_kernels_in_program(RemoteHandle prog, cl_uint num,
 cl_int Client::set_kernel_arg_bytes(RemoteHandle k, cl_uint idx,
                                     std::span<const std::uint8_t> data) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(k);
   w.u32(idx);
   w.u8(static_cast<std::uint8_t>(ArgKind::Bytes));
   w.bytes(data);
-  auto r = call(Op::SetKernelArg, w);
-  return r ? r->i32() : kProxyGone;
+  return post(Op::SetKernelArg, w);
 }
 
 cl_int Client::set_kernel_arg_mem(RemoteHandle k, cl_uint idx, RemoteHandle mem) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(k);
   w.u32(idx);
   w.u8(static_cast<std::uint8_t>(ArgKind::MemHandle));
   w.u64(mem);
-  auto r = call(Op::SetKernelArg, w);
-  return r ? r->i32() : kProxyGone;
+  return post(Op::SetKernelArg, w);
 }
 
 cl_int Client::set_kernel_arg_sampler(RemoteHandle k, cl_uint idx,
                                       RemoteHandle sampler) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(k);
   w.u32(idx);
   w.u8(static_cast<std::uint8_t>(ArgKind::SamplerHandle));
   w.u64(sampler);
-  auto r = call(Op::SetKernelArg, w);
-  return r ? r->i32() : kProxyGone;
+  return post(Op::SetKernelArg, w);
 }
 
 cl_int Client::set_kernel_arg_local(RemoteHandle k, cl_uint idx, std::size_t size) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(k);
   w.u32(idx);
   w.u8(static_cast<std::uint8_t>(ArgKind::Local));
   w.u64(size);
-  auto r = call(Op::SetKernelArg, w);
-  return r ? r->i32() : kProxyGone;
+  return post(Op::SetKernelArg, w);
 }
 
 cl_int Client::wait_for_events(std::span<const RemoteHandle> events) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u32(static_cast<std::uint32_t>(events.size()));
   for (const RemoteHandle e : events) w.u64(e);
   auto r = call(Op::WaitForEvents, w);
-  return r ? r->i32() : kProxyGone;
+  return surface(r ? r->i32() : kProxyGone);  // sync point
 }
 
 cl_int Client::enqueue_read(RemoteHandle q, RemoteHandle mem, std::size_t off,
                             std::size_t cb, void* dst, bool want_event,
                             RemoteHandle& ev) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(q);
   w.u64(mem);
   w.u64(off);
@@ -364,6 +450,9 @@ cl_int Client::enqueue_read(RemoteHandle q, RemoteHandle mem, std::size_t off,
   auto data = r->bytes_view();
   if (err == CL_SUCCESS && dst != nullptr)
     std::memcpy(dst, data.data(), std::min(cb, data.size()));
+  // data may be a borrowed shm view; hand the ring space back right away so
+  // the proxy can reserve the next bulk response without falling back
+  ch_->release_rx();
   return err;
 }
 
@@ -371,13 +460,17 @@ cl_int Client::enqueue_write(RemoteHandle q, RemoteHandle mem, std::size_t off,
                              std::span<const std::uint8_t> data, bool want_event,
                              RemoteHandle& ev) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(q);
   w.u64(mem);
   w.u64(off);
   w.boolean(want_event);
-  w.bytes(data);
-  auto r = call(Op::EnqueueWriteBuffer, w);
+  w.u64(data.size());  // wire format of w.bytes(data), data scatter-sent
+  if (!want_event) {
+    ev = 0;
+    return post(Op::EnqueueWriteBuffer, w, data);
+  }
+  auto r = call(Op::EnqueueWriteBuffer, w, data);
   if (!r) return kProxyGone;
   const cl_int err = r->i32();
   ev = r->u64();
@@ -388,7 +481,7 @@ cl_int Client::enqueue_copy(RemoteHandle q, RemoteHandle src, RemoteHandle dst,
                             std::size_t soff, std::size_t doff, std::size_t cb,
                             bool want_event, RemoteHandle& ev) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(q);
   w.u64(src);
   w.u64(dst);
@@ -396,6 +489,10 @@ cl_int Client::enqueue_copy(RemoteHandle q, RemoteHandle src, RemoteHandle dst,
   w.u64(doff);
   w.u64(cb);
   w.boolean(want_event);
+  if (!want_event) {
+    ev = 0;
+    return post(Op::EnqueueCopyBuffer, w);
+  }
   auto r = call(Op::EnqueueCopyBuffer, w);
   if (!r) return kProxyGone;
   const cl_int err = r->i32();
@@ -408,7 +505,7 @@ cl_int Client::enqueue_ndrange(RemoteHandle q, RemoteHandle k, cl_uint dim,
                                const std::size_t* lsz, bool want_event,
                                RemoteHandle& ev) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(q);
   w.u64(k);
   w.u32(dim);
@@ -421,6 +518,10 @@ cl_int Client::enqueue_ndrange(RemoteHandle q, RemoteHandle k, cl_uint dim,
   for (int d = 0; d < 3; ++d)
     w.u64(lsz != nullptr && d < static_cast<int>(dim) ? lsz[d] : 1);
   w.boolean(want_event);
+  if (!want_event) {
+    ev = 0;
+    return post(Op::EnqueueNDRangeKernel, w);
+  }
   auto r = call(Op::EnqueueNDRangeKernel, w);
   if (!r) return kProxyGone;
   const cl_int err = r->i32();
@@ -431,10 +532,14 @@ cl_int Client::enqueue_ndrange(RemoteHandle q, RemoteHandle k, cl_uint dim,
 cl_int Client::enqueue_task(RemoteHandle q, RemoteHandle k, bool want_event,
                             RemoteHandle& ev) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(q);
   w.u64(k);
   w.boolean(want_event);
+  if (!want_event) {
+    ev = 0;
+    return post(Op::EnqueueTask, w);
+  }
   auto r = call(Op::EnqueueTask, w);
   if (!r) return kProxyGone;
   const cl_int err = r->i32();
@@ -444,7 +549,7 @@ cl_int Client::enqueue_task(RemoteHandle q, RemoteHandle k, bool want_event,
 
 cl_int Client::enqueue_marker(RemoteHandle q, RemoteHandle& ev) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(q);
   auto r = call(Op::EnqueueMarker, w);
   if (!r) return kProxyGone;
@@ -454,23 +559,25 @@ cl_int Client::enqueue_marker(RemoteHandle q, RemoteHandle& ev) {
 }
 
 cl_int Client::enqueue_barrier(RemoteHandle q) {
-  return retain_release(Op::EnqueueBarrier, q);
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w = acquire_writer();
+  w.u64(q);
+  return post(Op::EnqueueBarrier, w);
 }
 
 cl_int Client::enqueue_wait_for_events(RemoteHandle q,
                                        std::span<const RemoteHandle> events) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(q);
   w.u32(static_cast<std::uint32_t>(events.size()));
   for (const RemoteHandle e : events) w.u64(e);
-  auto r = call(Op::EnqueueWaitForEvents, w);
-  return r ? r->i32() : kProxyGone;
+  return post(Op::EnqueueWaitForEvents, w);
 }
 
 cl_int Client::sim_get_host_time_ns(cl_ulong& t) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   auto r = call(Op::SimGetHostTimeNS, w);
   if (!r) return kProxyGone;
   const cl_int err = r->i32();
@@ -480,7 +587,7 @@ cl_int Client::sim_get_host_time_ns(cl_ulong& t) {
 
 cl_int Client::sim_advance_host_ns(cl_ulong dt) {
   std::lock_guard<std::mutex> lk(mu_);
-  ipc::Writer w;
+  ipc::Writer w = acquire_writer();
   w.u64(dt);
   auto r = call(Op::SimAdvanceHostNS, w);
   return r ? r->i32() : kProxyGone;

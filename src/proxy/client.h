@@ -4,6 +4,14 @@
 // for the response (the RPC is synchronous, like a library call).  Remote
 // handles are opaque u64 tokens: pointer values in the proxy's address space
 // that this process never dereferences — the decoupling at the heart of CheCL.
+//
+// Batching (opt-in via set_batching or CHECL_IPC_BATCH=1): fire-and-forget
+// calls — set_kernel_arg_*, event-less enqueue_*, flush, barrier — are queued
+// client-side and flushed as a single Op::Batch frame at the next synchronous
+// call (or at sync(), which checkpoint uses).  Each batched call returns
+// CL_SUCCESS immediately; the first server-side error becomes a *sticky
+// deferred error* surfaced (and cleared) at the next sync point: finish,
+// wait_for_events, or sync().
 #pragma once
 
 #include <memory>
@@ -25,10 +33,34 @@ using RemoteHandle = std::uint64_t;
 
 class Client {
  public:
-  explicit Client(std::unique_ptr<ipc::Channel> channel)
-      : ch_(std::move(channel)) {}
+  // Flush the batch queue once it holds this many calls or payload bytes,
+  // even before a synchronous call arrives (bounds client-side memory).
+  static constexpr std::uint32_t kMaxBatchCalls = 512;
+  static constexpr std::size_t kMaxBatchBytes = 256 * 1024;
+
+  explicit Client(std::unique_ptr<ipc::Channel> channel);
 
   [[nodiscard]] bool alive() const noexcept { return !dead_; }
+
+  // ---- batching --------------------------------------------------------
+  void set_batching(bool on);  // turning off flushes any queued calls
+  [[nodiscard]] bool batching() const noexcept { return batching_; }
+  // Drains the batch queue and returns the sticky deferred error (cleared).
+  // The synchronization point the checkpoint engine calls before Finish.
+  cl_int sync();
+  // Peek the sticky error without clearing it (tests, diagnostics).
+  [[nodiscard]] cl_int deferred_error() const noexcept { return deferred_err_; }
+
+  // ---- instrumentation -------------------------------------------------
+  struct Stats {
+    std::uint64_t rpc_roundtrips = 0;   // wire request/response pairs
+    std::uint64_t batched_calls = 0;    // calls absorbed into a batch frame
+    std::uint64_t batch_flushes = 0;    // Op::Batch frames sent
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  // Transport counters (bytes, syscalls, shm hits) of the underlying channel.
+  [[nodiscard]] ipc::ChannelStats channel_stats() const { return ch_->stats(); }
+  [[nodiscard]] ipc::Channel& channel() noexcept { return *ch_; }
 
   // ---- control ---------------------------------------------------------
   cl_int configure(const std::vector<simcl::PlatformSpec>& platforms,
@@ -111,14 +143,33 @@ class Client {
   cl_int sim_advance_host_ns(cl_ulong dt);
 
  private:
-  // Round-trip: returns a Reader over the response payload, or nullopt when
-  // the proxy is gone (channel broken).
-  std::optional<ipc::Reader> call(Op op, ipc::Writer& w);
+  // Pulls a recycled buffer so marshalling never re-allocates on the hot
+  // path.  Caller must hold mu_.
+  ipc::Writer acquire_writer();
+  // Round-trip: flushes any pending batch, then returns a Reader over the
+  // response payload, or nullopt when the proxy is gone (channel broken).
+  // `bulk` is scatter-sent after the marshalled header (wire-identical to
+  // appending it), so large data skips the marshalling copy.
+  std::optional<ipc::Reader> call(Op op, ipc::Writer& w,
+                                  std::span<const std::uint8_t> bulk = {});
+  // Queue `op` into the batch when batching is on (returns CL_SUCCESS), else
+  // perform a synchronous round-trip and return its error code.
+  cl_int post(Op op, ipc::Writer& w, std::span<const std::uint8_t> bulk = {});
+  cl_int flush_batch_locked();
+  // Returns the sticky deferred error (cleared) if set, else `actual`.
+  cl_int surface(cl_int actual) noexcept;
 
   std::unique_ptr<ipc::Channel> ch_;
   std::mutex mu_;
   ipc::Message resp_;  // guarded by mu_; Readers view into this
+  std::vector<std::uint8_t> wpool_;  // recycled Writer buffer
   bool dead_ = false;
+
+  bool batching_ = false;
+  ipc::Writer batch_;
+  std::uint32_t batch_count_ = 0;
+  cl_int deferred_err_ = CL_SUCCESS;
+  Stats stats_;
 };
 
 }  // namespace proxy

@@ -88,6 +88,13 @@ enum class Op : std::uint32_t {
   // sim extensions (exempt from IPC cost charging — measurement instruments)
   SimGetHostTimeNS,
   SimAdvanceHostNS,
+
+  // A client-side queue of fire-and-forget calls flushed as one frame.
+  // Payload: repeated [u32 sub_op][u32 len][len bytes of sub-payload].
+  // Response: [i32 first_error][u32 executed_count].  Control ops and nested
+  // batches are rejected inside a batch.  The whole frame is charged one
+  // per_call_ns — that is the modeled (and real) saving of batching.
+  Batch,
 };
 
 // clSetKernelArg argument kinds on the wire: the *client* (CheCL wrapper) has

@@ -3,26 +3,40 @@
 // Spawned by the CheCL layer (fork + exec) with one end of a socketpair, or
 // run standalone with --tcp-port for the remote-proxy extension.  This process
 // is the only one that touches the OpenCL substrate; the application process
-// stays a plain checkpointable process.
+// stays a plain checkpointable process.  With --shm it attaches the spawner's
+// shared-memory segment and serves bulk payloads through it (see ipc/shm.h).
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "ipc/channel.h"
+#include "ipc/shm.h"
 #include "proxy/server.h"
 
 int main(int argc, char** argv) {
   int fd = -1;
   int tcp_port = -1;
+  const char* shm_name = nullptr;
+  std::size_t shm_threshold = ipc::kShmDefaultThreshold;
+  bool use_writev = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fd") == 0 && i + 1 < argc) {
       fd = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--tcp-port") == 0 && i + 1 < argc) {
       tcp_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shm") == 0 && i + 1 < argc) {
+      shm_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--shm-threshold") == 0 && i + 1 < argc) {
+      shm_threshold = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--no-writev") == 0) {
+      use_writev = false;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: checl_proxyd --fd N | --tcp-port P\n");
+      std::printf(
+          "usage: checl_proxyd --fd N [--shm NAME --shm-threshold T]"
+          " [--no-writev] | --tcp-port P\n");
       return 0;
     }
   }
@@ -48,7 +62,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "checl_proxyd: missing --fd\n");
     return 2;
   }
-  ipc::SocketChannel ch(fd);
-  proxy::serve(ch);
+  auto sock = std::make_unique<ipc::SocketChannel>(fd);
+  sock->set_use_writev(use_writev);
+  std::unique_ptr<ipc::Channel> ch;
+  if (shm_name != nullptr) {
+    auto seg = ipc::ShmSegment::attach(shm_name);
+    if (seg == nullptr) {
+      // the spawner will route bulk payloads through the segment; serving
+      // without it would deadlock on the first descriptor frame
+      std::fprintf(stderr, "checl_proxyd: cannot attach shm %s\n", shm_name);
+      return 3;
+    }
+    ch = std::make_unique<ipc::ShmChannel>(std::move(sock), std::move(seg),
+                                           /*creator=*/false, shm_threshold);
+  } else {
+    ch = std::move(sock);
+  }
+  proxy::serve(*ch);
   return 0;
 }

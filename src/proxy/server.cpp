@@ -1,6 +1,7 @@
 #include "proxy/server.h"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "checl/dispatch.h"
@@ -60,6 +61,17 @@ void handle_info(Reader& r, Writer& w, Fn fn) {
 struct ServerState {
   IpcCosts costs;
   bool configured = false;
+  // Bulk read staging: reused across requests (no per-call allocation), and
+  // scatter-sent so the data skips the response-marshalling copy.  Cleared by
+  // serve() after each send.
+  std::vector<std::uint8_t> read_stage;
+  std::span<const std::uint8_t> resp_bulk{};
+  // Set by serve(): lets bulk responses be materialized directly in the
+  // transport's data plane (shm ring) instead of staged.
+  ipc::Channel* ch = nullptr;
+  // Non-zero when dispatch already sent the response via send_reserved;
+  // serve() charges these bytes and skips its own send.
+  std::size_t resp_sent_bytes = 0;
 };
 
 void charge(const ServerState& st, std::size_t bytes) {
@@ -443,16 +455,43 @@ bool dispatch(ServerState& st, Op op, Reader& r, Writer& w) {
       const std::uint64_t off = r.u64();
       const std::uint64_t cb = r.u64();
       const bool want_event = r.boolean();
-      std::vector<std::uint8_t> data(cb);
       cl_event ev = nullptr;
+      // Response layout: i32 err, u64 event handle, u64 len, len bytes.
+      constexpr std::size_t kHdr = 4 + 8 + 8;
+      // Zero-staging path: have the substrate read straight into a reserved
+      // shm block and send it in place — the data is copied exactly once on
+      // this side of the transport.
+      if (std::uint8_t* blk =
+              st.ch != nullptr ? st.ch->reserve_tx(kHdr + cb) : nullptr;
+          blk != nullptr) {
+        const cl_int err = D().EnqueueReadBuffer(q, m, CL_TRUE, off, cb,
+                                                 blk + kHdr, 0, nullptr,
+                                                 want_event ? &ev : nullptr);
+        const auto evh =
+            static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(ev));
+        const std::uint64_t len = err == CL_SUCCESS ? cb : 0;
+        std::memcpy(blk, &err, 4);
+        std::memcpy(blk + 4, &evh, 8);
+        std::memcpy(blk + 12, &len, 8);
+        if (!st.ch->send_reserved(static_cast<std::uint32_t>(op), kHdr + cb))
+          return false;
+        st.resp_sent_bytes = kHdr + cb;
+        return true;
+      }
       // Reads are synchronous at the proxy: the bytes travel in the response.
-      const cl_int err = D().EnqueueReadBuffer(q, m, CL_TRUE, off, cb, data.data(),
-                                               0, nullptr,
+      if (st.read_stage.size() < cb) st.read_stage.resize(cb);
+      const cl_int err = D().EnqueueReadBuffer(q, m, CL_TRUE, off, cb,
+                                               st.read_stage.data(), 0, nullptr,
                                                want_event ? &ev : nullptr);
       w.i32(err);
       w.handle(ev);
-      w.bytes(err == CL_SUCCESS ? std::span<const std::uint8_t>(data)
-                                : std::span<const std::uint8_t>{});
+      // wire format of w.bytes(...), with the data scatter-sent by serve()
+      if (err == CL_SUCCESS) {
+        w.u64(cb);
+        st.resp_bulk = {st.read_stage.data(), static_cast<std::size_t>(cb)};
+      } else {
+        w.u64(0);
+      }
       return true;
     }
     case Op::EnqueueWriteBuffer: {
@@ -547,6 +586,41 @@ bool dispatch(ServerState& st, Op op, Reader& r, Writer& w) {
       w.i32(D().SimAdvanceHostNS(r.u64()));
       return true;
     }
+
+    case Op::Batch: {
+      // A client-side queue of fire-and-forget calls: dispatch each in order,
+      // discard the individual responses, report only the first error (the
+      // client's sticky deferred-error model) and the executed count.
+      cl_int first_err = CL_SUCCESS;
+      std::uint32_t count = 0;
+      // a batched call's response is discarded, so none may send in place
+      ipc::Channel* saved_ch = st.ch;
+      st.ch = nullptr;
+      while (r.ok() && r.remaining() >= 8) {
+        const auto sub_op = static_cast<Op>(r.u32());
+        const std::uint32_t len = r.u32();
+        auto body = r.view(len);
+        if (!r.ok()) break;
+        cl_int err = CL_INVALID_OPERATION;
+        // control ops and nested batches have no business inside a batch
+        if (sub_op != Op::Batch && sub_op != Op::Configure &&
+            sub_op != Op::Ping && sub_op != Op::Shutdown) {
+          Reader sub(body);
+          Writer subw;
+          dispatch(st, sub_op, sub, subw);
+          const auto resp = subw.take();
+          if (resp.size() >= sizeof err) std::memcpy(&err, resp.data(), sizeof err);
+          // a batched read's data has nowhere to go; drop its bulk
+          st.resp_bulk = {};
+        }
+        ++count;
+        if (first_err == CL_SUCCESS && err != CL_SUCCESS) first_err = err;
+      }
+      st.ch = saved_ch;
+      w.i32(first_err);
+      w.u32(count);
+      return true;
+    }
   }
   w.i32(CL_INVALID_OPERATION);
   return true;
@@ -556,23 +630,37 @@ bool dispatch(ServerState& st, Op op, Reader& r, Writer& w) {
 
 void serve(ipc::Channel& ch) {
   ServerState st;
+  st.ch = &ch;
   ipc::Message req;
+  ipc::Message resp;  // response buffer recycled across requests
   while (ch.recv(req)) {
     const Op op = static_cast<Op>(req.op);
+    // A batch frame is one wire message and charged as one call: that is the
+    // modeled (and real) saving of client-side batching.
     const bool measured = op != Op::SimGetHostTimeNS && op != Op::SimAdvanceHostNS &&
                           op != Op::Configure && op != Op::Ping && op != Op::Shutdown;
     if (measured) {
       simcl::Runtime::instance().clock().advance_host(st.costs.per_call_ns);
-      charge(st, req.payload.size());
+      charge(st, req.bytes().size());
     }
-    ipc::Reader r(req.payload);
-    ipc::Writer w;
+    ipc::Reader r(req.bytes());
+    ipc::Writer w(std::move(resp.payload));
     const bool keep_going = dispatch(st, op, r, w);
-    ipc::Message resp;
+    ch.release_rx();  // the request view is dead; free ring space for the
+                      // client's next bulk send before we block in ours
+    if (st.resp_sent_bytes != 0) {
+      // dispatch materialized and sent the response in the data plane
+      if (measured) charge(st, st.resp_sent_bytes);
+      st.resp_sent_bytes = 0;
+      if (!keep_going) return;
+      continue;
+    }
     resp.op = req.op;
     resp.payload = w.take();
-    if (measured) charge(st, resp.payload.size());
-    if (!ch.send(resp)) return;
+    if (measured) charge(st, resp.payload.size() + st.resp_bulk.size());
+    const bool sent = ch.send2(resp, st.resp_bulk);
+    st.resp_bulk = {};
+    if (!sent) return;
     if (!keep_going) return;
   }
 }

@@ -1,5 +1,6 @@
 #include "proxy/spawn.h"
 
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -14,6 +15,33 @@
 namespace proxy {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  return end != nullptr && *end == '\0' && n > 0 ? static_cast<std::size_t>(n)
+                                                 : def;
+}
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+}  // namespace
+
+SpawnOptions spawn_options_from_env() {
+  SpawnOptions o;
+  o.use_shm = !env_flag("CHECL_NO_SHM");
+  o.shm_ring_bytes = env_size("CHECL_SHM_RING_BYTES", o.shm_ring_bytes);
+  o.shm_threshold = env_size("CHECL_SHM_THRESHOLD", o.shm_threshold);
+  o.use_writev = !env_flag("CHECL_NO_WRITEV");
+  return o;
+}
 
 std::string find_proxyd() {
   if (const char* env = std::getenv("CHECL_PROXYD");
@@ -105,7 +133,9 @@ Spawned spawn_tcp_proxy(std::uint16_t port) {
   return s;
 }
 
-Spawned spawn_proxy(Transport t) {
+Spawned spawn_proxy(Transport t) { return spawn_proxy(t, spawn_options_from_env()); }
+
+Spawned spawn_proxy(Transport t, const SpawnOptions& opts) {
   Spawned s;
   if (t == Transport::Thread) {
     auto [app_end, proxy_end] = ipc::make_local_pair();
@@ -124,6 +154,10 @@ Spawned spawn_proxy(Transport t) {
     s.error_ = "socketpair failed";
     return s;
   }
+  // Bulk-data plane: created before the fork so the daemon can attach by
+  // name; a create failure just degrades to the socket-only path.
+  std::shared_ptr<ipc::ShmSegment> seg;
+  if (opts.use_shm) seg = ipc::ShmSegment::create(opts.shm_ring_bytes);
   const std::string proxyd = find_proxyd();
   const pid_t pid = ::fork();
   if (pid < 0) {
@@ -133,17 +167,42 @@ Spawned spawn_proxy(Transport t) {
     return s;
   }
   if (pid == 0) {
-    // child: exec the proxy daemon with its end of the socketpair
-    ::close(app_fd);
+    // child: exec the proxy daemon with its end of the socketpair.  The pair
+    // is opened CLOEXEC so no other exec'd child can inherit it; this one fd
+    // is meant to survive the exec, so clear the flag here.
+    const int fdflags = ::fcntl(proxy_fd, F_GETFD);
+    if (fdflags >= 0) ::fcntl(proxy_fd, F_SETFD, fdflags & ~FD_CLOEXEC);
     std::array<char, 16> fd_str{};
     std::snprintf(fd_str.data(), fd_str.size(), "%d", proxy_fd);
-    ::execl(proxyd.c_str(), "checl_proxyd", "--fd", fd_str.data(),
-            static_cast<char*>(nullptr));
+    std::array<char, 24> thr_str{};
+    std::snprintf(thr_str.data(), thr_str.size(), "%zu", opts.shm_threshold);
+    const char* argv[10];
+    int argc = 0;
+    argv[argc++] = "checl_proxyd";
+    argv[argc++] = "--fd";
+    argv[argc++] = fd_str.data();
+    if (seg != nullptr) {
+      argv[argc++] = "--shm";
+      argv[argc++] = seg->name().c_str();
+      argv[argc++] = "--shm-threshold";
+      argv[argc++] = thr_str.data();
+    }
+    if (!opts.use_writev) argv[argc++] = "--no-writev";
+    argv[argc] = nullptr;
+    ::execv(proxyd.c_str(), const_cast<char* const*>(argv));
     ::_exit(127);
   }
   ::close(proxy_fd);
   s.pid_ = pid;
-  s.client_ = std::make_unique<Client>(std::make_unique<ipc::SocketChannel>(app_fd));
+  auto sock = std::make_unique<ipc::SocketChannel>(app_fd);
+  sock->set_use_writev(opts.use_writev);
+  std::unique_ptr<ipc::Channel> ch;
+  if (seg != nullptr)
+    ch = std::make_unique<ipc::ShmChannel>(std::move(sock), std::move(seg),
+                                           /*creator=*/true, opts.shm_threshold);
+  else
+    ch = std::move(sock);
+  s.client_ = std::make_unique<Client>(std::move(ch));
   // verify the exec didn't fail
   if (s.client_->ping() != CL_SUCCESS) {
     s.error_ = "proxy daemon did not start (looked for: " + proxyd + ")";

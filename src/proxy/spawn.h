@@ -14,6 +14,7 @@
 #include <thread>
 #include <utility>
 
+#include "ipc/shm.h"
 #include "proxy/client.h"
 
 namespace proxy {
@@ -23,6 +24,19 @@ enum class Transport {
   Thread,   // in-process server thread over a LocalChannel
   Tcp,      // connect to a checl_proxyd --tcp-port on another machine
 };
+
+// Fast-path knobs for the Process transport; every feature is independently
+// toggleable for the ipc_micro ablation.  spawn_proxy(t) uses env-derived
+// defaults: CHECL_NO_SHM=1, CHECL_SHM_RING_BYTES, CHECL_SHM_THRESHOLD,
+// CHECL_NO_WRITEV=1.
+struct SpawnOptions {
+  bool use_shm = true;  // shared-memory bulk-data plane (Process transport)
+  std::size_t shm_ring_bytes = ipc::kShmDefaultRingBytes;
+  std::size_t shm_threshold = ipc::kShmDefaultThreshold;
+  bool use_writev = true;  // scatter-gather framing (false = seed framing)
+};
+
+[[nodiscard]] SpawnOptions spawn_options_from_env();
 
 class Spawned {
  public:
@@ -56,7 +70,7 @@ class Spawned {
   void kill_hard();
 
  private:
-  friend Spawned spawn_proxy(Transport t);
+  friend Spawned spawn_proxy(Transport t, const SpawnOptions& opts);
   friend Spawned connect_remote_proxy(const char* host, std::uint16_t port);
   friend Spawned spawn_tcp_proxy(std::uint16_t port);
 
@@ -67,7 +81,8 @@ class Spawned {
 };
 
 // Returns a Spawned whose ok() is false (with error()) on failure.
-Spawned spawn_proxy(Transport t);
+Spawned spawn_proxy(Transport t);  // options from the environment
+Spawned spawn_proxy(Transport t, const SpawnOptions& opts);
 
 // Remote API proxy (the paper's Section V note: "allowing CheCL wrapper
 // functions to communicate with a remote API proxy via TCP/IP sockets").

@@ -1,13 +1,16 @@
-// ipc_test.cpp — serialization round-trips, channel framing, and TCP
-// transport for the proxy RPC layer.
+// ipc_test.cpp — serialization round-trips, channel framing, the shm
+// bulk-data plane, and TCP transport for the proxy RPC layer.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <thread>
 
 #include "ipc/channel.h"
 #include "ipc/serial.h"
+#include "ipc/shm.h"
 #include "proxy/config_io.h"
 
 namespace {
@@ -154,6 +157,253 @@ TEST(TcpChannel, LoopbackRoundTrip) {
   EXPECT_EQ(m.op, 42u);
   server.join();
   ::close(listen_fd);
+}
+
+// 64 MiB vastly exceeds kernel socket buffers: the sender blocks until the
+// receiver drains, so the payload crosses in many partial writes/reads.
+// Exercised under both framings (writev scatter-gather and seed).
+void huge_socket_round_trip(bool use_writev) {
+  auto [fd_a, fd_b] = ipc::make_socketpair();
+  ASSERT_GE(fd_a, 0);
+  ipc::SocketChannel a(fd_a);
+  ipc::SocketChannel b(fd_b);
+  a.set_use_writev(use_writev);
+  b.set_use_writev(use_writev);
+  constexpr std::size_t kBig = 64u << 20;
+  ipc::Message m;
+  m.op = 9;
+  m.payload.resize(kBig);
+  for (std::size_t i = 0; i < kBig; i += 4096)
+    m.payload[i] = static_cast<std::uint8_t>(i >> 12);
+  m.payload.back() = 0xEE;
+  std::thread sender([&] { EXPECT_TRUE(a.send(m)); });
+  ipc::Message got;
+  ASSERT_TRUE(b.recv(got));
+  sender.join();
+  ASSERT_EQ(got.bytes().size(), kBig);
+  EXPECT_EQ(got.bytes()[8 << 12], static_cast<std::uint8_t>(8));
+  EXPECT_EQ(got.bytes().back(), 0xEE);
+  EXPECT_EQ(std::memcmp(got.bytes().data(), m.payload.data(), kBig), 0);
+}
+
+TEST(SocketChannel, HugePayloadRoundTripWritev) { huge_socket_round_trip(true); }
+TEST(SocketChannel, HugePayloadRoundTripSeedFraming) {
+  huge_socket_round_trip(false);
+}
+
+TEST(SocketChannel, ScatterSend2IsWireIdenticalToConcat) {
+  auto [fd_a, fd_b] = ipc::make_socketpair();
+  ASSERT_GE(fd_a, 0);
+  ipc::SocketChannel a(fd_a);
+  ipc::SocketChannel b(fd_b);
+  ipc::Message m;
+  m.op = 12;
+  m.payload = {1, 2, 3};
+  const std::vector<std::uint8_t> bulk{4, 5, 6, 7};
+  ASSERT_TRUE(a.send2(m, bulk));
+  ipc::Message got;
+  ASSERT_TRUE(b.recv(got));
+  EXPECT_EQ(got.op, 12u);
+  const std::vector<std::uint8_t> want{1, 2, 3, 4, 5, 6, 7};
+  ASSERT_EQ(got.bytes().size(), want.size());
+  EXPECT_EQ(std::memcmp(got.bytes().data(), want.data(), want.size()), 0);
+}
+
+TEST(SocketChannel, CorruptLengthHeaderFailsChannel) {
+  auto [fd_a, fd_b] = ipc::make_socketpair();
+  ASSERT_GE(fd_a, 0);
+  ipc::SocketChannel b(fd_b);
+  // hand-craft a frame header claiming a payload over the sanity cap; the
+  // receiver must fail the channel instead of attempting the allocation
+  std::uint32_t hdr[2] = {1u, ipc::SocketChannel::kMaxPayload + 1u};
+  ASSERT_EQ(::write(fd_a, hdr, sizeof hdr), static_cast<ssize_t>(sizeof hdr));
+  ipc::Message m;
+  EXPECT_FALSE(b.recv(m));
+  EXPECT_TRUE(b.failed());
+  // a failed channel stays failed
+  m.op = 1;
+  m.payload = {1};
+  EXPECT_FALSE(b.send(m));
+  ::close(fd_a);
+}
+
+TEST(SocketChannel, FdsAreCloseOnExec) {
+  auto [fd_a, fd_b] = ipc::make_socketpair();
+  ASSERT_GE(fd_a, 0);
+  EXPECT_TRUE(::fcntl(fd_a, F_GETFD) & FD_CLOEXEC);
+  EXPECT_TRUE(::fcntl(fd_b, F_GETFD) & FD_CLOEXEC);
+  ::close(fd_a);
+  ::close(fd_b);
+  const int lfd = ipc::tcp_listen(39327);
+  if (lfd < 0) GTEST_SKIP() << "port busy";
+  EXPECT_TRUE(::fcntl(lfd, F_GETFD) & FD_CLOEXEC);
+  const int cfd = ipc::tcp_connect("127.0.0.1", 39327);
+  ASSERT_GE(cfd, 0);
+  EXPECT_TRUE(::fcntl(cfd, F_GETFD) & FD_CLOEXEC);
+  const int afd = ipc::tcp_accept(lfd);
+  ASSERT_GE(afd, 0);
+  EXPECT_TRUE(::fcntl(afd, F_GETFD) & FD_CLOEXEC);
+  ::close(afd);
+  ::close(cfd);
+  ::close(lfd);
+}
+
+// Builds a connected ShmChannel pair sharing one segment (both ends mapped
+// in-process; direction is what distinguishes them).
+struct ShmPair {
+  std::unique_ptr<ipc::ShmChannel> creator;
+  std::unique_ptr<ipc::ShmChannel> peer;
+};
+
+ShmPair make_shm_pair(std::size_t ring_bytes, std::size_t threshold) {
+  auto [fd_a, fd_b] = ipc::make_socketpair();
+  EXPECT_GE(fd_a, 0);
+  auto seg = ipc::ShmSegment::create(ring_bytes);
+  EXPECT_NE(seg, nullptr);
+  ShmPair p;
+  p.creator = std::make_unique<ipc::ShmChannel>(
+      std::make_unique<ipc::SocketChannel>(fd_a), seg, true, threshold);
+  p.peer = std::make_unique<ipc::ShmChannel>(
+      std::make_unique<ipc::SocketChannel>(fd_b), seg, false, threshold);
+  return p;
+}
+
+TEST(ShmChannel, HugePayloadRoundTrip) {
+  constexpr std::size_t kBig = 64u << 20;
+  ShmPair p = make_shm_pair(kBig + (1u << 20), 4096);
+  ipc::Message m;
+  m.op = 21;
+  m.payload.resize(kBig);
+  for (std::size_t i = 0; i < kBig; i += 4096)
+    m.payload[i] = static_cast<std::uint8_t>(i * 31 >> 12);
+  m.payload.back() = 0x7D;
+  ASSERT_TRUE(p.creator->send(m));
+  ipc::Message got;
+  ASSERT_TRUE(p.peer->recv(got));
+  EXPECT_EQ(got.op, 21u);  // kShmOpFlag stripped
+  EXPECT_TRUE(got.borrowed);  // zero-copy: a view into the ring
+  ASSERT_EQ(got.bytes().size(), kBig);
+  EXPECT_EQ(got.bytes().back(), 0x7D);
+  EXPECT_EQ(std::memcmp(got.bytes().data(), m.payload.data(), kBig), 0);
+  EXPECT_EQ(p.creator->stats().shm_msgs_sent, 1u);
+  EXPECT_EQ(p.peer->stats().shm_msgs_recvd, 1u);
+  EXPECT_EQ(p.creator->stats().shm_fallbacks, 0u);
+  // reply direction rides the other ring
+  ipc::Message reply;
+  reply.op = 22;
+  reply.payload.assign(1u << 20, 0x3C);
+  ASSERT_TRUE(p.peer->send(reply));
+  ASSERT_TRUE(p.creator->recv(got));
+  ASSERT_EQ(got.bytes().size(), 1u << 20);
+  EXPECT_EQ(got.bytes()[12345], 0x3C);
+}
+
+TEST(ShmChannel, SmallPayloadStaysOnSocket) {
+  ShmPair p = make_shm_pair(1u << 16, 4096);
+  ipc::Message m;
+  m.op = 3;
+  m.payload.assign(100, 0xAA);  // below threshold
+  ASSERT_TRUE(p.creator->send(m));
+  ipc::Message got;
+  ASSERT_TRUE(p.peer->recv(got));
+  EXPECT_FALSE(got.borrowed);
+  EXPECT_EQ(got.bytes().size(), 100u);
+  EXPECT_EQ(p.creator->stats().shm_msgs_sent, 0u);
+}
+
+TEST(ShmChannel, ExhaustionFallsBackToSocket) {
+  // payload larger than the whole ring: must fall back to inline framing
+  ShmPair p = make_shm_pair(1u << 16, 4096);
+  ipc::Message m;
+  m.op = 7;
+  m.payload.assign(1u << 18, 0x42);  // 256 KiB through a 64 KiB ring
+  std::thread sender([&] { EXPECT_TRUE(p.creator->send(m)); });
+  ipc::Message got;
+  ASSERT_TRUE(p.peer->recv(got));
+  sender.join();
+  EXPECT_FALSE(got.borrowed);  // travelled inline
+  ASSERT_EQ(got.bytes().size(), 1u << 18);
+  EXPECT_EQ(got.bytes()[1000], 0x42);
+  EXPECT_EQ(p.creator->stats().shm_fallbacks, 1u);
+  EXPECT_EQ(p.creator->stats().shm_msgs_sent, 0u);
+}
+
+TEST(ShmChannel, HeldViewBlocksRingUntilReleased) {
+  // ring fits exactly one 40 KiB block; while the receiver still holds the
+  // first view, a second bulk send must fall back, and an explicit
+  // release_rx() makes the ring usable again
+  constexpr std::size_t kBlock = 40 * 1024;
+  ShmPair p = make_shm_pair(1u << 16, 4096);
+  ipc::Message m;
+  m.op = 1;
+  m.payload.assign(kBlock, 0x11);
+  ASSERT_TRUE(p.creator->send(m));
+  ipc::Message got;
+  ASSERT_TRUE(p.peer->recv(got));
+  EXPECT_TRUE(got.borrowed);
+
+  m.payload.assign(kBlock, 0x22);  // does not fit while the view is held
+  ASSERT_TRUE(p.creator->send(m));
+  EXPECT_EQ(p.creator->stats().shm_fallbacks, 1u);
+
+  ipc::Message got2;
+  ASSERT_TRUE(p.peer->recv(got2));  // implicit release of the first view
+  EXPECT_FALSE(got2.borrowed);
+  p.peer->release_rx();  // idempotent: nothing held after an inline recv
+
+  m.payload.assign(kBlock, 0x33);  // ring free again
+  ASSERT_TRUE(p.creator->send(m));
+  EXPECT_EQ(p.creator->stats().shm_fallbacks, 1u);
+  EXPECT_EQ(p.creator->stats().shm_msgs_sent, 2u);
+  ipc::Message got3;
+  ASSERT_TRUE(p.peer->recv(got3));
+  EXPECT_TRUE(got3.borrowed);
+  EXPECT_EQ(got3.bytes()[kBlock - 1], 0x33);
+}
+
+TEST(ShmChannel, ReserveTxMaterializesInPlace) {
+  ShmPair p = make_shm_pair(1u << 16, 4096);
+  // below threshold: in-place reservation refuses, caller would fall back
+  EXPECT_EQ(p.creator->reserve_tx(100), nullptr);
+  constexpr std::size_t kN = 32 * 1024;
+  std::uint8_t* blk = p.creator->reserve_tx(kN);
+  ASSERT_NE(blk, nullptr);
+  for (std::size_t i = 0; i < kN; ++i)
+    blk[i] = static_cast<std::uint8_t>(i * 7);
+  ASSERT_TRUE(p.creator->send_reserved(33, kN));
+  ipc::Message got;
+  ASSERT_TRUE(p.peer->recv(got));
+  EXPECT_EQ(got.op, 33u);
+  EXPECT_TRUE(got.borrowed);
+  ASSERT_EQ(got.bytes().size(), kN);
+  for (std::size_t i = 0; i < kN; i += 997)
+    ASSERT_EQ(got.bytes()[i], static_cast<std::uint8_t>(i * 7));
+}
+
+TEST(ShmChannel, ScatterSend2ThroughRing) {
+  ShmPair p = make_shm_pair(1u << 16, 4096);
+  ipc::Message m;
+  m.op = 5;
+  m.payload.assign(5000, 0x01);  // header part
+  const std::vector<std::uint8_t> bulk(9000, 0x02);
+  ASSERT_TRUE(p.creator->send2(m, bulk));
+  ipc::Message got;
+  ASSERT_TRUE(p.peer->recv(got));
+  EXPECT_TRUE(got.borrowed);
+  ASSERT_EQ(got.bytes().size(), 14000u);
+  EXPECT_EQ(got.bytes()[4999], 0x01);
+  EXPECT_EQ(got.bytes()[5000], 0x02);
+  EXPECT_EQ(got.bytes()[13999], 0x02);
+}
+
+TEST(ShmSegment, BogusDescriptorRejected) {
+  auto seg = ipc::ShmSegment::create(1u << 16);
+  ASSERT_NE(seg, nullptr);
+  // nothing produced: positions ahead of the tail or larger than the ring
+  // must be rejected, not spun on
+  EXPECT_EQ(seg->consume_view(0, 0, (1u << 16) + 1), nullptr);  // > ring
+  EXPECT_EQ(seg->consume_view(0, (1u << 20), 64), nullptr);     // way ahead
+  EXPECT_EQ(seg->consume_view(0, 0, 0), nullptr);               // empty
 }
 
 TEST(ConfigIo, PlatformSpecRoundTrip) {

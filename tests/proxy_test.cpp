@@ -232,6 +232,107 @@ TEST(Proxy, RemoteTcpVirtualTimeMatchesLocal) {
   remote.stop();
 }
 
+TEST(Proxy, ShmTransportScenarioAndStats) {
+  // full workload over the Process transport with the shm data plane on and a
+  // threshold low enough that buffer traffic rides the ring
+  proxy::SpawnOptions opts;
+  opts.use_shm = true;
+  opts.shm_threshold = 1024;
+  opts.shm_ring_bytes = 4u << 20;
+  proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Process, opts);
+  ASSERT_TRUE(sp.ok()) << sp.error();
+  const cl_ulong t = run_scenario(*sp.client());
+  EXPECT_GT(t, 0u);
+  const auto ch = sp.client()->channel_stats();
+  EXPECT_GT(ch.shm_msgs_sent + ch.shm_msgs_recvd, 0u)
+      << "bulk traffic never took the shm path";
+  sp.stop();
+}
+
+TEST(Proxy, ShmVirtualTimeMatchesPlainSocket) {
+  // the data plane must be invisible to the discrete-event model
+  proxy::SpawnOptions plain;
+  plain.use_shm = false;
+  proxy::SpawnOptions shm;
+  shm.use_shm = true;
+  shm.shm_threshold = 1024;
+  proxy::Spawned a = proxy::spawn_proxy(proxy::Transport::Process, plain);
+  proxy::Spawned b = proxy::spawn_proxy(proxy::Transport::Process, shm);
+  ASSERT_TRUE(a.ok()) << a.error();
+  ASSERT_TRUE(b.ok()) << b.error();
+  EXPECT_EQ(run_scenario(*a.client()), run_scenario(*b.client()));
+  a.stop();
+  b.stop();
+}
+
+TEST(Proxy, BatchFlushPreservesOrdering) {
+  // queue up arg-set + ndrange as a batch, then read back through the
+  // synchronous path: the flush must land before the read for the result to
+  // be correct
+  proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Process);
+  ASSERT_TRUE(sp.ok()) << sp.error();
+  proxy::Client& c = *sp.client();
+  c.set_batching(true);
+  const cl_ulong t = run_scenario(c);  // checks read-back values internally
+  EXPECT_GT(t, 0u);
+  EXPECT_GT(c.stats().batched_calls, 0u) << "batching never engaged";
+  EXPECT_GT(c.stats().batch_flushes, 0u);
+  // far fewer round-trips than calls when batching is on
+  EXPECT_LT(c.stats().batch_flushes, c.stats().batched_calls);
+  sp.stop();
+}
+
+TEST(Proxy, BatchingVirtualTimeDeterministicAndNoDearer) {
+  // batching legitimately reduces modeled IPC cost (one per-call charge per
+  // flushed frame instead of N), so batched != unbatched; what must hold is
+  // that batched runs are deterministic and never dearer than unbatched
+  proxy::Spawned a = proxy::spawn_proxy(proxy::Transport::Process);
+  proxy::Spawned b = proxy::spawn_proxy(proxy::Transport::Process);
+  proxy::Spawned c = proxy::spawn_proxy(proxy::Transport::Process);
+  ASSERT_TRUE(a.ok()) << a.error();
+  ASSERT_TRUE(b.ok()) << b.error();
+  ASSERT_TRUE(c.ok()) << c.error();
+  b.client()->set_batching(true);
+  c.client()->set_batching(true);
+  const cl_ulong unbatched = run_scenario(*a.client());
+  const cl_ulong batched1 = run_scenario(*b.client());
+  const cl_ulong batched2 = run_scenario(*c.client());
+  EXPECT_EQ(batched1, batched2);
+  EXPECT_LE(batched1, unbatched);
+  a.stop();
+  b.stop();
+  c.stop();
+}
+
+TEST(Proxy, BatchedErrorDeferredToSyncPoint) {
+  proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Thread);
+  ASSERT_TRUE(sp.ok());
+  proxy::Client& c = *sp.client();
+  c.configure(simcl::default_platforms(), proxy::IpcCosts{}, true);
+  c.set_batching(true);
+  // a fire-and-forget op on a bogus handle is queued, so it reports success...
+  EXPECT_EQ(c.set_kernel_arg_mem(0xDEAD, 0, 0xBEEF), CL_SUCCESS);
+  // ...and the real error surfaces (and clears) at the next sync point
+  const cl_int deferred = c.sync();
+  EXPECT_NE(deferred, CL_SUCCESS);
+  EXPECT_EQ(c.deferred_error(), CL_SUCCESS);  // cleared after surfacing
+  EXPECT_EQ(c.sync(), CL_SUCCESS);            // sticky only until surfaced
+  sp.stop();
+}
+
+TEST(Proxy, DisablingBatchingFlushesQueue) {
+  proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Thread);
+  ASSERT_TRUE(sp.ok());
+  proxy::Client& c = *sp.client();
+  c.configure(simcl::default_platforms(), proxy::IpcCosts{}, true);
+  c.set_batching(true);
+  EXPECT_EQ(c.set_kernel_arg_mem(0xDEAD, 0, 0xBEEF), CL_SUCCESS);
+  c.set_batching(false);  // flush happens here
+  // the queued call's failure is now the deferred error, surfaced at sync
+  EXPECT_NE(c.sync(), CL_SUCCESS);
+  sp.stop();
+}
+
 TEST(Proxy, InfoQueriesThroughRpc) {
   proxy::Spawned sp = proxy::spawn_proxy(proxy::Transport::Process);
   ASSERT_TRUE(sp.ok()) << sp.error();
