@@ -38,6 +38,8 @@ struct Options {
   unsigned shrink = 1;   // problem-size divisor (1 = paper scale)
   int iterations = 5;    // measured run() calls per program (SDK samples loop)
   bool ramdisk = false;  // use RAM-disk storage (processor-selection mode)
+  bool store = false;    // snapstore-backed checkpoints (fig5 repeat sweep)
+  bool smoke = false;    // fast pass/fail mode for ctest
   std::string only;      // run a single workload
 };
 
@@ -50,6 +52,10 @@ inline Options parse_options(int argc, char** argv) {
       o.iterations = std::atoi(argv[++i]);
     else if (std::strcmp(argv[i], "--ramdisk") == 0)
       o.ramdisk = true;
+    else if (std::strcmp(argv[i], "--store") == 0)
+      o.store = true;
+    else if (std::strcmp(argv[i], "--smoke") == 0)
+      o.smoke = true;
     else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc)
       o.only = argv[++i];
   }

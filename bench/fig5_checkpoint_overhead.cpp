@@ -4,10 +4,12 @@
 // device configuration.  The checkpoint fires right after a kernel enqueue so
 // at least one uncompleted kernel command sits in the queue (paper setup).
 #include <cstdio>
+#include <filesystem>
 
 #include "bench_common.h"
 #include "benchkit/table.h"
 #include "core/migration.h"
+#include "core/stats.h"
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv);
@@ -66,15 +68,24 @@ int main(int argc, char** argv) {
         corr, corr_ckpt);
   }
 
-  // ---- ablation: incremental checkpointing (Section IV-D future work) -----
+  // ---- ablation: full vs incremental vs snapstore (2nd checkpoint) --------
   // Triad re-dirties all of its buffers every run; Stencil2D only its two
-  // ping-pong planes — the incremental win is the clean remainder.
-  std::printf("--- ablation: full vs incremental checkpoint (Triad, 2nd ckpt) ---\n");
+  // ping-pong planes — the incremental win is the clean remainder.  The store
+  // mode dedups at chunk granularity instead of chaining deltas, so its 2nd
+  // checkpoint is also ~empty while every manifest stays self-contained.
+  const char* store_root = "/tmp/checl_bench_fig5_store";
+  std::printf(
+      "--- ablation: full vs incremental vs store checkpoint (Triad, 2nd ckpt) "
+      "---\n");
   benchkit::Table ab({"mode", "pre (ms)", "write (ms)", "file (MB)"});
-  for (const bool incremental : {false, true}) {
+  enum class Mode { Full, Incremental, Store };
+  for (const Mode mode : {Mode::Full, Mode::Incremental, Mode::Store}) {
     workloads::fresh_process(workloads::Binding::CheCL,
                              bench::node_for(bench::paper_configs()[0]));
-    rt.incremental_checkpoints = incremental;
+    rt.incremental_checkpoints = mode == Mode::Incremental;
+    rt.store_checkpoints = mode == Mode::Store;
+    rt.store_root = store_root;
+    if (mode == Mode::Store) std::filesystem::remove_all(store_root);
     workloads::Env env;
     env.shrink = opt.shrink;
     if (workloads::open_env(env, CL_DEVICE_TYPE_GPU) != CL_SUCCESS) continue;
@@ -82,16 +93,67 @@ int main(int argc, char** argv) {
     if (w->setup(env) != CL_SUCCESS || w->run(env) != CL_SUCCESS) continue;
     checl::cpr::PhaseTimes first;
     rt.engine().checkpoint(bench::ckpt_path("fig5_abl_a"), &first);
-    // no further writes: in incremental mode the 2nd checkpoint is ~empty
+    // no further writes: with incremental or store mode the 2nd checkpoint
+    // pays (almost) nothing
     checl::cpr::PhaseTimes second;
     rt.engine().checkpoint(bench::ckpt_path("fig5_abl_b"), &second);
-    ab.add_row({incremental ? "incremental" : "full",
-                benchkit::msec(second.pre_ns), benchkit::msec(second.write_ns),
+    const char* label = mode == Mode::Full          ? "full"
+                        : mode == Mode::Incremental ? "incremental"
+                                                    : "store";
+    ab.add_row({label, benchkit::msec(second.pre_ns),
+                benchkit::msec(second.write_ns),
                 benchkit::fmt("%.2f", static_cast<double>(second.file_bytes) / 1e6)});
     w->teardown(env);
     workloads::close_env(env);
     rt.incremental_checkpoints = false;
+    rt.store_checkpoints = false;
   }
   ab.print();
+
+  // ---- --store: repeat-checkpoint sweep through the snapstore -------------
+  // Checkpoints the whole kernel suite twice per mode.  Flat mode pays the
+  // full file both times; store mode pays only for chunks the second run
+  // actually changed (plus manifests), which is the Figure 5 lever the store
+  // exists to shrink.
+  if (opt.store) {
+    std::printf("\n--- --store: flat vs snapstore, repeat checkpoints ---\n");
+    benchkit::Table sw({"Benchmark", "mode", "ckpt1 (MB)", "ckpt2 (MB)",
+                        "ckpt2 write (ms)"});
+    std::string store_stats;
+    for (const bool store_mode : {false, true}) {
+      for (const auto& entry : workloads::suite()) {
+        if (!opt.only.empty() && entry.name != opt.only) continue;
+        auto w = entry.make();
+        if (!w->executes_kernel()) continue;
+        workloads::fresh_process(workloads::Binding::CheCL,
+                                 bench::node_for(bench::paper_configs()[0]));
+        rt.store_checkpoints = store_mode;
+        rt.store_root = store_root;
+        if (store_mode) std::filesystem::remove_all(store_root);
+        workloads::Env env;
+        env.shrink = opt.shrink;
+        if (workloads::open_env(env, CL_DEVICE_TYPE_GPU) != CL_SUCCESS)
+          continue;
+        if (w->setup(env) != CL_SUCCESS || w->run(env) != CL_SUCCESS) continue;
+        checl::cpr::PhaseTimes first;
+        rt.engine().checkpoint(bench::ckpt_path("fig5_sw_a"), &first);
+        w->run(env);  // the app advances; clean buffers stay clean
+        checl::cpr::PhaseTimes second;
+        rt.engine().checkpoint(bench::ckpt_path("fig5_sw_b"), &second);
+        sw.add_row({entry.name, store_mode ? "store" : "flat",
+                    benchkit::fmt("%.2f", static_cast<double>(first.file_bytes) / 1e6),
+                    benchkit::fmt("%.2f", static_cast<double>(second.file_bytes) / 1e6),
+                    benchkit::msec(second.write_ns)});
+        w->teardown(env);
+        workloads::close_env(env);
+        if (store_mode) store_stats = checl::stats_json();
+        rt.store_checkpoints = false;
+      }
+    }
+    sw.print();
+    if (!store_stats.empty())
+      std::printf("stats (last store run): %s\n", store_stats.c_str());
+  }
+  std::filesystem::remove_all(store_root);
   return 0;
 }

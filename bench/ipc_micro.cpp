@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/stats.h"
 #include "proxy/spawn.h"
 #include "simcl/specs.h"
 
@@ -241,6 +242,7 @@ int main(int argc, char** argv) {
   std::printf("  ],\n");
 
   double socket_bw = 0.0, shm_bw = 0.0;
+  std::string last_stats = "null";
   std::printf("  \"large_transfer\": [\n");
   for (std::size_t i = 0; i < std::size(large_configs); ++i) {
     const Toggles& t = large_configs[i];
@@ -275,6 +277,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.shm_fallbacks),
                 r.verified ? "true" : "false",
                 i + 1 < std::size(large_configs) ? "," : "");
+    // full counter dump through the shared helper (keeps new counters from
+    // needing a new hand-rolled field here)
+    last_stats = checl::stats_json(f.sp.client(), nullptr);
     f.sp.stop();
   }
   std::printf("  ],\n");
@@ -283,6 +288,7 @@ int main(int argc, char** argv) {
               "\"large_shm_vs_socket\": %.2f},\n",
               seed_rate > 0 ? best_rate / seed_rate : 0.0,
               socket_bw > 0 ? shm_bw / socket_bw : 0.0);
+  std::printf("  \"stats\": %s,\n", last_stats.c_str());
   std::printf("  \"failures\": %d\n}\n", failures);
   return failures == 0 ? 0 : 1;
 }

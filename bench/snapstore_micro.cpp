@@ -1,0 +1,267 @@
+// snapstore_micro — ablation of the content-addressed checkpoint store.
+//
+// Protocol: build a synthetic working set (64 buffers x 256 KiB, half
+// patterned / half random), write checkpoint 0, dirty 10% of the buffers,
+// write checkpoint 1 — the repeat-checkpoint case the store exists for.
+// Configurations ablate each mechanism in turn:
+//
+//   flat             slimcr::Snapshot::save  (the pre-snapstore baseline)
+//   chunk            chunking only: dedup off, identity codec, sync
+//   chunk_dedup      + content-addressed dedup
+//   chunk_dedup_lz   + LZ compression
+//   full_async       + the hash/compress worker pipeline (wall-clock only;
+//                      bytes and simulated time must not change)
+//
+// Prints JSON: per-config ckpt0/ckpt1 {stored_bytes, sim_write_ms, wall_ms},
+// the dedup bytes-written reduction for checkpoint 1, and the final
+// checl::stats_json() counters.  --smoke additionally verifies both
+// checkpoints restore bit-exact, GC of ckpt0 keeps ckpt1 restorable, the
+// pool drains after both manifests are removed, and the dedup reduction is
+// at least 2x — exiting nonzero otherwise (this is a tier-1 ctest).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "slimcr/snapshot.h"
+#include "slimcr/storage.h"
+#include "snapstore/store.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kBuffers = 64;
+constexpr std::size_t kBufBytes = 256 * 1024;
+constexpr std::size_t kDirtyEvery = 10;  // ~10% of buffers change per epoch
+
+std::vector<std::uint8_t> make_buffer(std::size_t i, std::uint32_t epoch) {
+  std::vector<std::uint8_t> v(kBufBytes);
+  std::uint32_t lcg = static_cast<std::uint32_t>(i * 2654435761u) + epoch;
+  if (i % 2 == 0) {
+    // patterned: compressible, like zero-padded simulation fields.  The
+    // i*13 + epoch*101 (mod 251) offset keeps a dirtied buffer's content
+    // distinct from every other buffer's, so a repeat checkpoint honestly
+    // pays for its dirty fraction instead of deduping it against neighbours.
+    for (std::size_t j = 0; j < v.size(); ++j)
+      v[j] = static_cast<std::uint8_t>((j / 128 + i * 13 + epoch * 101) % 251);
+  } else {
+    // random: incompressible, like packed particle data
+    for (auto& b : v)
+      b = static_cast<std::uint8_t>((lcg = lcg * 1664525u + 1013904223u) >> 24);
+  }
+  return v;
+}
+
+slimcr::Snapshot make_working_set(std::uint32_t epoch) {
+  // epoch e dirties buffer i iff i % kDirtyEvery == e % kDirtyEvery is false
+  // for epoch 0 (everything fresh) — later epochs regenerate ~10% of buffers.
+  slimcr::Snapshot snap;
+  for (std::size_t i = 0; i < kBuffers; ++i) {
+    const std::uint32_t buf_epoch =
+        (epoch > 0 && i % kDirtyEvery == 0) ? epoch : 0;
+    snap.set("mem." + std::to_string(i), make_buffer(i, buf_epoch));
+  }
+  return snap;
+}
+
+struct CkptCost {
+  std::uint64_t stored_bytes = 0;
+  std::uint64_t sim_write_ns = 0;
+  double wall_ms = 0;
+};
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool snapshots_equal(const slimcr::Snapshot& a, const slimcr::Snapshot& b) {
+  if (a.section_count() != b.section_count()) return false;
+  for (const auto& [name, data] : a.sections()) {
+    const auto* other = b.get(name);
+    if (other == nullptr || *other != data) return false;
+  }
+  return true;
+}
+
+struct ConfigResult {
+  std::string name;
+  CkptCost ckpt[2];
+  bool ok = true;  // smoke verification outcome
+};
+
+// Flat baseline: two full Snapshot::save calls.
+ConfigResult run_flat(const slimcr::StorageModel& disk, bool smoke) {
+  ConfigResult r;
+  r.name = "flat";
+  const std::string base = "/tmp/checl_snapstore_micro_flat";
+  for (std::uint32_t epoch = 0; epoch < 2; ++epoch) {
+    const slimcr::Snapshot snap = make_working_set(epoch);
+    const std::string path = base + std::to_string(epoch) + ".ckpt";
+    const auto t0 = std::chrono::steady_clock::now();
+    const slimcr::IoResult io = snap.save(path, disk);
+    r.ckpt[epoch].wall_ms = wall_ms_since(t0);
+    if (!io.ok) {
+      std::fprintf(stderr, "flat save failed: %s\n", io.error.c_str());
+      r.ok = false;
+      return r;
+    }
+    r.ckpt[epoch].stored_bytes = io.bytes;
+    r.ckpt[epoch].sim_write_ns = io.duration_ns;
+    if (smoke) {
+      slimcr::Snapshot back;
+      if (!back.load(path, disk).ok || !snapshots_equal(snap, back))
+        r.ok = false;
+    }
+  }
+  for (int e = 0; e < 2; ++e)
+    std::remove((base + std::to_string(e) + ".ckpt").c_str());
+  return r;
+}
+
+ConfigResult run_store(const char* name, const snapstore::Options& opt,
+                       const slimcr::StorageModel& disk, bool smoke,
+                       std::string* stats_out) {
+  ConfigResult r;
+  r.name = name;
+  const std::string root =
+      std::string("/tmp/checl_snapstore_micro_") + name;
+  fs::remove_all(root);
+  snapstore::Store st;
+  if (const auto s = st.open(root, opt); !s.ok()) {
+    std::fprintf(stderr, "%s: open failed: %s\n", name, s.message.c_str());
+    r.ok = false;
+    return r;
+  }
+  slimcr::Snapshot snaps[2] = {make_working_set(0), make_working_set(1)};
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    const std::string mname = std::string("ckpt") + std::to_string(epoch);
+    const auto t0 = std::chrono::steady_clock::now();
+    const snapstore::PutResult pr = st.put(mname, snaps[epoch], disk);
+    r.ckpt[epoch].wall_ms = wall_ms_since(t0);
+    if (!pr.status.ok()) {
+      std::fprintf(stderr, "%s: put failed: %s\n", name,
+                   pr.status.message.c_str());
+      r.ok = false;
+      return r;
+    }
+    r.ckpt[epoch].stored_bytes = pr.stored_bytes;
+    r.ckpt[epoch].sim_write_ns = pr.duration_ns;
+  }
+  if (smoke) {
+    // both restore bit-exact
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      slimcr::Snapshot back;
+      const auto gr =
+          st.get("ckpt" + std::to_string(epoch), back, disk);
+      if (!gr.status.ok() || !snapshots_equal(snaps[epoch], back)) {
+        std::fprintf(stderr, "%s: ckpt%d restore mismatch\n", name, epoch);
+        r.ok = false;
+      }
+    }
+    // GC of the first must not break the second
+    if (!st.remove("ckpt0").ok()) r.ok = false;
+    slimcr::Snapshot back;
+    if (!st.get("ckpt1", back, disk).status.ok() ||
+        !snapshots_equal(snaps[1], back)) {
+      std::fprintf(stderr, "%s: ckpt1 broken after GC of ckpt0\n", name);
+      r.ok = false;
+    }
+    // pool drains completely once the last manifest goes
+    if (!st.remove("ckpt1").ok() || st.stats().chunks_in_pool != 0 ||
+        st.stats().pool_stored_bytes != 0) {
+      std::fprintf(stderr, "%s: pool not empty after GC of both\n", name);
+      r.ok = false;
+    }
+  }
+  if (stats_out != nullptr) *stats_out = checl::stats_json(nullptr, &st);
+  fs::remove_all(root);
+  return r;
+}
+
+void print_cost(const CkptCost& c, bool last) {
+  std::printf(
+      "      {\"stored_bytes\": %llu, \"sim_write_ms\": %.3f, "
+      "\"wall_ms\": %.3f}%s\n",
+      static_cast<unsigned long long>(c.stored_bytes),
+      static_cast<double>(c.sim_write_ns) / 1e6, c.wall_ms, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const slimcr::StorageModel disk = slimcr::local_disk();
+
+  snapstore::Options chunk_only;
+  chunk_only.dedup = false;
+  chunk_only.codec = snapstore::CodecId::Identity;
+  chunk_only.async = false;
+
+  snapstore::Options chunk_dedup = chunk_only;
+  chunk_dedup.dedup = true;
+
+  snapstore::Options chunk_dedup_lz = chunk_dedup;
+  chunk_dedup_lz.codec = snapstore::CodecId::Lz;
+
+  snapstore::Options full_async = chunk_dedup_lz;
+  full_async.async = true;
+  full_async.workers = 4;
+
+  std::string last_stats;
+  std::vector<ConfigResult> results;
+  results.push_back(run_flat(disk, smoke));
+  results.push_back(run_store("chunk", chunk_only, disk, smoke, nullptr));
+  results.push_back(run_store("chunk_dedup", chunk_dedup, disk, smoke, nullptr));
+  results.push_back(
+      run_store("chunk_dedup_lz", chunk_dedup_lz, disk, smoke, nullptr));
+  results.push_back(
+      run_store("full_async", full_async, disk, smoke, &last_stats));
+
+  // Headline: how much smaller is the REPEAT checkpoint with dedup on,
+  // against the flat baseline (10% dirty working set)?
+  const std::uint64_t flat_repeat = results[0].ckpt[1].stored_bytes;
+  const std::uint64_t dedup_repeat = results[2].ckpt[1].stored_bytes;
+  const double reduction =
+      dedup_repeat == 0 ? 0.0
+                        : static_cast<double>(flat_repeat) /
+                              static_cast<double>(dedup_repeat);
+
+  std::printf("{\n  \"bench\": \"snapstore_micro\",\n");
+  std::printf("  \"working_set\": {\"buffers\": %zu, \"buffer_bytes\": %zu, "
+              "\"dirty_fraction\": %.2f},\n",
+              kBuffers, kBufBytes, 1.0 / kDirtyEvery);
+  std::printf("  \"configs\": {\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("    \"%s\": [\n", results[i].name.c_str());
+    print_cost(results[i].ckpt[0], false);
+    print_cost(results[i].ckpt[1], true);
+    std::printf("    ]%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  },\n");
+  std::printf("  \"dedup_bytes_reduction_vs_flat\": %.2f,\n", reduction);
+  std::printf("  \"stats\": %s\n}\n", last_stats.c_str());
+
+  if (smoke) {
+    bool ok = reduction >= 2.0;
+    if (!ok)
+      std::fprintf(stderr, "smoke: dedup reduction %.2fx < 2x\n", reduction);
+    for (const ConfigResult& r : results) {
+      if (!r.ok) {
+        std::fprintf(stderr, "smoke: config %s failed verification\n",
+                     r.name.c_str());
+        ok = false;
+      }
+    }
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# ci/check.sh — the one command a PR must pass.
+#
+# 1. Tier-1 verify: configure, build, full ctest.  The cpr tests share
+#    checkpoint paths under /tmp, so a parallel-ctest failure gets one serial
+#    rerun before counting as real.
+# 2. AddressSanitizer slice: rebuild the snapstore + checkpoint stack with
+#    -DCHECL_SANITIZE=address and run its tests plus the snapstore_micro
+#    smoke — the store's async pipeline and chunk codecs are exactly the kind
+#    of code ASan pays for.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"${JOBS}"
+
+echo "== tier-1: ctest =="
+if ! (cd build && ctest --output-on-failure -j"${JOBS}"); then
+  echo "== tier-1: parallel ctest failed; rerunning failures serially =="
+  (cd build && ctest --rerun-failed --output-on-failure)
+fi
+
+echo "== asan: configure + build snapstore/checkpoint slice =="
+cmake -B build-asan -S . -DCHECL_SANITIZE=address >/dev/null
+cmake --build build-asan -j"${JOBS}" \
+  --target test_snapstore test_slimcr test_cpr checl_proxyd snapstore_micro
+
+echo "== asan: run =="
+(
+  cd build-asan
+  export CHECL_PROXYD="${PWD}/src/proxy/checl_proxyd"
+  ./tests/test_snapstore
+  ./tests/test_slimcr
+  ./tests/test_cpr
+  ./bench/snapstore_micro --smoke
+)
+
+echo "ci/check.sh: all green"

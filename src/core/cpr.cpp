@@ -146,7 +146,22 @@ std::vector<std::uint8_t> Engine::serialize_db() {
 // checkpoint
 // ---------------------------------------------------------------------------
 
+snapstore::Store* Engine::store() {
+  const std::string& root =
+      rt_.store_root.empty() ? "/tmp/checl_snapstore" : rt_.store_root;
+  if (store_ != nullptr && store_->is_open() && store_->root() == root)
+    return store_.get();
+  auto st = std::make_unique<snapstore::Store>();
+  if (const snapstore::Status s = st->open(root, rt_.store_options); !s.ok()) {
+    last_error_ = "cannot open snapstore: " + s.message;
+    return nullptr;
+  }
+  store_ = std::move(st);
+  return store_.get();
+}
+
 cl_int Engine::checkpoint(const std::string& path, PhaseTimes* times) {
+  last_error_.clear();
   if (rt_.ensure_proxy() != CL_SUCCESS) return CL_DEVICE_NOT_AVAILABLE;
   proxy::Client& c = *rt_.client();
   ObjectDB& db = rt_.db();
@@ -165,7 +180,10 @@ cl_int Engine::checkpoint(const std::string& path, PhaseTimes* times) {
 
   // Incremental mode: only buffers dirtied since the previous checkpoint are
   // copied out and written; the snapshot references its base for the rest.
-  const bool incremental = rt_.incremental_checkpoints &&
+  // Store mode subsumes it — every buffer is captured, but unchanged chunks
+  // dedup against the pool, so each manifest stays self-contained.
+  const bool store_mode = rt_.store_checkpoints;
+  const bool incremental = !store_mode && rt_.incremental_checkpoints &&
                            !last_checkpoint_path_.empty() &&
                            last_checkpoint_path_ != path;
 
@@ -219,11 +237,28 @@ cl_int Engine::checkpoint(const std::string& path, PhaseTimes* times) {
     data_bytes += data.size();
     snap.set("app." + reg.name, std::move(data));
   }
-  const slimcr::IoResult io = snap.save(path, rt_.node().storage);
-  if (!io.ok) return CL_OUT_OF_RESOURCES;
-  c.sim_advance_host_ns(io.duration_ns);
-  pt.write_ns = io.duration_ns;
-  pt.file_bytes = io.bytes;
+  pt.logical_bytes = snap.payload_bytes();
+  if (store_mode) {
+    snapstore::Store* st = store();
+    if (st == nullptr) return CL_OUT_OF_RESOURCES;  // last_error_ set
+    const snapstore::PutResult pr = st->put(path, snap, rt_.node().storage);
+    if (!pr.status.ok()) {
+      last_error_ = pr.status.message;
+      return CL_OUT_OF_RESOURCES;
+    }
+    c.sim_advance_host_ns(pr.duration_ns);
+    pt.write_ns = pr.duration_ns;
+    pt.file_bytes = pr.stored_bytes;  // post-dedup, post-compression
+  } else {
+    const slimcr::IoResult io = snap.save(path, rt_.node().storage);
+    if (!io.ok) {
+      last_error_ = io.error;
+      return CL_OUT_OF_RESOURCES;
+    }
+    c.sim_advance_host_ns(io.duration_ns);
+    pt.write_ns = io.duration_ns;
+    pt.file_bytes = io.bytes;
+  }
 
   // 4. postprocess: delete the host copies to save memory
   for (MemObj* m : db.all_of<MemObj>()) {
@@ -248,7 +283,10 @@ std::uint64_t Engine::load_with_base_chain(const std::string& path,
                                            slimcr::Snapshot& out, bool* ok) {
   *ok = false;
   slimcr::IoResult io = out.load(path, storage);
-  if (!io.ok) return 0;
+  if (!io.ok) {
+    last_error_ = io.error;
+    return 0;
+  }
   std::uint64_t read_ns = io.duration_ns;
 
   // which mem sections does the DB still need?
@@ -263,7 +301,11 @@ std::uint64_t Engine::load_with_base_chain(const std::string& path,
   while (!missing.empty() && !base_path.empty() && depth++ < 16) {
     slimcr::Snapshot prev;
     io = prev.load(base_path, storage);
-    if (!io.ok) return 0;  // broken chain
+    if (!io.ok) {  // broken chain: say exactly which base is gone
+      last_error_ = "incremental base snapshot missing or unreadable: " +
+                    base_path + " (" + io.error + ")";
+      return 0;
+    }
     read_ns += io.duration_ns;
     std::vector<std::uint64_t> still_missing;
     for (const std::uint64_t id : missing) {
@@ -528,15 +570,29 @@ cl_int Engine::recreate_all(RestartBreakdown* breakdown) {
 cl_int Engine::restart_in_place(const std::string& path,
                                 const std::optional<NodeConfig>& new_node,
                                 RestartBreakdown* breakdown) {
+  last_error_.clear();
   // remember where the timeline was (if the proxy is still reachable)
   const std::uint64_t resume = rt_.proxy_alive() ? now_ns() : 0;
 
+  // Load everything BEFORE touching the proxy or any registered region, so a
+  // bad checkpoint leaves the running process fully intact.
   slimcr::Snapshot snap;
   const NodeConfig& target = new_node.value_or(rt_.node());
-  bool load_ok = false;
-  const std::uint64_t read_ns =
-      load_with_base_chain(path, target.storage, snap, &load_ok);
-  if (!load_ok) return CL_INVALID_VALUE;
+  std::uint64_t read_ns = 0;
+  if (rt_.store_checkpoints) {
+    snapstore::Store* st = store();
+    if (st == nullptr) return CL_INVALID_VALUE;  // last_error_ set
+    const snapstore::GetResult gr = st->get(path, snap, target.storage);
+    if (!gr.status.ok()) {
+      last_error_ = gr.status.message;
+      return CL_INVALID_VALUE;
+    }
+    read_ns = gr.duration_ns;
+  } else {
+    bool load_ok = false;
+    read_ns = load_with_base_chain(path, target.storage, snap, &load_ok);
+    if (!load_ok) return CL_INVALID_VALUE;
+  }
 
   const cl_int err = rt_.respawn_proxy(target, resume);
   if (err != CL_SUCCESS) return err;
@@ -567,10 +623,27 @@ cl_int Engine::restore_fresh(const std::string& path,
                              const std::optional<NodeConfig>& new_node,
                              RestartBreakdown* breakdown,
                              std::unordered_map<std::uint64_t, Object*>* handle_map) {
+  last_error_.clear();
   slimcr::Snapshot snap;
   const NodeConfig& target = new_node.value_or(rt_.node());
-  const slimcr::IoResult io = snap.load(path, target.storage);
-  if (!io.ok) return CL_INVALID_VALUE;
+  std::uint64_t initial_read_ns = 0;
+  if (rt_.store_checkpoints) {
+    snapstore::Store* st = store();
+    if (st == nullptr) return CL_INVALID_VALUE;  // last_error_ set
+    const snapstore::GetResult gr = st->get(path, snap, target.storage);
+    if (!gr.status.ok()) {
+      last_error_ = gr.status.message;
+      return CL_INVALID_VALUE;
+    }
+    initial_read_ns = gr.duration_ns;
+  } else {
+    const slimcr::IoResult io = snap.load(path, target.storage);
+    if (!io.ok) {
+      last_error_ = io.error;
+      return CL_INVALID_VALUE;
+    }
+    initial_read_ns = io.duration_ns;
+  }
   const auto* db_bytes = snap.get("checl.db");
   if (db_bytes == nullptr) return CL_INVALID_VALUE;
 
@@ -726,7 +799,11 @@ cl_int Engine::restore_fresh(const std::string& path,
     while (!missing_mem_data.empty() && !base_path.empty() && depth++ < 16) {
       slimcr::Snapshot prev;
       const slimcr::IoResult bio = prev.load(base_path, target.storage);
-      if (!bio.ok) return CL_INVALID_VALUE;
+      if (!bio.ok) {
+        last_error_ = "incremental base snapshot missing or unreadable: " +
+                      base_path + " (" + bio.error + ")";
+        return CL_INVALID_VALUE;
+      }
       chain_read_ns += bio.duration_ns;
       std::vector<std::pair<MemObj*, std::uint64_t>> still_missing;
       for (auto& [m, old_id] : missing_mem_data) {
@@ -746,9 +823,9 @@ cl_int Engine::restore_fresh(const std::string& path,
   if (err != CL_SUCCESS) return err;
   if (breakdown != nullptr) {
     breakdown->spawn_ns = target.ipc.spawn_ns;
-    breakdown->read_ns = io.duration_ns + chain_read_ns;
+    breakdown->read_ns = initial_read_ns + chain_read_ns;
   }
-  rt_.client()->sim_advance_host_ns(io.duration_ns + chain_read_ns);
+  rt_.client()->sim_advance_host_ns(initial_read_ns + chain_read_ns);
   last_checkpoint_path_ = path;
 
   // restore registered app regions if the caller re-registered them

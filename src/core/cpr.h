@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -18,6 +19,7 @@
 #include "core/node.h"
 #include "core/objects.h"
 #include "slimcr/snapshot.h"
+#include "snapstore/store.h"
 
 namespace checl {
 class CheclRuntime;
@@ -30,7 +32,11 @@ struct PhaseTimes {
   std::uint64_t pre_ns = 0;
   std::uint64_t write_ns = 0;
   std::uint64_t post_ns = 0;
+  // Bytes actually charged to storage.  In store mode this is post-dedup,
+  // post-compression (new chunks + manifest) — the M of the migration model
+  // Tm = alpha*M + Tr + beta; flat mode keeps the whole container size.
   std::uint64_t file_bytes = 0;
+  std::uint64_t logical_bytes = 0;  // pre-dedup snapshot payload, both modes
 
   [[nodiscard]] std::uint64_t total_ns() const noexcept {
     return sync_ns + pre_ns + write_ns + post_ns;
@@ -86,6 +92,20 @@ class Engine {
   // global-snapshot aggregation).
   std::vector<std::uint8_t> serialize_db();
 
+  // Human-readable detail for the last failed checkpoint/restart (typed
+  // store errors, missing incremental bases); empty after success.
+  [[nodiscard]] const std::string& last_error() const noexcept {
+    return last_error_;
+  }
+
+  // The content-addressed checkpoint store (runtime.store_checkpoints mode).
+  // Lazily opened at runtime.store_root; reopens when the root changes.
+  // nullptr when opening fails (last_error() says why).
+  snapstore::Store* store();
+  [[nodiscard]] snapstore::Store* store_if_open() noexcept {
+    return store_ != nullptr && store_->is_open() ? store_.get() : nullptr;
+  }
+
  private:
   // Loads `path` and pulls any mem sections missing there from its base
   // chain (incremental checkpoints).  Returns total simulated read time, or
@@ -111,6 +131,8 @@ class Engine {
   // Path of the most recent checkpoint/restore; incremental checkpoints use
   // it as their base.
   std::string last_checkpoint_path_;
+  std::string last_error_;
+  std::unique_ptr<snapstore::Store> store_;
 };
 
 }  // namespace checl::cpr

@@ -154,6 +154,9 @@ void CheclRuntime::reset_all() {
   retarget_device_type.reset();
   mode = CheckpointMode::Delayed;
   incremental_checkpoints = false;
+  store_checkpoints = false;
+  store_root = "/tmp/checl_snapstore";
+  store_options = {};
   last_times_.reset();
   engine_.reset();  // drops the incremental base-chain state too
 }

@@ -13,6 +13,7 @@
 #include "core/node.h"
 #include "core/object_db.h"
 #include "proxy/spawn.h"
+#include "snapstore/store.h"
 
 namespace checl {
 
@@ -42,6 +43,14 @@ class CheclRuntime {
   // checkpoint, subsequent checkpoints write only buffers dirtied since the
   // previous one, plus a reference to it; restore follows the chain.
   bool incremental_checkpoints = false;
+  // Content-addressed checkpoint store (snapstore): checkpoints become
+  // manifests over a deduplicating chunk pool at store_root, so repeat
+  // checkpoints pay only for changed bytes and every manifest is
+  // self-contained.  Subsumes incremental_checkpoints, which is ignored
+  // while this is on (there is no base chain to break).
+  bool store_checkpoints = false;
+  std::string store_root = "/tmp/checl_snapstore";
+  snapstore::Options store_options;
   // Retarget every device to the first device of this type on restore —
   // the paper's runtime processor selection (Section IV-C).
   std::optional<cl_device_type> retarget_device_type;

@@ -1,0 +1,77 @@
+#include "core/stats.h"
+
+#include <sstream>
+
+#include "core/cpr.h"
+#include "core/runtime.h"
+#include "proxy/client.h"
+
+namespace checl {
+
+namespace {
+
+void append_kv(std::ostringstream& os, const char* key, std::uint64_t v,
+               bool& first) {
+  if (!first) os << ", ";
+  first = false;
+  os << "\"" << key << "\": " << v;
+}
+
+}  // namespace
+
+std::string stats_json(proxy::Client* client, const snapstore::Store* store) {
+  std::ostringstream os;
+  os << "{\"ipc\": ";
+  if (client == nullptr) {
+    os << "null";
+  } else {
+    const proxy::Client::Stats& cs = client->stats();
+    const ipc::ChannelStats ch = client->channel_stats();
+    bool first = true;
+    os << "{";
+    append_kv(os, "rpc_roundtrips", cs.rpc_roundtrips, first);
+    append_kv(os, "batched_calls", cs.batched_calls, first);
+    append_kv(os, "batch_flushes", cs.batch_flushes, first);
+    append_kv(os, "msgs_sent", ch.msgs_sent, first);
+    append_kv(os, "msgs_recvd", ch.msgs_recvd, first);
+    append_kv(os, "bytes_sent", ch.bytes_sent, first);
+    append_kv(os, "bytes_recvd", ch.bytes_recvd, first);
+    append_kv(os, "sys_sends", ch.sys_sends, first);
+    append_kv(os, "sys_reads", ch.sys_reads, first);
+    append_kv(os, "shm_msgs_sent", ch.shm_msgs_sent, first);
+    append_kv(os, "shm_msgs_recvd", ch.shm_msgs_recvd, first);
+    append_kv(os, "shm_bytes_sent", ch.shm_bytes_sent, first);
+    append_kv(os, "shm_bytes_recvd", ch.shm_bytes_recvd, first);
+    append_kv(os, "shm_fallbacks", ch.shm_fallbacks, first);
+    os << "}";
+  }
+  os << ", \"snapstore\": ";
+  if (store == nullptr || !store->is_open()) {
+    os << "null";
+  } else {
+    const snapstore::Stats& st = store->stats();
+    bool first = true;
+    os << "{";
+    append_kv(os, "chunks_in_pool", st.chunks_in_pool, first);
+    append_kv(os, "pool_stored_bytes", st.pool_stored_bytes, first);
+    append_kv(os, "pool_raw_bytes", st.pool_raw_bytes, first);
+    append_kv(os, "manifests", st.manifests, first);
+    append_kv(os, "puts", st.puts, first);
+    append_kv(os, "gets", st.gets, first);
+    append_kv(os, "chunks_written", st.chunks_written, first);
+    append_kv(os, "dedup_hits", st.dedup_hits, first);
+    append_kv(os, "raw_bytes_in", st.raw_bytes_in, first);
+    append_kv(os, "stored_bytes_written", st.stored_bytes_written, first);
+    append_kv(os, "bytes_read", st.bytes_read, first);
+    os << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string stats_json() {
+  CheclRuntime& rt = CheclRuntime::instance();
+  return stats_json(rt.client(), rt.engine().store_if_open());
+}
+
+}  // namespace checl

@@ -1,0 +1,28 @@
+// stats.h — one JSON surface over CheCL's instrumentation counters.
+//
+// Every bench used to hand-roll its own subset of the IPC counters; this
+// helper serializes all of them — the proxy client's RPC/batching stats, the
+// underlying channel's transport counters (including shm_fallbacks), and the
+// snapstore pool stats — in one place, so a new counter shows up everywhere
+// at once.  Sections whose source is absent (no client, store never opened)
+// serialize as null.
+#pragma once
+
+#include <string>
+
+#include "snapstore/store.h"
+
+namespace proxy {
+class Client;
+}
+
+namespace checl {
+
+// Explicit sources (benches that own their Client / Store directly).
+std::string stats_json(proxy::Client* client, const snapstore::Store* store);
+
+// Pulls from the process-wide CheclRuntime: its proxy client and the
+// engine's checkpoint store, when open.
+std::string stats_json();
+
+}  // namespace checl

@@ -40,6 +40,10 @@ class Comm {
   // and reaches a barrier; rank 0 then drives the CheCL engine to write the
   // global snapshot through the NFS storage model, charging the per-node
   // aggregation cost.  Returns the same PhaseTimes on every rank.
+  // With runtime.store_checkpoints on, the global snapshot goes through the
+  // content-addressed snapstore instead: buffers replicated across ranks
+  // (SPMD runs on a shared filesystem) dedup to one set of pool chunks, so
+  // file_bytes stays near the 1-rank size while logical_bytes scales with N.
   checl::cpr::PhaseTimes coordinated_checkpoint(const std::string& path);
 
  private:

@@ -40,6 +40,20 @@ bool read_u64(std::FILE* f, std::uint64_t& v) {
 
 }  // namespace
 
+const char* io_error_name(IoError e) noexcept {
+  switch (e) {
+    case IoError::None: return "none";
+    case IoError::OpenFailed: return "open-failed";
+    case IoError::ShortWrite: return "short-write";
+    case IoError::BadMagic: return "bad-magic";
+    case IoError::Truncated: return "truncated";
+    case IoError::CrcMismatch: return "crc-mismatch";
+    case IoError::BadFormat: return "bad-format";
+    case IoError::MissingBase: return "missing-base";
+  }
+  return "unknown";
+}
+
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n, std::uint32_t seed) noexcept {
   const auto& t = crc_table();
   std::uint32_t c = seed ^ 0xFFFFFFFFu;
@@ -66,12 +80,14 @@ IoResult Snapshot::save(const std::string& path, const StorageModel& storage) co
   IoResult res;
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) {
+    res.kind = IoError::OpenFailed;
     res.error = "cannot open " + path + " for writing";
     return res;
   }
   std::uint64_t total = sizeof kMagic;
   if (std::fwrite(kMagic, sizeof kMagic, 1, f.get()) != 1 ||
       !write_u64(f.get(), sections_.size())) {
+    res.kind = IoError::ShortWrite;
     res.error = "short write to " + path;
     return res;
   }
@@ -85,6 +101,7 @@ IoResult Snapshot::save(const std::string& path, const StorageModel& storage) co
         (!data.empty() &&
          std::fwrite(data.data(), data.size(), 1, f.get()) != 1) ||
         std::fwrite(&crc, sizeof crc, 1, f.get()) != 1) {
+      res.kind = IoError::ShortWrite;
       res.error = "short write to " + path;
       return res;
     }
@@ -101,17 +118,20 @@ IoResult Snapshot::load(const std::string& path, const StorageModel& storage) {
   sections_.clear();
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {
+    res.kind = IoError::OpenFailed;
     res.error = "cannot open " + path + " for reading";
     return res;
   }
   char magic[sizeof kMagic];
   if (std::fread(magic, sizeof magic, 1, f.get()) != 1 ||
       std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    res.kind = IoError::BadMagic;
     res.error = path + " is not a slimcr snapshot (bad magic)";
     return res;
   }
   std::uint64_t count = 0;
   if (!read_u64(f.get(), count)) {
+    res.kind = IoError::Truncated;
     res.error = "truncated snapshot header";
     return res;
   }
@@ -119,24 +139,28 @@ IoResult Snapshot::load(const std::string& path, const StorageModel& storage) {
   for (std::uint64_t i = 0; i < count; ++i) {
     std::uint64_t name_len = 0;
     if (!read_u64(f.get(), name_len) || name_len > (1u << 20)) {
+      res.kind = IoError::BadFormat;
       res.error = "corrupt section name length";
       sections_.clear();
       return res;
     }
     std::string name(name_len, '\0');
     if (name_len != 0 && std::fread(name.data(), name_len, 1, f.get()) != 1) {
+      res.kind = IoError::Truncated;
       res.error = "truncated section name";
       sections_.clear();
       return res;
     }
     std::uint64_t data_len = 0;
     if (!read_u64(f.get(), data_len)) {
+      res.kind = IoError::Truncated;
       res.error = "truncated section length";
       sections_.clear();
       return res;
     }
     std::vector<std::uint8_t> data(data_len);
     if (data_len != 0 && std::fread(data.data(), data_len, 1, f.get()) != 1) {
+      res.kind = IoError::Truncated;
       res.error = "truncated section data";
       sections_.clear();
       return res;
@@ -144,6 +168,7 @@ IoResult Snapshot::load(const std::string& path, const StorageModel& storage) {
     std::uint32_t crc = 0;
     if (std::fread(&crc, sizeof crc, 1, f.get()) != 1 ||
         crc != crc32(data.data(), data.size())) {
+      res.kind = IoError::CrcMismatch;
       res.error = "CRC mismatch in section '" + name + "'";
       sections_.clear();
       return res;

@@ -26,8 +26,24 @@ struct Section {
   std::vector<std::uint8_t> data;
 };
 
+// Typed failure classes so callers can branch on *what* went wrong (missing
+// file vs. torn write vs. corruption) instead of string-matching `error`.
+enum class IoError : std::uint8_t {
+  None = 0,
+  OpenFailed,   // file absent or unreadable/unwritable
+  ShortWrite,   // write-side I/O failure
+  BadMagic,     // not a slimcr snapshot
+  Truncated,    // file ends before its headers say it should
+  CrcMismatch,  // section payload corrupted
+  BadFormat,    // implausible structure (e.g. absurd name length)
+  MissingBase,  // incremental chain references a base that cannot be loaded
+};
+
+[[nodiscard]] const char* io_error_name(IoError e) noexcept;
+
 struct IoResult {
   bool ok = false;
+  IoError kind = IoError::None;
   std::string error;
   std::uint64_t bytes = 0;        // container size on disk
   std::uint64_t duration_ns = 0;  // simulated I/O time per the storage model
@@ -40,6 +56,11 @@ class Snapshot {
   [[nodiscard]] const std::vector<std::uint8_t>* get(const std::string& name) const;
   [[nodiscard]] std::size_t section_count() const noexcept { return sections_.size(); }
   [[nodiscard]] std::uint64_t payload_bytes() const noexcept;
+  // Ordered view of every section — the snapstore chunker iterates this.
+  [[nodiscard]] const std::map<std::string, std::vector<std::uint8_t>>&
+  sections() const noexcept {
+    return sections_;
+  }
   void clear() { sections_.clear(); }
 
   // Serializes all sections to `path` through `storage`'s cost model.

@@ -1,0 +1,52 @@
+// chunk.h — content addressing for the snapstore chunk pool.
+//
+// A chunk is a fixed-size slice of a snapshot section, addressed by
+// (64-bit FNV-1a hash, raw length).  The length rides along in the key so a
+// hash collision between chunks of different sizes is impossible and the
+// restore path can size its buffers before touching the pool.  `uniq` is 0
+// for content-addressed chunks; the dedup-off ablation gives every chunk a
+// fresh serial instead, which forces distinct pool entries for identical
+// content (the point of the ablation).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace snapstore {
+
+// FNV-1a, 64-bit.  Not cryptographic — the 64-bit hash plus the exact length
+// plus the per-chunk CRC on disk is the collision story, matching what
+// rsync-style chunk stores rely on at this scale.
+[[nodiscard]] inline std::uint64_t hash64(const std::uint8_t* data,
+                                          std::size_t n) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+[[nodiscard]] inline std::uint64_t hash64(std::span<const std::uint8_t> data) noexcept {
+  return hash64(data.data(), data.size());
+}
+
+struct ChunkKey {
+  std::uint64_t hash = 0;
+  std::uint64_t len = 0;
+  std::uint32_t uniq = 0;  // 0 = content-addressed; >0 = dedup-off serial
+
+  friend bool operator==(const ChunkKey&, const ChunkKey&) = default;
+};
+
+struct ChunkKeyHash {
+  [[nodiscard]] std::size_t operator()(const ChunkKey& k) const noexcept {
+    // hash is already well-mixed; fold in len and uniq
+    return static_cast<std::size_t>(k.hash ^ (k.len * 0x9E3779B97F4A7C15ull) ^
+                                    k.uniq);
+  }
+};
+
+}  // namespace snapstore

@@ -1,0 +1,240 @@
+#include "snapstore/codec.h"
+
+#include <cstring>
+
+namespace snapstore {
+
+namespace {
+
+// ---- Identity ---------------------------------------------------------------
+
+class IdentityCodec final : public Codec {
+ public:
+  [[nodiscard]] CodecId id() const noexcept override { return CodecId::Identity; }
+  [[nodiscard]] std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> in) const override {
+    return {in.begin(), in.end()};
+  }
+  [[nodiscard]] bool decompress(std::span<const std::uint8_t> in,
+                                std::size_t raw_len,
+                                std::vector<std::uint8_t>& out) const override {
+    if (in.size() != raw_len) return false;
+    out.assign(in.begin(), in.end());
+    return true;
+  }
+};
+
+// ---- RLE (PackBits-style) ---------------------------------------------------
+//
+// Control byte c:  0..127  -> c+1 literal bytes follow
+//                 129..255 -> the next byte repeats 257-c times (2..128)
+//                 128      -> reserved, rejected on decode
+
+class RleCodec final : public Codec {
+ public:
+  [[nodiscard]] CodecId id() const noexcept override { return CodecId::Rle; }
+
+  [[nodiscard]] std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> in) const override {
+    std::vector<std::uint8_t> out;
+    out.reserve(in.size() / 2 + 16);
+    std::size_t lit_start = 0;  // start of the pending literal run
+    std::size_t i = 0;
+    auto flush_literals = [&](std::size_t end) {
+      std::size_t p = lit_start;
+      while (p < end) {
+        const std::size_t n = std::min<std::size_t>(end - p, 128);
+        out.push_back(static_cast<std::uint8_t>(n - 1));
+        out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(p),
+                   in.begin() + static_cast<std::ptrdiff_t>(p + n));
+        p += n;
+      }
+    };
+    while (i < in.size()) {
+      std::size_t run = 1;
+      while (i + run < in.size() && in[i + run] == in[i] && run < 128) ++run;
+      if (run >= 3) {
+        flush_literals(i);
+        out.push_back(static_cast<std::uint8_t>(257 - run));
+        out.push_back(in[i]);
+        i += run;
+        lit_start = i;
+      } else {
+        i += run;
+      }
+    }
+    flush_literals(in.size());
+    return out;
+  }
+
+  [[nodiscard]] bool decompress(std::span<const std::uint8_t> in,
+                                std::size_t raw_len,
+                                std::vector<std::uint8_t>& out) const override {
+    out.clear();
+    out.reserve(raw_len);
+    std::size_t p = 0;
+    while (p < in.size()) {
+      const std::uint8_t c = in[p++];
+      if (c == 128) return false;
+      if (c < 128) {
+        const std::size_t n = static_cast<std::size_t>(c) + 1;
+        if (p + n > in.size() || out.size() + n > raw_len) return false;
+        out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(p),
+                   in.begin() + static_cast<std::ptrdiff_t>(p + n));
+        p += n;
+      } else {
+        const std::size_t n = 257 - static_cast<std::size_t>(c);
+        if (p >= in.size() || out.size() + n > raw_len) return false;
+        out.insert(out.end(), n, in[p++]);
+      }
+    }
+    return out.size() == raw_len;
+  }
+};
+
+// ---- LZ (greedy LZ77, LZ4-like token stream) --------------------------------
+//
+// Sequence: token byte (high nibble = literal count, low nibble = match
+// length - 4; 15 in either nibble extends via 255-continuation bytes),
+// literals, then a 2-byte little-endian backref offset (1..65535) unless the
+// stream ends after the literals (final sequence).  Matches may overlap
+// their own output (offset < length), so the decoder copies byte-wise.
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr unsigned kHashBits = 15;
+
+inline std::uint32_t lz_hash(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_length(std::vector<std::uint8_t>& out, std::size_t v) {
+  while (v >= 255) {
+    out.push_back(255);
+    v -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// Reads a 15-extended length; false on truncation.
+bool get_length(std::span<const std::uint8_t> in, std::size_t& p,
+                std::size_t& v) {
+  for (;;) {
+    if (p >= in.size()) return false;
+    const std::uint8_t b = in[p++];
+    v += b;
+    if (b != 255) return true;
+  }
+}
+
+class LzCodec final : public Codec {
+ public:
+  [[nodiscard]] CodecId id() const noexcept override { return CodecId::Lz; }
+
+  [[nodiscard]] std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> in) const override {
+    std::vector<std::uint8_t> out;
+    out.reserve(in.size() / 2 + 16);
+    std::vector<std::int64_t> table(1u << kHashBits, -1);
+    const std::size_t n = in.size();
+    std::size_t anchor = 0;  // first literal not yet emitted
+    std::size_t pos = 0;
+    auto emit = [&](std::size_t lit, std::size_t match, std::size_t offset) {
+      const std::size_t lit_nib = lit < 15 ? lit : 15;
+      const std::size_t mat = match == 0 ? 0 : match - kMinMatch;
+      const std::size_t mat_nib = match == 0 ? 0 : (mat < 15 ? mat : 15);
+      out.push_back(static_cast<std::uint8_t>((lit_nib << 4) | mat_nib));
+      if (lit >= 15) put_length(out, lit - 15);
+      out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(anchor),
+                 in.begin() + static_cast<std::ptrdiff_t>(anchor + lit));
+      if (match == 0) return;  // final literals-only sequence
+      out.push_back(static_cast<std::uint8_t>(offset & 0xFF));
+      out.push_back(static_cast<std::uint8_t>(offset >> 8));
+      if (mat >= 15) put_length(out, mat - 15);
+    };
+    while (n >= kMinMatch && pos + kMinMatch <= n) {
+      const std::uint32_t h = lz_hash(in.data() + pos);
+      const std::int64_t cand = table[h];
+      table[h] = static_cast<std::int64_t>(pos);
+      if (cand >= 0 && pos - static_cast<std::size_t>(cand) <= kMaxOffset &&
+          std::memcmp(in.data() + cand, in.data() + pos, kMinMatch) == 0) {
+        std::size_t len = kMinMatch;
+        while (pos + len < n &&
+               in[static_cast<std::size_t>(cand) + len] == in[pos + len])
+          ++len;
+        emit(pos - anchor, len, pos - static_cast<std::size_t>(cand));
+        pos += len;
+        anchor = pos;
+      } else {
+        ++pos;
+      }
+    }
+    emit(n - anchor, 0, 0);
+    return out;
+  }
+
+  [[nodiscard]] bool decompress(std::span<const std::uint8_t> in,
+                                std::size_t raw_len,
+                                std::vector<std::uint8_t>& out) const override {
+    out.clear();
+    out.reserve(raw_len);
+    std::size_t p = 0;
+    while (p < in.size()) {
+      const std::uint8_t token = in[p++];
+      std::size_t lit = token >> 4;
+      if (lit == 15 && !get_length(in, p, lit)) return false;
+      if (p + lit > in.size() || out.size() + lit > raw_len) return false;
+      out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(p),
+                 in.begin() + static_cast<std::ptrdiff_t>(p + lit));
+      p += lit;
+      if (p == in.size()) break;  // final sequence carries no match
+      if (p + 2 > in.size()) return false;
+      const std::size_t offset =
+          in[p] | (static_cast<std::size_t>(in[p + 1]) << 8);
+      p += 2;
+      std::size_t match = token & 0x0F;
+      if (match == 15 && !get_length(in, p, match)) return false;
+      match += kMinMatch;
+      if (offset == 0 || offset > out.size() || out.size() + match > raw_len)
+        return false;
+      for (std::size_t i = 0; i < match; ++i)
+        out.push_back(out[out.size() - offset]);
+    }
+    return out.size() == raw_len;
+  }
+};
+
+}  // namespace
+
+const Codec* codec_for(CodecId id) noexcept {
+  static const IdentityCodec kIdentity;
+  static const RleCodec kRle;
+  static const LzCodec kLz;
+  switch (id) {
+    case CodecId::Identity: return &kIdentity;
+    case CodecId::Rle: return &kRle;
+    case CodecId::Lz: return &kLz;
+  }
+  return nullptr;
+}
+
+const char* codec_name(CodecId id) noexcept {
+  switch (id) {
+    case CodecId::Identity: return "identity";
+    case CodecId::Rle: return "rle";
+    case CodecId::Lz: return "lz";
+  }
+  return "unknown";
+}
+
+bool parse_codec(std::string_view name, CodecId& out) noexcept {
+  if (name == "identity") out = CodecId::Identity;
+  else if (name == "rle") out = CodecId::Rle;
+  else if (name == "lz") out = CodecId::Lz;
+  else return false;
+  return true;
+}
+
+}  // namespace snapstore

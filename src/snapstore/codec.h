@@ -1,0 +1,43 @@
+// codec.h — per-chunk compression behind a small interface.
+//
+// Every chunk in the pool records which codec encoded it, so codecs can be
+// mixed freely (the store falls back to Identity per chunk whenever a codec
+// fails to shrink the data).  Decoders are defensive: they operate on
+// untrusted bytes from disk and must reject malformed input instead of
+// reading or writing out of bounds — the fault-injection tests corrupt chunk
+// bodies on purpose.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace snapstore {
+
+enum class CodecId : std::uint8_t {
+  Identity = 0,  // stored as-is
+  Rle = 1,       // PackBits-style byte run-length encoding
+  Lz = 2,        // greedy LZ77, 64 KiB window, LZ4-like token stream
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  [[nodiscard]] virtual CodecId id() const noexcept = 0;
+  [[nodiscard]] virtual std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> in) const = 0;
+  // Decodes `in` into exactly `raw_len` bytes; false on malformed input or a
+  // length mismatch, with `out` contents unspecified.
+  [[nodiscard]] virtual bool decompress(std::span<const std::uint8_t> in,
+                                        std::size_t raw_len,
+                                        std::vector<std::uint8_t>& out) const = 0;
+};
+
+// Static codec registry; unknown ids resolve to nullptr.
+[[nodiscard]] const Codec* codec_for(CodecId id) noexcept;
+[[nodiscard]] const char* codec_name(CodecId id) noexcept;
+[[nodiscard]] bool parse_codec(std::string_view name, CodecId& out) noexcept;
+
+}  // namespace snapstore

@@ -1,0 +1,588 @@
+#include "snapstore/store.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <thread>
+
+namespace snapstore {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kManifestMagic[8] = {'S', 'N', 'A', 'P', 'M', 'A', 'N', '1'};
+constexpr char kChunkMagic[8] = {'S', 'N', 'A', 'P', 'C', 'H', 'K', '1'};
+constexpr std::uint32_t kManifestVersion = 1;
+// chunk file header: magic + codec u8 + raw_len u64 + comp_len u64 + crc u32
+constexpr std::size_t kChunkHeaderBytes = 8 + 1 + 8 + 8 + 4;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+// ---- little helpers over byte buffers --------------------------------------
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  b.insert(b.end(), p, p + sizeof v);
+}
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  b.insert(b.end(), p, p + sizeof v);
+}
+
+struct ByteReader {
+  const std::uint8_t* p;
+  std::size_t n;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  template <typename T>
+  T get() noexcept {
+    T v{};
+    if (pos + sizeof v > n) {
+      ok = false;
+      return v;
+    }
+    std::memcpy(&v, p + pos, sizeof v);
+    pos += sizeof v;
+    return v;
+  }
+  bool get_bytes(void* dst, std::size_t len) noexcept {
+    if (pos + len > n) return ok = false;
+    std::memcpy(dst, p + pos, len);
+    pos += len;
+    return true;
+  }
+};
+
+// Manifest names double as filenames; anything unsafe maps to '_'.
+std::string sanitize(const std::string& name) {
+  std::string out = name.empty() ? "_" : name;
+  for (char& c : out) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!safe) c = '_';
+  }
+  return out;
+}
+
+bool read_whole_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return false;
+  std::fseek(f.get(), 0, SEEK_END);
+  const long sz = std::ftell(f.get());
+  if (sz < 0) return false;
+  std::fseek(f.get(), 0, SEEK_SET);
+  out.resize(static_cast<std::size_t>(sz));
+  return out.empty() ||
+         std::fread(out.data(), out.size(), 1, f.get()) == 1;
+}
+
+bool write_whole_file(const std::string& path,
+                      std::span<const std::uint8_t> a,
+                      std::span<const std::uint8_t> b = {}) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return false;
+  if (!a.empty() && std::fwrite(a.data(), a.size(), 1, f.get()) != 1) return false;
+  if (!b.empty() && std::fwrite(b.data(), b.size(), 1, f.get()) != 1) return false;
+  return std::fflush(f.get()) == 0;
+}
+
+// Runs fn(0..njobs) across up to `workers` threads (inline when it isn't
+// worth spawning).  Workers touch disjoint job slots only.
+void parallel_for(std::size_t njobs, unsigned workers,
+                  const std::function<void(std::size_t)>& fn) {
+  if (workers <= 1 || njobs <= 1) {
+    for (std::size_t i = 0; i < njobs; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (std::size_t i = next.fetch_add(1); i < njobs; i = next.fetch_add(1))
+      fn(i);
+  };
+  const unsigned nthreads =
+      static_cast<unsigned>(std::min<std::size_t>(workers, njobs)) - 1;
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads);
+  for (unsigned t = 0; t < nthreads; ++t) pool.emplace_back(drain);
+  drain();  // the caller is a worker too
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace
+
+const char* errkind_name(ErrKind k) noexcept {
+  switch (k) {
+    case ErrKind::None: return "none";
+    case ErrKind::Io: return "io";
+    case ErrKind::BadMagic: return "bad-magic";
+    case ErrKind::BadVersion: return "bad-version";
+    case ErrKind::Truncated: return "truncated";
+    case ErrKind::Corrupt: return "corrupt";
+    case ErrKind::MissingManifest: return "missing-manifest";
+    case ErrKind::MissingChunk: return "missing-chunk";
+  }
+  return "unknown";
+}
+
+// ---- manifest layout --------------------------------------------------------
+
+struct Store::Manifest {
+  struct Section {
+    std::string name;
+    std::uint64_t raw_len = 0;
+    std::vector<ChunkKey> refs;
+  };
+  std::vector<Section> sections;
+};
+
+std::string Store::chunk_path(const ChunkKey& k) const {
+  char buf[64];
+  if (k.uniq == 0) {
+    std::snprintf(buf, sizeof buf, "%016llx-%llu.chk",
+                  static_cast<unsigned long long>(k.hash),
+                  static_cast<unsigned long long>(k.len));
+  } else {
+    std::snprintf(buf, sizeof buf, "%016llx-%llu-u%u.chk",
+                  static_cast<unsigned long long>(k.hash),
+                  static_cast<unsigned long long>(k.len), k.uniq);
+  }
+  return root_ + "/chunks/" + buf;
+}
+
+std::string Store::manifest_path(const std::string& name) const {
+  return root_ + "/manifests/" + sanitize(name) + ".manifest";
+}
+
+Status Store::load_manifest(const std::string& name, Manifest& out,
+                            std::uint64_t* file_bytes) const {
+  const std::string path = manifest_path(name);
+  std::vector<std::uint8_t> raw;
+  if (!read_whole_file(path, raw)) {
+    if (!fs::exists(path))
+      return {ErrKind::MissingManifest,
+              "snapshot manifest '" + sanitize(name) + "' not in store " + root_};
+    return {ErrKind::Io, "cannot read manifest " + path};
+  }
+  if (file_bytes != nullptr) *file_bytes = raw.size();
+  if (raw.size() < sizeof kManifestMagic + 8 ||
+      std::memcmp(raw.data(), kManifestMagic, sizeof kManifestMagic) != 0)
+    return {ErrKind::BadMagic, path + " is not a snapstore manifest"};
+  // trailing CRC covers everything between magic and itself
+  std::uint32_t want_crc = 0;
+  std::memcpy(&want_crc, raw.data() + raw.size() - 4, 4);
+  const std::uint32_t got_crc =
+      slimcr::crc32(raw.data() + sizeof kManifestMagic,
+                    raw.size() - sizeof kManifestMagic - 4);
+  if (want_crc != got_crc)
+    return {ErrKind::Corrupt, "manifest CRC mismatch in " + path};
+  ByteReader r{raw.data() + sizeof kManifestMagic,
+               raw.size() - sizeof kManifestMagic - 4};
+  if (const std::uint32_t v = r.get<std::uint32_t>(); v != kManifestVersion)
+    return {ErrKind::BadVersion,
+            "manifest version " + std::to_string(v) + " unsupported in " + path};
+  const std::uint64_t nsections = r.get<std::uint64_t>();
+  Manifest m;
+  for (std::uint64_t s = 0; s < nsections && r.ok; ++s) {
+    Manifest::Section sec;
+    const std::uint64_t name_len = r.get<std::uint64_t>();
+    if (!r.ok || name_len > (1u << 20)) break;
+    sec.name.resize(name_len);
+    if (name_len != 0 && !r.get_bytes(sec.name.data(), name_len)) break;
+    sec.raw_len = r.get<std::uint64_t>();
+    const std::uint64_t nchunks = r.get<std::uint64_t>();
+    if (!r.ok || nchunks > (1ull << 32)) break;
+    sec.refs.reserve(static_cast<std::size_t>(nchunks));
+    for (std::uint64_t c = 0; c < nchunks && r.ok; ++c) {
+      ChunkKey k;
+      k.hash = r.get<std::uint64_t>();
+      k.len = r.get<std::uint64_t>();
+      k.uniq = r.get<std::uint32_t>();
+      sec.refs.push_back(k);
+    }
+    m.sections.push_back(std::move(sec));
+  }
+  if (!r.ok || m.sections.size() != nsections || r.pos != r.n)
+    return {ErrKind::Corrupt, "malformed manifest structure in " + path};
+  out = std::move(m);
+  return {};
+}
+
+void Store::retire_manifest_refs(const Manifest& m) {
+  for (const auto& sec : m.sections) {
+    for (const ChunkKey& k : sec.refs) {
+      const auto it = chunks_.find(k);
+      if (it == chunks_.end()) continue;
+      if (--it->second.refs == 0) {
+        std::error_code ec;
+        fs::remove(chunk_path(k), ec);
+        stats_.chunks_in_pool--;
+        stats_.pool_stored_bytes -= it->second.stored_bytes;
+        stats_.pool_raw_bytes -= k.len;
+        chunks_.erase(it);
+      }
+    }
+  }
+}
+
+// ---- open -------------------------------------------------------------------
+
+Status Store::open(const std::string& root, const Options& opt) {
+  root_.clear();
+  opt_ = opt;
+  if (opt_.workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    opt_.workers = hw == 0 ? 1 : std::min(hw, 4u);
+  }
+  if (!opt_.async) opt_.workers = 1;
+  if (opt_.chunk_bytes == 0) opt_.chunk_bytes = 64 * 1024;
+  if (codec_for(opt_.codec) == nullptr)
+    return {ErrKind::Io, "unknown codec id"};
+  std::error_code ec;
+  fs::create_directories(root + "/chunks", ec);
+  if (ec) return {ErrKind::Io, "cannot create " + root + "/chunks: " + ec.message()};
+  fs::create_directories(root + "/manifests", ec);
+  if (ec)
+    return {ErrKind::Io, "cannot create " + root + "/manifests: " + ec.message()};
+  root_ = root;
+  chunks_.clear();
+  stats_ = {};
+  uniq_counter_ = 0;
+
+  // Rebuild refcounts from the manifests on disk; unreadable manifests are
+  // skipped (their chunks become unreferenced and a fresh put overwrites
+  // them), so a half-written store never blocks reopening.
+  for (const auto& e : fs::directory_iterator(root_ + "/manifests", ec)) {
+    if (!e.is_regular_file()) continue;
+    const std::string fname = e.path().filename().string();
+    constexpr std::string_view kSuffix = ".manifest";
+    if (fname.size() <= kSuffix.size() ||
+        fname.substr(fname.size() - kSuffix.size()) != kSuffix)
+      continue;
+    const std::string name = fname.substr(0, fname.size() - kSuffix.size());
+    Manifest m;
+    if (!load_manifest(name, m, nullptr).ok()) continue;
+    stats_.manifests++;
+    for (const auto& sec : m.sections) {
+      for (const ChunkKey& k : sec.refs) {
+        uniq_counter_ = std::max(uniq_counter_, k.uniq);
+        auto [it, inserted] = chunks_.try_emplace(k);
+        it->second.refs++;
+        if (inserted) {
+          std::error_code sec_ec;
+          const auto sz = fs::file_size(chunk_path(k), sec_ec);
+          it->second.stored_bytes = sec_ec ? 0 : sz;
+          stats_.chunks_in_pool++;
+          stats_.pool_stored_bytes += it->second.stored_bytes;
+          stats_.pool_raw_bytes += k.len;
+        }
+      }
+    }
+  }
+  return {};
+}
+
+// ---- put --------------------------------------------------------------------
+
+PutResult Store::put(const std::string& name, const slimcr::Snapshot& snap,
+                     const slimcr::StorageModel& storage) {
+  PutResult res;
+  if (!is_open()) {
+    res.status = {ErrKind::Io, "store not open"};
+    return res;
+  }
+
+  // Overwrite semantics: remember the old manifest's references now, retire
+  // them only after the replacement committed (its clean chunks must stay
+  // dedup-able and crash-safe throughout).
+  Manifest old_manifest;
+  const bool had_old = load_manifest(name, old_manifest, nullptr).ok();
+
+  struct Job {
+    const std::uint8_t* data;
+    std::size_t len;
+    ChunkKey key;
+    bool is_new = false;
+    CodecId used = CodecId::Identity;
+    std::vector<std::uint8_t> encoded;  // empty when used == Identity
+    std::uint32_t crc = 0;              // of the payload as stored
+  };
+  std::vector<Job> jobs;
+  for (const auto& [sec_name, data] : snap.sections()) {
+    for (std::size_t off = 0; off < data.size(); off += opt_.chunk_bytes) {
+      Job j;
+      j.data = data.data() + off;
+      j.len = std::min(opt_.chunk_bytes, data.size() - off);
+      jobs.push_back(j);
+      res.raw_bytes += j.len;
+    }
+  }
+
+  // Pipeline stage 1 (parallel): content hashes.
+  parallel_for(jobs.size(), opt_.workers, [&](std::size_t i) {
+    jobs[i].key = {hash64(jobs[i].data, jobs[i].len), jobs[i].len, 0};
+  });
+
+  // Stage 2 (ordered): dedup resolution against the pool and this put.
+  std::unordered_map<ChunkKey, std::uint8_t, ChunkKeyHash> seen_in_put;
+  for (Job& j : jobs) {
+    if (!opt_.dedup) {
+      j.key.uniq = ++uniq_counter_;
+      j.is_new = true;
+      continue;
+    }
+    if (chunks_.count(j.key) != 0 || seen_in_put.count(j.key) != 0) {
+      res.dedup_hits++;
+    } else {
+      j.is_new = true;
+      seen_in_put.emplace(j.key, 0);
+    }
+  }
+
+  // Stage 3 (parallel): compress new chunks; fall back to Identity storage
+  // whenever the codec fails to shrink.
+  const Codec* codec = codec_for(opt_.codec);
+  parallel_for(jobs.size(), opt_.workers, [&](std::size_t i) {
+    Job& j = jobs[i];
+    if (!j.is_new) return;
+    if (codec->id() != CodecId::Identity) {
+      std::vector<std::uint8_t> enc =
+          codec->compress({j.data, j.len});
+      if (enc.size() < j.len) {
+        j.used = codec->id();
+        j.encoded = std::move(enc);
+      }
+    }
+    j.crc = j.used == CodecId::Identity
+                ? slimcr::crc32(j.data, j.len)
+                : slimcr::crc32(j.encoded.data(), j.encoded.size());
+  });
+
+  // Stage 4 (ordered commit): chunk files in submission order, then the
+  // manifest.  Only now do refcounts and pool stats change.
+  std::uint64_t new_chunk_bytes = 0;
+  std::vector<std::uint64_t> job_file_bytes(jobs.size(), 0);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    Job& j = jobs[i];
+    if (!j.is_new) continue;
+    const std::uint64_t comp_len =
+        j.used == CodecId::Identity ? j.len : j.encoded.size();
+    std::vector<std::uint8_t> header;
+    header.reserve(kChunkHeaderBytes);
+    header.insert(header.end(), kChunkMagic, kChunkMagic + sizeof kChunkMagic);
+    header.push_back(static_cast<std::uint8_t>(j.used));
+    put_u64(header, j.len);
+    put_u64(header, comp_len);
+    put_u32(header, j.crc);
+    const std::span<const std::uint8_t> payload =
+        j.used == CodecId::Identity
+            ? std::span<const std::uint8_t>{j.data, j.len}
+            : std::span<const std::uint8_t>{j.encoded};
+    const std::string path = chunk_path(j.key);
+    if (!write_whole_file(path, header, payload)) {
+      res.status = {ErrKind::Io, "cannot write pool chunk " + path};
+      return res;
+    }
+    job_file_bytes[i] = header.size() + payload.size();
+    new_chunk_bytes += job_file_bytes[i];
+    res.new_chunks++;
+  }
+
+  // Manifest: sections in snapshot order, each referencing its chunks.
+  std::vector<std::uint8_t> mbytes;
+  mbytes.insert(mbytes.end(), kManifestMagic,
+                kManifestMagic + sizeof kManifestMagic);
+  put_u32(mbytes, kManifestVersion);
+  put_u64(mbytes, snap.sections().size());
+  {
+    std::size_t ji = 0;
+    for (const auto& [sec_name, data] : snap.sections()) {
+      put_u64(mbytes, sec_name.size());
+      mbytes.insert(mbytes.end(), sec_name.begin(), sec_name.end());
+      put_u64(mbytes, data.size());
+      const std::uint64_t nchunks =
+          data.empty() ? 0
+                       : (data.size() + opt_.chunk_bytes - 1) / opt_.chunk_bytes;
+      put_u64(mbytes, nchunks);
+      for (std::uint64_t c = 0; c < nchunks; ++c, ++ji) {
+        put_u64(mbytes, jobs[ji].key.hash);
+        put_u64(mbytes, jobs[ji].key.len);
+        put_u32(mbytes, jobs[ji].key.uniq);
+      }
+    }
+  }
+  put_u32(mbytes, slimcr::crc32(mbytes.data() + sizeof kManifestMagic,
+                                mbytes.size() - sizeof kManifestMagic));
+  const std::string mpath = manifest_path(name);
+  if (!write_whole_file(mpath + ".tmp", mbytes) ||
+      std::rename((mpath + ".tmp").c_str(), mpath.c_str()) != 0) {
+    res.status = {ErrKind::Io, "cannot write manifest " + mpath};
+    return res;
+  }
+
+  // Reference accounting: the new manifest pins its chunks, the replaced
+  // manifest (if any) lets go of its own — in that order, so shared chunks
+  // never dip to zero in between.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    auto [it, inserted] = chunks_.try_emplace(jobs[i].key);
+    it->second.refs++;
+    if (inserted) {
+      it->second.stored_bytes = job_file_bytes[i];
+      stats_.chunks_in_pool++;
+      stats_.pool_stored_bytes += it->second.stored_bytes;
+      stats_.pool_raw_bytes += jobs[i].key.len;
+    }
+  }
+  if (had_old)
+    retire_manifest_refs(old_manifest);
+  else
+    stats_.manifests++;
+
+  res.manifest_bytes = mbytes.size();
+  res.stored_bytes = new_chunk_bytes + res.manifest_bytes;
+  res.duration_ns = storage.write_ns(res.stored_bytes);
+  stats_.puts++;
+  stats_.chunks_written += res.new_chunks;
+  stats_.dedup_hits += res.dedup_hits;
+  stats_.raw_bytes_in += res.raw_bytes;
+  stats_.stored_bytes_written += res.stored_bytes;
+  return res;
+}
+
+// ---- get --------------------------------------------------------------------
+
+GetResult Store::get(const std::string& name, slimcr::Snapshot& out,
+                     const slimcr::StorageModel& storage) {
+  GetResult res;
+  if (!is_open()) {
+    res.status = {ErrKind::Io, "store not open"};
+    return res;
+  }
+  Manifest m;
+  std::uint64_t mfile_bytes = 0;
+  res.status = load_manifest(name, m, &mfile_bytes);
+  if (!res.status.ok()) return res;
+  res.bytes_read = mfile_bytes;
+
+  // Each referenced chunk is read and verified once; repeats within the
+  // snapshot come from the decoded cache (that is the dedup read win).
+  std::unordered_map<ChunkKey, std::vector<std::uint8_t>, ChunkKeyHash> cache;
+  auto fetch = [&](const ChunkKey& k) -> const std::vector<std::uint8_t>* {
+    if (const auto it = cache.find(k); it != cache.end()) return &it->second;
+    const std::string path = chunk_path(k);
+    std::vector<std::uint8_t> raw;
+    if (!read_whole_file(path, raw)) {
+      res.status = fs::exists(path)
+                       ? Status{ErrKind::Io, "cannot read pool chunk " + path}
+                       : Status{ErrKind::MissingChunk,
+                                "pool chunk " + path +
+                                    " missing (referenced by manifest '" +
+                                    sanitize(name) + "')"};
+      return nullptr;
+    }
+    if (raw.size() < kChunkHeaderBytes ||
+        std::memcmp(raw.data(), kChunkMagic, sizeof kChunkMagic) != 0) {
+      res.status = {ErrKind::BadMagic, path + " is not a snapstore chunk"};
+      return nullptr;
+    }
+    ByteReader r{raw.data() + sizeof kChunkMagic,
+                 raw.size() - sizeof kChunkMagic};
+    const auto codec_id = static_cast<CodecId>(r.get<std::uint8_t>());
+    const std::uint64_t raw_len = r.get<std::uint64_t>();
+    const std::uint64_t comp_len = r.get<std::uint64_t>();
+    const std::uint32_t want_crc = r.get<std::uint32_t>();
+    if (raw_len != k.len) {
+      res.status = {ErrKind::Corrupt, "chunk header length mismatch in " + path};
+      return nullptr;
+    }
+    if (raw.size() != kChunkHeaderBytes + comp_len) {
+      res.status = {ErrKind::Truncated, "pool chunk truncated: " + path};
+      return nullptr;
+    }
+    const std::uint8_t* payload = raw.data() + kChunkHeaderBytes;
+    if (slimcr::crc32(payload, static_cast<std::size_t>(comp_len)) != want_crc) {
+      res.status = {ErrKind::Corrupt, "chunk CRC mismatch in " + path};
+      return nullptr;
+    }
+    const Codec* codec = codec_for(codec_id);
+    std::vector<std::uint8_t> decoded;
+    if (codec == nullptr ||
+        !codec->decompress({payload, static_cast<std::size_t>(comp_len)},
+                           static_cast<std::size_t>(raw_len), decoded)) {
+      res.status = {ErrKind::Corrupt, "chunk payload undecodable in " + path};
+      return nullptr;
+    }
+    res.bytes_read += raw.size();
+    return &cache.emplace(k, std::move(decoded)).first->second;
+  };
+
+  slimcr::Snapshot assembled;
+  for (const auto& sec : m.sections) {
+    std::vector<std::uint8_t> data;
+    data.reserve(static_cast<std::size_t>(sec.raw_len));
+    for (const ChunkKey& k : sec.refs) {
+      const std::vector<std::uint8_t>* piece = fetch(k);
+      if (piece == nullptr) return res;  // typed status already set
+      data.insert(data.end(), piece->begin(), piece->end());
+    }
+    if (data.size() != sec.raw_len) {
+      res.status = {ErrKind::Corrupt,
+                    "section '" + sec.name + "' reassembled to " +
+                        std::to_string(data.size()) + " bytes, manifest says " +
+                        std::to_string(sec.raw_len)};
+      return res;
+    }
+    res.raw_bytes += data.size();
+    assembled.set(sec.name, std::move(data));
+  }
+  out = std::move(assembled);
+  res.duration_ns = storage.read_ns(res.bytes_read);
+  stats_.gets++;
+  stats_.bytes_read += res.bytes_read;
+  return res;
+}
+
+// ---- remove (refcount GC) ---------------------------------------------------
+
+Status Store::remove(const std::string& name) {
+  if (!is_open()) return {ErrKind::Io, "store not open"};
+  Manifest m;
+  const Status st = load_manifest(name, m, nullptr);
+  if (!st.ok()) return st;
+  std::error_code ec;
+  fs::remove(manifest_path(name), ec);
+  if (ec) return {ErrKind::Io, "cannot remove manifest " + manifest_path(name)};
+  stats_.manifests--;
+  retire_manifest_refs(m);
+  return {};
+}
+
+bool Store::contains(const std::string& name) const {
+  return is_open() && fs::exists(manifest_path(name));
+}
+
+std::vector<std::string> Store::manifest_names() const {
+  std::vector<std::string> out;
+  if (!is_open()) return out;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(root_ + "/manifests", ec)) {
+    if (!e.is_regular_file()) continue;
+    const std::string fname = e.path().filename().string();
+    constexpr std::string_view kSuffix = ".manifest";
+    if (fname.size() > kSuffix.size() &&
+        fname.substr(fname.size() - kSuffix.size()) == kSuffix)
+      out.push_back(fname.substr(0, fname.size() - kSuffix.size()));
+  }
+  return out;
+}
+
+}  // namespace snapstore

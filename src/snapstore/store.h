@@ -1,0 +1,153 @@
+// store.h — snapstore: a content-addressed, chunked, deduplicating
+// checkpoint store.
+//
+// Layout under one root directory:
+//
+//   <root>/chunks/<hash16hex>-<rawlen>[-u<serial>].chk   the chunk pool
+//   <root>/manifests/<name>.manifest                      one per snapshot
+//
+// A snapshot (slimcr::Snapshot — named byte sections) is split into
+// fixed-size chunks; each chunk is hashed (chunk.h), compressed (codec.h)
+// and written into the pool exactly once — a later snapshot that contains
+// the same bytes references the existing chunk instead of rewriting it, so
+// successive checkpoints of the same workload pay only for what changed
+// (this subsumes the incremental-checkpoint chain: every manifest is
+// self-contained, there is no base to lose).  A manifest is a small file of
+// chunk references; deleting one decrements the refcount of every chunk it
+// references and unlinks chunks that reach zero — garbage collection is
+// refcount-based manifest deletion, never chain tracking.
+//
+// Writes run through an async pipeline (hashing and compression fan out to
+// worker threads; commits stay in submission order) and the simulated I/O
+// clock is charged through the caller's StorageModel for the *post-dedup,
+// post-compression* bytes only — bytes-on-storage is the paper's Figure 5
+// lever, and the store's whole point is shrinking it.  Reads verify every
+// chunk (header, CRC, decoded length) and every manifest (magic, version,
+// CRC) and return a typed Status instead of partially-filled snapshots.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "slimcr/snapshot.h"
+#include "snapstore/chunk.h"
+#include "snapstore/codec.h"
+
+namespace snapstore {
+
+enum class ErrKind : std::uint8_t {
+  None = 0,
+  Io,               // open/read/write/unlink failure
+  BadMagic,         // not a snapstore manifest / chunk
+  BadVersion,       // format version mismatch
+  Truncated,        // file shorter than its headers declare
+  Corrupt,          // CRC mismatch or malformed structure
+  MissingManifest,  // named snapshot not in the store
+  MissingChunk,     // manifest references a chunk the pool no longer has
+};
+
+[[nodiscard]] const char* errkind_name(ErrKind k) noexcept;
+
+struct Status {
+  ErrKind kind = ErrKind::None;
+  std::string message;
+  [[nodiscard]] bool ok() const noexcept { return kind == ErrKind::None; }
+};
+
+struct Options {
+  std::size_t chunk_bytes = 64 * 1024;
+  CodecId codec = CodecId::Lz;
+  bool dedup = true;   // off: every chunk gets a unique pool entry (ablation)
+  bool async = true;   // off: hash/compress inline on the caller thread
+  unsigned workers = 0;  // 0 = auto (hardware_concurrency, clamped to [1,4])
+};
+
+struct Stats {
+  // Pool-wide, kept current across put/remove (rebuilt on open()).
+  std::uint64_t chunks_in_pool = 0;
+  std::uint64_t pool_stored_bytes = 0;  // chunk files as written (headers incl.)
+  std::uint64_t pool_raw_bytes = 0;     // sum of referenced chunks' raw lengths
+  std::uint64_t manifests = 0;
+  // Cumulative over this Store instance.
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t chunks_written = 0;
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t raw_bytes_in = 0;          // pre-dedup, pre-compression
+  std::uint64_t stored_bytes_written = 0;  // post-dedup, post-compression
+  std::uint64_t bytes_read = 0;
+};
+
+struct PutResult {
+  Status status;
+  std::uint64_t raw_bytes = 0;      // logical snapshot payload
+  std::uint64_t new_chunks = 0;
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t stored_bytes = 0;   // new chunk files + manifest — what the
+                                    // storage model is charged for
+  std::uint64_t manifest_bytes = 0;
+  std::uint64_t duration_ns = 0;    // simulated write time for stored_bytes
+};
+
+struct GetResult {
+  Status status;
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t bytes_read = 0;     // manifest + each referenced chunk once
+  std::uint64_t duration_ns = 0;    // simulated read time for bytes_read
+};
+
+class Store {
+ public:
+  Store() = default;
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  // Creates the directory layout if needed and rebuilds chunk refcounts by
+  // scanning the existing manifests.  A second open() rebinds the instance.
+  Status open(const std::string& root, const Options& opt = {});
+  [[nodiscard]] bool is_open() const noexcept { return !root_.empty(); }
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+  [[nodiscard]] const Options& options() const noexcept { return opt_; }
+
+  // Writes `snap` as manifest `name` (overwriting an existing manifest of
+  // that name, with its references retired afterwards).  Only chunks absent
+  // from the pool are written and charged.
+  PutResult put(const std::string& name, const slimcr::Snapshot& snap,
+                const slimcr::StorageModel& storage);
+
+  // Verified read of manifest `name` into `out`; on failure `out` is left
+  // untouched.
+  GetResult get(const std::string& name, slimcr::Snapshot& out,
+                const slimcr::StorageModel& storage);
+
+  // Deletes a manifest and garbage-collects chunks whose refcount drops to 0.
+  Status remove(const std::string& name);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> manifest_names() const;
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct ChunkInfo {
+    std::uint32_t refs = 0;
+    std::uint64_t stored_bytes = 0;  // chunk file size (0 until known)
+  };
+  struct Manifest;  // parsed form, store.cpp-local layout
+
+  [[nodiscard]] std::string chunk_path(const ChunkKey& k) const;
+  [[nodiscard]] std::string manifest_path(const std::string& name) const;
+  Status load_manifest(const std::string& name, Manifest& out,
+                       std::uint64_t* file_bytes) const;
+  void retire_manifest_refs(const Manifest& m);
+
+  std::string root_;
+  Options opt_;
+  Stats stats_;
+  std::unordered_map<ChunkKey, ChunkInfo, ChunkKeyHash> chunks_;
+  std::uint32_t uniq_counter_ = 0;  // dedup-off serials, unique per pool
+};
+
+}  // namespace snapstore

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 
 #include "checl/checl.h"
 #include "minimpi/comm.h"
@@ -109,6 +110,51 @@ TEST_P(MiniMpiCheckpoint, CoordinatedCheckpointAllRanks) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ranks, MiniMpiCheckpoint, ::testing::Values(1, 2, 4));
+
+TEST(MiniMpiSnapstore, GlobalSnapshotDedupsReplicatedBuffers) {
+  // Every rank runs the same deterministic MD problem, so the global snapshot
+  // holds N identical copies of each buffer.  On the shared store (NFS in the
+  // paper's setup) those replicas dedup to one set of pool chunks: bytes on
+  // storage stay near the 1-rank size while the logical payload scales with
+  // the rank count.
+  const char* root = "/tmp/checl_minimpi_store_test";
+  std::filesystem::remove_all(root);
+  checl::NodeConfig node = checl::dual_node();
+  node.transport = proxy::Transport::Thread;
+  node.storage = slimcr::nfs();
+  workloads::fresh_process(workloads::Binding::CheCL, node);
+  auto& rt = checl::CheclRuntime::instance();
+  rt.store_checkpoints = true;
+  rt.store_root = root;
+
+  checl::cpr::PhaseTimes pt;
+  minimpi::World::run(4, [&](minimpi::Comm& comm) {
+    workloads::Env env;
+    env.shrink = 8;
+    if (workloads::open_env(env, CL_DEVICE_TYPE_GPU, "NVIDIA") != CL_SUCCESS)
+      return;
+    auto md = workloads::make_md();
+    if (md->setup(env) == CL_SUCCESS) md->run(env);
+    const auto times =
+        comm.coordinated_checkpoint("/tmp/checl_minimpi_test.ckpt");
+    if (comm.rank() == 0) pt = times;
+    md->teardown(env);
+    workloads::close_env(env);
+  });
+
+  ASSERT_GT(pt.logical_bytes, 0u);
+  // four replicated rank images stored as (roughly) one
+  EXPECT_LT(pt.file_bytes, pt.logical_bytes / 2);
+  snapstore::Store* st = rt.engine().store_if_open();
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->stats().manifests, 1u);
+  EXPECT_GT(st->stats().dedup_hits, 0u);
+
+  checl::CheclRuntime::instance().reset_all();
+  checl::bind_native();
+  std::filesystem::remove_all(root);
+  std::remove("/tmp/checl_minimpi_test.ckpt");
+}
 
 TEST(MiniMpiCheckpointShape, TimeGrowsWithRanksAndSize) {
   // the Figure 6 shape at test scale: more ranks => bigger global snapshot

@@ -68,6 +68,7 @@ TEST(Snapshot, DetectsBitFlip) {
   slimcr::Snapshot in;
   const slimcr::IoResult rd = in.load(path, slimcr::ram_disk());
   EXPECT_FALSE(rd.ok);
+  EXPECT_EQ(rd.kind, slimcr::IoError::CrcMismatch);
   EXPECT_NE(rd.error.find("CRC"), std::string::npos);
   EXPECT_EQ(in.section_count(), 0u);  // nothing half-loaded
   std::remove(path.c_str());
@@ -83,7 +84,9 @@ TEST(Snapshot, RejectsTruncatedFile) {
   f.write("SLIMCR01", 8);
   f.close();
   slimcr::Snapshot in;
-  EXPECT_FALSE(in.load(path, slimcr::ram_disk()).ok);
+  const slimcr::IoResult rd = in.load(path, slimcr::ram_disk());
+  EXPECT_FALSE(rd.ok);
+  EXPECT_EQ(rd.kind, slimcr::IoError::Truncated);
   std::remove(path.c_str());
 }
 
@@ -95,13 +98,42 @@ TEST(Snapshot, RejectsWrongMagic) {
   slimcr::Snapshot in;
   const slimcr::IoResult rd = in.load(path, slimcr::ram_disk());
   EXPECT_FALSE(rd.ok);
+  EXPECT_EQ(rd.kind, slimcr::IoError::BadMagic);
   EXPECT_NE(rd.error.find("magic"), std::string::npos);
   std::remove(path.c_str());
 }
 
 TEST(Snapshot, MissingFileFailsCleanly) {
   slimcr::Snapshot in;
-  EXPECT_FALSE(in.load("/tmp/definitely_not_here.snap", slimcr::ram_disk()).ok);
+  const slimcr::IoResult rd =
+      in.load("/tmp/definitely_not_here.snap", slimcr::ram_disk());
+  EXPECT_FALSE(rd.ok);
+  EXPECT_EQ(rd.kind, slimcr::IoError::OpenFailed);
+}
+
+TEST(Snapshot, ErrorKindsHaveNames) {
+  EXPECT_STREQ(slimcr::io_error_name(slimcr::IoError::None), "none");
+  EXPECT_STREQ(slimcr::io_error_name(slimcr::IoError::CrcMismatch),
+               "crc-mismatch");
+  EXPECT_STREQ(slimcr::io_error_name(slimcr::IoError::MissingBase),
+               "missing-base");
+  // a successful save reports kind None
+  slimcr::Snapshot snap;
+  snap.set("x", {1, 2, 3});
+  const auto path = tmp_path("kinds");
+  const slimcr::IoResult wr = snap.save(path, slimcr::ram_disk());
+  EXPECT_TRUE(wr.ok);
+  EXPECT_EQ(wr.kind, slimcr::IoError::None);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, SectionsAccessorIsOrdered) {
+  slimcr::Snapshot snap;
+  snap.set("b", {2});
+  snap.set("a", {1});
+  std::vector<std::string> names;
+  for (const auto& [name, data] : snap.sections()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
 }
 
 TEST(StorageModel, TableIBandwidths) {

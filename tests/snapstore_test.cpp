@@ -1,0 +1,432 @@
+// snapstore_test.cpp — codecs, the content-addressed store, dedup/GC
+// accounting, and fault injection (corrupt/truncated/missing files must come
+// back as typed errors, never partial snapshots or crashes).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <random>
+
+#include "slimcr/storage.h"
+#include "snapstore/chunk.h"
+#include "snapstore/codec.h"
+#include "snapstore/store.h"
+
+namespace fs = std::filesystem;
+using snapstore::ChunkKey;
+using snapstore::CodecId;
+using snapstore::ErrKind;
+using snapstore::Store;
+
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng());
+  return v;
+}
+
+std::vector<std::uint8_t> patterned_bytes(std::size_t n, std::uint32_t seed) {
+  // Repetitive but not constant: compressible by both RLE and LZ.
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::uint8_t>((i / 64 + seed) % 7);
+  return v;
+}
+
+void roundtrip(CodecId id, const std::vector<std::uint8_t>& data) {
+  const snapstore::Codec* c = snapstore::codec_for(id);
+  ASSERT_NE(c, nullptr);
+  const std::vector<std::uint8_t> enc = c->compress(data);
+  std::vector<std::uint8_t> dec;
+  ASSERT_TRUE(c->decompress(enc, data.size(), dec))
+      << snapstore::codec_name(id) << " n=" << data.size();
+  EXPECT_EQ(dec, data);
+}
+
+// ---------------------------------------------------------------------------
+// codecs
+// ---------------------------------------------------------------------------
+
+TEST(SnapstoreCodec, RoundTripsAllShapes) {
+  const std::vector<std::vector<std::uint8_t>> inputs = {
+      {},                                  // empty
+      {42},                                // single byte
+      std::vector<std::uint8_t>(4096, 0),  // all-zero
+      random_bytes(4096, 1),               // incompressible
+      patterned_bytes(4096, 2),            // compressible
+      random_bytes(3, 3),                  // below LZ min-match
+      patterned_bytes(70000, 4),           // beyond the 64 KiB LZ window
+  };
+  for (const CodecId id : {CodecId::Identity, CodecId::Rle, CodecId::Lz}) {
+    for (const auto& in : inputs) roundtrip(id, in);
+  }
+}
+
+TEST(SnapstoreCodec, CompressesRepetitiveData) {
+  const auto data = patterned_bytes(64 * 1024, 0);
+  for (const CodecId id : {CodecId::Rle, CodecId::Lz}) {
+    const auto enc = snapstore::codec_for(id)->compress(data);
+    EXPECT_LT(enc.size(), data.size() / 4) << snapstore::codec_name(id);
+  }
+}
+
+TEST(SnapstoreCodec, DecodersRejectMalformedInput) {
+  // Truncated streams, wrong raw_len, and random garbage must fail cleanly.
+  const auto data = patterned_bytes(4096, 5);
+  for (const CodecId id : {CodecId::Rle, CodecId::Lz}) {
+    const snapstore::Codec* c = snapstore::codec_for(id);
+    const auto enc = c->compress(data);
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(c->decompress({enc.data(), enc.size() / 2}, data.size(), out));
+    EXPECT_FALSE(c->decompress(enc, data.size() - 1, out));
+    EXPECT_FALSE(c->decompress(enc, data.size() + 1, out));
+    for (std::uint32_t seed = 0; seed < 8; ++seed) {
+      const auto garbage = random_bytes(256, 100 + seed);
+      (void)c->decompress(garbage, 4096, out);  // must not crash or overrun
+    }
+  }
+}
+
+TEST(SnapstoreCodec, ParseAndNames) {
+  CodecId id;
+  EXPECT_TRUE(snapstore::parse_codec("lz", id));
+  EXPECT_EQ(id, CodecId::Lz);
+  EXPECT_TRUE(snapstore::parse_codec("rle", id));
+  EXPECT_TRUE(snapstore::parse_codec("identity", id));
+  EXPECT_FALSE(snapstore::parse_codec("zstd", id));
+  EXPECT_STREQ(snapstore::codec_name(CodecId::Lz), "lz");
+  EXPECT_EQ(snapstore::codec_for(static_cast<CodecId>(99)), nullptr);
+}
+
+TEST(SnapstoreChunk, HashIsStableAndLengthAware) {
+  const auto a = random_bytes(1024, 7);
+  EXPECT_EQ(snapstore::hash64(a.data(), a.size()),
+            snapstore::hash64(a.data(), a.size()));
+  const ChunkKey k1{snapstore::hash64(a.data(), a.size()), a.size(), 0};
+  const ChunkKey k2{snapstore::hash64(a.data(), a.size() - 1), a.size() - 1, 0};
+  EXPECT_FALSE(k1 == k2);
+}
+
+// ---------------------------------------------------------------------------
+// store
+// ---------------------------------------------------------------------------
+
+class SnapstoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = "/tmp/checl_snapstore_test";
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  static slimcr::Snapshot make_snapshot(std::uint32_t seed, std::size_t nbufs,
+                                        std::size_t bytes) {
+    slimcr::Snapshot s;
+    for (std::size_t i = 0; i < nbufs; ++i) {
+      // half patterned, half random — realistic mixed compressibility
+      auto data = (i % 2 == 0)
+                      ? patterned_bytes(bytes, seed + static_cast<std::uint32_t>(i))
+                      : random_bytes(bytes, seed + static_cast<std::uint32_t>(i));
+      s.set("mem." + std::to_string(i), std::move(data));
+    }
+    return s;
+  }
+
+  static void expect_equal(const slimcr::Snapshot& a, const slimcr::Snapshot& b) {
+    ASSERT_EQ(a.section_count(), b.section_count());
+    for (const auto& [name, data] : a.sections()) {
+      const auto* other = b.get(name);
+      ASSERT_NE(other, nullptr) << name;
+      EXPECT_EQ(*other, data) << name;
+    }
+  }
+
+  // One chunk file under root/chunks (by index, sorted for determinism).
+  std::vector<fs::path> chunk_files() const {
+    std::vector<fs::path> v;
+    for (const auto& e : fs::directory_iterator(root_ + "/chunks"))
+      v.push_back(e.path());
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+
+  std::string root_;
+  slimcr::StorageModel disk_ = slimcr::local_disk();
+};
+
+TEST_F(SnapstoreTest, PutGetRoundTripBitExact) {
+  Store st;
+  ASSERT_TRUE(st.open(root_).ok());
+  const slimcr::Snapshot snap = make_snapshot(1, 8, 96 * 1024);
+  const snapstore::PutResult pr = st.put("ckpt_a", snap, disk_);
+  ASSERT_TRUE(pr.status.ok()) << pr.status.message;
+  EXPECT_EQ(pr.raw_bytes, snap.payload_bytes() - [&] {
+    std::uint64_t names = 0;
+    for (const auto& [n, d] : snap.sections()) names += n.size();
+    return names;
+  }());
+  EXPECT_GT(pr.new_chunks, 0u);
+  EXPECT_GT(pr.duration_ns, 0u);
+
+  slimcr::Snapshot back;
+  const snapstore::GetResult gr = st.get("ckpt_a", back, disk_);
+  ASSERT_TRUE(gr.status.ok()) << gr.status.message;
+  expect_equal(snap, back);
+}
+
+TEST_F(SnapstoreTest, DedupTwoCheckpointsShareCleanChunks) {
+  Store st;
+  ASSERT_TRUE(st.open(root_).ok());
+  slimcr::Snapshot snap = make_snapshot(2, 10, 64 * 1024);
+  const snapstore::PutResult p1 = st.put("ckpt_a", snap, disk_);
+  ASSERT_TRUE(p1.status.ok());
+
+  // Dirty exactly one buffer; the other nine must dedup wholesale.
+  snap.set("mem.3", random_bytes(64 * 1024, 999));
+  const snapstore::PutResult p2 = st.put("ckpt_b", snap, disk_);
+  ASSERT_TRUE(p2.status.ok());
+  EXPECT_EQ(p2.new_chunks, 1u);  // 64 KiB buffer = one 64 KiB chunk
+  EXPECT_GE(p2.dedup_hits, 9u);
+  // Second checkpoint's storage charge is a small fraction of the first.
+  EXPECT_LT(p2.stored_bytes, p1.stored_bytes / 4);
+
+  const snapstore::Stats& s = st.stats();
+  EXPECT_EQ(s.manifests, 2u);
+  // Pool bytes grew only by the one new chunk, not by another full snapshot.
+  EXPECT_LT(s.pool_stored_bytes, p1.stored_bytes + 2 * 64 * 1024);
+
+  // Both restore bit-exact.
+  slimcr::Snapshot back_b;
+  ASSERT_TRUE(st.get("ckpt_b", back_b, disk_).status.ok());
+  expect_equal(snap, back_b);
+
+  // GC of the first must not break the second (shared chunks keep refs).
+  ASSERT_TRUE(st.remove("ckpt_a").ok());
+  slimcr::Snapshot back_b2;
+  ASSERT_TRUE(st.get("ckpt_b", back_b2, disk_).status.ok());
+  expect_equal(snap, back_b2);
+
+  // Removing the last manifest empties the pool completely.
+  ASSERT_TRUE(st.remove("ckpt_b").ok());
+  EXPECT_EQ(st.stats().chunks_in_pool, 0u);
+  EXPECT_EQ(st.stats().pool_stored_bytes, 0u);
+  EXPECT_TRUE(fs::is_empty(root_ + "/chunks"));
+}
+
+TEST_F(SnapstoreTest, OverwriteSameNameDedupsAgainstOldVersion) {
+  Store st;
+  ASSERT_TRUE(st.open(root_).ok());
+  slimcr::Snapshot snap = make_snapshot(3, 6, 64 * 1024);
+  ASSERT_TRUE(st.put("ckpt", snap, disk_).status.ok());
+  snap.set("mem.0", random_bytes(64 * 1024, 777));
+  const snapstore::PutResult p2 = st.put("ckpt", snap, disk_);
+  ASSERT_TRUE(p2.status.ok());
+  EXPECT_EQ(p2.new_chunks, 1u);
+  EXPECT_EQ(st.stats().manifests, 1u);
+  slimcr::Snapshot back;
+  ASSERT_TRUE(st.get("ckpt", back, disk_).status.ok());
+  expect_equal(snap, back);
+  // The replaced version's now-unreferenced chunk was collected.
+  ASSERT_TRUE(st.remove("ckpt").ok());
+  EXPECT_EQ(st.stats().chunks_in_pool, 0u);
+}
+
+TEST_F(SnapstoreTest, DedupOffWritesEveryChunk) {
+  Store st;
+  snapstore::Options opt;
+  opt.dedup = false;
+  opt.codec = CodecId::Identity;
+  ASSERT_TRUE(st.open(root_, opt).ok());
+  const slimcr::Snapshot snap = make_snapshot(4, 4, 64 * 1024);
+  const snapstore::PutResult p1 = st.put("a", snap, disk_);
+  const snapstore::PutResult p2 = st.put("b", snap, disk_);
+  ASSERT_TRUE(p1.status.ok());
+  ASSERT_TRUE(p2.status.ok());
+  EXPECT_EQ(p2.dedup_hits, 0u);
+  EXPECT_EQ(p2.new_chunks, p1.new_chunks);
+  // Identical content, but stored twice — that's the ablation's point.
+  EXPECT_EQ(st.stats().chunks_in_pool, p1.new_chunks + p2.new_chunks);
+  slimcr::Snapshot back;
+  ASSERT_TRUE(st.get("b", back, disk_).status.ok());
+  expect_equal(snap, back);
+}
+
+TEST_F(SnapstoreTest, AsyncAndSyncProduceIdenticalPools) {
+  const slimcr::Snapshot snap = make_snapshot(5, 8, 80 * 1024);
+  std::vector<std::uint64_t> stored;
+  for (const bool async : {false, true}) {
+    fs::remove_all(root_);
+    Store st;
+    snapstore::Options opt;
+    opt.async = async;
+    opt.workers = async ? 4 : 0;
+    ASSERT_TRUE(st.open(root_, opt).ok());
+    const snapstore::PutResult pr = st.put("ckpt", snap, disk_);
+    ASSERT_TRUE(pr.status.ok());
+    stored.push_back(pr.stored_bytes);
+    slimcr::Snapshot back;
+    ASSERT_TRUE(st.get("ckpt", back, disk_).status.ok());
+    expect_equal(snap, back);
+  }
+  // The pipeline is a wall-clock optimization; bytes and sim time are
+  // deterministic regardless of threading.
+  EXPECT_EQ(stored[0], stored[1]);
+}
+
+TEST_F(SnapstoreTest, ReopenRebuildsRefcounts) {
+  slimcr::Snapshot snap = make_snapshot(6, 5, 64 * 1024);
+  {
+    Store st;
+    ASSERT_TRUE(st.open(root_).ok());
+    ASSERT_TRUE(st.put("a", snap, disk_).status.ok());
+    snap.set("mem.1", random_bytes(64 * 1024, 42));
+    ASSERT_TRUE(st.put("b", snap, disk_).status.ok());
+  }
+  Store st;
+  ASSERT_TRUE(st.open(root_).ok());
+  EXPECT_EQ(st.stats().manifests, 2u);
+  EXPECT_GT(st.stats().chunks_in_pool, 0u);
+  EXPECT_GT(st.stats().pool_stored_bytes, 0u);
+  // Refcounts were rebuilt: GC of 'a' keeps 'b' whole, GC of both drains.
+  ASSERT_TRUE(st.remove("a").ok());
+  slimcr::Snapshot back;
+  ASSERT_TRUE(st.get("b", back, disk_).status.ok());
+  expect_equal(snap, back);
+  ASSERT_TRUE(st.remove("b").ok());
+  EXPECT_EQ(st.stats().chunks_in_pool, 0u);
+}
+
+TEST_F(SnapstoreTest, SimClockChargesOnlyNewBytes) {
+  Store st;
+  ASSERT_TRUE(st.open(root_).ok());
+  slimcr::Snapshot snap = make_snapshot(7, 10, 64 * 1024);
+  const snapstore::PutResult p1 = st.put("a", snap, disk_);
+  snap.set("mem.2", random_bytes(64 * 1024, 4242));
+  const snapstore::PutResult p2 = st.put("b", snap, disk_);
+  ASSERT_TRUE(p1.status.ok());
+  ASSERT_TRUE(p2.status.ok());
+  // The deduped checkpoint's simulated write time shrinks with its bytes.
+  EXPECT_LT(p2.duration_ns, p1.duration_ns / 2);
+  EXPECT_EQ(p2.duration_ns, disk_.write_ns(p2.stored_bytes));
+}
+
+// ---------------------------------------------------------------------------
+// fault injection
+// ---------------------------------------------------------------------------
+
+class SnapstoreFaultTest : public SnapstoreTest {
+ protected:
+  // Populates the store with one snapshot and returns it.
+  slimcr::Snapshot populate(Store& st) {
+    slimcr::Snapshot snap = make_snapshot(8, 4, 48 * 1024);
+    EXPECT_TRUE(st.open(root_).ok());
+    EXPECT_TRUE(st.put("ckpt", snap, disk_).status.ok());
+    return snap;
+  }
+
+  static void flip_byte(const fs::path& p, std::size_t offset_from_end) {
+    std::FILE* f = std::fopen(p.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -static_cast<long>(offset_from_end), SEEK_END);
+    const int c = std::fgetc(f);
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+
+  static void truncate_file(const fs::path& p, std::uintmax_t new_size) {
+    fs::resize_file(p, new_size);
+  }
+
+  // `out` must stay exactly as seeded after a failed get.
+  static void expect_untouched(Store& st, ErrKind want) {
+    slimcr::Snapshot out;
+    out.set("sentinel", {1, 2, 3});
+    slimcr::StorageModel disk = slimcr::local_disk();
+    const snapstore::GetResult gr = st.get("ckpt", out, disk);
+    EXPECT_FALSE(gr.status.ok());
+    EXPECT_EQ(gr.status.kind, want)
+        << "got: " << snapstore::errkind_name(gr.status.kind) << " — "
+        << gr.status.message;
+    ASSERT_EQ(out.section_count(), 1u);
+    EXPECT_NE(out.get("sentinel"), nullptr);
+  }
+};
+
+TEST_F(SnapstoreFaultTest, MissingChunkIsTypedAndNamed) {
+  Store st;
+  populate(st);
+  const auto victim = chunk_files().front();
+  fs::remove(victim);
+  slimcr::Snapshot out;
+  const snapstore::GetResult gr = st.get("ckpt", out, disk_);
+  EXPECT_EQ(gr.status.kind, ErrKind::MissingChunk);
+  // The diagnostic names both the chunk file and the manifest.
+  EXPECT_NE(gr.status.message.find(victim.filename().string()),
+            std::string::npos)
+      << gr.status.message;
+  EXPECT_NE(gr.status.message.find("ckpt"), std::string::npos);
+  EXPECT_EQ(out.section_count(), 0u);
+}
+
+TEST_F(SnapstoreFaultTest, CorruptChunkBodyDetected) {
+  Store st;
+  populate(st);
+  flip_byte(chunk_files().front(), 1);  // last payload byte
+  expect_untouched(st, ErrKind::Corrupt);
+}
+
+TEST_F(SnapstoreFaultTest, CorruptChunkHeaderDetected) {
+  Store st;
+  populate(st);
+  const auto victim = chunk_files().front();
+  std::FILE* f = std::fopen(victim.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fputc('X', f);  // clobber the magic
+  std::fclose(f);
+  expect_untouched(st, ErrKind::BadMagic);
+}
+
+TEST_F(SnapstoreFaultTest, TruncatedChunkDetected) {
+  Store st;
+  populate(st);
+  const auto victim = chunk_files().front();
+  truncate_file(victim, fs::file_size(victim) / 2);
+  expect_untouched(st, ErrKind::Truncated);
+}
+
+TEST_F(SnapstoreFaultTest, CorruptManifestDetected) {
+  Store st;
+  populate(st);
+  flip_byte(root_ + "/manifests/ckpt.manifest", 10);
+  expect_untouched(st, ErrKind::Corrupt);
+}
+
+TEST_F(SnapstoreFaultTest, TruncatedManifestDetected) {
+  Store st;
+  populate(st);
+  const fs::path mp = root_ + "/manifests/ckpt.manifest";
+  truncate_file(mp, fs::file_size(mp) / 2);
+  slimcr::Snapshot out;
+  const snapstore::GetResult gr = st.get("ckpt", out, disk_);
+  EXPECT_FALSE(gr.status.ok());
+  // Either the CRC no longer matches (Corrupt) or the structure ends early.
+  EXPECT_TRUE(gr.status.kind == ErrKind::Corrupt ||
+              gr.status.kind == ErrKind::Truncated)
+      << snapstore::errkind_name(gr.status.kind);
+  EXPECT_EQ(out.section_count(), 0u);
+}
+
+TEST_F(SnapstoreFaultTest, MissingManifestIsTyped) {
+  Store st;
+  ASSERT_TRUE(st.open(root_).ok());
+  slimcr::Snapshot out;
+  const snapstore::GetResult gr = st.get("nope", out, disk_);
+  EXPECT_EQ(gr.status.kind, ErrKind::MissingManifest);
+  EXPECT_NE(gr.status.message.find("nope"), std::string::npos);
+  EXPECT_FALSE(st.remove("nope").ok());
+}
+
+}  // namespace
