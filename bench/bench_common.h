@@ -41,6 +41,11 @@ struct Options {
   bool store = false;    // snapstore-backed checkpoints (fig5 repeat sweep)
   bool smoke = false;    // fast pass/fail mode for ctest
   std::string only;      // run a single workload
+  // Restore-executor ablation knobs (fig7): wave-parallel recreation,
+  // batched fire-and-forget replay calls, and the worker count (0 = auto).
+  bool restore_parallel = true;
+  bool restore_batch = false;
+  unsigned restore_workers = 0;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -58,6 +63,16 @@ inline Options parse_options(int argc, char** argv) {
       o.smoke = true;
     else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc)
       o.only = argv[++i];
+    else if (std::strcmp(argv[i], "--parallel") == 0)
+      o.restore_parallel = true;
+    else if (std::strcmp(argv[i], "--no-parallel") == 0)
+      o.restore_parallel = false;
+    else if (std::strcmp(argv[i], "--batch") == 0)
+      o.restore_batch = true;
+    else if (std::strcmp(argv[i], "--no-batch") == 0)
+      o.restore_batch = false;
+    else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc)
+      o.restore_workers = static_cast<unsigned>(std::atoi(argv[++i]));
   }
   if (o.shrink == 0) o.shrink = 1;
   return o;

@@ -1,16 +1,220 @@
 // fig7_restart_breakdown.cpp — reproduces Figure 7: timing results for
 // recreating OpenCL objects on restart, broken down by object class
 // (platform, device, context, cmd_que, mem, sampler, prog, kernel, event).
+//
+// --parallel / --no-parallel, --batch / --no-batch, --workers N select the
+// restore-executor configuration for the figure run.  --smoke runs the
+// parallel-restore ablation instead: a multi-program workload restored under
+// {serial, batch, parallel, parallel+batch}, JSON on stdout, and fails unless
+// parallel+batch beats serial on recreation_ns.  A rollback entry synthesizes
+// a checkpoint whose kernel cannot be recreated and verifies the transactional
+// executor leaves nothing behind.
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "bench_common.h"
 #include "benchkit/table.h"
+#include "core/replay/codec.h"
+#include "slimcr/snapshot.h"
+
+namespace {
+
+void set_proxy_node() {
+  auto& rt = checl::CheclRuntime::instance();
+  checl::NodeConfig node = checl::dual_node();
+  node.transport = proxy::Transport::Process;
+  rt.set_node(node);
+}
+
+// The Tr-dominant shape of Figure 7: many independently-compiled programs
+// (S3D carries 27) sharing one context, one queue, one data buffer.
+constexpr int kPrograms = 8;
+
+bool build_multi_program() {
+  cl_platform_id platform = nullptr;
+  cl_device_id device = nullptr;
+  cl_int err = CL_SUCCESS;
+  if (clGetPlatformIDs(1, &platform, nullptr) != CL_SUCCESS) return false;
+  if (clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 1, &device, nullptr) !=
+      CL_SUCCESS)
+    return false;
+  cl_context ctx = clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+  if (err != CL_SUCCESS) return false;
+  clCreateCommandQueue(ctx, device, 0, &err);
+  if (err != CL_SUCCESS) return false;
+  int n = 4096;
+  std::vector<float> init(static_cast<std::size_t>(n), 1.0f);
+  cl_mem buf = clCreateBuffer(ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR,
+                              static_cast<std::size_t>(n) * 4, init.data(),
+                              &err);
+  if (err != CL_SUCCESS) return false;
+  for (int i = 0; i < kPrograms; ++i) {
+    const std::string name = "k" + std::to_string(i);
+    const std::string src = "__kernel void " + name +
+                            "(__global float* d, int n) {\n"
+                            "  int i = get_global_id(0);\n"
+                            "  if (i < n) d[i] = d[i] * " +
+                            std::to_string(i + 2) + ".0f;\n}\n";
+    const char* s = src.c_str();
+    cl_program p = clCreateProgramWithSource(ctx, 1, &s, nullptr, &err);
+    if (err != CL_SUCCESS) return false;
+    if (clBuildProgram(p, 1, &device, "", nullptr, nullptr) != CL_SUCCESS)
+      return false;
+    cl_kernel k = clCreateKernel(p, name.c_str(), &err);
+    if (err != CL_SUCCESS) return false;
+    if (clSetKernelArg(k, 0, sizeof buf, &buf) != CL_SUCCESS) return false;
+    if (clSetKernelArg(k, 1, sizeof n, &n) != CL_SUCCESS) return false;
+  }
+  return true;
+}
+
+struct AblationRow {
+  const char* name;
+  bool parallel;
+  bool batch;
+  checl::cpr::RestartBreakdown bd;
+  checl::replay::ExecCounters counters;
+  bool ok = false;
+};
+
+int run_ablation() {
+  auto& rt = checl::CheclRuntime::instance();
+  const std::string path = bench::ckpt_path("fig7_ablation");
+
+  AblationRow rows[] = {
+      {"serial", false, false, {}, {}, false},
+      {"batch", false, true, {}, {}, false},
+      {"parallel", true, false, {}, {}, false},
+      {"parallel+batch", true, true, {}, {}, false},
+  };
+  for (AblationRow& row : rows) {
+    rt.reset_all();
+    set_proxy_node();
+    checl::bind_checl();
+    if (!build_multi_program()) break;
+    if (rt.engine().checkpoint(path, nullptr) != CL_SUCCESS) break;
+    rt.reset_all();
+    set_proxy_node();
+    rt.restore_parallel = row.parallel;
+    rt.restore_batch = row.batch;
+    rt.restore_workers = 4;
+    std::unordered_map<std::uint64_t, checl::Object*> map;
+    if (rt.engine().restore_fresh(path, std::nullopt, &row.bd, &map) !=
+        CL_SUCCESS) {
+      std::fprintf(stderr, "fig7 ablation: %s restore failed: %s\n", row.name,
+                   rt.engine().last_error().c_str());
+      break;
+    }
+    row.counters = rt.engine().restore_counters();
+    row.ok = true;
+  }
+
+  // Rollback probe: a checkpoint whose kernel does not exist in its program
+  // fails at the kernel wave and must leave the object DB empty.
+  bool rollback_ok = false;
+  std::uint64_t rolled_back_handles = 0;
+  {
+    rt.reset_all();
+    set_proxy_node();
+    checl::ObjectDB db;
+    auto* p = new checl::PlatformObj();
+    db.add(p);
+    auto* d = new checl::DeviceObj();
+    d->platform = p;
+    p->retain();
+    d->type = CL_DEVICE_TYPE_GPU;
+    db.add(d);
+    auto* c = new checl::ContextObj();
+    c->devices.push_back(d);
+    d->retain();
+    db.add(c);
+    auto* prog = new checl::ProgramObj();
+    prog->ctx = c;
+    c->retain();
+    prog->source = "__kernel void ok(__global float* d, int n) { d[0] = n; }";
+    prog->built = true;
+    db.add(prog);
+    auto* k = new checl::KernelObj();
+    k->prog = prog;
+    prog->retain();
+    k->name = "nope";
+    db.add(k);
+    slimcr::Snapshot snap;
+    snap.set("checl.db", checl::replay::encode_db(db));
+    checl::replay::destroy_decoded(db, db.all());
+    if (snap.save(path, rt.node().storage).ok) {
+      std::unordered_map<std::uint64_t, checl::Object*> map;
+      const cl_int err =
+          rt.engine().restore_fresh(path, std::nullopt, nullptr, &map);
+      rollback_ok = err != CL_SUCCESS && rt.db().size() == 0 && map.empty() &&
+                    rt.engine().restore_counters().rollbacks >= 1;
+      rolled_back_handles = rt.engine().restore_counters().rolled_back_handles;
+    }
+  }
+  rt.reset_all();
+  checl::bind_native();
+  std::remove(path.c_str());
+
+  std::printf("{\n  \"bench\": \"fig7_parallel_restore\",\n");
+  std::printf("  \"programs\": %d,\n  \"configs\": [\n", kPrograms);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const AblationRow& r = rows[i];
+    std::printf(
+        "    {\"config\": \"%s\", \"ok\": %s, \"recreation_ns\": %llu, "
+        "\"prog_ns\": %llu, \"waves\": %llu, \"parallel_waves\": %llu, "
+        "\"max_concurrency\": %llu, \"batched_calls\": %llu, "
+        "\"group_rpcs\": %llu}%s\n",
+        r.name, r.ok ? "true" : "false",
+        static_cast<unsigned long long>(r.bd.recreation_ns()),
+        static_cast<unsigned long long>(
+            r.bd.class_ns[static_cast<std::size_t>(checl::ObjType::Program)]),
+        static_cast<unsigned long long>(r.counters.waves),
+        static_cast<unsigned long long>(r.counters.parallel_waves),
+        static_cast<unsigned long long>(r.counters.max_concurrency),
+        static_cast<unsigned long long>(r.counters.batched_calls),
+        static_cast<unsigned long long>(r.counters.group_rpcs),
+        i + 1 < 4 ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"rollback\": {\"ok\": %s, \"released_handles\": %llu}\n",
+              rollback_ok ? "true" : "false",
+              static_cast<unsigned long long>(rolled_back_handles));
+  std::printf("}\n");
+
+  bool pass = rollback_ok;
+  for (const AblationRow& r : rows) pass = pass && r.ok;
+  if (pass) {
+    const std::uint64_t serial = rows[0].bd.recreation_ns();
+    const std::uint64_t best = rows[3].bd.recreation_ns();
+    if (best >= serial) {
+      std::fprintf(stderr,
+                   "FAIL: parallel+batch (%llu ns) did not beat serial "
+                   "(%llu ns)\n",
+                   static_cast<unsigned long long>(best),
+                   static_cast<unsigned long long>(serial));
+      pass = false;
+    }
+  } else {
+    std::fprintf(stderr, "FAIL: ablation or rollback probe did not complete\n");
+  }
+  return pass ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv);
+  if (opt.smoke) return run_ablation();
+
   std::printf(
       "=== Figure 7: Timing results for recreating OpenCL objects ===\n"
-      "checkpoint, then restart in place; per-class recreation times\n\n");
+      "checkpoint, then restart in place; per-class recreation times\n"
+      "(restore executor: %s%s, workers=%u)\n\n",
+      opt.restore_parallel ? "parallel" : "serial",
+      opt.restore_batch ? "+batch" : "", opt.restore_workers);
 
   auto& rt = checl::CheclRuntime::instance();
   for (const auto& cfg : bench::paper_configs()) {
@@ -25,6 +229,9 @@ int main(int argc, char** argv) {
       if (!w->executes_kernel()) continue;
       workloads::fresh_process(workloads::Binding::CheCL, node);
       rt.checkpoint_path = bench::ckpt_path("fig7");
+      rt.restore_parallel = opt.restore_parallel;
+      rt.restore_batch = opt.restore_batch;
+      rt.restore_workers = opt.restore_workers;
       workloads::Env env;
       env.shrink = opt.shrink;
       if (workloads::open_env(env, cfg.device_type, cfg.platform_substr) !=

@@ -4,10 +4,11 @@
 # 1. Tier-1 verify: configure, build, full ctest.  The cpr tests share
 #    checkpoint paths under /tmp, so a parallel-ctest failure gets one serial
 #    rerun before counting as real.
-# 2. AddressSanitizer slice: rebuild the snapstore + checkpoint stack with
-#    -DCHECL_SANITIZE=address and run its tests plus the snapstore_micro
-#    smoke — the store's async pipeline and chunk codecs are exactly the kind
-#    of code ASan pays for.
+# 2. AddressSanitizer slice: rebuild the snapstore + checkpoint + replay
+#    stack with -DCHECL_SANITIZE=address and run its tests plus the
+#    snapstore_micro smoke — the store's async pipeline, the chunk codecs,
+#    and the parallel restore executor (worker threads recreating a wave
+#    concurrently) are exactly the kind of code ASan pays for.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,7 +27,8 @@ fi
 echo "== asan: configure + build snapstore/checkpoint slice =="
 cmake -B build-asan -S . -DCHECL_SANITIZE=address >/dev/null
 cmake --build build-asan -j"${JOBS}" \
-  --target test_snapstore test_slimcr test_cpr checl_proxyd snapstore_micro
+  --target test_snapstore test_slimcr test_cpr test_replay checl_proxyd \
+  snapstore_micro
 
 echo "== asan: run =="
 (
@@ -35,6 +37,7 @@ echo "== asan: run =="
   ./tests/test_snapstore
   ./tests/test_slimcr
   ./tests/test_cpr
+  ./tests/test_replay
   ./bench/snapstore_micro --smoke
 )
 

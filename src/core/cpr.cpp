@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
+#include "core/replay/codec.h"
+#include "core/replay/plan.h"
 #include "core/runtime.h"
-#include "ipc/serial.h"
 
 namespace checl::cpr {
 
 namespace {
-
-constexpr std::uint32_t kDbVersion = 1;
 
 std::string mem_section_name(std::uint64_t id) {
   return "mem." + std::to_string(id);
@@ -29,117 +29,7 @@ std::uint64_t Engine::now_ns() {
 // ---------------------------------------------------------------------------
 
 std::vector<std::uint8_t> Engine::serialize_db() {
-  ipc::Writer w;
-  w.u32(kDbVersion);
-  ObjectDB& db = rt_.db();
-
-  const auto platforms = db.all_of<PlatformObj>();
-  w.u32(static_cast<std::uint32_t>(platforms.size()));
-  for (const PlatformObj* p : platforms) {
-    w.u64(p->id);
-    w.str(p->name);
-    w.u32(p->index);
-  }
-
-  const auto devices = db.all_of<DeviceObj>();
-  w.u32(static_cast<std::uint32_t>(devices.size()));
-  for (const DeviceObj* d : devices) {
-    w.u64(d->id);
-    w.u64(d->platform != nullptr ? d->platform->id : 0);
-    w.u64(d->type);
-    w.u32(d->index_in_type);
-    w.str(d->name);
-  }
-
-  const auto contexts = db.all_of<ContextObj>();
-  w.u32(static_cast<std::uint32_t>(contexts.size()));
-  for (const ContextObj* c : contexts) {
-    w.u64(c->id);
-    w.u32(static_cast<std::uint32_t>(c->devices.size()));
-    for (const DeviceObj* d : c->devices) w.u64(d->id);
-    w.u32(static_cast<std::uint32_t>(c->properties.size()));
-    for (const std::int64_t p : c->properties) w.i64(p);
-  }
-
-  const auto queues = db.all_of<QueueObj>();
-  w.u32(static_cast<std::uint32_t>(queues.size()));
-  for (const QueueObj* q : queues) {
-    w.u64(q->id);
-    w.u64(q->ctx != nullptr ? q->ctx->id : 0);
-    w.u64(q->dev != nullptr ? q->dev->id : 0);
-    w.u64(q->properties);
-  }
-
-  const auto mems = db.all_of<MemObj>();
-  w.u32(static_cast<std::uint32_t>(mems.size()));
-  for (const MemObj* m : mems) {
-    w.u64(m->id);
-    w.u64(m->ctx != nullptr ? m->ctx->id : 0);
-    w.u64(m->flags);
-    w.u64(m->size);
-    w.boolean(m->is_image);
-    w.u32(m->format.image_channel_order);
-    w.u32(m->format.image_channel_data_type);
-    w.u64(m->width);
-    w.u64(m->height);
-    w.u64(m->row_pitch);
-    w.boolean(m->use_host_ptr != nullptr);
-  }
-
-  const auto samplers = db.all_of<SamplerObj>();
-  w.u32(static_cast<std::uint32_t>(samplers.size()));
-  for (const SamplerObj* s : samplers) {
-    w.u64(s->id);
-    w.u64(s->ctx != nullptr ? s->ctx->id : 0);
-    w.u32(s->normalized);
-    w.u32(s->addressing);
-    w.u32(s->filter);
-  }
-
-  const auto programs = db.all_of<ProgramObj>();
-  w.u32(static_cast<std::uint32_t>(programs.size()));
-  for (const ProgramObj* p : programs) {
-    w.u64(p->id);
-    w.u64(p->ctx != nullptr ? p->ctx->id : 0);
-    w.str(p->source);
-    w.str(p->build_options);
-    w.boolean(p->built);
-    w.boolean(p->from_binary);
-    w.bytes(p->binary);
-  }
-
-  const auto kernels = db.all_of<KernelObj>();
-  w.u32(static_cast<std::uint32_t>(kernels.size()));
-  for (const KernelObj* k : kernels) {
-    w.u64(k->id);
-    w.u64(k->prog != nullptr ? k->prog->id : 0);
-    w.str(k->name);
-    w.u32(static_cast<std::uint32_t>(k->args.size()));
-    for (const KernelObj::ArgRec& a : k->args) {
-      w.u8(static_cast<std::uint8_t>(a.kind));
-      switch (a.kind) {
-        case KernelObj::ArgRec::Kind::Bytes: w.bytes(a.bytes); break;
-        case KernelObj::ArgRec::Kind::Mem:
-          w.u64(a.mem != nullptr ? a.mem->id : 0);
-          break;
-        case KernelObj::ArgRec::Kind::Sampler:
-          w.u64(a.sampler != nullptr ? a.sampler->id : 0);
-          break;
-        case KernelObj::ArgRec::Kind::Local: w.u64(a.local_size); break;
-        case KernelObj::ArgRec::Kind::Unset: break;
-      }
-    }
-  }
-
-  const auto events = db.all_of<EventObj>();
-  w.u32(static_cast<std::uint32_t>(events.size()));
-  for (const EventObj* e : events) {
-    w.u64(e->id);
-    w.u64(e->queue != nullptr ? e->queue->id : 0);
-    w.u32(e->command_type);
-  }
-
-  return w.take();
+  return replay::encode_db(rt_.db());
 }
 
 // ---------------------------------------------------------------------------
@@ -327,244 +217,17 @@ std::uint64_t Engine::load_with_base_chain(const std::string& path,
 // restart
 // ---------------------------------------------------------------------------
 
-cl_int Engine::recreate_platforms() {
-  proxy::Client& c = *rt_.client();
-  std::vector<proxy::RemoteHandle> remotes;
-  cl_uint total = 0;
-  if (c.get_platform_ids(16, remotes, total) != CL_SUCCESS || remotes.empty())
-    return CL_INVALID_PLATFORM;
-  // fetch names once
-  std::vector<std::string> names;
-  names.reserve(remotes.size());
-  for (const proxy::RemoteHandle h : remotes) {
-    char buf[256] = {};
-    c.get_info(proxy::Op::GetPlatformInfo, h, CL_PLATFORM_NAME, sizeof buf, buf,
-               nullptr);
-    names.emplace_back(buf);
-  }
-  for (PlatformObj* p : rt_.db().all_of<PlatformObj>()) {
-    p->remote = 0;
-    for (std::size_t i = 0; i < names.size(); ++i) {
-      if (names[i] == p->name) {
-        p->remote = remotes[i];
-        break;
-      }
-    }
-    if (p->remote == 0)
-      p->remote = remotes[std::min<std::size_t>(p->index, remotes.size() - 1)];
-  }
-  return CL_SUCCESS;
-}
-
-cl_int Engine::recreate_devices() {
-  proxy::Client& c = *rt_.client();
-  std::vector<proxy::RemoteHandle> all_platforms;
-  cl_uint total = 0;
-  c.get_platform_ids(16, all_platforms, total);
-
-  for (DeviceObj* d : rt_.db().all_of<DeviceObj>()) {
-    d->remote = 0;
-    const cl_device_type want =
-        rt_.retarget_device_type.value_or(d->type);
-    std::vector<proxy::RemoteHandle> devs;
-    cl_uint n = 0;
-    // 1) same platform, wanted type
-    if (d->platform != nullptr && d->platform->remote != 0 &&
-        c.get_device_ids(d->platform->remote, want, 16, devs, n) == CL_SUCCESS &&
-        !devs.empty()) {
-      d->remote = devs[d->index_in_type % devs.size()];
-      continue;
-    }
-    // 2) any platform, wanted type
-    bool found = false;
-    for (const proxy::RemoteHandle ph : all_platforms) {
-      if (c.get_device_ids(ph, want, 16, devs, n) == CL_SUCCESS && !devs.empty()) {
-        d->remote = devs[d->index_in_type % devs.size()];
-        found = true;
-        break;
-      }
-    }
-    if (found) continue;
-    // 3) any device anywhere (cross-device migration, e.g. GPU -> CPU node)
-    for (const proxy::RemoteHandle ph : all_platforms) {
-      if (c.get_device_ids(ph, CL_DEVICE_TYPE_ALL, 16, devs, n) == CL_SUCCESS &&
-          !devs.empty()) {
-        d->remote = devs[0];
-        found = true;
-        break;
-      }
-    }
-    if (!found) return CL_DEVICE_NOT_FOUND;
-  }
-  return CL_SUCCESS;
-}
-
-cl_int Engine::recreate_contexts() {
-  proxy::Client& c = *rt_.client();
-  for (ContextObj* ctx : rt_.db().all_of<ContextObj>()) {
-    std::vector<proxy::RemoteHandle> devs;
-    devs.reserve(ctx->devices.size());
-    for (const DeviceObj* d : ctx->devices) devs.push_back(d->remote);
-    // rewrite any CL_CONTEXT_PLATFORM property to the new platform handle
-    std::vector<std::int64_t> props = ctx->properties;
-    for (std::size_t i = 0; i + 1 < props.size(); i += 2) {
-      if (props[i] == CL_CONTEXT_PLATFORM && !ctx->devices.empty() &&
-          ctx->devices[0]->platform != nullptr) {
-        props[i + 1] =
-            static_cast<std::int64_t>(ctx->devices[0]->platform->remote);
-      }
-    }
-    proxy::RemoteHandle h = 0;
-    const cl_int err = c.create_context(props, devs, h);
-    if (err != CL_SUCCESS) return err;
-    ctx->remote = h;
-  }
-  return CL_SUCCESS;
-}
-
-cl_int Engine::recreate_queues() {
-  proxy::Client& c = *rt_.client();
-  for (QueueObj* q : rt_.db().all_of<QueueObj>()) {
-    proxy::RemoteHandle h = 0;
-    const cl_int err =
-        c.create_queue(q->ctx->remote, q->dev->remote, q->properties, h);
-    if (err != CL_SUCCESS) return err;
-    q->remote = h;
-  }
-  return CL_SUCCESS;
-}
-
-cl_int Engine::recreate_mems() {
-  proxy::Client& c = *rt_.client();
-  for (MemObj* m : rt_.db().all_of<MemObj>()) {
-    proxy::RemoteHandle h = 0;
-    // strip host-pointer flags: the data is uploaded from the snapshot copy
-    const cl_mem_flags flags =
-        m->flags & ~static_cast<cl_mem_flags>(CL_MEM_USE_HOST_PTR |
-                                              CL_MEM_COPY_HOST_PTR);
-    std::span<const std::uint8_t> data{m->snapshot.data(), m->snapshot.size()};
-    cl_int err;
-    if (m->is_image) {
-      err = c.create_image2d(m->ctx->remote, flags, m->format, m->width,
-                             m->height, m->row_pitch, data, h);
-    } else {
-      err = c.create_buffer(m->ctx->remote, flags, m->size, data, h);
-    }
-    if (err != CL_SUCCESS) return err;
-    m->remote = h;
-    m->snapshot.clear();
-    m->snapshot.shrink_to_fit();
-    m->dirty = false;  // device contents equal the restored checkpoint
-  }
-  return CL_SUCCESS;
-}
-
-cl_int Engine::recreate_samplers() {
-  proxy::Client& c = *rt_.client();
-  for (SamplerObj* s : rt_.db().all_of<SamplerObj>()) {
-    proxy::RemoteHandle h = 0;
-    const cl_int err = c.create_sampler(s->ctx->remote, s->normalized,
-                                        s->addressing, s->filter, h);
-    if (err != CL_SUCCESS) return err;
-    s->remote = h;
-  }
-  return CL_SUCCESS;
-}
-
-cl_int Engine::recreate_programs() {
-  proxy::Client& c = *rt_.client();
-  for (ProgramObj* p : rt_.db().all_of<ProgramObj>()) {
-    proxy::RemoteHandle h = 0;
-    std::vector<proxy::RemoteHandle> devs;
-    for (const DeviceObj* d : p->ctx->devices) devs.push_back(d->remote);
-    cl_int err;
-    if (p->from_binary && !p->binary.empty()) {
-      cl_int status = CL_SUCCESS;
-      err = c.create_program_with_binary(p->ctx->remote, devs, p->binary,
-                                         status, h);
-    } else {
-      err = c.create_program_with_source(p->ctx->remote, p->source, h);
-    }
-    if (err != CL_SUCCESS) return err;
-    p->remote = h;
-    if (p->built) {
-      // the recompilation the paper highlights in Figure 7
-      err = c.build_program(h, devs, p->build_options);
-      if (err != CL_SUCCESS) return err;
-    }
-  }
-  return CL_SUCCESS;
-}
-
-cl_int Engine::recreate_kernels() {
-  proxy::Client& c = *rt_.client();
-  for (KernelObj* k : rt_.db().all_of<KernelObj>()) {
-    proxy::RemoteHandle h = 0;
-    const cl_int err = c.create_kernel(k->prog->remote, k->name, h);
-    if (err != CL_SUCCESS) return err;
-    k->remote = h;
-    // re-apply recorded state changes (clSetKernelArg history)
-    for (std::size_t i = 0; i < k->args.size(); ++i) {
-      const KernelObj::ArgRec& a = k->args[i];
-      const auto idx = static_cast<cl_uint>(i);
-      switch (a.kind) {
-        case KernelObj::ArgRec::Kind::Bytes:
-          c.set_kernel_arg_bytes(h, idx, a.bytes);
-          break;
-        case KernelObj::ArgRec::Kind::Mem:
-          if (a.mem != nullptr) c.set_kernel_arg_mem(h, idx, a.mem->remote);
-          break;
-        case KernelObj::ArgRec::Kind::Sampler:
-          if (a.sampler != nullptr)
-            c.set_kernel_arg_sampler(h, idx, a.sampler->remote);
-          break;
-        case KernelObj::ArgRec::Kind::Local:
-          c.set_kernel_arg_local(h, idx, a.local_size);
-          break;
-        case KernelObj::ArgRec::Kind::Unset: break;
-      }
-    }
-  }
-  return CL_SUCCESS;
-}
-
-cl_int Engine::recreate_events() {
-  proxy::Client& c = *rt_.client();
-  for (EventObj* e : rt_.db().all_of<EventObj>()) {
-    e->remote = 0;
-    if (e->queue == nullptr || e->queue->remote == 0) continue;
-    // There is no API to create an arbitrary event; get a dummy via
-    // clEnqueueMarker — complete immediately, blocks nobody (Section III-C).
-    proxy::RemoteHandle ev = 0;
-    if (c.enqueue_marker(e->queue->remote, ev) == CL_SUCCESS) e->remote = ev;
-  }
-  return CL_SUCCESS;
-}
-
-cl_int Engine::recreate_all(RestartBreakdown* breakdown) {
-  struct Step {
-    ObjType type;
-    cl_int (Engine::*fn)();
-  };
-  const Step steps[] = {
-      {ObjType::Platform, &Engine::recreate_platforms},
-      {ObjType::Device, &Engine::recreate_devices},
-      {ObjType::Context, &Engine::recreate_contexts},
-      {ObjType::Queue, &Engine::recreate_queues},
-      {ObjType::Mem, &Engine::recreate_mems},
-      {ObjType::Sampler, &Engine::recreate_samplers},
-      {ObjType::Program, &Engine::recreate_programs},
-      {ObjType::Kernel, &Engine::recreate_kernels},
-      {ObjType::Event, &Engine::recreate_events},
-  };
-  for (const Step& s : steps) {
-    const std::uint64_t t0 = now_ns();
-    const cl_int err = (this->*s.fn)();
-    if (err != CL_SUCCESS) return err;
-    if (breakdown != nullptr)
-      breakdown->class_ns[static_cast<std::size_t>(s.type)] = now_ns() - t0;
-  }
-  return CL_SUCCESS;
+cl_int Engine::run_plan(const replay::RestorePlan& plan,
+                        RestartBreakdown* breakdown) {
+  replay::ExecOptions opts;
+  opts.parallel = rt_.restore_parallel;
+  opts.workers = rt_.restore_workers;
+  opts.batch = rt_.restore_batch;
+  replay::Executor ex(rt_, opts);
+  std::string err;
+  const cl_int e = ex.run(plan, breakdown, err, restore_counters_);
+  if (e != CL_SUCCESS) last_error_ = err;
+  return e;
 }
 
 cl_int Engine::restart_in_place(const std::string& path,
@@ -594,6 +257,12 @@ cl_int Engine::restart_in_place(const std::string& path,
     if (!load_ok) return CL_INVALID_VALUE;
   }
 
+  // Build + validate the restore plan BEFORE touching the proxy: a bad
+  // snapshot or object graph must leave the running process — and its live
+  // proxy, if any — fully intact.
+  replay::RestorePlan plan;
+  if (!plan.build(rt_.db().all(), last_error_)) return CL_INVALID_VALUE;
+
   const cl_int err = rt_.respawn_proxy(target, resume);
   if (err != CL_SUCCESS) return err;
   if (breakdown != nullptr) {
@@ -616,7 +285,7 @@ cl_int Engine::restart_in_place(const std::string& path,
       std::memcpy(reg.ptr, data->data(), reg.len);
   }
 
-  return recreate_all(breakdown);
+  return run_plan(plan, breakdown);
 }
 
 cl_int Engine::restore_fresh(const std::string& path,
@@ -645,149 +314,34 @@ cl_int Engine::restore_fresh(const std::string& path,
     initial_read_ns = io.duration_ns;
   }
   const auto* db_bytes = snap.get("checl.db");
-  if (db_bytes == nullptr) return CL_INVALID_VALUE;
+  if (db_bytes == nullptr) {
+    last_error_ = "checkpoint has no checl.db section";
+    return CL_INVALID_VALUE;
+  }
 
-  ipc::Reader r(*db_bytes);
-  if (r.u32() != kDbVersion) return CL_INVALID_VALUE;
-
-  std::unordered_map<std::uint64_t, Object*> map;
   ObjectDB& db = rt_.db();
-  auto link = [&map](std::uint64_t old_id) -> Object* {
-    const auto it = map.find(old_id);
-    return it != map.end() ? it->second : nullptr;
+  replay::DecodeResult dec = replay::decode_db(*db_bytes, db);
+  if (!dec.ok) {
+    last_error_ = dec.error;
+    return CL_INVALID_VALUE;
+  }
+  // Any failure past this point must tear the decoded objects down again, so
+  // the object database reads exactly as it did before the call.
+  const auto fail = [&](cl_int e) {
+    replay::destroy_decoded(db, dec.created);
+    return e;
   };
 
-  for (std::uint32_t n = r.u32(); n-- > 0;) {
-    auto* p = new PlatformObj();
-    const std::uint64_t old_id = r.u64();
-    p->name = r.str();
-    p->index = r.u32();
-    db.add(p);
-    map[old_id] = p;
-  }
-  for (std::uint32_t n = r.u32(); n-- > 0;) {
-    auto* d = new DeviceObj();
-    const std::uint64_t old_id = r.u64();
-    d->platform = static_cast<PlatformObj*>(link(r.u64()));
-    if (d->platform != nullptr) d->platform->retain();
-    d->type = r.u64();
-    d->index_in_type = r.u32();
-    d->name = r.str();
-    db.add(d);
-    map[old_id] = d;
-  }
-  for (std::uint32_t n = r.u32(); n-- > 0;) {
-    auto* c = new ContextObj();
-    const std::uint64_t old_id = r.u64();
-    for (std::uint32_t nd = r.u32(); nd-- > 0;) {
-      auto* d = static_cast<DeviceObj*>(link(r.u64()));
-      if (d != nullptr) {
-        d->retain();
-        c->devices.push_back(d);
-      }
-    }
-    for (std::uint32_t np = r.u32(); np-- > 0;) c->properties.push_back(r.i64());
-    db.add(c);
-    map[old_id] = c;
-  }
-  for (std::uint32_t n = r.u32(); n-- > 0;) {
-    auto* q = new QueueObj();
-    const std::uint64_t old_id = r.u64();
-    q->ctx = static_cast<ContextObj*>(link(r.u64()));
-    q->dev = static_cast<DeviceObj*>(link(r.u64()));
-    if (q->ctx != nullptr) q->ctx->retain();
-    if (q->dev != nullptr) q->dev->retain();
-    q->properties = r.u64();
-    db.add(q);
-    map[old_id] = q;
-  }
+  // refill buffer snapshots (sections are named by checkpoint-time id)
   std::vector<std::pair<MemObj*, std::uint64_t>> missing_mem_data;
-  for (std::uint32_t n = r.u32(); n-- > 0;) {
-    auto* m = new MemObj();
-    const std::uint64_t old_id = r.u64();
-    m->ctx = static_cast<ContextObj*>(link(r.u64()));
-    if (m->ctx != nullptr) m->ctx->retain();
-    m->flags = r.u64();
-    m->size = r.u64();
-    m->is_image = r.boolean();
-    m->format.image_channel_order = r.u32();
-    m->format.image_channel_data_type = r.u32();
-    m->width = r.u64();
-    m->height = r.u64();
-    m->row_pitch = r.u64();
-    const bool had_host_ptr = r.boolean();
-    (void)had_host_ptr;  // app memory is gone in a fresh process; demoted
+  for (const auto& [old_id, obj] : dec.map) {
+    if (obj->otype != ObjType::Mem) continue;
+    auto* m = static_cast<MemObj*>(obj);
     if (const auto* data = snap.get(mem_section_name(old_id)); data != nullptr)
       m->snapshot = *data;
     else
       missing_mem_data.emplace_back(m, old_id);  // incremental: in the base chain
-    db.add(m);
-    map[old_id] = m;
   }
-  for (std::uint32_t n = r.u32(); n-- > 0;) {
-    auto* s = new SamplerObj();
-    const std::uint64_t old_id = r.u64();
-    s->ctx = static_cast<ContextObj*>(link(r.u64()));
-    if (s->ctx != nullptr) s->ctx->retain();
-    s->normalized = r.u32();
-    s->addressing = r.u32();
-    s->filter = r.u32();
-    db.add(s);
-    map[old_id] = s;
-  }
-  for (std::uint32_t n = r.u32(); n-- > 0;) {
-    auto* p = new ProgramObj();
-    const std::uint64_t old_id = r.u64();
-    p->ctx = static_cast<ContextObj*>(link(r.u64()));
-    if (p->ctx != nullptr) p->ctx->retain();
-    p->source = r.str();
-    p->build_options = r.str();
-    p->built = r.boolean();
-    p->from_binary = r.boolean();
-    p->binary = r.bytes();
-    if (!p->source.empty())
-      p->signatures = ksig::parse_signatures(p->source, p->build_options);
-    db.add(p);
-    map[old_id] = p;
-  }
-  for (std::uint32_t n = r.u32(); n-- > 0;) {
-    auto* k = new KernelObj();
-    const std::uint64_t old_id = r.u64();
-    k->prog = static_cast<ProgramObj*>(link(r.u64()));
-    if (k->prog != nullptr) k->prog->retain();
-    k->name = r.str();
-    if (k->prog != nullptr) k->sig = k->prog->signatures.find(k->name);
-    for (std::uint32_t na = r.u32(); na-- > 0;) {
-      KernelObj::ArgRec a;
-      a.kind = static_cast<KernelObj::ArgRec::Kind>(r.u8());
-      switch (a.kind) {
-        case KernelObj::ArgRec::Kind::Bytes: a.bytes = r.bytes(); break;
-        case KernelObj::ArgRec::Kind::Mem:
-          a.mem = static_cast<MemObj*>(link(r.u64()));
-          if (a.mem != nullptr) a.mem->retain();
-          break;
-        case KernelObj::ArgRec::Kind::Sampler:
-          a.sampler = static_cast<SamplerObj*>(link(r.u64()));
-          if (a.sampler != nullptr) a.sampler->retain();
-          break;
-        case KernelObj::ArgRec::Kind::Local: a.local_size = r.u64(); break;
-        case KernelObj::ArgRec::Kind::Unset: break;
-      }
-      k->args.push_back(std::move(a));
-    }
-    db.add(k);
-    map[old_id] = k;
-  }
-  for (std::uint32_t n = r.u32(); n-- > 0;) {
-    auto* e = new EventObj();
-    const std::uint64_t old_id = r.u64();
-    e->queue = static_cast<QueueObj*>(link(r.u64()));
-    if (e->queue != nullptr) e->queue->retain();
-    e->command_type = r.u32();
-    db.add(e);
-    map[old_id] = e;
-  }
-  if (!r.ok()) return CL_INVALID_VALUE;
 
   // incremental checkpoints: pull missing buffer data from the base chain
   std::uint64_t chain_read_ns = 0;
@@ -802,7 +356,7 @@ cl_int Engine::restore_fresh(const std::string& path,
       if (!bio.ok) {
         last_error_ = "incremental base snapshot missing or unreadable: " +
                       base_path + " (" + bio.error + ")";
-        return CL_INVALID_VALUE;
+        return fail(CL_INVALID_VALUE);
       }
       chain_read_ns += bio.duration_ns;
       std::vector<std::pair<MemObj*, std::uint64_t>> still_missing;
@@ -819,8 +373,12 @@ cl_int Engine::restore_fresh(const std::string& path,
     }
   }
 
+  // Validate dependencies and schedule waves before spawning anything.
+  replay::RestorePlan plan;
+  if (!plan.build(dec.created, last_error_)) return fail(CL_INVALID_VALUE);
+
   const cl_int err = rt_.respawn_proxy(target, 0);
-  if (err != CL_SUCCESS) return err;
+  if (err != CL_SUCCESS) return fail(err);
   if (breakdown != nullptr) {
     breakdown->spawn_ns = target.ipc.spawn_ns;
     breakdown->read_ns = initial_read_ns + chain_read_ns;
@@ -835,9 +393,9 @@ cl_int Engine::restore_fresh(const std::string& path,
       std::memcpy(reg.ptr, data->data(), reg.len);
   }
 
-  const cl_int rerr = recreate_all(breakdown);
-  if (rerr != CL_SUCCESS) return rerr;
-  if (handle_map != nullptr) *handle_map = std::move(map);
+  const cl_int rerr = run_plan(plan, breakdown);
+  if (rerr != CL_SUCCESS) return fail(rerr);  // executor already rolled back remotes
+  if (handle_map != nullptr) *handle_map = std::move(dec.map);
   return CL_SUCCESS;
 }
 

@@ -18,6 +18,7 @@
 
 #include "core/node.h"
 #include "core/objects.h"
+#include "core/replay/exec.h"
 #include "slimcr/snapshot.h"
 #include "snapstore/store.h"
 
@@ -106,6 +107,12 @@ class Engine {
     return store_ != nullptr && store_->is_open() ? store_.get() : nullptr;
   }
 
+  // Cumulative restore-executor counters (waves, concurrency, batched calls,
+  // rollbacks); reported under "restore" by checl::stats_json().
+  [[nodiscard]] const replay::ExecCounters& restore_counters() const noexcept {
+    return restore_counters_;
+  }
+
  private:
   // Loads `path` and pulls any mem sections missing there from its base
   // chain (incremental checkpoints).  Returns total simulated read time, or
@@ -114,16 +121,9 @@ class Engine {
                                      const slimcr::StorageModel& storage,
                                      slimcr::Snapshot& out, bool* ok);
 
-  cl_int recreate_all(RestartBreakdown* breakdown);
-  cl_int recreate_platforms();
-  cl_int recreate_devices();
-  cl_int recreate_contexts();
-  cl_int recreate_queues();
-  cl_int recreate_mems();
-  cl_int recreate_samplers();
-  cl_int recreate_programs();
-  cl_int recreate_kernels();
-  cl_int recreate_events();
+  // Runs a validated RestorePlan through the transactional executor with the
+  // runtime's restore_* knobs; on failure last_error() names the object.
+  cl_int run_plan(const replay::RestorePlan& plan, RestartBreakdown* breakdown);
 
   std::uint64_t now_ns();
 
@@ -133,6 +133,7 @@ class Engine {
   std::string last_checkpoint_path_;
   std::string last_error_;
   std::unique_ptr<snapstore::Store> store_;
+  replay::ExecCounters restore_counters_;
 };
 
 }  // namespace checl::cpr

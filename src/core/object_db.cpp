@@ -31,7 +31,11 @@ void ObjectDB::add(Object* o) {
 
 void ObjectDB::remove(Object* o) {
   std::lock_guard<std::mutex> lk(mu_);
-  by_id_.erase(o->id);
+  // Only erase the id slot if it is really this object: ids are per-database,
+  // so removing an object that lives in another ObjectDB (standalone DBs in
+  // tests, decode scratch DBs) must not evict this database's same-id entry.
+  if (const auto it = by_id_.find(o->id); it != by_id_.end() && it->second == o)
+    by_id_.erase(it);
   addrs_.erase(o);
   ordered_.erase(std::remove(ordered_.begin(), ordered_.end(), o), ordered_.end());
   {

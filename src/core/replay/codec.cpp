@@ -1,0 +1,373 @@
+#include "core/replay/codec.h"
+
+#include <utility>
+
+#include "core/runtime.h"
+#include "ipc/serial.h"
+
+namespace checl::replay {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// the per-class field lists — the single source of truth
+// ---------------------------------------------------------------------------
+// Field order is the wire order of the v1 format and must only ever be
+// appended to (older streams decode through the same functions).
+
+template <class V>
+void fields(V& v, PlatformObj& p) {
+  v.str(p.name);
+  v.u32(p.index);
+}
+
+template <class V>
+void fields(V& v, DeviceObj& d) {
+  v.link(d.platform);
+  v.u64(d.type);
+  v.u32(d.index_in_type);
+  v.str(d.name);
+}
+
+template <class V>
+void fields(V& v, ContextObj& c) {
+  v.links(c.devices);
+  v.i64s(c.properties);
+}
+
+template <class V>
+void fields(V& v, QueueObj& q) {
+  v.link(q.ctx);
+  v.link(q.dev);
+  v.u64(q.properties);
+}
+
+template <class V>
+void fields(V& v, MemObj& m) {
+  v.link(m.ctx);
+  v.u64(m.flags);
+  v.u64(m.size);
+  v.boolean(m.is_image);
+  v.u32(m.format.image_channel_order);
+  v.u32(m.format.image_channel_data_type);
+  v.u64(m.width);
+  v.u64(m.height);
+  v.u64(m.row_pitch);
+  v.host_ptr_flag(m.use_host_ptr);
+}
+
+template <class V>
+void fields(V& v, SamplerObj& s) {
+  v.link(s.ctx);
+  v.u32(s.normalized);
+  v.u32(s.addressing);
+  v.u32(s.filter);
+}
+
+template <class V>
+void fields(V& v, ProgramObj& p) {
+  v.link(p.ctx);
+  v.str(p.source);
+  v.str(p.build_options);
+  v.boolean(p.built);
+  v.boolean(p.from_binary);
+  v.blob(p.binary);
+}
+
+template <class V>
+void fields(V& v, KernelObj& k) {
+  v.link(k.prog);
+  v.str(k.name);
+  v.args(k.args);
+}
+
+template <class V>
+void fields(V& v, EventObj& e) {
+  v.link(e.queue);
+  v.u32(e.command_type);
+}
+
+// Signature fixups that depend on decoded fields (no-op for most classes).
+void post_decode(Object&) {}
+void post_decode(ProgramObj& p) {
+  if (!p.source.empty())
+    p.signatures = ksig::parse_signatures(p.source, p.build_options);
+}
+void post_decode(KernelObj& k) {
+  if (k.prog != nullptr) k.sig = k.prog->signatures.find(k.name);
+}
+
+// ---------------------------------------------------------------------------
+// the two visitors
+// ---------------------------------------------------------------------------
+
+class Enc {
+ public:
+  explicit Enc(ipc::Writer& w) : w_(w) {}
+
+  template <class T>
+  void u32(const T& v) {
+    w_.u32(static_cast<std::uint32_t>(v));
+  }
+  template <class T>
+  void u64(const T& v) {
+    w_.u64(static_cast<std::uint64_t>(v));
+  }
+  void boolean(const bool& v) { w_.boolean(v); }
+  void str(const std::string& s) { w_.str(s); }
+  void blob(const std::vector<std::uint8_t>& b) { w_.bytes(b); }
+  void i64s(const std::vector<std::int64_t>& v) {
+    w_.u32(static_cast<std::uint32_t>(v.size()));
+    for (const std::int64_t x : v) w_.i64(x);
+  }
+  template <class T>
+  void link(T* const& p) {
+    w_.u64(p != nullptr ? p->id : 0);
+  }
+  template <class T>
+  void links(const std::vector<T*>& v) {
+    w_.u32(static_cast<std::uint32_t>(v.size()));
+    for (const T* p : v) w_.u64(p != nullptr ? p->id : 0);
+  }
+  // The pointer itself is meaningless in another process; only "was there
+  // one" is recorded (it demotes CL_MEM_USE_HOST_PTR on a fresh restore).
+  void host_ptr_flag(void* const& p) { w_.boolean(p != nullptr); }
+  void args(const std::vector<KernelObj::ArgRec>& args) {
+    w_.u32(static_cast<std::uint32_t>(args.size()));
+    for (const KernelObj::ArgRec& a : args) {
+      w_.u8(static_cast<std::uint8_t>(a.kind));
+      switch (a.kind) {
+        case KernelObj::ArgRec::Kind::Bytes: w_.bytes(a.bytes); break;
+        case KernelObj::ArgRec::Kind::Mem: link(a.mem); break;
+        case KernelObj::ArgRec::Kind::Sampler: link(a.sampler); break;
+        case KernelObj::ArgRec::Kind::Local: w_.u64(a.local_size); break;
+        case KernelObj::ArgRec::Kind::Unset: break;
+      }
+    }
+  }
+
+ private:
+  ipc::Writer& w_;
+};
+
+class Dec {
+ public:
+  Dec(ipc::Reader& r, const std::unordered_map<std::uint64_t, Object*>& map)
+      : r_(r), map_(map) {}
+
+  [[nodiscard]] bool bad() const noexcept { return bad_ || !r_.ok(); }
+
+  template <class T>
+  void u32(T& v) {
+    v = static_cast<T>(r_.u32());
+  }
+  template <class T>
+  void u64(T& v) {
+    v = static_cast<T>(r_.u64());
+  }
+  void boolean(bool& v) { v = r_.boolean(); }
+  void str(std::string& s) { s = r_.str(); }
+  void blob(std::vector<std::uint8_t>& b) { b = r_.bytes(); }
+  void i64s(std::vector<std::int64_t>& v) {
+    const std::uint32_t n = r_.u32();
+    for (std::uint32_t i = 0; i < n && r_.ok(); ++i) v.push_back(r_.i64());
+  }
+  // Dangling ids decode to nullptr (the v1 reader's tolerance): link
+  // *validity* is the RestorePlan's concern, not the codec's.
+  template <class T>
+  void link(T*& p) {
+    p = resolve<T>(r_.u64());
+    if (p != nullptr) p->retain();
+  }
+  template <class T>
+  void links(std::vector<T*>& v) {
+    const std::uint32_t n = r_.u32();
+    for (std::uint32_t i = 0; i < n && r_.ok(); ++i) {
+      if (T* p = resolve<T>(r_.u64()); p != nullptr) {
+        p->retain();
+        v.push_back(p);
+      }
+    }
+  }
+  void host_ptr_flag(void*& p) {
+    (void)r_.boolean();  // app memory is gone in a fresh process; demoted
+    p = nullptr;
+  }
+  void args(std::vector<KernelObj::ArgRec>& args) {
+    const std::uint32_t n = r_.u32();
+    for (std::uint32_t i = 0; i < n && r_.ok() && !bad_; ++i) {
+      KernelObj::ArgRec a;
+      const std::uint8_t kind = r_.u8();
+      if (kind > static_cast<std::uint8_t>(KernelObj::ArgRec::Kind::Local)) {
+        bad_ = true;
+        return;
+      }
+      a.kind = static_cast<KernelObj::ArgRec::Kind>(kind);
+      switch (a.kind) {
+        case KernelObj::ArgRec::Kind::Bytes: a.bytes = r_.bytes(); break;
+        case KernelObj::ArgRec::Kind::Mem: link(a.mem); break;
+        case KernelObj::ArgRec::Kind::Sampler: link(a.sampler); break;
+        case KernelObj::ArgRec::Kind::Local: a.local_size = r_.u64(); break;
+        case KernelObj::ArgRec::Kind::Unset: break;
+      }
+      args.push_back(std::move(a));
+    }
+  }
+
+ private:
+  template <class T>
+  T* resolve(std::uint64_t old_id) const {
+    const auto it = map_.find(old_id);
+    if (it == map_.end() || it->second->otype != T::kType) return nullptr;
+    return static_cast<T*>(it->second);
+  }
+
+  ipc::Reader& r_;
+  const std::unordered_map<std::uint64_t, Object*>& map_;
+  bool bad_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// container encode/decode
+// ---------------------------------------------------------------------------
+
+template <class T>
+void encode_class(ipc::Writer& w, ObjectDB& db) {
+  const auto objs = db.all_of<T>();
+  w.u32(static_cast<std::uint32_t>(T::kType));
+  w.u32(static_cast<std::uint32_t>(objs.size()));
+  ipc::Writer body;
+  Enc v(body);
+  for (T* o : objs) {
+    body.u64(o->id);
+    fields(v, *o);
+  }
+  const std::vector<std::uint8_t> bytes = body.take();
+  w.u64(bytes.size());
+  w.raw(bytes.data(), bytes.size());
+}
+
+template <class T>
+bool decode_class(ipc::Reader& r, std::uint32_t count, ObjectDB& db,
+                  DecodeResult& res) {
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    auto* o = new T();
+    const std::uint64_t old_id = r.u64();
+    Dec v(r, res.map);
+    fields(v, *o);
+    if (v.bad()) {
+      delete o;  // drops whatever deps it already retained
+      res.error = std::string("checkpoint DB: truncated or corrupt ") +
+                  obj_type_name(T::kType) + " record";
+      return false;
+    }
+    post_decode(*o);
+    db.add(o);
+    res.map[old_id] = o;
+    res.created.push_back(o);
+  }
+  if (!r.ok()) {
+    res.error = std::string("checkpoint DB: truncated ") +
+                obj_type_name(T::kType) + " section";
+    return false;
+  }
+  return true;
+}
+
+using DecodeFn = bool (*)(ipc::Reader&, std::uint32_t, ObjectDB&, DecodeResult&);
+
+// Indexed by ObjType — also the v1 stream's fixed class order.
+constexpr DecodeFn kClassDecoders[kNumObjTypes] = {
+    &decode_class<PlatformObj>, &decode_class<DeviceObj>,
+    &decode_class<ContextObj>,  &decode_class<QueueObj>,
+    &decode_class<MemObj>,      &decode_class<SamplerObj>,
+    &decode_class<ProgramObj>,  &decode_class<KernelObj>,
+    &decode_class<EventObj>,
+};
+
+bool decode_v1(ipc::Reader& r, ObjectDB& db, DecodeResult& res) {
+  for (std::size_t c = 0; c < kNumObjTypes; ++c) {
+    const std::uint32_t count = r.u32();
+    if (!kClassDecoders[c](r, count, db, res)) return false;
+  }
+  return r.ok();
+}
+
+bool decode_v2(ipc::Reader& r, ObjectDB& db, DecodeResult& res) {
+  const std::uint32_t sections = r.u32();
+  for (std::uint32_t s = 0; s < sections && r.ok(); ++s) {
+    const std::uint32_t tag = r.u32();
+    const std::uint32_t count = r.u32();
+    const std::uint64_t len = r.u64();
+    const auto body = r.view(static_cast<std::size_t>(len));
+    if (!r.ok()) {
+      res.error = "checkpoint DB: truncated section header";
+      return false;
+    }
+    if (tag >= kNumObjTypes) continue;  // future class: skip by length
+    ipc::Reader sub(body);
+    if (!kClassDecoders[tag](sub, count, db, res)) return false;
+  }
+  if (!r.ok()) {
+    res.error = "checkpoint DB: truncated section table";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_db(ObjectDB& db) {
+  ipc::Writer w;
+  w.u32(kDbVersion);
+  w.u32(static_cast<std::uint32_t>(kNumObjTypes));
+  encode_class<PlatformObj>(w, db);
+  encode_class<DeviceObj>(w, db);
+  encode_class<ContextObj>(w, db);
+  encode_class<QueueObj>(w, db);
+  encode_class<MemObj>(w, db);
+  encode_class<SamplerObj>(w, db);
+  encode_class<ProgramObj>(w, db);
+  encode_class<KernelObj>(w, db);
+  encode_class<EventObj>(w, db);
+  return w.take();
+}
+
+DecodeResult decode_db(std::span<const std::uint8_t> bytes, ObjectDB& db) {
+  DecodeResult res;
+  ipc::Reader r(bytes);
+  const std::uint32_t version = r.u32();
+  bool ok = false;
+  if (version == 1) {
+    ok = decode_v1(r, db, res);
+  } else if (version == kDbVersion) {
+    ok = decode_v2(r, db, res);
+  } else {
+    res.error =
+        "checkpoint DB: unknown version " + std::to_string(version);
+  }
+  if (!ok) {
+    destroy_decoded(db, res.created);
+    res.created.clear();
+    res.map.clear();
+    return res;
+  }
+  res.ok = true;
+  return res;
+}
+
+void destroy_decoded(ObjectDB& db, const std::vector<Object*>& created) {
+  // Reverse creation order: dependents drop their retains before the objects
+  // they depend on are unreffed, so every unref here hits refcount zero.
+  for (auto it = created.rbegin(); it != created.rend(); ++it) {
+    db.remove(*it);
+    unref_object(*it);
+  }
+}
+
+std::string object_label(const Object* o) {
+  if (o == nullptr) return "<null object>";
+  return std::string(obj_type_name(o->otype)) + "#" + std::to_string(o->id);
+}
+
+}  // namespace checl::replay

@@ -1,0 +1,63 @@
+// codec.h — one field-visitor per CheCL object class driving both the
+// checkpoint-time serializer and the restore-time deserializer.
+//
+// cpr.cpp used to spell out every class's field list twice: once in
+// serialize_db() and once in the hand-rolled reader of restore_fresh() — the
+// version-skew bug class the record/replay checkpointers avoid by replaying a
+// single declarative record.  Here each class has exactly one fields()
+// function; encode and decode are two visitors over it, so a field added in
+// one place is added everywhere.
+//
+// Container format v2: [u32 version][u32 section_count] then one section per
+// class in ObjType order: [u32 class_tag][u32 count][u64 payload_bytes]
+// [count records].  The byte length lets a reader skip sections whose class
+// tag it does not know (forward compatibility).  Each record is
+// [u64 old_id][fields...] with the field order of the v1 format, so v1
+// streams (a bare [u32 count][records] per class, fixed class order) decode
+// through the same visit functions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/object_db.h"
+#include "core/objects.h"
+
+namespace checl::replay {
+
+// v1 = flat per-class lists (pre-replay cpr.cpp); v2 = tagged, skippable
+// per-class sections.  decode_db() reads both.
+inline constexpr std::uint32_t kDbVersion = 2;
+
+// Serializes every object in `db` (the "checl.db" snapshot section).
+std::vector<std::uint8_t> encode_db(ObjectDB& db);
+
+struct DecodeResult {
+  bool ok = false;
+  std::string error;  // set when !ok, names the offending class
+  // old (checkpoint-time) id -> freshly created object, now registered in
+  // the target db under a new id.
+  std::unordered_map<std::uint64_t, Object*> map;
+  std::vector<Object*> created;  // creation (dependency) order
+};
+
+// Decodes a v1 or v2 stream into `db`: objects are allocated, linked
+// (retaining their dependencies, tolerating dangling link ids), registered,
+// and ksig signatures re-parsed.  On a malformed stream everything created
+// so far is destroyed again and `error` says why.
+DecodeResult decode_db(std::span<const std::uint8_t> bytes, ObjectDB& db);
+
+// Tears down objects produced by decode_db (reverse creation order):
+// deregisters from `db` and drops the creator reference so dependency
+// refcounts cascade.  Used by decode_db itself on a bad stream and by the
+// restore path when a later stage (base chain, proxy, executor) fails.
+void destroy_decoded(ObjectDB& db, const std::vector<Object*>& created);
+
+// "kernel#12"-style label used by restore plans, executors and their error
+// messages.
+std::string object_label(const Object* o);
+
+}  // namespace checl::replay

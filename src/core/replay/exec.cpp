@@ -1,0 +1,444 @@
+#include "core/replay/exec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/cpr.h"
+#include "core/replay/codec.h"
+#include "core/runtime.h"
+
+namespace checl::replay {
+
+namespace {
+
+proxy::Op release_op_for(ObjType t) noexcept {
+  switch (t) {
+    case ObjType::Context: return proxy::Op::ReleaseContext;
+    case ObjType::Queue: return proxy::Op::ReleaseCommandQueue;
+    case ObjType::Mem: return proxy::Op::ReleaseMemObject;
+    case ObjType::Sampler: return proxy::Op::ReleaseSampler;
+    case ObjType::Program: return proxy::Op::ReleaseProgram;
+    case ObjType::Kernel: return proxy::Op::ReleaseKernel;
+    case ObjType::Event: return proxy::Op::ReleaseEvent;
+    default: return proxy::Op::Ping;  // platforms/devices are lookups
+  }
+}
+
+// Shared state of one executor run.  Worker threads write disjoint objects;
+// the mutex guards only the failure slot and the created-handle log.
+struct RunState {
+  proxy::Client& c;
+  CheclRuntime& rt;
+
+  // Platform list + names, fetched once (platform/device waves).  A failed
+  // name fetch is recorded as such — matching skips it and the index
+  // fallback takes over explicitly, instead of comparing against a silently
+  // empty string.
+  bool platforms_fetched = false;
+  std::vector<proxy::RemoteHandle> platform_remotes;
+  std::vector<std::string> platform_names;
+  std::vector<bool> platform_name_ok;
+
+  std::atomic<std::uint64_t> completed{0};
+
+  std::mutex mu;
+  cl_int err = CL_SUCCESS;      // first failure wins
+  std::string err_label;
+  std::vector<std::pair<proxy::Op, proxy::RemoteHandle>> created;
+
+  [[nodiscard]] bool failed() noexcept {
+    std::lock_guard<std::mutex> lk(mu);
+    return err != CL_SUCCESS;
+  }
+  void fail(cl_int e, std::string label) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (err == CL_SUCCESS) {
+      err = e;
+      err_label = std::move(label);
+    }
+  }
+  void log_created(ObjType t, proxy::RemoteHandle h) {
+    std::lock_guard<std::mutex> lk(mu);
+    created.emplace_back(release_op_for(t), h);
+  }
+};
+
+void fetch_platforms(RunState& st) {
+  if (st.platforms_fetched) return;
+  st.platforms_fetched = true;
+  cl_uint total = 0;
+  st.c.get_platform_ids(16, st.platform_remotes, total);
+  st.platform_names.reserve(st.platform_remotes.size());
+  for (const proxy::RemoteHandle h : st.platform_remotes) {
+    char buf[256] = {};
+    const cl_int err = st.c.get_info(proxy::Op::GetPlatformInfo, h,
+                                     CL_PLATFORM_NAME, sizeof buf, buf, nullptr);
+    st.platform_name_ok.push_back(err == CL_SUCCESS);
+    st.platform_names.emplace_back(err == CL_SUCCESS ? buf : "");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// per-node recreation (the bodies of the former recreate_* loops)
+// ---------------------------------------------------------------------------
+
+cl_int recreate_platform(RunState& st, PlatformObj* p) {
+  p->remote = 0;
+  for (std::size_t i = 0; i < st.platform_remotes.size(); ++i) {
+    if (st.platform_name_ok[i] && st.platform_names[i] == p->name) {
+      p->remote = st.platform_remotes[i];
+      break;
+    }
+  }
+  if (p->remote == 0 && !st.platform_remotes.empty())
+    p->remote = st.platform_remotes[std::min<std::size_t>(
+        p->index, st.platform_remotes.size() - 1)];
+  return p->remote != 0 ? CL_SUCCESS : CL_INVALID_PLATFORM;
+}
+
+cl_int recreate_device(RunState& st, DeviceObj* d) {
+  d->remote = 0;
+  const cl_device_type want = st.rt.retarget_device_type.value_or(d->type);
+  std::vector<proxy::RemoteHandle> devs;
+  cl_uint n = 0;
+  // 1) same platform, wanted type
+  if (d->platform != nullptr && d->platform->remote != 0 &&
+      st.c.get_device_ids(d->platform->remote, want, 16, devs, n) ==
+          CL_SUCCESS &&
+      !devs.empty()) {
+    d->remote = devs[d->index_in_type % devs.size()];
+    return CL_SUCCESS;
+  }
+  // 2) any platform, wanted type
+  for (const proxy::RemoteHandle ph : st.platform_remotes) {
+    if (st.c.get_device_ids(ph, want, 16, devs, n) == CL_SUCCESS &&
+        !devs.empty()) {
+      d->remote = devs[d->index_in_type % devs.size()];
+      return CL_SUCCESS;
+    }
+  }
+  // 3) any device anywhere (cross-device migration, e.g. GPU -> CPU node)
+  for (const proxy::RemoteHandle ph : st.platform_remotes) {
+    if (st.c.get_device_ids(ph, CL_DEVICE_TYPE_ALL, 16, devs, n) ==
+            CL_SUCCESS &&
+        !devs.empty()) {
+      d->remote = devs[0];
+      return CL_SUCCESS;
+    }
+  }
+  return CL_DEVICE_NOT_FOUND;
+}
+
+cl_int recreate_context(RunState& st, ContextObj* ctx) {
+  std::vector<proxy::RemoteHandle> devs;
+  devs.reserve(ctx->devices.size());
+  for (const DeviceObj* d : ctx->devices) devs.push_back(d->remote);
+  // rewrite any CL_CONTEXT_PLATFORM property to the new platform handle
+  std::vector<std::int64_t> props = ctx->properties;
+  for (std::size_t i = 0; i + 1 < props.size(); i += 2) {
+    if (props[i] == CL_CONTEXT_PLATFORM && !ctx->devices.empty() &&
+        ctx->devices[0]->platform != nullptr) {
+      props[i + 1] =
+          static_cast<std::int64_t>(ctx->devices[0]->platform->remote);
+    }
+  }
+  proxy::RemoteHandle h = 0;
+  const cl_int err = st.c.create_context(props, devs, h);
+  if (err != CL_SUCCESS) return err;
+  ctx->remote = h;
+  st.log_created(ObjType::Context, h);
+  return CL_SUCCESS;
+}
+
+cl_int recreate_queue(RunState& st, QueueObj* q) {
+  // The plan guarantees non-null links; remote==0 here would mean an earlier
+  // wave lied about succeeding.  Fail by name rather than pass a bad handle.
+  if (q->ctx->remote == 0) return CL_INVALID_CONTEXT;
+  if (q->dev->remote == 0) return CL_INVALID_DEVICE;
+  proxy::RemoteHandle h = 0;
+  const cl_int err =
+      st.c.create_queue(q->ctx->remote, q->dev->remote, q->properties, h);
+  if (err != CL_SUCCESS) return err;
+  q->remote = h;
+  st.log_created(ObjType::Queue, h);
+  return CL_SUCCESS;
+}
+
+cl_int recreate_mem(RunState& st, MemObj* m) {
+  if (m->ctx->remote == 0) return CL_INVALID_CONTEXT;
+  // strip host-pointer flags: the data is uploaded from the snapshot copy
+  const cl_mem_flags flags =
+      m->flags & ~static_cast<cl_mem_flags>(CL_MEM_USE_HOST_PTR |
+                                            CL_MEM_COPY_HOST_PTR);
+  std::span<const std::uint8_t> data{m->snapshot.data(), m->snapshot.size()};
+  proxy::RemoteHandle h = 0;
+  cl_int err;
+  if (m->is_image) {
+    err = st.c.create_image2d(m->ctx->remote, flags, m->format, m->width,
+                              m->height, m->row_pitch, data, h);
+  } else {
+    err = st.c.create_buffer(m->ctx->remote, flags, m->size, data, h);
+  }
+  if (err != CL_SUCCESS) return err;
+  m->remote = h;
+  st.log_created(ObjType::Mem, h);
+  m->snapshot.clear();
+  m->snapshot.shrink_to_fit();
+  m->dirty = false;  // device contents equal the restored checkpoint
+  return CL_SUCCESS;
+}
+
+cl_int recreate_sampler(RunState& st, SamplerObj* s) {
+  if (s->ctx->remote == 0) return CL_INVALID_CONTEXT;
+  proxy::RemoteHandle h = 0;
+  const cl_int err = st.c.create_sampler(s->ctx->remote, s->normalized,
+                                         s->addressing, s->filter, h);
+  if (err != CL_SUCCESS) return err;
+  s->remote = h;
+  st.log_created(ObjType::Sampler, h);
+  return CL_SUCCESS;
+}
+
+cl_int recreate_program(RunState& st, ProgramObj* p) {
+  if (p->ctx->remote == 0) return CL_INVALID_CONTEXT;
+  std::vector<proxy::RemoteHandle> devs;
+  for (const DeviceObj* d : p->ctx->devices) devs.push_back(d->remote);
+  proxy::RemoteHandle h = 0;
+  cl_int err;
+  if (p->from_binary && !p->binary.empty()) {
+    cl_int status = CL_SUCCESS;
+    err = st.c.create_program_with_binary(p->ctx->remote, devs, p->binary,
+                                          status, h);
+  } else {
+    err = st.c.create_program_with_source(p->ctx->remote, p->source, h);
+  }
+  if (err != CL_SUCCESS) return err;
+  p->remote = h;
+  st.log_created(ObjType::Program, h);
+  if (p->built) {
+    // the recompilation the paper highlights in Figure 7
+    err = st.c.build_program(h, devs, p->build_options);
+    if (err != CL_SUCCESS) return err;
+  }
+  return CL_SUCCESS;
+}
+
+cl_int recreate_kernel(RunState& st, KernelObj* k) {
+  if (k->prog->remote == 0) return CL_INVALID_PROGRAM;
+  proxy::RemoteHandle h = 0;
+  const cl_int err = st.c.create_kernel(k->prog->remote, k->name, h);
+  if (err != CL_SUCCESS) return err;
+  k->remote = h;
+  st.log_created(ObjType::Kernel, h);
+  // re-apply recorded state changes (clSetKernelArg history); these are
+  // fire-and-forget on the client, so under ExecOptions::batch they ride
+  // the Op::Batch fast path and errors surface at the wave's sync.
+  for (std::size_t i = 0; i < k->args.size(); ++i) {
+    const KernelObj::ArgRec& a = k->args[i];
+    const auto idx = static_cast<cl_uint>(i);
+    switch (a.kind) {
+      case KernelObj::ArgRec::Kind::Bytes:
+        st.c.set_kernel_arg_bytes(h, idx, a.bytes);
+        break;
+      case KernelObj::ArgRec::Kind::Mem:
+        if (a.mem != nullptr) st.c.set_kernel_arg_mem(h, idx, a.mem->remote);
+        break;
+      case KernelObj::ArgRec::Kind::Sampler:
+        if (a.sampler != nullptr)
+          st.c.set_kernel_arg_sampler(h, idx, a.sampler->remote);
+        break;
+      case KernelObj::ArgRec::Kind::Local:
+        st.c.set_kernel_arg_local(h, idx, a.local_size);
+        break;
+      case KernelObj::ArgRec::Kind::Unset: break;
+    }
+  }
+  return CL_SUCCESS;
+}
+
+cl_int recreate_event(RunState& st, EventObj* e) {
+  e->remote = 0;
+  if (e->queue == nullptr || e->queue->remote == 0) return CL_SUCCESS;
+  // There is no API to create an arbitrary event; get a dummy via
+  // clEnqueueMarker — complete immediately, blocks nobody (Section III-C).
+  proxy::RemoteHandle ev = 0;
+  if (st.c.enqueue_marker(e->queue->remote, ev) == CL_SUCCESS) {
+    e->remote = ev;
+    st.log_created(ObjType::Event, ev);
+    // Drain the (otherwise empty) queue so the dummy reports CL_COMPLETE the
+    // moment the restore returns, not whenever the device worker gets to it.
+    st.c.finish(e->queue->remote);
+  }
+  return CL_SUCCESS;
+}
+
+cl_int recreate_node(RunState& st, Object* o) {
+  switch (o->otype) {
+    case ObjType::Platform: return recreate_platform(st, static_cast<PlatformObj*>(o));
+    case ObjType::Device: return recreate_device(st, static_cast<DeviceObj*>(o));
+    case ObjType::Context: return recreate_context(st, static_cast<ContextObj*>(o));
+    case ObjType::Queue: return recreate_queue(st, static_cast<QueueObj*>(o));
+    case ObjType::Mem: return recreate_mem(st, static_cast<MemObj*>(o));
+    case ObjType::Sampler: return recreate_sampler(st, static_cast<SamplerObj*>(o));
+    case ObjType::Program: return recreate_program(st, static_cast<ProgramObj*>(o));
+    case ObjType::Kernel: return recreate_kernel(st, static_cast<KernelObj*>(o));
+    case ObjType::Event: return recreate_event(st, static_cast<EventObj*>(o));
+  }
+  return CL_INVALID_VALUE;
+}
+
+void run_one(RunState& st, Object* o) {
+  const cl_int e = recreate_node(st, o);
+  if (e != CL_SUCCESS)
+    st.fail(e, object_label(o));
+  else
+    st.completed.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns(proxy::Client& c) {
+  cl_ulong t = 0;
+  c.sim_get_host_time_ns(t);
+  return t;
+}
+
+// On failure: release every handle this run created (reverse creation
+// order), then zero all plan remotes so the DB and the proxy agree that
+// nothing of this restore survived.
+void rollback(RunState& st, const RestorePlan& plan) {
+  for (auto it = st.created.rbegin(); it != st.created.rend(); ++it)
+    st.c.retain_release(it->first, it->second);
+  st.c.sync();
+  for (const PlanNode& n : plan.nodes()) n.obj->remote = 0;
+}
+
+}  // namespace
+
+const char* cl_error_name(cl_int err) noexcept {
+  switch (err) {
+    case CL_SUCCESS: return "CL_SUCCESS";
+    case CL_DEVICE_NOT_FOUND: return "CL_DEVICE_NOT_FOUND";
+    case CL_DEVICE_NOT_AVAILABLE: return "CL_DEVICE_NOT_AVAILABLE";
+    case CL_COMPILER_NOT_AVAILABLE: return "CL_COMPILER_NOT_AVAILABLE";
+    case CL_MEM_OBJECT_ALLOCATION_FAILURE: return "CL_MEM_OBJECT_ALLOCATION_FAILURE";
+    case CL_OUT_OF_RESOURCES: return "CL_OUT_OF_RESOURCES";
+    case CL_OUT_OF_HOST_MEMORY: return "CL_OUT_OF_HOST_MEMORY";
+    case CL_BUILD_PROGRAM_FAILURE: return "CL_BUILD_PROGRAM_FAILURE";
+    case CL_INVALID_VALUE: return "CL_INVALID_VALUE";
+    case CL_INVALID_DEVICE_TYPE: return "CL_INVALID_DEVICE_TYPE";
+    case CL_INVALID_PLATFORM: return "CL_INVALID_PLATFORM";
+    case CL_INVALID_DEVICE: return "CL_INVALID_DEVICE";
+    case CL_INVALID_CONTEXT: return "CL_INVALID_CONTEXT";
+    case CL_INVALID_QUEUE_PROPERTIES: return "CL_INVALID_QUEUE_PROPERTIES";
+    case CL_INVALID_COMMAND_QUEUE: return "CL_INVALID_COMMAND_QUEUE";
+    case CL_INVALID_HOST_PTR: return "CL_INVALID_HOST_PTR";
+    case CL_INVALID_MEM_OBJECT: return "CL_INVALID_MEM_OBJECT";
+    case CL_INVALID_IMAGE_FORMAT_DESCRIPTOR: return "CL_INVALID_IMAGE_FORMAT_DESCRIPTOR";
+    case CL_INVALID_IMAGE_SIZE: return "CL_INVALID_IMAGE_SIZE";
+    case CL_INVALID_SAMPLER: return "CL_INVALID_SAMPLER";
+    case CL_INVALID_BINARY: return "CL_INVALID_BINARY";
+    case CL_INVALID_BUILD_OPTIONS: return "CL_INVALID_BUILD_OPTIONS";
+    case CL_INVALID_PROGRAM: return "CL_INVALID_PROGRAM";
+    case CL_INVALID_PROGRAM_EXECUTABLE: return "CL_INVALID_PROGRAM_EXECUTABLE";
+    case CL_INVALID_KERNEL_NAME: return "CL_INVALID_KERNEL_NAME";
+    case CL_INVALID_KERNEL_DEFINITION: return "CL_INVALID_KERNEL_DEFINITION";
+    case CL_INVALID_KERNEL: return "CL_INVALID_KERNEL";
+    case CL_INVALID_ARG_INDEX: return "CL_INVALID_ARG_INDEX";
+    case CL_INVALID_ARG_VALUE: return "CL_INVALID_ARG_VALUE";
+    case CL_INVALID_ARG_SIZE: return "CL_INVALID_ARG_SIZE";
+    case CL_INVALID_KERNEL_ARGS: return "CL_INVALID_KERNEL_ARGS";
+    case CL_INVALID_OPERATION: return "CL_INVALID_OPERATION";
+    case CL_INVALID_BUFFER_SIZE: return "CL_INVALID_BUFFER_SIZE";
+    case CL_INVALID_EVENT: return "CL_INVALID_EVENT";
+    default: return "CL_ERROR";
+  }
+}
+
+cl_int Executor::run(const RestorePlan& plan, cpr::RestartBreakdown* breakdown,
+                     std::string& error, ExecCounters& counters) {
+  error.clear();
+  proxy::Client* client = rt_.client();
+  if (client == nullptr || !client->alive()) {
+    error = "restore executor: no live proxy";
+    return CL_DEVICE_NOT_AVAILABLE;
+  }
+  RunState st{*client, rt_};
+  counters.plans++;
+  const std::uint64_t batched_before = client->stats().batched_calls;
+  const bool saved_batching = client->batching();
+  if (opts_.batch) client->set_batching(true);
+
+  unsigned width = opts_.workers != 0
+                       ? opts_.workers
+                       : std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
+  width = std::min(width, 64u);
+
+  for (std::size_t wi = 0; wi < plan.waves().size(); ++wi) {
+    const std::vector<std::uint32_t>& wave = plan.waves()[wi];
+    const ObjType cls = plan.wave_class(wi);
+    const std::uint64_t t0 = now_ns(*client);
+    if (cls == ObjType::Platform || cls == ObjType::Device)
+      fetch_platforms(st);
+
+    const unsigned pool =
+        static_cast<unsigned>(std::min<std::size_t>(width, wave.size()));
+    bool grouped = opts_.parallel && pool > 1;
+    if (grouped && client->group_begin(pool) != CL_SUCCESS) grouped = false;
+    if (grouped) {
+      counters.parallel_waves++;
+      counters.max_concurrency =
+          std::max<std::uint64_t>(counters.max_concurrency, pool);
+      std::atomic<std::size_t> next{0};
+      std::vector<std::thread> threads;
+      threads.reserve(pool);
+      for (unsigned t = 0; t < pool; ++t) {
+        threads.emplace_back([&] {
+          for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= wave.size() || st.failed()) break;
+            run_one(st, plan.nodes()[wave[i]].obj);
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      client->group_end();
+      counters.group_rpcs += 2;
+    } else {
+      counters.max_concurrency =
+          std::max<std::uint64_t>(counters.max_concurrency, 1);
+      for (const std::uint32_t i : wave) {
+        run_one(st, plan.nodes()[i].obj);
+        if (st.failed()) break;
+      }
+    }
+    // Surface any sticky deferred error from batched replay calls inside
+    // this wave's timing window; it cannot name a single node, so the wave
+    // class stands in.
+    const cl_int defer = client->sync();
+    if (defer != CL_SUCCESS)
+      st.fail(defer, std::string(obj_type_name(cls)) + " wave (batched call)");
+    if (breakdown != nullptr)
+      breakdown->class_ns[static_cast<std::size_t>(cls)] =
+          now_ns(*client) - t0;
+    counters.waves++;
+    if (st.failed()) break;
+  }
+
+  client->set_batching(saved_batching);
+  counters.batched_calls += client->stats().batched_calls - batched_before;
+  counters.nodes_recreated += st.completed.load(std::memory_order_relaxed);
+
+  if (st.err != CL_SUCCESS) {
+    rollback(st, plan);
+    counters.rollbacks++;
+    counters.rolled_back_handles += st.created.size();
+    error = st.err_label + ": " + cl_error_name(st.err);
+    return st.err;
+  }
+  return CL_SUCCESS;
+}
+
+}  // namespace checl::replay

@@ -1,0 +1,75 @@
+// exec.h — the transactional restore executor.
+//
+// One executor serves restart_in_place, restore_fresh, and migration: it
+// walks a RestorePlan wave by wave, recreating each wave's objects — serially
+// or on a small worker pool (ExecOptions::parallel), with the kernel-arg
+// replay optionally routed through the client-side IPC batching fast path
+// (ExecOptions::batch).  Parallel waves are bracketed by GroupBegin/GroupEnd
+// proxy ops: the server records each call's simulated cost and collapses the
+// wave to its W-worker makespan, so programs — the Tr-dominant class of
+// Figure 7 — compile in (modeled) parallel.
+//
+// The run is transactional: on any failure the executor releases every remote
+// handle it created (reverse creation order), zeroes the plan objects'
+// remotes so the ObjectDB uniformly reads "nothing restored", and reports the
+// failing object by name ("kernel#12: CL_INVALID_KERNEL_NAME").  The caller
+// decides what to do with the CheCL objects themselves (restart_in_place
+// keeps them — the app still holds the handles; restore_fresh destroys the
+// decoded set).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "checl/cl.h"
+#include "core/replay/plan.h"
+
+namespace checl {
+class CheclRuntime;
+namespace cpr {
+struct RestartBreakdown;
+}
+}  // namespace checl
+
+namespace checl::replay {
+
+struct ExecOptions {
+  bool parallel = true;  // recreate independent objects of a wave concurrently
+  unsigned workers = 0;  // worker-pool width; 0 = auto (min(4, hw threads))
+  bool batch = false;    // route fire-and-forget replay calls through Op::Batch
+};
+
+// Cumulative across runs (the engine keeps one instance; stats_json reports
+// it under "restore").
+struct ExecCounters {
+  std::uint64_t plans = 0;             // executor runs started
+  std::uint64_t waves = 0;             // waves executed
+  std::uint64_t nodes_recreated = 0;   // objects successfully recreated
+  std::uint64_t parallel_waves = 0;    // waves run on the worker pool
+  std::uint64_t max_concurrency = 0;   // widest worker pool ever used
+  std::uint64_t batched_calls = 0;     // client calls absorbed into batches
+  std::uint64_t group_rpcs = 0;        // GroupBegin/GroupEnd round trips
+  std::uint64_t rollbacks = 0;         // failed runs rolled back
+  std::uint64_t rolled_back_handles = 0;  // remote handles released by rollback
+};
+
+// "CL_INVALID_KERNEL_NAME"-style name for an OpenCL error code.
+const char* cl_error_name(cl_int err) noexcept;
+
+class Executor {
+ public:
+  Executor(CheclRuntime& rt, const ExecOptions& opts) : rt_(rt), opts_(opts) {}
+
+  // Recreates every object in plan order.  On success all plan objects have
+  // live remotes and `breakdown` (when non-null) carries per-class simulated
+  // times.  On failure rolls back (see above), sets `error` to
+  // "<object>: <CL error name>", and returns the failing call's error code.
+  cl_int run(const RestorePlan& plan, cpr::RestartBreakdown* breakdown,
+             std::string& error, ExecCounters& counters);
+
+ private:
+  CheclRuntime& rt_;
+  ExecOptions opts_;
+};
+
+}  // namespace checl::replay

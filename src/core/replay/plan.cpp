@@ -1,0 +1,113 @@
+#include "core/replay/plan.h"
+
+#include <array>
+#include <unordered_map>
+
+#include "core/replay/codec.h"
+
+namespace checl::replay {
+
+namespace {
+
+// Dependencies an object cannot be recreated without.  A corrupt snapshot
+// whose links failed to resolve used to segfault in recreate_queues; now it
+// fails plan validation with the object named.
+bool collect_deps(Object* o, PlanNode& node, std::string& error) {
+  auto require = [&](Object* dep, const char* what) {
+    if (dep == nullptr) {
+      error = object_label(o) + ": missing " + what + " link in snapshot";
+      return false;
+    }
+    node.deps.push_back(dep);
+    return true;
+  };
+  auto optional = [&](Object* dep) {
+    if (dep != nullptr) node.deps.push_back(dep);
+  };
+
+  switch (o->otype) {
+    case ObjType::Platform:
+      return true;
+    case ObjType::Device:
+      optional(static_cast<DeviceObj*>(o)->platform);
+      return true;
+    case ObjType::Context:
+      for (DeviceObj* d : static_cast<ContextObj*>(o)->devices) optional(d);
+      return true;
+    case ObjType::Queue: {
+      auto* q = static_cast<QueueObj*>(o);
+      return require(q->ctx, "context") && require(q->dev, "device");
+    }
+    case ObjType::Mem:
+      return require(static_cast<MemObj*>(o)->ctx, "context");
+    case ObjType::Sampler:
+      return require(static_cast<SamplerObj*>(o)->ctx, "context");
+    case ObjType::Program:
+      return require(static_cast<ProgramObj*>(o)->ctx, "context");
+    case ObjType::Kernel: {
+      auto* k = static_cast<KernelObj*>(o);
+      if (!require(k->prog, "program")) return false;
+      for (const KernelObj::ArgRec& a : k->args) {
+        optional(a.mem);
+        optional(a.sampler);
+      }
+      return true;
+    }
+    case ObjType::Event:
+      // A null queue is legal: the event becomes a no-op (remote stays 0),
+      // exactly what the serial restore did for unresolvable queues.
+      optional(static_cast<EventObj*>(o)->queue);
+      return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RestorePlan::build(const std::vector<Object*>& objs, std::string& error) {
+  nodes_.clear();
+  waves_.clear();
+  wave_class_.clear();
+
+  nodes_.reserve(objs.size());
+  std::unordered_map<const Object*, std::uint32_t> index;
+  index.reserve(objs.size());
+  for (Object* o : objs) {
+    index.emplace(o, static_cast<std::uint32_t>(nodes_.size()));
+    nodes_.push_back(PlanNode{o, {}, 0});
+  }
+
+  for (PlanNode& n : nodes_) {
+    if (!collect_deps(n.obj, n, error)) return false;
+    for (const Object* dep : n.deps) {
+      if (index.find(dep) == index.end()) {
+        error = object_label(n.obj) + ": dependency " + object_label(dep) +
+                " is not part of the restore set";
+        return false;
+      }
+      // Every recorded edge points from a lower class to a higher one; an
+      // equal-or-higher dependency cannot be scheduled before its dependent.
+      if (static_cast<std::uint32_t>(dep->otype) >=
+          static_cast<std::uint32_t>(n.obj->otype)) {
+        error = object_label(n.obj) + ": dependency " + object_label(dep) +
+                " breaks the class order (unschedulable)";
+        return false;
+      }
+    }
+  }
+
+  // One wave per non-empty class, in ObjType (dependency) order.
+  std::array<std::vector<std::uint32_t>, kNumObjTypes> by_class;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+    by_class[static_cast<std::size_t>(nodes_[i].obj->otype)].push_back(i);
+  for (std::size_t c = 0; c < kNumObjTypes; ++c) {
+    if (by_class[c].empty()) continue;
+    for (const std::uint32_t i : by_class[c])
+      nodes_[i].wave = static_cast<std::uint32_t>(waves_.size());
+    waves_.push_back(std::move(by_class[c]));
+    wave_class_.push_back(static_cast<ObjType>(c));
+  }
+  return true;
+}
+
+}  // namespace checl::replay

@@ -1,0 +1,59 @@
+// plan.h — the dependency-graph restore plan.
+//
+// Restart used to be nine hard-coded serial recreate_* loops.  A RestorePlan
+// makes the dependency order explicit: nodes are CheCL objects, edges are the
+// recorded dependencies (platform→device→context→queue/mem/sampler/program→
+// kernel→event, plus kernel→bound arg objects), and the schedule is a list of
+// topological waves.  Everything inside one wave is mutually independent, so
+// the executor may recreate a wave's objects concurrently.
+//
+// Waves are bucketed per class in ObjType order — a valid topological order,
+// since every recorded edge points from a lower class to a higher one — which
+// keeps RestartBreakdown::class_ns attribution exact: one wave per class, the
+// wave's wall of simulated time is the class's Figure 7 bar.  The explicit
+// edges still matter: build() validates them (a corrupt snapshot fails here,
+// by name, before any remote call), rollback walks them, and the property
+// tests assert every dependency lands in an earlier wave.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/objects.h"
+
+namespace checl::replay {
+
+struct PlanNode {
+  Object* obj = nullptr;
+  std::vector<Object*> deps;  // recorded dependency edges (all in the plan)
+  std::uint32_t wave = 0;     // index into RestorePlan::waves()
+};
+
+class RestorePlan {
+ public:
+  // Builds nodes + edges from `objs` and schedules them into waves.  Fails —
+  // with `error` naming the object, e.g. "cmd_que#5: missing device link in
+  // snapshot" — when a required link is null or dangling, or an edge does not
+  // respect the class order (a cycle cannot be scheduled).
+  bool build(const std::vector<Object*>& objs, std::string& error);
+
+  [[nodiscard]] const std::vector<PlanNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  // Execution order: each wave is a list of indices into nodes().
+  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>& waves()
+      const noexcept {
+    return waves_;
+  }
+  [[nodiscard]] ObjType wave_class(std::size_t w) const noexcept {
+    return wave_class_[w];
+  }
+
+ private:
+  std::vector<PlanNode> nodes_;
+  std::vector<std::vector<std::uint32_t>> waves_;
+  std::vector<ObjType> wave_class_;
+};
+
+}  // namespace checl::replay

@@ -152,6 +152,9 @@ void CheclRuntime::reset_all() {
   checkpoint_requested_.store(false, std::memory_order_release);
   ckpt_after_kernel_.store(-1, std::memory_order_release);
   retarget_device_type.reset();
+  restore_parallel = true;
+  restore_workers = 0;
+  restore_batch = false;
   mode = CheckpointMode::Delayed;
   incremental_checkpoints = false;
   store_checkpoints = false;

@@ -54,6 +54,12 @@ class CheclRuntime {
   // Retarget every device to the first device of this type on restore —
   // the paper's runtime processor selection (Section IV-C).
   std::optional<cl_device_type> retarget_device_type;
+  // Restore executor knobs (see replay/exec.h): recreate independent objects
+  // of a dependency wave concurrently / via how many workers (0 = auto) /
+  // with fire-and-forget replay calls routed through IPC batching.
+  bool restore_parallel = true;
+  unsigned restore_workers = 0;
+  bool restore_batch = false;
 
   // ---- proxy ------------------------------------------------------------
   // Spawns + configures the API proxy on first use.  Returns CL_SUCCESS or

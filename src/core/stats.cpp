@@ -20,6 +20,11 @@ void append_kv(std::ostringstream& os, const char* key, std::uint64_t v,
 }  // namespace
 
 std::string stats_json(proxy::Client* client, const snapstore::Store* store) {
+  return stats_json(client, store, nullptr);
+}
+
+std::string stats_json(proxy::Client* client, const snapstore::Store* store,
+                       const replay::ExecCounters* restore) {
   std::ostringstream os;
   os << "{\"ipc\": ";
   if (client == nullptr) {
@@ -65,13 +70,31 @@ std::string stats_json(proxy::Client* client, const snapstore::Store* store) {
     append_kv(os, "bytes_read", st.bytes_read, first);
     os << "}";
   }
+  os << ", \"restore\": ";
+  if (restore == nullptr) {
+    os << "null";
+  } else {
+    bool first = true;
+    os << "{";
+    append_kv(os, "plans", restore->plans, first);
+    append_kv(os, "waves", restore->waves, first);
+    append_kv(os, "nodes_recreated", restore->nodes_recreated, first);
+    append_kv(os, "parallel_waves", restore->parallel_waves, first);
+    append_kv(os, "max_concurrency", restore->max_concurrency, first);
+    append_kv(os, "batched_calls", restore->batched_calls, first);
+    append_kv(os, "group_rpcs", restore->group_rpcs, first);
+    append_kv(os, "rollbacks", restore->rollbacks, first);
+    append_kv(os, "rolled_back_handles", restore->rolled_back_handles, first);
+    os << "}";
+  }
   os << "}";
   return os.str();
 }
 
 std::string stats_json() {
   CheclRuntime& rt = CheclRuntime::instance();
-  return stats_json(rt.client(), rt.engine().store_if_open());
+  cpr::Engine& eng = rt.engine();
+  return stats_json(rt.client(), eng.store_if_open(), &eng.restore_counters());
 }
 
 }  // namespace checl

@@ -18,7 +18,14 @@ class Client;
 
 namespace checl {
 
+namespace replay {
+struct ExecCounters;
+}
+
 // Explicit sources (benches that own their Client / Store directly).
+// `restore`, when non-null, adds the restore executor's counters.
+std::string stats_json(proxy::Client* client, const snapstore::Store* store,
+                       const replay::ExecCounters* restore);
 std::string stats_json(proxy::Client* client, const snapstore::Store* store);
 
 // Pulls from the process-wide CheclRuntime: its proxy client and the

@@ -593,4 +593,27 @@ cl_int Client::sim_advance_host_ns(cl_ulong dt) {
   return r ? r->i32() : kProxyGone;
 }
 
+cl_int Client::group_begin(std::uint32_t workers) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w = acquire_writer();
+  w.u32(workers);
+  auto r = call(Op::GroupBegin, w);
+  return r ? r->i32() : kProxyGone;
+}
+
+cl_int Client::group_end(std::uint64_t* serial_ns, std::uint64_t* makespan_ns) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ipc::Writer w = acquire_writer();
+  // call() flushes any pending batch first, so calls queued inside the group
+  // are scheduled onto the group's workers before the clock is collapsed.
+  auto r = call(Op::GroupEnd, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  const std::uint64_t serial = r->u64();
+  const std::uint64_t makespan = r->u64();
+  if (serial_ns != nullptr) *serial_ns = serial;
+  if (makespan_ns != nullptr) *makespan_ns = makespan;
+  return err;
+}
+
 }  // namespace proxy

@@ -142,6 +142,16 @@ class Client {
   cl_int sim_get_host_time_ns(cl_ulong& t);
   cl_int sim_advance_host_ns(cl_ulong dt);
 
+  // ---- parallel-section brackets ----------------------------------------
+  // The restore executor wraps a concurrently-recreated wave in these: the
+  // server list-schedules the bracketed calls' simulated costs onto
+  // `workers` virtual workers and, at group_end, rewinds the host clock from
+  // the serial sum to the makespan.  group_end flushes any pending batch
+  // (it is a synchronous call) so batched calls stay inside their group.
+  cl_int group_begin(std::uint32_t workers);
+  cl_int group_end(std::uint64_t* serial_ns = nullptr,
+                   std::uint64_t* makespan_ns = nullptr);
+
  private:
   // Pulls a recycled buffer so marshalling never re-allocates on the hot
   // path.  Caller must hold mu_.

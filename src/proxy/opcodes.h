@@ -95,6 +95,16 @@ enum class Op : std::uint32_t {
   // batches are rejected inside a batch.  The whole frame is charged one
   // per_call_ns — that is the modeled (and real) saving of batching.
   Batch,
+
+  // Parallel-section brackets for the restore executor.  Between GroupBegin
+  // and GroupEnd the server records each measured request's simulated cost
+  // and greedily list-schedules it onto W virtual workers; GroupEnd rewinds
+  // the host clock from the serial sum to the W-worker makespan.  Payloads:
+  // GroupBegin [u32 workers] -> [i32 err]; GroupEnd -> [i32 err][u64
+  // serial_ns][u64 makespan_ns].  Both are measurement instruments: exempt
+  // from IPC cost charging and rejected inside a Batch frame.
+  GroupBegin,
+  GroupEnd,
 };
 
 // clSetKernelArg argument kinds on the wire: the *client* (CheCL wrapper) has

@@ -72,6 +72,13 @@ struct ServerState {
   // Non-zero when dispatch already sent the response via send_reserved;
   // serve() charges these bytes and skips its own send.
   std::size_t resp_sent_bytes = 0;
+  // Group (parallel-section) modeling: while active, serve() records each
+  // measured request's host-clock delta and greedily assigns it to the
+  // least-loaded virtual worker.  GroupEnd collapses the serially-advanced
+  // span to max(group_worker_ns).
+  bool group_active = false;
+  simcl::SimNs group_t0 = 0;
+  std::vector<simcl::SimNs> group_worker_ns;
 };
 
 void charge(const ServerState& st, std::size_t bytes) {
@@ -587,6 +594,38 @@ bool dispatch(ServerState& st, Op op, Reader& r, Writer& w) {
       return true;
     }
 
+    case Op::GroupBegin: {
+      const std::uint32_t workers = r.u32();
+      if (st.group_active || workers == 0) {
+        w.i32(CL_INVALID_OPERATION);
+        return true;
+      }
+      st.group_active = true;
+      st.group_t0 = simcl::Runtime::instance().clock().host_now();
+      st.group_worker_ns.assign(std::min<std::uint32_t>(workers, 64), 0);
+      w.i32(CL_SUCCESS);
+      return true;
+    }
+    case Op::GroupEnd: {
+      if (!st.group_active) {
+        w.i32(CL_INVALID_OPERATION);
+        return true;
+      }
+      st.group_active = false;
+      simcl::Clock& clock = simcl::Runtime::instance().clock();
+      const simcl::SimNs serial = clock.host_now() - st.group_t0;
+      const simcl::SimNs makespan = *std::max_element(
+          st.group_worker_ns.begin(), st.group_worker_ns.end());
+      // Rewind only — a group never makes time go forward past the serial
+      // schedule (makespan == serial when one worker did all the work).
+      if (makespan < serial) clock.set_host(st.group_t0 + makespan);
+      st.group_worker_ns.clear();
+      w.i32(CL_SUCCESS);
+      w.u64(serial);
+      w.u64(makespan);
+      return true;
+    }
+
     case Op::Batch: {
       // A client-side queue of fire-and-forget calls: dispatch each in order,
       // discard the individual responses, report only the first error (the
@@ -602,9 +641,11 @@ bool dispatch(ServerState& st, Op op, Reader& r, Writer& w) {
         auto body = r.view(len);
         if (!r.ok()) break;
         cl_int err = CL_INVALID_OPERATION;
-        // control ops and nested batches have no business inside a batch
+        // control ops, group brackets and nested batches have no business
+        // inside a batch
         if (sub_op != Op::Batch && sub_op != Op::Configure &&
-            sub_op != Op::Ping && sub_op != Op::Shutdown) {
+            sub_op != Op::Ping && sub_op != Op::Shutdown &&
+            sub_op != Op::GroupBegin && sub_op != Op::GroupEnd) {
           Reader sub(body);
           Writer subw;
           dispatch(st, sub_op, sub, subw);
@@ -638,7 +679,10 @@ void serve(ipc::Channel& ch) {
     // A batch frame is one wire message and charged as one call: that is the
     // modeled (and real) saving of client-side batching.
     const bool measured = op != Op::SimGetHostTimeNS && op != Op::SimAdvanceHostNS &&
-                          op != Op::Configure && op != Op::Ping && op != Op::Shutdown;
+                          op != Op::Configure && op != Op::Ping && op != Op::Shutdown &&
+                          op != Op::GroupBegin && op != Op::GroupEnd;
+    const simcl::SimNs t_req =
+        simcl::Runtime::instance().clock().host_now();
     if (measured) {
       simcl::Runtime::instance().clock().advance_host(st.costs.per_call_ns);
       charge(st, req.bytes().size());
@@ -648,16 +692,27 @@ void serve(ipc::Channel& ch) {
     const bool keep_going = dispatch(st, op, r, w);
     ch.release_rx();  // the request view is dead; free ring space for the
                       // client's next bulk send before we block in ours
+    // Assign this request's full simulated cost (charges + dispatch work) to
+    // the least-loaded virtual worker of an active group.
+    const auto record_group = [&] {
+      if (!st.group_active || !measured) return;
+      const simcl::SimNs d =
+          simcl::Runtime::instance().clock().host_now() - t_req;
+      *std::min_element(st.group_worker_ns.begin(),
+                        st.group_worker_ns.end()) += d;
+    };
     if (st.resp_sent_bytes != 0) {
       // dispatch materialized and sent the response in the data plane
       if (measured) charge(st, st.resp_sent_bytes);
       st.resp_sent_bytes = 0;
+      record_group();
       if (!keep_going) return;
       continue;
     }
     resp.op = req.op;
     resp.payload = w.take();
     if (measured) charge(st, resp.payload.size() + st.resp_bulk.size());
+    record_group();
     const bool sent = ch.send2(resp, st.resp_bulk);
     st.resp_bulk = {};
     if (!sent) return;

@@ -34,6 +34,13 @@ class Clock {
     }
   }
 
+  // Rewind/set the host timeline absolutely.  Only the proxy's group
+  // scheduler uses this: after GroupEnd it replaces the serially-accumulated
+  // span of a concurrent-recreation wave with the wave's W-worker makespan.
+  void set_host(SimNs t) noexcept {
+    host_ns_.store(t, std::memory_order_release);
+  }
+
   void reset() noexcept { host_ns_.store(0, std::memory_order_release); }
 
  private:

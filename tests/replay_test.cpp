@@ -1,0 +1,687 @@
+// replay_test.cpp — the replayable object graph: codec round trips over
+// randomized graphs, v1 backward compatibility, forward-compatible section
+// skipping, restore-plan dependency validation, and the transactional
+// parallel executor (speedup, counters, rollback on injected failure).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "checl/checl.h"
+#include "checl/cl.h"
+#include "core/cpr.h"
+#include "core/object_db.h"
+#include "core/replay/codec.h"
+#include "core/replay/exec.h"
+#include "core/replay/plan.h"
+#include "core/runtime.h"
+#include "core/stats.h"
+#include "ipc/serial.h"
+#include "slimcr/snapshot.h"
+
+namespace {
+
+using checl::ContextObj;
+using checl::DeviceObj;
+using checl::EventObj;
+using checl::KernelObj;
+using checl::MemObj;
+using checl::Object;
+using checl::ObjectDB;
+using checl::ObjType;
+using checl::PlatformObj;
+using checl::ProgramObj;
+using checl::QueueObj;
+using checl::SamplerObj;
+
+// A standalone object database that tears its contents down on scope exit
+// (reverse creation order, the same walk the restore path uses).
+struct Graph {
+  ObjectDB db;
+  ~Graph() { checl::replay::destroy_decoded(db, db.all()); }
+};
+
+// Builds a random but well-formed object graph: every required link points at
+// an earlier object of the right class, optional links may be anything.
+void build_random(ObjectDB& db, std::mt19937& rng) {
+  auto n_between = [&](std::uint32_t lo, std::uint32_t hi) {
+    return lo + rng() % (hi - lo + 1);
+  };
+
+  std::vector<PlatformObj*> plats;
+  for (std::uint32_t i = 0, n = n_between(1, 2); i < n; ++i) {
+    auto* p = new PlatformObj();
+    p->name = "SimCL test platform " + std::to_string(i);
+    p->index = i;
+    db.add(p);
+    plats.push_back(p);
+  }
+  std::vector<DeviceObj*> devs;
+  for (std::uint32_t i = 0, n = n_between(1, 3); i < n; ++i) {
+    auto* d = new DeviceObj();
+    d->platform = plats[rng() % plats.size()];
+    d->platform->retain();
+    d->type = rng() % 2 == 0 ? CL_DEVICE_TYPE_GPU : CL_DEVICE_TYPE_CPU;
+    d->index_in_type = i;
+    d->name = "dev" + std::to_string(i);
+    db.add(d);
+    devs.push_back(d);
+  }
+  std::vector<ContextObj*> ctxs;
+  for (std::uint32_t i = 0, n = n_between(1, 2); i < n; ++i) {
+    auto* c = new ContextObj();
+    for (std::uint32_t j = 0, nd = n_between(1, 2); j < nd; ++j) {
+      DeviceObj* d = devs[rng() % devs.size()];
+      d->retain();
+      c->devices.push_back(d);
+    }
+    if (rng() % 2 == 0)
+      c->properties = {CL_CONTEXT_PLATFORM,
+                       static_cast<std::int64_t>(rng() % 1000), 0};
+    db.add(c);
+    ctxs.push_back(c);
+  }
+  auto pick_ctx = [&] {
+    ContextObj* c = ctxs[rng() % ctxs.size()];
+    c->retain();
+    return c;
+  };
+  std::vector<QueueObj*> queues;
+  for (std::uint32_t i = 0, n = n_between(0, 3); i < n; ++i) {
+    auto* q = new QueueObj();
+    q->ctx = pick_ctx();
+    q->dev = devs[rng() % devs.size()];
+    q->dev->retain();
+    q->properties = rng() % 2;
+    db.add(q);
+    queues.push_back(q);
+  }
+  std::vector<MemObj*> mems;
+  for (std::uint32_t i = 0, n = n_between(0, 4); i < n; ++i) {
+    auto* m = new MemObj();
+    m->ctx = pick_ctx();
+    m->flags = CL_MEM_READ_WRITE;
+    m->size = 64 * (1 + rng() % 8);
+    if (rng() % 4 == 0) {
+      m->is_image = true;
+      m->format = {CL_RGBA, CL_UNSIGNED_INT8};
+      m->width = 8 + rng() % 8;
+      m->height = 8;
+      m->row_pitch = 0;
+    }
+    db.add(m);
+    mems.push_back(m);
+  }
+  std::vector<SamplerObj*> samplers;
+  for (std::uint32_t i = 0, n = n_between(0, 2); i < n; ++i) {
+    auto* s = new SamplerObj();
+    s->ctx = pick_ctx();
+    s->normalized = rng() % 2;
+    db.add(s);
+    samplers.push_back(s);
+  }
+  std::vector<ProgramObj*> progs;
+  for (std::uint32_t i = 0, n = n_between(0, 3); i < n; ++i) {
+    auto* p = new ProgramObj();
+    p->ctx = pick_ctx();
+    p->source = "__kernel void k" + std::to_string(i) +
+                "(__global float* d, int n) { d[0] = n; }";
+    p->build_options = rng() % 2 == 0 ? "" : "-DX=1";
+    p->built = rng() % 2 == 0;
+    db.add(p);
+    progs.push_back(p);
+  }
+  for (std::uint32_t i = 0, n = progs.empty() ? 0 : n_between(0, 3); i < n;
+       ++i) {
+    auto* k = new KernelObj();
+    k->prog = progs[rng() % progs.size()];
+    k->prog->retain();
+    k->name = "k" + std::to_string(i);
+    for (std::uint32_t a = 0, na = n_between(0, 3); a < na; ++a) {
+      KernelObj::ArgRec rec;
+      switch (rng() % 4) {
+        case 0:
+          rec.kind = KernelObj::ArgRec::Kind::Bytes;
+          rec.bytes = {1, 2, 3, static_cast<std::uint8_t>(rng() % 255)};
+          break;
+        case 1:
+          if (!mems.empty()) {
+            rec.kind = KernelObj::ArgRec::Kind::Mem;
+            rec.mem = mems[rng() % mems.size()];
+            rec.mem->retain();
+          }
+          break;
+        case 2:
+          if (!samplers.empty()) {
+            rec.kind = KernelObj::ArgRec::Kind::Sampler;
+            rec.sampler = samplers[rng() % samplers.size()];
+            rec.sampler->retain();
+          }
+          break;
+        default:
+          rec.kind = KernelObj::ArgRec::Kind::Local;
+          rec.local_size = 16 * (1 + rng() % 4);
+          break;
+      }
+      k->args.push_back(std::move(rec));
+    }
+    db.add(k);
+  }
+  for (std::uint32_t i = 0, n = queues.empty() ? 0 : n_between(0, 2); i < n;
+       ++i) {
+    auto* e = new EventObj();
+    e->queue = queues[rng() % queues.size()];
+    e->queue->retain();
+    e->command_type = CL_COMMAND_MARKER;
+    db.add(e);
+  }
+}
+
+// Decoded counterpart of an original object (nullptr when absent).
+Object* twin(const std::unordered_map<std::uint64_t, Object*>& map,
+             const Object* orig) {
+  if (orig == nullptr) return nullptr;
+  const auto it = map.find(orig->id);
+  return it != map.end() ? it->second : nullptr;
+}
+
+void expect_equal(const std::unordered_map<std::uint64_t, Object*>& map,
+                  const Object* orig, const Object* copy) {
+  ASSERT_NE(copy, nullptr) << checl::replay::object_label(orig);
+  ASSERT_EQ(copy->otype, orig->otype);
+  switch (orig->otype) {
+    case ObjType::Platform: {
+      const auto* a = static_cast<const PlatformObj*>(orig);
+      const auto* b = static_cast<const PlatformObj*>(copy);
+      EXPECT_EQ(b->name, a->name);
+      EXPECT_EQ(b->index, a->index);
+      break;
+    }
+    case ObjType::Device: {
+      const auto* a = static_cast<const DeviceObj*>(orig);
+      const auto* b = static_cast<const DeviceObj*>(copy);
+      EXPECT_EQ(b->platform, twin(map, a->platform));
+      EXPECT_EQ(b->type, a->type);
+      EXPECT_EQ(b->index_in_type, a->index_in_type);
+      EXPECT_EQ(b->name, a->name);
+      break;
+    }
+    case ObjType::Context: {
+      const auto* a = static_cast<const ContextObj*>(orig);
+      const auto* b = static_cast<const ContextObj*>(copy);
+      ASSERT_EQ(b->devices.size(), a->devices.size());
+      for (std::size_t i = 0; i < a->devices.size(); ++i)
+        EXPECT_EQ(b->devices[i], twin(map, a->devices[i]));
+      EXPECT_EQ(b->properties, a->properties);
+      break;
+    }
+    case ObjType::Queue: {
+      const auto* a = static_cast<const QueueObj*>(orig);
+      const auto* b = static_cast<const QueueObj*>(copy);
+      EXPECT_EQ(b->ctx, twin(map, a->ctx));
+      EXPECT_EQ(b->dev, twin(map, a->dev));
+      EXPECT_EQ(b->properties, a->properties);
+      break;
+    }
+    case ObjType::Mem: {
+      const auto* a = static_cast<const MemObj*>(orig);
+      const auto* b = static_cast<const MemObj*>(copy);
+      EXPECT_EQ(b->ctx, twin(map, a->ctx));
+      EXPECT_EQ(b->flags, a->flags);
+      EXPECT_EQ(b->size, a->size);
+      EXPECT_EQ(b->is_image, a->is_image);
+      EXPECT_EQ(b->format.image_channel_order, a->format.image_channel_order);
+      EXPECT_EQ(b->width, a->width);
+      EXPECT_EQ(b->height, a->height);
+      break;
+    }
+    case ObjType::Sampler: {
+      const auto* a = static_cast<const SamplerObj*>(orig);
+      const auto* b = static_cast<const SamplerObj*>(copy);
+      EXPECT_EQ(b->ctx, twin(map, a->ctx));
+      EXPECT_EQ(b->normalized, a->normalized);
+      EXPECT_EQ(b->addressing, a->addressing);
+      EXPECT_EQ(b->filter, a->filter);
+      break;
+    }
+    case ObjType::Program: {
+      const auto* a = static_cast<const ProgramObj*>(orig);
+      const auto* b = static_cast<const ProgramObj*>(copy);
+      EXPECT_EQ(b->ctx, twin(map, a->ctx));
+      EXPECT_EQ(b->source, a->source);
+      EXPECT_EQ(b->build_options, a->build_options);
+      EXPECT_EQ(b->built, a->built);
+      EXPECT_EQ(b->from_binary, a->from_binary);
+      EXPECT_EQ(b->binary, a->binary);
+      break;
+    }
+    case ObjType::Kernel: {
+      const auto* a = static_cast<const KernelObj*>(orig);
+      const auto* b = static_cast<const KernelObj*>(copy);
+      EXPECT_EQ(b->prog, twin(map, a->prog));
+      EXPECT_EQ(b->name, a->name);
+      ASSERT_EQ(b->args.size(), a->args.size());
+      for (std::size_t i = 0; i < a->args.size(); ++i) {
+        EXPECT_EQ(b->args[i].kind, a->args[i].kind);
+        EXPECT_EQ(b->args[i].bytes, a->args[i].bytes);
+        EXPECT_EQ(b->args[i].mem, twin(map, a->args[i].mem));
+        EXPECT_EQ(b->args[i].sampler, twin(map, a->args[i].sampler));
+        EXPECT_EQ(b->args[i].local_size, a->args[i].local_size);
+      }
+      break;
+    }
+    case ObjType::Event: {
+      const auto* a = static_cast<const EventObj*>(orig);
+      const auto* b = static_cast<const EventObj*>(copy);
+      EXPECT_EQ(b->queue, twin(map, a->queue));
+      EXPECT_EQ(b->command_type, a->command_type);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// codec
+// ---------------------------------------------------------------------------
+
+TEST(ReplayCodec, RoundTripRandomGraphsPreserveFieldsAndLinks) {
+  for (std::uint32_t seed = 0; seed < 8; ++seed) {
+    std::mt19937 rng(seed);
+    Graph orig;
+    build_random(orig.db, rng);
+
+    const std::vector<std::uint8_t> bytes = checl::replay::encode_db(orig.db);
+    Graph copy;
+    checl::replay::DecodeResult dec =
+        checl::replay::decode_db(bytes, copy.db);
+    ASSERT_TRUE(dec.ok) << "seed " << seed << ": " << dec.error;
+    ASSERT_EQ(dec.created.size(), orig.db.size());
+    for (Object* o : orig.db.all()) expect_equal(dec.map, o, twin(dec.map, o));
+
+    // and the decoded graph schedules: every dependency in a strictly
+    // earlier wave
+    checl::replay::RestorePlan plan;
+    std::string err;
+    ASSERT_TRUE(plan.build(dec.created, err)) << "seed " << seed << ": " << err;
+    std::unordered_map<const Object*, std::uint32_t> wave_of;
+    for (const checl::replay::PlanNode& n : plan.nodes())
+      wave_of[n.obj] = n.wave;
+    for (const checl::replay::PlanNode& n : plan.nodes())
+      for (const Object* dep : n.deps)
+        EXPECT_LT(wave_of.at(dep), n.wave)
+            << checl::replay::object_label(n.obj) << " scheduled before its "
+            << checl::replay::object_label(dep);
+  }
+}
+
+TEST(ReplayCodec, DecodesV1StreamsThroughTheSameFieldLists) {
+  // A v1 stream as the pre-replay serialize_db() wrote it: bare [u32 count]
+  // per class in ObjType order, no tags, no section lengths.
+  ipc::Writer w;
+  w.u32(1);           // version
+  w.u32(1);           // platforms
+  w.u64(10);          //   id
+  w.str("SimCL v1 platform");
+  w.u32(0);
+  w.u32(1);           // devices
+  w.u64(11);
+  w.u64(10);          //   platform link
+  w.u64(CL_DEVICE_TYPE_GPU);
+  w.u32(0);
+  w.str("gpu0");
+  w.u32(1);           // contexts
+  w.u64(12);
+  w.u32(1);           //   one device
+  w.u64(11);
+  w.u32(0);           //   no properties
+  w.u32(1);           // queues
+  w.u64(13);
+  w.u64(12);
+  w.u64(11);
+  w.u64(0);
+  w.u32(0);           // mems
+  w.u32(0);           // samplers
+  w.u32(1);           // programs
+  w.u64(14);
+  w.u64(12);
+  w.str("__kernel void add1(__global float* d, int n) { d[0] = n; }");
+  w.str("");
+  w.boolean(true);    //   built
+  w.boolean(false);
+  w.bytes({});
+  w.u32(1);           // kernels
+  w.u64(15);
+  w.u64(14);
+  w.str("add1");
+  w.u32(1);           //   one recorded arg
+  w.u8(0);            //   Kind::Unset
+  w.u32(0);           // events
+
+  Graph g;
+  checl::replay::DecodeResult dec =
+      checl::replay::decode_db(w.take(), g.db);
+  ASSERT_TRUE(dec.ok) << dec.error;
+  EXPECT_EQ(dec.created.size(), 6u);
+  auto* k = static_cast<KernelObj*>(dec.map.at(15));
+  ASSERT_EQ(k->otype, ObjType::Kernel);
+  EXPECT_EQ(k->prog, dec.map.at(14));
+  // post-decode fixups ran: the program's source was re-parsed and the
+  // kernel's signature resolved
+  EXPECT_NE(k->sig, nullptr);
+}
+
+TEST(ReplayCodec, TruncatedStreamRejectedAndCleanedUp) {
+  std::mt19937 rng(99);
+  Graph orig;
+  build_random(orig.db, rng);
+  std::vector<std::uint8_t> bytes = checl::replay::encode_db(orig.db);
+  bytes.resize(bytes.size() / 2);
+
+  Graph g;
+  checl::replay::DecodeResult dec = checl::replay::decode_db(bytes, g.db);
+  EXPECT_FALSE(dec.ok);
+  EXPECT_FALSE(dec.error.empty());
+  EXPECT_EQ(g.db.size(), 0u);  // nothing leaked into the database
+  EXPECT_TRUE(dec.map.empty());
+}
+
+TEST(ReplayCodec, UnknownVersionRejected) {
+  ipc::Writer w;
+  w.u32(99);
+  Graph g;
+  checl::replay::DecodeResult dec =
+      checl::replay::decode_db(w.take(), g.db);
+  EXPECT_FALSE(dec.ok);
+  EXPECT_NE(dec.error.find("unknown version"), std::string::npos);
+}
+
+TEST(ReplayCodec, UnknownV2SectionSkippedByLength) {
+  // version 2, two sections: a platform section and a future class this
+  // build has never heard of — which must be skipped, not rejected.
+  ipc::Writer body;
+  body.u64(7);  // old id
+  body.str("SimCL future-proof platform");
+  body.u32(0);
+  const std::vector<std::uint8_t> platform_body = body.take();
+
+  ipc::Writer w;
+  w.u32(2);  // version
+  w.u32(2);  // sections
+  w.u32(0);  // tag: Platform
+  w.u32(1);
+  w.u64(platform_body.size());
+  w.raw(platform_body.data(), platform_body.size());
+  w.u32(42);  // tag: some future class
+  w.u32(3);
+  const std::uint8_t junk[9] = {0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5};
+  w.u64(sizeof junk);
+  w.raw(junk, sizeof junk);
+
+  Graph g;
+  checl::replay::DecodeResult dec =
+      checl::replay::decode_db(w.take(), g.db);
+  ASSERT_TRUE(dec.ok) << dec.error;
+  ASSERT_EQ(dec.created.size(), 1u);
+  EXPECT_EQ(static_cast<PlatformObj*>(dec.map.at(7))->name,
+            "SimCL future-proof platform");
+}
+
+// ---------------------------------------------------------------------------
+// plan
+// ---------------------------------------------------------------------------
+
+TEST(ReplayPlan, MissingQueueLinkFailsWithObjectName) {
+  // The pre-plan restore dereferenced q->ctx unchecked (a corrupt snapshot
+  // segfaulted); now it is a validation error naming the queue.
+  Graph g;
+  auto* q = new QueueObj();  // ctx and dev both null
+  g.db.add(q);
+  checl::replay::RestorePlan plan;
+  std::string err;
+  EXPECT_FALSE(plan.build(g.db.all(), err));
+  EXPECT_NE(err.find("cmd_que#"), std::string::npos) << err;
+  EXPECT_NE(err.find("missing context"), std::string::npos) << err;
+}
+
+TEST(ReplayPlan, DanglingDependencyOutsideRestoreSetFails) {
+  Graph g;
+  auto* ctx = new ContextObj();
+  g.db.add(ctx);
+  auto* m = new MemObj();
+  m->ctx = ctx;
+  ctx->retain();
+  g.db.add(m);
+  // restore set contains the mem but not its context
+  checl::replay::RestorePlan plan;
+  std::string err;
+  EXPECT_FALSE(plan.build({m}, err));
+  EXPECT_NE(err.find("not part of the restore set"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------------
+// executor (live proxy)
+// ---------------------------------------------------------------------------
+
+class ReplayRestoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& rt = checl::CheclRuntime::instance();
+    rt.reset_all();
+    set_node();
+    checl::bind_checl();
+  }
+  void TearDown() override {
+    checl::CheclRuntime::instance().reset_all();
+    checl::bind_native();
+    std::remove(path());
+  }
+  static void set_node() {
+    auto& rt = checl::CheclRuntime::instance();
+    checl::NodeConfig node = checl::dual_node();
+    node.transport = proxy::Transport::Process;
+    rt.set_node(node);
+  }
+  static const char* path() { return "/tmp/checl_replay_test.ckpt"; }
+  checl::cpr::Engine& engine() {
+    return checl::CheclRuntime::instance().engine();
+  }
+
+  // A multi-program workload: kPrograms independently-compiled programs (the
+  // Tr-dominant class of Figure 7) sharing one context and one data buffer.
+  static constexpr int kPrograms = 6;
+  struct Multi {
+    cl_platform_id platform = nullptr;
+    cl_device_id device = nullptr;
+    cl_context ctx = nullptr;
+    cl_command_queue queue = nullptr;
+    cl_mem buf = nullptr;
+    std::vector<cl_program> progs;
+    std::vector<cl_kernel> kernels;
+    int n = 1024;
+
+    void create() {
+      ASSERT_EQ(clGetPlatformIDs(1, &platform, nullptr), CL_SUCCESS);
+      ASSERT_EQ(
+          clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 1, &device, nullptr),
+          CL_SUCCESS);
+      cl_int err = CL_SUCCESS;
+      ctx = clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+      ASSERT_EQ(err, CL_SUCCESS);
+      queue = clCreateCommandQueue(ctx, device, 0, &err);
+      ASSERT_EQ(err, CL_SUCCESS);
+      std::vector<float> init(static_cast<std::size_t>(n), 7.0f);
+      buf = clCreateBuffer(ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR,
+                           static_cast<std::size_t>(n) * 4, init.data(), &err);
+      ASSERT_EQ(err, CL_SUCCESS);
+      for (int i = 0; i < kPrograms; ++i) {
+        const std::string name = "k" + std::to_string(i);
+        const std::string src = "__kernel void " + name +
+                                "(__global float* d, int n) {\n"
+                                "  int i = get_global_id(0);\n"
+                                "  if (i < n) d[i] = d[i] + " +
+                                std::to_string(i + 1) + ".0f;\n}\n";
+        const char* s = src.c_str();
+        cl_program p = clCreateProgramWithSource(ctx, 1, &s, nullptr, &err);
+        ASSERT_EQ(err, CL_SUCCESS);
+        ASSERT_EQ(clBuildProgram(p, 1, &device, "", nullptr, nullptr),
+                  CL_SUCCESS);
+        cl_kernel k = clCreateKernel(p, name.c_str(), &err);
+        ASSERT_EQ(err, CL_SUCCESS);
+        ASSERT_EQ(clSetKernelArg(k, 0, sizeof buf, &buf), CL_SUCCESS);
+        ASSERT_EQ(clSetKernelArg(k, 1, sizeof n, &n), CL_SUCCESS);
+        progs.push_back(p);
+        kernels.push_back(k);
+      }
+    }
+    void release() {
+      for (cl_kernel k : kernels) clReleaseKernel(k);
+      for (cl_program p : progs) clReleaseProgram(p);
+      if (buf != nullptr) clReleaseMemObject(buf);
+      if (queue != nullptr) clReleaseCommandQueue(queue);
+      if (ctx != nullptr) clReleaseContext(ctx);
+      *this = Multi{};
+    }
+  };
+
+  // Checkpoint the Multi workload, drop everything, and restore fresh with
+  // the given knobs; returns the breakdown.
+  checl::cpr::RestartBreakdown checkpoint_then_restore(bool parallel,
+                                                       bool batch) {
+    auto& rt = checl::CheclRuntime::instance();
+    Multi m;
+    m.create();
+    EXPECT_EQ(engine().checkpoint(path(), nullptr), CL_SUCCESS);
+    m.release();
+    rt.reset_all();
+    set_node();
+    rt.restore_parallel = parallel;
+    rt.restore_workers = 4;
+    rt.restore_batch = batch;
+
+    std::unordered_map<std::uint64_t, Object*> map;
+    checl::cpr::RestartBreakdown bd;
+    EXPECT_EQ(engine().restore_fresh(path(), std::nullopt, &bd, &map),
+              CL_SUCCESS)
+        << engine().last_error();
+
+    // data survived: the restored buffer still reads 7.0f
+    cl_command_queue q = nullptr;
+    cl_mem buf = nullptr;
+    for (const auto& [old_id, obj] : map) {
+      if (obj->otype == ObjType::Queue)
+        q = reinterpret_cast<cl_command_queue>(obj);
+      if (obj->otype == ObjType::Mem) buf = reinterpret_cast<cl_mem>(obj);
+    }
+    EXPECT_NE(q, nullptr);
+    EXPECT_NE(buf, nullptr);
+    if (q != nullptr && buf != nullptr) {
+      float v = -1;
+      EXPECT_EQ(
+          clEnqueueReadBuffer(q, buf, CL_TRUE, 0, 4, &v, 0, nullptr, nullptr),
+          CL_SUCCESS);
+      EXPECT_FLOAT_EQ(v, 7.0f);
+    }
+    return bd;
+  }
+};
+
+TEST_F(ReplayRestoreTest, ParallelRestoreRecreatesAndReportsConcurrency) {
+  const checl::cpr::RestartBreakdown bd =
+      checkpoint_then_restore(/*parallel=*/true, /*batch=*/true);
+  EXPECT_GT(bd.recreation_ns(), 0u);
+  const checl::replay::ExecCounters& c = engine().restore_counters();
+  EXPECT_EQ(c.plans, 1u);
+  EXPECT_GE(c.waves, 6u);  // platform, device, ctx, queue, mem, prog, kernel
+  EXPECT_GE(c.parallel_waves, 1u);
+  EXPECT_GE(c.max_concurrency, 2u);
+  EXPECT_GT(c.batched_calls, 0u);  // kernel-arg replay rode the batch path
+  EXPECT_EQ(c.rollbacks, 0u);
+  EXPECT_GE(c.nodes_recreated, static_cast<std::uint64_t>(2 * kPrograms + 4));
+}
+
+TEST_F(ReplayRestoreTest, ParallelRestoreBeatsSerialOnRecreationTime) {
+  const checl::cpr::RestartBreakdown serial =
+      checkpoint_then_restore(/*parallel=*/false, /*batch=*/false);
+  checl::CheclRuntime::instance().reset_all();
+  set_node();
+  const checl::cpr::RestartBreakdown parallel =
+      checkpoint_then_restore(/*parallel=*/true, /*batch=*/true);
+  // Program recompilation dominates recreation (Figure 7); compiling the six
+  // programs on four modeled workers must beat compiling them one by one.
+  EXPECT_LT(parallel.recreation_ns(), serial.recreation_ns());
+  EXPECT_LT(parallel.class_ns[static_cast<std::size_t>(ObjType::Program)],
+            serial.class_ns[static_cast<std::size_t>(ObjType::Program)]);
+}
+
+TEST_F(ReplayRestoreTest, InjectedKernelFailureRollsBackTransactionally) {
+  auto& rt = checl::CheclRuntime::instance();
+
+  // Synthesize a checkpoint whose kernel does not exist in its (compilable)
+  // program — recreation fails mid-restore, at the kernel wave.
+  {
+    Graph g;
+    auto* p = new PlatformObj();
+    p->name = "whatever";  // index fallback will match
+    g.db.add(p);
+    auto* d = new DeviceObj();
+    d->platform = p;
+    p->retain();
+    d->type = CL_DEVICE_TYPE_GPU;
+    g.db.add(d);
+    auto* c = new ContextObj();
+    c->devices.push_back(d);
+    d->retain();
+    g.db.add(c);
+    auto* prog = new ProgramObj();
+    prog->ctx = c;
+    c->retain();
+    prog->source = "__kernel void ok(__global float* d, int n) { d[0] = n; }";
+    prog->built = true;
+    g.db.add(prog);
+    auto* k = new KernelObj();
+    k->prog = prog;
+    prog->retain();
+    k->name = "nope";  // not in the program
+    g.db.add(k);
+
+    slimcr::Snapshot snap;
+    snap.set("checl.db", checl::replay::encode_db(g.db));
+    const slimcr::IoResult io = snap.save(path(), rt.node().storage);
+    ASSERT_TRUE(io.ok) << io.error;
+  }
+
+  rt.restore_workers = 4;
+  std::unordered_map<std::uint64_t, Object*> map;
+  const cl_int err = engine().restore_fresh(path(), std::nullopt, nullptr, &map);
+  EXPECT_EQ(err, CL_INVALID_KERNEL_NAME);
+  // the failing object is named, with the CL error spelled out
+  EXPECT_NE(engine().last_error().find("kernel#"), std::string::npos)
+      << engine().last_error();
+  EXPECT_NE(engine().last_error().find("CL_INVALID_KERNEL_NAME"),
+            std::string::npos)
+      << engine().last_error();
+  // transactional: no half-restored objects left behind
+  EXPECT_EQ(rt.db().size(), 0u);
+  EXPECT_TRUE(map.empty());
+  const checl::replay::ExecCounters& c = engine().restore_counters();
+  EXPECT_GE(c.rollbacks, 1u);
+  EXPECT_GE(c.rolled_back_handles, 2u);  // at least the context + program
+
+  // and the runtime is still fully usable afterwards
+  cl_platform_id plat = nullptr;
+  ASSERT_EQ(clGetPlatformIDs(1, &plat, nullptr), CL_SUCCESS);
+  ASSERT_NE(plat, nullptr);
+}
+
+TEST_F(ReplayRestoreTest, StatsJsonReportsRestoreCounters) {
+  checkpoint_then_restore(/*parallel=*/true, /*batch=*/false);
+  const std::string js = checl::stats_json();
+  EXPECT_NE(js.find("\"restore\": {"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"plans\": 1"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"max_concurrency\""), std::string::npos) << js;
+}
+
+}  // namespace
