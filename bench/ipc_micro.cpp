@@ -185,12 +185,16 @@ int main(int argc, char** argv) {
   std::uint64_t small_calls = 20000;
   std::size_t transfer_bytes = 16u << 20;  // 16 MiB
   std::uint64_t transfer_reps = 16;
+  const char* only = nullptr;  // run just one config (A/B runs need long
+                               // timed regions without paying for the rest)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--calls") == 0 && i + 1 < argc)
       small_calls = std::strtoull(argv[++i], nullptr, 10);
     if (std::strcmp(argv[i], "--bytes") == 0 && i + 1 < argc)
       transfer_bytes = std::strtoull(argv[++i], nullptr, 10);
+    if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc)
+      only = argv[++i];
   }
   if (smoke) {
     small_calls = 2000;
@@ -214,9 +218,11 @@ int main(int argc, char** argv) {
               smoke ? "true" : "false");
 
   double seed_rate = 0.0, best_rate = 0.0;
+  bool first_row = true;
   std::printf("  \"small_call\": [\n");
   for (std::size_t i = 0; i < std::size(small_configs); ++i) {
     const Toggles& t = small_configs[i];
+    if (only != nullptr && std::strcmp(t.name, only) != 0) continue;
     Fixture f = make_fixture(t, 4096);
     if (!f.ok()) {
       std::fprintf(stderr, "ipc_micro: spawn failed for %s: %s\n", t.name,
@@ -228,24 +234,27 @@ int main(int argc, char** argv) {
     if (f.sp.client()->deferred_error() != CL_SUCCESS) ++failures;
     if (std::strcmp(t.name, "seed") == 0) seed_rate = r.calls_per_sec();
     if (r.calls_per_sec() > best_rate) best_rate = r.calls_per_sec();
-    std::printf("    {\"config\": \"%s\", \"writev\": %s, \"batch\": %s, "
+    std::printf("%s    {\"config\": \"%s\", \"writev\": %s, \"batch\": %s, "
                 "\"calls\": %llu, \"wall_ns\": %llu, \"calls_per_sec\": %.0f, "
-                "\"rpc_roundtrips\": %llu, \"syscalls\": %llu}%s\n",
+                "\"rpc_roundtrips\": %llu, \"syscalls\": %llu}\n",
+                first_row ? "" : "    ,",
                 t.name, t.writev ? "true" : "false", t.batch ? "true" : "false",
                 static_cast<unsigned long long>(r.calls),
                 static_cast<unsigned long long>(r.wall_ns), r.calls_per_sec(),
                 static_cast<unsigned long long>(r.roundtrips),
-                static_cast<unsigned long long>(r.syscalls),
-                i + 1 < std::size(small_configs) ? "," : "");
+                static_cast<unsigned long long>(r.syscalls));
+    first_row = false;
     f.sp.stop();
   }
   std::printf("  ],\n");
 
   double socket_bw = 0.0, shm_bw = 0.0;
   std::string last_stats = "null";
+  first_row = true;
   std::printf("  \"large_transfer\": [\n");
   for (std::size_t i = 0; i < std::size(large_configs); ++i) {
     const Toggles& t = large_configs[i];
+    if (only != nullptr && std::strcmp(t.name, only) != 0) continue;
     Fixture f = make_fixture(t, transfer_bytes);
     if (!f.ok()) {
       std::fprintf(stderr, "ipc_micro: spawn failed for %s: %s\n", t.name,
@@ -268,15 +277,15 @@ int main(int argc, char** argv) {
       shm_bw = bw;
     else
       socket_bw = bw;
-    std::printf("    {\"config\": \"%s\", \"shm\": %s, \"bytes\": %llu, "
+    std::printf("%s    {\"config\": \"%s\", \"shm\": %s, \"bytes\": %llu, "
                 "\"write_MBps\": %.1f, \"read_MBps\": %.1f, \"shm_msgs\": %llu, "
-                "\"shm_fallbacks\": %llu, \"verified\": %s}%s\n",
-                t.name, t.shm ? "true" : "false",
+                "\"shm_fallbacks\": %llu, \"verified\": %s}\n",
+                first_row ? "" : "    ,", t.name, t.shm ? "true" : "false",
                 static_cast<unsigned long long>(r.bytes), r.mbps(r.write_ns),
                 r.mbps(r.read_ns), static_cast<unsigned long long>(r.shm_msgs),
                 static_cast<unsigned long long>(r.shm_fallbacks),
-                r.verified ? "true" : "false",
-                i + 1 < std::size(large_configs) ? "," : "");
+                r.verified ? "true" : "false");
+    first_row = false;
     // full counter dump through the shared helper (keeps new counters from
     // needing a new hand-rolled field here)
     last_stats = checl::stats_json(f.sp.client(), nullptr);

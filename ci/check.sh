@@ -1,44 +1,76 @@
 #!/usr/bin/env bash
 # ci/check.sh — the one command a PR must pass.
 #
-# 1. Tier-1 verify: configure, build, full ctest.  The cpr tests share
-#    checkpoint paths under /tmp, so a parallel-ctest failure gets one serial
-#    rerun before counting as real.
-# 2. AddressSanitizer slice: rebuild the snapstore + checkpoint + replay
-#    stack with -DCHECL_SANITIZE=address and run its tests plus the
-#    snapstore_micro smoke — the store's async pipeline, the chunk codecs,
-#    and the parallel restore executor (worker threads recreating a wave
-#    concurrently) are exactly the kind of code ASan pays for.
+# 1. Tier-1 verify: configure, build, full ctest over the tier1 label.  The
+#    cpr tests share checkpoint paths under /tmp, so a parallel-ctest failure
+#    gets one serial rerun before counting as real.
+# 2. Chaos slice: the crash-schedule torture tests (ctest label: chaos) with
+#    their fixed default seed — deterministic, so a red run here is a real
+#    regression, and every failure line carries its own CHECL_CHAOS_SEED
+#    repro command.
+# 3. AddressSanitizer slice: rebuild the snapstore + checkpoint + replay
+#    stack with -DCHECL_SANITIZE=address and run its tests, the
+#    snapstore_micro smoke, and a fixed-seed chaos sweep (~1 s, budget 60 s)
+#    — fault paths (torn writes, rollbacks, proxy death) exercise exactly
+#    the cleanup code ASan pays for.  On a chaos failure the failing seed is
+#    saved to an artifact file for the CI run to upload.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+ROOT="${PWD}"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+CHAOS_ARTIFACT="${ROOT}/build-asan/chaos-failing-seed.txt"
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"${JOBS}"
 
-echo "== tier-1: ctest =="
-if ! (cd build && ctest --output-on-failure -j"${JOBS}"); then
+echo "== tier-1: ctest (label tier1) =="
+if ! (cd build && ctest -L tier1 --output-on-failure -j"${JOBS}"); then
   echo "== tier-1: parallel ctest failed; rerunning failures serially =="
   (cd build && ctest --rerun-failed --output-on-failure)
 fi
+
+echo "== chaos: ctest (label chaos, fixed seed) =="
+(cd build && ctest -L chaos --output-on-failure)
 
 echo "== asan: configure + build snapstore/checkpoint slice =="
 cmake -B build-asan -S . -DCHECL_SANITIZE=address >/dev/null
 cmake --build build-asan -j"${JOBS}" \
   --target test_snapstore test_slimcr test_cpr test_replay checl_proxyd \
-  snapstore_micro
+  snapstore_micro chaos_sweep
 
 echo "== asan: run =="
 (
   cd build-asan
   export CHECL_PROXYD="${PWD}/src/proxy/checl_proxyd"
+  export CHECL_TEST_DATA="${ROOT}/tests/data"
   ./tests/test_snapstore
   ./tests/test_slimcr
   ./tests/test_cpr
   ./tests/test_replay
   ./bench/snapstore_micro --smoke
 )
+
+echo "== asan: fixed-seed chaos sweep =="
+if ! (
+  cd build-asan
+  export CHECL_PROXYD="${PWD}/src/proxy/checl_proxyd"
+  # Leak detection stays off for the sweep alone: proxy-death faults abandon
+  # the in-process server thread mid-operation, orphaning the substrate
+  # objects its clients held — under Transport::Process the dying daemon's
+  # address space reclaims them.  ASan still checks every touch (UAF,
+  # overflows) on the rollback/cleanup paths, which is what this stage is
+  # for; leak-freedom is checked by the test binaries above.
+  export ASAN_OPTIONS="detect_leaks=0${ASAN_OPTIONS:+:${ASAN_OPTIONS}}"
+  timeout 60 ./bench/chaos_sweep --smoke 2> >(tee chaos_sweep.stderr >&2)
+); then
+  # Save the failing schedule's repro command where CI can pick it up.
+  grep -A1 '^FAIL case' build-asan/chaos_sweep.stderr \
+    > "${CHAOS_ARTIFACT}" 2>/dev/null || true
+  echo "asan chaos sweep failed; repro saved to ${CHAOS_ARTIFACT}:"
+  cat "${CHAOS_ARTIFACT}" 2>/dev/null || true
+  exit 1
+fi
 
 echo "ci/check.sh: all green"

@@ -1,0 +1,149 @@
+#include "chaoskit/chaoskit.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace chaoskit {
+
+namespace {
+
+// Indexed by Site; keep in sync with the enum.
+constexpr const char* kSiteNames[kSiteCount] = {
+    "none",
+    "ipc-short-write",
+    "ipc-send-epipe",
+    "ipc-recv-timeout",
+    "proxy-die-before-reply",
+    "proxy-die-after-reply",
+    "proxy-inject-cl-error",
+    "store-torn-write",
+    "store-enospc",
+    "store-bit-flip",
+    "slimcr-torn-write",
+    "slimcr-enospc",
+    "slimcr-bit-flip",
+    "exec-crash-between-waves",
+    "exec-wave-fail",
+};
+
+thread_local Actor t_actor = Actor::App;
+
+}  // namespace
+
+const char* site_name(Site s) noexcept {
+  const auto i = static_cast<std::size_t>(s);
+  return i < kSiteCount ? kSiteNames[i] : "invalid";
+}
+
+Site site_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if (name == kSiteNames[i]) return static_cast<Site>(i);
+  }
+  return Site::None;
+}
+
+void set_thread_actor(Actor a) noexcept { t_actor = a; }
+Actor thread_actor() noexcept { return t_actor; }
+
+void Engine::arm(const Fault& f) noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  fault_ = f;
+  hit_count_ = 0;
+  fired_ = false;
+  armed_.store(f.site != Site::None, std::memory_order_relaxed);
+}
+
+void Engine::disarm() noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  fault_ = Fault{};
+  hit_count_ = 0;
+  fired_ = false;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool Engine::fire_slow(Site s) noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (s != fault_.site || fired_) return false;
+  if (fault_.actor != Actor::Any && t_actor != fault_.actor) return false;
+  if (hit_count_++ < fault_.nth) return false;
+  fired_ = true;
+  fires_total_[static_cast<std::size_t>(s)]++;
+  return true;
+}
+
+std::int64_t Engine::arg() noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fault_.arg;
+}
+
+bool Engine::fired() noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fired_;
+}
+
+Fault Engine::current() noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fault_;
+}
+
+std::uint32_t Engine::hits() noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hit_count_;
+}
+
+std::uint64_t Engine::fires_total(Site s) noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto i = static_cast<std::size_t>(s);
+  return i < kSiteCount ? fires_total_[i] : 0;
+}
+
+void Engine::annotate(std::string& message) noexcept {
+  if (!armed_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!fired_) return;
+  message += " [chaos: ";
+  message += site_name(fault_.site);
+  message += "]";
+}
+
+std::string Engine::to_env(const Fault& f) {
+  std::string s = site_name(f.site);
+  s += ":" + std::to_string(f.nth) + ":" + std::to_string(f.arg);
+  if (f.actor == Actor::App) s += ":app";
+  if (f.actor == Actor::Proxy) s += ":proxy";
+  return s;
+}
+
+void Engine::arm_from_env() noexcept {
+  const char* v = std::getenv("CHECL_CHAOS");
+  if (v == nullptr || *v == '\0') return;
+  std::string_view sv(v);
+  const auto field = [&sv]() -> std::string_view {
+    const std::size_t colon = sv.find(':');
+    std::string_view f = sv.substr(0, colon);
+    sv = colon == std::string_view::npos ? std::string_view{} : sv.substr(colon + 1);
+    return f;
+  };
+  Fault f;
+  f.site = site_from_name(field());
+  if (f.site == Site::None) return;
+  const auto to_i64 = [](std::string_view s) -> std::int64_t {
+    return s.empty() ? 0 : std::strtoll(std::string(s).c_str(), nullptr, 10);
+  };
+  f.nth = static_cast<std::uint32_t>(to_i64(field()));
+  f.arg = to_i64(field());
+  const std::string_view actor = field();
+  if (actor == "app") f.actor = Actor::App;
+  if (actor == "proxy") f.actor = Actor::Proxy;
+  arm(f);
+}
+
+// Arm from the environment at load time, so every process linking chaoskit —
+// the application as well as the exec'd daemon — honors CHECL_CHAOS with no
+// code changes.  Safe ordering: g_instance is constinit, so it exists before
+// any dynamic initializer runs.  (checl_proxyd additionally calls
+// arm_from_env() explicitly; harmless, nothing has consulted a site yet.)
+static const bool g_env_armed [[maybe_unused]] =
+    (Engine::instance().arm_from_env(), true);
+
+}  // namespace chaoskit

@@ -1,0 +1,175 @@
+// chaoskit.h — deterministic, seed-driven fault injection for the CPR stack.
+//
+// The paper's value claim is that a checkpoint survives proxy loss and
+// storage failure at arbitrary points; the happy-path tests cannot say
+// anything about that.  chaoskit threads *named injection sites* through the
+// layers that can actually fail in production — the IPC channel, the API
+// proxy's serve loop, the flat-snapshot and chunk-store writers, and the
+// restore executor — and lets a torture harness arm exactly one fault per
+// run, selected by a PRNG schedule, so every crash scenario is reproducible
+// from a single integer seed.
+//
+// Design constraints:
+//   * Zero hot-path cost when disarmed.  Every hook is
+//     `if (Engine::instance().should_fire(Site::X))`, which compiles to one
+//     relaxed atomic load and a never-taken branch — ipc_micro must not move.
+//   * Deterministic.  A fault is (site, nth, arg, actor): it fires on the
+//     nth matching consultation of that site, once, on threads acting for
+//     the chosen side (app or proxy).  Counting only the armed site on the
+//     armed actor keeps the hit sequence a function of the workload alone,
+//     even with the proxy serving on another thread.
+//   * Cross-process.  Under Transport::Process the proxy-side sites live in
+//     the fork/exec'd checl_proxyd; arming serializes into the CHECL_CHAOS
+//     environment variable, which the daemon parses on startup.
+//
+// This library depends on nothing but the C++ standard library so that the
+// lowest layers (ipc, slimcr) can link it without cycles.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace chaoskit {
+
+// One enumerator per place a fault can be injected.  Names are stable: they
+// appear in CHECL_CHAOS, in last_error() annotations, and in the chaos_sweep
+// coverage table.
+enum class Site : std::uint8_t {
+  None = 0,
+  // ipc/channel: the transport between application and API proxy.
+  IpcShortWrite,    // part of a frame leaves the wire, then the peer is gone
+  IpcSendEpipe,     // send fails outright (EPIPE from a dead peer)
+  IpcRecvTimeout,   // recv gives up as if the peer went silent
+  // proxy/server: the serve loop of the API proxy.
+  ProxyDieBeforeReply,  // proxy exits after executing a request, before replying
+  ProxyDieAfterReply,   // proxy exits right after replying
+  ProxyInjectClError,   // a request is answered with an injected CL error (arg)
+  // snapstore: the chunk pool and manifest writers.
+  StoreTornWrite,   // a pool/manifest file persists only a prefix but "succeeds"
+  StoreEnospc,      // the write fails (no space left on device)
+  StoreBitFlip,     // one byte of the file is flipped before it hits the disk
+  // slimcr: the flat snapshot container.
+  SlimcrTornWrite,  // the snapshot file is truncated after a "successful" save
+  SlimcrEnospc,     // the save fails mid-write
+  SlimcrBitFlip,    // one byte of the container is flipped after the save
+  // core/replay: the transactional restore executor.
+  ExecCrashBetweenWaves,  // the proxy is lost at a wave boundary
+  ExecWaveFail,           // the next recreated node fails with CL error (arg)
+};
+inline constexpr std::size_t kSiteCount = 15;
+
+[[nodiscard]] const char* site_name(Site s) noexcept;
+[[nodiscard]] Site site_from_name(std::string_view name) noexcept;  // None if unknown
+
+// Which side of the proxy boundary a thread is acting for.  serve() tags its
+// thread Proxy; everything else defaults to App.  An armed fault may filter
+// on this so concurrent app/proxy consultations cannot race the hit counter.
+enum class Actor : std::uint8_t { Any = 0, App, Proxy };
+
+void set_thread_actor(Actor a) noexcept;
+[[nodiscard]] Actor thread_actor() noexcept;
+
+// RAII tag for serve(): marks the current thread as the proxy side.
+struct ScopedThreadActor {
+  explicit ScopedThreadActor(Actor a) noexcept : prev(thread_actor()) {
+    set_thread_actor(a);
+  }
+  ~ScopedThreadActor() { set_thread_actor(prev); }
+  Actor prev;
+};
+
+// A single-shot fault: where, on which hit, with what argument.
+struct Fault {
+  Site site = Site::None;
+  std::uint32_t nth = 0;   // fires on the nth matching consultation (0 = first)
+  std::int64_t arg = 0;    // site-specific (CL error code, byte index, ...)
+  Actor actor = Actor::Any;
+};
+
+class Engine {
+ public:
+  // Defined inline below the class: the consultation hooks sit on RPC hot
+  // paths (one per dispatched op in the proxy's serve loop), so instance()
+  // must compile down to the address of a global — no call, no magic-static
+  // guard.
+  static Engine& instance() noexcept;
+
+  // The hook every instrumented layer calls.  Disarmed (the production
+  // state): one relaxed load, false.  Armed: the slow path takes a mutex,
+  // counts the consultation and decides.
+  [[nodiscard]] bool should_fire(Site s) noexcept {
+    if (!armed_.load(std::memory_order_relaxed)) return false;
+    return fire_slow(s);
+  }
+
+  void arm(const Fault& f) noexcept;
+  void disarm() noexcept;
+
+  // The armed fault's argument (e.g. the CL error to inject) — sites read it
+  // right after should_fire() returned true.
+  [[nodiscard]] std::int64_t arg() noexcept;
+
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool fired() noexcept;
+  [[nodiscard]] Fault current() noexcept;
+  [[nodiscard]] std::uint32_t hits() noexcept;  // consultations of the armed site
+
+  // Cumulative fires per site over the process lifetime (chaos_sweep's
+  // coverage table).
+  [[nodiscard]] std::uint64_t fires_total(Site s) noexcept;
+
+  // Appends " [chaos: <site>]" when an armed fault has fired, so
+  // Engine::last_error() names the culprit site.  No-op when disarmed.
+  void annotate(std::string& message) noexcept;
+
+  // Environment serialization: "<site-name>:<nth>:<arg>[:app|:proxy]".
+  // arm_from_env() parses CHECL_CHAOS (used by the exec'd proxy daemon);
+  // to_env() builds the value the spawner should export.
+  [[nodiscard]] static std::string to_env(const Fault& f);
+  void arm_from_env() noexcept;
+
+ private:
+  constexpr Engine() noexcept = default;
+  bool fire_slow(Site s) noexcept;
+
+  std::atomic<bool> armed_{false};
+  std::mutex mu_;
+  Fault fault_;
+  std::uint32_t hit_count_ = 0;
+  bool fired_ = false;
+  std::uint64_t fires_total_[kSiteCount] = {};
+
+  static Engine g_instance;
+};
+
+// constinit: zero-initialized before any dynamic initializer can consult it.
+// The exec'd proxy daemon (which can't be armed in-process) must call
+// arm_from_env() itself at startup; see proxyd_main.cpp.
+inline constinit Engine Engine::g_instance;
+
+inline Engine& Engine::instance() noexcept { return g_instance; }
+
+// SplitMix64: the one PRNG both the chaos schedules and the seeded property
+// tests derive from, so "same seed => same schedule" holds across harnesses.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) noexcept { return n != 0 ? next() % n : 0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace chaoskit

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "chaoskit/chaoskit.h"
 #include "core/replay/codec.h"
 #include "core/replay/plan.h"
 #include "core/runtime.h"
@@ -50,8 +51,41 @@ snapstore::Store* Engine::store() {
   return store_.get();
 }
 
+// The public checkpoint/restart entry points share one contract: last_error_
+// is cleared on entry (historically restore_fresh and restart_in_place
+// disagreed once respawn_proxy failed mid-way), any failure leaves it
+// non-empty, and an armed chaos site tags the message so torture runs can
+// assert the culprit is named.
+cl_int Engine::finish_op(const char* op, cl_int err) {
+  if (err != CL_SUCCESS && last_error_.empty())
+    last_error_ = std::string(op) + " failed: " + replay::cl_error_name(err);
+  if (err != CL_SUCCESS) chaoskit::Engine::instance().annotate(last_error_);
+  return err;
+}
+
 cl_int Engine::checkpoint(const std::string& path, PhaseTimes* times) {
   last_error_.clear();
+  return finish_op("checkpoint", do_checkpoint(path, times));
+}
+
+cl_int Engine::restart_in_place(const std::string& path,
+                                const std::optional<NodeConfig>& new_node,
+                                RestartBreakdown* breakdown) {
+  last_error_.clear();
+  return finish_op("restart_in_place",
+                   do_restart_in_place(path, new_node, breakdown));
+}
+
+cl_int Engine::restore_fresh(
+    const std::string& path, const std::optional<NodeConfig>& new_node,
+    RestartBreakdown* breakdown,
+    std::unordered_map<std::uint64_t, Object*>* handle_map) {
+  last_error_.clear();
+  return finish_op("restore_fresh",
+                   do_restore_fresh(path, new_node, breakdown, handle_map));
+}
+
+cl_int Engine::do_checkpoint(const std::string& path, PhaseTimes* times) {
   if (rt_.ensure_proxy() != CL_SUCCESS) return CL_DEVICE_NOT_AVAILABLE;
   proxy::Client& c = *rt_.client();
   ObjectDB& db = rt_.db();
@@ -230,10 +264,9 @@ cl_int Engine::run_plan(const replay::RestorePlan& plan,
   return e;
 }
 
-cl_int Engine::restart_in_place(const std::string& path,
-                                const std::optional<NodeConfig>& new_node,
-                                RestartBreakdown* breakdown) {
-  last_error_.clear();
+cl_int Engine::do_restart_in_place(const std::string& path,
+                                   const std::optional<NodeConfig>& new_node,
+                                   RestartBreakdown* breakdown) {
   // remember where the timeline was (if the proxy is still reachable)
   const std::uint64_t resume = rt_.proxy_alive() ? now_ns() : 0;
 
@@ -288,11 +321,10 @@ cl_int Engine::restart_in_place(const std::string& path,
   return run_plan(plan, breakdown);
 }
 
-cl_int Engine::restore_fresh(const std::string& path,
-                             const std::optional<NodeConfig>& new_node,
-                             RestartBreakdown* breakdown,
-                             std::unordered_map<std::uint64_t, Object*>* handle_map) {
-  last_error_.clear();
+cl_int Engine::do_restore_fresh(
+    const std::string& path, const std::optional<NodeConfig>& new_node,
+    RestartBreakdown* breakdown,
+    std::unordered_map<std::uint64_t, Object*>* handle_map) {
   slimcr::Snapshot snap;
   const NodeConfig& target = new_node.value_or(rt_.node());
   std::uint64_t initial_read_ns = 0;

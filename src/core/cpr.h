@@ -114,6 +114,23 @@ class Engine {
   }
 
  private:
+  // The actual phase implementations.  The public entry points above are
+  // thin wrappers that reset last_error_ on entry (both restore paths used to
+  // disagree on this), guarantee it is non-empty after any failure, and tag
+  // it with the armed fault-injection site so a chaos run always names its
+  // culprit.
+  cl_int do_checkpoint(const std::string& path, PhaseTimes* times);
+  cl_int do_restart_in_place(const std::string& path,
+                             const std::optional<NodeConfig>& new_node,
+                             RestartBreakdown* breakdown);
+  cl_int do_restore_fresh(
+      const std::string& path, const std::optional<NodeConfig>& new_node,
+      RestartBreakdown* breakdown,
+      std::unordered_map<std::uint64_t, Object*>* handle_map);
+
+  // Shared failure-path tail of the wrappers: fallback message + chaos tag.
+  cl_int finish_op(const char* op, cl_int err);
+
   // Loads `path` and pulls any mem sections missing there from its base
   // chain (incremental checkpoints).  Returns total simulated read time, or
   // 0 on failure with *ok=false.

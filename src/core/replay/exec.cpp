@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "chaoskit/chaoskit.h"
 #include "core/cpr.h"
 #include "core/replay/codec.h"
 #include "core/runtime.h"
@@ -292,6 +293,14 @@ cl_int recreate_node(RunState& st, Object* o) {
 }
 
 void run_one(RunState& st, Object* o) {
+  // Forced per-node failure: the node "fails to recreate" with the armed CL
+  // error before any remote call, exercising the rollback path end to end.
+  if (chaoskit::Engine::instance().should_fire(chaoskit::Site::ExecWaveFail)) {
+    cl_int inj = static_cast<cl_int>(chaoskit::Engine::instance().arg());
+    if (inj == CL_SUCCESS) inj = CL_OUT_OF_RESOURCES;
+    st.fail(inj, object_label(o));
+    return;
+  }
   const cl_int e = recreate_node(st, o);
   if (e != CL_SUCCESS)
     st.fail(e, object_label(o));
@@ -377,6 +386,14 @@ cl_int Executor::run(const RestorePlan& plan, cpr::RestartBreakdown* breakdown,
   width = std::min(width, 64u);
 
   for (std::size_t wi = 0; wi < plan.waves().size(); ++wi) {
+    // Simulated proxy loss at a wave boundary: everything recreated so far
+    // must be rolled back and the DB left exactly as before the restore.
+    if (chaoskit::Engine::instance().should_fire(
+            chaoskit::Site::ExecCrashBetweenWaves)) {
+      st.fail(CL_DEVICE_NOT_AVAILABLE,
+              "wave " + std::to_string(wi) + " boundary (proxy lost)");
+      break;
+    }
     const std::vector<std::uint32_t>& wave = plan.waves()[wi];
     const ObjType cls = plan.wave_class(wi);
     const std::uint64_t t0 = now_ns(*client);

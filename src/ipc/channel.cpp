@@ -110,6 +110,18 @@ bool SocketChannel::send2(const Message& m, std::span<const std::uint8_t> bulk) 
   if (fd_ < 0) return false;
   const std::size_t total = m.payload.size() + bulk.size();
   std::uint32_t header[2] = {m.op, static_cast<std::uint32_t>(total)};
+  auto& chaos = chaoskit::Engine::instance();
+  if (chaos.should_fire(chaoskit::Site::IpcSendEpipe)) {
+    fail();
+    return false;
+  }
+  if (chaos.should_fire(chaoskit::Site::IpcShortWrite)) {
+    // half the header escapes before the connection dies: the peer sees an
+    // unframed stream and must fail its channel, never hang or misparse
+    write_all(fd_, header, sizeof header / 2, &stats_.sys_sends);
+    fail();
+    return false;
+  }
   bool ok;
   if (use_writev_) {
     iovec iov[3];
@@ -161,6 +173,12 @@ bool SocketChannel::fill_at_least(std::size_t n) {
 
 bool SocketChannel::recv(Message& m) {
   if (fd_ < 0) return false;
+  if (chaoskit::Engine::instance().should_fire(chaoskit::Site::IpcRecvTimeout)) {
+    // the peer went silent: a real implementation would time out; the
+    // channel fails the same way (closed fd, recv false)
+    fail();
+    return false;
+  }
   std::uint32_t header[2];
   if (use_writev_) {
     // Buffered path: a small frame's header and payload usually arrive in the

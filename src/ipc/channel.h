@@ -21,6 +21,8 @@
 #include <span>
 #include <vector>
 
+#include "chaoskit/chaoskit.h"
+
 namespace ipc {
 
 struct Message {
@@ -154,12 +156,24 @@ class LocalChannel final : public Channel {
   ~LocalChannel() override { tx_->close(); }
 
   bool send(const Message& m) override {
+    auto& chaos = chaoskit::Engine::instance();
+    if (failed_ || chaos.should_fire(chaoskit::Site::IpcSendEpipe) ||
+        chaos.should_fire(chaoskit::Site::IpcShortWrite)) {
+      // a refused or torn frame leaves the pipe unframed: dead both ways
+      fail();
+      return false;
+    }
     stats_.msgs_sent++;
     stats_.bytes_sent += 8 + m.payload.size();
     tx_->push(m);
     return true;
   }
   bool recv(Message& m) override {
+    if (failed_ ||
+        chaoskit::Engine::instance().should_fire(chaoskit::Site::IpcRecvTimeout)) {
+      fail();
+      return false;
+    }
     if (!rx_->pop(m)) return false;
     stats_.msgs_recvd++;
     stats_.bytes_recvd += 8 + m.payload.size();
@@ -167,8 +181,15 @@ class LocalChannel final : public Channel {
   }
 
  private:
+  void fail() noexcept {
+    failed_ = true;
+    tx_->close();
+    rx_->close();
+  }
+
   std::shared_ptr<MessageQueue> tx_;
   std::shared_ptr<MessageQueue> rx_;
+  bool failed_ = false;
 };
 
 // Creates a connected pair of in-process channels.

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <memory>
 
+#include "chaoskit/chaoskit.h"
 #include "ipc/channel.h"
 #include "ipc/shm.h"
 #include "proxy/server.h"
@@ -40,6 +41,10 @@ int main(int argc, char** argv) {
       return 0;
     }
   }
+
+  // Fault injection across exec: the spawner exports CHECL_CHAOS; arming
+  // happens here because the daemon can't be armed in-process.
+  chaoskit::Engine::instance().arm_from_env();
 
   if (tcp_port >= 0) {
     const int lfd = ipc::tcp_listen(static_cast<std::uint16_t>(tcp_port));

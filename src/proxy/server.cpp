@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "chaoskit/chaoskit.h"
 #include "checl/dispatch.h"
 #include "ipc/serial.h"
 #include "proxy/config_io.h"
@@ -670,6 +671,10 @@ bool dispatch(ServerState& st, Op op, Reader& r, Writer& w) {
 }  // namespace
 
 void serve(ipc::Channel& ch) {
+  // Whether we are a forked daemon or an in-process server thread, every
+  // consultation below (and in the channel underneath) is proxy-side.
+  chaoskit::ScopedThreadActor chaos_actor(chaoskit::Actor::Proxy);
+  auto& chaos = chaoskit::Engine::instance();
   ServerState st;
   st.ch = &ch;
   ipc::Message req;
@@ -689,9 +694,20 @@ void serve(ipc::Channel& ch) {
     }
     ipc::Reader r(req.bytes());
     ipc::Writer w(std::move(resp.payload));
-    const bool keep_going = dispatch(st, op, r, w);
+    bool keep_going;
+    if (chaos.should_fire(chaoskit::Site::ProxyInjectClError)) {
+      // the substrate "failed" this call: answer with the injected status
+      // and nothing else (clients tolerate short error responses)
+      w.i32(static_cast<cl_int>(chaos.arg()));
+      keep_going = true;
+    } else {
+      keep_going = dispatch(st, op, r, w);
+    }
     ch.release_rx();  // the request view is dead; free ring space for the
                       // client's next bulk send before we block in ours
+    // Proxy loss after the request was executed but before any reply left:
+    // the client must observe a dead channel, not a hang.
+    if (chaos.should_fire(chaoskit::Site::ProxyDieBeforeReply)) return;
     // Assign this request's full simulated cost (charges + dispatch work) to
     // the least-loaded virtual worker of an active group.
     const auto record_group = [&] {
@@ -706,6 +722,7 @@ void serve(ipc::Channel& ch) {
       if (measured) charge(st, st.resp_sent_bytes);
       st.resp_sent_bytes = 0;
       record_group();
+      if (chaos.should_fire(chaoskit::Site::ProxyDieAfterReply)) return;
       if (!keep_going) return;
       continue;
     }
@@ -716,6 +733,7 @@ void serve(ipc::Channel& ch) {
     const bool sent = ch.send2(resp, st.resp_bulk);
     st.resp_bulk = {};
     if (!sent) return;
+    if (chaos.should_fire(chaoskit::Site::ProxyDieAfterReply)) return;
     if (!keep_going) return;
   }
 }

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <memory>
 
+#include "chaoskit/chaoskit.h"
+
 namespace slimcr {
 
 namespace {
@@ -36,6 +38,34 @@ bool write_u64(std::FILE* f, std::uint64_t v) {
 }
 bool read_u64(std::FILE* f, std::uint64_t& v) {
   return std::fread(&v, sizeof v, 1, f) == 1;
+}
+
+// Damage an already-written snapshot in place: truncate it to `truncate_to`
+// bytes (when non-zero) or XOR one byte at `flip_at` (when >= 0).  Used only
+// by fault injection, so best-effort — if the reopen fails the file simply
+// stays intact.
+void corrupt_saved_file(const std::string& path, std::uint64_t truncate_to,
+                        std::int64_t flip_at) {
+  if (truncate_to != 0) {
+    FilePtr in(std::fopen(path.c_str(), "rb"));
+    if (in == nullptr) return;
+    std::vector<unsigned char> head(truncate_to);
+    const std::size_t got = std::fread(head.data(), 1, head.size(), in.get());
+    in.reset();
+    FilePtr out(std::fopen(path.c_str(), "wb"));
+    if (out == nullptr) return;
+    if (got != 0) std::fwrite(head.data(), 1, got, out.get());
+    return;
+  }
+  if (flip_at >= 0) {
+    FilePtr f(std::fopen(path.c_str(), "rb+"));
+    if (f == nullptr) return;
+    if (std::fseek(f.get(), static_cast<long>(flip_at), SEEK_SET) != 0) return;
+    const int c = std::fgetc(f.get());
+    if (c == EOF) return;
+    if (std::fseek(f.get(), static_cast<long>(flip_at), SEEK_SET) != 0) return;
+    std::fputc(c ^ 0x20, f.get());
+  }
 }
 
 }  // namespace
@@ -78,6 +108,12 @@ std::uint64_t Snapshot::payload_bytes() const noexcept {
 
 IoResult Snapshot::save(const std::string& path, const StorageModel& storage) const {
   IoResult res;
+  auto& chaos = chaoskit::Engine::instance();
+  if (chaos.should_fire(chaoskit::Site::SlimcrEnospc)) {
+    res.kind = IoError::ShortWrite;
+    res.error = "short write to " + path + " (no space left on device)";
+    return res;
+  }
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) {
     res.kind = IoError::OpenFailed;
@@ -106,6 +142,23 @@ IoResult Snapshot::save(const std::string& path, const StorageModel& storage) co
       return res;
     }
     total += 8 + name.size() + 8 + data.size() + 4;
+  }
+  // Faults that corrupt the container *after* a save the caller believes
+  // succeeded: a torn write (crash before the tail reached the disk) and a
+  // flipped byte.  load() must come back with a typed error, never a partial
+  // snapshot.
+  if (chaos.should_fire(chaoskit::Site::SlimcrTornWrite)) {
+    std::fflush(f.get());
+    f.reset();
+    corrupt_saved_file(path, /*truncate_to=*/total / 2, /*flip_at=*/-1);
+  } else if (chaos.should_fire(chaoskit::Site::SlimcrBitFlip)) {
+    std::fflush(f.get());
+    f.reset();
+    // arg counts back from the end of the container, so it lands in the last
+    // section's CRC-covered payload rather than a header byte.
+    corrupt_saved_file(path, /*truncate_to=*/0,
+                       /*flip_at=*/static_cast<std::int64_t>(
+                           total - 1 - static_cast<std::uint64_t>(chaos.arg()) % total));
   }
   res.ok = true;
   res.bytes = total;

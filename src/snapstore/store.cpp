@@ -8,6 +8,8 @@
 #include <memory>
 #include <thread>
 
+#include "chaoskit/chaoskit.h"
+
 namespace snapstore {
 
 namespace fs = std::filesystem;
@@ -89,6 +91,26 @@ bool read_whole_file(const std::string& path, std::vector<std::uint8_t>& out) {
 bool write_whole_file(const std::string& path,
                       std::span<const std::uint8_t> a,
                       std::span<const std::uint8_t> b = {}) {
+  // The choke point every pool chunk and manifest goes through — and so the
+  // one place storage faults are injected: ENOSPC (the write fails), a torn
+  // write (a prefix persists but the call "succeeds"), and silent corruption
+  // (one byte flipped on the way down).  Reads must catch all three.
+  auto& chaos = chaoskit::Engine::instance();
+  if (chaos.should_fire(chaoskit::Site::StoreEnospc)) return false;
+  const bool torn = chaos.should_fire(chaoskit::Site::StoreTornWrite);
+  const bool flip = chaos.should_fire(chaoskit::Site::StoreBitFlip);
+  if (torn || flip) {
+    std::vector<std::uint8_t> all(a.begin(), a.end());
+    all.insert(all.end(), b.begin(), b.end());
+    if (flip && !all.empty())
+      all[static_cast<std::size_t>(chaos.arg()) % all.size()] ^= 0x20;
+    if (torn) all.resize(all.size() / 2);
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (f == nullptr) return false;
+    if (!all.empty()) std::fwrite(all.data(), all.size(), 1, f.get());
+    std::fflush(f.get());
+    return true;  // the layer above believes this write landed intact
+  }
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) return false;
   if (!a.empty() && std::fwrite(a.data(), a.size(), 1, f.get()) != 1) return false;

@@ -1,0 +1,393 @@
+// chaos_harness.h — the crash-schedule torture harness behind test_chaos and
+// bench/chaos_sweep.
+//
+// A *schedule* is one fault (site, nth consultation, argument, actor) armed
+// at one point of a fixed checkpoint/restore lifecycle; schedules are derived
+// from a single integer seed through chaoskit::Prng, so every run is
+// reproducible with CHECL_CHAOS_SEED=<n> (and one case with
+// CHECL_CHAOS_CASE=<i>).  Each case runs the same small workload:
+//
+//   create add1 scenario -> run 3 iterations -> checkpoint
+//     -> [fault during checkpoint]  or  run 2 more -> [fault during restore]
+//     -> assert the failure invariants -> disarm -> recover cleanly
+//     -> assert the restored buffer is byte-identical to the checkpointed one
+//
+// Invariants checked per case (the contract of transparent CPR):
+//   * a failed checkpoint/restore leaves the object DB at its prior size;
+//   * a fired fault is named by Engine::last_error() ("[chaos: <site>]");
+//   * forced executor failures roll back, visible in stats_json()'s
+//     restore.rollbacks counter (no leaked remote handles);
+//   * a checkpoint corrupted on its way to storage is *rejected* at restore,
+//     never half-applied;
+//   * after recovery the restored buffer equals the checkpoint-time bytes.
+//
+// gtest-free on purpose: tests/chaos_test.cpp wraps verdicts in EXPECTs,
+// bench/chaos_sweep.cpp tallies them into a site-coverage table.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaoskit/chaoskit.h"
+#include "checl/checl.h"
+#include "checl/cl.h"
+#include "core/stats.h"
+
+namespace chaos_harness {
+
+// When in the lifecycle the fault is armed.
+enum class ArmPoint : std::uint8_t {
+  AtCheckpoint,  // before the checkpoint write (storage-layer faults)
+  AtRestore,     // after a clean checkpoint, before restart_in_place
+};
+
+struct Schedule {
+  chaoskit::Fault fault;
+  bool store_mode = false;  // snapstore-backed checkpoints for Store* sites
+  ArmPoint when = ArmPoint::AtRestore;
+};
+
+struct Verdict {
+  bool pass = true;
+  bool fired = false;      // the armed fault actually triggered
+  bool op_failed = false;  // the faulted operation returned an error
+  std::string detail;      // first broken invariant
+
+  void fail(std::string d) {
+    if (pass) {
+      pass = false;
+      detail = std::move(d);
+    }
+  }
+};
+
+inline std::string schedule_name(const Schedule& s) {
+  std::string n = chaoskit::site_name(s.fault.site);
+  n += ":" + std::to_string(s.fault.nth) + ":" + std::to_string(s.fault.arg);
+  n += s.when == ArmPoint::AtCheckpoint ? "@checkpoint" : "@restore";
+  if (s.store_mode) n += "+store";
+  return n;
+}
+
+inline std::string repro_line(std::uint64_t master_seed, std::size_t case_index) {
+  return "CHECL_CHAOS_SEED=" + std::to_string(master_seed) +
+         " CHECL_CHAOS_CASE=" + std::to_string(case_index) + " ./test_chaos";
+}
+
+// Derives `count` *distinct* schedules from one seed.  Distinctness is by
+// (site, nth, arg): collisions re-draw, so the list is still a pure function
+// of the seed.
+inline std::vector<Schedule> derive_schedules(std::uint64_t seed,
+                                              std::size_t count) {
+  using chaoskit::Actor;
+  using chaoskit::Site;
+  struct SiteSpec {
+    Site site;
+    Actor actor;
+    std::uint32_t max_nth;  // keep nth below the consultations a run produces
+    ArmPoint when;
+    bool store_mode;
+  };
+  // Every site the harness knows how to drive deterministically.
+  static const SiteSpec kSpecs[] = {
+      {Site::IpcShortWrite, Actor::App, 4, ArmPoint::AtRestore, false},
+      {Site::IpcSendEpipe, Actor::App, 4, ArmPoint::AtRestore, false},
+      {Site::IpcRecvTimeout, Actor::App, 4, ArmPoint::AtRestore, false},
+      {Site::ProxyDieBeforeReply, Actor::Proxy, 4, ArmPoint::AtRestore, false},
+      {Site::ProxyDieAfterReply, Actor::Proxy, 4, ArmPoint::AtRestore, false},
+      {Site::ProxyInjectClError, Actor::Proxy, 4, ArmPoint::AtRestore, false},
+      {Site::StoreTornWrite, Actor::Any, 3, ArmPoint::AtCheckpoint, true},
+      {Site::StoreEnospc, Actor::Any, 3, ArmPoint::AtCheckpoint, true},
+      {Site::StoreBitFlip, Actor::Any, 3, ArmPoint::AtCheckpoint, true},
+      {Site::SlimcrTornWrite, Actor::Any, 1, ArmPoint::AtCheckpoint, false},
+      {Site::SlimcrEnospc, Actor::Any, 1, ArmPoint::AtCheckpoint, false},
+      {Site::SlimcrBitFlip, Actor::Any, 1, ArmPoint::AtCheckpoint, false},
+      {Site::ExecCrashBetweenWaves, Actor::Any, 5, ArmPoint::AtRestore, false},
+      {Site::ExecWaveFail, Actor::Any, 5, ArmPoint::AtRestore, false},
+  };
+  static const cl_int kClErrors[] = {
+      CL_OUT_OF_RESOURCES, CL_OUT_OF_HOST_MEMORY,
+      CL_MEM_OBJECT_ALLOCATION_FAILURE, CL_INVALID_OPERATION};
+
+  chaoskit::Prng rng(seed);
+  std::vector<Schedule> out;
+  std::set<std::array<std::uint64_t, 3>> seen;
+  while (out.size() < count) {
+    const SiteSpec& sp =
+        kSpecs[rng.below(sizeof kSpecs / sizeof kSpecs[0])];
+    Schedule s;
+    s.fault.site = sp.site;
+    s.fault.actor = sp.actor;
+    s.fault.nth = static_cast<std::uint32_t>(rng.below(sp.max_nth));
+    s.when = sp.when;
+    s.store_mode = sp.store_mode;
+    switch (sp.site) {
+      case Site::ProxyInjectClError:
+      case Site::ExecWaveFail:
+        s.fault.arg = kClErrors[rng.below(4)];
+        break;
+      case Site::StoreBitFlip:
+      case Site::SlimcrBitFlip:
+        // Slimcr flips count back from the end of the container, so any
+        // small offset lands in CRC-covered payload.
+        s.fault.arg = static_cast<std::int64_t>(rng.below(1024));
+        break;
+      default:
+        break;
+    }
+    if (seen.insert({static_cast<std::uint64_t>(s.fault.site), s.fault.nth,
+                     static_cast<std::uint64_t>(s.fault.arg)})
+            .second)
+      out.push_back(s);
+  }
+  return out;
+}
+
+namespace detail {
+
+inline const char* kKernelSrc = R"CL(
+__kernel void add1(__global float* d, int n) {
+  int i = get_global_id(0);
+  if (i < n) d[i] = d[i] + 1.0f;
+}
+)CL";
+
+// The add1 workload, error-returning (no gtest).
+struct Scenario {
+  cl_platform_id platform = nullptr;
+  cl_device_id device = nullptr;
+  cl_context ctx = nullptr;
+  cl_command_queue queue = nullptr;
+  cl_program prog = nullptr;
+  cl_kernel kernel = nullptr;
+  cl_mem buf = nullptr;
+  int n = 1024;
+
+  bool create() {
+    cl_uint np = 0;
+    if (clGetPlatformIDs(0, nullptr, &np) != CL_SUCCESS || np == 0) return false;
+    std::vector<cl_platform_id> plats(np);
+    clGetPlatformIDs(np, plats.data(), nullptr);
+    for (cl_platform_id p : plats) {
+      if (clGetDeviceIDs(p, CL_DEVICE_TYPE_GPU, 1, &device, nullptr) ==
+          CL_SUCCESS) {
+        platform = p;
+        break;
+      }
+    }
+    if (platform == nullptr) return false;
+    cl_int err = CL_SUCCESS;
+    ctx = clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+    if (err != CL_SUCCESS) return false;
+    queue = clCreateCommandQueue(ctx, device, 0, &err);
+    if (err != CL_SUCCESS) return false;
+    std::vector<float> zeros(static_cast<std::size_t>(n), 0.0f);
+    buf = clCreateBuffer(ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR,
+                         static_cast<std::size_t>(n) * 4, zeros.data(), &err);
+    if (err != CL_SUCCESS) return false;
+    prog = clCreateProgramWithSource(ctx, 1, &kKernelSrc, nullptr, &err);
+    if (err != CL_SUCCESS) return false;
+    if (clBuildProgram(prog, 1, &device, "", nullptr, nullptr) != CL_SUCCESS)
+      return false;
+    kernel = clCreateKernel(prog, "add1", &err);
+    if (err != CL_SUCCESS) return false;
+    if (clSetKernelArg(kernel, 0, sizeof buf, &buf) != CL_SUCCESS) return false;
+    return clSetKernelArg(kernel, 1, sizeof n, &n) == CL_SUCCESS;
+  }
+
+  // Runs add1 `times` times; statuses ignored (the channel may be dead by
+  // design mid-case).
+  void run_add1(int times) {
+    const std::size_t g = static_cast<std::size_t>(n);
+    for (int i = 0; i < times; ++i)
+      clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &g, nullptr, 0, nullptr,
+                             nullptr);
+    clFinish(queue);
+  }
+
+  bool read_bytes(std::vector<float>& out) {
+    out.assign(static_cast<std::size_t>(n), -1.0f);
+    return clEnqueueReadBuffer(queue, buf, CL_TRUE, 0,
+                               static_cast<std::size_t>(n) * 4, out.data(), 0,
+                               nullptr, nullptr) == CL_SUCCESS;
+  }
+};
+
+// Pulls one integer counter out of stats_json() output ("\"key\": 123").
+inline std::uint64_t counter_from_stats_json(const std::string& json,
+                                             const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+inline bool is_exec_site(chaoskit::Site s) {
+  return s == chaoskit::Site::ExecCrashBetweenWaves ||
+         s == chaoskit::Site::ExecWaveFail;
+}
+
+}  // namespace detail
+
+inline const char* chaos_ckpt_path() { return "/tmp/checl_chaos_test.ckpt"; }
+inline const char* chaos_store_root() { return "/tmp/checl_chaos_store"; }
+
+// Runs one schedule against a fresh runtime and reports which invariant (if
+// any) broke.  Leaves the process-wide runtime reset and chaoskit disarmed.
+inline Verdict run_schedule(const Schedule& s) {
+  namespace fs = std::filesystem;
+  auto& rt = checl::CheclRuntime::instance();
+  auto& chaos = chaoskit::Engine::instance();
+  Verdict v;
+
+  chaos.disarm();
+  rt.reset_all();
+  checl::NodeConfig node = checl::dual_node();
+  node.transport = proxy::Transport::Thread;  // in-process: one chaos engine
+  rt.set_node(node);
+  // Serial waves keep the executor's consultation order a function of the
+  // plan alone, so nth counting stays deterministic.
+  rt.restore_parallel = false;
+  if (s.store_mode) {
+    fs::remove_all(chaos_store_root());
+    rt.store_checkpoints = true;
+    rt.store_root = chaos_store_root();
+  }
+  checl::bind_checl();
+
+  const std::string ckpt = s.store_mode ? "chaos_ckpt" : chaos_ckpt_path();
+  auto cleanup = [&] {
+    chaos.disarm();
+    rt.reset_all();
+    checl::bind_native();
+    std::remove(chaos_ckpt_path());
+    std::error_code ec;
+    fs::remove_all(chaos_store_root(), ec);
+  };
+
+  detail::Scenario sc;
+  if (!sc.create()) {
+    v.fail("scenario setup failed");
+    cleanup();
+    return v;
+  }
+  sc.run_add1(3);
+  std::vector<float> expected;
+  if (!sc.read_bytes(expected)) {
+    v.fail("baseline read failed");
+    cleanup();
+    return v;
+  }
+
+  auto& eng = rt.engine();
+  const std::size_t db_before = rt.db().all().size();
+  const std::uint64_t rollbacks_before = detail::counter_from_stats_json(
+      checl::stats_json(), "rollbacks");
+  const std::string site = chaoskit::site_name(s.fault.site);
+
+  cl_int op_err = CL_SUCCESS;
+  if (s.when == ArmPoint::AtCheckpoint) {
+    chaos.arm(s.fault);
+    op_err = eng.checkpoint(ckpt, nullptr);
+  } else {
+    if (eng.checkpoint(ckpt, nullptr) != CL_SUCCESS) {
+      v.fail("clean checkpoint failed: " + eng.last_error());
+      cleanup();
+      return v;
+    }
+    sc.run_add1(2);  // diverge, so a successful restore is observable
+    chaos.arm(s.fault);
+    op_err = eng.restart_in_place(ckpt, std::nullopt, nullptr);
+  }
+  v.fired = chaos.fired();
+  v.op_failed = op_err != CL_SUCCESS;
+
+  if (!v.fired) v.fail("fault never fired (schedule does not reach its site)");
+
+  if (v.op_failed) {
+    if (eng.last_error().empty())
+      v.fail("failed operation left last_error() empty");
+    else if (v.fired &&
+             eng.last_error().find("[chaos: " + site + "]") == std::string::npos)
+      v.fail("last_error() does not name the culprit site: " + eng.last_error());
+    if (rt.db().all().size() != db_before)
+      v.fail("object DB size changed across a failed operation");
+  }
+
+  // Forced executor failures must show up as a rollback in the public
+  // counters — the "no leaked remote handles" ledger.
+  if (detail::is_exec_site(s.fault.site) && v.fired) {
+    if (!v.op_failed) v.fail("executor fault fired but restore succeeded");
+    const std::uint64_t rollbacks_after = detail::counter_from_stats_json(
+        checl::stats_json(), "rollbacks");
+    if (rollbacks_after != rollbacks_before + 1)
+      v.fail("stats_json rollbacks did not record the rolled-back restore");
+  }
+
+  // A checkpoint silently corrupted on the way to storage must be rejected
+  // when read back — never half-applied.
+  if (s.when == ArmPoint::AtCheckpoint && v.fired && !v.op_failed) {
+    const cl_int r = eng.restart_in_place(ckpt, std::nullopt, nullptr);
+    if (r == CL_SUCCESS) {
+      v.fail("restore silently accepted a corrupted checkpoint");
+    } else {
+      if (eng.last_error().empty())
+        v.fail("corrupted-checkpoint restore left last_error() empty");
+      else if (eng.last_error().find("[chaos: " + site + "]") ==
+               std::string::npos)
+        v.fail("corrupted-checkpoint diagnostic does not name the site: " +
+               eng.last_error());
+      if (rt.db().all().size() != db_before)
+        v.fail("object DB size changed across a rejected restore");
+    }
+  }
+
+  // Recovery: with the fault gone, one clean checkpoint/restore cycle must
+  // reproduce the checkpointed bytes exactly.
+  chaos.disarm();
+  if (s.when == ArmPoint::AtCheckpoint) {
+    // Retire the damaged artifact first.  In store mode this is load-bearing:
+    // the corrupt chunk sits in the pool under the *original* content hash,
+    // so a re-put would dedup against it and re-reference the damage;
+    // deleting the manifest drops its refcounts and GCs the bad chunk.
+    if (s.store_mode) {
+      if (snapstore::Store* st = eng.store_if_open(); st != nullptr)
+        st->remove(ckpt);  // may be MissingManifest after an ENOSPC put
+    }
+    // Re-checkpoint over the (failed or corrupted) artifact, then restore.
+    if (eng.checkpoint(ckpt, nullptr) != CL_SUCCESS) {
+      v.fail("recovery checkpoint failed: " + eng.last_error());
+      cleanup();
+      return v;
+    }
+    sc.run_add1(2);  // diverge before restoring
+  }
+  if (eng.restart_in_place(ckpt, std::nullopt, nullptr) != CL_SUCCESS) {
+    v.fail("recovery restore failed: " + eng.last_error());
+    cleanup();
+    return v;
+  }
+  std::vector<float> got;
+  if (!sc.read_bytes(got))
+    v.fail("post-recovery read failed");
+  else if (std::memcmp(got.data(), expected.data(), got.size() * 4) != 0)
+    v.fail("restored buffer is not byte-identical to the checkpointed state");
+  // ...and the runtime keeps computing.
+  sc.run_add1(1);
+  std::vector<float> after;
+  if (!sc.read_bytes(after) || after[0] != expected[0] + 1.0f)
+    v.fail("runtime unusable after recovery");
+
+  cleanup();
+  return v;
+}
+
+}  // namespace chaos_harness

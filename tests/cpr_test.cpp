@@ -702,4 +702,60 @@ TEST_F(CprTest, AppRegionsRestoredInPlace) {
   s.release();
 }
 
+TEST_F(CprTest, LastErrorResetOnEntryByBothRestorePaths) {
+  // Regression: restart_in_place cleared last_error() on entry but
+  // restore_fresh didn't (and vice versa after a refactor), so a stale
+  // diagnostic from an earlier failure could survive a later *successful*
+  // restore and be reported as if that restore had failed.  Both paths (and
+  // checkpoint) now reset on entry via the same wrapper.
+  Scenario s;
+  s.create();
+  s.run_add1(2);
+  ASSERT_EQ(engine().checkpoint(path(), nullptr), CL_SUCCESS);
+  EXPECT_TRUE(engine().last_error().empty());
+
+  // Fail restart_in_place: nonexistent snapshot.
+  ASSERT_NE(engine().restart_in_place("/tmp/checl_no_such.ckpt", std::nullopt,
+                                      nullptr),
+            CL_SUCCESS);
+  const std::string first = engine().last_error();
+  EXPECT_FALSE(first.empty());
+
+  // A successful restart_in_place must wipe the stale diagnostic.
+  ASSERT_EQ(engine().restart_in_place(path(), std::nullopt, nullptr),
+            CL_SUCCESS);
+  EXPECT_TRUE(engine().last_error().empty()) << engine().last_error();
+
+  // Fail again, then drive the *other* path to success: restore_fresh must
+  // also reset on entry, not inherit restart_in_place's leftovers.
+  ASSERT_NE(engine().restart_in_place("/tmp/checl_no_such.ckpt", std::nullopt,
+                                      nullptr),
+            CL_SUCCESS);
+  EXPECT_FALSE(engine().last_error().empty());
+
+  auto& rt = checl::CheclRuntime::instance();
+  s.release();
+  rt.reset_all();
+  checl::NodeConfig node = checl::dual_node();
+  node.transport = proxy::Transport::Process;
+  rt.set_node(node);
+
+  // restore_fresh failure produces its own message (naming its own path),
+  // not the stale restart_in_place one...
+  std::unordered_map<std::uint64_t, checl::Object*> map;
+  ASSERT_NE(engine().restore_fresh("/tmp/checl_other_missing.ckpt",
+                                   std::nullopt, nullptr, &map),
+            CL_SUCCESS);
+  EXPECT_NE(engine().last_error().find("checl_other_missing"),
+            std::string::npos)
+      << "restore_fresh reported a stale diagnostic: "
+      << engine().last_error();
+
+  // ...and a successful restore_fresh ends with last_error() empty.
+  map.clear();
+  ASSERT_EQ(engine().restore_fresh(path(), std::nullopt, nullptr, &map),
+            CL_SUCCESS);
+  EXPECT_TRUE(engine().last_error().empty()) << engine().last_error();
+}
+
 }  // namespace

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Regenerates the pinned object-DB decode corpus (golden_v1.db, golden_v2.db).
+
+The binaries are committed; this script only exists so a reader can see how
+the bytes were produced and regenerate them if the *intended* graph changes.
+If the codec's wire format changes such that these files stop decoding, that
+is a compatibility break with existing checkpoints and must be handled with a
+new container version, not by regenerating the corpus.
+
+Wire format (src/core/replay/codec.cpp, little-endian throughout):
+  v1: [u32 1] then per class in ObjType order: [u32 count][records]
+  v2: [u32 2][u32 section_count] then per section:
+      [u32 class_tag][u32 count][u64 body_len][body]
+  record: [u64 old_id][fields...]   (field order = fields() in codec.cpp)
+  str/bytes = u64 length + raw; bool = u8 0/1; links = u32 n + n*u64 ids
+"""
+import struct
+import sys
+from pathlib import Path
+
+
+class W:
+    def __init__(self):
+        self.b = bytearray()
+
+    def u8(self, v): self.b += struct.pack("<B", v)
+    def u32(self, v): self.b += struct.pack("<I", v)
+    def u64(self, v): self.b += struct.pack("<Q", v)
+    def i64(self, v): self.b += struct.pack("<q", v)
+    def boolean(self, v): self.u8(1 if v else 0)
+
+    def str_(self, s):
+        raw = s.encode()
+        self.u64(len(raw))
+        self.b += raw
+
+    def bytes_(self, raw):
+        self.u64(len(raw))
+        self.b += bytes(raw)
+
+    def i64s(self, vals):
+        self.u32(len(vals))
+        for v in vals:
+            self.i64(v)
+
+    def links(self, ids):
+        self.u32(len(ids))
+        for i in ids:
+            self.u64(i)
+
+
+# CL constants (include/checl/cl.h).
+CL_DEVICE_TYPE_GPU = 1 << 2
+CL_CONTEXT_PLATFORM = 0x1084
+CL_QUEUE_PROFILING_ENABLE = 1 << 1
+CL_MEM_READ_WRITE = 1 << 0
+CL_MEM_READ_ONLY = 1 << 2
+CL_RGBA = 0x10B5
+CL_UNSIGNED_INT8 = 0x10DA
+CL_ADDRESS_CLAMP = 0x1132
+CL_FILTER_LINEAR = 0x1141
+CL_COMMAND_NDRANGE_KERNEL = 0x11F0
+
+# ArgRec::Kind (src/core/objects.h).
+ARG_UNSET, ARG_BYTES, ARG_MEM, ARG_SAMPLER, ARG_LOCAL = range(5)
+
+GOLDEN_SOURCE = "__kernel void golden(__global float* d, int n) { d[0] = n; }"
+
+# One record-emitter per class; old ids are deliberately non-contiguous so a
+# decoder that ignores the id map and relies on allocation order would fail.
+# Event 111 links queue id 999, which does not exist: decode_db must tolerate
+# the dangling link (queue == nullptr) rather than reject the stream.
+
+
+def platforms():
+    w = W()
+    w.u64(101); w.str_("GoldenCL Platform"); w.u32(0)
+    return 1, w.b
+
+
+def devices():
+    w = W()
+    w.u64(102); w.u64(101); w.u64(CL_DEVICE_TYPE_GPU); w.u32(0)
+    w.str_("GoldenCL GPU 0")
+    return 1, w.b
+
+
+def contexts():
+    w = W()
+    w.u64(103); w.links([102]); w.i64s([CL_CONTEXT_PLATFORM, 101, 0])
+    return 1, w.b
+
+
+def queues():
+    w = W()
+    w.u64(104); w.u64(103); w.u64(102); w.u64(CL_QUEUE_PROFILING_ENABLE)
+    return 1, w.b
+
+
+def mems():
+    w = W()
+    # Plain buffer.
+    w.u64(105); w.u64(103); w.u64(CL_MEM_READ_WRITE); w.u64(4096)
+    w.boolean(False); w.u32(0); w.u32(0); w.u64(0); w.u64(0); w.u64(0)
+    w.boolean(False)
+    # Image, originally created with a host pointer.
+    w.u64(106); w.u64(103); w.u64(CL_MEM_READ_ONLY); w.u64(2048)
+    w.boolean(True); w.u32(CL_RGBA); w.u32(CL_UNSIGNED_INT8)
+    w.u64(16); w.u64(8); w.u64(64)
+    w.boolean(True)
+    return 2, w.b
+
+
+def samplers():
+    w = W()
+    w.u64(107); w.u64(103); w.u32(1); w.u32(CL_ADDRESS_CLAMP)
+    w.u32(CL_FILTER_LINEAR)
+    return 1, w.b
+
+
+def programs():
+    w = W()
+    w.u64(108); w.u64(103); w.str_(GOLDEN_SOURCE); w.str_("-DGOLDEN=1")
+    w.boolean(True); w.boolean(False); w.bytes_(b"")
+    return 1, w.b
+
+
+def kernels():
+    w = W()
+    w.u64(109); w.u64(108); w.str_("golden")
+    w.u32(5)  # one arg of every kind
+    w.u8(ARG_BYTES); w.bytes_(bytes([1, 2, 3, 4]))
+    w.u8(ARG_MEM); w.u64(105)
+    w.u8(ARG_SAMPLER); w.u64(107)
+    w.u8(ARG_LOCAL); w.u64(64)
+    w.u8(ARG_UNSET)
+    return 1, w.b
+
+
+def events():
+    w = W()
+    w.u64(110); w.u64(104); w.u32(CL_COMMAND_NDRANGE_KERNEL)
+    w.u64(111); w.u64(999); w.u32(4242)  # dangling queue link
+    return 2, w.b
+
+
+CLASSES = [platforms, devices, contexts, queues, mems, samplers, programs,
+           kernels, events]
+
+
+def emit_v1():
+    w = W()
+    w.u32(1)
+    for cls in CLASSES:
+        count, body = cls()
+        w.u32(count)
+        w.b += body
+    return bytes(w.b)
+
+
+def emit_v2():
+    w = W()
+    w.u32(2)
+    w.u32(len(CLASSES) + 1)  # +1: an unknown future-class section
+    for tag, cls in enumerate(CLASSES):
+        count, body = cls()
+        w.u32(tag); w.u32(count); w.u64(len(body))
+        w.b += body
+    # Unknown class tag: a v2 reader must skip it by length.
+    future = b"\xde\xad\xbe\xef\x00\x11\x22\x33"
+    w.u32(99); w.u32(1); w.u64(len(future))
+    w.b += future
+    return bytes(w.b)
+
+
+def main():
+    out = Path(__file__).resolve().parent
+    (out / "golden_v1.db").write_bytes(emit_v1())
+    (out / "golden_v2.db").write_bytes(emit_v2())
+    print(f"wrote {out / 'golden_v1.db'} and {out / 'golden_v2.db'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

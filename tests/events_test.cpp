@@ -3,8 +3,10 @@
 // and the whole simulation is deterministic run-to-run.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <vector>
 
+#include "checl/checl.h"
 #include "checl/cl.h"
 #include "checl/cl_ext.h"
 #include "core/object_db.h"
@@ -212,6 +214,90 @@ TEST(ObjectDb, IdsNeverReused) {
   db.remove(b);
   delete a;
   delete b;
+}
+
+// ---------------------------------------------------------------------------
+// events across a delayed-mode checkpoint
+// ---------------------------------------------------------------------------
+
+TEST(EventsAcrossRestore, DummyEventCompleteAfterDelayedCheckpoint) {
+  // Delayed mode defers a requested checkpoint until the app's next sync
+  // call; restore then replaces every live event with a dummy marker.  A
+  // handle the app kept from *before* the checkpoint must still answer
+  // CL_COMPLETE and never block a waiter.
+  auto& rt = checl::CheclRuntime::instance();
+  rt.reset_all();
+  checl::NodeConfig node = checl::dual_node();
+  node.transport = proxy::Transport::Thread;
+  rt.set_node(node);
+  checl::bind_checl();
+  const char* path = "/tmp/checl_events_delayed.ckpt";
+
+  cl_platform_id plat = nullptr;
+  cl_device_id dev = nullptr;
+  ASSERT_EQ(clGetPlatformIDs(1, &plat, nullptr), CL_SUCCESS);
+  ASSERT_EQ(clGetDeviceIDs(plat, CL_DEVICE_TYPE_GPU, 1, &dev, nullptr),
+            CL_SUCCESS);
+  cl_int err = CL_SUCCESS;
+  cl_context ctx = clCreateContext(nullptr, 1, &dev, nullptr, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_command_queue q = clCreateCommandQueue(ctx, dev, 0, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_program p = clCreateProgramWithSource(ctx, 1, &kBurnSrc, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clBuildProgram(p, 1, &dev, "", nullptr, nullptr), CL_SUCCESS);
+  cl_kernel k = clCreateKernel(p, "burn", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_mem buf = clCreateBuffer(ctx, CL_MEM_READ_WRITE, 256 * 4, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  int iters = 50;
+  ASSERT_EQ(clSetKernelArg(k, 0, sizeof buf, &buf), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(k, 1, sizeof iters, &iters), CL_SUCCESS);
+
+  const std::size_t g = 256;
+  cl_event ev = nullptr;
+  ASSERT_EQ(
+      clEnqueueNDRangeKernel(q, k, 1, nullptr, &g, nullptr, 0, nullptr, &ev),
+      CL_SUCCESS);
+  ASSERT_EQ(clWaitForEvents(1, &ev), CL_SUCCESS);
+
+  // Request while busy-at-the-API-level: the checkpoint must NOT happen on
+  // the request itself, only at the next sync point.
+  rt.mode = checl::CheckpointMode::Delayed;
+  rt.checkpoint_path = path;
+  rt.request_checkpoint();
+  EXPECT_TRUE(rt.checkpoint_pending());
+  ASSERT_EQ(clFinish(q), CL_SUCCESS);  // the sync point: checkpoint fires
+  EXPECT_FALSE(rt.checkpoint_pending());
+
+  ASSERT_EQ(rt.engine().restart_in_place(path, std::nullopt, nullptr),
+            CL_SUCCESS);
+
+  // The pre-checkpoint handle now denotes a dummy marker: complete, non-blocking.
+  cl_int st = -1;
+  ASSERT_EQ(clGetEventInfo(ev, CL_EVENT_COMMAND_EXECUTION_STATUS, sizeof st,
+                           &st, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(st, CL_COMPLETE);
+  ASSERT_EQ(clWaitForEvents(1, &ev), CL_SUCCESS);
+
+  // And the restored graph still does work: new enqueues complete normally.
+  cl_event ev2 = nullptr;
+  ASSERT_EQ(
+      clEnqueueNDRangeKernel(q, k, 1, nullptr, &g, nullptr, 0, nullptr, &ev2),
+      CL_SUCCESS);
+  ASSERT_EQ(clWaitForEvents(1, &ev2), CL_SUCCESS);
+
+  clReleaseEvent(ev);
+  clReleaseEvent(ev2);
+  clReleaseKernel(k);
+  clReleaseProgram(p);
+  clReleaseMemObject(buf);
+  clReleaseCommandQueue(q);
+  clReleaseContext(ctx);
+  rt.reset_all();
+  checl::bind_native();
+  std::remove(path);
 }
 
 }  // namespace

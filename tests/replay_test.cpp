@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <random>
 #include <string>
 #include <unordered_map>
@@ -371,6 +374,167 @@ TEST(ReplayCodec, DecodesV1StreamsThroughTheSameFieldLists) {
   // post-decode fixups ran: the program's source was re-parsed and the
   // kernel's signature resolved
   EXPECT_NE(k->sig, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// golden corpus: pinned on-disk snapshots (tests/data/, see gen_golden.py)
+// ---------------------------------------------------------------------------
+//
+// Round-trip tests can't catch a format change that breaks *existing*
+// checkpoints — a codec that flips a field's width still round-trips with
+// itself.  These bytes are committed; if they stop decoding, old checkpoint
+// files stopped restoring, and the fix is a new container version.
+
+std::vector<std::uint8_t> read_golden(const std::string& name) {
+  const char* dir = std::getenv("CHECL_TEST_DATA");
+  if (dir == nullptr || *dir == '\0') dir = CHECL_TEST_DATA_DIR;
+  std::ifstream f(std::string(dir) + "/" + name, std::ios::binary);
+  if (!f) return {};
+  return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+// Asserts the decoded graph matches gen_golden.py field for field.
+void expect_golden_graph(const checl::replay::DecodeResult& dec) {
+  ASSERT_EQ(dec.created.size(), 11u);
+
+  auto get = [&](std::uint64_t old_id) -> Object* {
+    const auto it = dec.map.find(old_id);
+    return it != dec.map.end() ? it->second : nullptr;
+  };
+
+  auto* plat = static_cast<PlatformObj*>(get(101));
+  ASSERT_NE(plat, nullptr);
+  ASSERT_EQ(plat->otype, ObjType::Platform);
+  EXPECT_EQ(plat->name, "GoldenCL Platform");
+  EXPECT_EQ(plat->index, 0u);
+
+  auto* dev = static_cast<DeviceObj*>(get(102));
+  ASSERT_NE(dev, nullptr);
+  ASSERT_EQ(dev->otype, ObjType::Device);
+  EXPECT_EQ(dev->platform, plat);
+  EXPECT_EQ(dev->type, static_cast<cl_bitfield>(CL_DEVICE_TYPE_GPU));
+  EXPECT_EQ(dev->index_in_type, 0u);
+  EXPECT_EQ(dev->name, "GoldenCL GPU 0");
+
+  auto* ctx = static_cast<ContextObj*>(get(103));
+  ASSERT_NE(ctx, nullptr);
+  ASSERT_EQ(ctx->otype, ObjType::Context);
+  ASSERT_EQ(ctx->devices.size(), 1u);
+  EXPECT_EQ(ctx->devices[0], dev);
+  const std::vector<std::int64_t> props = {CL_CONTEXT_PLATFORM, 101, 0};
+  EXPECT_EQ(ctx->properties, props);
+
+  auto* q = static_cast<QueueObj*>(get(104));
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->otype, ObjType::Queue);
+  EXPECT_EQ(q->ctx, ctx);
+  EXPECT_EQ(q->dev, dev);
+  EXPECT_EQ(q->properties,
+            static_cast<cl_bitfield>(CL_QUEUE_PROFILING_ENABLE));
+
+  auto* buf = static_cast<MemObj*>(get(105));
+  ASSERT_NE(buf, nullptr);
+  ASSERT_EQ(buf->otype, ObjType::Mem);
+  EXPECT_EQ(buf->ctx, ctx);
+  EXPECT_EQ(buf->flags, static_cast<cl_bitfield>(CL_MEM_READ_WRITE));
+  EXPECT_EQ(buf->size, 4096u);
+  EXPECT_FALSE(buf->is_image);
+  EXPECT_EQ(buf->format.image_channel_order, 0u);
+  EXPECT_EQ(buf->format.image_channel_data_type, 0u);
+  EXPECT_EQ(buf->width, 0u);
+  EXPECT_EQ(buf->height, 0u);
+  EXPECT_EQ(buf->row_pitch, 0u);
+  EXPECT_EQ(buf->use_host_ptr, nullptr);
+
+  auto* img = static_cast<MemObj*>(get(106));
+  ASSERT_NE(img, nullptr);
+  ASSERT_EQ(img->otype, ObjType::Mem);
+  EXPECT_EQ(img->ctx, ctx);
+  EXPECT_EQ(img->flags, static_cast<cl_bitfield>(CL_MEM_READ_ONLY));
+  EXPECT_EQ(img->size, 2048u);
+  EXPECT_TRUE(img->is_image);
+  EXPECT_EQ(img->format.image_channel_order, CL_RGBA);
+  EXPECT_EQ(img->format.image_channel_data_type, CL_UNSIGNED_INT8);
+  EXPECT_EQ(img->width, 16u);
+  EXPECT_EQ(img->height, 8u);
+  EXPECT_EQ(img->row_pitch, 64u);
+  // The snapshot records "was created with a host pointer" (the flag is set
+  // in the golden bytes), but decode demotes it: app memory is gone in a
+  // fresh process, so the restored object must not claim to borrow it.
+  EXPECT_EQ(img->use_host_ptr, nullptr);
+
+  auto* smp = static_cast<SamplerObj*>(get(107));
+  ASSERT_NE(smp, nullptr);
+  ASSERT_EQ(smp->otype, ObjType::Sampler);
+  EXPECT_EQ(smp->ctx, ctx);
+  EXPECT_EQ(smp->normalized, 1u);
+  EXPECT_EQ(smp->addressing, CL_ADDRESS_CLAMP);
+  EXPECT_EQ(smp->filter, CL_FILTER_LINEAR);
+
+  auto* prog = static_cast<ProgramObj*>(get(108));
+  ASSERT_NE(prog, nullptr);
+  ASSERT_EQ(prog->otype, ObjType::Program);
+  EXPECT_EQ(prog->ctx, ctx);
+  EXPECT_EQ(prog->source,
+            "__kernel void golden(__global float* d, int n) { d[0] = n; }");
+  EXPECT_EQ(prog->build_options, "-DGOLDEN=1");
+  EXPECT_TRUE(prog->built);
+  EXPECT_FALSE(prog->from_binary);
+  EXPECT_TRUE(prog->binary.empty());
+
+  auto* k = static_cast<KernelObj*>(get(109));
+  ASSERT_NE(k, nullptr);
+  ASSERT_EQ(k->otype, ObjType::Kernel);
+  EXPECT_EQ(k->prog, prog);
+  EXPECT_EQ(k->name, "golden");
+  ASSERT_EQ(k->args.size(), 5u);
+  EXPECT_EQ(k->args[0].kind, KernelObj::ArgRec::Kind::Bytes);
+  const std::vector<std::uint8_t> arg0 = {1, 2, 3, 4};
+  EXPECT_EQ(k->args[0].bytes, arg0);
+  EXPECT_EQ(k->args[1].kind, KernelObj::ArgRec::Kind::Mem);
+  EXPECT_EQ(k->args[1].mem, buf);
+  EXPECT_EQ(k->args[2].kind, KernelObj::ArgRec::Kind::Sampler);
+  EXPECT_EQ(k->args[2].sampler, smp);
+  EXPECT_EQ(k->args[3].kind, KernelObj::ArgRec::Kind::Local);
+  EXPECT_EQ(k->args[3].local_size, 64u);
+  EXPECT_EQ(k->args[4].kind, KernelObj::ArgRec::Kind::Unset);
+  // post_decode ran: source re-parsed, signature resolved
+  EXPECT_NE(k->sig, nullptr);
+
+  auto* ev = static_cast<EventObj*>(get(110));
+  ASSERT_NE(ev, nullptr);
+  ASSERT_EQ(ev->otype, ObjType::Event);
+  EXPECT_EQ(ev->queue, q);
+  EXPECT_EQ(ev->command_type,
+            static_cast<cl_uint>(CL_COMMAND_NDRANGE_KERNEL));
+
+  // Old id 999 never existed in the snapshot: the link must decode to
+  // nullptr, not reject the stream.
+  auto* dangling = static_cast<EventObj*>(get(111));
+  ASSERT_NE(dangling, nullptr);
+  ASSERT_EQ(dangling->otype, ObjType::Event);
+  EXPECT_EQ(dangling->queue, nullptr);
+  EXPECT_EQ(dangling->command_type, 4242u);
+}
+
+TEST(ReplayCodecGolden, DecodesPinnedV1Snapshot) {
+  const std::vector<std::uint8_t> bytes = read_golden("golden_v1.db");
+  ASSERT_FALSE(bytes.empty()) << "pinned corpus missing (tests/data)";
+  Graph g;
+  checl::replay::DecodeResult dec = checl::replay::decode_db(bytes, g.db);
+  ASSERT_TRUE(dec.ok) << dec.error;
+  expect_golden_graph(dec);
+}
+
+TEST(ReplayCodecGolden, DecodesPinnedV2Snapshot) {
+  // The v2 file also carries a trailing section with unknown class tag 99,
+  // which the decoder must skip by length.
+  const std::vector<std::uint8_t> bytes = read_golden("golden_v2.db");
+  ASSERT_FALSE(bytes.empty()) << "pinned corpus missing (tests/data)";
+  Graph g;
+  checl::replay::DecodeResult dec = checl::replay::decode_db(bytes, g.db);
+  ASSERT_TRUE(dec.ok) << dec.error;
+  expect_golden_graph(dec);
 }
 
 TEST(ReplayCodec, TruncatedStreamRejectedAndCleanedUp) {
