@@ -6,10 +6,20 @@
 // and how many invariant checks broke.  JSON on stdout; a human-readable
 // table on stderr.
 //
-//   chaos_sweep [--smoke] [--seed N] [--cases N]
+//   chaos_sweep [--smoke] [--seed N] [--cases N] [--survive] [--json-out FILE]
 //
 // --smoke runs a small fixed-seed slice (ctest label: chaos) and exits
 // non-zero on the first broken invariant, printing its repro line.
+//
+// --survive flips the contract: the survive-eligible slice of the same
+// schedules runs with the self-healing runtime ON (supervision + I/O retry),
+// and each case must complete with zero application-visible CL errors and
+// byte-identical output.  The JSON then reports the recovery telemetry —
+// recoveries, I/O retries, and the MTTR distribution (wall time from fault
+// detection to the healed channel's re-issued call) — and --json-out writes
+// it to a file (CI uses BENCH_recovery.json) for a machine-readable perf
+// trajectory.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -18,24 +28,136 @@
 
 #include "../tests/chaos_harness.h"
 
+namespace {
+
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+int run_survive(std::uint64_t seed, std::size_t cases, bool smoke,
+                const char* json_out) {
+  const auto schedules = chaos_harness::derive_schedules(seed, cases);
+
+  struct SiteRow {
+    std::uint64_t schedules = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t survived = 0;
+  };
+  std::map<std::string, SiteRow> rows;
+  std::vector<std::uint64_t> mttr;
+  std::uint64_t recoveries = 0, io_retries = 0;
+  std::size_t eligible = 0, broken = 0;
+
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    if (!chaos_harness::survive_eligible(schedules[i])) continue;
+    ++eligible;
+    const chaos_harness::Verdict v =
+        chaos_harness::run_schedule_survive(schedules[i]);
+    SiteRow& r = rows[chaoskit::site_name(schedules[i].fault.site)];
+    r.schedules++;
+    if (v.fired) r.fired++;
+    if (v.pass) {
+      r.survived++;
+    } else {
+      ++broken;
+      std::fprintf(stderr, "FAIL survive case %zu [%s]: %s\n  repro: %s\n", i,
+                   chaos_harness::schedule_name(schedules[i]).c_str(),
+                   v.detail.c_str(),
+                   chaos_harness::repro_line(seed, i).c_str());
+      if (smoke) return 1;
+    }
+    recoveries += v.recoveries;
+    io_retries += v.io_retries;
+    if (v.recover_ns > 0) mttr.push_back(v.recover_ns);
+  }
+  std::sort(mttr.begin(), mttr.end());
+
+  std::fprintf(stderr, "%-26s %10s %8s %10s\n", "site", "schedules", "fired",
+               "survived");
+  for (const auto& [site, r] : rows)
+    std::fprintf(stderr, "%-26s %10llu %8llu %10llu\n", site.c_str(),
+                 static_cast<unsigned long long>(r.schedules),
+                 static_cast<unsigned long long>(r.fired),
+                 static_cast<unsigned long long>(r.survived));
+
+  std::string json = "{\"bench\": \"recovery\", ";
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "\"seed\": %llu, \"eligible\": %zu, \"broken\": %zu, "
+      "\"recoveries\": %llu, \"io_retries\": %llu, \"mttr_ns\": "
+      "{\"samples\": %zu, \"median\": %llu, \"p10\": %llu, \"p90\": %llu, "
+      "\"min\": %llu, \"max\": %llu}, \"sites\": {",
+      static_cast<unsigned long long>(seed), eligible, broken,
+      static_cast<unsigned long long>(recoveries),
+      static_cast<unsigned long long>(io_retries), mttr.size(),
+      static_cast<unsigned long long>(percentile(mttr, 0.5)),
+      static_cast<unsigned long long>(percentile(mttr, 0.1)),
+      static_cast<unsigned long long>(percentile(mttr, 0.9)),
+      static_cast<unsigned long long>(mttr.empty() ? 0 : mttr.front()),
+      static_cast<unsigned long long>(mttr.empty() ? 0 : mttr.back()));
+  json += buf;
+  bool first = true;
+  for (const auto& [site, r] : rows) {
+    std::snprintf(buf, sizeof buf,
+                  "%s\"%s\": {\"schedules\": %llu, \"fired\": %llu, "
+                  "\"survived\": %llu}",
+                  first ? "" : ", ", site.c_str(),
+                  static_cast<unsigned long long>(r.schedules),
+                  static_cast<unsigned long long>(r.fired),
+                  static_cast<unsigned long long>(r.survived));
+    json += buf;
+    first = false;
+  }
+  json += "}}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (json_out != nullptr) {
+    std::FILE* f = std::fopen(json_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "chaos_sweep: cannot write %s\n", json_out);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  return broken == 0 ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::uint64_t seed = 20260805;
   std::size_t cases = 224;
   bool smoke = false;
+  bool survive = false;
+  const char* json_out = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
       cases = 64;
+    } else if (std::strcmp(argv[i], "--survive") == 0) {
+      survive = true;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--cases") == 0 && i + 1 < argc) {
       cases = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--seed N] [--cases N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--seed N] [--cases N] [--survive] "
+                   "[--json-out FILE]\n",
                    argv[0]);
       return 2;
     }
   }
+  // The survive slice is the full enumeration of eligible (site, nth, arg)
+  // triples, so it needs the full derivation even in smoke mode.
+  if (survive) return run_survive(seed, smoke ? 224 : cases, smoke, json_out);
 
   const auto schedules = chaos_harness::derive_schedules(seed, cases);
 

@@ -18,6 +18,7 @@
 // configuration, and exits non-zero on any mismatch (registered as a tier-1
 // ctest).
 #include <chrono>
+#include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -178,6 +179,25 @@ TransferResult run_transfers(Fixture& f, std::size_t bytes, std::uint64_t reps,
   return res;
 }
 
+// The JSON is accumulated so --json-out can mirror stdout into a file
+// (CI tracks the per-RPC trajectory as BENCH_ipc.json).
+std::string g_json;
+
+void J(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    std::string s(static_cast<std::size_t>(n), '\0');
+    std::vsnprintf(s.data(), static_cast<std::size_t>(n) + 1, fmt, ap2);
+    g_json += s;
+  }
+  va_end(ap2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,6 +207,7 @@ int main(int argc, char** argv) {
   std::uint64_t transfer_reps = 16;
   const char* only = nullptr;  // run just one config (A/B runs need long
                                // timed regions without paying for the rest)
+  const char* json_out = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--calls") == 0 && i + 1 < argc)
@@ -195,6 +216,8 @@ int main(int argc, char** argv) {
       transfer_bytes = std::strtoull(argv[++i], nullptr, 10);
     if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc)
       only = argv[++i];
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc)
+      json_out = argv[++i];
   }
   if (smoke) {
     small_calls = 2000;
@@ -214,12 +237,12 @@ int main(int argc, char** argv) {
   };
 
   int failures = 0;
-  std::printf("{\n  \"bench\": \"ipc_micro\",\n  \"smoke\": %s,\n",
+  J("{\n  \"bench\": \"ipc_micro\",\n  \"smoke\": %s,\n",
               smoke ? "true" : "false");
 
   double seed_rate = 0.0, best_rate = 0.0;
   bool first_row = true;
-  std::printf("  \"small_call\": [\n");
+  J("  \"small_call\": [\n");
   for (std::size_t i = 0; i < std::size(small_configs); ++i) {
     const Toggles& t = small_configs[i];
     if (only != nullptr && std::strcmp(t.name, only) != 0) continue;
@@ -234,7 +257,7 @@ int main(int argc, char** argv) {
     if (f.sp.client()->deferred_error() != CL_SUCCESS) ++failures;
     if (std::strcmp(t.name, "seed") == 0) seed_rate = r.calls_per_sec();
     if (r.calls_per_sec() > best_rate) best_rate = r.calls_per_sec();
-    std::printf("%s    {\"config\": \"%s\", \"writev\": %s, \"batch\": %s, "
+    J("%s    {\"config\": \"%s\", \"writev\": %s, \"batch\": %s, "
                 "\"calls\": %llu, \"wall_ns\": %llu, \"calls_per_sec\": %.0f, "
                 "\"rpc_roundtrips\": %llu, \"syscalls\": %llu}\n",
                 first_row ? "" : "    ,",
@@ -246,12 +269,12 @@ int main(int argc, char** argv) {
     first_row = false;
     f.sp.stop();
   }
-  std::printf("  ],\n");
+  J("  ],\n");
 
   double socket_bw = 0.0, shm_bw = 0.0;
   std::string last_stats = "null";
   first_row = true;
-  std::printf("  \"large_transfer\": [\n");
+  J("  \"large_transfer\": [\n");
   for (std::size_t i = 0; i < std::size(large_configs); ++i) {
     const Toggles& t = large_configs[i];
     if (only != nullptr && std::strcmp(t.name, only) != 0) continue;
@@ -277,7 +300,7 @@ int main(int argc, char** argv) {
       shm_bw = bw;
     else
       socket_bw = bw;
-    std::printf("%s    {\"config\": \"%s\", \"shm\": %s, \"bytes\": %llu, "
+    J("%s    {\"config\": \"%s\", \"shm\": %s, \"bytes\": %llu, "
                 "\"write_MBps\": %.1f, \"read_MBps\": %.1f, \"shm_msgs\": %llu, "
                 "\"shm_fallbacks\": %llu, \"verified\": %s}\n",
                 first_row ? "" : "    ,", t.name, t.shm ? "true" : "false",
@@ -291,13 +314,24 @@ int main(int argc, char** argv) {
     last_stats = checl::stats_json(f.sp.client(), nullptr);
     f.sp.stop();
   }
-  std::printf("  ],\n");
+  J("  ],\n");
 
-  std::printf("  \"speedup\": {\"small_call_best_vs_seed\": %.2f, "
+  J("  \"speedup\": {\"small_call_best_vs_seed\": %.2f, "
               "\"large_shm_vs_socket\": %.2f},\n",
               seed_rate > 0 ? best_rate / seed_rate : 0.0,
               socket_bw > 0 ? shm_bw / socket_bw : 0.0);
-  std::printf("  \"stats\": %s,\n", last_stats.c_str());
-  std::printf("  \"failures\": %d\n}\n", failures);
+  J("  \"stats\": %s,\n", last_stats.c_str());
+  J("  \"failures\": %d\n}\n", failures);
+
+  std::fputs(g_json.c_str(), stdout);
+  if (json_out != nullptr) {
+    std::FILE* f = std::fopen(json_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ipc_micro: cannot write %s\n", json_out);
+      return 1;
+    }
+    std::fputs(g_json.c_str(), f);
+    std::fclose(f);
+  }
   return failures == 0 ? 0 : 1;
 }

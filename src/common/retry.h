@@ -1,0 +1,72 @@
+// retry.h — the shared retry/backoff policy for the self-healing runtime.
+//
+// One policy object describes how persistently an operation may be retried:
+// capped exponential backoff with deterministic jitter, bounded both by an
+// attempt count and by a wall-clock deadline budget.  The same policy type is
+// threaded through channel connect (spawn.cpp), proxy respawn (supervisor),
+// and checkpoint I/O (cpr.cpp: snapstore puts/gets and slimcr saves/loads,
+// where transient ENOSPC/EIO becomes retry-then-degrade).
+//
+// The default policy performs exactly ONE attempt — retries are opt-in.
+// That keeps fault-injection semantics crisp: with supervision off, a
+// chaoskit fault fails the operation exactly as it did before this layer
+// existed; enabling supervision (or an explicit io_retry policy) is what
+// turns transient faults into latency.
+//
+// Jitter is deterministic (a SplitMix64 hash of the seed and attempt index),
+// never wall-clock or global-PRNG derived, so crash schedules that include
+// retries replay bit-identically.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace checl {
+
+struct Retry {
+  unsigned max_attempts = 1;                   // 1 = no retry (the default)
+  std::uint64_t base_delay_ns = 2'000'000;     // first backoff step: 2 ms
+  std::uint64_t max_delay_ns = 200'000'000;    // cap per step: 200 ms
+  std::uint64_t budget_ns = 2'000'000'000;     // total deadline across retries
+  double jitter = 0.25;                        // +/- fraction of each step
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;  // jitter stream selector
+
+  // Backoff before attempt `attempt` (1-based; attempt 0 never sleeps).
+  [[nodiscard]] std::uint64_t delay_ns(unsigned attempt) const noexcept {
+    if (attempt == 0) return 0;
+    std::uint64_t d = base_delay_ns;
+    for (unsigned i = 1; i < attempt && d < max_delay_ns; ++i) d *= 2;
+    if (d > max_delay_ns) d = max_delay_ns;
+    if (jitter > 0.0) {
+      // SplitMix64 over (seed, attempt): deterministic per policy instance.
+      std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (attempt + 1);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      z ^= z >> 31;
+      const double u = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0,1)
+      const double f = 1.0 + jitter * (2.0 * u - 1.0);
+      d = static_cast<std::uint64_t>(static_cast<double>(d) * f);
+    }
+    return d;
+  }
+
+  // Runs fn() until it returns true, attempts and budget permitting.
+  // Returns the final fn() verdict.  fn is invoked at least once.
+  template <class Fn>
+  bool run(Fn&& fn) const {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned attempt = 0;; ++attempt) {
+      if (fn()) return true;
+      if (attempt + 1 >= max_attempts) return false;
+      const std::uint64_t d = delay_ns(attempt + 1);
+      const auto spent = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+      if (static_cast<std::uint64_t>(spent) + d > budget_ns) return false;
+      std::this_thread::sleep_for(std::chrono::nanoseconds(d));
+    }
+  }
+};
+
+}  // namespace checl

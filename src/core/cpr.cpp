@@ -8,6 +8,7 @@
 #include "core/replay/codec.h"
 #include "core/replay/plan.h"
 #include "core/runtime.h"
+#include "core/supervisor.h"
 
 namespace checl::cpr {
 
@@ -15,6 +16,32 @@ namespace {
 
 std::string mem_section_name(std::uint64_t id) {
   return "mem." + std::to_string(id);
+}
+
+// Where a checkpoint degrades to when the content-addressed pool is
+// persistently unwritable: a flat, self-contained snapshot file next to the
+// pool.  The manifest name is flattened into a file name.
+std::string degraded_ckpt_path(const CheclRuntime& rt, const std::string& name) {
+  std::string flat = name;
+  for (char& ch : flat)
+    if (ch == '/') ch = '_';
+  const std::string& root =
+      rt.store_root.empty() ? "/tmp/checl_snapstore" : rt.store_root;
+  return root + "/" + flat + ".degraded.ckpt";
+}
+
+// Runs one I/O attempt under the runtime's io_retry policy (capped backoff +
+// jitter + deadline budget; default = single attempt) and counts the retries
+// in the supervisor stats.
+template <class Fn>
+bool io_run(CheclRuntime& rt, Fn&& attempt) {
+  unsigned tries = 0;
+  const bool ok = rt.io_retry.run([&] {
+    ++tries;
+    return attempt();
+  });
+  if (tries > 1) rt.supervisor().stats_mut().io_retries += tries - 1;
+  return ok;
 }
 
 }  // namespace
@@ -56,24 +83,38 @@ snapstore::Store* Engine::store() {
 // disagreed once respawn_proxy failed mid-way), any failure leaves it
 // non-empty, and an armed chaos site tags the message so torture runs can
 // assert the culprit is named.
-cl_int Engine::finish_op(const char* op, cl_int err) {
+std::uint64_t Engine::chain_seq_now() const {
+  const Supervisor* s = rt_.supervisor_if_created();
+  return s != nullptr ? s->chain_seq() : 0;
+}
+
+cl_int Engine::finish_op(const char* op, cl_int err, std::uint64_t chain0) {
   if (err != CL_SUCCESS && last_error_.empty())
     last_error_ = std::string(op) + " failed: " + replay::cl_error_name(err);
-  if (err != CL_SUCCESS) chaoskit::Engine::instance().annotate(last_error_);
+  if (err != CL_SUCCESS) {
+    // A recovery ran during this op and the op still failed: carry the full
+    // chain ("Timeout on opcode X -> respawn epoch 3 -> ...") to the caller.
+    if (const Supervisor* s = rt_.supervisor_if_created();
+        s != nullptr && s->chain_seq() != chain0 && !s->last_chain().empty())
+      last_error_ += " [recovery: " + s->last_chain() + "]";
+    chaoskit::Engine::instance().annotate(last_error_);
+  }
   return err;
 }
 
 cl_int Engine::checkpoint(const std::string& path, PhaseTimes* times) {
   last_error_.clear();
-  return finish_op("checkpoint", do_checkpoint(path, times));
+  const std::uint64_t chain0 = chain_seq_now();
+  return finish_op("checkpoint", do_checkpoint(path, times), chain0);
 }
 
 cl_int Engine::restart_in_place(const std::string& path,
                                 const std::optional<NodeConfig>& new_node,
                                 RestartBreakdown* breakdown) {
   last_error_.clear();
+  const std::uint64_t chain0 = chain_seq_now();
   return finish_op("restart_in_place",
-                   do_restart_in_place(path, new_node, breakdown));
+                   do_restart_in_place(path, new_node, breakdown), chain0);
 }
 
 cl_int Engine::restore_fresh(
@@ -81,8 +122,10 @@ cl_int Engine::restore_fresh(
     RestartBreakdown* breakdown,
     std::unordered_map<std::uint64_t, Object*>* handle_map) {
   last_error_.clear();
+  const std::uint64_t chain0 = chain_seq_now();
   return finish_op("restore_fresh",
-                   do_restore_fresh(path, new_node, breakdown, handle_map));
+                   do_restore_fresh(path, new_node, breakdown, handle_map),
+                   chain0);
 }
 
 cl_int Engine::do_checkpoint(const std::string& path, PhaseTimes* times) {
@@ -140,6 +183,16 @@ cl_int Engine::do_checkpoint(const std::string& path, PhaseTimes* times) {
   const std::uint64_t t2 = now_ns();
   pt.pre_ns = t2 - t1;
 
+  // Individual finish/read errors above are tolerated per-object, but a
+  // channel death (e.g. a proxy crash whose recovery failed) means the
+  // snapshot no longer reflects device state; writing it would silently
+  // checkpoint stale bytes.
+  if (!c.alive()) {
+    last_error_ = "checkpoint aborted: proxy channel died while capturing "
+                  "device state";
+    return CL_DEVICE_NOT_AVAILABLE;
+  }
+
   // 3. write: dump "the host memory image" — object DB, buffer copies, and
   // the application's registered regions — through the storage model
   slimcr::Snapshot snap;
@@ -165,16 +218,42 @@ cl_int Engine::do_checkpoint(const std::string& path, PhaseTimes* times) {
   if (store_mode) {
     snapstore::Store* st = store();
     if (st == nullptr) return CL_OUT_OF_RESOURCES;  // last_error_ set
-    const snapstore::PutResult pr = st->put(path, snap, rt_.node().storage);
-    if (!pr.status.ok()) {
+    snapstore::PutResult pr;
+    const bool ok = io_run(rt_, [&] {
+      pr = st->put(path, snap, rt_.node().storage);
+      return pr.status.ok();
+    });
+    if (ok) {
+      c.sim_advance_host_ns(pr.duration_ns);
+      pt.write_ns = pr.duration_ns;
+      pt.file_bytes = pr.stored_bytes;  // post-dedup, post-compression
+    } else if (rt_.io_retry.max_attempts > 1) {
+      // Retry-then-degrade: the pool stayed unwritable (ENOSPC/EIO) through
+      // every retry, but a flat self-contained snapshot beside it may still
+      // land — no dedup, no compression, but the checkpoint survives.
+      // Gated on an explicit retry policy so default-configured runs keep
+      // fail-fast semantics.
+      const slimcr::IoResult io =
+          snap.save(degraded_ckpt_path(rt_, path), rt_.node().storage);
+      if (!io.ok) {
+        last_error_ =
+            pr.status.message + " (degraded save also failed: " + io.error + ")";
+        return CL_OUT_OF_RESOURCES;
+      }
+      rt_.supervisor().stats_mut().store_degraded_writes++;
+      c.sim_advance_host_ns(io.duration_ns);
+      pt.write_ns = io.duration_ns;
+      pt.file_bytes = io.bytes;
+    } else {
       last_error_ = pr.status.message;
       return CL_OUT_OF_RESOURCES;
     }
-    c.sim_advance_host_ns(pr.duration_ns);
-    pt.write_ns = pr.duration_ns;
-    pt.file_bytes = pr.stored_bytes;  // post-dedup, post-compression
   } else {
-    const slimcr::IoResult io = snap.save(path, rt_.node().storage);
+    slimcr::IoResult io;
+    io_run(rt_, [&] {
+      io = snap.save(path, rt_.node().storage);
+      return io.ok;
+    });
     if (!io.ok) {
       last_error_ = io.error;
       return CL_OUT_OF_RESOURCES;
@@ -206,7 +285,11 @@ std::uint64_t Engine::load_with_base_chain(const std::string& path,
                                            const slimcr::StorageModel& storage,
                                            slimcr::Snapshot& out, bool* ok) {
   *ok = false;
-  slimcr::IoResult io = out.load(path, storage);
+  slimcr::IoResult io;
+  io_run(rt_, [&] {
+    io = out.load(path, storage);
+    return io.ok;
+  });
   if (!io.ok) {
     last_error_ = io.error;
     return 0;
@@ -278,12 +361,23 @@ cl_int Engine::do_restart_in_place(const std::string& path,
   if (rt_.store_checkpoints) {
     snapstore::Store* st = store();
     if (st == nullptr) return CL_INVALID_VALUE;  // last_error_ set
-    const snapstore::GetResult gr = st->get(path, snap, target.storage);
-    if (!gr.status.ok()) {
-      last_error_ = gr.status.message;
-      return CL_INVALID_VALUE;
+    snapstore::GetResult gr;
+    const bool got = io_run(rt_, [&] {
+      gr = st->get(path, snap, target.storage);
+      return gr.status.ok();
+    });
+    if (got) {
+      read_ns = gr.duration_ns;
+    } else {
+      // The put may have degraded to a flat snapshot beside the pool.
+      const slimcr::IoResult io =
+          snap.load(degraded_ckpt_path(rt_, path), target.storage);
+      if (!io.ok) {
+        last_error_ = gr.status.message;
+        return CL_INVALID_VALUE;
+      }
+      read_ns = io.duration_ns;
     }
-    read_ns = gr.duration_ns;
   } else {
     bool load_ok = false;
     read_ns = load_with_base_chain(path, target.storage, snap, &load_ok);
@@ -318,7 +412,11 @@ cl_int Engine::do_restart_in_place(const std::string& path,
       std::memcpy(reg.ptr, data->data(), reg.len);
   }
 
-  return run_plan(plan, breakdown);
+  const cl_int rerr = run_plan(plan, breakdown);
+  // The restore replaced the proxy and rewrote device state behind the
+  // supervisor's back; give it a fresh base before the app resumes.
+  if (rerr == CL_SUCCESS) rt_.resync_supervision();
+  return rerr;
 }
 
 cl_int Engine::do_restore_fresh(
@@ -331,14 +429,28 @@ cl_int Engine::do_restore_fresh(
   if (rt_.store_checkpoints) {
     snapstore::Store* st = store();
     if (st == nullptr) return CL_INVALID_VALUE;  // last_error_ set
-    const snapstore::GetResult gr = st->get(path, snap, target.storage);
-    if (!gr.status.ok()) {
-      last_error_ = gr.status.message;
-      return CL_INVALID_VALUE;
+    snapstore::GetResult gr;
+    const bool got = io_run(rt_, [&] {
+      gr = st->get(path, snap, target.storage);
+      return gr.status.ok();
+    });
+    if (got) {
+      initial_read_ns = gr.duration_ns;
+    } else {
+      const slimcr::IoResult dio =
+          snap.load(degraded_ckpt_path(rt_, path), target.storage);
+      if (!dio.ok) {
+        last_error_ = gr.status.message;
+        return CL_INVALID_VALUE;
+      }
+      initial_read_ns = dio.duration_ns;
     }
-    initial_read_ns = gr.duration_ns;
   } else {
-    const slimcr::IoResult io = snap.load(path, target.storage);
+    slimcr::IoResult io;
+    io_run(rt_, [&] {
+      io = snap.load(path, target.storage);
+      return io.ok;
+    });
     if (!io.ok) {
       last_error_ = io.error;
       return CL_INVALID_VALUE;
@@ -427,6 +539,7 @@ cl_int Engine::do_restore_fresh(
 
   const cl_int rerr = run_plan(plan, breakdown);
   if (rerr != CL_SUCCESS) return fail(rerr);  // executor already rolled back remotes
+  rt_.resync_supervision();
   if (handle_map != nullptr) *handle_map = std::move(dec.map);
   return CL_SUCCESS;
 }

@@ -128,8 +128,11 @@ class Engine {
       RestartBreakdown* breakdown,
       std::unordered_map<std::uint64_t, Object*>* handle_map);
 
-  // Shared failure-path tail of the wrappers: fallback message + chaos tag.
-  cl_int finish_op(const char* op, cl_int err);
+  // Shared failure-path tail of the wrappers: fallback message, the
+  // supervisor's recovery chain when one ran during this op (chain0 is the
+  // chain sequence captured at entry), and the chaos tag.
+  cl_int finish_op(const char* op, cl_int err, std::uint64_t chain0);
+  [[nodiscard]] std::uint64_t chain_seq_now() const;
 
   // Loads `path` and pulls any mem sections missing there from its base
   // chain (incremental checkpoints).  Returns total simulated read time, or

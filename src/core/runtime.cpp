@@ -3,6 +3,7 @@
 #include <signal.h>
 
 #include "core/cpr.h"
+#include "core/supervisor.h"
 
 namespace checl {
 
@@ -22,8 +23,14 @@ void CheclRuntime::set_node(NodeConfig node) { node_ = std::move(node); }
 
 cl_int CheclRuntime::ensure_proxy() {
   std::lock_guard<std::mutex> lk(proxy_mu_);
-  if (spawned_.ok() && spawned_.client()->alive() && proxy_configured_)
+  if (spawned_.ok() && spawned_.client()->alive() && proxy_configured_) {
+    // Mid-run supervise toggles and engine respawns (which replace the
+    // client without re-entering the spawn branch) are reconciled here.
+    const bool installed = supervisor_ != nullptr && supervisor_->enabled() &&
+                           supervisor_->installed_on() == spawned_.client();
+    if (supervise != installed) install_supervision();
     return CL_SUCCESS;
+  }
   spawned_ = node_.transport == proxy::Transport::Tcp
                  ? proxy::connect_remote_proxy(node_.tcp_host.c_str(),
                                                node_.tcp_port)
@@ -33,7 +40,41 @@ cl_int CheclRuntime::ensure_proxy() {
       spawned_.client()->configure(node_.platforms, node_.ipc, true);
   if (err != CL_SUCCESS) return CL_DEVICE_NOT_AVAILABLE;
   proxy_configured_ = true;
+  install_supervision();
   return CL_SUCCESS;
+}
+
+void CheclRuntime::install_supervision() {
+  proxy::Client* c = client();
+  if (c == nullptr) return;
+  c->set_recv_deadline_ms(recv_deadline_ms);
+  if (supervise) {
+    supervisor().enable();
+  } else if (supervisor_ != nullptr && supervisor_->enabled()) {
+    supervisor_->disable();
+  }
+}
+
+Supervisor& CheclRuntime::supervisor() {
+  if (supervisor_ == nullptr) supervisor_ = std::make_unique<Supervisor>(*this);
+  return *supervisor_;
+}
+
+cl_int CheclRuntime::revive_proxy() {
+  // No proxy_mu_ here — see the header comment on lock order.
+  if (!spawned_.ok()) return CL_DEVICE_NOT_AVAILABLE;
+  const bool up =
+      spawned_.revive(node_.transport, proxy::spawn_options_from_env(),
+                      node_.tcp_host.c_str(), node_.tcp_port);
+  return up ? CL_SUCCESS : CL_DEVICE_NOT_AVAILABLE;
+}
+
+void CheclRuntime::resync_supervision() {
+  if (supervisor_ == nullptr || !supervisor_->enabled()) return;
+  // An engine restart replaced the client; re-install the handler (and the
+  // deadline) on the new one before taking the fresh base.
+  install_supervision();
+  supervisor_->rebase_now();
 }
 
 void CheclRuntime::kill_proxy() {
@@ -41,6 +82,8 @@ void CheclRuntime::kill_proxy() {
   spawned_.kill_hard();
   spawned_.stop();
   proxy_configured_ = false;
+  // Shadow state describes a proxy that no longer exists.
+  if (supervisor_ != nullptr) supervisor_->invalidate();
 }
 
 cl_int CheclRuntime::respawn_proxy(const NodeConfig& cfg, std::uint64_t resume_time_ns) {
@@ -49,6 +92,10 @@ cl_int CheclRuntime::respawn_proxy(const NodeConfig& cfg, std::uint64_t resume_t
     spawned_.kill_hard();
     spawned_.stop();
     proxy_configured_ = false;
+    // Intentional replacement: drop the supervisor's base + journal (they
+    // describe the dead proxy) and leave supervision suspended until the
+    // engine resyncs after its restore — or ensure_proxy reconciles.
+    if (supervisor_ != nullptr) supervisor_->invalidate();
     node_ = cfg;
     spawned_ = node_.transport == proxy::Transport::Tcp
                    ? proxy::connect_remote_proxy(node_.tcp_host.c_str(),
@@ -59,6 +106,7 @@ cl_int CheclRuntime::respawn_proxy(const NodeConfig& cfg, std::uint64_t resume_t
         spawned_.client()->configure(node_.platforms, node_.ipc, true);
     if (err != CL_SUCCESS) return CL_DEVICE_NOT_AVAILABLE;
     proxy_configured_ = true;
+    spawned_.client()->set_recv_deadline_ms(recv_deadline_ms);
   }
   if (resume_time_ns != 0) {
     // The restarted process continues on the destination's timeline.
@@ -90,6 +138,9 @@ void CheclRuntime::on_sync_point() {
   // Natural synchronization points drain the IPC batch queue so deferred
   // fire-and-forget calls can never be observed out of order by what follows.
   if (proxy::Client* c = client(); c != nullptr && c->alive()) c->sync();
+  // The supervisor truncates its roll-forward journal here, where the device
+  // state is quiescent anyway.
+  if (supervisor_ != nullptr) supervisor_->maybe_rebase();
   if (checkpoint_pending() && !checkpoint_in_progress_) {
     checkpoint_in_progress_ = true;
     checkpoint_requested_.store(false, std::memory_order_release);
@@ -144,6 +195,10 @@ void CheclRuntime::reset_all() {
   for (auto it = objs.rbegin(); it != objs.rend(); ++it) unref_object(*it);
   db_.clear();
   app_regions_.clear();
+  if (supervisor_ != nullptr) supervisor_->reset();
+  supervise = false;
+  recv_deadline_ms = 0;
+  io_retry = {};
   {
     std::lock_guard<std::mutex> lk(proxy_mu_);
     spawned_.stop();

@@ -10,12 +10,15 @@
 #include <string>
 
 #include "checl/dispatch.h"
+#include "common/retry.h"
 #include "core/node.h"
 #include "core/object_db.h"
 #include "proxy/spawn.h"
 #include "snapstore/store.h"
 
 namespace checl {
+
+class Supervisor;
 
 // When to act on a checkpoint request (Section III-C).
 enum class CheckpointMode : std::uint8_t {
@@ -60,6 +63,18 @@ class CheclRuntime {
   bool restore_parallel = true;
   unsigned restore_workers = 0;
   bool restore_batch = false;
+  // Self-healing runtime (supervisor.h): when on, a broken/hung proxy channel
+  // triggers transparent respawn + reconnect-and-replay instead of killing
+  // the client.  Off by default: failure semantics (and the chaos-test
+  // invariants built on them) are exactly the pre-supervision ones.
+  bool supervise = false;
+  // Per-RPC receive deadline for hung-call detection; 0 = block forever
+  // (the default — deadline bookkeeping stays off the hot path).
+  std::uint32_t recv_deadline_ms = 0;
+  // Retry policy for checkpoint I/O (snapstore puts/gets, slimcr
+  // saves/loads).  Default is one attempt — no retry; raising max_attempts
+  // turns transient ENOSPC/EIO into retry-then-degrade (see cpr.cpp).
+  checl::Retry io_retry;
 
   // ---- proxy ------------------------------------------------------------
   // Spawns + configures the API proxy on first use.  Returns CL_SUCCESS or
@@ -74,6 +89,28 @@ class CheclRuntime {
   // and fast-forwards the fresh clock to `resume_time_ns`.
   cl_int respawn_proxy(const NodeConfig& cfg, std::uint64_t resume_time_ns);
   [[nodiscard]] bool proxy_alive() noexcept;
+  [[nodiscard]] pid_t proxy_pid() const noexcept { return spawned_.pid(); }
+  [[nodiscard]] const std::string& proxy_error() const noexcept {
+    return spawned_.error();
+  }
+
+  // ---- supervision --------------------------------------------------------
+  // The recovery state machine (created on first use; survives respawns).
+  Supervisor& supervisor();
+  // nullptr until supervisor() has been called — lets hot paths and stats
+  // check without allocating.
+  [[nodiscard]] Supervisor* supervisor_if_created() const noexcept {
+    return supervisor_.get();
+  }
+  // Transplants a fresh channel into the live client (Spawned::revive).
+  // Called by the supervisor from inside the client's recovery handler: the
+  // client lock is held, so this deliberately does NOT take proxy_mu_
+  // (ensure_proxy's order is proxy_mu_ -> client lock).  Supervised recovery
+  // assumes one application thread drives the proxy at a time.
+  cl_int revive_proxy();
+  // Re-runs the supervisor's base capture after an engine-driven restore
+  // changed device state outside its view.  No-op when not supervising.
+  void resync_supervision();
 
   // ---- object database -----------------------------------------------------
   ObjectDB& db() noexcept { return db_; }
@@ -124,6 +161,10 @@ class CheclRuntime {
   CheclRuntime();
   ~CheclRuntime();
 
+  // (Re-)applies the deadline + supervision handler to the current client;
+  // call after every spawn/respawn and on mid-run supervise toggles.
+  void install_supervision();
+
   NodeConfig node_;
   proxy::Spawned spawned_;
   bool proxy_configured_ = false;
@@ -133,6 +174,7 @@ class CheclRuntime {
   std::atomic<int> ckpt_after_kernel_{-1};
   std::vector<AppRegion> app_regions_;
   std::unique_ptr<cpr::Engine> engine_;
+  std::unique_ptr<Supervisor> supervisor_;
   bool checkpoint_in_progress_ = false;
   std::unique_ptr<cpr::PhaseTimes> last_times_;
 };

@@ -4,6 +4,7 @@
 
 #include "core/cpr.h"
 #include "core/runtime.h"
+#include "core/supervisor.h"
 #include "proxy/client.h"
 
 namespace checl {
@@ -20,11 +21,17 @@ void append_kv(std::ostringstream& os, const char* key, std::uint64_t v,
 }  // namespace
 
 std::string stats_json(proxy::Client* client, const snapstore::Store* store) {
-  return stats_json(client, store, nullptr);
+  return stats_json(client, store, nullptr, nullptr);
 }
 
 std::string stats_json(proxy::Client* client, const snapstore::Store* store,
                        const replay::ExecCounters* restore) {
+  return stats_json(client, store, restore, nullptr);
+}
+
+std::string stats_json(proxy::Client* client, const snapstore::Store* store,
+                       const replay::ExecCounters* restore,
+                       const SupervisorStats* supervisor) {
   std::ostringstream os;
   os << "{\"ipc\": ";
   if (client == nullptr) {
@@ -87,6 +94,30 @@ std::string stats_json(proxy::Client* client, const snapstore::Store* store,
     append_kv(os, "rolled_back_handles", restore->rolled_back_handles, first);
     os << "}";
   }
+  os << ", \"supervisor\": ";
+  if (supervisor == nullptr) {
+    os << "null";
+  } else {
+    bool first = true;
+    os << "{";
+    append_kv(os, "recoveries", supervisor->recoveries, first);
+    append_kv(os, "failed_recoveries", supervisor->failed_recoveries, first);
+    append_kv(os, "respawns", supervisor->respawns, first);
+    append_kv(os, "epoch", supervisor->epoch, first);
+    append_kv(os, "replayed_objects", supervisor->replayed_objects, first);
+    append_kv(os, "replayed_calls", supervisor->replayed_calls, first);
+    append_kv(os, "effectful_failed", supervisor->effectful_failed, first);
+    append_kv(os, "degraded_placements", supervisor->degraded_placements,
+              first);
+    append_kv(os, "rebases", supervisor->rebases, first);
+    append_kv(os, "journal_len", supervisor->journal_len, first);
+    append_kv(os, "last_recover_ns", supervisor->last_recover_ns, first);
+    append_kv(os, "total_recover_ns", supervisor->total_recover_ns, first);
+    append_kv(os, "io_retries", supervisor->io_retries, first);
+    append_kv(os, "store_degraded_writes", supervisor->store_degraded_writes,
+              first);
+    os << "}";
+  }
   os << "}";
   return os.str();
 }
@@ -94,7 +125,9 @@ std::string stats_json(proxy::Client* client, const snapstore::Store* store,
 std::string stats_json() {
   CheclRuntime& rt = CheclRuntime::instance();
   cpr::Engine& eng = rt.engine();
-  return stats_json(rt.client(), eng.store_if_open(), &eng.restore_counters());
+  const Supervisor* sup = rt.supervisor_if_created();
+  return stats_json(rt.client(), eng.store_if_open(), &eng.restore_counters(),
+                    sup != nullptr ? &sup->stats() : nullptr);
 }
 
 }  // namespace checl

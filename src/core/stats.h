@@ -18,12 +18,19 @@ class Client;
 
 namespace checl {
 
+struct SupervisorStats;
+
 namespace replay {
 struct ExecCounters;
 }
 
 // Explicit sources (benches that own their Client / Store directly).
-// `restore`, when non-null, adds the restore executor's counters.
+// `restore`, when non-null, adds the restore executor's counters;
+// `supervisor`, when non-null, adds the self-healing runtime's counters
+// (recoveries, replays, degraded placements, time-to-recover).
+std::string stats_json(proxy::Client* client, const snapstore::Store* store,
+                       const replay::ExecCounters* restore,
+                       const SupervisorStats* supervisor);
 std::string stats_json(proxy::Client* client, const snapstore::Store* store,
                        const replay::ExecCounters* restore);
 std::string stats_json(proxy::Client* client, const snapstore::Store* store);

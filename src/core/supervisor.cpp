@@ -1,0 +1,490 @@
+#include "core/supervisor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/object_db.h"
+#include "core/replay/exec.h"
+#include "core/replay/plan.h"
+#include "core/runtime.h"
+
+namespace checl {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+// Restores the caller's batching mode on every exit path of recover().
+// Turning batching back ON never flushes, so the destructor is safe even
+// when the channel died again mid-recovery.
+struct BatchingGuard {
+  proxy::Client& c;
+  bool saved;
+  ~BatchingGuard() { c.set_batching(saved); }
+};
+
+template <typename T>
+T* resolve(ObjectDB& db, std::uint64_t id) {
+  Object* o = db.by_id(id);
+  return o != nullptr && o->otype == T::kType ? static_cast<T*>(o) : nullptr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// lifecycle
+// ---------------------------------------------------------------------------
+
+void Supervisor::enable() {
+  enabled_ = true;
+  proxy::Client* c = rt_.client();
+  if (c == nullptr) {
+    installed_on_ = nullptr;
+    return;
+  }
+  c->set_recovery_handler(
+      [this](proxy::Client& cc, proxy::Op op, ipc::ChannelError e) {
+        return recover(cc, op, e);
+      });
+  installed_on_ = c;
+  // Objects created before enabling get their base captured here; rebase()
+  // aborts harmlessly when remotes are stale (e.g. right after a respawn).
+  if (c->alive()) rebase(*c);
+}
+
+void Supervisor::disable() {
+  enabled_ = false;
+  proxy::Client* c = rt_.client();
+  if (c != nullptr && c == installed_on_) c->set_recovery_handler({});
+  installed_on_ = nullptr;
+}
+
+void Supervisor::invalidate() {
+  base_mem_.clear();
+  base_args_.clear();
+  journal_.clear();
+  journal_bytes_ = 0;
+  stats_.journal_len = 0;
+  installed_on_ = nullptr;  // the client is being replaced or destroyed
+}
+
+void Supervisor::reset() {
+  disable();
+  invalidate();
+  stats_ = {};
+  samples_ns_.clear();
+  chain_.clear();
+  chain_seq_ = 0;
+  last_peer_pid_ = 0;
+  base_sim_time_ = 0;
+  rebase_threshold = 64;
+  rebase_max_bytes = 16u << 20;
+  respawn_policy = checl::Retry{.max_attempts = 3};
+}
+
+// ---------------------------------------------------------------------------
+// shadow capture (wrapper hooks)
+// ---------------------------------------------------------------------------
+
+Supervisor::ArgSnap Supervisor::snap_arg(const KernelObj::ArgRec& a) {
+  ArgSnap s;
+  s.kind = a.kind;
+  s.bytes = a.bytes;
+  s.mem_id = a.mem != nullptr ? a.mem->id : 0;
+  s.sampler_id = a.sampler != nullptr ? a.sampler->id : 0;
+  s.local_size = a.local_size;
+  return s;
+}
+
+void Supervisor::on_mem_created(MemObj* m, const void* data) {
+  if (!enabled_ || m == nullptr) return;
+  std::vector<std::uint8_t>& shadow = base_mem_[m->id];
+  shadow.assign(m->size, 0);
+  if (data != nullptr)
+    shadow.assign(static_cast<const std::uint8_t*>(data),
+                  static_cast<const std::uint8_t*>(data) + m->size);
+}
+
+void Supervisor::on_set_arg(KernelObj* k, std::uint32_t idx,
+                            const KernelObj::ArgRec& a) {
+  if (!enabled_ || k == nullptr) return;
+  JEntry e;
+  e.kind = JEntry::Kind::SetArg;
+  e.a = k->id;
+  e.idx = idx;
+  e.arg = snap_arg(a);
+  journal_bytes_ += e.arg.bytes.size();
+  journal_.push_back(std::move(e));
+  stats_.journal_len = journal_.size();
+}
+
+void Supervisor::on_enqueue_write(QueueObj* q, MemObj* m, std::size_t off,
+                                  const void* src, std::size_t cb) {
+  if (!enabled_ || q == nullptr || m == nullptr || src == nullptr) return;
+  JEntry e;
+  e.kind = JEntry::Kind::Write;
+  e.q = q->id;
+  e.a = m->id;
+  e.off = off;
+  e.cb = cb;
+  e.bytes.assign(static_cast<const std::uint8_t*>(src),
+                 static_cast<const std::uint8_t*>(src) + cb);
+  journal_bytes_ += cb;
+  journal_.push_back(std::move(e));
+  stats_.journal_len = journal_.size();
+}
+
+void Supervisor::on_enqueue_copy(QueueObj* q, MemObj* src, MemObj* dst,
+                                 std::size_t soff, std::size_t doff,
+                                 std::size_t cb) {
+  if (!enabled_ || q == nullptr || src == nullptr || dst == nullptr) return;
+  JEntry e;
+  e.kind = JEntry::Kind::Copy;
+  e.q = q->id;
+  e.a = src->id;
+  e.b = dst->id;
+  e.off = soff;
+  e.off2 = doff;
+  e.cb = cb;
+  journal_.push_back(std::move(e));
+  stats_.journal_len = journal_.size();
+}
+
+void Supervisor::on_enqueue_kernel(QueueObj* q, KernelObj* k, cl_uint dim,
+                                   const std::size_t* goff,
+                                   const std::size_t* gsz,
+                                   const std::size_t* lsz) {
+  if (!enabled_ || q == nullptr || k == nullptr) return;
+  JEntry e;
+  e.kind = JEntry::Kind::Kernel;
+  e.q = q->id;
+  e.a = k->id;
+  e.dim = dim;
+  const cl_uint d = dim > 3 ? 3 : dim;
+  if (goff != nullptr) {
+    e.has_goff = true;
+    for (cl_uint i = 0; i < d; ++i) e.goff[i] = goff[i];
+  }
+  if (gsz != nullptr)
+    for (cl_uint i = 0; i < d; ++i) e.gsz[i] = gsz[i];
+  if (lsz != nullptr) {
+    e.has_lsz = true;
+    for (cl_uint i = 0; i < d; ++i) e.lsz[i] = lsz[i];
+  }
+  journal_.push_back(std::move(e));
+  stats_.journal_len = journal_.size();
+}
+
+// ---------------------------------------------------------------------------
+// rebase
+// ---------------------------------------------------------------------------
+
+void Supervisor::maybe_rebase() {
+  if (!enabled_) return;
+  if (journal_.size() < rebase_threshold && journal_bytes_ < rebase_max_bytes)
+    return;
+  proxy::Client* c = rt_.client();
+  if (c == nullptr || !c->alive()) return;
+  rebase(*c);
+}
+
+void Supervisor::rebase_now() {
+  if (!enabled_) return;
+  proxy::Client* c = rt_.client();
+  if (c == nullptr || !c->alive()) return;
+  rebase(*c);
+}
+
+void Supervisor::rebase(proxy::Client& c) {
+  ObjectDB& db = rt_.db();
+  const auto queues = db.all_of<QueueObj>();
+  for (QueueObj* q : queues)
+    if (q->remote != 0) c.finish(q->remote);
+
+  // Build the new base off to the side: an aborted rebase (a read failed —
+  // typically stale remotes around an engine-driven respawn) must leave the
+  // previous base AND the journal untouched, or roll-forward state is lost.
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> mem;
+  for (MemObj* m : db.all_of<MemObj>()) {
+    if (m->remote == 0) {
+      // not materialized (mid-restore): keep whatever base we had
+      if (auto it = base_mem_.find(m->id); it != base_mem_.end())
+        mem[m->id] = it->second;
+      continue;
+    }
+    std::vector<std::uint8_t> buf(m->size);
+    proxy::RemoteHandle qh = 0;
+    bool scratch = false;
+    for (QueueObj* q : queues) {
+      if (q->ctx == m->ctx && q->remote != 0) {
+        qh = q->remote;
+        break;
+      }
+    }
+    if (qh == 0 && m->ctx != nullptr && m->ctx->remote != 0 &&
+        !m->ctx->devices.empty()) {
+      if (c.create_queue(m->ctx->remote, m->ctx->devices[0]->remote, 0, qh) ==
+          CL_SUCCESS)
+        scratch = true;
+      else
+        qh = 0;
+    }
+    bool ok = false;
+    if (qh != 0) {
+      proxy::RemoteHandle ev = 0;
+      ok = c.enqueue_read(qh, m->remote, 0, m->size, buf.data(), false, ev) ==
+           CL_SUCCESS;
+      if (scratch) c.retain_release(proxy::Op::ReleaseCommandQueue, qh);
+    }
+    if (!ok) return;  // abort whole rebase; previous base + journal stand
+    mem[m->id] = std::move(buf);
+  }
+
+  std::unordered_map<std::uint64_t, std::vector<ArgSnap>> args;
+  for (KernelObj* k : db.all_of<KernelObj>()) {
+    std::vector<ArgSnap>& v = args[k->id];
+    v.reserve(k->args.size());
+    for (const KernelObj::ArgRec& a : k->args) v.push_back(snap_arg(a));
+  }
+
+  base_mem_ = std::move(mem);
+  base_args_ = std::move(args);
+  journal_.clear();
+  journal_bytes_ = 0;
+  stats_.journal_len = 0;
+  cl_ulong t = 0;
+  c.sim_get_host_time_ns(t);
+  base_sim_time_ = t;
+  stats_.rebases++;
+}
+
+// ---------------------------------------------------------------------------
+// journal replay
+// ---------------------------------------------------------------------------
+
+void Supervisor::apply_arg(proxy::Client& c, proxy::RemoteHandle k,
+                           std::uint32_t idx, const ArgSnap& a) {
+  ObjectDB& db = rt_.db();
+  switch (a.kind) {
+    case KernelObj::ArgRec::Kind::Bytes:
+      c.set_kernel_arg_bytes(k, idx, a.bytes);
+      break;
+    case KernelObj::ArgRec::Kind::Mem:
+      if (MemObj* m = resolve<MemObj>(db, a.mem_id); m != nullptr && m->remote != 0)
+        c.set_kernel_arg_mem(k, idx, m->remote);
+      break;
+    case KernelObj::ArgRec::Kind::Sampler:
+      if (SamplerObj* s = resolve<SamplerObj>(db, a.sampler_id);
+          s != nullptr && s->remote != 0)
+        c.set_kernel_arg_sampler(k, idx, s->remote);
+      break;
+    case KernelObj::ArgRec::Kind::Local:
+      c.set_kernel_arg_local(k, idx, a.local_size);
+      break;
+    case KernelObj::ArgRec::Kind::Unset:
+      break;
+  }
+}
+
+std::uint64_t Supervisor::replay_journal(proxy::Client& c) {
+  ObjectDB& db = rt_.db();
+  std::uint64_t replayed = 0;
+  for (const JEntry& e : journal_) {
+    switch (e.kind) {
+      case JEntry::Kind::SetArg: {
+        KernelObj* k = resolve<KernelObj>(db, e.a);
+        if (k == nullptr || k->remote == 0) break;
+        apply_arg(c, k->remote, e.idx, e.arg);
+        ++replayed;
+        break;
+      }
+      case JEntry::Kind::Write: {
+        QueueObj* q = resolve<QueueObj>(db, e.q);
+        MemObj* m = resolve<MemObj>(db, e.a);
+        if (q == nullptr || q->remote == 0 || m == nullptr || m->remote == 0)
+          break;
+        proxy::RemoteHandle ev = 0;
+        c.enqueue_write(q->remote, m->remote, e.off, e.bytes, false, ev);
+        ++replayed;
+        break;
+      }
+      case JEntry::Kind::Copy: {
+        QueueObj* q = resolve<QueueObj>(db, e.q);
+        MemObj* src = resolve<MemObj>(db, e.a);
+        MemObj* dst = resolve<MemObj>(db, e.b);
+        if (q == nullptr || q->remote == 0 || src == nullptr ||
+            src->remote == 0 || dst == nullptr || dst->remote == 0)
+          break;
+        proxy::RemoteHandle ev = 0;
+        c.enqueue_copy(q->remote, src->remote, dst->remote, e.off, e.off2,
+                       e.cb, false, ev);
+        ++replayed;
+        break;
+      }
+      case JEntry::Kind::Kernel: {
+        QueueObj* q = resolve<QueueObj>(db, e.q);
+        KernelObj* k = resolve<KernelObj>(db, e.a);
+        if (q == nullptr || q->remote == 0 || k == nullptr || k->remote == 0)
+          break;
+        proxy::RemoteHandle ev = 0;
+        if (e.dim == 0) {
+          c.enqueue_task(q->remote, k->remote, false, ev);
+        } else {
+          c.enqueue_ndrange(q->remote, k->remote, e.dim,
+                            e.has_goff ? e.goff.data() : nullptr, e.gsz.data(),
+                            e.has_lsz ? e.lsz.data() : nullptr, false, ev);
+        }
+        ++replayed;
+        break;
+      }
+    }
+  }
+  return replayed;
+}
+
+// ---------------------------------------------------------------------------
+// the recovery state machine
+// ---------------------------------------------------------------------------
+
+proxy::Client::Recovery Supervisor::recover(proxy::Client& c, proxy::Op op,
+                                            ipc::ChannelError ce) {
+  const auto t0 = std::chrono::steady_clock::now();
+  chain_ = std::string(ipc::channel_error_name(ce)) + " on opcode " +
+           proxy::op_name(op) + " (seq " +
+           std::to_string(c.channel().seq()) + ")";
+  ++chain_seq_;
+  const auto fail = [&](const std::string& why) {
+    chain_ += " -> " + why;
+    stats_.failed_recoveries++;
+    return proxy::Client::Recovery::Failed;
+  };
+  if (!enabled_) return fail("supervision disabled");
+
+  // 1. respawn the proxy (backoff policy; 0 attempts = respawn disabled)
+  if (respawn_policy.max_attempts == 0)
+    return fail("respawn disabled (max_attempts=0)");
+  bool up = false;
+  respawn_policy.run([&] {
+    up = rt_.revive_proxy() == CL_SUCCESS;
+    return up;
+  });
+  if (!up) return fail("respawn failed: " + rt_.proxy_error());
+  stats_.respawns++;
+  stats_.epoch++;
+  chain_ += " -> respawn epoch " + std::to_string(stats_.epoch);
+
+  // Recovery RPCs are synchronous; the batch queue was dropped by
+  // reset_channel (the journal below replays those calls instead).
+  BatchingGuard bg{c, c.batching()};
+  c.set_batching(false);
+
+  // 2. epoch handshake: configure the fresh peer, learn its pid
+  const NodeConfig& node = rt_.node();
+  if (c.configure(node.platforms, node.ipc, true) != CL_SUCCESS)
+    return fail("handshake Configure failed");
+  std::uint32_t pid = 0;
+  if (c.ping(&pid) != CL_SUCCESS) return fail("handshake Ping failed");
+  // A respawned Thread/Process endpoint is always a fresh peer; over TCP the
+  // daemon may have survived a dropped connection — same pid means every
+  // in-flight side effect may have landed.
+  const bool peer_fresh = node.transport != proxy::Transport::Tcp ||
+                          last_peer_pid_ == 0 || pid != last_peer_pid_;
+  last_peer_pid_ = pid;
+
+  // 3. simulated-clock continuity: fresh clock -> last rebased time + spawn
+  // cost.  Journal replay below re-charges its own IPC costs on top.
+  c.sim_advance_host_ns(base_sim_time_ + node.ipc.spawn_ns);
+
+  // 4. re-materialize every live object through the standard restore path.
+  // Serial executor: recovery already runs under the client lock on the
+  // caller's thread; worker threads would deadlock against it.
+  // The in-flight request frame was marshalled against the dead peer, so it
+  // embeds the handles objects hold *now*; record them before the executor
+  // assigns fresh ones so the client can rewrite the frame on retry.
+  std::vector<std::pair<Object*, std::uint64_t>> old_remote;
+  for (Object* o : rt_.db().all())
+    if (o->remote != 0) old_remote.emplace_back(o, o->remote);
+  for (MemObj* m : rt_.db().all_of<MemObj>())
+    if (auto it = base_mem_.find(m->id); it != base_mem_.end())
+      m->snapshot = it->second;
+  replay::RestorePlan plan;
+  std::string err;
+  if (!plan.build(rt_.db().all(), err)) return fail("restore plan: " + err);
+  replay::ExecOptions opts;
+  opts.parallel = false;
+  opts.workers = 1;
+  opts.batch = false;
+  replay::Executor ex(rt_, opts);
+  replay::ExecCounters counters;
+  if (ex.run(plan, nullptr, err, counters) != CL_SUCCESS)
+    return fail("restore failed: " + err);
+  stats_.replayed_objects += counters.nodes_recreated;
+  chain_ += " -> replayed " + std::to_string(counters.nodes_recreated) +
+            " objects";
+
+  // 5. degraded placement: a device that came back under a different name
+  // was re-placed by the executor's §IV-C fallback (same type elsewhere,
+  // else any surviving device).
+  for (DeviceObj* d : rt_.db().all_of<DeviceObj>()) {
+    if (d->remote == 0) continue;
+    char name[256] = {};
+    if (c.get_info(proxy::Op::GetDeviceInfo, d->remote, CL_DEVICE_NAME,
+                   sizeof name, name, nullptr) != CL_SUCCESS)
+      continue;
+    if (d->name != name) {
+      stats_.degraded_placements++;
+      chain_ += " -> degraded placement: device '" + d->name + "' -> '" +
+                name + "'";
+      d->name = name;
+    }
+  }
+
+  // 6. the executor re-applied *current* kernel args; roll them back to the
+  // base snapshot so the journal replays forward through the same sequence
+  // of states the device actually saw.
+  for (KernelObj* k : rt_.db().all_of<KernelObj>()) {
+    if (k->remote == 0) continue;
+    const auto it = base_args_.find(k->id);
+    if (it == base_args_.end()) continue;
+    for (std::size_t i = 0; i < it->second.size(); ++i)
+      apply_arg(c, k->remote, static_cast<std::uint32_t>(i), it->second[i]);
+  }
+
+  // 7. roll forward: replay journaled writes/copies/arg-sets/launches
+  const std::uint64_t calls = replay_journal(c);
+  stats_.replayed_calls += calls;
+  chain_ += " -> replayed " + std::to_string(calls) + " calls";
+  // Post-recovery device contents differ from the last checkpoint file.
+  for (MemObj* m : rt_.db().all_of<MemObj>()) m->dirty = true;
+
+  // 8. rebase so the next recovery starts from the reconstructed state
+  rebase(c);
+
+  // 9. verdict + MTTR accounting
+  const std::uint64_t ns = elapsed_ns(t0);
+  stats_.recoveries++;
+  stats_.last_recover_ns = ns;
+  stats_.total_recover_ns += ns;
+  samples_ns_.push_back(ns);
+  if (!peer_fresh && proxy::replayability(op) == proxy::Replay::Effectful) {
+    stats_.effectful_failed++;
+    chain_ += " -> RecoveryError: effectful opcode " +
+              std::string(proxy::op_name(op)) +
+              " against surviving peer fails once";
+    return proxy::Client::Recovery::FailCall;
+  }
+  // Stage the old->new handle map; the client consumes it exactly once when
+  // re-sending the in-flight frame (remap_request_handles).
+  std::unordered_map<proxy::RemoteHandle, proxy::RemoteHandle> remap;
+  for (const auto& [o, old] : old_remote)
+    if (o->remote != 0 && o->remote != old) remap[old] = o->remote;
+  c.stage_retry_remap(std::move(remap));
+  return proxy::Client::Recovery::Retry;
+}
+
+}  // namespace checl

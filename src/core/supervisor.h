@@ -1,0 +1,199 @@
+// supervisor.h — the self-healing recovery state machine.
+//
+// The paper's proxy architecture makes the application process expendable-
+// proof: all OpenCL state lives behind an IPC boundary, and the object DB on
+// the app side records how to rebuild it.  The supervisor closes the loop at
+// *runtime*: when a call breaks (proxy died, connection dropped, RPC hung
+// past its deadline), it is invoked as the proxy client's recovery handler
+// and, instead of letting the client go dead, it
+//
+//   1. respawns the proxy (Spawned::revive — the Client object survives, only
+//      its channel is transplanted), under a Retry backoff policy;
+//   2. performs an epoch handshake: Configure (platform specs + cost model +
+//      clock reset), Ping (records the peer pid — a *surviving* TCP daemon is
+//      distinguished from a fresh process by an unchanged pid), and a clock
+//      fast-forward to the last known simulated time plus the spawn cost;
+//   3. re-materializes every live object from the object DB by driving the
+//      standard RestorePlan/Executor (serial: recovery runs on the caller's
+//      thread, under the client lock);
+//   4. rolls buffer contents and kernel-arg state forward from the last
+//      *rebase* — a lightweight in-memory base snapshot — by re-applying the
+//      base args and replaying the journal of state-mutating calls recorded
+//      since (writes, copies, kernel launches, arg sets, in order);
+//   5. detects degraded placements: a device that came back under a different
+//      name was re-placed by the §IV-C selection fallback (same type
+//      elsewhere, else any device) and is counted + named in the chain;
+//   6. rebases, so the next recovery starts from the just-reconstructed
+//      state, and classifies the in-flight call: against a fresh peer
+//      anything may be retried (the old process took its half-done effects to
+//      the grave); against a surviving peer the per-opcode replayability
+//      table decides — Pure/Replayable calls are re-issued, Effectful ones
+//      fail exactly once with a named RecoveryError while the client lives on.
+//
+// Shadow state is keyed by object id, never by pointer retention: an object
+// the application released simply stops resolving and its journal entries are
+// skipped, so supervision never extends object lifetimes or leaks remote
+// handles.
+//
+// Threading: the handler runs under the client's recursive lock on the thread
+// that hit the failure, and calls back into the runtime *without* taking
+// proxy_mu_ (the ensure_proxy lock order is proxy_mu_ -> client lock, so
+// taking it here could deadlock).  Supervised recovery therefore assumes the
+// application drives the proxy from one thread at a time — the same
+// assumption the wrapper API already makes for checkpoint delivery.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/retry.h"
+#include "core/objects.h"
+#include "ipc/channel.h"
+#include "proxy/client.h"
+
+namespace checl {
+
+class CheclRuntime;
+
+// Reported under "supervisor" by checl::stats_json().  io_retries and
+// store_degraded_writes are bumped by the checkpoint engine's retry-then-
+// degrade I/O paths; everything else by the supervisor itself.
+struct SupervisorStats {
+  std::uint64_t recoveries = 0;          // successful recoveries
+  std::uint64_t failed_recoveries = 0;   // recovery attempts that gave up
+  std::uint64_t respawns = 0;            // proxy processes brought up
+  std::uint64_t epoch = 0;               // current epoch (0 = original proxy)
+  std::uint64_t replayed_objects = 0;    // objects re-materialized (cumulative)
+  std::uint64_t replayed_calls = 0;      // journal entries replayed
+  std::uint64_t effectful_failed = 0;    // fail-once verdicts (RecoveryError)
+  std::uint64_t degraded_placements = 0; // devices re-placed on a substitute
+  std::uint64_t rebases = 0;             // base snapshots taken
+  std::uint64_t journal_len = 0;         // current journal length
+  std::uint64_t last_recover_ns = 0;     // wall time of the last recovery
+  std::uint64_t total_recover_ns = 0;    // wall time across all recoveries
+  std::uint64_t io_retries = 0;          // storage ops that needed a retry
+  std::uint64_t store_degraded_writes = 0;  // store puts degraded to flat files
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(CheclRuntime& rt) : rt_(rt) {}
+
+  // Installs this supervisor as the current client's recovery handler and
+  // takes an initial rebase (so objects created before enabling are covered).
+  // Idempotent; re-installs after a respawn replaced the client.
+  void enable();
+  void disable();  // uninstall; shadow state is kept until reset()
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  // The client the handler is currently installed on (nullptr = none) — the
+  // runtime compares it against the live client to re-install after respawns.
+  [[nodiscard]] proxy::Client* installed_on() const noexcept {
+    return installed_on_;
+  }
+  // Drops shadow/journal state when the proxy is replaced intentionally
+  // (engine restart, kill_proxy): the base no longer describes any peer.
+  void invalidate();
+  // Drops shadows, journal, chain, stats — reset_all() calls this.
+  void reset();
+
+  // ---- wrapper hooks (no-ops while disabled) ----------------------------
+  // Creation data becomes the buffer's base shadow (zeros when none), so a
+  // buffer is recoverable from birth without waiting for a rebase.
+  void on_mem_created(MemObj* m, const void* data);
+  void on_set_arg(KernelObj* k, std::uint32_t idx, const KernelObj::ArgRec& a);
+  void on_enqueue_write(QueueObj* q, MemObj* m, std::size_t off,
+                        const void* src, std::size_t cb);
+  void on_enqueue_copy(QueueObj* q, MemObj* src, MemObj* dst, std::size_t soff,
+                       std::size_t doff, std::size_t cb);
+  // dim == 0 encodes clEnqueueTask.
+  void on_enqueue_kernel(QueueObj* q, KernelObj* k, cl_uint dim,
+                         const std::size_t* goff, const std::size_t* gsz,
+                         const std::size_t* lsz);
+  // Called at natural sync points: rebases when the journal has grown past
+  // rebase_threshold entries or rebase_max_bytes of captured write data.
+  void maybe_rebase();
+  // Unconditional rebase (engine calls it after a successful restore, when
+  // the device state just changed outside the supervisor's view).
+  void rebase_now();
+
+  // ---- knobs ------------------------------------------------------------
+  std::size_t rebase_threshold = 64;
+  std::size_t rebase_max_bytes = 16u << 20;
+  // Backoff policy for the respawn step.  max_attempts = 0 disables
+  // respawning entirely (tests use it to exercise the failure chain).
+  checl::Retry respawn_policy{.max_attempts = 3};
+
+  // The recovery handler (installed via Client::set_recovery_handler).
+  proxy::Client::Recovery recover(proxy::Client& c, proxy::Op op,
+                                  ipc::ChannelError ce);
+
+  // ---- introspection ----------------------------------------------------
+  [[nodiscard]] const SupervisorStats& stats() const noexcept { return stats_; }
+  SupervisorStats& stats_mut() noexcept { return stats_; }
+  // Human-readable chain of the most recent recovery, e.g.
+  // "Timeout on opcode Finish (seq 42) -> respawn epoch 3 -> replayed 41
+  //  objects -> replayed 7 calls".  Survives success (the op itself returns
+  // CL_SUCCESS); cpr::Engine::last_error() appends it when an engine op fails
+  // across a recovery.
+  [[nodiscard]] const std::string& last_chain() const noexcept { return chain_; }
+  // Bumped every time a recovery runs; lets callers detect "a recovery
+  // happened during this operation" without parsing the chain.
+  [[nodiscard]] std::uint64_t chain_seq() const noexcept { return chain_seq_; }
+  // Per-recovery wall times (source of the MTTR median in BENCH_recovery).
+  [[nodiscard]] const std::vector<std::uint64_t>& recover_samples_ns()
+      const noexcept {
+    return samples_ns_;
+  }
+
+ private:
+  struct ArgSnap {
+    KernelObj::ArgRec::Kind kind = KernelObj::ArgRec::Kind::Unset;
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t mem_id = 0;
+    std::uint64_t sampler_id = 0;
+    std::size_t local_size = 0;
+  };
+  struct JEntry {
+    enum class Kind : std::uint8_t { SetArg, Write, Copy, Kernel };
+    Kind kind = Kind::SetArg;
+    std::uint64_t q = 0;   // queue id (Write/Copy/Kernel)
+    std::uint64_t a = 0;   // kernel id (SetArg/Kernel), mem id (Write), src id
+    std::uint64_t b = 0;   // dst mem id (Copy)
+    std::uint32_t idx = 0;
+    ArgSnap arg;
+    std::vector<std::uint8_t> bytes;  // Write payload
+    std::size_t off = 0, off2 = 0, cb = 0;
+    cl_uint dim = 0;  // 0 = clEnqueueTask
+    bool has_goff = false, has_lsz = false;
+    std::array<std::size_t, 3> goff{}, gsz{}, lsz{};
+  };
+
+  static ArgSnap snap_arg(const KernelObj::ArgRec& a);
+  void apply_arg(proxy::Client& c, proxy::RemoteHandle k, std::uint32_t idx,
+                 const ArgSnap& a);
+  // Reads every live buffer device->host into the shadow map, snapshots
+  // kernel args, clears the journal, and records the simulated clock.
+  void rebase(proxy::Client& c);
+  // Replays the journal in order against the re-materialized objects;
+  // entries whose objects no longer resolve are skipped.
+  std::uint64_t replay_journal(proxy::Client& c);
+
+  CheclRuntime& rt_;
+  bool enabled_ = false;
+  proxy::Client* installed_on_ = nullptr;  // compared, never dereferenced
+  std::uint32_t last_peer_pid_ = 0;
+  std::uint64_t base_sim_time_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> base_mem_;
+  std::unordered_map<std::uint64_t, std::vector<ArgSnap>> base_args_;
+  std::vector<JEntry> journal_;
+  std::size_t journal_bytes_ = 0;
+  SupervisorStats stats_;
+  std::vector<std::uint64_t> samples_ns_;
+  std::string chain_;
+  std::uint64_t chain_seq_ = 0;
+};
+
+}  // namespace checl

@@ -12,12 +12,17 @@
 #include "checl/dispatch.h"
 #include "core/cpr.h"
 #include "core/runtime.h"
+#include "core/supervisor.h"
 
 namespace checl {
 
 namespace {
 
 CheclRuntime& rt() { return CheclRuntime::instance(); }
+
+// Supervisor shadow/journal hooks; null until the app opts into supervision,
+// so the default hot path pays one pointer check.
+Supervisor* sup() { return rt().supervisor_if_created(); }
 
 // Per-call prologue: immediate-mode checkpoint hook + proxy liveness.
 proxy::Client* pre_call() {
@@ -400,6 +405,7 @@ cl_mem w_CreateBuffer(cl_context context, cl_mem_flags flags, std::size_t size,
   if ((flags & CL_MEM_USE_HOST_PTR) != 0) m->use_host_ptr = host_ptr;
   ctx->retain();
   rt().db().add(m);
+  if (Supervisor* s = sup()) s->on_mem_created(m, data.empty() ? nullptr : data.data());
   return reinterpret_cast<cl_mem>(m);
 }
 
@@ -451,6 +457,7 @@ cl_mem w_CreateImage2D(cl_context context, cl_mem_flags flags,
   if ((flags & CL_MEM_USE_HOST_PTR) != 0) m->use_host_ptr = host_ptr;
   ctx->retain();
   rt().db().add(m);
+  if (Supervisor* s = sup()) s->on_mem_created(m, data.empty() ? nullptr : data.data());
   return reinterpret_cast<cl_mem>(m);
 }
 
@@ -953,6 +960,7 @@ cl_int w_SetKernelArg(cl_kernel kernel, cl_uint idx, std::size_t arg_size,
   unref_object(slot.mem);
   unref_object(slot.sampler);
   slot = std::move(rec);
+  if (Supervisor* s = sup()) s->on_set_arg(k, idx, slot);
   return CL_SUCCESS;
 }
 
@@ -1113,6 +1121,8 @@ cl_int w_EnqueueWriteBuffer(cl_command_queue queue, cl_mem mem, cl_bool blocking
       {static_cast<const std::uint8_t*>(ptr), cb}, event != nullptr, ev);
   if (e == CL_SUCCESS && event != nullptr)
     *event = reinterpret_cast<cl_event>(wrap_event(q, CL_COMMAND_WRITE_BUFFER, ev));
+  if (e == CL_SUCCESS)
+    if (Supervisor* s = sup()) s->on_enqueue_write(q, m, offset, ptr, cb);
   if (blocking != CL_FALSE) rt().on_sync_point();
   return e;
 }
@@ -1135,6 +1145,8 @@ cl_int w_EnqueueCopyBuffer(cl_command_queue queue, cl_mem src, cl_mem dst,
                                    cb, event != nullptr, ev);
   if (e == CL_SUCCESS && event != nullptr)
     *event = reinterpret_cast<cl_event>(wrap_event(q, CL_COMMAND_COPY_BUFFER, ev));
+  if (e == CL_SUCCESS)
+    if (Supervisor* s = sup()) s->on_enqueue_copy(q, ms, md, soff, doff, cb);
   return e;
 }
 
@@ -1171,6 +1183,10 @@ cl_int w_EnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel, cl_uint 
     c->enqueue_write(q->remote, m->remote, 0,
                      {static_cast<const std::uint8_t*>(m->use_host_ptr), m->size},
                      false, ev);
+    // The emulation push mutates device state outside the app's call stream;
+    // journal it so a recovery replays the same bytes before the kernel.
+    if (Supervisor* s = sup())
+      s->on_enqueue_write(q, m, 0, m->use_host_ptr, m->size);
   }
 
   proxy::RemoteHandle ev = 0;
@@ -1179,6 +1195,8 @@ cl_int w_EnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel, cl_uint 
   if (e == CL_SUCCESS && event != nullptr)
     *event =
         reinterpret_cast<cl_event>(wrap_event(q, CL_COMMAND_NDRANGE_KERNEL, ev));
+  if (e == CL_SUCCESS)
+    if (Supervisor* s = sup()) s->on_enqueue_kernel(q, k, dim, goff, gsz, lsz);
 
   for (MemObj* m : synced) {
     proxy::RemoteHandle rev = 0;

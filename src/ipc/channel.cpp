@@ -4,9 +4,12 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
+
+#include <chrono>
 
 #include <cstring>
 
@@ -82,6 +85,20 @@ void set_cloexec(int fd) noexcept {
 
 }  // namespace
 
+const char* channel_error_name(ChannelError e) noexcept {
+  switch (e) {
+    case ChannelError::None:
+      return "None";
+    case ChannelError::Timeout:
+      return "Timeout";
+    case ChannelError::PeerGone:
+      return "PeerGone";
+    case ChannelError::ShortIo:
+      return "ShortIo";
+  }
+  return "?";
+}
+
 // Fallback scatter send for channels without a native one: concatenate and
 // send a single frame.
 bool Channel::send2(const Message& m, std::span<const std::uint8_t> bulk) {
@@ -98,28 +115,44 @@ SocketChannel::~SocketChannel() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-void SocketChannel::fail() noexcept {
+void SocketChannel::fail(ChannelError e) noexcept {
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;
   rpos_ = rend_ = 0;
+  if (err_ == ChannelError::None) err_ = e;
+}
+
+// With a deadline armed and no buffered bytes, bound the wait for the first
+// byte of the reply.  Once bytes are flowing the peer is alive and the normal
+// blocking reads take over; a hung peer is caught here, not mid-frame.
+bool SocketChannel::wait_readable() noexcept {
+  if (deadline_ms_ == 0 || rend_ > rpos_) return true;
+  pollfd pf{fd_, POLLIN, 0};
+  for (;;) {
+    const int r = ::poll(&pf, 1, static_cast<int>(deadline_ms_));
+    if (r > 0) return true;
+    if (r == 0) return false;  // timed out
+    if (errno != EINTR) return false;
+  }
 }
 
 bool SocketChannel::send(const Message& m) { return send2(m, {}); }
 
 bool SocketChannel::send2(const Message& m, std::span<const std::uint8_t> bulk) {
   if (fd_ < 0) return false;
+  ++seq_;
   const std::size_t total = m.payload.size() + bulk.size();
   std::uint32_t header[2] = {m.op, static_cast<std::uint32_t>(total)};
   auto& chaos = chaoskit::Engine::instance();
   if (chaos.should_fire(chaoskit::Site::IpcSendEpipe)) {
-    fail();
+    fail(ChannelError::PeerGone);
     return false;
   }
   if (chaos.should_fire(chaoskit::Site::IpcShortWrite)) {
     // half the header escapes before the connection dies: the peer sees an
     // unframed stream and must fail its channel, never hang or misparse
     write_all(fd_, header, sizeof header / 2, &stats_.sys_sends);
-    fail();
+    fail(ChannelError::ShortIo);
     return false;
   }
   bool ok;
@@ -143,7 +176,7 @@ bool SocketChannel::send2(const Message& m, std::span<const std::uint8_t> bulk) 
           write_all(fd_, bulk.data(), bulk.size(), &stats_.sys_sends));
   }
   if (!ok) {
-    fail();
+    fail(ChannelError::PeerGone);
     return false;
   }
   stats_.msgs_sent++;
@@ -176,7 +209,11 @@ bool SocketChannel::recv(Message& m) {
   if (chaoskit::Engine::instance().should_fire(chaoskit::Site::IpcRecvTimeout)) {
     // the peer went silent: a real implementation would time out; the
     // channel fails the same way (closed fd, recv false)
-    fail();
+    fail(ChannelError::Timeout);
+    return false;
+  }
+  if (!wait_readable()) {
+    fail(ChannelError::Timeout);
     return false;
   }
   std::uint32_t header[2];
@@ -184,19 +221,19 @@ bool SocketChannel::recv(Message& m) {
     // Buffered path: a small frame's header and payload usually arrive in the
     // same read syscall.
     if (!fill_at_least(sizeof header)) {
-      fail();
+      fail(ChannelError::PeerGone);
       return false;
     }
     std::memcpy(header, rbuf_.data() + rpos_, sizeof header);
     rpos_ += sizeof header;
   } else if (!read_all(fd_, header, sizeof header, &stats_.sys_reads)) {
-    fail();
+    fail(ChannelError::PeerGone);
     return false;
   }
   if (header[1] > kMaxPayload) {
     // Corrupt or hostile length: never attempt the allocation; the stream is
     // unframed garbage from here on, so the channel is dead.
-    fail();
+    fail(ChannelError::ShortIo);
     return false;
   }
   m.op = header[0];
@@ -212,7 +249,7 @@ bool SocketChannel::recv(Message& m) {
     need -= buffered;
   }
   if (need > 0 && !read_all(fd_, dst, need, &stats_.sys_reads)) {
-    fail();
+    fail(ChannelError::PeerGone);
     return false;
   }
   stats_.msgs_recvd++;
@@ -285,6 +322,19 @@ bool MessageQueue::pop(Message& m) {
   m = std::move(q_.front());
   q_.pop_front();
   return true;
+}
+
+MessageQueue::PopResult MessageQueue::pop_wait(Message& m,
+                                               std::uint32_t timeout_ms) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool ready =
+      cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                   [&] { return closed_ || !q_.empty(); });
+  if (!ready) return PopResult::TimedOut;
+  if (q_.empty()) return PopResult::Closed;
+  m = std::move(q_.front());
+  q_.pop_front();
+  return PopResult::Ok;
 }
 
 void MessageQueue::close() {

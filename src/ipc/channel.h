@@ -41,6 +41,18 @@ struct Message {
   }
 };
 
+// Typed channel failure classes.  A failed send/recv records *why* the
+// channel died so the supervision layer can pick a recovery strategy
+// (respawn vs. reconnect vs. surface) instead of guessing from a raw false.
+enum class ChannelError : std::uint8_t {
+  None = 0,
+  Timeout,   // peer went silent past the per-call deadline
+  PeerGone,  // EOF / EPIPE / refused frame — the peer process is dead
+  ShortIo,   // torn frame: part of a message escaped before the failure
+};
+
+[[nodiscard]] const char* channel_error_name(ChannelError e) noexcept;
+
 // Transport-level counters, exposed for tests and the ipc_micro ablation.
 struct ChannelStats {
   std::uint64_t msgs_sent = 0;
@@ -82,8 +94,28 @@ class Channel {
   }
   [[nodiscard]] virtual ChannelStats stats() const { return stats_; }
 
+  // Why the last send/recv failed (None while the channel is healthy).
+  // Virtual so decorators (ShmChannel) can forward to the wrapped transport.
+  [[nodiscard]] virtual ChannelError last_error() const noexcept {
+    return err_;
+  }
+  // Monotonic count of frames sent on this channel.  The supervisor uses it
+  // as the call sequence number when reporting where an epoch broke.
+  [[nodiscard]] virtual std::uint64_t seq() const noexcept { return seq_; }
+  // Per-call receive deadline; 0 (the default) keeps the blocking fast path
+  // with zero extra bookkeeping — the poll() only exists when armed.
+  virtual void set_recv_deadline_ms(std::uint32_t ms) noexcept {
+    deadline_ms_ = ms;
+  }
+  [[nodiscard]] virtual std::uint32_t recv_deadline_ms() const noexcept {
+    return deadline_ms_;
+  }
+
  protected:
   ChannelStats stats_;
+  ChannelError err_ = ChannelError::None;
+  std::uint64_t seq_ = 0;
+  std::uint32_t deadline_ms_ = 0;
 };
 
 // ---- SocketChannel -----------------------------------------------------------
@@ -112,7 +144,8 @@ class SocketChannel final : public Channel {
 
  private:
   bool fill_at_least(std::size_t n);  // buffered read path
-  void fail() noexcept;
+  bool wait_readable() noexcept;      // deadline poll; true = data or no deadline
+  void fail(ChannelError e) noexcept;
 
   int fd_ = -1;
   bool use_writev_ = true;
@@ -138,8 +171,12 @@ int tcp_connect(const char* host, std::uint16_t port) noexcept;
 // One direction of an in-process pipe.
 class MessageQueue {
  public:
+  enum class PopResult : std::uint8_t { Ok, Closed, TimedOut };
+
   void push(Message m);
   bool pop(Message& m);  // blocks; false after close with empty queue
+  // Bounded pop for per-call deadlines; never closes the queue on timeout.
+  PopResult pop_wait(Message& m, std::uint32_t timeout_ms);
   void close();
 
  private:
@@ -157,10 +194,15 @@ class LocalChannel final : public Channel {
 
   bool send(const Message& m) override {
     auto& chaos = chaoskit::Engine::instance();
-    if (failed_ || chaos.should_fire(chaoskit::Site::IpcSendEpipe) ||
-        chaos.should_fire(chaoskit::Site::IpcShortWrite)) {
-      // a refused or torn frame leaves the pipe unframed: dead both ways
-      fail();
+    if (failed_) return false;
+    ++seq_;
+    if (chaos.should_fire(chaoskit::Site::IpcSendEpipe)) {
+      fail(ChannelError::PeerGone);
+      return false;
+    }
+    if (chaos.should_fire(chaoskit::Site::IpcShortWrite)) {
+      // a torn frame leaves the pipe unframed: dead both ways
+      fail(ChannelError::ShortIo);
       return false;
     }
     stats_.msgs_sent++;
@@ -169,20 +211,35 @@ class LocalChannel final : public Channel {
     return true;
   }
   bool recv(Message& m) override {
-    if (failed_ ||
-        chaoskit::Engine::instance().should_fire(chaoskit::Site::IpcRecvTimeout)) {
-      fail();
+    if (failed_) return false;
+    if (chaoskit::Engine::instance().should_fire(chaoskit::Site::IpcRecvTimeout)) {
+      fail(ChannelError::Timeout);
       return false;
     }
-    if (!rx_->pop(m)) return false;
+    if (deadline_ms_ != 0) {
+      switch (rx_->pop_wait(m, deadline_ms_)) {
+        case MessageQueue::PopResult::Ok:
+          break;
+        case MessageQueue::PopResult::TimedOut:
+          fail(ChannelError::Timeout);
+          return false;
+        case MessageQueue::PopResult::Closed:
+          fail(ChannelError::PeerGone);
+          return false;
+      }
+    } else if (!rx_->pop(m)) {
+      fail(ChannelError::PeerGone);
+      return false;
+    }
     stats_.msgs_recvd++;
     stats_.bytes_recvd += 8 + m.payload.size();
     return true;
   }
 
  private:
-  void fail() noexcept {
+  void fail(ChannelError e) noexcept {
     failed_ = true;
+    if (err_ == ChannelError::None) err_ = e;
     tx_->close();
     rx_->close();
   }

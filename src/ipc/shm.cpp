@@ -255,16 +255,25 @@ bool ShmChannel::recv(Message& m) {
   release_rx();  // the view handed out by the previous recv dies now
   if (!sock_->recv(m)) return false;
   if ((m.op & kShmOpFlag) == 0) return true;
-  if (m.payload.size() != 16) return false;  // malformed descriptor
+  if (m.payload.size() != 16) {  // malformed descriptor
+    err_ = ChannelError::ShortIo;
+    return false;
+  }
   std::uint64_t pos = 0;
   std::uint64_t len = 0;
   std::memcpy(&pos, m.payload.data(), 8);
   std::memcpy(&len, m.payload.data() + 8, 8);
-  if (len > SocketChannel::kMaxPayload) return false;
+  if (len > SocketChannel::kMaxPayload) {
+    err_ = ChannelError::ShortIo;
+    return false;
+  }
   m.op &= ~kShmOpFlag;
   const std::uint8_t* p =
       seg_->consume_view(1 - tx_ring_, pos, static_cast<std::size_t>(len));
-  if (p == nullptr) return false;
+  if (p == nullptr) {  // producer stalled past the deadline: dead peer
+    err_ = ChannelError::PeerGone;
+    return false;
+  }
   // zero-copy: the payload IS the ring block, released on the next recv
   m.view = {p, static_cast<std::size_t>(len)};
   m.borrowed = true;

@@ -134,6 +134,22 @@ class ShmChannel final : public Channel {
   [[nodiscard]] SocketChannel& socket() noexcept { return *sock_; }
   [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
 
+  // Decorator passthrough: errors, sequence numbers and deadlines live on the
+  // control-plane socket; own ring failures (stalled producer, malformed
+  // descriptor) are recorded locally and win when present.
+  [[nodiscard]] ChannelError last_error() const noexcept override {
+    return err_ != ChannelError::None ? err_ : sock_->last_error();
+  }
+  [[nodiscard]] std::uint64_t seq() const noexcept override {
+    return sock_->seq();
+  }
+  void set_recv_deadline_ms(std::uint32_t ms) noexcept override {
+    sock_->set_recv_deadline_ms(ms);
+  }
+  [[nodiscard]] std::uint32_t recv_deadline_ms() const noexcept override {
+    return sock_->recv_deadline_ms();
+  }
+
  private:
   std::unique_ptr<SocketChannel> sock_;
   std::shared_ptr<ShmSegment> seg_;

@@ -28,6 +28,23 @@ cl_int Client::surface(cl_int actual) noexcept {
   return actual;
 }
 
+// Invokes the recovery handler (once, never reentrantly) after a broken
+// round-trip.  Returns the handler's verdict; Failed when no handler is
+// installed or recovery is already in progress.
+Client::Recovery Client::attempt_recovery(Op op) {
+  if (!recovery_ || in_recovery_) return Recovery::Failed;
+  const ipc::ChannelError e = ch_->last_error();
+  in_recovery_ = true;
+  Recovery verdict;
+  try {
+    verdict = recovery_(*this, op, e);
+  } catch (...) {
+    verdict = Recovery::Failed;
+  }
+  in_recovery_ = false;
+  return verdict;
+}
+
 cl_int Client::flush_batch_locked() {
   if (batch_count_ == 0) return CL_SUCCESS;
   batch_count_ = 0;
@@ -35,9 +52,21 @@ cl_int Client::flush_batch_locked() {
   req.op = static_cast<std::uint32_t>(Op::Batch);
   req.payload = batch_.take();
   if (dead_) return kProxyGone;
-  const bool ok = ch_->send(req) && ch_->recv(resp_);
+  bool ok = ch_->send(req) && ch_->recv(resp_);
   batch_ = ipc::Writer(std::move(req.payload));  // keep the big buffer warm
   if (!ok) {
+    // A batch frame is NOT re-sent after recovery: every mutating call in it
+    // was journaled when queued, so the supervisor's replay already re-issued
+    // them against the fresh proxy.  Recovery success = the batch is done
+    // (and any staged handle remap is moot — nothing is re-sent).
+    switch (attempt_recovery(Op::Batch)) {
+      case Recovery::Retry:
+      case Recovery::FailCall:
+        retry_remap_.clear();
+        return CL_SUCCESS;
+      case Recovery::Failed:
+        break;
+    }
     dead_ = true;
     if (deferred_err_ == CL_SUCCESS) deferred_err_ = kProxyGone;
     return kProxyGone;
@@ -58,7 +87,34 @@ std::optional<ipc::Reader> Client::call(Op op, ipc::Writer& w,
   ipc::Message req;
   req.op = static_cast<std::uint32_t>(op);
   req.payload = w.take();
-  const bool ok = ch_->send2(req, bulk) && ch_->recv(resp_);
+  bool ok = ch_->send2(req, bulk) && ch_->recv(resp_);
+  if (!ok) {
+    switch (attempt_recovery(op)) {
+      case Recovery::Retry:
+        // Channel healed + state replayed: re-issue the in-flight call once.
+        // The frame was marshalled against the dead peer, so its handle
+        // fields are rewritten through the remap the handler staged.
+        if (!retry_remap_.empty()) {
+          remap_request_handles(op, req.payload.data(), req.payload.size(),
+                                [this](std::uint64_t h) {
+                                  const auto it = retry_remap_.find(h);
+                                  return it == retry_remap_.end() ? h
+                                                                  : it->second;
+                                });
+          retry_remap_.clear();
+        }
+        ok = ch_->send2(req, bulk) && ch_->recv(resp_);
+        break;
+      case Recovery::FailCall:
+        // effectful call against a surviving peer: fails exactly once, the
+        // client stays alive for the next call
+        retry_remap_.clear();
+        wpool_ = std::move(req.payload);
+        return std::nullopt;
+      case Recovery::Failed:
+        break;
+    }
+  }
   wpool_ = std::move(req.payload);  // recycle the marshalling buffer
   if (!ok) {
     dead_ = true;
@@ -66,6 +122,35 @@ std::optional<ipc::Reader> Client::call(Op op, ipc::Writer& w,
   }
   stats_.rpc_roundtrips++;
   return ipc::Reader(resp_.bytes());
+}
+
+void Client::set_recovery_handler(RecoveryHandler h) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  recovery_ = std::move(h);
+}
+
+void Client::stage_retry_remap(std::unordered_map<RemoteHandle, RemoteHandle> m) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  retry_remap_ = std::move(m);
+}
+
+void Client::reset_channel(std::unique_ptr<ipc::Channel> ch) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  // Drop any borrowed view first: it points into the old channel's shm ring.
+  resp_ = ipc::Message{};
+  ch_ = std::move(ch);
+  dead_ = false;
+  // Pending batched calls are discarded, not re-sent: they were journaled at
+  // queue time and the supervisor replays them from the journal.
+  batch_ = ipc::Writer();
+  batch_count_ = 0;
+  if (deadline_ms_ != 0) ch_->set_recv_deadline_ms(deadline_ms_);
+}
+
+void Client::set_recv_deadline_ms(std::uint32_t ms) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  deadline_ms_ = ms;
+  ch_->set_recv_deadline_ms(ms);
 }
 
 cl_int Client::post(Op op, ipc::Writer& w, std::span<const std::uint8_t> bulk) {
@@ -88,20 +173,20 @@ cl_int Client::post(Op op, ipc::Writer& w, std::span<const std::uint8_t> bulk) {
 }
 
 void Client::set_batching(bool on) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   if (!on && batching_) flush_batch_locked();
   batching_ = on;
 }
 
 cl_int Client::sync() {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   flush_batch_locked();
   return surface(CL_SUCCESS);
 }
 
 cl_int Client::configure(const std::vector<simcl::PlatformSpec>& platforms,
                          const IpcCosts& costs, bool reset_clock) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   write_config(w, platforms, costs, reset_clock);
   auto r = call(Op::Configure, w);
@@ -109,7 +194,7 @@ cl_int Client::configure(const std::vector<simcl::PlatformSpec>& platforms,
 }
 
 cl_int Client::ping(std::uint32_t* pid) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   auto r = call(Op::Ping, w);
   if (!r) return kProxyGone;
@@ -120,7 +205,7 @@ cl_int Client::ping(std::uint32_t* pid) {
 }
 
 cl_int Client::shutdown() {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   auto r = call(Op::Shutdown, w);
   dead_ = true;  // no further traffic either way
@@ -129,7 +214,7 @@ cl_int Client::shutdown() {
 
 cl_int Client::get_platform_ids(cl_uint num_entries, std::vector<RemoteHandle>& out,
                                 cl_uint& total) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u32(num_entries);
   auto r = call(Op::GetPlatformIDs, w);
@@ -145,7 +230,7 @@ cl_int Client::get_platform_ids(cl_uint num_entries, std::vector<RemoteHandle>& 
 cl_int Client::get_device_ids(RemoteHandle platform, cl_device_type type,
                               cl_uint num_entries, std::vector<RemoteHandle>& out,
                               cl_uint& total) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(platform);
   w.u64(type);
@@ -177,7 +262,7 @@ cl_int read_info_reply(ipc::Reader& r, std::size_t size, void* value,
 
 cl_int Client::get_info(Op op, RemoteHandle h, cl_uint param, std::size_t size,
                         void* value, std::size_t* size_ret) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(h);
   w.u32(param);
@@ -190,7 +275,7 @@ cl_int Client::get_info(Op op, RemoteHandle h, cl_uint param, std::size_t size,
 
 cl_int Client::get_info2(Op op, RemoteHandle a, RemoteHandle b, cl_uint param,
                          std::size_t size, void* value, std::size_t* size_ret) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(a);
   w.u64(b);
@@ -205,7 +290,7 @@ cl_int Client::get_info2(Op op, RemoteHandle a, RemoteHandle b, cl_uint param,
 cl_int Client::create_context(std::span<const std::int64_t> props,
                               std::span<const RemoteHandle> devices,
                               RemoteHandle& out) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u32(static_cast<std::uint32_t>(props.size()));
   for (const std::int64_t p : props) w.i64(p);
@@ -219,7 +304,7 @@ cl_int Client::create_context(std::span<const std::int64_t> props,
 }
 
 cl_int Client::retain_release(Op op, RemoteHandle h) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(h);
   auto r = call(op, w);
@@ -228,7 +313,7 @@ cl_int Client::retain_release(Op op, RemoteHandle h) {
 
 cl_int Client::create_queue(RemoteHandle ctx, RemoteHandle dev,
                             cl_command_queue_properties props, RemoteHandle& out) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(ctx);
   w.u64(dev);
@@ -241,14 +326,14 @@ cl_int Client::create_queue(RemoteHandle ctx, RemoteHandle dev,
 }
 
 cl_int Client::flush(RemoteHandle q) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(q);
   return post(Op::Flush, w);  // fire-and-forget: batched when batching is on
 }
 
 cl_int Client::finish(RemoteHandle q) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(q);
   auto r = call(Op::Finish, w);
@@ -257,7 +342,7 @@ cl_int Client::finish(RemoteHandle q) {
 
 cl_int Client::create_buffer(RemoteHandle ctx, cl_mem_flags flags, std::size_t size,
                              std::span<const std::uint8_t> data, RemoteHandle& out) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(ctx);
   w.u64(flags);
@@ -276,7 +361,7 @@ cl_int Client::create_image2d(RemoteHandle ctx, cl_mem_flags flags,
                               const cl_image_format& fmt, std::size_t width,
                               std::size_t height, std::size_t pitch,
                               std::span<const std::uint8_t> data, RemoteHandle& out) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(ctx);
   w.u64(flags);
@@ -296,7 +381,7 @@ cl_int Client::create_image2d(RemoteHandle ctx, cl_mem_flags flags,
 
 cl_int Client::create_sampler(RemoteHandle ctx, cl_bool norm, cl_addressing_mode am,
                               cl_filter_mode fm, RemoteHandle& out) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(ctx);
   w.u32(norm);
@@ -311,7 +396,7 @@ cl_int Client::create_sampler(RemoteHandle ctx, cl_bool norm, cl_addressing_mode
 
 cl_int Client::create_program_with_source(RemoteHandle ctx, std::string_view source,
                                           RemoteHandle& out) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(ctx);
   w.str(source);
@@ -326,7 +411,7 @@ cl_int Client::create_program_with_binary(RemoteHandle ctx,
                                           std::span<const RemoteHandle> devices,
                                           std::span<const std::uint8_t> binary,
                                           cl_int& binary_status, RemoteHandle& out) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(ctx);
   w.u32(static_cast<std::uint32_t>(devices.size()));
@@ -342,7 +427,7 @@ cl_int Client::create_program_with_binary(RemoteHandle ctx,
 
 cl_int Client::build_program(RemoteHandle prog, std::span<const RemoteHandle> devices,
                              std::string_view options) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(prog);
   w.u32(static_cast<std::uint32_t>(devices.size()));
@@ -354,7 +439,7 @@ cl_int Client::build_program(RemoteHandle prog, std::span<const RemoteHandle> de
 
 cl_int Client::create_kernel(RemoteHandle prog, std::string_view name,
                              RemoteHandle& out) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(prog);
   w.str(name);
@@ -368,7 +453,7 @@ cl_int Client::create_kernel(RemoteHandle prog, std::string_view name,
 cl_int Client::create_kernels_in_program(RemoteHandle prog, cl_uint num,
                                          std::vector<RemoteHandle>& out,
                                          cl_uint& total) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(prog);
   w.u32(num);
@@ -384,7 +469,7 @@ cl_int Client::create_kernels_in_program(RemoteHandle prog, cl_uint num,
 
 cl_int Client::set_kernel_arg_bytes(RemoteHandle k, cl_uint idx,
                                     std::span<const std::uint8_t> data) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(k);
   w.u32(idx);
@@ -394,7 +479,7 @@ cl_int Client::set_kernel_arg_bytes(RemoteHandle k, cl_uint idx,
 }
 
 cl_int Client::set_kernel_arg_mem(RemoteHandle k, cl_uint idx, RemoteHandle mem) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(k);
   w.u32(idx);
@@ -405,7 +490,7 @@ cl_int Client::set_kernel_arg_mem(RemoteHandle k, cl_uint idx, RemoteHandle mem)
 
 cl_int Client::set_kernel_arg_sampler(RemoteHandle k, cl_uint idx,
                                       RemoteHandle sampler) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(k);
   w.u32(idx);
@@ -415,7 +500,7 @@ cl_int Client::set_kernel_arg_sampler(RemoteHandle k, cl_uint idx,
 }
 
 cl_int Client::set_kernel_arg_local(RemoteHandle k, cl_uint idx, std::size_t size) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(k);
   w.u32(idx);
@@ -425,7 +510,7 @@ cl_int Client::set_kernel_arg_local(RemoteHandle k, cl_uint idx, std::size_t siz
 }
 
 cl_int Client::wait_for_events(std::span<const RemoteHandle> events) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u32(static_cast<std::uint32_t>(events.size()));
   for (const RemoteHandle e : events) w.u64(e);
@@ -436,7 +521,7 @@ cl_int Client::wait_for_events(std::span<const RemoteHandle> events) {
 cl_int Client::enqueue_read(RemoteHandle q, RemoteHandle mem, std::size_t off,
                             std::size_t cb, void* dst, bool want_event,
                             RemoteHandle& ev) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(q);
   w.u64(mem);
@@ -459,7 +544,7 @@ cl_int Client::enqueue_read(RemoteHandle q, RemoteHandle mem, std::size_t off,
 cl_int Client::enqueue_write(RemoteHandle q, RemoteHandle mem, std::size_t off,
                              std::span<const std::uint8_t> data, bool want_event,
                              RemoteHandle& ev) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(q);
   w.u64(mem);
@@ -480,7 +565,7 @@ cl_int Client::enqueue_write(RemoteHandle q, RemoteHandle mem, std::size_t off,
 cl_int Client::enqueue_copy(RemoteHandle q, RemoteHandle src, RemoteHandle dst,
                             std::size_t soff, std::size_t doff, std::size_t cb,
                             bool want_event, RemoteHandle& ev) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(q);
   w.u64(src);
@@ -504,7 +589,7 @@ cl_int Client::enqueue_ndrange(RemoteHandle q, RemoteHandle k, cl_uint dim,
                                const std::size_t* goff, const std::size_t* gsz,
                                const std::size_t* lsz, bool want_event,
                                RemoteHandle& ev) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(q);
   w.u64(k);
@@ -531,7 +616,7 @@ cl_int Client::enqueue_ndrange(RemoteHandle q, RemoteHandle k, cl_uint dim,
 
 cl_int Client::enqueue_task(RemoteHandle q, RemoteHandle k, bool want_event,
                             RemoteHandle& ev) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(q);
   w.u64(k);
@@ -548,7 +633,7 @@ cl_int Client::enqueue_task(RemoteHandle q, RemoteHandle k, bool want_event,
 }
 
 cl_int Client::enqueue_marker(RemoteHandle q, RemoteHandle& ev) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(q);
   auto r = call(Op::EnqueueMarker, w);
@@ -559,7 +644,7 @@ cl_int Client::enqueue_marker(RemoteHandle q, RemoteHandle& ev) {
 }
 
 cl_int Client::enqueue_barrier(RemoteHandle q) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(q);
   return post(Op::EnqueueBarrier, w);
@@ -567,7 +652,7 @@ cl_int Client::enqueue_barrier(RemoteHandle q) {
 
 cl_int Client::enqueue_wait_for_events(RemoteHandle q,
                                        std::span<const RemoteHandle> events) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(q);
   w.u32(static_cast<std::uint32_t>(events.size()));
@@ -576,7 +661,7 @@ cl_int Client::enqueue_wait_for_events(RemoteHandle q,
 }
 
 cl_int Client::sim_get_host_time_ns(cl_ulong& t) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   auto r = call(Op::SimGetHostTimeNS, w);
   if (!r) return kProxyGone;
@@ -586,7 +671,7 @@ cl_int Client::sim_get_host_time_ns(cl_ulong& t) {
 }
 
 cl_int Client::sim_advance_host_ns(cl_ulong dt) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u64(dt);
   auto r = call(Op::SimAdvanceHostNS, w);
@@ -594,7 +679,7 @@ cl_int Client::sim_advance_host_ns(cl_ulong dt) {
 }
 
 cl_int Client::group_begin(std::uint32_t workers) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   w.u32(workers);
   auto r = call(Op::GroupBegin, w);
@@ -602,7 +687,7 @@ cl_int Client::group_begin(std::uint32_t workers) {
 }
 
 cl_int Client::group_end(std::uint64_t* serial_ns, std::uint64_t* makespan_ns) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
   // call() flushes any pending batch first, so calls queued inside the group
   // are scheduled onto the group's workers before the clock is collapsed.

@@ -14,11 +14,13 @@
 // wait_for_events, or sync().
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "checl/cl.h"
@@ -41,6 +43,33 @@ class Client {
   explicit Client(std::unique_ptr<ipc::Channel> channel);
 
   [[nodiscard]] bool alive() const noexcept { return !dead_; }
+
+  // ---- supervision -----------------------------------------------------
+  // What the recovery handler decided about a failed round-trip:
+  //   Failed   — recovery impossible; the client goes dead (seed behavior).
+  //   Retry    — the channel was healed and replayed; re-issue the call.
+  //   FailCall — the channel was healed, but the in-flight call is effectful
+  //              against a surviving peer: it fails exactly once while the
+  //              client stays alive for subsequent calls.
+  enum class Recovery : std::uint8_t { Failed, Retry, FailCall };
+  using RecoveryHandler =
+      std::function<Recovery(Client&, Op, ipc::ChannelError)>;
+  // Installed by the supervisor; invoked (under the client lock, on the
+  // calling thread) when a send/recv breaks.  The handler may call back into
+  // this client — the lock is recursive — and is never re-entered: failures
+  // during recovery surface to the handler as ordinary call failures.
+  void set_recovery_handler(RecoveryHandler h);
+  // Transplants a fresh channel into the live client after a respawn:
+  // clears the dead flag, drops any half-queued batch (recovery replays the
+  // journaled calls instead), and re-applies the receive deadline.
+  void reset_channel(std::unique_ptr<ipc::Channel> ch);
+  // Staged by the recovery handler before it returns Retry: the in-flight
+  // request frame was marshalled against the *old* peer, so its embedded
+  // remote handles are stale.  The next (and only the next) re-send rewrites
+  // them through this old->new map (see remap_request_handles).
+  void stage_retry_remap(std::unordered_map<RemoteHandle, RemoteHandle> m);
+  // Per-call receive deadline for hung-RPC detection (0 = block forever).
+  void set_recv_deadline_ms(std::uint32_t ms);
 
   // ---- batching --------------------------------------------------------
   void set_batching(bool on);  // turning off flushes any queued calls
@@ -168,12 +197,22 @@ class Client {
   cl_int flush_batch_locked();
   // Returns the sticky deferred error (cleared) if set, else `actual`.
   cl_int surface(cl_int actual) noexcept;
+  // Runs the recovery handler for a broken round-trip on `op` (at most one
+  // level deep).  Caller must hold mu_.
+  Recovery attempt_recovery(Op op);
 
   std::unique_ptr<ipc::Channel> ch_;
-  std::mutex mu_;
+  // Recursive: the recovery handler runs under the lock and calls back into
+  // this client (configure/ping/replay) on the same thread.
+  std::recursive_mutex mu_;
   ipc::Message resp_;  // guarded by mu_; Readers view into this
   std::vector<std::uint8_t> wpool_;  // recycled Writer buffer
   bool dead_ = false;
+  RecoveryHandler recovery_;
+  bool in_recovery_ = false;  // re-entrancy guard around the handler
+  std::uint32_t deadline_ms_ = 0;
+  // One-shot old->new handle map for the next post-recovery re-send.
+  std::unordered_map<RemoteHandle, RemoteHandle> retry_remap_;
 
   bool batching_ = false;
   ipc::Writer batch_;

@@ -6,7 +6,9 @@
 // response starts with an i32 error code.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 namespace proxy {
 
@@ -105,12 +107,344 @@ enum class Op : std::uint32_t {
   // from IPC cost charging and rejected inside a Batch frame.
   GroupBegin,
   GroupEnd,
+
+  // Sentinel — keep last.  The replayability table below and the generated
+  // opcode-coverage test walk [Configure, kOpCount); a new opcode added above
+  // without a classification fails that test at the next run.
+  kOpCount,
 };
+
+// ---- recovery classification ----------------------------------------------
+//
+// When a call is in flight across a channel failure, the supervisor must
+// decide whether re-issuing it after reconnect/replay is safe.  Against a
+// freshly respawned proxy every in-flight side effect died with the old
+// process, so anything can be re-sent; against a *surviving* peer (a TCP
+// daemon that outlived a dropped connection) only idempotent calls may be
+// retried — the rest fail exactly once with a named RecoveryError.
+enum class Replay : std::uint8_t {
+  Unclassified = 0,  // never valid — the coverage test rejects it
+  Pure,              // read-only query; retry is always safe
+  Replayable,        // idempotent mutation (latest-wins or same-bytes)
+  Effectful,         // non-idempotent (creates/destroys/increments/launches)
+};
+
+[[nodiscard]] constexpr Replay replayability(Op op) noexcept {
+  switch (op) {
+    // read-only queries and waits
+    case Op::Ping:
+    case Op::GetPlatformIDs:
+    case Op::GetPlatformInfo:
+    case Op::GetDeviceIDs:
+    case Op::GetDeviceInfo:
+    case Op::GetContextInfo:
+    case Op::GetCommandQueueInfo:
+    case Op::GetMemObjectInfo:
+    case Op::GetImageInfo:
+    case Op::GetSamplerInfo:
+    case Op::GetProgramInfo:
+    case Op::GetProgramBuildInfo:
+    case Op::GetKernelInfo:
+    case Op::GetKernelWorkGroupInfo:
+    case Op::WaitForEvents:
+    case Op::GetEventInfo:
+    case Op::GetEventProfilingInfo:
+    case Op::EnqueueReadBuffer:
+    case Op::SimGetHostTimeNS:
+      return Replay::Pure;
+
+    // idempotent mutations: re-issuing with the same arguments converges to
+    // the same state (latest-wins writes, rebuildable artifacts, sync points)
+    case Op::Configure:
+    case Op::Flush:
+    case Op::Finish:
+    case Op::BuildProgram:
+    case Op::SetKernelArg:
+    case Op::EnqueueWriteBuffer:
+    case Op::EnqueueCopyBuffer:
+    case Op::EnqueueBarrier:
+    case Op::EnqueueWaitForEvents:
+    case Op::GroupBegin:
+    case Op::GroupEnd:
+      return Replay::Replayable;
+
+    // non-idempotent: handle creation/destruction, refcount edits, kernel
+    // launches (running twice != running once), clock edits, opaque batches
+    case Op::Shutdown:
+    case Op::CreateContext:
+    case Op::RetainContext:
+    case Op::ReleaseContext:
+    case Op::CreateCommandQueue:
+    case Op::RetainCommandQueue:
+    case Op::ReleaseCommandQueue:
+    case Op::CreateBuffer:
+    case Op::CreateImage2D:
+    case Op::RetainMemObject:
+    case Op::ReleaseMemObject:
+    case Op::CreateSampler:
+    case Op::RetainSampler:
+    case Op::ReleaseSampler:
+    case Op::CreateProgramWithSource:
+    case Op::CreateProgramWithBinary:
+    case Op::RetainProgram:
+    case Op::ReleaseProgram:
+    case Op::CreateKernel:
+    case Op::CreateKernelsInProgram:
+    case Op::RetainKernel:
+    case Op::ReleaseKernel:
+    case Op::RetainEvent:
+    case Op::ReleaseEvent:
+    case Op::EnqueueNDRangeKernel:
+    case Op::EnqueueTask:
+    case Op::EnqueueMarker:
+    case Op::SimAdvanceHostNS:
+    case Op::Batch:
+      return Replay::Effectful;
+
+    case Op::kOpCount:
+      break;
+  }
+  return Replay::Unclassified;
+}
+
+[[nodiscard]] constexpr const char* replay_name(Replay r) noexcept {
+  switch (r) {
+    case Replay::Unclassified:
+      return "Unclassified";
+    case Replay::Pure:
+      return "Pure";
+    case Replay::Replayable:
+      return "Replayable";
+    case Replay::Effectful:
+      return "Effectful";
+  }
+  return "?";
+}
+
+// Human-readable opcode names for recovery chains and diagnostics.
+[[nodiscard]] constexpr const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::Configure: return "Configure";
+    case Op::Ping: return "Ping";
+    case Op::Shutdown: return "Shutdown";
+    case Op::GetPlatformIDs: return "GetPlatformIDs";
+    case Op::GetPlatformInfo: return "GetPlatformInfo";
+    case Op::GetDeviceIDs: return "GetDeviceIDs";
+    case Op::GetDeviceInfo: return "GetDeviceInfo";
+    case Op::CreateContext: return "CreateContext";
+    case Op::RetainContext: return "RetainContext";
+    case Op::ReleaseContext: return "ReleaseContext";
+    case Op::GetContextInfo: return "GetContextInfo";
+    case Op::CreateCommandQueue: return "CreateCommandQueue";
+    case Op::RetainCommandQueue: return "RetainCommandQueue";
+    case Op::ReleaseCommandQueue: return "ReleaseCommandQueue";
+    case Op::GetCommandQueueInfo: return "GetCommandQueueInfo";
+    case Op::Flush: return "Flush";
+    case Op::Finish: return "Finish";
+    case Op::CreateBuffer: return "CreateBuffer";
+    case Op::CreateImage2D: return "CreateImage2D";
+    case Op::RetainMemObject: return "RetainMemObject";
+    case Op::ReleaseMemObject: return "ReleaseMemObject";
+    case Op::GetMemObjectInfo: return "GetMemObjectInfo";
+    case Op::GetImageInfo: return "GetImageInfo";
+    case Op::CreateSampler: return "CreateSampler";
+    case Op::RetainSampler: return "RetainSampler";
+    case Op::ReleaseSampler: return "ReleaseSampler";
+    case Op::GetSamplerInfo: return "GetSamplerInfo";
+    case Op::CreateProgramWithSource: return "CreateProgramWithSource";
+    case Op::CreateProgramWithBinary: return "CreateProgramWithBinary";
+    case Op::RetainProgram: return "RetainProgram";
+    case Op::ReleaseProgram: return "ReleaseProgram";
+    case Op::BuildProgram: return "BuildProgram";
+    case Op::GetProgramInfo: return "GetProgramInfo";
+    case Op::GetProgramBuildInfo: return "GetProgramBuildInfo";
+    case Op::CreateKernel: return "CreateKernel";
+    case Op::CreateKernelsInProgram: return "CreateKernelsInProgram";
+    case Op::RetainKernel: return "RetainKernel";
+    case Op::ReleaseKernel: return "ReleaseKernel";
+    case Op::SetKernelArg: return "SetKernelArg";
+    case Op::GetKernelInfo: return "GetKernelInfo";
+    case Op::GetKernelWorkGroupInfo: return "GetKernelWorkGroupInfo";
+    case Op::WaitForEvents: return "WaitForEvents";
+    case Op::GetEventInfo: return "GetEventInfo";
+    case Op::RetainEvent: return "RetainEvent";
+    case Op::ReleaseEvent: return "ReleaseEvent";
+    case Op::GetEventProfilingInfo: return "GetEventProfilingInfo";
+    case Op::EnqueueReadBuffer: return "EnqueueReadBuffer";
+    case Op::EnqueueWriteBuffer: return "EnqueueWriteBuffer";
+    case Op::EnqueueCopyBuffer: return "EnqueueCopyBuffer";
+    case Op::EnqueueNDRangeKernel: return "EnqueueNDRangeKernel";
+    case Op::EnqueueTask: return "EnqueueTask";
+    case Op::EnqueueMarker: return "EnqueueMarker";
+    case Op::EnqueueBarrier: return "EnqueueBarrier";
+    case Op::EnqueueWaitForEvents: return "EnqueueWaitForEvents";
+    case Op::SimGetHostTimeNS: return "SimGetHostTimeNS";
+    case Op::SimAdvanceHostNS: return "SimAdvanceHostNS";
+    case Op::Batch: return "Batch";
+    case Op::GroupBegin: return "GroupBegin";
+    case Op::GroupEnd: return "GroupEnd";
+    case Op::kOpCount: break;
+  }
+  return "?";
+}
 
 // clSetKernelArg argument kinds on the wire: the *client* (CheCL wrapper) has
 // already done the CheCL-handle -> OpenCL-handle conversion, so the kind is
 // explicit here.
 enum class ArgKind : std::uint8_t { Bytes = 0, MemHandle = 1, SamplerHandle = 2, Local = 3 };
+
+// ---- in-flight request remapping -------------------------------------------
+//
+// After a recovery re-materializes every object on a fresh proxy, the remote
+// handles embedded in the *already-marshalled* in-flight request frame are
+// stale — they name objects of the dead peer.  This walker knows, per opcode,
+// where handle fields sit in the request payload and rewrites each through
+// `map` (old handle -> new handle; identity for unknown values).  Returns
+// false when the payload is too short for its opcode's layout — the caller
+// then sends the frame unmodified and lets the proxy reject it.
+//
+// Layout shapes (see the Client marshalling code, which this table mirrors):
+//   * N leading u64 handles (most ops);
+//   * a u32-counted u64 handle array, after the leading handles
+//     (BuildProgram, CreateProgramWithBinary, WaitForEvents,
+//     EnqueueWaitForEvents) or after an i64 property list (CreateContext);
+//   * SetKernelArg: handle, u32 idx, u8 ArgKind, then one more handle iff
+//     the kind is MemHandle/SamplerHandle.
+// Batch frames are never re-sent (their calls are journaled and replayed),
+// so Op::Batch needs no layout here.
+template <typename MapFn>
+inline bool remap_request_handles(Op op, std::uint8_t* p, std::size_t n,
+                                  MapFn&& map) {
+  std::size_t pos = 0;
+  auto ok = [&](std::size_t need) { return pos + need <= n; };
+  auto rd_u32 = [&](std::uint32_t& v) {
+    if (!ok(4)) return false;
+    std::memcpy(&v, p + pos, 4);
+    pos += 4;
+    return true;
+  };
+  auto map_u64 = [&] {
+    if (!ok(8)) return false;
+    std::uint64_t v = 0;
+    std::memcpy(&v, p + pos, 8);
+    v = map(v);
+    std::memcpy(p + pos, &v, 8);
+    pos += 8;
+    return true;
+  };
+  auto skip = [&](std::size_t k) {
+    if (!ok(k)) return false;
+    pos += k;
+    return true;
+  };
+  auto lead = [&](int k) {
+    for (int i = 0; i < k; ++i)
+      if (!map_u64()) return false;
+    return true;
+  };
+  auto counted_handles = [&] {
+    std::uint32_t c = 0;
+    if (!rd_u32(c)) return false;
+    for (std::uint32_t i = 0; i < c; ++i)
+      if (!map_u64()) return false;
+    return true;
+  };
+
+  switch (op) {
+    // no handles in the request
+    case Op::Configure:
+    case Op::Ping:
+    case Op::Shutdown:
+    case Op::GetPlatformIDs:
+    case Op::SimGetHostTimeNS:
+    case Op::SimAdvanceHostNS:
+    case Op::GroupBegin:
+    case Op::GroupEnd:
+    case Op::Batch:
+    case Op::kOpCount:
+      return true;
+
+    // one leading handle
+    case Op::GetPlatformInfo:
+    case Op::GetDeviceInfo:
+    case Op::GetDeviceIDs:
+    case Op::RetainContext:
+    case Op::ReleaseContext:
+    case Op::GetContextInfo:
+    case Op::RetainCommandQueue:
+    case Op::ReleaseCommandQueue:
+    case Op::GetCommandQueueInfo:
+    case Op::Flush:
+    case Op::Finish:
+    case Op::CreateBuffer:
+    case Op::CreateImage2D:
+    case Op::RetainMemObject:
+    case Op::ReleaseMemObject:
+    case Op::GetMemObjectInfo:
+    case Op::GetImageInfo:
+    case Op::CreateSampler:
+    case Op::RetainSampler:
+    case Op::ReleaseSampler:
+    case Op::GetSamplerInfo:
+    case Op::CreateProgramWithSource:
+    case Op::RetainProgram:
+    case Op::ReleaseProgram:
+    case Op::GetProgramInfo:
+    case Op::CreateKernel:
+    case Op::CreateKernelsInProgram:
+    case Op::RetainKernel:
+    case Op::ReleaseKernel:
+    case Op::GetKernelInfo:
+    case Op::GetEventInfo:
+    case Op::RetainEvent:
+    case Op::ReleaseEvent:
+    case Op::GetEventProfilingInfo:
+    case Op::EnqueueMarker:
+    case Op::EnqueueBarrier:
+      return lead(1);
+
+    // two leading handles
+    case Op::CreateCommandQueue:  // (ctx, dev); the third u64 is properties
+    case Op::GetProgramBuildInfo:
+    case Op::GetKernelWorkGroupInfo:
+    case Op::EnqueueReadBuffer:
+    case Op::EnqueueWriteBuffer:
+    case Op::EnqueueNDRangeKernel:
+    case Op::EnqueueTask:
+      return lead(2);
+
+    // three leading handles
+    case Op::EnqueueCopyBuffer:  // (queue, src, dst)
+      return lead(3);
+
+    // leading handle(s) + u32-counted handle array
+    case Op::BuildProgram:
+    case Op::CreateProgramWithBinary:
+      return lead(1) && counted_handles();
+    case Op::EnqueueWaitForEvents:
+      return lead(1) && counted_handles();
+    case Op::WaitForEvents:
+      return counted_handles();
+
+    // u32-counted i64 property list, then u32-counted handle array
+    case Op::CreateContext: {
+      std::uint32_t nprops = 0;
+      if (!rd_u32(nprops) || !skip(std::size_t{nprops} * 8)) return false;
+      return counted_handles();
+    }
+
+    // handle, u32 idx, u8 kind, one more handle for the handle-carrying kinds
+    case Op::SetKernelArg: {
+      if (!lead(1) || !skip(4) || !ok(1)) return false;
+      const auto kind = static_cast<ArgKind>(p[pos]);
+      pos += 1;
+      if (kind == ArgKind::MemHandle || kind == ArgKind::SamplerHandle)
+        return map_u64();
+      return true;
+    }
+  }
+  return true;
+}
 
 // Cost model for the app<->proxy hop, charged by the server per request.
 // per_call ~ two context switches + socket round trip (2010-era hardware);

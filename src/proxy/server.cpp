@@ -663,6 +663,8 @@ bool dispatch(ServerState& st, Op op, Reader& r, Writer& w) {
       w.u32(count);
       return true;
     }
+
+    case Op::kOpCount: break;  // sentinel, never on the wire
   }
   w.i32(CL_INVALID_OPERATION);
   return true;

@@ -6,10 +6,14 @@
 #include <unistd.h>
 
 #include <array>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
+#include <vector>
 
+#include "common/retry.h"
 #include "proxy/server.h"
 
 namespace proxy {
@@ -32,7 +36,43 @@ bool env_flag(const char* name) {
   return v != nullptr && *v != '\0' && *v != '0';
 }
 
+// Killed-but-not-yet-waited proxy children.  SIGKILL delivery and the exit
+// are asynchronous, so a respawn loop cannot block on waitpid without adding
+// the old proxy's death latency to every recovery; instead the pid is parked
+// here and polled non-blockingly (WNOHANG, per-pid — never waitpid(-1),
+// which would steal unrelated children such as a concurrently spawned TCP
+// proxy) at the next spawn/stop or an explicit reap call.
+std::mutex g_children_mu;
+std::vector<pid_t> g_children;
+
 }  // namespace
+
+void register_child(pid_t pid) {
+  if (pid <= 0) return;
+  std::lock_guard<std::mutex> lk(g_children_mu);
+  g_children.push_back(pid);
+}
+
+int reap_exited_children() {
+  std::lock_guard<std::mutex> lk(g_children_mu);
+  int reaped = 0;
+  for (auto it = g_children.begin(); it != g_children.end();) {
+    int status = 0;
+    const pid_t r = ::waitpid(*it, &status, WNOHANG);
+    if (r == *it || (r < 0 && errno == ECHILD)) {
+      it = g_children.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
+std::size_t pending_children() {
+  std::lock_guard<std::mutex> lk(g_children_mu);
+  return g_children.size();
+}
 
 SpawnOptions spawn_options_from_env() {
   SpawnOptions o;
@@ -73,6 +113,8 @@ void Spawned::stop() {
     server_thread_->join();
     server_thread_.reset();
   }
+  // drain any children parked by earlier revive() calls
+  reap_exited_children();
 }
 
 void Spawned::kill_hard() {
@@ -86,20 +128,37 @@ void Spawned::kill_hard() {
   // thread exits; join happens in stop().
 }
 
+RawConnection connect_raw(const char* host, std::uint16_t port) {
+  RawConnection c;
+  // The daemon may still be binding (or respawning): capped exponential
+  // backoff with a deadline budget instead of the seed's fixed 50x20ms loop.
+  checl::Retry pol;
+  pol.max_attempts = 50;
+  pol.base_delay_ns = 2'000'000;     // 2 ms
+  pol.max_delay_ns = 100'000'000;    // 100 ms cap
+  pol.budget_ns = 2'000'000'000;     // give up after ~2 s total
+  int fd = -1;
+  pol.run([&] {
+    fd = ipc::tcp_connect(host, port);
+    return fd >= 0;
+  });
+  if (fd < 0) {
+    c.error = std::string("cannot connect to remote proxy at ") + host + ":" +
+              std::to_string(port);
+    return c;
+  }
+  c.ch = std::make_unique<ipc::SocketChannel>(fd);
+  return c;
+}
+
 Spawned connect_remote_proxy(const char* host, std::uint16_t port) {
   Spawned s;
-  // the daemon may still be binding; retry briefly
-  int fd = -1;
-  for (int attempt = 0; attempt < 50 && fd < 0; ++attempt) {
-    fd = ipc::tcp_connect(host, port);
-    if (fd < 0) ::usleep(20'000);
-  }
-  if (fd < 0) {
-    s.error_ = std::string("cannot connect to remote proxy at ") + host + ":" +
-               std::to_string(port);
+  RawConnection c = connect_raw(host, port);
+  if (c.ch == nullptr) {
+    s.error_ = std::move(c.error);
     return s;
   }
-  s.client_ = std::make_unique<Client>(std::make_unique<ipc::SocketChannel>(fd));
+  s.client_ = std::make_unique<Client>(std::move(c.ch));
   if (s.client_->ping() != CL_SUCCESS) {
     s.error_ = "remote proxy did not answer";
     s.client_.reset();
@@ -135,24 +194,28 @@ Spawned spawn_tcp_proxy(std::uint16_t port) {
 
 Spawned spawn_proxy(Transport t) { return spawn_proxy(t, spawn_options_from_env()); }
 
-Spawned spawn_proxy(Transport t, const SpawnOptions& opts) {
-  Spawned s;
+RawConnection spawn_connection(Transport t, const SpawnOptions& opts) {
+  RawConnection c;
   if (t == Transport::Thread) {
     auto [app_end, proxy_end] = ipc::make_local_pair();
     auto* proxy_raw = proxy_end.release();
-    s.server_thread_ = std::make_unique<std::thread>(
+    c.server_thread = std::make_unique<std::thread>(
         [proxy_raw] {
           std::unique_ptr<ipc::Channel> ch(proxy_raw);
           serve(*ch);
         });
-    s.client_ = std::make_unique<Client>(std::move(app_end));
-    return s;
+    c.ch = std::move(app_end);
+    return c;
+  }
+  if (t == Transport::Tcp) {
+    c.error = "spawn_connection: Tcp endpoints come from connect_raw()";
+    return c;
   }
 
   const auto [app_fd, proxy_fd] = ipc::make_socketpair();
   if (app_fd < 0) {
-    s.error_ = "socketpair failed";
-    return s;
+    c.error = "socketpair failed";
+    return c;
   }
   // Bulk-data plane: created before the fork so the daemon can attach by
   // name; a create failure just degrades to the socket-only path.
@@ -163,8 +226,8 @@ Spawned spawn_proxy(Transport t, const SpawnOptions& opts) {
   if (pid < 0) {
     ::close(app_fd);
     ::close(proxy_fd);
-    s.error_ = "fork failed";
-    return s;
+    c.error = "fork failed";
+    return c;
   }
   if (pid == 0) {
     // child: exec the proxy daemon with its end of the socketpair.  The pair
@@ -193,25 +256,69 @@ Spawned spawn_proxy(Transport t, const SpawnOptions& opts) {
     ::_exit(127);
   }
   ::close(proxy_fd);
-  s.pid_ = pid;
+  c.pid = pid;
   auto sock = std::make_unique<ipc::SocketChannel>(app_fd);
   sock->set_use_writev(opts.use_writev);
-  std::unique_ptr<ipc::Channel> ch;
   if (seg != nullptr)
-    ch = std::make_unique<ipc::ShmChannel>(std::move(sock), std::move(seg),
-                                           /*creator=*/true, opts.shm_threshold);
+    c.ch = std::make_unique<ipc::ShmChannel>(std::move(sock), std::move(seg),
+                                             /*creator=*/true, opts.shm_threshold);
   else
-    ch = std::move(sock);
-  s.client_ = std::make_unique<Client>(std::move(ch));
-  // verify the exec didn't fail
-  if (s.client_->ping() != CL_SUCCESS) {
-    s.error_ = "proxy daemon did not start (looked for: " + proxyd + ")";
+    c.ch = std::move(sock);
+  return c;
+}
+
+Spawned spawn_proxy(Transport t, const SpawnOptions& opts) {
+  Spawned s;
+  RawConnection c = spawn_connection(t, opts);
+  if (c.ch == nullptr) {
+    s.error_ = std::move(c.error);
+    return s;
+  }
+  s.pid_ = c.pid;
+  s.server_thread_ = std::move(c.server_thread);
+  s.client_ = std::make_unique<Client>(std::move(c.ch));
+  if (t == Transport::Process && s.client_->ping() != CL_SUCCESS) {
+    // verify the exec didn't fail
+    s.error_ = "proxy daemon did not start (looked for: " + find_proxyd() + ")";
     s.client_.reset();
     int status = 0;
-    ::waitpid(pid, &status, 0);
+    ::waitpid(s.pid_, &status, 0);
     s.pid_ = -1;
   }
   return s;
+}
+
+bool Spawned::revive(Transport t, const SpawnOptions& opts, const char* tcp_host,
+                     std::uint16_t tcp_port) {
+  if (client_ == nullptr) {
+    error_ = "revive: nothing was ever spawned";
+    return false;
+  }
+  // Dispose of the dead proxy without blocking on its exit: SIGKILL is
+  // idempotent on a corpse, and the pid is parked for a non-blocking reap.
+  if (pid_ > 0) {
+    ::kill(pid_, SIGKILL);
+    register_child(pid_);
+    pid_ = -1;
+  }
+  if (server_thread_ != nullptr) {
+    // Thread transport: the failed LocalChannel closed both queues, so the
+    // server loop has already returned (or is about to); the join is short.
+    server_thread_->join();
+    server_thread_.reset();
+  }
+  reap_exited_children();
+
+  RawConnection c = t == Transport::Tcp ? connect_raw(tcp_host, tcp_port)
+                                        : spawn_connection(t, opts);
+  if (c.ch == nullptr) {
+    error_ = std::move(c.error);
+    return false;
+  }
+  client_->reset_channel(std::move(c.ch));
+  pid_ = c.pid;
+  server_thread_ = std::move(c.server_thread);
+  return true;
 }
 
 }  // namespace proxy

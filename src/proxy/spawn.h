@@ -38,6 +38,32 @@ struct SpawnOptions {
 
 [[nodiscard]] SpawnOptions spawn_options_from_env();
 
+// A transport endpoint without a Client wrapped around it.  spawn_proxy()
+// builds its Client from one; Spawned::revive() transplants one into the
+// *existing* Client after the proxy dies, so in-flight callers keep their
+// stub object across the respawn.
+struct RawConnection {
+  std::unique_ptr<ipc::Channel> ch;  // nullptr => failed, see error
+  pid_t pid = -1;                    // Process transport child
+  std::unique_ptr<std::thread> server_thread;  // Thread transport server
+  std::string error;
+};
+
+// Brings up a fresh endpoint for Thread/Process transports.
+RawConnection spawn_connection(Transport t, const SpawnOptions& opts);
+// TCP endpoint with retry/backoff while the daemon binds.
+RawConnection connect_raw(const char* host, std::uint16_t port);
+
+// ---- zombie control --------------------------------------------------------
+// Proxy children killed during respawn loops are handed to this registry and
+// polled with waitpid(pid, WNOHANG) — per-pid, never waitpid(-1), so no other
+// child (a concurrently spawned proxy, a test's own fork) gets stolen.
+void register_child(pid_t pid);
+// Reaps every registered child that has exited; returns how many were reaped.
+int reap_exited_children();
+// Registered children not yet reaped (0 = no zombies pending from us).
+[[nodiscard]] std::size_t pending_children();
+
 class Spawned {
  public:
   Spawned() = default;
@@ -68,6 +94,14 @@ class Spawned {
   // Violent death of the proxy (SIGKILL) — used by the failure-injection and
   // DMTCP-mode paths.  The client becomes dead on its next call.
   void kill_hard();
+  // Supervision path: disposes of the dead proxy (SIGKILL + deferred reap /
+  // thread join), brings up a fresh endpoint of the same transport, and
+  // transplants its channel into the EXISTING client via reset_channel() —
+  // the Client object, and every pointer to it, survives the respawn.
+  // Returns false (with error()) when the new endpoint cannot be created;
+  // the client is left dead in that case.
+  bool revive(Transport t, const SpawnOptions& opts,
+              const char* tcp_host = "127.0.0.1", std::uint16_t tcp_port = 0);
 
  private:
   friend Spawned spawn_proxy(Transport t, const SpawnOptions& opts);

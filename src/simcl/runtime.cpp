@@ -10,17 +10,29 @@ Runtime& Runtime::instance() {
 Runtime::~Runtime() { teardown(); }
 
 void Runtime::teardown() {
-  for (Platform* p : platforms_) {
+  retired_.insert(retired_.end(), platforms_.begin(), platforms_.end());
+  platforms_.clear();
+  for (Platform* p : retired_) {
     for (Device* d : p->devices) delete d;
     delete p;
   }
-  platforms_.clear();
+  retired_.clear();
   materialized_ = false;
 }
 
 void Runtime::configure(std::vector<PlatformSpec> specs) {
   std::lock_guard<std::mutex> lk(mu_);
-  teardown();
+  // Identical specs keep the materialized platforms: a supervised recovery
+  // re-sends Configure on every epoch handshake, and a surviving peer's
+  // live handles must stay valid through it.
+  if (materialized_ && specs == specs_) return;
+  // A genuine reconfigure with objects still materialized can race threads
+  // that outlive their epoch (the threaded transport shares this process
+  // with the dead epoch's abandoned queue workers), so the old platforms
+  // are retired, not freed; the destructor reaps the graveyard.
+  retired_.insert(retired_.end(), platforms_.begin(), platforms_.end());
+  platforms_.clear();
+  materialized_ = false;
   specs_ = std::move(specs);
 }
 

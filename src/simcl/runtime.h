@@ -17,9 +17,11 @@ class Runtime {
  public:
   static Runtime& instance();
 
-  // Replace the platform configuration.  Existing platform/device handles
-  // become invalid; callers must only do this with no live contexts (the
-  // proxy does it at spawn time, before serving any call).
+  // Replace the platform configuration.  A no-op when the specs match the
+  // materialized ones (handles stay valid — recovery handshakes re-send the
+  // configuration).  Otherwise existing platform/device handles go stale but
+  // stay allocated until process exit, so threads that outlive their epoch
+  // never dereference freed memory.
   void configure(std::vector<PlatformSpec> specs);
 
   // Lazily materializes platforms on first call, charging each platform's
@@ -42,6 +44,9 @@ class Runtime {
   std::mutex mu_;
   std::vector<PlatformSpec> specs_;
   std::vector<Platform*> platforms_;
+  // Platforms replaced while objects were live (see configure()); reaped by
+  // the destructor so abandoned cross-epoch references never dangle.
+  std::vector<Platform*> retired_;
   bool materialized_ = false;
   Clock clock_;
   SimNs api_call_ns_ = 100;

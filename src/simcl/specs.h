@@ -50,6 +50,8 @@ struct DeviceSpec {
   std::uint64_t launch_overhead_ns = 6000;    // per kernel launch
   std::uint64_t compile_base_ns = 30'000'000; // clBuildProgram fixed cost
   double compile_ns_per_byte = 150.0;         // + per source byte
+
+  friend bool operator==(const DeviceSpec&, const DeviceSpec&) = default;
 };
 
 struct PlatformSpec {
@@ -60,6 +62,8 @@ struct PlatformSpec {
   std::uint64_t context_create_ns = 1'000'000;  // clCreateContext
   std::uint64_t queue_create_ns = 100'000;
   std::vector<DeviceSpec> devices;
+
+  friend bool operator==(const PlatformSpec&, const PlatformSpec&) = default;
 };
 
 // NVIDIA-like platform: one Tesla C1060-class GPU.  Visible platform/context

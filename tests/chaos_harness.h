@@ -60,6 +60,11 @@ struct Verdict {
   bool fired = false;      // the armed fault actually triggered
   bool op_failed = false;  // the faulted operation returned an error
   std::string detail;      // first broken invariant
+  // Survive-mode extras (run_schedule_survive): what the self-healing
+  // runtime reported absorbing, and how long the recovery took.
+  std::uint64_t recoveries = 0;
+  std::uint64_t io_retries = 0;
+  std::uint64_t recover_ns = 0;
 
   void fail(std::string d) {
     if (pass) {
@@ -385,6 +390,180 @@ inline Verdict run_schedule(const Schedule& s) {
   std::vector<float> after;
   if (!sc.read_bytes(after) || after[0] != expected[0] + 1.0f)
     v.fail("runtime unusable after recovery");
+
+  cleanup();
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Survive mode: the same crash schedules, but with the self-healing runtime
+// switched on — supervision for channel/proxy faults, retry-then-degrade for
+// single-shot storage faults.  The contract flips: instead of asserting a
+// *clean failure*, the run must complete with zero application-visible CL
+// errors and a byte-identical result.
+// ---------------------------------------------------------------------------
+
+// Which schedules the self-healing runtime is expected to absorb.  Excluded
+// on purpose: TornWrite/BitFlip (silent corruption — a blind retry would
+// re-reference poisoned chunks; detection-and-rejection is the right
+// behavior, covered by run_schedule), ProxyInjectClError (a well-formed error
+// *reply* is not a channel failure), and the Exec* sites (they fire inside
+// the restore executor itself, whose transactional rollback is the
+// recovery).
+inline bool survive_eligible(const Schedule& s) {
+  using chaoskit::Site;
+  switch (s.fault.site) {
+    case Site::IpcShortWrite:
+    case Site::IpcSendEpipe:
+    case Site::IpcRecvTimeout:
+    case Site::ProxyDieBeforeReply:
+    case Site::ProxyDieAfterReply:
+    case Site::StoreEnospc:
+    case Site::SlimcrEnospc: return true;
+    default: return false;
+  }
+}
+
+// Runs one survive-eligible schedule under supervision and reports whether
+// the application survived it transparently.  The add1 workload's invariant
+// is analytic — buffer value == number of iterations run — so byte-identical
+// output needs no reference run.
+inline Verdict run_schedule_survive(const Schedule& s) {
+  namespace fs = std::filesystem;
+  auto& rt = checl::CheclRuntime::instance();
+  auto& chaos = chaoskit::Engine::instance();
+  Verdict v;
+  if (!survive_eligible(s)) {
+    v.fail("schedule is not survive-eligible");
+    return v;
+  }
+
+  chaos.disarm();
+  rt.reset_all();
+  checl::NodeConfig node = checl::dual_node();
+  node.transport = proxy::Transport::Thread;  // in-process: one chaos engine
+  rt.set_node(node);
+  rt.restore_parallel = false;
+  rt.supervise = true;            // the tentpole under test
+  rt.io_retry.max_attempts = 3;   // absorb single-shot storage failures
+  if (s.store_mode) {
+    fs::remove_all(chaos_store_root());
+    rt.store_checkpoints = true;
+    rt.store_root = chaos_store_root();
+  }
+  checl::bind_checl();
+
+  const std::string ckpt = s.store_mode ? "chaos_ckpt" : chaos_ckpt_path();
+  auto cleanup = [&] {
+    chaos.disarm();
+    rt.reset_all();
+    checl::bind_native();
+    std::remove(chaos_ckpt_path());
+    std::error_code ec;
+    fs::remove_all(chaos_store_root(), ec);
+  };
+
+  detail::Scenario sc;
+  if (!sc.create()) {
+    v.fail("scenario setup failed");
+    cleanup();
+    return v;
+  }
+
+  // Every CL status is application-visible here; "survives" means none of
+  // them ever goes non-CL_SUCCESS.
+  int iters = 0;
+  auto run_checked = [&](int times) -> cl_int {
+    const std::size_t g = static_cast<std::size_t>(sc.n);
+    for (int i = 0; i < times; ++i) {
+      const cl_int e = clEnqueueNDRangeKernel(sc.queue, sc.kernel, 1, nullptr,
+                                              &g, nullptr, 0, nullptr, nullptr);
+      if (e != CL_SUCCESS) return e;
+      ++iters;
+    }
+    return clFinish(sc.queue);
+  };
+  auto check_bytes = [&](const char* when) {
+    std::vector<float> got;
+    if (!sc.read_bytes(got)) {
+      v.fail(std::string("read failed ") + when);
+      return;
+    }
+    const float want = static_cast<float>(iters);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (got[i] != want) {
+        v.fail(std::string("output not byte-identical ") + when + ": [" +
+               std::to_string(i) + "] = " + std::to_string(got[i]) +
+               ", want " + std::to_string(want));
+        return;
+      }
+    }
+  };
+
+  if (run_checked(3) != CL_SUCCESS) {
+    v.fail("baseline iterations failed");
+    cleanup();
+    return v;
+  }
+
+  auto& eng = rt.engine();
+  if (s.when == ArmPoint::AtCheckpoint) {
+    // Storage fault: the checkpoint itself must absorb it via io_retry.
+    chaos.arm(s.fault);
+    const cl_int ck = eng.checkpoint(ckpt, nullptr);
+    v.fired = chaos.fired();
+    chaos.disarm();
+    if (!v.fired)
+      v.fail("fault never fired (schedule does not reach its site)");
+    else if (ck != CL_SUCCESS)
+      v.fail("supervised checkpoint did not absorb the storage fault: " +
+             eng.last_error());
+    if (run_checked(2) != CL_SUCCESS) v.fail("post-checkpoint iterations failed");
+    if (v.pass) {
+      if (eng.restart_in_place(ckpt, std::nullopt, nullptr) != CL_SUCCESS) {
+        v.fail("restore after survived checkpoint failed: " + eng.last_error());
+      } else {
+        iters = 3;  // restore rewound the buffer to checkpoint time
+        check_bytes("after restore");
+        if (run_checked(1) != CL_SUCCESS) v.fail("runtime unusable after restore");
+      }
+    }
+  } else {
+    // Channel/proxy fault mid-run: supervision must reconnect and replay so
+    // the application never sees an error.  Some schedules aim the fault at
+    // a consultation count past the next two calls; keep issuing work (a
+    // bounded amount — the schedule is still deterministic) until it fires.
+    chaos.arm(s.fault);
+    cl_int e = run_checked(2);
+    for (int extra = 0; e == CL_SUCCESS && !chaos.fired() && extra < 8; ++extra)
+      e = run_checked(1);
+    v.fired = chaos.fired();
+    chaos.disarm();
+    if (!v.fired)
+      v.fail("fault never fired (schedule does not reach its site)");
+    else if (e != CL_SUCCESS)
+      v.fail(std::string("application-visible CL error under supervision: ") +
+             std::to_string(e));
+    check_bytes("after recovery");
+    if (run_checked(1) != CL_SUCCESS)
+      v.fail("runtime unusable after recovery");
+    else
+      check_bytes("after post-recovery iteration");
+  }
+
+  // What the self-healing runtime reported (via the public stats surface).
+  const std::string stats = checl::stats_json();
+  v.recoveries = detail::counter_from_stats_json(stats, "recoveries");
+  v.io_retries = detail::counter_from_stats_json(stats, "io_retries");
+  v.recover_ns = detail::counter_from_stats_json(stats, "last_recover_ns");
+  if (v.pass && v.fired) {
+    if (s.when == ArmPoint::AtCheckpoint) {
+      if (v.io_retries == 0)
+        v.fail("storage fault absorbed but io_retries counter is zero");
+    } else if (v.recoveries == 0) {
+      v.fail("channel fault absorbed but recoveries counter is zero");
+    }
+  }
 
   cleanup();
   return v;

@@ -98,6 +98,73 @@ TEST(ChaosTorture, SingleScheduleRerunsIdentically) {
   }
 }
 
+TEST(ChaosSurvive, EligibleSchedulesCompleteByteIdentical) {
+  // The tentpole contract: the same crash schedules that run_schedule proves
+  // *fail cleanly* must, with supervision on, complete with zero
+  // application-visible CL errors and byte-identical output.
+  const std::uint64_t seed = master_seed();
+  const auto schedules = chaos_harness::derive_schedules(seed, kCases);
+
+  std::size_t lo = 0, hi = schedules.size();
+  if (const char* v = std::getenv("CHECL_CHAOS_CASE");
+      v != nullptr && *v != '\0') {
+    lo = std::strtoull(v, nullptr, 10);
+    ASSERT_LT(lo, schedules.size());
+    hi = lo + 1;
+  }
+
+  std::size_t ran = 0, failures = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (!chaos_harness::survive_eligible(schedules[i])) continue;
+    ++ran;
+    const Verdict v = chaos_harness::run_schedule_survive(schedules[i]);
+    if (!v.pass) {
+      ++failures;
+      ADD_FAILURE() << "survive schedule " << i << " ["
+                    << chaos_harness::schedule_name(schedules[i])
+                    << "]: " << v.detail << "\n  repro: "
+                    << chaos_harness::repro_line(seed, i);
+    }
+  }
+  EXPECT_EQ(failures, 0u);
+  // Schedules dedupe on (site, nth, arg), so the eligible slice is the full
+  // enumeration of the seven survivable sites: 5 channel sites x nth 1..4
+  // plus StoreEnospc x3 and SlimcrEnospc x1 = 24.
+  if (lo == 0 && hi == schedules.size()) {
+    EXPECT_GE(ran, 24u) << "survive-eligible slice unexpectedly thin";
+  }
+}
+
+TEST(ChaosSurvive, RecoveryIsCountedAndTimed) {
+  // A proxy death mid-run must show up in the public counters: at least one
+  // recovery, with a non-zero wall-clock time-to-recover (the MTTR source).
+  Schedule s;
+  s.fault.site = chaoskit::Site::ProxyDieBeforeReply;
+  s.fault.actor = chaoskit::Actor::Proxy;
+  s.fault.nth = 1;
+  s.when = ArmPoint::AtRestore;
+  const Verdict v = chaos_harness::run_schedule_survive(s);
+  EXPECT_TRUE(v.pass) << v.detail;
+  EXPECT_TRUE(v.fired);
+  EXPECT_GE(v.recoveries, 1u);
+  EXPECT_GT(v.recover_ns, 0u);
+}
+
+TEST(ChaosSurvive, StorageFaultAbsorbedByRetry) {
+  // A single-shot ENOSPC during a store-mode checkpoint is retried away;
+  // the operation succeeds and the retry is visible in io_retries.
+  Schedule s;
+  s.fault.site = chaoskit::Site::StoreEnospc;
+  s.fault.actor = chaoskit::Actor::Any;
+  s.fault.nth = 1;
+  s.when = ArmPoint::AtCheckpoint;
+  s.store_mode = true;
+  const Verdict v = chaos_harness::run_schedule_survive(s);
+  EXPECT_TRUE(v.pass) << v.detail;
+  EXPECT_TRUE(v.fired);
+  EXPECT_GE(v.io_retries, 1u);
+}
+
 TEST(ChaosEnv, FaultRoundTripsThroughEnvString) {
   // CHECL_CHAOS is how a fork/exec'd proxy daemon inherits the armed fault.
   chaoskit::Fault f;

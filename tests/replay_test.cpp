@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chaoskit/chaoskit.h"
 #include "checl/checl.h"
 #include "checl/cl.h"
 #include "core/cpr.h"
@@ -22,6 +23,7 @@
 #include "core/replay/plan.h"
 #include "core/runtime.h"
 #include "core/stats.h"
+#include "core/supervisor.h"
 #include "ipc/serial.h"
 #include "slimcr/snapshot.h"
 
@@ -838,6 +840,48 @@ TEST_F(ReplayRestoreTest, InjectedKernelFailureRollsBackTransactionally) {
   cl_platform_id plat = nullptr;
   ASSERT_EQ(clGetPlatformIDs(1, &plat, nullptr), CL_SUCCESS);
   ASSERT_NE(plat, nullptr);
+}
+
+TEST_F(ReplayRestoreTest, RecoveryChainOnlyTravelsWithFailedOps) {
+  // The supervisor drives this same restore machinery when the proxy dies
+  // mid-operation.  A checkpoint across a proxy crash must (a) succeed
+  // transparently, (b) leave Engine::last_error() EMPTY — the chain decorates
+  // failures only — and (c) narrate the full recovery in last_chain().
+  auto& rt = checl::CheclRuntime::instance();
+  rt.reset_all();
+  checl::NodeConfig node = checl::dual_node();
+  node.transport = proxy::Transport::Thread;  // in-process: one chaos engine
+  rt.set_node(node);
+  rt.restore_parallel = false;
+  rt.supervise = true;
+  checl::bind_checl();
+
+  Multi m;
+  m.create();
+
+  auto& chaos = chaoskit::Engine::instance();
+  chaoskit::Fault f;
+  f.site = chaoskit::Site::ProxyDieBeforeReply;
+  f.actor = chaoskit::Actor::Proxy;
+  f.nth = 0;  // the checkpoint's first RPC
+  chaos.arm(f);
+  EXPECT_EQ(engine().checkpoint(path(), nullptr), CL_SUCCESS)
+      << engine().last_error();
+  EXPECT_TRUE(chaos.fired());
+  chaos.disarm();
+
+  EXPECT_TRUE(engine().last_error().empty()) << engine().last_error();
+  const checl::Supervisor& sup = rt.supervisor();
+  EXPECT_GE(sup.stats().recoveries, 1u);
+  const std::string& chain = sup.last_chain();
+  EXPECT_NE(chain.find("on opcode "), std::string::npos) << chain;
+  EXPECT_NE(chain.find("respawn epoch "), std::string::npos) << chain;
+  EXPECT_NE(chain.find("replayed"), std::string::npos) << chain;
+  // The whole graph came back: platform, device, ctx, queue, buffer, and
+  // the six program+kernel pairs.
+  EXPECT_GE(sup.stats().replayed_objects,
+            static_cast<std::uint64_t>(2 * kPrograms + 5));
+  m.release();
 }
 
 TEST_F(ReplayRestoreTest, StatsJsonReportsRestoreCounters) {

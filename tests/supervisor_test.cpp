@@ -1,0 +1,230 @@
+// supervisor_test.cpp — the self-healing runtime, tested at its seams.
+//
+// Covers the supervision layer from four angles:
+//   * the per-opcode replayability table is total (a new opcode added to
+//     proxy/opcodes.h without a classification fails here, by construction);
+//   * violent proxy deaths in a respawn loop never accumulate zombies
+//     (proxy/spawn.cpp's per-pid deferred-reap registry);
+//   * a recovery — successful or failed — is narrated end to end: the
+//     supervisor's chain for transparent recoveries, Engine::last_error()'s
+//     "[recovery: ...]" suffix for ones the engine had to surface;
+//   * losing a device across a recovery degrades gracefully onto a surviving
+//     one (§IV-C re-placement), counted and named.
+//
+// Uses the chaos_harness add1 scenario: buffer value == iterations run, so
+// "work survived the crash" is a single float comparison.
+#include <gtest/gtest.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "chaos_harness.h"
+#include "core/cpr.h"
+#include "core/runtime.h"
+#include "core/supervisor.h"
+#include "proxy/opcodes.h"
+#include "proxy/spawn.h"
+
+namespace {
+
+using chaos_harness::detail::Scenario;
+
+// ---------------------------------------------------------------------------
+// replayability table coverage
+// ---------------------------------------------------------------------------
+
+TEST(OpcodeTable, EveryOpcodeIsClassifiedAndNamed) {
+  using proxy::Op;
+  for (std::uint32_t i = static_cast<std::uint32_t>(Op::Configure);
+       i < static_cast<std::uint32_t>(Op::kOpCount); ++i) {
+    const Op op = static_cast<Op>(i);
+    EXPECT_NE(proxy::replayability(op), proxy::Replay::Unclassified)
+        << "opcode " << i << " (" << proxy::op_name(op) << ") has no "
+        << "replayability classification — the supervisor cannot decide "
+        << "whether to re-issue it after a recovery.  Add it to "
+        << "replayability() in proxy/opcodes.h.";
+    EXPECT_STRNE(proxy::op_name(op), "?")
+        << "opcode " << i << " has no name in op_name()";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// zombie control
+// ---------------------------------------------------------------------------
+
+// 'Z' in /proc/<pid>/stat field 3 (the char after the comm's closing paren).
+bool is_zombie(pid_t pid) {
+  std::ifstream f("/proc/" + std::to_string(pid) + "/stat");
+  if (!f) return false;  // no proc entry at all: fully reaped
+  std::string stat;
+  std::getline(f, stat);
+  const std::size_t rp = stat.rfind(')');
+  if (rp == std::string::npos || rp + 2 >= stat.size()) return false;
+  return stat[rp + 2] == 'Z';
+}
+
+TEST(ZombieReap, RespawnLoopLeavesNoZombies) {
+  proxy::Spawned s = proxy::spawn_proxy(proxy::Transport::Process);
+  ASSERT_TRUE(s.ok()) << s.error();
+
+  std::vector<pid_t> killed;
+  for (int i = 0; i < 3; ++i) {
+    const pid_t pid = s.pid();
+    ASSERT_GT(pid, 0);
+    ::kill(pid, SIGKILL);  // the "kill -9 the proxy" of the README demo
+    killed.push_back(pid);
+    ASSERT_TRUE(
+        s.revive(proxy::Transport::Process, proxy::spawn_options_from_env()))
+        << s.error();
+    ASSERT_EQ(s.client()->ping(), CL_SUCCESS);
+  }
+
+  // revive() parks corpses for non-blocking reaps; a SIGKILLed child may
+  // take a beat to actually exit, so poll instead of asserting instantly.
+  for (int i = 0; i < 200 && proxy::pending_children() > 0; ++i) {
+    proxy::reap_exited_children();
+    ::usleep(10'000);
+  }
+  EXPECT_EQ(proxy::pending_children(), 0u)
+      << "respawn loop left unreaped proxy children";
+  for (const pid_t pid : killed)
+    EXPECT_FALSE(is_zombie(pid)) << "pid " << pid << " is a zombie";
+  s.stop();
+}
+
+// ---------------------------------------------------------------------------
+// recovery narration
+// ---------------------------------------------------------------------------
+
+struct SupervisedScenario {
+  checl::CheclRuntime& rt = checl::CheclRuntime::instance();
+  chaoskit::Engine& chaos = chaoskit::Engine::instance();
+  Scenario sc;
+
+  bool up(checl::NodeConfig node) {
+    chaos.disarm();
+    rt.reset_all();
+    node.transport = proxy::Transport::Thread;  // in-process: one chaos engine
+    rt.set_node(node);
+    rt.restore_parallel = false;
+    rt.supervise = true;
+    checl::bind_checl();
+    return sc.create();
+  }
+
+  // Arms a first-consultation proxy death; the next RPC must absorb it.
+  void arm_proxy_death() {
+    chaoskit::Fault f;
+    f.site = chaoskit::Site::ProxyDieBeforeReply;
+    f.actor = chaoskit::Actor::Proxy;
+    f.nth = 1;
+    chaos.arm(f);
+  }
+
+  // One checked iteration: enqueue + finish, both application-visible.
+  cl_int iterate() {
+    const std::size_t g = static_cast<std::size_t>(sc.n);
+    const cl_int e = clEnqueueNDRangeKernel(sc.queue, sc.kernel, 1, nullptr,
+                                            &g, nullptr, 0, nullptr, nullptr);
+    if (e != CL_SUCCESS) return e;
+    return clFinish(sc.queue);
+  }
+
+  ~SupervisedScenario() {
+    chaos.disarm();
+    rt.reset_all();
+    checl::bind_native();
+  }
+};
+
+TEST(RecoveryChain, SuccessfulRecoveryIsNamedAndCounted) {
+  SupervisedScenario t;
+  ASSERT_TRUE(t.up(checl::dual_node()));
+  ASSERT_EQ(t.iterate(), CL_SUCCESS);
+
+  t.arm_proxy_death();
+  EXPECT_EQ(t.iterate(), CL_SUCCESS)
+      << "proxy death was application-visible despite supervision";
+  EXPECT_TRUE(t.chaos.fired());
+  t.chaos.disarm();
+
+  checl::Supervisor& sup = t.rt.supervisor();
+  EXPECT_GE(sup.stats().recoveries, 1u);
+  EXPECT_GE(sup.stats().respawns, 1u);
+  EXPECT_GT(sup.stats().last_recover_ns, 0u);
+  const std::string& chain = sup.last_chain();
+  EXPECT_NE(chain.find("on opcode "), std::string::npos) << chain;
+  EXPECT_NE(chain.find("respawn epoch "), std::string::npos) << chain;
+  EXPECT_NE(chain.find("objects"), std::string::npos) << chain;
+  EXPECT_NE(chain.find("calls"), std::string::npos) << chain;
+
+  // Both iterations survived: the one before the crash and the one across it.
+  std::vector<float> out;
+  ASSERT_TRUE(t.sc.read_bytes(out));
+  EXPECT_EQ(out[0], 2.0f);
+}
+
+TEST(RecoveryChain, FailedRecoverySurfacesInEngineLastError) {
+  const char* ckpt = "/tmp/checl_supervisor_test.ckpt";
+  SupervisedScenario t;
+  ASSERT_TRUE(t.up(checl::dual_node()));
+  ASSERT_EQ(t.iterate(), CL_SUCCESS);
+
+  // Recovery must give up immediately: the chain then travels with the
+  // failed engine operation instead of being absorbed.
+  t.rt.supervisor().respawn_policy.max_attempts = 0;
+  t.arm_proxy_death();
+  auto& eng = t.rt.engine();
+  const cl_int e = eng.checkpoint(ckpt, nullptr);
+  EXPECT_TRUE(t.chaos.fired()) << "proxy-death fault never reached its site";
+  t.chaos.disarm();
+
+  EXPECT_NE(e, CL_SUCCESS);
+  EXPECT_GE(t.rt.supervisor().stats().failed_recoveries, 1u);
+  const std::string err = eng.last_error();
+  EXPECT_NE(err.find("[recovery: "), std::string::npos) << err;
+  EXPECT_NE(err.find("on opcode "), std::string::npos) << err;
+  EXPECT_NE(err.find("respawn disabled (max_attempts=0)"), std::string::npos)
+      << err;
+  std::remove(ckpt);
+}
+
+// ---------------------------------------------------------------------------
+// graceful degradation
+// ---------------------------------------------------------------------------
+
+TEST(DegradedPlacement, DeviceGoneReplacedOnSurvivingDevice) {
+  SupervisedScenario t;
+  // The scenario lands on the dual node's first GPU (the NVIDIA-like one).
+  ASSERT_TRUE(t.up(checl::dual_node()));
+  ASSERT_EQ(t.iterate(), CL_SUCCESS);
+
+  // The node "loses" that device: the respawned proxy only offers the
+  // AMD-like platform, so recovery must re-place everything there.
+  checl::NodeConfig survivor = checl::amd_node();
+  survivor.transport = proxy::Transport::Thread;
+  t.rt.set_node(survivor);
+
+  t.arm_proxy_death();
+  EXPECT_EQ(t.iterate(), CL_SUCCESS)
+      << "device loss was application-visible despite supervision";
+  EXPECT_TRUE(t.chaos.fired());
+  t.chaos.disarm();
+
+  checl::Supervisor& sup = t.rt.supervisor();
+  EXPECT_GE(sup.stats().degraded_placements, 1u);
+  EXPECT_NE(sup.last_chain().find("degraded placement"), std::string::npos)
+      << sup.last_chain();
+
+  // The work moved with the placement: both iterations are in the buffer.
+  std::vector<float> out;
+  ASSERT_TRUE(t.sc.read_bytes(out));
+  EXPECT_EQ(out[0], 2.0f);
+}
+
+}  // namespace
