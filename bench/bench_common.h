@@ -46,6 +46,11 @@ struct Options {
   bool restore_parallel = true;
   bool restore_batch = false;
   unsigned restore_workers = 0;
+  // Compile-cache knob (fig7/fig8): point the node at an on-disk bytecode
+  // pool so program recreation on restart deserializes instead of
+  // recompiling.  Without it, restarts are cold (full recompile) — the
+  // paper's Tr.
+  bool warm_cache = false;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -73,6 +78,8 @@ inline Options parse_options(int argc, char** argv) {
       o.restore_batch = false;
     else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc)
       o.restore_workers = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--warm-cache") == 0)
+      o.warm_cache = true;
   }
   if (o.shrink == 0) o.shrink = 1;
   return o;
@@ -80,6 +87,12 @@ inline Options parse_options(int argc, char** argv) {
 
 inline std::string ckpt_path(const char* tag) {
   return std::string("/tmp/checl_bench_") + tag + ".ckpt";
+}
+
+// On-disk bytecode pool for --warm-cache runs; one per bench so concurrent
+// ctest binaries don't share state.
+inline std::string clc_cache_dir(const char* tag) {
+  return std::string("/tmp/checl_bench_clbc_") + tag;
 }
 
 }  // namespace bench

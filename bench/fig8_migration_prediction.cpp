@@ -3,22 +3,30 @@
 // least squares on the measured migrations, then predicted vs actual and the
 // checkpoint file size are reported per benchmark.
 #include <cstdio>
+#include <filesystem>
 
 #include "bench_common.h"
 #include "benchkit/table.h"
 #include "core/migration.h"
+#include "simcl/progcache.h"
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv);
   std::printf(
-      "=== Figure 8: Migration cost prediction (Tm = alpha*M + Tr + beta) ===\n%s\n\n",
+      "=== Figure 8: Migration cost prediction (Tm = alpha*M + Tr + beta) ===\n%s\n%s\n\n",
       opt.ramdisk ? "storage: RAM disk (runtime processor selection mode)"
-                  : "storage: local disk");
+                  : "storage: local disk",
+      opt.warm_cache
+          ? "Tr: warm compile cache (bytecode deserialize on restart)"
+          : "Tr: cold (full recompile on restart — the paper's setting)");
+  if (opt.warm_cache)
+    std::filesystem::remove_all(bench::clc_cache_dir("fig8"));
 
   auto& rt = checl::CheclRuntime::instance();
   for (const auto& cfg : bench::paper_configs()) {
     checl::NodeConfig node = bench::node_for(cfg);
     if (opt.ramdisk) node.storage = slimcr::ram_disk();
+    if (opt.warm_cache) node.clc_cache.root = bench::clc_cache_dir("fig8");
     std::printf("--- %s ---\n", cfg.label);
 
     struct Row {

@@ -1,0 +1,207 @@
+// kernel_micro — interp-vs-VM ablation over the fig4 workload kernels.
+//
+// Protocol: every kernel in the fig4 corpus (src/workloads/fig4_kernels.h) is
+// compiled once, then launched repeatedly under each execution engine — the
+// tree-walking interpreter (the pre-VM baseline and differential oracle) and
+// the bytecode VM — on bit-identical inputs.  Wall-clock is min-of-N over
+// single-threaded launches so the number is the engine's per-work-item cost,
+// not the thread pool's scheduling noise.  Every pair of runs is also
+// byte-compared, so the speedup table carries its own correctness proof.
+//
+// Prints JSON: per-kernel {interp_ms, vm_ms, speedup, identical} plus the
+// geometric-mean speedup.  --smoke fails (nonzero exit) unless every kernel
+// is bit-identical across engines AND the VM beats the interpreter on every
+// kernel — the acceptance gate wired into ctest.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "clc/program.h"
+#include "workloads/fig4_kernels.h"
+
+namespace {
+
+using workloads::Fig4Kernel;
+using workloads::Fig4Launch;
+
+double wall_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct EngineResult {
+  double best_ms = 0;
+  std::vector<std::vector<std::uint8_t>> buffers;  // from the last launch
+  bool ok = true;
+  std::string error;
+};
+
+EngineResult run_engine(const clc::Module& mod, const clc::FuncDecl& fn,
+                        const Fig4Kernel& k, clc::ExecEngine engine,
+                        int trials) {
+  EngineResult r;
+  r.best_ms = 1e100;
+  clc::LaunchOptions opts;
+  opts.engine = engine;
+  opts.max_threads = 1;
+  for (int t = 0; t < trials + 1; ++t) {  // +1: untimed warmup
+    Fig4Launch L = workloads::make_fig4_launch(k);
+    const auto t0 = std::chrono::steady_clock::now();
+    const clc::LaunchResult res =
+        clc::execute_ndrange(mod, fn, L.args, L.nd, opts);
+    const double ms = wall_ms(t0);
+    if (!res.ok) {
+      r.ok = false;
+      r.error = res.error;
+      return r;
+    }
+    if (t > 0 && ms < r.best_ms) r.best_ms = ms;
+    if (t == trials) r.buffers = std::move(L.buffers);
+  }
+  return r;
+}
+
+struct Row {
+  std::string workload;
+  std::string kernel;
+  double interp_ms = 0;
+  double vm_ms = 0;
+  double speedup = 0;
+  bool identical = false;
+  bool ok = false;
+  std::string error;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_out = nullptr;
+  int trials = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc)
+      json_out = argv[++i];
+    else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc)
+      trials = std::atoi(argv[++i]);
+  }
+  if (trials < 1) trials = 1;
+
+  std::vector<Row> rows;
+  for (const Fig4Kernel& k : workloads::fig4_kernels()) {
+    Row row;
+    row.workload = k.workload;
+    row.kernel = k.kernel;
+    clc::CompileResult res = clc::compile(k.source);
+    if (!res.ok()) {
+      row.error = "compile failed: " + res.diag.to_string();
+      rows.push_back(std::move(row));
+      continue;
+    }
+    const clc::FuncDecl* fn = res.module->find_func(k.kernel);
+    if (fn == nullptr) {
+      row.error = "kernel not found";
+      rows.push_back(std::move(row));
+      continue;
+    }
+    // Min-of-N is robust to one-sided noise but a burst of load can still
+    // land on every trial of one engine.  In smoke mode (where a spurious
+    // "VM lost" fails the gate), re-measure apparent losses and merge the
+    // per-engine minima — repeated minima converge to the quiet-machine
+    // cost, so only a genuine regression keeps losing.
+    const int attempts = smoke ? 3 : 1;
+    double interp_best = 1e100;
+    double vm_best = 1e100;
+    for (int att = 0; att < attempts; ++att) {
+      const EngineResult ri =
+          run_engine(*res.module, *fn, k, clc::ExecEngine::Interp, trials);
+      const EngineResult rv =
+          run_engine(*res.module, *fn, k, clc::ExecEngine::Vm, trials);
+      if (!ri.ok || !rv.ok) {
+        row.error = !ri.ok ? "interp: " + ri.error : "vm: " + rv.error;
+        row.ok = false;
+        break;
+      }
+      if (ri.best_ms < interp_best) interp_best = ri.best_ms;
+      if (rv.best_ms < vm_best) vm_best = rv.best_ms;
+      row.interp_ms = interp_best;
+      row.vm_ms = vm_best;
+      row.speedup = vm_best > 0 ? interp_best / vm_best : 0;
+      row.identical = ri.buffers == rv.buffers;
+      row.ok = true;
+      if (row.speedup > 1.0 && row.identical) break;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::string json = "{\n  \"kernels\": [\n";
+  double log_sum = 0;
+  int counted = 0;
+  bool all_identical = true;
+  bool all_faster = true;
+  bool all_ok = true;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buf[512];
+    if (r.ok) {
+      std::snprintf(buf, sizeof buf,
+                    "    {\"workload\": \"%s\", \"kernel\": \"%s\", "
+                    "\"interp_ms\": %.3f, \"vm_ms\": %.3f, "
+                    "\"speedup\": %.2f, \"identical\": %s}",
+                    r.workload.c_str(), r.kernel.c_str(), r.interp_ms,
+                    r.vm_ms, r.speedup, r.identical ? "true" : "false");
+      log_sum += std::log(r.speedup > 0 ? r.speedup : 1e-9);
+      ++counted;
+      all_identical = all_identical && r.identical;
+      all_faster = all_faster && r.speedup > 1.0;
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "    {\"workload\": \"%s\", \"kernel\": \"%s\", "
+                    "\"error\": \"%s\"}",
+                    r.workload.c_str(), r.kernel.c_str(), r.error.c_str());
+      all_ok = false;
+    }
+    json += buf;
+    json += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  const double geomean = counted > 0 ? std::exp(log_sum / counted) : 0;
+  char tail[128];
+  std::snprintf(tail, sizeof tail,
+                "  ],\n  \"geomean_speedup\": %.2f,\n  \"trials\": %d\n}\n",
+                geomean, trials);
+  json += tail;
+
+  std::fputs(json.c_str(), stdout);
+  if (json_out != nullptr) {
+    std::FILE* f = std::fopen(json_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "kernel_micro: cannot write %s\n", json_out);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+
+  if (smoke) {
+    if (!all_ok) {
+      std::fprintf(stderr, "smoke: some kernels failed to run\n");
+      return 1;
+    }
+    if (!all_identical) {
+      std::fprintf(stderr, "smoke: engine outputs not bit-identical\n");
+      return 1;
+    }
+    if (!all_faster) {
+      std::fprintf(stderr,
+                   "smoke: VM slower than the interpreter on some kernel\n");
+      return 1;
+    }
+    std::fprintf(stderr, "smoke: %d kernels, geomean speedup %.2fx, all "
+                         "bit-identical\n", counted, geomean);
+  }
+  return 0;
+}

@@ -24,6 +24,7 @@ constexpr const char* kSiteNames[kSiteCount] = {
     "slimcr-bit-flip",
     "exec-crash-between-waves",
     "exec-wave-fail",
+    "compile_cache_poison",
 };
 
 thread_local Actor t_actor = Actor::App;

@@ -58,8 +58,12 @@ enum class Site : std::uint8_t {
   // core/replay: the transactional restore executor.
   ExecCrashBetweenWaves,  // the proxy is lost at a wave boundary
   ExecWaveFail,           // the next recreated node fails with CL error (arg)
+  // simcl/progcache: the on-disk compile cache.
+  CompileCachePoison,  // a cached bytecode blob is corrupted on read: byte at
+                       // index `arg` is flipped (arg < 0 truncates) — the
+                       // cache must detect it and fall back to recompiling
 };
-inline constexpr std::size_t kSiteCount = 15;
+inline constexpr std::size_t kSiteCount = 16;
 
 [[nodiscard]] const char* site_name(Site s) noexcept;
 [[nodiscard]] Site site_from_name(std::string_view name) noexcept;  // None if unknown

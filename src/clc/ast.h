@@ -15,6 +15,7 @@
 namespace clc {
 
 struct FuncDecl;
+struct BytecodeModule;  // bytecode.h
 
 struct Expr {
   enum class K : std::uint8_t {
@@ -113,6 +114,10 @@ struct FuncDecl {
 struct Module {
   std::vector<StructDef> structs;
   std::vector<std::unique_ptr<FuncDecl>> funcs;
+  // Register bytecode, parallel to `funcs` by index; attached by
+  // clc::compile() and deserialize_module().  Null for hand-built modules —
+  // the NDRange engine falls back to the tree-walking interpreter then.
+  std::shared_ptr<const BytecodeModule> bc;
 
   [[nodiscard]] const FuncDecl* find_func(std::string_view name) const noexcept {
     for (const auto& f : funcs)

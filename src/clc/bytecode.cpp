@@ -1,0 +1,1067 @@
+#include "clc/bytecode.h"
+
+#include <cstring>
+#include <utility>
+
+#include "clc/builtins.h"
+#include "clc/interp.h"
+
+namespace clc {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// AST -> bytecode
+// ---------------------------------------------------------------------------
+
+class Compiler {
+ public:
+  explicit Compiler(const Module& mod) : mod_(mod) {
+    bc_.types.push_back(Type{});  // index 0: Void
+  }
+
+  std::shared_ptr<BytecodeModule> run() {
+    for (const auto& f : mod_.funcs) bc_.funcs.push_back(compile_func(*f));
+    return std::make_shared<BytecodeModule>(std::move(bc_));
+  }
+
+ private:
+  struct Loop {
+    std::vector<std::size_t> breaks;  // Jump insns to patch to loop end
+    std::vector<std::size_t> conts;   // Jump insns to patch to continue target
+  };
+
+  // -- pools ---------------------------------------------------------------
+
+  // True when evaluating `e` cannot write a variable slot or memory, so a
+  // slot-resident operand read before `e` (in the interpreter's
+  // left-to-right order) still holds the same value after it.  Conservative:
+  // calls, assignments and inc/dec — and anything containing them — are
+  // impure.
+  static bool pure_expr(const Expr& e) {
+    switch (e.k) {
+      case Expr::K::IntLit:
+      case Expr::K::FloatLit:
+      case Expr::K::VarRef:
+        return true;
+      case Expr::K::Unary:
+      case Expr::K::Cast:
+      case Expr::K::Member:
+        return pure_expr(*e.a);
+      case Expr::K::Binary:
+      case Expr::K::Index:
+        return pure_expr(*e.a) && pure_expr(*e.b);
+      case Expr::K::Cond:
+        return pure_expr(*e.a) && pure_expr(*e.b) && pure_expr(*e.c);
+      case Expr::K::VecLit:
+        for (const auto& a : e.args)
+          if (!pure_expr(*a)) return false;
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  // Operand peephole: a plain variable reference is already slot-resident,
+  // so ops that take arbitrary source registers can read the slot directly
+  // instead of paying a Move into a temp.  Only legal for an operand the
+  // consuming op reads immediately after its (virtual) evaluation point —
+  // the caller vouches that nothing impure runs in between.
+  std::uint16_t operand_reg(const Expr& e) {
+    if (e.k == Expr::K::VarRef) return static_cast<std::uint16_t>(e.slot);
+    const std::uint16_t t = push();
+    gen_expr(e, t);
+    return t;
+  }
+
+  // Conversion peephole: convert() to the value's own type is the identity
+  // (value.cpp returns `v` verbatim), so when the source register's static
+  // type already equals the target, a plain Move — or nothing at all when
+  // src == dst — is bit-identical to the Conv and skips the per-element
+  // conversion loop at run time.
+  void emit_conv(std::uint16_t dst, std::uint16_t src, const Type& from,
+                 const Type& to, std::int32_t line) {
+    if (from == to) {
+      if (dst != src) emit({BOp::Move, 0, dst, src, 0, 0, 0, line});
+      return;
+    }
+    emit({BOp::Conv, 0, dst, src, 0, type_idx(to), 0, line});
+  }
+
+  std::uint32_t type_idx(const Type& t) {
+    for (std::size_t i = 0; i < bc_.types.size(); ++i)
+      if (bc_.types[i] == t) return static_cast<std::uint32_t>(i);
+    bc_.types.push_back(t);
+    return static_cast<std::uint32_t>(bc_.types.size() - 1);
+  }
+
+  std::uint32_t const_idx(const Value& v) {
+    for (std::size_t i = 0; i < bc_.consts.size(); ++i)
+      if (bc_.consts[i].type == v.type &&
+          std::memcmp(bc_.consts[i].raw, v.raw, sizeof v.raw) == 0)
+        return static_cast<std::uint32_t>(i);
+    bc_.consts.push_back(v);
+    return static_cast<std::uint32_t>(bc_.consts.size() - 1);
+  }
+
+  std::uint32_t str_idx(std::string s) {
+    for (std::size_t i = 0; i < bc_.strings.size(); ++i)
+      if (bc_.strings[i] == s) return static_cast<std::uint32_t>(i);
+    bc_.strings.push_back(std::move(s));
+    return static_cast<std::uint32_t>(bc_.strings.size() - 1);
+  }
+
+  // -- registers -----------------------------------------------------------
+
+  std::uint16_t push() {
+    const std::uint32_t r = temp_top_++;
+    if (temp_top_ > max_regs_) max_regs_ = temp_top_;
+    if (temp_top_ > 0xFFFFu) overflow_ = true;
+    return static_cast<std::uint16_t>(r);
+  }
+
+  // -- emission ------------------------------------------------------------
+
+  std::size_t emit(BInsn i) {
+    code_.push_back(i);
+    return code_.size() - 1;
+  }
+  std::size_t emit_jump(BOp op, std::uint16_t a = 0, int line = 0) {
+    return emit({op, 0, a, 0, 0, 0, 0, line});
+  }
+  void patch(std::size_t at, std::size_t target) {
+    code_[at].imm = static_cast<std::uint32_t>(target);
+  }
+  std::size_t here() const { return code_.size(); }
+
+  void emit_fail(std::string msg, int line) {
+    emit({BOp::Fail, 0, 0, 0, 0, 0, str_idx(std::move(msg)), line});
+  }
+
+  // -- function ------------------------------------------------------------
+
+  BcFunc compile_func(const FuncDecl& fn) {
+    code_.clear();
+    loops_.clear();
+    temp_top_ = static_cast<std::uint32_t>(fn.num_slots);
+    max_regs_ = temp_top_;
+    overflow_ = false;
+
+    if (fn.body) gen_stmt(*fn.body);
+
+    // Epilogue: falling off the end (including stray break/continue, which
+    // the interpreter lets bubble out of the body) is a plain return for
+    // void functions and the interpreter's missing-return fault otherwise.
+    const std::size_t epilogue = here();
+    for (std::size_t at : stray_) patch(at, epilogue);
+    stray_.clear();
+    if (fn.ret.kind == Kind::Void) {
+      emit({BOp::RetVoid, 0, 0, 0, 0, 0, 0, 0});
+    } else {
+      emit_fail("function '" + fn.name + "' did not return a value", 0);
+    }
+
+    BcFunc out;
+    if (overflow_) {
+      // Practically unreachable: a function needing >64k registers.  Keep
+      // the promise that corrupt code is never executed by replacing the
+      // body with a fault.
+      code_.clear();
+      emit_fail("function '" + fn.name + "' too large for bytecode", 0);
+      out.num_regs = static_cast<std::uint32_t>(fn.num_slots) + 1;
+    } else {
+      out.num_regs = max_regs_;
+    }
+    out.code = std::move(code_);
+    return out;
+  }
+
+  // -- statements ----------------------------------------------------------
+
+  void gen_stmt(const Stmt& s) {
+    switch (s.k) {
+      case Stmt::K::ExprStmt:
+        if (s.e) {
+          const std::uint32_t mark = temp_top_;
+          const std::uint16_t t = push();
+          gen_expr(*s.e, t);
+          temp_top_ = mark;
+        }
+        return;
+
+      case Stmt::K::Decl:
+        gen_decl(s);
+        return;
+
+      case Stmt::K::Block:
+        for (const auto& st : s.body) gen_stmt(*st);
+        return;
+
+      case Stmt::K::If: {
+        const std::uint32_t mark = temp_top_;
+        const std::uint16_t c = push();
+        gen_expr(*s.e, c);
+        const std::size_t jz = emit_jump(BOp::Jz, c, s.line);
+        temp_top_ = mark;
+        gen_stmt(*s.then_s);
+        if (s.else_s) {
+          const std::size_t jend = emit_jump(BOp::Jump);
+          patch(jz, here());
+          gen_stmt(*s.else_s);
+          patch(jend, here());
+        } else {
+          patch(jz, here());
+        }
+        return;
+      }
+
+      case Stmt::K::While: {
+        const std::size_t top = here();
+        const std::uint32_t mark = temp_top_;
+        const std::uint16_t c = push();
+        gen_expr(*s.e, c);
+        const std::size_t jz = emit_jump(BOp::Jz, c, s.line);
+        temp_top_ = mark;
+        loops_.emplace_back();
+        gen_stmt(*s.then_s);
+        patch(emit_jump(BOp::Jump), top);
+        close_loop(here(), top);
+        patch(jz, here());
+        return;
+      }
+
+      case Stmt::K::DoWhile: {
+        const std::size_t top = here();
+        loops_.emplace_back();
+        gen_stmt(*s.then_s);
+        const std::size_t cond_at = here();
+        const std::uint32_t mark = temp_top_;
+        const std::uint16_t c = push();
+        gen_expr(*s.e, c);
+        emit({BOp::Jnz, 0, c, 0, 0, 0, static_cast<std::uint32_t>(top), s.line});
+        temp_top_ = mark;
+        close_loop(here(), cond_at);
+        return;
+      }
+
+      case Stmt::K::For: {
+        if (s.init) gen_stmt(*s.init);
+        const std::size_t top = here();
+        std::size_t jz = SIZE_MAX;
+        if (s.e) {
+          const std::uint32_t mark = temp_top_;
+          const std::uint16_t c = push();
+          gen_expr(*s.e, c);
+          jz = emit_jump(BOp::Jz, c, s.line);
+          temp_top_ = mark;
+        }
+        loops_.emplace_back();
+        gen_stmt(*s.then_s);
+        const std::size_t inc_at = here();
+        if (s.inc) {
+          const std::uint32_t mark = temp_top_;
+          const std::uint16_t t = push();
+          gen_expr(*s.inc, t);
+          temp_top_ = mark;
+        }
+        patch(emit_jump(BOp::Jump), top);
+        close_loop(here(), inc_at);
+        if (jz != SIZE_MAX) patch(jz, here());
+        return;
+      }
+
+      case Stmt::K::Return:
+        if (s.e) {
+          const std::uint32_t mark = temp_top_;
+          const std::uint16_t t = push();
+          gen_expr(*s.e, t);
+          emit({BOp::Ret, 0, t, 0, 0, 0, 0, s.line});
+          temp_top_ = mark;
+        } else {
+          emit({BOp::RetVoid, 0, 0, 0, 0, 0, 0, s.line});
+        }
+        return;
+
+      case Stmt::K::Break:
+        if (loops_.empty())
+          stray_.push_back(emit_jump(BOp::Jump));
+        else
+          loops_.back().breaks.push_back(emit_jump(BOp::Jump));
+        return;
+
+      case Stmt::K::Continue:
+        if (loops_.empty())
+          stray_.push_back(emit_jump(BOp::Jump));
+        else
+          loops_.back().conts.push_back(emit_jump(BOp::Jump));
+        return;
+    }
+  }
+
+  void close_loop(std::size_t break_target, std::size_t cont_target) {
+    Loop l = std::move(loops_.back());
+    loops_.pop_back();
+    for (std::size_t at : l.breaks) patch(at, break_target);
+    for (std::size_t at : l.conts) patch(at, cont_target);
+  }
+
+  void gen_decl(const Stmt& s) {
+    const auto slot = static_cast<std::uint16_t>(s.slot);
+    if (s.local_id >= 0) {
+      emit({BOp::LocalPtr, 0, slot, 0, 0, type_idx(local_ptr_type(s.decl_type)),
+            static_cast<std::uint32_t>(s.local_offset), s.line});
+      return;
+    }
+    if (s.array_len > 0) {
+      const std::size_t sz = size_of(s.decl_type, mod_.structs) *
+                             static_cast<std::size_t>(s.array_len);
+      const Type pt =
+          s.decl_type.kind == Kind::Struct
+              ? make_ptr(Kind::Struct, 1, AddrSpace::Private, s.decl_type.struct_id)
+              : make_ptr(s.decl_type.kind, s.decl_type.vec, AddrSpace::Private);
+      emit({BOp::Alloca, 0, slot, 0, 0, type_idx(pt),
+            static_cast<std::uint32_t>(sz), s.line});
+      return;
+    }
+    if (s.decl_type.kind == Kind::Struct) {
+      const std::size_t sz = size_of(s.decl_type, mod_.structs);
+      emit({BOp::Alloca, 0, slot, 0, 0, type_idx(s.decl_type),
+            static_cast<std::uint32_t>(sz), s.line});
+      if (s.e) {
+        const std::uint32_t mark = temp_top_;
+        const std::uint16_t t = push();
+        gen_expr(*s.e, t);
+        emit({BOp::CopyMem, 0, slot, t, 0, 0, static_cast<std::uint32_t>(sz),
+              s.line});
+        temp_top_ = mark;
+      }
+      return;
+    }
+    emit({BOp::ZeroInit, 0, slot, 0, 0, type_idx(s.decl_type), 0, s.line});
+    if (s.e) {
+      const std::uint32_t mark = temp_top_;
+      const std::uint16_t t = push();
+      gen_expr(*s.e, t);
+      emit_conv(slot, t, s.e->type, s.decl_type, s.line);
+      temp_top_ = mark;
+    }
+  }
+
+  // -- lvalues -------------------------------------------------------------
+
+  // Emits code leaving the lvalue's address (a pointer Value) in a fresh
+  // temp; returns {temp, value type at that address} — the static analogue of
+  // Interp::lvalue.
+  std::pair<std::uint16_t, Type> gen_addr(const Expr& e) {
+    switch (e.k) {
+      case Expr::K::VarRef: {
+        const std::uint16_t t = push();
+        const auto slot = static_cast<std::uint16_t>(e.slot);
+        if (e.type.kind == Kind::Struct)
+          emit({BOp::AddrOf, 0, t, slot, 0, type_idx(e.type), 0, e.line});
+        else
+          emit({BOp::AddrSlot, 0, t, slot, 0, type_idx(e.type), 0, e.line});
+        return {t, e.type};
+      }
+      case Expr::K::Index: {
+        const std::uint16_t base = push();
+        std::uint16_t pbase = base;
+        // A pointer-typed variable base can be read straight from its slot
+        // when the index is pure (nothing can rebind the slot before the
+        // AddrIndex consumes it); the index itself is consumed immediately.
+        if (e.a->k == Expr::K::VarRef && e.a->type.kind == Kind::Pointer &&
+            pure_expr(*e.b))
+          pbase = static_cast<std::uint16_t>(e.a->slot);
+        else
+          gen_expr(*e.a, base);
+        const std::uint32_t mark = temp_top_;
+        const std::uint16_t idx = operand_reg(*e.b);
+        emit({BOp::AddrIndex, 0, base, pbase, idx, type_idx(e.type),
+              static_cast<std::uint32_t>(ptr_stride(e.a->type, mod_.structs)),
+              e.line});
+        temp_top_ = mark;
+        return {base, e.type};
+      }
+      case Expr::K::Member: {
+        auto [base, bt] = gen_addr(*e.a);
+        if (e.member_index >= 0) {
+          const auto& sd = mod_.structs[static_cast<std::size_t>(bt.struct_id)];
+          const auto& fld = sd.fields[static_cast<std::size_t>(e.member_index)];
+          emit({BOp::AddrOff, 0, base, base, 0, type_idx(fld.type),
+                static_cast<std::uint32_t>(fld.offset), e.line});
+          return {base, fld.type};
+        }
+        if (e.swizzle_len != 1) {
+          emit_fail("cannot assign to a multi-component swizzle", e.line);
+          return {base, e.type};
+        }
+        emit({BOp::AddrOff, 0, base, base, 0, type_idx(e.type),
+              static_cast<std::uint32_t>(e.swizzle[0] * scalar_size(bt.kind)),
+              e.line});
+        return {base, e.type};
+      }
+      case Expr::K::Unary:
+        if (e.op == Tok::Star) {
+          const std::uint16_t t = push();
+          gen_expr(*e.a, t);
+          emit({BOp::CheckNull, 0, t, 0, 0, 0,
+                str_idx("null pointer dereference"), e.line});
+          return {t, e.type};
+        }
+        break;
+      default:
+        break;
+    }
+    emit_fail("expression is not an lvalue", e.line);
+    return {push(), e.type};
+  }
+
+  // -- expressions ---------------------------------------------------------
+
+  // Emits code computing e into register dst.  Temps allocated internally
+  // are released before returning.
+  void gen_expr(const Expr& e, std::uint16_t dst) {
+    const std::uint32_t mark = temp_top_;
+    gen_expr_inner(e, dst);
+    temp_top_ = mark;
+  }
+
+  void gen_expr_inner(const Expr& e, std::uint16_t dst) {
+    switch (e.k) {
+      case Expr::K::IntLit: {
+        Value v(e.type);
+        v.set_elem_i(0, static_cast<std::int64_t>(e.int_val));
+        emit({BOp::Const, 0, dst, 0, 0, 0, const_idx(v), e.line});
+        return;
+      }
+      case Expr::K::FloatLit: {
+        Value v(e.type);
+        v.set_elem_f(0, e.float_val);
+        emit({BOp::Const, 0, dst, 0, 0, 0, const_idx(v), e.line});
+        return;
+      }
+      case Expr::K::VarRef:
+        emit({BOp::Move, 0, dst, static_cast<std::uint16_t>(e.slot), 0, 0, 0,
+              e.line});
+        return;
+
+      case Expr::K::Binary: {
+        if (e.op == Tok::AmpAmp || e.op == Tok::PipePipe) {
+          gen_expr(*e.a, dst);
+          const std::size_t jshort = emit_jump(
+              e.op == Tok::AmpAmp ? BOp::Jz : BOp::Jnz, dst, e.line);
+          gen_expr(*e.b, dst);
+          emit({BOp::Truthy, 0, dst, dst, 0, 0, 0, e.line});
+          const std::size_t jend = emit_jump(BOp::Jump);
+          patch(jshort, here());
+          emit({BOp::Const, 0, dst, 0, 0, 0,
+                const_idx(Value::of_i32(e.op == Tok::AmpAmp ? 0 : 1)), e.line});
+          patch(jend, here());
+          return;
+        }
+        // Both operands may come straight from variable slots: the rhs is
+        // consumed immediately, and the lhs slot is only reused when the rhs
+        // is pure (so its value at Bin time equals its value at the lhs's
+        // left-to-right evaluation point).
+        std::uint16_t ra = dst;
+        if (e.a->k == Expr::K::VarRef && pure_expr(*e.b))
+          ra = static_cast<std::uint16_t>(e.a->slot);
+        else
+          gen_expr(*e.a, dst);
+        const std::uint16_t rb = operand_reg(*e.b);
+        emit({BOp::Bin, static_cast<std::uint8_t>(e.op), dst, ra, rb,
+              type_idx(e.type), 0, e.line});
+        return;
+      }
+
+      case Expr::K::Unary:
+        switch (e.op) {
+          case Tok::Minus:
+            gen_expr(*e.a, dst);
+            emit({BOp::Neg, 0, dst, dst, 0, type_idx(e.type), 0, e.line});
+            return;
+          case Tok::Bang:
+            gen_expr(*e.a, dst);
+            emit({BOp::Not, 0, dst, dst, 0, 0, 0, e.line});
+            return;
+          case Tok::Tilde:
+            gen_expr(*e.a, dst);
+            emit({BOp::BitNot, 0, dst, dst, 0, type_idx(e.type), 0, e.line});
+            return;
+          case Tok::Star:
+            gen_expr(*e.a, dst);
+            emit({BOp::CheckNull, 0, dst, 0, 0, 0,
+                  str_idx("null pointer dereference"), e.line});
+            emit({BOp::Load, 0, dst, dst, 0, type_idx(e.type), 0, e.line});
+            return;
+          case Tok::Amp: {
+            const auto [addr, lt] = gen_addr(*e.a);
+            (void)lt;
+            emit({BOp::AddrOf, 0, dst, addr, 0, type_idx(e.type), 0, e.line});
+            return;
+          }
+          default:
+            emit_fail("bad unary operator", e.line);
+            return;
+        }
+
+      case Expr::K::Assign: {
+        const auto [addr, lt] = gen_addr(*e.a);
+        gen_expr(*e.b, dst);
+        if (e.op != Tok::Assign) {
+          Tok base_op = Tok::End;
+          switch (e.op) {
+            case Tok::PlusAssign: base_op = Tok::Plus; break;
+            case Tok::MinusAssign: base_op = Tok::Minus; break;
+            case Tok::StarAssign: base_op = Tok::Star; break;
+            case Tok::SlashAssign: base_op = Tok::Slash; break;
+            case Tok::PercentAssign: base_op = Tok::Percent; break;
+            case Tok::AmpAssign: base_op = Tok::Amp; break;
+            case Tok::PipeAssign: base_op = Tok::Pipe; break;
+            case Tok::CaretAssign: base_op = Tok::Caret; break;
+            case Tok::ShlAssign: base_op = Tok::Shl; break;
+            case Tok::ShrAssign: base_op = Tok::Shr; break;
+            default: emit_fail("bad compound assignment", e.line); return;
+          }
+          const std::uint16_t cur = push();
+          emit({BOp::Load, 0, cur, addr, 0, type_idx(lt), 0, e.line});
+          emit({BOp::Bin, static_cast<std::uint8_t>(base_op), dst, cur, dst,
+                type_idx(lt), 0, e.line});
+        }
+        if (lt.kind == Kind::Struct) {
+          emit({BOp::CopyMem, 0, addr, dst, 0, 0,
+                static_cast<std::uint32_t>(size_of(lt, mod_.structs)), e.line});
+          return;  // result is the (unconverted) rhs, already in dst
+        }
+        if (lt.kind != Kind::Pointer) {
+          // A compound op's Bin already produced exactly `lt` (binary_op's
+          // arithmetic path returns the requested result type), so its Conv
+          // is the identity — unless the rhs dragged in pointer arithmetic,
+          // which yields a pointer regardless of the result type.
+          if (e.op == Tok::Assign)
+            emit_conv(dst, dst, e.b->type, lt, e.line);
+          else if (e.b->type.kind == Kind::Pointer)
+            emit({BOp::Conv, 0, dst, dst, 0, type_idx(lt), 0, e.line});
+        }
+        emit({BOp::Store, 0, addr, dst, 0, 0, 0, e.line});
+        return;
+      }
+
+      case Expr::K::Cond: {
+        gen_expr(*e.a, dst);
+        const std::size_t jz = emit_jump(BOp::Jz, dst, e.line);
+        gen_expr(*e.b, dst);
+        emit_conv(dst, dst, e.b->type, e.type, e.line);
+        const std::size_t jend = emit_jump(BOp::Jump);
+        patch(jz, here());
+        gen_expr(*e.c, dst);
+        emit_conv(dst, dst, e.c->type, e.type, e.line);
+        patch(jend, here());
+        return;
+      }
+
+      case Expr::K::Call: {
+        const auto n = static_cast<std::uint16_t>(e.args.size());
+        const std::uint16_t w = static_cast<std::uint16_t>(temp_top_);
+        for (const auto& a : e.args) {
+          const std::uint16_t r = push();
+          gen_expr(*a, r);
+        }
+        if (e.callee != nullptr) {
+          for (std::size_t i = 0; i < e.args.size(); ++i) {
+            const Type& pt = e.callee->params[i].type;
+            if (pt.kind != Kind::Pointer && pt.kind != Kind::Struct &&
+                pt.kind != Kind::Image2D && pt.kind != Kind::Image3D &&
+                pt.kind != Kind::Sampler)
+              emit_conv(static_cast<std::uint16_t>(w + i),
+                        static_cast<std::uint16_t>(w + i), e.args[i]->type,
+                        pt, e.line);
+          }
+          const int fidx = func_index(mod_, *e.callee);
+          emit({BOp::CallUser, 0, dst, w, n, 0,
+                static_cast<std::uint32_t>(fidx), e.line});
+        } else {
+          emit({BOp::CallBuiltin, 0, dst, w, n, 0,
+                static_cast<std::uint32_t>(e.builtin_id), e.line});
+        }
+        return;
+      }
+
+      case Expr::K::Index: {
+        const auto [addr, lt] = gen_addr(e);
+        emit({BOp::Load, 0, dst, addr, 0, type_idx(lt), 0, e.line});
+        return;
+      }
+
+      case Expr::K::Member: {
+        if (e.member_index >= 0) {
+          const auto [addr, lt] = gen_addr(e);
+          emit({BOp::Load, 0, dst, addr, 0, type_idx(lt), 0, e.line});
+          return;
+        }
+        gen_expr(*e.a, dst);
+        std::uint32_t lanes = 0;
+        for (unsigned i = 0; i < e.swizzle_len; ++i)
+          lanes |= static_cast<std::uint32_t>(e.swizzle[i]) << (8 * i);
+        emit({BOp::Swizzle, e.swizzle_len, dst, dst, 0, type_idx(e.type),
+              lanes, e.line});
+        return;
+      }
+
+      case Expr::K::Cast:
+        gen_expr(*e.a, dst);
+        emit_conv(dst, dst, e.a->type, e.type, e.line);
+        return;
+
+      case Expr::K::VecLit: {
+        if (e.args.size() == 1 && e.args[0]->type.vec == 1) {
+          gen_expr(*e.args[0], dst);
+          emit({BOp::Splat, 0, dst, dst, 0, type_idx(e.type), 0, e.line});
+          return;
+        }
+        const auto n = static_cast<std::uint16_t>(e.args.size());
+        const std::uint16_t w = static_cast<std::uint16_t>(temp_top_);
+        for (const auto& a : e.args) {
+          const std::uint16_t r = push();
+          gen_expr(*a, r);
+        }
+        emit({BOp::BuildVec, 0, dst, w, n, type_idx(e.type), 0, e.line});
+        return;
+      }
+
+      case Expr::K::PreIncDec:
+      case Expr::K::PostIncDec: {
+        const auto [addr, lt] = gen_addr(*e.a);
+        const std::uint16_t cur = push();
+        emit({BOp::Load, 0, cur, addr, 0, type_idx(lt), 0, e.line});
+        Value one;
+        if (lt.kind == Kind::Pointer) {
+          one = Value::of_i32(1);
+        } else {
+          one = Value(lt);
+          if (is_float(lt.kind)) one.set_elem_f(0, 1.0);
+          else one.set_elem_i(0, 1);
+        }
+        const std::uint16_t tmp = push();
+        emit({BOp::Const, 0, tmp, 0, 0, 0, const_idx(one), e.line});
+        emit({BOp::Bin, static_cast<std::uint8_t>(e.op), dst, cur, tmp,
+              type_idx(lt), 0, e.line});
+        // For non-pointers, Bin(cur, one) with result type `lt` and
+        // non-pointer operands already produced exactly `lt`, so the old
+        // re-convert before the store was the identity; pointers store the
+        // stepped pointer unconverted.  Either way: store the Bin result.
+        emit({BOp::Store, 0, addr, dst, 0, 0, 0, e.line});
+        if (e.k == Expr::K::PostIncDec)
+          emit({BOp::Move, 0, dst, cur, 0, 0, 0, e.line});
+        return;
+      }
+    }
+    emit_fail("unhandled expression", e.line);
+  }
+
+  const Module& mod_;
+  BytecodeModule bc_;
+  std::vector<BInsn> code_;
+  std::vector<Loop> loops_;
+  std::vector<std::size_t> stray_;  // break/continue outside any loop
+  std::uint32_t temp_top_ = 0;
+  std::uint32_t max_regs_ = 0;
+  bool overflow_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// serialization
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kMagic = 0x43424C43u;  // "CLBC" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct Writer {
+  std::vector<std::uint8_t> buf;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf.insert(buf.end(), b, b + n);
+  }
+  void u8(std::uint8_t v) { buf.push_back(v); }
+  void u16(std::uint16_t v) { bytes(&v, sizeof v); }
+  void u32(std::uint32_t v) { bytes(&v, sizeof v); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i32(std::int32_t v) { bytes(&v, sizeof v); }
+  void i64(std::int64_t v) { bytes(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+  void type(const Type& t) {
+    u8(static_cast<std::uint8_t>(t.kind));
+    u8(t.vec);
+    u8(static_cast<std::uint8_t>(t.as));
+    i32(t.struct_id);
+    u8(static_cast<std::uint8_t>(t.elem_kind));
+    u8(t.elem_vec);
+  }
+  void value(const Value& v) {
+    type(v.type);
+    bytes(v.raw, sizeof v.raw);
+  }
+};
+
+struct Reader {
+  std::span<const std::uint8_t> in;
+  std::size_t pos = 0;
+  bool fail = false;
+
+  bool need(std::size_t n) {
+    if (in.size() - pos < n) {
+      fail = true;
+      return false;
+    }
+    return true;
+  }
+  void bytes(void* p, std::size_t n) {
+    if (!need(n)) {
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, in.data() + pos, n);
+    pos += n;
+  }
+  std::uint8_t u8() { std::uint8_t v = 0; bytes(&v, 1); return v; }
+  std::uint16_t u16() { std::uint16_t v = 0; bytes(&v, sizeof v); return v; }
+  std::uint32_t u32() { std::uint32_t v = 0; bytes(&v, sizeof v); return v; }
+  std::uint64_t u64() { std::uint64_t v = 0; bytes(&v, sizeof v); return v; }
+  std::int32_t i32() { std::int32_t v = 0; bytes(&v, sizeof v); return v; }
+  std::int64_t i64() { std::int64_t v = 0; bytes(&v, sizeof v); return v; }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!need(n)) return {};
+    std::string s(reinterpret_cast<const char*>(in.data() + pos), n);
+    pos += n;
+    return s;
+  }
+  Type type() {
+    Type t;
+    t.kind = static_cast<Kind>(u8());
+    t.vec = u8();
+    t.as = static_cast<AddrSpace>(u8());
+    const std::int32_t sid = i32();
+    t.struct_id = static_cast<std::int16_t>(sid);
+    t.elem_kind = static_cast<Kind>(u8());
+    t.elem_vec = u8();
+    if (static_cast<std::uint8_t>(t.kind) > static_cast<std::uint8_t>(Kind::Sampler) ||
+        static_cast<std::uint8_t>(t.elem_kind) > static_cast<std::uint8_t>(Kind::Sampler) ||
+        static_cast<std::uint8_t>(t.as) > static_cast<std::uint8_t>(AddrSpace::Constant) ||
+        t.vec == 0 || t.vec > 4 || t.elem_vec == 0 || t.elem_vec > 4 ||
+        sid < -1 || sid > INT16_MAX)
+      fail = true;
+    return t;
+  }
+  Value value() {
+    Value v(type());
+    bytes(v.raw, sizeof v.raw);
+    return v;
+  }
+};
+
+// A hard cap on element counts so a corrupt length field cannot trigger a
+// multi-gigabyte allocation before the checksum would have caught it.
+constexpr std::uint32_t kMaxCount = 1u << 22;
+
+bool count_ok(Reader& r, std::uint32_t n) {
+  if (n > kMaxCount) {
+    r.fail = true;
+    return false;
+  }
+  return true;
+}
+
+// Post-load structural validation of one function's code: every register,
+// pool index, jump target, and callee index must be in range.  This is what
+// lets the VM dispatch without per-instruction bounds checks even on
+// deserialized (cache-loaded) modules.
+bool validate_code(const BcFunc& f, const BytecodeModule& bc,
+                   std::size_t nfuncs, std::string* error) {
+  const auto bad = [&](const char* what) {
+    if (error) *error = std::string("bytecode validation failed: ") + what;
+    return false;
+  };
+  const std::uint32_t nr = f.num_regs;
+  if (nr == 0 || nr > 0x10000u) return bad("register count");
+  const std::size_t ni = f.code.size();
+  for (const BInsn& I : f.code) {
+    if (I.op > BOp::Fail) return bad("opcode");
+    if (I.a >= nr || I.b >= nr) return bad("register index");
+    if (I.ty >= bc.types.size()) return bad("type index");
+    switch (I.op) {
+      case BOp::Bin:
+      case BOp::AddrIndex:
+        if (I.c >= nr) return bad("register index");
+        break;
+      case BOp::Const:
+        if (I.imm >= bc.consts.size()) return bad("constant index");
+        break;
+      case BOp::CheckNull:
+      case BOp::Fail:
+        if (I.imm >= bc.strings.size()) return bad("string index");
+        break;
+      case BOp::Jump:
+      case BOp::Jz:
+      case BOp::Jnz:
+        if (I.imm >= ni) return bad("jump target");
+        break;
+      case BOp::CallUser:
+        if (I.imm >= nfuncs) return bad("callee index");
+        if (static_cast<std::uint32_t>(I.b) + I.c > nr) return bad("call window");
+        break;
+      case BOp::CallBuiltin:
+        if (I.imm > static_cast<std::uint32_t>(Builtin::GetImageHeight))
+          return bad("builtin index");
+        if (static_cast<std::uint32_t>(I.b) + I.c > nr) return bad("call window");
+        break;
+      case BOp::BuildVec:
+        if (static_cast<std::uint32_t>(I.b) + I.c > nr) return bad("vec window");
+        break;
+      default:
+        break;
+    }
+  }
+  // Execution must never run past the end of the stream.
+  if (ni == 0 || (f.code.back().op != BOp::Ret &&
+                  f.code.back().op != BOp::RetVoid &&
+                  f.code.back().op != BOp::Fail &&
+                  f.code.back().op != BOp::Jump))
+    return bad("missing terminator");
+  return true;
+}
+
+}  // namespace
+
+std::shared_ptr<const BytecodeModule> compile_bytecode(const Module& mod) {
+  return Compiler(mod).run();
+}
+
+std::vector<std::uint8_t> serialize_module(const Module& mod) {
+  std::shared_ptr<const BytecodeModule> bc = mod.bc;
+  if (!bc) bc = compile_bytecode(mod);
+
+  Writer w;
+  // -- structs
+  w.u32(static_cast<std::uint32_t>(mod.structs.size()));
+  for (const StructDef& sd : mod.structs) {
+    w.str(sd.name);
+    w.u32(static_cast<std::uint32_t>(sd.fields.size()));
+    for (const StructField& fl : sd.fields) {
+      w.str(fl.name);
+      w.type(fl.type);
+      w.u64(fl.offset);
+    }
+    w.u64(sd.size);
+    w.u64(sd.align);
+  }
+  // -- function metadata
+  w.u32(static_cast<std::uint32_t>(mod.funcs.size()));
+  for (const auto& f : mod.funcs) {
+    w.str(f->name);
+    w.type(f->ret);
+    w.u32(static_cast<std::uint32_t>(f->params.size()));
+    for (const ParamInfo& p : f->params) {
+      w.str(p.name);
+      w.type(p.type);
+      w.i32(p.slot);
+      w.u8(p.is_handle ? 1 : 0);
+      w.u8(p.is_local_ptr ? 1 : 0);
+    }
+    w.u8(f->is_kernel ? 1 : 0);
+    w.u8(f->uses_barrier ? 1 : 0);
+    w.i32(f->num_slots);
+    w.u32(static_cast<std::uint32_t>(f->locals.size()));
+    for (const LocalDecl& l : f->locals) {
+      w.type(l.type);
+      w.i64(l.array_len);
+      w.u64(l.offset);
+    }
+    w.u64(f->local_mem_bytes);
+  }
+  // -- bytecode pools
+  w.u32(static_cast<std::uint32_t>(bc->types.size()));
+  for (const Type& t : bc->types) w.type(t);
+  w.u32(static_cast<std::uint32_t>(bc->consts.size()));
+  for (const Value& v : bc->consts) w.value(v);
+  w.u32(static_cast<std::uint32_t>(bc->strings.size()));
+  for (const std::string& s : bc->strings) w.str(s);
+  w.u32(static_cast<std::uint32_t>(bc->funcs.size()));
+  for (const BcFunc& f : bc->funcs) {
+    w.u32(f.num_regs);
+    w.u32(static_cast<std::uint32_t>(f.code.size()));
+    for (const BInsn& I : f.code) {
+      w.u8(static_cast<std::uint8_t>(I.op));
+      w.u8(I.aux);
+      w.u16(I.a);
+      w.u16(I.b);
+      w.u16(I.c);
+      w.u32(I.ty);
+      w.u32(I.imm);
+      w.i32(I.line);
+    }
+  }
+
+  Writer out;
+  out.u32(kMagic);
+  out.u32(kVersion);
+  out.u64(w.buf.size());
+  out.u64(fnv1a(w.buf.data(), w.buf.size()));
+  out.buf.insert(out.buf.end(), w.buf.begin(), w.buf.end());
+  return std::move(out.buf);
+}
+
+std::shared_ptr<const Module> deserialize_module(
+    std::span<const std::uint8_t> bytes, std::string* error) {
+  const auto bad = [&](const char* why) -> std::shared_ptr<const Module> {
+    if (error) *error = why;
+    return nullptr;
+  };
+
+  Reader hdr{bytes};
+  const std::uint32_t magic = hdr.u32();
+  const std::uint32_t version = hdr.u32();
+  const std::uint64_t payload_size = hdr.u64();
+  const std::uint64_t checksum = hdr.u64();
+  if (hdr.fail || magic != kMagic) return bad("bad magic");
+  if (version != kVersion) return bad("unsupported version");
+  if (bytes.size() - hdr.pos != payload_size) return bad("size mismatch");
+  const std::uint8_t* payload = bytes.data() + hdr.pos;
+  if (fnv1a(payload, payload_size) != checksum) return bad("checksum mismatch");
+
+  Reader r{{payload, payload_size}};
+  auto mod = std::make_shared<Module>();
+
+  // -- structs
+  const std::uint32_t nstructs = r.u32();
+  if (!count_ok(r, nstructs)) return bad("struct count");
+  mod->structs.resize(nstructs);
+  for (StructDef& sd : mod->structs) {
+    sd.name = r.str();
+    const std::uint32_t nf = r.u32();
+    if (!count_ok(r, nf)) return bad("field count");
+    sd.fields.resize(nf);
+    for (StructField& fl : sd.fields) {
+      fl.name = r.str();
+      fl.type = r.type();
+      fl.offset = r.u64();
+    }
+    sd.size = r.u64();
+    sd.align = r.u64();
+  }
+  // -- function metadata
+  const std::uint32_t nfuncs = r.u32();
+  if (!count_ok(r, nfuncs)) return bad("function count");
+  for (std::uint32_t i = 0; i < nfuncs; ++i) {
+    auto f = std::make_unique<FuncDecl>();
+    f->name = r.str();
+    f->ret = r.type();
+    const std::uint32_t np = r.u32();
+    if (!count_ok(r, np)) return bad("param count");
+    f->params.resize(np);
+    for (ParamInfo& p : f->params) {
+      p.name = r.str();
+      p.type = r.type();
+      p.slot = r.i32();
+      p.is_handle = r.u8() != 0;
+      p.is_local_ptr = r.u8() != 0;
+    }
+    f->is_kernel = r.u8() != 0;
+    f->uses_barrier = r.u8() != 0;
+    f->num_slots = r.i32();
+    const std::uint32_t nl = r.u32();
+    if (!count_ok(r, nl)) return bad("local count");
+    f->locals.resize(nl);
+    for (LocalDecl& l : f->locals) {
+      l.type = r.type();
+      l.array_len = r.i64();
+      l.offset = r.u64();
+    }
+    f->local_mem_bytes = r.u64();
+    if (f->num_slots < 0 || f->num_slots > static_cast<int>(kMaxCount))
+      return bad("slot count");
+    for (const ParamInfo& p : f->params)
+      if (p.slot < 0 || p.slot >= f->num_slots) return bad("param slot");
+    mod->funcs.push_back(std::move(f));
+  }
+  // -- bytecode pools
+  auto bc = std::make_shared<BytecodeModule>();
+  const std::uint32_t ntypes = r.u32();
+  if (!count_ok(r, ntypes) || ntypes == 0) return bad("type pool");
+  bc->types.resize(ntypes);
+  for (Type& t : bc->types) t = r.type();
+  const std::uint32_t nconsts = r.u32();
+  if (!count_ok(r, nconsts)) return bad("const pool");
+  bc->consts.resize(nconsts);
+  for (Value& v : bc->consts) v = r.value();
+  const std::uint32_t nstrings = r.u32();
+  if (!count_ok(r, nstrings)) return bad("string pool");
+  bc->strings.resize(nstrings);
+  for (std::string& s : bc->strings) s = r.str();
+  const std::uint32_t nbcfuncs = r.u32();
+  if (nbcfuncs != nfuncs) return bad("function table mismatch");
+  bc->funcs.resize(nbcfuncs);
+  for (BcFunc& f : bc->funcs) {
+    f.num_regs = r.u32();
+    const std::uint32_t ni = r.u32();
+    if (!count_ok(r, ni)) return bad("instruction count");
+    f.code.resize(ni);
+    for (BInsn& I : f.code) {
+      I.op = static_cast<BOp>(r.u8());
+      I.aux = r.u8();
+      I.a = r.u16();
+      I.b = r.u16();
+      I.c = r.u16();
+      I.ty = r.u32();
+      I.imm = r.u32();
+      I.line = r.i32();
+    }
+  }
+  if (r.fail) return bad("truncated payload");
+  if (r.pos != payload_size) return bad("trailing bytes");
+
+  // Structural validation: struct ids inside every type, then per-function
+  // register/pool/jump ranges.
+  const auto sid_ok = [&](const Type& t) {
+    return t.struct_id < static_cast<std::int32_t>(mod->structs.size());
+  };
+  for (const Type& t : bc->types)
+    if (!sid_ok(t)) return bad("struct index");
+  for (const Value& v : bc->consts)
+    if (!sid_ok(v.type)) return bad("struct index");
+  for (const StructDef& sd : mod->structs)
+    for (const StructField& fl : sd.fields)
+      if (!sid_ok(fl.type)) return bad("struct index");
+  for (const auto& f : mod->funcs) {
+    if (!sid_ok(f->ret)) return bad("struct index");
+    for (const ParamInfo& p : f->params)
+      if (!sid_ok(p.type)) return bad("struct index");
+    for (const LocalDecl& l : f->locals)
+      if (!sid_ok(l.type)) return bad("struct index");
+  }
+  for (std::size_t i = 0; i < bc->funcs.size(); ++i) {
+    if (bc->funcs[i].num_regs <
+        static_cast<std::uint32_t>(mod->funcs[i]->num_slots))
+      return bad("bytecode validation failed: frame smaller than slots");
+    if (!validate_code(bc->funcs[i], *bc, bc->funcs.size(), error))
+      return nullptr;
+  }
+
+  mod->bc = std::move(bc);
+  return mod;
+}
+
+}  // namespace clc

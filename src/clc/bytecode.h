@@ -1,0 +1,111 @@
+// bytecode.h — compact register-based bytecode for the clc OpenCL C subset.
+//
+// The tree-walking interpreter (interp.cpp) is the semantic reference; this
+// layer compiles the typed AST into a flat instruction stream executed by the
+// register VM in vm.cpp.  Design goals, in order:
+//
+//  1. Bit-identical results.  Every instruction bottoms out in the same
+//     helpers the interpreter uses (convert / load_value / store_value /
+//     binary_op / call_builtin), so a kernel's output under the VM is
+//     byte-for-byte what the interpreter produces — the interpreter stays on
+//     as the differential-testing oracle.
+//  2. Serializability.  A compiled module round-trips through a checked
+//     binary container (magic + version + FNV-1a checksum + index
+//     validation), which is what the simcl compile cache stores in snapstore.
+//     A deserialized module carries function metadata but no AST bodies; it
+//     can only execute on the VM.
+//  3. Speed.  One malloc per frame, no per-node recursion, builtin arguments
+//     passed as a contiguous register window instead of a heap vector.
+//
+// Frame layout: registers [0, num_slots) are the function's variable slots
+// (same numbering the parser assigned, so slot addresses stay stable for
+// pointers into private variables); [num_slots, num_regs) are expression
+// temporaries.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clc/ast.h"
+#include "clc/value.h"
+
+namespace clc {
+
+enum class BOp : std::uint8_t {
+  Nop = 0,
+  Const,        // r[a] = consts[imm]
+  Move,         // r[a] = r[b]
+  Conv,         // r[a] = convert(r[b], ty)
+  Bin,          // r[a] = binary_op(Tok(aux), r[b], r[c], ty, line)
+  Neg,          // r[a] = binary_op(Minus, Value(ty), r[b], ty, line)
+  BitNot,       // r[a] = ~convert(r[b], ty), element-wise
+  Not,          // r[a] = i32(!truthy(r[b]))
+  Truthy,       // r[a] = i32(truthy(r[b]))
+  Jump,         // pc = imm
+  Jz,           // if (!truthy(r[a])) pc = imm
+  Jnz,          // if (truthy(r[a])) pc = imm
+  AddrSlot,     // r[a] = ptr(ty, &r[b].raw)   — address of a non-struct slot
+  AddrOf,       // r[a] = ptr(ty, r[b].ptr())  — retype / struct slot / deref
+  AddrOff,      // r[a] = ptr(ty, r[b].ptr() + imm)       — member / swizzle lane
+  AddrIndex,    // r[a] = ptr(ty, r[b].ptr() + r[c].elem_i() * imm); null-checked
+  CheckNull,    // fail strings[imm] if r[a].ptr() == nullptr
+  Load,         // r[a] = load ty at r[b].ptr() (struct loads as a reference)
+  Store,        // store r[b] (already converted) at r[a].ptr()
+  CopyMem,      // memcpy(r[a].ptr(), r[b].ptr(), imm)
+  ZeroInit,     // r[a] = Value(ty)
+  LocalPtr,     // r[a] = ptr(ty, ctx.local_base + imm)
+  Alloca,       // r[a] = ptr(ty, fresh zeroed frame storage of imm bytes)
+  Splat,        // r[a] = broadcast convert(r[b], scalar(ty.kind)) into ty
+  BuildVec,     // r[a] = concat r[b] .. r[b+c-1] into ty (VecLit semantics)
+  Swizzle,      // r[a] = swizzle read of r[b]; lanes packed in imm, len in aux
+  CallBuiltin,  // r[a] = builtin imm over window r[b] .. r[b+c-1]
+  CallUser,     // r[a] = call funcs[imm] with args r[b] .. r[b+c-1]
+  Ret,          // return r[a]
+  RetVoid,      // return void
+  Fail,         // throw InterpError{strings[imm], line}
+};
+
+struct BInsn {
+  BOp op = BOp::Nop;
+  std::uint8_t aux = 0;  // Tok for Bin; swizzle length for Swizzle
+  std::uint16_t a = 0, b = 0, c = 0;
+  std::uint32_t ty = 0;   // index into BytecodeModule::types
+  std::uint32_t imm = 0;  // op-specific: jump target, pool index, offset, ...
+  std::int32_t line = 0;  // source line for runtime diagnostics
+};
+
+// One compiled function; parallel to Module::funcs by index.
+struct BcFunc {
+  std::uint32_t num_regs = 0;
+  std::vector<BInsn> code;
+};
+
+struct BytecodeModule {
+  std::vector<Type> types;         // index 0 is always Kind::Void
+  std::vector<Value> consts;       // scalar / vector literals only
+  std::vector<std::string> strings;  // runtime diagnostic messages
+  std::vector<BcFunc> funcs;       // parallel to Module::funcs
+};
+
+// Compiles every function of `mod` to bytecode.  Infallible for any module
+// the parser accepts: constructs that cannot be compiled statically (e.g. an
+// ill-formed lvalue the interpreter would reject at runtime) become Fail
+// instructions carrying the interpreter's exact message.
+std::shared_ptr<const BytecodeModule> compile_bytecode(const Module& mod);
+
+// Serializes `mod` (structs, function metadata, and its bytecode — compiled
+// on the fly when absent) into the cacheable binary container.
+std::vector<std::uint8_t> serialize_module(const Module& mod);
+
+// Rebuilds a Module from a serialized container.  The result has full
+// function metadata (params, locals, kernel/barrier flags) but null bodies:
+// execution must go through the VM.  Returns nullptr on any corruption —
+// bad magic, size mismatch, checksum failure, or out-of-range indices — with
+// the reason in *error; corrupt input is never executed.
+std::shared_ptr<const Module> deserialize_module(
+    std::span<const std::uint8_t> bytes, std::string* error = nullptr);
+
+}  // namespace clc

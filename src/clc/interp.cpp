@@ -1,15 +1,25 @@
 #include "clc/interp.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 
 #include "clc/builtins.h"
+#include "clc/vm.h"
 
 namespace clc {
 
 namespace {
+
+[[noreturn]] void interp_fail(std::string msg, int line) {
+  throw InterpError{std::move(msg), line};
+}
+
+}  // namespace
 
 std::size_t ptr_stride(const Type& ptr_t, const std::vector<StructDef>& structs) noexcept {
   if (ptr_t.struct_id >= 0)
@@ -17,17 +27,11 @@ std::size_t ptr_stride(const Type& ptr_t, const std::vector<StructDef>& structs)
   return size_of(make_scalar(ptr_t.elem_kind, ptr_t.elem_vec), structs);
 }
 
-[[noreturn]] void interp_fail(std::string msg, int line) {
-  throw InterpError{std::move(msg), line};
-}
-
 Type local_ptr_type(const Type& decl) noexcept {
   if (decl.kind == Kind::Struct)
     return make_ptr(Kind::Struct, 1, AddrSpace::Local, decl.struct_id);
   return make_ptr(decl.kind, decl.vec, AddrSpace::Local);
 }
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // function execution
@@ -198,14 +202,14 @@ std::uint8_t* Interp::lvalue(const Expr& e, Frame& f, Type& t) {
 // expressions
 // ---------------------------------------------------------------------------
 
-Value Interp::eval_binary(Tok op, const Value& a, const Value& b, const Type& rt,
-                          int line) {
+Value binary_op(Tok op, const Value& a, const Value& b, const Type& rt,
+                int line, const std::vector<StructDef>& structs) {
   // pointer arithmetic
   if (a.type.kind == Kind::Pointer || b.type.kind == Kind::Pointer) {
     if (op == Tok::Minus && a.type.kind == Kind::Pointer &&
         b.type.kind == Kind::Pointer) {
       const auto stride =
-          static_cast<std::int64_t>(ptr_stride(a.type, mod_.structs));
+          static_cast<std::int64_t>(ptr_stride(a.type, structs));
       return Value::of_i64((a.bytes_ptr() - b.bytes_ptr()) / stride);
     }
     // comparisons on pointers
@@ -223,7 +227,7 @@ Value Interp::eval_binary(Tok op, const Value& a, const Value& b, const Type& rt
     std::int64_t off = iv.elem_i();
     if (op == Tok::Minus) off = -off;
     const auto stride =
-        static_cast<std::int64_t>(ptr_stride(pv.type, mod_.structs));
+        static_cast<std::int64_t>(ptr_stride(pv.type, structs));
     return Value::of_ptr(pv.type, pv.bytes_ptr() + off * stride);
   }
 
@@ -341,6 +345,11 @@ Value Interp::eval_binary(Tok op, const Value& a, const Value& b, const Type& rt
     }
   }
   return r;
+}
+
+Value Interp::eval_binary(Tok op, const Value& a, const Value& b, const Type& rt,
+                          int line) {
+  return binary_op(op, a, b, rt, line, mod_.structs);
 }
 
 Value Interp::call_user(const FuncDecl& fn, const Expr& e, Frame& f) {
@@ -643,19 +652,35 @@ bool item_in_range(const WorkItemCtx& ctx, const NDRange& nd) {
   return true;
 }
 
-}  // namespace
+// Engine selection and dispatch accounting.  env_engine() reads CHECL_CLC_VM
+// once; the counters feed checl::stats_json().
+ExecEngine env_engine() noexcept {
+  static const ExecEngine e = [] {
+    const char* v = std::getenv("CHECL_CLC_VM");
+    return v != nullptr && std::string_view(v) == "interp" ? ExecEngine::Interp
+                                                           : ExecEngine::Vm;
+  }();
+  return e;
+}
 
-LaunchResult execute_ndrange(const Module& mod, const FuncDecl& kernel,
-                             std::span<const KernelArg> args, const NDRange& nd,
-                             const LaunchOptions& opts) {
+struct ExecCounters {
+  std::atomic<std::uint64_t> vm_launches{0};
+  std::atomic<std::uint64_t> interp_launches{0};
+  std::atomic<std::uint64_t> vm_items{0};
+  std::atomic<std::uint64_t> interp_items{0};
+};
+ExecCounters g_exec;
+
+// The NDRange engine, parameterized over the per-thread work-item runner.
+// `make(ctx)` builds one runner per host thread (an Interp or a Vm bound to
+// that thread's WorkItemCtx); `runner(argv)` executes one work-item.
+template <typename MakeRunner>
+LaunchResult execute_ndrange_with(const Module& mod, const FuncDecl& kernel,
+                                  std::span<const KernelArg> args,
+                                  const NDRange& nd, const LaunchOptions& opts,
+                                  MakeRunner make,
+                                  std::atomic<std::uint64_t>& item_counter) {
   LaunchResult result;
-  if (args.size() != kernel.params.size()) {
-    result.ok = false;
-    result.error = "kernel '" + kernel.name + "' expects " +
-                   std::to_string(kernel.params.size()) + " args, got " +
-                   std::to_string(args.size());
-    return result;
-  }
   const ArgPlan plan = plan_args(kernel, args);
   const std::size_t total_groups = nd.total_groups();
   const std::size_t local_total = nd.local_total();
@@ -690,7 +715,8 @@ LaunchResult execute_ndrange(const Module& mod, const FuncDecl& kernel,
         ctx.nd = &nd;
         ctx.mod = &mod;
         ctx.local_base = arena.data();
-        Interp interp(mod, ctx);
+        auto runner = make(ctx);
+        std::uint64_t items = 0;
         std::vector<Value> argv;
         for (std::size_t g = t; g < total_groups && !failed.load(std::memory_order_acquire);
              g += nthreads) {
@@ -698,8 +724,9 @@ LaunchResult execute_ndrange(const Module& mod, const FuncDecl& kernel,
             set_item_ids(ctx, nd, g, li);
             if (!item_in_range(ctx, nd)) continue;
             build_arg_values(kernel, args, plan, arena.data(), argv);
+            ++items;
             try {
-              interp.run_function(kernel, argv);
+              runner(argv);
             } catch (const InterpError& err) {
               record_error(err);
               break;
@@ -707,6 +734,7 @@ LaunchResult execute_ndrange(const Module& mod, const FuncDecl& kernel,
           }
         }
         total_ops.fetch_add(ctx.ops, std::memory_order_relaxed);
+        item_counter.fetch_add(items, std::memory_order_relaxed);
       });
     }
     for (auto& th : threads) th.join();
@@ -723,17 +751,20 @@ LaunchResult execute_ndrange(const Module& mod, const FuncDecl& kernel,
         ctx.mod = &mod;
         ctx.local_base = arena.data();
         ctx.bar = &bar;
-        Interp interp(mod, ctx);
+        auto runner = make(ctx);
+        std::uint64_t items = 0;
         std::vector<Value> argv;
         for (std::size_t g = 0; g < total_groups; ++g) {
           set_item_ids(ctx, nd, g, li);
           if (item_in_range(ctx, nd) && !failed.load(std::memory_order_acquire)) {
             build_arg_values(kernel, args, plan, arena.data(), argv);
+            ++items;
             try {
-              interp.run_function(kernel, argv);
+              runner(argv);
             } catch (const InterpError& err) {
               record_error(err);
               total_ops.fetch_add(ctx.ops, std::memory_order_relaxed);
+              item_counter.fetch_add(items, std::memory_order_relaxed);
               bar.arrive_and_drop();
               return;
             }
@@ -742,6 +773,7 @@ LaunchResult execute_ndrange(const Module& mod, const FuncDecl& kernel,
           bar.arrive_and_wait();
         }
         total_ops.fetch_add(ctx.ops, std::memory_order_relaxed);
+        item_counter.fetch_add(items, std::memory_order_relaxed);
       });
     }
     for (auto& th : threads) th.join();
@@ -753,6 +785,81 @@ LaunchResult execute_ndrange(const Module& mod, const FuncDecl& kernel,
     result.error = first_error;
   }
   return result;
+}
+
+}  // namespace
+
+int func_index(const Module& mod, const FuncDecl& fn) noexcept {
+  for (std::size_t i = 0; i < mod.funcs.size(); ++i)
+    if (mod.funcs[i].get() == &fn) return static_cast<int>(i);
+  return -1;
+}
+
+ExecStats exec_stats() noexcept {
+  ExecStats s;
+  s.vm_launches = g_exec.vm_launches.load(std::memory_order_relaxed);
+  s.interp_launches = g_exec.interp_launches.load(std::memory_order_relaxed);
+  s.vm_items = g_exec.vm_items.load(std::memory_order_relaxed);
+  s.interp_items = g_exec.interp_items.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_exec_stats() noexcept {
+  g_exec.vm_launches.store(0, std::memory_order_relaxed);
+  g_exec.interp_launches.store(0, std::memory_order_relaxed);
+  g_exec.vm_items.store(0, std::memory_order_relaxed);
+  g_exec.interp_items.store(0, std::memory_order_relaxed);
+}
+
+LaunchResult execute_ndrange(const Module& mod, const FuncDecl& kernel,
+                             std::span<const KernelArg> args, const NDRange& nd,
+                             const LaunchOptions& opts) {
+  LaunchResult result;
+  if (args.size() != kernel.params.size()) {
+    result.ok = false;
+    result.error = "kernel '" + kernel.name + "' expects " +
+                   std::to_string(kernel.params.size()) + " args, got " +
+                   std::to_string(args.size());
+    return result;
+  }
+
+  const int kidx = func_index(mod, kernel);
+  const bool can_vm = mod.bc != nullptr && kidx >= 0 &&
+                      static_cast<std::size_t>(kidx) < mod.bc->funcs.size();
+  const bool can_interp = kernel.body != nullptr;
+  ExecEngine eng = opts.engine == ExecEngine::Auto ? env_engine() : opts.engine;
+  // Fall back across engines rather than fail: hand-built modules have no
+  // bytecode, cache-deserialized modules have no AST bodies.
+  if (eng == ExecEngine::Vm && !can_vm) eng = ExecEngine::Interp;
+  if (eng == ExecEngine::Interp && !can_interp && can_vm) eng = ExecEngine::Vm;
+  if (eng == ExecEngine::Interp && !can_interp) {
+    result.ok = false;
+    result.error = "kernel '" + kernel.name + "' has no executable body";
+    return result;
+  }
+
+  if (eng == ExecEngine::Vm) {
+    g_exec.vm_launches.fetch_add(1, std::memory_order_relaxed);
+    return execute_ndrange_with(
+        mod, kernel, args, nd, opts,
+        [&mod, kidx](WorkItemCtx& ctx) {
+          return [vm = std::make_shared<Vm>(mod, ctx),
+                  kidx](std::span<const Value> argv) {
+            vm->run_kernel(static_cast<std::size_t>(kidx), argv);
+          };
+        },
+        g_exec.vm_items);
+  }
+  g_exec.interp_launches.fetch_add(1, std::memory_order_relaxed);
+  return execute_ndrange_with(
+      mod, kernel, args, nd, opts,
+      [&mod, &kernel](WorkItemCtx& ctx) {
+        return [interp = std::make_shared<Interp>(mod, ctx),
+                &kernel](std::span<const Value> argv) {
+          interp->run_function(kernel, argv);
+        };
+      },
+      g_exec.interp_items);
 }
 
 }  // namespace clc

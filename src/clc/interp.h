@@ -76,6 +76,24 @@ struct InterpError {
   int line = 0;
 };
 
+// Element stride of a pointer type (struct size or element size).
+std::size_t ptr_stride(const Type& ptr_t,
+                       const std::vector<StructDef>& structs) noexcept;
+
+// Pointer type of a __local declaration of `decl` (what its slot holds).
+Type local_ptr_type(const Type& decl) noexcept;
+
+// Index of `fn` within mod.funcs (pointer identity), -1 when absent.
+int func_index(const Module& mod, const FuncDecl& fn) noexcept;
+
+// The arithmetic core shared by the interpreter and the bytecode VM: pointer
+// arithmetic, promoted comparisons, and element-wise arithmetic/bitwise ops
+// converted to the result type.  Both engines route every binary operation
+// through this one function, which is what makes their results bit-identical.
+// Throws InterpError on division by zero and invalid operators.
+Value binary_op(Tok op, const Value& a, const Value& b, const Type& rt,
+                int line, const std::vector<StructDef>& structs);
+
 // Interpreter for one work-item.
 class Interp {
  public:
@@ -113,9 +131,27 @@ struct LaunchResult {
   std::uint64_t ops = 0;  // total AST ops executed over all work-items
 };
 
+// Which engine executes work-items.  Auto consults the CHECL_CLC_VM
+// environment variable once per process: "interp" selects the tree-walking
+// interpreter (the differential-testing oracle); anything else — including
+// unset — selects the bytecode VM.  Explicit values override the environment.
+enum class ExecEngine : std::uint8_t { Auto, Interp, Vm };
+
 struct LaunchOptions {
   unsigned max_threads = 0;  // 0 = hardware concurrency
+  ExecEngine engine = ExecEngine::Auto;
 };
+
+// Process-wide engine dispatch counters, surfaced by checl::stats_json()
+// under the "clc" section.
+struct ExecStats {
+  std::uint64_t vm_launches = 0;
+  std::uint64_t interp_launches = 0;
+  std::uint64_t vm_items = 0;      // work-items executed by the VM
+  std::uint64_t interp_items = 0;  // work-items executed by the interpreter
+};
+[[nodiscard]] ExecStats exec_stats() noexcept;
+void reset_exec_stats() noexcept;
 
 // Executes `kernel` over `nd`.  `args` must match the kernel's parameter list.
 LaunchResult execute_ndrange(const Module& mod, const FuncDecl& kernel,

@@ -1,5 +1,6 @@
 #include "clc/program.h"
 
+#include "clc/bytecode.h"
 #include "clc/lexer.h"
 #include "clc/parser.h"
 #include "clc/pp.h"
@@ -32,6 +33,7 @@ CompileResult compile(std::string_view source, std::string_view options) {
     return result;
   }
   result.module = std::move(mod);
+  result.module->bc = compile_bytecode(*result.module);
   return result;
 }
 

@@ -1,0 +1,365 @@
+#include "clc/vm.h"
+
+#include <cstring>
+
+#include "clc/builtins.h"
+
+namespace clc {
+
+namespace {
+
+constexpr std::size_t kArenaBlock = 64 * 1024;
+
+// Scalar fast path for BOp::Bin, mirroring binary_op's semantics exactly:
+// comparisons on the raw operands, arithmetic evaluated in double precision
+// (floats) or as uint64 with wrap-on-store (ints) — so results stay
+// bit-identical to the interpreter.  Returns false for every shape it does
+// not cover (vectors, mixed or pointer operands, integer division/modulo
+// with their fail-on-zero diagnostics, logical && / ||), in which case the
+// caller takes the generic binary_op path.
+inline bool fast_bin(Tok op, const Value& x, const Value& y, const Type& rt,
+                     Value& out) {
+  if (x.type.vec != 1 || !(x.type == y.type) || x.type.kind == Kind::Pointer)
+    return false;
+  switch (op) {
+    case Tok::EqEq:
+    case Tok::NotEq:
+    case Tok::Lt:
+    case Tok::Gt:
+    case Tok::Le:
+    case Tok::Ge: {
+      bool r = false;
+      if (is_float(x.type.kind)) {
+        const double a = x.elem_f(), b = y.elem_f();
+        switch (op) {
+          case Tok::EqEq: r = a == b; break;
+          case Tok::NotEq: r = a != b; break;
+          case Tok::Lt: r = a < b; break;
+          case Tok::Gt: r = a > b; break;
+          case Tok::Le: r = a <= b; break;
+          default: r = a >= b; break;
+        }
+      } else if (is_signed_int(x.type.kind)) {
+        const std::int64_t a = x.elem_i(), b = y.elem_i();
+        switch (op) {
+          case Tok::EqEq: r = a == b; break;
+          case Tok::NotEq: r = a != b; break;
+          case Tok::Lt: r = a < b; break;
+          case Tok::Gt: r = a > b; break;
+          case Tok::Le: r = a <= b; break;
+          default: r = a >= b; break;
+        }
+      } else {
+        const std::uint64_t a = x.elem_u(), b = y.elem_u();
+        switch (op) {
+          case Tok::EqEq: r = a == b; break;
+          case Tok::NotEq: r = a != b; break;
+          case Tok::Lt: r = a < b; break;
+          case Tok::Gt: r = a > b; break;
+          case Tok::Le: r = a <= b; break;
+          default: r = a >= b; break;
+        }
+      }
+      out = Value::of_i32(r ? 1 : 0);
+      return true;
+    }
+    default:
+      break;
+  }
+  if (!(x.type == rt)) return false;
+  if (is_float(rt.kind)) {
+    const double a = x.elem_f(), b = y.elem_f();
+    double v = 0;
+    switch (op) {
+      case Tok::Plus: v = a + b; break;
+      case Tok::Minus: v = a - b; break;
+      case Tok::Star: v = a * b; break;
+      case Tok::Slash: v = a / b; break;
+      default: return false;
+    }
+    Value r(rt);
+    r.set_elem_f(0, v);
+    out = r;
+    return true;
+  }
+  if (is_integer(rt.kind)) {
+    const std::uint64_t a = x.elem_u(), b = y.elem_u();
+    const unsigned bits = static_cast<unsigned>(scalar_size(rt.kind)) * 8;
+    std::uint64_t v = 0;
+    switch (op) {
+      case Tok::Plus: v = a + b; break;
+      case Tok::Minus: v = a - b; break;
+      case Tok::Star: v = a * b; break;
+      case Tok::Amp: v = a & b; break;
+      case Tok::Pipe: v = a | b; break;
+      case Tok::Caret: v = a ^ b; break;
+      case Tok::Shl: v = a << (b & (bits - 1)); break;
+      case Tok::Shr:
+        v = is_signed_int(rt.kind)
+                ? static_cast<std::uint64_t>(x.elem_i() >> (b & (bits - 1)))
+                : a >> (b & (bits - 1));
+        break;
+      default:
+        return false;
+    }
+    Value r(rt);
+    r.set_elem_i(0, static_cast<std::int64_t>(v));
+    out = r;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Value Vm::run_function(const FuncDecl& fn, std::span<const Value> args) {
+  const int idx = func_index(mod_, fn);
+  if (idx < 0 || static_cast<std::size_t>(idx) >= bc_.funcs.size())
+    throw InterpError{"function '" + fn.name + "' has no bytecode", 0};
+  return run(static_cast<std::size_t>(idx), args);
+}
+
+std::uint8_t* Vm::arena_alloc(std::size_t n) {
+  n = (n + 15) & ~static_cast<std::size_t>(15);
+  for (;;) {
+    if (arena_block_ < arena_blocks_.size()) {
+      if (arena_off_ + n <= arena_cap_[arena_block_]) {
+        std::uint8_t* p = arena_blocks_[arena_block_].get() + arena_off_;
+        arena_off_ += n;
+        std::memset(p, 0, n);
+        return p;
+      }
+      // No room in this block: advance.  The tail left behind is reclaimed
+      // when the frame that took the mark rewinds past it.
+      ++arena_block_;
+      arena_off_ = 0;
+      continue;
+    }
+    const std::size_t cap = n > kArenaBlock ? n : kArenaBlock;
+    arena_blocks_.push_back(std::make_unique<std::uint8_t[]>(cap));
+    arena_cap_.push_back(cap);
+  }
+}
+
+Value Vm::run(std::size_t fidx, std::span<const Value> args) {
+  if (++depth_ > 64) {
+    --depth_;
+    throw InterpError{"call depth limit exceeded (recursion?)", 0};
+  }
+  const FuncDecl& fn = *mod_.funcs[fidx];
+  const BcFunc& bf = bc_.funcs[fidx];
+
+  // Pooled register file for this call depth.  Taking the raw data pointer
+  // is safe across nested calls: deeper frames use other pool entries, and
+  // growing the outer vector moves the inner vectors' headers, not their
+  // heap buffers.
+  const auto frame = static_cast<std::size_t>(depth_ - 1);
+  if (frame >= frames_.size()) frames_.resize(frame + 1);
+  std::vector<Value>& fregs = frames_[frame];
+  if (fregs.size() < bf.num_regs) fregs.resize(bf.num_regs);
+  Value* const regs = fregs.data();
+
+  // Frame scratch comes from the arena; rewind to this mark on every exit.
+  const std::size_t mark_block = arena_block_;
+  const std::size_t mark_off = arena_off_;
+
+  // Parameter prologue — mirrors Interp::run_function.
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    const ParamInfo& p = fn.params[i];
+    Value v = args[i];
+    if (p.type.kind == Kind::Struct) {
+      const std::size_t sz = size_of(p.type, mod_.structs);
+      std::uint8_t* copy = arena_alloc(sz);
+      std::memcpy(copy, v.ptr(), sz);
+      v = Value::of_ptr(p.type, copy);
+    } else if (p.type.kind != Kind::Image2D && p.type.kind != Kind::Image3D &&
+               p.type.kind != Kind::Sampler && p.type.kind != Kind::Pointer) {
+      v = convert(v, p.type);
+    }
+    regs[static_cast<std::size_t>(p.slot)] = v;
+  }
+
+  const BInsn* code = bf.code.data();
+  std::uint64_t ops = 0;
+  std::size_t pc = 0;
+  Value ret;
+  try {
+    for (;;) {
+      const BInsn& I = code[pc++];
+      ++ops;
+      switch (I.op) {
+        case BOp::Nop:
+          break;
+        case BOp::Const:
+          regs[I.a] = bc_.consts[I.imm];
+          break;
+        case BOp::Move:
+          regs[I.a] = regs[I.b];
+          break;
+        case BOp::Conv:
+          regs[I.a] = convert(regs[I.b], bc_.types[I.ty]);
+          break;
+        case BOp::Bin: {
+          const Tok op = static_cast<Tok>(I.aux);
+          if (!fast_bin(op, regs[I.b], regs[I.c], bc_.types[I.ty], regs[I.a]))
+            regs[I.a] = binary_op(op, regs[I.b], regs[I.c], bc_.types[I.ty],
+                                  I.line, mod_.structs);
+          break;
+        }
+        case BOp::Neg:
+          regs[I.a] = binary_op(Tok::Minus, Value(bc_.types[I.ty]), regs[I.b],
+                                bc_.types[I.ty], I.line, mod_.structs);
+          break;
+        case BOp::BitNot: {
+          const Type& t = bc_.types[I.ty];
+          const Value a = convert(regs[I.b], t);
+          Value r(t);
+          for (unsigned i = 0; i < t.vec; ++i)
+            r.set_elem_i(i, static_cast<std::int64_t>(~a.elem_u(i)));
+          regs[I.a] = r;
+          break;
+        }
+        case BOp::Not:
+          regs[I.a] = Value::of_i32(regs[I.b].truthy() ? 0 : 1);
+          break;
+        case BOp::Truthy:
+          regs[I.a] = Value::of_i32(regs[I.b].truthy() ? 1 : 0);
+          break;
+        case BOp::Jump:
+          pc = I.imm;
+          break;
+        case BOp::Jz:
+          if (!regs[I.a].truthy()) pc = I.imm;
+          break;
+        case BOp::Jnz:
+          if (regs[I.a].truthy()) pc = I.imm;
+          break;
+        case BOp::AddrSlot:
+          // Address of the slot register's inline storage; the compiler
+          // guarantees a != b, so the pointer stays valid after the write.
+          regs[I.a] = Value::of_ptr(bc_.types[I.ty], regs[I.b].raw);
+          break;
+        case BOp::AddrOf:
+          regs[I.a] = Value::of_ptr(bc_.types[I.ty], regs[I.b].ptr());
+          break;
+        case BOp::AddrOff:
+          regs[I.a] =
+              Value::of_ptr(bc_.types[I.ty], regs[I.b].bytes_ptr() + I.imm);
+          break;
+        case BOp::AddrIndex: {
+          std::uint8_t* p = regs[I.b].bytes_ptr();
+          if (p == nullptr) throw InterpError{"null pointer subscript", I.line};
+          regs[I.a] = Value::of_ptr(
+              bc_.types[I.ty],
+              p + regs[I.c].elem_i() * static_cast<std::int64_t>(I.imm));
+          break;
+        }
+        case BOp::CheckNull:
+          if (regs[I.a].ptr() == nullptr)
+            throw InterpError{bc_.strings[I.imm], I.line};
+          break;
+        case BOp::Load: {
+          const Type& t = bc_.types[I.ty];
+          const std::uint8_t* p = regs[I.b].bytes_ptr();
+          regs[I.a] = t.kind == Kind::Struct
+                          ? Value::of_ptr(t, const_cast<std::uint8_t*>(p))
+                          : load_value(p, t);
+          break;
+        }
+        case BOp::Store:
+          store_value(regs[I.a].bytes_ptr(), regs[I.b]);
+          break;
+        case BOp::CopyMem:
+          std::memcpy(regs[I.a].ptr(), regs[I.b].ptr(), I.imm);
+          break;
+        case BOp::ZeroInit:
+          regs[I.a] = Value(bc_.types[I.ty]);
+          break;
+        case BOp::LocalPtr:
+          regs[I.a] = Value::of_ptr(bc_.types[I.ty], ctx_.local_base + I.imm);
+          break;
+        case BOp::Alloca:
+          regs[I.a] = Value::of_ptr(bc_.types[I.ty], arena_alloc(I.imm));
+          break;
+        case BOp::Splat: {
+          const Type& t = bc_.types[I.ty];
+          const Value v = convert(regs[I.b], make_scalar(t.kind));
+          Value r(t);
+          for (unsigned i = 0; i < t.vec; ++i) {
+            if (is_float(t.kind))
+              r.set_elem_f(i, v.elem_f());
+            else
+              r.set_elem_i(i, v.elem_i());
+          }
+          regs[I.a] = r;
+          break;
+        }
+        case BOp::BuildVec: {
+          const Type& t = bc_.types[I.ty];
+          Value r(t);
+          unsigned out = 0;
+          for (unsigned k = 0; k < I.c; ++k) {
+            const Value& v = regs[I.b + k];
+            for (unsigned i = 0; i < v.type.vec; ++i, ++out) {
+              if (is_float(t.kind))
+                r.set_elem_f(out, v.elem_f(i));
+              else
+                r.set_elem_i(out, is_float(v.type.kind)
+                                      ? static_cast<std::int64_t>(v.elem_f(i))
+                                      : v.elem_i(i));
+            }
+          }
+          regs[I.a] = r;
+          break;
+        }
+        case BOp::Swizzle: {
+          const Value base = regs[I.b];
+          Value r(bc_.types[I.ty]);
+          for (unsigned i = 0; i < I.aux; ++i) {
+            const unsigned lane = (I.imm >> (8 * i)) & 0xffu;
+            if (is_float(base.type.kind))
+              r.set_elem_f(i, base.elem_f(lane));
+            else
+              r.set_elem_i(i, base.elem_i(lane));
+          }
+          regs[I.a] = r;
+          break;
+        }
+        case BOp::CallBuiltin: {
+          const Value r = call_builtin(
+              static_cast<Builtin>(static_cast<std::int16_t>(I.imm)),
+              std::span<Value>(regs + I.b, I.c), ctx_);
+          regs[I.a] = r;
+          break;
+        }
+        case BOp::CallUser: {
+          const Value r =
+              run(I.imm, std::span<const Value>(regs + I.b, I.c));
+          regs[I.a] = r;
+          break;
+        }
+        case BOp::Ret:
+          ret = regs[I.a];
+          goto done;
+        case BOp::RetVoid:
+          goto done;
+        case BOp::Fail:
+          throw InterpError{bc_.strings[I.imm], I.line};
+      }
+    }
+  } catch (...) {
+    ctx_.ops += ops;
+    arena_block_ = mark_block;
+    arena_off_ = mark_off;
+    --depth_;
+    throw;
+  }
+done:
+  ctx_.ops += ops;
+  arena_block_ = mark_block;
+  arena_off_ = mark_off;
+  --depth_;
+  return ret;
+}
+
+}  // namespace clc

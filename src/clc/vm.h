@@ -1,0 +1,72 @@
+// vm.h — register VM executing the bytecode of bytecode.h for one work-item.
+//
+// Drop-in peer of Interp: same WorkItemCtx, same InterpError faults, same
+// Value/convert/call_builtin machinery underneath, so results are
+// bit-identical to the tree-walking interpreter (asserted by the
+// differential tests).  What changes is the execution shape: a flat
+// instruction loop over a contiguous register file instead of recursive AST
+// descent, and builtin arguments passed as a register window instead of a
+// heap vector.
+//
+// A Vm instance persists for a host thread's whole launch (one per thread in
+// execute_ndrange), so per-work-item state is pooled rather than allocated:
+// register files are kept per call depth and grown monotonically, and frame
+// scratch memory (private arrays, by-value structs) comes from a chunked
+// bump arena with mark/release per call.  After the first work-item a thread
+// executes with zero heap allocations per item.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "clc/bytecode.h"
+#include "clc/interp.h"
+
+namespace clc {
+
+class Vm {
+ public:
+  // Requires mod.bc != nullptr.
+  Vm(const Module& mod, WorkItemCtx& ctx)
+      : mod_(mod), bc_(*mod.bc), ctx_(ctx) {}
+
+  // Runs the function at `func_idx` (index into mod.funcs / bc.funcs).
+  // Throws InterpError on runtime faults, like Interp::run_function.
+  Value run_kernel(std::size_t func_idx, std::span<const Value> args) {
+    return run(func_idx, args);
+  }
+
+  // Name-compatible entry: resolves `fn` to its module index first.
+  Value run_function(const FuncDecl& fn, std::span<const Value> args);
+
+ private:
+  Value run(std::size_t fidx, std::span<const Value> args);
+
+  // Bump-allocates `n` zero-filled bytes (16-byte aligned) from the arena,
+  // growing it by fixed-size blocks.  Blocks never move once created, so
+  // pointers held in registers stay valid across arena growth; a call frame
+  // releases its allocations by rewinding to the mark it took on entry.
+  // Zero fill matches the interpreter's value-initialised alloca vectors, so
+  // reads of uninitialised private arrays stay bit-identical.
+  std::uint8_t* arena_alloc(std::size_t n);
+
+  const Module& mod_;
+  const BytecodeModule& bc_;
+  WorkItemCtx& ctx_;
+  int depth_ = 0;
+
+  // One register file per call depth, reused across work-items and grown to
+  // the widest frame seen at that depth.  Stale values from a previous item
+  // are never observed: the compiler writes every register before it is read
+  // (parameters in the prologue, ZeroInit on every scalar declaration,
+  // Alloca/LocalPtr on every aggregate, temporaries in straight-line order).
+  std::vector<std::vector<Value>> frames_;
+  std::vector<std::unique_ptr<std::uint8_t[]>> arena_blocks_;
+  std::vector<std::size_t> arena_cap_;
+  std::size_t arena_block_ = 0;  // cursor: current block ...
+  std::size_t arena_off_ = 0;    // ... and offset within it
+};
+
+}  // namespace clc

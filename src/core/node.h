@@ -9,6 +9,7 @@
 
 #include "proxy/opcodes.h"
 #include "proxy/spawn.h"
+#include "simcl/progcache.h"
 #include "simcl/specs.h"
 #include "slimcr/storage.h"
 
@@ -24,6 +25,10 @@ struct NodeConfig {
   // remote API proxy reached over TCP/IP sockets).
   std::string tcp_host = "127.0.0.1";
   std::uint16_t tcp_port = 0;
+  // Compile-cache policy on this node.  `clc_cache.root` names an on-disk
+  // bytecode pool that survives proxy respawns — a restart or migration onto
+  // this node then deserializes programs instead of recompiling them.
+  simcl::ProgCacheConfig clc_cache;
 };
 
 // The paper's testbed shapes, ready-made.

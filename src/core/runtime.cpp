@@ -37,7 +37,8 @@ cl_int CheclRuntime::ensure_proxy() {
                  : proxy::spawn_proxy(node_.transport);
   if (!spawned_.ok()) return CL_DEVICE_NOT_AVAILABLE;
   const cl_int err =
-      spawned_.client()->configure(node_.platforms, node_.ipc, true);
+      spawned_.client()->configure(node_.platforms, node_.ipc, true,
+                                   node_.clc_cache);
   if (err != CL_SUCCESS) return CL_DEVICE_NOT_AVAILABLE;
   proxy_configured_ = true;
   install_supervision();
@@ -103,7 +104,8 @@ cl_int CheclRuntime::respawn_proxy(const NodeConfig& cfg, std::uint64_t resume_t
                    : proxy::spawn_proxy(node_.transport);
     if (!spawned_.ok()) return CL_DEVICE_NOT_AVAILABLE;
     const cl_int err =
-        spawned_.client()->configure(node_.platforms, node_.ipc, true);
+        spawned_.client()->configure(node_.platforms, node_.ipc, true,
+                                     node_.clc_cache);
     if (err != CL_SUCCESS) return CL_DEVICE_NOT_AVAILABLE;
     proxy_configured_ = true;
     spawned_.client()->set_recv_deadline_ms(recv_deadline_ms);

@@ -2,10 +2,12 @@
 
 #include <sstream>
 
+#include "clc/interp.h"
 #include "core/cpr.h"
 #include "core/runtime.h"
 #include "core/supervisor.h"
 #include "proxy/client.h"
+#include "simcl/progcache.h"
 
 namespace checl {
 
@@ -116,6 +118,27 @@ std::string stats_json(proxy::Client* client, const snapstore::Store* store,
     append_kv(os, "io_retries", supervisor->io_retries, first);
     append_kv(os, "store_degraded_writes", supervisor->store_degraded_writes,
               first);
+    os << "}";
+  }
+  // The clc execution layer is process-global (engine dispatch counters) and
+  // the compile cache is a singleton, so this section is always present.
+  // Note: under Transport::Process the cache lives in the proxy daemon; this
+  // section then reports the app-side (cold) instance.
+  {
+    const clc::ExecStats es = clc::exec_stats();
+    const simcl::ProgCacheStats cs = simcl::ProgCache::instance().stats();
+    bool first = true;
+    os << ", \"clc\": {";
+    append_kv(os, "vm_launches", es.vm_launches, first);
+    append_kv(os, "interp_launches", es.interp_launches, first);
+    append_kv(os, "vm_items", es.vm_items, first);
+    append_kv(os, "interp_items", es.interp_items, first);
+    append_kv(os, "cache_hits", cs.hits, first);
+    append_kv(os, "cache_disk_hits", cs.disk_hits, first);
+    append_kv(os, "cache_misses", cs.misses, first);
+    append_kv(os, "cache_puts", cs.puts, first);
+    append_kv(os, "cache_evictions", cs.evictions, first);
+    append_kv(os, "cache_poisoned", cs.poisoned, first);
     os << "}";
   }
   os << "}";

@@ -385,7 +385,7 @@ proxy::Client::Recovery Supervisor::recover(proxy::Client& c, proxy::Op op,
 
   // 2. epoch handshake: configure the fresh peer, learn its pid
   const NodeConfig& node = rt_.node();
-  if (c.configure(node.platforms, node.ipc, true) != CL_SUCCESS)
+  if (c.configure(node.platforms, node.ipc, true, node.clc_cache) != CL_SUCCESS)
     return fail("handshake Configure failed");
   std::uint32_t pid = 0;
   if (c.ping(&pid) != CL_SUCCESS) return fail("handshake Ping failed");

@@ -185,10 +185,11 @@ cl_int Client::sync() {
 }
 
 cl_int Client::configure(const std::vector<simcl::PlatformSpec>& platforms,
-                         const IpcCosts& costs, bool reset_clock) {
+                         const IpcCosts& costs, bool reset_clock,
+                         const simcl::ProgCacheConfig& cache) {
   std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();
-  write_config(w, platforms, costs, reset_clock);
+  write_config(w, platforms, costs, reset_clock, cache);
   auto r = call(Op::Configure, w);
   return r ? r->i32() : kProxyGone;
 }

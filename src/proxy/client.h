@@ -27,6 +27,7 @@
 #include "ipc/channel.h"
 #include "ipc/serial.h"
 #include "proxy/opcodes.h"
+#include "simcl/progcache.h"
 #include "simcl/specs.h"
 
 namespace proxy {
@@ -93,7 +94,8 @@ class Client {
 
   // ---- control ---------------------------------------------------------
   cl_int configure(const std::vector<simcl::PlatformSpec>& platforms,
-                   const IpcCosts& costs, bool reset_clock);
+                   const IpcCosts& costs, bool reset_clock,
+                   const simcl::ProgCacheConfig& cache = {});
   cl_int ping(std::uint32_t* pid = nullptr);
   cl_int shutdown();
 

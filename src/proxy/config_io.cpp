@@ -70,17 +70,24 @@ simcl::PlatformSpec read_platform_spec(ipc::Reader& r) {
 }
 
 void write_config(ipc::Writer& w, const std::vector<simcl::PlatformSpec>& platforms,
-                  const IpcCosts& costs, bool reset_clock) {
+                  const IpcCosts& costs, bool reset_clock,
+                  const simcl::ProgCacheConfig& cache) {
   w.u32(static_cast<std::uint32_t>(platforms.size()));
   for (const auto& p : platforms) write_platform_spec(w, p);
   w.u64(costs.per_call_ns);
   w.f64(costs.bytes_per_sec);
   w.u64(costs.spawn_ns);
   w.boolean(reset_clock);
+  w.boolean(cache.enabled);
+  w.str(cache.root);
+  w.u64(cache.max_modules);
+  w.u64(cache.deserialize_base_ns);
+  w.f64(cache.deserialize_ns_per_byte);
 }
 
 void read_config(ipc::Reader& r, std::vector<simcl::PlatformSpec>& platforms,
-                 IpcCosts& costs, bool& reset_clock) {
+                 IpcCosts& costs, bool& reset_clock,
+                 simcl::ProgCacheConfig& cache) {
   const std::uint32_t n = r.u32();
   platforms.clear();
   platforms.reserve(n);
@@ -89,6 +96,11 @@ void read_config(ipc::Reader& r, std::vector<simcl::PlatformSpec>& platforms,
   costs.bytes_per_sec = r.f64();
   costs.spawn_ns = r.u64();
   reset_clock = r.boolean();
+  cache.enabled = r.boolean();
+  cache.root = r.str();
+  cache.max_modules = r.u64();
+  cache.deserialize_base_ns = r.u64();
+  cache.deserialize_ns_per_byte = r.f64();
 }
 
 }  // namespace proxy

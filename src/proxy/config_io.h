@@ -6,6 +6,7 @@
 
 #include "ipc/serial.h"
 #include "proxy/opcodes.h"
+#include "simcl/progcache.h"
 #include "simcl/specs.h"
 
 namespace proxy {
@@ -17,8 +18,10 @@ void write_platform_spec(ipc::Writer& w, const simcl::PlatformSpec& p);
 simcl::PlatformSpec read_platform_spec(ipc::Reader& r);
 
 void write_config(ipc::Writer& w, const std::vector<simcl::PlatformSpec>& platforms,
-                  const IpcCosts& costs, bool reset_clock);
+                  const IpcCosts& costs, bool reset_clock,
+                  const simcl::ProgCacheConfig& cache = {});
 void read_config(ipc::Reader& r, std::vector<simcl::PlatformSpec>& platforms,
-                 IpcCosts& costs, bool& reset_clock);
+                 IpcCosts& costs, bool& reset_clock,
+                 simcl::ProgCacheConfig& cache);
 
 }  // namespace proxy

@@ -93,8 +93,15 @@ bool dispatch(ServerState& st, Op op, Reader& r, Writer& w) {
     case Op::Configure: {
       std::vector<simcl::PlatformSpec> platforms;
       bool reset = false;
-      read_config(r, platforms, st.costs, reset);
+      simcl::ProgCacheConfig cache;
+      read_config(r, platforms, st.costs, reset, cache);
       simcl::Runtime::instance().configure(std::move(platforms));
+      // reset == fresh proxy bring-up: the in-memory compile cache starts
+      // cold on every transport (an exec'd proxyd is naturally cold; the
+      // in-process Thread transport must be reset to match).  Only the
+      // on-disk pool named by cache.root carries warmth across respawns.
+      if (reset) simcl::ProgCache::instance().reset();
+      simcl::ProgCache::instance().configure(cache);
       if (reset) simcl::Runtime::instance().clock().reset();
       // the fork/exec/init cost of bringing up an API proxy (paper: ~0.08 s)
       simcl::Runtime::instance().clock().advance_host(st.costs.spawn_ns);

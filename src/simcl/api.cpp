@@ -6,9 +6,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "checl/dispatch.h"
+#include "simcl/progcache.h"
 #include "simcl/queue.h"
 #include "simcl/runtime.h"
 
@@ -612,11 +614,34 @@ cl_int scl_BuildProgram(cl_program p, cl_uint num_devices,
   if (prog == nullptr) return CL_INVALID_PROGRAM;
   prog->options = options != nullptr ? options : "";
 
-  // Compile-time cost model: per-vendor base + per-byte (Figure 7).
   const DeviceSpec& spec = num_devices > 0 && devices != nullptr &&
                                    as_object<Device>(devices[0]) != nullptr
                                ? as_object<Device>(devices[0])->spec
                                : prog->ctx->devices.front()->spec;
+
+  // Warm path: a content-addressed cache hit skips the compiler entirely and
+  // is priced as a bytecode deserialization — the restart-time (Tr) killer.
+  ProgCache& cache = ProgCache::instance();
+  const ProgCacheConfig cache_cfg = cache.config();
+  const std::uint64_t cache_key =
+      cache_cfg.enabled
+          ? ProgCache::key(prog->source, prog->options, spec.name)
+          : 0;
+  if (cache_cfg.enabled) {
+    if (std::optional<ProgCache::Hit> hit = cache.lookup(cache_key)) {
+      rt().clock().advance_host(
+          cache_cfg.deserialize_base_ns +
+          static_cast<SimNs>(cache_cfg.deserialize_ns_per_byte *
+                             static_cast<double>(hit->serialized_bytes)));
+      prog->module = std::move(hit->module);
+      prog->status = CL_BUILD_SUCCESS;
+      prog->build_log.clear();
+      if (notify != nullptr) notify(p, user_data);
+      return CL_SUCCESS;
+    }
+  }
+
+  // Cold path cost model: per-vendor base + per-byte (Figure 7).
   rt().clock().advance_host(
       spec.compile_base_ns +
       static_cast<SimNs>(spec.compile_ns_per_byte *
@@ -631,6 +656,7 @@ cl_int scl_BuildProgram(cl_program p, cl_uint num_devices,
   prog->module = std::shared_ptr<const clc::Module>(std::move(res.module));
   prog->status = CL_BUILD_SUCCESS;
   prog->build_log.clear();
+  if (cache_cfg.enabled) cache.insert(cache_key, prog->module);
   if (notify != nullptr) notify(p, user_data);
   return CL_SUCCESS;
 }

@@ -1,0 +1,242 @@
+#include "simcl/progcache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "chaoskit/chaoskit.h"
+#include "clc/bytecode.h"
+#include "clc/diag.h"
+#include "clc/pp.h"
+#include "slimcr/storage.h"
+#include "snapstore/store.h"
+
+namespace simcl {
+
+namespace {
+
+constexpr char kSection[] = "clbc";
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h) noexcept {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex_name(std::uint64_t key) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "clbc-%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace
+
+struct ProgCache::Impl {
+  mutable std::mutex mu;
+  ProgCacheConfig cfg;
+  ProgCacheStats st;
+  std::string last_error;
+
+  struct Entry {
+    std::shared_ptr<const clc::Module> module;
+    std::uint64_t serialized_bytes = 0;
+  };
+  // LRU: most-recent at the front; map values point into the list.
+  std::list<std::pair<std::uint64_t, Entry>> lru;
+  std::unordered_map<std::uint64_t,
+                     std::list<std::pair<std::uint64_t, Entry>>::iterator>
+      index;
+
+  snapstore::Store store;  // lazily opened at cfg.root
+  bool store_failed = false;
+  // reset() marks the handle stale so the next use re-opens and re-scans the
+  // pool — a "fresh process" must not trust another lifetime's open handle.
+  bool store_stale = false;
+
+  bool ensure_store_locked() {
+    if (cfg.root.empty() || store_failed) return false;
+    if (!store_stale && store.is_open() && store.root() == cfg.root)
+      return true;
+    snapstore::Options opt;
+    opt.async = false;  // cache entries are small; keep the path simple
+    const snapstore::Status s = store.open(cfg.root, opt);
+    if (!s.ok()) {
+      last_error = "compile cache store open failed: " + s.message;
+      store_failed = true;
+      return false;
+    }
+    store_stale = false;
+    return true;
+  }
+
+  void touch_locked(std::uint64_t key,
+                    std::list<std::pair<std::uint64_t, Entry>>::iterator it) {
+    lru.splice(lru.begin(), lru, it);
+    index[key] = lru.begin();
+  }
+
+  void put_mem_locked(std::uint64_t key, Entry e) {
+    if (auto it = index.find(key); it != index.end()) {
+      it->second->second = std::move(e);
+      touch_locked(key, it->second);
+      return;
+    }
+    lru.emplace_front(key, std::move(e));
+    index[key] = lru.begin();
+    while (lru.size() > cfg.max_modules && !lru.empty()) {
+      index.erase(lru.back().first);
+      lru.pop_back();
+      ++st.evictions;
+    }
+  }
+};
+
+ProgCache::ProgCache() : impl_(std::make_unique<Impl>()) {
+  if (const char* v = std::getenv("CHECL_CLC_CACHE"))
+    if (std::string_view sv(v); sv == "off" || sv == "0")
+      impl_->cfg.enabled = false;
+  if (const char* d = std::getenv("CHECL_CLC_CACHE_DIR"))
+    if (*d != '\0') impl_->cfg.root = d;
+}
+
+ProgCache& ProgCache::instance() {
+  static ProgCache g;
+  return g;
+}
+
+void ProgCache::configure(const ProgCacheConfig& cfg) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  const bool repoint = cfg.root != impl_->cfg.root;
+  impl_->cfg = cfg;
+  if (cfg.max_modules == 0) impl_->cfg.max_modules = 1;
+  if (repoint) impl_->store_failed = false;
+}
+
+ProgCacheConfig ProgCache::config() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->cfg;
+}
+
+std::uint64_t ProgCache::key(std::string_view source, std::string_view options,
+                             std::string_view device_model) {
+  // Mirror clc::compile()'s preprocessing (including its predefined barrier
+  // macros) so the address is over the *preprocessed* source: two builds
+  // whose macros expand identically share one entry.
+  std::string opts(options);
+  opts += " -D CLK_LOCAL_MEM_FENCE=1 -D CLK_GLOBAL_MEM_FENCE=2";
+  clc::Preprocessor pp(opts);
+  std::string expanded;
+  clc::Diag diag;
+  if (!pp.run(source, expanded, diag)) expanded = std::string(source);
+
+  std::uint64_t h = 14695981039346656037ull;
+  h = fnv1a(expanded, h);
+  h = fnv1a("\x1f", h);
+  h = fnv1a(options, h);
+  h = fnv1a("\x1f", h);
+  h = fnv1a(device_model, h);
+  return h;
+}
+
+std::optional<ProgCache::Hit> ProgCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  if (!impl_->cfg.enabled) return std::nullopt;
+
+  if (auto it = impl_->index.find(key); it != impl_->index.end()) {
+    impl_->touch_locked(key, it->second);
+    ++impl_->st.hits;
+    const Impl::Entry& e = impl_->lru.front().second;
+    return Hit{e.module, e.serialized_bytes, false};
+  }
+
+  if (impl_->ensure_store_locked()) {
+    const std::string name = hex_name(key);
+    slimcr::Snapshot snap;
+    const slimcr::StorageModel model = slimcr::ram_disk();
+    const snapstore::GetResult got = impl_->store.get(name, snap, model);
+    if (got.status.ok()) {
+      const std::vector<std::uint8_t>* blob = snap.get(kSection);
+      std::vector<std::uint8_t> bytes = blob != nullptr
+                                            ? *blob
+                                            : std::vector<std::uint8_t>{};
+      auto& chaos = chaoskit::Engine::instance();
+      if (!bytes.empty() &&
+          chaos.should_fire(chaoskit::Site::CompileCachePoison)) {
+        const std::int64_t arg = chaos.arg();
+        if (arg < 0)
+          bytes.resize(bytes.size() / 2);  // torn entry
+        else
+          bytes[static_cast<std::size_t>(arg) % bytes.size()] ^= 0x40;
+      }
+      std::string why;
+      std::shared_ptr<const clc::Module> mod =
+          bytes.empty() ? nullptr : clc::deserialize_module(bytes, &why);
+      if (mod != nullptr) {
+        impl_->put_mem_locked(
+            key, Impl::Entry{mod, static_cast<std::uint64_t>(bytes.size())});
+        ++impl_->st.hits;
+        ++impl_->st.disk_hits;
+        return Hit{std::move(mod), bytes.size(), true};
+      }
+      // Corrupt or unreadable entry: never execute it — drop it from the
+      // pool and recompile.
+      ++impl_->st.poisoned;
+      if (why.empty()) why = "missing bytecode section";
+      impl_->last_error = "compile cache entry " + name + " rejected: " + why;
+      chaos.annotate(impl_->last_error);
+      impl_->store.remove(name);
+    }
+  }
+
+  ++impl_->st.misses;
+  return std::nullopt;
+}
+
+void ProgCache::insert(std::uint64_t key,
+                       std::shared_ptr<const clc::Module> module) {
+  if (module == nullptr) return;
+  std::vector<std::uint8_t> bytes = clc::serialize_module(*module);
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  if (!impl_->cfg.enabled) return;
+  ++impl_->st.puts;
+  impl_->put_mem_locked(
+      key, Impl::Entry{module, static_cast<std::uint64_t>(bytes.size())});
+  if (impl_->ensure_store_locked()) {
+    slimcr::Snapshot snap;
+    snap.set(kSection, std::move(bytes));
+    const slimcr::StorageModel model = slimcr::ram_disk();
+    const snapstore::PutResult put =
+        impl_->store.put(hex_name(key), snap, model);
+    if (!put.status.ok())
+      impl_->last_error =
+          "compile cache store put failed: " + put.status.message;
+  }
+}
+
+ProgCacheStats ProgCache::stats() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->st;
+}
+
+std::string ProgCache::last_error() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->last_error;
+}
+
+void ProgCache::reset() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->lru.clear();
+  impl_->index.clear();
+  impl_->st = ProgCacheStats{};
+  impl_->last_error.clear();
+  impl_->store_failed = false;
+  impl_->store_stale = true;
+}
+
+}  // namespace simcl

@@ -1,0 +1,102 @@
+// progcache.h — content-addressed compile cache for clc programs.
+//
+// clBuildProgram is the dominant term of CheCL's restart cost (the paper's
+// Tr): every restored program is recompiled from source on the new node.
+// This cache kills Tr for warm restarts: compiled modules are content-
+// addressed by FNV-1a over (preprocessed source, build options, device
+// model), kept in an in-memory LRU, and — when a cache root is configured —
+// persisted as serialized clc bytecode in a snapstore pool.  A warm
+// clBuildProgram then deserializes the bytecode (priced at
+// deserialize_base_ns + deserialize_ns_per_byte per byte, orders of
+// magnitude below the compile model's 30 ms + 150 ns/B) instead of
+// compiling; a freshly spawned proxy warms itself from the same on-disk
+// pool, which is what makes restore-after-migration fast on a node that has
+// seen the program before.
+//
+// Invalidation is purely key-based: any change to the preprocessed source,
+// the build options, or the target device model produces a different
+// address; stale entries are never returned, only evicted (LRU in memory,
+// overwritten by key on disk).  Disk entries are self-checking (magic,
+// version, FNV-1a payload checksum, full index validation in
+// clc::deserialize_module); a corrupt entry — including one poisoned by the
+// chaoskit CompileCachePoison site — is dropped, counted, recorded in
+// last_error(), and the build falls back to a full recompile.  Corrupt
+// bytecode is never executed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace clc {
+struct Module;
+}
+
+namespace simcl {
+
+struct ProgCacheConfig {
+  bool enabled = true;
+  std::string root;              // on-disk snapstore root; empty = memory only
+  std::size_t max_modules = 64;  // in-memory LRU capacity
+  // Warm-hit cost model: what a clBuildProgram that deserializes instead of
+  // compiling charges the simulated clock.
+  std::uint64_t deserialize_base_ns = 1'000'000;  // 1 ms
+  double deserialize_ns_per_byte = 1.0;
+};
+
+struct ProgCacheStats {
+  std::uint64_t hits = 0;        // memory + disk hits
+  std::uint64_t disk_hits = 0;   // subset of hits served from the disk pool
+  std::uint64_t misses = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t evictions = 0;   // in-memory LRU evictions
+  std::uint64_t poisoned = 0;    // corrupt disk entries detected and dropped
+};
+
+class ProgCache {
+ public:
+  // Process-wide instance (one per address space: the app under native
+  // binding, the proxy daemon under Transport::Process/Tcp).  Initial
+  // configuration honours CHECL_CLC_CACHE=off|0 and CHECL_CLC_CACHE_DIR.
+  static ProgCache& instance();
+
+  void configure(const ProgCacheConfig& cfg);
+  [[nodiscard]] ProgCacheConfig config() const;
+
+  // Content address of a program build: FNV-1a over the preprocessed source
+  // (same predefines clc::compile applies), the raw option string, and the
+  // device model name.
+  static std::uint64_t key(std::string_view source, std::string_view options,
+                           std::string_view device_model);
+
+  struct Hit {
+    std::shared_ptr<const clc::Module> module;
+    std::uint64_t serialized_bytes = 0;  // size the deserialize model charges
+    bool from_disk = false;
+  };
+
+  // Returns the cached module for `key`, consulting memory then disk.
+  // Returns nullopt on miss or when a disk entry fails verification (the
+  // entry is removed and counted as poisoned).
+  std::optional<Hit> lookup(std::uint64_t key);
+
+  // Serializes and caches a freshly compiled module under `key` (memory
+  // always, disk when a root is configured).
+  void insert(std::uint64_t key, std::shared_ptr<const clc::Module> module);
+
+  [[nodiscard]] ProgCacheStats stats() const;
+  [[nodiscard]] std::string last_error() const;
+
+  // Drops every in-memory entry and zeroes stats/last_error; the disk pool
+  // is left alone (tests re-point `root` via configure()).
+  void reset();
+
+ private:
+  ProgCache();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace simcl

@@ -1,0 +1,499 @@
+// fig4_kernels.h — the fig4 workload kernels as a standalone corpus.
+//
+// Each entry is one __kernel drawn verbatim from the fig4 benchmark suite
+// (src/workloads/{sdk_basic,sdk_advanced,parboil,shoc}.cpp), bundled with the
+// launch geometry and a declarative argument list so it can be compiled and
+// executed directly through clc — no OpenCL API, no simcl device model.  Two
+// consumers share this table:
+//
+//   * tests/vm_diff_test.cpp — runs every kernel under both execution engines
+//     (tree-walking interpreter vs bytecode VM) and asserts the output buffers
+//     are bit-identical;
+//   * bench/kernel_micro.cpp — times the same launches per engine and reports
+//     the interp/vm speedup per kernel (the "kill Tr" ablation).
+//
+// Buffer contents are derived deterministically from the argument index (LCG),
+// so every run of every consumer sees the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "clc/interp.h"
+
+namespace workloads {
+
+struct Fig4Arg {
+  enum class K : std::uint8_t {
+    FloatBuf,  // __global float* — `elems` floats in [lo, hi]
+    UintBuf,   // __global uint*  — `elems` uints in [0, 100)
+    Local,     // __local scratch — `elems` BYTES
+    Int,       // by-value int
+    Float,     // by-value float
+  };
+  K k = K::Int;
+  std::size_t elems = 0;
+  bool out = false;  // written by the kernel: compared by the diff test
+  std::int32_t i = 0;
+  float f = 0.0f;
+  float lo = -1.0f, hi = 1.0f;  // FloatBuf fill range
+};
+
+struct Fig4Kernel {
+  const char* workload;  // fig4 suite entry this kernel is drawn from
+  const char* kernel;    // __kernel function name
+  const char* source;
+  std::uint32_t dim = 1;
+  std::size_t global[3] = {1, 1, 1};
+  std::size_t local[3] = {1, 1, 1};
+  std::vector<Fig4Arg> args;
+};
+
+namespace fig4_detail {
+
+inline Fig4Arg fbuf(std::size_t elems, bool out = false, float lo = -1.0f,
+                    float hi = 1.0f) {
+  Fig4Arg a;
+  a.k = Fig4Arg::K::FloatBuf;
+  a.elems = elems;
+  a.out = out;
+  a.lo = lo;
+  a.hi = hi;
+  return a;
+}
+inline Fig4Arg ubuf(std::size_t elems, bool out = false) {
+  Fig4Arg a;
+  a.k = Fig4Arg::K::UintBuf;
+  a.elems = elems;
+  a.out = out;
+  return a;
+}
+inline Fig4Arg loc(std::size_t bytes) {
+  Fig4Arg a;
+  a.k = Fig4Arg::K::Local;
+  a.elems = bytes;
+  return a;
+}
+inline Fig4Arg si(std::int32_t v) {
+  Fig4Arg a;
+  a.k = Fig4Arg::K::Int;
+  a.i = v;
+  return a;
+}
+inline Fig4Arg sf(float v) {
+  Fig4Arg a;
+  a.k = Fig4Arg::K::Float;
+  a.f = v;
+  return a;
+}
+
+}  // namespace fig4_detail
+
+// The corpus.  Problem sizes are scaled down from the workloads so a full
+// two-engine sweep stays fast, but every control-flow/feature axis of the
+// originals is preserved (barriers, __local tiles, private arrays, user
+// functions, uint scans, mad/rsqrt/native_cos builtins).
+inline const std::vector<Fig4Kernel>& fig4_kernels() {
+  using namespace fig4_detail;
+  static const std::vector<Fig4Kernel> kCorpus = [] {
+    std::vector<Fig4Kernel> v;
+
+    v.push_back({"oclVectorAdd", "VectorAdd", R"CL(
+__kernel void VectorAdd(__global const float* a, __global const float* b,
+                        __global float* c, int n) {
+  int i = get_global_id(0);
+  if (i < n) c[i] = a[i] + b[i];
+}
+)CL",
+                 1,
+                 {4096, 1, 1},
+                 {64, 1, 1},
+                 {fbuf(4096), fbuf(4096), fbuf(4096, true), si(4096)}});
+
+    v.push_back({"oclDotProduct", "DotProduct", R"CL(
+__kernel void DotProduct(__global const float4* a, __global const float4* b,
+                         __global float* partial, __local float* scratch, int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  float acc = 0.0f;
+  if (gid < n) {
+    float4 x = a[gid];
+    float4 y = b[gid];
+    acc = dot(x, y);
+  }
+  scratch[lid] = acc;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (lid < s) scratch[lid] += scratch[lid + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) partial[get_group_id(0)] = scratch[0];
+}
+)CL",
+                 1,
+                 {512, 1, 1},
+                 {64, 1, 1},
+                 {fbuf(4 * 512), fbuf(4 * 512), fbuf(8, true), loc(64 * 4),
+                  si(512)}});
+
+    v.push_back({"oclMatrixMul", "MatrixMul", R"CL(
+#define TILE 8
+__kernel void MatrixMul(__global const float* A, __global const float* B,
+                        __global float* C, int n) {
+  __local float As[TILE * TILE];
+  __local float Bs[TILE * TILE];
+  int tx = get_local_id(0);
+  int ty = get_local_id(1);
+  int col = get_global_id(0);
+  int row = get_global_id(1);
+  float acc = 0.0f;
+  for (int t = 0; t < n / TILE; t = t + 1) {
+    As[ty * TILE + tx] = A[row * n + t * TILE + tx];
+    Bs[ty * TILE + tx] = B[(t * TILE + ty) * n + col];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < TILE; k = k + 1)
+      acc = mad(As[ty * TILE + k], Bs[k * TILE + tx], acc);
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  C[row * n + col] = acc;
+}
+)CL",
+                 2,
+                 {32, 32, 1},
+                 {8, 8, 1},
+                 {fbuf(32 * 32), fbuf(32 * 32), fbuf(32 * 32, true), si(32)}});
+
+    v.push_back({"oclTranspose", "Transpose", R"CL(
+#define TILE 8
+__kernel void Transpose(__global const float* in, __global float* out, int n) {
+  __local float tile[TILE * (TILE + 1)];
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  tile[ly * (TILE + 1) + lx] = in[y * n + x];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int ox = get_group_id(1) * TILE + lx;
+  int oy = get_group_id(0) * TILE + ly;
+  out[oy * n + ox] = tile[lx * (TILE + 1) + ly];
+}
+)CL",
+                 2,
+                 {32, 32, 1},
+                 {8, 8, 1},
+                 {fbuf(32 * 32), fbuf(32 * 32, true), si(32)}});
+
+    v.push_back({"oclReduction", "reduce", R"CL(
+__kernel void reduce(__global const float* in, __global float* out,
+                     __local float* scratch, int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  scratch[lid] = gid < n ? in[gid] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (lid < s) scratch[lid] += scratch[lid + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) out[get_group_id(0)] = scratch[0];
+}
+)CL",
+                 1,
+                 {2048, 1, 1},
+                 {64, 1, 1},
+                 {fbuf(2048), fbuf(32, true), loc(64 * 4), si(2048)}});
+
+    v.push_back({"oclBlackScholes", "BlackScholes", R"CL(
+float cnd(float d) {
+  float A1 = 0.31938153f;
+  float A2 = -0.356563782f;
+  float A3 = 1.781477937f;
+  float A4 = -1.821255978f;
+  float A5 = 1.330274429f;
+  float RSQRT2PI = 0.39894228040143267794f;
+  float K = 1.0f / (1.0f + 0.2316419f * fabs(d));
+  float v = RSQRT2PI * exp(-0.5f * d * d) *
+            (K * (A1 + K * (A2 + K * (A3 + K * (A4 + K * A5)))));
+  if (d > 0.0f) v = 1.0f - v;
+  return v;
+}
+
+__kernel void BlackScholes(__global float* call, __global float* put,
+                           __global const float* S, __global const float* X,
+                           __global const float* T, float R, float V, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  float sqrtT = sqrt(T[i]);
+  float d1 = (log(S[i] / X[i]) + (R + 0.5f * V * V) * T[i]) / (V * sqrtT);
+  float d2 = d1 - V * sqrtT;
+  float c1 = cnd(d1);
+  float c2 = cnd(d2);
+  float expRT = exp(-R * T[i]);
+  call[i] = S[i] * c1 - X[i] * expRT * c2;
+  put[i] = X[i] * expRT * (1.0f - c2) - S[i] * (1.0f - c1);
+}
+)CL",
+                 1,
+                 {2048, 1, 1},
+                 {64, 1, 1},
+                 {fbuf(2048, true), fbuf(2048, true), fbuf(2048, false, 5, 30),
+                  fbuf(2048, false, 1, 100), fbuf(2048, false, 0.25f, 10),
+                  sf(0.02f), sf(0.30f), si(2048)}});
+
+    v.push_back({"oclDCT8x8", "DCT8x8", R"CL(
+__kernel void DCT8x8(__global const float* in, __global float* out, int blocks) {
+  int b = get_global_id(0);
+  if (b >= blocks) return;
+  float tmp[64];
+  float pi = 3.14159265358979f;
+  for (int u = 0; u < 8; u = u + 1) {
+    for (int x = 0; x < 8; x = x + 1) {
+      float acc = 0.0f;
+      for (int k = 0; k < 8; k = k + 1)
+        acc += in[b * 64 + x * 8 + k] *
+               native_cos((2.0f * (float)k + 1.0f) * (float)u * pi / 16.0f);
+      float cu = u == 0 ? 0.353553390593f : 0.5f;
+      tmp[x * 8 + u] = cu * acc;
+    }
+  }
+  for (int v = 0; v < 8; v = v + 1) {
+    for (int u = 0; u < 8; u = u + 1) {
+      float acc = 0.0f;
+      for (int k = 0; k < 8; k = k + 1)
+        acc += tmp[k * 8 + u] *
+               native_cos((2.0f * (float)k + 1.0f) * (float)v * pi / 16.0f);
+      float cv = v == 0 ? 0.353553390593f : 0.5f;
+      out[b * 64 + v * 8 + u] = cv * acc;
+    }
+  }
+}
+)CL",
+                 1,
+                 {32, 1, 1},
+                 {8, 1, 1},
+                 {fbuf(32 * 64), fbuf(32 * 64, true), si(32)}});
+
+    v.push_back({"oclScanLargeGPU", "scanBlock", R"CL(
+#define BLOCK 128
+__kernel void scanBlock(__global const uint* in, __global uint* out,
+                        __global uint* sums, __local uint* temp, int n) {
+  int lid = get_local_id(0);
+  int gid = get_global_id(0);
+  temp[lid] = gid < n ? in[gid] : 0u;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int off = 1; off < BLOCK; off <<= 1) {
+    uint add = 0u;
+    if (lid >= off) add = temp[lid - off];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    temp[lid] += add;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (gid < n) out[gid] = temp[lid];
+  if (lid == BLOCK - 1) sums[get_group_id(0)] = temp[lid];
+}
+)CL",
+                 1,
+                 {1024, 1, 1},
+                 {128, 1, 1},
+                 {ubuf(1024), ubuf(1024, true), ubuf(8, true), loc(128 * 4),
+                  si(1024)}});
+
+    v.push_back({"cp_default", "cenergy", R"CL(
+__kernel void cenergy(__global const float* atoms, __global float* grid,
+                      int dim, int natoms) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= dim || y >= dim) return;
+  float fx = (float)x;
+  float fy = (float)y;
+  float energy = 0.0f;
+  for (int a = 0; a < natoms; a = a + 1) {
+    float dx = atoms[4 * a] - fx;
+    float dy = atoms[4 * a + 1] - fy;
+    float dz = atoms[4 * a + 2];
+    float q = atoms[4 * a + 3];
+    energy += q * rsqrt(dx * dx + dy * dy + dz * dz);
+  }
+  grid[y * dim + x] = energy;
+}
+)CL",
+                 2,
+                 {32, 32, 1},
+                 {8, 8, 1},
+                 {fbuf(4 * 64, false, 1, 30), fbuf(32 * 32, true), si(32),
+                  si(64)}});
+
+    v.push_back({"SGEMM", "sgemmNN", R"CL(
+__kernel void sgemmNN(__global const float* A, __global const float* B,
+                      __global float* C, int n, float alpha, float beta) {
+  int row = get_global_id(0);
+  if (row >= n) return;
+  for (int col = 0; col < n; col = col + 1) {
+    float acc = 0.0f;
+    for (int k = 0; k < n; k = k + 1)
+      acc = mad(A[row * n + k], B[k * n + col], acc);
+    C[row * n + col] = alpha * acc + beta * C[row * n + col];
+  }
+}
+)CL",
+                 1,
+                 {48, 1, 1},
+                 {8, 1, 1},
+                 {fbuf(48 * 48), fbuf(48 * 48), fbuf(48 * 48, true), si(48),
+                  sf(1.5f), sf(0.5f)}});
+
+    v.push_back({"Stencil2D", "stencil9", R"CL(
+__kernel void stencil9(__global const float* in, __global float* out, int dim) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= dim || y >= dim) return;
+  if (x == 0 || y == 0 || x == dim - 1 || y == dim - 1) {
+    out[y * dim + x] = in[y * dim + x];
+    return;
+  }
+  float c = in[y * dim + x];
+  float n = in[(y - 1) * dim + x];
+  float s = in[(y + 1) * dim + x];
+  float e = in[y * dim + x + 1];
+  float w = in[y * dim + x - 1];
+  float ne = in[(y - 1) * dim + x + 1];
+  float nw = in[(y - 1) * dim + x - 1];
+  float se = in[(y + 1) * dim + x + 1];
+  float sw = in[(y + 1) * dim + x - 1];
+  out[y * dim + x] =
+      0.25f * c + 0.125f * (n + s + e + w) + 0.0625f * (ne + nw + se + sw);
+}
+)CL",
+                 2,
+                 {64, 64, 1},
+                 {8, 8, 1},
+                 {fbuf(64 * 64), fbuf(64 * 64, true), si(64)}});
+
+    v.push_back({"Triad", "triad", R"CL(
+__kernel void triad(__global float* a, __global const float* b,
+                    __global const float* c, float s, int n) {
+  int i = get_global_id(0);
+  if (i < n) a[i] = b[i] + s * c[i];
+}
+)CL",
+                 1,
+                 {4096, 1, 1},
+                 {64, 1, 1},
+                 {fbuf(4096, true), fbuf(4096), fbuf(4096), sf(1.75f),
+                  si(4096)}});
+
+    v.push_back({"MD", "ljForce", R"CL(
+__kernel void ljForce(__global const float* pos, __global float* force,
+                      float cutoff2, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  float xi = pos[3 * i];
+  float yi = pos[3 * i + 1];
+  float zi = pos[3 * i + 2];
+  float fx = 0.0f;
+  float fy = 0.0f;
+  float fz = 0.0f;
+  for (int j = 0; j < n; j = j + 1) {
+    if (j == i) continue;
+    float dx = pos[3 * j] - xi;
+    float dy = pos[3 * j + 1] - yi;
+    float dz = pos[3 * j + 2] - zi;
+    float r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 < cutoff2 && r2 > 1e-6f) {
+      float inv2 = 1.0f / r2;
+      float inv6 = inv2 * inv2 * inv2;
+      float f = inv2 * inv6 * (inv6 - 0.5f);
+      fx = mad(f, dx, fx);
+      fy = mad(f, dy, fy);
+      fz = mad(f, dz, fz);
+    }
+  }
+  force[3 * i] = fx;
+  force[3 * i + 1] = fy;
+  force[3 * i + 2] = fz;
+}
+)CL",
+                 1,
+                 {128, 1, 1},
+                 {32, 1, 1},
+                 {fbuf(3 * 128, false, 0, 10), fbuf(3 * 128, true), sf(16.0f),
+                  si(128)}});
+
+    return v;
+  }();
+  return kCorpus;
+}
+
+// Materialized launch state: KernelArgs plus the owned buffer storage they
+// point into.  The GlobalPtr args alias `buffers`, so instances must not be
+// copied (moving is fine: the inner buffers' heap storage is stable).  For a
+// second pristine run, call make_fig4_launch() again — the fill is
+// deterministic, so two launches of the same kernel start bit-identical.
+struct Fig4Launch {
+  std::vector<std::vector<std::uint8_t>> buffers;  // index-aligned with args
+  std::vector<clc::KernelArg> args;
+  clc::NDRange nd;
+};
+
+// Deterministic fill + arg materialization.  Buffer `a` of kernel `k` always
+// holds the same bytes, whoever calls this.
+inline Fig4Launch make_fig4_launch(const Fig4Kernel& k) {
+  Fig4Launch L;
+  L.nd.dim = k.dim;
+  for (int d = 0; d < 3; ++d) {
+    L.nd.global[d] = k.global[d];
+    L.nd.local[d] = k.local[d];
+  }
+  L.buffers.resize(k.args.size());
+  std::uint32_t lcg = 0x9E3779B9u;
+  for (std::size_t ai = 0; ai < k.args.size(); ++ai) {
+    const Fig4Arg& spec = k.args[ai];
+    clc::KernelArg a;
+    switch (spec.k) {
+      case Fig4Arg::K::FloatBuf: {
+        std::vector<float> vals(spec.elems);
+        for (float& f : vals) {
+          lcg = lcg * 1664525u + 1013904223u;
+          const float unit =
+              static_cast<float>((lcg >> 8) & 0xFFFFu) / 65536.0f;
+          f = spec.lo + (spec.hi - spec.lo) * unit;
+        }
+        L.buffers[ai].resize(vals.size() * sizeof(float));
+        std::memcpy(L.buffers[ai].data(), vals.data(), L.buffers[ai].size());
+        a.k = clc::KernelArg::K::GlobalPtr;
+        a.ptr = L.buffers[ai].data();
+        break;
+      }
+      case Fig4Arg::K::UintBuf: {
+        std::vector<std::uint32_t> vals(spec.elems);
+        for (std::uint32_t& u : vals) {
+          lcg = lcg * 1664525u + 1013904223u;
+          u = lcg % 100u;
+        }
+        L.buffers[ai].resize(vals.size() * sizeof(std::uint32_t));
+        std::memcpy(L.buffers[ai].data(), vals.data(), L.buffers[ai].size());
+        a.k = clc::KernelArg::K::GlobalPtr;
+        a.ptr = L.buffers[ai].data();
+        break;
+      }
+      case Fig4Arg::K::Local:
+        a.k = clc::KernelArg::K::LocalAlloc;
+        a.local_bytes = spec.elems;
+        break;
+      case Fig4Arg::K::Int:
+        a.k = clc::KernelArg::K::Bytes;
+        a.bytes.resize(sizeof(std::int32_t));
+        std::memcpy(a.bytes.data(), &spec.i, sizeof(std::int32_t));
+        break;
+      case Fig4Arg::K::Float:
+        a.k = clc::KernelArg::K::Bytes;
+        a.bytes.resize(sizeof(float));
+        std::memcpy(a.bytes.data(), &spec.f, sizeof(float));
+        break;
+    }
+    L.args.push_back(std::move(a));
+  }
+  return L;
+}
+
+}  // namespace workloads

@@ -2,6 +2,7 @@
 
 #include "checl/cl_ext.h"
 #include "core/runtime.h"
+#include "simcl/progcache.h"
 #include "simcl/runtime.h"
 
 namespace workloads {
@@ -9,6 +10,11 @@ namespace workloads {
 void fresh_process(Binding binding, const checl::NodeConfig& node) {
   auto& crt = checl::CheclRuntime::instance();
   crt.reset_all();  // drop CheCL objects + proxy from any previous "process"
+  // A fresh "process" starts with a cold in-memory compile cache either way;
+  // only an on-disk clc_cache.root survives the boundary (the CheCL path's
+  // respawned proxyd applies the same config via Op::Configure).
+  simcl::ProgCache::instance().reset();
+  simcl::ProgCache::instance().configure(node.clc_cache);
   if (binding == Binding::CheCL) {
     crt.set_node(node);
     checl::bind_checl();

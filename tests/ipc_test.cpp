@@ -412,17 +412,24 @@ TEST(ConfigIo, PlatformSpecRoundTrip) {
   costs.per_call_ns = 123;
   costs.bytes_per_sec = 4.5e9;
   costs.spawn_ns = 777;
+  simcl::ProgCacheConfig cache;
+  cache.root = "/tmp/clc-cache";
+  cache.max_modules = 7;
   ipc::Writer w;
-  proxy::write_config(w, platforms, costs, true);
+  proxy::write_config(w, platforms, costs, true, cache);
   const auto bytes = w.take();
 
   ipc::Reader r(bytes);
   std::vector<simcl::PlatformSpec> got;
   proxy::IpcCosts got_costs;
   bool reset = false;
-  proxy::read_config(r, got, got_costs, reset);
+  simcl::ProgCacheConfig got_cache;
+  proxy::read_config(r, got, got_costs, reset, got_cache);
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(reset);
+  EXPECT_TRUE(got_cache.enabled);
+  EXPECT_EQ(got_cache.root, "/tmp/clc-cache");
+  EXPECT_EQ(got_cache.max_modules, 7u);
   EXPECT_EQ(got_costs.per_call_ns, 123u);
   EXPECT_EQ(got_costs.spawn_ns, 777u);
   ASSERT_EQ(got.size(), platforms.size());

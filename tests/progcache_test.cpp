@@ -1,0 +1,282 @@
+// progcache_test.cpp — the content-addressed compile cache (simcl/progcache):
+// key sensitivity, in-memory LRU behaviour, the on-disk snapstore pool that
+// survives a process-fresh reset(), the chaoskit compile_cache_poison site
+// (corrupt bytecode must fall back to recompile, never execute), and the warm
+// clBuildProgram fast path through the public CL API.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "chaoskit/chaoskit.h"
+#include "checl/cl_ext.h"
+#include "clc/program.h"
+#include "simcl/progcache.h"
+#include "simcl/runtime.h"
+#include "workloads/harness.h"
+
+namespace {
+
+using simcl::ProgCache;
+using simcl::ProgCacheConfig;
+
+const char* kSrcA = R"CL(
+__kernel void k(__global int* out) { out[get_global_id(0)] = 41; }
+)CL";
+const char* kSrcB = R"CL(
+__kernel void k(__global int* out) { out[get_global_id(0)] = 42; }
+)CL";
+const char* kSrcC = R"CL(
+__kernel void k(__global int* out) { out[get_global_id(0)] = 43; }
+)CL";
+
+std::shared_ptr<const clc::Module> compiled(const char* src) {
+  clc::CompileResult res = clc::compile(src);
+  EXPECT_TRUE(res.ok()) << res.diag.to_string();
+  return std::shared_ptr<const clc::Module>(std::move(res.module));
+}
+
+class ProgCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/checl_progcache_test";
+    std::filesystem::remove_all(dir_);
+    chaoskit::Engine::instance().disarm();
+    ProgCache::instance().reset();
+    ProgCache::instance().configure({});  // memory-only defaults
+  }
+  void TearDown() override {
+    chaoskit::Engine::instance().disarm();
+    ProgCache::instance().reset();
+    ProgCache::instance().configure({});
+    std::filesystem::remove_all(dir_);
+  }
+
+  ProgCacheConfig disk_config() {
+    ProgCacheConfig cfg;
+    cfg.root = dir_;
+    return cfg;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ProgCacheTest, KeyDependsOnSourceOptionsAndDevice) {
+  const std::uint64_t base = ProgCache::key(kSrcA, "", "Tesla C1060");
+  EXPECT_EQ(base, ProgCache::key(kSrcA, "", "Tesla C1060"));
+  EXPECT_NE(base, ProgCache::key(kSrcB, "", "Tesla C1060"));
+  EXPECT_NE(base, ProgCache::key(kSrcA, "-D N=4", "Tesla C1060"));
+  EXPECT_NE(base, ProgCache::key(kSrcA, "", "Radeon HD5870"));
+}
+
+TEST_F(ProgCacheTest, KeyIsOverPreprocessedSource) {
+  // The address is FNV over the *preprocessed* text: a macro spelling and its
+  // expansion share one entry.  (The preprocessor replaces the #define line
+  // with a bare newline to keep line numbers aligned, hence the blank first
+  // line of the literal spelling.)
+  const char* macro_src =
+      "#define ANSWER 41\n"
+      "__kernel void k(__global int* out) { out[get_global_id(0)] = ANSWER; }\n";
+  const char* plain_src =
+      "\n"
+      "__kernel void k(__global int* out) { out[get_global_id(0)] = 41; }\n";
+  EXPECT_EQ(ProgCache::key(macro_src, "", "dev"),
+            ProgCache::key(plain_src, "", "dev"));
+  // ...and macro-relevant differences do change the address.
+  const char* macro_src2 =
+      "#define ANSWER 42\n"
+      "__kernel void k(__global int* out) { out[get_global_id(0)] = ANSWER; }\n";
+  EXPECT_NE(ProgCache::key(macro_src, "", "dev"),
+            ProgCache::key(macro_src2, "", "dev"));
+}
+
+TEST_F(ProgCacheTest, MemoryHitMissAndLruEviction) {
+  ProgCacheConfig cfg;
+  cfg.max_modules = 2;
+  ProgCache::instance().configure(cfg);
+  ProgCache& cache = ProgCache::instance();
+
+  const std::uint64_t ka = ProgCache::key(kSrcA, "", "dev");
+  const std::uint64_t kb = ProgCache::key(kSrcB, "", "dev");
+  const std::uint64_t kc = ProgCache::key(kSrcC, "", "dev");
+
+  EXPECT_FALSE(cache.lookup(ka).has_value());
+  cache.insert(ka, compiled(kSrcA));
+  cache.insert(kb, compiled(kSrcB));
+
+  auto hit = cache.lookup(ka);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->from_disk);
+  EXPECT_GT(hit->serialized_bytes, 0u);
+  EXPECT_NE(hit->module->find_func("k"), nullptr);
+
+  // ka was just touched, so inserting kc evicts kb (the LRU tail).
+  cache.insert(kc, compiled(kSrcC));
+  EXPECT_TRUE(cache.lookup(ka).has_value());
+  EXPECT_FALSE(cache.lookup(kb).has_value());
+  EXPECT_TRUE(cache.lookup(kc).has_value());
+
+  const simcl::ProgCacheStats st = cache.stats();
+  EXPECT_EQ(st.puts, 3u);
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.hits, 3u);
+  EXPECT_EQ(st.misses, 2u);
+  EXPECT_EQ(st.disk_hits, 0u);
+  EXPECT_EQ(st.poisoned, 0u);
+}
+
+TEST_F(ProgCacheTest, DiskPoolSurvivesProcessFreshReset) {
+  ProgCache& cache = ProgCache::instance();
+  cache.configure(disk_config());
+  const std::uint64_t ka = ProgCache::key(kSrcA, "", "dev");
+  cache.insert(ka, compiled(kSrcA));
+
+  // Simulate a fresh process on the same node: memory gone, disk root kept.
+  cache.reset();
+  cache.configure(disk_config());
+
+  auto hit = cache.lookup(ka);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->from_disk);
+  ASSERT_NE(hit->module, nullptr);
+  // The disk entry is VM-only bytecode: no AST bodies survive the trip.
+  for (const auto& f : hit->module->funcs) EXPECT_EQ(f->body, nullptr);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+
+  // Second lookup is served from memory (the disk hit was promoted).
+  auto again = cache.lookup(ka);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_FALSE(again->from_disk);
+}
+
+TEST_F(ProgCacheTest, ResetWithoutRootForgetsEverything) {
+  ProgCache& cache = ProgCache::instance();
+  const std::uint64_t ka = ProgCache::key(kSrcA, "", "dev");
+  cache.insert(ka, compiled(kSrcA));
+  cache.reset();
+  EXPECT_FALSE(cache.lookup(ka).has_value());
+  EXPECT_EQ(cache.stats().hits, 0u);  // reset() zeroes stats too
+}
+
+TEST_F(ProgCacheTest, DisabledCacheServesNothing) {
+  ProgCacheConfig cfg;
+  cfg.enabled = false;
+  ProgCache& cache = ProgCache::instance();
+  cache.configure(cfg);
+  const std::uint64_t ka = ProgCache::key(kSrcA, "", "dev");
+  cache.insert(ka, compiled(kSrcA));
+  EXPECT_FALSE(cache.lookup(ka).has_value());
+}
+
+// The chaoskit site: a disk entry corrupted between put and get must be
+// detected, dropped, and reported — never deserialized into execution.
+TEST_F(ProgCacheTest, PoisonedDiskEntryFallsBackAndNamesTheSite) {
+  for (const std::int64_t arg : {std::int64_t{12}, std::int64_t{-1}}) {
+    SCOPED_TRACE(arg < 0 ? "truncated" : "bit-flipped");
+    std::filesystem::remove_all(dir_);
+    ProgCache& cache = ProgCache::instance();
+    cache.reset();
+    cache.configure(disk_config());
+    const std::uint64_t ka = ProgCache::key(kSrcA, "", "dev");
+    cache.insert(ka, compiled(kSrcA));
+    cache.reset();  // drop the in-memory copy, keep the disk pool
+    cache.configure(disk_config());
+
+    chaoskit::Fault f;
+    f.site = chaoskit::Site::CompileCachePoison;
+    f.arg = arg;
+    chaoskit::Engine::instance().arm(f);
+
+    // The poisoned read is rejected -> miss, so the caller recompiles.
+    EXPECT_FALSE(cache.lookup(ka).has_value());
+    chaoskit::Engine::instance().disarm();
+
+    const simcl::ProgCacheStats st = cache.stats();
+    EXPECT_EQ(st.poisoned, 1u);
+    EXPECT_EQ(st.hits, 0u);
+    const std::string err = cache.last_error();
+    EXPECT_NE(err.find("rejected"), std::string::npos) << err;
+    EXPECT_NE(err.find("compile_cache_poison"), std::string::npos) << err;
+
+    // The corrupt entry was removed from the pool: the next (unpoisoned)
+    // lookup is a clean miss, and a re-insert round-trips again.
+    EXPECT_FALSE(cache.lookup(ka).has_value());
+    cache.insert(ka, compiled(kSrcA));
+    cache.reset();
+    cache.configure(disk_config());
+    auto healed = cache.lookup(ka);
+    ASSERT_TRUE(healed.has_value());
+    EXPECT_TRUE(healed->from_disk);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// end-to-end: the clBuildProgram warm path through the public API
+// ---------------------------------------------------------------------------
+
+// Builds the same program twice in two "fresh processes" sharing a cache
+// root: the second build must be a disk hit, charge the deserialize model
+// (cheaper than the compile model), and still produce a working kernel.
+TEST_F(ProgCacheTest, WarmBuildProgramIsCheaperAndStillCorrect) {
+  const char* kSrc = R"CL(
+__kernel void scale(__global int* data, int m) {
+  int i = get_global_id(0);
+  data[i] = data[i] * m;
+}
+)CL";
+
+  auto run_once = [&](bool warm_root) -> std::uint64_t {
+    checl::NodeConfig node = checl::nvidia_node();
+    if (warm_root) node.clc_cache.root = dir_;
+    workloads::fresh_process(workloads::Binding::Native, node);
+    workloads::Env env;
+    EXPECT_EQ(workloads::open_env(env, CL_DEVICE_TYPE_GPU, "NVIDIA"),
+              CL_SUCCESS);
+
+    cl_ulong t0 = 0, t1 = 0;
+    clSimGetHostTimeNS(&t0);
+    cl_int err = CL_SUCCESS;
+    cl_program p = clCreateProgramWithSource(env.ctx, 1, &kSrc, nullptr, &err);
+    EXPECT_EQ(err, CL_SUCCESS);
+    EXPECT_EQ(clBuildProgram(p, 0, nullptr, "", nullptr, nullptr), CL_SUCCESS);
+    clSimGetHostTimeNS(&t1);
+    const std::uint64_t build_ns = t1 - t0;
+
+    // The built kernel must work regardless of which path produced it.
+    cl_kernel k = clCreateKernel(p, "scale", &err);
+    EXPECT_EQ(err, CL_SUCCESS);
+    int host[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    cl_mem buf = clCreateBuffer(env.ctx, CL_MEM_COPY_HOST_PTR, sizeof host,
+                                host, &err);
+    EXPECT_EQ(err, CL_SUCCESS);
+    const int m = 3;
+    clSetKernelArg(k, 0, sizeof(cl_mem), &buf);
+    clSetKernelArg(k, 1, sizeof(int), &m);
+    std::size_t g = 8;
+    EXPECT_EQ(clEnqueueNDRangeKernel(env.queue, k, 1, nullptr, &g, nullptr, 0,
+                                     nullptr, nullptr),
+              CL_SUCCESS);
+    EXPECT_EQ(clEnqueueReadBuffer(env.queue, buf, CL_TRUE, 0, sizeof host,
+                                  host, 0, nullptr, nullptr),
+              CL_SUCCESS);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(host[i], (i + 1) * 3);
+
+    clReleaseMemObject(buf);
+    clReleaseKernel(k);
+    clReleaseProgram(p);
+    workloads::close_env(env);
+    return build_ns;
+  };
+
+  const std::uint64_t cold_ns = run_once(true);
+  EXPECT_EQ(ProgCache::instance().stats().puts, 1u);
+  const std::uint64_t warm_ns = run_once(true);
+  const simcl::ProgCacheStats st = ProgCache::instance().stats();
+  EXPECT_EQ(st.disk_hits, 1u);
+  EXPECT_GT(cold_ns, 0u);
+  EXPECT_GT(warm_ns, 0u);
+  // compile model: 30ms base; deserialize model: 1ms base + 1ns/B.
+  EXPECT_LT(warm_ns * 5, cold_ns);
+}
+
+}  // namespace

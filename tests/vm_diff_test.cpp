@@ -1,0 +1,454 @@
+// vm_diff_test.cpp — differential testing of the clc bytecode VM against the
+// tree-walking interpreter (the oracle).
+//
+// The VM's correctness claim is *bit-identity*: for every kernel, every output
+// buffer must hold exactly the same bytes under both engines, because both
+// bottom out in the same binary_op/convert/load/store/builtin helpers.  The
+// suites here prove that claim three ways:
+//   * the fig4 workload-kernel corpus (src/workloads/fig4_kernels.h);
+//   * seeded randomized expression kernels over the scalar/vector type grid;
+//   * a hand-picked corpus of the semantics corners (swizzle stores, structs,
+//    compound assignment, short-circuiting, user functions, wrap-around);
+// plus the serialize -> deserialize -> execute round-trip (what a compile-cache
+// hit runs), runtime-fault parity, and the stats_json "clc" section.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "clc/bytecode.h"
+#include "clc/interp.h"
+#include "clc/program.h"
+#include "core/stats.h"
+#include "workloads/fig4_kernels.h"
+
+namespace {
+
+using workloads::Fig4Kernel;
+using workloads::Fig4Launch;
+
+clc::LaunchResult run_engine(const clc::Module& mod, const clc::FuncDecl& fn,
+                             const Fig4Launch& L, clc::ExecEngine engine) {
+  clc::LaunchOptions opts;
+  opts.engine = engine;
+  return clc::execute_ndrange(mod, fn, L.args, L.nd, opts);
+}
+
+// Runs `k` once per engine on bit-identical inputs and asserts every buffer
+// (inputs too — the kernel must not scribble) matches afterwards.  When
+// `deserialized` is non-null it is used for the VM run instead of the
+// compiled module (the compile-cache-hit configuration: metadata + bytecode,
+// no AST bodies).
+void expect_bit_identical(const Fig4Kernel& k,
+                          const clc::Module* deserialized = nullptr) {
+  SCOPED_TRACE(std::string(k.workload) + "/" + k.kernel);
+  clc::CompileResult res = clc::compile(k.source);
+  ASSERT_TRUE(res.ok()) << res.diag.to_string();
+  const clc::FuncDecl* fn = res.module->find_func(k.kernel);
+  ASSERT_NE(fn, nullptr);
+
+  Fig4Launch li = workloads::make_fig4_launch(k);
+  const clc::LaunchResult ri =
+      run_engine(*res.module, *fn, li, clc::ExecEngine::Interp);
+  ASSERT_TRUE(ri.ok) << ri.error;
+
+  const clc::Module& vm_mod = deserialized ? *deserialized : *res.module;
+  const clc::FuncDecl* vm_fn = vm_mod.find_func(k.kernel);
+  ASSERT_NE(vm_fn, nullptr);
+  Fig4Launch lv = workloads::make_fig4_launch(k);
+  const clc::LaunchResult rv =
+      run_engine(vm_mod, *vm_fn, lv, clc::ExecEngine::Vm);
+  ASSERT_TRUE(rv.ok) << rv.error;
+
+  ASSERT_EQ(li.buffers.size(), lv.buffers.size());
+  for (std::size_t b = 0; b < li.buffers.size(); ++b) {
+    SCOPED_TRACE("buffer " + std::to_string(b));
+    ASSERT_EQ(li.buffers[b].size(), lv.buffers[b].size());
+    EXPECT_EQ(0, std::memcmp(li.buffers[b].data(), lv.buffers[b].data(),
+                             li.buffers[b].size()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fig4 workload kernels
+// ---------------------------------------------------------------------------
+
+TEST(VmDiff, Fig4KernelsBitIdentical) {
+  for (const Fig4Kernel& k : workloads::fig4_kernels()) expect_bit_identical(k);
+}
+
+TEST(VmDiff, Fig4KernelsBitIdenticalAfterSerializeRoundTrip) {
+  for (const Fig4Kernel& k : workloads::fig4_kernels()) {
+    SCOPED_TRACE(std::string(k.workload) + "/" + k.kernel);
+    clc::CompileResult res = clc::compile(k.source);
+    ASSERT_TRUE(res.ok()) << res.diag.to_string();
+    const std::vector<std::uint8_t> blob = clc::serialize_module(*res.module);
+    ASSERT_FALSE(blob.empty());
+    std::string err;
+    std::shared_ptr<const clc::Module> back =
+        clc::deserialize_module(blob, &err);
+    ASSERT_NE(back, nullptr) << err;
+    // The round-tripped module carries no AST: execution below can only be
+    // the VM interpreting the deserialized bytecode.
+    for (const auto& f : back->funcs) EXPECT_EQ(f->body, nullptr);
+    expect_bit_identical(k, back.get());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// randomized expression kernels
+// ---------------------------------------------------------------------------
+
+struct RandGen {
+  std::mt19937 rng;
+  bool is_float;
+
+  explicit RandGen(std::uint32_t seed, bool f) : rng(seed), is_float(f) {}
+
+  int pick(int n) { return static_cast<int>(rng() % static_cast<unsigned>(n)); }
+
+  std::string leaf() {
+    switch (pick(4)) {
+      case 0: return "x";
+      case 1: return "y";
+      case 2:
+        return is_float ? std::to_string(pick(16)) + ".25f"
+                        : std::to_string(pick(64) - 32);
+      default: return is_float ? "2.5f" : "3";
+    }
+  }
+
+  std::string expr(int depth) {
+    if (depth <= 0) return leaf();
+    const std::string a = expr(depth - 1);
+    const std::string b = expr(depth - 1);
+    if (is_float) {
+      switch (pick(7)) {
+        case 0: return "(" + a + " + " + b + ")";
+        case 1: return "(" + a + " - " + b + ")";
+        case 2: return "(" + a + " * " + b + ")";
+        case 3: return "fmin(" + a + ", " + b + ")";
+        case 4: return "fmax(" + a + ", " + b + ")";
+        case 5: return "fabs(" + a + ")";
+        default: return "mad(" + a + ", " + b + ", " + expr(depth - 1) + ")";
+      }
+    }
+    switch (pick(10)) {
+      case 0: return "(" + a + " + " + b + ")";
+      case 1: return "(" + a + " - " + b + ")";
+      case 2: return "(" + a + " * " + b + ")";
+      case 3: return "(" + a + " & " + b + ")";
+      case 4: return "(" + a + " | " + b + ")";
+      case 5: return "(" + a + " ^ " + b + ")";
+      case 6: return "(" + a + " << (" + b + " & 7))";
+      case 7: return "(" + a + " >> (" + b + " & 7))";
+      case 8: return "(" + a + " / (" + b + " | 1))";   // |1: no div-by-zero
+      default: return "(" + a + " % (" + b + " | 1))";
+    }
+  }
+};
+
+// One randomized kernel: out[i] = f(a[i], b[i]) for a seeded random f.
+// Scalar types additionally exercise comparisons and the ternary operator.
+void run_random_kernel(const char* type, std::size_t elem_bytes, bool is_float,
+                       bool is_vector, std::uint32_t seed) {
+  SCOPED_TRACE(std::string(type) + " seed=" + std::to_string(seed));
+  RandGen gen(seed, is_float);
+  std::string body = gen.expr(3);
+  if (!is_vector && gen.pick(2) == 0)
+    body = "((x < y) ? " + body + " : " + gen.expr(2) + ")";
+  const std::string src = std::string("__kernel void k(__global ") + type +
+                          "* out, __global const " + type +
+                          "* a, __global const " + type + "* b) {\n"
+                          "  int i = get_global_id(0);\n  " +
+                          type + " x = a[i];\n  " + type + " y = b[i];\n"
+                          "  out[i] = " + body + ";\n}\n";
+
+  clc::CompileResult res = clc::compile(src.c_str());
+  ASSERT_TRUE(res.ok()) << src << "\n" << res.diag.to_string();
+  const clc::FuncDecl* fn = res.module->find_func("k");
+  ASSERT_NE(fn, nullptr);
+
+  const std::size_t n = 256;
+  auto fill = [&](std::uint32_t fseed) {
+    std::vector<std::uint8_t> buf(n * elem_bytes);
+    std::uint32_t lcg = fseed;
+    if (is_float) {
+      for (std::size_t i = 0; i + 4 <= buf.size(); i += 4) {
+        lcg = lcg * 1664525u + 1013904223u;
+        const float f =
+            -8.0f + 16.0f * static_cast<float>((lcg >> 8) & 0xFFFFu) / 65536.0f;
+        std::memcpy(buf.data() + i, &f, 4);
+      }
+    } else {
+      for (auto& byte : buf) {
+        lcg = lcg * 1664525u + 1013904223u;
+        byte = static_cast<std::uint8_t>(lcg >> 13);
+      }
+    }
+    return buf;
+  };
+
+  auto run = [&](clc::ExecEngine engine) {
+    std::vector<std::uint8_t> a = fill(seed * 7 + 1);
+    std::vector<std::uint8_t> b = fill(seed * 13 + 2);
+    std::vector<std::uint8_t> out(n * elem_bytes, 0xAB);
+    std::vector<clc::KernelArg> args(3);
+    args[0].k = clc::KernelArg::K::GlobalPtr;
+    args[0].ptr = out.data();
+    args[1].k = clc::KernelArg::K::GlobalPtr;
+    args[1].ptr = a.data();
+    args[2].k = clc::KernelArg::K::GlobalPtr;
+    args[2].ptr = b.data();
+    clc::NDRange nd;
+    nd.dim = 1;
+    nd.global[0] = n;
+    nd.local[0] = 32;
+    clc::LaunchOptions opts;
+    opts.engine = engine;
+    const clc::LaunchResult r =
+        clc::execute_ndrange(*res.module, *fn, args, nd, opts);
+    EXPECT_TRUE(r.ok) << src << "\n" << r.error;
+    return out;
+  };
+
+  const std::vector<std::uint8_t> oi = run(clc::ExecEngine::Interp);
+  const std::vector<std::uint8_t> ov = run(clc::ExecEngine::Vm);
+  EXPECT_EQ(oi, ov) << src;
+}
+
+TEST(VmDiff, RandomizedKernelsBitIdentical) {
+  struct Ty {
+    const char* name;
+    std::size_t bytes;
+    bool is_float;
+    bool is_vector;
+  };
+  const Ty kTypes[] = {
+      {"int", 4, false, false},    {"uint", 4, false, false},
+      {"char", 1, false, false},   {"short", 2, false, false},
+      {"float", 4, true, false},   {"float2", 8, true, true},
+      {"float4", 16, true, true},  {"int4", 16, false, true},
+  };
+  for (const Ty& t : kTypes)
+    for (std::uint32_t seed = 1; seed <= 8; ++seed)
+      run_random_kernel(t.name, t.bytes, t.is_float, t.is_vector, seed);
+}
+
+// ---------------------------------------------------------------------------
+// semantics-corner corpus (the clc_test feature axes, engine-diffed)
+// ---------------------------------------------------------------------------
+
+// Each corpus kernel writes `out` (uint words) from `a`/`b` inputs; the
+// harness diff-runs it like the randomized ones.
+void diff_corpus_kernel(const char* tag, const std::string& src) {
+  SCOPED_TRACE(tag);
+  clc::CompileResult res = clc::compile(src.c_str());
+  ASSERT_TRUE(res.ok()) << res.diag.to_string();
+  const clc::FuncDecl* fn = res.module->find_func("k");
+  ASSERT_NE(fn, nullptr);
+
+  const std::size_t n = 64;
+  auto run = [&](clc::ExecEngine engine) {
+    std::vector<std::uint32_t> out(4 * n, 0xCDCDCDCDu);
+    std::vector<std::uint32_t> in(4 * n);
+    for (std::size_t i = 0; i < in.size(); ++i)
+      in[i] = static_cast<std::uint32_t>(i * 2654435761u);
+    std::vector<clc::KernelArg> args(2);
+    args[0].k = clc::KernelArg::K::GlobalPtr;
+    args[0].ptr = out.data();
+    args[1].k = clc::KernelArg::K::GlobalPtr;
+    args[1].ptr = in.data();
+    clc::NDRange nd;
+    nd.dim = 1;
+    nd.global[0] = n;
+    nd.local[0] = 16;
+    clc::LaunchOptions opts;
+    opts.engine = engine;
+    const clc::LaunchResult r =
+        clc::execute_ndrange(*res.module, *fn, args, nd, opts);
+    EXPECT_TRUE(r.ok) << r.error;
+    return out;
+  };
+  EXPECT_EQ(run(clc::ExecEngine::Interp), run(clc::ExecEngine::Vm));
+}
+
+TEST(VmDiff, CorpusControlFlowAndCompoundAssign) {
+  diff_corpus_kernel("loops", R"CL(
+__kernel void k(__global uint* out, __global const uint* in) {
+  int i = get_global_id(0);
+  uint acc = 0u;
+  for (int j = 0; j < 8; ++j) acc += in[i] >> j;
+  int w = 0;
+  while (w < 4) { acc ^= in[w]; ++w; }
+  do { acc = acc * 3u + 1u; } while (acc % 5u != 0u);
+  int c = 0;
+  for (int j = 0; j < 16; ++j) {
+    if (j == 3) continue;
+    if (j == 12) break;
+    c += j;
+  }
+  acc += (uint)c;
+  acc <<= 1;
+  acc |= 1u;
+  acc -= in[i] & 0xFFu;
+  out[i] = acc;
+}
+)CL");
+}
+
+TEST(VmDiff, CorpusShortCircuitAndIncDec) {
+  diff_corpus_kernel("short-circuit", R"CL(
+__kernel void k(__global uint* out, __global const uint* in) {
+  int i = get_global_id(0);
+  int touched = 0;
+  int cond = (in[i] % 2u == 0u) && (++touched > 0);
+  int cond2 = (in[i] % 2u == 1u) || (touched-- < 0);
+  uint x = in[i];
+  uint pre = ++x;
+  uint post = x++;
+  out[i] = (uint)(cond * 4 + cond2 * 2 + touched) + pre * 3u + post;
+}
+)CL");
+}
+
+TEST(VmDiff, CorpusStructsAndPrivateArrays) {
+  diff_corpus_kernel("structs", R"CL(
+typedef struct { float x; float y; int tag; } Pt;
+__kernel void k(__global uint* out, __global const uint* in) {
+  int i = get_global_id(0);
+  Pt p;
+  p.x = (float)(in[i] & 15u);
+  p.y = 2.0f;
+  p.tag = i;
+  Pt q = p;
+  q.x += q.y;
+  float arr[8];
+  for (int j = 0; j < 8; ++j) arr[j] = (float)j * p.x;
+  float s = 0.0f;
+  for (int j = 7; j >= 0; --j) s += arr[j];
+  out[i] = (uint)(s + q.x) + (uint)q.tag;
+}
+)CL");
+}
+
+TEST(VmDiff, CorpusVectorsAndSwizzles) {
+  diff_corpus_kernel("swizzles", R"CL(
+__kernel void k(__global uint* out, __global const uint* in) {
+  int i = get_global_id(0);
+  float4 v = (float4)((float)(in[i] & 7u), 2.0f, 3.0f, 4.0f);
+  float4 w = (float4)(1.5f);
+  float tmpx = v.x;
+  v.x = v.y;
+  v.y = tmpx;
+  v.w = dot(v, w);
+  float2 t = v.xz;
+  int4 m = (int4)(1, 2, 3, 4);
+  m.z += (int)v.x;
+  out[i] = (uint)(v.x + v.y + v.z + v.w + t.x + t.y) + (uint)(m.x + m.z);
+}
+)CL");
+}
+
+TEST(VmDiff, CorpusUserFunctionsAndConversions) {
+  diff_corpus_kernel("user-funcs", R"CL(
+int twice(int v) { return v * 2; }
+float mix2(float a, float b) { return a * 0.25f + b * 0.75f; }
+__kernel void k(__global uint* out, __global const uint* in) {
+  int i = get_global_id(0);
+  char c = (char)in[i];
+  short s = (short)(in[i] >> 4);
+  uchar uc = (uchar)(c + 7);
+  float f = mix2((float)c, (float)s);
+  out[i] = (uint)twice((int)uc) + (uint)(int)f + (uint)(s * c);
+}
+)CL");
+}
+
+// ---------------------------------------------------------------------------
+// runtime-fault parity
+// ---------------------------------------------------------------------------
+
+TEST(VmDiff, RuntimeFaultsProduceIdenticalErrors) {
+  struct Case {
+    const char* tag;
+    const char* src;
+  } kCases[] = {
+      {"div-by-zero", R"CL(
+__kernel void k(__global int* out, __global const int* a) {
+  int i = get_global_id(0);
+  out[i] = a[i] / (a[i] - a[i]);
+}
+)CL"},
+      {"missing-return", R"CL(
+int f(int v) { if (v > 100000) return v; }
+__kernel void k(__global int* out, __global const int* a) {
+  int i = get_global_id(0);
+  out[i] = f(a[i]);
+}
+)CL"},
+  };
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.tag);
+    clc::CompileResult res = clc::compile(c.src);
+    ASSERT_TRUE(res.ok()) << res.diag.to_string();
+    const clc::FuncDecl* fn = res.module->find_func("k");
+    ASSERT_NE(fn, nullptr);
+    auto run = [&](clc::ExecEngine engine) {
+      std::vector<std::int32_t> out(16, 0), a(16, 3);
+      std::vector<clc::KernelArg> args(2);
+      args[0].k = clc::KernelArg::K::GlobalPtr;
+      args[0].ptr = out.data();
+      args[1].k = clc::KernelArg::K::GlobalPtr;
+      args[1].ptr = a.data();
+      clc::NDRange nd;
+      nd.dim = 1;
+      nd.global[0] = 16;
+      nd.local[0] = 4;
+      clc::LaunchOptions opts;
+      opts.engine = engine;
+      return clc::execute_ndrange(*res.module, *fn, args, nd, opts);
+    };
+    const clc::LaunchResult ri = run(clc::ExecEngine::Interp);
+    const clc::LaunchResult rv = run(clc::ExecEngine::Vm);
+    EXPECT_FALSE(ri.ok);
+    EXPECT_FALSE(rv.ok);
+    EXPECT_EQ(ri.error, rv.error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// stats: engine dispatch counters + the stats_json "clc" section
+// ---------------------------------------------------------------------------
+
+TEST(VmDiff, ExecStatsAndStatsJsonClcSection) {
+  clc::reset_exec_stats();
+  const Fig4Kernel& k = workloads::fig4_kernels().front();  // VectorAdd
+  clc::CompileResult res = clc::compile(k.source);
+  ASSERT_TRUE(res.ok());
+  const clc::FuncDecl* fn = res.module->find_func(k.kernel);
+  ASSERT_NE(fn, nullptr);
+  const std::size_t items = k.global[0];
+
+  Fig4Launch lv = workloads::make_fig4_launch(k);
+  ASSERT_TRUE(run_engine(*res.module, *fn, lv, clc::ExecEngine::Vm).ok);
+  Fig4Launch li = workloads::make_fig4_launch(k);
+  ASSERT_TRUE(run_engine(*res.module, *fn, li, clc::ExecEngine::Interp).ok);
+
+  const clc::ExecStats es = clc::exec_stats();
+  EXPECT_EQ(es.vm_launches, 1u);
+  EXPECT_EQ(es.interp_launches, 1u);
+  EXPECT_EQ(es.vm_items, items);
+  EXPECT_EQ(es.interp_items, items);
+
+  const std::string js = checl::stats_json();
+  EXPECT_NE(js.find("\"clc\": {"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"vm_launches\": 1"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"interp_launches\": 1"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"cache_hits\""), std::string::npos) << js;
+  EXPECT_NE(js.find("\"cache_poisoned\""), std::string::npos) << js;
+}
+
+}  // namespace
