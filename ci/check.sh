@@ -19,8 +19,9 @@
 #    complete with zero app-visible CL errors and byte-identical output
 #    (recovery/replay paths are where use-after-free bugs would live).
 #    Emits BENCH_recovery.json (MTTR distribution); the tier-1 build also
-#    emits BENCH_ipc.json (per-RPC trajectory) and BENCH_kernel.json
-#    (interp-vs-VM kernel speedups) so both are machine-readable.
+#    emits BENCH_ipc.json (per-RPC trajectory), BENCH_kernel.json
+#    (interp-vs-VM kernel speedups), and BENCH_proxyd.json (multi-tenant
+#    daemon scaling + fairness) so all are machine-readable.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 ROOT="${PWD}"
@@ -38,11 +39,14 @@ if ! (cd build && ctest -L tier1 --output-on-failure -j"${JOBS}"); then
   (cd build && ctest --rerun-failed --output-on-failure)
 fi
 
-echo "== tier-1: bench trajectory (BENCH_ipc.json, BENCH_kernel.json, BENCH_recovery.json) =="
+echo "== tier-1: bench trajectory (BENCH_ipc.json, BENCH_kernel.json, BENCH_proxyd.json, BENCH_recovery.json) =="
 (
   cd build
   export CHECL_PROXYD="${PWD}/src/proxy/checl_proxyd"
   timeout 120 ./bench/ipc_micro --smoke --json-out "${ROOT}/BENCH_ipc.json"
+  # Multi-tenant daemon: small-call scaling over a client sweep plus the
+  # fairness gate (probe p99 next to a greedy bulk streamer).
+  timeout 180 ./bench/proxyd_micro --smoke --json-out "${ROOT}/BENCH_proxyd.json"
   # Interp-vs-VM ablation over the fig4 kernels: fails unless the VM wins on
   # every kernel with bit-identical outputs, and records the speedup table.
   timeout 300 ./bench/kernel_micro --smoke --json-out "${ROOT}/BENCH_kernel.json"

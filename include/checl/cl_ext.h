@@ -14,6 +14,15 @@
 extern "C" {
 #endif
 
+/* checl_proxyd typed reject errors.  Negative codes in a range cl.h leaves
+ * unassigned; a multi-tenant daemon returns these instead of generic CL
+ * errors so clients (and tests) can tell policy rejections from API misuse.
+ */
+#define CL_CHECL_FOREIGN_HANDLE -1101    /* handle owned by another client  */
+#define CL_CHECL_DAEMON_FULL -1102       /* attach refused: max-clients cap */
+#define CL_CHECL_MEM_CAP_EXCEEDED -1103  /* per-client device-memory cap    */
+#define CL_CHECL_INFLIGHT_CAP_EXCEEDED -1104 /* per-client queued-frame cap */
+
 /* Virtual host-timeline time in nanoseconds. */
 cl_int clSimGetHostTimeNS(cl_ulong* time_ns);
 

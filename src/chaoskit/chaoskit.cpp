@@ -25,6 +25,8 @@ constexpr const char* kSiteNames[kSiteCount] = {
     "exec-crash-between-waves",
     "exec-wave-fail",
     "compile_cache_poison",
+    "proxyd_client_death",
+    "proxyd_namespace_leak",
 };
 
 thread_local Actor t_actor = Actor::App;

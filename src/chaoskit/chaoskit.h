@@ -62,8 +62,14 @@ enum class Site : std::uint8_t {
   CompileCachePoison,  // a cached bytecode blob is corrupted on read: byte at
                        // index `arg` is flipped (arg < 0 truncates) — the
                        // cache must detect it and fall back to recompiling
+  // proxyd: the multi-tenant daemon event loop.
+  ProxydClientDeath,   // the daemon drops the session whose frame it is about
+                       // to process, as if the client died mid-transfer; the
+                       // other clients' namespaces must be untouched
+  ProxydNamespaceLeak, // session teardown "forgets" to release the client's
+                       // owned handles — the leak detector must count them
 };
-inline constexpr std::size_t kSiteCount = 16;
+inline constexpr std::size_t kSiteCount = 18;
 
 [[nodiscard]] const char* site_name(Site s) noexcept;
 [[nodiscard]] Site site_from_name(std::string_view name) noexcept;  // None if unknown

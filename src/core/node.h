@@ -25,6 +25,9 @@ struct NodeConfig {
   // remote API proxy reached over TCP/IP sockets).
   std::string tcp_host = "127.0.0.1";
   std::uint16_t tcp_port = 0;
+  // Transport::Daemon: unix-socket path of the shared multi-tenant
+  // checl_proxyd on this node; empty = CHECL_PROXYD_SOCKET / the default.
+  std::string proxyd_socket;
   // Compile-cache policy on this node.  `clc_cache.root` names an on-disk
   // bytecode pool that survives proxy respawns — a restart or migration onto
   // this node then deserializes programs instead of recompiling them.

@@ -34,7 +34,7 @@ cl_int CheclRuntime::ensure_proxy() {
   spawned_ = node_.transport == proxy::Transport::Tcp
                  ? proxy::connect_remote_proxy(node_.tcp_host.c_str(),
                                                node_.tcp_port)
-                 : proxy::spawn_proxy(node_.transport);
+                 : proxy::spawn_proxy(node_.transport, spawn_options());
   if (!spawned_.ok()) return CL_DEVICE_NOT_AVAILABLE;
   const cl_int err =
       spawned_.client()->configure(node_.platforms, node_.ipc, true,
@@ -43,6 +43,14 @@ cl_int CheclRuntime::ensure_proxy() {
   proxy_configured_ = true;
   install_supervision();
   return CL_SUCCESS;
+}
+
+proxy::SpawnOptions CheclRuntime::spawn_options() const {
+  proxy::SpawnOptions o = proxy::spawn_options_from_env();
+  // NodeConfig wins over the environment: migration onto a node means
+  // attaching to THAT node's daemon socket.
+  if (!node_.proxyd_socket.empty()) o.daemon_socket = node_.proxyd_socket;
+  return o;
 }
 
 void CheclRuntime::install_supervision() {
@@ -65,7 +73,7 @@ cl_int CheclRuntime::revive_proxy() {
   // No proxy_mu_ here — see the header comment on lock order.
   if (!spawned_.ok()) return CL_DEVICE_NOT_AVAILABLE;
   const bool up =
-      spawned_.revive(node_.transport, proxy::spawn_options_from_env(),
+      spawned_.revive(node_.transport, spawn_options(),
                       node_.tcp_host.c_str(), node_.tcp_port);
   return up ? CL_SUCCESS : CL_DEVICE_NOT_AVAILABLE;
 }
@@ -101,7 +109,7 @@ cl_int CheclRuntime::respawn_proxy(const NodeConfig& cfg, std::uint64_t resume_t
     spawned_ = node_.transport == proxy::Transport::Tcp
                    ? proxy::connect_remote_proxy(node_.tcp_host.c_str(),
                                                  node_.tcp_port)
-                   : proxy::spawn_proxy(node_.transport);
+                   : proxy::spawn_proxy(node_.transport, spawn_options());
     if (!spawned_.ok()) return CL_DEVICE_NOT_AVAILABLE;
     const cl_int err =
         spawned_.client()->configure(node_.platforms, node_.ipc, true,

@@ -164,6 +164,8 @@ class CheclRuntime {
   // (Re-)applies the deadline + supervision handler to the current client;
   // call after every spawn/respawn and on mid-run supervise toggles.
   void install_supervision();
+  // Env-derived spawn options with the node's daemon socket overlaid.
+  [[nodiscard]] proxy::SpawnOptions spawn_options() const;
 
   NodeConfig node_;
   proxy::Spawned spawned_;

@@ -7,6 +7,7 @@
 #include "core/runtime.h"
 #include "core/supervisor.h"
 #include "proxy/client.h"
+#include "proxyd/daemon.h"
 #include "simcl/progcache.h"
 
 namespace checl {
@@ -140,6 +141,44 @@ std::string stats_json(proxy::Client* client, const snapstore::Store* store,
     append_kv(os, "cache_evictions", cs.evictions, first);
     append_kv(os, "cache_poisoned", cs.poisoned, first);
     os << "}";
+  }
+  // Multi-tenant daemon: present only in a process hosting a proxyd::Daemon
+  // (the daemon binary, or a test running one in-process).
+  os << ", \"proxyd\": ";
+  if (const proxyd::Daemon* d = proxyd::Daemon::global(); d == nullptr) {
+    os << "null";
+  } else {
+    const proxyd::Stats ps = d->stats();
+    bool first = true;
+    os << "{";
+    append_kv(os, "attaches", ps.attaches, first);
+    append_kv(os, "disconnects", ps.disconnects, first);
+    append_kv(os, "clients_current", ps.clients_current, first);
+    append_kv(os, "clients_peak", ps.clients_peak, first);
+    append_kv(os, "admission_rejects", ps.admission_rejects, first);
+    append_kv(os, "foreign_rejects", ps.foreign_rejects, first);
+    append_kv(os, "mem_rejects", ps.mem_rejects, first);
+    append_kv(os, "queue_rejects", ps.queue_rejects, first);
+    append_kv(os, "calls", ps.calls, first);
+    append_kv(os, "sched_rounds", ps.sched_rounds, first);
+    append_kv(os, "leaked_handles", ps.leaked_handles, first);
+    os << ", \"clients\": {";
+    bool cfirst = true;
+    for (const auto& [cid, c] : ps.per_client) {
+      if (!cfirst) os << ", ";
+      cfirst = false;
+      os << "\"" << cid << "\": {";
+      bool f2 = true;
+      append_kv(os, "calls", c.calls, f2);
+      append_kv(os, "bytes_in", c.bytes_in, f2);
+      append_kv(os, "bytes_out", c.bytes_out, f2);
+      append_kv(os, "rejects", c.rejects, f2);
+      append_kv(os, "queue_depth", c.queue_depth, f2);
+      append_kv(os, "mem_bytes", c.mem_bytes, f2);
+      append_kv(os, "handles", c.handles, f2);
+      os << "}";
+    }
+    os << "}}";
   }
   os << "}";
   return os.str();

@@ -389,11 +389,14 @@ proxy::Client::Recovery Supervisor::recover(proxy::Client& c, proxy::Op op,
     return fail("handshake Configure failed");
   std::uint32_t pid = 0;
   if (c.ping(&pid) != CL_SUCCESS) return fail("handshake Ping failed");
-  // A respawned Thread/Process endpoint is always a fresh peer; over TCP the
-  // daemon may have survived a dropped connection — same pid means every
-  // in-flight side effect may have landed.
-  const bool peer_fresh = node.transport != proxy::Transport::Tcp ||
-                          last_peer_pid_ == 0 || pid != last_peer_pid_;
+  // A respawned Thread/Process endpoint is always a fresh peer; over TCP and
+  // against the multi-tenant daemon the peer may have survived a dropped
+  // connection/session — same pid means every in-flight side effect may have
+  // landed (daemon re-attach is a new session epoch on a surviving process).
+  const bool remote_peer = node.transport == proxy::Transport::Tcp ||
+                           node.transport == proxy::Transport::Daemon;
+  const bool peer_fresh =
+      !remote_peer || last_peer_pid_ == 0 || pid != last_peer_pid_;
   last_peer_pid_ = pid;
 
   // 3. simulated-clock continuity: fresh clock -> last rebased time + spawn

@@ -7,6 +7,7 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -306,6 +307,44 @@ int tcp_connect(const char* host, std::uint16_t port) noexcept {
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+int unix_listen(const char* path) noexcept {
+  sockaddr_un addr{};
+  if (path == nullptr || std::strlen(path) >= sizeof addr.sun_path) return -1;
+  ::unlink(path);  // stale socket file from a previous daemon instance
+  const int fd =
+      ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) return -1;
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path, sizeof addr.sun_path - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int unix_accept(int listen_fd) noexcept {
+  // The accepted session fd is blocking: the event loop reads it with
+  // MSG_DONTWAIT and writes responses through the normal (blocking)
+  // SocketChannel send path.
+  return ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+}
+
+int unix_connect(const char* path) noexcept {
+  sockaddr_un addr{};
+  if (path == nullptr || std::strlen(path) >= sizeof addr.sun_path) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path, sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
   return fd;
 }
 

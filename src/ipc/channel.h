@@ -166,6 +166,14 @@ int tcp_listen(std::uint16_t port) noexcept;            // listening fd or -1
 int tcp_accept(int listen_fd) noexcept;                 // connected fd or -1
 int tcp_connect(const char* host, std::uint16_t port) noexcept;
 
+// AF_UNIX stream endpoints for the multi-tenant checl_proxyd daemon.
+// unix_listen unlinks a stale socket file first (a dead daemon's leftovers);
+// the fds are CLOEXEC and the listening fd is non-blocking so the event loop
+// can drain the accept backlog without stalling.
+int unix_listen(const char* path) noexcept;             // listening fd or -1
+int unix_accept(int listen_fd) noexcept;                // connected fd or -1
+int unix_connect(const char* path) noexcept;
+
 // ---- LocalChannel ---------------------------------------------------------------
 
 // One direction of an in-process pipe.

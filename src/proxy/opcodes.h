@@ -108,11 +108,22 @@ enum class Op : std::uint32_t {
   GroupBegin,
   GroupEnd,
 
+  // Daemon handshake: first frame a client sends over a checl_proxyd unix
+  // socket.  Payload: [u32 proto_version][str shm_segment_name (empty = no
+  // data plane)][u64 shm_threshold].  Response: [i32 err][u64 client_id]
+  // [u32 daemon_pid].  Typed rejects: CL_CHECL_DAEMON_FULL at max-clients.
+  // Handled at accept time by the daemon event loop, never mid-session —
+  // dispatch answers CL_INVALID_OPERATION for a spawned (single-client) proxy.
+  Attach,
+
   // Sentinel — keep last.  The replayability table below and the generated
   // opcode-coverage test walk [Configure, kOpCount); a new opcode added above
   // without a classification fails that test at the next run.
   kOpCount,
 };
+
+// Version of the Attach handshake; bumped when its payload layout changes.
+inline constexpr std::uint32_t kProxydProtoVersion = 1;
 
 // ---- recovery classification ----------------------------------------------
 //
@@ -199,6 +210,7 @@ enum class Replay : std::uint8_t {
     case Op::EnqueueMarker:
     case Op::SimAdvanceHostNS:
     case Op::Batch:
+    case Op::Attach:  // re-attaching is a new session epoch, never a retry
       return Replay::Effectful;
 
     case Op::kOpCount:
@@ -283,6 +295,7 @@ enum class Replay : std::uint8_t {
     case Op::Batch: return "Batch";
     case Op::GroupBegin: return "GroupBegin";
     case Op::GroupEnd: return "GroupEnd";
+    case Op::Attach: return "Attach";
     case Op::kOpCount: break;
   }
   return "?";
@@ -361,6 +374,7 @@ inline bool remap_request_handles(Op op, std::uint8_t* p, std::size_t n,
     case Op::GroupBegin:
     case Op::GroupEnd:
     case Op::Batch:
+    case Op::Attach:
     case Op::kOpCount:
       return true;
 

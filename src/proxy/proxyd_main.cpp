@@ -1,7 +1,9 @@
 // proxyd_main.cpp — the API proxy daemon.
 //
-// Spawned by the CheCL layer (fork + exec) with one end of a socketpair, or
-// run standalone with --tcp-port for the remote-proxy extension.  This process
+// Spawned by the CheCL layer (fork + exec) with one end of a socketpair, run
+// standalone with --tcp-port for the remote-proxy extension, or run as the
+// multi-tenant daemon with --socket PATH: a long-lived epoll event loop that
+// serves any number of attaching clients (see proxyd/daemon.h).  This process
 // is the only one that touches the OpenCL substrate; the application process
 // stays a plain checkpointable process.  With --shm it attaches the spawner's
 // shared-memory segment and serves bulk payloads through it (see ipc/shm.h).
@@ -16,18 +18,31 @@
 #include "ipc/channel.h"
 #include "ipc/shm.h"
 #include "proxy/server.h"
+#include "proxyd/daemon.h"
 
 int main(int argc, char** argv) {
   int fd = -1;
   int tcp_port = -1;
+  const char* socket_path = nullptr;
   const char* shm_name = nullptr;
   std::size_t shm_threshold = ipc::kShmDefaultThreshold;
   bool use_writev = true;
+  proxyd::Options dopts = proxyd::options_from_env();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fd") == 0 && i + 1 < argc) {
       fd = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--tcp-port") == 0 && i + 1 < argc) {
       tcp_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-clients") == 0 && i + 1 < argc) {
+      dopts.max_clients = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
+      dopts.max_inflight = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--mem-cap") == 0 && i + 1 < argc) {
+      dopts.max_client_mem_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--quantum") == 0 && i + 1 < argc) {
+      dopts.quantum_bytes = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--shm") == 0 && i + 1 < argc) {
       shm_name = argv[++i];
     } else if (std::strcmp(argv[i], "--shm-threshold") == 0 && i + 1 < argc) {
@@ -37,7 +52,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: checl_proxyd --fd N [--shm NAME --shm-threshold T]"
-          " [--no-writev] | --tcp-port P\n");
+          " [--no-writev] | --tcp-port P | --socket PATH [--max-clients N]"
+          " [--max-inflight N] [--mem-cap BYTES] [--quantum BYTES]\n");
       return 0;
     }
   }
@@ -45,6 +61,16 @@ int main(int argc, char** argv) {
   // Fault injection across exec: the spawner exports CHECL_CHAOS; arming
   // happens here because the daemon can't be armed in-process.
   chaoskit::Engine::instance().arm_from_env();
+
+  if (socket_path != nullptr) {
+    proxyd::Daemon d(socket_path, dopts);
+    if (!d.ok()) {
+      std::fprintf(stderr, "checl_proxyd: %s\n", d.error().c_str());
+      return 1;
+    }
+    d.run();
+    return 0;
+  }
 
   if (tcp_port >= 0) {
     const int lfd = ipc::tcp_listen(static_cast<std::uint16_t>(tcp_port));

@@ -59,42 +59,37 @@ void handle_info(Reader& r, Writer& w, Fn fn) {
   });
 }
 
-struct ServerState {
-  IpcCosts costs;
-  bool configured = false;
-  // Bulk read staging: reused across requests (no per-call allocation), and
-  // scatter-sent so the data skips the response-marshalling copy.  Cleared by
-  // serve() after each send.
-  std::vector<std::uint8_t> read_stage;
-  std::span<const std::uint8_t> resp_bulk{};
-  // Set by serve(): lets bulk responses be materialized directly in the
-  // transport's data plane (shm ring) instead of staged.
-  ipc::Channel* ch = nullptr;
-  // Non-zero when dispatch already sent the response via send_reserved;
-  // serve() charges these bytes and skips its own send.
-  std::size_t resp_sent_bytes = 0;
-  // Group (parallel-section) modeling: while active, serve() records each
-  // measured request's host-clock delta and greedily assigns it to the
-  // least-loaded virtual worker.  GroupEnd collapses the serially-advanced
-  // span to max(group_worker_ns).
-  bool group_active = false;
-  simcl::SimNs group_t0 = 0;
-  std::vector<simcl::SimNs> group_worker_ns;
-};
+}  // namespace
 
-void charge(const ServerState& st, std::size_t bytes) {
+void charge_bytes(const ServerState& st, std::size_t bytes) {
   simcl::Runtime::instance().clock().advance_host(
       static_cast<simcl::SimNs>(static_cast<double>(bytes) / st.costs.bytes_per_sec * 1e9));
 }
 
 // Dispatch one request; returns false when the server should exit.
-bool dispatch(ServerState& st, Op op, Reader& r, Writer& w) {
+bool dispatch_request(ServerState& st, Op op, Reader& r, Writer& w) {
   switch (op) {
     case Op::Configure: {
       std::vector<simcl::PlatformSpec> platforms;
       bool reset = false;
       simcl::ProgCacheConfig cache;
       read_config(r, platforms, st.costs, reset, cache);
+      if (st.shared_substrate) {
+        // Multi-tenant daemon: the costs above are this session's; platform
+        // specs and cache config are first-attacher-wins, and neither the
+        // clock nor the compile cache is ever reset — other clients are
+        // running on them.
+        if (st.substrate_configured != nullptr && !*st.substrate_configured) {
+          simcl::Runtime::instance().configure(std::move(platforms));
+          simcl::ProgCache::instance().configure(cache);
+          // the daemon bring-up cost, charged once on the shared timeline
+          simcl::Runtime::instance().clock().advance_host(st.costs.spawn_ns);
+          *st.substrate_configured = true;
+        }
+        st.configured = true;
+        w.i32(CL_SUCCESS);
+        return true;
+      }
       simcl::Runtime::instance().configure(std::move(platforms));
       // reset == fresh proxy bring-up: the in-memory compile cache starts
       // cold on every transport (an exec'd proxyd is naturally cold; the
@@ -653,10 +648,11 @@ bool dispatch(ServerState& st, Op op, Reader& r, Writer& w) {
         // inside a batch
         if (sub_op != Op::Batch && sub_op != Op::Configure &&
             sub_op != Op::Ping && sub_op != Op::Shutdown &&
-            sub_op != Op::GroupBegin && sub_op != Op::GroupEnd) {
+            sub_op != Op::GroupBegin && sub_op != Op::GroupEnd &&
+            sub_op != Op::Attach) {
           Reader sub(body);
           Writer subw;
-          dispatch(st, sub_op, sub, subw);
+          dispatch_request(st, sub_op, sub, subw);
           const auto resp = subw.take();
           if (resp.size() >= sizeof err) std::memcpy(&err, resp.data(), sizeof err);
           // a batched read's data has nowhere to go; drop its bulk
@@ -671,13 +667,26 @@ bool dispatch(ServerState& st, Op op, Reader& r, Writer& w) {
       return true;
     }
 
+    case Op::Attach:
+      // Daemon handshake frame; the event loop consumes it at accept time.
+      // Reaching dispatch means a client sent it to a single-tenant proxy
+      // (or mid-session) — refuse it.
+      w.i32(CL_INVALID_OPERATION);
+      return true;
+
     case Op::kOpCount: break;  // sentinel, never on the wire
   }
   w.i32(CL_INVALID_OPERATION);
   return true;
 }
 
-}  // namespace
+bool op_measured(Op op) noexcept {
+  // A batch frame is one wire message and charged as one call: that is the
+  // modeled (and real) saving of client-side batching.
+  return op != Op::SimGetHostTimeNS && op != Op::SimAdvanceHostNS &&
+         op != Op::Configure && op != Op::Ping && op != Op::Shutdown &&
+         op != Op::GroupBegin && op != Op::GroupEnd && op != Op::Attach;
+}
 
 void serve(ipc::Channel& ch) {
   // Whether we are a forked daemon or an in-process server thread, every
@@ -690,16 +699,12 @@ void serve(ipc::Channel& ch) {
   ipc::Message resp;  // response buffer recycled across requests
   while (ch.recv(req)) {
     const Op op = static_cast<Op>(req.op);
-    // A batch frame is one wire message and charged as one call: that is the
-    // modeled (and real) saving of client-side batching.
-    const bool measured = op != Op::SimGetHostTimeNS && op != Op::SimAdvanceHostNS &&
-                          op != Op::Configure && op != Op::Ping && op != Op::Shutdown &&
-                          op != Op::GroupBegin && op != Op::GroupEnd;
+    const bool measured = op_measured(op);
     const simcl::SimNs t_req =
         simcl::Runtime::instance().clock().host_now();
     if (measured) {
       simcl::Runtime::instance().clock().advance_host(st.costs.per_call_ns);
-      charge(st, req.bytes().size());
+      charge_bytes(st, req.bytes().size());
     }
     ipc::Reader r(req.bytes());
     ipc::Writer w(std::move(resp.payload));
@@ -710,7 +715,7 @@ void serve(ipc::Channel& ch) {
       w.i32(static_cast<cl_int>(chaos.arg()));
       keep_going = true;
     } else {
-      keep_going = dispatch(st, op, r, w);
+      keep_going = dispatch_request(st, op, r, w);
     }
     ch.release_rx();  // the request view is dead; free ring space for the
                       // client's next bulk send before we block in ours
@@ -728,7 +733,7 @@ void serve(ipc::Channel& ch) {
     };
     if (st.resp_sent_bytes != 0) {
       // dispatch materialized and sent the response in the data plane
-      if (measured) charge(st, st.resp_sent_bytes);
+      if (measured) charge_bytes(st, st.resp_sent_bytes);
       st.resp_sent_bytes = 0;
       record_group();
       if (chaos.should_fire(chaoskit::Site::ProxyDieAfterReply)) return;
@@ -737,7 +742,7 @@ void serve(ipc::Channel& ch) {
     }
     resp.op = req.op;
     resp.payload = w.take();
-    if (measured) charge(st, resp.payload.size() + st.resp_bulk.size());
+    if (measured) charge_bytes(st, resp.payload.size() + st.resp_bulk.size());
     record_group();
     const bool sent = ch.send2(resp, st.resp_bulk);
     st.resp_bulk = {};

@@ -2,9 +2,63 @@
 // OpenCL substrate in CheCL mode.
 #pragma once
 
+#include <cstddef>
+#include <span>
+#include <vector>
+
 #include "ipc/channel.h"
+#include "ipc/serial.h"
+#include "proxy/opcodes.h"
+#include "simcl/clock.h"
 
 namespace proxy {
+
+// Per-connection dispatch state.  serve() owns exactly one (the classic
+// single-client proxy); the multi-tenant daemon owns one per attached client
+// session, all sharing the process-wide simcl substrate.
+struct ServerState {
+  IpcCosts costs;
+  bool configured = false;
+  // Bulk read staging: reused across requests (no per-call allocation), and
+  // scatter-sent so the data skips the response-marshalling copy.  Cleared by
+  // the serving loop after each send.
+  std::vector<std::uint8_t> read_stage;
+  std::span<const std::uint8_t> resp_bulk{};
+  // Set by serve(): lets bulk responses be materialized directly in the
+  // transport's data plane (shm ring) instead of staged.  The daemon leaves
+  // this null — its responses must stay parseable for handle accounting.
+  ipc::Channel* ch = nullptr;
+  // Non-zero when dispatch already sent the response via send_reserved;
+  // serve() charges these bytes and skips its own send.
+  std::size_t resp_sent_bytes = 0;
+  // Group (parallel-section) modeling: while active, the serving loop records
+  // each measured request's host-clock delta and greedily assigns it to the
+  // least-loaded virtual worker.  GroupEnd collapses the serially-advanced
+  // span to max(group_worker_ns).
+  bool group_active = false;
+  simcl::SimNs group_t0 = 0;
+  std::vector<simcl::SimNs> group_worker_ns;
+  // Multi-tenant mode: the substrate (platform specs, compile cache, clock)
+  // is shared by every attached client.  Configure then applies only this
+  // session's cost model; platform/cache configuration is applied once, by
+  // whichever client attaches first (latched through *substrate_configured),
+  // and the reset flag is ignored — a reconnecting client must not rewind the
+  // other clients' clock or cold their warm cache.
+  bool shared_substrate = false;
+  bool* substrate_configured = nullptr;
+};
+
+// Dispatch one request into the substrate; the response is materialized in
+// `w` (plus st.resp_bulk for bulk reads).  Returns false on Shutdown — the
+// caller ends (or, in the daemon, tears down) the session.
+bool dispatch_request(ServerState& st, Op op, ipc::Reader& r, ipc::Writer& w);
+
+// Whether a request op is charged the IPC cost model.  Control ops, group
+// brackets and the sim-clock instruments are exempt.
+[[nodiscard]] bool op_measured(Op op) noexcept;
+
+// Advance the shared sim clock by the transfer model for `bytes`.
+void charge_bytes(const ServerState& st, std::size_t bytes);
 
 // Serves RPC requests on `ch` until Shutdown or a broken channel.
 // The first message is expected to be Configure.

@@ -80,6 +80,9 @@ SpawnOptions spawn_options_from_env() {
   o.shm_ring_bytes = env_size("CHECL_SHM_RING_BYTES", o.shm_ring_bytes);
   o.shm_threshold = env_size("CHECL_SHM_THRESHOLD", o.shm_threshold);
   o.use_writev = !env_flag("CHECL_NO_WRITEV");
+  if (const char* v = std::getenv("CHECL_PROXYD_SOCKET");
+      v != nullptr && *v != '\0')
+    o.daemon_socket = v;
   return o;
 }
 
@@ -151,6 +154,63 @@ RawConnection connect_raw(const char* host, std::uint16_t port) {
   return c;
 }
 
+RawConnection attach_daemon_connection(const SpawnOptions& opts) {
+  RawConnection c;
+  // The daemon may still be binding its socket (or the supervisor may be
+  // re-attaching the instant after it restarted): same backoff as TCP.
+  checl::Retry pol;
+  pol.max_attempts = 50;
+  pol.base_delay_ns = 2'000'000;
+  pol.max_delay_ns = 100'000'000;
+  pol.budget_ns = 2'000'000'000;
+  int fd = -1;
+  pol.run([&] {
+    fd = ipc::unix_connect(opts.daemon_socket.c_str());
+    return fd >= 0;
+  });
+  if (fd < 0) {
+    c.error = "cannot connect to proxy daemon at " + opts.daemon_socket;
+    return c;
+  }
+  auto sock = std::make_unique<ipc::SocketChannel>(fd);
+  sock->set_use_writev(opts.use_writev);
+  // This client's private data-plane rings: created here (creator side), the
+  // daemon attaches by name during the handshake.  Create failure degrades to
+  // the socket-only path, exactly like the Process transport.
+  std::shared_ptr<ipc::ShmSegment> seg;
+  if (opts.use_shm) seg = ipc::ShmSegment::create(opts.shm_ring_bytes);
+  ipc::Writer w;
+  w.u32(kProxydProtoVersion);
+  w.str(seg != nullptr ? seg->name() : std::string());
+  w.u64(seg != nullptr ? opts.shm_threshold : 0);
+  ipc::Message m;
+  m.op = static_cast<std::uint32_t>(Op::Attach);
+  m.payload = w.take();
+  ipc::Message resp;
+  if (!sock->send(m) || !sock->recv(resp)) {
+    c.error = "proxy daemon dropped the attach handshake";
+    return c;
+  }
+  ipc::Reader r(resp.view.empty() ? std::span<const std::uint8_t>(resp.payload)
+                                  : resp.view);
+  const cl_int err = r.i32();
+  c.client_id = r.u64();
+  r.u32();  // daemon pid (informational)
+  if (!r.ok() || err != CL_SUCCESS) {
+    c.attach_error = r.ok() ? err : CL_INVALID_VALUE;
+    c.error = "proxy daemon refused attach (error " +
+              std::to_string(c.attach_error) + ")";
+    return c;
+  }
+  if (seg != nullptr)
+    c.ch = std::make_unique<ipc::ShmChannel>(std::move(sock), std::move(seg),
+                                             /*creator=*/true,
+                                             opts.shm_threshold);
+  else
+    c.ch = std::move(sock);
+  return c;  // pid stays -1: the daemon is shared, never ours to kill
+}
+
 Spawned connect_remote_proxy(const char* host, std::uint16_t port) {
   Spawned s;
   RawConnection c = connect_raw(host, port);
@@ -211,6 +271,7 @@ RawConnection spawn_connection(Transport t, const SpawnOptions& opts) {
     c.error = "spawn_connection: Tcp endpoints come from connect_raw()";
     return c;
   }
+  if (t == Transport::Daemon) return attach_daemon_connection(opts);
 
   const auto [app_fd, proxy_fd] = ipc::make_socketpair();
   if (app_fd < 0) {

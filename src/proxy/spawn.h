@@ -23,6 +23,7 @@ enum class Transport {
   Process,  // fork/exec checl_proxyd over a socketpair
   Thread,   // in-process server thread over a LocalChannel
   Tcp,      // connect to a checl_proxyd --tcp-port on another machine
+  Daemon,   // attach to a shared checl_proxyd --socket multi-tenant daemon
 };
 
 // Fast-path knobs for the Process transport; every feature is independently
@@ -34,6 +35,9 @@ struct SpawnOptions {
   std::size_t shm_ring_bytes = ipc::kShmDefaultRingBytes;
   std::size_t shm_threshold = ipc::kShmDefaultThreshold;
   bool use_writev = true;  // scatter-gather framing (false = seed framing)
+  // Daemon transport: listening unix-socket path of the shared checl_proxyd
+  // (CHECL_PROXYD_SOCKET; shm knobs above apply to the per-client rings too).
+  std::string daemon_socket = "/tmp/checl-proxyd.sock";
 };
 
 [[nodiscard]] SpawnOptions spawn_options_from_env();
@@ -47,12 +51,20 @@ struct RawConnection {
   pid_t pid = -1;                    // Process transport child
   std::unique_ptr<std::thread> server_thread;  // Thread transport server
   std::string error;
+  // Daemon transport: the typed handshake refusal (CL_CHECL_DAEMON_FULL when
+  // the daemon is at max-clients) and the granted identity on success.
+  cl_int attach_error = 0;
+  std::uint64_t client_id = 0;
 };
 
-// Brings up a fresh endpoint for Thread/Process transports.
+// Brings up a fresh endpoint for Thread/Process/Daemon transports.
 RawConnection spawn_connection(Transport t, const SpawnOptions& opts);
 // TCP endpoint with retry/backoff while the daemon binds.
 RawConnection connect_raw(const char* host, std::uint16_t port);
+// Daemon endpoint: connects to opts.daemon_socket (retry/backoff while the
+// daemon binds), performs the Op::Attach handshake — negotiating this
+// client's private shm rings — and returns the attached channel.
+RawConnection attach_daemon_connection(const SpawnOptions& opts);
 
 // ---- zombie control --------------------------------------------------------
 // Proxy children killed during respawn loops are handed to this registry and

@@ -1,0 +1,796 @@
+#include "proxyd/daemon.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <span>
+#include <unordered_map>
+
+#include "chaoskit/chaoskit.h"
+#include "checl/cl_ext.h"
+#include "checl/dispatch.h"
+#include "ipc/serial.h"
+#include "ipc/shm.h"
+#include "proxy/server.h"
+#include "simcl/runtime.h"
+
+namespace simcl {
+const checl_api::DispatchTable& dispatch_table() noexcept;
+}
+
+namespace proxyd {
+
+namespace {
+
+using proxy::Op;
+
+const checl_api::DispatchTable& D() { return simcl::dispatch_table(); }
+
+std::atomic<Daemon*> g_daemon{nullptr};
+
+// epoll tags outside the session-id space (ids start at 1 and count up)
+constexpr std::uint64_t kTagListen = ~std::uint64_t{0};
+constexpr std::uint64_t kTagWake = ~std::uint64_t{0} - 1;
+
+std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  return static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+}
+
+// What a session owns.  Kinds matter only for teardown ordering and the
+// release entry point; validation is kind-agnostic (a forged handle of the
+// right kind is still foreign).
+enum class HKind : std::uint8_t {
+  Context,
+  Queue,
+  Mem,
+  Sampler,
+  Program,
+  Kernel,
+  Event
+};
+
+struct HEntry {
+  HKind kind;
+  std::uint32_t refs;
+  std::uint64_t mem_bytes;  // device memory charged to the client cap
+};
+
+bool retain_op(Op op, HKind& k) noexcept {
+  switch (op) {
+    case Op::RetainContext: k = HKind::Context; return true;
+    case Op::RetainCommandQueue: k = HKind::Queue; return true;
+    case Op::RetainMemObject: k = HKind::Mem; return true;
+    case Op::RetainSampler: k = HKind::Sampler; return true;
+    case Op::RetainProgram: k = HKind::Program; return true;
+    case Op::RetainKernel: k = HKind::Kernel; return true;
+    case Op::RetainEvent: k = HKind::Event; return true;
+    default: return false;
+  }
+}
+
+bool release_op(Op op, HKind& k) noexcept {
+  switch (op) {
+    case Op::ReleaseContext: k = HKind::Context; return true;
+    case Op::ReleaseCommandQueue: k = HKind::Queue; return true;
+    case Op::ReleaseMemObject: k = HKind::Mem; return true;
+    case Op::ReleaseSampler: k = HKind::Sampler; return true;
+    case Op::ReleaseProgram: k = HKind::Program; return true;
+    case Op::ReleaseKernel: k = HKind::Kernel; return true;
+    case Op::ReleaseEvent: k = HKind::Event; return true;
+    default: return false;
+  }
+}
+
+cl_int release_one(HKind k, std::uint64_t h) {
+  void* p = reinterpret_cast<void*>(static_cast<std::uintptr_t>(h));
+  switch (k) {
+    case HKind::Event: return D().ReleaseEvent(static_cast<cl_event>(p));
+    case HKind::Kernel: return D().ReleaseKernel(static_cast<cl_kernel>(p));
+    case HKind::Program: return D().ReleaseProgram(static_cast<cl_program>(p));
+    case HKind::Sampler: return D().ReleaseSampler(static_cast<cl_sampler>(p));
+    case HKind::Mem: return D().ReleaseMemObject(static_cast<cl_mem>(p));
+    case HKind::Queue:
+      return D().ReleaseCommandQueue(static_cast<cl_command_queue>(p));
+    case HKind::Context: return D().ReleaseContext(static_cast<cl_context>(p));
+  }
+  return CL_INVALID_VALUE;
+}
+
+std::uint64_t rd_u64(std::span<const std::uint8_t> p, std::size_t off) {
+  std::uint64_t v = 0;
+  if (off + 8 <= p.size()) std::memcpy(&v, p.data() + off, 8);
+  return v;
+}
+
+std::uint32_t rd_u32(std::span<const std::uint8_t> p, std::size_t off) {
+  std::uint32_t v = 0;
+  if (off + 4 <= p.size()) std::memcpy(&v, p.data() + off, 4);
+  return v;
+}
+
+cl_int rd_i32(std::span<const std::uint8_t> p, std::size_t off) {
+  cl_int v = CL_INVALID_VALUE;
+  if (off + 4 <= p.size()) std::memcpy(&v, p.data() + off, 4);
+  return v;
+}
+
+// Device memory a create request would charge to the client's cap.
+// CreateBuffer: [u64 ctx][u64 flags][u64 size].  CreateImage2D: [u64 ctx]
+// [u64 flags][u32 order][u32 dtype][u64 w][u64 h][u64 pitch] — charged at the
+// 4-bytes-per-pixel model the substrate's common formats use.
+std::uint64_t create_mem_bytes(Op op, std::span<const std::uint8_t> p) {
+  if (op == Op::CreateBuffer) return rd_u64(p, 16);
+  if (op == Op::CreateImage2D) {
+    const std::uint64_t w = rd_u64(p, 24);
+    const std::uint64_t h = rd_u64(p, 32);
+    const std::uint64_t pitch = rd_u64(p, 40);
+    return (pitch != 0 ? pitch : w * 4) * h;
+  }
+  return 0;
+}
+
+}  // namespace
+
+// ---- Session ----------------------------------------------------------------
+
+struct Daemon::Session {
+  std::uint64_t sid = 0;  // session id == client id in stats
+  int fd = -1;            // owned by the tx channel; kept for MSG_DONTWAIT rx
+  std::unique_ptr<ipc::Channel> tx;
+  std::shared_ptr<ipc::ShmSegment> seg;  // client's data-plane rings
+  bool attached = false;
+  proxy::ServerState st;
+
+  // Private namespace: every handle this session's creates returned.
+  std::unordered_map<std::uint64_t, HEntry> owned;
+  std::uint64_t mem_bytes = 0;
+
+  // rx framing: raw bytes accumulate here; complete frames move to q.
+  std::vector<std::uint8_t> rx;
+  std::size_t rx_off = 0;
+
+  struct Frame {
+    Op op = Op::Ping;
+    std::vector<std::uint8_t> payload;  // inline frames
+    std::uint64_t shm_pos = 0;          // descriptor frames (op had kShmOpFlag)
+    std::uint64_t shm_len = 0;
+    bool shm = false;
+    bool rejected = false;  // over the in-flight cap; answer the typed error
+
+    // DRR cost: fixed overhead + request body + the response bulk a read
+    // will push back (its cb field — [u64 q][u64 m][u64 off][u64 cb]).
+    [[nodiscard]] std::uint64_t cost() const {
+      if (rejected) return 64;
+      const std::uint64_t body = shm ? shm_len : payload.size();
+      std::uint64_t resp = 0;
+      if (op == Op::EnqueueReadBuffer && !shm) resp = rd_u64(payload, 24);
+      return 64 + body + resp;
+    }
+  };
+  std::deque<Frame> q;  // run queue, drained by DRR
+  std::uint64_t deficit = 0;
+
+  ClientStats cstats;
+};
+
+// ---- construction -----------------------------------------------------------
+
+Options options_from_env() {
+  Options o;
+  o.max_clients =
+      static_cast<std::size_t>(env_u64("CHECL_PROXYD_MAX_CLIENTS", o.max_clients));
+  o.max_inflight = static_cast<std::size_t>(
+      env_u64("CHECL_PROXYD_MAX_INFLIGHT", o.max_inflight));
+  o.max_client_mem_bytes = env_u64("CHECL_PROXYD_MEM_CAP", 0);
+  o.quantum_bytes =
+      std::max<std::uint64_t>(1, env_u64("CHECL_PROXYD_QUANTUM", o.quantum_bytes));
+  return o;
+}
+
+Daemon::Daemon(std::string socket_path, Options opts)
+    : socket_path_(std::move(socket_path)), opts_(opts) {
+  listen_fd_ = ipc::unix_listen(socket_path_.c_str());
+  if (listen_fd_ < 0) {
+    error_ = "proxyd: cannot listen on " + socket_path_;
+    return;
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0 || ::pipe2(wake_fds_, O_CLOEXEC | O_NONBLOCK) != 0) {
+    error_ = "proxyd: epoll/pipe setup failed";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kTagListen;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kTagWake;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fds_[0], &ev);
+  g_daemon.store(this, std::memory_order_release);
+}
+
+Daemon::~Daemon() {
+  Daemon* self = this;
+  g_daemon.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+  sessions_.clear();  // channel destructors close the session fds
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(socket_path_.c_str());
+  }
+}
+
+Daemon* Daemon::global() noexcept {
+  return g_daemon.load(std::memory_order_acquire);
+}
+
+void Daemon::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_fds_[1] >= 0) {
+    const char b = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &b, 1);
+  }
+}
+
+Stats Daemon::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+// ---- event loop -------------------------------------------------------------
+
+void Daemon::run() {
+  if (!ok()) return;
+  // Everything below is proxy-side for chaos-site actor filtering, exactly
+  // like the single-client serve() loop.
+  chaoskit::ScopedThreadActor chaos_actor(chaoskit::Actor::Proxy);
+  epoll_event evs[64];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, evs, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = evs[i].data.u64;
+      if (tag == kTagListen) {
+        accept_ready();
+        continue;
+      }
+      if (tag == kTagWake) {
+        char buf[64];
+        while (::read(wake_fds_[0], buf, sizeof buf) > 0) {
+        }
+        continue;
+      }
+      auto it = sessions_.find(tag);
+      if (it == sessions_.end()) continue;  // torn down earlier this batch
+      if ((evs[i].events & EPOLLIN) != 0) {
+        read_ready(*it->second);  // tears the session down itself on failure
+      } else if ((evs[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        teardown(tag, false);
+      }
+    }
+    schedule();
+    refresh_client_stats();
+  }
+  // Orderly shutdown: every remaining namespace is reclaimed before return.
+  while (!sessions_.empty()) teardown(sessions_.begin()->first, true);
+}
+
+void Daemon::accept_ready() {
+  for (;;) {
+    const int fd = ipc::unix_accept(listen_fd_);
+    if (fd < 0) return;  // EAGAIN: backlog drained
+    auto s = std::make_unique<Session>();
+    s->sid = next_session_id_++;
+    s->fd = fd;
+    s->tx = std::make_unique<ipc::SocketChannel>(fd);
+    s->st.shared_substrate = true;
+    s->st.substrate_configured = &substrate_configured_;
+    s->st.ch = nullptr;  // responses must materialize for handle accounting
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = s->sid;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) continue;
+    sessions_.emplace(s->sid, std::move(s));
+  }
+}
+
+bool Daemon::read_ready(Session& s) {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t rn = ::recv(s.fd, buf, sizeof buf, MSG_DONTWAIT);
+    if (rn > 0) {
+      s.rx.insert(s.rx.end(), buf, buf + rn);
+      if (static_cast<std::size_t>(rn) < sizeof buf) break;
+      continue;
+    }
+    if (rn == 0) {  // EOF: the client vanished (exit, crash, kill -9)
+      teardown(s.sid, false);
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    teardown(s.sid, false);
+    return false;
+  }
+  return parse_frames(s);
+}
+
+bool Daemon::parse_frames(Session& s) {
+  for (;;) {
+    const std::size_t avail = s.rx.size() - s.rx_off;
+    if (avail < 8) break;
+    std::uint32_t op_raw = 0;
+    std::uint32_t len = 0;
+    std::memcpy(&op_raw, s.rx.data() + s.rx_off, 4);
+    std::memcpy(&len, s.rx.data() + s.rx_off + 4, 4);
+    const bool shm = (op_raw & ipc::kShmOpFlag) != 0;
+    const std::uint32_t op_plain = op_raw & ~ipc::kShmOpFlag;
+    if (len > ipc::SocketChannel::kMaxPayload || (shm && len != 16) ||
+        op_plain == 0 ||
+        op_plain >= static_cast<std::uint32_t>(Op::kOpCount)) {
+      teardown(s.sid, false);  // corrupt or hostile framing
+      return false;
+    }
+    if (avail - 8 < len) break;  // frame incomplete; wait for more bytes
+    const std::uint8_t* body = s.rx.data() + s.rx_off + 8;
+    s.rx_off += 8 + len;
+    const Op op = static_cast<Op>(op_plain);
+    if (!s.attached) {
+      if (op != Op::Attach || shm || !handle_attach(s, body, len)) {
+        teardown(s.sid, false);
+        return false;
+      }
+      continue;
+    }
+    Session::Frame f;
+    f.op = op;
+    if (shm) {
+      f.shm = true;
+      f.shm_pos = rd_u64({body, len}, 0);
+      f.shm_len = rd_u64({body, len}, 8);
+      if (s.seg == nullptr || f.shm_len > ipc::SocketChannel::kMaxPayload) {
+        teardown(s.sid, false);
+        return false;
+      }
+    } else {
+      f.payload.assign(body, body + len);
+    }
+    // Admission: a client pipelining past its in-flight cap gets typed
+    // rejects, answered in order with the frames ahead of them.  The reject
+    // marker keeps the descriptor of a shm frame (its ring block must still
+    // be consumed, or the ring jams) but drops any inline payload.
+    if (s.q.size() >= opts_.max_inflight) {
+      f.rejected = true;
+      f.payload.clear();
+    }
+    s.q.push_back(std::move(f));
+  }
+  if (s.rx_off == s.rx.size()) {
+    s.rx.clear();
+    s.rx_off = 0;
+  } else if (s.rx_off > (std::size_t{1} << 20)) {
+    s.rx.erase(s.rx.begin(),
+               s.rx.begin() + static_cast<std::ptrdiff_t>(s.rx_off));
+    s.rx_off = 0;
+  }
+  return true;
+}
+
+bool Daemon::handle_attach(Session& s, const std::uint8_t* p, std::size_t n) {
+  ipc::Reader r({p, n});
+  const std::uint32_t proto = r.u32();
+  const std::string shm_name = r.str();
+  const std::uint64_t threshold = r.u64();
+  cl_int err = CL_SUCCESS;
+  std::shared_ptr<ipc::ShmSegment> seg;
+  if (!r.ok() || proto != proxy::kProxydProtoVersion) err = CL_INVALID_VALUE;
+  if (err == CL_SUCCESS && attached_count_ >= opts_.max_clients)
+    err = CL_CHECL_DAEMON_FULL;
+  if (err == CL_SUCCESS && !shm_name.empty()) {
+    seg = ipc::ShmSegment::attach(shm_name);
+    if (seg == nullptr) err = CL_INVALID_VALUE;
+  }
+  ipc::Writer w;
+  w.i32(err);
+  w.u64(s.sid);
+  w.u32(static_cast<std::uint32_t>(::getpid()));
+  ipc::Message m;
+  m.op = static_cast<std::uint32_t>(Op::Attach);
+  m.payload = w.take();
+  const bool sent = s.tx->send(m);
+  if (err != CL_SUCCESS || !sent) {
+    if (err == CL_CHECL_DAEMON_FULL) {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.admission_rejects;
+    }
+    return false;  // caller tears the unattached session down
+  }
+  if (seg != nullptr) {
+    // From here on, bulk responses ride the client's rings: the client
+    // created the segment, so the daemon is the non-creator side (tx ring 1,
+    // rx ring 0).
+    auto sock = std::unique_ptr<ipc::SocketChannel>(
+        static_cast<ipc::SocketChannel*>(s.tx.release()));
+    s.seg = seg;
+    s.tx = std::make_unique<ipc::ShmChannel>(
+        std::move(sock), seg, /*creator=*/false,
+        threshold != 0 ? static_cast<std::size_t>(threshold)
+                       : ipc::kShmDefaultThreshold);
+  }
+  s.attached = true;
+  ++attached_count_;
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ++stats_.attaches;
+  stats_.clients_current = attached_count_;
+  stats_.clients_peak = std::max<std::uint64_t>(stats_.clients_peak, attached_count_);
+  stats_.per_client[s.sid] = ClientStats{};
+  return true;
+}
+
+// ---- scheduling -------------------------------------------------------------
+
+void Daemon::schedule() {
+  // Deficit round robin: each round, every runnable session's budget grows by
+  // one quantum and it serves head frames that fit.  A greedy bulk client
+  // whose 4 MiB transfer costs 16 quanta simply waits 16 rounds between
+  // frames while everyone else's small calls (cost << quantum) flow every
+  // round — bounded latency without preempting mid-frame.
+  for (;;) {
+    std::vector<std::uint64_t> runnable;
+    runnable.reserve(sessions_.size());
+    for (const auto& [sid, sp] : sessions_)
+      if (!sp->q.empty()) runnable.push_back(sid);
+    if (runnable.empty()) return;
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.sched_rounds;
+    }
+    for (const std::uint64_t sid : runnable) {
+      auto it = sessions_.find(sid);
+      if (it == sessions_.end()) continue;  // torn down earlier this round
+      Session& s = *it->second;
+      if (s.q.empty()) continue;
+      s.deficit += opts_.quantum_bytes;
+      bool alive = true;
+      while (alive && !s.q.empty() && s.q.front().cost() <= s.deficit) {
+        s.deficit -= s.q.front().cost();
+        alive = process_frame(s);
+      }
+      // Classic DRR: an idle session banks nothing.
+      if (alive && s.q.empty()) s.deficit = 0;
+    }
+  }
+}
+
+bool Daemon::process_frame(Session& s) {
+  auto& chaos = chaoskit::Engine::instance();
+  Session::Frame f = std::move(s.q.front());
+  s.q.pop_front();
+
+  // chaos: the daemon observes this client dying right now, mid-transfer.
+  // The teardown below is exactly what a real EOF would run.
+  if (chaos.should_fire(chaoskit::Site::ProxydClientDeath)) {
+    teardown(s.sid, false);
+    return false;
+  }
+
+  const auto reply_reject = [&](cl_int e) {
+    ipc::Writer w;
+    w.i32(e);
+    ipc::Message m;
+    m.op = static_cast<std::uint32_t>(f.op);
+    m.payload = w.take();
+    ++s.cstats.rejects;
+    s.cstats.bytes_out += 8 + m.payload.size();
+    if (!s.tx->send(m)) {
+      teardown(s.sid, false);
+      return false;
+    }
+    return true;
+  };
+
+  if (f.rejected) {
+    // The ring block of a rejected bulk frame still has to drain.
+    if (f.shm && s.seg != nullptr) {
+      if (s.seg->consume_view(0, f.shm_pos,
+                              static_cast<std::size_t>(f.shm_len)) == nullptr) {
+        teardown(s.sid, false);
+        return false;
+      }
+      s.seg->release(0, f.shm_pos, static_cast<std::size_t>(f.shm_len));
+    }
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.queue_rejects;
+    }
+    return reply_reject(CL_CHECL_INFLIGHT_CAP_EXCEEDED);
+  }
+
+  std::span<const std::uint8_t> payload;
+  const std::uint8_t* view = nullptr;
+  if (f.shm) {
+    view = s.seg->consume_view(0, f.shm_pos, static_cast<std::size_t>(f.shm_len));
+    if (view == nullptr) {  // producer stalled: the client died mid-publish
+      teardown(s.sid, false);
+      return false;
+    }
+    payload = {view, static_cast<std::size_t>(f.shm_len)};
+  } else {
+    payload = f.payload;
+  }
+  const auto release_ring = [&] {
+    if (view != nullptr)
+      s.seg->release(0, f.shm_pos, static_cast<std::size_t>(f.shm_len));
+  };
+
+  if (!validate_request(s, f.op, payload)) {
+    release_ring();
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.foreign_rejects;
+    }
+    return reply_reject(CL_CHECL_FOREIGN_HANDLE);
+  }
+
+  if (opts_.max_client_mem_bytes != 0) {
+    const std::uint64_t want = create_mem_bytes(f.op, payload);
+    if (want != 0 && s.mem_bytes + want > opts_.max_client_mem_bytes) {
+      release_ring();
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++stats_.mem_rejects;
+      }
+      return reply_reject(CL_CHECL_MEM_CAP_EXCEEDED);
+    }
+  }
+
+  const bool measured = proxy::op_measured(f.op);
+  if (measured) {
+    simcl::Runtime::instance().clock().advance_host(s.st.costs.per_call_ns);
+    proxy::charge_bytes(s.st, 8 + payload.size());
+  }
+  ipc::Reader r(payload);
+  ipc::Writer w(std::move(wbuf_));
+  bool keep = true;
+  if (chaos.should_fire(chaoskit::Site::ProxyInjectClError)) {
+    w.i32(static_cast<cl_int>(chaos.arg()));
+  } else {
+    keep = proxy::dispatch_request(s.st, f.op, r, w);
+  }
+  ipc::Message resp;
+  resp.op = static_cast<std::uint32_t>(f.op);
+  resp.payload = w.take();
+  // Namespace bookkeeping needs the request head (handles, sizes) — do it
+  // before the ring view dies.
+  register_handles(s, f.op, payload, resp.payload);
+  release_ring();
+  if (measured)
+    proxy::charge_bytes(s.st, resp.payload.size() + s.st.resp_bulk.size());
+  ++s.cstats.calls;
+  s.cstats.bytes_in += 8 + payload.size();
+  s.cstats.bytes_out += 8 + resp.payload.size() + s.st.resp_bulk.size();
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.calls;
+  }
+  const bool sent = s.tx->send2(resp, s.st.resp_bulk);
+  s.st.resp_bulk = {};
+  wbuf_ = std::move(resp.payload);
+  if (!sent) {
+    teardown(s.sid, false);
+    return false;
+  }
+  if (!keep) {
+    // Op::Shutdown from a daemon client closes *its* session; the daemon
+    // itself only exits via stop().
+    teardown(s.sid, true);
+    return false;
+  }
+  return true;
+}
+
+// ---- namespace validation + registration ------------------------------------
+
+bool Daemon::validate_request(Session& s, Op op,
+                              std::span<const std::uint8_t> payload) {
+  bool ok = true;
+  const auto check = [&](std::uint64_t h) {
+    if (h != 0 && s.owned.find(h) == s.owned.end() &&
+        shared_handles_.find(h) == shared_handles_.end())
+      ok = false;
+    return h;  // identity: validation only, never translation
+  };
+  // remap_request_handles writes each handle back through the map function;
+  // with the identity map those writes are byte-for-byte no-ops, so walking
+  // a const ring view in place is safe.
+  auto* p = const_cast<std::uint8_t*>(payload.data());
+  if (op == Op::Batch) {
+    // Walk the sub-frames: a forged handle inside a batch must not slip
+    // past validation just because the batch payload is opaque.
+    std::size_t pos = 0;
+    while (pos + 8 <= payload.size()) {
+      const std::uint32_t sub_raw = rd_u32(payload, pos);
+      const std::uint32_t len = rd_u32(payload, pos + 4);
+      pos += 8;
+      if (len > payload.size() - pos) break;  // dispatch stops here too
+      if (sub_raw != 0 && sub_raw < static_cast<std::uint32_t>(Op::kOpCount))
+        proxy::remap_request_handles(static_cast<Op>(sub_raw), p + pos, len,
+                                     check);
+      pos += len;
+    }
+    return ok;
+  }
+  proxy::remap_request_handles(op, p, payload.size(), check);
+  return ok;
+}
+
+void Daemon::register_handles(Session& s, Op op,
+                              std::span<const std::uint8_t> req,
+                              const std::vector<std::uint8_t>& resp) {
+  const std::span<const std::uint8_t> rs(resp);
+  const cl_int err = rd_i32(rs, 0);
+  const auto add = [&](std::uint64_t h, HKind k, std::uint64_t mem) {
+    if (h == 0) return;
+    auto [it, fresh] = s.owned.try_emplace(h, HEntry{k, 0, mem});
+    ++it->second.refs;
+    if (fresh) s.mem_bytes += it->second.mem_bytes;
+  };
+  const auto add_list = [&](HKind k) {  // [i32 err][u32 total][u32 n][n×u64]
+    const std::uint32_t n = rd_u32(rs, 8);
+    for (std::uint32_t i = 0; i < n; ++i) add(rd_u64(rs, 12 + 8 * i), k, 0);
+  };
+  const auto adjust = [&](std::uint64_t h, bool retain) {
+    auto it = s.owned.find(h);
+    if (it == s.owned.end()) return;
+    if (retain) {
+      ++it->second.refs;
+    } else if (--it->second.refs == 0) {
+      s.mem_bytes -= it->second.mem_bytes;
+      s.owned.erase(it);
+    }
+  };
+
+  if (err == CL_SUCCESS) {
+    HKind rk;
+    switch (op) {
+      case Op::CreateContext: add(rd_u64(rs, 4), HKind::Context, 0); break;
+      case Op::CreateCommandQueue: add(rd_u64(rs, 4), HKind::Queue, 0); break;
+      case Op::CreateBuffer:
+      case Op::CreateImage2D:
+        add(rd_u64(rs, 4), HKind::Mem, create_mem_bytes(op, req));
+        break;
+      case Op::CreateSampler: add(rd_u64(rs, 4), HKind::Sampler, 0); break;
+      case Op::CreateProgramWithSource:
+        add(rd_u64(rs, 4), HKind::Program, 0);
+        break;
+      case Op::CreateProgramWithBinary:  // [i32 err][i32 status][u64 handle]
+        add(rd_u64(rs, 8), HKind::Program, 0);
+        break;
+      case Op::CreateKernel: add(rd_u64(rs, 4), HKind::Kernel, 0); break;
+      case Op::CreateKernelsInProgram: add_list(HKind::Kernel); break;
+      case Op::GetPlatformIDs:
+      case Op::GetDeviceIDs: {
+        const std::uint32_t n = rd_u32(rs, 8);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const std::uint64_t h = rd_u64(rs, 12 + 8 * i);
+          if (h != 0) shared_handles_.insert(h);
+        }
+        break;
+      }
+      case Op::EnqueueReadBuffer:
+      case Op::EnqueueWriteBuffer:
+      case Op::EnqueueCopyBuffer:
+      case Op::EnqueueNDRangeKernel:
+      case Op::EnqueueTask:
+      case Op::EnqueueMarker:
+        // [i32 err][u64 event]: nonzero only when the client asked for one
+        add(rd_u64(rs, 4), HKind::Event, 0);
+        break;
+      default:
+        if (retain_op(op, rk)) adjust(rd_u64(req, 0), /*retain=*/true);
+        if (release_op(op, rk)) adjust(rd_u64(req, 0), /*retain=*/false);
+        break;
+    }
+  }
+  if (op == Op::Batch) {
+    // Batched calls are fire-and-forget (the client never batches an
+    // event-returning or handle-creating call), but Retain/Release can ride
+    // along: adjust refcounts by the request alone — every handle in here
+    // was validated as owned, so the substrate call succeeded.
+    std::size_t pos = 0;
+    while (pos + 8 <= req.size()) {
+      const std::uint32_t sub_raw = rd_u32(req, pos);
+      const std::uint32_t len = rd_u32(req, pos + 4);
+      pos += 8;
+      if (len > req.size() - pos) break;
+      HKind rk;
+      const Op sub = static_cast<Op>(sub_raw);
+      if (retain_op(sub, rk))
+        adjust(rd_u64(req.subspan(pos), 0), /*retain=*/true);
+      if (release_op(sub, rk))
+        adjust(rd_u64(req.subspan(pos), 0), /*retain=*/false);
+      pos += len;
+    }
+  }
+  s.cstats.handles = s.owned.size();
+  s.cstats.mem_bytes = s.mem_bytes;
+}
+
+// ---- teardown ---------------------------------------------------------------
+
+void Daemon::teardown(std::uint64_t sid, bool graceful) {
+  auto it = sessions_.find(sid);
+  if (it == sessions_.end()) return;
+  Session& s = *it->second;
+  std::uint64_t leaked = 0;
+  if (s.attached) {
+    if (chaoskit::Engine::instance().should_fire(
+            chaoskit::Site::ProxydNamespaceLeak)) {
+      // chaos: the reclaim "forgets" everything — the leak counter must
+      // expose exactly what was dropped.
+      leaked = s.owned.size();
+    } else {
+      // Reverse dependency order, each handle released refcount times.
+      static constexpr HKind kOrder[] = {
+          HKind::Event, HKind::Kernel, HKind::Program, HKind::Sampler,
+          HKind::Mem,   HKind::Queue,  HKind::Context};
+      for (const HKind k : kOrder) {
+        for (auto oit = s.owned.begin(); oit != s.owned.end();) {
+          if (oit->second.kind != k) {
+            ++oit;
+            continue;
+          }
+          for (std::uint32_t i = 0; i < oit->second.refs; ++i) {
+            if (release_one(k, oit->first) != CL_SUCCESS) {
+              ++leaked;
+              break;
+            }
+          }
+          oit = s.owned.erase(oit);
+        }
+      }
+    }
+    --attached_count_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    if (s.attached) {
+      ++stats_.disconnects;
+      stats_.clients_current = attached_count_;
+      stats_.per_client.erase(s.sid);
+      stats_.leaked_handles += leaked;
+    }
+  }
+  // Graceful (Shutdown RPC) and abrupt (EOF, failed send, chaos death)
+  // converge here on purpose: same reclaim, same counters.  The shm mapping
+  // dies with the session object; attach() already unlinked the /dev/shm
+  // name, so nothing survives on the filesystem.
+  (void)graceful;
+  sessions_.erase(it);  // channel destructor closes the fd; epoll drops it
+}
+
+void Daemon::refresh_client_stats() {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  for (const auto& [sid, sp] : sessions_) {
+    if (!sp->attached) continue;
+    sp->cstats.queue_depth = sp->q.size();
+    stats_.per_client[sid] = sp->cstats;
+  }
+}
+
+}  // namespace proxyd

@@ -1,0 +1,162 @@
+// daemon.h — checl_proxyd: the multi-tenant API proxy daemon.
+//
+// The single-client proxy (proxy/server.cpp) is one forked child per
+// application: perfect isolation, but one process per client cannot serve the
+// ROADMAP's "heavy traffic" north star.  This daemon reworks the serve loop
+// into a long-lived epoll event loop on a listening unix socket.  Each client
+// attaches with an Op::Attach handshake (negotiating its own PR-2 shm
+// data-plane rings) and then speaks the unmodified RPC protocol; the daemon
+// runs one proxy::ServerState per session over the shared simcl substrate.
+//
+// Three properties the shared process must add on top of dispatch:
+//
+//   * Private namespaces.  Remote handles are pointer values in the daemon's
+//     address space, so nothing structural stops client A from naming client
+//     B's buffer.  Every session tracks the handles its own creates returned
+//     (plus the daemon-wide platform/device set, which is legitimately
+//     shared); a request naming any other handle is answered with
+//     CL_CHECL_FOREIGN_HANDLE before it reaches the substrate.  Disconnect —
+//     graceful or abrupt — releases everything the session still owns, in
+//     reverse dependency order, and drops its shm segment.
+//
+//   * Admission control.  max-clients bounds attached sessions (excess
+//     attaches get CL_CHECL_DAEMON_FULL and a closed socket); per-client
+//     queued-frame and device-memory caps answer typed errors instead of
+//     letting one client exhaust the daemon.
+//
+//   * Fair scheduling.  Parsed request frames go to per-session run queues
+//     drained by deficit round robin (quantum in bytes), so a client
+//     streaming large transfers cannot starve the small-call latency of the
+//     rest: every round, each runnable session gets a quantum of transfer
+//     budget before the flooder gets its next one.
+//
+// The daemon never trusts a death signal it didn't observe: a closed fd, a
+// failed send, or a stalled ring producer all tear the session down the same
+// way, so "kill -9 the client" and "client called Shutdown" converge to the
+// same reclaimed state (the proxyd_client_death chaos site exercises exactly
+// this path mid-transfer).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "proxy/opcodes.h"
+
+namespace proxyd {
+
+struct Options {
+  std::size_t max_clients = 64;
+  // Max parsed-but-unprocessed frames per session; further pipelined frames
+  // are answered CL_CHECL_INFLIGHT_CAP_EXCEEDED (in order).
+  std::size_t max_inflight = 64;
+  // Per-client device-memory cap in bytes (created buffers + images);
+  // 0 = unlimited.  Exceeding creates get CL_CHECL_MEM_CAP_EXCEEDED.
+  std::uint64_t max_client_mem_bytes = 0;
+  // Deficit-round-robin quantum: transfer budget (bytes) each runnable
+  // session receives per scheduling round.
+  std::uint64_t quantum_bytes = 256 * 1024;
+};
+
+// Reads CHECL_PROXYD_MAX_CLIENTS / CHECL_PROXYD_MAX_INFLIGHT /
+// CHECL_PROXYD_MEM_CAP / CHECL_PROXYD_QUANTUM over the defaults above.
+Options options_from_env();
+
+struct ClientStats {
+  std::uint64_t calls = 0;       // frames dispatched into the substrate
+  std::uint64_t bytes_in = 0;    // request bytes (header + payload)
+  std::uint64_t bytes_out = 0;   // response bytes
+  std::uint64_t rejects = 0;     // typed policy rejects answered
+  std::uint64_t queue_depth = 0; // run-queue length right now
+  std::uint64_t mem_bytes = 0;   // live created device memory
+  std::uint64_t handles = 0;     // live owned handles
+};
+
+struct Stats {
+  std::uint64_t attaches = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t clients_current = 0;
+  std::uint64_t clients_peak = 0;
+  std::uint64_t admission_rejects = 0;  // CL_CHECL_DAEMON_FULL
+  std::uint64_t foreign_rejects = 0;    // CL_CHECL_FOREIGN_HANDLE
+  std::uint64_t mem_rejects = 0;        // CL_CHECL_MEM_CAP_EXCEEDED
+  std::uint64_t queue_rejects = 0;      // CL_CHECL_INFLIGHT_CAP_EXCEEDED
+  std::uint64_t calls = 0;              // total dispatched frames
+  std::uint64_t sched_rounds = 0;       // DRR rounds run
+  // Handles a teardown failed (or chaos-"forgot") to release.  Nonzero means
+  // the namespace reclaim invariant broke — tests gate on this staying 0.
+  std::uint64_t leaked_handles = 0;
+  std::map<std::uint64_t, ClientStats> per_client;  // keyed by client id
+};
+
+class Daemon {
+ public:
+  // Binds the listening socket in the constructor, so a connect() issued the
+  // moment it returns lands in the backlog even before run() starts.
+  Daemon(std::string socket_path, Options opts);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return listen_fd_ >= 0; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return socket_path_;
+  }
+
+  // The event loop; returns after stop() or a fatal listener error.
+  void run();
+  // Thread-safe; wakes the loop and makes run() return after it finishes the
+  // current scheduling pass (every session torn down cleanly).
+  void stop();
+
+  [[nodiscard]] Stats stats() const;
+
+  // The most recently constructed live daemon in this process, for
+  // checl::stats_json()'s "proxyd" section; nullptr when none.
+  [[nodiscard]] static Daemon* global() noexcept;
+
+ private:
+  struct Session;
+
+  void accept_ready();
+  bool read_ready(Session& s);      // false => session torn down
+  bool parse_frames(Session& s);    // false => session torn down
+  bool handle_attach(Session& s, const std::uint8_t* p, std::size_t n);
+  bool process_frame(Session& s);   // pops + serves one frame; false => gone
+  bool validate_request(Session& s, proxy::Op op,
+                        std::span<const std::uint8_t> payload);
+  void register_handles(Session& s, proxy::Op op,
+                        std::span<const std::uint8_t> req,
+                        const std::vector<std::uint8_t>& resp);
+  void schedule();                  // DRR over all runnable sessions
+  void teardown(std::uint64_t sid, bool graceful);
+  void refresh_client_stats();
+
+  std::string socket_path_;
+  Options opts_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // stop() pipe
+  std::string error_;
+  std::atomic<bool> stop_{false};
+
+  std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;  // by session id
+  std::uint64_t next_session_id_ = 1;
+  std::size_t attached_count_ = 0;
+  bool substrate_configured_ = false;
+  // Platform/device handles: daemon-wide, legitimately visible to everyone.
+  std::unordered_set<std::uint64_t> shared_handles_;
+  std::vector<std::uint8_t> wbuf_;  // response Writer buffer, recycled
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace proxyd

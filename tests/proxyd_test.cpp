@@ -1,0 +1,545 @@
+// proxyd_test.cpp — the multi-tenant proxy daemon, tested at its seams.
+//
+// Covers the three properties the shared daemon must add over plain dispatch
+// (see proxyd/daemon.h):
+//   * private namespaces: a client naming another client's handle gets the
+//     typed CL_CHECL_FOREIGN_HANDLE error, never the other client's data; a
+//     dying client's whole namespace is reclaimed (zero leaked handles, no
+//     zombie /dev/shm segments), and the survivors' state is byte-identical;
+//   * admission control: max-clients at attach, per-client memory and
+//     in-flight caps at dispatch, each with its own typed reject;
+//   * shared-substrate semantics: a second client's Configure (reset=true,
+//     the spawn-mode handshake) must not rewind the clock other clients are
+//     running on, and the supervisor can recover an attached client by
+//     re-attaching to the surviving daemon.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos_harness.h"
+#include "chaoskit/chaoskit.h"
+#include "checl/cl_ext.h"
+#include "core/runtime.h"
+#include "core/stats.h"
+#include "core/supervisor.h"
+#include "ipc/channel.h"
+#include "proxy/client.h"
+#include "proxy/opcodes.h"
+#include "proxy/spawn.h"
+#include "proxyd/daemon.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using proxy::Op;
+
+std::string test_socket_path() {
+  return "/tmp/checl_proxyd_test_" + std::to_string(::getpid()) + ".sock";
+}
+
+// An in-process daemon on its own thread: one chaos engine, one stats view,
+// and the substrate it serves is this process's simcl singletons.
+struct DaemonHost {
+  std::string path = test_socket_path();
+  std::unique_ptr<proxyd::Daemon> d;
+  std::thread th;
+
+  bool start(proxyd::Options o = {}) {
+    d = std::make_unique<proxyd::Daemon>(path, o);
+    if (!d->ok()) return false;
+    th = std::thread([this] { d->run(); });
+    return true;
+  }
+  void stop() {
+    if (d != nullptr) d->stop();
+    if (th.joinable()) th.join();
+    d.reset();
+  }
+  ~DaemonHost() { stop(); }
+
+  // Daemon-side bookkeeping is asynchronous to the clients; poll for it.
+  template <typename Pred>
+  bool wait_for(Pred p, int ms = 2000) {
+    for (int i = 0; i < ms / 2; ++i) {
+      if (p(d->stats())) return true;
+      ::usleep(2000);
+    }
+    return p(d->stats());
+  }
+};
+
+proxy::SpawnOptions daemon_opts(const std::string& path) {
+  proxy::SpawnOptions o;
+  o.daemon_socket = path;
+  o.shm_ring_bytes = 1u << 20;  // small rings: tests are not throughput-bound
+  return o;
+}
+
+cl_int configure(proxy::Client& c) {
+  return c.configure(simcl::default_platforms(), proxy::IpcCosts{}, true,
+                     simcl::ProgCacheConfig{});
+}
+
+// A raw attached client whose connection we control (abrupt close, forged
+// frames) — spawn_connection + a bare Client, no Spawned politeness.
+struct RawClient {
+  std::unique_ptr<proxy::Client> c;
+  cl_int attach_error = 0;
+
+  bool attach(const proxy::SpawnOptions& o) {
+    proxy::RawConnection rc = proxy::spawn_connection(proxy::Transport::Daemon, o);
+    attach_error = rc.attach_error;
+    if (rc.ch == nullptr) return false;
+    c = std::make_unique<proxy::Client>(std::move(rc.ch));
+    return true;
+  }
+  void die() { c.reset(); }  // closes the fd with no Shutdown: abrupt death
+};
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::uint8_t>(seed + i * 7);
+  return v;
+}
+
+// ctx + queue + one pattern-filled buffer, the standard per-client fixture.
+struct Tenant {
+  proxy::RemoteHandle ctx = 0, queue = 0, mem = 0;
+  std::vector<std::uint8_t> data;
+
+  bool up(proxy::Client& c, std::size_t bytes, std::uint8_t seed) {
+    if (configure(c) != CL_SUCCESS) return false;
+    std::vector<proxy::RemoteHandle> plats, devs;
+    cl_uint n = 0;
+    if (c.get_platform_ids(8, plats, n) != CL_SUCCESS || plats.empty())
+      return false;
+    if (c.get_device_ids(plats[0], CL_DEVICE_TYPE_ALL, 8, devs, n) !=
+            CL_SUCCESS ||
+        devs.empty())
+      return false;
+    if (c.create_context({}, {devs.data(), 1}, ctx) != CL_SUCCESS) return false;
+    if (c.create_queue(ctx, devs[0], 0, queue) != CL_SUCCESS) return false;
+    data = pattern(bytes, seed);
+    return c.create_buffer(ctx, CL_MEM_COPY_HOST_PTR, bytes, data, mem) ==
+           CL_SUCCESS;
+  }
+
+  bool intact(proxy::Client& c) {
+    std::vector<std::uint8_t> got(data.size());
+    proxy::RemoteHandle ev = 0;
+    if (c.enqueue_read(queue, mem, 0, got.size(), got.data(), false, ev) !=
+        CL_SUCCESS)
+      return false;
+    return got == data;
+  }
+};
+
+std::size_t checl_shm_segments() {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator("/dev/shm", ec))
+    if (e.path().filename().string().rfind("checl-", 0) == 0) ++n;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// attach + basic round trip
+// ---------------------------------------------------------------------------
+
+TEST(ProxydAttach, RoundTripOverSharedDaemon) {
+  DaemonHost h;
+  ASSERT_TRUE(h.start()) << h.d->error();
+  proxy::Spawned s =
+      proxy::spawn_proxy(proxy::Transport::Daemon, daemon_opts(h.path));
+  ASSERT_TRUE(s.ok()) << s.error();
+  Tenant t;
+  ASSERT_TRUE(t.up(*s.client(), 64 * 1024, 3));  // > threshold: rides the rings
+  EXPECT_TRUE(t.intact(*s.client()));
+  std::uint32_t pid = 0;
+  EXPECT_EQ(s.client()->ping(&pid), CL_SUCCESS);
+  EXPECT_EQ(pid, static_cast<std::uint32_t>(::getpid()));  // in-process daemon
+  s.stop();
+  EXPECT_TRUE(h.wait_for([](const proxyd::Stats& st) {
+    return st.disconnects >= 1 && st.clients_current == 0;
+  }));
+  EXPECT_EQ(h.d->stats().leaked_handles, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// private namespaces
+// ---------------------------------------------------------------------------
+
+TEST(ProxydNamespace, ForeignHandleIsTypedErrorNotUB) {
+  DaemonHost h;
+  ASSERT_TRUE(h.start());
+  const proxy::SpawnOptions o = daemon_opts(h.path);
+  proxy::Spawned a = proxy::spawn_proxy(proxy::Transport::Daemon, o);
+  proxy::Spawned b = proxy::spawn_proxy(proxy::Transport::Daemon, o);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Tenant ta, tb;
+  ASSERT_TRUE(ta.up(*a.client(), 4096, 11));
+  ASSERT_TRUE(tb.up(*b.client(), 4096, 77));
+
+  // B forges A's buffer handle on its own (valid) queue: the daemon must
+  // reject the whole request before it reaches the substrate.
+  std::vector<std::uint8_t> stolen(ta.data.size());
+  proxy::RemoteHandle ev = 0;
+  EXPECT_EQ(b.client()->enqueue_read(tb.queue, ta.mem, 0, stolen.size(),
+                                     stolen.data(), false, ev),
+            CL_CHECL_FOREIGN_HANDLE);
+  // ...and a forged release must not free A's object out from under it.
+  EXPECT_EQ(b.client()->retain_release(Op::ReleaseMemObject, ta.mem),
+            CL_CHECL_FOREIGN_HANDLE);
+  EXPECT_TRUE(h.wait_for(
+      [](const proxyd::Stats& st) { return st.foreign_rejects >= 2; }));
+
+  // Both clients keep working, and A's data never moved.
+  EXPECT_TRUE(ta.intact(*a.client()));
+  EXPECT_TRUE(tb.intact(*b.client()));
+  a.stop();
+  b.stop();
+}
+
+TEST(ProxydNamespace, ClientDeathLeavesSurvivorsByteIdentical) {
+  DaemonHost h;
+  ASSERT_TRUE(h.start());
+  const proxy::SpawnOptions o = daemon_opts(h.path);
+  RawClient a, victim, c;
+  ASSERT_TRUE(a.attach(o) && victim.attach(o) && c.attach(o));
+  Tenant ta, tv, tc;
+  ASSERT_TRUE(ta.up(*a.c, 32 * 1024, 1));
+  ASSERT_TRUE(tv.up(*victim.c, 32 * 1024, 2));
+  ASSERT_TRUE(tc.up(*c.c, 32 * 1024, 3));
+  ASSERT_TRUE(h.wait_for(
+      [](const proxyd::Stats& st) { return st.clients_current == 3; }));
+
+  // The daemon kills the victim's session at its next frame — mid-transfer,
+  // from the client's point of view: the write is in flight when it dies.
+  chaoskit::Fault f;
+  f.site = chaoskit::Site::ProxydClientDeath;
+  f.actor = chaoskit::Actor::Proxy;
+  f.nth = 0;
+  chaoskit::Engine::instance().arm(f);
+  std::vector<std::uint8_t> big = pattern(32 * 1024, 9);
+  proxy::RemoteHandle ev = 0;
+  EXPECT_NE(victim.c->enqueue_write(tv.queue, tv.mem, 0, big, false, ev),
+            CL_SUCCESS);
+  EXPECT_TRUE(chaoskit::Engine::instance().fired());
+  chaoskit::Engine::instance().disarm();
+
+  // The whole victim namespace is reclaimed; the survivors are untouched.
+  ASSERT_TRUE(h.wait_for([](const proxyd::Stats& st) {
+    return st.clients_current == 2 && st.disconnects >= 1;
+  }));
+  EXPECT_EQ(h.d->stats().leaked_handles, 0u);
+  EXPECT_TRUE(ta.intact(*a.c));
+  EXPECT_TRUE(tc.intact(*c.c));
+  // stats_json() tells the same story (ROADMAP's zero-leak gate).
+  const std::string js = checl::stats_json();
+  EXPECT_NE(js.find("\"proxyd\": {"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"leaked_handles\": 0"), std::string::npos) << js;
+  a.die();
+  c.die();
+}
+
+TEST(ProxydNamespace, LeakDetectorCountsChaosLeakedHandles) {
+  DaemonHost h;
+  ASSERT_TRUE(h.start());
+  RawClient a;
+  ASSERT_TRUE(a.attach(daemon_opts(h.path)));
+  Tenant t;
+  ASSERT_TRUE(t.up(*a.c, 4096, 5));
+
+  // Chaos makes teardown "forget" the release pass: the leak counter — the
+  // detector the zero-leak tests gate on — must see every owned handle.
+  chaoskit::Fault f;
+  f.site = chaoskit::Site::ProxydNamespaceLeak;
+  f.actor = chaoskit::Actor::Proxy;
+  f.nth = 0;
+  chaoskit::Engine::instance().arm(f);
+  a.die();
+  ASSERT_TRUE(h.wait_for(
+      [](const proxyd::Stats& st) { return st.disconnects >= 1; }));
+  chaoskit::Engine::instance().disarm();
+  // ctx + queue + mem at minimum (platform/device ids are shared, not owned).
+  EXPECT_GE(h.d->stats().leaked_handles, 3u);
+}
+
+TEST(ProxydNamespace, AbruptDisconnectReclaimsShmAndHandles) {
+  const std::size_t shm_before = checl_shm_segments();
+  DaemonHost h;
+  ASSERT_TRUE(h.start());
+  RawClient a;
+  ASSERT_TRUE(a.attach(daemon_opts(h.path)));
+  Tenant t;
+  ASSERT_TRUE(t.up(*a.c, 128 * 1024, 42));  // bulk create rode the shm rings
+  a.die();  // no Shutdown, no release calls: just a closed fd
+  ASSERT_TRUE(h.wait_for([](const proxyd::Stats& st) {
+    return st.disconnects >= 1 && st.clients_current == 0;
+  }));
+  EXPECT_EQ(h.d->stats().leaked_handles, 0u);
+  EXPECT_TRUE(h.d->stats().per_client.empty());
+  // The per-client segment is unlinked at attach and unmapped on both sides
+  // at death: no zombie /dev/shm entries survive the client.
+  EXPECT_LE(checl_shm_segments(), shm_before);
+}
+
+// ---------------------------------------------------------------------------
+// admission control
+// ---------------------------------------------------------------------------
+
+TEST(ProxydAdmission, MaxClientsRejectsWithTypedError) {
+  DaemonHost h;
+  proxyd::Options dopts;
+  dopts.max_clients = 2;
+  ASSERT_TRUE(h.start(dopts));
+  const proxy::SpawnOptions o = daemon_opts(h.path);
+  RawClient a, b, c;
+  ASSERT_TRUE(a.attach(o));
+  ASSERT_TRUE(b.attach(o));
+  EXPECT_FALSE(c.attach(o));
+  EXPECT_EQ(c.attach_error, CL_CHECL_DAEMON_FULL);
+  EXPECT_TRUE(h.wait_for(
+      [](const proxyd::Stats& st) { return st.admission_rejects >= 1; }));
+
+  // Capacity is returned on disconnect, not lost.
+  a.die();
+  ASSERT_TRUE(h.wait_for(
+      [](const proxyd::Stats& st) { return st.clients_current == 1; }));
+  EXPECT_TRUE(c.attach(o));
+  EXPECT_EQ(configure(*c.c), CL_SUCCESS);
+}
+
+TEST(ProxydAdmission, MemCapRejectsAndReleaseReturnsBudget) {
+  DaemonHost h;
+  proxyd::Options dopts;
+  dopts.max_client_mem_bytes = 64 * 1024;
+  ASSERT_TRUE(h.start(dopts));
+  RawClient a;
+  ASSERT_TRUE(a.attach(daemon_opts(h.path)));
+  Tenant t;
+  ASSERT_TRUE(t.up(*a.c, 32 * 1024, 1));  // 32K of the 64K budget
+
+  proxy::RemoteHandle over = 0;
+  EXPECT_EQ(a.c->create_buffer(t.ctx, 0, 64 * 1024, {}, over),
+            CL_CHECL_MEM_CAP_EXCEEDED);
+  // Releasing the first buffer returns its budget; the same create then fits.
+  EXPECT_EQ(a.c->retain_release(Op::ReleaseMemObject, t.mem), CL_SUCCESS);
+  EXPECT_EQ(a.c->create_buffer(t.ctx, 0, 64 * 1024, {}, over), CL_SUCCESS);
+  EXPECT_TRUE(h.wait_for(
+      [](const proxyd::Stats& st) { return st.mem_rejects >= 1; }));
+  a.die();
+}
+
+// Raw framing helpers: the in-flight cap only matters for a client that
+// pipelines past its responses, which the synchronous Client cannot do.
+bool send_all(int fd, const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  while (n > 0) {
+    const ssize_t k = ::send(fd, b, n, MSG_NOSIGNAL);
+    if (k <= 0) return false;
+    b += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+bool recv_all(int fd, void* p, std::size_t n) {
+  auto* b = static_cast<std::uint8_t*>(p);
+  while (n > 0) {
+    const ssize_t k = ::recv(fd, b, n, 0);
+    if (k <= 0) return false;
+    b += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+void put_u32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  const auto off = v.size();
+  v.resize(off + 4);
+  std::memcpy(v.data() + off, &x, 4);
+}
+
+TEST(ProxydAdmission, InflightCapRejectsPipelinedFrames) {
+  DaemonHost h;
+  proxyd::Options dopts;
+  dopts.max_inflight = 4;
+  ASSERT_TRUE(h.start(dopts));
+
+  const int fd = ipc::unix_connect(h.path.c_str());
+  ASSERT_GE(fd, 0);
+  // Attach handshake: [u32 proto][str ""][u64 threshold=0], no shm.
+  std::vector<std::uint8_t> attach;
+  put_u32(attach, static_cast<std::uint32_t>(Op::Attach));
+  put_u32(attach, 20);
+  put_u32(attach, proxy::kProxydProtoVersion);
+  put_u32(attach, 0);  // empty string: u64 length 0...
+  put_u32(attach, 0);
+  put_u32(attach, 0);  // u64 threshold 0
+  put_u32(attach, 0);
+  ASSERT_TRUE(send_all(fd, attach.data(), attach.size()));
+  std::uint32_t hdr[2];
+  ASSERT_TRUE(recv_all(fd, hdr, sizeof hdr));
+  std::vector<std::uint8_t> resp(hdr[1]);
+  ASSERT_TRUE(recv_all(fd, resp.data(), resp.size()));
+  cl_int err = -1;
+  std::memcpy(&err, resp.data(), 4);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  // One burst of 200 empty Ping frames in a single send: the daemon parses
+  // them in one pass, so everything past the cap must come back as the typed
+  // in-flight reject — in order, without killing the session.
+  constexpr int kBurst = 200;
+  std::vector<std::uint8_t> burst;
+  for (int i = 0; i < kBurst; ++i) {
+    put_u32(burst, static_cast<std::uint32_t>(Op::Ping));
+    put_u32(burst, 0);
+  }
+  ASSERT_TRUE(send_all(fd, burst.data(), burst.size()));
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(recv_all(fd, hdr, sizeof hdr)) << "response " << i;
+    resp.resize(hdr[1]);
+    ASSERT_TRUE(recv_all(fd, resp.data(), resp.size()));
+    ASSERT_GE(resp.size(), 4u);
+    std::memcpy(&err, resp.data(), 4);
+    if (err == CL_SUCCESS) ++ok;
+    if (err == CL_CHECL_INFLIGHT_CAP_EXCEEDED) ++rejected;
+  }
+  EXPECT_EQ(ok + rejected, kBurst);
+  EXPECT_GE(ok, 4);  // the frames within the cap were served
+  EXPECT_GE(rejected, 1);
+  EXPECT_TRUE(h.wait_for(
+      [](const proxyd::Stats& st) { return st.queue_rejects >= 1; }));
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// stats plumbing
+// ---------------------------------------------------------------------------
+
+TEST(ProxydStats, DisconnectRemovesPerClientEntry) {
+  DaemonHost h;
+  ASSERT_TRUE(h.start());
+  const proxy::SpawnOptions o = daemon_opts(h.path);
+  RawClient a, b;
+  ASSERT_TRUE(a.attach(o) && b.attach(o));
+  ASSERT_EQ(configure(*a.c), CL_SUCCESS);
+  ASSERT_EQ(configure(*b.c), CL_SUCCESS);
+  ASSERT_TRUE(h.wait_for([](const proxyd::Stats& st) {
+    return st.per_client.size() == 2 && st.calls >= 2;
+  }));
+  const std::string js = checl::stats_json();
+  EXPECT_NE(js.find("\"proxyd\": {"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"clients\": {"), std::string::npos) << js;
+
+  a.die();
+  ASSERT_TRUE(h.wait_for(
+      [](const proxyd::Stats& st) { return st.per_client.size() == 1; }));
+  EXPECT_EQ(h.d->stats().clients_current, 1u);
+  b.die();
+  ASSERT_TRUE(h.wait_for(
+      [](const proxyd::Stats& st) { return st.per_client.empty(); }));
+}
+
+// ---------------------------------------------------------------------------
+// Configure semantics on a shared substrate (the spawn-mode/daemon-mode fix)
+// ---------------------------------------------------------------------------
+
+TEST(ProxydConfigure, SecondClientResetDoesNotRewindSharedClock) {
+  DaemonHost h;
+  ASSERT_TRUE(h.start());
+  const proxy::SpawnOptions o = daemon_opts(h.path);
+  proxy::Spawned a = proxy::spawn_proxy(proxy::Transport::Daemon, o);
+  ASSERT_TRUE(a.ok());
+  ASSERT_EQ(configure(*a.client()), CL_SUCCESS);
+  ASSERT_EQ(a.client()->sim_advance_host_ns(1'000'000), CL_SUCCESS);
+  cl_ulong t1 = 0;
+  ASSERT_EQ(a.client()->sim_get_host_time_ns(t1), CL_SUCCESS);
+  ASSERT_GE(t1, 1'000'000u);
+
+  // B's handshake is the spawn-mode Configure verbatim — reset_clock=true.
+  // On the shared daemon that must configure only B's session, not rewind
+  // the clock A is running on.
+  proxy::Spawned b = proxy::spawn_proxy(proxy::Transport::Daemon, o);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(configure(*b.client()), CL_SUCCESS);
+  cl_ulong t2 = 0;
+  ASSERT_EQ(a.client()->sim_get_host_time_ns(t2), CL_SUCCESS);
+  EXPECT_GE(t2, t1) << "a late attacher's Configure rewound the shared clock";
+  // And both sessions dispatch fine after the second handshake.
+  Tenant tb;
+  ASSERT_TRUE(tb.up(*b.client(), 4096, 8));
+  EXPECT_TRUE(tb.intact(*b.client()));
+  a.stop();
+  b.stop();
+}
+
+// ---------------------------------------------------------------------------
+// supervised recovery against the surviving daemon
+// ---------------------------------------------------------------------------
+
+TEST(ProxydSupervision, ReattachAndReplayAfterSessionDeath) {
+  DaemonHost h;
+  ASSERT_TRUE(h.start());
+
+  checl::CheclRuntime& rt = checl::CheclRuntime::instance();
+  chaoskit::Engine& chaos = chaoskit::Engine::instance();
+  chaos.disarm();
+  rt.reset_all();
+  checl::NodeConfig node = checl::dual_node();
+  node.transport = proxy::Transport::Daemon;
+  node.proxyd_socket = h.path;
+  rt.set_node(node);
+  rt.restore_parallel = false;
+  rt.supervise = true;
+  checl::bind_checl();
+  chaos_harness::detail::Scenario sc;
+  ASSERT_TRUE(sc.create());
+
+  auto iterate = [&sc] {
+    const std::size_t g = static_cast<std::size_t>(sc.n);
+    const cl_int e = clEnqueueNDRangeKernel(sc.queue, sc.kernel, 1, nullptr,
+                                            &g, nullptr, 0, nullptr, nullptr);
+    return e != CL_SUCCESS ? e : clFinish(sc.queue);
+  };
+  ASSERT_EQ(iterate(), CL_SUCCESS);
+
+  // The daemon drops this client's session at its next frame; the supervisor
+  // must re-attach to the *surviving* daemon and replay the namespace.  The
+  // probe is replayable (Ping), so recovery is fully transparent.
+  chaoskit::Fault f;
+  f.site = chaoskit::Site::ProxydClientDeath;
+  f.actor = chaoskit::Actor::Proxy;
+  f.nth = 0;
+  chaos.arm(f);
+  EXPECT_EQ(rt.client()->ping(), CL_SUCCESS)
+      << "session death was application-visible despite supervision";
+  EXPECT_TRUE(chaos.fired());
+  chaos.disarm();
+
+  EXPECT_GE(rt.supervisor().stats().recoveries, 1u);
+  // Replay re-created every object in a fresh session epoch: work continues
+  // and both iterations are in the buffer, byte-identical to spawn mode.
+  EXPECT_EQ(iterate(), CL_SUCCESS);
+  std::vector<float> out;
+  ASSERT_TRUE(sc.read_bytes(out));
+  EXPECT_EQ(out[0], 2.0f);
+
+  EXPECT_TRUE(h.wait_for(
+      [](const proxyd::Stats& st) { return st.attaches >= 2; }));
+  rt.reset_all();
+  checl::bind_native();
+  EXPECT_TRUE(h.wait_for([](const proxyd::Stats& st) {
+    return st.clients_current == 0 && st.leaked_handles == 0;
+  }));
+}
+
+}  // namespace
