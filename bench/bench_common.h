@@ -39,7 +39,9 @@ struct Options {
   int iterations = 5;    // measured run() calls per program (SDK samples loop)
   bool ramdisk = false;  // use RAM-disk storage (processor-selection mode)
   bool store = false;    // snapstore-backed checkpoints (fig5 repeat sweep)
+  bool live = false;     // live pre-copy vs stop-the-world sweep (fig5)
   bool smoke = false;    // fast pass/fail mode for ctest
+  std::string json_out;  // mirror machine-readable results into this file
   std::string only;      // run a single workload
   // Restore-executor ablation knobs (fig7): wave-parallel recreation,
   // batched fire-and-forget replay calls, and the worker count (0 = auto).
@@ -64,6 +66,10 @@ inline Options parse_options(int argc, char** argv) {
       o.ramdisk = true;
     else if (std::strcmp(argv[i], "--store") == 0)
       o.store = true;
+    else if (std::strcmp(argv[i], "--live") == 0)
+      o.live = true;
+    else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc)
+      o.json_out = argv[++i];
     else if (std::strcmp(argv[i], "--smoke") == 0)
       o.smoke = true;
     else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc)

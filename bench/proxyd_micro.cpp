@@ -30,6 +30,9 @@
 #include <thread>
 #include <vector>
 
+#include "ipc/channel.h"
+#include "ipc/serial.h"
+#include "proxy/opcodes.h"
 #include "proxy/spawn.h"
 #include "proxyd/daemon.h"
 #include "simcl/specs.h"
@@ -172,6 +175,53 @@ std::uint64_t run_probe_p99(const std::string& socket, int samples,
   return percentile(lat, 0.99);
 }
 
+// Reply-coalescing probe: one raw-wire client pipelines `depth` pings
+// back-to-back before reading any reply, so the daemon's DRR round finds a
+// deep run queue and must answer the whole quantum with one writev
+// (stats.reply_flushes) instead of one syscall per frame.  Synchronous
+// clients (everything above) can't show this — their queue depth is 1.
+struct CoalescePoint {
+  std::uint64_t calls = 0;    // frames the daemon served during the probe
+  std::uint64_t flushes = 0;  // coalesced writev rounds that answered them
+  double ratio = 0;           // calls per flush; 1.0 = nothing coalesced
+  bool ok = false;
+};
+
+CoalescePoint run_coalesce(proxyd::Daemon& daemon, const std::string& socket,
+                           int bursts, int depth) {
+  CoalescePoint r;
+  const int fd = ipc::unix_connect(socket.c_str());
+  if (fd < 0) return r;
+  ipc::SocketChannel ch(fd);
+  ipc::Writer w;
+  w.u32(proxy::kProxydProtoVersion);
+  w.str("");  // no shm ring: everything inline
+  w.u64(0);
+  ipc::Message attach_msg;
+  attach_msg.op = static_cast<std::uint32_t>(proxy::Op::Attach);
+  attach_msg.payload = w.take();
+  ipc::Message reply;
+  if (!ch.send(attach_msg) || !ch.recv(reply)) return r;
+  const proxyd::Stats s0 = daemon.stats();
+  ipc::Message ping;
+  ping.op = static_cast<std::uint32_t>(proxy::Op::Ping);
+  for (int b = 0; b < bursts; ++b) {
+    for (int i = 0; i < depth; ++i)
+      if (!ch.send(ping)) return r;
+    for (int i = 0; i < depth; ++i)
+      if (!ch.recv(reply)) return r;
+  }
+  const proxyd::Stats s1 = daemon.stats();
+  r.calls = s1.calls - s0.calls;
+  r.flushes = s1.reply_flushes - s0.reply_flushes;
+  r.ratio = r.flushes > 0
+                ? static_cast<double>(r.calls) / static_cast<double>(r.flushes)
+                : 0;
+  r.ok = r.calls >=
+         static_cast<std::uint64_t>(bursts) * static_cast<std::uint64_t>(depth);
+  return r;  // channel destructor closes the fd; the daemon reclaims on EOF
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,6 +237,7 @@ int main(int argc, char** argv) {
       "/tmp/checl_proxyd_micro_" + std::to_string(::getpid()) + ".sock";
   proxyd::Options dopts;
   dopts.max_clients = 300;
+  dopts.max_inflight = 512;  // the coalescing probe pipelines past the default
   proxyd::Daemon daemon(socket, dopts);
   if (!daemon.ok()) {
     std::fprintf(stderr, "proxyd_micro: %s\n", daemon.error().c_str());
@@ -242,6 +293,18 @@ int main(int argc, char** argv) {
                1e-3 * static_cast<double>(bound),
                static_cast<double>(greedy_bytes) / (1u << 20));
 
+  const CoalescePoint co =
+      run_coalesce(daemon, socket, smoke ? 8 : 32, smoke ? 128 : 256);
+  emit(", \"coalescing\": {\"calls\": %llu, \"flushes\": %llu, "
+       "\"calls_per_flush\": %.1f}",
+       static_cast<unsigned long long>(co.calls),
+       static_cast<unsigned long long>(co.flushes), co.ratio);
+  std::fprintf(stderr,
+               "proxyd_micro: coalescing %llu pipelined calls in %llu writev "
+               "rounds (%.1f calls/flush)\n",
+               static_cast<unsigned long long>(co.calls),
+               static_cast<unsigned long long>(co.flushes), co.ratio);
+
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   emit(", \"cores\": %u", cores);
 
@@ -265,6 +328,9 @@ int main(int argc, char** argv) {
     const bool fairness_gate =
         p99_idle > 0 && p99_loaded > 0 && p99_loaded <= bound;
     const bool leak_gate = st.leaked_handles == 0;
+    // Structural, not wall-clock: a deep pipelined queue must coalesce well
+    // past one-reply-per-syscall.
+    const bool coalesce_gate = co.ok && co.flushes > 0 && co.ratio >= 2.0;
     if (!scaling_gate)
       std::fprintf(stderr,
                    "proxyd_micro: FAIL scaling gate (1 client %.0f calls/s, "
@@ -279,10 +345,17 @@ int main(int argc, char** argv) {
     if (!leak_gate)
       std::fprintf(stderr, "proxyd_micro: FAIL leak gate (%llu leaked)\n",
                    static_cast<unsigned long long>(st.leaked_handles));
-    rc = scaling_gate && fairness_gate && leak_gate ? 0 : 1;
-    emit(", \"gates\": {\"scaling\": %s, \"fairness\": %s, \"leaks\": %s}",
+    if (!coalesce_gate)
+      std::fprintf(stderr,
+                   "proxyd_micro: FAIL coalescing gate (%llu calls, %llu "
+                   "flushes, ratio %.1f < 2.0)\n",
+                   static_cast<unsigned long long>(co.calls),
+                   static_cast<unsigned long long>(co.flushes), co.ratio);
+    rc = scaling_gate && fairness_gate && leak_gate && coalesce_gate ? 0 : 1;
+    emit(", \"gates\": {\"scaling\": %s, \"fairness\": %s, \"leaks\": %s, "
+         "\"coalescing\": %s}",
          scaling_gate ? "true" : "false", fairness_gate ? "true" : "false",
-         leak_gate ? "true" : "false");
+         leak_gate ? "true" : "false", coalesce_gate ? "true" : "false");
   }
   emit("}\n");
 

@@ -20,8 +20,16 @@
 #    (recovery/replay paths are where use-after-free bugs would live).
 #    Emits BENCH_recovery.json (MTTR distribution); the tier-1 build also
 #    emits BENCH_ipc.json (per-RPC trajectory), BENCH_kernel.json
-#    (interp-vs-VM kernel speedups), and BENCH_proxyd.json (multi-tenant
-#    daemon scaling + fairness) so all are machine-readable.
+#    (interp-vs-VM kernel speedups), BENCH_proxyd.json (multi-tenant
+#    daemon scaling + fairness), and BENCH_ckpt.json (live pre-copy vs
+#    stop-the-world checkpoint pause) so all are machine-readable.
+# 5. Live slice: the live pre-copy engine's chaos sites
+#    (precopy_round_crash, dirty_map_desync) are armed deterministically by
+#    tests/live_cpr_test.cpp, which also pins the dirty-map superset
+#    property — rerun under ASan because aborting a streaming manifest
+#    mid-round is exactly the cleanup path ASan pays for.  The fig5
+#    --live --smoke gates (pause ratio, byte parity, identical restore)
+#    run in tier-1 ctest and in the bench trajectory above.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 ROOT="${PWD}"
@@ -39,7 +47,7 @@ if ! (cd build && ctest -L tier1 --output-on-failure -j"${JOBS}"); then
   (cd build && ctest --rerun-failed --output-on-failure)
 fi
 
-echo "== tier-1: bench trajectory (BENCH_ipc.json, BENCH_kernel.json, BENCH_proxyd.json, BENCH_recovery.json) =="
+echo "== tier-1: bench trajectory (BENCH_ipc.json, BENCH_kernel.json, BENCH_proxyd.json, BENCH_ckpt.json, BENCH_recovery.json) =="
 (
   cd build
   export CHECL_PROXYD="${PWD}/src/proxy/checl_proxyd"
@@ -50,6 +58,11 @@ echo "== tier-1: bench trajectory (BENCH_ipc.json, BENCH_kernel.json, BENCH_prox
   # Interp-vs-VM ablation over the fig4 kernels: fails unless the VM wins on
   # every kernel with bit-identical outputs, and records the speedup table.
   timeout 300 ./bench/kernel_micro --smoke --json-out "${ROOT}/BENCH_kernel.json"
+  # Live pre-copy vs stop-the-world checkpoint pause: gates the >=5x pause
+  # reduction, stored-byte parity, and byte-identical restore (simulated
+  # clock, so the ratios are deterministic).
+  timeout 180 ./bench/fig5_checkpoint_overhead --live --smoke \
+    --json-out "${ROOT}/BENCH_ckpt.json"
   # The release build produces the MTTR numbers of record; the ASan stage
   # below re-runs the same sweep as a correctness gate only (its timings
   # are sanitizer-inflated and stay in build-asan/).
@@ -63,8 +76,8 @@ echo "== chaos: ctest (label chaos, fixed seed) =="
 echo "== asan: configure + build snapstore/checkpoint slice =="
 cmake -B build-asan -S . -DCHECL_SANITIZE=address >/dev/null
 cmake --build build-asan -j"${JOBS}" \
-  --target test_snapstore test_slimcr test_cpr test_replay checl_proxyd \
-  snapstore_micro chaos_sweep
+  --target test_snapstore test_slimcr test_cpr test_live_cpr test_replay \
+  checl_proxyd snapstore_micro chaos_sweep
 
 echo "== asan: run =="
 (
@@ -74,6 +87,16 @@ echo "== asan: run =="
   ./tests/test_snapstore
   ./tests/test_slimcr
   ./tests/test_cpr
+  # Live pre-copy slice: streaming-session abort (precopy_round_crash) and
+  # dirty-map under-reporting (dirty_map_desync) armed deterministically,
+  # plus the seeded dirty-map superset property — all on cleanup-heavy
+  # paths (open-manifest abort, provisional-pin release).  Runs on
+  # Transport::Thread (one process = one chaos engine for the proxy-side
+  # desync site), so every restart_in_place abandons the dead epoch's
+  # in-process server-thread objects — same leak class as the recovery
+  # test above, hence detect_leaks=0; ASan still checks every touch.
+  ASAN_OPTIONS="detect_leaks=0${ASAN_OPTIONS:+:${ASAN_OPTIONS}}" \
+    ./tests/test_live_cpr
   # The proxy-death recovery test abandons the dead epoch's in-process
   # server-thread objects (same class the chaos sweep below documents), so
   # leak checking is off for that one test and on for everything else.

@@ -27,6 +27,8 @@ constexpr const char* kSiteNames[kSiteCount] = {
     "compile_cache_poison",
     "proxyd_client_death",
     "proxyd_namespace_leak",
+    "precopy_round_crash",
+    "dirty_map_desync",
 };
 
 thread_local Actor t_actor = Actor::App;

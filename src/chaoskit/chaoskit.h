@@ -68,8 +68,15 @@ enum class Site : std::uint8_t {
                        // other clients' namespaces must be untouched
   ProxydNamespaceLeak, // session teardown "forgets" to release the client's
                        // owned handles — the leak detector must count them
+  // core/cpr + proxy: the live (pre-copy) checkpoint engine.
+  PrecopyRoundCrash,   // the streaming session dies at a pre-copy round
+                       // boundary — the open manifest must abort with zero
+                       // orphan chunks and the previous checkpoint intact
+  DirtyMapDesync,      // the proxy's MemDirtyFetch reply under-reports: the
+                       // set bit at index `arg` (mod popcount) is cleared —
+                       // live_verify must catch and heal the stale chunk
 };
-inline constexpr std::size_t kSiteCount = 18;
+inline constexpr std::size_t kSiteCount = 20;
 
 [[nodiscard]] const char* site_name(Site s) noexcept;
 [[nodiscard]] Site site_from_name(std::string_view name) noexcept;  // None if unknown

@@ -89,6 +89,9 @@ struct ParamInfo {
   // This is exactly the classification CheCL's source parser needs.
   bool is_handle = false;
   bool is_local_ptr = false;  // __local pointer (size-only clSetKernelArg)
+  // `const`-qualified pointer parameter: the kernel body cannot store through
+  // it, so the substrate's dirty tracker may skip the backing buffer.
+  bool is_const = false;
 };
 
 // A __local declaration inside a kernel body; storage is one region per

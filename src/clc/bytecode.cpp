@@ -674,7 +674,9 @@ class Compiler {
 // ---------------------------------------------------------------------------
 
 constexpr std::uint32_t kMagic = 0x43424C43u;  // "CLBC" little-endian
-constexpr std::uint32_t kVersion = 1;
+// v2 appends ParamInfo::is_const (v1 streams still decode; the flag defaults
+// to false there, which only costs dirty-tracking precision, never safety).
+constexpr std::uint32_t kVersion = 2;
 
 std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n) noexcept {
   std::uint64_t h = 14695981039346656037ull;
@@ -880,6 +882,7 @@ std::vector<std::uint8_t> serialize_module(const Module& mod) {
       w.i32(p.slot);
       w.u8(p.is_handle ? 1 : 0);
       w.u8(p.is_local_ptr ? 1 : 0);
+      w.u8(p.is_const ? 1 : 0);
     }
     w.u8(f->is_kernel ? 1 : 0);
     w.u8(f->uses_barrier ? 1 : 0);
@@ -937,7 +940,7 @@ std::shared_ptr<const Module> deserialize_module(
   const std::uint64_t payload_size = hdr.u64();
   const std::uint64_t checksum = hdr.u64();
   if (hdr.fail || magic != kMagic) return bad("bad magic");
-  if (version != kVersion) return bad("unsupported version");
+  if (version != kVersion && version != 1) return bad("unsupported version");
   if (bytes.size() - hdr.pos != payload_size) return bad("size mismatch");
   const std::uint8_t* payload = bytes.data() + hdr.pos;
   if (fnv1a(payload, payload_size) != checksum) return bad("checksum mismatch");
@@ -978,6 +981,7 @@ std::shared_ptr<const Module> deserialize_module(
       p.slot = r.i32();
       p.is_handle = r.u8() != 0;
       p.is_local_ptr = r.u8() != 0;
+      if (version >= 2) p.is_const = r.u8() != 0;
     }
     f->is_kernel = r.u8() != 0;
     f->uses_barrier = r.u8() != 0;

@@ -189,6 +189,7 @@ bool Parser::starts_type(int ahead) const noexcept {
 Type Parser::parse_type() {
   AddrSpace space = AddrSpace::Private;
   bool space_set = false;
+  last_type_const_ = false;
   // qualifiers
   for (;;) {
     switch (peek().kind) {
@@ -196,7 +197,7 @@ Type Parser::parse_type() {
       case Tok::KwLocal: space = AddrSpace::Local; space_set = true; advance(); continue;
       case Tok::KwConstant: space = AddrSpace::Constant; space_set = true; advance(); continue;
       case Tok::KwPrivate: space = AddrSpace::Private; space_set = true; advance(); continue;
-      case Tok::KwConst:
+      case Tok::KwConst: last_type_const_ = true; advance(); continue;
       case Tok::KwVolatile:
       case Tok::KwRestrict: advance(); continue;
       default: break;
@@ -272,10 +273,14 @@ Type Parser::parse_type() {
 
   // trailing qualifiers like "const" in "float const *"
   while (peek().kind == Tok::KwConst || peek().kind == Tok::KwVolatile ||
-         peek().kind == Tok::KwRestrict)
+         peek().kind == Tok::KwRestrict) {
+    if (peek().kind == Tok::KwConst) last_type_const_ = true;
     advance();
+  }
 
   if (accept(Tok::Star)) {
+    // Qualifiers after the '*' bind to the pointer itself ("float* const"),
+    // not the pointee — they do not make the buffer read-only.
     while (peek().kind == Tok::KwConst || peek().kind == Tok::KwRestrict ||
            peek().kind == Tok::KwVolatile)
       advance();
@@ -398,6 +403,7 @@ void Parser::parse_function(Type ret, std::string name, bool is_kernel) {
       }
       ParamInfo p;
       p.type = parse_type();
+      p.is_const = last_type_const_;
       if (peek().kind == Tok::Ident) p.name = advance().text;
       // Handle classification — the property CheCL's ksig parser extracts.
       if (p.type.kind == Kind::Pointer &&

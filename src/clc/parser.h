@@ -40,7 +40,9 @@ class Parser {
   // True if the upcoming tokens begin a type (used for cast disambiguation).
   [[nodiscard]] bool starts_type(int ahead = 0) const noexcept;
   // Parses qualifiers + base + optional '*'; addr space applies to pointers.
+  // Sets last_type_const_ when any position of the declarator carried `const`.
   Type parse_type();
+  bool last_type_const_ = false;
   bool parse_named_scalar(std::string_view name, Type& out) const noexcept;
   void parse_struct_body(StructDef& def);
 

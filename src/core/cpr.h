@@ -26,6 +26,10 @@ namespace checl {
 class CheclRuntime;
 }
 
+namespace proxy {
+class Client;
+}
+
 namespace checl::cpr {
 
 struct PhaseTimes {
@@ -39,8 +43,22 @@ struct PhaseTimes {
   std::uint64_t file_bytes = 0;
   std::uint64_t logical_bytes = 0;  // pre-dedup snapshot payload, both modes
 
-  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+  // Live pre-copy (runtime.live_checkpoints): time spent streaming chunks
+  // while the queues kept executing — outside the stop-the-world pause.  All
+  // zero in the stop-the-world modes.
+  std::uint64_t precopy_ns = 0;
+  std::uint32_t rounds = 0;           // pre-copy rounds run before the stop
+  std::uint64_t precopy_bytes = 0;    // logical bytes streamed before the stop
+  std::uint64_t residue_bytes = 0;    // logical bytes copied inside the pause
+  std::uint32_t healed_chunks = 0;    // live_verify mismatches re-streamed
+
+  // What the application actually waits: the stop-the-world window.  In live
+  // mode this covers only the residue; the pre-copy rounds ran concurrently.
+  [[nodiscard]] std::uint64_t pause_ns() const noexcept {
     return sync_ns + pre_ns + write_ns + post_ns;
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return pause_ns() + precopy_ns;
   }
 };
 
@@ -63,12 +81,33 @@ struct RestartBreakdown {
 
 class Engine {
  public:
-  explicit Engine(CheclRuntime& rt) : rt_(rt) {}
+  // Both out of line: LiveSession is cpr.cpp-local.
+  explicit Engine(CheclRuntime& rt);
+  ~Engine();
 
   // Writes a checkpoint of the current process to `path`.  The process keeps
   // running afterwards (BLCR semantics).  `times`, when non-null, receives
-  // the phase breakdown.
+  // the phase breakdown.  With runtime.live_checkpoints + store_checkpoints
+  // on, this composes live_begin + live_finish below.
   cl_int checkpoint(const std::string& path, PhaseTimes* times);
+
+  // ---- live pre-copy checkpointing ----------------------------------------
+  // live_begin opens a streaming session against the snapstore and runs
+  // pre-copy rounds: chunks stream into an open manifest while the queues
+  // keep executing, and each round re-streams only what the server-side
+  // dirty maps say changed, until the convergence policy (round cap, residue
+  // threshold, no-progress) fires.  live_finish then stops the world —
+  // sync + finish, dirty residue, object DB, app regions — and seals the
+  // manifest.  minimpi drives the two separately so its coordination barrier
+  // covers only the residue phase.  On any failure the session aborts:
+  // provisional chunks are reclaimed and a previous checkpoint of the same
+  // name stays restorable.
+  cl_int live_begin(const std::string& path);
+  cl_int live_finish(const std::string& path, PhaseTimes* times);
+  [[nodiscard]] bool live_session_open() const noexcept {
+    return live_ != nullptr;
+  }
+  void live_abort();
 
   // Restart for a *surviving* process image (what BLCR restore reproduces:
   // host memory — and with it every CheCL object — is intact; only the proxy
@@ -120,6 +159,8 @@ class Engine {
   // it with the armed fault-injection site so a chaos run always names its
   // culprit.
   cl_int do_checkpoint(const std::string& path, PhaseTimes* times);
+  cl_int do_live_begin(const std::string& path);
+  cl_int do_live_finish(const std::string& path, PhaseTimes* times);
   cl_int do_restart_in_place(const std::string& path,
                              const std::optional<NodeConfig>& new_node,
                              RestartBreakdown* breakdown);
@@ -145,6 +186,16 @@ class Engine {
   // runtime's restore_* knobs; on failure last_error() names the object.
   cl_int run_plan(const replay::RestorePlan& plan, RestartBreakdown* breakdown);
 
+  // Chunk-dirty-map plumbing shared by the incremental gate, the live
+  // engine, and the post-restore reset.
+  struct LiveSession;
+  bool mem_is_dirty(proxy::Client& c, const MemObj& m);
+  void clear_dirty_maps(proxy::Client& c);
+  cl_int stream_mem_chunks(proxy::Client& c, MemObj* m,
+                           const std::vector<std::uint8_t>* bits,
+                           std::uint64_t nchunks, std::uint64_t* streamed_bytes,
+                           std::uint64_t* write_ns);
+
   std::uint64_t now_ns();
 
   CheclRuntime& rt_;
@@ -153,6 +204,7 @@ class Engine {
   std::string last_checkpoint_path_;
   std::string last_error_;
   std::unique_ptr<snapstore::Store> store_;
+  std::unique_ptr<LiveSession> live_;
   replay::ExecCounters restore_counters_;
 };
 

@@ -134,11 +134,11 @@ struct MemObj final : Object {
   // the snapshot file; freed in postprocessing.
   std::vector<std::uint8_t> snapshot;
 
-  // Incremental checkpointing (paper future work): true when the device data
-  // may have changed since the last checkpoint.  Cleared by the engine after
-  // each checkpoint; set by writes, copies, and kernel launches that bind
-  // this object through a non-read-only parameter.
-  bool dirty = true;
+  // Dirtiness is tracked where the mutations happen: the substrate keeps a
+  // chunk-granularity dirty map per buffer (simcl::DirtyTracker), queried and
+  // cleared through Op::MemDirtyFetch.  The engine's incremental mode reads
+  // it as a single whole-buffer chunk; the live pre-copy engine reads it at
+  // store chunk granularity.
 
   MemObj() : Object(kType) {}
   ~MemObj() override;

@@ -189,7 +189,8 @@ cl_int recreate_mem(RunState& st, MemObj* m) {
   st.log_created(ObjType::Mem, h);
   m->snapshot.clear();
   m->snapshot.shrink_to_fit();
-  m->dirty = false;  // device contents equal the restored checkpoint
+  // Device contents equal the restored checkpoint; the engine resets the
+  // substrate-side dirty maps once the whole plan has run.
   return CL_SUCCESS;
 }
 

@@ -2,6 +2,8 @@
 
 #include <signal.h>
 
+#include <cstdlib>
+
 #include "core/cpr.h"
 #include "core/supervisor.h"
 
@@ -12,7 +14,11 @@ CheclRuntime& CheclRuntime::instance() {
   return rt;
 }
 
-CheclRuntime::CheclRuntime() = default;
+CheclRuntime::CheclRuntime() {
+  if (const char* v = std::getenv("CHECL_LIVE_CKPT");
+      v != nullptr && *v != '\0' && *v != '0')
+    live_checkpoints = true;
+}
 
 CheclRuntime::~CheclRuntime() {
   // Deliberately leak remaining objects at process exit; the proxy dies with

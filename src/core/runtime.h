@@ -54,6 +54,24 @@ class CheclRuntime {
   bool store_checkpoints = false;
   std::string store_root = "/tmp/checl_snapstore";
   snapstore::Options store_options;
+  // Live pre-copy checkpointing (VM-migration style): the engine streams
+  // chunks into an open snapstore manifest while the queues keep executing,
+  // re-scans the server-side chunk dirty maps each round, and stops the
+  // world only for the dirty residue + object DB — so the pause tracks the
+  // dirty rate, not the memory size.  Effective only with store_checkpoints
+  // (the streaming target is an open manifest); ignored otherwise.
+  // CHECL_LIVE_CKPT=1 turns it on from the environment.
+  bool live_checkpoints = false;
+  // Convergence policy: stop pre-copying after this many rounds…
+  unsigned live_max_rounds = 4;
+  // …or as soon as the dirty residue is at most this many bytes (it is then
+  // cheaper to take inside the pause than to keep re-streaming)…
+  std::size_t live_residue_threshold = 256 * 1024;
+  // …or when a round stops shrinking the residue (dirty rate >= stream rate).
+  // Post-residue audit: compare device chunk hashes against what the session
+  // streamed and re-stream any mismatch (heals dirty-map under-reporting at
+  // the cost of one hash pass per buffer inside the pause).
+  bool live_verify = false;
   // Retarget every device to the first device of this type on restore —
   // the paper's runtime processor selection (Section IV-C).
   std::optional<cl_device_type> retarget_device_type;

@@ -161,6 +161,7 @@ std::string stats_json(proxy::Client* client, const snapstore::Store* store,
     append_kv(os, "queue_rejects", ps.queue_rejects, first);
     append_kv(os, "calls", ps.calls, first);
     append_kv(os, "sched_rounds", ps.sched_rounds, first);
+    append_kv(os, "reply_flushes", ps.reply_flushes, first);
     append_kv(os, "leaked_handles", ps.leaked_handles, first);
     os << ", \"clients\": {";
     bool cfirst = true;

@@ -462,8 +462,9 @@ proxy::Client::Recovery Supervisor::recover(proxy::Client& c, proxy::Op op,
   const std::uint64_t calls = replay_journal(c);
   stats_.replayed_calls += calls;
   chain_ += " -> replayed " + std::to_string(calls) + " calls";
-  // Post-recovery device contents differ from the last checkpoint file.
-  for (MemObj* m : rt_.db().all_of<MemObj>()) m->dirty = true;
+  // Post-recovery device contents differ from the last checkpoint file; no
+  // bookkeeping needed: the respawned proxy's buffers start all-dirty in the
+  // substrate's chunk maps.
 
   // 8. rebase so the next recovery starts from the reconstructed state
   rebase(c);

@@ -1115,7 +1115,6 @@ cl_int w_EnqueueWriteBuffer(cl_command_queue queue, cl_mem mem, cl_bool blocking
   if (m == nullptr) return CL_INVALID_MEM_OBJECT;
   if (ptr == nullptr) return CL_INVALID_VALUE;
   proxy::RemoteHandle ev = 0;
-  m->dirty = true;
   const cl_int e = c->enqueue_write(
       q->remote, m->remote, offset,
       {static_cast<const std::uint8_t*>(ptr), cb}, event != nullptr, ev);
@@ -1140,7 +1139,6 @@ cl_int w_EnqueueCopyBuffer(cl_command_queue queue, cl_mem src, cl_mem dst,
   if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
   if (ms == nullptr || md == nullptr) return CL_INVALID_MEM_OBJECT;
   proxy::RemoteHandle ev = 0;
-  md->dirty = true;
   const cl_int e = c->enqueue_copy(q->remote, ms->remote, md->remote, soff, doff,
                                    cb, event != nullptr, ev);
   if (e == CL_SUCCESS && event != nullptr)
@@ -1172,11 +1170,9 @@ cl_int w_EnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel, cl_uint 
     const KernelObj::ArgRec& a = k->args[i];
     if (a.kind != KernelObj::ArgRec::Kind::Mem || a.mem == nullptr) continue;
     if (a.mem->use_host_ptr != nullptr) synced.push_back(a.mem);
-    // dirty tracking: the kernel may write through any bound memory object
-    // unless the parsed signature proves the parameter read-only
-    const bool read_only = k->sig != nullptr && i < k->sig->params.size() &&
-                           k->sig->params[i].read_only;
-    if (!read_only) a.mem->dirty = true;
+    // Dirty tracking happens substrate-side at execution time (the kernel's
+    // conservative write set marks each bound non-const buffer), so a launch
+    // needs no client-side bookkeeping here.
   }
   for (MemObj* m : synced) {
     proxy::RemoteHandle ev = 0;

@@ -139,6 +139,27 @@ bool SocketChannel::wait_readable() noexcept {
 
 bool SocketChannel::send(const Message& m) { return send2(m, {}); }
 
+void SocketChannel::begin_batch() {
+  if (fd_ >= 0) batching_ = true;
+}
+
+bool SocketChannel::flush_batch() {
+  batching_ = false;
+  if (tbuf_.empty()) return fd_ >= 0;
+  if (fd_ < 0) {  // chaos or a peer death failed the channel mid-batch
+    tbuf_.clear();
+    return false;
+  }
+  const bool ok = write_all(fd_, tbuf_.data(), tbuf_.size(), &stats_.sys_sends);
+  tbuf_.clear();
+  if (!ok) {
+    fail(ChannelError::PeerGone);
+    return false;
+  }
+  ++stats_.batch_flushes;
+  return true;
+}
+
 bool SocketChannel::send2(const Message& m, std::span<const std::uint8_t> bulk) {
   if (fd_ < 0) return false;
   ++seq_;
@@ -155,6 +176,18 @@ bool SocketChannel::send2(const Message& m, std::span<const std::uint8_t> bulk) 
     write_all(fd_, header, sizeof header / 2, &stats_.sys_sends);
     fail(ChannelError::ShortIo);
     return false;
+  }
+  if (batching_) {
+    // Chaos already had its shot above, so a batched send fails exactly where
+    // an unbatched one would; only the syscall moves to flush_batch().
+    const std::size_t off = tbuf_.size();
+    tbuf_.resize(off + sizeof header);
+    std::memcpy(tbuf_.data() + off, header, sizeof header);
+    tbuf_.insert(tbuf_.end(), m.payload.begin(), m.payload.end());
+    tbuf_.insert(tbuf_.end(), bulk.begin(), bulk.end());
+    stats_.msgs_sent++;
+    stats_.bytes_sent += sizeof header + total;
+    return true;
   }
   bool ok;
   if (use_writev_) {

@@ -61,6 +61,7 @@ struct ChannelStats {
   std::uint64_t bytes_recvd = 0;
   std::uint64_t sys_sends = 0;    // send/sendmsg syscalls issued
   std::uint64_t sys_reads = 0;    // read syscalls issued
+  std::uint64_t batch_flushes = 0;  // flush_batch() rounds that hit the wire
   // Filled in by ShmChannel:
   std::uint64_t shm_msgs_sent = 0;
   std::uint64_t shm_msgs_recvd = 0;
@@ -92,6 +93,14 @@ class Channel {
   virtual bool send_reserved(std::uint32_t /*op*/, std::size_t /*n*/) {
     return false;
   }
+  // Reply coalescing: between begin_batch() and flush_batch() sends buffer
+  // their framed bytes in the channel instead of hitting the transport;
+  // flush_batch() then writes the whole accumulation with one syscall.
+  // Frame order (and so the peer's view of the stream) is unchanged.  The
+  // default is pass-through: begin is a no-op and flush reports success,
+  // because every send already went out.
+  virtual void begin_batch() {}
+  virtual bool flush_batch() { return true; }
   [[nodiscard]] virtual ChannelStats stats() const { return stats_; }
 
   // Why the last send/recv failed (None while the channel is healthy).
@@ -133,6 +142,8 @@ class SocketChannel final : public Channel {
   bool send(const Message& m) override;
   bool send2(const Message& m, std::span<const std::uint8_t> bulk) override;
   bool recv(Message& m) override;
+  void begin_batch() override;
+  bool flush_batch() override;
 
   // Ablation toggle: false reverts to the seed framing (two write syscalls
   // per frame, unbuffered header reads).
@@ -154,6 +165,10 @@ class SocketChannel final : public Channel {
   std::vector<std::uint8_t> rbuf_;
   std::size_t rpos_ = 0;
   std::size_t rend_ = 0;
+  // Coalescing buffer: framed bytes accumulated between begin_batch() and
+  // flush_batch() (the proxyd scheduler's one-writev-per-round reply path).
+  bool batching_ = false;
+  std::vector<std::uint8_t> tbuf_;
 };
 
 // Creates a connected socketpair (SOCK_CLOEXEC on both ends);

@@ -129,6 +129,11 @@ class ShmChannel final : public Channel {
   // the block is released on the next recv() call or an explicit release_rx().
   bool recv(Message& m) override;
   void release_rx() override;
+  // Coalescing applies to the control-plane socket only: bulk payloads still
+  // publish into the ring immediately, and it's their descriptor frame that
+  // rides the batch — the socket's FIFO keeps descriptors ordered either way.
+  void begin_batch() override { sock_->begin_batch(); }
+  bool flush_batch() override { return sock_->flush_batch(); }
   [[nodiscard]] ChannelStats stats() const override;
 
   [[nodiscard]] SocketChannel& socket() noexcept { return *sock_; }

@@ -60,12 +60,22 @@ double Comm::allreduce_sum(double value) {
 }
 
 checl::cpr::PhaseTimes Comm::coordinated_checkpoint(const std::string& path) {
+  auto& rt = checl::CheclRuntime::instance();
+  const bool live = rt.live_checkpoints && rt.store_checkpoints;
+  // Live pre-copy: rank 0 streams chunks BEFORE the coordination point,
+  // while the other ranks are still computing toward it — so the barrier
+  // below fences only the stop-the-world residue phase, not the bulk copy.
+  cl_int live_err = CL_SUCCESS;
+  if (live && rank_ == 0) live_err = rt.engine().live_begin(path);
   // Phase 1: everyone reaches the coordination point (their queues are
-  // synchronized inside Engine::checkpoint; the barrier orders the ranks).
+  // synchronized inside the engine; the barrier orders the ranks).
   barrier();
   if (rank_ == 0) {
-    auto& rt = checl::CheclRuntime::instance();
-    world_.ckpt_err_ = rt.engine().checkpoint(path, &world_.ckpt_times_);
+    world_.ckpt_err_ =
+        live ? (live_err == CL_SUCCESS
+                    ? rt.engine().live_finish(path, &world_.ckpt_times_)
+                    : live_err)
+             : rt.engine().checkpoint(path, &world_.ckpt_times_);
     // Aggregating N local snapshots into the global NFS snapshot costs a
     // per-node coordination + metadata overhead on top of the data itself.
     if (proxy::Client* c = rt.client(); c != nullptr) {

@@ -671,6 +671,41 @@ cl_int Client::sim_get_host_time_ns(cl_ulong& t) {
   return err;
 }
 
+cl_int Client::mem_dirty_fetch(RemoteHandle mem, std::size_t chunk_bytes,
+                               bool clear, std::uint64_t& nchunks,
+                               std::vector<std::uint8_t>& bits) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  ipc::Writer w = acquire_writer();
+  w.u64(mem);
+  w.u64(chunk_bytes);
+  w.boolean(clear);
+  auto r = call(Op::MemDirtyFetch, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  nchunks = r->u64();
+  const auto view = r->bytes_view();
+  bits.assign(view.begin(), view.end());
+  ch_->release_rx();
+  return err;
+}
+
+cl_int Client::mem_chunk_hashes(RemoteHandle mem, std::size_t chunk_bytes,
+                                std::vector<std::uint64_t>& hashes) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  ipc::Writer w = acquire_writer();
+  w.u64(mem);
+  w.u64(chunk_bytes);
+  auto r = call(Op::MemChunkHash, w);
+  if (!r) return kProxyGone;
+  const cl_int err = r->i32();
+  const std::uint64_t n = r->u64();
+  hashes.clear();
+  hashes.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) hashes.push_back(r->u64());
+  ch_->release_rx();
+  return err;
+}
+
 cl_int Client::sim_advance_host_ns(cl_ulong dt) {
   std::lock_guard<std::recursive_mutex> lk(mu_);
   ipc::Writer w = acquire_writer();

@@ -173,6 +173,17 @@ class Client {
   cl_int sim_get_host_time_ns(cl_ulong& t);
   cl_int sim_advance_host_ns(cl_ulong dt);
 
+  // ---- live-checkpoint dirty tracking -----------------------------------
+  // Fetches the chunk dirty bitmap of `mem` (bit i = chunk i dirty at
+  // `chunk_bytes` granularity); when `clear`, resets the proxy-side map in
+  // the same operation (destructive read — classified Effectful).
+  cl_int mem_dirty_fetch(RemoteHandle mem, std::size_t chunk_bytes, bool clear,
+                         std::uint64_t& nchunks, std::vector<std::uint8_t>& bits);
+  // FNV-1a content hash per chunk, matching snapstore::hash64 — the
+  // verification instrument behind live_verify.
+  cl_int mem_chunk_hashes(RemoteHandle mem, std::size_t chunk_bytes,
+                          std::vector<std::uint64_t>& hashes);
+
   // ---- parallel-section brackets ----------------------------------------
   // The restore executor wraps a concurrently-recreated wave in these: the
   // server list-schedules the bracketed calls' simulated costs onto

@@ -91,6 +91,16 @@ enum class Op : std::uint32_t {
   SimGetHostTimeNS,
   SimAdvanceHostNS,
 
+  // Live-checkpoint dirty tracking (charged like normal calls — the fetch
+  // traffic is real overhead of the pre-copy engine and must show up in the
+  // cost model).  MemDirtyFetch payload: [u64 mem][u64 chunk_bytes][u8 clear]
+  // -> [i32 err][u64 nchunks][bytes bit-packed map]; clear=1 is a destructive
+  // read (fetch-and-clear), hence Effectful below.  MemChunkHash payload:
+  // [u64 mem][u64 chunk_bytes] -> [i32 err][u64 n][n x u64 FNV-1a chunk
+  // hashes] — a pure verification instrument.
+  MemDirtyFetch,
+  MemChunkHash,
+
   // A client-side queue of fire-and-forget calls flushed as one frame.
   // Payload: repeated [u32 sub_op][u32 len][len bytes of sub-payload].
   // Response: [i32 first_error][u32 executed_count].  Control ops and nested
@@ -162,6 +172,7 @@ enum class Replay : std::uint8_t {
     case Op::GetEventProfilingInfo:
     case Op::EnqueueReadBuffer:
     case Op::SimGetHostTimeNS:
+    case Op::MemChunkHash:
       return Replay::Pure;
 
     // idempotent mutations: re-issuing with the same arguments converges to
@@ -209,6 +220,8 @@ enum class Replay : std::uint8_t {
     case Op::EnqueueTask:
     case Op::EnqueueMarker:
     case Op::SimAdvanceHostNS:
+    case Op::MemDirtyFetch:  // fetch-and-clear: a retry would read a map the
+                             // first (lost) reply already cleared
     case Op::Batch:
     case Op::Attach:  // re-attaching is a new session epoch, never a retry
       return Replay::Effectful;
@@ -292,6 +305,8 @@ enum class Replay : std::uint8_t {
     case Op::EnqueueWaitForEvents: return "EnqueueWaitForEvents";
     case Op::SimGetHostTimeNS: return "SimGetHostTimeNS";
     case Op::SimAdvanceHostNS: return "SimAdvanceHostNS";
+    case Op::MemDirtyFetch: return "MemDirtyFetch";
+    case Op::MemChunkHash: return "MemChunkHash";
     case Op::Batch: return "Batch";
     case Op::GroupBegin: return "GroupBegin";
     case Op::GroupEnd: return "GroupEnd";
@@ -415,6 +430,8 @@ inline bool remap_request_handles(Op op, std::uint8_t* p, std::size_t n,
     case Op::GetEventProfilingInfo:
     case Op::EnqueueMarker:
     case Op::EnqueueBarrier:
+    case Op::MemDirtyFetch:
+    case Op::MemChunkHash:
       return lead(1);
 
     // two leading handles

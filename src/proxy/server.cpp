@@ -9,7 +9,9 @@
 #include "ipc/serial.h"
 #include "proxy/config_io.h"
 #include "proxy/opcodes.h"
+#include "simcl/objects.h"
 #include "simcl/runtime.h"
+#include "snapstore/chunk.h"
 
 #include <unistd.h>
 
@@ -594,6 +596,66 @@ bool dispatch_request(ServerState& st, Op op, Reader& r, Writer& w) {
     }
     case Op::SimAdvanceHostNS: {
       w.i32(D().SimAdvanceHostNS(r.u64()));
+      return true;
+    }
+
+    case Op::MemDirtyFetch: {
+      // Bypasses the dispatch table: dirty maps are a property of the simcl
+      // substrate itself, not of any forwarded CL entry point.
+      auto* m = simcl::as_object<simcl::MemObj>(r.handle());
+      const std::uint64_t chunk_bytes = r.u64();
+      const bool clear = r.boolean();
+      if (m == nullptr) {
+        w.i32(CL_INVALID_MEM_OBJECT);
+        w.u64(0);
+        w.bytes({});
+        return true;
+      }
+      std::vector<std::uint8_t> bits =
+          m->dirty.fetch_chunks(static_cast<std::size_t>(chunk_bytes), clear);
+      const std::uint64_t nchunks =
+          chunk_bytes != 0
+              ? (static_cast<std::uint64_t>(m->size) + chunk_bytes - 1) /
+                    chunk_bytes
+              : (m->size != 0 ? 1 : 0);
+      // dirty_map_desync: under-report by clearing one set bit — exactly the
+      // corruption a lost mark would cause; live_verify must detect it.
+      if (chaoskit::Engine::instance().should_fire(
+              chaoskit::Site::DirtyMapDesync)) {
+        std::vector<std::size_t> set;
+        for (std::size_t i = 0; i < nchunks; ++i)
+          if ((bits[i / 8] >> (i % 8)) & 1u) set.push_back(i);
+        if (!set.empty()) {
+          const auto victim = static_cast<std::size_t>(
+              static_cast<std::uint64_t>(chaoskit::Engine::instance().arg()) %
+              set.size());
+          bits[set[victim] / 8] &=
+              static_cast<std::uint8_t>(~(1u << (set[victim] % 8)));
+        }
+      }
+      w.i32(CL_SUCCESS);
+      w.u64(nchunks);
+      w.bytes(bits);
+      return true;
+    }
+    case Op::MemChunkHash: {
+      auto* m = simcl::as_object<simcl::MemObj>(r.handle());
+      const std::uint64_t chunk_bytes = r.u64();
+      if (m == nullptr || chunk_bytes == 0) {
+        w.i32(m == nullptr ? CL_INVALID_MEM_OBJECT : CL_INVALID_VALUE);
+        w.u64(0);
+        return true;
+      }
+      const std::uint64_t n =
+          (static_cast<std::uint64_t>(m->size) + chunk_bytes - 1) / chunk_bytes;
+      w.i32(CL_SUCCESS);
+      w.u64(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::size_t off = static_cast<std::size_t>(i * chunk_bytes);
+        const std::size_t len =
+            std::min(static_cast<std::size_t>(chunk_bytes), m->size - off);
+        w.u64(snapstore::hash64(m->storage.data() + off, len));
+      }
       return true;
     }
 

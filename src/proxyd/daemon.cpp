@@ -193,6 +193,7 @@ Options options_from_env() {
   o.max_client_mem_bytes = env_u64("CHECL_PROXYD_MEM_CAP", 0);
   o.quantum_bytes =
       std::max<std::uint64_t>(1, env_u64("CHECL_PROXYD_QUANTUM", o.quantum_bytes));
+  o.coalesce_replies = env_u64("CHECL_PROXYD_COALESCE", 1) != 0;
   return o;
 }
 
@@ -466,10 +467,28 @@ void Daemon::schedule() {
       Session& s = *it->second;
       if (s.q.empty()) continue;
       s.deficit += opts_.quantum_bytes;
+      // Reply coalescing: every reply this quantum produces buffers in the
+      // channel and goes out in one writev below — one syscall per session
+      // per round instead of one per frame.  A teardown mid-quantum flushes
+      // (best effort) inside teardown() before the fd closes.
+      const bool batch = opts_.coalesce_replies;
+      if (batch) s.tx->begin_batch();
       bool alive = true;
+      std::uint64_t served = 0;
       while (alive && !s.q.empty() && s.q.front().cost() <= s.deficit) {
         s.deficit -= s.q.front().cost();
         alive = process_frame(s);
+        ++served;
+      }
+      if (alive && batch) {
+        if (!s.tx->flush_batch()) {
+          teardown(sid, false);
+          continue;
+        }
+        if (served > 0) {
+          std::lock_guard<std::mutex> lk(stats_mu_);
+          ++stats_.reply_flushes;
+        }
       }
       // Classic DRR: an idle session banks nothing.
       if (alive && s.q.empty()) s.deficit = 0;
@@ -737,6 +756,10 @@ void Daemon::teardown(std::uint64_t sid, bool graceful) {
   auto it = sessions_.find(sid);
   if (it == sessions_.end()) return;
   Session& s = *it->second;
+  // Replies still batched in the channel (a graceful Shutdown ack, rejects
+  // answered right before an EOF) get one best-effort flush before the fd
+  // closes; on a dead peer this fails silently, which is fine.
+  if (s.tx != nullptr) s.tx->flush_batch();
   std::uint64_t leaked = 0;
   if (s.attached) {
     if (chaoskit::Engine::instance().should_fire(

@@ -62,10 +62,16 @@ struct Options {
   // Deficit-round-robin quantum: transfer budget (bytes) each runnable
   // session receives per scheduling round.
   std::uint64_t quantum_bytes = 256 * 1024;
+  // Reply coalescing: buffer every reply a session's quantum produces and
+  // flush them with one writev per session per scheduling round, instead of
+  // one syscall per frame.  A pipelining client's K replies collapse into
+  // one wire write; synchronous clients see identical behavior.
+  bool coalesce_replies = true;
 };
 
 // Reads CHECL_PROXYD_MAX_CLIENTS / CHECL_PROXYD_MAX_INFLIGHT /
-// CHECL_PROXYD_MEM_CAP / CHECL_PROXYD_QUANTUM over the defaults above.
+// CHECL_PROXYD_MEM_CAP / CHECL_PROXYD_QUANTUM / CHECL_PROXYD_COALESCE
+// (0 disables reply coalescing) over the defaults above.
 Options options_from_env();
 
 struct ClientStats {
@@ -89,6 +95,10 @@ struct Stats {
   std::uint64_t queue_rejects = 0;      // CL_CHECL_INFLIGHT_CAP_EXCEEDED
   std::uint64_t calls = 0;              // total dispatched frames
   std::uint64_t sched_rounds = 0;       // DRR rounds run
+  // Coalesced-reply writev rounds (one per session per round that produced
+  // replies).  calls / reply_flushes is the coalescing ratio the
+  // proxyd_micro pipelining probe gates on; equal means nothing coalesced.
+  std::uint64_t reply_flushes = 0;
   // Handles a teardown failed (or chaos-"forgot") to release.  Nonzero means
   // the namespace reclaim invariant broke — tests gate on this staying 0.
   std::uint64_t leaked_handles = 0;

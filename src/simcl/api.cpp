@@ -1160,6 +1160,16 @@ cl_int scl_EnqueueNDRangeKernel(cl_command_queue q, cl_kernel k, cl_uint dim,
       if (a.mem != nullptr) {
         a.mem->retain();
         cmd.arg_mems.push_back(a.mem);
+        // Dirty-tracking write set: every buffer/image arg except params the
+        // source proves read-only (`const` pointees, __constant space).
+        // Image params have no reliable const form, so they always count.
+        const clc::ParamInfo* pi = i < ker->fn->params.size()
+                                       ? &ker->fn->params[i]
+                                       : nullptr;
+        const bool read_only =
+            pi != nullptr && pi->type.kind == clc::Kind::Pointer &&
+            (pi->is_const || pi->type.as == clc::AddrSpace::Constant);
+        if (!read_only) cmd.written_mems.push_back(a.mem);
         if (ka.k == clc::KernelArg::K::GlobalPtr) {
           ka.ptr = a.mem->storage.data();
         } else if (ka.k == clc::KernelArg::K::Image) {

@@ -1,5 +1,6 @@
 #include "simcl/objects.h"
 
+#include <algorithm>
 #include <mutex>
 #include <unordered_set>
 
@@ -27,6 +28,78 @@ ObjectBase::~ObjectBase() {
 bool is_live_object(const void* p) noexcept {
   std::lock_guard<std::mutex> lk(g_live_mu);
   return g_live.count(p) != 0;
+}
+
+void DirtyTracker::mark(std::size_t off, std::size_t len) noexcept {
+  if (len == 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (all_) return;
+  const std::size_t lo = std::min(off, size_);
+  const std::size_t hi = std::min(off + len, size_);
+  if (lo >= hi) return;
+  // Insert [lo, hi), merging every overlapping-or-adjacent interval.
+  std::size_t nlo = lo;
+  std::size_t nhi = hi;
+  auto it = ivs_.begin();
+  while (it != ivs_.end()) {
+    if (it->second < nlo || it->first > nhi) {
+      ++it;
+      continue;
+    }
+    nlo = std::min(nlo, it->first);
+    nhi = std::max(nhi, it->second);
+    it = ivs_.erase(it);
+  }
+  auto pos = std::lower_bound(
+      ivs_.begin(), ivs_.end(), std::make_pair(nlo, nhi));
+  ivs_.insert(pos, {nlo, nhi});
+  if (ivs_.size() > kMaxIntervals) {
+    all_ = true;
+    ivs_.clear();
+  }
+}
+
+void DirtyTracker::mark_all() noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  all_ = true;
+  ivs_.clear();
+}
+
+std::vector<std::uint8_t> DirtyTracker::fetch_chunks(std::size_t chunk_bytes,
+                                                     bool clear) {
+  if (chunk_bytes == 0) chunk_bytes = size_ > 0 ? size_ : 1;
+  const std::size_t n = size_ > 0 ? (size_ + chunk_bytes - 1) / chunk_bytes : 0;
+  std::vector<std::uint8_t> bits((n + 7) / 8, 0);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (all_) {
+    for (std::size_t i = 0; i < n; ++i) bits[i / 8] |= 1u << (i % 8);
+  } else {
+    for (const auto& [lo, hi] : ivs_) {
+      const std::size_t c0 = lo / chunk_bytes;
+      const std::size_t c1 = std::min(n - 1, (hi - 1) / chunk_bytes);
+      for (std::size_t c = c0; c <= c1 && c < n; ++c)
+        bits[c / 8] |= 1u << (c % 8);
+    }
+  }
+  if (clear) {
+    all_ = false;
+    ivs_.clear();
+  }
+  return bits;
+}
+
+std::uint64_t DirtyTracker::dirty_bytes(std::size_t chunk_bytes) {
+  const auto bits = fetch_chunks(chunk_bytes, false);
+  if (chunk_bytes == 0) chunk_bytes = size_ > 0 ? size_ : 1;
+  const std::size_t n = size_ > 0 ? (size_ + chunk_bytes - 1) / chunk_bytes : 0;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((bits[i / 8] >> (i % 8)) & 1u) {
+      const std::size_t end = std::min(size_, (i + 1) * chunk_bytes);
+      total += end - i * chunk_bytes;
+    }
+  }
+  return total;
 }
 
 MemObj::~MemObj() { unref(ctx); }

@@ -89,12 +89,51 @@ struct Context final : ObjectBase {
       : ObjectBase(kType), devices(std::move(devs)) {}
 };
 
+// Chunk-granularity dirty tracking for live (pre-copy) checkpointing.
+//
+// Writers record byte ranges as they mutate MemObj::storage; the checkpoint
+// engine periodically *fetches* the map as a chunk bitmap and optionally
+// clears it.  The tracker is deliberately conservative: it may over-report
+// (a marked-but-unchanged chunk just gets re-streamed) but never
+// under-reports, provided marks happen at queue-*execution* time — a command
+// that runs after a fetch-and-clear re-dirties whatever it touched, so a
+// residue fetch taken after finish() is always a superset of real changes.
+//
+// Representation: a small sorted merged interval list; once it would exceed
+// kMaxIntervals the tracker collapses to "everything dirty" (correct, just
+// coarse).  A fresh tracker starts all-dirty: creation itself (including
+// COPY_HOST_PTR initialization) is a write.
+class DirtyTracker {
+ public:
+  explicit DirtyTracker(std::size_t size) noexcept : size_(size) {}
+
+  void mark(std::size_t off, std::size_t len) noexcept;
+  void mark_all() noexcept;
+
+  // Bit-packed chunk map: bit i set => chunk i (bytes [i*chunk_bytes,
+  // (i+1)*chunk_bytes)) may have changed since the last clearing fetch.
+  // When `clear`, atomically resets the map so later writes re-dirty.
+  std::vector<std::uint8_t> fetch_chunks(std::size_t chunk_bytes, bool clear);
+
+  // Dirty bytes a fetch would report (sum of dirty chunk extents).
+  std::uint64_t dirty_bytes(std::size_t chunk_bytes);
+
+ private:
+  static constexpr std::size_t kMaxIntervals = 64;
+  std::mutex mu_;
+  std::size_t size_;
+  bool all_ = true;
+  // sorted, non-overlapping, non-adjacent [first, second) ranges
+  std::vector<std::pair<std::size_t, std::size_t>> ivs_;
+};
+
 struct MemObj final : ObjectBase {
   static constexpr ObjType kType = ObjType::Mem;
   Context* ctx = nullptr;
   cl_mem_flags flags = 0;
   std::size_t size = 0;
   std::vector<std::uint8_t> storage;  // "device memory"
+  DirtyTracker dirty;                 // chunk-granularity write tracking
   void* host_ptr = nullptr;           // CL_MEM_USE_HOST_PTR region
 
   // image fields
@@ -107,7 +146,7 @@ struct MemObj final : ObjectBase {
   bool float_channels = true;
 
   MemObj(Context* c, cl_mem_flags f, std::size_t sz)
-      : ObjectBase(kType), ctx(c), flags(f), size(sz), storage(sz) {}
+      : ObjectBase(kType), ctx(c), flags(f), size(sz), storage(sz), dirty(sz) {}
   ~MemObj() override;
 
   [[nodiscard]] bool use_host_ptr() const noexcept {

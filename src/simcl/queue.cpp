@@ -95,12 +95,17 @@ void Queue::execute(Command& cmd) {
       break;
     case Command::Kind::WriteBuffer:
       std::memcpy(cmd.dst->storage.data() + cmd.dst_off, cmd.host_src, cmd.bytes);
+      // Dirty marks land *after* the mutation: a concurrent fetch-and-clear
+      // either sees the mark (and re-streams) or misses it and the mark
+      // survives the clear for the next round / the residue pass.
+      cmd.dst->dirty.mark(cmd.dst_off, cmd.bytes);
       duration = spec.transfer_latency_ns +
                  transfer_ns(cmd.bytes, spec.h2d_bytes_per_sec);
       break;
     case Command::Kind::CopyBuffer:
       std::memcpy(cmd.dst->storage.data() + cmd.dst_off,
                   cmd.src->storage.data() + cmd.src_off, cmd.bytes);
+      cmd.dst->dirty.mark(cmd.dst_off, cmd.bytes);
       duration = spec.transfer_latency_ns +
                  transfer_ns(cmd.bytes, spec.h2d_bytes_per_sec);
       break;
@@ -143,6 +148,11 @@ SimNs Queue::run_kernel(Command& cmd, std::string& error) {
   const clc::Module& mod = *cmd.kernel->prog->module;
   const clc::LaunchResult lr =
       clc::execute_ndrange(mod, *cmd.kernel->fn, cmd.args, cmd.nd);
+  // Conservative whole-buffer marks for every writable arg — after the launch
+  // (see the WriteBuffer comment in execute()), and even on failure: a kernel
+  // that died mid-flight may have stored through any of them.
+  for (MemObj* m : cmd.host_synced_mems) m->dirty.mark_all();
+  for (MemObj* m : cmd.written_mems) m->dirty.mark_all();
   if (!lr.ok) {
     error = lr.error;
     return duration;

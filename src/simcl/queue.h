@@ -33,6 +33,11 @@ struct Command {
   std::vector<clc::KernelArg> args;
   std::vector<MemObj*> arg_mems;          // retained buffer/image args
   std::vector<MemObj*> host_synced_mems;  // CL_MEM_USE_HOST_PTR args
+  // Buffers this kernel launch may write (arg_mems minus provably read-only
+  // params) — computed at enqueue, dirty-marked at *execution* time so a
+  // concurrent pre-copy fetch-and-clear can never lose a pending write.
+  // Not separately retained: a subset of arg_mems, marked before the unrefs.
+  std::vector<MemObj*> written_mems;
   clc::NDRange nd;
 
   std::vector<Event*> waits;  // retained

@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <thread>
+#include <unordered_set>
 
 #include "chaoskit/chaoskit.h"
 
@@ -239,21 +240,70 @@ Status Store::load_manifest(const std::string& name, Manifest& out,
   return {};
 }
 
+void Store::release_ref(const ChunkKey& k) {
+  const auto it = chunks_.find(k);
+  if (it == chunks_.end()) return;
+  if (--it->second.refs == 0) {
+    std::error_code ec;
+    fs::remove(chunk_path(k), ec);
+    stats_.chunks_in_pool--;
+    stats_.pool_stored_bytes -= it->second.stored_bytes;
+    stats_.pool_raw_bytes -= k.len;
+    chunks_.erase(it);
+  }
+}
+
 void Store::retire_manifest_refs(const Manifest& m) {
-  for (const auto& sec : m.sections) {
-    for (const ChunkKey& k : sec.refs) {
-      const auto it = chunks_.find(k);
-      if (it == chunks_.end()) continue;
-      if (--it->second.refs == 0) {
-        std::error_code ec;
-        fs::remove(chunk_path(k), ec);
-        stats_.chunks_in_pool--;
-        stats_.pool_stored_bytes -= it->second.stored_bytes;
-        stats_.pool_raw_bytes -= k.len;
-        chunks_.erase(it);
-      }
+  for (const auto& sec : m.sections)
+    for (const ChunkKey& k : sec.refs) release_ref(k);
+}
+
+Status Store::pin_chunk(const ChunkKey& k, const std::uint8_t* data,
+                        std::size_t len, bool* hit, std::uint64_t* stored) {
+  *hit = false;
+  *stored = 0;
+  if (const auto it = chunks_.find(k); it != chunks_.end()) {
+    it->second.refs++;
+    *hit = true;
+    return {};
+  }
+  const Codec* codec = codec_for(opt_.codec);
+  CodecId used = CodecId::Identity;
+  std::vector<std::uint8_t> encoded;
+  if (codec->id() != CodecId::Identity) {
+    std::vector<std::uint8_t> enc = codec->compress({data, len});
+    if (enc.size() < len) {
+      used = codec->id();
+      encoded = std::move(enc);
     }
   }
+  const std::uint32_t crc = used == CodecId::Identity
+                                ? slimcr::crc32(data, len)
+                                : slimcr::crc32(encoded.data(), encoded.size());
+  const std::uint64_t comp_len =
+      used == CodecId::Identity ? len : encoded.size();
+  std::vector<std::uint8_t> header;
+  header.reserve(kChunkHeaderBytes);
+  header.insert(header.end(), kChunkMagic, kChunkMagic + sizeof kChunkMagic);
+  header.push_back(static_cast<std::uint8_t>(used));
+  put_u64(header, len);
+  put_u64(header, comp_len);
+  put_u32(header, crc);
+  const std::span<const std::uint8_t> payload =
+      used == CodecId::Identity ? std::span<const std::uint8_t>{data, len}
+                                : std::span<const std::uint8_t>{encoded};
+  const std::string path = chunk_path(k);
+  if (!write_whole_file(path, header, payload))
+    return {ErrKind::Io, "cannot write pool chunk " + path};
+  ChunkInfo info;
+  info.refs = 1;
+  info.stored_bytes = header.size() + payload.size();
+  chunks_.emplace(k, info);
+  stats_.chunks_in_pool++;
+  stats_.pool_stored_bytes += info.stored_bytes;
+  stats_.pool_raw_bytes += k.len;
+  *stored = info.stored_bytes;
+  return {};
 }
 
 // ---- open -------------------------------------------------------------------
@@ -308,6 +358,23 @@ Status Store::open(const std::string& root, const Options& opt) {
           stats_.pool_raw_bytes += k.len;
         }
       }
+    }
+  }
+
+  // Sweep orphaned chunk files: a crash mid-stream (an OpenManifest session
+  // that never reached seal() or abort()) leaves chunk files no readable
+  // manifest references.  They can never be read again — every get() goes
+  // through a manifest — so reclaim the space now.
+  {
+    std::unordered_set<std::string> known;
+    known.reserve(chunks_.size());
+    for (const auto& [k, info] : chunks_) known.insert(chunk_path(k));
+    for (const auto& e : fs::directory_iterator(root_ + "/chunks", ec)) {
+      if (!e.is_regular_file()) continue;
+      if (known.count(e.path().string()) != 0) continue;
+      std::error_code rm_ec;
+      fs::remove(e.path(), rm_ec);
+      if (!rm_ec) stats_.orphans_swept++;
     }
   }
   return {};
@@ -586,6 +653,182 @@ Status Store::remove(const std::string& name) {
   stats_.manifests--;
   retire_manifest_refs(m);
   return {};
+}
+
+// ---- streaming manifests (live pre-copy) ------------------------------------
+
+std::unique_ptr<OpenManifest> Store::begin(const std::string& name) {
+  if (!is_open()) return nullptr;
+  return std::unique_ptr<OpenManifest>(new OpenManifest(this, name));
+}
+
+OpenManifest::~OpenManifest() { abort(); }
+
+OpenManifest::Section& OpenManifest::section(const std::string& name) {
+  for (auto& s : sections_)
+    if (s.name == name) return s;
+  sections_.push_back(Section{name, {}, {}, {}});
+  return sections_.back();
+}
+
+OpenManifest::ChunkResult OpenManifest::put_chunk(
+    const std::string& sec_name, std::size_t chunk_idx, const std::uint8_t* data,
+    std::size_t len, const slimcr::StorageModel& storage) {
+  ChunkResult res;
+  if (sealed_ || aborted_) {
+    res.status = {ErrKind::Io, "manifest session already closed"};
+    return res;
+  }
+  ChunkKey key{hash64(data, len), len, 0};
+  if (!store_->opt_.dedup) key.uniq = ++store_->uniq_counter_;
+  bool hit = false;
+  std::uint64_t stored = 0;
+  res.status = store_->pin_chunk(key, data, len, &hit, &stored);
+  if (!res.status.ok()) return res;
+  Section& sec = section(sec_name);
+  if (chunk_idx >= sec.keys.size()) {
+    sec.keys.resize(chunk_idx + 1);
+    sec.lens.resize(chunk_idx + 1, 0);
+    sec.filled.resize(chunk_idx + 1, 0);
+  }
+  if (sec.filled[chunk_idx] != 0) {
+    // Re-stream of a slot a later round found dirty again: drop the replaced
+    // pin now so an unsealed session never holds dead references.
+    raw_bytes_ -= sec.lens[chunk_idx];
+    store_->release_ref(sec.keys[chunk_idx]);
+  }
+  sec.keys[chunk_idx] = key;
+  sec.lens[chunk_idx] = len;
+  sec.filled[chunk_idx] = 1;
+  res.dedup_hit = hit;
+  res.stored_bytes = stored;
+  res.duration_ns = storage.write_ns(stored);
+  raw_bytes_ += len;
+  stored_bytes_ += stored;
+  if (hit) {
+    dedup_hits_++;
+    store_->stats_.dedup_hits++;
+  } else {
+    new_chunks_++;
+    store_->stats_.chunks_written++;
+  }
+  store_->stats_.raw_bytes_in += len;
+  store_->stats_.stored_bytes_written += stored;
+  return res;
+}
+
+OpenManifest::ChunkResult OpenManifest::put_section(
+    const std::string& sec_name, const std::uint8_t* data, std::size_t len,
+    const slimcr::StorageModel& storage) {
+  ChunkResult total;
+  if (sealed_ || aborted_) {
+    total.status = {ErrKind::Io, "manifest session already closed"};
+    return total;
+  }
+  // Whole-section semantics: replace anything streamed under this name so a
+  // re-put cannot leave stale trailing slots in the manifest.
+  Section& sec = section(sec_name);
+  for (std::size_t i = 0; i < sec.keys.size(); ++i) {
+    if (sec.filled[i] != 0) {
+      raw_bytes_ -= sec.lens[i];
+      store_->release_ref(sec.keys[i]);
+    }
+  }
+  sec.keys.clear();
+  sec.lens.clear();
+  sec.filled.clear();
+  const std::size_t cb = store_->opt_.chunk_bytes;
+  for (std::size_t off = 0, idx = 0; off < len; off += cb, ++idx) {
+    const ChunkResult r =
+        put_chunk(sec_name, idx, data + off, std::min(cb, len - off), storage);
+    if (!r.status.ok()) {
+      total.status = r.status;
+      return total;
+    }
+    total.stored_bytes += r.stored_bytes;
+    total.duration_ns += r.duration_ns;
+  }
+  return total;
+}
+
+PutResult OpenManifest::seal(const slimcr::StorageModel& storage) {
+  PutResult res;
+  if (sealed_ || aborted_) {
+    res.status = {ErrKind::Io, "manifest session already closed"};
+    return res;
+  }
+  for (const auto& sec : sections_) {
+    for (std::size_t i = 0; i < sec.filled.size(); ++i) {
+      if (sec.filled[i] == 0) {
+        res.status = {ErrKind::Corrupt, "section '" + sec.name + "' slot " +
+                                            std::to_string(i) +
+                                            " never streamed"};
+        return res;
+      }
+    }
+  }
+  Store::Manifest old_manifest;
+  const bool had_old =
+      store_->load_manifest(name_, old_manifest, nullptr).ok();
+
+  // Same byte layout as Store::put() writes, so load_manifest()/get() serve
+  // sealed streams and batch puts identically.
+  std::vector<std::uint8_t> mbytes;
+  mbytes.insert(mbytes.end(), kManifestMagic,
+                kManifestMagic + sizeof kManifestMagic);
+  put_u32(mbytes, kManifestVersion);
+  put_u64(mbytes, sections_.size());
+  for (const auto& sec : sections_) {
+    put_u64(mbytes, sec.name.size());
+    mbytes.insert(mbytes.end(), sec.name.begin(), sec.name.end());
+    std::uint64_t raw_len = 0;
+    for (const std::uint64_t l : sec.lens) raw_len += l;
+    put_u64(mbytes, raw_len);
+    put_u64(mbytes, sec.keys.size());
+    for (const ChunkKey& k : sec.keys) {
+      put_u64(mbytes, k.hash);
+      put_u64(mbytes, k.len);
+      put_u32(mbytes, k.uniq);
+    }
+  }
+  put_u32(mbytes, slimcr::crc32(mbytes.data() + sizeof kManifestMagic,
+                                mbytes.size() - sizeof kManifestMagic));
+  const std::string mpath = store_->manifest_path(name_);
+  if (!write_whole_file(mpath + ".tmp", mbytes) ||
+      std::rename((mpath + ".tmp").c_str(), mpath.c_str()) != 0) {
+    // The session stays open: the caller may retry seal() or abort(), and the
+    // previous manifest of this name is still intact either way.
+    res.status = {ErrKind::Io, "cannot write manifest " + mpath};
+    return res;
+  }
+  // The provisional pins ARE the new manifest's references — nothing to
+  // transfer.  The replaced manifest (if any) lets go of its own only now,
+  // so shared chunks never dip to zero in between.
+  if (had_old)
+    store_->retire_manifest_refs(old_manifest);
+  else
+    store_->stats_.manifests++;
+  sealed_ = true;
+
+  res.raw_bytes = raw_bytes_;
+  res.new_chunks = new_chunks_;
+  res.dedup_hits = dedup_hits_;
+  res.manifest_bytes = mbytes.size();
+  res.stored_bytes = stored_bytes_ + res.manifest_bytes;
+  res.duration_ns = storage.write_ns(res.manifest_bytes);
+  store_->stats_.puts++;
+  store_->stats_.stored_bytes_written += res.manifest_bytes;
+  return res;
+}
+
+void OpenManifest::abort() {
+  if (sealed_ || aborted_) return;
+  for (const auto& sec : sections_) {
+    for (std::size_t i = 0; i < sec.keys.size(); ++i)
+      if (sec.filled[i] != 0) store_->release_ref(sec.keys[i]);
+  }
+  sections_.clear();
+  aborted_ = true;
 }
 
 bool Store::contains(const std::string& name) const {

@@ -79,6 +79,9 @@ struct Stats {
   std::uint64_t raw_bytes_in = 0;          // pre-dedup, pre-compression
   std::uint64_t stored_bytes_written = 0;  // post-dedup, post-compression
   std::uint64_t bytes_read = 0;
+  // Chunk files found on open() that no readable manifest references (e.g.
+  // a process that died mid-stream without abort()) — unlinked on the spot.
+  std::uint64_t orphans_swept = 0;
 };
 
 struct PutResult {
@@ -97,6 +100,89 @@ struct GetResult {
   std::uint64_t raw_bytes = 0;
   std::uint64_t bytes_read = 0;     // manifest + each referenced chunk once
   std::uint64_t duration_ns = 0;    // simulated read time for bytes_read
+};
+
+class Store;
+
+// A manifest under construction: the streaming (live pre-copy) counterpart to
+// Store::put().  Chunks arrive one at a time over many rounds — possibly
+// re-putting the same (section, index) slot when a later round finds it dirty
+// again — and nothing becomes visible to Store::get() until seal().
+//
+// Transactionality: each put_chunk pins a provisional reference in the pool
+// (writing the chunk file if its content is new).  seal() writes the manifest
+// atomically (tmp + rename) and the provisional pins simply become the
+// manifest's references; abort() — also run by the destructor if the session
+// is still open — releases every pin and unlinks chunks that drop to zero
+// references, so a failed or crashed round leaves the pool exactly as it was
+// and any previous manifest of the same name untouched and restorable.  A
+// hard crash that skips even the destructor leaves orphan chunk files, which
+// the next Store::open() sweeps (Stats::orphans_swept).
+//
+// One session per Store at a time; interleaving with put()/remove() on the
+// same Store is not supported.
+class OpenManifest {
+ public:
+  ~OpenManifest();
+  OpenManifest(const OpenManifest&) = delete;
+  OpenManifest& operator=(const OpenManifest&) = delete;
+
+  struct ChunkResult {
+    Status status;
+    bool dedup_hit = false;
+    std::uint64_t stored_bytes = 0;  // 0 on a dedup hit
+    std::uint64_t duration_ns = 0;   // simulated write time for stored_bytes
+  };
+
+  // Stores `data` as chunk `chunk_idx` of section `section` (created on first
+  // touch; slots may arrive in any order and may be overwritten).  The caller
+  // owns the chunking policy; restore reassembles slots in index order.
+  ChunkResult put_chunk(const std::string& section, std::size_t chunk_idx,
+                        const std::uint8_t* data, std::size_t len,
+                        const slimcr::StorageModel& storage);
+
+  // Whole-section convenience for the stop-the-world residue phase (object
+  // DB, app regions): splits `data` at the store's chunk size and streams the
+  // pieces through put_chunk.
+  ChunkResult put_section(const std::string& section, const std::uint8_t* data,
+                          std::size_t len, const slimcr::StorageModel& storage);
+
+  // Writes the manifest and makes the snapshot visible; retires a prior
+  // manifest of the same name.  Fails (leaving the session open) if any
+  // section has an unfilled slot.  PutResult aggregates the whole session;
+  // duration_ns covers only the manifest write — chunk writes were already
+  // charged by put_chunk.
+  PutResult seal(const slimcr::StorageModel& storage);
+
+  // Releases every provisional pin; zero-ref chunks are unlinked.  Idempotent.
+  void abort();
+
+  [[nodiscard]] bool sealed() const noexcept { return sealed_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Store;
+  OpenManifest(Store* store, std::string name)
+      : store_(store), name_(std::move(name)) {}
+
+  struct Section {
+    std::string name;
+    std::vector<ChunkKey> keys;       // slot -> pool key
+    std::vector<std::uint64_t> lens;  // slot -> raw length
+    std::vector<std::uint8_t> filled;
+  };
+  Section& section(const std::string& name);
+
+  Store* store_;
+  std::string name_;
+  std::vector<Section> sections_;  // manifest order = first-touch order
+  bool sealed_ = false;
+  bool aborted_ = false;
+  // Session-cumulative tallies folded into seal()'s PutResult.
+  std::uint64_t raw_bytes_ = 0;
+  std::uint64_t new_chunks_ = 0;
+  std::uint64_t dedup_hits_ = 0;
+  std::uint64_t stored_bytes_ = 0;
 };
 
 class Store {
@@ -126,11 +212,17 @@ class Store {
   // Deletes a manifest and garbage-collects chunks whose refcount drops to 0.
   Status remove(const std::string& name);
 
+  // Opens a streaming manifest session (see OpenManifest).  Returns nullptr
+  // if the store is not open.
+  [[nodiscard]] std::unique_ptr<OpenManifest> begin(const std::string& name);
+
   [[nodiscard]] bool contains(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> manifest_names() const;
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
+  friend class OpenManifest;
+
   struct ChunkInfo {
     std::uint32_t refs = 0;
     std::uint64_t stored_bytes = 0;  // chunk file size (0 until known)
@@ -142,6 +234,14 @@ class Store {
   Status load_manifest(const std::string& name, Manifest& out,
                        std::uint64_t* file_bytes) const;
   void retire_manifest_refs(const Manifest& m);
+  // Decrement one reference on `k`; at zero, unlink the chunk file and drop
+  // the pool entry.
+  void release_ref(const ChunkKey& k);
+  // Compress + write one chunk file if `k` is new to the pool, then take one
+  // reference on it either way.  Returns the file bytes written (0 on dedup)
+  // via `stored`, and whether the content was already pooled via `hit`.
+  Status pin_chunk(const ChunkKey& k, const std::uint8_t* data,
+                   std::size_t len, bool* hit, std::uint64_t* stored);
 
   std::string root_;
   Options opt_;

@@ -453,9 +453,18 @@ __kernel void copy(__global const float* src, __global float* dst, int n) {
                                    nullptr, nullptr),
             CL_SUCCESS);
   ASSERT_EQ(clFinish(s.queue), CL_SUCCESS);
-  // the const parameter kept `in` clean; the written `out` is dirty
-  EXPECT_FALSE(checl::as_checl<checl::MemObj>(in)->dirty);
-  EXPECT_TRUE(checl::as_checl<checl::MemObj>(out)->dirty);
+  // The substrate's chunk dirty map (whole buffer = one chunk) must show the
+  // const parameter kept `in` clean while the written `out` went dirty.
+  const auto dirty_bit = [&rt](cl_mem mem) {
+    auto* m = checl::as_checl<checl::MemObj>(mem);
+    std::uint64_t n = 0;
+    std::vector<std::uint8_t> bits;
+    EXPECT_EQ(rt.client()->mem_dirty_fetch(m->remote, m->size, false, n, bits),
+              CL_SUCCESS);
+    return n != 0 && !bits.empty() && (bits[0] & 1) != 0;
+  };
+  EXPECT_FALSE(dirty_bit(in));
+  EXPECT_TRUE(dirty_bit(out));
 
   clReleaseKernel(k);
   clReleaseProgram(p);

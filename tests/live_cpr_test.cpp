@@ -1,0 +1,351 @@
+// live_cpr_test.cpp — the live pre-copy checkpoint engine: the dirty-map
+// superset property under a seeded random workload, byte-identical restore
+// from a streamed checkpoint, and the two chaos sites that guard its failure
+// semantics (precopy_round_crash must abort cleanly with zero orphan chunks
+// and the previous checkpoint restorable; dirty_map_desync must be healed by
+// the live_verify hash audit).
+//
+// Transport::Thread throughout: app and proxy share one process — and one
+// chaoskit engine — so the proxy-side DirtyMapDesync site can be armed and
+// observed without CHECL_CHAOS env plumbing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "chaoskit/chaoskit.h"
+#include "checl/checl.h"
+#include "checl/cl.h"
+#include "proxy/client.h"
+#include "snapstore/store.h"
+
+namespace {
+
+const char* kSrc = R"CL(
+__kernel void add1(__global float* d, int n) {
+  int i = get_global_id(0);
+  if (i < n) d[i] = d[i] + 1.0f;
+}
+)CL";
+
+struct Scenario {
+  cl_platform_id platform = nullptr;
+  cl_device_id device = nullptr;
+  cl_context ctx = nullptr;
+  cl_command_queue queue = nullptr;
+  cl_program prog = nullptr;
+  cl_kernel kernel = nullptr;
+  cl_mem buf = nullptr;
+  int n = 2048;
+  std::size_t bytes = 0;
+
+  void create(std::size_t buf_bytes) {
+    bytes = buf_bytes;
+    n = static_cast<int>(buf_bytes / sizeof(float));
+    cl_uint np = 0;
+    ASSERT_EQ(clGetPlatformIDs(0, nullptr, &np), CL_SUCCESS);
+    std::vector<cl_platform_id> plats(np);
+    clGetPlatformIDs(np, plats.data(), nullptr);
+    for (cl_platform_id p : plats) {
+      if (clGetDeviceIDs(p, CL_DEVICE_TYPE_GPU, 1, &device, nullptr) ==
+          CL_SUCCESS) {
+        platform = p;
+        break;
+      }
+    }
+    ASSERT_NE(platform, nullptr);
+    cl_int err = CL_SUCCESS;
+    ctx = clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    queue = clCreateCommandQueue(ctx, device, 0, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    std::vector<float> zeros(static_cast<std::size_t>(n), 0.0f);
+    buf = clCreateBuffer(ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR, bytes,
+                         zeros.data(), &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    prog = clCreateProgramWithSource(ctx, 1, &kSrc, nullptr, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    ASSERT_EQ(clBuildProgram(prog, 1, &device, "", nullptr, nullptr),
+              CL_SUCCESS);
+    kernel = clCreateKernel(prog, "add1", &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    ASSERT_EQ(clSetKernelArg(kernel, 0, sizeof buf, &buf), CL_SUCCESS);
+    ASSERT_EQ(clSetKernelArg(kernel, 1, sizeof n, &n), CL_SUCCESS);
+  }
+
+  void run_add1(int times) {
+    const std::size_t g = static_cast<std::size_t>(n);
+    for (int i = 0; i < times; ++i)
+      ASSERT_EQ(clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &g, nullptr,
+                                       0, nullptr, nullptr),
+                CL_SUCCESS);
+    ASSERT_EQ(clFinish(queue), CL_SUCCESS);
+  }
+
+  std::vector<std::uint8_t> read_all() {
+    std::vector<std::uint8_t> out(bytes);
+    EXPECT_EQ(clEnqueueReadBuffer(queue, buf, CL_TRUE, 0, bytes, out.data(), 0,
+                                  nullptr, nullptr),
+              CL_SUCCESS);
+    return out;
+  }
+
+  void release() {
+    if (kernel != nullptr) clReleaseKernel(kernel);
+    if (prog != nullptr) clReleaseProgram(prog);
+    if (buf != nullptr) clReleaseMemObject(buf);
+    if (queue != nullptr) clReleaseCommandQueue(queue);
+    if (ctx != nullptr) clReleaseContext(ctx);
+    *this = Scenario{};
+  }
+};
+
+class LiveCprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::filesystem::remove_all(store_root());
+    auto& rt = checl::CheclRuntime::instance();
+    rt.reset_all();
+    checl::NodeConfig node = checl::dual_node();
+    node.transport = proxy::Transport::Thread;  // in-process: one chaos engine
+    rt.set_node(node);
+    rt.store_checkpoints = true;
+    rt.store_root = store_root();
+    rt.live_checkpoints = true;
+    rt.restore_parallel = false;
+    checl::bind_checl();
+  }
+  void TearDown() override {
+    chaoskit::Engine::instance().disarm();
+    auto& rt = checl::CheclRuntime::instance();
+    rt.reset_all();
+    rt.store_checkpoints = false;
+    rt.live_checkpoints = false;
+    rt.live_verify = false;
+    rt.restore_parallel = true;
+    checl::bind_native();
+    std::filesystem::remove_all(store_root());
+  }
+  static const char* path() { return "/tmp/checl_live_cpr_test.ckpt"; }
+  static std::string store_root() { return "/tmp/checl_live_cpr_store"; }
+  static checl::CheclRuntime& rt() { return checl::CheclRuntime::instance(); }
+  static checl::cpr::Engine& engine() { return rt().engine(); }
+};
+
+// Property: after any workload, the chunk dirty map the proxy reports is a
+// superset of the chunks whose content actually changed.  A seeded random
+// mix of partial writes and kernel launches is compared against before/after
+// content hashes at the store's chunk granularity; a changed chunk whose bit
+// is clear would be silently dropped from a pre-copy round, so this is the
+// live engine's load-bearing invariant.
+TEST_F(LiveCprTest, DirtyMapIsSupersetOfChangedChunks) {
+  Scenario s;
+  s.create(1u << 20);  // 16 chunks at the default 64 KiB
+  const std::size_t chunk = rt().store_options.chunk_bytes;
+  proxy::Client* c = rt().client();
+  ASSERT_NE(c, nullptr);
+  const auto remote = checl::as_checl<checl::MemObj>(s.buf)->remote;
+
+  // Settle creation traffic, then clear the map so only the workload counts.
+  ASSERT_EQ(clFinish(s.queue), CL_SUCCESS);
+  std::uint64_t nchunks = 0;
+  std::vector<std::uint8_t> bits;
+  ASSERT_EQ(c->mem_dirty_fetch(remote, chunk, /*clear=*/true, nchunks, bits),
+            CL_SUCCESS);
+  std::vector<std::uint64_t> before;
+  ASSERT_EQ(c->mem_chunk_hashes(remote, chunk, before), CL_SUCCESS);
+
+  chaoskit::Prng prng(0xC0FFEE5EEDull);
+  for (int op = 0; op < 48; ++op) {
+    if (prng.below(4) == 0) {
+      // Kernel pass over a random prefix: dirties every chunk it touches.
+      int kn = static_cast<int>(prng.below(static_cast<std::uint64_t>(s.n))) + 1;
+      ASSERT_EQ(clSetKernelArg(s.kernel, 1, sizeof kn, &kn), CL_SUCCESS);
+      const std::size_t g = static_cast<std::size_t>(s.n);
+      ASSERT_EQ(clEnqueueNDRangeKernel(s.queue, s.kernel, 1, nullptr, &g,
+                                       nullptr, 0, nullptr, nullptr),
+                CL_SUCCESS);
+    } else {
+      // Partial write of random bytes at a random offset.
+      const std::size_t len = 64 + prng.below(3 * chunk);
+      const std::size_t off = prng.below(s.bytes - len);
+      std::vector<std::uint8_t> data(len);
+      for (auto& b : data) b = static_cast<std::uint8_t>(prng.next());
+      ASSERT_EQ(clEnqueueWriteBuffer(s.queue, s.buf, CL_TRUE, off, len,
+                                     data.data(), 0, nullptr, nullptr),
+                CL_SUCCESS);
+    }
+  }
+  ASSERT_EQ(clFinish(s.queue), CL_SUCCESS);
+
+  std::vector<std::uint64_t> after;
+  ASSERT_EQ(c->mem_chunk_hashes(remote, chunk, after), CL_SUCCESS);
+  ASSERT_EQ(c->mem_dirty_fetch(remote, chunk, /*clear=*/false, nchunks, bits),
+            CL_SUCCESS);
+  ASSERT_EQ(before.size(), after.size());
+  ASSERT_EQ(nchunks, after.size());
+
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    if (before[i] == after[i]) continue;
+    ++changed;
+    EXPECT_TRUE((bits[i / 8] >> (i % 8)) & 1u)
+        << "chunk " << i << " changed but its dirty bit is clear";
+  }
+  EXPECT_GT(changed, 0u);  // the workload must actually exercise the property
+  s.release();
+}
+
+// A live checkpoint streams pre-copy rounds and still restores byte-identical
+// device state — the whole point of the refactor.
+TEST_F(LiveCprTest, LiveCheckpointRestoresByteIdentical) {
+  Scenario s;
+  s.create(256u << 10);
+  s.run_add1(3);
+  checl::cpr::PhaseTimes pt;
+  ASSERT_EQ(engine().checkpoint(path(), &pt), CL_SUCCESS)
+      << engine().last_error();
+  EXPECT_GE(pt.rounds, 1u);
+  EXPECT_GT(pt.precopy_bytes, 0u);  // round 0 streamed the working set
+  EXPECT_GT(pt.file_bytes, 0u);
+  const std::vector<std::uint8_t> expect = s.read_all();
+  s.run_add1(2);  // diverge past the checkpoint
+  ASSERT_EQ(engine().restart_in_place(path(), std::nullopt, nullptr),
+            CL_SUCCESS)
+      << engine().last_error();
+  EXPECT_EQ(s.read_all(), expect);
+  s.release();
+}
+
+// Without store_checkpoints there is no streaming target: the live knob is
+// ignored and the engine degrades to the stop-the-world pipeline.
+TEST_F(LiveCprTest, LiveKnobIgnoredWithoutStore) {
+  rt().store_checkpoints = false;
+  Scenario s;
+  s.create(64u << 10);
+  s.run_add1(1);
+  checl::cpr::PhaseTimes pt;
+  ASSERT_EQ(engine().checkpoint(path(), &pt), CL_SUCCESS)
+      << engine().last_error();
+  EXPECT_EQ(pt.rounds, 0u);
+  EXPECT_EQ(pt.precopy_ns, 0u);
+  EXPECT_FALSE(engine().live_session_open());
+  std::remove(path());
+  s.release();
+}
+
+// precopy_round_crash: the streaming session dies at a pre-copy round
+// boundary.  The failed checkpoint must (a) name the site, (b) abort the open
+// manifest, (c) leave the previous checkpoint of the same name restorable,
+// and (d) leave zero orphan chunk files — a fresh Store::open() of the same
+// root sweeps (and counts) anything a leaky abort left behind.
+TEST_F(LiveCprTest, PrecopyCrashKeepsPreviousCheckpointAndNoOrphans) {
+  Scenario s;
+  s.create(256u << 10);
+  s.run_add1(2);
+  ASSERT_EQ(engine().checkpoint(path(), nullptr), CL_SUCCESS)
+      << engine().last_error();
+  const std::vector<std::uint8_t> expect = s.read_all();
+  s.run_add1(3);  // diverge so the crashed retry would have new chunks
+
+  auto& chaos = chaoskit::Engine::instance();
+  chaoskit::Fault f;
+  f.site = chaoskit::Site::PrecopyRoundCrash;
+  f.nth = 0;
+  chaos.arm(f);
+  EXPECT_NE(engine().checkpoint(path(), nullptr), CL_SUCCESS);
+  EXPECT_TRUE(chaos.fired());
+  EXPECT_NE(engine().last_error().find("[chaos: precopy_round_crash]"),
+            std::string::npos)
+      << engine().last_error();
+  chaos.disarm();
+  EXPECT_FALSE(engine().live_session_open());  // the session aborted
+
+  // The previous checkpoint is intact and restores byte-identical.
+  ASSERT_EQ(engine().restart_in_place(path(), std::nullopt, nullptr),
+            CL_SUCCESS)
+      << engine().last_error();
+  EXPECT_EQ(s.read_all(), expect);
+  s.release();
+
+  // Orphan audit: close the engine's store, reopen the root fresh.  abort()
+  // must have unlinked every provisional chunk, so the sweep finds nothing
+  // and the manifest survives.
+  rt().reset_all();
+  snapstore::Store audit;
+  ASSERT_TRUE(audit.open(store_root()).ok());
+  EXPECT_EQ(audit.stats().orphans_swept, 0u);
+  EXPECT_TRUE(audit.contains(path()));
+}
+
+// dirty_map_desync: the proxy under-reports one dirty chunk in the residue
+// fetch.  With live_verify on, the post-residue hash audit must catch the
+// stale chunk, re-stream it (healed_chunks), and the sealed checkpoint must
+// still restore byte-identical.
+TEST_F(LiveCprTest, DirtyMapDesyncHealedByLiveVerify) {
+  rt().live_verify = true;
+  Scenario s;
+  s.create(64u << 10);
+  s.run_add1(2);
+
+  // Drive the two live phases separately so the dirtying kernel and the armed
+  // fault land deterministically between them.
+  ASSERT_EQ(engine().live_begin(path()), CL_SUCCESS) << engine().last_error();
+  s.run_add1(1);  // dirty the buffer after round 0 cleared its map
+
+  auto& chaos = chaoskit::Engine::instance();
+  chaoskit::Fault f;
+  f.site = chaoskit::Site::DirtyMapDesync;
+  f.nth = 0;  // the residue fetch is the next MemDirtyFetch
+  f.arg = 0;
+  chaos.arm(f);
+  checl::cpr::PhaseTimes pt;
+  ASSERT_EQ(engine().live_finish(path(), &pt), CL_SUCCESS)
+      << engine().last_error();
+  EXPECT_TRUE(chaos.fired());
+  chaos.disarm();
+  EXPECT_GE(pt.healed_chunks, 1u);  // the audit re-streamed the dropped chunk
+
+  const std::vector<std::uint8_t> expect = s.read_all();
+  s.run_add1(2);
+  ASSERT_EQ(engine().restart_in_place(path(), std::nullopt, nullptr),
+            CL_SUCCESS)
+      << engine().last_error();
+  EXPECT_EQ(s.read_all(), expect);
+  s.release();
+}
+
+// The same desync without live_verify is the control: the checkpoint seals
+// with the stale round-0 chunk, and restore silently resurrects stale bytes.
+// This pins WHY the knob exists (and that the chaos site really corrupts).
+TEST_F(LiveCprTest, DirtyMapDesyncWithoutVerifyGoesStale) {
+  rt().live_verify = false;
+  Scenario s;
+  s.create(64u << 10);
+  s.run_add1(2);
+  ASSERT_EQ(engine().live_begin(path()), CL_SUCCESS) << engine().last_error();
+  s.run_add1(1);  // value now 3.0, but round 0 streamed 2.0
+
+  auto& chaos = chaoskit::Engine::instance();
+  chaoskit::Fault f;
+  f.site = chaoskit::Site::DirtyMapDesync;
+  chaos.arm(f);
+  checl::cpr::PhaseTimes pt;
+  ASSERT_EQ(engine().live_finish(path(), &pt), CL_SUCCESS)
+      << engine().last_error();
+  EXPECT_TRUE(chaos.fired());
+  chaos.disarm();
+  EXPECT_EQ(pt.healed_chunks, 0u);
+
+  const std::vector<std::uint8_t> live = s.read_all();  // post-finish truth
+  ASSERT_EQ(engine().restart_in_place(path(), std::nullopt, nullptr),
+            CL_SUCCESS)
+      << engine().last_error();
+  EXPECT_NE(s.read_all(), live);  // restored state is stale — by construction
+  s.release();
+}
+
+}  // namespace
