@@ -53,6 +53,10 @@ struct Options {
   // recompiling.  Without it, restarts are cold (full recompile) — the
   // paper's Tr.
   bool warm_cache = false;
+  // Distributed snapstore sweep (fig6): > 0 runs the sharded-checkpoint
+  // series over {1, 2, ..., shards} checl_snapd daemons instead of the
+  // plain NFS figure.
+  unsigned shards = 0;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -86,6 +90,8 @@ inline Options parse_options(int argc, char** argv) {
       o.restore_workers = static_cast<unsigned>(std::atoi(argv[++i]));
     else if (std::strcmp(argv[i], "--warm-cache") == 0)
       o.warm_cache = true;
+    else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc)
+      o.shards = static_cast<unsigned>(std::atoi(argv[++i]));
   }
   if (o.shrink == 0) o.shrink = 1;
   return o;

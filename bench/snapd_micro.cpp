@@ -1,0 +1,316 @@
+// snapd_micro — micro-benchmark of the checl_snapd shard daemon and the
+// sharded snapstore client stack, against IN-THREAD daemon instances.
+//
+// Unlike the torture tests (which fork real checl_snapd processes so a kill
+// loses real state), this bench embeds three snapd::Server event loops in
+// the bench process itself — same epoll loop, same wire protocol, same disk
+// layout, real TCP over loopback — so the numbers isolate the protocol and
+// store stack from fork/exec noise:
+//
+//   wire        Ping round-trip latency through the framed protocol (p50/p99)
+//   chunks      64 KiB PutChunk/GetChunk throughput on one shard
+//   replicate   ShardedStore put/get of an 8 MiB snapshot at R=1/2/3 over the
+//               three shards (simulated clock + wall)
+//   failover    one server loop stopped mid-fleet; the R=2 restore must fail
+//               over and stay byte-identical
+//
+// Prints JSON; --json-out mirrors it to a file.  --smoke gates correctness
+// only (byte-identity everywhere, failover restore succeeds with >= 1
+// failover served, shard stat counters drain after delete) — wall-clock
+// numbers are reported but never gated, so the smoke is parallel-safe.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "slimcr/snapshot.h"
+#include "slimcr/storage.h"
+#include "snapd/client.h"
+#include "snapd/server.h"
+#include "snapstore/shard.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr unsigned kServers = 3;
+constexpr std::size_t kChunkBytes = 64 * 1024;
+constexpr std::size_t kChunkCount = 128;
+constexpr std::size_t kSnapshotBytes = 8 * 1024 * 1024;
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint32_t seed) {
+  std::vector<std::uint8_t> v(n);
+  std::uint32_t lcg = seed * 2654435761u + 99991u;
+  for (auto& b : v)
+    b = static_cast<std::uint8_t>((lcg = lcg * 1664525u + 1013904223u) >> 24);
+  return v;
+}
+
+slimcr::Snapshot synthetic_snapshot() {
+  slimcr::Snapshot snap;
+  const std::size_t nsec = 4;
+  for (std::uint32_t i = 0; i < nsec; ++i)
+    snap.set("mem." + std::to_string(i),
+             random_bytes(kSnapshotBytes / nsec, i + 7));
+  return snap;
+}
+
+bool snapshots_equal(const slimcr::Snapshot& a, const slimcr::Snapshot& b) {
+  if (a.section_count() != b.section_count()) return false;
+  for (const auto& [name, data] : a.sections()) {
+    const auto* other = b.get(name);
+    if (other == nullptr || *other != data) return false;
+  }
+  return true;
+}
+
+// One in-thread daemon: the server's epoll loop runs on its own thread while
+// clients talk to it over real loopback TCP.
+struct InThreadShard {
+  std::unique_ptr<snapd::Server> server;
+  std::thread loop;
+  std::string root;
+
+  bool start(unsigned idx) {
+    root = "/tmp/checl_snapd_micro_" + std::to_string(idx);
+    fs::remove_all(root);
+    server = std::make_unique<snapd::Server>(root, 0);
+    if (!server->ok()) {
+      std::fprintf(stderr, "snapd_micro: bind failed: %s\n",
+                   server->error().c_str());
+      return false;
+    }
+    loop = std::thread([this] { server->run(); });
+    return true;
+  }
+  void stop() {
+    if (server != nullptr) server->stop();
+    if (loop.joinable()) loop.join();
+    // stop() only exits the event loop; destroying the Server closes the
+    // listener and every open connection, so a blocked client sees EOF
+    // instead of hanging — that EOF is the failover trigger below.
+    server.reset();
+  }
+  ~InThreadShard() {
+    stop();
+    if (!root.empty()) fs::remove_all(root);
+  }
+};
+
+struct LatencyStats {
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+LatencyStats percentile(std::vector<double>& us) {
+  std::sort(us.begin(), us.end());
+  LatencyStats s;
+  if (us.empty()) return s;
+  s.p50_us = us[us.size() / 2];
+  s.p99_us = us[std::min(us.size() - 1, us.size() * 99 / 100)];
+  return s;
+}
+
+struct ReplicatePoint {
+  unsigned replicas = 0;
+  std::uint64_t put_ns = 0;   // simulated
+  std::uint64_t get_ns = 0;   // simulated
+  double put_wall_ms = 0;
+  double get_wall_ms = 0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc)
+      json_out = argv[++i];
+  }
+  bool ok = true;
+
+  InThreadShard shards[kServers];
+  std::vector<std::string> endpoints;
+  for (unsigned i = 0; i < kServers; ++i) {
+    if (!shards[i].start(i)) return 1;
+    endpoints.push_back("127.0.0.1:" + std::to_string(shards[i].server->port()));
+  }
+
+  // --- wire: framed round-trip latency ---------------------------------------
+  snapd::ShardClient cl;
+  if (!cl.connect("127.0.0.1", shards[0].server->port(), "shard0")) {
+    std::fprintf(stderr, "snapd_micro: connect failed\n");
+    return 1;
+  }
+  std::vector<double> ping_us;
+  for (int i = 0; i < 2000; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (cl.ping() != snapd::Wire::Ok) ok = false;
+    ping_us.push_back(wall_ms_since(t0) * 1e3);
+  }
+  const LatencyStats ping = percentile(ping_us);
+
+  // --- chunks: 64 KiB data plane on one shard --------------------------------
+  std::vector<std::vector<std::uint8_t>> chunks;
+  std::vector<snapstore::ChunkKey> keys;
+  for (std::size_t i = 0; i < kChunkCount; ++i) {
+    chunks.push_back(random_bytes(kChunkBytes, static_cast<std::uint32_t>(i)));
+    snapstore::ChunkKey k;
+    k.hash = snapstore::hash64(chunks.back().data(), chunks.back().size());
+    k.len = chunks.back().size();
+    k.uniq = 0;
+    keys.push_back(k);
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kChunkCount; ++i)
+    if (cl.put_chunk(keys[i], chunks[i].data(), chunks[i].size()) !=
+        snapd::Wire::Ok)
+      ok = false;
+  const double put_wall_ms = wall_ms_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kChunkCount; ++i) {
+    std::vector<std::uint8_t> back;
+    if (cl.get_chunk(keys[i], back) != snapd::Wire::Ok || back != chunks[i]) {
+      std::fprintf(stderr, "snapd_micro: chunk %zu mismatch\n", i);
+      ok = false;
+    }
+  }
+  const double get_wall_ms = wall_ms_since(t0);
+  const double total_mb =
+      static_cast<double>(kChunkCount * kChunkBytes) / 1e6;
+  for (const auto& k : keys)
+    if (cl.del_chunk(k) != snapd::Wire::Ok) ok = false;
+  snapd::StatReply st{};
+  if (cl.stat(st) != snapd::Wire::Ok || st.chunks != 0) {
+    std::fprintf(stderr,
+                 "snapd_micro: shard did not drain after delete "
+                 "(chunks=%llu)\n",
+                 static_cast<unsigned long long>(st.chunks));
+    ok = false;
+  }
+
+  // --- replicate: R=1/2/3 over the three shards ------------------------------
+  const slimcr::StorageModel storage = slimcr::nfs();
+  const slimcr::Snapshot snap = synthetic_snapshot();
+  std::vector<ReplicatePoint> reps;
+  for (unsigned r = 1; r <= kServers; ++r) {
+    snapstore::ShardedStore store;
+    snapstore::ShardOptions opt;
+    opt.replicas = r;
+    if (!store.open_endpoints(endpoints, opt).ok()) {
+      std::fprintf(stderr, "snapd_micro: open_endpoints R=%u failed\n", r);
+      ok = false;
+      continue;
+    }
+    ReplicatePoint pt;
+    pt.replicas = r;
+    auto w0 = std::chrono::steady_clock::now();
+    const snapstore::PutResult pr = store.put("snap", snap, storage);
+    pt.put_wall_ms = wall_ms_since(w0);
+    pt.put_ns = pr.duration_ns;
+    slimcr::Snapshot back;
+    w0 = std::chrono::steady_clock::now();
+    const snapstore::GetResult gr = store.get("snap", back, storage);
+    pt.get_wall_ms = wall_ms_since(w0);
+    pt.get_ns = gr.duration_ns;
+    pt.identical =
+        pr.status.ok() && gr.status.ok() && snapshots_equal(snap, back);
+    if (!pt.identical) {
+      std::fprintf(stderr, "snapd_micro: R=%u round trip not identical\n", r);
+      ok = false;
+    }
+    store.remove("snap");  // drain the fleet for the next R
+    store.close();
+    reps.push_back(pt);
+  }
+
+  // --- failover: stop one event loop mid-fleet -------------------------------
+  std::uint64_t failovers = 0;
+  bool failover_identical = false;
+  {
+    snapstore::ShardedStore store;
+    snapstore::ShardOptions opt;
+    opt.replicas = 2;
+    if (store.open_endpoints(endpoints, opt).ok() &&
+        store.put("snap", snap, storage).status.ok()) {
+      shards[kServers - 1].stop();  // the daemon "dies"; its state stays on disk
+      slimcr::Snapshot back;
+      const snapstore::GetResult gr = store.get("snap", back, storage);
+      failover_identical = gr.status.ok() && snapshots_equal(snap, back);
+      failovers = store.sharded_stats().failovers;
+    }
+    store.close();
+  }
+  if (!failover_identical) {
+    std::fprintf(stderr, "snapd_micro: failover restore not identical\n");
+    ok = false;
+  }
+  // With 128 chunks striped over 3 shards, the stopped shard held primaries
+  // for ~1/3 of them — zero failovers means the failover path never ran.
+  if (failovers == 0) {
+    std::fprintf(stderr, "snapd_micro: no failover was exercised\n");
+    ok = false;
+  }
+
+  for (auto& s : shards) s.stop();
+
+  // --- report ----------------------------------------------------------------
+  std::string json = "{\n  \"bench\": \"snapd_micro\",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "  \"wire\": {\"ping_p50_us\": %.1f, \"ping_p99_us\": %.1f},\n",
+                ping.p50_us, ping.p99_us);
+  json += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"chunks\": {\"count\": %zu, \"chunk_bytes\": %zu, "
+      "\"put_mb_s\": %.1f, \"get_mb_s\": %.1f},\n",
+      kChunkCount, kChunkBytes,
+      put_wall_ms > 0 ? total_mb / (put_wall_ms / 1e3) : 0.0,
+      get_wall_ms > 0 ? total_mb / (get_wall_ms / 1e3) : 0.0);
+  json += buf;
+  json += "  \"replicate\": [\n";
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    const ReplicatePoint& pt = reps[i];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"replicas\": %u, \"sim_put_ms\": %.3f, "
+                  "\"sim_get_ms\": %.3f, \"put_wall_ms\": %.1f, "
+                  "\"get_wall_ms\": %.1f, \"identical\": %s}%s\n",
+                  pt.replicas, static_cast<double>(pt.put_ns) / 1e6,
+                  static_cast<double>(pt.get_ns) / 1e6, pt.put_wall_ms,
+                  pt.get_wall_ms, pt.identical ? "true" : "false",
+                  i + 1 < reps.size() ? "," : "");
+    json += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "  ],\n  \"failover\": {\"failovers\": %llu, "
+                "\"identical\": %s}\n}\n",
+                static_cast<unsigned long long>(failovers),
+                failover_identical ? "true" : "false");
+  json += buf;
+  std::printf("%s", json.c_str());
+  if (!json_out.empty()) {
+    if (std::FILE* f = std::fopen(json_out.c_str(), "w"); f != nullptr) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "snapd_micro: cannot write %s\n", json_out.c_str());
+      ok = false;
+    }
+  }
+  if (smoke && !ok) return 1;
+  return ok ? 0 : 1;
+}

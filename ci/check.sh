@@ -30,6 +30,11 @@
 #    mid-round is exactly the cleanup path ASan pays for.  The fig5
 #    --live --smoke gates (pause ratio, byte parity, identical restore)
 #    run in tier-1 ctest and in the bench trajectory above.
+# 6. Snapd slice: the distributed snapstore's shard-death / corrupt-replica /
+#    repair torture tests (tests/snapd_test.cpp) rerun under ASan — every
+#    failover and re-replication walks buffers that just lost their writer —
+#    and the fig6 --shards sweep emits BENCH_snapd.json (checkpoint time and
+#    restore fan-out along the shard series + the repair probe) in tier-1.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 ROOT="${PWD}"
@@ -47,10 +52,11 @@ if ! (cd build && ctest -L tier1 --output-on-failure -j"${JOBS}"); then
   (cd build && ctest --rerun-failed --output-on-failure)
 fi
 
-echo "== tier-1: bench trajectory (BENCH_ipc.json, BENCH_kernel.json, BENCH_proxyd.json, BENCH_ckpt.json, BENCH_recovery.json) =="
+echo "== tier-1: bench trajectory (BENCH_ipc.json, BENCH_kernel.json, BENCH_proxyd.json, BENCH_ckpt.json, BENCH_snapd.json, BENCH_recovery.json) =="
 (
   cd build
   export CHECL_PROXYD="${PWD}/src/proxy/checl_proxyd"
+  export CHECL_SNAPD="${PWD}/src/snapd/checl_snapd"
   timeout 120 ./bench/ipc_micro --smoke --json-out "${ROOT}/BENCH_ipc.json"
   # Multi-tenant daemon: small-call scaling over a client sweep plus the
   # fairness gate (probe p99 next to a greedy bulk streamer).
@@ -63,6 +69,11 @@ echo "== tier-1: bench trajectory (BENCH_ipc.json, BENCH_kernel.json, BENCH_prox
   # clock, so the ratios are deterministic).
   timeout 180 ./bench/fig5_checkpoint_overhead --live --smoke \
     --json-out "${ROOT}/BENCH_ckpt.json"
+  # Distributed snapstore: the MD checkpoint over 1..4 shard daemons must be
+  # non-increasing, the parallel restore must fan out >=2x over the serial
+  # store, and the kill-one-daemon repair probe must end fully replicated.
+  timeout 180 ./bench/fig6_mpi_checkpoint --shards 4 --smoke \
+    --json-out "${ROOT}/BENCH_snapd.json"
   # The release build produces the MTTR numbers of record; the ASan stage
   # below re-runs the same sweep as a correctness gate only (its timings
   # are sanitizer-inflated and stay in build-asan/).
@@ -76,15 +87,20 @@ echo "== chaos: ctest (label chaos, fixed seed) =="
 echo "== asan: configure + build snapstore/checkpoint slice =="
 cmake -B build-asan -S . -DCHECL_SANITIZE=address >/dev/null
 cmake --build build-asan -j"${JOBS}" \
-  --target test_snapstore test_slimcr test_cpr test_live_cpr test_replay \
-  checl_proxyd snapstore_micro chaos_sweep
+  --target test_snapstore test_snapd test_slimcr test_cpr test_live_cpr \
+  test_replay checl_proxyd checl_snapd snapstore_micro chaos_sweep
 
 echo "== asan: run =="
 (
   cd build-asan
   export CHECL_PROXYD="${PWD}/src/proxy/checl_proxyd"
+  export CHECL_SNAPD="${PWD}/src/snapd/checl_snapd"
   export CHECL_TEST_DATA="${ROOT}/tests/data"
   ./tests/test_snapstore
+  # Distributed snapstore torture slice: fixed-seed shard death, corrupt
+  # replicas, and repair — the failover/re-replication paths read buffers
+  # whose writer just died, exactly where ASan earns its keep.
+  ./tests/test_snapd
   ./tests/test_slimcr
   ./tests/test_cpr
   # Live pre-copy slice: streaming-session abort (precopy_round_crash) and

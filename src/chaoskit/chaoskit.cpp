@@ -29,6 +29,8 @@ constexpr const char* kSiteNames[kSiteCount] = {
     "proxyd_namespace_leak",
     "precopy_round_crash",
     "dirty_map_desync",
+    "snapd_shard_death",
+    "snapd_replica_corrupt",
 };
 
 thread_local Actor t_actor = Actor::App;

@@ -75,8 +75,16 @@ enum class Site : std::uint8_t {
   DirtyMapDesync,      // the proxy's MemDirtyFetch reply under-reports: the
                        // set bit at index `arg` (mod popcount) is cleared —
                        // live_verify must catch and heal the stale chunk
+  // snapd: the distributed (sharded, replicated) snapstore.
+  SnapdShardDeath,     // a shard daemon _exit()s mid-manifest-write (tmp file
+                       // written, rename never happens) — the sealed manifest
+                       // must land complete on the surviving replicas or the
+                       // seal must fail cleanly; never a torn manifest
+  SnapdReplicaCorrupt, // the client flips byte `arg` (mod size) of the chunk
+                       // payload sent to exactly one replica — restore must
+                       // detect the CRC mismatch and fail over to the next
 };
-inline constexpr std::size_t kSiteCount = 20;
+inline constexpr std::size_t kSiteCount = 22;
 
 [[nodiscard]] const char* site_name(Site s) noexcept;
 [[nodiscard]] Site site_from_name(std::string_view name) noexcept;  // None if unknown

@@ -10,6 +10,7 @@
 #include "core/runtime.h"
 #include "core/supervisor.h"
 #include "snapstore/chunk.h"
+#include "snapstore/shard.h"
 
 namespace checl::cpr {
 
@@ -75,7 +76,7 @@ bool bitmap_bit(const std::vector<std::uint8_t>& bits, std::uint64_t i) {
 // what the post-residue audit compares device hashes against.
 struct Engine::LiveSession {
   std::string path;
-  std::unique_ptr<snapstore::OpenManifest> man;
+  std::unique_ptr<snapstore::ManifestSession> man;
   PhaseTimes pt;
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> streamed_hash;
 };
@@ -101,17 +102,42 @@ std::vector<std::uint8_t> Engine::serialize_db() {
 // checkpoint
 // ---------------------------------------------------------------------------
 
-snapstore::Store* Engine::store() {
+snapstore::StoreIface* Engine::store() {
   const std::string& root =
       rt_.store_root.empty() ? "/tmp/checl_snapstore" : rt_.store_root;
-  if (store_ != nullptr && store_->is_open() && store_->root() == root)
+  // Environment wins over NodeConfig so a run can be re-pointed at a sharded
+  // fleet without touching code (CHECL_SNAP_SHARDS=0 is "unset", not local).
+  unsigned shards = snapstore::snap_shards_from_env();
+  if (shards == 0) shards = rt_.node().snap_shards;
+  unsigned replicas = rt_.node().snap_replicas;
+  if (const char* v = std::getenv("CHECL_SNAP_REPLICAS");
+      v != nullptr && *v != '\0')
+    replicas = snapstore::snap_replicas_from_env();
+  const std::string key = root + "|" + std::to_string(shards) + "|" +
+                          std::to_string(shards != 0 ? replicas : 0);
+  if (store_ != nullptr && store_->is_open() && store_key_ == key)
     return store_.get();
-  auto st = std::make_unique<snapstore::Store>();
-  if (const snapstore::Status s = st->open(root, rt_.store_options); !s.ok()) {
-    last_error_ = "cannot open snapstore: " + s.message;
-    return nullptr;
+  if (shards == 0) {
+    auto st = std::make_unique<snapstore::Store>();
+    if (const snapstore::Status s = st->open(root, rt_.store_options);
+        !s.ok()) {
+      last_error_ = "cannot open snapstore: " + s.message;
+      return nullptr;
+    }
+    store_ = std::move(st);
+  } else {
+    auto st = std::make_unique<snapstore::ShardedStore>();
+    snapstore::ShardOptions so;
+    so.store = rt_.store_options;
+    so.replicas = replicas;
+    if (const snapstore::Status s = st->open_local(root, shards, so);
+        !s.ok()) {
+      last_error_ = "cannot open sharded snapstore: " + s.message;
+      return nullptr;
+    }
+    store_ = std::move(st);
   }
-  store_ = std::move(st);
+  store_key_ = key;
   return store_.get();
 }
 
@@ -285,7 +311,7 @@ cl_int Engine::do_checkpoint(const std::string& path, PhaseTimes* times) {
   }
   pt.logical_bytes = snap.payload_bytes();
   if (store_mode) {
-    snapstore::Store* st = store();
+    snapstore::StoreIface* st = store();
     if (st == nullptr) return CL_OUT_OF_RESOURCES;  // last_error_ set
     snapstore::PutResult pr;
     const bool ok = io_run(rt_, [&] {
@@ -449,7 +475,7 @@ cl_int Engine::do_live_begin(const std::string& path) {
   }
   if (rt_.ensure_proxy() != CL_SUCCESS) return CL_DEVICE_NOT_AVAILABLE;
   proxy::Client& c = *rt_.client();
-  snapstore::Store* st = store();
+  snapstore::StoreIface* st = store();
   if (st == nullptr) return CL_OUT_OF_RESOURCES;  // last_error_ set
   auto man = st->begin(path);
   if (man == nullptr) {
@@ -753,7 +779,7 @@ cl_int Engine::do_restart_in_place(const std::string& path,
   const NodeConfig& target = new_node.value_or(rt_.node());
   std::uint64_t read_ns = 0;
   if (rt_.store_checkpoints) {
-    snapstore::Store* st = store();
+    snapstore::StoreIface* st = store();
     if (st == nullptr) return CL_INVALID_VALUE;  // last_error_ set
     snapstore::GetResult gr;
     const bool got = io_run(rt_, [&] {
@@ -821,7 +847,7 @@ cl_int Engine::do_restore_fresh(
   const NodeConfig& target = new_node.value_or(rt_.node());
   std::uint64_t initial_read_ns = 0;
   if (rt_.store_checkpoints) {
-    snapstore::Store* st = store();
+    snapstore::StoreIface* st = store();
     if (st == nullptr) return CL_INVALID_VALUE;  // last_error_ set
     snapstore::GetResult gr;
     const bool got = io_run(rt_, [&] {

@@ -139,10 +139,13 @@ class Engine {
   }
 
   // The content-addressed checkpoint store (runtime.store_checkpoints mode).
-  // Lazily opened at runtime.store_root; reopens when the root changes.
-  // nullptr when opening fails (last_error() says why).
-  snapstore::Store* store();
-  [[nodiscard]] snapstore::Store* store_if_open() noexcept {
+  // Lazily opened at runtime.store_root; reopens when the root or the
+  // sharding configuration changes.  With node.snap_shards > 0 (or
+  // CHECL_SNAP_SHARDS) this is a snapstore::ShardedStore spanning that many
+  // checl_snapd daemons; otherwise the local snapstore::Store.  nullptr when
+  // opening fails (last_error() says why).
+  snapstore::StoreIface* store();
+  [[nodiscard]] snapstore::StoreIface* store_if_open() noexcept {
     return store_ != nullptr && store_->is_open() ? store_.get() : nullptr;
   }
 
@@ -203,7 +206,8 @@ class Engine {
   // it as their base.
   std::string last_checkpoint_path_;
   std::string last_error_;
-  std::unique_ptr<snapstore::Store> store_;
+  std::unique_ptr<snapstore::StoreIface> store_;
+  std::string store_key_;  // root + sharding config the store was opened with
   std::unique_ptr<LiveSession> live_;
   replay::ExecCounters restore_counters_;
 };

@@ -32,6 +32,12 @@ struct NodeConfig {
   // bytecode pool that survives proxy respawns — a restart or migration onto
   // this node then deserializes programs instead of recompiling them.
   simcl::ProgCacheConfig clc_cache;
+  // Distributed snapstore (store_checkpoints mode): > 0 spawns that many
+  // checl_snapd shard daemons under store_root and checkpoints through the
+  // sharded, replicated ShardedStore instead of the local Store.  0 = local.
+  // Overridable by CHECL_SNAP_SHARDS / CHECL_SNAP_REPLICAS.
+  unsigned snap_shards = 0;
+  unsigned snap_replicas = 2;
 };
 
 // The paper's testbed shapes, ready-made.

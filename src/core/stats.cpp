@@ -4,6 +4,7 @@
 
 #include "clc/interp.h"
 #include "core/cpr.h"
+#include "snapstore/shard.h"
 #include "core/runtime.h"
 #include "core/supervisor.h"
 #include "proxy/client.h"
@@ -23,16 +24,16 @@ void append_kv(std::ostringstream& os, const char* key, std::uint64_t v,
 
 }  // namespace
 
-std::string stats_json(proxy::Client* client, const snapstore::Store* store) {
+std::string stats_json(proxy::Client* client, const snapstore::StoreIface* store) {
   return stats_json(client, store, nullptr, nullptr);
 }
 
-std::string stats_json(proxy::Client* client, const snapstore::Store* store,
+std::string stats_json(proxy::Client* client, const snapstore::StoreIface* store,
                        const replay::ExecCounters* restore) {
   return stats_json(client, store, restore, nullptr);
 }
 
-std::string stats_json(proxy::Client* client, const snapstore::Store* store,
+std::string stats_json(proxy::Client* client, const snapstore::StoreIface* store,
                        const replay::ExecCounters* restore,
                        const SupervisorStats* supervisor) {
   std::ostringstream os;
@@ -78,6 +79,25 @@ std::string stats_json(proxy::Client* client, const snapstore::Store* store,
     append_kv(os, "raw_bytes_in", st.raw_bytes_in, first);
     append_kv(os, "stored_bytes_written", st.stored_bytes_written, first);
     append_kv(os, "bytes_read", st.bytes_read, first);
+    append_kv(os, "orphans_swept", st.orphans_swept, first);
+    os << "}";
+  }
+  // Distributed snapstore: present when the store is a ShardedStore.
+  os << ", \"snapd\": ";
+  if (const auto* sh = dynamic_cast<const snapstore::ShardedStore*>(store);
+      sh == nullptr || !sh->is_open()) {
+    os << "null";
+  } else {
+    const snapstore::ShardedStats& ss = sh->sharded_stats();
+    bool first = true;
+    os << "{";
+    append_kv(os, "shards", ss.shards, first);
+    append_kv(os, "replicas", ss.replicas, first);
+    append_kv(os, "degraded_writes", ss.degraded_writes, first);
+    append_kv(os, "under_replicated", ss.under_replicated, first);
+    append_kv(os, "failovers", ss.failovers, first);
+    append_kv(os, "repaired_chunks", ss.repaired_chunks, first);
+    append_kv(os, "repaired_manifests", ss.repaired_manifests, first);
     os << "}";
   }
   os << ", \"restore\": ";

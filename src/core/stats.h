@@ -28,12 +28,12 @@ struct ExecCounters;
 // `restore`, when non-null, adds the restore executor's counters;
 // `supervisor`, when non-null, adds the self-healing runtime's counters
 // (recoveries, replays, degraded placements, time-to-recover).
-std::string stats_json(proxy::Client* client, const snapstore::Store* store,
+std::string stats_json(proxy::Client* client, const snapstore::StoreIface* store,
                        const replay::ExecCounters* restore,
                        const SupervisorStats* supervisor);
-std::string stats_json(proxy::Client* client, const snapstore::Store* store,
+std::string stats_json(proxy::Client* client, const snapstore::StoreIface* store,
                        const replay::ExecCounters* restore);
-std::string stats_json(proxy::Client* client, const snapstore::Store* store);
+std::string stats_json(proxy::Client* client, const snapstore::StoreIface* store);
 
 // Pulls from the process-wide CheclRuntime: its proxy client and the
 // engine's checkpoint store, when open.

@@ -1,5 +1,6 @@
 #include "minimpi/comm.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "core/runtime.h"
@@ -78,9 +79,17 @@ checl::cpr::PhaseTimes Comm::coordinated_checkpoint(const std::string& path) {
              : rt.engine().checkpoint(path, &world_.ckpt_times_);
     // Aggregating N local snapshots into the global NFS snapshot costs a
     // per-node coordination + metadata overhead on top of the data itself.
+    // With a sharded snapstore the ranks stripe across the shard daemons, so
+    // the aggregation fans out and the charge divides by the shard count.
     if (proxy::Client* c = rt.client(); c != nullptr) {
+      unsigned fanout = 1;
+      if (const snapstore::StoreIface* st = rt.engine().store_if_open();
+          st != nullptr) {
+        fanout = std::max(1u, st->shard_count());
+      }
       const std::uint64_t agg =
-          static_cast<std::uint64_t>(world_.nranks_) * World::kPerNodeAggregationNs;
+          static_cast<std::uint64_t>(world_.nranks_) *
+          World::kPerNodeAggregationNs / fanout;
       c->sim_advance_host_ns(agg);
       world_.ckpt_times_.write_ns += agg;
     }

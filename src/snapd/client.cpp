@@ -1,0 +1,209 @@
+#include "snapd/client.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "ipc/channel.h"
+
+namespace snapd {
+
+namespace {
+
+template <typename T>
+T rd(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+template <typename T>
+void wr(std::vector<std::uint8_t>& b, T v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  b.insert(b.end(), p, p + sizeof v);
+}
+
+void put_name(std::vector<std::uint8_t>& b, const std::string& name) {
+  wr(b, static_cast<std::uint16_t>(name.size()));
+  b.insert(b.end(), name.begin(), name.end());
+}
+
+}  // namespace
+
+ShardClient::~ShardClient() { close(); }
+
+bool ShardClient::connect(const std::string& host, std::uint16_t port,
+                          const std::string& label, const checl::Retry& retry) {
+  close();
+  int fd = -1;
+  retry.run([&] {
+    fd = ipc::tcp_connect(host.c_str(), port);
+    return fd >= 0;
+  });
+  endpoint_ = label + "@" + host + ":" + std::to_string(port);
+  fd_ = fd;
+  return fd_ >= 0;
+}
+
+void ShardClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Wire ShardClient::call(Op op, const std::vector<std::uint8_t>& body,
+                       Frame& rep) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fd_ < 0) return Wire::Io;
+  if (!send_frame(fd_, op, Wire::Ok, body.data(), body.size()) ||
+      !recv_frame(fd_, rep) || rep.op != op) {
+    // transport failure or a mismatched/corrupt reply: this replica is gone
+    ::close(fd_);
+    fd_ = -1;
+    return Wire::Io;
+  }
+  return rep.status;
+}
+
+Wire ShardClient::ping() {
+  Frame rep;
+  return call(Op::Ping, {}, rep);
+}
+
+Wire ShardClient::put_chunk(const snapstore::ChunkKey& k,
+                            const std::uint8_t* file, std::size_t file_len) {
+  std::vector<std::uint8_t> body;
+  body.reserve(kKeyBytes + file_len);
+  put_key(body, k);
+  body.insert(body.end(), file, file + file_len);
+  Frame rep;
+  return call(Op::PutChunk, body, rep);
+}
+
+Wire ShardClient::get_chunk(const snapstore::ChunkKey& k,
+                            std::vector<std::uint8_t>& out) {
+  std::vector<std::uint8_t> body;
+  put_key(body, k);
+  Frame rep;
+  const Wire w = call(Op::GetChunk, body, rep);
+  if (w == Wire::Ok) out = std::move(rep.body);
+  return w;
+}
+
+Wire ShardClient::has_chunk(const snapstore::ChunkKey& k) {
+  std::vector<std::uint8_t> body;
+  put_key(body, k);
+  Frame rep;
+  return call(Op::HasChunk, body, rep);
+}
+
+Wire ShardClient::del_chunk(const snapstore::ChunkKey& k) {
+  std::vector<std::uint8_t> body;
+  put_key(body, k);
+  Frame rep;
+  return call(Op::DelChunk, body, rep);
+}
+
+Wire ShardClient::put_manifest(const std::string& name, std::uint64_t seal_seq,
+                               const std::uint8_t* payload,
+                               std::size_t payload_len) {
+  std::vector<std::uint8_t> body;
+  body.reserve(8 + 2 + name.size() + payload_len);
+  wr(body, seal_seq);
+  put_name(body, name);
+  body.insert(body.end(), payload, payload + payload_len);
+  Frame rep;
+  return call(Op::PutManifest, body, rep);
+}
+
+Wire ShardClient::get_manifest(const std::string& name, std::uint64_t& seal_seq,
+                               std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> body;
+  put_name(body, name);
+  Frame rep;
+  const Wire w = call(Op::GetManifest, body, rep);
+  if (w != Wire::Ok) return w;
+  if (rep.body.size() < 8) return Wire::Corrupt;
+  seal_seq = rd<std::uint64_t>(rep.body.data());
+  payload.assign(rep.body.begin() + 8, rep.body.end());
+  return Wire::Ok;
+}
+
+Wire ShardClient::del_manifest(const std::string& name) {
+  std::vector<std::uint8_t> body;
+  put_name(body, name);
+  Frame rep;
+  return call(Op::DelManifest, body, rep);
+}
+
+Wire ShardClient::list_manifests(std::vector<ManifestEntry>& out) {
+  Frame rep;
+  const Wire w = call(Op::ListManifests, {}, rep);
+  if (w != Wire::Ok) return w;
+  const std::uint8_t* p = rep.body.data();
+  std::size_t n = rep.body.size();
+  if (n < 4) return Wire::Corrupt;
+  const std::uint32_t count = rd<std::uint32_t>(p);
+  p += 4;
+  n -= 4;
+  out.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (n < 2) return Wire::Corrupt;
+    const std::uint16_t name_len = rd<std::uint16_t>(p);
+    if (n < 2u + name_len + 8u) return Wire::Corrupt;
+    ManifestEntry e;
+    e.name.assign(reinterpret_cast<const char*>(p + 2), name_len);
+    e.seal_seq = rd<std::uint64_t>(p + 2 + name_len);
+    out.push_back(std::move(e));
+    p += 2 + name_len + 8;
+    n -= 2 + name_len + 8;
+  }
+  return Wire::Ok;
+}
+
+Wire ShardClient::list_chunks(std::vector<ChunkEntry>& out) {
+  Frame rep;
+  const Wire w = call(Op::ListChunks, {}, rep);
+  if (w != Wire::Ok) return w;
+  const std::uint8_t* p = rep.body.data();
+  std::size_t n = rep.body.size();
+  if (n < 4) return Wire::Corrupt;
+  const std::uint32_t count = rd<std::uint32_t>(p);
+  p += 4;
+  n -= 4;
+  out.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (n < kKeyBytes + 8) return Wire::Corrupt;
+    ChunkEntry e;
+    if (!get_key(p, n, e.key)) return Wire::Corrupt;
+    e.file_len = rd<std::uint64_t>(p + kKeyBytes);
+    out.push_back(e);
+    p += kKeyBytes + 8;
+    n -= kKeyBytes + 8;
+  }
+  return Wire::Ok;
+}
+
+Wire ShardClient::stat(StatReply& out) {
+  Frame rep;
+  const Wire w = call(Op::Stat, {}, rep);
+  if (w != Wire::Ok) return w;
+  if (rep.body.size() < kStatReplyBytes) return Wire::Corrupt;
+  const std::uint8_t* p = rep.body.data();
+  out.chunks = rd<std::uint64_t>(p);
+  out.chunk_bytes = rd<std::uint64_t>(p + 8);
+  out.manifests = rd<std::uint64_t>(p + 16);
+  out.puts = rd<std::uint64_t>(p + 24);
+  out.gets = rd<std::uint64_t>(p + 32);
+  out.bytes_in = rd<std::uint64_t>(p + 40);
+  out.bytes_out = rd<std::uint64_t>(p + 48);
+  return Wire::Ok;
+}
+
+Wire ShardClient::shutdown() {
+  Frame rep;
+  const Wire w = call(Op::Shutdown, {}, rep);
+  close();
+  return w;
+}
+
+}  // namespace snapd

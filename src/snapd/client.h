@@ -1,0 +1,89 @@
+// client.h — one client connection to one checl_snapd shard.
+//
+// Thin typed wrapper over proto.h: one request/reply exchange per call,
+// serialized by a mutex so the fan-out worker threads of the sharded store
+// can share a connection.  A transport failure (connect refused, EOF, torn
+// frame, checksum mismatch) marks the client dead — dead it stays, and every
+// later call fails fast; the sharded store treats a dead client as a failed
+// replica and works around it.  `endpoint()` names the shard
+// ("shard2@127.0.0.1:40113") so every error a caller surfaces says WHICH
+// replica went away.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "snapd/proto.h"
+
+namespace snapd {
+
+struct ManifestEntry {
+  std::string name;
+  std::uint64_t seal_seq = 0;
+};
+
+struct ChunkEntry {
+  snapstore::ChunkKey key;
+  std::uint64_t file_len = 0;
+};
+
+class ShardClient {
+ public:
+  ShardClient() = default;
+  ~ShardClient();
+  ShardClient(const ShardClient&) = delete;
+  ShardClient& operator=(const ShardClient&) = delete;
+
+  // Connects with retry/backoff (the daemon may still be binding).  `label`
+  // becomes the endpoint prefix in error strings ("shard0").
+  bool connect(const std::string& host, std::uint16_t port,
+               const std::string& label,
+               const checl::Retry& retry = default_retry());
+  void close();
+
+  [[nodiscard]] bool alive() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& endpoint() const noexcept {
+    return endpoint_;
+  }
+
+  // Every call returns the wire status; transport death maps to Wire::Io and
+  // kills the connection.
+  Wire ping();
+  Wire put_chunk(const snapstore::ChunkKey& k, const std::uint8_t* file,
+                 std::size_t file_len);
+  Wire get_chunk(const snapstore::ChunkKey& k, std::vector<std::uint8_t>& out);
+  Wire has_chunk(const snapstore::ChunkKey& k);
+  Wire del_chunk(const snapstore::ChunkKey& k);
+  Wire put_manifest(const std::string& name, std::uint64_t seal_seq,
+                    const std::uint8_t* payload, std::size_t payload_len);
+  Wire get_manifest(const std::string& name, std::uint64_t& seal_seq,
+                    std::vector<std::uint8_t>& payload);
+  Wire del_manifest(const std::string& name);
+  Wire list_manifests(std::vector<ManifestEntry>& out);
+  Wire list_chunks(std::vector<ChunkEntry>& out);
+  Wire stat(StatReply& out);
+  Wire shutdown();  // polite daemon stop; the connection dies with it
+
+  [[nodiscard]] static checl::Retry default_retry() noexcept {
+    checl::Retry r;
+    r.max_attempts = 50;
+    r.base_delay_ns = 2'000'000;
+    r.max_delay_ns = 100'000'000;
+    r.budget_ns = 2'000'000'000;
+    return r;
+  }
+
+ private:
+  // One framed round trip under the lock; Io + dead connection on transport
+  // failure.
+  Wire call(Op op, const std::vector<std::uint8_t>& body, Frame& rep);
+
+  int fd_ = -1;
+  std::string endpoint_ = "unconnected";
+  std::mutex mu_;
+};
+
+}  // namespace snapd

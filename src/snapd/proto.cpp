@@ -1,0 +1,139 @@
+#include "snapd/proto.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace snapd {
+
+const char* wire_name(Wire w) noexcept {
+  switch (w) {
+    case Wire::Ok: return "ok";
+    case Wire::Missing: return "missing";
+    case Wire::Io: return "io";
+    case Wire::BadRequest: return "bad-request";
+    case Wire::Corrupt: return "corrupt";
+    case Wire::Unsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void put16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  b.insert(b.end(), p, p + sizeof v);
+}
+void put32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  b.insert(b.end(), p, p + sizeof v);
+}
+void put64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  b.insert(b.end(), p, p + sizeof v);
+}
+
+template <typename T>
+T rd(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(Op op, Wire status,
+                                       const std::uint8_t* body,
+                                       std::size_t body_len) {
+  std::vector<std::uint8_t> b;
+  b.reserve(kHeaderBytes + body_len + kTrailerBytes);
+  put32(b, kMagic);
+  put16(b, kVersion);
+  put16(b, static_cast<std::uint16_t>(op));
+  put16(b, static_cast<std::uint16_t>(status));
+  put16(b, 0);  // reserved
+  put32(b, static_cast<std::uint32_t>(body_len));
+  if (body_len != 0) b.insert(b.end(), body, body + body_len);
+  put64(b, snapstore::hash64(b.data(), b.size()));
+  return b;
+}
+
+bool decode_frame(const std::uint8_t* p, std::size_t n, Frame& f) {
+  if (n < kHeaderBytes + kTrailerBytes) return false;
+  if (rd<std::uint32_t>(p) != kMagic) return false;
+  if (rd<std::uint16_t>(p + 4) != kVersion) return false;
+  const std::uint32_t body_len = rd<std::uint32_t>(p + 12);
+  if (body_len > kMaxBody || n != kHeaderBytes + body_len + kTrailerBytes)
+    return false;
+  const std::uint64_t want = rd<std::uint64_t>(p + n - kTrailerBytes);
+  if (snapstore::hash64(p, n - kTrailerBytes) != want) return false;
+  f.op = static_cast<Op>(rd<std::uint16_t>(p + 6));
+  f.status = static_cast<Wire>(rd<std::uint16_t>(p + 8));
+  f.body.assign(p + kHeaderBytes, p + kHeaderBytes + body_len);
+  return true;
+}
+
+void put_key(std::vector<std::uint8_t>& b, const snapstore::ChunkKey& k) {
+  put64(b, k.hash);
+  put64(b, k.len);
+  put32(b, k.uniq);
+}
+
+bool get_key(const std::uint8_t* p, std::size_t n, snapstore::ChunkKey& k) {
+  if (n < kKeyBytes) return false;
+  k.hash = rd<std::uint64_t>(p);
+  k.len = rd<std::uint64_t>(p + 8);
+  k.uniq = rd<std::uint32_t>(p + 16);
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n != 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(int fd, std::uint8_t* p, std::size_t n) {
+  while (n != 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF mid-frame
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool send_frame(int fd, Op op, Wire status, const std::uint8_t* body,
+                std::size_t body_len) {
+  const std::vector<std::uint8_t> b = encode_frame(op, status, body, body_len);
+  return write_all(fd, b.data(), b.size());
+}
+
+bool recv_frame(int fd, Frame& f) {
+  std::uint8_t hdr[kHeaderBytes];
+  if (!read_all(fd, hdr, sizeof hdr)) return false;
+  if (rd<std::uint32_t>(hdr) != kMagic) return false;
+  if (rd<std::uint16_t>(hdr + 4) != kVersion) return false;
+  const std::uint32_t body_len = rd<std::uint32_t>(hdr + 12);
+  if (body_len > kMaxBody) return false;
+  std::vector<std::uint8_t> whole(kHeaderBytes + body_len + kTrailerBytes);
+  std::memcpy(whole.data(), hdr, sizeof hdr);
+  if (!read_all(fd, whole.data() + kHeaderBytes, body_len + kTrailerBytes))
+    return false;
+  return decode_frame(whole.data(), whole.size(), f);
+}
+
+}  // namespace snapd

@@ -1,0 +1,111 @@
+// proto.h — the checl_snapd wire protocol (version 1).
+//
+// One frame per request and per reply, symmetric both ways:
+//
+//   magic u32 'SPD1' | version u16 | op u16 | status u16 | reserved u16 |
+//   body_len u32 | body[body_len] | fnv u64
+//
+// The trailing FNV-1a 64 covers header + body, so a frame torn or bit-flipped
+// anywhere on the wire is rejected by the receiver before its body is
+// interpreted — the shard client treats that exactly like a dead peer and
+// fails over to the next replica.  `status` is meaningful in replies only
+// (requests carry Ok).
+//
+// Bodies are little-endian, same byte helpers as the snapstore container
+// formats (format.h).  A chunk travels as the complete chunk FILE
+// ("SNAPCHK1" header + compressed payload + its own CRC): the daemon stores
+// opaque bytes and never needs the codec, and any reader can verify a replica
+// end-to-end with the snapstore decoder alone.
+//
+// Frames are pinned by the golden corpus in tests/data/snapd_v1_frames.bin —
+// a byte changed here is a protocol revision, not a refactor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snapstore/chunk.h"
+
+namespace snapd {
+
+inline constexpr std::uint32_t kMagic = 0x31445053u;  // 'S','P','D','1' LE
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 4 + 2 + 2 + 2 + 2 + 4;  // 16
+inline constexpr std::size_t kTrailerBytes = 8;                     // fnv u64
+// A declared body above this kills the connection instead of allocating.
+inline constexpr std::uint32_t kMaxBody = 1u << 30;  // 1 GiB
+
+enum class Op : std::uint16_t {
+  Ping = 1,
+  PutChunk,       // key(20) + chunk-file bytes        -> Ok | Io
+  GetChunk,       // key(20)                           -> Ok + chunk-file | Missing
+  HasChunk,       // key(20)                           -> Ok | Missing
+  DelChunk,       // key(20)                           -> Ok | Missing
+  PutManifest,    // seal_seq u64 + name_len u16 + name + payload -> Ok | Io
+  GetManifest,    // name_len u16 + name               -> Ok + seal_seq u64 + payload | Missing
+  DelManifest,    // name_len u16 + name               -> Ok | Missing
+  ListManifests,  // (empty) -> u32 n + n * (name_len u16 + name + seal_seq u64)
+  ListChunks,     // (empty) -> u32 n + n * (key(20) + file_len u64)
+  Stat,           // (empty) -> StatReply (7 * u64)
+  Shutdown,       // (empty) -> Ok, then the daemon exits its loop
+};
+
+enum class Wire : std::uint16_t {
+  Ok = 0,
+  Missing,      // named chunk / manifest not on this shard
+  Io,           // shard-side filesystem failure
+  BadRequest,   // malformed body
+  Corrupt,      // frame checksum mismatch (reported by either side)
+  Unsupported,  // unknown op or version
+};
+
+[[nodiscard]] const char* wire_name(Wire w) noexcept;
+
+// key on the wire: hash u64 + len u64 + uniq u32
+inline constexpr std::size_t kKeyBytes = 8 + 8 + 4;
+
+struct StatReply {
+  std::uint64_t chunks = 0;
+  std::uint64_t chunk_bytes = 0;   // chunk files as stored on the shard
+  std::uint64_t manifests = 0;
+  std::uint64_t puts = 0;          // PutChunk + PutManifest served
+  std::uint64_t gets = 0;          // GetChunk + GetManifest served
+  std::uint64_t bytes_in = 0;      // request body bytes received
+  std::uint64_t bytes_out = 0;     // reply body bytes sent
+};
+inline constexpr std::size_t kStatReplyBytes = 7 * 8;
+
+struct Frame {
+  Op op = Op::Ping;
+  Wire status = Wire::Ok;
+  std::vector<std::uint8_t> body;
+};
+
+// ---- encoding ---------------------------------------------------------------
+
+// Serializes a complete frame (header + body + FNV trailer).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    Op op, Wire status, const std::uint8_t* body, std::size_t body_len);
+
+// Validates header magic/version and the FNV trailer of a complete frame
+// buffer.  Returns false on any mismatch (f is unspecified then).
+[[nodiscard]] bool decode_frame(const std::uint8_t* p, std::size_t n, Frame& f);
+
+void put_key(std::vector<std::uint8_t>& b, const snapstore::ChunkKey& k);
+[[nodiscard]] bool get_key(const std::uint8_t* p, std::size_t n,
+                           snapstore::ChunkKey& k);
+
+// ---- blocking fd transport --------------------------------------------------
+
+// Full-buffer write/read loops (EINTR-safe).  Used by the client; the daemon
+// reads through its epoll buffer but replies with send_frame.
+[[nodiscard]] bool write_all(int fd, const std::uint8_t* p, std::size_t n);
+[[nodiscard]] bool read_all(int fd, std::uint8_t* p, std::size_t n);
+
+[[nodiscard]] bool send_frame(int fd, Op op, Wire status,
+                              const std::uint8_t* body, std::size_t body_len);
+// Reads one frame; false on EOF, a torn read, or a checksum/header mismatch.
+[[nodiscard]] bool recv_frame(int fd, Frame& f);
+
+}  // namespace snapd

@@ -1,0 +1,423 @@
+#include "snapd/server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "chaoskit/chaoskit.h"
+#include "ipc/channel.h"
+
+namespace snapd {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Names arrive pre-sanitized from our own client, but the daemon still never
+// trusts the wire: anything that could traverse out of <root>/manifests maps
+// to '_' here, independently of the client-side sanitize.
+std::string safe_name(const std::string& name) {
+  std::string out = name.empty() ? "_" : name;
+  for (char& c : out) {
+    const bool okc = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                     (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!okc) c = '_';
+  }
+  return out;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long sz = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (sz < 0) {
+    std::fclose(f);
+    return false;
+  }
+  out.resize(static_cast<std::size_t>(sz));
+  const bool okr = out.empty() || std::fread(out.data(), out.size(), 1, f) == 1;
+  std::fclose(f);
+  return okr;
+}
+
+bool write_file(const std::string& path, const std::uint8_t* p, std::size_t n) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool okw = n == 0 || std::fwrite(p, n, 1, f) == 1;
+  const bool okf = std::fflush(f) == 0;
+  std::fclose(f);
+  return okw && okf;
+}
+
+template <typename T>
+T rd(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+template <typename T>
+void wr(std::vector<std::uint8_t>& b, T v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  b.insert(b.end(), p, p + sizeof v);
+}
+
+}  // namespace
+
+std::string Server::chunk_path(const snapstore::ChunkKey& k) const {
+  char buf[64];
+  if (k.uniq == 0) {
+    std::snprintf(buf, sizeof buf, "%016llx-%llu.chk",
+                  static_cast<unsigned long long>(k.hash),
+                  static_cast<unsigned long long>(k.len));
+  } else {
+    std::snprintf(buf, sizeof buf, "%016llx-%llu-u%u.chk",
+                  static_cast<unsigned long long>(k.hash),
+                  static_cast<unsigned long long>(k.len), k.uniq);
+  }
+  return root_ + "/chunks/" + buf;
+}
+
+std::string Server::manifest_path(const std::string& safe) const {
+  return root_ + "/manifests/" + safe + ".m";
+}
+
+Server::Server(std::string root, std::uint16_t port) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_ + "/chunks", ec);
+  fs::create_directories(root_ + "/manifests", ec);
+  if (ec) {
+    error_ = "snapd: cannot create " + root_ + ": " + ec.message();
+    return;
+  }
+  listen_fd_ = ipc::tcp_listen(port);
+  if (listen_fd_ < 0) {
+    error_ = "snapd: cannot listen on port " + std::to_string(port);
+    return;
+  }
+  // non-blocking listener: accept_ready() drains the whole backlog per wakeup
+  ::fcntl(listen_fd_, F_SETFL,
+          ::fcntl(listen_fd_, F_GETFL, 0) | O_NONBLOCK);
+  sockaddr_in addr{};
+  socklen_t alen = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen) == 0)
+    port_ = ntohs(addr.sin_port);
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (::pipe2(wake_fds_, O_CLOEXEC | O_NONBLOCK) != 0 || epoll_fd_ < 0) {
+    error_ = "snapd: cannot set up event loop";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fds_[0];
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fds_[0], &ev);
+
+  // Rebuild the persistent counters from what survives on disk, so a
+  // restarted shard reports its true inventory.
+  for (const auto& e : fs::directory_iterator(root_ + "/chunks", ec)) {
+    if (!e.is_regular_file()) continue;
+    stats_.chunks++;
+    std::error_code sec;
+    const auto sz = e.file_size(sec);
+    stats_.chunk_bytes += sec ? 0 : sz;
+  }
+  for (const auto& e : fs::directory_iterator(root_ + "/manifests", ec))
+    if (e.is_regular_file()) stats_.manifests++;
+}
+
+Server::~Server() {
+  for (auto& [fd, c] : conns_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  for (const int fd : wake_fds_)
+    if (fd >= 0) ::close(fd);
+}
+
+void Server::stop() {
+  const std::uint8_t one = 1;
+  [[maybe_unused]] const ssize_t w = ::write(wake_fds_[1], &one, 1);
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int fd = ipc::tcp_accept(listen_fd_);
+    if (fd < 0) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      return;
+    }
+    conns_[fd].fd = fd;
+    // level-triggered + one accept per readiness is fine, but drain the
+    // backlog eagerly so N clients connecting at once attach in one pass
+  }
+}
+
+bool Server::reply(Conn& c, Op op, Wire w, const std::uint8_t* body,
+                   std::size_t n) {
+  stats_.bytes_out += n;
+  return send_frame(c.fd, op, w, body, n);
+}
+
+bool Server::read_ready(Conn& c) {
+  std::uint8_t tmp[1 << 16];
+  const ssize_t r = ::read(c.fd, tmp, sizeof tmp);
+  if (r < 0) return errno == EINTR || errno == EAGAIN;
+  if (r == 0) return false;  // peer gone
+  c.buf.insert(c.buf.end(), tmp, tmp + r);
+
+  // Serve every complete frame sitting in the buffer.
+  while (c.buf.size() >= kHeaderBytes) {
+    if (rd<std::uint32_t>(c.buf.data()) != kMagic ||
+        rd<std::uint16_t>(c.buf.data() + 4) != kVersion)
+      return false;  // unframed garbage: drop the connection
+    const std::uint32_t body_len = rd<std::uint32_t>(c.buf.data() + 12);
+    if (body_len > kMaxBody) return false;
+    const std::size_t total = kHeaderBytes + body_len + kTrailerBytes;
+    if (c.buf.size() < total) break;
+    Frame f;
+    if (!decode_frame(c.buf.data(), total, f)) {
+      // checksum mismatch: tell the peer, then drop the connection — the
+      // stream may be desynchronized beyond this frame
+      (void)reply(c, Op::Ping, Wire::Corrupt, nullptr, 0);
+      return false;
+    }
+    c.buf.erase(c.buf.begin(),
+                c.buf.begin() + static_cast<std::ptrdiff_t>(total));
+    stats_.bytes_in += body_len;
+    if (!handle_frame(c, f)) return false;
+  }
+  return true;
+}
+
+bool Server::handle_frame(Conn& c, const Frame& f) {
+  const std::uint8_t* p = f.body.data();
+  const std::size_t n = f.body.size();
+  switch (f.op) {
+    case Op::Ping:
+      return reply(c, f.op, Wire::Ok, nullptr, 0);
+
+    case Op::PutChunk: {
+      snapstore::ChunkKey k;
+      if (!get_key(p, n, k))
+        return reply(c, f.op, Wire::BadRequest, nullptr, 0);
+      const std::string path = chunk_path(k);
+      const bool existed = fs::exists(path);
+      if (!write_file(path, p + kKeyBytes, n - kKeyBytes))
+        return reply(c, f.op, Wire::Io, nullptr, 0);
+      if (!existed) {
+        stats_.chunks++;
+        stats_.chunk_bytes += n - kKeyBytes;
+      }
+      stats_.puts++;
+      return reply(c, f.op, Wire::Ok, nullptr, 0);
+    }
+
+    case Op::GetChunk: {
+      snapstore::ChunkKey k;
+      if (!get_key(p, n, k))
+        return reply(c, f.op, Wire::BadRequest, nullptr, 0);
+      std::vector<std::uint8_t> data;
+      if (!read_file(chunk_path(k), data))
+        return reply(c, f.op, Wire::Missing, nullptr, 0);
+      stats_.gets++;
+      return reply(c, f.op, Wire::Ok, data.data(), data.size());
+    }
+
+    case Op::HasChunk: {
+      snapstore::ChunkKey k;
+      if (!get_key(p, n, k))
+        return reply(c, f.op, Wire::BadRequest, nullptr, 0);
+      return reply(c, f.op,
+                   fs::exists(chunk_path(k)) ? Wire::Ok : Wire::Missing,
+                   nullptr, 0);
+    }
+
+    case Op::DelChunk: {
+      snapstore::ChunkKey k;
+      if (!get_key(p, n, k))
+        return reply(c, f.op, Wire::BadRequest, nullptr, 0);
+      const std::string path = chunk_path(k);
+      std::error_code sec;
+      const auto sz = fs::file_size(path, sec);
+      if (!fs::remove(path))
+        return reply(c, f.op, Wire::Missing, nullptr, 0);
+      stats_.chunks--;
+      stats_.chunk_bytes -= sec ? 0 : sz;
+      return reply(c, f.op, Wire::Ok, nullptr, 0);
+    }
+
+    case Op::PutManifest: {
+      if (n < 8 + 2) return reply(c, f.op, Wire::BadRequest, nullptr, 0);
+      const std::uint64_t seq = rd<std::uint64_t>(p);
+      const std::uint16_t name_len = rd<std::uint16_t>(p + 8);
+      if (n < 8 + 2 + static_cast<std::size_t>(name_len))
+        return reply(c, f.op, Wire::BadRequest, nullptr, 0);
+      const std::string name(reinterpret_cast<const char*>(p + 10), name_len);
+      const std::uint8_t* payload = p + 10 + name_len;
+      const std::size_t payload_len = n - 10 - name_len;
+      const std::string path = manifest_path(safe_name(name));
+      const bool existed = fs::exists(path);
+      std::vector<std::uint8_t> file;
+      file.reserve(8 + payload_len);
+      wr(file, seq);
+      file.insert(file.end(), payload, payload + payload_len);
+      if (!write_file(path + ".tmp", file.data(), file.size()))
+        return reply(c, f.op, Wire::Io, nullptr, 0);
+      // The torture lever: a shard that dies RIGHT HERE has written the new
+      // manifest bytes but never published them.  The rename below is what
+      // makes the write atomic; _exit (no destructors, no flush) models a
+      // machine-level crash, and the client must treat the silence as a
+      // failed replica — the old manifest (or none) is what this shard
+      // serves after restart.
+      if (chaoskit::Engine::instance().should_fire(
+              chaoskit::Site::SnapdShardDeath))
+        ::_exit(9);
+      if (std::rename((path + ".tmp").c_str(), path.c_str()) != 0)
+        return reply(c, f.op, Wire::Io, nullptr, 0);
+      if (!existed) stats_.manifests++;
+      stats_.puts++;
+      return reply(c, f.op, Wire::Ok, nullptr, 0);
+    }
+
+    case Op::GetManifest: {
+      if (n < 2) return reply(c, f.op, Wire::BadRequest, nullptr, 0);
+      const std::uint16_t name_len = rd<std::uint16_t>(p);
+      if (n < 2 + static_cast<std::size_t>(name_len))
+        return reply(c, f.op, Wire::BadRequest, nullptr, 0);
+      const std::string name(reinterpret_cast<const char*>(p + 2), name_len);
+      std::vector<std::uint8_t> file;
+      if (!read_file(manifest_path(safe_name(name)), file) || file.size() < 8)
+        return reply(c, f.op, Wire::Missing, nullptr, 0);
+      stats_.gets++;
+      return reply(c, f.op, Wire::Ok, file.data(), file.size());
+    }
+
+    case Op::DelManifest: {
+      if (n < 2) return reply(c, f.op, Wire::BadRequest, nullptr, 0);
+      const std::uint16_t name_len = rd<std::uint16_t>(p);
+      if (n < 2 + static_cast<std::size_t>(name_len))
+        return reply(c, f.op, Wire::BadRequest, nullptr, 0);
+      const std::string name(reinterpret_cast<const char*>(p + 2), name_len);
+      if (!fs::remove(manifest_path(safe_name(name))))
+        return reply(c, f.op, Wire::Missing, nullptr, 0);
+      stats_.manifests--;
+      return reply(c, f.op, Wire::Ok, nullptr, 0);
+    }
+
+    case Op::ListManifests: {
+      std::vector<std::uint8_t> body;
+      std::uint32_t count = 0;
+      wr(body, count);  // patched below
+      std::error_code ec;
+      for (const auto& e : fs::directory_iterator(root_ + "/manifests", ec)) {
+        if (!e.is_regular_file()) continue;
+        std::string fname = e.path().filename().string();
+        if (fname.size() < 2 || fname.substr(fname.size() - 2) != ".m")
+          continue;
+        fname.resize(fname.size() - 2);
+        std::vector<std::uint8_t> file;
+        if (!read_file(e.path().string(), file) || file.size() < 8) continue;
+        wr(body, static_cast<std::uint16_t>(fname.size()));
+        body.insert(body.end(), fname.begin(), fname.end());
+        wr(body, rd<std::uint64_t>(file.data()));  // seal_seq
+        count++;
+      }
+      std::memcpy(body.data(), &count, sizeof count);
+      return reply(c, f.op, Wire::Ok, body.data(), body.size());
+    }
+
+    case Op::ListChunks: {
+      std::vector<std::uint8_t> body;
+      std::uint32_t count = 0;
+      wr(body, count);
+      std::error_code ec;
+      for (const auto& e : fs::directory_iterator(root_ + "/chunks", ec)) {
+        if (!e.is_regular_file()) continue;
+        const std::string fname = e.path().filename().string();
+        snapstore::ChunkKey k{};
+        unsigned long long hash = 0, len = 0;
+        unsigned uniq = 0;
+        if (std::sscanf(fname.c_str(), "%16llx-%llu-u%u.chk", &hash, &len,
+                        &uniq) < 2)
+          continue;
+        k.hash = hash;
+        k.len = len;
+        k.uniq = uniq;
+        put_key(body, k);
+        std::error_code sec;
+        const auto sz = e.file_size(sec);
+        wr(body, static_cast<std::uint64_t>(sec ? 0 : sz));
+        count++;
+      }
+      std::memcpy(body.data(), &count, sizeof count);
+      return reply(c, f.op, Wire::Ok, body.data(), body.size());
+    }
+
+    case Op::Stat: {
+      std::vector<std::uint8_t> body;
+      body.reserve(kStatReplyBytes);
+      wr(body, stats_.chunks);
+      wr(body, stats_.chunk_bytes);
+      wr(body, stats_.manifests);
+      wr(body, stats_.puts);
+      wr(body, stats_.gets);
+      wr(body, stats_.bytes_in);
+      wr(body, stats_.bytes_out);
+      return reply(c, f.op, Wire::Ok, body.data(), body.size());
+    }
+
+    case Op::Shutdown:
+      (void)reply(c, f.op, Wire::Ok, nullptr, 0);
+      stopping_ = true;
+      return true;
+  }
+  return reply(c, f.op, Wire::Unsupported, nullptr, 0);
+}
+
+void Server::run() {
+  if (!ok()) return;
+  epoll_event events[32];
+  while (!stopping_) {
+    const int nev = ::epoll_wait(epoll_fd_, events, 32, -1);
+    if (nev < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < nev && !stopping_; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fds_[0]) {
+        stopping_ = true;
+        break;
+      }
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      if (!read_ready(it->second)) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+        ::close(fd);
+        conns_.erase(it);
+      }
+    }
+  }
+}
+
+}  // namespace snapd

@@ -1,0 +1,79 @@
+// server.h — one checl_snapd storage shard.
+//
+// A deliberately dumb byte hotel with an epoll front door: the daemon stores
+// opaque chunk files and versioned manifest payloads under one root directory
+// and speaks proto.h over TCP.  All placement intelligence — the consistent-
+// hash ring, R-way replication, failover, repair — lives in the CLIENT
+// (snapstore/shard.h); a shard never knows its peers exist.  That asymmetry
+// is what makes the torture tests honest: killing a daemon kills real state,
+// and the client must reconstruct from the survivors.
+//
+// Layout under root:
+//   <root>/chunks/<hash16hex>-<rawlen>[-u<serial>].chk   opaque chunk files
+//   <root>/manifests/<name>.m                            u64 seal_seq + payload
+//
+// Manifest writes are tmp + rename, so a daemon that dies mid-PutManifest
+// (the snapd_shard_death chaos site _exit()s between the tmp write and the
+// rename) leaves either the old complete manifest or the new complete
+// manifest — never a torn file.  Chunk files are content-addressed and
+// immutable, so a torn chunk write is caught by the snapstore CRC on read
+// and repaired from another replica.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "snapd/proto.h"
+
+namespace snapd {
+
+class Server {
+ public:
+  // Binds immediately (port 0 = kernel-assigned; read the result from
+  // port()).  Creates <root>/chunks and <root>/manifests.
+  Server(std::string root, std::uint16_t port);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return listen_fd_ >= 0; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+  // The event loop; returns after stop(), a Shutdown frame, or a fatal
+  // listener error.
+  void run();
+  // Thread-safe: wakes the loop via the self-pipe and makes run() return.
+  void stop();
+
+  [[nodiscard]] StatReply stats() const noexcept { return stats_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::vector<std::uint8_t> buf;  // partial inbound frames
+  };
+
+  void accept_ready();
+  bool read_ready(Conn& c);                 // false => close this connection
+  bool handle_frame(Conn& c, const Frame& f);  // false => close
+  bool reply(Conn& c, Op op, Wire w, const std::uint8_t* body, std::size_t n);
+
+  std::string chunk_path(const snapstore::ChunkKey& k) const;
+  std::string manifest_path(const std::string& safe) const;
+
+  std::string root_;
+  std::string error_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  bool stopping_ = false;
+  std::unordered_map<int, Conn> conns_;
+  StatReply stats_;
+};
+
+}  // namespace snapd

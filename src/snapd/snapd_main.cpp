@@ -1,0 +1,75 @@
+// snapd_main.cpp — the checl_snapd shard daemon entry point.
+//
+//   checl_snapd --root DIR [--port N] [--announce-fd FD]
+//
+// Binds (port 0 = kernel-assigned), writes "<port>\n" to --announce-fd when
+// given (the spawn handshake), then serves until a Shutdown frame or SIGTERM.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chaoskit/chaoskit.h"
+#include "snapd/server.h"
+
+namespace {
+
+snapd::Server* g_server = nullptr;
+
+void on_term(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  long port = 0;
+  int announce_fd = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (a == "--port" && i + 1 < argc) {
+      port = std::strtol(argv[++i], nullptr, 10);
+    } else if (a == "--announce-fd" && i + 1 < argc) {
+      announce_fd = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: checl_snapd --root DIR [--port N] "
+                   "[--announce-fd FD]\n");
+      return 2;
+    }
+  }
+  if (root.empty() || port < 0 || port > 65535) {
+    std::fprintf(stderr, "checl_snapd: --root is required\n");
+    return 2;
+  }
+
+  // The spawner exports CHECL_CHAOS for the schedule THIS shard should die
+  // on; arm it before the first frame is served.
+  chaoskit::Engine::instance().arm_from_env();
+
+  snapd::Server server(root, static_cast<std::uint16_t>(port));
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.error().c_str());
+    return 1;
+  }
+  if (announce_fd >= 0) {
+    char buf[16];
+    const int n =
+        std::snprintf(buf, sizeof buf, "%u\n", unsigned{server.port()});
+    if (::write(announce_fd, buf, static_cast<std::size_t>(n)) != n) return 1;
+    ::close(announce_fd);
+  }
+
+  g_server = &server;
+  ::signal(SIGTERM, on_term);
+  ::signal(SIGINT, on_term);
+  ::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the shard
+  server.run();
+  return 0;
+}

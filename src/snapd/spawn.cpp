@@ -1,0 +1,120 @@
+#include "snapd/spawn.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+namespace snapd {
+
+namespace fs = std::filesystem;
+
+std::string find_snapd() {
+  if (const char* env = std::getenv("CHECL_SNAPD");
+      env != nullptr && *env != '\0' && fs::exists(env))
+    return env;
+  std::error_code ec;
+  const fs::path self = fs::read_symlink("/proc/self/exe", ec);
+  if (!ec) {
+    const fs::path dir = self.parent_path();
+    for (const char* rel :
+         {"checl_snapd", "../src/snapd/checl_snapd", "../snapd/checl_snapd",
+          "../../src/snapd/checl_snapd"}) {
+      const fs::path cand = dir / rel;
+      if (fs::exists(cand)) return fs::canonical(cand).string();
+    }
+  }
+  return "checl_snapd";  // hope PATH has it
+}
+
+SpawnedShard spawn_snapd(const std::string& root, std::uint16_t port,
+                         const std::string& chaos_env) {
+  SpawnedShard s;
+  s.root = root;
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    s.error = "cannot create shard root " + root + ": " + ec.message();
+    return s;
+  }
+  // Announce pipe: deliberately NOT cloexec — the child inherits the write
+  // end across exec and prints its bound port there.  If exec fails the
+  // child _exit()s, the write end closes, and the parent's read sees EOF.
+  int afds[2] = {-1, -1};
+  if (::pipe(afds) != 0) {
+    s.error = "pipe failed";
+    return s;
+  }
+  const std::string exe = find_snapd();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(afds[0]);
+    ::close(afds[1]);
+    s.error = "fork failed";
+    return s;
+  }
+  if (pid == 0) {
+    ::close(afds[0]);
+    // Chaos arms in the daemon only: the schedule the caller wrote for this
+    // shard must not leak into sibling shards or back into the client.
+    if (!chaos_env.empty())
+      ::setenv("CHECL_CHAOS", chaos_env.c_str(), 1);
+    else
+      ::unsetenv("CHECL_CHAOS");
+    char port_s[16], afd_s[16];
+    std::snprintf(port_s, sizeof port_s, "%u", static_cast<unsigned>(port));
+    std::snprintf(afd_s, sizeof afd_s, "%d", afds[1]);
+    ::execl(exe.c_str(), exe.c_str(), "--root", root.c_str(), "--port", port_s,
+            "--announce-fd", afd_s, static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::close(afds[1]);
+  // Read the announced port ("<port>\n").
+  char buf[16] = {0};
+  std::size_t got = 0;
+  while (got < sizeof buf - 1) {
+    const ssize_t r = ::read(afds[0], buf + got, 1);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    if (buf[got] == '\n') break;
+    got += static_cast<std::size_t>(r);
+  }
+  ::close(afds[0]);
+  const unsigned long announced = std::strtoul(buf, nullptr, 10);
+  if (announced == 0 || announced > 65535) {
+    s.error = "checl_snapd (" + exe + ") died before announcing a port";
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return s;
+  }
+  s.pid = pid;
+  s.port = static_cast<std::uint16_t>(announced);
+  return s;
+}
+
+void kill_snapd(SpawnedShard& s) {
+  if (s.pid <= 0) return;
+  ::kill(s.pid, SIGKILL);
+  int status = 0;
+  ::waitpid(s.pid, &status, 0);
+  s.pid = -1;
+}
+
+bool reap_snapd(SpawnedShard& s) {
+  if (s.pid <= 0) return true;
+  int status = 0;
+  const pid_t r = ::waitpid(s.pid, &status, WNOHANG);
+  if (r == s.pid || (r < 0 && errno == ECHILD)) {
+    s.pid = -1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace snapd

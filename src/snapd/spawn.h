@@ -1,0 +1,44 @@
+// spawn.h — bringing a fleet of checl_snapd shard daemons to life.
+//
+// Each shard is a genuinely separate process (fork + exec of the checl_snapd
+// helper), so killing one mid-write loses real state — exactly the failure
+// the replication layer exists to survive.  The child binds an ephemeral port
+// (--port 0) and announces the kernel's choice back over a pipe, so spawning
+// N shards needs no port coordination and never races another test suite.
+//
+// `chaos_env` arms CHECL_CHAOS in the CHILD only: the daemon under test dies
+// on schedule while the spawning client (and every other shard) stays clean.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+
+namespace snapd {
+
+struct SpawnedShard {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+  std::string root;
+  std::string error;
+  [[nodiscard]] bool ok() const noexcept { return pid > 0 && port != 0; }
+};
+
+// Spawns one daemon rooted at `root` (created if needed) on `port`
+// (0 = ephemeral).  Blocks until the child announces its bound port or dies.
+SpawnedShard spawn_snapd(const std::string& root, std::uint16_t port = 0,
+                         const std::string& chaos_env = "");
+
+// SIGKILL + waitpid; safe on an already-dead child.  Use ShardClient::
+// shutdown() first for a polite stop.
+void kill_snapd(SpawnedShard& s);
+
+// Reaps the child if it already exited on its own (e.g. a chaos _exit or a
+// Shutdown frame); non-blocking.  True once the pid has been collected.
+bool reap_snapd(SpawnedShard& s);
+
+// Path of the checl_snapd helper ($CHECL_SNAPD, else next to this binary).
+std::string find_snapd();
+
+}  // namespace snapd

@@ -1,0 +1,167 @@
+#include "snapstore/format.h"
+
+#include "slimcr/snapshot.h"
+
+namespace snapstore {
+
+const char* errkind_name(ErrKind k) noexcept {
+  switch (k) {
+    case ErrKind::None: return "none";
+    case ErrKind::Io: return "io";
+    case ErrKind::BadMagic: return "bad-magic";
+    case ErrKind::BadVersion: return "bad-version";
+    case ErrKind::Truncated: return "truncated";
+    case ErrKind::Corrupt: return "corrupt";
+    case ErrKind::MissingManifest: return "missing-manifest";
+    case ErrKind::MissingChunk: return "missing-chunk";
+  }
+  return "unknown";
+}
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  b.insert(b.end(), p, p + sizeof v);
+}
+
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  b.insert(b.end(), p, p + sizeof v);
+}
+
+bool ByteReader::get_bytes(void* dst, std::size_t len) noexcept {
+  if (pos + len > n) return ok = false;
+  std::memcpy(dst, p + pos, len);
+  pos += len;
+  return true;
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out = name.empty() ? "_" : name;
+  for (char& c : out) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!safe) c = '_';
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_manifest(const ManifestData& m) {
+  std::vector<std::uint8_t> b;
+  b.insert(b.end(), kManifestMagic, kManifestMagic + sizeof kManifestMagic);
+  put_u32(b, kManifestVersion);
+  put_u64(b, m.sections.size());
+  for (const auto& sec : m.sections) {
+    put_u64(b, sec.name.size());
+    b.insert(b.end(), sec.name.begin(), sec.name.end());
+    put_u64(b, sec.raw_len);
+    put_u64(b, sec.refs.size());
+    for (const ChunkKey& k : sec.refs) {
+      put_u64(b, k.hash);
+      put_u64(b, k.len);
+      put_u32(b, k.uniq);
+    }
+  }
+  put_u32(b, slimcr::crc32(b.data() + sizeof kManifestMagic,
+                           b.size() - sizeof kManifestMagic));
+  return b;
+}
+
+Status decode_manifest(const std::uint8_t* p, std::size_t n, ManifestData& out,
+                       const std::string& context) {
+  if (n < sizeof kManifestMagic + 8 ||
+      std::memcmp(p, kManifestMagic, sizeof kManifestMagic) != 0)
+    return {ErrKind::BadMagic, context + " is not a snapstore manifest"};
+  // trailing CRC covers everything between magic and itself
+  std::uint32_t want_crc = 0;
+  std::memcpy(&want_crc, p + n - 4, 4);
+  const std::uint32_t got_crc =
+      slimcr::crc32(p + sizeof kManifestMagic, n - sizeof kManifestMagic - 4);
+  if (want_crc != got_crc)
+    return {ErrKind::Corrupt, "manifest CRC mismatch in " + context};
+  ByteReader r{p + sizeof kManifestMagic, n - sizeof kManifestMagic - 4};
+  if (const std::uint32_t v = r.get<std::uint32_t>(); v != kManifestVersion)
+    return {ErrKind::BadVersion, "manifest version " + std::to_string(v) +
+                                     " unsupported in " + context};
+  const std::uint64_t nsections = r.get<std::uint64_t>();
+  ManifestData m;
+  for (std::uint64_t s = 0; s < nsections && r.ok; ++s) {
+    ManifestData::Section sec;
+    const std::uint64_t name_len = r.get<std::uint64_t>();
+    if (!r.ok || name_len > (1u << 20)) break;
+    sec.name.resize(name_len);
+    if (name_len != 0 && !r.get_bytes(sec.name.data(), name_len)) break;
+    sec.raw_len = r.get<std::uint64_t>();
+    const std::uint64_t nchunks = r.get<std::uint64_t>();
+    if (!r.ok || nchunks > (1ull << 32)) break;
+    sec.refs.reserve(static_cast<std::size_t>(nchunks));
+    for (std::uint64_t c = 0; c < nchunks && r.ok; ++c) {
+      ChunkKey k;
+      k.hash = r.get<std::uint64_t>();
+      k.len = r.get<std::uint64_t>();
+      k.uniq = r.get<std::uint32_t>();
+      sec.refs.push_back(k);
+    }
+    m.sections.push_back(std::move(sec));
+  }
+  if (!r.ok || m.sections.size() != nsections || r.pos != r.n)
+    return {ErrKind::Corrupt, "malformed manifest structure in " + context};
+  out = std::move(m);
+  return {};
+}
+
+std::vector<std::uint8_t> encode_chunk_file(const std::uint8_t* data,
+                                            std::size_t len, CodecId codec_id) {
+  const Codec* codec = codec_for(codec_id);
+  CodecId used = CodecId::Identity;
+  std::vector<std::uint8_t> encoded;
+  if (codec != nullptr && codec->id() != CodecId::Identity) {
+    std::vector<std::uint8_t> enc = codec->compress({data, len});
+    if (enc.size() < len) {
+      used = codec->id();
+      encoded = std::move(enc);
+    }
+  }
+  const std::uint8_t* payload = used == CodecId::Identity ? data : encoded.data();
+  const std::size_t comp_len = used == CodecId::Identity ? len : encoded.size();
+  const std::uint32_t crc = slimcr::crc32(payload, comp_len);
+  std::vector<std::uint8_t> file;
+  file.reserve(kChunkHeaderBytes + comp_len);
+  file.insert(file.end(), kChunkMagic, kChunkMagic + sizeof kChunkMagic);
+  file.push_back(static_cast<std::uint8_t>(used));
+  put_u64(file, len);
+  put_u64(file, comp_len);
+  put_u32(file, crc);
+  file.insert(file.end(), payload, payload + comp_len);
+  return file;
+}
+
+Status decode_chunk_file(const std::uint8_t* p, std::size_t n,
+                         std::uint64_t expect_raw_len,
+                         std::vector<std::uint8_t>& out,
+                         const std::string& context) {
+  if (n < kChunkHeaderBytes ||
+      std::memcmp(p, kChunkMagic, sizeof kChunkMagic) != 0)
+    return {ErrKind::BadMagic, context + " is not a snapstore chunk"};
+  ByteReader r{p + sizeof kChunkMagic, n - sizeof kChunkMagic};
+  const auto codec_id = static_cast<CodecId>(r.get<std::uint8_t>());
+  const std::uint64_t raw_len = r.get<std::uint64_t>();
+  const std::uint64_t comp_len = r.get<std::uint64_t>();
+  const std::uint32_t want_crc = r.get<std::uint32_t>();
+  if (raw_len != expect_raw_len)
+    return {ErrKind::Corrupt, "chunk header length mismatch in " + context};
+  if (n != kChunkHeaderBytes + comp_len)
+    return {ErrKind::Truncated, "pool chunk truncated: " + context};
+  const std::uint8_t* payload = p + kChunkHeaderBytes;
+  if (slimcr::crc32(payload, static_cast<std::size_t>(comp_len)) != want_crc)
+    return {ErrKind::Corrupt, "chunk CRC mismatch in " + context};
+  const Codec* codec = codec_for(codec_id);
+  std::vector<std::uint8_t> decoded;
+  if (codec == nullptr ||
+      !codec->decompress({payload, static_cast<std::size_t>(comp_len)},
+                         static_cast<std::size_t>(raw_len), decoded))
+    return {ErrKind::Corrupt, "chunk payload undecodable in " + context};
+  out = std::move(decoded);
+  return {};
+}
+
+}  // namespace snapstore

@@ -1,0 +1,116 @@
+// format.h — the snapstore on-storage byte formats, factored out of store.cpp
+// so the local Store and the sharded network store (shard.h / checl_snapd)
+// read and write the *same* bytes.
+//
+// Two containers:
+//   * chunk file   : "SNAPCHK1" + codec u8 + raw_len u64 + comp_len u64 +
+//                    crc32 u32 + payload.  The CRC covers the payload as
+//                    stored (post-compression), so a replica corrupted in
+//                    flight or at rest is detected by any reader.
+//   * manifest     : "SNAPMAN1" + version u32 + section table + trailing
+//                    crc32 over everything between magic and CRC.
+//
+// Both are encoded/decoded on in-memory byte buffers here; where the bytes
+// live (a local pool file, a snapd shard, a socket) is the caller's business.
+// That split is what makes R-way replication work: the client encodes a chunk
+// file once and ships the identical bytes to every replica, and every replica
+// (or the restoring client) can verify them independently.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "snapstore/chunk.h"
+#include "snapstore/codec.h"
+
+namespace snapstore {
+
+// Typed failure classes shared by every snapstore backend (local pool,
+// sharded network store, snapd shard client).
+enum class ErrKind : std::uint8_t {
+  None = 0,
+  Io,               // open/read/write/unlink/socket failure
+  BadMagic,         // not a snapstore manifest / chunk
+  BadVersion,       // format version mismatch
+  Truncated,        // file shorter than its headers declare
+  Corrupt,          // CRC mismatch or malformed structure
+  MissingManifest,  // named snapshot not in the store
+  MissingChunk,     // manifest references a chunk the pool no longer has
+};
+
+[[nodiscard]] const char* errkind_name(ErrKind k) noexcept;
+
+struct Status {
+  ErrKind kind = ErrKind::None;
+  std::string message;
+  [[nodiscard]] bool ok() const noexcept { return kind == ErrKind::None; }
+};
+
+inline constexpr char kManifestMagic[8] = {'S', 'N', 'A', 'P', 'M', 'A', 'N', '1'};
+inline constexpr char kChunkMagic[8] = {'S', 'N', 'A', 'P', 'C', 'H', 'K', '1'};
+inline constexpr std::uint32_t kManifestVersion = 1;
+// chunk file header: magic + codec u8 + raw_len u64 + comp_len u64 + crc u32
+inline constexpr std::size_t kChunkHeaderBytes = 8 + 1 + 8 + 8 + 4;
+
+// ---- little helpers over byte buffers --------------------------------------
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v);
+
+struct ByteReader {
+  const std::uint8_t* p;
+  std::size_t n;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  template <typename T>
+  T get() noexcept {
+    T v{};
+    if (pos + sizeof v > n) {
+      ok = false;
+      return v;
+    }
+    std::memcpy(&v, p + pos, sizeof v);
+    pos += sizeof v;
+    return v;
+  }
+  bool get_bytes(void* dst, std::size_t len) noexcept;
+};
+
+// Manifest names double as filenames; anything unsafe maps to '_'.
+std::string sanitize(const std::string& name);
+
+// ---- manifest encode/decode -------------------------------------------------
+
+// The parsed form of a manifest: named sections, each a run of chunk refs.
+struct ManifestData {
+  struct Section {
+    std::string name;
+    std::uint64_t raw_len = 0;
+    std::vector<ChunkKey> refs;
+  };
+  std::vector<Section> sections;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_manifest(const ManifestData& m);
+// `context` names the source (a path, a shard endpoint) in error messages.
+Status decode_manifest(const std::uint8_t* p, std::size_t n, ManifestData& out,
+                       const std::string& context);
+
+// ---- chunk-file encode/decode -----------------------------------------------
+
+// Encodes `data` as a complete chunk file (header + payload), compressing
+// with `codec` when that shrinks it and falling back to Identity otherwise.
+[[nodiscard]] std::vector<std::uint8_t> encode_chunk_file(
+    const std::uint8_t* data, std::size_t len, CodecId codec);
+
+// Verifies magic, header, CRC and decodes the payload back to raw bytes.
+// `expect_raw_len` cross-checks the header against the referencing manifest.
+Status decode_chunk_file(const std::uint8_t* p, std::size_t n,
+                         std::uint64_t expect_raw_len,
+                         std::vector<std::uint8_t>& out,
+                         const std::string& context);
+
+}  // namespace snapstore

@@ -1,0 +1,37 @@
+// parallel.h — the snapstore worker pool: runs fn(0..njobs) across up to
+// `workers` threads (inline when it isn't worth spawning).  Workers touch
+// disjoint job slots only.  Shared by the local store's hash/compress
+// pipeline and the sharded store's fan-out reads/writes, so both sides of
+// the Options::workers knob mean the same thing.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace snapstore {
+
+inline void parallel_for(std::size_t njobs, unsigned workers,
+                         const std::function<void(std::size_t)>& fn) {
+  if (workers <= 1 || njobs <= 1) {
+    for (std::size_t i = 0; i < njobs; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (std::size_t i = next.fetch_add(1); i < njobs; i = next.fetch_add(1))
+      fn(i);
+  };
+  const unsigned nthreads =
+      static_cast<unsigned>(std::min<std::size_t>(workers, njobs)) - 1;
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads);
+  for (unsigned t = 0; t < nthreads; ++t) pool.emplace_back(drain);
+  drain();  // the caller is a worker too
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace snapstore

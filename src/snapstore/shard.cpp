@@ -1,0 +1,1033 @@
+#include "snapstore/shard.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "chaoskit/chaoskit.h"
+#include "slimcr/snapshot.h"
+#include "snapstore/parallel.h"
+
+namespace snapstore {
+
+namespace {
+
+// SplitMix64 finalizer: decorrelates the ring walk from the raw FNV chunk
+// hashes (which share low-entropy suffixes for small chunks).
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t key_point(const ChunkKey& k) noexcept {
+  return k.hash ^ (k.len * 0x9e3779b97f4a7c15ull) ^
+         (static_cast<std::uint64_t>(k.uniq) << 32);
+}
+
+// ---- the "SNAPSHD1" manifest envelope --------------------------------------
+// replication factor + under-replicated key list + the embedded local-format
+// SNAPMAN1 bytes, CRC'd as a unit.  What travels to (and back from) a shard.
+
+constexpr char kShardMagic[8] = {'S', 'N', 'A', 'P', 'S', 'H', 'D', '1'};
+constexpr std::uint32_t kShardVersion = 1;
+
+std::vector<std::uint8_t> encode_envelope(
+    unsigned replicas, const std::vector<ChunkKey>& under,
+    const std::vector<std::uint8_t>& embedded) {
+  std::vector<std::uint8_t> b;
+  b.insert(b.end(), kShardMagic, kShardMagic + sizeof kShardMagic);
+  put_u32(b, kShardVersion);
+  put_u32(b, replicas);
+  put_u32(b, static_cast<std::uint32_t>(under.size()));
+  for (const ChunkKey& k : under) {
+    put_u64(b, k.hash);
+    put_u64(b, k.len);
+    put_u32(b, k.uniq);
+  }
+  put_u64(b, embedded.size());
+  b.insert(b.end(), embedded.begin(), embedded.end());
+  put_u32(b, slimcr::crc32(b.data() + sizeof kShardMagic,
+                           b.size() - sizeof kShardMagic));
+  return b;
+}
+
+bool decode_envelope(const std::uint8_t* p, std::size_t n, unsigned* replicas,
+                     std::vector<ChunkKey>* under,
+                     std::vector<std::uint8_t>* embedded) {
+  if (n < sizeof kShardMagic + 4 + 4 + 4 + 8 + 4 ||
+      std::memcmp(p, kShardMagic, sizeof kShardMagic) != 0)
+    return false;
+  std::uint32_t want = 0;
+  std::memcpy(&want, p + n - 4, 4);
+  if (slimcr::crc32(p + sizeof kShardMagic, n - sizeof kShardMagic - 4) != want)
+    return false;
+  ByteReader r{p + sizeof kShardMagic, n - sizeof kShardMagic - 4};
+  if (r.get<std::uint32_t>() != kShardVersion) return false;
+  const std::uint32_t reps = r.get<std::uint32_t>();
+  const std::uint32_t nunder = r.get<std::uint32_t>();
+  if (!r.ok || nunder > (1u << 24)) return false;
+  std::vector<ChunkKey> u;
+  u.reserve(nunder);
+  for (std::uint32_t i = 0; i < nunder && r.ok; ++i) {
+    ChunkKey k;
+    k.hash = r.get<std::uint64_t>();
+    k.len = r.get<std::uint64_t>();
+    k.uniq = r.get<std::uint32_t>();
+    u.push_back(k);
+  }
+  const std::uint64_t elen = r.get<std::uint64_t>();
+  if (!r.ok || r.pos + elen != r.n) return false;
+  if (replicas != nullptr) *replicas = reps;
+  if (under != nullptr) *under = std::move(u);
+  if (embedded != nullptr) embedded->assign(r.p + r.pos, r.p + r.pos + elen);
+  return true;
+}
+
+unsigned env_unsigned(const char* name, unsigned def) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(v, &end, 10);
+  return end != nullptr && *end == '\0' && n <= 1024
+             ? static_cast<unsigned>(n)
+             : def;
+}
+
+}  // namespace
+
+unsigned snap_shards_from_env() noexcept {
+  return env_unsigned("CHECL_SNAP_SHARDS", 0);
+}
+
+unsigned snap_replicas_from_env() noexcept {
+  const unsigned r = env_unsigned("CHECL_SNAP_REPLICAS", 2);
+  return r == 0 ? 1 : r;
+}
+
+// ---- HashRing ---------------------------------------------------------------
+
+void HashRing::build(const std::vector<std::string>& ids, unsigned vnodes) {
+  points_.clear();
+  nshards_ = ids.size();
+  if (vnodes == 0) vnodes = 1;
+  points_.reserve(ids.size() * vnodes);
+  for (unsigned i = 0; i < ids.size(); ++i) {
+    for (unsigned j = 0; j < vnodes; ++j) {
+      // identity-derived points: the same id hashes to the same arc
+      // regardless of what other shards exist — the minimal-movement lever.
+      // FNV alone clusters on short near-identical labels ("shard0#1",
+      // "shard0#2", …), so finish with mix64 to spread the arcs; without it
+      // the balance gate (max/mean <= 1.25 at 64 vnodes) fails outright.
+      const std::string label = ids[i] + "#" + std::to_string(j);
+      points_.push_back(
+          {mix64(hash64(reinterpret_cast<const std::uint8_t*>(label.data()),
+                        label.size())),
+           i});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.h != b.h ? a.h < b.h : a.shard < b.shard;
+  });
+}
+
+std::vector<unsigned> HashRing::place(std::uint64_t key_hash,
+                                      unsigned replicas) const {
+  std::vector<unsigned> out;
+  if (points_.empty()) return out;
+  const unsigned want =
+      std::min<unsigned>(replicas == 0 ? 1 : replicas,
+                         static_cast<unsigned>(nshards_));
+  const std::uint64_t h = mix64(key_hash);
+  std::size_t i =
+      static_cast<std::size_t>(
+          std::lower_bound(points_.begin(), points_.end(), h,
+                           [](const Point& p, std::uint64_t v) {
+                             return p.h < v;
+                           }) -
+          points_.begin()) %
+      points_.size();
+  for (std::size_t step = 0; step < points_.size() && out.size() < want;
+       ++step) {
+    const unsigned s = points_[(i + step) % points_.size()].shard;
+    if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  }
+  return out;
+}
+
+// ---- open / close -----------------------------------------------------------
+
+ShardedStore::~ShardedStore() { close(); }
+
+Status ShardedStore::open_common(const ShardOptions& opt) {
+  opt_ = opt;
+  if (opt_.store.chunk_bytes == 0) opt_.store.chunk_bytes = 64 * 1024;
+  if (opt_.store.workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    opt_.store.workers = hw == 0 ? 1 : std::min(hw, 4u);
+  }
+  if (!opt_.store.async) opt_.store.workers = 1;
+  if (opt_.replicas == 0) opt_.replicas = 1;
+  opt_.replicas =
+      std::min<unsigned>(opt_.replicas, static_cast<unsigned>(clients_.size()));
+  if (opt_.vnodes < 1) opt_.vnodes = 1;
+  std::vector<std::string> ids;
+  ids.reserve(clients_.size());
+  for (unsigned i = 0; i < clients_.size(); ++i)
+    ids.push_back("shard" + std::to_string(i));
+  ring_.build(ids, opt_.vnodes);
+  stats_ = {};
+  sstats_ = {};
+  sstats_.shards = static_cast<unsigned>(clients_.size());
+  sstats_.replicas = opt_.replicas;
+  uniq_counter_ = 0;
+  // count what is already there (reopen over a live fleet)
+  stats_.manifests = manifest_names().size();
+  return {};
+}
+
+Status ShardedStore::open_local(const std::string& root, unsigned nshards,
+                                const ShardOptions& opt) {
+  close();
+  if (nshards == 0) return {ErrKind::Io, "snap_shards must be >= 1"};
+  root_ = root;
+  for (unsigned i = 0; i < nshards; ++i) {
+    snapd::SpawnedShard s =
+        snapd::spawn_snapd(root + "/shard" + std::to_string(i));
+    if (!s.ok()) {
+      const std::string err = s.error;
+      close();
+      return {ErrKind::Io, "cannot spawn shard " + std::to_string(i) + ": " +
+                               err};
+    }
+    spawned_.push_back(s);
+    auto c = std::make_unique<snapd::ShardClient>();
+    if (!c->connect("127.0.0.1", s.port, "shard" + std::to_string(i))) {
+      const std::string ep = c->endpoint();
+      close();
+      return {ErrKind::Io, "cannot connect to " + ep};
+    }
+    endpoints_.push_back(c->endpoint());
+    clients_.push_back(std::move(c));
+  }
+  return open_common(opt);
+}
+
+Status ShardedStore::open_endpoints(const std::vector<std::string>& endpoints,
+                                    const ShardOptions& opt) {
+  close();
+  for (unsigned i = 0; i < endpoints.size(); ++i) {
+    const std::string& ep = endpoints[i];
+    const std::size_t colon = ep.rfind(':');
+    if (colon == std::string::npos)
+      return {ErrKind::Io, "bad shard endpoint '" + ep + "' (want host:port)"};
+    const std::string host = ep.substr(0, colon);
+    const unsigned long port = std::strtoul(ep.c_str() + colon + 1, nullptr, 10);
+    auto c = std::make_unique<snapd::ShardClient>();
+    if (port == 0 || port > 65535 ||
+        !c->connect(host, static_cast<std::uint16_t>(port),
+                    "shard" + std::to_string(i))) {
+      const std::string bad = c->endpoint();
+      close();
+      return {ErrKind::Io, "cannot connect to " + bad};
+    }
+    endpoints_.push_back(c->endpoint());
+    clients_.push_back(std::move(c));
+  }
+  if (clients_.empty()) return {ErrKind::Io, "no shard endpoints given"};
+  return open_common(opt);
+}
+
+void ShardedStore::close() {
+  // polite stop for daemons we own, then make sure they are really gone
+  for (unsigned i = 0; i < spawned_.size(); ++i) {
+    if (i < clients_.size() && clients_[i] != nullptr && clients_[i]->alive())
+      (void)clients_[i]->shutdown();
+    snapd::kill_snapd(spawned_[i]);
+  }
+  spawned_.clear();
+  clients_.clear();
+  endpoints_.clear();
+  ring_ = {};
+}
+
+std::string ShardedStore::shard_root(unsigned shard) const {
+  if (shard < spawned_.size()) return spawned_[shard].root;
+  return root_ + "/shard" + std::to_string(shard);
+}
+
+const std::string& ShardedStore::shard_endpoint(unsigned shard) const {
+  static const std::string kNone = "shard?";
+  return shard < endpoints_.size() ? endpoints_[shard] : kNone;
+}
+
+bool ShardedStore::reconnect(unsigned shard, std::uint16_t port) {
+  if (shard >= clients_.size()) return false;
+  const bool okc = clients_[shard]->connect("127.0.0.1", port,
+                                            "shard" + std::to_string(shard));
+  if (okc) endpoints_[shard] = clients_[shard]->endpoint();
+  return okc;
+}
+
+snapd::ShardClient* ShardedStore::client(unsigned shard) noexcept {
+  return shard < clients_.size() ? clients_[shard].get() : nullptr;
+}
+
+snapd::SpawnedShard* ShardedStore::spawned(unsigned shard) noexcept {
+  return shard < spawned_.size() ? &spawned_[shard] : nullptr;
+}
+
+// ---- replication primitives -------------------------------------------------
+
+Status ShardedStore::replicate_chunk(const ChunkKey& k,
+                                     const std::uint8_t* file,
+                                     std::size_t file_len, bool* dedup_hit,
+                                     std::uint64_t* stored_per_replica,
+                                     std::vector<ChunkKey>* under,
+                                     std::mutex* under_mu,
+                                     std::vector<std::uint64_t>* shard_bytes) {
+  const std::vector<unsigned> reps = ring_.place(key_point(k), opt_.replicas);
+  auto& chaos = chaoskit::Engine::instance();
+  unsigned ok_count = 0, had_count = 0;
+  std::string last_failed;
+  for (const unsigned s : reps) {
+    snapd::ShardClient* c = clients_[s].get();
+    if (!c->alive()) {
+      last_failed = c->endpoint();
+      continue;
+    }
+    if (c->has_chunk(k) == snapd::Wire::Ok) {
+      ok_count++;
+      had_count++;
+      continue;
+    }
+    if (!c->alive()) {  // has_chunk itself killed the connection
+      last_failed = c->endpoint();
+      continue;
+    }
+    snapd::Wire w;
+    if (chaos.should_fire(chaoskit::Site::SnapdReplicaCorrupt) &&
+        file_len != 0) {
+      // ship a damaged copy to exactly THIS replica: the chunk-file CRC must
+      // catch it on read and restore must fail over to a clean sibling
+      std::vector<std::uint8_t> bad(file, file + file_len);
+      bad[static_cast<std::size_t>(chaos.arg()) % bad.size()] ^= 0x01;
+      w = c->put_chunk(k, bad.data(), bad.size());
+    } else {
+      w = c->put_chunk(k, file, file_len);
+    }
+    if (w == snapd::Wire::Ok) {
+      ok_count++;
+      if (under_mu != nullptr && shard_bytes != nullptr) {
+        std::lock_guard<std::mutex> lk(*under_mu);
+        (*shard_bytes)[s] += file_len;
+      }
+    } else {
+      last_failed = c->endpoint();
+    }
+  }
+  if (ok_count == 0)
+    return {ErrKind::Io, "chunk lost: no live replica accepted it (last: " +
+                             (last_failed.empty() ? "none" : last_failed) +
+                             ")"};
+  if (dedup_hit != nullptr) *dedup_hit = had_count == reps.size();
+  if (stored_per_replica != nullptr)
+    *stored_per_replica = had_count == reps.size() ? 0 : file_len;
+  if (ok_count < reps.size() && under != nullptr) {
+    std::lock_guard<std::mutex> lk(*under_mu);
+    under->push_back(k);
+  }
+  if (ok_count < reps.size()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    sstats_.degraded_writes += reps.size() - ok_count;
+  }
+  return {};
+}
+
+Status ShardedStore::fetch_chunk(const ChunkKey& k,
+                                 std::vector<std::uint8_t>& raw,
+                                 std::uint64_t* wire_bytes,
+                                 unsigned* served_by) {
+  const std::vector<unsigned> reps = ring_.place(key_point(k), opt_.replicas);
+  std::string detail;
+  bool failed_over = false;
+  for (const unsigned s : reps) {
+    snapd::ShardClient* c = clients_[s].get();
+    if (!c->alive()) {
+      detail += (detail.empty() ? "" : "; ") + c->endpoint() + ": dead";
+      failed_over = true;
+      continue;
+    }
+    std::vector<std::uint8_t> file;
+    const snapd::Wire w = c->get_chunk(k, file);
+    if (w != snapd::Wire::Ok) {
+      detail += (detail.empty() ? "" : "; ") + c->endpoint() + ": " +
+                snapd::wire_name(w);
+      failed_over = true;
+      continue;
+    }
+    std::vector<std::uint8_t> decoded;
+    const Status st = decode_chunk_file(file.data(), file.size(), k.len,
+                                        decoded, c->endpoint());
+    if (!st.ok()) {
+      // a corrupt replica is a routine failover, not a restore failure
+      detail += (detail.empty() ? "" : "; ") + st.message;
+      failed_over = true;
+      continue;
+    }
+    raw = std::move(decoded);
+    if (wire_bytes != nullptr) *wire_bytes = file.size();
+    if (served_by != nullptr) *served_by = s;
+    if (failed_over) {
+      std::lock_guard<std::mutex> lk(mu_);
+      sstats_.failovers++;
+    }
+    return {};
+  }
+  return {ErrKind::MissingChunk,
+          "no replica could serve chunk: " + detail};
+}
+
+std::vector<unsigned> ShardedStore::place_name(const std::string& name,
+                                               unsigned replicas) const {
+  const std::string safe = sanitize(name);
+  return ring_.place(
+      hash64(reinterpret_cast<const std::uint8_t*>(safe.data()), safe.size()),
+      replicas);
+}
+
+ShardedStore::ManifestPick ShardedStore::fetch_manifest(
+    const std::string& name) const {
+  ManifestPick pick;
+  struct Cand {
+    std::uint64_t seq;
+    std::vector<std::uint8_t> payload;
+    unsigned shard;
+  };
+  std::vector<Cand> cands;
+  for (const unsigned s : place_name(name, opt_.replicas)) {
+    snapd::ShardClient* c = clients_[s].get();
+    if (!c->alive()) continue;
+    Cand cd;
+    cd.shard = s;
+    if (c->get_manifest(sanitize(name), cd.seq, cd.payload) == snapd::Wire::Ok)
+      cands.push_back(std::move(cd));
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.seq > b.seq; });
+  for (const Cand& cd : cands) {
+    unsigned reps = 0;
+    std::vector<ChunkKey> under;
+    std::vector<std::uint8_t> embedded;
+    if (!decode_envelope(cd.payload.data(), cd.payload.size(), &reps, &under,
+                         &embedded))
+      continue;  // torn or corrupt replica: the next-best seq wins
+    ManifestData md;
+    if (!decode_manifest(embedded.data(), embedded.size(), md,
+                         "manifest '" + name + "' from " +
+                             clients_[cd.shard]->endpoint())
+             .ok())
+      continue;
+    pick.seq = cd.seq;
+    pick.data = std::move(md);
+    pick.under = std::move(under);
+    pick.found = true;
+    return pick;
+  }
+  return pick;
+}
+
+std::uint64_t ShardedStore::next_seq(const std::string& name) const {
+  std::uint64_t best = 0;
+  for (const unsigned s : place_name(name, opt_.replicas)) {
+    snapd::ShardClient* c = clients_[s].get();
+    if (!c->alive()) continue;
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> payload;
+    if (c->get_manifest(sanitize(name), seq, payload) == snapd::Wire::Ok)
+      best = std::max(best, seq);
+  }
+  return best + 1;
+}
+
+Status ShardedStore::publish_manifest(const std::string& name,
+                                      std::uint64_t seq, const ManifestData& md,
+                                      const std::vector<ChunkKey>& under) {
+  const std::vector<std::uint8_t> embedded = encode_manifest(md);
+  const std::vector<std::uint8_t> env =
+      encode_envelope(opt_.replicas, under, embedded);
+  unsigned ok_count = 0;
+  std::string last_failed;
+  for (const unsigned s : place_name(name, opt_.replicas)) {
+    snapd::ShardClient* c = clients_[s].get();
+    if (c->alive() && c->put_manifest(sanitize(name), seq, env.data(),
+                                      env.size()) == snapd::Wire::Ok) {
+      ok_count++;
+    } else {
+      last_failed = c->endpoint();
+    }
+  }
+  if (ok_count == 0)
+    return {ErrKind::Io, "manifest '" + name +
+                             "' not accepted by any replica (last: " +
+                             (last_failed.empty() ? "none" : last_failed) +
+                             ")"};
+  return {};
+}
+
+// ---- StoreIface: put --------------------------------------------------------
+
+PutResult ShardedStore::put(const std::string& name,
+                            const slimcr::Snapshot& snap,
+                            const slimcr::StorageModel& storage) {
+  PutResult res;
+  if (!is_open()) {
+    res.status = {ErrKind::Io, "sharded store not open"};
+    return res;
+  }
+  const bool had_old = contains(name);
+
+  struct Job {
+    const std::uint8_t* data;
+    std::size_t len;
+    ChunkKey key;
+    bool is_new = false;
+    bool dedup_hit = false;
+    std::uint64_t stored = 0;
+    Status status;
+  };
+  std::vector<Job> jobs;
+  for (const auto& [sec_name, data] : snap.sections()) {
+    for (std::size_t off = 0; off < data.size();
+         off += opt_.store.chunk_bytes) {
+      Job j;
+      j.data = data.data() + off;
+      j.len = std::min(opt_.store.chunk_bytes, data.size() - off);
+      jobs.push_back(j);
+      res.raw_bytes += j.len;
+    }
+  }
+
+  parallel_for(jobs.size(), opt_.store.workers, [&](std::size_t i) {
+    jobs[i].key = {hash64(jobs[i].data, jobs[i].len), jobs[i].len, 0};
+  });
+
+  // in-put dedup resolution (the pool-wide check is HasChunk per replica)
+  std::unordered_set<ChunkKey, ChunkKeyHash> seen_in_put;
+  for (Job& j : jobs) {
+    if (!opt_.store.dedup) {
+      j.key.uniq = ++uniq_counter_;
+      j.is_new = true;
+    } else if (seen_in_put.insert(j.key).second) {
+      j.is_new = true;
+    } else {
+      j.dedup_hit = true;
+    }
+  }
+
+  // encode + fan out, one pipeline stage: each worker compresses its chunk
+  // and ships the identical file bytes to every replica
+  std::vector<ChunkKey> under;
+  std::mutex under_mu;
+  std::vector<std::uint64_t> shard_bytes(clients_.size(), 0);
+  parallel_for(jobs.size(), opt_.store.workers, [&](std::size_t i) {
+    Job& j = jobs[i];
+    if (!j.is_new) return;
+    const std::vector<std::uint8_t> file =
+        encode_chunk_file(j.data, j.len, opt_.store.codec);
+    j.status = replicate_chunk(j.key, file.data(), file.size(), &j.dedup_hit,
+                               &j.stored, &under, &under_mu, &shard_bytes);
+  });
+  for (Job& j : jobs) {
+    if (!j.status.ok()) {
+      res.status = j.status;
+      return res;
+    }
+    if (!j.is_new) continue;
+    if (j.dedup_hit) {
+      res.dedup_hits++;
+    } else {
+      res.new_chunks++;
+      res.stored_bytes += j.stored;
+    }
+  }
+  for (const Job& j : jobs)
+    if (!j.is_new && j.dedup_hit) res.dedup_hits++;
+
+  ManifestData md;
+  {
+    std::size_t ji = 0;
+    for (const auto& [sec_name, data] : snap.sections()) {
+      ManifestData::Section sec;
+      sec.name = sec_name;
+      sec.raw_len = data.size();
+      const std::uint64_t nchunks =
+          data.empty()
+              ? 0
+              : (data.size() + opt_.store.chunk_bytes - 1) /
+                    opt_.store.chunk_bytes;
+      for (std::uint64_t c = 0; c < nchunks; ++c, ++ji)
+        sec.refs.push_back(jobs[ji].key);
+      md.sections.push_back(std::move(sec));
+    }
+  }
+  res.status = publish_manifest(name, next_seq(name), md, under);
+  if (!res.status.ok()) return res;
+
+  res.manifest_bytes = encode_manifest(md).size();
+  res.stored_bytes += res.manifest_bytes;
+  // Parallel fan-out: the wall clock is the SLOWEST shard's write, plus the
+  // (replicated-in-parallel) manifest publish — not the sum.  This is the
+  // whole reason sharding inverts the fig6 curve.
+  std::uint64_t worst = 0;
+  for (const std::uint64_t b : shard_bytes)
+    if (b != 0) worst = std::max(worst, storage.write_ns(b));
+  res.duration_ns = worst + storage.write_ns(res.manifest_bytes);
+
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!had_old) stats_.manifests++;
+  stats_.puts++;
+  stats_.chunks_written += res.new_chunks;
+  stats_.dedup_hits += res.dedup_hits;
+  stats_.raw_bytes_in += res.raw_bytes;
+  stats_.stored_bytes_written += res.stored_bytes;
+  stats_.chunks_in_pool += res.new_chunks;
+  stats_.pool_stored_bytes += res.stored_bytes - res.manifest_bytes;
+  stats_.pool_raw_bytes += res.raw_bytes;
+  sstats_.under_replicated += under.size();
+  return res;
+}
+
+// ---- StoreIface: get --------------------------------------------------------
+
+GetResult ShardedStore::get(const std::string& name, slimcr::Snapshot& out,
+                            const slimcr::StorageModel& storage) {
+  GetResult res;
+  if (!is_open()) {
+    res.status = {ErrKind::Io, "sharded store not open"};
+    return res;
+  }
+  const ManifestPick pick = fetch_manifest(name);
+  if (!pick.found) {
+    res.status = {ErrKind::MissingManifest,
+                  "snapshot manifest '" + sanitize(name) +
+                      "' not reachable on any shard replica"};
+    return res;
+  }
+
+  // unique keys, fetched once each, in parallel across the fleet
+  std::vector<ChunkKey> keys;
+  std::unordered_map<ChunkKey, std::size_t, ChunkKeyHash> key_ix;
+  for (const auto& sec : pick.data.sections) {
+    for (const ChunkKey& k : sec.refs) {
+      if (key_ix.emplace(k, keys.size()).second) keys.push_back(k);
+    }
+  }
+  std::vector<std::vector<std::uint8_t>> blobs(keys.size());
+  std::vector<Status> errs(keys.size());
+  std::vector<std::uint64_t> shard_read(clients_.size(), 0);
+  std::mutex read_mu;
+  parallel_for(keys.size(), opt_.store.workers, [&](std::size_t i) {
+    std::uint64_t wire = 0;
+    unsigned served = 0;
+    errs[i] = fetch_chunk(keys[i], blobs[i], &wire, &served);
+    if (errs[i].ok()) {
+      std::lock_guard<std::mutex> lk(read_mu);
+      shard_read[served] += wire;
+      res.bytes_read += wire;
+    }
+  });
+  for (const Status& st : errs) {
+    if (!st.ok()) {
+      res.status = st;
+      return res;
+    }
+  }
+
+  slimcr::Snapshot assembled;
+  for (const auto& sec : pick.data.sections) {
+    std::vector<std::uint8_t> data;
+    data.reserve(static_cast<std::size_t>(sec.raw_len));
+    for (const ChunkKey& k : sec.refs) {
+      const auto& piece = blobs[key_ix.at(k)];
+      data.insert(data.end(), piece.begin(), piece.end());
+    }
+    if (data.size() != sec.raw_len) {
+      res.status = {ErrKind::Corrupt,
+                    "section '" + sec.name + "' reassembled to " +
+                        std::to_string(data.size()) + " bytes, manifest says " +
+                        std::to_string(sec.raw_len)};
+      return res;
+    }
+    res.raw_bytes += data.size();
+    assembled.set(sec.name, std::move(data));
+  }
+  out = std::move(assembled);
+
+  // restore fan-out: wall clock = slowest shard's share
+  std::uint64_t worst = 0;
+  for (const std::uint64_t b : shard_read)
+    if (b != 0) worst = std::max(worst, storage.read_ns(b));
+  if (worst == 0) worst = storage.read_ns(0);
+  res.duration_ns = worst;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.gets++;
+  stats_.bytes_read += res.bytes_read;
+  return res;
+}
+
+// ---- StoreIface: remove / listing ------------------------------------------
+
+Status ShardedStore::remove(const std::string& name) {
+  if (!is_open()) return {ErrKind::Io, "sharded store not open"};
+  const ManifestPick pick = fetch_manifest(name);
+  if (!pick.found)
+    return {ErrKind::MissingManifest,
+            "snapshot manifest '" + sanitize(name) + "' not in store"};
+  // distributed GC: a chunk dies only when no OTHER manifest references it
+  std::unordered_set<ChunkKey, ChunkKeyHash> live;
+  for (const std::string& other : manifest_names()) {
+    if (other == sanitize(name)) continue;
+    const ManifestPick op = fetch_manifest(other);
+    if (!op.found) continue;
+    for (const auto& sec : op.data.sections)
+      for (const ChunkKey& k : sec.refs) live.insert(k);
+  }
+  for (const auto& sec : pick.data.sections) {
+    for (const ChunkKey& k : sec.refs) {
+      if (live.count(k) != 0) continue;
+      for (const unsigned s : ring_.place(key_point(k), opt_.replicas)) {
+        if (clients_[s]->alive()) (void)clients_[s]->del_chunk(k);
+      }
+    }
+  }
+  unsigned gone = 0;
+  for (const unsigned s : place_name(name, opt_.replicas))
+    if (clients_[s]->alive() &&
+        clients_[s]->del_manifest(sanitize(name)) == snapd::Wire::Ok)
+      gone++;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stats_.manifests > 0) stats_.manifests--;
+  return gone != 0 ? Status{}
+                   : Status{ErrKind::Io,
+                            "no replica acknowledged deleting '" + name + "'"};
+}
+
+bool ShardedStore::contains(const std::string& name) const {
+  return is_open() && fetch_manifest(name).found;
+}
+
+std::vector<std::string> ShardedStore::manifest_names() const {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  for (const auto& c : clients_) {
+    if (!c->alive()) continue;
+    std::vector<snapd::ManifestEntry> entries;
+    if (c->list_manifests(entries) != snapd::Wire::Ok) continue;
+    for (const auto& e : entries)
+      if (seen.insert(e.name).second) out.push_back(e.name);
+  }
+  return out;
+}
+
+std::uint64_t ShardedStore::under_replicated_total() const {
+  std::uint64_t total = 0;
+  for (const std::string& name : manifest_names()) {
+    const ManifestPick pick = fetch_manifest(name);
+    if (pick.found) total += pick.under.size();
+  }
+  return total;
+}
+
+// ---- streaming session ------------------------------------------------------
+
+class ShardedSession final : public ManifestSession {
+ public:
+  ShardedSession(ShardedStore* store, std::string name)
+      : store_(store), name_(std::move(name)) {}
+  ~ShardedSession() override { abort(); }
+
+  ChunkResult put_chunk(const std::string& sec_name, std::size_t chunk_idx,
+                        const std::uint8_t* data, std::size_t len,
+                        const slimcr::StorageModel& storage) override {
+    ChunkResult res;
+    if (sealed_ || aborted_) {
+      res.status = {ErrKind::Io, "manifest session already closed"};
+      return res;
+    }
+    ChunkKey key{hash64(data, len), len, 0};
+    if (!store_->opt_.store.dedup) key.uniq = ++store_->uniq_counter_;
+    const std::vector<std::uint8_t> file =
+        encode_chunk_file(data, len, store_->opt_.store.codec);
+    bool hit = false;
+    std::uint64_t stored = 0;
+    res.status = store_->replicate_chunk(key, file.data(), file.size(), &hit,
+                                         &stored, &under_, &under_mu_, nullptr);
+    if (!res.status.ok()) return res;
+    if (!hit) new_keys_.push_back(key);
+    Section& sec = section(sec_name);
+    if (chunk_idx >= sec.keys.size()) {
+      sec.keys.resize(chunk_idx + 1);
+      sec.lens.resize(chunk_idx + 1, 0);
+      sec.filled.resize(chunk_idx + 1, 0);
+    }
+    if (sec.filled[chunk_idx] != 0) raw_bytes_ -= sec.lens[chunk_idx];
+    sec.keys[chunk_idx] = key;
+    sec.lens[chunk_idx] = len;
+    sec.filled[chunk_idx] = 1;
+    res.dedup_hit = hit;
+    res.stored_bytes = stored;
+    res.duration_ns = storage.write_ns(stored);
+    raw_bytes_ += len;
+    stored_bytes_ += stored;
+    std::lock_guard<std::mutex> lk(store_->mu_);
+    if (hit) {
+      dedup_hits_++;
+      store_->stats_.dedup_hits++;
+    } else {
+      new_chunks_++;
+      store_->stats_.chunks_written++;
+    }
+    store_->stats_.raw_bytes_in += len;
+    store_->stats_.stored_bytes_written += stored;
+    return res;
+  }
+
+  ChunkResult put_section(const std::string& sec_name, const std::uint8_t* data,
+                          std::size_t len,
+                          const slimcr::StorageModel& storage) override {
+    ChunkResult total;
+    if (sealed_ || aborted_) {
+      total.status = {ErrKind::Io, "manifest session already closed"};
+      return total;
+    }
+    Section& sec = section(sec_name);
+    for (std::size_t i = 0; i < sec.keys.size(); ++i)
+      if (sec.filled[i] != 0) raw_bytes_ -= sec.lens[i];
+    sec.keys.clear();
+    sec.lens.clear();
+    sec.filled.clear();
+    const std::size_t cb = store_->opt_.store.chunk_bytes;
+    for (std::size_t off = 0, idx = 0; off < len; off += cb, ++idx) {
+      const ChunkResult r =
+          put_chunk(sec_name, idx, data + off, std::min(cb, len - off),
+                    storage);
+      if (!r.status.ok()) {
+        total.status = r.status;
+        return total;
+      }
+      total.stored_bytes += r.stored_bytes;
+      total.duration_ns += r.duration_ns;
+    }
+    return total;
+  }
+
+  PutResult seal(const slimcr::StorageModel& storage) override {
+    PutResult res;
+    if (sealed_ || aborted_) {
+      res.status = {ErrKind::Io, "manifest session already closed"};
+      return res;
+    }
+    for (const auto& sec : sections_) {
+      for (std::size_t i = 0; i < sec.filled.size(); ++i) {
+        if (sec.filled[i] == 0) {
+          res.status = {ErrKind::Corrupt, "section '" + sec.name + "' slot " +
+                                              std::to_string(i) +
+                                              " never streamed"};
+          return res;
+        }
+      }
+    }
+    const bool had_old = store_->contains(name_);
+    ManifestData md;
+    for (const auto& sec : sections_) {
+      ManifestData::Section out;
+      out.name = sec.name;
+      for (const std::uint64_t l : sec.lens) out.raw_len += l;
+      out.refs = sec.keys;
+      md.sections.push_back(std::move(out));
+    }
+    res.status =
+        store_->publish_manifest(name_, store_->next_seq(name_), md, under_);
+    if (!res.status.ok()) return res;  // session stays open: retry or abort
+    sealed_ = true;
+    res.raw_bytes = raw_bytes_;
+    res.new_chunks = new_chunks_;
+    res.dedup_hits = dedup_hits_;
+    res.manifest_bytes = encode_manifest(md).size();
+    res.stored_bytes = stored_bytes_ + res.manifest_bytes;
+    res.duration_ns = storage.write_ns(res.manifest_bytes);
+    std::lock_guard<std::mutex> lk(store_->mu_);
+    if (!had_old) store_->stats_.manifests++;
+    store_->stats_.puts++;
+    store_->stats_.stored_bytes_written += res.manifest_bytes;
+    store_->sstats_.under_replicated += under_.size();
+    return res;
+  }
+
+  void abort() override {
+    if (sealed_ || aborted_) return;
+    // undo exactly what this session newly stored; content another manifest
+    // already referenced arrived as a dedup hit and is not in new_keys_
+    for (const ChunkKey& k : new_keys_) {
+      for (const unsigned s :
+           store_->ring_.place(key_point(k), store_->opt_.replicas)) {
+        if (store_->clients_[s]->alive())
+          (void)store_->clients_[s]->del_chunk(k);
+      }
+    }
+    sections_.clear();
+    new_keys_.clear();
+    aborted_ = true;
+  }
+
+  [[nodiscard]] bool sealed() const noexcept override { return sealed_; }
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+
+ private:
+  struct Section {
+    std::string name;
+    std::vector<ChunkKey> keys;
+    std::vector<std::uint64_t> lens;
+    std::vector<std::uint8_t> filled;
+  };
+  Section& section(const std::string& n) {
+    for (auto& s : sections_)
+      if (s.name == n) return s;
+    sections_.push_back(Section{n, {}, {}, {}});
+    return sections_.back();
+  }
+
+  ShardedStore* store_;
+  std::string name_;
+  std::vector<Section> sections_;
+  std::vector<ChunkKey> new_keys_;
+  std::vector<ChunkKey> under_;
+  std::mutex under_mu_;
+  bool sealed_ = false;
+  bool aborted_ = false;
+  std::uint64_t raw_bytes_ = 0;
+  std::uint64_t new_chunks_ = 0;
+  std::uint64_t dedup_hits_ = 0;
+  std::uint64_t stored_bytes_ = 0;
+};
+
+std::unique_ptr<ManifestSession> ShardedStore::begin(const std::string& name) {
+  if (!is_open()) return nullptr;
+  return std::make_unique<ShardedSession>(this, name);
+}
+
+// ---- repair -----------------------------------------------------------------
+
+RepairReport ShardedStore::repair() {
+  RepairReport rep;
+  if (!is_open()) {
+    rep.status = {ErrKind::Io, "sharded store not open"};
+    return rep;
+  }
+
+  // 1. reachable manifests and the keys they reference
+  struct NamedPick {
+    std::string name;
+    ManifestPick pick;
+  };
+  std::vector<NamedPick> picks;
+  std::vector<ChunkKey> keys;
+  std::unordered_set<ChunkKey, ChunkKeyHash> seen;
+  for (const std::string& name : manifest_names()) {
+    ManifestPick p = fetch_manifest(name);
+    if (!p.found) {
+      rep.unrecoverable++;
+      continue;
+    }
+    for (const auto& sec : p.data.sections)
+      for (const ChunkKey& k : sec.refs)
+        if (seen.insert(k).second) keys.push_back(k);
+    picks.push_back({name, std::move(p)});
+  }
+
+  // 2. scrub every replica of every key; re-replicate from a good copy
+  std::mutex rep_mu;
+  std::unordered_set<ChunkKey, ChunkKeyHash> dead_keys;
+  parallel_for(keys.size(), opt_.store.workers, [&](std::size_t i) {
+    const ChunkKey& k = keys[i];
+    const std::vector<unsigned> reps = ring_.place(key_point(k), opt_.replicas);
+    std::vector<std::uint8_t> good;       // verified chunk-file bytes
+    std::vector<unsigned> bad;            // replicas needing a rewrite
+    for (const unsigned s : reps) {
+      snapd::ShardClient* c = clients_[s].get();
+      {
+        std::lock_guard<std::mutex> lk(rep_mu);
+        rep.chunks_checked++;
+      }
+      if (!c->alive()) {
+        bad.push_back(s);
+        continue;
+      }
+      std::vector<std::uint8_t> file;
+      std::vector<std::uint8_t> decoded;
+      if (c->get_chunk(k, file) != snapd::Wire::Ok ||
+          !decode_chunk_file(file.data(), file.size(), k.len, decoded,
+                             c->endpoint())
+               .ok()) {
+        bad.push_back(s);
+        continue;
+      }
+      if (good.empty()) good = std::move(file);
+    }
+    if (good.empty()) {
+      std::lock_guard<std::mutex> lk(rep_mu);
+      rep.unrecoverable++;
+      dead_keys.insert(k);
+      return;
+    }
+    for (const unsigned s : bad) {
+      snapd::ShardClient* c = clients_[s].get();
+      if (c->alive() &&
+          c->put_chunk(k, good.data(), good.size()) == snapd::Wire::Ok) {
+        std::lock_guard<std::mutex> lk(rep_mu);
+        rep.replicas_restored++;
+      }
+    }
+  });
+
+  // 3. republish manifests whose degraded markers are now stale, or whose
+  //    replicas are missing/behind (a shard revived from an old disk image)
+  for (const NamedPick& np : picks) {
+    bool all_keys_ok = true;
+    for (const auto& sec : np.pick.data.sections)
+      for (const ChunkKey& k : sec.refs)
+        if (dead_keys.count(k) != 0) all_keys_ok = false;
+    bool stale_replica = false;
+    for (const unsigned s : place_name(np.name, opt_.replicas)) {
+      snapd::ShardClient* c = clients_[s].get();
+      if (!c->alive()) continue;
+      std::uint64_t seq = 0;
+      std::vector<std::uint8_t> payload;
+      if (c->get_manifest(sanitize(np.name), seq, payload) != snapd::Wire::Ok ||
+          seq < np.pick.seq) {
+        stale_replica = true;
+        break;
+      }
+    }
+    if ((np.pick.under.empty() || !all_keys_ok) && !stale_replica) continue;
+    const std::vector<ChunkKey> cleared;  // fully replicated again
+    if (publish_manifest(np.name, np.pick.seq + 1, np.pick.data,
+                         all_keys_ok ? cleared : np.pick.under)
+            .ok())
+      rep.manifests_rewritten++;
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  sstats_.repaired_chunks += rep.replicas_restored;
+  sstats_.repaired_manifests += rep.manifests_rewritten;
+  sstats_.under_replicated = 0;
+  return rep;
+}
+
+}  // namespace snapstore

@@ -1,0 +1,215 @@
+// shard.h — the distributed snapstore: sharded, replicated checkpoint
+// storage over a fleet of checl_snapd daemons.
+//
+// Placement is a consistent-hash ring (HashRing below): every shard
+// contributes `vnodes` virtual points keyed by a STABLE identity string
+// ("shard0", "shard1", …), and a chunk lands on the first R distinct shards
+// clockwise of its key hash.  Stable identities are what give the ring its
+// minimal-movement property — growing N shards to N+1 remaps ~1/(N+1) of the
+// keys and leaves the rest where they were — and the vnode count is what
+// keeps the load balanced (the ring property test gates max/mean ≤ 1.25 at
+// ≥64 vnodes).
+//
+// Writes fan out per chunk to all R replicas.  A replica that fails (dead
+// daemon, refused connect, Io) degrades the write instead of failing it: the
+// chunk lands on the survivors, the manifest records the key as
+// under-replicated, and a later repair() pass re-replicates from a surviving
+// copy.  Only a chunk with ZERO reachable replicas fails the checkpoint.
+//
+// Reads fan out across shards in parallel and fail over per chunk: a missing
+// or corrupt copy (the snapstore chunk-file CRC catches bit flips anywhere
+// between client and disk) silently falls through to the next replica in
+// ring order.  Restore succeeds as long as each chunk has one good copy
+// somewhere.
+//
+// Manifests are replicated the same way, wrapped in a "SNAPSHD1" envelope
+// (replication factor + under-replicated key list + the embedded local-format
+// SNAPMAN1 bytes + CRC) and versioned by a seal sequence number: each seal
+// writes seq = max(observed) + 1 to every replica via the daemon's tmp +
+// rename, and readers take the highest-seq envelope that decodes.  A shard
+// that dies mid-seal therefore serves either the old or the new manifest
+// after restart — never a torn one — and the replicas that did take the
+// write win the seq race.  That is the seal-or-abort atomicity the
+// snapd_shard_death torture test gates on.
+//
+// ShardedStore implements StoreIface, so the checkpoint engine (live or
+// stop-the-world) runs unchanged on top of it — NodeConfig::snap_shards /
+// CHECL_SNAP_SHARDS picks the backend.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "snapd/client.h"
+#include "snapd/spawn.h"
+#include "snapstore/store.h"
+
+namespace snapstore {
+
+// ---- consistent-hash ring ---------------------------------------------------
+
+class HashRing {
+ public:
+  // `ids` are stable shard identities; `vnodes` virtual points per shard.
+  void build(const std::vector<std::string>& ids, unsigned vnodes);
+
+  // The first `replicas` DISTINCT shards clockwise of the key point, primary
+  // first.  Clamped to the shard count.
+  [[nodiscard]] std::vector<unsigned> place(std::uint64_t key_hash,
+                                            unsigned replicas) const;
+
+  [[nodiscard]] std::size_t shards() const noexcept { return nshards_; }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+ private:
+  struct Point {
+    std::uint64_t h;
+    unsigned shard;
+  };
+  std::vector<Point> points_;  // sorted by h
+  std::size_t nshards_ = 0;
+};
+
+// ---- options / stats --------------------------------------------------------
+
+struct ShardOptions {
+  Options store;          // chunk size, codec, dedup, workers — as local
+  unsigned replicas = 2;  // R-way replication (clamped to the shard count)
+  unsigned vnodes = 64;   // ring points per shard
+};
+
+// Distributed-layer counters, on top of the StoreIface Stats.
+struct ShardedStats {
+  unsigned shards = 0;
+  unsigned replicas = 0;
+  std::uint64_t degraded_writes = 0;    // chunk copies lost to a dead replica
+  std::uint64_t under_replicated = 0;   // keys recorded degraded in manifests
+  std::uint64_t failovers = 0;          // reads served by a non-first replica
+  std::uint64_t repaired_chunks = 0;    // chunk copies restored by repair()
+  std::uint64_t repaired_manifests = 0;
+};
+
+struct RepairReport {
+  Status status;
+  std::uint64_t chunks_checked = 0;      // (key, replica) pairs verified
+  std::uint64_t replicas_restored = 0;   // bad/missing copies re-written
+  std::uint64_t manifests_rewritten = 0;
+  std::uint64_t unrecoverable = 0;       // keys with no valid copy anywhere
+};
+
+// NodeConfig / environment plumbing: CHECL_SNAP_SHARDS (0 = local store),
+// CHECL_SNAP_REPLICAS (default 2).
+[[nodiscard]] unsigned snap_shards_from_env() noexcept;
+[[nodiscard]] unsigned snap_replicas_from_env() noexcept;
+
+// ---- the store --------------------------------------------------------------
+
+class ShardedStore final : public StoreIface {
+ public:
+  ShardedStore() = default;
+  ~ShardedStore() override;
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  // Spawns `nshards` checl_snapd daemons rooted at <root>/shard<i> and
+  // connects to them.  The daemons are owned: close() (or the destructor)
+  // shuts them down.
+  Status open_local(const std::string& root, unsigned nshards,
+                    const ShardOptions& opt = {});
+  // Connects to already-running daemons ("host:port" each); identities are
+  // "shard<i>" in list order.  Nothing is spawned or owned.
+  Status open_endpoints(const std::vector<std::string>& endpoints,
+                        const ShardOptions& opt = {});
+  void close();
+
+  // Test hooks: after a shard daemon dies, a replacement serving the same
+  // root can be reattached under the same ring identity.
+  [[nodiscard]] std::string shard_root(unsigned shard) const;
+  [[nodiscard]] const std::string& shard_endpoint(unsigned shard) const;
+  bool reconnect(unsigned shard, std::uint16_t port);
+  [[nodiscard]] snapd::ShardClient* client(unsigned shard) noexcept;
+  [[nodiscard]] snapd::SpawnedShard* spawned(unsigned shard) noexcept;
+
+  // StoreIface
+  PutResult put(const std::string& name, const slimcr::Snapshot& snap,
+                const slimcr::StorageModel& storage) override;
+  GetResult get(const std::string& name, slimcr::Snapshot& out,
+                const slimcr::StorageModel& storage) override;
+  Status remove(const std::string& name) override;
+  [[nodiscard]] std::unique_ptr<ManifestSession> begin(
+      const std::string& name) override;
+  [[nodiscard]] bool contains(const std::string& name) const override;
+  [[nodiscard]] std::vector<std::string> manifest_names() const override;
+  [[nodiscard]] bool is_open() const noexcept override {
+    return !clients_.empty();
+  }
+  [[nodiscard]] const Options& options() const noexcept override {
+    return opt_.store;
+  }
+  [[nodiscard]] const Stats& stats() const noexcept override { return stats_; }
+  [[nodiscard]] unsigned shard_count() const noexcept override {
+    return static_cast<unsigned>(clients_.size());
+  }
+
+  [[nodiscard]] const ShardedStats& sharded_stats() const noexcept {
+    return sstats_;
+  }
+
+  // Scrub-and-fix pass: verifies every replica of every chunk referenced by
+  // every reachable manifest, re-replicates from a surviving good copy, and
+  // rewrites manifests whose under-replicated list is now clear.
+  RepairReport repair();
+
+  // Recounted from the manifests as stored right now (the bench gate:
+  // zero after repair()).
+  [[nodiscard]] std::uint64_t under_replicated_total() const;
+
+ private:
+  friend class ShardedSession;
+
+  struct ManifestPick {
+    std::uint64_t seq = 0;
+    ManifestData data;
+    std::vector<ChunkKey> under;  // under-replicated keys recorded at seal
+    bool found = false;
+  };
+
+  Status open_common(const ShardOptions& opt);
+  // Write one encoded chunk file to all placed replicas; appends degraded
+  // keys to `under` (mutex-guarded).  Fails only with zero survivors.
+  Status replicate_chunk(const ChunkKey& k, const std::uint8_t* file,
+                         std::size_t file_len, bool* dedup_hit,
+                         std::uint64_t* stored_per_replica,
+                         std::vector<ChunkKey>* under, std::mutex* under_mu,
+                         std::vector<std::uint64_t>* shard_bytes);
+  // Fetch + verify one chunk with per-replica failover.
+  Status fetch_chunk(const ChunkKey& k, std::vector<std::uint8_t>& raw,
+                     std::uint64_t* wire_bytes, unsigned* served_by);
+  // Highest-seq decodable manifest envelope across its replicas.
+  ManifestPick fetch_manifest(const std::string& name) const;
+  // Seal-seq for the next write of `name`: max observed + 1.
+  std::uint64_t next_seq(const std::string& name) const;
+  // Envelope + PutManifest to all replicas; requires >= 1 success.
+  Status publish_manifest(const std::string& name, std::uint64_t seq,
+                          const ManifestData& md,
+                          const std::vector<ChunkKey>& under);
+  [[nodiscard]] std::vector<unsigned> place_name(const std::string& name,
+                                                 unsigned replicas) const;
+
+  ShardOptions opt_;
+  Options store_opt_;  // normalized copy surfaced via options()
+  HashRing ring_;
+  std::vector<std::unique_ptr<snapd::ShardClient>> clients_;
+  std::vector<snapd::SpawnedShard> spawned_;  // empty for open_endpoints
+  std::vector<std::string> endpoints_;
+  std::string root_;
+  Stats stats_;
+  ShardedStats sstats_;
+  std::uint32_t uniq_counter_ = 0;
+  mutable std::mutex mu_;  // guards stats_ / sstats_ under parallel fan-out
+};
+
+}  // namespace snapstore

@@ -1,15 +1,14 @@
 #include "snapstore/store.h"
 
-#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <functional>
 #include <memory>
 #include <thread>
 #include <unordered_set>
 
 #include "chaoskit/chaoskit.h"
+#include "snapstore/parallel.h"
 
 namespace snapstore {
 
@@ -17,65 +16,12 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr char kManifestMagic[8] = {'S', 'N', 'A', 'P', 'M', 'A', 'N', '1'};
-constexpr char kChunkMagic[8] = {'S', 'N', 'A', 'P', 'C', 'H', 'K', '1'};
-constexpr std::uint32_t kManifestVersion = 1;
-// chunk file header: magic + codec u8 + raw_len u64 + comp_len u64 + crc u32
-constexpr std::size_t kChunkHeaderBytes = 8 + 1 + 8 + 8 + 4;
-
 struct FileCloser {
   void operator()(std::FILE* f) const noexcept {
     if (f != nullptr) std::fclose(f);
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-// ---- little helpers over byte buffers --------------------------------------
-
-void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  b.insert(b.end(), p, p + sizeof v);
-}
-void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  b.insert(b.end(), p, p + sizeof v);
-}
-
-struct ByteReader {
-  const std::uint8_t* p;
-  std::size_t n;
-  std::size_t pos = 0;
-  bool ok = true;
-
-  template <typename T>
-  T get() noexcept {
-    T v{};
-    if (pos + sizeof v > n) {
-      ok = false;
-      return v;
-    }
-    std::memcpy(&v, p + pos, sizeof v);
-    pos += sizeof v;
-    return v;
-  }
-  bool get_bytes(void* dst, std::size_t len) noexcept {
-    if (pos + len > n) return ok = false;
-    std::memcpy(dst, p + pos, len);
-    pos += len;
-    return true;
-  }
-};
-
-// Manifest names double as filenames; anything unsafe maps to '_'.
-std::string sanitize(const std::string& name) {
-  std::string out = name.empty() ? "_" : name;
-  for (char& c : out) {
-    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                      (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
-    if (!safe) c = '_';
-  }
-  return out;
-}
 
 bool read_whole_file(const std::string& path, std::vector<std::uint8_t>& out) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
@@ -90,8 +36,7 @@ bool read_whole_file(const std::string& path, std::vector<std::uint8_t>& out) {
 }
 
 bool write_whole_file(const std::string& path,
-                      std::span<const std::uint8_t> a,
-                      std::span<const std::uint8_t> b = {}) {
+                      std::span<const std::uint8_t> a) {
   // The choke point every pool chunk and manifest goes through — and so the
   // one place storage faults are injected: ENOSPC (the write fails), a torn
   // write (a prefix persists but the call "succeeds"), and silent corruption
@@ -102,7 +47,6 @@ bool write_whole_file(const std::string& path,
   const bool flip = chaos.should_fire(chaoskit::Site::StoreBitFlip);
   if (torn || flip) {
     std::vector<std::uint8_t> all(a.begin(), a.end());
-    all.insert(all.end(), b.begin(), b.end());
     if (flip && !all.empty())
       all[static_cast<std::size_t>(chaos.arg()) % all.size()] ^= 0x20;
     if (torn) all.resize(all.size() / 2);
@@ -114,59 +58,12 @@ bool write_whole_file(const std::string& path,
   }
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) return false;
-  if (!a.empty() && std::fwrite(a.data(), a.size(), 1, f.get()) != 1) return false;
-  if (!b.empty() && std::fwrite(b.data(), b.size(), 1, f.get()) != 1) return false;
+  if (!a.empty() && std::fwrite(a.data(), a.size(), 1, f.get()) != 1)
+    return false;
   return std::fflush(f.get()) == 0;
 }
 
-// Runs fn(0..njobs) across up to `workers` threads (inline when it isn't
-// worth spawning).  Workers touch disjoint job slots only.
-void parallel_for(std::size_t njobs, unsigned workers,
-                  const std::function<void(std::size_t)>& fn) {
-  if (workers <= 1 || njobs <= 1) {
-    for (std::size_t i = 0; i < njobs; ++i) fn(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  auto drain = [&] {
-    for (std::size_t i = next.fetch_add(1); i < njobs; i = next.fetch_add(1))
-      fn(i);
-  };
-  const unsigned nthreads =
-      static_cast<unsigned>(std::min<std::size_t>(workers, njobs)) - 1;
-  std::vector<std::thread> pool;
-  pool.reserve(nthreads);
-  for (unsigned t = 0; t < nthreads; ++t) pool.emplace_back(drain);
-  drain();  // the caller is a worker too
-  for (auto& t : pool) t.join();
-}
-
 }  // namespace
-
-const char* errkind_name(ErrKind k) noexcept {
-  switch (k) {
-    case ErrKind::None: return "none";
-    case ErrKind::Io: return "io";
-    case ErrKind::BadMagic: return "bad-magic";
-    case ErrKind::BadVersion: return "bad-version";
-    case ErrKind::Truncated: return "truncated";
-    case ErrKind::Corrupt: return "corrupt";
-    case ErrKind::MissingManifest: return "missing-manifest";
-    case ErrKind::MissingChunk: return "missing-chunk";
-  }
-  return "unknown";
-}
-
-// ---- manifest layout --------------------------------------------------------
-
-struct Store::Manifest {
-  struct Section {
-    std::string name;
-    std::uint64_t raw_len = 0;
-    std::vector<ChunkKey> refs;
-  };
-  std::vector<Section> sections;
-};
 
 std::string Store::chunk_path(const ChunkKey& k) const {
   char buf[64];
@@ -186,7 +83,7 @@ std::string Store::manifest_path(const std::string& name) const {
   return root_ + "/manifests/" + sanitize(name) + ".manifest";
 }
 
-Status Store::load_manifest(const std::string& name, Manifest& out,
+Status Store::load_manifest(const std::string& name, ManifestData& out,
                             std::uint64_t* file_bytes) const {
   const std::string path = manifest_path(name);
   std::vector<std::uint8_t> raw;
@@ -197,47 +94,7 @@ Status Store::load_manifest(const std::string& name, Manifest& out,
     return {ErrKind::Io, "cannot read manifest " + path};
   }
   if (file_bytes != nullptr) *file_bytes = raw.size();
-  if (raw.size() < sizeof kManifestMagic + 8 ||
-      std::memcmp(raw.data(), kManifestMagic, sizeof kManifestMagic) != 0)
-    return {ErrKind::BadMagic, path + " is not a snapstore manifest"};
-  // trailing CRC covers everything between magic and itself
-  std::uint32_t want_crc = 0;
-  std::memcpy(&want_crc, raw.data() + raw.size() - 4, 4);
-  const std::uint32_t got_crc =
-      slimcr::crc32(raw.data() + sizeof kManifestMagic,
-                    raw.size() - sizeof kManifestMagic - 4);
-  if (want_crc != got_crc)
-    return {ErrKind::Corrupt, "manifest CRC mismatch in " + path};
-  ByteReader r{raw.data() + sizeof kManifestMagic,
-               raw.size() - sizeof kManifestMagic - 4};
-  if (const std::uint32_t v = r.get<std::uint32_t>(); v != kManifestVersion)
-    return {ErrKind::BadVersion,
-            "manifest version " + std::to_string(v) + " unsupported in " + path};
-  const std::uint64_t nsections = r.get<std::uint64_t>();
-  Manifest m;
-  for (std::uint64_t s = 0; s < nsections && r.ok; ++s) {
-    Manifest::Section sec;
-    const std::uint64_t name_len = r.get<std::uint64_t>();
-    if (!r.ok || name_len > (1u << 20)) break;
-    sec.name.resize(name_len);
-    if (name_len != 0 && !r.get_bytes(sec.name.data(), name_len)) break;
-    sec.raw_len = r.get<std::uint64_t>();
-    const std::uint64_t nchunks = r.get<std::uint64_t>();
-    if (!r.ok || nchunks > (1ull << 32)) break;
-    sec.refs.reserve(static_cast<std::size_t>(nchunks));
-    for (std::uint64_t c = 0; c < nchunks && r.ok; ++c) {
-      ChunkKey k;
-      k.hash = r.get<std::uint64_t>();
-      k.len = r.get<std::uint64_t>();
-      k.uniq = r.get<std::uint32_t>();
-      sec.refs.push_back(k);
-    }
-    m.sections.push_back(std::move(sec));
-  }
-  if (!r.ok || m.sections.size() != nsections || r.pos != r.n)
-    return {ErrKind::Corrupt, "malformed manifest structure in " + path};
-  out = std::move(m);
-  return {};
+  return decode_manifest(raw.data(), raw.size(), out, path);
 }
 
 void Store::release_ref(const ChunkKey& k) {
@@ -253,7 +110,7 @@ void Store::release_ref(const ChunkKey& k) {
   }
 }
 
-void Store::retire_manifest_refs(const Manifest& m) {
+void Store::retire_manifest_refs(const ManifestData& m) {
   for (const auto& sec : m.sections)
     for (const ChunkKey& k : sec.refs) release_ref(k);
 }
@@ -267,37 +124,13 @@ Status Store::pin_chunk(const ChunkKey& k, const std::uint8_t* data,
     *hit = true;
     return {};
   }
-  const Codec* codec = codec_for(opt_.codec);
-  CodecId used = CodecId::Identity;
-  std::vector<std::uint8_t> encoded;
-  if (codec->id() != CodecId::Identity) {
-    std::vector<std::uint8_t> enc = codec->compress({data, len});
-    if (enc.size() < len) {
-      used = codec->id();
-      encoded = std::move(enc);
-    }
-  }
-  const std::uint32_t crc = used == CodecId::Identity
-                                ? slimcr::crc32(data, len)
-                                : slimcr::crc32(encoded.data(), encoded.size());
-  const std::uint64_t comp_len =
-      used == CodecId::Identity ? len : encoded.size();
-  std::vector<std::uint8_t> header;
-  header.reserve(kChunkHeaderBytes);
-  header.insert(header.end(), kChunkMagic, kChunkMagic + sizeof kChunkMagic);
-  header.push_back(static_cast<std::uint8_t>(used));
-  put_u64(header, len);
-  put_u64(header, comp_len);
-  put_u32(header, crc);
-  const std::span<const std::uint8_t> payload =
-      used == CodecId::Identity ? std::span<const std::uint8_t>{data, len}
-                                : std::span<const std::uint8_t>{encoded};
+  const std::vector<std::uint8_t> file = encode_chunk_file(data, len, opt_.codec);
   const std::string path = chunk_path(k);
-  if (!write_whole_file(path, header, payload))
+  if (!write_whole_file(path, file))
     return {ErrKind::Io, "cannot write pool chunk " + path};
   ChunkInfo info;
   info.refs = 1;
-  info.stored_bytes = header.size() + payload.size();
+  info.stored_bytes = file.size();
   chunks_.emplace(k, info);
   stats_.chunks_in_pool++;
   stats_.pool_stored_bytes += info.stored_bytes;
@@ -341,7 +174,7 @@ Status Store::open(const std::string& root, const Options& opt) {
         fname.substr(fname.size() - kSuffix.size()) != kSuffix)
       continue;
     const std::string name = fname.substr(0, fname.size() - kSuffix.size());
-    Manifest m;
+    ManifestData m;
     if (!load_manifest(name, m, nullptr).ok()) continue;
     stats_.manifests++;
     for (const auto& sec : m.sections) {
@@ -393,7 +226,7 @@ PutResult Store::put(const std::string& name, const slimcr::Snapshot& snap,
   // Overwrite semantics: remember the old manifest's references now, retire
   // them only after the replacement committed (its clean chunks must stay
   // dedup-able and crash-safe throughout).
-  Manifest old_manifest;
+  ManifestData old_manifest;
   const bool had_old = load_manifest(name, old_manifest, nullptr).ok();
 
   struct Job {
@@ -401,9 +234,7 @@ PutResult Store::put(const std::string& name, const slimcr::Snapshot& snap,
     std::size_t len;
     ChunkKey key;
     bool is_new = false;
-    CodecId used = CodecId::Identity;
-    std::vector<std::uint8_t> encoded;  // empty when used == Identity
-    std::uint32_t crc = 0;              // of the payload as stored
+    std::vector<std::uint8_t> file;  // complete chunk-file bytes when is_new
   };
   std::vector<Job> jobs;
   for (const auto& [sec_name, data] : snap.sections()) {
@@ -437,80 +268,45 @@ PutResult Store::put(const std::string& name, const slimcr::Snapshot& snap,
     }
   }
 
-  // Stage 3 (parallel): compress new chunks; fall back to Identity storage
-  // whenever the codec fails to shrink.
-  const Codec* codec = codec_for(opt_.codec);
+  // Stage 3 (parallel): encode new chunks into complete chunk files
+  // (compression falls back to Identity whenever the codec fails to shrink).
   parallel_for(jobs.size(), opt_.workers, [&](std::size_t i) {
     Job& j = jobs[i];
     if (!j.is_new) return;
-    if (codec->id() != CodecId::Identity) {
-      std::vector<std::uint8_t> enc =
-          codec->compress({j.data, j.len});
-      if (enc.size() < j.len) {
-        j.used = codec->id();
-        j.encoded = std::move(enc);
-      }
-    }
-    j.crc = j.used == CodecId::Identity
-                ? slimcr::crc32(j.data, j.len)
-                : slimcr::crc32(j.encoded.data(), j.encoded.size());
+    j.file = encode_chunk_file(j.data, j.len, opt_.codec);
   });
 
   // Stage 4 (ordered commit): chunk files in submission order, then the
   // manifest.  Only now do refcounts and pool stats change.
   std::uint64_t new_chunk_bytes = 0;
-  std::vector<std::uint64_t> job_file_bytes(jobs.size(), 0);
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    Job& j = jobs[i];
+  for (Job& j : jobs) {
     if (!j.is_new) continue;
-    const std::uint64_t comp_len =
-        j.used == CodecId::Identity ? j.len : j.encoded.size();
-    std::vector<std::uint8_t> header;
-    header.reserve(kChunkHeaderBytes);
-    header.insert(header.end(), kChunkMagic, kChunkMagic + sizeof kChunkMagic);
-    header.push_back(static_cast<std::uint8_t>(j.used));
-    put_u64(header, j.len);
-    put_u64(header, comp_len);
-    put_u32(header, j.crc);
-    const std::span<const std::uint8_t> payload =
-        j.used == CodecId::Identity
-            ? std::span<const std::uint8_t>{j.data, j.len}
-            : std::span<const std::uint8_t>{j.encoded};
     const std::string path = chunk_path(j.key);
-    if (!write_whole_file(path, header, payload)) {
+    if (!write_whole_file(path, j.file)) {
       res.status = {ErrKind::Io, "cannot write pool chunk " + path};
       return res;
     }
-    job_file_bytes[i] = header.size() + payload.size();
-    new_chunk_bytes += job_file_bytes[i];
+    new_chunk_bytes += j.file.size();
     res.new_chunks++;
   }
 
   // Manifest: sections in snapshot order, each referencing its chunks.
-  std::vector<std::uint8_t> mbytes;
-  mbytes.insert(mbytes.end(), kManifestMagic,
-                kManifestMagic + sizeof kManifestMagic);
-  put_u32(mbytes, kManifestVersion);
-  put_u64(mbytes, snap.sections().size());
+  ManifestData md;
   {
     std::size_t ji = 0;
     for (const auto& [sec_name, data] : snap.sections()) {
-      put_u64(mbytes, sec_name.size());
-      mbytes.insert(mbytes.end(), sec_name.begin(), sec_name.end());
-      put_u64(mbytes, data.size());
+      ManifestData::Section sec;
+      sec.name = sec_name;
+      sec.raw_len = data.size();
       const std::uint64_t nchunks =
           data.empty() ? 0
                        : (data.size() + opt_.chunk_bytes - 1) / opt_.chunk_bytes;
-      put_u64(mbytes, nchunks);
-      for (std::uint64_t c = 0; c < nchunks; ++c, ++ji) {
-        put_u64(mbytes, jobs[ji].key.hash);
-        put_u64(mbytes, jobs[ji].key.len);
-        put_u32(mbytes, jobs[ji].key.uniq);
-      }
+      for (std::uint64_t c = 0; c < nchunks; ++c, ++ji)
+        sec.refs.push_back(jobs[ji].key);
+      md.sections.push_back(std::move(sec));
     }
   }
-  put_u32(mbytes, slimcr::crc32(mbytes.data() + sizeof kManifestMagic,
-                                mbytes.size() - sizeof kManifestMagic));
+  const std::vector<std::uint8_t> mbytes = encode_manifest(md);
   const std::string mpath = manifest_path(name);
   if (!write_whole_file(mpath + ".tmp", mbytes) ||
       std::rename((mpath + ".tmp").c_str(), mpath.c_str()) != 0) {
@@ -521,14 +317,14 @@ PutResult Store::put(const std::string& name, const slimcr::Snapshot& snap,
   // Reference accounting: the new manifest pins its chunks, the replaced
   // manifest (if any) lets go of its own — in that order, so shared chunks
   // never dip to zero in between.
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    auto [it, inserted] = chunks_.try_emplace(jobs[i].key);
+  for (Job& j : jobs) {
+    auto [it, inserted] = chunks_.try_emplace(j.key);
     it->second.refs++;
     if (inserted) {
-      it->second.stored_bytes = job_file_bytes[i];
+      it->second.stored_bytes = j.file.size();
       stats_.chunks_in_pool++;
       stats_.pool_stored_bytes += it->second.stored_bytes;
-      stats_.pool_raw_bytes += jobs[i].key.len;
+      stats_.pool_raw_bytes += j.key.len;
     }
   }
   if (had_old)
@@ -556,7 +352,7 @@ GetResult Store::get(const std::string& name, slimcr::Snapshot& out,
     res.status = {ErrKind::Io, "store not open"};
     return res;
   }
-  Manifest m;
+  ManifestData m;
   std::uint64_t mfile_bytes = 0;
   res.status = load_manifest(name, m, &mfile_bytes);
   if (!res.status.ok()) return res;
@@ -578,38 +374,9 @@ GetResult Store::get(const std::string& name, slimcr::Snapshot& out,
                                     sanitize(name) + "')"};
       return nullptr;
     }
-    if (raw.size() < kChunkHeaderBytes ||
-        std::memcmp(raw.data(), kChunkMagic, sizeof kChunkMagic) != 0) {
-      res.status = {ErrKind::BadMagic, path + " is not a snapstore chunk"};
-      return nullptr;
-    }
-    ByteReader r{raw.data() + sizeof kChunkMagic,
-                 raw.size() - sizeof kChunkMagic};
-    const auto codec_id = static_cast<CodecId>(r.get<std::uint8_t>());
-    const std::uint64_t raw_len = r.get<std::uint64_t>();
-    const std::uint64_t comp_len = r.get<std::uint64_t>();
-    const std::uint32_t want_crc = r.get<std::uint32_t>();
-    if (raw_len != k.len) {
-      res.status = {ErrKind::Corrupt, "chunk header length mismatch in " + path};
-      return nullptr;
-    }
-    if (raw.size() != kChunkHeaderBytes + comp_len) {
-      res.status = {ErrKind::Truncated, "pool chunk truncated: " + path};
-      return nullptr;
-    }
-    const std::uint8_t* payload = raw.data() + kChunkHeaderBytes;
-    if (slimcr::crc32(payload, static_cast<std::size_t>(comp_len)) != want_crc) {
-      res.status = {ErrKind::Corrupt, "chunk CRC mismatch in " + path};
-      return nullptr;
-    }
-    const Codec* codec = codec_for(codec_id);
     std::vector<std::uint8_t> decoded;
-    if (codec == nullptr ||
-        !codec->decompress({payload, static_cast<std::size_t>(comp_len)},
-                           static_cast<std::size_t>(raw_len), decoded)) {
-      res.status = {ErrKind::Corrupt, "chunk payload undecodable in " + path};
-      return nullptr;
-    }
+    res.status = decode_chunk_file(raw.data(), raw.size(), k.len, decoded, path);
+    if (!res.status.ok()) return nullptr;
     res.bytes_read += raw.size();
     return &cache.emplace(k, std::move(decoded)).first->second;
   };
@@ -644,7 +411,7 @@ GetResult Store::get(const std::string& name, slimcr::Snapshot& out,
 
 Status Store::remove(const std::string& name) {
   if (!is_open()) return {ErrKind::Io, "store not open"};
-  Manifest m;
+  ManifestData m;
   const Status st = load_manifest(name, m, nullptr);
   if (!st.ok()) return st;
   std::error_code ec;
@@ -657,9 +424,9 @@ Status Store::remove(const std::string& name) {
 
 // ---- streaming manifests (live pre-copy) ------------------------------------
 
-std::unique_ptr<OpenManifest> Store::begin(const std::string& name) {
+std::unique_ptr<ManifestSession> Store::begin(const std::string& name) {
   if (!is_open()) return nullptr;
-  return std::unique_ptr<OpenManifest>(new OpenManifest(this, name));
+  return std::unique_ptr<ManifestSession>(new OpenManifest(this, name));
 }
 
 OpenManifest::~OpenManifest() { abort(); }
@@ -671,9 +438,10 @@ OpenManifest::Section& OpenManifest::section(const std::string& name) {
   return sections_.back();
 }
 
-OpenManifest::ChunkResult OpenManifest::put_chunk(
-    const std::string& sec_name, std::size_t chunk_idx, const std::uint8_t* data,
-    std::size_t len, const slimcr::StorageModel& storage) {
+ChunkResult OpenManifest::put_chunk(const std::string& sec_name,
+                                    std::size_t chunk_idx,
+                                    const std::uint8_t* data, std::size_t len,
+                                    const slimcr::StorageModel& storage) {
   ChunkResult res;
   if (sealed_ || aborted_) {
     res.status = {ErrKind::Io, "manifest session already closed"};
@@ -717,9 +485,9 @@ OpenManifest::ChunkResult OpenManifest::put_chunk(
   return res;
 }
 
-OpenManifest::ChunkResult OpenManifest::put_section(
-    const std::string& sec_name, const std::uint8_t* data, std::size_t len,
-    const slimcr::StorageModel& storage) {
+ChunkResult OpenManifest::put_section(const std::string& sec_name,
+                                      const std::uint8_t* data, std::size_t len,
+                                      const slimcr::StorageModel& storage) {
   ChunkResult total;
   if (sealed_ || aborted_) {
     total.status = {ErrKind::Io, "manifest session already closed"};
@@ -767,32 +535,21 @@ PutResult OpenManifest::seal(const slimcr::StorageModel& storage) {
       }
     }
   }
-  Store::Manifest old_manifest;
+  ManifestData old_manifest;
   const bool had_old =
       store_->load_manifest(name_, old_manifest, nullptr).ok();
 
   // Same byte layout as Store::put() writes, so load_manifest()/get() serve
   // sealed streams and batch puts identically.
-  std::vector<std::uint8_t> mbytes;
-  mbytes.insert(mbytes.end(), kManifestMagic,
-                kManifestMagic + sizeof kManifestMagic);
-  put_u32(mbytes, kManifestVersion);
-  put_u64(mbytes, sections_.size());
+  ManifestData md;
   for (const auto& sec : sections_) {
-    put_u64(mbytes, sec.name.size());
-    mbytes.insert(mbytes.end(), sec.name.begin(), sec.name.end());
-    std::uint64_t raw_len = 0;
-    for (const std::uint64_t l : sec.lens) raw_len += l;
-    put_u64(mbytes, raw_len);
-    put_u64(mbytes, sec.keys.size());
-    for (const ChunkKey& k : sec.keys) {
-      put_u64(mbytes, k.hash);
-      put_u64(mbytes, k.len);
-      put_u32(mbytes, k.uniq);
-    }
+    ManifestData::Section out;
+    out.name = sec.name;
+    for (const std::uint64_t l : sec.lens) out.raw_len += l;
+    out.refs = sec.keys;
+    md.sections.push_back(std::move(out));
   }
-  put_u32(mbytes, slimcr::crc32(mbytes.data() + sizeof kManifestMagic,
-                                mbytes.size() - sizeof kManifestMagic));
+  const std::vector<std::uint8_t> mbytes = encode_manifest(md);
   const std::string mpath = store_->manifest_path(name_);
   if (!write_whole_file(mpath + ".tmp", mbytes) ||
       std::rename((mpath + ".tmp").c_str(), mpath.c_str()) != 0) {

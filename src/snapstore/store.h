@@ -24,6 +24,12 @@
 // lever, and the store's whole point is shrinking it.  Reads verify every
 // chunk (header, CRC, decoded length) and every manifest (magic, version,
 // CRC) and return a typed Status instead of partially-filled snapshots.
+//
+// Two backends implement the same StoreIface/ManifestSession contract: the
+// local single-directory Store below, and the sharded, replicated network
+// store (shard.h) that places the same chunk/manifest bytes across N
+// checl_snapd daemons.  The checkpoint engine talks to the interface only,
+// so live and stop-the-world checkpoints work unchanged over either.
 #pragma once
 
 #include <cstdint>
@@ -35,27 +41,9 @@
 #include "slimcr/snapshot.h"
 #include "snapstore/chunk.h"
 #include "snapstore/codec.h"
+#include "snapstore/format.h"
 
 namespace snapstore {
-
-enum class ErrKind : std::uint8_t {
-  None = 0,
-  Io,               // open/read/write/unlink failure
-  BadMagic,         // not a snapstore manifest / chunk
-  BadVersion,       // format version mismatch
-  Truncated,        // file shorter than its headers declare
-  Corrupt,          // CRC mismatch or malformed structure
-  MissingManifest,  // named snapshot not in the store
-  MissingChunk,     // manifest references a chunk the pool no longer has
-};
-
-[[nodiscard]] const char* errkind_name(ErrKind k) noexcept;
-
-struct Status {
-  ErrKind kind = ErrKind::None;
-  std::string message;
-  [[nodiscard]] bool ok() const noexcept { return kind == ErrKind::None; }
-};
 
 struct Options {
   std::size_t chunk_bytes = 64 * 1024;
@@ -102,63 +90,124 @@ struct GetResult {
   std::uint64_t duration_ns = 0;    // simulated read time for bytes_read
 };
 
-class Store;
+// One put_chunk/put_section outcome within a streaming session.
+struct ChunkResult {
+  Status status;
+  bool dedup_hit = false;
+  std::uint64_t stored_bytes = 0;  // 0 on a dedup hit
+  std::uint64_t duration_ns = 0;   // simulated write time for stored_bytes
+};
 
 // A manifest under construction: the streaming (live pre-copy) counterpart to
-// Store::put().  Chunks arrive one at a time over many rounds — possibly
+// StoreIface::put().  Chunks arrive one at a time over many rounds — possibly
 // re-putting the same (section, index) slot when a later round finds it dirty
-// again — and nothing becomes visible to Store::get() until seal().
-//
-// Transactionality: each put_chunk pins a provisional reference in the pool
-// (writing the chunk file if its content is new).  seal() writes the manifest
-// atomically (tmp + rename) and the provisional pins simply become the
-// manifest's references; abort() — also run by the destructor if the session
-// is still open — releases every pin and unlinks chunks that drop to zero
-// references, so a failed or crashed round leaves the pool exactly as it was
-// and any previous manifest of the same name untouched and restorable.  A
-// hard crash that skips even the destructor leaves orphan chunk files, which
-// the next Store::open() sweeps (Stats::orphans_swept).
-//
-// One session per Store at a time; interleaving with put()/remove() on the
-// same Store is not supported.
-class OpenManifest {
+// again — and nothing becomes visible to get() until seal().  abort() — also
+// run by the destructor if the session is still open — undoes everything this
+// session added, so a failed or crashed round leaves the backend exactly as
+// it was and any previous manifest of the same name untouched and restorable.
+class ManifestSession {
  public:
-  ~OpenManifest();
-  OpenManifest(const OpenManifest&) = delete;
-  OpenManifest& operator=(const OpenManifest&) = delete;
+  using ChunkResult = snapstore::ChunkResult;
 
-  struct ChunkResult {
-    Status status;
-    bool dedup_hit = false;
-    std::uint64_t stored_bytes = 0;  // 0 on a dedup hit
-    std::uint64_t duration_ns = 0;   // simulated write time for stored_bytes
-  };
+  virtual ~ManifestSession() = default;
 
   // Stores `data` as chunk `chunk_idx` of section `section` (created on first
   // touch; slots may arrive in any order and may be overwritten).  The caller
   // owns the chunking policy; restore reassembles slots in index order.
-  ChunkResult put_chunk(const std::string& section, std::size_t chunk_idx,
-                        const std::uint8_t* data, std::size_t len,
-                        const slimcr::StorageModel& storage);
+  virtual ChunkResult put_chunk(const std::string& section,
+                                std::size_t chunk_idx, const std::uint8_t* data,
+                                std::size_t len,
+                                const slimcr::StorageModel& storage) = 0;
 
   // Whole-section convenience for the stop-the-world residue phase (object
   // DB, app regions): splits `data` at the store's chunk size and streams the
   // pieces through put_chunk.
-  ChunkResult put_section(const std::string& section, const std::uint8_t* data,
-                          std::size_t len, const slimcr::StorageModel& storage);
+  virtual ChunkResult put_section(const std::string& section,
+                                  const std::uint8_t* data, std::size_t len,
+                                  const slimcr::StorageModel& storage) = 0;
 
   // Writes the manifest and makes the snapshot visible; retires a prior
   // manifest of the same name.  Fails (leaving the session open) if any
   // section has an unfilled slot.  PutResult aggregates the whole session;
   // duration_ns covers only the manifest write — chunk writes were already
   // charged by put_chunk.
-  PutResult seal(const slimcr::StorageModel& storage);
+  virtual PutResult seal(const slimcr::StorageModel& storage) = 0;
 
-  // Releases every provisional pin; zero-ref chunks are unlinked.  Idempotent.
-  void abort();
+  // Releases everything this session provisionally stored.  Idempotent.
+  virtual void abort() = 0;
 
-  [[nodiscard]] bool sealed() const noexcept { return sealed_; }
-  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] virtual bool sealed() const noexcept = 0;
+  [[nodiscard]] virtual const std::string& name() const noexcept = 0;
+};
+
+// The backend contract the checkpoint engine programs against.  Implemented
+// by the local Store below and by ShardedStore (shard.h).
+class StoreIface {
+ public:
+  virtual ~StoreIface() = default;
+
+  // Writes `snap` as manifest `name` (overwriting an existing manifest of
+  // that name, with its references retired afterwards).  Only chunks absent
+  // from the pool are written and charged.
+  virtual PutResult put(const std::string& name, const slimcr::Snapshot& snap,
+                        const slimcr::StorageModel& storage) = 0;
+
+  // Verified read of manifest `name` into `out`; on failure `out` is left
+  // untouched.
+  virtual GetResult get(const std::string& name, slimcr::Snapshot& out,
+                        const slimcr::StorageModel& storage) = 0;
+
+  // Deletes a manifest and garbage-collects chunks no longer referenced.
+  virtual Status remove(const std::string& name) = 0;
+
+  // Opens a streaming manifest session.  nullptr if the store is not open.
+  // One session per store at a time; interleaving with put()/remove() on the
+  // same store is not supported.
+  [[nodiscard]] virtual std::unique_ptr<ManifestSession> begin(
+      const std::string& name) = 0;
+
+  [[nodiscard]] virtual bool contains(const std::string& name) const = 0;
+  [[nodiscard]] virtual std::vector<std::string> manifest_names() const = 0;
+  [[nodiscard]] virtual bool is_open() const noexcept = 0;
+  [[nodiscard]] virtual const Options& options() const noexcept = 0;
+  [[nodiscard]] virtual const Stats& stats() const noexcept = 0;
+
+  // Fan-out width of the backend: 1 for the local store, the shard-daemon
+  // count for ShardedStore.  minimpi divides its per-rank aggregation charge
+  // by this — ranks stripe to shards instead of funneling into one aggregate.
+  [[nodiscard]] virtual unsigned shard_count() const noexcept { return 1; }
+};
+
+class Store;
+
+// The local store's streaming session.
+//
+// Transactionality: each put_chunk pins a provisional reference in the pool
+// (writing the chunk file if its content is new).  seal() writes the manifest
+// atomically (tmp + rename) and the provisional pins simply become the
+// manifest's references; abort() releases every pin and unlinks chunks that
+// drop to zero references.  A hard crash that skips even the destructor
+// leaves orphan chunk files, which the next Store::open() sweeps
+// (Stats::orphans_swept).
+class OpenManifest final : public ManifestSession {
+ public:
+  ~OpenManifest() override;
+  OpenManifest(const OpenManifest&) = delete;
+  OpenManifest& operator=(const OpenManifest&) = delete;
+
+  ChunkResult put_chunk(const std::string& section, std::size_t chunk_idx,
+                        const std::uint8_t* data, std::size_t len,
+                        const slimcr::StorageModel& storage) override;
+  ChunkResult put_section(const std::string& section, const std::uint8_t* data,
+                          std::size_t len,
+                          const slimcr::StorageModel& storage) override;
+  PutResult seal(const slimcr::StorageModel& storage) override;
+  void abort() override;
+
+  [[nodiscard]] bool sealed() const noexcept override { return sealed_; }
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
 
  private:
   friend class Store;
@@ -185,7 +234,7 @@ class OpenManifest {
   std::uint64_t stored_bytes_ = 0;
 };
 
-class Store {
+class Store final : public StoreIface {
  public:
   Store() = default;
   Store(const Store&) = delete;
@@ -194,31 +243,24 @@ class Store {
   // Creates the directory layout if needed and rebuilds chunk refcounts by
   // scanning the existing manifests.  A second open() rebinds the instance.
   Status open(const std::string& root, const Options& opt = {});
-  [[nodiscard]] bool is_open() const noexcept { return !root_.empty(); }
+  [[nodiscard]] bool is_open() const noexcept override {
+    return !root_.empty();
+  }
   [[nodiscard]] const std::string& root() const noexcept { return root_; }
-  [[nodiscard]] const Options& options() const noexcept { return opt_; }
+  [[nodiscard]] const Options& options() const noexcept override {
+    return opt_;
+  }
 
-  // Writes `snap` as manifest `name` (overwriting an existing manifest of
-  // that name, with its references retired afterwards).  Only chunks absent
-  // from the pool are written and charged.
   PutResult put(const std::string& name, const slimcr::Snapshot& snap,
-                const slimcr::StorageModel& storage);
-
-  // Verified read of manifest `name` into `out`; on failure `out` is left
-  // untouched.
+                const slimcr::StorageModel& storage) override;
   GetResult get(const std::string& name, slimcr::Snapshot& out,
-                const slimcr::StorageModel& storage);
-
-  // Deletes a manifest and garbage-collects chunks whose refcount drops to 0.
-  Status remove(const std::string& name);
-
-  // Opens a streaming manifest session (see OpenManifest).  Returns nullptr
-  // if the store is not open.
-  [[nodiscard]] std::unique_ptr<OpenManifest> begin(const std::string& name);
-
-  [[nodiscard]] bool contains(const std::string& name) const;
-  [[nodiscard]] std::vector<std::string> manifest_names() const;
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+                const slimcr::StorageModel& storage) override;
+  Status remove(const std::string& name) override;
+  [[nodiscard]] std::unique_ptr<ManifestSession> begin(
+      const std::string& name) override;
+  [[nodiscard]] bool contains(const std::string& name) const override;
+  [[nodiscard]] std::vector<std::string> manifest_names() const override;
+  [[nodiscard]] const Stats& stats() const noexcept override { return stats_; }
 
  private:
   friend class OpenManifest;
@@ -227,13 +269,12 @@ class Store {
     std::uint32_t refs = 0;
     std::uint64_t stored_bytes = 0;  // chunk file size (0 until known)
   };
-  struct Manifest;  // parsed form, store.cpp-local layout
 
   [[nodiscard]] std::string chunk_path(const ChunkKey& k) const;
   [[nodiscard]] std::string manifest_path(const std::string& name) const;
-  Status load_manifest(const std::string& name, Manifest& out,
+  Status load_manifest(const std::string& name, ManifestData& out,
                        std::uint64_t* file_bytes) const;
-  void retire_manifest_refs(const Manifest& m);
+  void retire_manifest_refs(const ManifestData& m);
   // Decrement one reference on `k`; at zero, unlink the chunk file and drop
   // the pool entry.
   void release_ref(const ChunkKey& k);

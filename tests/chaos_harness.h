@@ -364,7 +364,7 @@ inline Verdict run_schedule(const Schedule& s) {
     // so a re-put would dedup against it and re-reference the damage;
     // deleting the manifest drops its refcounts and GCs the bad chunk.
     if (s.store_mode) {
-      if (snapstore::Store* st = eng.store_if_open(); st != nullptr)
+      if (snapstore::StoreIface* st = eng.store_if_open(); st != nullptr)
         st->remove(ckpt);  // may be MissingManifest after an ENOSPC put
     }
     // Re-checkpoint over the (failed or corrupted) artifact, then restore.

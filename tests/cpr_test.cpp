@@ -558,7 +558,7 @@ TEST_F(CprStoreTest, RepeatCheckpointsPayOnlyForChangedBytes) {
   EXPECT_EQ(out, blob);
 
   // GC of the first checkpoint must not break the second (shared chunks)
-  snapstore::Store* st = engine().store_if_open();
+  snapstore::StoreIface* st = engine().store_if_open();
   ASSERT_NE(st, nullptr);
   ASSERT_TRUE(st->remove("ckpt_a").ok());
   ASSERT_EQ(engine().restart_in_place("ckpt_b", std::nullopt, nullptr),

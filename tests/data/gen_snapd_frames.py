@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerates the pinned checl_snapd wire-protocol corpus (snapd_v1_frames.bin).
+
+The binary is committed; this script only exists so a reader can see how the
+bytes were produced.  If src/snapd/proto.cpp stops round-tripping these frames
+that is a PROTOCOL revision breaking live fleets mid-upgrade — it must be
+handled with a version bump (kVersion), not by regenerating the corpus.
+
+Frame layout (little-endian, src/snapd/proto.h):
+  magic u32 'SPD1' | version u16 | op u16 | status u16 | reserved u16 |
+  body_len u32 | body[body_len] | fnv u64
+The trailing FNV-1a 64 covers header + body.  The corpus file is simply the
+frames concatenated; each frame is self-describing via body_len.
+"""
+import struct
+from pathlib import Path
+
+MAGIC = 0x31445053  # 'S','P','D','1' LE
+VERSION = 1
+
+# Op codes (src/snapd/proto.h)
+PING, PUT_CHUNK, GET_CHUNK, HAS_CHUNK, DEL_CHUNK = 1, 2, 3, 4, 5
+PUT_MANIFEST, GET_MANIFEST, DEL_MANIFEST = 6, 7, 8
+LIST_MANIFESTS, LIST_CHUNKS, STAT, SHUTDOWN = 9, 10, 11, 12
+
+# Wire status
+OK, MISSING, IO, BAD_REQUEST, CORRUPT, UNSUPPORTED = 0, 1, 2, 3, 4, 5
+
+
+def fnv1a64(data: bytes) -> int:
+    h = 14695981039346656037
+    for b in data:
+        h ^= b
+        h = (h * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def frame(op: int, status: int, body: bytes = b"") -> bytes:
+    hdr = struct.pack("<IHHHHI", MAGIC, VERSION, op, status, 0, len(body))
+    return hdr + body + struct.pack("<Q", fnv1a64(hdr + body))
+
+
+def key(h: int, length: int, uniq: int = 0) -> bytes:
+    return struct.pack("<QQI", h, length, uniq)
+
+
+def main() -> None:
+    payload = bytes(range(16))  # stands in for a SNAPCHK1 chunk file
+    frames = [
+        frame(PING, OK),                                       # 0 request
+        frame(PUT_CHUNK, OK,                                   # 1 request
+              key(0x0123456789ABCDEF, 16) + payload),
+        frame(GET_CHUNK, OK, payload),                         # 2 reply
+        frame(GET_CHUNK, MISSING),                             # 3 reply
+        frame(PUT_MANIFEST, OK,                                # 4 request
+              struct.pack("<QH", 7, 2) + b"ck" + b"MANIFEST-BYTES"),
+        frame(STAT, OK, struct.pack("<7Q", 1, 2, 3, 4, 5, 6, 7)),  # 5 reply
+        frame(SHUTDOWN, UNSUPPORTED),                          # 6 reply
+    ]
+    out = Path(__file__).with_name("snapd_v1_frames.bin")
+    out.write_bytes(b"".join(frames))
+    print(f"wrote {out} ({sum(len(f) for f in frames)} bytes, "
+          f"{len(frames)} frames)")
+
+
+if __name__ == "__main__":
+    main()

@@ -145,7 +145,7 @@ TEST(MiniMpiSnapstore, GlobalSnapshotDedupsReplicatedBuffers) {
   ASSERT_GT(pt.logical_bytes, 0u);
   // four replicated rank images stored as (roughly) one
   EXPECT_LT(pt.file_bytes, pt.logical_bytes / 2);
-  snapstore::Store* st = rt.engine().store_if_open();
+  snapstore::StoreIface* st = rt.engine().store_if_open();
   ASSERT_NE(st, nullptr);
   EXPECT_EQ(st->stats().manifests, 1u);
   EXPECT_GT(st->stats().dedup_hits, 0u);

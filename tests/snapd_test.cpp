@@ -1,0 +1,898 @@
+// snapd_test.cpp — the distributed snapstore torture battery: consistent-hash
+// ring properties, the pinned v1 wire-format corpus, single-daemon lifecycle,
+// and the replication/repair path under real process death and replica
+// corruption (4 daemons, R=2: kill one mid-seal → old-or-new never torn;
+// corrupt one replica → restore fails over byte-identically; repair() returns
+// the fleet to full replication).
+//
+// The chaos cases are reproducible: CHECL_CHAOS_SEED=<n> ./test_snapd reruns
+// the exact schedule a failure printed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <unordered_map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "chaoskit/chaoskit.h"
+#include "checl/checl.h"
+#include "checl/cl.h"
+#include "core/stats.h"
+#include "slimcr/storage.h"
+#include "snapd/client.h"
+#include "snapd/proto.h"
+#include "snapd/spawn.h"
+#include "snapstore/shard.h"
+#include "snapstore/store.h"
+
+namespace fs = std::filesystem;
+using snapstore::ChunkKey;
+using snapstore::ErrKind;
+using snapstore::HashRing;
+using snapstore::ShardedStore;
+using snapstore::ShardOptions;
+
+namespace {
+
+std::uint64_t master_seed() {
+  if (const char* v = std::getenv("CHECL_CHAOS_SEED");
+      v != nullptr && *v != '\0')
+    return std::strtoull(v, nullptr, 10);
+  return 12345;
+}
+
+std::string repro_line() {
+  return "CHECL_CHAOS_SEED=" + std::to_string(master_seed()) + " ./test_snapd";
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng());
+  return v;
+}
+
+std::vector<std::uint8_t> patterned_bytes(std::size_t n, std::uint32_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::uint8_t>((i / 64 + seed) % 7);
+  return v;
+}
+
+slimcr::Snapshot make_snapshot(std::uint32_t seed, std::size_t nbufs,
+                               std::size_t bytes) {
+  slimcr::Snapshot s;
+  for (std::size_t i = 0; i < nbufs; ++i) {
+    auto data = (i % 2 == 0)
+                    ? patterned_bytes(bytes, seed + static_cast<std::uint32_t>(i))
+                    : random_bytes(bytes, seed + static_cast<std::uint32_t>(i));
+    s.set("mem." + std::to_string(i), std::move(data));
+  }
+  return s;
+}
+
+void expect_equal(const slimcr::Snapshot& a, const slimcr::Snapshot& b) {
+  ASSERT_EQ(a.section_count(), b.section_count()) << "  repro: " << repro_line();
+  for (const auto& [name, data] : a.sections()) {
+    const auto* other = b.get(name);
+    ASSERT_NE(other, nullptr) << name << "\n  repro: " << repro_line();
+    EXPECT_EQ(*other, data) << name << "\n  repro: " << repro_line();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// consistent-hash ring: balance, distinctness, minimal movement
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> shard_ids(unsigned n) {
+  std::vector<std::string> ids;
+  for (unsigned i = 0; i < n; ++i) ids.push_back("shard" + std::to_string(i));
+  return ids;
+}
+
+TEST(SnapdRing, BalancedAtSixtyFourVnodes) {
+  // The load-balance gate: with >= 64 vnodes per shard no shard owns more
+  // than 1.25x the mean share of keys.
+  std::mt19937_64 rng(master_seed());
+  for (const unsigned nshards : {3u, 4u, 8u}) {
+    for (const unsigned vnodes : {64u, 128u}) {
+      HashRing ring;
+      ring.build(shard_ids(nshards), vnodes);
+      std::vector<std::uint64_t> counts(nshards, 0);
+      const std::size_t nkeys = 40000;
+      for (std::size_t i = 0; i < nkeys; ++i) counts[ring.place(rng(), 1)[0]]++;
+      const double mean = static_cast<double>(nkeys) / nshards;
+      const std::uint64_t worst = *std::max_element(counts.begin(), counts.end());
+      EXPECT_LE(static_cast<double>(worst) / mean, 1.25)
+          << nshards << " shards, " << vnodes << " vnodes\n  repro: "
+          << repro_line();
+    }
+  }
+}
+
+TEST(SnapdRing, ReplicasAreDistinctAndClamped) {
+  HashRing ring;
+  ring.build(shard_ids(4), 64);
+  std::mt19937_64 rng(master_seed() + 1);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t h = rng();
+    for (const unsigned r : {1u, 2u, 3u, 4u, 9u}) {
+      const std::vector<unsigned> reps = ring.place(h, r);
+      EXPECT_EQ(reps.size(), std::min(r, 4u));
+      std::vector<unsigned> sorted = reps;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end())
+          << "duplicate replica for key " << h;
+      for (const unsigned s : reps) EXPECT_LT(s, 4u);
+    }
+  }
+  // same key, same placement — placement is a pure function of the ring
+  const std::vector<unsigned> a = ring.place(42, 2);
+  const std::vector<unsigned> b = ring.place(42, 2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SnapdRing, GrowthMovesRoughlyOneOverNKeys) {
+  // Stable shard identities make growth N -> N+1 remap ~1/(N+1) of the keys.
+  // A naive mod-N placement would remap ~N/(N+1) — the property test pins the
+  // consistent-hash behaviour, with generous slack for vnode variance.
+  std::mt19937_64 rng(master_seed() + 2);
+  const std::size_t nkeys = 30000;
+  std::vector<std::uint64_t> keys(nkeys);
+  for (auto& k : keys) k = rng();
+  for (const unsigned n : {4u, 8u}) {
+    HashRing before, after;
+    before.build(shard_ids(n), 64);
+    after.build(shard_ids(n + 1), 64);
+    std::size_t moved = 0;
+    for (const std::uint64_t k : keys)
+      if (before.place(k, 1)[0] != after.place(k, 1)[0]) moved++;
+    const double expected = static_cast<double>(nkeys) / (n + 1);
+    EXPECT_GT(moved, 0u);
+    EXPECT_LT(static_cast<double>(moved), 2.0 * expected)
+        << n << " -> " << n + 1 << " shards moved " << moved
+        << "\n  repro: " << repro_line();
+    // and nothing close to a full reshuffle
+    EXPECT_LT(moved, nkeys / 2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// wire format: the pinned v1 corpus (tests/data/snapd_v1_frames.bin)
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> read_corpus() {
+  const char* dir = std::getenv("CHECL_TEST_DATA");
+  if (dir == nullptr || *dir == '\0') dir = CHECL_TEST_DATA_DIR;
+  const std::string path = std::string(dir) + "/snapd_v1_frames.bin";
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// Walks the concatenated corpus; each frame is self-describing via body_len.
+std::vector<std::vector<std::uint8_t>> split_frames(
+    const std::vector<std::uint8_t>& all) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::size_t off = 0;
+  while (off + snapd::kHeaderBytes + snapd::kTrailerBytes <= all.size()) {
+    std::uint32_t body_len = 0;
+    std::memcpy(&body_len, all.data() + off + 12, 4);
+    const std::size_t total =
+        snapd::kHeaderBytes + body_len + snapd::kTrailerBytes;
+    if (off + total > all.size()) break;
+    frames.emplace_back(all.begin() + static_cast<std::ptrdiff_t>(off),
+                        all.begin() + static_cast<std::ptrdiff_t>(off + total));
+    off += total;
+  }
+  EXPECT_EQ(off, all.size()) << "trailing garbage in corpus";
+  return frames;
+}
+
+TEST(SnapdWire, EncoderReproducesGoldenCorpus) {
+  // encode_frame on the documented inputs must produce the pinned bytes —
+  // a mismatch is a protocol revision, not a refactor (bump kVersion).
+  const auto frames = split_frames(read_corpus());
+  ASSERT_EQ(frames.size(), 7u);
+
+  using snapd::Op;
+  using snapd::Wire;
+  const std::vector<std::uint8_t> payload = [] {
+    std::vector<std::uint8_t> v(16);
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v[i] = static_cast<std::uint8_t>(i);
+    return v;
+  }();
+
+  EXPECT_EQ(frames[0], snapd::encode_frame(Op::Ping, Wire::Ok, nullptr, 0));
+
+  std::vector<std::uint8_t> put_body;
+  snapd::put_key(put_body, ChunkKey{0x0123456789ABCDEFull, 16, 0});
+  put_body.insert(put_body.end(), payload.begin(), payload.end());
+  EXPECT_EQ(frames[1], snapd::encode_frame(Op::PutChunk, Wire::Ok,
+                                           put_body.data(), put_body.size()));
+
+  EXPECT_EQ(frames[2], snapd::encode_frame(Op::GetChunk, Wire::Ok,
+                                           payload.data(), payload.size()));
+  EXPECT_EQ(frames[3],
+            snapd::encode_frame(Op::GetChunk, Wire::Missing, nullptr, 0));
+
+  std::vector<std::uint8_t> man_body;
+  const std::uint64_t seq = 7;
+  const std::uint16_t nlen = 2;
+  man_body.insert(man_body.end(),
+                  reinterpret_cast<const std::uint8_t*>(&seq),
+                  reinterpret_cast<const std::uint8_t*>(&seq) + 8);
+  man_body.insert(man_body.end(),
+                  reinterpret_cast<const std::uint8_t*>(&nlen),
+                  reinterpret_cast<const std::uint8_t*>(&nlen) + 2);
+  const std::string name_and_payload = "ckMANIFEST-BYTES";
+  man_body.insert(man_body.end(), name_and_payload.begin(),
+                  name_and_payload.end());
+  EXPECT_EQ(frames[4], snapd::encode_frame(Op::PutManifest, Wire::Ok,
+                                           man_body.data(), man_body.size()));
+
+  std::vector<std::uint8_t> stat_body;
+  for (std::uint64_t v = 1; v <= 7; ++v)
+    stat_body.insert(stat_body.end(),
+                     reinterpret_cast<const std::uint8_t*>(&v),
+                     reinterpret_cast<const std::uint8_t*>(&v) + 8);
+  EXPECT_EQ(frames[5], snapd::encode_frame(Op::Stat, Wire::Ok,
+                                           stat_body.data(), stat_body.size()));
+  EXPECT_EQ(frames[6],
+            snapd::encode_frame(Op::Shutdown, Wire::Unsupported, nullptr, 0));
+}
+
+TEST(SnapdWire, DecoderAcceptsCorpusAndRejectsTampering) {
+  const auto frames = split_frames(read_corpus());
+  ASSERT_EQ(frames.size(), 7u);
+  // every pinned frame decodes with the expected op/status
+  const std::vector<std::pair<snapd::Op, snapd::Wire>> want = {
+      {snapd::Op::Ping, snapd::Wire::Ok},
+      {snapd::Op::PutChunk, snapd::Wire::Ok},
+      {snapd::Op::GetChunk, snapd::Wire::Ok},
+      {snapd::Op::GetChunk, snapd::Wire::Missing},
+      {snapd::Op::PutManifest, snapd::Wire::Ok},
+      {snapd::Op::Stat, snapd::Wire::Ok},
+      {snapd::Op::Shutdown, snapd::Wire::Unsupported},
+  };
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    snapd::Frame f;
+    ASSERT_TRUE(snapd::decode_frame(frames[i].data(), frames[i].size(), f))
+        << "frame " << i;
+    EXPECT_EQ(f.op, want[i].first) << "frame " << i;
+    EXPECT_EQ(f.status, want[i].second) << "frame " << i;
+  }
+  // the key round-trips out of the pinned PutChunk body
+  snapd::Frame put;
+  ASSERT_TRUE(snapd::decode_frame(frames[1].data(), frames[1].size(), put));
+  ChunkKey k;
+  ASSERT_TRUE(snapd::get_key(put.body.data(), put.body.size(), k));
+  EXPECT_EQ(k.hash, 0x0123456789ABCDEFull);
+  EXPECT_EQ(k.len, 16u);
+  EXPECT_EQ(k.uniq, 0u);
+
+  // a single flipped bit ANYWHERE in a frame must fail the FNV trailer
+  std::mt19937 rng(static_cast<std::uint32_t>(master_seed() + 3));
+  for (const auto& orig : frames) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<std::uint8_t> bad = orig;
+      bad[rng() % bad.size()] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+      snapd::Frame f;
+      EXPECT_FALSE(snapd::decode_frame(bad.data(), bad.size(), f))
+          << "tampered frame accepted\n  repro: " << repro_line();
+    }
+    // truncation must fail too
+    snapd::Frame f;
+    EXPECT_FALSE(snapd::decode_frame(orig.data(), orig.size() - 1, f));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// one daemon: chunk/manifest lifecycle over the real socket
+// ---------------------------------------------------------------------------
+
+class SnapdDaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = "/tmp/checl_snapd_test_daemon";
+    fs::remove_all(root_);
+    shard_ = snapd::spawn_snapd(root_);
+    ASSERT_TRUE(shard_.ok()) << shard_.error;
+    ASSERT_TRUE(client_.connect("127.0.0.1", shard_.port, "shard0"));
+  }
+  void TearDown() override {
+    client_.close();
+    snapd::kill_snapd(shard_);
+    fs::remove_all(root_);
+  }
+
+  std::string root_;
+  snapd::SpawnedShard shard_;
+  snapd::ShardClient client_;
+};
+
+TEST_F(SnapdDaemonTest, ChunkLifecycle) {
+  ASSERT_EQ(client_.ping(), snapd::Wire::Ok);
+  const auto raw = random_bytes(4096, 7);
+  const auto file =
+      snapstore::encode_chunk_file(raw.data(), raw.size(), snapstore::CodecId::Lz);
+  const ChunkKey k{snapstore::hash64(raw.data(), raw.size()), raw.size(), 0};
+
+  EXPECT_EQ(client_.has_chunk(k), snapd::Wire::Missing);
+  ASSERT_EQ(client_.put_chunk(k, file.data(), file.size()), snapd::Wire::Ok);
+  EXPECT_EQ(client_.has_chunk(k), snapd::Wire::Ok);
+
+  std::vector<std::uint8_t> got;
+  ASSERT_EQ(client_.get_chunk(k, got), snapd::Wire::Ok);
+  EXPECT_EQ(got, file);  // stored verbatim — the daemon never re-encodes
+  std::vector<std::uint8_t> decoded;
+  ASSERT_TRUE(snapstore::decode_chunk_file(got.data(), got.size(), k.len,
+                                           decoded, "shard0")
+                  .ok());
+  EXPECT_EQ(decoded, raw);
+
+  std::vector<snapd::ChunkEntry> listing;
+  ASSERT_EQ(client_.list_chunks(listing), snapd::Wire::Ok);
+  ASSERT_EQ(listing.size(), 1u);
+  EXPECT_EQ(listing[0].key, k);
+  EXPECT_EQ(listing[0].file_len, file.size());
+
+  EXPECT_EQ(client_.del_chunk(k), snapd::Wire::Ok);
+  EXPECT_EQ(client_.del_chunk(k), snapd::Wire::Missing);
+  EXPECT_EQ(client_.has_chunk(k), snapd::Wire::Missing);
+}
+
+TEST_F(SnapdDaemonTest, ManifestSealSeqAndListing) {
+  const std::vector<std::uint8_t> v1 = {1, 2, 3};
+  const std::vector<std::uint8_t> v2 = {9, 8, 7, 6};
+  ASSERT_EQ(client_.put_manifest("ck", 1, v1.data(), v1.size()),
+            snapd::Wire::Ok);
+  ASSERT_EQ(client_.put_manifest("ck", 2, v2.data(), v2.size()),
+            snapd::Wire::Ok);
+
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(client_.get_manifest("ck", seq, payload), snapd::Wire::Ok);
+  EXPECT_EQ(seq, 2u);
+  EXPECT_EQ(payload, v2);
+
+  std::vector<snapd::ManifestEntry> names;
+  ASSERT_EQ(client_.list_manifests(names), snapd::Wire::Ok);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0].name, "ck");
+  EXPECT_EQ(names[0].seal_seq, 2u);
+
+  EXPECT_EQ(client_.get_manifest("nope", seq, payload), snapd::Wire::Missing);
+  EXPECT_EQ(client_.del_manifest("ck"), snapd::Wire::Ok);
+  EXPECT_EQ(client_.get_manifest("ck", seq, payload), snapd::Wire::Missing);
+}
+
+TEST_F(SnapdDaemonTest, StateSurvivesDaemonRestart) {
+  const auto raw = patterned_bytes(1000, 3);
+  const auto file = snapstore::encode_chunk_file(raw.data(), raw.size(),
+                                                 snapstore::CodecId::Rle);
+  const ChunkKey k{snapstore::hash64(raw.data(), raw.size()), raw.size(), 0};
+  ASSERT_EQ(client_.put_chunk(k, file.data(), file.size()), snapd::Wire::Ok);
+  ASSERT_EQ(client_.put_manifest("m", 5, raw.data(), raw.size()),
+            snapd::Wire::Ok);
+
+  // hard-kill the daemon; a replacement over the same root serves the data
+  client_.close();
+  snapd::kill_snapd(shard_);
+  shard_ = snapd::spawn_snapd(root_);
+  ASSERT_TRUE(shard_.ok()) << shard_.error;
+  ASSERT_TRUE(client_.connect("127.0.0.1", shard_.port, "shard0"));
+
+  EXPECT_EQ(client_.has_chunk(k), snapd::Wire::Ok);
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(client_.get_manifest("m", seq, payload), snapd::Wire::Ok);
+  EXPECT_EQ(seq, 5u);
+  EXPECT_EQ(payload, raw);
+  // counters were rebuilt from disk
+  snapd::StatReply st;
+  ASSERT_EQ(client_.stat(st), snapd::Wire::Ok);
+  EXPECT_EQ(st.chunks, 1u);
+  EXPECT_EQ(st.manifests, 1u);
+}
+
+TEST_F(SnapdDaemonTest, StatCountsTraffic) {
+  snapd::StatReply before;
+  ASSERT_EQ(client_.stat(before), snapd::Wire::Ok);
+  const auto raw = random_bytes(512, 11);
+  const auto file = snapstore::encode_chunk_file(raw.data(), raw.size(),
+                                                 snapstore::CodecId::Identity);
+  const ChunkKey k{snapstore::hash64(raw.data(), raw.size()), raw.size(), 0};
+  ASSERT_EQ(client_.put_chunk(k, file.data(), file.size()), snapd::Wire::Ok);
+  std::vector<std::uint8_t> got;
+  ASSERT_EQ(client_.get_chunk(k, got), snapd::Wire::Ok);
+  snapd::StatReply after;
+  ASSERT_EQ(client_.stat(after), snapd::Wire::Ok);
+  EXPECT_EQ(after.chunks, before.chunks + 1);
+  EXPECT_EQ(after.puts, before.puts + 1);
+  EXPECT_EQ(after.gets, before.gets + 1);
+  EXPECT_GT(after.bytes_in, before.bytes_in);
+  EXPECT_GT(after.bytes_out, before.bytes_out);
+}
+
+// ---------------------------------------------------------------------------
+// the sharded store: 4 daemons, R=2
+// ---------------------------------------------------------------------------
+
+class ShardedStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = "/tmp/checl_snapd_test_fleet";
+    fs::remove_all(root_);
+    ShardOptions opt;
+    opt.replicas = 2;
+    ASSERT_TRUE(store_.open_local(root_, 4, opt).ok());
+  }
+  void TearDown() override {
+    store_.close();
+    fs::remove_all(root_);
+  }
+
+  // The two replicas currently holding the manifest for `name`.
+  std::vector<unsigned> manifest_shards(const std::string& name) {
+    std::vector<unsigned> out;
+    for (unsigned s = 0; s < store_.shard_count(); ++s) {
+      snapd::ShardClient* c = store_.client(s);
+      if (c == nullptr || !c->alive()) continue;
+      std::uint64_t seq = 0;
+      std::vector<std::uint8_t> payload;
+      if (c->get_manifest(name, seq, payload) == snapd::Wire::Ok)
+        out.push_back(s);
+    }
+    return out;
+  }
+
+  // Hard-kill shard `s` and bring a replacement up over the same root,
+  // optionally with a chaos schedule armed in the replacement only.
+  void revive_shard(unsigned s, const std::string& chaos_env = "") {
+    snapd::SpawnedShard* sp = store_.spawned(s);
+    ASSERT_NE(sp, nullptr);
+    snapd::kill_snapd(*sp);
+    *sp = snapd::spawn_snapd(store_.shard_root(s), 0, chaos_env);
+    ASSERT_TRUE(sp->ok()) << sp->error;
+    ASSERT_TRUE(store_.reconnect(s, sp->port)) << "  repro: " << repro_line();
+  }
+
+  std::string root_;
+  ShardedStore store_;
+  slimcr::StorageModel disk_ = slimcr::local_disk();
+};
+
+TEST_F(ShardedStoreTest, PutGetRoundTripBitExact) {
+  const slimcr::Snapshot snap = make_snapshot(1, 6, 96 * 1024);
+  const snapstore::PutResult put = store_.put("ck", snap, disk_);
+  ASSERT_TRUE(put.status.ok()) << put.status.message;
+  EXPECT_GT(put.new_chunks, 0u);
+  EXPECT_TRUE(store_.contains("ck"));
+
+  slimcr::Snapshot back;
+  const snapstore::GetResult got = store_.get("ck", back, disk_);
+  ASSERT_TRUE(got.status.ok()) << got.status.message;
+  expect_equal(snap, back);
+  EXPECT_EQ(store_.sharded_stats().failovers, 0u);
+  EXPECT_EQ(store_.under_replicated_total(), 0u);
+
+  // every chunk landed on exactly R shards
+  std::unordered_map<ChunkKey, unsigned, snapstore::ChunkKeyHash> copies;
+  for (unsigned s = 0; s < store_.shard_count(); ++s) {
+    std::vector<snapd::ChunkEntry> listing;
+    ASSERT_EQ(store_.client(s)->list_chunks(listing), snapd::Wire::Ok);
+    for (const auto& e : listing) copies[e.key]++;
+  }
+  EXPECT_GT(copies.size(), 0u);
+  for (const auto& [k, n] : copies) EXPECT_EQ(n, 2u) << "key " << k.hash;
+}
+
+TEST_F(ShardedStoreTest, RepeatPutDedupsAcrossTheFleet) {
+  const slimcr::Snapshot snap = make_snapshot(2, 4, 64 * 1024);
+  const snapstore::PutResult a = store_.put("a", snap, disk_);
+  ASSERT_TRUE(a.status.ok());
+  const snapstore::PutResult b = store_.put("b", snap, disk_);
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_EQ(b.new_chunks, 0u);
+  EXPECT_EQ(b.dedup_hits, a.new_chunks);
+  EXPECT_LT(b.stored_bytes, a.stored_bytes / 4);  // only the manifest
+
+  // distributed GC: removing one name keeps the shared chunks alive
+  ASSERT_TRUE(store_.remove("a").ok());
+  slimcr::Snapshot back;
+  ASSERT_TRUE(store_.get("b", back, disk_).status.ok());
+  expect_equal(snap, back);
+  ASSERT_TRUE(store_.remove("b").ok());
+  for (unsigned s = 0; s < store_.shard_count(); ++s) {
+    std::vector<snapd::ChunkEntry> listing;
+    ASSERT_EQ(store_.client(s)->list_chunks(listing), snapd::Wire::Ok);
+    EXPECT_TRUE(listing.empty()) << "shard " << s << " leaked chunks";
+  }
+}
+
+TEST_F(ShardedStoreTest, RestoreFailsOverWhenAShardDies) {
+  const slimcr::Snapshot snap = make_snapshot(3, 8, 80 * 1024);
+  ASSERT_TRUE(store_.put("ck", snap, disk_).status.ok());
+
+  // kill any one daemon: every chunk still has its sibling replica
+  snapd::kill_snapd(*store_.spawned(1));
+  slimcr::Snapshot back;
+  const snapstore::GetResult got = store_.get("ck", back, disk_);
+  ASSERT_TRUE(got.status.ok()) << got.status.message << "\n  repro: "
+                               << repro_line();
+  expect_equal(snap, back);
+  EXPECT_GT(store_.sharded_stats().failovers, 0u);
+}
+
+TEST_F(ShardedStoreTest, DegradedWriteRecordsUnderReplication) {
+  snapd::kill_snapd(*store_.spawned(2));
+  const slimcr::Snapshot snap = make_snapshot(4, 8, 80 * 1024);
+  const snapstore::PutResult put = store_.put("ck", snap, disk_);
+  ASSERT_TRUE(put.status.ok()) << put.status.message;  // degraded, not failed
+  EXPECT_GT(store_.sharded_stats().degraded_writes, 0u);
+  EXPECT_GT(store_.under_replicated_total(), 0u);
+  EXPECT_EQ(store_.under_replicated_total(),
+            store_.sharded_stats().under_replicated);
+
+  // the degraded checkpoint still restores byte-identically
+  slimcr::Snapshot back;
+  ASSERT_TRUE(store_.get("ck", back, disk_).status.ok());
+  expect_equal(snap, back);
+}
+
+TEST_F(ShardedStoreTest, RepairRestoresFullReplication) {
+  // write while one shard is down -> under-replicated residue
+  snapd::kill_snapd(*store_.spawned(3));
+  const slimcr::Snapshot snap = make_snapshot(5, 8, 80 * 1024);
+  ASSERT_TRUE(store_.put("ck", snap, disk_).status.ok());
+  ASSERT_GT(store_.under_replicated_total(), 0u);
+
+  // revive the shard (empty disk is fine — repair re-replicates content)
+  revive_shard(3);
+  const snapstore::RepairReport rep = store_.repair();
+  ASSERT_TRUE(rep.status.ok()) << rep.status.message;
+  EXPECT_GT(rep.chunks_checked, 0u);
+  EXPECT_GT(rep.replicas_restored, 0u);
+  EXPECT_GT(rep.manifests_rewritten, 0u);
+  EXPECT_EQ(rep.unrecoverable, 0u);
+  EXPECT_EQ(store_.under_replicated_total(), 0u) << "  repro: " << repro_line();
+  EXPECT_GT(store_.sharded_stats().repaired_chunks, 0u);
+
+  // the proof of replication: kill each OTHER shard in turn — any single
+  // failure leaves a complete copy reachable
+  for (unsigned victim = 0; victim < store_.shard_count(); ++victim) {
+    SCOPED_TRACE("victim shard " + std::to_string(victim));
+    snapd::kill_snapd(*store_.spawned(victim));
+    slimcr::Snapshot back;
+    ASSERT_TRUE(store_.get("ck", back, disk_).status.ok())
+        << "  repro: " << repro_line();
+    expect_equal(snap, back);
+    revive_shard(victim);
+  }
+}
+
+TEST_F(ShardedStoreTest, TotalLossNamesTheShards) {
+  const slimcr::Snapshot snap = make_snapshot(6, 2, 32 * 1024);
+  ASSERT_TRUE(store_.put("ck", snap, disk_).status.ok());
+  for (unsigned s = 0; s < store_.shard_count(); ++s)
+    snapd::kill_snapd(*store_.spawned(s));
+  slimcr::Snapshot back;
+  const snapstore::GetResult got = store_.get("ck", back, disk_);
+  ASSERT_FALSE(got.status.ok());
+  // the error names which replicas went away
+  EXPECT_NE(got.status.message.find("shard"), std::string::npos)
+      << got.status.message;
+}
+
+TEST_F(ShardedStoreTest, StreamingSessionSealsAndAborts) {
+  const auto data = random_bytes(150 * 1024, 9);
+  {
+    auto ses = store_.begin("live");
+    ASSERT_NE(ses, nullptr);
+    ASSERT_TRUE(ses->put_section("mem.0", data.data(), data.size(), disk_)
+                    .status.ok());
+    ASSERT_TRUE(ses->seal(disk_).status.ok());
+    EXPECT_TRUE(ses->sealed());
+  }
+  slimcr::Snapshot back;
+  ASSERT_TRUE(store_.get("live", back, disk_).status.ok());
+  ASSERT_NE(back.get("mem.0"), nullptr);
+  EXPECT_EQ(*back.get("mem.0"), data);
+
+  // an aborted session reclaims its provisional chunks on every replica
+  const auto fresh = random_bytes(100 * 1024, 10);
+  {
+    auto ses = store_.begin("tmp");
+    ASSERT_TRUE(ses->put_section("mem.0", fresh.data(), fresh.size(), disk_)
+                    .status.ok());
+    ses->abort();
+  }
+  EXPECT_FALSE(store_.contains("tmp"));
+  std::size_t total_files = 0;
+  std::size_t live_refs = 0;
+  for (unsigned s = 0; s < store_.shard_count(); ++s) {
+    std::vector<snapd::ChunkEntry> listing;
+    ASSERT_EQ(store_.client(s)->list_chunks(listing), snapd::Wire::Ok);
+    total_files += listing.size();
+  }
+  // exactly the sealed manifest's chunks remain, R copies each
+  live_refs = (data.size() + store_.options().chunk_bytes - 1) /
+              store_.options().chunk_bytes;
+  EXPECT_EQ(total_files, live_refs * 2);
+}
+
+// ---------------------------------------------------------------------------
+// torture: process death mid-seal and replica corruption (the chaos sites)
+// ---------------------------------------------------------------------------
+
+TEST_F(ShardedStoreTest, ShardDeathMidSealIsSealOrAbort) {
+  // seq 1: a healthy checkpoint everywhere
+  const slimcr::Snapshot v1 = make_snapshot(20, 6, 64 * 1024);
+  ASSERT_TRUE(store_.put("ck", v1, disk_).status.ok());
+  const std::vector<unsigned> hosts = manifest_shards("ck");
+  ASSERT_EQ(hosts.size(), 2u);
+
+  // replace one manifest replica with a daemon armed to _exit(9) between the
+  // manifest tmp-write and its rename — a torn-write window made real
+  chaoskit::Fault death;
+  death.site = chaoskit::Site::SnapdShardDeath;
+  death.nth = 0;
+  revive_shard(hosts[0], chaoskit::Engine::to_env(death));
+
+  // seq 2: the victim dies mid-PutManifest; the sibling replica takes it
+  const slimcr::Snapshot v2 = make_snapshot(21, 6, 64 * 1024);
+  const snapstore::PutResult put = store_.put("ck", v2, disk_);
+  ASSERT_TRUE(put.status.ok()) << put.status.message << "\n  repro: "
+                               << repro_line();
+  ASSERT_TRUE(snapd::reap_snapd(*store_.spawned(hosts[0])))
+      << "chaos daemon should have died mid-seal";
+
+  // the highest decodable seq wins: restore sees the NEW bytes
+  slimcr::Snapshot back;
+  ASSERT_TRUE(store_.get("ck", back, disk_).status.ok());
+  expect_equal(v2, back);
+
+  // seal-or-abort on the dead shard's disk: a clean daemon over that root
+  // serves the OLD manifest intact (seq 1) — never a torn one.  With the
+  // up-to-date sibling also gone, restore falls back to the old checkpoint.
+  revive_shard(hosts[0]);
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(store_.client(hosts[0])->get_manifest("ck", seq, payload),
+            snapd::Wire::Ok)
+      << "  repro: " << repro_line();
+  EXPECT_EQ(seq, 1u) << "rename happened despite _exit before it";
+  snapd::kill_snapd(*store_.spawned(hosts[1]));
+  slimcr::Snapshot old_back;
+  ASSERT_TRUE(store_.get("ck", old_back, disk_).status.ok())
+      << "  repro: " << repro_line();
+  expect_equal(v1, old_back);
+
+  // repair republishes the newest manifest to the lagging replica
+  revive_shard(hosts[1]);
+  const snapstore::RepairReport rep = store_.repair();
+  ASSERT_TRUE(rep.status.ok());
+  EXPECT_GT(rep.manifests_rewritten, 0u);
+  std::uint64_t seq2 = 0;
+  ASSERT_EQ(store_.client(hosts[0])->get_manifest("ck", seq2, payload),
+            snapd::Wire::Ok);
+  EXPECT_GT(seq2, 1u);
+  slimcr::Snapshot repaired;
+  ASSERT_TRUE(store_.get("ck", repaired, disk_).status.ok());
+  expect_equal(v2, repaired);
+}
+
+TEST_F(ShardedStoreTest, CorruptReplicaIsDetectedAndFailedOver) {
+  // the client ships a bit-flipped copy to exactly one replica of each chunk
+  std::mt19937 rng(static_cast<std::uint32_t>(master_seed() + 4));
+  chaoskit::Fault corrupt;
+  corrupt.site = chaoskit::Site::SnapdReplicaCorrupt;
+  corrupt.nth = 0;
+  corrupt.arg = static_cast<std::int64_t>(rng() % 4096);
+  chaoskit::Engine::instance().arm(corrupt);
+  const slimcr::Snapshot snap = make_snapshot(22, 6, 64 * 1024);
+  const snapstore::PutResult put = store_.put("ck", snap, disk_);
+  const bool fired = chaoskit::Engine::instance().fired();
+  chaoskit::Engine::instance().disarm();
+  ASSERT_TRUE(put.status.ok()) << put.status.message;
+  ASSERT_TRUE(fired) << "corruption never injected";
+
+  // restore must detect the CRC mismatch and serve the clean sibling
+  slimcr::Snapshot back;
+  const snapstore::GetResult got = store_.get("ck", back, disk_);
+  ASSERT_TRUE(got.status.ok()) << got.status.message << "\n  repro: "
+                               << repro_line();
+  expect_equal(snap, back);
+  EXPECT_GE(store_.sharded_stats().failovers, 1u)
+      << "corrupt copy served?\n  repro: " << repro_line();
+
+  // repair rewrites the damaged copy from the good one
+  const snapstore::RepairReport rep = store_.repair();
+  ASSERT_TRUE(rep.status.ok());
+  EXPECT_GE(rep.replicas_restored, 1u);
+  // after repair every replica of every chunk verifies
+  const snapstore::RepairReport clean = store_.repair();
+  EXPECT_EQ(clean.replicas_restored, 0u) << "  repro: " << repro_line();
+  EXPECT_EQ(clean.unrecoverable, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// stats plumbing: orphans_swept + the stats_json "snapd" section
+// ---------------------------------------------------------------------------
+
+TEST(SnapdStats, OrphansSweptSurfacesInStatsJson) {
+  // Regression: Store::open() always counted swept orphans internally but
+  // stats_json() never printed the field.
+  const std::string root = "/tmp/checl_snapd_test_orphans";
+  fs::remove_all(root);
+  {
+    snapstore::Store st;
+    ASSERT_TRUE(st.open(root).ok());
+    slimcr::Snapshot snap = make_snapshot(30, 2, 32 * 1024);
+    ASSERT_TRUE(st.put("ck", snap, slimcr::local_disk()).status.ok());
+  }
+  // fabricate a mid-stream crash: a chunk file no manifest references
+  {
+    std::ofstream orphan(root + "/chunks/00000000deadbeef-128.chk",
+                         std::ios::binary);
+    orphan << "SNAPCHK1 payload that no manifest knows about";
+  }
+  snapstore::Store st;
+  ASSERT_TRUE(st.open(root).ok());
+  EXPECT_EQ(st.stats().orphans_swept, 1u);
+  const std::string js = checl::stats_json(nullptr, &st);
+  EXPECT_NE(js.find("\"orphans_swept\": 1"), std::string::npos) << js;
+  // a local store reports no snapd section
+  EXPECT_NE(js.find("\"snapd\": null"), std::string::npos) << js;
+  fs::remove_all(root);
+}
+
+TEST(SnapdStats, ShardedStoreReportsSnapdSection) {
+  const std::string root = "/tmp/checl_snapd_test_statsjson";
+  fs::remove_all(root);
+  ShardedStore store;
+  ShardOptions opt;
+  opt.replicas = 2;
+  ASSERT_TRUE(store.open_local(root, 4, opt).ok());
+  slimcr::Snapshot snap = make_snapshot(31, 2, 32 * 1024);
+  ASSERT_TRUE(store.put("ck", snap, slimcr::local_disk()).status.ok());
+  const std::string js = checl::stats_json(nullptr, &store);
+  EXPECT_NE(js.find("\"snapd\": {"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"shards\": 4"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"replicas\": 2"), std::string::npos) << js;
+  store.close();
+  fs::remove_all(root);
+}
+
+// ---------------------------------------------------------------------------
+// the engine on top: CHECL_SNAP_SHARDS routes checkpoints through the fleet
+// ---------------------------------------------------------------------------
+
+const char* kSrc = R"CL(
+__kernel void add1(__global float* d, int n) {
+  int i = get_global_id(0);
+  if (i < n) d[i] = d[i] + 1.0f;
+}
+)CL";
+
+class SnapdEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs::remove_all(store_root());
+    ::setenv("CHECL_SNAP_SHARDS", "2", 1);
+    auto& rt = checl::CheclRuntime::instance();
+    rt.reset_all();
+    checl::NodeConfig node = checl::dual_node();
+    node.transport = proxy::Transport::Process;
+    rt.set_node(node);
+    rt.store_checkpoints = true;
+    rt.store_root = store_root();
+    checl::bind_checl();
+  }
+  void TearDown() override {
+    ::unsetenv("CHECL_SNAP_SHARDS");
+    checl::CheclRuntime::instance().reset_all();
+    checl::bind_native();
+    fs::remove_all(store_root());
+  }
+  static const char* store_root() { return "/tmp/checl_snapd_test_engine"; }
+  checl::cpr::Engine& engine() {
+    return checl::CheclRuntime::instance().engine();
+  }
+};
+
+TEST_F(SnapdEngineTest, CheckpointAndRestartThroughShardedStore) {
+  // a real OpenCL scenario checkpointed through 2 shard daemons
+  cl_uint np = 0;
+  ASSERT_EQ(clGetPlatformIDs(0, nullptr, &np), CL_SUCCESS);
+  std::vector<cl_platform_id> plats(np);
+  clGetPlatformIDs(np, plats.data(), nullptr);
+  cl_platform_id platform = nullptr;
+  cl_device_id device = nullptr;
+  for (cl_platform_id p : plats) {
+    if (clGetDeviceIDs(p, CL_DEVICE_TYPE_GPU, 1, &device, nullptr) ==
+        CL_SUCCESS) {
+      platform = p;
+      break;
+    }
+  }
+  ASSERT_NE(platform, nullptr);
+  cl_int err = CL_SUCCESS;
+  cl_context ctx = clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_command_queue q = clCreateCommandQueue(ctx, device, 0, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  const int n = 2048;
+  std::vector<float> zeros(n, 0.0f);
+  cl_mem buf = clCreateBuffer(ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR,
+                              n * 4, zeros.data(), &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_program prog = clCreateProgramWithSource(ctx, 1, &kSrc, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clBuildProgram(prog, 1, &device, "", nullptr, nullptr), CL_SUCCESS);
+  cl_kernel kern = clCreateKernel(prog, "add1", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kern, 0, sizeof buf, &buf), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kern, 1, sizeof n, &n), CL_SUCCESS);
+  const std::size_t g = n;
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(clEnqueueNDRangeKernel(q, kern, 1, nullptr, &g, nullptr, 0,
+                                     nullptr, nullptr),
+              CL_SUCCESS);
+  ASSERT_EQ(clFinish(q), CL_SUCCESS);
+
+  checl::cpr::PhaseTimes pt;
+  ASSERT_EQ(engine().checkpoint("ckpt_sharded", &pt), CL_SUCCESS)
+      << engine().last_error();
+  EXPECT_GT(pt.write_ns, 0u);
+
+  // the engine really opened the sharded backend
+  auto* sharded = dynamic_cast<ShardedStore*>(engine().store_if_open());
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->shard_count(), 2u);
+  const std::string js = checl::stats_json();
+  EXPECT_NE(js.find("\"snapd\": {"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"shards\": 2"), std::string::npos) << js;
+
+  // mutate, restore, verify rollback through the fleet
+  for (int i = 0; i < 2; ++i)
+    ASSERT_EQ(clEnqueueNDRangeKernel(q, kern, 1, nullptr, &g, nullptr, 0,
+                                     nullptr, nullptr),
+              CL_SUCCESS);
+  ASSERT_EQ(clFinish(q), CL_SUCCESS);
+  ASSERT_EQ(engine().restart_in_place("ckpt_sharded", std::nullopt, nullptr),
+            CL_SUCCESS)
+      << engine().last_error();
+  float v = -1;
+  ASSERT_EQ(clEnqueueReadBuffer(q, buf, CL_TRUE, 0, 4, &v, 0, nullptr, nullptr),
+            CL_SUCCESS);
+  EXPECT_FLOAT_EQ(v, 3.0f);
+
+  clReleaseKernel(kern);
+  clReleaseProgram(prog);
+  clReleaseMemObject(buf);
+  clReleaseCommandQueue(q);
+  clReleaseContext(ctx);
+}
+
+TEST_F(SnapdEngineTest, LastErrorNamesTheDeadShard) {
+  // checkpoint once so the fleet is up, then kill every daemon: the next
+  // checkpoint must fail and last_error() must say which shard went away
+  ASSERT_EQ(engine().checkpoint("ck", nullptr), CL_SUCCESS)
+      << engine().last_error();
+  auto* sharded = dynamic_cast<ShardedStore*>(engine().store_if_open());
+  ASSERT_NE(sharded, nullptr);
+  for (unsigned s = 0; s < sharded->shard_count(); ++s)
+    snapd::kill_snapd(*sharded->spawned(s));
+  ASSERT_NE(engine().checkpoint("ck2", nullptr), CL_SUCCESS);
+  EXPECT_NE(engine().last_error().find("shard"), std::string::npos)
+      << engine().last_error();
+}
+
+}  // namespace
